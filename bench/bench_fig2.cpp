@@ -1,0 +1,86 @@
+// Figure 2 — overall comparison of the four schemes on the CacheBench-style
+// workload (50% get / 30% set / 20% delete, Zipf popularity, LRU region
+// eviction).
+//
+// Setup mirrors §4.1 "Overall Comparison", scaled 1/16:
+//   * Zone-Cache uses 25 zones with no OP -> 25-zone cache (1600 MiB here,
+//     25 GiB in the paper).
+//   * Block-, File-, and Region-Cache get a 20/25 cache (1280 MiB here,
+//     20 GiB in the paper; at least 5 GiB equivalent reserved as OP).
+//
+// Expected shape (paper): hit ratio Zone > {Block ~ Region ~ File};
+// throughput Region >= Block > Zone > File.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/cachebench.h"
+
+namespace zncache {
+namespace {
+
+using backends::MakeScheme;
+using backends::SchemeKind;
+using backends::SchemeParams;
+
+int Run() {
+  using namespace bench;
+  PrintHeader("Figure 2: performance of the four schemes (CacheBench bc mix)");
+  std::printf("%-14s %14s %10s %9s %12s %12s\n", "Scheme", "Mops/min",
+              "HitRatio", "WA", "P50(us)", "P99(us)");
+  PrintRule();
+
+  const SchemeKind kinds[] = {SchemeKind::kRegion, SchemeKind::kZone,
+                              SchemeKind::kFile, SchemeKind::kBlock};
+  for (SchemeKind kind : kinds) {
+    sim::VirtualClock clock;
+    SchemeParams params;
+    params.zone_size = kZoneSize;
+    params.region_size = kRegionSize;
+    params.min_empty_zones = 2;  // scaled from the paper's 8 / 904 zones
+    // CacheLib Navy's region eviction follows write order (FIFO reuse);
+    // the paper's "LRU" setting applies to the DRAM pool.
+    params.cache_config.policy = cache::EvictionPolicy::kLru;
+    params.cache_config.lru_sample = 512;  // coarse region-LRU updates
+    params.cache_bytes =
+        kind == SchemeKind::kZone ? 25 * kZoneSize : 20 * kZoneSize;
+    params.device_zones = kind == SchemeKind::kRegion ? 25 : 0;
+    auto scheme = MakeScheme(kind, params, &clock);
+    if (!scheme.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n",
+                   scheme.status().ToString().c_str());
+      return 1;
+    }
+
+    workload::CacheBenchConfig wl;
+    wl.ops = 400'000;
+    wl.warmup_ops = 200'000;
+    wl.key_space = 85'000;
+    wl.zipf_theta = 0.85;
+    wl.value_min = 4 * kKiB;
+    wl.value_max = 32 * kKiB;
+    workload::CacheBenchRunner runner(wl);
+    auto r = runner.Run(*scheme->cache, clock);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s run failed: %s\n", scheme->name.c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s %14.3f %10.4f %9.2f %12llu %12llu\n",
+                scheme->name.c_str(), r->OpsPerMinuteMillions(), r->hit_ratio,
+                scheme->WaFactor(),
+                static_cast<unsigned long long>(r->overall_latency.P50() /
+                                                1000),
+                static_cast<unsigned long long>(r->overall_latency.P99() /
+                                                1000));
+  }
+  PrintRule();
+  std::printf(
+      "Paper shape: hit ratio Zone-Cache (95.08%%) > Block-Cache (94.29%%)\n"
+      "             throughput Region-Cache >= Block-Cache > Zone > File.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace zncache
+
+int main() { return zncache::Run(); }

@@ -1,0 +1,110 @@
+// Figure 3 — time to fill the region in-memory buffer, large (zone-sized)
+// region vs small region, over the region sequence number.
+//
+// The paper fills 1024 MiB regions (a) and 16 MiB regions (b) with a
+// set-only stream and observes that the large-region insertion time jumps
+// ~3x once region eviction begins (sequence ~76 of 100), caused by eviction
+// holding the shared index locks for a region's worth of entries; the small
+// region design shows no such jump. Scaled here: 64 MiB (zone-sized) vs
+// 1 MiB regions on a Zone-Cache / Region-Cache build.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workload/cachebench.h"
+
+namespace zncache {
+namespace {
+
+using backends::MakeScheme;
+using backends::SchemeKind;
+using backends::SchemeParams;
+
+// Fill the cache with a set-only stream until `target_regions` region
+// buffers have been sealed; return per-region fill times.
+Result<std::vector<SimNanos>> FillRegions(SchemeKind kind, u64 region_size,
+                                          u64 cache_regions,
+                                          u64 target_regions) {
+  sim::VirtualClock clock;
+  SchemeParams params;
+  params.zone_size = bench::kZoneSize;
+  params.region_size = region_size;
+  params.cache_bytes = cache_regions * region_size;
+  params.min_empty_zones = 2;
+  params.cache_config.policy = cache::EvictionPolicy::kFifo;
+  params.cache_config.record_fill_times = true;
+  auto scheme = MakeScheme(kind, params, &clock);
+  if (!scheme.ok()) return scheme.status();
+
+  workload::CacheBenchRunner sizer(workload::CacheBenchConfig{});
+  Rng rng(97);
+  u64 key = 0;
+  std::string value;
+  while (scheme->cache->region_fill_times().size() < target_regions) {
+    // ~16 KiB objects (the paper's Figure 3 experiment inserts kv pairs).
+    const u64 size = 8 * kKiB + rng.Uniform(16 * kKiB);
+    value.assign(size, 'v');
+    auto s = scheme->cache->Set("fill-" + std::to_string(key++), value);
+    if (!s.ok()) return s.status();
+  }
+  return scheme->cache->region_fill_times();
+}
+
+int Run() {
+  using namespace bench;
+  PrintHeader("Figure 3(a): large (zone-sized, 64 MiB) region fill times");
+  auto large = FillRegions(SchemeKind::kZone, kZoneSize,
+                           /*cache_regions=*/75, /*target_regions=*/100);
+  if (!large.ok()) {
+    std::fprintf(stderr, "large-region run failed: %s\n",
+                 large.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%8s %20s\n", "seq", "fill time (ms)");
+  for (size_t i = 0; i < large->size(); ++i) {
+    if (i % 5 == 0 || i + 1 == large->size()) {
+      std::printf("%8zu %20.2f\n", i,
+                  static_cast<double>((*large)[i]) / 1e6);
+    }
+  }
+
+  PrintHeader("Figure 3(b): small (1 MiB) region fill times");
+  auto small = FillRegions(SchemeKind::kRegion, kRegionSize,
+                           /*cache_regions=*/4800, /*target_regions=*/6400);
+  if (!small.ok()) {
+    std::fprintf(stderr, "small-region run failed: %s\n",
+                 small.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%8s %20s\n", "seq", "fill time (ms)");
+  for (size_t i = 0; i < small->size(); i += 320) {
+    std::printf("%8zu %20.3f\n", i, static_cast<double>((*small)[i]) / 1e6);
+  }
+
+  // Summaries matching the paper's observation.
+  auto avg = [](const std::vector<SimNanos>& v, size_t from, size_t to) {
+    double sum = 0;
+    for (size_t i = from; i < to && i < v.size(); ++i) {
+      sum += static_cast<double>(v[i]);
+    }
+    return sum / static_cast<double>(to - from) / 1e6;
+  };
+  PrintRule();
+  std::printf(
+      "Large region: fill time before eviction (seq 0-74) avg %.1f ms, "
+      "after (seq 76-99) avg %.1f ms\n",
+      avg(*large, 0, 75), avg(*large, 76, 100));
+  std::printf(
+      "Small region: first-quarter avg %.3f ms, last-quarter avg %.3f ms "
+      "(no comparable jump)\n",
+      avg(*small, 0, 1600), avg(*small, 4800, 6400));
+  std::printf(
+      "Paper shape: large-region insertion time rises sharply once region\n"
+      "eviction begins (~seq 76); small regions stay flat.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace zncache
+
+int main() { return zncache::Run(); }

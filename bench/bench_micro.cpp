@@ -1,0 +1,245 @@
+// Hot-path microbenchmarks (google-benchmark): middle-layer translation,
+// cache index operations, device write paths and workload generators.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "backends/middle_region_device.h"
+#include "cache/flash_cache.h"
+#include "common/random.h"
+#include "common/compress.h"
+#include "common/histogram.h"
+#include "kv/bloom.h"
+#include "kv/memtable.h"
+#include "middle/zone_translation_layer.h"
+#include "zns/zns_device.h"
+
+namespace zncache {
+namespace {
+
+void BM_ZipfNext(benchmark::State& state) {
+  Rng rng(1);
+  ZipfianGenerator zipf(1'000'000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_ExpRangeNext(benchmark::State& state) {
+  Rng rng(1);
+  ExpRangeGenerator gen(1'000'000, 25.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next(rng));
+  }
+}
+BENCHMARK(BM_ExpRangeNext);
+
+void BM_ZnsSequentialWrite(benchmark::State& state) {
+  sim::VirtualClock clock;
+  zns::ZnsConfig config;
+  config.zone_count = 8;
+  config.zone_size = 64 * kMiB;
+  config.zone_capacity = 64 * kMiB;
+  config.store_data = false;
+  zns::ZnsDevice dev(config, &clock);
+  std::vector<std::byte> buf(64 * kKiB);
+  u64 zone = 0;
+  for (auto _ : state) {
+    const auto& info = dev.GetZoneInfo(zone);
+    if (info.RemainingCapacity() < buf.size()) {
+      (void)dev.Reset(zone);
+    }
+    benchmark::DoNotOptimize(
+        dev.Write(zone, dev.GetZoneInfo(zone).write_pointer, buf));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations() * buf.size()));
+}
+BENCHMARK(BM_ZnsSequentialWrite);
+
+void BM_MiddleLayerWriteRegion(benchmark::State& state) {
+  sim::VirtualClock clock;
+  zns::ZnsConfig zc;
+  zc.zone_count = 32;
+  zc.zone_size = 8 * kMiB;
+  zc.zone_capacity = 8 * kMiB;
+  zc.store_data = false;
+  zns::ZnsDevice dev(zc, &clock);
+  middle::MiddleLayerConfig mc;
+  mc.region_size = 1 * kMiB;
+  mc.region_slots = 200;
+  mc.min_empty_zones = 2;
+  middle::ZoneTranslationLayer layer(mc, &dev);
+  std::vector<std::byte> buf(1 * kMiB);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layer.WriteRegion(rng.Uniform(200), buf,
+                                               sim::IoMode::kBackground));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations() * buf.size()));
+}
+BENCHMARK(BM_MiddleLayerWriteRegion);
+
+void BM_MiddleLayerReadRegion(benchmark::State& state) {
+  sim::VirtualClock clock;
+  zns::ZnsConfig zc;
+  zc.zone_count = 32;
+  zc.zone_size = 8 * kMiB;
+  zc.zone_capacity = 8 * kMiB;
+  zc.store_data = false;
+  zns::ZnsDevice dev(zc, &clock);
+  middle::MiddleLayerConfig mc;
+  mc.region_size = 1 * kMiB;
+  mc.region_slots = 200;
+  mc.min_empty_zones = 2;
+  middle::ZoneTranslationLayer layer(mc, &dev);
+  std::vector<std::byte> buf(1 * kMiB);
+  for (u64 r = 0; r < 200; ++r) {
+    (void)layer.WriteRegion(r, buf, sim::IoMode::kBackground);
+  }
+  std::vector<std::byte> out(4 * kKiB);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        layer.ReadRegion(rng.Uniform(200), rng.Uniform(255) * 4 * kKiB, out));
+  }
+}
+BENCHMARK(BM_MiddleLayerReadRegion);
+
+void BM_FlashCacheSet(benchmark::State& state) {
+  sim::VirtualClock clock;
+  backends::MiddleRegionDeviceConfig dc;
+  dc.region_count = 256;
+  dc.zns.zone_count = 40;
+  dc.zns.zone_size = 8 * kMiB;
+  dc.zns.zone_capacity = 8 * kMiB;
+  dc.zns.store_data = false;
+  dc.middle.region_size = 1 * kMiB;
+  dc.middle.min_empty_zones = 2;
+  backends::MiddleRegionDevice device(dc, &clock);
+  cache::FlashCacheConfig cc;
+  cc.store_values = false;
+  cache::FlashCache flash_cache(cc, &device, &clock);
+  Rng rng(7);
+  std::string value(4096, 'v');
+  u64 i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flash_cache.Set("key-" + std::to_string(rng.Uniform(50'000) + i++ % 2),
+                        value));
+  }
+}
+BENCHMARK(BM_FlashCacheSet);
+
+void BM_FlashCacheGetHit(benchmark::State& state) {
+  sim::VirtualClock clock;
+  backends::MiddleRegionDeviceConfig dc;
+  dc.region_count = 256;
+  dc.zns.zone_count = 40;
+  dc.zns.zone_size = 8 * kMiB;
+  dc.zns.zone_capacity = 8 * kMiB;
+  dc.zns.store_data = false;
+  dc.middle.region_size = 1 * kMiB;
+  dc.middle.min_empty_zones = 2;
+  backends::MiddleRegionDevice device(dc, &clock);
+  cache::FlashCacheConfig cc;
+  cc.store_values = false;
+  cache::FlashCache flash_cache(cc, &device, &clock);
+  std::string value(4096, 'v');
+  for (u64 k = 0; k < 10'000; ++k) {
+    (void)flash_cache.Set("key-" + std::to_string(k), value);
+  }
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flash_cache.Get("key-" + std::to_string(rng.Uniform(10'000))));
+  }
+}
+BENCHMARK(BM_FlashCacheGetHit);
+
+void BM_BloomMayContain(benchmark::State& state) {
+  kv::BloomBuilder b(10);
+  for (int i = 0; i < 100'000; ++i) b.AddKey("key-" + std::to_string(i));
+  const auto filter = b.Finish();
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kv::BloomMayContain(
+        std::span<const std::byte>(filter),
+        "key-" + std::to_string(rng.Uniform(200'000))));
+  }
+}
+BENCHMARK(BM_BloomMayContain);
+
+void BM_LzCompressText(benchmark::State& state) {
+  std::string text;
+  for (int i = 0; i < 2000; ++i) {
+    text += "key-" + std::to_string(i % 57) + "=value-" +
+            std::to_string(i % 23) + ";";
+  }
+  const std::vector<std::byte> raw(
+      reinterpret_cast<const std::byte*>(text.data()),
+      reinterpret_cast<const std::byte*>(text.data()) + text.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LzCompress(std::span<const std::byte>(raw)));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations() * raw.size()));
+}
+BENCHMARK(BM_LzCompressText);
+
+void BM_LzDecompressText(benchmark::State& state) {
+  std::string text;
+  for (int i = 0; i < 2000; ++i) {
+    text += "key-" + std::to_string(i % 57) + "=value-" +
+            std::to_string(i % 23) + ";";
+  }
+  const std::vector<std::byte> raw(
+      reinterpret_cast<const std::byte*>(text.data()),
+      reinterpret_cast<const std::byte*>(text.data()) + text.size());
+  const std::vector<std::byte> packed =
+      LzCompress(std::span<const std::byte>(raw));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LzDecompress(std::span<const std::byte>(packed), raw.size()));
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations() * raw.size()));
+}
+BENCHMARK(BM_LzDecompressText);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(12);
+  for (auto _ : state) {
+    h.Record(rng.Next() >> (rng.Uniform(40)));
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_MemTablePut(benchmark::State& state) {
+  kv::MemTable table;
+  Rng rng(9);
+  std::string value(64, 'v');
+  for (auto _ : state) {
+    table.Put("key-" + std::to_string(rng.Uniform(100'000)), value);
+  }
+}
+BENCHMARK(BM_MemTablePut);
+
+void BM_MemTableGet(benchmark::State& state) {
+  kv::MemTable table;
+  Rng rng(10);
+  std::string value(64, 'v');
+  for (u64 k = 0; k < 50'000; ++k) {
+    table.Put("key-" + std::to_string(k), value);
+  }
+  std::string out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Get("key-" + std::to_string(rng.Uniform(50'000)), &out));
+  }
+}
+BENCHMARK(BM_MemTableGet);
+
+}  // namespace
+}  // namespace zncache
+
+BENCHMARK_MAIN();

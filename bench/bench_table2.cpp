@@ -1,0 +1,73 @@
+// Table 2 — Zone-Cache under different cache sizes for the LSM store,
+// ER = 25. The paper sweeps 4..8 GiB (here 4..8 zones of 32 MiB, i.e.
+// 128..256 MiB) and shows throughput and hit ratio growing monotonically —
+// ZNS's larger usable capacity is worth real hit ratio.
+#include <cstdio>
+
+#include "bench/fig5_common.h"
+
+namespace zncache {
+namespace {
+
+int Run() {
+  using namespace bench;
+  auto world = BuildWorld(kFig5Keys);
+  if (!world.ok()) {
+    std::fprintf(stderr, "fillrandom failed: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "\n=== Table 2: Zone-Cache cache-size sweep (LSM readrandom, ER=25) "
+      "===\n");
+  std::printf("%-18s %12s %12s\n", "Cache Size", "kops/s", "HitRatio(%)");
+  std::printf("%s\n", std::string(44, '-').c_str());
+
+  for (u64 zones = 4; zones <= 8; ++zones) {
+    auto attached = AttachScheme(**world, backends::SchemeKind::kZone,
+                                 zones * kFig5ZoneSize);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "attach failed: %s\n",
+                   attached.status().ToString().c_str());
+      return 1;
+    }
+    kv::DbBenchConfig cfg;
+    cfg.num_keys = kFig5Keys;
+    cfg.reads = kFig5Reads;
+    cfg.exp_range = 25.0;
+    kv::DbBench bench(cfg);
+
+    auto warm = bench.ReadRandom(*(*world)->store, (*world)->clock);
+    if (!warm.ok()) return 1;
+    const auto& cs = attached->scheme.cache->stats();
+    const u64 warm_gets = cs.gets;
+    const u64 warm_hits = cs.hits;
+
+    auto r = bench.ReadRandom(*(*world)->store, (*world)->clock);
+    if (!r.ok()) {
+      std::fprintf(stderr, "readrandom failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    const u64 gets = cs.gets - warm_gets;
+    const u64 hits = cs.hits - warm_hits;
+    const double hit_ratio =
+        gets == 0 ? 0.0
+                  : static_cast<double>(hits) / static_cast<double>(gets);
+    std::printf("%2llu zones (%3llu MiB) %12.3f %12.2f\n",
+                static_cast<unsigned long long>(zones),
+                static_cast<unsigned long long>(zones * kFig5ZoneSize / kMiB),
+                r->ops_per_sec / 1000.0, hit_ratio * 100.0);
+  }
+  std::printf("%s\n", std::string(44, '-').c_str());
+  std::printf(
+      "Paper shape (Table 2, 4G..8G): throughput 1.869 -> 4.100 kops and\n"
+      "hit ratio 86.95%% -> 94.40%%, both rising monotonically with size.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace zncache
+
+int main() { return zncache::Run(); }

@@ -1,0 +1,27 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "backends/schemes.h"
+#include "common/types.h"
+
+namespace zncache::bench {
+
+// The paper's testbed, scaled ~1/16 so experiments replay in seconds:
+//   ZN540: 904 zones x 1077 MiB, 16 MiB regions, 20 GiB / 25 GiB caches
+//   here : 64 MiB zones, 1 MiB regions (same ~67 regions/zone ratio).
+inline constexpr u64 kZoneSize = 64 * kMiB;
+inline constexpr u64 kRegionSize = 1 * kMiB;
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule() {
+  std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+}  // namespace zncache::bench

@@ -1,0 +1,109 @@
+// Shared setup for the end-to-end LSM experiments (Figure 5, Table 2):
+// a mini-LSM store on a simulated HDD, with one of the four flash-cache
+// schemes plugged in as the secondary cache beneath the DRAM block cache.
+//
+// Scaling vs the paper (§4.2): 100M keys -> 3.2M; 5 GiB flash cache ->
+// 160 MiB; 32 MiB DRAM -> 2 MiB; 1077 MiB zones -> 32 MiB (the zone/cache
+// ratio, which drives Zone-Cache's eviction granularity penalty, is
+// preserved: ~5 zones of cache).
+#pragma once
+
+#include <memory>
+
+#include "backends/schemes.h"
+#include "hdd/hdd_device.h"
+#include "kv/db_bench.h"
+#include "kv/lsm_store.h"
+
+namespace zncache::bench {
+
+inline constexpr u64 kFig5ZoneSize = 32 * kMiB;
+inline constexpr u64 kFig5RegionSize = 1 * kMiB;
+inline constexpr u64 kFig5CacheBytes = 160 * kMiB;  // "5 GiB" equivalent
+inline constexpr u64 kFig5Keys = 3'200'000;
+inline constexpr u64 kFig5Reads = 120'000;
+inline constexpr u64 kDramCacheBytes = 2 * kMiB;  // "32 MiB" equivalent
+
+struct Fig5World {
+  sim::VirtualClock clock;
+  std::unique_ptr<hdd::HddDevice> hdd;
+  std::unique_ptr<kv::LsmStore> store;
+};
+
+inline kv::LsmConfig Fig5LsmConfig() {
+  kv::LsmConfig c;
+  c.memtable_bytes = 8 * kMiB;
+  c.block_bytes = 4 * kKiB;
+  c.table_target_bytes = 8 * kMiB;
+  c.l0_compaction_trigger = 4;
+  c.level_base_bytes = 64 * kMiB;
+  c.max_levels = 4;
+  // db_bench's default block-based table has no Bloom filter (RocksDB's
+  // filter_policy defaults to null); keep the paper's configuration.
+  c.bloom_bits_per_key = 0;
+  c.block_cache.capacity_bytes = kDramCacheBytes;
+  return c;
+}
+
+// Build the store and load it with fillrandom (shared across schemes: the
+// on-disk state does not depend on the cache tier).
+inline Result<std::unique_ptr<Fig5World>> BuildWorld(u64 num_keys) {
+  auto world = std::make_unique<Fig5World>();
+  hdd::HddConfig hc;
+  hc.capacity = 3ULL * kGiB;
+  world->hdd = std::make_unique<hdd::HddDevice>(hc, &world->clock);
+  world->store = std::make_unique<kv::LsmStore>(Fig5LsmConfig(),
+                                                world->hdd.get(),
+                                                &world->clock, nullptr);
+  kv::DbBenchConfig fill;
+  fill.num_keys = num_keys;
+  kv::DbBench bench(fill);
+  ZN_RETURN_IF_ERROR(bench.FillRandom(*world->store));
+  // Let background compaction I/O drain before measuring.
+  world->clock.Advance(120 * sim::kSecond);
+  return world;
+}
+
+// Attach a fresh scheme as the secondary cache. Returns the scheme (owner
+// of the flash device) plus the adapter the store points at.
+struct AttachedScheme {
+  backends::SchemeInstance scheme;
+  std::unique_ptr<kv::FlashSecondaryCache> secondary;
+};
+
+inline Result<AttachedScheme> AttachScheme(Fig5World& world,
+                                           backends::SchemeKind kind,
+                                           u64 cache_bytes) {
+  backends::SchemeParams params;
+  params.zone_size = kFig5ZoneSize;
+  params.region_size = kFig5RegionSize;
+  params.cache_bytes = cache_bytes;
+  params.min_empty_zones = 1;
+  params.store_data = true;  // blocks must round-trip through the cache
+  params.cache_config.policy = cache::EvictionPolicy::kLru;
+  params.cache_config.lru_sample = 512;
+  params.cache_config.flush_buffers = 8;  // CacheLib-like in-flight buffers
+  // "Reserve enough OP space to reduce GC and focus on tail latency" —
+  // §4.2 gives the ZNS schemes comfortable slack. The regular SSD's
+  // internal OP is a hardware constant (~7% on the SN540 class): its GC
+  // headroom cannot be grown by the application, which is exactly the
+  // block-interface tax the paper measures.
+  params.block_op_ratio = 0.07;
+  params.block_superblock_pages = 8192;  // 32 MiB GC bursts (tail driver)
+  params.block_gc_interference = 16.0;   // few parallel units at this scale
+  params.file_op_ratio = 0.25;
+  params.region_op_ratio = 0.35;  // generous slack: app-controlled GC stays
+                                  // off the read path (the ZNS advantage)
+  auto scheme = backends::MakeScheme(kind, params, &world.clock);
+  if (!scheme.ok()) return scheme.status();
+
+  AttachedScheme out{std::move(*scheme), nullptr};
+  out.secondary =
+      std::make_unique<kv::FlashSecondaryCache>(out.scheme.cache.get());
+  kv::BlockCacheConfig bc;
+  bc.capacity_bytes = kDramCacheBytes;
+  world.store->ResetCache(bc, out.secondary.get());
+  return out;
+}
+
+}  // namespace zncache::bench

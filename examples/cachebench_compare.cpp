@@ -1,0 +1,62 @@
+// Compare the paper's four schemes side by side on a configurable
+// CacheBench-style workload — a miniature version of the Figure 2
+// experiment you can tweak from the command line.
+//
+//   $ ./examples/cachebench_compare [ops] [key_space] [zipf_theta]
+#include <cstdio>
+#include <cstdlib>
+
+#include "backends/schemes.h"
+#include "workload/cachebench.h"
+
+using namespace zncache;
+
+int main(int argc, char** argv) {
+  workload::CacheBenchConfig wl;
+  wl.ops = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100'000;
+  wl.warmup_ops = wl.ops / 2;
+  wl.key_space = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 30'000;
+  wl.zipf_theta = argc > 3 ? std::strtod(argv[3], nullptr) : 0.85;
+  wl.value_min = 2 * kKiB;
+  wl.value_max = 16 * kKiB;
+
+  std::printf("workload: %llu ops (+%llu warmup), %llu keys, zipf %.2f\n",
+              static_cast<unsigned long long>(wl.ops),
+              static_cast<unsigned long long>(wl.warmup_ops),
+              static_cast<unsigned long long>(wl.key_space), wl.zipf_theta);
+  std::printf("%-14s %12s %10s %8s %10s\n", "scheme", "ops/min", "hit%",
+              "WA", "p99(us)");
+
+  for (auto kind : {backends::SchemeKind::kBlock, backends::SchemeKind::kFile,
+                    backends::SchemeKind::kZone,
+                    backends::SchemeKind::kRegion}) {
+    sim::VirtualClock clock;
+    backends::SchemeParams params;
+    params.zone_size = 16 * kMiB;
+    params.region_size = 1 * kMiB;
+    params.cache_bytes = kind == backends::SchemeKind::kZone
+                             ? 20 * params.zone_size
+                             : 16 * params.zone_size;
+    params.min_empty_zones = 2;
+    params.cache_config.lru_sample = 256;
+    auto scheme = backends::MakeScheme(kind, params, &clock);
+    if (!scheme.ok()) {
+      std::fprintf(stderr, "%s setup failed: %s\n",
+                   SchemeName(kind).data(),
+                   scheme.status().ToString().c_str());
+      return 1;
+    }
+    workload::CacheBenchRunner runner(wl);
+    auto r = runner.Run(*scheme->cache, clock);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s run failed: %s\n", scheme->name.c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s %12.0f %10.2f %8.2f %10llu\n", scheme->name.c_str(),
+                r->ops_per_minute, r->hit_ratio * 100, scheme->WaFactor(),
+                static_cast<unsigned long long>(r->overall_latency.P99() /
+                                                1000));
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// zncache_cli: a configurable driver for exploring the design space from
+// the command line — pick a scheme, size the device, shape the workload,
+// and read the resulting throughput / hit ratio / WA / tails.
+//
+//   $ ./examples/zncache_cli --scheme=region --zones=40 --op=0.2
+//        [--ops=200000 --keys=60000 --theta=0.9 --policy=lru --hints=20000]
+//
+// Flags (defaults in brackets):
+//   --scheme   block | file | zone | region            [region]
+//   --zones    ZNS zones on the device                 [40]
+//   --zone-mib zone size in MiB                        [16]
+//   --region-kib region size in KiB                    [1024]
+//   --op       over-provisioning ratio                 [0.2]
+//   --ops      measured operations                     [200000]
+//   --warmup   warmup operations                       [ops/2]
+//   --keys     distinct keys                           [60000]
+//   --theta    Zipf skew                               [0.85]
+//   --policy   lru | fifo                              [lru]
+//   --hints    co-design cold-age (region scheme only) [0 = off]
+//   --admit    admission probability                   [1.0]
+//   --trace    replay a trace file instead of generating
+#include <cstdio>
+
+#include "backends/schemes.h"
+#include "common/flags.h"
+#include "workload/cachebench.h"
+#include "workload/trace.h"
+
+using namespace zncache;
+
+namespace {
+
+Result<backends::SchemeKind> ParseScheme(const std::string& name) {
+  if (name == "block") return backends::SchemeKind::kBlock;
+  if (name == "file") return backends::SchemeKind::kFile;
+  if (name == "zone") return backends::SchemeKind::kZone;
+  if (name == "region") return backends::SchemeKind::kRegion;
+  return Status::InvalidArgument("unknown scheme: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  auto kind = ParseScheme(flags->GetString("scheme", "region"));
+  if (!kind.ok()) {
+    std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+    return 2;
+  }
+
+  sim::VirtualClock clock;
+  backends::SchemeParams params;
+  params.zone_size = flags->GetU64("zone-mib", 16) * kMiB;
+  params.region_size = flags->GetU64("region-kib", 1024) * kKiB;
+  const u64 zones = flags->GetU64("zones", 40);
+  const double op = flags->GetDouble("op", 0.2);
+  params.device_zones = *kind == backends::SchemeKind::kZone ? 0 : zones;
+  params.cache_bytes =
+      *kind == backends::SchemeKind::kZone
+          ? zones * params.zone_size
+          : static_cast<u64>(static_cast<double>(zones * params.zone_size) *
+                             (1.0 - op));
+  params.file_op_ratio = op;
+  params.region_op_ratio = op;
+  params.min_empty_zones = 1;
+  params.open_zones = 3;
+  params.hint_cold_age = flags->GetU64("hints", 0);
+  params.cache_config.policy = flags->GetString("policy", "lru") == "fifo"
+                                   ? cache::EvictionPolicy::kFifo
+                                   : cache::EvictionPolicy::kLru;
+  params.cache_config.lru_sample = 256;
+  params.cache_config.admit_probability = flags->GetDouble("admit", 1.0);
+
+  auto scheme = backends::MakeScheme(*kind, params, &clock);
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 scheme.status().ToString().c_str());
+    return 1;
+  }
+
+  if (flags->Has("trace")) {
+    auto trace = workload::Trace::LoadFrom(flags->GetString("trace"));
+    if (!trace.ok()) {
+      std::fprintf(stderr, "trace load failed: %s\n",
+                   trace.status().ToString().c_str());
+      return 1;
+    }
+    auto r = workload::ReplayTrace(*trace, *scheme->cache, clock);
+    if (!r.ok()) {
+      std::fprintf(stderr, "replay failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: %llu ops replayed, hit %.2f%%, WA %.3f, p99 %llu us\n",
+                scheme->name.c_str(), static_cast<unsigned long long>(r->ops),
+                r->HitRatio() * 100, scheme->WaFactor(),
+                static_cast<unsigned long long>(r->latency.P99() / 1000));
+    return 0;
+  }
+
+  workload::CacheBenchConfig wl;
+  wl.ops = flags->GetU64("ops", 200'000);
+  wl.warmup_ops = flags->GetU64("warmup", wl.ops / 2);
+  wl.key_space = flags->GetU64("keys", 60'000);
+  wl.zipf_theta = flags->GetDouble("theta", 0.85);
+  wl.value_min = 2 * kKiB;
+  wl.value_max = 16 * kKiB;
+  workload::CacheBenchRunner runner(wl);
+  auto r = runner.Run(*scheme->cache, clock);
+  if (!r.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("scheme        %s\n", scheme->name.c_str());
+  std::printf("throughput    %.0f ops/min (%.3f M)\n", r->ops_per_minute,
+              r->OpsPerMinuteMillions());
+  std::printf("hit ratio     %.2f%%\n", r->hit_ratio * 100);
+  std::printf("WA factor     %.3f\n", scheme->WaFactor());
+  std::printf("p50 / p99     %llu / %llu us\n",
+              static_cast<unsigned long long>(r->overall_latency.P50() / 1000),
+              static_cast<unsigned long long>(r->overall_latency.P99() / 1000));
+  const auto& cs = scheme->cache->stats();
+  std::printf("engine        %llu evicted regions, %llu reinserted items, "
+              "%llu admission rejects\n",
+              static_cast<unsigned long long>(cs.evicted_regions),
+              static_cast<unsigned long long>(cs.reinserted_items),
+              static_cast<unsigned long long>(cs.admission_rejects));
+  return 0;
+}

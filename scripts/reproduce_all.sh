@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every table and figure of the paper.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "### $b"
+    "$b"
+    echo
+  done
+} | tee bench_output.txt

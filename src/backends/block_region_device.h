@@ -1,0 +1,47 @@
+// Block-Cache backend: regions map to fixed LBA ranges of a regular block
+// SSD, exactly as CacheLib uses a raw block device. Region rewrites are
+// in-place logical overwrites; the FTL below turns them into out-of-place
+// flash writes and pays device GC for it.
+#pragma once
+
+#include <memory>
+
+#include "blockssd/block_ssd.h"
+#include "cache/region_device.h"
+
+namespace zncache::backends {
+
+struct BlockRegionDeviceConfig {
+  u64 region_size = 1 * kMiB;
+  u64 region_count = 0;
+  blockssd::BlockSsdConfig ssd;  // logical_capacity is derived
+};
+
+class BlockRegionDevice final : public cache::RegionDevice {
+ public:
+  BlockRegionDevice(const BlockRegionDeviceConfig& config,
+                    sim::VirtualClock* clock);
+
+  u64 region_size() const override { return config_.region_size; }
+  u64 region_count() const override { return config_.region_count; }
+
+  Result<cache::RegionIo> WriteRegion(cache::RegionId id,
+                                      std::span<const std::byte> data,
+                                      sim::IoMode mode) override;
+  Result<cache::RegionIo> ReadRegion(cache::RegionId id, u64 offset,
+                                     std::span<std::byte> out) override;
+  Status InvalidateRegion(cache::RegionId id) override;
+
+  cache::WaStats wa_stats() const override;
+  std::string name() const override { return "Block-Cache"; }
+
+  const blockssd::BlockSsd& ssd() const { return *ssd_; }
+
+ private:
+  Status CheckId(cache::RegionId id) const;
+
+  BlockRegionDeviceConfig config_;
+  std::unique_ptr<blockssd::BlockSsd> ssd_;
+};
+
+}  // namespace zncache::backends

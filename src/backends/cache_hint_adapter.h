@@ -1,0 +1,37 @@
+// CacheHintAdapter — the glue of the paper's §3.4 co-design: it lets the
+// middle layer's GC consult the cache about region temperature and drop
+// cold regions instead of migrating them.
+//
+// Policy: a region is droppable when it has not been accessed within the
+// last `cold_age_accesses` cache accesses (roughly "not touched during one
+// full LRU cycle" when set to the cache's item count). Dropping removes the
+// region's index entries — future gets on those keys miss — so this trades
+// a bounded hit-ratio loss for GC work and WA savings (quantified in
+// bench_codesign).
+#pragma once
+
+#include "cache/flash_cache.h"
+#include "middle/zone_translation_layer.h"
+
+namespace zncache::backends {
+
+class CacheHintAdapter final : public middle::GcHintProvider {
+ public:
+  CacheHintAdapter(cache::FlashCache* flash_cache, u64 cold_age_accesses)
+      : cache_(flash_cache), cold_age_accesses_(cold_age_accesses) {}
+
+  bool TryDropRegion(u64 region_id) override {
+    const u64 last = cache_->RegionLastAccess(region_id);
+    const u64 now = cache_->access_seq();
+    if (now - last < cold_age_accesses_) return false;
+    return cache_->DropRegion(region_id).ok();
+  }
+
+  void set_cache(cache::FlashCache* flash_cache) { cache_ = flash_cache; }
+
+ private:
+  cache::FlashCache* cache_;  // not owned
+  u64 cold_age_accesses_;
+};
+
+}  // namespace zncache::backends

@@ -1,0 +1,55 @@
+// File-Cache backend: regions live in one large preallocated file on an
+// F2FS-like filesystem over a ZNS SSD (Figure 1(a)). Fully transparent —
+// and it pays the filesystem's mapping overhead, OP reservation, and
+// segment-cleaning WA for the convenience.
+#pragma once
+
+#include <memory>
+
+#include "cache/region_device.h"
+#include "f2fslite/f2fs_lite.h"
+#include "zns/zns_device.h"
+
+namespace zncache::backends {
+
+struct FileRegionDeviceConfig {
+  u64 region_size = 1 * kMiB;  // must be a multiple of the FS block size
+  u64 region_count = 0;
+  zns::ZnsConfig zns;
+  f2fslite::F2fsConfig fs;
+};
+
+class FileRegionDevice final : public cache::RegionDevice {
+ public:
+  FileRegionDevice(const FileRegionDeviceConfig& config,
+                   sim::VirtualClock* clock);
+
+  // Must be called once before use; creates the cache file.
+  Status Init();
+
+  u64 region_size() const override { return config_.region_size; }
+  u64 region_count() const override { return config_.region_count; }
+
+  Result<cache::RegionIo> WriteRegion(cache::RegionId id,
+                                      std::span<const std::byte> data,
+                                      sim::IoMode mode) override;
+  Result<cache::RegionIo> ReadRegion(cache::RegionId id, u64 offset,
+                                     std::span<std::byte> out) override;
+  Status InvalidateRegion(cache::RegionId id) override;
+
+  cache::WaStats wa_stats() const override;
+  std::string name() const override { return "File-Cache"; }
+
+  const f2fslite::F2fsLite& fs() const { return *fs_; }
+  const zns::ZnsDevice& zns_device() const { return *zns_; }
+
+ private:
+  Status CheckId(cache::RegionId id) const;
+
+  FileRegionDeviceConfig config_;
+  std::unique_ptr<zns::ZnsDevice> zns_;
+  std::unique_ptr<f2fslite::F2fsLite> fs_;
+  std::vector<std::byte> scratch_;  // block-alignment bounce buffer
+};
+
+}  // namespace zncache::backends

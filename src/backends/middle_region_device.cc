@@ -1,0 +1,37 @@
+#include "backends/middle_region_device.h"
+
+namespace zncache::backends {
+
+MiddleRegionDevice::MiddleRegionDevice(const MiddleRegionDeviceConfig& config,
+                                       sim::VirtualClock* clock)
+    : config_(config) {
+  zns_ = std::make_unique<zns::ZnsDevice>(config_.zns, clock);
+  middle::MiddleLayerConfig ml = config_.middle;
+  ml.region_slots = config_.region_count;
+  layer_ = std::make_unique<middle::ZoneTranslationLayer>(ml, zns_.get());
+}
+
+Result<cache::RegionIo> MiddleRegionDevice::WriteRegion(
+    cache::RegionId id, std::span<const std::byte> data, sim::IoMode mode) {
+  auto r = layer_->WriteRegion(id, data, mode);
+  if (!r.ok()) return r.status();
+  return cache::RegionIo{r->latency, r->completion};
+}
+
+Result<cache::RegionIo> MiddleRegionDevice::ReadRegion(
+    cache::RegionId id, u64 offset, std::span<std::byte> out) {
+  auto r = layer_->ReadRegion(id, offset, out);
+  if (!r.ok()) return r.status();
+  return cache::RegionIo{r->latency, r->completion};
+}
+
+Status MiddleRegionDevice::InvalidateRegion(cache::RegionId id) {
+  return layer_->InvalidateRegion(id);
+}
+
+cache::WaStats MiddleRegionDevice::wa_stats() const {
+  const auto& s = layer_->stats();
+  return cache::WaStats{s.host_bytes, s.host_bytes + s.migrated_bytes};
+}
+
+}  // namespace zncache::backends

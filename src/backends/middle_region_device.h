@@ -1,0 +1,51 @@
+// Region-Cache backend: regions are translated onto zones by the
+// ZoneTranslationLayer (Figure 1(c)) — flexible region sizes on ZNS at the
+// cost of application-level GC, plus the §3.4 co-design surface.
+#pragma once
+
+#include <memory>
+
+#include "cache/region_device.h"
+#include "middle/zone_translation_layer.h"
+#include "zns/zns_device.h"
+
+namespace zncache::backends {
+
+struct MiddleRegionDeviceConfig {
+  u64 region_count = 0;  // forwarded to the middle layer as region_slots
+  zns::ZnsConfig zns;
+  middle::MiddleLayerConfig middle;  // region_slots is derived
+};
+
+class MiddleRegionDevice final : public cache::RegionDevice {
+ public:
+  MiddleRegionDevice(const MiddleRegionDeviceConfig& config,
+                     sim::VirtualClock* clock);
+
+  Status Init() { return layer_->ValidateConfig(); }
+
+  u64 region_size() const override { return config_.middle.region_size; }
+  u64 region_count() const override { return config_.region_count; }
+
+  Result<cache::RegionIo> WriteRegion(cache::RegionId id,
+                                      std::span<const std::byte> data,
+                                      sim::IoMode mode) override;
+  Result<cache::RegionIo> ReadRegion(cache::RegionId id, u64 offset,
+                                     std::span<std::byte> out) override;
+  Status InvalidateRegion(cache::RegionId id) override;
+  Status PumpBackground() override { return layer_->MaybeCollect(); }
+
+  cache::WaStats wa_stats() const override;
+  std::string name() const override { return "Region-Cache"; }
+
+  middle::ZoneTranslationLayer& layer() { return *layer_; }
+  const middle::ZoneTranslationLayer& layer() const { return *layer_; }
+  const zns::ZnsDevice& zns_device() const { return *zns_; }
+
+ private:
+  MiddleRegionDeviceConfig config_;
+  std::unique_ptr<zns::ZnsDevice> zns_;
+  std::unique_ptr<middle::ZoneTranslationLayer> layer_;
+};
+
+}  // namespace zncache::backends

@@ -1,0 +1,140 @@
+#include "backends/schemes.h"
+
+#include <cmath>
+
+namespace zncache::backends {
+
+std::string_view SchemeName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kBlock:
+      return "Block-Cache";
+    case SchemeKind::kFile:
+      return "File-Cache";
+    case SchemeKind::kZone:
+      return "Zone-Cache";
+    case SchemeKind::kRegion:
+      return "Region-Cache";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Zones needed to host `payload_bytes` with `op_ratio` slack.
+u64 DeriveZones(u64 payload_bytes, u64 zone_size, double op_ratio,
+                u64 extra_zones) {
+  const double raw =
+      static_cast<double>(payload_bytes) / (1.0 - op_ratio) /
+      static_cast<double>(zone_size);
+  return static_cast<u64>(std::ceil(raw)) + extra_zones;
+}
+
+}  // namespace
+
+Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
+                                  sim::VirtualClock* clock) {
+  if (params.cache_bytes == 0) {
+    return Status::InvalidArgument("cache_bytes must be set");
+  }
+  SchemeInstance out;
+  out.kind = kind;
+  out.name = std::string(SchemeName(kind));
+
+  switch (kind) {
+    case SchemeKind::kBlock: {
+      BlockRegionDeviceConfig c;
+      c.region_size = params.region_size;
+      c.region_count = params.cache_bytes / params.region_size;
+      c.ssd.op_ratio = params.block_op_ratio;
+      c.ssd.pages_per_block = params.block_superblock_pages;
+      c.ssd.gc_interference_factor = params.block_gc_interference;
+      c.ssd.store_data = params.store_data;
+      out.device = std::make_unique<BlockRegionDevice>(c, clock);
+      break;
+    }
+    case SchemeKind::kFile: {
+      FileRegionDeviceConfig c;
+      c.region_size = params.region_size;
+      c.region_count = params.cache_bytes / params.region_size;
+      c.fs.op_ratio = params.file_op_ratio;
+      c.fs.min_free_zones = params.file_min_free_zones;
+      c.zns.zone_size = params.zone_size;
+      c.zns.zone_capacity = params.zone_size;
+      c.zns.max_open_zones = params.max_open_zones;
+      c.zns.max_active_zones = params.max_open_zones;
+      c.zns.store_data = params.store_data;
+      // Extra zones: filesystem metadata + the cleaner's free-zone
+      // reserve (the paper's F2FS setup likewise needs an extra regular
+      // block device for metadata).
+      c.zns.zone_count =
+          params.device_zones != 0
+              ? params.device_zones
+              : DeriveZones(params.cache_bytes, params.zone_size,
+                            params.file_op_ratio,
+                            params.file_min_free_zones + 3);
+      auto dev = std::make_unique<FileRegionDevice>(c, clock);
+      ZN_RETURN_IF_ERROR(dev->Init());
+      out.device = std::move(dev);
+      break;
+    }
+    case SchemeKind::kZone: {
+      ZoneRegionDeviceConfig c;
+      c.region_count = params.cache_bytes / params.zone_size;
+      c.zns.zone_size = params.zone_size;
+      c.zns.zone_capacity = params.zone_size;
+      c.zns.zone_count = c.region_count;
+      // One region per zone: the cache may hold every zone open/active.
+      c.zns.max_open_zones = static_cast<u32>(c.region_count);
+      c.zns.max_active_zones = static_cast<u32>(c.region_count);
+      c.zns.store_data = params.store_data;
+      if (c.region_count < 2) {
+        return Status::InvalidArgument(
+            "Zone-Cache needs at least two zone-sized regions");
+      }
+      out.device = std::make_unique<ZoneRegionDevice>(c, clock);
+      break;
+    }
+    case SchemeKind::kRegion: {
+      MiddleRegionDeviceConfig c;
+      c.region_count = params.cache_bytes / params.region_size;
+      c.zns.zone_size = params.zone_size;
+      c.zns.zone_capacity = params.zone_size;
+      c.zns.max_open_zones = params.max_open_zones;
+      c.zns.max_active_zones = params.max_open_zones;
+      c.zns.store_data = params.store_data || params.persistent;
+      c.zns.zone_count =
+          params.device_zones != 0
+              ? params.device_zones
+              : DeriveZones(params.cache_bytes, params.zone_size,
+                            params.region_op_ratio,
+                            // GC reserve: the open zones plus one target.
+                            /*extra_zones=*/params.open_zones + 2);
+      c.middle.region_size = params.region_size;
+      c.middle.min_empty_zones = params.min_empty_zones;
+      c.middle.gc_valid_ratio = params.gc_valid_ratio;
+      c.middle.open_zones = params.open_zones;
+      c.middle.persist_headers = params.persistent;
+      auto dev = std::make_unique<MiddleRegionDevice>(c, clock);
+      ZN_RETURN_IF_ERROR(dev->Init());
+      out.device = std::move(dev);
+      break;
+    }
+  }
+
+  cache::FlashCacheConfig cache_config = params.cache_config;
+  cache_config.store_values = params.store_data || params.persistent;
+  cache_config.persistent = params.persistent;
+  out.cache = std::make_unique<cache::FlashCache>(cache_config,
+                                                  out.device.get(), clock);
+
+  if (kind == SchemeKind::kRegion && params.hint_cold_age > 0) {
+    out.hints = std::make_unique<CacheHintAdapter>(out.cache.get(),
+                                                   params.hint_cold_age);
+    static_cast<MiddleRegionDevice*>(out.device.get())
+        ->layer()
+        .set_hint_provider(out.hints.get());
+  }
+  return out;
+}
+
+}  // namespace zncache::backends

@@ -1,0 +1,83 @@
+// Scheme factory: assembles one of the paper's four cache configurations
+// (Block-, File-, Zone-, Region-Cache) — device, backend, and cache engine —
+// from a single parameter set. Used by the benchmarks, the examples, and the
+// integration tests so that every consumer compares the same builds.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "backends/block_region_device.h"
+#include "backends/cache_hint_adapter.h"
+#include "backends/file_region_device.h"
+#include "backends/middle_region_device.h"
+#include "backends/zone_region_device.h"
+#include "cache/flash_cache.h"
+
+namespace zncache::backends {
+
+enum class SchemeKind { kBlock, kFile, kZone, kRegion };
+
+[[nodiscard]] std::string_view SchemeName(SchemeKind kind);
+
+struct SchemeParams {
+  // Logical cache size (rounded down to whole regions / zones).
+  u64 cache_bytes = 0;
+  // Region size for the small-region schemes (Block/File/Region). The
+  // Zone-Cache region size is always the zone capacity.
+  u64 region_size = 1 * kMiB;
+  u64 zone_size = 64 * kMiB;
+  // ZNS zones backing File-/Region-Cache. 0 = derive from the OP ratios
+  // below. Zone-Cache always uses exactly cache_bytes / zone_size zones
+  // (it needs no OP).
+  u64 device_zones = 0;
+
+  // Over-provisioning knobs (the Figure 4 / Table 1 sweep).
+  double block_op_ratio = 0.07;  // regular SSDs ship with ~7%
+  u64 block_superblock_pages = 4096;  // FTL GC granularity (16 MiB)
+  // Scales the block SSD's GC occupancy (die collisions, erase suspends).
+  // The default mirrors a drive with many parallel units; small scaled
+  // devices (few superblocks, as in the end-to-end runs) concentrate GC on
+  // the units reads need, so those runs raise it.
+  double block_gc_interference = 2.0;
+  double file_op_ratio = 0.20;   // F2FS provisioning
+  double region_op_ratio = 0.20; // middle-layer slack
+  u64 file_min_free_zones = 4;   // F2FS cleaner watermark
+
+  // Middle-layer (Region-Cache) tuning.
+  u64 min_empty_zones = 4;
+  double gc_valid_ratio = 0.20;
+  u32 open_zones = 2;
+  // Co-design: enable hinted GC with this cold-age threshold (in cache
+  // accesses); 0 disables hints.
+  u64 hint_cold_age = 0;
+
+  // Payload retention (off for large-scale micro benchmarks; the cache
+  // metadata and all timing/WA accounting are exact either way).
+  bool store_data = false;
+  // Persistent-cache mode: region footers + (Region-Cache) recoverable
+  // slot headers, enabling warm restarts via FlashCache::Recover() and
+  // ZoneTranslationLayer::Recover(). Implies store_data.
+  bool persistent = false;
+
+  u32 max_open_zones = 14;  // ZN540-like
+  cache::FlashCacheConfig cache_config;
+};
+
+// A fully-wired cache instance. Movable; owns its device and engine.
+struct SchemeInstance {
+  SchemeKind kind{};
+  std::string name;
+  std::unique_ptr<cache::RegionDevice> device;
+  std::unique_ptr<cache::FlashCache> cache;
+  std::unique_ptr<CacheHintAdapter> hints;  // Region-Cache co-design only
+
+  // Device-level WA as defined per scheme (middle layer for Region-Cache,
+  // FTL for Block-Cache, filesystem for File-Cache, 1.0 for Zone-Cache).
+  double WaFactor() const { return device->wa_stats().Factor(); }
+};
+
+Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
+                                  sim::VirtualClock* clock);
+
+}  // namespace zncache::backends

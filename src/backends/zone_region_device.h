@@ -1,0 +1,47 @@
+// Zone-Cache backend: one region per zone (Figure 1(b)). The region size
+// must equal the zone capacity. Evicting a region resets its zone — no data
+// migration, zero write amplification, GC-free, and no OP space needed; the
+// price is the huge region size (hit-ratio and buffering costs measured in
+// Figures 3 and 5).
+#pragma once
+
+#include <memory>
+
+#include "cache/region_device.h"
+#include "zns/zns_device.h"
+
+namespace zncache::backends {
+
+struct ZoneRegionDeviceConfig {
+  u64 region_count = 0;  // zones used by the cache (<= device zones)
+  zns::ZnsConfig zns;
+};
+
+class ZoneRegionDevice final : public cache::RegionDevice {
+ public:
+  ZoneRegionDevice(const ZoneRegionDeviceConfig& config,
+                   sim::VirtualClock* clock);
+
+  u64 region_size() const override { return zns_->zone_capacity(); }
+  u64 region_count() const override { return config_.region_count; }
+
+  Result<cache::RegionIo> WriteRegion(cache::RegionId id,
+                                      std::span<const std::byte> data,
+                                      sim::IoMode mode) override;
+  Result<cache::RegionIo> ReadRegion(cache::RegionId id, u64 offset,
+                                     std::span<std::byte> out) override;
+  Status InvalidateRegion(cache::RegionId id) override;
+
+  cache::WaStats wa_stats() const override;
+  std::string name() const override { return "Zone-Cache"; }
+
+  const zns::ZnsDevice& zns_device() const { return *zns_; }
+
+ private:
+  Status CheckId(cache::RegionId id) const;
+
+  ZoneRegionDeviceConfig config_;
+  std::unique_ptr<zns::ZnsDevice> zns_;
+};
+
+}  // namespace zncache::backends

@@ -1,0 +1,232 @@
+#include "blockssd/block_ssd.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace zncache::blockssd {
+
+BlockSsd::BlockSsd(const BlockSsdConfig& config, sim::VirtualClock* clock)
+    : config_(config), timer_(clock) {
+  if (config_.gc_trigger_free_ratio <= 0) {
+    config_.gc_trigger_free_ratio = 0.3 * config_.op_ratio;
+  }
+  if (config_.gc_stop_free_ratio <= 0) {
+    config_.gc_stop_free_ratio = 0.6 * config_.op_ratio;
+  }
+  const u64 logical_pages =
+      (config_.logical_capacity + config_.page_size - 1) / config_.page_size;
+  const u64 physical_pages = static_cast<u64>(
+      static_cast<double>(logical_pages) * (1.0 + config_.op_ratio));
+  const u64 block_pages = config_.pages_per_block;
+  const u64 block_count = (physical_pages + block_pages - 1) / block_pages + 2;
+
+  l2p_.assign(logical_pages, kUnmapped);
+  p2l_.assign(block_count * block_pages, kUnmapped);
+  blocks_.resize(block_count);
+  for (auto& b : blocks_) {
+    b.page_valid.assign(block_pages, false);
+  }
+  free_blocks_ = block_count;
+  if (config_.store_data) {
+    data_.resize(logical_pages * config_.page_size);
+  }
+}
+
+void BlockSsd::InvalidatePhysical(u64 ppn) {
+  const u64 block_id = ppn / config_.pages_per_block;
+  const u64 page_in_block = ppn % config_.pages_per_block;
+  Block& b = blocks_[block_id];
+  if (b.page_valid[page_in_block]) {
+    b.page_valid[page_in_block] = false;
+    b.valid_count--;
+  }
+  p2l_[ppn] = kUnmapped;
+}
+
+u64 BlockSsd::AllocatePhysicalPage(bool is_gc) {
+  u64& active = is_gc ? active_block_gc_ : active_block_host_;
+  if (active == kUnmapped ||
+      blocks_[active].next_free_page >= config_.pages_per_block) {
+    // Take a fresh free block.
+    active = kUnmapped;
+    for (u64 i = 0; i < blocks_.size(); ++i) {
+      if (blocks_[i].free) {
+        active = i;
+        blocks_[i].free = false;
+        blocks_[i].next_free_page = 0;
+        free_blocks_--;
+        break;
+      }
+    }
+    // No free block: the caller (ProgramPage) forces a GC cycle and
+    // retries; GC itself must never exhaust its reserve block.
+    if (active == kUnmapped) return kUnmapped;
+  }
+  Block& b = blocks_[active];
+  const u64 ppn = active * config_.pages_per_block + b.next_free_page;
+  b.next_free_page++;
+  b.page_valid[ppn % config_.pages_per_block] = true;
+  b.valid_count++;
+  return ppn;
+}
+
+u64 BlockSsd::PickGcVictim() const {
+  // Greedy: the non-free, fully-programmed block with the fewest valid pages.
+  u64 victim = kUnmapped;
+  u32 best_valid = ~0U;
+  for (u64 i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (b.free || i == active_block_host_ || i == active_block_gc_) continue;
+    if (b.next_free_page < config_.pages_per_block) continue;
+    if (b.valid_count < best_valid) {
+      best_valid = b.valid_count;
+      victim = i;
+    }
+  }
+  return victim;
+}
+
+void BlockSsd::DripGc() {
+  if (pending_gc_ns_ == 0) return;
+  const SimNanos chunk = std::min(pending_gc_ns_, config_.gc_chunk_ns);
+  timer_.SubmitBackground(chunk);
+  pending_gc_ns_ -= chunk;
+}
+
+void BlockSsd::MaybeGarbageCollect() {
+  // At least one free block is always kept in reserve; ratios are rounded
+  // up so small devices still garbage-collect.
+  const u64 total = blocks_.size();
+  const u64 trigger = std::max<u64>(
+      1, static_cast<u64>(config_.gc_trigger_free_ratio *
+                          static_cast<double>(total)));
+  if (free_blocks_ > trigger) return;
+
+  const u64 stop = std::max<u64>(
+      trigger + 1, static_cast<u64>(config_.gc_stop_free_ratio *
+                                    static_cast<double>(total)));
+  while (free_blocks_ < stop) {
+    const u64 victim = PickGcVictim();
+    if (victim == kUnmapped) break;
+    Block& b = blocks_[victim];
+    // A fully-valid victim frees no space; migrating it would spin forever.
+    if (b.valid_count >= config_.pages_per_block) break;
+    u64 migrated_pages = 0;
+    // Migrate valid pages to the GC active block.
+    for (u64 p = 0; p < config_.pages_per_block; ++p) {
+      if (!b.page_valid[p]) continue;
+      const u64 old_ppn = victim * config_.pages_per_block + p;
+      const u64 lpn = p2l_[old_ppn];
+      InvalidatePhysical(old_ppn);
+      const u64 new_ppn = AllocatePhysicalPage(/*is_gc=*/true);
+      if (new_ppn == kUnmapped) break;  // out of reserve space; stop GC
+      p2l_[new_ppn] = lpn;
+      l2p_[lpn] = new_ppn;
+      migrated_pages++;
+      stats_.gc_migrated_pages++;
+      stats_.flash_bytes_written += config_.page_size;
+    }
+    // GC moves valid data in bulk: one read + one write pass plus the erase.
+    const u64 moved = migrated_pages * config_.page_size;
+    SimNanos gc_time = 0;
+    if (moved > 0) {
+      gc_time += config_.timing.read.Cost(moved) +
+                 config_.timing.write.Cost(moved);
+    }
+    b.free = true;
+    b.valid_count = 0;
+    b.next_free_page = 0;
+    std::fill(b.page_valid.begin(), b.page_valid.end(), false);
+    b.erase_count++;
+    free_blocks_++;
+    stats_.blocks_erased++;
+    gc_time += config_.timing.erase_ns;
+    // Accrue GC occupancy; it is drip-fed into the queue so that many
+    // subsequent host requests observe it (per-die interleaving).
+    pending_gc_ns_ += static_cast<SimNanos>(
+        static_cast<double>(gc_time) * config_.gc_interference_factor);
+    stats_.gc_runs++;
+  }
+}
+
+bool BlockSsd::ProgramPage(u64 lpn, bool is_gc) {
+  if (l2p_[lpn] != kUnmapped) InvalidatePhysical(l2p_[lpn]);
+  u64 ppn = AllocatePhysicalPage(is_gc);
+  if (ppn == kUnmapped && !is_gc) {
+    // Out of clean space: force a GC cycle and retry once.
+    MaybeGarbageCollect();
+    ppn = AllocatePhysicalPage(is_gc);
+  }
+  if (ppn == kUnmapped) return false;
+  l2p_[lpn] = ppn;
+  p2l_[ppn] = lpn;
+  return true;
+}
+
+Result<IoResult> BlockSsd::Write(u64 offset, std::span<const std::byte> data,
+                                 sim::IoMode mode) {
+  if (data.empty()) return Status::InvalidArgument("empty write");
+  if (offset + data.size() > config_.logical_capacity) {
+    return Status::OutOfRange("write beyond device capacity");
+  }
+  const u64 first_page = offset / config_.page_size;
+  const u64 last_page = (offset + data.size() - 1) / config_.page_size;
+
+  // One submission: fixed cost once, then bandwidth for the whole request
+  // (the FTL stripes a multi-page write across channels).
+  SimNanos service = config_.timing.ftl_overhead_ns +
+                     config_.timing.write.Cost(data.size());
+  for (u64 lpn = first_page; lpn <= last_page; ++lpn) {
+    if (!ProgramPage(lpn, /*is_gc=*/false)) {
+      return Status::NoSpace("FTL out of clean blocks (OP exhausted)");
+    }
+  }
+  if (!data_.empty()) {
+    std::memcpy(data_.data() + offset, data.data(), data.size());
+  }
+  stats_.host_bytes_written += data.size();
+  stats_.flash_bytes_written += (last_page - first_page + 1) * config_.page_size;
+  stats_.write_ops++;
+  MaybeGarbageCollect();
+  const sim::Served served = timer_.Serve(service, mode);
+  return IoResult{served.latency, served.completion};
+}
+
+Result<IoResult> BlockSsd::Read(u64 offset, std::span<std::byte> out,
+                                sim::IoMode mode) {
+  if (out.empty()) return Status::InvalidArgument("empty read");
+  if (offset + out.size() > config_.logical_capacity) {
+    return Status::OutOfRange("read beyond device capacity");
+  }
+  if (!data_.empty()) {
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+  } else {
+    std::memset(out.data(), 0, out.size());
+  }
+  stats_.bytes_read += out.size();
+  stats_.read_ops++;
+  DripGc();
+  const sim::Served served =
+      timer_.Serve(config_.timing.ftl_overhead_ns +
+                       config_.timing.read.Cost(out.size()),
+                   mode);
+  return IoResult{served.latency, served.completion};
+}
+
+Status BlockSsd::Trim(u64 offset, u64 length) {
+  if (offset + length > config_.logical_capacity) {
+    return Status::OutOfRange("trim beyond device capacity");
+  }
+  // Only whole pages inside the range are deallocated.
+  const u64 first_page = (offset + config_.page_size - 1) / config_.page_size;
+  const u64 end_page = (offset + length) / config_.page_size;
+  for (u64 lpn = first_page; lpn < end_page; ++lpn) {
+    if (l2p_[lpn] != kUnmapped) {
+      InvalidatePhysical(l2p_[lpn]);
+      l2p_[lpn] = kUnmapped;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace zncache::blockssd

@@ -1,0 +1,170 @@
+#include "cache/big_hash.h"
+
+#include <cstring>
+
+namespace zncache::cache {
+
+namespace {
+
+// Three probe bits of a 64-bit mini-Bloom filter.
+u64 MiniBloomBits(std::string_view key) {
+  const u64 h = Fnv1a64(key);
+  return (1ULL << (h & 63)) | (1ULL << ((h >> 8) & 63)) |
+         (1ULL << ((h >> 16) & 63));
+}
+
+}  // namespace
+
+BigHash::BigHash(const BigHashConfig& config, blockssd::BlockSsd* ssd,
+                 u64 base_offset, sim::VirtualClock* clock)
+    : config_(config), ssd_(ssd), base_offset_(base_offset), clock_(clock) {
+  if (config_.bloom_filters) blooms_.assign(config_.bucket_count, 0);
+  bucket_written_.assign(config_.bucket_count, false);
+}
+
+u64 BigHash::MaxItemBytes() const { return config_.bucket_bytes - 8; }
+
+bool BigHash::BloomMayHave(u64 bucket, std::string_view key) const {
+  if (!config_.bloom_filters) return true;
+  const u64 bits = MiniBloomBits(key);
+  return (blooms_[bucket] & bits) == bits;
+}
+
+void BigHash::RebuildBloom(u64 bucket, const std::vector<BucketItem>& items) {
+  if (!config_.bloom_filters) return;
+  u64 filter = 0;
+  for (const BucketItem& item : items) filter |= MiniBloomBits(item.key);
+  blooms_[bucket] = filter;
+}
+
+Result<std::vector<BigHash::BucketItem>> BigHash::LoadBucket(u64 bucket) {
+  std::vector<BucketItem> items;
+  if (!bucket_written_[bucket]) return items;
+
+  std::vector<std::byte> raw(config_.bucket_bytes);
+  auto r = ssd_->Read(BucketOffset(bucket), std::span<std::byte>(raw));
+  if (!r.ok()) return r.status();
+
+  u32 count = 0;
+  std::memcpy(&count, raw.data(), 4);
+  size_t pos = 4;
+  for (u32 i = 0; i < count; ++i) {
+    if (pos + 4 > raw.size()) return Status::Corruption("bucket overrun");
+    u16 klen = 0, vlen = 0;
+    std::memcpy(&klen, raw.data() + pos, 2);
+    std::memcpy(&vlen, raw.data() + pos + 2, 2);
+    pos += 4;
+    if (pos + klen + vlen > raw.size()) {
+      return Status::Corruption("bucket item overrun");
+    }
+    BucketItem item;
+    item.key.assign(reinterpret_cast<const char*>(raw.data()) + pos, klen);
+    item.value.assign(reinterpret_cast<const char*>(raw.data()) + pos + klen,
+                      vlen);
+    pos += klen + vlen;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+Status BigHash::StoreBucket(u64 bucket, const std::vector<BucketItem>& items) {
+  std::vector<std::byte> raw(config_.bucket_bytes, std::byte{0});
+  const u32 count = static_cast<u32>(items.size());
+  std::memcpy(raw.data(), &count, 4);
+  size_t pos = 4;
+  for (const BucketItem& item : items) {
+    const u16 klen = static_cast<u16>(item.key.size());
+    const u16 vlen = static_cast<u16>(item.value.size());
+    std::memcpy(raw.data() + pos, &klen, 2);
+    std::memcpy(raw.data() + pos + 2, &vlen, 2);
+    std::memcpy(raw.data() + pos + 4, item.key.data(), klen);
+    std::memcpy(raw.data() + pos + 4 + klen, item.value.data(), vlen);
+    pos += 4 + klen + vlen;
+  }
+  auto w = ssd_->Write(BucketOffset(bucket), std::span<const std::byte>(raw));
+  if (!w.ok()) return w.status();
+  bucket_written_[bucket] = true;
+  RebuildBloom(bucket, items);
+  return Status::Ok();
+}
+
+Result<OpResult> BigHash::Set(std::string_view key, std::string_view value) {
+  const SimNanos start = clock_->Now();
+  const u64 need = 4 + key.size() + value.size();
+  constexpr u64 kU16Max = 65535;
+  if (need > MaxItemBytes() || key.size() > kU16Max ||
+      value.size() > kU16Max) {
+    stats_.rejected_sets++;
+    return Status::InvalidArgument("item too large for a bucket");
+  }
+  const u64 bucket = BucketFor(key);
+  auto items = LoadBucket(bucket);
+  if (!items.ok()) return items.status();
+
+  // Remove any existing version, then append at the FIFO tail.
+  for (auto it = items->begin(); it != items->end(); ++it) {
+    if (it->key == key) {
+      items->erase(it);
+      break;
+    }
+  }
+  items->push_back(BucketItem{std::string(key), std::string(value)});
+
+  // Evict oldest items until everything fits.
+  auto used = [&] {
+    u64 total = 4;
+    for (const BucketItem& item : *items) {
+      total += 4 + item.key.size() + item.value.size();
+    }
+    return total;
+  };
+  while (used() > config_.bucket_bytes) {
+    items->erase(items->begin());
+    stats_.bucket_evictions++;
+  }
+
+  ZN_RETURN_IF_ERROR(StoreBucket(bucket, *items));
+  stats_.sets++;
+  return OpResult{true, clock_->Now() - start};
+}
+
+Result<OpResult> BigHash::Get(std::string_view key, std::string* value_out) {
+  const SimNanos start = clock_->Now();
+  stats_.gets++;
+  const u64 bucket = BucketFor(key);
+  if (!bucket_written_[bucket] || !BloomMayHave(bucket, key)) {
+    stats_.bloom_skips++;
+    return OpResult{false, clock_->Now() - start};
+  }
+  auto items = LoadBucket(bucket);
+  if (!items.ok()) return items.status();
+  for (const BucketItem& item : *items) {
+    if (item.key == key) {
+      if (value_out != nullptr) *value_out = item.value;
+      stats_.hits++;
+      return OpResult{true, clock_->Now() - start};
+    }
+  }
+  return OpResult{false, clock_->Now() - start};
+}
+
+Result<OpResult> BigHash::Delete(std::string_view key) {
+  const SimNanos start = clock_->Now();
+  stats_.deletes++;
+  const u64 bucket = BucketFor(key);
+  if (!bucket_written_[bucket] || !BloomMayHave(bucket, key)) {
+    return OpResult{false, clock_->Now() - start};
+  }
+  auto items = LoadBucket(bucket);
+  if (!items.ok()) return items.status();
+  for (auto it = items->begin(); it != items->end(); ++it) {
+    if (it->key == key) {
+      items->erase(it);
+      ZN_RETURN_IF_ERROR(StoreBucket(bucket, *items));
+      return OpResult{true, clock_->Now() - start};
+    }
+  }
+  return OpResult{false, clock_->Now() - start};
+}
+
+}  // namespace zncache::cache

@@ -1,0 +1,92 @@
+// BigHash-lite: CacheLib's set-associative small-object flash engine (the
+// lineage behind Kangaroo [27], which the paper cites for "caching billions
+// of tiny objects"). The flash space is an array of 4 KiB buckets; a key
+// hashes to exactly one bucket, whose items are packed back to back.
+// Inserts read-modify-write the bucket (FIFO eviction within it); an
+// in-memory per-bucket Bloom filter absorbs reads for absent keys.
+//
+// Small objects are exactly the workload where the block interface is most
+// at odds with ZNS (4 KiB in-place RMW vs sequential-only zones) — this
+// engine runs on the block SSD model and pairs with the region engine via
+// HybridCache, mirroring CacheLib's BigHash + BlockCache split.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blockssd/block_ssd.h"
+#include "cache/flash_cache.h"  // OpResult
+#include "common/hash.h"
+
+namespace zncache::cache {
+
+struct BigHashConfig {
+  u64 bucket_bytes = 4 * kKiB;
+  u64 bucket_count = 1024;
+  // Per-bucket 64-bit mini-Bloom filters (3 probes) held in DRAM.
+  bool bloom_filters = true;
+};
+
+struct BigHashStats {
+  u64 gets = 0;
+  u64 hits = 0;
+  u64 sets = 0;
+  u64 deletes = 0;
+  u64 bucket_evictions = 0;  // items pushed out of a full bucket
+  u64 bloom_skips = 0;       // gets answered without a flash read
+  u64 rejected_sets = 0;     // item too large for a bucket
+
+  double HitRatio() const {
+    return gets == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(gets);
+  }
+};
+
+class BigHash {
+ public:
+  // Owns the SSD range [base_offset, base_offset + bucket_count *
+  // bucket_bytes); the device itself is shared/not owned. The device must
+  // retain payloads (store_data = true): unlike the region engine, whose
+  // index lives in DRAM, BigHash's bucket contents ARE its metadata.
+  BigHash(const BigHashConfig& config, blockssd::BlockSsd* ssd,
+          u64 base_offset, sim::VirtualClock* clock);
+
+  // Items must fit a bucket (key + value + 4-byte header < bucket size).
+  Result<OpResult> Set(std::string_view key, std::string_view value);
+  Result<OpResult> Get(std::string_view key, std::string* value_out = nullptr);
+  Result<OpResult> Delete(std::string_view key);
+
+  const BigHashStats& stats() const { return stats_; }
+  const BigHashConfig& config() const { return config_; }
+  u64 MaxItemBytes() const;
+
+ private:
+  struct BucketItem {
+    std::string key;
+    std::string value;
+  };
+
+  u64 BucketFor(std::string_view key) const {
+    return Fnv1a64(key) % config_.bucket_count;
+  }
+  u64 BucketOffset(u64 bucket) const {
+    return base_offset_ + bucket * config_.bucket_bytes;
+  }
+
+  Result<std::vector<BucketItem>> LoadBucket(u64 bucket);
+  Status StoreBucket(u64 bucket, const std::vector<BucketItem>& items);
+  void RebuildBloom(u64 bucket, const std::vector<BucketItem>& items);
+  bool BloomMayHave(u64 bucket, std::string_view key) const;
+
+  BigHashConfig config_;
+  blockssd::BlockSsd* ssd_;   // not owned
+  u64 base_offset_;
+  sim::VirtualClock* clock_;  // not owned
+  std::vector<u64> blooms_;   // one 64-bit filter per bucket
+  std::vector<bool> bucket_written_;
+  BigHashStats stats_;
+};
+
+}  // namespace zncache::cache

@@ -1,0 +1,382 @@
+#include "cache/flash_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace zncache::cache {
+
+FlashCache::FlashCache(const FlashCacheConfig& config, RegionDevice* device,
+                       sim::VirtualClock* clock)
+    : config_(config), device_(device), clock_(clock),
+      admission_rng_(config.admission_seed) {
+  regions_.resize(device_->region_count());
+  usable_region_bytes_ = device_->region_size();
+  if (config_.persistent) {
+    usable_region_bytes_ -= FooterReserve(device_->region_size());
+  }
+  if (config_.store_values) {
+    open_buffer_.resize(device_->region_size());
+  }
+  // Open the first region eagerly so Set never sees a missing buffer.
+  (void)OpenNewRegion();
+}
+
+std::optional<RegionId> FlashCache::FindFreeRegion() const {
+  for (RegionId r = 0; r < regions_.size(); ++r) {
+    if (regions_[r].state == RegionState::kFree) return r;
+  }
+  return std::nullopt;
+}
+
+RegionId FlashCache::PickEvictionVictim() const {
+  RegionId victim = kInvalidId;
+  u64 best = ~0ULL;
+  for (RegionId r = 0; r < regions_.size(); ++r) {
+    const RegionMeta& m = regions_[r];
+    if (m.state != RegionState::kSealed) continue;
+    const u64 rank =
+        config_.policy == EvictionPolicy::kLru ? m.last_access : m.seal_seq;
+    if (rank < best) {
+      best = rank;
+      victim = r;
+    }
+  }
+  return victim;
+}
+
+u64 FlashCache::PurgeRegionIndex(RegionId rid) {
+  RegionMeta& m = regions_[rid];
+  u64 removed = 0;
+  for (const ItemMeta& item : m.items) {
+    auto it = index_.find(item.key);
+    // Only remove if the index still points into this region at this spot —
+    // the key may have been overwritten into a newer region since.
+    if (it != index_.end() && it->second.rid == rid &&
+        it->second.offset == item.offset) {
+      index_.erase(it);
+      removed++;
+    }
+  }
+  m.items.clear();
+  m.used = 0;
+  m.last_access = 0;
+  m.seal_seq = 0;
+  return removed;
+}
+
+Status FlashCache::FlushOpenRegion() {
+  RegionMeta& m = regions_[open_rid_];
+  if (m.used == 0) {
+    // Nothing buffered; keep the slot open.
+    return Status::Ok();
+  }
+  std::span<const std::byte> payload;
+  std::vector<std::byte> zeros;
+  const u64 next_seal_seq = seal_counter_ + 1;
+  if (config_.persistent) {
+    // Serialize the item table into the tail reserve and persist the whole
+    // region image so a restart can rebuild the index.
+    RegionFooter footer;
+    footer.seal_seq = next_seal_seq;
+    footer.data_bytes = m.used;
+    footer.items.reserve(m.items.size());
+    for (const ItemMeta& item : m.items) {
+      footer.items.push_back(FooterItem{item.key, item.offset, item.size});
+    }
+    const u64 reserve = FooterReserve(device_->region_size());
+    ZN_RETURN_IF_ERROR(EncodeRegionFooter(
+        footer, std::span<std::byte>(
+                    open_buffer_.data() + (device_->region_size() - reserve),
+                    reserve)));
+    std::memset(open_buffer_.data() + m.used, 0,
+                usable_region_bytes_ - m.used);
+    payload = std::span<const std::byte>(open_buffer_.data(),
+                                         device_->region_size());
+  } else if (config_.store_values) {
+    payload = std::span<const std::byte>(open_buffer_.data(), m.used);
+  } else {
+    zeros.resize(m.used);
+    payload = std::span<const std::byte>(zeros);
+  }
+  auto w = device_->WriteRegion(open_rid_, payload, sim::IoMode::kBackground);
+  if (!w.ok()) return w.status();
+  inflight_flushes_.push_back(w->completion);
+
+  m.state = RegionState::kSealed;
+  m.seal_seq = ++seal_counter_;
+  m.last_access = ++access_seq_;  // freshly written data is "recent"
+  stats_.flushed_regions++;
+
+  if (config_.record_fill_times) {
+    region_fill_times_.push_back(clock_->Now() - open_region_started_);
+  }
+  open_rid_ = kInvalidId;
+  return Status::Ok();
+}
+
+Status FlashCache::OpenNewRegion() {
+  // The fill-time window opens here: eviction work and flush backpressure
+  // stall the insert path, which is exactly what Figure 3 measures.
+  open_region_started_ = clock_->Now();
+  // Backpressure: wait for a flush buffer to drain.
+  while (inflight_flushes_.size() >= config_.flush_buffers) {
+    clock_->AdvanceTo(inflight_flushes_.front());
+    inflight_flushes_.pop_front();
+  }
+  // Opportunistically retire completed flushes.
+  while (!inflight_flushes_.empty() &&
+         inflight_flushes_.front() <= clock_->Now()) {
+    inflight_flushes_.pop_front();
+  }
+
+  RegionId next;
+  if (auto free = FindFreeRegion()) {
+    next = *free;
+  } else {
+    const RegionId victim = PickEvictionVictim();
+    if (victim == kInvalidId) {
+      return Status::Internal("no region available for eviction");
+    }
+    const u64 items = regions_[victim].items.size();
+    // Removing a region's worth of entries contends on the shared index —
+    // the insertion-time spike of Figure 3 for zone-sized regions. The
+    // n^1.5 term models lock-convoy interference with concurrent inserts.
+    const double n = static_cast<double>(items);
+    Cpu(config_.index_op_ns + config_.evict_entry_ns * items +
+        static_cast<SimNanos>(static_cast<double>(config_.evict_contention_ns) *
+                              n * std::sqrt(n)));
+    std::vector<std::pair<ItemMeta, std::string>> survivors;
+    if (config_.reinsertion_hits > 0 && config_.store_values) {
+      CollectReinsertionCandidates(victim, &survivors);
+    }
+    const u64 removed = PurgeRegionIndex(victim);
+    ZN_RETURN_IF_ERROR(device_->InvalidateRegion(victim));
+    regions_[victim].state = RegionState::kFree;
+    stats_.evicted_regions++;
+    stats_.evicted_items += removed;
+    pending_reinserts_.insert(pending_reinserts_.end(),
+                              std::make_move_iterator(survivors.begin()),
+                              std::make_move_iterator(survivors.end()));
+    next = victim;
+  }
+
+  RegionMeta& m = regions_[next];
+  m.state = RegionState::kOpen;
+  m.items.clear();
+  m.used = 0;
+  open_rid_ = next;
+  ZN_RETURN_IF_ERROR(device_->PumpBackground());
+
+  // Re-admit hot survivors of the eviction into the fresh region. Items
+  // that do not fit simply age out (best-effort, like CacheLib).
+  if (!pending_reinserts_.empty()) {
+    std::vector<std::pair<ItemMeta, std::string>> batch;
+    batch.swap(pending_reinserts_);
+    for (auto& [item, payload] : batch) {
+      auto s = Set(item.key, payload);
+      if (s.ok()) stats_.reinserted_items++;
+    }
+  }
+  return Status::Ok();
+}
+
+void FlashCache::CollectReinsertionCandidates(
+    RegionId victim, std::vector<std::pair<ItemMeta, std::string>>* out) {
+  const RegionMeta& m = regions_[victim];
+  for (const ItemMeta& item : m.items) {
+    auto it = index_.find(item.key);
+    if (it == index_.end() || it->second.rid != victim ||
+        it->second.offset != item.offset) {
+      continue;  // stale version
+    }
+    if (it->second.hits < config_.reinsertion_hits) continue;
+    std::string payload(item.size, '\0');
+    auto r = device_->ReadRegion(
+        victim, item.offset,
+        std::span<std::byte>(reinterpret_cast<std::byte*>(payload.data()),
+                             payload.size()));
+    if (!r.ok()) continue;
+    out->emplace_back(item, std::move(payload));
+  }
+}
+
+Result<OpResult> FlashCache::Set(std::string_view key,
+                                 std::span<const std::byte> value) {
+  const SimNanos start = clock_->Now();
+  if (value.size() > usable_region_bytes_) {
+    stats_.rejected_sets++;
+    return Status::InvalidArgument("object larger than a region");
+  }
+  if (config_.admit_probability < 1.0 &&
+      !admission_rng_.Chance(config_.admit_probability)) {
+    stats_.admission_rejects++;
+    Cpu(config_.index_op_ns);
+    return OpResult{false, clock_->Now() - start};
+  }
+  Cpu(config_.index_op_ns +
+      config_.append_ns_per_kib * ((value.size() + kKiB - 1) / kKiB));
+
+  RegionMeta* m = &regions_[open_rid_];
+  if (m->used + value.size() > usable_region_bytes_) {
+    ZN_RETURN_IF_ERROR(FlushOpenRegion());
+    ZN_RETURN_IF_ERROR(OpenNewRegion());
+    m = &regions_[open_rid_];
+  }
+
+  const u32 offset = m->used;
+  if (config_.store_values && !value.empty()) {
+    std::memcpy(open_buffer_.data() + offset, value.data(), value.size());
+  }
+  m->items.push_back(
+      ItemMeta{std::string(key), offset, static_cast<u32>(value.size())});
+  m->used += static_cast<u32>(value.size());
+  index_[std::string(key)] =
+      IndexEntry{open_rid_, offset, static_cast<u32>(value.size())};
+
+  stats_.sets++;
+  stats_.set_bytes += value.size();
+  return OpResult{true, clock_->Now() - start};
+}
+
+Result<OpResult> FlashCache::Set(std::string_view key, std::string_view value) {
+  return Set(key, std::span<const std::byte>(
+                      reinterpret_cast<const std::byte*>(value.data()),
+                      value.size()));
+}
+
+Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out) {
+  const SimNanos start = clock_->Now();
+  Cpu(config_.index_op_ns);
+  stats_.gets++;
+
+  auto it = index_.find(std::string(key));
+  if (it == index_.end()) {
+    return OpResult{false, clock_->Now() - start};
+  }
+  it->second.hits++;
+  const IndexEntry entry = it->second;
+  access_seq_++;
+  if (config_.lru_sample <= 1 || access_seq_ % config_.lru_sample == 0) {
+    regions_[entry.rid].last_access = access_seq_;
+  }
+
+  if (entry.rid == open_rid_) {
+    // Served from the DRAM buffer.
+    Cpu(config_.dram_read_ns_per_kib * ((entry.size + kKiB - 1) / kKiB));
+    if (value_out != nullptr) {
+      if (config_.store_values) {
+        value_out->assign(
+            reinterpret_cast<const char*>(open_buffer_.data()) + entry.offset,
+            entry.size);
+      } else {
+        value_out->assign(entry.size, '\0');
+      }
+    }
+  } else {
+    std::string scratch(entry.size, '\0');
+    auto r = device_->ReadRegion(
+        entry.rid, entry.offset,
+        std::span<std::byte>(reinterpret_cast<std::byte*>(scratch.data()),
+                             scratch.size()));
+    if (!r.ok()) return r.status();
+    if (value_out != nullptr) *value_out = std::move(scratch);
+  }
+  stats_.hits++;
+  return OpResult{true, clock_->Now() - start};
+}
+
+Result<OpResult> FlashCache::Delete(std::string_view key) {
+  const SimNanos start = clock_->Now();
+  Cpu(config_.index_op_ns);
+  stats_.deletes++;
+  const bool found = index_.erase(std::string(key)) > 0;
+  return OpResult{found, clock_->Now() - start};
+}
+
+Status FlashCache::Flush() {
+  if (open_rid_ != kInvalidId && regions_[open_rid_].used > 0) {
+    ZN_RETURN_IF_ERROR(FlushOpenRegion());
+    ZN_RETURN_IF_ERROR(OpenNewRegion());
+  }
+  while (!inflight_flushes_.empty()) {
+    clock_->AdvanceTo(inflight_flushes_.front());
+    inflight_flushes_.pop_front();
+  }
+  return Status::Ok();
+}
+
+Status FlashCache::Recover() {
+  if (!config_.persistent || !config_.store_values) {
+    return Status::FailedPrecondition("recovery needs persistent mode");
+  }
+  if (stats_.sets != 0 || !index_.empty()) {
+    return Status::FailedPrecondition("recover only a fresh cache instance");
+  }
+  // Undo the constructor's eagerly-opened region; every slot is examined.
+  if (open_rid_ != kInvalidId) {
+    regions_[open_rid_].state = RegionState::kFree;
+    open_rid_ = kInvalidId;
+  }
+
+  const u64 reserve = FooterReserve(device_->region_size());
+  const u64 footer_offset = device_->region_size() - reserve;
+  std::vector<std::byte> buf(reserve);
+
+  // First pass: decode footers, rebuild region metadata.
+  std::vector<std::pair<u64, RegionId>> seal_order;  // (seal_seq, rid)
+  for (RegionId rid = 0; rid < regions_.size(); ++rid) {
+    auto read = device_->ReadRegion(rid, footer_offset,
+                                    std::span<std::byte>(buf));
+    if (!read.ok()) continue;  // never written: free slot
+    auto footer = DecodeRegionFooter(std::span<const std::byte>(buf));
+    if (!footer.ok()) continue;  // torn / erased: free slot
+
+    RegionMeta& m = regions_[rid];
+    m.state = RegionState::kSealed;
+    m.used = footer->data_bytes;
+    m.seal_seq = footer->seal_seq;
+    m.last_access = footer->seal_seq;  // recency seeded by seal order
+    m.items.clear();
+    m.items.reserve(footer->items.size());
+    for (FooterItem& item : footer->items) {
+      m.items.push_back(
+          ItemMeta{std::move(item.key), item.offset, item.size});
+    }
+    seal_order.emplace_back(m.seal_seq, rid);
+    recovered_regions_++;
+  }
+
+  // Second pass in seal order: newest version of each key wins the index.
+  std::sort(seal_order.begin(), seal_order.end());
+  for (const auto& [seal_seq, rid] : seal_order) {
+    for (const ItemMeta& item : regions_[rid].items) {
+      index_[item.key] = IndexEntry{rid, item.offset, item.size};
+      recovered_items_++;
+    }
+    seal_counter_ = std::max(seal_counter_, seal_seq);
+    access_seq_ = std::max(access_seq_, seal_seq);
+  }
+  return OpenNewRegion();
+}
+
+u64 FlashCache::RegionLastAccess(RegionId rid) const {
+  if (rid >= regions_.size()) return 0;
+  return regions_[rid].last_access;
+}
+
+Status FlashCache::DropRegion(RegionId rid) {
+  if (rid >= regions_.size()) return Status::OutOfRange("bad region id");
+  if (rid == open_rid_) {
+    return Status::FailedPrecondition("cannot drop the open region");
+  }
+  RegionMeta& m = regions_[rid];
+  if (m.state == RegionState::kFree) return Status::Ok();
+  const u64 removed = PurgeRegionIndex(rid);
+  m.state = RegionState::kFree;
+  stats_.dropped_regions++;
+  stats_.dropped_items += removed;
+  return Status::Ok();
+}
+
+}  // namespace zncache::cache

@@ -1,0 +1,238 @@
+// FlashCache: a CacheLib-style log-structured flash cache engine.
+//
+// Design (mirrors CacheLib's Navy BlockCache, the engine the paper adapts):
+//   * The flash space is partitioned into fixed-size *regions*; newly
+//     inserted objects are packed into an in-memory region buffer; when the
+//     buffer fills it is flushed to the backend asynchronously (flusher
+//     threads -> background I/O here) and the next region slot is opened.
+//   * A DRAM index maps key -> (region, offset, size). Reads hit the open
+//     buffer (DRAM) or the device.
+//   * Eviction is region-granular: when no free region slot exists, the LRU
+//     (or FIFO) sealed region is evicted wholesale — every object it holds
+//     leaves the index at once. This is what makes zone-sized regions hurt
+//     the hit ratio, and what makes eviction cost spike for large regions
+//     (Figure 3): removing a region's worth of index entries contends on
+//     the shared index locks with concurrent inserts.
+//   * Deletes only remove the index entry; the space is reclaimed when the
+//     containing region is evicted.
+//
+// Time accounting: CPU costs advance the virtual clock directly; device
+// I/O goes through the backend (flushes in background mode, reads in
+// foreground mode). A bounded number of in-flight flush buffers provides
+// write backpressure, as in CacheLib.
+//
+// Thread-compatibility: instances are confined to one simulation thread
+// (the virtual clock is not synchronized); different instances are
+// independent.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/region_device.h"
+#include "cache/region_footer.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/clock.h"
+
+namespace zncache::cache {
+
+enum class EvictionPolicy {
+  kLru,   // least-recently-accessed sealed region
+  kFifo,  // oldest sealed region
+};
+
+struct FlashCacheConfig {
+  EvictionPolicy policy = EvictionPolicy::kLru;
+  // Recency-update sampling for the LRU policy: only every Nth hit bumps
+  // the region's recency (CacheLib updates its in-memory region LRU at a
+  // coarse granularity to limit lock traffic). 1 = classic LRU; large
+  // values approach FIFO with occasional promotions.
+  u64 lru_sample = 1;
+  // In-memory region buffers; inserting blocks when all are in flight.
+  u32 flush_buffers = 2;
+  // CPU cost model.
+  SimNanos index_op_ns = 300;          // hash-table lookup/insert/erase
+  SimNanos append_ns_per_kib = 40;     // memcpy into the region buffer
+  SimNanos evict_entry_ns = 250;       // per index entry removed on eviction
+  // Superlinear index-lock contention while a region's entries are purged:
+  // purge cost = evict_entry_ns * n + evict_contention_ns * n^1.5. This is
+  // the effect the paper measures in Figure 3 — insertion time jumps once
+  // eviction of a zone-sized region begins, because eviction holds the
+  // shared index locks for a region's worth of entries at a time; it is
+  // negligible for small regions and dominant for zone-sized ones.
+  SimNanos evict_contention_ns = 1000;
+  SimNanos dram_read_ns_per_kib = 20;  // serving a hit from the open buffer
+  // Copy payload bytes into buffers / the device. Large-scale benchmarks
+  // turn this off; accounting and timing are unaffected.
+  bool store_values = true;
+  // Record the simulated time taken to fill each region buffer (Figure 3).
+  bool record_fill_times = false;
+  // Persistent-cache mode: every sealed region carries an on-flash footer
+  // (item table) in its tail FooterReserve() bytes, and Recover() can
+  // rebuild the whole index from the device after a restart. Requires
+  // store_values.
+  bool persistent = false;
+  // Reinsertion policy (CacheLib-style): when a region is evicted, items
+  // that collected at least this many hits since insertion are rewritten
+  // into the open region instead of being dropped. 0 disables reinsertion.
+  // Requires store_values (the payload must be readable to rewrite it).
+  u32 reinsertion_hits = 0;
+  // Admission policy (CacheLib "dynamic random"): each Set is admitted
+  // with this probability; rejected sets leave the previous version (if
+  // any) in place. Trades hit ratio for flash write volume.
+  double admit_probability = 1.0;
+  u64 admission_seed = 99;
+};
+
+struct CacheStats {
+  u64 gets = 0;
+  u64 hits = 0;
+  u64 sets = 0;
+  u64 deletes = 0;
+  u64 set_bytes = 0;
+  u64 evicted_regions = 0;
+  u64 evicted_items = 0;
+  u64 reinserted_items = 0;  // survived eviction via the reinsertion policy
+  u64 admission_rejects = 0; // sets skipped by the admission policy
+  u64 dropped_regions = 0;  // via the GC co-design hint path
+  u64 dropped_items = 0;
+  u64 flushed_regions = 0;
+  u64 rejected_sets = 0;  // object larger than a region
+
+  double HitRatio() const {
+    return gets == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(gets);
+  }
+};
+
+struct OpResult {
+  bool hit = false;
+  SimNanos latency = 0;
+};
+
+class FlashCache {
+ public:
+  FlashCache(const FlashCacheConfig& config, RegionDevice* device,
+             sim::VirtualClock* clock);
+
+  // Insert or overwrite. Fails only if the object cannot fit in a region.
+  Result<OpResult> Set(std::string_view key, std::span<const std::byte> value);
+  // Convenience overload for string payloads.
+  Result<OpResult> Set(std::string_view key, std::string_view value);
+
+  // Lookup. `value_out` may be null when the caller only cares about
+  // hit/miss (CacheBench does exactly that).
+  Result<OpResult> Get(std::string_view key, std::string* value_out = nullptr);
+
+  // Remove the index entry (space is reclaimed at region eviction).
+  Result<OpResult> Delete(std::string_view key);
+
+  // Push buffered data to the device (end-of-run barrier for accounting).
+  Status Flush();
+
+  // Rebuild the index and region metadata from the on-flash footers (the
+  // persistent-cache warm restart). Call on a freshly-constructed cache
+  // whose backend still holds the previous incarnation's data; regions
+  // whose footer does not decode are treated as free. Returns the number
+  // of recovered items via stats (sets are untouched).
+  Status Recover();
+
+  const CacheStats& stats() const { return stats_; }
+  const FlashCacheConfig& config() const { return config_; }
+  RegionDevice* device() const { return device_; }
+  u64 item_count() const { return index_.size(); }
+  u64 capacity_bytes() const {
+    return device_->region_count() * device_->region_size();
+  }
+  // Payload bytes per region (region size minus the footer reserve in
+  // persistent mode).
+  u64 usable_region_bytes() const { return usable_region_bytes_; }
+  u64 recovered_items() const { return recovered_items_; }
+  u64 recovered_regions() const { return recovered_regions_; }
+
+  // --- Co-design surface (used by the middle layer's hinted GC) ---------
+  // Monotonic access sequence number; bumped on every get hit.
+  u64 access_seq() const { return access_seq_; }
+  // Last access seq of a sealed region (0 when never read / not sealed).
+  u64 RegionLastAccess(RegionId rid) const;
+  // Forget a region's contents: removes all of its index entries and marks
+  // the slot free. Invoked by the hinted GC when dropping a cold region is
+  // cheaper than migrating it. Fails on the open region.
+  Status DropRegion(RegionId rid);
+
+  // Figure 3 instrumentation: simulated time spent filling each region
+  // buffer, in fill order. Only populated when config.record_fill_times.
+  const std::vector<SimNanos>& region_fill_times() const {
+    return region_fill_times_;
+  }
+
+ private:
+  struct IndexEntry {
+    RegionId rid = 0;
+    u32 offset = 0;
+    u32 size = 0;
+    u32 hits = 0;  // per-item hit count (reinsertion policy)
+  };
+
+  struct ItemMeta {
+    std::string key;
+    u32 offset = 0;
+    u32 size = 0;
+  };
+
+  enum class RegionState { kFree, kOpen, kSealed };
+
+  struct RegionMeta {
+    RegionState state = RegionState::kFree;
+    std::vector<ItemMeta> items;
+    u32 used = 0;
+    u64 last_access = 0;  // access seq, for LRU
+    u64 seal_seq = 0;     // for FIFO
+  };
+
+  void Cpu(SimNanos ns) { clock_->Advance(ns); }
+
+  // Flush the open region buffer to the device (background I/O).
+  Status FlushOpenRegion();
+  // Make `open_rid_` a writable empty slot, evicting if necessary.
+  Status OpenNewRegion();
+  std::optional<RegionId> FindFreeRegion() const;
+  RegionId PickEvictionVictim() const;
+  // Remove all of a region's items from the index; returns entries removed.
+  u64 PurgeRegionIndex(RegionId rid);
+  // Gather (item, payload) pairs that qualify for reinsertion.
+  void CollectReinsertionCandidates(
+      RegionId victim, std::vector<std::pair<ItemMeta, std::string>>* out);
+
+  FlashCacheConfig config_;
+  RegionDevice* device_;      // not owned
+  sim::VirtualClock* clock_;  // not owned
+  u64 usable_region_bytes_ = 0;
+  u64 recovered_items_ = 0;
+  u64 recovered_regions_ = 0;
+
+  std::unordered_map<std::string, IndexEntry> index_;
+  std::vector<RegionMeta> regions_;
+  std::vector<std::byte> open_buffer_;
+  RegionId open_rid_ = kInvalidId;
+  u64 seal_counter_ = 0;
+  u64 access_seq_ = 0;
+  std::deque<SimNanos> inflight_flushes_;  // completion instants
+  Rng admission_rng_{99};
+  std::vector<std::pair<ItemMeta, std::string>> pending_reinserts_;
+
+  SimNanos open_region_started_ = 0;  // for fill-time recording
+  std::vector<SimNanos> region_fill_times_;
+
+  CacheStats stats_;
+};
+
+}  // namespace zncache::cache

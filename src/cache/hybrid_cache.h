@@ -1,0 +1,73 @@
+// HybridCache: CacheLib's two-engine split — small objects go to the
+// set-associative BigHash (cheap per-item footprint, bucket RMW), large
+// objects to the log-structured region engine (sequential writes, region
+// eviction). The size threshold routes each key; deletes and gets fan out
+// by the same rule, so a key lives in exactly one engine.
+#pragma once
+
+#include <memory>
+
+#include "cache/big_hash.h"
+#include "cache/flash_cache.h"
+
+namespace zncache::cache {
+
+struct HybridCacheConfig {
+  // Objects at or below this many bytes go to BigHash.
+  u64 small_item_threshold = 2 * kKiB;
+};
+
+struct HybridStats {
+  u64 small_routed = 0;
+  u64 large_routed = 0;
+};
+
+class HybridCache {
+ public:
+  // Both engines are borrowed; the caller owns their devices.
+  HybridCache(const HybridCacheConfig& config, BigHash* small_engine,
+              FlashCache* large_engine)
+      : config_(config), small_(small_engine), large_(large_engine) {}
+
+  Result<OpResult> Set(std::string_view key, std::string_view value) {
+    if (value.size() <= config_.small_item_threshold) {
+      stats_.small_routed++;
+      // The key may previously have been large; evict the stale copy.
+      (void)large_->Delete(key);
+      return small_->Set(key, value);
+    }
+    stats_.large_routed++;
+    (void)small_->Delete(key);
+    return large_->Set(key, value);
+  }
+
+  Result<OpResult> Get(std::string_view key, std::string* value_out = nullptr) {
+    auto s = small_->Get(key, value_out);
+    if (!s.ok()) return s.status();
+    if (s->hit) return s;
+    auto l = large_->Get(key, value_out);
+    if (!l.ok()) return l.status();
+    l->latency += s->latency;
+    return l;
+  }
+
+  Result<OpResult> Delete(std::string_view key) {
+    auto s = small_->Delete(key);
+    if (!s.ok()) return s.status();
+    auto l = large_->Delete(key);
+    if (!l.ok()) return l.status();
+    return OpResult{s->hit || l->hit, s->latency + l->latency};
+  }
+
+  const HybridStats& stats() const { return stats_; }
+  BigHash& small_engine() { return *small_; }
+  FlashCache& large_engine() { return *large_; }
+
+ private:
+  HybridCacheConfig config_;
+  BigHash* small_;     // not owned
+  FlashCache* large_;  // not owned
+  HybridStats stats_;
+};
+
+}  // namespace zncache::cache

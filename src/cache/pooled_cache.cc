@@ -1,0 +1,66 @@
+#include "cache/pooled_cache.h"
+
+namespace zncache::cache {
+
+namespace {
+
+// FNV-1a: stable across runs (routing must not depend on process state).
+u64 HashKey(std::string_view key) {
+  u64 h = 0xCBF29CE484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+PooledCache::PooledCache(const PooledCacheConfig& config, RegionDevice* device,
+                         sim::VirtualClock* clock) {
+  const u32 pools = config.pools == 0 ? 1 : config.pools;
+  const u64 per_pool = device->region_count() / pools;
+  for (u32 p = 0; p < pools; ++p) {
+    const u64 base = p * per_pool;
+    const u64 count =
+        p + 1 == pools ? device->region_count() - base : per_pool;
+    slices_.push_back(
+        std::make_unique<RegionDeviceSlice>(device, base, count));
+    pools_.push_back(std::make_unique<FlashCache>(config.engine,
+                                                  slices_.back().get(), clock));
+  }
+}
+
+u32 PooledCache::PoolIndexFor(std::string_view key) const {
+  return static_cast<u32>(HashKey(key) % pools_.size());
+}
+
+Status PooledCache::Flush() {
+  for (auto& pool : pools_) {
+    ZN_RETURN_IF_ERROR(pool->Flush());
+  }
+  return Status::Ok();
+}
+
+CacheStats PooledCache::TotalStats() const {
+  CacheStats total;
+  for (const auto& pool : pools_) {
+    const CacheStats& s = pool->stats();
+    total.gets += s.gets;
+    total.hits += s.hits;
+    total.sets += s.sets;
+    total.deletes += s.deletes;
+    total.set_bytes += s.set_bytes;
+    total.evicted_regions += s.evicted_regions;
+    total.evicted_items += s.evicted_items;
+    total.dropped_regions += s.dropped_regions;
+    total.dropped_items += s.dropped_items;
+    total.flushed_regions += s.flushed_regions;
+    total.rejected_sets += s.rejected_sets;
+    total.reinserted_items += s.reinserted_items;
+    total.admission_rejects += s.admission_rejects;
+  }
+  return total;
+}
+
+}  // namespace zncache::cache

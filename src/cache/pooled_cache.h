@@ -1,0 +1,98 @@
+// Cache pools: CacheLib partitions one flash device among several pools
+// (per-tenant or per-shard engines). PooledCache slices a RegionDevice's
+// region slots into N disjoint ranges, runs an independent FlashCache
+// engine per slice, and routes requests by key hash. Pools isolate
+// eviction: one tenant's churn cannot evict another tenant's regions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/flash_cache.h"
+#include "cache/region_device.h"
+
+namespace zncache::cache {
+
+// A view of a contiguous slot range [base, base + count) of a parent
+// device. WA stats are the parent's (device-level effects are shared).
+class RegionDeviceSlice final : public RegionDevice {
+ public:
+  RegionDeviceSlice(RegionDevice* parent, u64 base, u64 count)
+      : parent_(parent), base_(base), count_(count) {}
+
+  u64 region_size() const override { return parent_->region_size(); }
+  u64 region_count() const override { return count_; }
+
+  Result<RegionIo> WriteRegion(RegionId id, std::span<const std::byte> data,
+                               sim::IoMode mode) override {
+    ZN_RETURN_IF_ERROR(Check(id));
+    return parent_->WriteRegion(base_ + id, data, mode);
+  }
+  Result<RegionIo> ReadRegion(RegionId id, u64 offset,
+                              std::span<std::byte> out) override {
+    ZN_RETURN_IF_ERROR(Check(id));
+    return parent_->ReadRegion(base_ + id, offset, out);
+  }
+  Status InvalidateRegion(RegionId id) override {
+    ZN_RETURN_IF_ERROR(Check(id));
+    return parent_->InvalidateRegion(base_ + id);
+  }
+  Status PumpBackground() override { return parent_->PumpBackground(); }
+
+  WaStats wa_stats() const override { return parent_->wa_stats(); }
+  std::string name() const override {
+    return parent_->name() + "/slice@" + std::to_string(base_);
+  }
+
+ private:
+  Status Check(RegionId id) const {
+    if (id >= count_) return Status::OutOfRange("slice region id");
+    return Status::Ok();
+  }
+
+  RegionDevice* parent_;  // not owned
+  u64 base_;
+  u64 count_;
+};
+
+struct PooledCacheConfig {
+  u32 pools = 4;
+  FlashCacheConfig engine;  // applied to every pool
+};
+
+class PooledCache {
+ public:
+  // Slices `device` evenly across the pools (remainder slots go to the
+  // last pool). The device must have at least 2 regions per pool.
+  PooledCache(const PooledCacheConfig& config, RegionDevice* device,
+              sim::VirtualClock* clock);
+
+  Result<OpResult> Set(std::string_view key, std::string_view value) {
+    return PoolFor(key).Set(key, value);
+  }
+  Result<OpResult> Get(std::string_view key, std::string* value = nullptr) {
+    return PoolFor(key).Get(key, value);
+  }
+  Result<OpResult> Delete(std::string_view key) {
+    return PoolFor(key).Delete(key);
+  }
+  Status Flush();
+
+  u32 pool_count() const { return static_cast<u32>(pools_.size()); }
+  FlashCache& pool(u32 i) { return *pools_[i]; }
+  // Which pool a key routes to (stable hash).
+  u32 PoolIndexFor(std::string_view key) const;
+
+  // Aggregated statistics across pools.
+  CacheStats TotalStats() const;
+
+ private:
+  FlashCache& PoolFor(std::string_view key) {
+    return *pools_[PoolIndexFor(key)];
+  }
+
+  std::vector<std::unique_ptr<RegionDeviceSlice>> slices_;
+  std::vector<std::unique_ptr<FlashCache>> pools_;
+};
+
+}  // namespace zncache::cache

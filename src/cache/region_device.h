@@ -1,0 +1,70 @@
+// RegionDevice: the narrow waist between the log-structured cache engine
+// and its storage backend. The cache thinks in fixed-size *region slots*
+// (CacheLib's on-flash management unit); how a slot maps onto flash is the
+// backend's business — a fixed LBA range (Block-Cache), a file extent
+// (File-Cache), one whole zone (Zone-Cache), or a translated location behind
+// the middle layer (Region-Cache).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/service_timer.h"
+
+namespace zncache::cache {
+
+using RegionId = u64;
+
+// Uniform write-amplification accounting across backends: `host_bytes` is
+// what the cache wrote; `flash_bytes` includes every byte the backend (and
+// the device below it) additionally moved — FTL GC, segment cleaning, or
+// middle-layer migration.
+struct WaStats {
+  u64 host_bytes = 0;
+  u64 flash_bytes = 0;
+
+  double Factor() const {
+    return host_bytes == 0 ? 1.0
+                           : static_cast<double>(flash_bytes) /
+                                 static_cast<double>(host_bytes);
+  }
+};
+
+struct RegionIo {
+  SimNanos latency = 0;     // foreground: queueing + service; background: 0
+  SimNanos completion = 0;  // absolute completion instant
+};
+
+class RegionDevice {
+ public:
+  virtual ~RegionDevice() = default;
+
+  virtual u64 region_size() const = 0;
+  virtual u64 region_count() const = 0;
+
+  // Persist a full region image into the slot, replacing prior contents.
+  // `data.size()` may be <= region_size (the tail of a region can be
+  // unused); backends may round up internally. Region flushes are issued in
+  // background mode by the engine (CacheLib's async flusher threads).
+  virtual Result<RegionIo> WriteRegion(RegionId id,
+                                       std::span<const std::byte> data,
+                                       sim::IoMode mode) = 0;
+
+  // Random read inside a previously written slot.
+  virtual Result<RegionIo> ReadRegion(RegionId id, u64 offset,
+                                      std::span<std::byte> out) = 0;
+
+  // The slot's contents are dead (region evicted). Backends use this to
+  // reset zones / clear mappings / trim blocks before the slot is rewritten.
+  virtual Status InvalidateRegion(RegionId id) = 0;
+
+  // Give backends an opportunity to run housekeeping (middle-layer GC).
+  virtual Status PumpBackground() { return Status::Ok(); }
+
+  virtual WaStats wa_stats() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace zncache::cache

@@ -1,0 +1,103 @@
+#include "cache/region_footer.h"
+
+#include <cstring>
+
+namespace zncache::cache {
+
+namespace {
+
+class Writer {
+ public:
+  explicit Writer(std::span<std::byte> out) : out_(out) {}
+
+  bool PutU64(u64 v) { return PutRaw(&v, 8); }
+  bool PutU32(u32 v) { return PutRaw(&v, 4); }
+  bool PutU16(u16 v) { return PutRaw(&v, 2); }
+  bool PutBytes(std::string_view s) { return PutRaw(s.data(), s.size()); }
+
+ private:
+  bool PutRaw(const void* p, size_t n) {
+    if (pos_ + n > out_.size()) return false;
+    std::memcpy(out_.data() + pos_, p, n);
+    pos_ += n;
+    return true;
+  }
+  std::span<std::byte> out_;
+  size_t pos_ = 0;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> in) : in_(in) {}
+
+  bool GetU64(u64* v) { return GetRaw(v, 8); }
+  bool GetU32(u32* v) { return GetRaw(v, 4); }
+  bool GetU16(u16* v) { return GetRaw(v, 2); }
+  bool GetString(size_t n, std::string* s) {
+    if (pos_ + n > in_.size()) return false;
+    s->assign(reinterpret_cast<const char*>(in_.data()) + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  bool GetRaw(void* p, size_t n) {
+    if (pos_ + n > in_.size()) return false;
+    std::memcpy(p, in_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::span<const std::byte> in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status EncodeRegionFooter(const RegionFooter& footer,
+                          std::span<std::byte> out) {
+  std::memset(out.data(), 0, out.size());
+  Writer w(out);
+  bool ok = w.PutU64(kFooterMagic) && w.PutU64(footer.seal_seq) &&
+            w.PutU32(static_cast<u32>(footer.items.size())) &&
+            w.PutU32(footer.data_bytes);
+  for (const FooterItem& item : footer.items) {
+    if (item.key.size() > 65535) {
+      return Status::InvalidArgument("key too long for footer");
+    }
+    ok = ok && w.PutU16(static_cast<u16>(item.key.size())) &&
+         w.PutU32(item.offset) && w.PutU32(item.size) &&
+         w.PutBytes(item.key);
+  }
+  if (!ok) return Status::NoSpace("footer reserve too small for item table");
+  return Status::Ok();
+}
+
+Result<RegionFooter> DecodeRegionFooter(std::span<const std::byte> in) {
+  Reader r(in);
+  u64 magic = 0;
+  if (!r.GetU64(&magic)) return Status::Corruption("short footer");
+  if (magic != kFooterMagic) return Status::NotFound("no footer magic");
+
+  RegionFooter footer;
+  u32 count = 0;
+  if (!r.GetU64(&footer.seal_seq) || !r.GetU32(&count) ||
+      !r.GetU32(&footer.data_bytes)) {
+    return Status::Corruption("truncated footer header");
+  }
+  footer.items.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    FooterItem item;
+    u16 klen = 0;
+    if (!r.GetU16(&klen) || !r.GetU32(&item.offset) || !r.GetU32(&item.size) ||
+        !r.GetString(klen, &item.key)) {
+      return Status::Corruption("truncated footer item table");
+    }
+    if (item.offset + item.size > footer.data_bytes) {
+      return Status::Corruption("footer item out of bounds");
+    }
+    footer.items.push_back(std::move(item));
+  }
+  return footer;
+}
+
+}  // namespace zncache::cache

@@ -1,0 +1,52 @@
+// On-flash region footer: the serialized item table that makes the cache
+// index recoverable after a restart (CacheLib's warm-roll equivalent).
+//
+// Layout, written into the tail `FooterReserve(region_size)` bytes of each
+// region slot:
+//   u64 magic | u64 seal_seq | u32 item_count | u32 data_bytes |
+//   item_count x { u16 key_len | u32 offset | u32 size | key bytes }
+//
+// A region whose tail does not decode (bad magic, truncated table) is
+// treated as free — exactly what a crash mid-flush should yield.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace zncache::cache {
+
+inline constexpr u64 kFooterMagic = 0x5A4E464F4F544552ULL;  // "ZNFOOTER"
+
+struct FooterItem {
+  std::string key;
+  u32 offset = 0;
+  u32 size = 0;
+};
+
+struct RegionFooter {
+  u64 seal_seq = 0;
+  u32 data_bytes = 0;
+  std::vector<FooterItem> items;
+};
+
+// Bytes reserved at the tail of each region for the footer. Grows with the
+// region so zone-sized regions can describe their (many) items.
+constexpr u64 FooterReserve(u64 region_size) {
+  const u64 proportional = region_size / 32;
+  return proportional < 8 * kKiB ? 8 * kKiB : proportional;
+}
+
+// Serialize into `out` (must be exactly the reserve area). Fails with
+// NO_SPACE if the item table does not fit.
+Status EncodeRegionFooter(const RegionFooter& footer, std::span<std::byte> out);
+
+// Decode; NOT_FOUND for bad magic (slot never sealed / torn write),
+// CORRUPTION for a truncated or inconsistent table.
+Result<RegionFooter> DecodeRegionFooter(std::span<const std::byte> in);
+
+}  // namespace zncache::cache

@@ -1,0 +1,119 @@
+#include "common/compress.h"
+
+#include <cstring>
+
+namespace zncache {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 131;          // 4 + 127
+constexpr size_t kMaxDistance = 65535;
+constexpr size_t kHashBits = 14;
+constexpr size_t kHashSize = 1 << kHashBits;
+
+u32 HashAt(const std::byte* p) {
+  u32 v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLiterals(std::vector<std::byte>& out, const std::byte* from,
+                  size_t count) {
+  while (count > 0) {
+    const size_t chunk = count < 128 ? count : 128;
+    out.push_back(std::byte(static_cast<u8>(chunk - 1)));
+    out.insert(out.end(), from, from + chunk);
+    from += chunk;
+    count -= chunk;
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> LzCompress(std::span<const std::byte> in) {
+  std::vector<std::byte> out;
+  out.reserve(in.size() / 2 + 16);
+  if (in.size() < kMinMatch) {
+    if (!in.empty()) EmitLiterals(out, in.data(), in.size());
+    return out;
+  }
+
+  std::vector<u32> table(kHashSize, ~0u);
+  const std::byte* base = in.data();
+  size_t pos = 0;
+  size_t literal_start = 0;
+  const size_t limit = in.size() - kMinMatch;
+
+  while (pos <= limit) {
+    const u32 h = HashAt(base + pos);
+    const u32 candidate = table[h];
+    table[h] = static_cast<u32>(pos);
+
+    size_t match_len = 0;
+    if (candidate != ~0u && pos - candidate <= kMaxDistance &&
+        std::memcmp(base + candidate, base + pos, kMinMatch) == 0) {
+      // Extend the match.
+      const size_t max_len =
+          in.size() - pos < kMaxMatch ? in.size() - pos : kMaxMatch;
+      match_len = kMinMatch;
+      while (match_len < max_len &&
+             base[candidate + match_len] == base[pos + match_len]) {
+        match_len++;
+      }
+    }
+
+    if (match_len >= kMinMatch) {
+      EmitLiterals(out, base + literal_start, pos - literal_start);
+      const u16 distance = static_cast<u16>(pos - candidate);
+      out.push_back(std::byte(static_cast<u8>(0x80 | (match_len - kMinMatch))));
+      out.push_back(std::byte(static_cast<u8>(distance & 0xFF)));
+      out.push_back(std::byte(static_cast<u8>(distance >> 8)));
+      pos += match_len;
+      literal_start = pos;
+    } else {
+      pos++;
+    }
+  }
+  EmitLiterals(out, base + literal_start, in.size() - literal_start);
+  return out;
+}
+
+Result<std::vector<std::byte>> LzDecompress(std::span<const std::byte> in,
+                                            u64 raw_size) {
+  std::vector<std::byte> out;
+  out.reserve(raw_size);
+  size_t pos = 0;
+  while (pos < in.size()) {
+    const u8 token = static_cast<u8>(in[pos++]);
+    if (token < 0x80) {
+      const size_t count = static_cast<size_t>(token) + 1;
+      if (pos + count > in.size() || out.size() + count > raw_size) {
+        return Status::Corruption("bad literal run");
+      }
+      out.insert(out.end(), in.begin() + pos, in.begin() + pos + count);
+      pos += count;
+    } else {
+      const size_t len = kMinMatch + (token & 0x7F);
+      if (pos + 2 > in.size()) return Status::Corruption("truncated match");
+      const u16 distance = static_cast<u16>(static_cast<u8>(in[pos])) |
+                           (static_cast<u16>(static_cast<u8>(in[pos + 1])) << 8);
+      pos += 2;
+      if (distance == 0 || distance > out.size() ||
+          out.size() + len > raw_size) {
+        return Status::Corruption("bad match reference");
+      }
+      // Byte-by-byte copy: matches may overlap their own output (RLE).
+      size_t src = out.size() - distance;
+      for (size_t i = 0; i < len; ++i) {
+        out.push_back(out[src + i]);
+      }
+    }
+  }
+  if (out.size() != raw_size) {
+    return Status::Corruption("decompressed size mismatch");
+  }
+  return out;
+}
+
+}  // namespace zncache

@@ -1,0 +1,31 @@
+// A small LZSS-style byte compressor (greedy hash-table matcher, 64 KiB
+// window) used for optional SSTable block compression. Format:
+//
+//   stream := { token }*
+//   token  := literal-run | match
+//   literal-run := 0x00..0x7F (count-1) followed by `count` literal bytes
+//   match       := 0x80 | (len-4 in low 7 bits clamped), u16 distance
+//                  (little-endian, 1..65535 back from the current position)
+//
+// Matches encode 4..131 bytes. The compressor never expands pathological
+// input by more than count-byte framing overhead (~1/128); callers that
+// need a strict bound use Compress()'s return and fall back to raw storage
+// when unprofitable (as the SSTable block writer does).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace zncache {
+
+// Compress `in`; output is appended to a fresh vector.
+std::vector<std::byte> LzCompress(std::span<const std::byte> in);
+
+// Decompress into exactly `raw_size` bytes; CORRUPTION on malformed input.
+Result<std::vector<std::byte>> LzDecompress(std::span<const std::byte> in,
+                                            u64 raw_size);
+
+}  // namespace zncache

@@ -1,0 +1,55 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace zncache {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags.values_[arg.substr(2)] = "true";  // bare switch
+      } else {
+        const std::string name = arg.substr(2, eq - 2);
+        if (name.empty()) {
+          return Status::InvalidArgument("bad flag: " + arg);
+        }
+        flags.values_[name] = arg.substr(eq + 1);
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Status::InvalidArgument("unsupported flag syntax: " + arg);
+    } else {
+      flags.positional_.push_back(arg);
+    }
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+u64 Flags::GetU64(const std::string& name, u64 fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace zncache

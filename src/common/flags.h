@@ -1,0 +1,36 @@
+// Minimal command-line flag parsing for the examples and tools:
+// `--key=value` and `--switch` forms, typed getters with defaults, and
+// leftover positional arguments. No global state.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace zncache {
+
+class Flags {
+ public:
+  // Parses argv; unrecognized syntax (e.g. "-x") is an error so typos
+  // surface instead of silently running with defaults.
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback = "") const;
+  u64 GetU64(const std::string& name, u64 fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace zncache

@@ -1,0 +1,21 @@
+// Shared stable hashing (FNV-1a). Stable across runs and platforms: used
+// for cache-pool routing, Bloom filters, and on-disk checksums.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.h"
+
+namespace zncache {
+
+constexpr u64 Fnv1a64(std::string_view data,
+                      u64 seed = 0xCBF29CE484222325ULL) {
+  u64 h = seed;
+  for (const char c : data) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace zncache

@@ -1,0 +1,87 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace zncache {
+
+namespace {
+// 8 sub-buckets per power of two: relative error <= 12.5%.
+constexpr size_t kSubBuckets = 8;
+constexpr size_t kMaxBuckets = 64 * kSubBuckets;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kMaxBuckets, 0) {}
+
+size_t Histogram::BucketFor(u64 value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const int log2 = 63 - std::countl_zero(value);
+  const u64 base = 1ULL << log2;
+  const u64 sub = (value - base) / std::max<u64>(1, base / kSubBuckets);
+  size_t idx = static_cast<size_t>(log2) * kSubBuckets +
+               static_cast<size_t>(std::min<u64>(sub, kSubBuckets - 1));
+  return std::min(idx, kMaxBuckets - 1);
+}
+
+u64 Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket < kSubBuckets) return static_cast<u64>(bucket);
+  const size_t log2 = bucket / kSubBuckets;
+  const size_t sub = bucket % kSubBuckets;
+  const u64 base = 1ULL << log2;
+  return base + (base / kSubBuckets) * (sub + 1) - 1;
+}
+
+void Histogram::Record(u64 value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0
+                     : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+u64 Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const u64 target = static_cast<u64>(q * static_cast<double>(count_ - 1)) + 1;
+  u64 seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%llu p99=%llu max=%llu",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(P50()),
+                static_cast<unsigned long long>(P99()),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace zncache

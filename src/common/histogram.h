@@ -1,0 +1,47 @@
+// Log-bucketed latency histogram with percentile queries. Buckets grow
+// geometrically so that the full nanosecond..minutes range is covered with
+// bounded relative error and O(1) record cost.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace zncache {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(u64 value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  u64 count() const { return count_; }
+  u64 min() const { return count_ == 0 ? 0 : min_; }
+  u64 max() const { return max_; }
+  double Mean() const;
+
+  // q in [0, 1]; returns an upper bound of the q-quantile bucket.
+  u64 Percentile(double q) const;
+
+  u64 P50() const { return Percentile(0.50); }
+  u64 P99() const { return Percentile(0.99); }
+  u64 P999() const { return Percentile(0.999); }
+
+  std::string Summary() const;
+
+ private:
+  static size_t BucketFor(u64 value);
+  static u64 BucketUpperBound(size_t bucket);
+
+  std::vector<u64> buckets_;
+  u64 count_ = 0;
+  u64 sum_ = 0;
+  u64 min_ = ~0ULL;
+  u64 max_ = 0;
+};
+
+}  // namespace zncache

@@ -1,0 +1,113 @@
+// Deterministic random number generation and the key-popularity
+// distributions used by the workload generators:
+//  * Xoshiro256** — fast, seedable PRNG (no global state).
+//  * ZipfianGenerator — YCSB-style Zipf over [0, n), used by CacheBench-like
+//    workloads.
+//  * ExpRangeGenerator — db_bench "readrandom exp range (ER)" style skew: a
+//    truncated exponential over the key space; a larger ER concentrates more
+//    probability mass on a smaller prefix of the key space.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace zncache {
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation,
+// adapted). Deterministic given the seed.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 Next() {
+    const u64 result = Rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  u64 Uniform(u64 bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  // Uniform in [lo, hi] inclusive.
+  u64 UniformRange(u64 lo, u64 hi) { return lo + Uniform(hi - lo + 1); }
+
+ private:
+  static u64 Rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4]{};
+};
+
+// Zipfian distribution over [0, n) with parameter theta (default 0.99, the
+// YCSB default). Uses the Gray et al. rejection-free method.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(u64 n, double theta = 0.99, u64 seed = 1);
+
+  u64 Next(Rng& rng);
+
+  u64 n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(u64 n, double theta);
+
+  u64 n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double zeta2theta_;
+};
+
+// Truncated-exponential key skew used by db_bench's readrandom
+// "exp range" option. Draws x in [0,1) with density proportional to
+// exp(-er * x), then maps to floor(x * n). Larger er => more skew.
+class ExpRangeGenerator {
+ public:
+  ExpRangeGenerator(u64 n, double er) : n_(n), er_(er) {
+    one_minus_exp_ = 1.0 - std::exp(-er_);
+  }
+
+  u64 Next(Rng& rng) const {
+    const double u = rng.NextDouble();
+    // Inverse CDF of the truncated exponential on [0, 1).
+    const double x = -std::log(1.0 - u * one_minus_exp_) / er_;
+    u64 k = static_cast<u64>(x * static_cast<double>(n_));
+    return k >= n_ ? n_ - 1 : k;
+  }
+
+  u64 n() const { return n_; }
+  double er() const { return er_; }
+
+ private:
+  u64 n_;
+  double er_;
+  double one_minus_exp_;
+};
+
+}  // namespace zncache

@@ -1,0 +1,111 @@
+// Error handling: a small Status / Result<T> pair in the spirit of
+// absl::Status. Storage-layer calls return Status (or Result<T>) instead of
+// throwing; callers decide whether an error is fatal.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace zncache {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kNoSpace,
+  kFailedPrecondition,  // e.g. write not at the zone write pointer
+  kAlreadyExists,
+  kUnavailable,  // e.g. max-open-zones exceeded
+  kCorruption,
+  kInternal,
+};
+
+[[nodiscard]] std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  static Status NotFound(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  static Status OutOfRange(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  static Status NoSpace(std::string m) {
+    return {StatusCode::kNoSpace, std::move(m)};
+  }
+  static Status FailedPrecondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  static Status AlreadyExists(std::string m) {
+    return {StatusCode::kAlreadyExists, std::move(m)};
+  }
+  static Status Unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
+  }
+  static Status Corruption(std::string m) {
+    return {StatusCode::kCorruption, std::move(m)};
+  }
+  static Status Internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T>: either a value or an error Status. Accessing value() on an
+// error result aborts — errors must be checked first.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(repr_);
+  }
+
+  T& value() & { return std::get<T>(repr_); }
+  const T& value() const& { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Propagate a non-OK status to the caller.
+#define ZN_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::zncache::Status zn_status_ = (expr);      \
+    if (!zn_status_.ok()) return zn_status_;    \
+  } while (0)
+
+}  // namespace zncache

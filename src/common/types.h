@@ -1,0 +1,32 @@
+// Basic fixed-width aliases and byte-size literals shared by every module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zncache {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+// Simulated time is kept in nanoseconds.
+using SimNanos = u64;
+
+inline constexpr u64 kKiB = 1024ULL;
+inline constexpr u64 kMiB = 1024ULL * kKiB;
+inline constexpr u64 kGiB = 1024ULL * kMiB;
+
+namespace literals {
+constexpr u64 operator"" _KiB(unsigned long long v) { return v * kKiB; }
+constexpr u64 operator"" _MiB(unsigned long long v) { return v * kMiB; }
+constexpr u64 operator"" _GiB(unsigned long long v) { return v * kGiB; }
+}  // namespace literals
+
+// Sentinel for "no value" in id-like fields.
+inline constexpr u64 kInvalidId = ~0ULL;
+
+}  // namespace zncache

@@ -1,0 +1,365 @@
+#include "f2fslite/f2fs_lite.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace zncache::f2fslite {
+
+F2fsLite::F2fsLite(const F2fsConfig& config, zns::ZnsDevice* device)
+    : config_(config), device_(device), metadata_zone_(0) {
+  zone_valid_.assign(device_->zone_count(), 0);
+  reverse_.assign(device_->zone_count() * BlocksPerZone(), kUnmapped);
+}
+
+u64 F2fsLite::BlocksPerZone() const {
+  return device_->zone_capacity() / config_.block_size;
+}
+
+u64 F2fsLite::DataZoneCount() const {
+  return device_->zone_count() - 1;  // zone 0 is the metadata zone
+}
+
+u64 F2fsLite::AllocatedBlocks() const {
+  u64 total = 0;
+  for (const FileMeta& f : files_) {
+    if (f.live) total += f.block_map.size();
+  }
+  return total;
+}
+
+u64 F2fsLite::MaxFileBytes() const {
+  const double usable = static_cast<double>(DataZoneCount()) *
+                        (1.0 - config_.op_ratio);
+  const u64 usable_zones = static_cast<u64>(usable);
+  const u64 reserve = std::max<u64>(config_.min_free_zones, 2);
+  if (usable_zones + reserve > DataZoneCount()) {
+    const u64 z = DataZoneCount() > reserve ? DataZoneCount() - reserve : 0;
+    return z * BlocksPerZone() * config_.block_size;
+  }
+  return usable_zones * BlocksPerZone() * config_.block_size;
+}
+
+Status F2fsLite::CheckFd(Fd fd) const {
+  if (fd >= files_.size() || !files_[fd].live) {
+    return Status::NotFound("bad file descriptor");
+  }
+  return Status::Ok();
+}
+
+Result<Fd> F2fsLite::Create(std::string_view name, u64 bytes) {
+  if (name.empty()) return Status::InvalidArgument("empty file name");
+  if (names_.count(std::string(name)) != 0) {
+    return Status::AlreadyExists("file exists: " + std::string(name));
+  }
+  const u64 blocks = (bytes + config_.block_size - 1) / config_.block_size;
+  const u64 allocated = AllocatedBlocks();
+  if ((allocated + blocks) * config_.block_size > MaxFileBytes()) {
+    return Status::NoSpace("file larger than remaining usable capacity");
+  }
+  // Reuse a dead slot if one exists.
+  Fd fd = static_cast<Fd>(files_.size());
+  for (Fd i = 0; i < files_.size(); ++i) {
+    if (!files_[i].live) {
+      fd = i;
+      break;
+    }
+  }
+  if (fd == files_.size()) files_.emplace_back();
+  FileMeta& meta = files_[fd];
+  meta.name.assign(name);
+  meta.block_map.assign(blocks, kUnmapped);
+  meta.live = true;
+  names_[meta.name] = fd;
+  return fd;
+}
+
+Result<Fd> F2fsLite::Open(std::string_view name) const {
+  auto it = names_.find(std::string(name));
+  if (it == names_.end()) {
+    return Status::NotFound("no such file: " + std::string(name));
+  }
+  return it->second;
+}
+
+Status F2fsLite::Remove(std::string_view name) {
+  auto it = names_.find(std::string(name));
+  if (it == names_.end()) {
+    return Status::NotFound("no such file: " + std::string(name));
+  }
+  const Fd fd = it->second;
+  FileMeta& meta = files_[fd];
+  for (u64 dba : meta.block_map) {
+    if (dba != kUnmapped) InvalidateBlock(dba);
+  }
+  meta.block_map.clear();
+  meta.live = false;
+  names_.erase(it);
+  return Status::Ok();
+}
+
+u64 F2fsLite::FileCount() const { return names_.size(); }
+
+Result<u64> F2fsLite::FileSizeBytes(Fd fd) const {
+  ZN_RETURN_IF_ERROR(CheckFd(fd));
+  return files_[fd].block_map.size() * config_.block_size;
+}
+
+std::optional<u64> F2fsLite::NextEmptyZone() {
+  for (u64 z = 1; z < device_->zone_count(); ++z) {
+    if (z == clean_cursor_zone_) continue;
+    if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty) return z;
+  }
+  return std::nullopt;
+}
+
+void F2fsLite::InvalidateBlock(u64 dba) {
+  if (reverse_[dba] == kUnmapped) return;
+  reverse_[dba] = kUnmapped;
+  zone_valid_[ZoneOf(dba)]--;
+}
+
+Result<u64> F2fsLite::AppendBlock(std::span<const std::byte> block,
+                                  bool cleaning, SimNanos* latency) {
+  u64& log_zone = cleaning ? clean_log_zone_ : data_log_zone_;
+  if (log_zone == kUnmapped ||
+      device_->GetZoneInfo(log_zone).RemainingCapacity() < config_.block_size) {
+    auto next = NextEmptyZone();
+    if (!next) return Status::NoSpace("no empty zone for log");
+    log_zone = *next;
+  }
+  const u64 wp = device_->GetZoneInfo(log_zone).write_pointer;
+  auto r = device_->Write(log_zone, wp, block, sim::IoMode::kBackground);
+  if (!r.ok()) return r.status();
+  if (latency != nullptr) *latency += r->latency;
+  stats_.device_bytes_written += block.size();
+  return log_zone * BlocksPerZone() + wp / config_.block_size;
+}
+
+u64 F2fsLite::PickVictimZone() const {
+  u64 victim = kUnmapped;
+  u64 best_valid = ~0ULL;
+  for (u64 z = 1; z < device_->zone_count(); ++z) {
+    if (z == data_log_zone_ || z == clean_log_zone_ ||
+        z == clean_cursor_zone_) {
+      continue;
+    }
+    if (device_->GetZoneInfo(z).state != zns::ZoneState::kFull) continue;
+    if (zone_valid_[z] < best_valid) {
+      best_valid = zone_valid_[z];
+      victim = z;
+    }
+  }
+  return victim;
+}
+
+Status F2fsLite::CleanStep() {
+  // Count empty data zones.
+  u64 empty = 0;
+  for (u64 z = 1; z < device_->zone_count(); ++z) {
+    if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty) empty++;
+  }
+  const bool urgent = empty < 2;
+  if (clean_cursor_zone_ == kUnmapped) {
+    if (empty >= config_.min_free_zones) return Status::Ok();
+    clean_cursor_zone_ = PickVictimZone();
+    clean_cursor_index_ = 0;
+    if (clean_cursor_zone_ == kUnmapped) return Status::Ok();
+  }
+
+  // Migrate a bounded number of valid blocks; under space pressure, drain
+  // the whole victim (foreground cleaning, as F2FS does when free segments
+  // run out).
+  u64 budget = urgent ? BlocksPerZone() : config_.clean_blocks_per_op;
+  std::vector<std::byte> buf(config_.block_size);
+  const u64 bpz = BlocksPerZone();
+  while (budget > 0 && clean_cursor_index_ < bpz) {
+    const u64 dba = clean_cursor_zone_ * bpz + clean_cursor_index_;
+    const u64 ref = reverse_[dba];
+    clean_cursor_index_++;
+    if (ref == kUnmapped) continue;
+
+    auto rr = device_->Read(clean_cursor_zone_,
+                            (dba % bpz) * config_.block_size,
+                            std::span<std::byte>(buf),
+                            sim::IoMode::kBackground);
+    if (!rr.ok()) return rr.status();
+    InvalidateBlock(dba);
+    auto nb = AppendBlock(std::span<const std::byte>(buf), /*cleaning=*/true,
+                          nullptr);
+    if (!nb.ok()) return nb.status();
+    files_[RefFd(ref)].block_map[RefBlock(ref)] = *nb;
+    reverse_[*nb] = ref;
+    zone_valid_[ZoneOf(*nb)]++;
+    stats_.migrated_blocks++;
+    budget--;
+  }
+
+  if (clean_cursor_index_ >= bpz) {
+    ZN_RETURN_IF_ERROR(device_->Reset(clean_cursor_zone_));
+    stats_.cleaned_zones++;
+    clean_cursor_zone_ = kUnmapped;
+    clean_cursor_index_ = 0;
+  }
+  return Status::Ok();
+}
+
+Result<IoResult> F2fsLite::PwriteAt(Fd fd, u64 offset,
+                                    std::span<const std::byte> data,
+                                    sim::IoMode mode) {
+  ZN_RETURN_IF_ERROR(CheckFd(fd));
+  if (offset % config_.block_size != 0 ||
+      data.size() % config_.block_size != 0) {
+    return Status::InvalidArgument("unaligned file write");
+  }
+  FileMeta& meta = files_[fd];
+  const u64 first = offset / config_.block_size;
+  const u64 count = data.size() / config_.block_size;
+  if (first + count > meta.block_map.size()) {
+    return Status::OutOfRange("write beyond file size");
+  }
+
+  SimNanos latency =
+      mode == sim::IoMode::kForeground ? config_.lookup_ns * count : 0;
+  const u64 bpz = BlocksPerZone();
+
+  u64 done = 0;
+  while (done < count) {
+    // Ensure the data log zone has room, then write the longest contiguous
+    // run that fits in it as a single device I/O.
+    if (data_log_zone_ == kUnmapped ||
+        device_->GetZoneInfo(data_log_zone_).RemainingCapacity() <
+            config_.block_size) {
+      auto next = NextEmptyZone();
+      if (!next) return Status::NoSpace("filesystem out of empty zones");
+      data_log_zone_ = *next;
+    }
+    const auto& zinfo = device_->GetZoneInfo(data_log_zone_);
+    const u64 run = std::min(count - done, zinfo.RemainingCapacity() /
+                                               config_.block_size);
+    const u64 wp = zinfo.write_pointer;
+    auto wr = device_->Write(
+        data_log_zone_, wp,
+        data.subspan(done * config_.block_size, run * config_.block_size),
+        mode);
+    if (!wr.ok()) return wr.status();
+    latency += wr->latency;
+    stats_.device_bytes_written += run * config_.block_size;
+
+    for (u64 i = 0; i < run; ++i) {
+      const u64 file_block = first + done + i;
+      if (meta.block_map[file_block] != kUnmapped) {
+        InvalidateBlock(meta.block_map[file_block]);
+      }
+      const u64 dba =
+          data_log_zone_ * bpz + wp / config_.block_size + i;
+      meta.block_map[file_block] = dba;
+      reverse_[dba] = PackRef(fd, file_block);
+      zone_valid_[data_log_zone_]++;
+      data_block_writes_++;
+    }
+    done += run;
+  }
+
+  // Periodic metadata traffic (NAT/SIT/checkpoint stand-in).
+  while (data_block_writes_ >= config_.metadata_interval) {
+    data_block_writes_ -= config_.metadata_interval;
+    const auto& meta_info = device_->GetZoneInfo(metadata_zone_);
+    if (meta_info.RemainingCapacity() < config_.block_size) {
+      ZN_RETURN_IF_ERROR(device_->Reset(metadata_zone_));
+    }
+    std::vector<std::byte> meta_block(config_.block_size);
+    auto mr = device_->Write(metadata_zone_,
+                             device_->GetZoneInfo(metadata_zone_).write_pointer,
+                             std::span<const std::byte>(meta_block),
+                             sim::IoMode::kBackground);
+    if (!mr.ok()) return mr.status();
+    latency += mr->latency;
+    stats_.metadata_bytes_written += config_.block_size;
+    stats_.device_bytes_written += config_.block_size;
+  }
+
+  stats_.host_bytes_written += data.size();
+  // Filesystem write-path CPU occupies the layer (node updates etc.).
+  device_->timer().SubmitBackground(config_.write_path_ns_per_block * count);
+  ZN_RETURN_IF_ERROR(CleanStep());
+  return IoResult{latency, device_->timer().busy_until()};
+}
+
+Result<IoResult> F2fsLite::PreadAt(Fd fd, u64 offset, std::span<std::byte> out,
+                                   sim::IoMode mode) {
+  ZN_RETURN_IF_ERROR(CheckFd(fd));
+  if (offset % config_.block_size != 0 ||
+      out.size() % config_.block_size != 0) {
+    return Status::InvalidArgument("unaligned file read");
+  }
+  const FileMeta& meta = files_[fd];
+  const u64 first = offset / config_.block_size;
+  const u64 count = out.size() / config_.block_size;
+  if (first + count > meta.block_map.size()) {
+    return Status::OutOfRange("read beyond file size");
+  }
+
+  SimNanos latency =
+      mode == sim::IoMode::kForeground
+          ? config_.read_path_ns + config_.lookup_ns * count
+          : 0;
+  if (mode == sim::IoMode::kForeground) {
+    device_->timer().clock()->Advance(config_.read_path_ns +
+                                      config_.lookup_ns * count);
+  }
+
+  u64 i = 0;
+  while (i < count) {
+    const u64 dba = meta.block_map[first + i];
+    if (dba == kUnmapped) return Status::NotFound("hole in file (never written)");
+    // Coalesce a contiguous device run into one read.
+    u64 run = 1;
+    while (i + run < count && meta.block_map[first + i + run] == dba + run &&
+           IndexOf(dba + run) != 0) {
+      run++;
+    }
+    auto rr = device_->Read(
+        ZoneOf(dba), IndexOf(dba) * config_.block_size,
+        std::span<std::byte>(out.data() + i * config_.block_size,
+                             run * config_.block_size),
+        mode);
+    if (!rr.ok()) return rr.status();
+    latency += rr->latency;
+    i += run;
+  }
+  stats_.bytes_read += out.size();
+  return IoResult{latency, device_->timer().busy_until()};
+}
+
+// --- single-file convenience wrappers --------------------------------
+
+Status F2fsLite::CreateFile(u64 bytes) {
+  if (names_.count("cachefile") != 0) {
+    return Status::AlreadyExists("file already created");
+  }
+  auto fd = Create("cachefile", bytes);
+  if (!fd.ok()) return fd.status();
+  return Status::Ok();
+}
+
+Result<IoResult> F2fsLite::Pwrite(u64 offset, std::span<const std::byte> data,
+                                  sim::IoMode mode) {
+  auto fd = Open("cachefile");
+  if (!fd.ok()) return Status::FailedPrecondition("no file created");
+  return PwriteAt(*fd, offset, data, mode);
+}
+
+Result<IoResult> F2fsLite::Pread(u64 offset, std::span<std::byte> out,
+                                 sim::IoMode mode) {
+  auto fd = Open("cachefile");
+  if (!fd.ok()) return Status::FailedPrecondition("no file created");
+  return PreadAt(*fd, offset, out, mode);
+}
+
+u64 F2fsLite::file_blocks() const {
+  auto it = names_.find("cachefile");
+  if (it == names_.end()) return 0;
+  return files_[it->second].block_map.size();
+}
+
+}  // namespace zncache::f2fslite

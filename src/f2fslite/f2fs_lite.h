@@ -1,0 +1,172 @@
+// F2fsLite: a log-structured, block-mapped filesystem on top of a ZnsDevice,
+// standing in for F2FS in the File-Cache scheme. It reproduces the four
+// F2FS properties the paper's analysis rests on:
+//
+//   1. Full transparency — callers see a plain create/pread/pwrite file API;
+//      all zone allocation, cleaning and indexing happen below it.
+//   2. Mapping overhead — every block I/O pays a node-lookup CPU cost, a
+//      fixed per-read filesystem-path cost, and periodic metadata blocks
+//      (NAT/SIT/checkpoint stand-ins) are written to a metadata zone.
+//   3. Own over-provisioning + cleaning — the layer reserves `op_ratio` of
+//      the zones for segment cleaning; overwrites are out-of-place appends
+//      that invalidate the old block, and a cleaner migrates valid blocks
+//      out of sparse zones, producing filesystem-level write amplification.
+//   4. Tail-latency-friendly cleaning — cleaning proceeds in small
+//      per-operation increments (rather than stop-the-world whole-zone
+//      sweeps) and migrated (cold) blocks go to a separate cleaning log,
+//      which is why File-Cache shows a low P99 in Figure 5(d) and a
+//      slightly lower WA than Region-Cache in Table 1.
+//
+// The filesystem supports multiple named files (block-granular, densely
+// preallocated). The File-Cache scheme uses a single big file via the
+// CreateFile/Pwrite/Pread convenience wrappers around file descriptor 0.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "zns/zns_device.h"
+
+namespace zncache::f2fslite {
+
+struct F2fsConfig {
+  u64 block_size = 4 * kKiB;
+  // Fraction of zones reserved for cleaning headroom (F2FS needs ~20%
+  // provisioning on ZNS per the paper's File-Cache analysis).
+  double op_ratio = 0.20;
+  // Cleaning starts when free zones drop below this many.
+  u64 min_free_zones = 4;
+  // Max blocks migrated per foreground write op (incremental cleaning).
+  u64 clean_blocks_per_op = 64;
+  // One metadata block is written per this many data block writes.
+  u64 metadata_interval = 64;
+  // Per-block node-lookup CPU cost on reads.
+  SimNanos lookup_ns = 500;
+  // Fixed per-read-request filesystem path cost (VFS + F2FS node walk +
+  // page-cache management). A thick general-purpose filesystem costs far
+  // more per request than the thin region->zone middle layer — the paper's
+  // core argument against File-Cache.
+  SimNanos read_path_ns = 80'000;
+  // Per-block write-path cost (node updates, page-cache management, log
+  // head serialization). Charged as filesystem occupancy: it delays every
+  // later request, which is the "too heavy for cache access patterns"
+  // overhead of §3.1.
+  SimNanos write_path_ns_per_block = 3000;
+};
+
+struct F2fsStats {
+  u64 host_bytes_written = 0;     // file-level writes
+  u64 device_bytes_written = 0;   // data + migrated + metadata
+  u64 metadata_bytes_written = 0;
+  u64 migrated_blocks = 0;
+  u64 cleaned_zones = 0;
+  u64 bytes_read = 0;
+
+  double WriteAmplification() const {
+    return host_bytes_written == 0
+               ? 1.0
+               : static_cast<double>(device_bytes_written) /
+                     static_cast<double>(host_bytes_written);
+  }
+};
+
+struct IoResult {
+  SimNanos latency = 0;     // 0 when issued in background mode
+  SimNanos completion = 0;  // absolute completion instant
+};
+
+using Fd = u32;
+
+class F2fsLite {
+ public:
+  // The device must be empty (all zones EMPTY); F2fsLite owns its layout.
+  F2fsLite(const F2fsConfig& config, zns::ZnsDevice* device);
+
+  // Usable data capacity after OP and metadata reservation, in bytes.
+  u64 MaxFileBytes() const;
+
+  // --- multi-file namespace -------------------------------------------
+  // Create a named, densely-preallocated file (rounded up to blocks).
+  Result<Fd> Create(std::string_view name, u64 bytes);
+  // Look up an existing file by name.
+  Result<Fd> Open(std::string_view name) const;
+  // Delete a file: its blocks become invalid (reclaimed by cleaning).
+  Status Remove(std::string_view name);
+
+  Result<IoResult> PwriteAt(Fd fd, u64 offset, std::span<const std::byte> data,
+                            sim::IoMode mode = sim::IoMode::kForeground);
+  Result<IoResult> PreadAt(Fd fd, u64 offset, std::span<std::byte> out,
+                           sim::IoMode mode = sim::IoMode::kForeground);
+
+  u64 FileCount() const;
+  Result<u64> FileSizeBytes(Fd fd) const;
+
+  // --- single-file convenience (the File-Cache scheme) -----------------
+  Status CreateFile(u64 bytes);  // creates "cachefile" as fd 0
+  Result<IoResult> Pwrite(u64 offset, std::span<const std::byte> data,
+                          sim::IoMode mode = sim::IoMode::kForeground);
+  Result<IoResult> Pread(u64 offset, std::span<std::byte> out,
+                         sim::IoMode mode = sim::IoMode::kForeground);
+
+  const F2fsStats& stats() const { return stats_; }
+  const F2fsConfig& config() const { return config_; }
+  u64 file_blocks() const;  // blocks of fd 0 (legacy accessor)
+
+ private:
+  static constexpr u64 kUnmapped = ~0ULL;
+
+  struct FileMeta {
+    std::string name;
+    std::vector<u64> block_map;  // file block -> device block address
+    bool live = false;
+  };
+
+  u64 BlocksPerZone() const;
+  u64 DataZoneCount() const;
+  u64 AllocatedBlocks() const;
+
+  // Device-block-address helpers. Address = zone * blocks_per_zone + index.
+  u64 ZoneOf(u64 dba) const { return dba / BlocksPerZone(); }
+  u64 IndexOf(u64 dba) const { return dba % BlocksPerZone(); }
+
+  // Reverse-map encoding: (fd, file block) packed into one u64.
+  static u64 PackRef(Fd fd, u64 block) {
+    return (static_cast<u64>(fd) << 40) | block;
+  }
+  static Fd RefFd(u64 ref) { return static_cast<Fd>(ref >> 40); }
+  static u64 RefBlock(u64 ref) { return ref & ((1ULL << 40) - 1); }
+
+  Status CheckFd(Fd fd) const;
+  // Append one block to the given log; returns its device block address.
+  Result<u64> AppendBlock(std::span<const std::byte> block, bool cleaning,
+                          SimNanos* latency);
+  std::optional<u64> NextEmptyZone();
+  void InvalidateBlock(u64 dba);
+  // Incremental cleaning; called from the write path.
+  Status CleanStep();
+  u64 PickVictimZone() const;
+
+  F2fsConfig config_;
+  zns::ZnsDevice* device_;  // not owned
+
+  std::vector<FileMeta> files_;            // fd -> metadata
+  std::map<std::string, Fd> names_;        // name -> fd
+  std::vector<u64> reverse_;               // device block -> packed file ref
+  std::vector<u64> zone_valid_;            // valid block count per zone
+
+  u64 data_log_zone_ = kUnmapped;   // current zone receiving user writes
+  u64 clean_log_zone_ = kUnmapped;  // current zone receiving migrated blocks
+  u64 metadata_zone_;               // zone 0, cycled for metadata traffic
+  u64 data_block_writes_ = 0;       // for the metadata interval
+  u64 clean_cursor_zone_ = kUnmapped;  // victim being incrementally drained
+  u64 clean_cursor_index_ = 0;
+
+  F2fsStats stats_;
+};
+
+}  // namespace zncache::f2fslite

@@ -1,0 +1,57 @@
+#include "hdd/hdd_device.h"
+
+#include <cstring>
+
+namespace zncache::hdd {
+
+HddDevice::HddDevice(const HddConfig& config, sim::VirtualClock* clock)
+    : config_(config), timer_(clock) {
+  if (config_.store_data) data_.resize(config_.capacity);
+}
+
+SimNanos HddDevice::Cost(const sim::IoCost& cost, u64 offset, u64 bytes) {
+  SimNanos t = static_cast<SimNanos>(static_cast<double>(bytes) / cost.bytes_per_ns);
+  const bool sequential = config_.model_locality && offset == head_pos_;
+  if (!sequential) {
+    t += cost.fixed_ns;
+    stats_.seeks++;
+  }
+  head_pos_ = offset + bytes;
+  return t;
+}
+
+Result<IoResult> HddDevice::Read(u64 offset, std::span<std::byte> out,
+                                 sim::IoMode mode) {
+  if (out.empty()) return Status::InvalidArgument("empty read");
+  if (offset + out.size() > config_.capacity) {
+    return Status::OutOfRange("read beyond capacity");
+  }
+  if (!data_.empty()) {
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+  } else {
+    std::memset(out.data(), 0, out.size());
+  }
+  stats_.bytes_read += out.size();
+  stats_.read_ops++;
+  const sim::Served served =
+      timer_.Serve(Cost(config_.timing.read, offset, out.size()), mode);
+  return IoResult{served.latency, served.completion};
+}
+
+Result<IoResult> HddDevice::Write(u64 offset, std::span<const std::byte> data,
+                                  sim::IoMode mode) {
+  if (data.empty()) return Status::InvalidArgument("empty write");
+  if (offset + data.size() > config_.capacity) {
+    return Status::OutOfRange("write beyond capacity");
+  }
+  if (!data_.empty()) {
+    std::memcpy(data_.data() + offset, data.data(), data.size());
+  }
+  stats_.bytes_written += data.size();
+  stats_.write_ops++;
+  const sim::Served served =
+      timer_.Serve(Cost(config_.timing.write, offset, data.size()), mode);
+  return IoResult{served.latency, served.completion};
+}
+
+}  // namespace zncache::hdd

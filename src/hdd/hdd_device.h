@@ -1,0 +1,62 @@
+// A mechanical-disk model used as the backing store of the LSM tree in the
+// end-to-end (Figure 5 / Table 2) experiments, standing in for the paper's
+// Seagate ST6000NM0115. Only two properties matter for those experiments:
+// random reads cost milliseconds (so secondary-cache hit ratio dominates
+// throughput) and sequential transfers are cheap relative to positioning.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/service_timer.h"
+#include "sim/timing.h"
+
+namespace zncache::hdd {
+
+struct HddConfig {
+  u64 capacity = 8 * kGiB;
+  bool store_data = true;
+  sim::HddTiming timing;
+  // Sequential accesses (offset following the previous access) skip the
+  // positioning delay; this is what makes LSM compaction affordable on disk.
+  bool model_locality = true;
+};
+
+struct HddStats {
+  u64 bytes_read = 0;
+  u64 bytes_written = 0;
+  u64 read_ops = 0;
+  u64 write_ops = 0;
+  u64 seeks = 0;
+};
+
+struct IoResult {
+  SimNanos latency = 0;     // 0 when issued in background mode
+  SimNanos completion = 0;  // absolute completion instant
+};
+
+class HddDevice {
+ public:
+  HddDevice(const HddConfig& config, sim::VirtualClock* clock);
+
+  Result<IoResult> Read(u64 offset, std::span<std::byte> out,
+                        sim::IoMode mode = sim::IoMode::kForeground);
+  Result<IoResult> Write(u64 offset, std::span<const std::byte> data,
+                         sim::IoMode mode = sim::IoMode::kForeground);
+
+  const HddConfig& config() const { return config_; }
+  const HddStats& stats() const { return stats_; }
+
+ private:
+  SimNanos Cost(const sim::IoCost& cost, u64 offset, u64 bytes);
+
+  HddConfig config_;
+  sim::ServiceTimer timer_;
+  std::vector<std::byte> data_;
+  u64 head_pos_ = 0;  // byte offset the head is "parked" after
+  HddStats stats_;
+};
+
+}  // namespace zncache::hdd

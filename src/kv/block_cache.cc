@@ -1,0 +1,72 @@
+#include "kv/block_cache.h"
+
+#include <span>
+
+namespace zncache::kv {
+
+BlockCache::BlockCache(const BlockCacheConfig& config, sim::VirtualClock* clock,
+                       SecondaryCache* secondary)
+    : config_(config), clock_(clock), secondary_(secondary) {}
+
+void BlockCache::Touch(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+bool BlockCache::Lookup(const std::string& key, std::string* out) {
+  clock_->Advance(config_.lookup_ns);
+  stats_.lookups++;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    Touch(it->second);
+    if (out != nullptr) *out = it->second->value;
+    stats_.dram_hits++;
+    return true;
+  }
+  if (secondary_ != nullptr) {
+    std::string block;
+    if (secondary_->Lookup(key, &block)) {
+      stats_.secondary_hits++;
+      if (out != nullptr) *out = block;
+      Insert(key, std::move(block));  // promote to DRAM
+      return true;
+    }
+  }
+  return false;
+}
+
+void BlockCache::EvictToFit(u64 incoming) {
+  while (used_ + incoming > config_.capacity_bytes && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    if (secondary_ != nullptr) {
+      secondary_->Insert(
+          victim.key,
+          std::span<const std::byte>(
+              reinterpret_cast<const std::byte*>(victim.value.data()),
+              victim.value.size()));
+      stats_.spills++;
+    }
+    used_ -= victim.key.size() + victim.value.size();
+    map_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+void BlockCache::Insert(const std::string& key, std::string value) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    used_ -= it->second->value.size();
+    used_ += value.size();
+    it->second->value = std::move(value);
+    Touch(it->second);
+    EvictToFit(0);
+    return;
+  }
+  const u64 bytes = key.size() + value.size();
+  EvictToFit(bytes);
+  lru_.push_front(Entry{key, std::move(value)});
+  map_[key] = lru_.begin();
+  used_ += bytes;
+  stats_.inserts++;
+}
+
+}  // namespace zncache::kv

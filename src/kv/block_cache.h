@@ -1,0 +1,67 @@
+// DRAM block cache (LRU over data blocks) with an optional SecondaryCache
+// beneath it, mirroring RocksDB's LRUCache + SecondaryCache tiering:
+//   * DRAM hit: served immediately (CPU cost only).
+//   * DRAM miss, secondary hit: block is read from flash and promoted.
+//   * Both miss: caller fetches from disk and inserts; the DRAM victim
+//     spills into the secondary cache.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "kv/secondary_cache.h"
+#include "sim/clock.h"
+
+namespace zncache::kv {
+
+struct BlockCacheConfig {
+  u64 capacity_bytes = 32 * kMiB;
+  SimNanos lookup_ns = 200;  // hash + LRU maintenance CPU cost
+};
+
+struct BlockCacheStats {
+  u64 lookups = 0;
+  u64 dram_hits = 0;
+  u64 secondary_hits = 0;
+  u64 inserts = 0;
+  u64 spills = 0;  // DRAM evictions pushed to the secondary cache
+};
+
+class BlockCache {
+ public:
+  BlockCache(const BlockCacheConfig& config, sim::VirtualClock* clock,
+             SecondaryCache* secondary = nullptr);
+
+  // Returns true and fills `out` on a hit (DRAM or secondary).
+  bool Lookup(const std::string& key, std::string* out);
+
+  // Insert a block fetched from disk; may spill the LRU victim.
+  void Insert(const std::string& key, std::string value);
+
+  const BlockCacheStats& stats() const { return stats_; }
+  u64 used_bytes() const { return used_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  void Touch(std::list<Entry>::iterator it);
+  void EvictToFit(u64 incoming);
+
+  BlockCacheConfig config_;
+  sim::VirtualClock* clock_;  // not owned
+  SecondaryCache* secondary_;  // not owned, may be null
+
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  u64 used_ = 0;
+  BlockCacheStats stats_;
+};
+
+}  // namespace zncache::kv

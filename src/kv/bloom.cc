@@ -1,0 +1,63 @@
+#include "kv/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zncache::kv {
+
+namespace {
+
+// Double hashing: probe i tests bit (h + i * delta) % bits.
+inline u64 Delta(u64 h) { return (h >> 17) | (h << 47); }
+
+}  // namespace
+
+BloomBuilder::BloomBuilder(u32 bits_per_key)
+    : bits_per_key_(std::max<u32>(1, bits_per_key)) {}
+
+std::vector<std::byte> BloomBuilder::Finish() const {
+  return BuildBloomFromHashes(hashes_, bits_per_key_);
+}
+
+std::vector<std::byte> BuildBloomFromHashes(const std::vector<u64>& hashes,
+                                            u32 bits_per_key) {
+  bits_per_key = std::max<u32>(1, bits_per_key);
+  // k = bits_per_key * ln2, clamped to [1, 30].
+  u32 probes = static_cast<u32>(static_cast<double>(bits_per_key) * 0.69);
+  probes = std::clamp<u32>(probes, 1, 30);
+
+  u64 bits = std::max<u64>(64, hashes.size() * bits_per_key);
+  const u64 bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::vector<std::byte> filter(bytes + 1, std::byte{0});
+  filter[0] = std::byte(static_cast<u8>(probes));
+  for (u64 h : hashes) {
+    const u64 delta = Delta(h);
+    for (u32 i = 0; i < probes; ++i) {
+      const u64 bit = h % bits;
+      filter[1 + bit / 8] |= std::byte(1u << (bit % 8));
+      h += delta;
+    }
+  }
+  return filter;
+}
+
+bool BloomMayContain(std::span<const std::byte> filter, std::string_view key) {
+  if (filter.size() < 2) return true;  // absent/degenerate filter: no-op
+  const u32 probes = static_cast<u8>(filter[0]);
+  if (probes == 0 || probes > 30) return true;
+  const u64 bits = (filter.size() - 1) * 8;
+  u64 h = Fnv1a64(key);
+  const u64 delta = Delta(h);
+  for (u32 i = 0; i < probes; ++i) {
+    const u64 bit = h % bits;
+    if ((filter[1 + bit / 8] & std::byte(1u << (bit % 8))) == std::byte{0}) {
+      return false;
+    }
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace zncache::kv

@@ -1,0 +1,39 @@
+// Per-table Bloom filter (LevelDB/RocksDB style): double hashing derived
+// from one 64-bit key hash, k probes chosen from the bits-per-key budget.
+// A negative answer is definitive — the point-lookup path skips the table
+// without touching its data blocks.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace zncache::kv {
+
+class BloomBuilder {
+ public:
+  explicit BloomBuilder(u32 bits_per_key = 10);
+
+  void AddKey(std::string_view key) { hashes_.push_back(Fnv1a64(key)); }
+  u64 key_count() const { return hashes_.size(); }
+
+  // Build the filter bytes; first byte stores the probe count.
+  std::vector<std::byte> Finish() const;
+
+ private:
+  u32 bits_per_key_;
+  std::vector<u64> hashes_;
+};
+
+// Query a filter produced by BloomBuilder::Finish. An empty filter matches
+// everything (filters are optional in the table format).
+bool BloomMayContain(std::span<const std::byte> filter, std::string_view key);
+
+// Build a filter directly from precomputed key hashes.
+std::vector<std::byte> BuildBloomFromHashes(const std::vector<u64>& hashes,
+                                            u32 bits_per_key);
+
+}  // namespace zncache::kv

@@ -1,0 +1,61 @@
+// db_bench-style workloads for the end-to-end evaluation (§4.2):
+//   * fillrandom  — insert N random keys (16-byte keys, 64-byte values by
+//     default, matching the paper's setting).
+//   * readrandom  — read M keys drawn with the "Exp Range" (ER) skew; a
+//     larger ER concentrates reads on a smaller hot set.
+#pragma once
+
+#include <string>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "kv/lsm_store.h"
+
+namespace zncache::kv {
+
+struct DbBenchConfig {
+  u64 num_keys = 1'000'000;
+  u64 reads = 100'000;
+  double exp_range = 15.0;  // ER knob; paper uses 15 and 25
+  u32 key_bytes = 16;
+  u32 value_bytes = 64;
+  u64 seed = 7;
+};
+
+struct ReadRandomResult {
+  u64 reads = 0;
+  u64 found = 0;
+  SimNanos sim_time = 0;
+  double ops_per_sec = 0;
+  Histogram latency;
+
+  SimNanos P50() const { return latency.P50(); }
+  SimNanos P99() const { return latency.P99(); }
+};
+
+class DbBench {
+ public:
+  explicit DbBench(const DbBenchConfig& config) : config_(config) {}
+
+  // Fixed-width zero-padded keys so lexicographic order == numeric order.
+  std::string KeyFor(u64 id) const;
+  std::string ValueFor(u64 id) const;
+
+  Status FillRandom(LsmStore& store);
+  Result<ReadRandomResult> ReadRandom(LsmStore& store,
+                                      sim::VirtualClock& clock);
+  // seekrandom: position at a skewed random key and scan `scan_length`
+  // entries forward (db_bench's seekrandom workload).
+  Result<ReadRandomResult> SeekRandom(LsmStore& store, sim::VirtualClock& clock,
+                                      u64 scan_length = 10);
+  // readwhilewriting: skewed reads with a fraction of interleaved writes
+  // (db_bench's readwhilewriting, collapsed into one op stream).
+  Result<ReadRandomResult> ReadWhileWriting(LsmStore& store,
+                                            sim::VirtualClock& clock,
+                                            double write_fraction = 0.1);
+
+ private:
+  DbBenchConfig config_;
+};
+
+}  // namespace zncache::kv

@@ -1,0 +1,74 @@
+#include "kv/disk_allocator.h"
+
+namespace zncache::kv {
+
+Result<u64> DiskAllocator::Allocate(u64 bytes) {
+  if (bytes == 0) return Status::InvalidArgument("zero-byte allocation");
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second >= bytes) {
+      const u64 offset = it->first;
+      const u64 remaining = it->second - bytes;
+      free_.erase(it);
+      if (remaining > 0) free_[offset + bytes] = remaining;
+      return offset;
+    }
+  }
+  return Status::NoSpace("no free extent large enough");
+}
+
+Status DiskAllocator::Reserve(u64 offset, u64 bytes) {
+  if (bytes == 0) return Status::InvalidArgument("zero-byte reservation");
+  // Find the free extent containing [offset, offset + bytes).
+  auto it = free_.upper_bound(offset);
+  if (it == free_.begin()) return Status::InvalidArgument("extent in use");
+  --it;
+  const u64 ext_off = it->first;
+  const u64 ext_len = it->second;
+  if (offset < ext_off || offset + bytes > ext_off + ext_len) {
+    return Status::InvalidArgument("extent in use");
+  }
+  free_.erase(it);
+  if (offset > ext_off) free_[ext_off] = offset - ext_off;
+  const u64 tail = (ext_off + ext_len) - (offset + bytes);
+  if (tail > 0) free_[offset + bytes] = tail;
+  return Status::Ok();
+}
+
+Status DiskAllocator::Free(u64 offset, u64 bytes) {
+  if (bytes == 0) return Status::Ok();
+  auto next = free_.lower_bound(offset);
+  // Overlap checks: the freed range must not intersect existing free space.
+  if (next != free_.end() && offset + bytes > next->first) {
+    return Status::InvalidArgument("double free (overlaps following extent)");
+  }
+  if (next != free_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second > offset) {
+      return Status::InvalidArgument("double free (overlaps preceding extent)");
+    }
+  }
+  auto inserted = free_.emplace(offset, bytes).first;
+  // Coalesce with the following extent.
+  auto after = std::next(inserted);
+  if (after != free_.end() && inserted->first + inserted->second == after->first) {
+    inserted->second += after->second;
+    free_.erase(after);
+  }
+  // Coalesce with the preceding extent.
+  if (inserted != free_.begin()) {
+    auto before = std::prev(inserted);
+    if (before->first + before->second == inserted->first) {
+      before->second += inserted->second;
+      free_.erase(inserted);
+    }
+  }
+  return Status::Ok();
+}
+
+u64 DiskAllocator::FreeBytes() const {
+  u64 total = 0;
+  for (const auto& [offset, len] : free_) total += len;
+  return total;
+}
+
+}  // namespace zncache::kv

@@ -1,0 +1,30 @@
+// First-fit extent allocator over the HDD address space. SSTables and the
+// WAL lease extents from it; freed extents are coalesced with neighbours.
+#pragma once
+
+#include <map>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace zncache::kv {
+
+class DiskAllocator {
+ public:
+  explicit DiskAllocator(u64 capacity) { free_[0] = capacity; }
+
+  // Returns the offset of a free extent of `bytes`, or NO_SPACE.
+  Result<u64> Allocate(u64 bytes);
+  // Carve a specific extent out of free space (crash recovery re-claims
+  // the extents recorded in the manifest). Fails if any byte is in use.
+  Status Reserve(u64 offset, u64 bytes);
+  Status Free(u64 offset, u64 bytes);
+
+  u64 FreeBytes() const;
+  u64 FragmentCount() const { return free_.size(); }
+
+ private:
+  std::map<u64, u64> free_;  // offset -> length, disjoint, coalesced
+};
+
+}  // namespace zncache::kv

@@ -1,0 +1,587 @@
+#include "kv/lsm_store.h"
+
+#include <algorithm>
+#include <functional>
+#include <tuple>
+
+namespace zncache::kv {
+
+LsmStore::LsmStore(const LsmConfig& config, hdd::HddDevice* device,
+                   sim::VirtualClock* clock, SecondaryCache* secondary)
+    : config_(config),
+      device_(device),
+      clock_(clock),
+      allocator_(device->config().capacity) {
+  auto wal_extent = allocator_.Allocate(config_.wal_extent_bytes);
+  // The device is always larger than the WAL extent; a failure here is a
+  // programming error surfaced on first Put.
+  WalConfig wal_config;
+  wal_config.extent_offset = wal_extent.ok() ? *wal_extent : 0;
+  wal_config.extent_bytes = config_.wal_extent_bytes;
+  wal_config.buffer_bytes = config_.wal_buffer_bytes;
+  wal_ = std::make_unique<Wal>(wal_config, device_);
+  auto manifest_extent =
+      allocator_.Allocate(Manifest::ExtentBytes(config_.manifest_slot_bytes));
+  manifest_ = std::make_unique<Manifest>(
+      device_, manifest_extent.ok() ? *manifest_extent : 0,
+      config_.manifest_slot_bytes);
+  memtable_ = std::make_unique<MemTable>();
+  block_cache_ =
+      std::make_unique<BlockCache>(config_.block_cache, clock_, secondary);
+  levels_.resize(config_.max_levels);
+}
+
+void LsmStore::ResetCache(const BlockCacheConfig& config,
+                          SecondaryCache* secondary) {
+  block_cache_ = std::make_unique<BlockCache>(config, clock_, secondary);
+}
+
+u64 LsmStore::LevelBytes(u64 level) const {
+  if (level >= levels_.size()) return 0;
+  u64 total = 0;
+  for (const auto& t : levels_[level]) total += t->disk_bytes;
+  return total;
+}
+
+Status LsmStore::Put(std::string_view key, std::string_view value) {
+  clock_->Advance(config_.memtable_op_ns);
+  ZN_RETURN_IF_ERROR(wal_->Append(key, value, /*tombstone=*/false));
+  memtable_->Put(key, value);
+  stats_.puts++;
+  if (memtable_->ApproximateBytes() >= config_.memtable_bytes) {
+    ZN_RETURN_IF_ERROR(FlushMemTable());
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::Delete(std::string_view key) {
+  clock_->Advance(config_.memtable_op_ns);
+  ZN_RETURN_IF_ERROR(wal_->Append(key, {}, /*tombstone=*/true));
+  memtable_->Delete(key);
+  if (memtable_->ApproximateBytes() >= config_.memtable_bytes) {
+    ZN_RETURN_IF_ERROR(FlushMemTable());
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::Flush() {
+  if (!memtable_->empty()) {
+    ZN_RETURN_IF_ERROR(FlushMemTable());
+  }
+  return wal_->Sync();
+}
+
+Result<LsmStore::TablePtr> LsmStore::WriteTable(SstBuilder&& builder) {
+  auto image = std::move(builder).Finish();
+  if (!image.ok()) return image.status();
+
+  auto table = std::make_shared<Table>();
+  table->id = next_table_id_++;
+  table->disk_bytes = image->size();
+  table->smallest = builder.smallest_key();
+  table->largest = builder.largest_key();
+
+  auto reader = SstReader::Open(std::span<const std::byte>(*image));
+  if (!reader.ok()) return reader.status();
+  table->reader = std::move(*reader);
+
+  auto offset = allocator_.Allocate(image->size());
+  if (!offset.ok()) return offset.status();
+  table->disk_offset = *offset;
+
+  auto w = device_->Write(table->disk_offset,
+                          std::span<const std::byte>(*image),
+                          sim::IoMode::kBackground);
+  if (!w.ok()) return w.status();
+  stats_.tables_written++;
+  return table;
+}
+
+Status LsmStore::DropTable(const TablePtr& table) {
+  return allocator_.Free(table->disk_offset, table->disk_bytes);
+}
+
+Result<std::vector<std::byte>> LsmStore::LoadTable(const Table& table) {
+  std::vector<std::byte> image(table.disk_bytes);
+  auto r = device_->Read(table.disk_offset, std::span<std::byte>(image),
+                         sim::IoMode::kBackground);
+  if (!r.ok()) return r.status();
+  stats_.compaction_bytes_read += image.size();
+  return image;
+}
+
+Status LsmStore::FlushMemTable() {
+  SstBuilder builder(config_.block_bytes, config_.bloom_bits_per_key,
+                     config_.compress_blocks);
+  Status add_status;
+  memtable_->ForEach([&](std::string_view k, std::string_view v, bool del) {
+    if (!add_status.ok()) return;
+    add_status = builder.Add(k, v, del);
+  });
+  ZN_RETURN_IF_ERROR(add_status);
+  if (!builder.empty()) {
+    auto table = WriteTable(std::move(builder));
+    if (!table.ok()) return table.status();
+    levels_[0].push_back(std::move(*table));
+  }
+  memtable_ = std::make_unique<MemTable>();
+  ZN_RETURN_IF_ERROR(wal_->Truncate());
+  stats_.memtable_flushes++;
+  ZN_RETURN_IF_ERROR(MaybeCompact());
+  return PersistManifest();
+}
+
+Status LsmStore::PersistManifest() {
+  ManifestSnapshot snapshot;
+  snapshot.next_table_id = next_table_id_;
+  for (u32 level = 0; level < levels_.size(); ++level) {
+    for (const TablePtr& t : levels_[level]) {
+      snapshot.tables.push_back(ManifestTable{t->id, level, t->disk_offset,
+                                              t->disk_bytes, t->smallest,
+                                              t->largest});
+    }
+  }
+  return manifest_->Write(std::move(snapshot));
+}
+
+Status LsmStore::Recover() {
+  if (stats_.puts != 0 || stats_.memtable_flushes != 0) {
+    return Status::FailedPrecondition("recover only a fresh store");
+  }
+  auto snapshot = manifest_->Load();
+  if (snapshot.ok()) {
+    next_table_id_ = snapshot->next_table_id;
+    std::vector<std::byte> footer_buf(kFooterBytes);
+    for (const ManifestTable& mt : snapshot->tables) {
+      if (mt.level >= levels_.size()) {
+        return Status::Corruption("manifest level out of range");
+      }
+      ZN_RETURN_IF_ERROR(allocator_.Reserve(mt.disk_offset, mt.disk_bytes));
+
+      // Re-open the table: footer, then index block.
+      auto fr = device_->Read(mt.disk_offset + mt.disk_bytes - kFooterBytes,
+                              std::span<std::byte>(footer_buf),
+                              sim::IoMode::kBackground);
+      if (!fr.ok()) return fr.status();
+      auto footer = DecodeFooter(std::span<const std::byte>(footer_buf));
+      if (!footer.ok()) return footer.status();
+
+      std::vector<std::byte> index_buf(footer->index_size);
+      auto ir = device_->Read(mt.disk_offset + footer->index_offset,
+                              std::span<std::byte>(index_buf),
+                              sim::IoMode::kBackground);
+      if (!ir.ok()) return ir.status();
+      std::vector<std::byte> filter_buf(footer->filter_size);
+      if (footer->filter_size > 0) {
+        auto fr2 = device_->Read(mt.disk_offset + footer->filter_offset,
+                                 std::span<std::byte>(filter_buf),
+                                 sim::IoMode::kBackground);
+        if (!fr2.ok()) return fr2.status();
+      }
+      auto reader = SstReader::FromIndex(std::span<const std::byte>(index_buf),
+                                         *footer,
+                                         std::span<const std::byte>(filter_buf));
+      if (!reader.ok()) return reader.status();
+
+      auto table = std::make_shared<Table>();
+      table->id = mt.id;
+      table->disk_offset = mt.disk_offset;
+      table->disk_bytes = mt.disk_bytes;
+      table->smallest = mt.smallest;
+      table->largest = mt.largest;
+      table->reader = std::move(*reader);
+      levels_[mt.level].push_back(std::move(table));
+    }
+    // L0 newest-last (ids are monotone); deeper levels sorted by key.
+    std::sort(levels_[0].begin(), levels_[0].end(),
+              [](const TablePtr& a, const TablePtr& b) { return a->id < b->id; });
+    for (u32 level = 1; level < levels_.size(); ++level) {
+      std::sort(levels_[level].begin(), levels_[level].end(),
+                [](const TablePtr& a, const TablePtr& b) {
+                  return a->smallest < b->smallest;
+                });
+    }
+  } else if (snapshot.status().code() != StatusCode::kNotFound) {
+    return snapshot.status();
+  }
+
+  // Replay the WAL tail into the memtable.
+  return wal_->RecoverScan([this](std::string_view k, std::string_view v,
+                                  bool tombstone) {
+    if (tombstone) {
+      memtable_->Delete(k);
+    } else {
+      memtable_->Put(k, v);
+    }
+  });
+}
+
+Status LsmStore::MaybeCompact() {
+  // L0: table-count trigger; deeper levels: size targets with 8x fanout.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    if (levels_[0].size() >= config_.l0_compaction_trigger &&
+        levels_.size() > 1) {
+      ZN_RETURN_IF_ERROR(CompactInto(0, levels_[0]));
+      progressed = true;
+      continue;
+    }
+    u64 target = config_.level_base_bytes;
+    for (u32 level = 1; level + 1 < levels_.size(); ++level) {
+      if (LevelBytes(level) > target && !levels_[level].empty()) {
+        // Compact the oldest (lowest id) table of this level down.
+        auto victim = *std::min_element(
+            levels_[level].begin(), levels_[level].end(),
+            [](const TablePtr& a, const TablePtr& b) { return a->id < b->id; });
+        ZN_RETURN_IF_ERROR(CompactInto(level, {victim}));
+        progressed = true;
+        break;
+      }
+      target *= 8;
+    }
+  }
+  return Status::Ok();
+}
+
+Status LsmStore::CompactInto(u32 level, std::vector<TablePtr> victims) {
+  if (victims.empty() || level + 1 >= levels_.size()) return Status::Ok();
+  stats_.compactions++;
+  const u32 next = level + 1;
+
+  std::string lo = victims.front()->smallest;
+  std::string hi = victims.front()->largest;
+  for (const auto& t : victims) {
+    lo = std::min(lo, t->smallest);
+    hi = std::max(hi, t->largest);
+  }
+
+  std::vector<TablePtr> overlap;
+  for (const auto& t : levels_[next]) {
+    if (t->largest >= lo && t->smallest <= hi) overlap.push_back(t);
+  }
+
+  // Collect every entry with a priority: newer tables win. L0 tables are
+  // newest-last in the vector; any level-n table is newer than any
+  // level-n+1 table.
+  struct MergeEntry {
+    std::string key;
+    std::string value;
+    bool tombstone;
+    u64 priority;  // higher wins
+  };
+  std::vector<MergeEntry> entries;
+
+  u64 priority = victims.size() + overlap.size();
+  auto ingest = [&](const TablePtr& t, u64 prio) -> Status {
+    auto image = LoadTable(*t);
+    if (!image.ok()) return image.status();
+    for (const BlockIndexEntry& b : t->reader.index()) {
+      auto decoded = SstReader::DecodeBlock(
+          std::span<const std::byte>(image->data() + b.offset, b.size));
+      if (!decoded.ok()) return decoded.status();
+      auto st = SstReader::ForEachInBlock(
+          std::span<const std::byte>(*decoded),
+          [&](std::string_view k, std::string_view v, bool del) {
+            entries.push_back(
+                MergeEntry{std::string(k), std::string(v), del, prio});
+          });
+      ZN_RETURN_IF_ERROR(st);
+    }
+    return Status::Ok();
+  };
+
+  // Victims: for L0, newest = last in vector => highest priority.
+  for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
+    ZN_RETURN_IF_ERROR(ingest(*it, priority--));
+  }
+  for (const auto& t : overlap) {
+    ZN_RETURN_IF_ERROR(ingest(t, priority--));
+  }
+
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const MergeEntry& a, const MergeEntry& b) {
+                     if (a.key != b.key) return a.key < b.key;
+                     return a.priority > b.priority;
+                   });
+
+  const bool bottom = (next + 1 == levels_.size());
+  std::vector<TablePtr> outputs;
+  SstBuilder builder(config_.block_bytes, config_.bloom_bits_per_key,
+                     config_.compress_blocks);
+  auto seal = [&]() -> Status {
+    if (builder.empty()) return Status::Ok();
+    auto table = WriteTable(std::move(builder));
+    if (!table.ok()) return table.status();
+    stats_.compaction_bytes_written += (*table)->disk_bytes;
+    outputs.push_back(std::move(*table));
+    builder = SstBuilder(config_.block_bytes, config_.bloom_bits_per_key,
+                         config_.compress_blocks);
+    return Status::Ok();
+  };
+
+  std::string_view prev_key;
+  for (const MergeEntry& e : entries) {
+    if (!prev_key.empty() && e.key == prev_key) continue;  // older version
+    prev_key = e.key;
+    if (e.tombstone && bottom) continue;  // drop tombstones at the bottom
+    ZN_RETURN_IF_ERROR(builder.Add(e.key, e.value, e.tombstone));
+    if (builder.EstimatedBytes() >= config_.table_target_bytes) {
+      ZN_RETURN_IF_ERROR(seal());
+    }
+  }
+  ZN_RETURN_IF_ERROR(seal());
+
+  // Install: remove inputs, insert outputs sorted by smallest key.
+  auto remove_from = [this](u32 lvl, const std::vector<TablePtr>& gone) {
+    auto& tables = levels_[lvl];
+    tables.erase(std::remove_if(tables.begin(), tables.end(),
+                                [&](const TablePtr& t) {
+                                  return std::find(gone.begin(), gone.end(),
+                                                   t) != gone.end();
+                                }),
+                 tables.end());
+  };
+  remove_from(level, victims);
+  remove_from(next, overlap);
+  for (const auto& t : victims) ZN_RETURN_IF_ERROR(DropTable(t));
+  for (const auto& t : overlap) ZN_RETURN_IF_ERROR(DropTable(t));
+
+  auto& dest = levels_[next];
+  dest.insert(dest.end(), outputs.begin(), outputs.end());
+  std::sort(dest.begin(), dest.end(),
+            [](const TablePtr& a, const TablePtr& b) {
+              return a->smallest < b->smallest;
+            });
+  return Status::Ok();
+}
+
+std::string LsmStore::BlockCacheKey(u64 table_id, u32 block_idx) const {
+  return "t" + std::to_string(table_id) + ":" + std::to_string(block_idx);
+}
+
+Result<std::string> LsmStore::FetchBlock(const TablePtr& table,
+                                         u32 block_idx) {
+  const BlockIndexEntry& b = table->reader.index()[block_idx];
+  const std::string cache_key = BlockCacheKey(table->id, block_idx);
+  std::string block;
+  if (block_cache_->Lookup(cache_key, &block)) return block;
+  block.resize(b.size);
+  auto r = device_->Read(
+      table->disk_offset + b.offset,
+      std::span<std::byte>(reinterpret_cast<std::byte*>(block.data()),
+                           block.size()));
+  if (!r.ok()) return r.status();
+  stats_.disk_block_reads++;
+  block_cache_->Insert(cache_key, block);
+  return block;
+}
+
+Result<LsmStore::TableLookup> LsmStore::SearchTable(const TablePtr& table,
+                                                    std::string_view key,
+                                                    std::string* value) {
+  if (key < table->smallest || key > table->largest) {
+    return TableLookup::kNotFound;
+  }
+  if (!table->reader.MayContain(key)) {
+    stats_.bloom_skips++;
+    return TableLookup::kNotFound;
+  }
+  auto block_idx = table->reader.FindBlock(key);
+  if (!block_idx) return TableLookup::kNotFound;
+  auto block_or = FetchBlock(table, *block_idx);
+  if (!block_or.ok()) return block_or.status();
+  auto decoded = SstReader::DecodeBlock(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(block_or->data()),
+      block_or->size()));
+  if (!decoded.ok()) return decoded.status();
+
+  const auto result = SstReader::SearchBlock(
+      std::span<const std::byte>(*decoded), key, value);
+  switch (result) {
+    case SstReader::BlockLookup::kFound:
+      return TableLookup::kFound;
+    case SstReader::BlockLookup::kTombstone:
+      return TableLookup::kTombstone;
+    case SstReader::BlockLookup::kNotFound:
+      return TableLookup::kNotFound;
+    case SstReader::BlockLookup::kCorrupt:
+      return Status::Corruption("bad data block");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<GetResult> LsmStore::Get(std::string_view key, std::string* value) {
+  const SimNanos start = clock_->Now();
+  clock_->Advance(config_.memtable_op_ns);
+  stats_.gets++;
+
+  switch (memtable_->Get(key, value)) {
+    case MemTable::LookupResult::kFound:
+      stats_.gets_found++;
+      return GetResult{true, clock_->Now() - start};
+    case MemTable::LookupResult::kDeleted:
+      return GetResult{false, clock_->Now() - start};
+    case MemTable::LookupResult::kNotFound:
+      break;
+  }
+
+  // L0: newest (last pushed) first — versions there may shadow older levels.
+  for (auto it = levels_[0].rbegin(); it != levels_[0].rend(); ++it) {
+    auto r = SearchTable(*it, key, value);
+    if (!r.ok()) return r.status();
+    if (*r == TableLookup::kFound) {
+      stats_.gets_found++;
+      return GetResult{true, clock_->Now() - start};
+    }
+    if (*r == TableLookup::kTombstone) {
+      return GetResult{false, clock_->Now() - start};
+    }
+  }
+
+  for (u32 level = 1; level < levels_.size(); ++level) {
+    const auto& tables = levels_[level];
+    if (tables.empty()) continue;
+    // Binary search: first table with largest >= key.
+    auto it = std::lower_bound(tables.begin(), tables.end(), key,
+                               [](const TablePtr& t, std::string_view k) {
+                                 return std::string_view(t->largest) < k;
+                               });
+    if (it == tables.end() || key < (*it)->smallest) continue;
+    auto r = SearchTable(*it, key, value);
+    if (!r.ok()) return r.status();
+    if (*r == TableLookup::kFound) {
+      stats_.gets_found++;
+      return GetResult{true, clock_->Now() - start};
+    }
+    if (*r == TableLookup::kTombstone) {
+      return GetResult{false, clock_->Now() - start};
+    }
+  }
+  return GetResult{false, clock_->Now() - start};
+}
+
+namespace {
+
+// One decoded (key, value, tombstone) stream from a single SSTable.
+struct TableCursor {
+  u32 block_idx = 0;
+  size_t pos = 0;
+  std::vector<std::tuple<std::string, std::string, bool>> entries;
+};
+
+}  // namespace
+
+Result<ScanResult> LsmStore::Scan(std::string_view start, u64 max_entries) {
+  const SimNanos begin = clock_->Now();
+  ScanResult result;
+  if (max_entries == 0) return result;
+
+  // Source 0 = memtable (newest); then L0 newest-first; then L1, L2, ...
+  // Lower source index = higher version priority.
+  struct Source {
+    // Pull the next entry with key >= `bound`; false when exhausted.
+    std::function<bool(std::string* k, std::string* v, bool* del)> next;
+    std::string key;
+    std::string value;
+    bool deleted = false;
+    bool valid = false;
+  };
+  std::vector<Source> sources;
+
+  // Memtable source.
+  {
+    auto cursor = std::make_shared<MemTable::Cursor>(
+        memtable_->CursorFrom(start));
+    Source s;
+    s.next = [cursor](std::string* k, std::string* v, bool* del) {
+      if (!cursor->Valid()) return false;
+      k->assign(cursor->key());
+      v->assign(cursor->value());
+      *del = cursor->deleted();
+      cursor->Next();
+      return true;
+    };
+    sources.push_back(std::move(s));
+  }
+
+  // Table sources. A cursor lazily decodes one block at a time via the
+  // cache tiers.
+  auto add_table = [&](const TablePtr& table) {
+    if (table->largest < start) return;
+    auto cur = std::make_shared<TableCursor>();
+    auto idx = table->reader.FindBlock(start);
+    cur->block_idx = idx ? *idx : static_cast<u32>(table->reader.index().size());
+    LsmStore* self = this;
+    std::string start_key(start);
+    Source s;
+    s.next = [self, table, cur, start_key](std::string* k, std::string* v,
+                                           bool* del) {
+      while (true) {
+        if (cur->pos >= cur->entries.size()) {
+          if (cur->block_idx >= table->reader.index().size()) return false;
+          auto block = self->FetchBlock(table, cur->block_idx);
+          if (!block.ok()) return false;
+          auto decoded = SstReader::DecodeBlock(std::span<const std::byte>(
+              reinterpret_cast<const std::byte*>(block->data()),
+              block->size()));
+          if (!decoded.ok()) return false;
+          cur->entries.clear();
+          cur->pos = 0;
+          (void)SstReader::ForEachInBlock(
+              std::span<const std::byte>(*decoded),
+              [&](std::string_view bk, std::string_view bv, bool bdel) {
+                cur->entries.emplace_back(std::string(bk), std::string(bv),
+                                          bdel);
+              });
+          cur->block_idx++;
+        }
+        auto& [ek, ev, edel] = cur->entries[cur->pos++];
+        if (ek < start_key) continue;  // leading part of the first block
+        *k = std::move(ek);
+        *v = std::move(ev);
+        *del = edel;
+        return true;
+      }
+    };
+    sources.push_back(std::move(s));
+  };
+
+  for (auto it = levels_[0].rbegin(); it != levels_[0].rend(); ++it) {
+    add_table(*it);
+  }
+  for (u32 level = 1; level < levels_.size(); ++level) {
+    for (const TablePtr& t : levels_[level]) add_table(t);
+  }
+
+  // Prime every source.
+  for (Source& s : sources) {
+    s.valid = s.next(&s.key, &s.value, &s.deleted);
+  }
+
+  // K-way merge: smallest key wins; ties resolved by source priority
+  // (lowest index = newest); all sources holding the winning key advance.
+  while (result.entries.size() < max_entries) {
+    size_t best = sources.size();
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (!sources[i].valid) continue;
+      if (best == sources.size() || sources[i].key < sources[best].key) {
+        best = i;
+      }
+    }
+    if (best == sources.size()) break;  // all exhausted
+    const std::string winner_key = sources[best].key;
+    if (!sources[best].deleted) {
+      result.entries.push_back(ScanEntry{winner_key, sources[best].value});
+    }
+    for (Source& s : sources) {
+      while (s.valid && s.key == winner_key) {
+        s.valid = s.next(&s.key, &s.value, &s.deleted);
+      }
+    }
+  }
+  result.latency = clock_->Now() - begin;
+  return result;
+}
+
+}  // namespace zncache::kv

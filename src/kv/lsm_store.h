@@ -1,0 +1,162 @@
+// LsmStore: a leveled LSM-tree key-value store (the RocksDB stand-in for
+// the paper's end-to-end evaluation, §4.2).
+//
+//   Put  -> WAL append + skiplist memtable
+//   full -> memtable flushed to an L0 SSTable on the HDD
+//   L0 over trigger / level over target -> leveled compaction (merge into
+//       the next level, newest version wins, tombstones dropped at the
+//       bottom level)
+//   Get  -> memtable, then L0 newest-first, then binary search per level;
+//       data blocks are fetched through the DRAM block cache, which spills
+//       to / refills from the flash SecondaryCache (one of the four cache
+//       schemes) before paying the HDD's multi-millisecond random read.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "hdd/hdd_device.h"
+#include "kv/block_cache.h"
+#include "kv/disk_allocator.h"
+#include "kv/manifest.h"
+#include "kv/memtable.h"
+#include "kv/secondary_cache.h"
+#include "kv/sstable.h"
+#include "kv/wal.h"
+#include "sim/clock.h"
+
+namespace zncache::kv {
+
+struct LsmConfig {
+  u64 memtable_bytes = 4 * kMiB;
+  u64 block_bytes = 4 * kKiB;
+  u64 table_target_bytes = 8 * kMiB;
+  u32 l0_compaction_trigger = 4;
+  u64 level_base_bytes = 48 * kMiB;  // L1 target; each level is 8x the last
+  u32 max_levels = 5;                // including L0
+  u64 wal_extent_bytes = 64 * kMiB;
+  u64 wal_buffer_bytes = 512 * kKiB;
+  // Each manifest slot (two are kept, written alternately).
+  u64 manifest_slot_bytes = 2 * kMiB;
+  // Per-table Bloom filter budget (0 disables filters).
+  u32 bloom_bits_per_key = 10;
+  // LZ-compress data blocks that shrink (RocksDB's per-block compression).
+  bool compress_blocks = false;
+  SimNanos memtable_op_ns = 400;  // skiplist CPU cost per op
+  BlockCacheConfig block_cache;
+};
+
+struct LsmStats {
+  u64 puts = 0;
+  u64 gets = 0;
+  u64 gets_found = 0;
+  u64 memtable_flushes = 0;
+  u64 compactions = 0;
+  u64 tables_written = 0;
+  u64 compaction_bytes_read = 0;
+  u64 compaction_bytes_written = 0;
+  u64 disk_block_reads = 0;  // data-block reads that reached the HDD
+  u64 bloom_skips = 0;       // point lookups a filter answered negatively
+};
+
+struct GetResult {
+  bool found = false;
+  SimNanos latency = 0;
+};
+
+struct ScanEntry {
+  std::string key;
+  std::string value;
+};
+
+struct ScanResult {
+  std::vector<ScanEntry> entries;
+  SimNanos latency = 0;
+};
+
+class LsmStore {
+ public:
+  LsmStore(const LsmConfig& config, hdd::HddDevice* device,
+           sim::VirtualClock* clock, SecondaryCache* secondary = nullptr);
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+  Result<GetResult> Get(std::string_view key, std::string* value);
+
+  // Range scan: up to `max_entries` live entries with key >= `start`, in
+  // ascending key order, merged across the memtable and every level
+  // (newest version wins; tombstones suppress older versions). Data blocks
+  // are fetched through the block-cache tiers like point reads.
+  Result<ScanResult> Scan(std::string_view start, u64 max_entries);
+
+  // Persist the memtable (end-of-load barrier).
+  Status Flush();
+
+  // Crash recovery on a freshly-constructed store over a device that holds
+  // a previous incarnation's data: reload the table registry from the
+  // manifest, re-open every SSTable (footer + index read from disk), and
+  // replay the WAL into the memtable. A device with no manifest recovers
+  // to an empty store.
+  Status Recover();
+
+  // Swap the caching tier without touching on-disk state — lets a benchmark
+  // load the dataset once and evaluate several cache schemes against it.
+  void ResetCache(const BlockCacheConfig& config, SecondaryCache* secondary);
+
+  const LsmStats& stats() const { return stats_; }
+  const BlockCache& block_cache() const { return *block_cache_; }
+  u64 LevelCount() const { return levels_.size(); }
+  u64 TablesAtLevel(u64 level) const {
+    return level < levels_.size() ? levels_[level].size() : 0;
+  }
+  u64 LevelBytes(u64 level) const;
+
+ private:
+  struct Table {
+    u64 id = 0;
+    u64 disk_offset = 0;
+    u64 disk_bytes = 0;
+    std::string smallest;
+    std::string largest;
+    SstReader reader;
+  };
+  using TablePtr = std::shared_ptr<Table>;
+
+  enum class TableLookup { kFound, kTombstone, kNotFound };
+
+  Status FlushMemTable();
+  Status MaybeCompact();
+  // Persist the current table registry (called after every tree change).
+  Status PersistManifest();
+  // Merge `victims` (level n) with every overlapping table of level n+1.
+  Status CompactInto(u32 level, std::vector<TablePtr> victims);
+  Result<TablePtr> WriteTable(SstBuilder&& builder);
+  Status DropTable(const TablePtr& table);
+  // Read a whole table image back from disk (compaction input).
+  Result<std::vector<std::byte>> LoadTable(const Table& table);
+
+  Result<TableLookup> SearchTable(const TablePtr& table, std::string_view key,
+                                  std::string* value);
+  // Fetch one data block through the DRAM/flash cache tiers (disk on miss).
+  Result<std::string> FetchBlock(const TablePtr& table, u32 block_idx);
+  std::string BlockCacheKey(u64 table_id, u32 block_idx) const;
+
+  LsmConfig config_;
+  hdd::HddDevice* device_;    // not owned
+  sim::VirtualClock* clock_;  // not owned
+
+  DiskAllocator allocator_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<Manifest> manifest_;
+  std::unique_ptr<MemTable> memtable_;
+  std::unique_ptr<BlockCache> block_cache_;
+  std::vector<std::vector<TablePtr>> levels_;  // levels_[0] = L0, newest last
+  u64 next_table_id_ = 1;
+  LsmStats stats_;
+};
+
+}  // namespace zncache::kv

@@ -1,0 +1,150 @@
+#include "kv/manifest.h"
+
+#include <cstring>
+
+namespace zncache::kv {
+
+namespace {
+
+u64 Fnv1a(std::span<const std::byte> data) {
+  u64 h = 0xCBF29CE484222325ULL;
+  for (const std::byte b : data) {
+    h ^= static_cast<u8>(b);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void PutU64(std::vector<std::byte>& out, u64 v) {
+  const size_t n = out.size();
+  out.resize(n + 8);
+  std::memcpy(out.data() + n, &v, 8);
+}
+
+void PutU32(std::vector<std::byte>& out, u32 v) {
+  const size_t n = out.size();
+  out.resize(n + 4);
+  std::memcpy(out.data() + n, &v, 4);
+}
+
+void PutString(std::vector<std::byte>& out, const std::string& s) {
+  PutU32(out, static_cast<u32>(s.size()));
+  const size_t n = out.size();
+  out.resize(n + s.size());
+  std::memcpy(out.data() + n, s.data(), s.size());
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> in) : in_(in) {}
+  bool GetU64(u64* v) { return GetRaw(v, 8); }
+  bool GetU32(u32* v) { return GetRaw(v, 4); }
+  bool GetString(std::string* s) {
+    u32 len = 0;
+    if (!GetU32(&len) || pos_ + len > in_.size()) return false;
+    s->assign(reinterpret_cast<const char*>(in_.data()) + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  size_t pos() const { return pos_; }
+
+ private:
+  bool GetRaw(void* p, size_t n) {
+    if (pos_ + n > in_.size()) return false;
+    std::memcpy(p, in_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::span<const std::byte> in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Manifest::Manifest(hdd::HddDevice* device, u64 extent_offset, u64 slot_bytes)
+    : device_(device), extent_offset_(extent_offset), slot_bytes_(slot_bytes) {}
+
+std::vector<std::byte> Manifest::Encode(
+    const ManifestSnapshot& snapshot) const {
+  std::vector<std::byte> out;
+  PutU64(out, kManifestMagic);
+  PutU64(out, snapshot.version);
+  PutU64(out, snapshot.next_table_id);
+  PutU32(out, static_cast<u32>(snapshot.tables.size()));
+  for (const ManifestTable& t : snapshot.tables) {
+    PutU64(out, t.id);
+    PutU32(out, t.level);
+    PutU64(out, t.disk_offset);
+    PutU64(out, t.disk_bytes);
+    PutString(out, t.smallest);
+    PutString(out, t.largest);
+  }
+  PutU64(out, Fnv1a(std::span<const std::byte>(out)));
+  return out;
+}
+
+Result<ManifestSnapshot> Manifest::Decode(
+    std::span<const std::byte> bytes) const {
+  Reader r(bytes);
+  u64 magic = 0;
+  if (!r.GetU64(&magic) || magic != kManifestMagic) {
+    return Status::NotFound("no manifest magic");
+  }
+  ManifestSnapshot snapshot;
+  u32 count = 0;
+  if (!r.GetU64(&snapshot.version) || !r.GetU64(&snapshot.next_table_id) ||
+      !r.GetU32(&count)) {
+    return Status::Corruption("truncated manifest header");
+  }
+  snapshot.tables.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    ManifestTable t;
+    if (!r.GetU64(&t.id) || !r.GetU32(&t.level) || !r.GetU64(&t.disk_offset) ||
+        !r.GetU64(&t.disk_bytes) || !r.GetString(&t.smallest) ||
+        !r.GetString(&t.largest)) {
+      return Status::Corruption("truncated manifest table entry");
+    }
+    snapshot.tables.push_back(std::move(t));
+  }
+  const size_t body = r.pos();
+  u64 checksum = 0;
+  if (!r.GetU64(&checksum)) return Status::Corruption("missing checksum");
+  if (checksum != Fnv1a(bytes.subspan(0, body))) {
+    return Status::Corruption("manifest checksum mismatch");
+  }
+  return snapshot;
+}
+
+Status Manifest::Write(ManifestSnapshot snapshot) {
+  snapshot.version = ++version_;
+  std::vector<std::byte> image = Encode(snapshot);
+  if (image.size() > slot_bytes_) {
+    return Status::NoSpace("manifest snapshot exceeds slot size");
+  }
+  image.resize(slot_bytes_);  // zero-pad: slot writes are fixed-size
+  const u64 offset = extent_offset_ + next_slot_ * slot_bytes_;
+  auto w = device_->Write(offset, std::span<const std::byte>(image),
+                          sim::IoMode::kBackground);
+  if (!w.ok()) return w.status();
+  next_slot_ ^= 1;
+  return Status::Ok();
+}
+
+Result<ManifestSnapshot> Manifest::Load() const {
+  Result<ManifestSnapshot> best(Status::NotFound("no valid manifest slot"));
+  std::vector<std::byte> buf(slot_bytes_);
+  for (u32 slot = 0; slot < 2; ++slot) {
+    auto r = device_->Read(extent_offset_ + slot * slot_bytes_,
+                           std::span<std::byte>(buf),
+                           sim::IoMode::kBackground);
+    if (!r.ok()) continue;
+    auto snapshot = Decode(std::span<const std::byte>(buf));
+    if (!snapshot.ok()) continue;
+    if (!best.ok() || snapshot->version > best->version) {
+      best = std::move(snapshot);
+    }
+  }
+  return best;
+}
+
+}  // namespace zncache::kv

@@ -1,0 +1,67 @@
+// Manifest: the LSM store's durable table registry (RocksDB's MANIFEST).
+//
+// Two fixed slots on disk are written alternately with a full snapshot of
+// the tree (double-buffering makes the update crash-atomic: a torn write
+// corrupts at most one slot and recovery falls back to the other).
+//
+// Slot layout:
+//   u64 magic | u64 version | u64 next_table_id | u32 table_count |
+//   table_count x { u64 id | u32 level | u64 offset | u64 bytes |
+//                   u32 smallest_len | smallest | u32 largest_len | largest }
+//   | u64 checksum (FNV-1a over everything before it)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "hdd/hdd_device.h"
+
+namespace zncache::kv {
+
+inline constexpr u64 kManifestMagic = 0x5A4E4D414E494653ULL;  // "ZNMANIFS"
+
+struct ManifestTable {
+  u64 id = 0;
+  u32 level = 0;
+  u64 disk_offset = 0;
+  u64 disk_bytes = 0;
+  std::string smallest;
+  std::string largest;
+};
+
+struct ManifestSnapshot {
+  u64 version = 0;
+  u64 next_table_id = 1;
+  std::vector<ManifestTable> tables;
+};
+
+class Manifest {
+ public:
+  // Two slots of `slot_bytes` each, starting at `extent_offset`.
+  Manifest(hdd::HddDevice* device, u64 extent_offset, u64 slot_bytes);
+
+  static u64 ExtentBytes(u64 slot_bytes) { return 2 * slot_bytes; }
+
+  // Persist a snapshot (version is assigned internally, monotonically).
+  Status Write(ManifestSnapshot snapshot);
+
+  // Read back the newest decodable snapshot; NOT_FOUND if neither slot
+  // holds one (fresh device).
+  Result<ManifestSnapshot> Load() const;
+
+  u64 last_version() const { return version_; }
+
+ private:
+  std::vector<std::byte> Encode(const ManifestSnapshot& snapshot) const;
+  Result<ManifestSnapshot> Decode(std::span<const std::byte> bytes) const;
+
+  hdd::HddDevice* device_;  // not owned
+  u64 extent_offset_;
+  u64 slot_bytes_;
+  u64 version_ = 0;
+  u32 next_slot_ = 0;
+};
+
+}  // namespace zncache::kv

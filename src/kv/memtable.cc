@@ -1,0 +1,104 @@
+#include "kv/memtable.h"
+
+namespace zncache::kv {
+
+MemTable::MemTable() : head_(std::make_unique<Node>()), rng_(0xC0FFEE) {
+  head_->height = kMaxHeight;
+}
+
+int MemTable::RandomHeight() {
+  int h = 1;
+  // p = 1/4 per extra level, as in LevelDB/RocksDB.
+  while (h < kMaxHeight && (rng_.Next() & 3) == 0) h++;
+  return h;
+}
+
+MemTable::Node* MemTable::FindGreaterOrEqual(std::string_view key,
+                                             Node** prev) const {
+  Node* x = head_.get();
+  int level = height_ - 1;
+  while (true) {
+    Node* next = x->next[level];
+    if (next != nullptr && next->key < key) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) return next;
+      level--;
+    }
+  }
+}
+
+void MemTable::Put(std::string_view key, std::string_view value) {
+  Node* prev[kMaxHeight];
+  for (int i = height_; i < kMaxHeight; ++i) prev[i] = head_.get();
+  Node* existing = FindGreaterOrEqual(key, prev);
+  if (existing != nullptr && existing->key == key) {
+    bytes_ += value.size();
+    bytes_ -= existing->value.size();
+    existing->value.assign(value);
+    existing->deleted = false;
+    return;
+  }
+  const int h = RandomHeight();
+  if (h > height_) height_ = h;
+  auto node = std::make_unique<Node>();
+  node->key.assign(key);
+  node->value.assign(value);
+  node->height = h;
+  Node* raw = node.get();
+  for (int i = 0; i < h; ++i) {
+    raw->next[i] = prev[i]->next[i];
+    prev[i]->next[i] = raw;
+  }
+  pool_.push_back(std::move(node));
+  bytes_ += key.size() + value.size() + sizeof(Node);
+  count_++;
+}
+
+void MemTable::Delete(std::string_view key) {
+  Node* prev[kMaxHeight];
+  for (int i = height_; i < kMaxHeight; ++i) prev[i] = head_.get();
+  Node* existing = FindGreaterOrEqual(key, prev);
+  if (existing != nullptr && existing->key == key) {
+    bytes_ -= existing->value.size();
+    existing->value.clear();
+    existing->deleted = true;
+    return;
+  }
+  // Insert a fresh tombstone (the key may live in older tables).
+  const int h = RandomHeight();
+  if (h > height_) height_ = h;
+  auto node = std::make_unique<Node>();
+  node->key.assign(key);
+  node->deleted = true;
+  node->height = h;
+  Node* raw = node.get();
+  for (int i = 0; i < h; ++i) {
+    raw->next[i] = prev[i]->next[i];
+    prev[i]->next[i] = raw;
+  }
+  pool_.push_back(std::move(node));
+  bytes_ += key.size() + sizeof(Node);
+  count_++;
+}
+
+MemTable::LookupResult MemTable::Get(std::string_view key,
+                                     std::string* value) const {
+  Node* node = FindGreaterOrEqual(key, nullptr);
+  if (node == nullptr || node->key != key) return LookupResult::kNotFound;
+  if (node->deleted) return LookupResult::kDeleted;
+  if (value != nullptr) *value = node->value;
+  return LookupResult::kFound;
+}
+
+void MemTable::ForEach(
+    const std::function<void(std::string_view, std::string_view, bool)>&
+        visitor) const {
+  for (Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+    visitor(n->key, n->value, n->deleted);
+  }
+}
+
+}  // namespace zncache::kv
+

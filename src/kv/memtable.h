@@ -1,0 +1,85 @@
+// Skiplist memtable for the mini-LSM store (RocksDB stand-in used by the
+// end-to-end evaluation). Last-write-wins semantics with tombstones;
+// iteration is in ascending key order for flushing to an SSTable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace zncache::kv {
+
+class MemTable {
+ public:
+  MemTable();
+
+  // Insert or overwrite.
+  void Put(std::string_view key, std::string_view value);
+  // Insert a tombstone.
+  void Delete(std::string_view key);
+
+  enum class LookupResult { kFound, kDeleted, kNotFound };
+  LookupResult Get(std::string_view key, std::string* value) const;
+
+  // Visit entries in ascending key order. `deleted` marks tombstones.
+  void ForEach(const std::function<void(std::string_view key,
+                                        std::string_view value, bool deleted)>&
+                   visitor) const;
+
+  // Ordered cursor starting at the first key >= `start` (for range scans).
+  class Cursor;
+  Cursor CursorFrom(std::string_view start) const;
+
+  u64 ApproximateBytes() const { return bytes_; }
+  u64 entry_count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    std::string key;
+    std::string value;
+    bool deleted = false;
+    int height = 1;
+    Node* next[kMaxHeight] = {};
+  };
+
+  int RandomHeight();
+  // Greatest node with key < target at each level; fills prev[0..kMaxHeight).
+  Node* FindGreaterOrEqual(std::string_view key, Node** prev) const;
+
+  std::unique_ptr<Node> head_;
+  std::vector<std::unique_ptr<Node>> pool_;  // owns all nodes
+  Rng rng_;
+  int height_ = 1;
+  u64 bytes_ = 0;
+  u64 count_ = 0;
+};
+
+// Cursor walks level-0 skiplist links; invalidated by any mutation.
+class MemTable::Cursor {
+ public:
+  bool Valid() const { return node_ != nullptr; }
+  std::string_view key() const { return node_->key; }
+  std::string_view value() const { return node_->value; }
+  bool deleted() const { return node_->deleted; }
+  void Next() { node_ = node_->next[0]; }
+
+ private:
+  friend class MemTable;
+  explicit Cursor(const Node* node) : node_(node) {}
+  const Node* node_;
+};
+
+inline MemTable::Cursor MemTable::CursorFrom(std::string_view start) const {
+  return Cursor(FindGreaterOrEqual(start, nullptr));
+}
+
+}  // namespace zncache::kv

@@ -1,0 +1,54 @@
+// SecondaryCache: the RocksDB-style hook the paper uses to put CacheLib
+// under the LSM block cache ("we integrate the four schemes into RocksDB as
+// its secondary cache"). Blocks evicted from the DRAM block cache are
+// inserted; DRAM misses look up here before touching the HDD.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "cache/flash_cache.h"
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace zncache::kv {
+
+class SecondaryCache {
+ public:
+  virtual ~SecondaryCache() = default;
+
+  virtual void Insert(std::string_view key, std::span<const std::byte> block) = 0;
+  // On hit fills `out` and returns true; latency is on the virtual clock.
+  virtual bool Lookup(std::string_view key, std::string* out) = 0;
+};
+
+// Adapter over the flash cache engine (any of the four backends).
+class FlashSecondaryCache final : public SecondaryCache {
+ public:
+  explicit FlashSecondaryCache(cache::FlashCache* flash_cache)
+      : cache_(flash_cache) {}
+
+  void Insert(std::string_view key, std::span<const std::byte> block) override {
+    // Insertion failures (oversized objects) just skip the cache.
+    (void)cache_->Set(key, block);
+  }
+
+  bool Lookup(std::string_view key, std::string* out) override {
+    auto r = cache_->Get(key, out);
+    const bool hit = r.ok() && r->hit;
+    if (hit) hit_latency_.Record(r->latency);
+    return hit;
+  }
+
+  cache::FlashCache* flash_cache() const { return cache_; }
+  // Latency distribution of cache-tier hits (Figure 5 tail analysis).
+  const Histogram& hit_latency() const { return hit_latency_; }
+  void ResetHitLatency() { hit_latency_.Reset(); }
+
+ private:
+  cache::FlashCache* cache_;  // not owned
+  Histogram hit_latency_;
+};
+
+}  // namespace zncache::kv

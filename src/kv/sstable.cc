@@ -1,0 +1,287 @@
+#include "kv/sstable.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/compress.h"
+#include "common/hash.h"
+#include "kv/bloom.h"
+
+namespace zncache::kv {
+
+namespace {
+
+void PutU32(std::vector<std::byte>& out, u32 v) {
+  const size_t n = out.size();
+  out.resize(n + 4);
+  std::memcpy(out.data() + n, &v, 4);
+}
+
+void PutU64(std::vector<std::byte>& out, u64 v) {
+  const size_t n = out.size();
+  out.resize(n + 8);
+  std::memcpy(out.data() + n, &v, 8);
+}
+
+void PutBytes(std::vector<std::byte>& out, std::string_view s) {
+  const size_t n = out.size();
+  out.resize(n + s.size());
+  std::memcpy(out.data() + n, s.data(), s.size());
+}
+
+// Bounds-checked cursor over a byte span.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::byte> data) : data_(data) {}
+
+  bool GetU32(u32* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool GetU64(u64* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    std::memcpy(v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool GetString(u32 len, std::string* s) {
+    if (pos_ + len > data_.size()) return false;
+    s->assign(reinterpret_cast<const char*>(data_.data()) + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool GetView(u32 len, std::string_view* s) {
+    if (pos_ + len > data_.size()) return false;
+    *s = std::string_view(reinterpret_cast<const char*>(data_.data()) + pos_,
+                          len);
+    pos_ += len;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+SstBuilder::SstBuilder(u64 block_target_bytes, u32 bloom_bits_per_key,
+                       bool compress_blocks)
+    : block_target_(block_target_bytes),
+      bloom_bits_per_key_(bloom_bits_per_key),
+      compress_blocks_(compress_blocks) {}
+
+Status SstBuilder::Add(std::string_view key, std::string_view value,
+                       bool tombstone) {
+  if (finished_) return Status::FailedPrecondition("builder already finished");
+  if (entry_count_ > 0 && key <= largest_) {
+    return Status::InvalidArgument("keys must be strictly ascending");
+  }
+  if (key.size() >= kTombstoneBit || value.size() >= kTombstoneBit) {
+    return Status::InvalidArgument("key/value too large");
+  }
+  PutU32(block_, static_cast<u32>(key.size()));
+  PutU32(block_, static_cast<u32>(value.size()) |
+                     (tombstone ? kTombstoneBit : 0));
+  PutBytes(block_, key);
+  PutBytes(block_, value);
+  if (bloom_bits_per_key_ > 0) key_hashes_.push_back(Fnv1a64(key));
+  last_key_in_block_.assign(key);
+  if (entry_count_ == 0) smallest_.assign(key);
+  largest_.assign(key);
+  entry_count_++;
+  if (block_.size() >= block_target_) FlushBlock();
+  return Status::Ok();
+}
+
+void SstBuilder::FlushBlock() {
+  if (block_.empty()) return;
+  // Frame the block with its codec byte; compress when it actually helps.
+  std::vector<std::byte> stored;
+  if (compress_blocks_) {
+    std::vector<std::byte> packed = LzCompress(std::span<const std::byte>(block_));
+    if (packed.size() + 5 < block_.size()) {
+      stored.reserve(packed.size() + 5);
+      stored.push_back(std::byte{1});
+      const u32 raw_size = static_cast<u32>(block_.size());
+      stored.resize(5);
+      std::memcpy(stored.data() + 1, &raw_size, 4);
+      stored.insert(stored.end(), packed.begin(), packed.end());
+    }
+  }
+  if (stored.empty()) {
+    stored.reserve(block_.size() + 1);
+    stored.push_back(std::byte{0});
+    stored.insert(stored.end(), block_.begin(), block_.end());
+  }
+  index_.push_back(BlockIndexEntry{last_key_in_block_, image_.size(),
+                                   static_cast<u32>(stored.size())});
+  image_.insert(image_.end(), stored.begin(), stored.end());
+  block_.clear();
+}
+
+Result<std::vector<std::byte>> SstBuilder::Finish() {
+  if (finished_) return Status::FailedPrecondition("builder already finished");
+  finished_ = true;
+  FlushBlock();
+  const u64 index_offset = image_.size();
+  PutU32(image_, static_cast<u32>(index_.size()));
+  for (const BlockIndexEntry& e : index_) {
+    PutU32(image_, static_cast<u32>(e.last_key.size()));
+    PutBytes(image_, e.last_key);
+    PutU64(image_, e.offset);
+    PutU32(image_, e.size);
+  }
+  const u64 index_size = image_.size() - index_offset;
+
+  // Optional filter block.
+  u64 filter_offset = image_.size();
+  u32 filter_size = 0;
+  if (bloom_bits_per_key_ > 0 && !key_hashes_.empty()) {
+    const std::vector<std::byte> filter =
+        BuildBloomFromHashes(key_hashes_, bloom_bits_per_key_);
+    filter_size = static_cast<u32>(filter.size());
+    image_.insert(image_.end(), filter.begin(), filter.end());
+  }
+
+  PutU64(image_, index_offset);
+  PutU32(image_, static_cast<u32>(index_size));
+  PutU32(image_, entry_count_);
+  PutU64(image_, filter_offset);
+  PutU32(image_, filter_size);
+  PutU32(image_, 0);  // reserved
+  PutU64(image_, kSstMagic);
+  return std::move(image_);
+}
+
+Result<SstFooter> DecodeFooter(std::span<const std::byte> bytes) {
+  if (bytes.size() < kFooterBytes) return Status::Corruption("short footer");
+  Cursor c(bytes.subspan(bytes.size() - kFooterBytes));
+  SstFooter f;
+  u32 reserved = 0;
+  if (!c.GetU64(&f.index_offset) || !c.GetU32(&f.index_size) ||
+      !c.GetU32(&f.entry_count) || !c.GetU64(&f.filter_offset) ||
+      !c.GetU32(&f.filter_size) || !c.GetU32(&reserved) ||
+      !c.GetU64(&f.magic)) {
+    return Status::Corruption("bad footer");
+  }
+  if (f.magic != kSstMagic) return Status::Corruption("bad magic");
+  return f;
+}
+
+Result<SstReader> SstReader::FromIndex(std::span<const std::byte> index_block,
+                                       const SstFooter& footer,
+                                       std::span<const std::byte> filter) {
+  SstReader reader;
+  reader.footer_ = footer;
+  reader.filter_.assign(filter.begin(), filter.end());
+  Cursor c(index_block);
+  u32 count = 0;
+  if (!c.GetU32(&count)) return Status::Corruption("bad index count");
+  reader.index_.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    BlockIndexEntry e;
+    u32 klen = 0;
+    if (!c.GetU32(&klen) || !c.GetString(klen, &e.last_key) ||
+        !c.GetU64(&e.offset) || !c.GetU32(&e.size)) {
+      return Status::Corruption("bad index entry");
+    }
+    reader.index_.push_back(std::move(e));
+  }
+  return reader;
+}
+
+Result<SstReader> SstReader::Open(std::span<const std::byte> image) {
+  auto footer = DecodeFooter(image);
+  if (!footer.ok()) return footer.status();
+  if (footer->index_offset + footer->index_size > image.size()) {
+    return Status::Corruption("index out of bounds");
+  }
+  std::span<const std::byte> filter;
+  if (footer->filter_size > 0) {
+    if (footer->filter_offset + footer->filter_size > image.size()) {
+      return Status::Corruption("filter out of bounds");
+    }
+    filter = image.subspan(footer->filter_offset, footer->filter_size);
+  }
+  return FromIndex(image.subspan(footer->index_offset, footer->index_size),
+                   *footer, filter);
+}
+
+Result<std::vector<std::byte>> SstReader::DecodeBlock(
+    std::span<const std::byte> stored) {
+  if (stored.empty()) return Status::Corruption("empty block");
+  const u8 codec = static_cast<u8>(stored[0]);
+  if (codec == 0) {
+    return std::vector<std::byte>(stored.begin() + 1, stored.end());
+  }
+  if (codec == 1) {
+    if (stored.size() < 5) return Status::Corruption("short compressed block");
+    u32 raw_size = 0;
+    std::memcpy(&raw_size, stored.data() + 1, 4);
+    return LzDecompress(stored.subspan(5), raw_size);
+  }
+  return Status::Corruption("unknown block codec");
+}
+
+bool SstReader::MayContain(std::string_view key) const {
+  return BloomMayContain(std::span<const std::byte>(filter_), key);
+}
+
+std::optional<u32> SstReader::FindBlock(std::string_view key) const {
+  // First block whose last_key >= key.
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const BlockIndexEntry& e, std::string_view k) {
+        return std::string_view(e.last_key) < k;
+      });
+  if (it == index_.end()) return std::nullopt;
+  return static_cast<u32>(it - index_.begin());
+}
+
+SstReader::BlockLookup SstReader::SearchBlock(std::span<const std::byte> block,
+                                              std::string_view key,
+                                              std::string* value) {
+  Cursor c(block);
+  while (!c.AtEnd()) {
+    u32 klen = 0;
+    u32 vword = 0;
+    std::string_view k;
+    std::string_view v;
+    if (!c.GetU32(&klen) || !c.GetU32(&vword) || !c.GetView(klen, &k) ||
+        !c.GetView(vword & ~kTombstoneBit, &v)) {
+      return BlockLookup::kCorrupt;
+    }
+    if (k == key) {
+      if (vword & kTombstoneBit) return BlockLookup::kTombstone;
+      if (value != nullptr) value->assign(v);
+      return BlockLookup::kFound;
+    }
+    if (k > key) return BlockLookup::kNotFound;  // entries are sorted
+  }
+  return BlockLookup::kNotFound;
+}
+
+Status SstReader::ForEachInBlock(
+    std::span<const std::byte> block,
+    const std::function<void(std::string_view, std::string_view, bool)>&
+        visitor) {
+  Cursor c(block);
+  while (!c.AtEnd()) {
+    u32 klen = 0;
+    u32 vword = 0;
+    std::string_view k;
+    std::string_view v;
+    if (!c.GetU32(&klen) || !c.GetU32(&vword) || !c.GetView(klen, &k) ||
+        !c.GetView(vword & ~kTombstoneBit, &v)) {
+      return Status::Corruption("bad block entry");
+    }
+    visitor(k, v, (vword & kTombstoneBit) != 0);
+  }
+  return Status::Ok();
+}
+
+}  // namespace zncache::kv

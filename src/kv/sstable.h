@@ -1,0 +1,140 @@
+// SSTable: the on-disk sorted run format of the mini-LSM store.
+//
+// Layout (all integers little-endian u32 unless noted):
+//   [data block 0][data block 1]...[index block][bloom filter][footer]
+//   data block: u8 codec (0 = raw, 1 = LZ) | codec == 1: u32 raw_size |
+//               payload; decoded payload is repeated
+//               { klen, vlen(0x80000000 bit = tombstone), key, value }
+//   index block: u32 count, then per block { u32 last_key_len, last_key,
+//                u64 offset, u32 size }
+//   bloom filter: optional (see kv/bloom.h); point lookups skip the table
+//                on a negative answer
+//   footer (40 bytes): u64 index_offset, u32 index_size, u32 entry_count,
+//                u64 filter_offset, u32 filter_size, u32 reserved, u64 magic
+//
+// The builder accumulates the full image in memory and the store writes it
+// with one sequential device I/O; the reader keeps the decoded index in
+// DRAM (RocksDB's "index in block cache pinned" behaviour, matching the
+// paper's "index block caching enabled" setting) and fetches data blocks on
+// demand through the block cache.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace zncache::kv {
+
+inline constexpr u64 kSstMagic = 0x5A4E53435348ULL;  // "ZNSCSH"
+inline constexpr u32 kTombstoneBit = 0x80000000U;
+
+struct BlockIndexEntry {
+  std::string last_key;  // largest key in the block
+  u64 offset = 0;        // byte offset within the table image
+  u32 size = 0;
+};
+
+struct SstFooter {
+  u64 index_offset = 0;
+  u32 index_size = 0;
+  u32 entry_count = 0;
+  u64 filter_offset = 0;
+  u32 filter_size = 0;  // 0 = no filter
+  u64 magic = kSstMagic;
+};
+inline constexpr u64 kFooterBytes = 40;
+
+class SstBuilder {
+ public:
+  // bloom_bits_per_key = 0 disables the filter block; compress_blocks
+  // LZ-compresses data blocks that shrink by doing so.
+  explicit SstBuilder(u64 block_target_bytes = 4 * kKiB,
+                      u32 bloom_bits_per_key = 10,
+                      bool compress_blocks = false);
+
+  // Keys must be added in strictly ascending order.
+  Status Add(std::string_view key, std::string_view value, bool tombstone);
+
+  // Seal the table; returns the full image. The builder is then spent.
+  Result<std::vector<std::byte>> Finish();
+
+  u64 entry_count() const { return entry_count_; }
+  u64 EstimatedBytes() const { return image_.size() + block_.size(); }
+  const std::string& smallest_key() const { return smallest_; }
+  const std::string& largest_key() const { return largest_; }
+  bool empty() const { return entry_count_ == 0; }
+
+ private:
+  void FlushBlock();
+
+  u64 block_target_;
+  u32 bloom_bits_per_key_;
+  bool compress_blocks_;
+  std::vector<u64> key_hashes_;    // for the filter block
+  std::vector<std::byte> image_;   // completed data blocks
+  std::vector<std::byte> block_;   // block under construction
+  std::vector<BlockIndexEntry> index_;
+  std::string last_key_in_block_;
+  std::string smallest_;
+  std::string largest_;
+  u32 entry_count_ = 0;
+  bool finished_ = false;
+};
+
+// Decodes and serves a table image. The index lives in memory; data blocks
+// are fetched by the caller (through the block cache) and parsed here.
+class SstReader {
+ public:
+  // An empty reader (no index); assign from Open()/FromIndex() before use.
+  SstReader() = default;
+
+  // Parses the index from a full table image.
+  static Result<SstReader> Open(std::span<const std::byte> image);
+  // Parses the index given just the index block + footer (for callers that
+  // read those bytes separately from disk). `filter` may be empty.
+  static Result<SstReader> FromIndex(std::span<const std::byte> index_block,
+                                     const SstFooter& footer,
+                                     std::span<const std::byte> filter = {});
+
+  // Index lookup only: which block may contain `key`?
+  std::optional<u32> FindBlock(std::string_view key) const;
+
+  // Bloom-filter check; always true when the table carries no filter.
+  bool MayContain(std::string_view key) const;
+
+  const std::vector<BlockIndexEntry>& index() const { return index_; }
+  u32 entry_count() const { return footer_.entry_count; }
+  const SstFooter& footer() const { return footer_; }
+
+  // Strip the codec framing (decompressing if needed): the result is the
+  // entry stream SearchBlock/ForEachInBlock parse.
+  static Result<std::vector<std::byte>> DecodeBlock(
+      std::span<const std::byte> stored);
+
+  // Search one decoded data block for `key`.
+  enum class BlockLookup { kFound, kTombstone, kNotFound, kCorrupt };
+  static BlockLookup SearchBlock(std::span<const std::byte> block,
+                                 std::string_view key, std::string* value);
+
+  // Visit every entry of a decoded data block in order.
+  static Status ForEachInBlock(
+      std::span<const std::byte> block,
+      const std::function<void(std::string_view, std::string_view, bool)>&
+          visitor);
+
+ private:
+  std::vector<BlockIndexEntry> index_;
+  std::vector<std::byte> filter_;
+  SstFooter footer_;
+};
+
+// Footer decode helper (for reading a table lazily from disk).
+Result<SstFooter> DecodeFooter(std::span<const std::byte> bytes);
+
+}  // namespace zncache::kv

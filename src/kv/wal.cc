@@ -1,0 +1,139 @@
+#include "kv/wal.h"
+
+#include <cstring>
+
+#include "kv/sstable.h"  // kTombstoneBit
+
+namespace zncache::kv {
+
+namespace {
+// Per-record checksum: guards the recovery scan against mis-parsing the
+// stale bytes that follow the live log (torn tails, older generations).
+u32 RecordCrc(u32 gen, std::string_view key, std::string_view value,
+              bool tombstone) {
+  u64 h = 0xCBF29CE484222325ULL ^ gen ^ (tombstone ? 0x9E3779B9ULL : 0);
+  for (const char c : key) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001B3ULL;
+  }
+  for (const char c : value) {
+    h ^= static_cast<u8>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return static_cast<u32>(h ^ (h >> 32));
+}
+}  // namespace
+
+Wal::Wal(const WalConfig& config, hdd::HddDevice* device)
+    : config_(config), device_(device) {}
+
+Status Wal::Append(std::string_view key, std::string_view value,
+                   bool tombstone) {
+  const u64 record = 16 + key.size() + value.size();
+  if (size_bytes() + record > config_.extent_bytes) {
+    return Status::NoSpace("WAL extent full (flush the memtable)");
+  }
+  const u32 klen = static_cast<u32>(key.size());
+  const u32 vword =
+      static_cast<u32>(value.size()) | (tombstone ? kTombstoneBit : 0);
+  const u32 crc = RecordCrc(generation_, key, value, tombstone);
+  const size_t n = buffer_.size();
+  buffer_.resize(n + record);
+  std::memcpy(buffer_.data() + n, &generation_, 4);
+  std::memcpy(buffer_.data() + n + 4, &klen, 4);
+  std::memcpy(buffer_.data() + n + 8, &vword, 4);
+  std::memcpy(buffer_.data() + n + 12, &crc, 4);
+  std::memcpy(buffer_.data() + n + 16, key.data(), key.size());
+  std::memcpy(buffer_.data() + n + 16 + key.size(), value.data(),
+              value.size());
+  if (buffer_.size() >= config_.buffer_bytes) return Sync();
+  return Status::Ok();
+}
+
+Status Wal::Sync() {
+  if (buffer_.empty()) return Status::Ok();
+  auto w = device_->Write(config_.extent_offset + durable_bytes_,
+                          std::span<const std::byte>(buffer_),
+                          sim::IoMode::kBackground);
+  if (!w.ok()) return w.status();
+  durable_bytes_ += buffer_.size();
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Status Wal::Truncate() {
+  buffer_.clear();
+  durable_bytes_ = 0;
+  generation_++;  // stale on-disk records no longer match
+  return Status::Ok();
+}
+
+Status Wal::Replay(
+    const std::function<void(std::string_view, std::string_view, bool)>&
+        visitor) const {
+  std::vector<std::byte> disk(durable_bytes_);
+  if (durable_bytes_ > 0) {
+    auto r = device_->Read(config_.extent_offset, std::span<std::byte>(disk));
+    if (!r.ok()) return r.status();
+  }
+  disk.insert(disk.end(), buffer_.begin(), buffer_.end());
+
+  size_t pos = 0;
+  while (pos < disk.size()) {
+    if (pos + 16 > disk.size()) return Status::Corruption("truncated header");
+    u32 klen = 0;
+    u32 vword = 0;
+    std::memcpy(&klen, disk.data() + pos + 4, 4);
+    std::memcpy(&vword, disk.data() + pos + 8, 4);
+    const u32 vlen = vword & ~kTombstoneBit;
+    if (pos + 16 + klen + vlen > disk.size()) {
+      return Status::Corruption("truncated record");
+    }
+    const auto* base = reinterpret_cast<const char*>(disk.data()) + pos + 16;
+    visitor(std::string_view(base, klen), std::string_view(base + klen, vlen),
+            (vword & kTombstoneBit) != 0);
+    pos += 16 + klen + vlen;
+  }
+  return Status::Ok();
+}
+
+Status Wal::RecoverScan(
+    const std::function<void(std::string_view, std::string_view, bool)>&
+        visitor) {
+  std::vector<std::byte> disk(config_.extent_bytes);
+  auto r = device_->Read(config_.extent_offset, std::span<std::byte>(disk),
+                         sim::IoMode::kBackground);
+  if (!r.ok()) return r.status();
+
+  size_t pos = 0;
+  u32 live_gen = 0;
+  while (pos + 16 <= disk.size()) {
+    u32 gen = 0;
+    u32 klen = 0;
+    u32 vword = 0;
+    u32 crc = 0;
+    std::memcpy(&gen, disk.data() + pos, 4);
+    std::memcpy(&klen, disk.data() + pos + 4, 4);
+    std::memcpy(&vword, disk.data() + pos + 8, 4);
+    std::memcpy(&crc, disk.data() + pos + 12, 4);
+    if (gen == 0) break;  // zeroed space: end of the log
+    if (live_gen == 0) live_gen = gen;
+    if (gen != live_gen) break;  // stale record from an older memtable
+    const u32 vlen = vword & ~kTombstoneBit;
+    if (pos + 16 + klen + vlen > disk.size()) break;  // torn tail
+    const auto* base = reinterpret_cast<const char*>(disk.data()) + pos + 16;
+    const std::string_view key(base, klen);
+    const std::string_view value(base + klen, vlen);
+    const bool tombstone = (vword & kTombstoneBit) != 0;
+    if (crc != RecordCrc(gen, key, value, tombstone)) break;  // garbage
+    visitor(key, value, tombstone);
+    pos += 16 + klen + vlen;
+  }
+  // Position the log to continue where the last durable record ended.
+  generation_ = live_gen == 0 ? 1 : live_gen;
+  durable_bytes_ = pos;
+  buffer_.clear();
+  return Status::Ok();
+}
+
+}  // namespace zncache::kv

@@ -1,0 +1,60 @@
+// Write-ahead log on the HDD. Appends are buffered in memory and flushed to
+// disk in `buffer_bytes` chunks (db_bench's default no-fsync behaviour: WAL
+// writes land in the OS page cache and reach the platter in batches). The
+// log is truncated when the memtable it protects is flushed to an SSTable.
+//
+// Records carry a generation number; truncation bumps it, so a crash-time
+// recovery scan (RecoverScan) replays exactly the records of the newest
+// generation and ignores stale bytes from earlier memtable lifetimes.
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "hdd/hdd_device.h"
+
+namespace zncache::kv {
+
+struct WalConfig {
+  u64 extent_offset = 0;  // disk placement (leased from the allocator)
+  u64 extent_bytes = 64 * kMiB;
+  u64 buffer_bytes = 512 * kKiB;
+};
+
+class Wal {
+ public:
+  Wal(const WalConfig& config, hdd::HddDevice* device);
+
+  Status Append(std::string_view key, std::string_view value, bool tombstone);
+  // Push the in-memory tail to disk.
+  Status Sync();
+  // Discard all records (the protected memtable was persisted).
+  Status Truncate();
+
+  // Re-read every record from disk in append order (crash recovery).
+  Status Replay(const std::function<void(std::string_view key,
+                                         std::string_view value,
+                                         bool tombstone)>& visitor) const;
+
+  // Crash recovery on a fresh Wal object: scan the extent from the start,
+  // replay the newest generation's records, and position the log so that
+  // further appends continue correctly.
+  Status RecoverScan(const std::function<void(std::string_view key,
+                                              std::string_view value,
+                                              bool tombstone)>& visitor);
+
+  u64 size_bytes() const { return durable_bytes_ + buffer_.size(); }
+  u32 generation() const { return generation_; }
+
+ private:
+  WalConfig config_;
+  hdd::HddDevice* device_;  // not owned
+  std::vector<std::byte> buffer_;
+  u64 durable_bytes_ = 0;  // bytes already on disk
+  u32 generation_ = 1;     // bumped on every truncation
+};
+
+}  // namespace zncache::kv

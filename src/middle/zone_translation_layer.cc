@@ -1,0 +1,385 @@
+#include "middle/zone_translation_layer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace zncache::middle {
+
+ZoneTranslationLayer::ZoneTranslationLayer(const MiddleLayerConfig& config,
+                                           zns::ZnsDevice* device)
+    : config_(config), device_(device) {
+  slot_stride_ = config_.region_size +
+                 (config_.persist_headers ? kSlotHeaderBytes : 0);
+  regions_per_zone_ = device_->zone_capacity() / slot_stride_;
+  mapping_.assign(config_.region_slots, std::nullopt);
+  zones_.resize(device_->zone_count());
+  for (auto& z : zones_) {
+    z.bitmap.assign(regions_per_zone_, false);
+    z.region_ids.assign(regions_per_zone_, kInvalidId);
+  }
+}
+
+Status ZoneTranslationLayer::ValidateConfig() const {
+  if (regions_per_zone_ == 0) {
+    return Status::InvalidArgument("region size larger than zone capacity");
+  }
+  const u64 physical_slots = regions_per_zone_ * device_->zone_count();
+  // GC needs at least one migration-target zone plus the open zones.
+  const u64 reserve = (config_.open_zones + 1) * regions_per_zone_;
+  if (config_.region_slots + reserve > physical_slots) {
+    return Status::InvalidArgument(
+        "not enough over-provisioning: region_slots too high for device");
+  }
+  if (config_.open_zones == 0) {
+    return Status::InvalidArgument("need at least one open zone");
+  }
+  return Status::Ok();
+}
+
+std::optional<RegionLocation> ZoneTranslationLayer::GetLocation(
+    u64 region_id) const {
+  if (region_id >= mapping_.size()) return std::nullopt;
+  return mapping_[region_id];
+}
+
+bool ZoneTranslationLayer::IsSlotValid(u64 zone, u64 slot) const {
+  return zones_[zone].bitmap[slot];
+}
+
+u64 ZoneTranslationLayer::ZoneValidCount(u64 zone) const {
+  return zones_[zone].valid_count;
+}
+
+void ZoneTranslationLayer::ClearMapping(u64 region_id) {
+  auto& loc = mapping_[region_id];
+  if (!loc) return;
+  ZoneMeta& z = zones_[loc->zone];
+  if (z.bitmap[loc->slot]) {
+    z.bitmap[loc->slot] = false;
+    z.valid_count--;
+  }
+  z.region_ids[loc->slot] = kInvalidId;
+  loc.reset();
+}
+
+Status ZoneTranslationLayer::FinishIfFull(u64 zone) {
+  const auto& info = device_->GetZoneInfo(zone);
+  if (info.state != zns::ZoneState::kFull &&
+      info.RemainingCapacity() < slot_stride_) {
+    ZN_RETURN_IF_ERROR(device_->Finish(zone));
+    stats_.zones_finished++;
+  }
+  if (device_->GetZoneInfo(zone).state == zns::ZoneState::kFull) {
+    std::erase(open_zones_, zone);
+  }
+  return Status::Ok();
+}
+
+Result<u64> ZoneTranslationLayer::AcquireWritableZone(bool for_gc) {
+  // Keep the configured number of zones open concurrently (the paper's
+  // middle layer writes multiple zones at the same time).
+  if (open_zones_.size() < config_.open_zones) {
+    for (u64 z = 0;
+         z < device_->zone_count() && open_zones_.size() < config_.open_zones;
+         ++z) {
+      if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty &&
+          std::find(open_zones_.begin(), open_zones_.end(), z) ==
+              open_zones_.end()) {
+        open_zones_.push_back(z);
+      }
+    }
+  }
+  // Round-robin over the open zones that still have room.
+  for (u32 i = 0; i < open_zones_.size(); ++i) {
+    const u64 zone = open_zones_[(next_open_rr_ + i) % open_zones_.size()];
+    if (device_->GetZoneInfo(zone).RemainingCapacity() >= slot_stride_) {
+      next_open_rr_ = (next_open_rr_ + i + 1) % open_zones_.size();
+      return zone;
+    }
+  }
+  // Open another zone if the configuration allows it.
+  if (open_zones_.size() < config_.open_zones || open_zones_.empty()) {
+    for (u64 z = 0; z < device_->zone_count(); ++z) {
+      if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty) {
+        open_zones_.push_back(z);
+        return z;
+      }
+    }
+  } else {
+    // All configured open zones are full; retire them and grab a fresh one.
+    for (const u64 zone : std::vector<u64>(open_zones_)) {
+      ZN_RETURN_IF_ERROR(FinishIfFull(zone));
+    }
+    for (u64 z = 0; z < device_->zone_count(); ++z) {
+      if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty) {
+        open_zones_.push_back(z);
+        return z;
+      }
+    }
+  }
+  if (for_gc) {
+    return Status::NoSpace("GC found no empty zone to migrate into");
+  }
+  // Out of empty zones: force a GC cycle and retry once.
+  ZN_RETURN_IF_ERROR(MaybeCollect());
+  for (u64 z = 0; z < device_->zone_count(); ++z) {
+    if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty) {
+      open_zones_.push_back(z);
+      return z;
+    }
+  }
+  return Status::NoSpace("device out of empty zones");
+}
+
+Result<RegionIoResult> ZoneTranslationLayer::WriteIntoZone(
+    u64 zone, u64 region_id, std::span<const std::byte> data,
+    sim::IoMode mode) {
+  const u64 wp = device_->GetZoneInfo(zone).write_pointer;
+
+  // Pad to the full slot stride so slot arithmetic stays exact; persistent
+  // mode also prepends the recoverable header.
+  std::vector<std::byte> padded(slot_stride_, std::byte{0});
+  u64 data_at = 0;
+  if (config_.persist_headers) {
+    version_seq_++;
+    std::memcpy(padded.data(), &kSlotMagic, 8);
+    std::memcpy(padded.data() + 8, &region_id, 8);
+    std::memcpy(padded.data() + 16, &version_seq_, 8);
+    data_at = kSlotHeaderBytes;
+  }
+  std::copy(data.begin(), data.end(), padded.begin() + data_at);
+  std::span<const std::byte> payload(padded);
+
+  SimNanos latency = 0;
+  SimNanos completion = 0;
+  u64 landed_at = wp;
+  if (config_.use_zone_append) {
+    auto a = device_->Append(zone, payload, mode);
+    if (!a.ok()) return a.status();
+    landed_at = a->offset;
+    latency = a->latency;
+    completion = a->completion;
+  } else {
+    auto w = device_->Write(zone, wp, payload, mode);
+    if (!w.ok()) return w.status();
+    latency = w->latency;
+    completion = w->completion;
+  }
+  const u64 landed_slot = landed_at / slot_stride_;
+
+  ZoneMeta& zm = zones_[zone];
+  zm.bitmap[landed_slot] = true;
+  zm.region_ids[landed_slot] = region_id;
+  zm.valid_count++;
+  zm.next_slot = landed_slot + 1;
+  mapping_[region_id] = RegionLocation{zone, landed_slot};
+
+  ZN_RETURN_IF_ERROR(FinishIfFull(zone));
+  return RegionIoResult{latency, completion};
+}
+
+Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
+    u64 region_id, std::span<const std::byte> data, sim::IoMode mode) {
+  if (region_id >= config_.region_slots) {
+    return Status::OutOfRange("region id beyond configured slots");
+  }
+  if (data.empty() || data.size() > config_.region_size) {
+    return Status::InvalidArgument("bad region payload size");
+  }
+  device_->timer().clock()->Advance(config_.lookup_ns);
+
+  // Rewrite: the old version's mapping is deleted and its bit cleared.
+  ClearMapping(region_id);
+
+  auto zone = AcquireWritableZone(/*for_gc=*/false);
+  if (!zone.ok()) return zone.status();
+  auto r = WriteIntoZone(*zone, region_id, data, mode);
+  if (!r.ok()) return r.status();
+
+  stats_.host_region_writes++;
+  stats_.host_bytes += config_.region_size;
+
+  ZN_RETURN_IF_ERROR(MaybeCollect());
+  return r;
+}
+
+Result<RegionIoResult> ZoneTranslationLayer::ReadRegion(
+    u64 region_id, u64 offset, std::span<std::byte> out) {
+  if (region_id >= config_.region_slots) {
+    return Status::OutOfRange("region id beyond configured slots");
+  }
+  const auto& loc = mapping_[region_id];
+  if (!loc) return Status::NotFound("region not mapped");
+  if (offset + out.size() > config_.region_size) {
+    return Status::OutOfRange("read beyond region");
+  }
+  device_->timer().clock()->Advance(config_.lookup_ns);
+  // Physical address = in-zone slot base (+ header) + in-region offset.
+  const u64 zone_offset =
+      loc->slot * slot_stride_ +
+      (config_.persist_headers ? kSlotHeaderBytes : 0) + offset;
+  auto r = device_->Read(loc->zone, zone_offset, out);
+  if (!r.ok()) return r.status();
+  return RegionIoResult{r->latency, r->completion};
+}
+
+Status ZoneTranslationLayer::InvalidateRegion(u64 region_id) {
+  if (region_id >= config_.region_slots) {
+    return Status::OutOfRange("region id beyond configured slots");
+  }
+  const auto loc = mapping_[region_id];
+  ClearMapping(region_id);
+  if (loc) {
+    // A fully-invalid finished zone can be reset right away — free space
+    // with zero data movement (the Zone-Cache property, recovered here
+    // whenever eviction order happens to align with zone layout).
+    const u64 zone = loc->zone;
+    if (zones_[zone].valid_count == 0 &&
+        device_->GetZoneInfo(zone).state == zns::ZoneState::kFull) {
+      ZN_RETURN_IF_ERROR(device_->Reset(zone));
+      zones_[zone].bitmap.assign(regions_per_zone_, false);
+      zones_[zone].region_ids.assign(regions_per_zone_, kInvalidId);
+      zones_[zone].next_slot = 0;
+      stats_.zones_reset++;
+    }
+  }
+  return Status::Ok();
+}
+
+u64 ZoneTranslationLayer::PickGcVictim() const {
+  // Prefer a finished zone whose valid ratio is at or below the threshold;
+  // among candidates pick the least-valid. Fall back to the least-valid
+  // finished zone overall.
+  u64 victim = kInvalidId;
+  u64 best_valid = ~0ULL;
+  for (u64 z = 0; z < device_->zone_count(); ++z) {
+    if (device_->GetZoneInfo(z).state != zns::ZoneState::kFull) continue;
+    if (std::find(open_zones_.begin(), open_zones_.end(), z) !=
+        open_zones_.end()) {
+      continue;
+    }
+    if (zones_[z].valid_count < best_valid) {
+      best_valid = zones_[z].valid_count;
+      victim = z;
+    }
+  }
+  return victim;
+}
+
+Status ZoneTranslationLayer::CollectZone(u64 victim) {
+  ZoneMeta& zm = zones_[victim];
+  std::vector<std::byte> buf(config_.region_size);
+  for (u64 slot = 0; slot < regions_per_zone_; ++slot) {
+    if (!zm.bitmap[slot]) continue;
+    const u64 region_id = zm.region_ids[slot];
+
+    // Co-design: ask the cache whether this region can be dropped instead
+    // of migrated. The cache removes its index entries if it agrees.
+    if (hints_ != nullptr && hints_->TryDropRegion(region_id)) {
+      ClearMapping(region_id);
+      stats_.dropped_regions++;
+      continue;
+    }
+
+    auto rr = device_->Read(
+        victim,
+        slot * slot_stride_ +
+            (config_.persist_headers ? kSlotHeaderBytes : 0),
+        std::span<std::byte>(buf), sim::IoMode::kBackground);
+    if (!rr.ok()) return rr.status();
+
+    auto zone = AcquireWritableZone(/*for_gc=*/true);
+    if (!zone.ok()) return zone.status();
+    // Clear the old mapping before rewriting so the bitmap stays coherent.
+    ClearMapping(region_id);
+    auto w = WriteIntoZone(*zone, region_id, std::span<const std::byte>(buf),
+                           sim::IoMode::kBackground);
+    if (!w.ok()) return w.status();
+    stats_.migrated_regions++;
+    stats_.migrated_bytes += config_.region_size;
+  }
+  ZN_RETURN_IF_ERROR(device_->Reset(victim));
+  zm.bitmap.assign(regions_per_zone_, false);
+  zm.region_ids.assign(regions_per_zone_, kInvalidId);
+  zm.valid_count = 0;
+  zm.next_slot = 0;
+  stats_.zones_reset++;
+  return Status::Ok();
+}
+
+Status ZoneTranslationLayer::Recover() {
+  if (!config_.persist_headers) {
+    return Status::FailedPrecondition("recovery needs persist_headers");
+  }
+  if (stats_.host_region_writes != 0) {
+    return Status::FailedPrecondition("recover only a fresh layer");
+  }
+
+  struct Candidate {
+    u64 version = 0;
+    RegionLocation loc;
+  };
+  std::vector<std::optional<Candidate>> best(config_.region_slots);
+
+  std::vector<std::byte> header(kSlotHeaderBytes);
+  for (u64 z = 0; z < device_->zone_count(); ++z) {
+    const auto& info = device_->GetZoneInfo(z);
+    if (info.write_pointer == 0 && info.state != zns::ZoneState::kFull) {
+      continue;
+    }
+    const u64 written_slots = info.write_pointer / slot_stride_;
+    zones_[z].next_slot = written_slots;
+    for (u64 s = 0; s < written_slots; ++s) {
+      auto r = device_->Read(z, s * slot_stride_,
+                             std::span<std::byte>(header),
+                             sim::IoMode::kBackground);
+      if (!r.ok()) continue;
+      u64 magic = 0, region_id = 0, version = 0;
+      std::memcpy(&magic, header.data(), 8);
+      std::memcpy(&region_id, header.data() + 8, 8);
+      std::memcpy(&version, header.data() + 16, 8);
+      if (magic != kSlotMagic || region_id >= config_.region_slots) continue;
+      version_seq_ = std::max(version_seq_, version);
+      auto& slot_best = best[region_id];
+      if (!slot_best || version > slot_best->version) {
+        slot_best = Candidate{version, RegionLocation{z, s}};
+      }
+    }
+  }
+
+  for (u64 rid = 0; rid < config_.region_slots; ++rid) {
+    if (!best[rid]) continue;
+    const RegionLocation loc = best[rid]->loc;
+    mapping_[rid] = loc;
+    zones_[loc.zone].bitmap[loc.slot] = true;
+    zones_[loc.zone].region_ids[loc.slot] = rid;
+    zones_[loc.zone].valid_count++;
+  }
+
+  // Re-adopt zones that were open at the crash.
+  open_zones_.clear();
+  for (u64 z = 0; z < device_->zone_count(); ++z) {
+    if (device_->GetZoneInfo(z).IsOpen() &&
+        open_zones_.size() < config_.open_zones) {
+      open_zones_.push_back(z);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ZoneTranslationLayer::MaybeCollect() {
+  while (device_->EmptyZoneCount() < config_.min_empty_zones) {
+    const u64 victim = PickGcVictim();
+    if (victim == kInvalidId) break;
+    const u64 empty_before = device_->EmptyZoneCount();
+    stats_.gc_runs++;
+    ZN_RETURN_IF_ERROR(CollectZone(victim));
+    // A cycle that freed no zone (fully-valid victim, nothing droppable)
+    // cannot make progress; stop rather than churn flash.
+    if (device_->EmptyZoneCount() <= empty_before) break;
+  }
+  return Status::Ok();
+}
+
+}  // namespace zncache::middle

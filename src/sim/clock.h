@@ -1,0 +1,31 @@
+// Virtual time. Every experiment runs on a VirtualClock so that device
+// latencies are *modeled* rather than slept: results are deterministic and a
+// multi-minute trace replays in milliseconds of wall time.
+#pragma once
+
+#include "common/types.h"
+
+namespace zncache::sim {
+
+class VirtualClock {
+ public:
+  SimNanos Now() const { return now_; }
+
+  void Advance(SimNanos delta) { now_ += delta; }
+
+  // Jump forward to an absolute instant (no-op if already past it).
+  void AdvanceTo(SimNanos t) {
+    if (t > now_) now_ = t;
+  }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  SimNanos now_ = 0;
+};
+
+inline constexpr SimNanos kMicrosecond = 1000;
+inline constexpr SimNanos kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimNanos kSecond = 1000 * kMillisecond;
+
+}  // namespace zncache::sim

@@ -1,0 +1,62 @@
+// ServiceTimer models a device as a single queueing resource with a
+// "busy until" horizon.
+//
+//   * Foreground requests start at max(now, busy_until) and the (closed-loop)
+//     client observes latency = completion - now; the virtual clock advances
+//     to the completion time.
+//   * Background requests (async region flushes, device GC, segment
+//     cleaning, migration) occupy the device but do not advance the client
+//     clock. Later foreground requests queue behind them — exactly how
+//     internal GC inflates the tail latency of host I/O on a real SSD.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.h"
+#include "sim/clock.h"
+
+namespace zncache::sim {
+
+enum class IoMode {
+  kForeground,  // client blocks on completion
+  kBackground,  // device-occupying work the client does not wait for
+};
+
+struct Served {
+  SimNanos latency = 0;     // 0 for background work
+  SimNanos completion = 0;  // absolute completion instant
+};
+
+class ServiceTimer {
+ public:
+  explicit ServiceTimer(VirtualClock* clock) : clock_(clock) {}
+
+  Served Serve(SimNanos service_time, IoMode mode) {
+    const SimNanos now = clock_->Now();
+    const SimNanos start = std::max(now, busy_until_);
+    const SimNanos end = start + service_time;
+    busy_until_ = end;
+    if (mode == IoMode::kForeground) {
+      clock_->AdvanceTo(end);
+      return {end - now, end};
+    }
+    return {0, end};
+  }
+
+  // Convenience wrappers.
+  SimNanos Submit(SimNanos service_time) {
+    return Serve(service_time, IoMode::kForeground).latency;
+  }
+  void SubmitBackground(SimNanos service_time) {
+    Serve(service_time, IoMode::kBackground);
+  }
+
+  SimNanos busy_until() const { return busy_until_; }
+  VirtualClock* clock() const { return clock_; }
+
+ private:
+  VirtualClock* clock_;  // not owned
+  SimNanos busy_until_ = 0;
+};
+
+}  // namespace zncache::sim

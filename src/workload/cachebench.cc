@@ -1,0 +1,114 @@
+#include "workload/cachebench.h"
+
+#include <cmath>
+#include <vector>
+
+namespace zncache::workload {
+
+std::string CacheBenchRunner::KeyName(u64 key_id) {
+  return "key-" + std::to_string(key_id);
+}
+
+u64 CacheBenchRunner::ValueSizeFor(u64 key_id) const {
+  // Deterministic log-uniform size per key: overwrites keep the size stable,
+  // as object sizes do in production caching workloads.
+  u64 h = key_id * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const double lo = std::log2(static_cast<double>(config_.value_min));
+  const double hi = std::log2(static_cast<double>(config_.value_max));
+  return static_cast<u64>(std::exp2(lo + u * (hi - lo)));
+}
+
+Result<CacheBenchResult> CacheBenchRunner::Run(cache::FlashCache& flash_cache,
+                                               sim::VirtualClock& clock) {
+  Rng rng(config_.seed);
+  ZipfianGenerator zipf(config_.key_space, config_.zipf_theta);
+
+  CacheBenchResult result;
+  std::string value_buf;
+
+  cache::CacheStats warm_stats;
+  cache::WaStats warm_wa;
+  SimNanos measure_start = 0;
+
+  const u64 total_ops = config_.warmup_ops + config_.ops;
+  for (u64 i = 0; i < total_ops; ++i) {
+    if (i == config_.warmup_ops) {
+      warm_stats = flash_cache.stats();
+      warm_wa = flash_cache.device()->wa_stats();
+      measure_start = clock.Now();
+    }
+    const bool measuring = i >= config_.warmup_ops;
+
+    const double op_draw = rng.NextDouble();
+    const bool is_delete =
+        op_draw >= config_.get_ratio + config_.set_ratio;
+    // Gets/sets follow the Zipf popularity. Deletes mostly invalidate
+    // one-shot objects outside the read working set (ids offset by
+    // key_space); a configurable fraction hits live keys.
+    u64 key_id;
+    if (!is_delete) {
+      key_id = zipf.Next(rng);
+    } else if (rng.Chance(config_.delete_hot_fraction)) {
+      key_id = rng.Uniform(config_.key_space);
+    } else {
+      key_id = config_.key_space + rng.Uniform(config_.key_space);
+    }
+    const std::string key = KeyName(key_id);
+
+    if (op_draw < config_.get_ratio) {
+      auto g = flash_cache.Get(key, nullptr);
+      if (!g.ok()) return g.status();
+      SimNanos latency = g->latency;
+      if (!g->hit && config_.insert_on_miss) {
+        // Look-aside refill: fetch from origin is not on the cache's clock.
+        value_buf.assign(ValueSizeFor(key_id), 'v');
+        auto s = flash_cache.Set(key, value_buf);
+        if (!s.ok()) return s.status();
+        latency += s->latency;
+      }
+      if (measuring) {
+        result.get_latency.Record(latency);
+        result.overall_latency.Record(latency);
+      }
+    } else if (op_draw < config_.get_ratio + config_.set_ratio) {
+      value_buf.assign(ValueSizeFor(key_id), 'v');
+      auto s = flash_cache.Set(key, value_buf);
+      if (!s.ok()) return s.status();
+      if (measuring) {
+        result.set_latency.Record(s->latency);
+        result.overall_latency.Record(s->latency);
+      }
+    } else {
+      auto d = flash_cache.Delete(key);
+      if (!d.ok()) return d.status();
+      if (measuring) result.overall_latency.Record(d->latency);
+    }
+  }
+
+  const cache::CacheStats& end_stats = flash_cache.stats();
+  const cache::WaStats end_wa = flash_cache.device()->wa_stats();
+
+  result.measured_ops = config_.ops;
+  result.sim_time = clock.Now() - measure_start;
+  const double minutes =
+      static_cast<double>(result.sim_time) / (60.0 * sim::kSecond);
+  result.ops_per_minute =
+      minutes > 0 ? static_cast<double>(config_.ops) / minutes : 0;
+
+  const u64 gets = end_stats.gets - warm_stats.gets;
+  const u64 hits = end_stats.hits - warm_stats.hits;
+  result.hit_ratio =
+      gets == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(gets);
+
+  const u64 host = end_wa.host_bytes - warm_wa.host_bytes;
+  const u64 flash = end_wa.flash_bytes - warm_wa.flash_bytes;
+  result.wa_factor =
+      host == 0 ? 1.0 : static_cast<double>(flash) / static_cast<double>(host);
+  return result;
+}
+
+}  // namespace zncache::workload

@@ -1,0 +1,68 @@
+// CacheBench-style workload driver, modeled on CacheLib's
+// feature_stress/navy/bc config used by the paper: 50% get / 30% set /
+// 20% delete over a Zipf-popular key space, with LRU region eviction in the
+// cache. Misses optionally trigger a refill set (the normal look-aside cache
+// pattern), which is what makes the achieved hit ratio capacity-sensitive —
+// the effect behind Figure 2's Zone-Cache hit-ratio win.
+#pragma once
+
+#include <string>
+
+#include "cache/flash_cache.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "sim/clock.h"
+
+namespace zncache::workload {
+
+struct CacheBenchConfig {
+  u64 ops = 1'000'000;
+  u64 warmup_ops = 200'000;  // excluded from reported metrics
+  u64 key_space = 400'000;   // distinct keys
+  double get_ratio = 0.5;
+  double set_ratio = 0.3;
+  double del_ratio = 0.2;
+  double zipf_theta = 0.9;
+  u64 value_min = 1 * kKiB;  // value size drawn log-uniformly per key
+  u64 value_max = 16 * kKiB;
+  bool insert_on_miss = true;
+  // Fraction of deletes that invalidate live (read-distribution) keys; the
+  // rest target one-shot objects outside the read working set, as in bc
+  // invalidation traffic. Keeps the achieved hit ratio capacity-driven.
+  double delete_hot_fraction = 0.15;
+  u64 seed = 42;
+};
+
+struct CacheBenchResult {
+  u64 measured_ops = 0;
+  SimNanos sim_time = 0;
+  double ops_per_minute = 0;  // millions would overflow readability; raw ops
+  double hit_ratio = 0;
+  double wa_factor = 0;
+  Histogram get_latency;
+  Histogram set_latency;
+  Histogram overall_latency;
+
+  double OpsPerMinuteMillions() const { return ops_per_minute / 1e6; }
+};
+
+class CacheBenchRunner {
+ public:
+  explicit CacheBenchRunner(const CacheBenchConfig& config)
+      : config_(config) {}
+
+  // Drives the cache on its virtual clock; returns metrics for the
+  // post-warmup window.
+  Result<CacheBenchResult> Run(cache::FlashCache& flash_cache,
+                               sim::VirtualClock& clock);
+
+  // Deterministic per-key value size in [value_min, value_max], log-uniform.
+  u64 ValueSizeFor(u64 key_id) const;
+
+  static std::string KeyName(u64 key_id);
+
+ private:
+  CacheBenchConfig config_;
+};
+
+}  // namespace zncache::workload

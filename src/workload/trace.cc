@@ -1,0 +1,164 @@
+#include "workload/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace zncache::workload {
+
+std::string Trace::Serialize() const {
+  std::string out;
+  out.reserve(ops_.size() * 16);
+  for (const TraceOp& op : ops_) {
+    switch (op.kind) {
+      case TraceOp::Kind::kGet:
+        out += "G ";
+        out += op.key;
+        break;
+      case TraceOp::Kind::kSet:
+        out += "S ";
+        out += op.key;
+        out += ' ';
+        out += std::to_string(op.value_size);
+        break;
+      case TraceOp::Kind::kDelete:
+        out += "D ";
+        out += op.key;
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Trace> Trace::Parse(std::string_view text) {
+  Trace trace;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    line_no++;
+    if (line.empty() || line[0] == '#') continue;
+
+    if (line.size() < 3 || line[1] != ' ') {
+      return Status::Corruption("bad trace line " + std::to_string(line_no));
+    }
+    TraceOp op;
+    const char kind = line[0];
+    const std::string_view rest = line.substr(2);
+    if (kind == 'G' || kind == 'D') {
+      op.kind = kind == 'G' ? TraceOp::Kind::kGet : TraceOp::Kind::kDelete;
+      if (rest.empty() || rest.find(' ') != std::string_view::npos) {
+        return Status::Corruption("bad key on line " + std::to_string(line_no));
+      }
+      op.key.assign(rest);
+    } else if (kind == 'S') {
+      const size_t space = rest.rfind(' ');
+      if (space == std::string_view::npos || space == 0) {
+        return Status::Corruption("bad set line " + std::to_string(line_no));
+      }
+      op.kind = TraceOp::Kind::kSet;
+      op.key.assign(rest.substr(0, space));
+      const std::string size_str(rest.substr(space + 1));
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(size_str.c_str(), &end, 10);
+      if (end == size_str.c_str() || *end != '\0') {
+        return Status::Corruption("bad size on line " + std::to_string(line_no));
+      }
+      op.value_size = static_cast<u32>(v);
+    } else {
+      return Status::Corruption("unknown op on line " + std::to_string(line_no));
+    }
+    trace.Add(std::move(op));
+  }
+  return trace;
+}
+
+Status Trace::SaveTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << Serialize();
+  if (!out.good()) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+Result<Trace> Trace::LoadFrom(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+Result<TraceReplayResult> ReplayTrace(const Trace& trace,
+                                      cache::FlashCache& flash_cache,
+                                      sim::VirtualClock& clock) {
+  TraceReplayResult result;
+  const SimNanos start = clock.Now();
+  std::string value;
+  for (const TraceOp& op : trace.ops()) {
+    switch (op.kind) {
+      case TraceOp::Kind::kGet: {
+        auto g = flash_cache.Get(op.key, nullptr);
+        if (!g.ok()) return g.status();
+        result.gets++;
+        if (g->hit) result.hits++;
+        result.latency.Record(g->latency);
+        break;
+      }
+      case TraceOp::Kind::kSet: {
+        value.assign(op.value_size, 't');
+        auto s = flash_cache.Set(op.key, value);
+        if (!s.ok() && s.status().code() != StatusCode::kInvalidArgument) {
+          return s.status();
+        }
+        if (s.ok()) result.latency.Record(s->latency);
+        break;
+      }
+      case TraceOp::Kind::kDelete: {
+        auto d = flash_cache.Delete(op.key);
+        if (!d.ok()) return d.status();
+        result.latency.Record(d->latency);
+        break;
+      }
+    }
+    result.ops++;
+  }
+  result.sim_time = clock.Now() - start;
+  return result;
+}
+
+Trace GenerateTrace(const CacheBenchConfig& config) {
+  Rng rng(config.seed);
+  ZipfianGenerator zipf(config.key_space, config.zipf_theta);
+  CacheBenchRunner sizer(config);
+
+  Trace trace;
+  const u64 total = config.warmup_ops + config.ops;
+  for (u64 i = 0; i < total; ++i) {
+    const double draw = rng.NextDouble();
+    TraceOp op;
+    if (draw < config.get_ratio) {
+      op.kind = TraceOp::Kind::kGet;
+      op.key = CacheBenchRunner::KeyName(zipf.Next(rng));
+    } else if (draw < config.get_ratio + config.set_ratio) {
+      op.kind = TraceOp::Kind::kSet;
+      const u64 id = zipf.Next(rng);
+      op.key = CacheBenchRunner::KeyName(id);
+      op.value_size = static_cast<u32>(sizer.ValueSizeFor(id));
+    } else {
+      op.kind = TraceOp::Kind::kDelete;
+      const u64 id = rng.Chance(config.delete_hot_fraction)
+                         ? rng.Uniform(config.key_space)
+                         : config.key_space + rng.Uniform(config.key_space);
+      op.key = CacheBenchRunner::KeyName(id);
+    }
+    trace.Add(std::move(op));
+  }
+  return trace;
+}
+
+}  // namespace zncache::workload

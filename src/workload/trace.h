@@ -1,0 +1,74 @@
+// Workload traces: record a generated op stream to a portable text format
+// and replay it against any cache scheme later — the CacheBench trace-replay
+// workflow, which is how production cache studies (including the paper's
+// CacheLib lineage) compare schemes on identical request sequences.
+//
+// Format: one op per line.
+//   G <key>           get
+//   S <key> <bytes>   set with a payload of <bytes>
+//   D <key>           delete
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cache/flash_cache.h"
+#include "common/random.h"
+#include "workload/cachebench.h"
+#include "common/histogram.h"
+#include "common/status.h"
+#include "sim/clock.h"
+
+namespace zncache::workload {
+
+struct TraceOp {
+  enum class Kind : u8 { kGet, kSet, kDelete };
+  Kind kind = Kind::kGet;
+  std::string key;
+  u32 value_size = 0;  // sets only
+};
+
+class Trace {
+ public:
+  void Add(TraceOp op) { ops_.push_back(std::move(op)); }
+  const std::vector<TraceOp>& ops() const { return ops_; }
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  // Text serialization (see the format above).
+  std::string Serialize() const;
+  static Result<Trace> Parse(std::string_view text);
+
+  // File round-trip.
+  Status SaveTo(const std::string& path) const;
+  static Result<Trace> LoadFrom(const std::string& path);
+
+ private:
+  std::vector<TraceOp> ops_;
+};
+
+struct TraceReplayResult {
+  u64 ops = 0;
+  u64 gets = 0;
+  u64 hits = 0;
+  SimNanos sim_time = 0;
+  Histogram latency;
+
+  double HitRatio() const {
+    return gets == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(gets);
+  }
+};
+
+// Replay a trace against a cache on its virtual clock. Misses do not
+// refill (the trace already contains the full op stream).
+Result<TraceReplayResult> ReplayTrace(const Trace& trace,
+                                      cache::FlashCache& flash_cache,
+                                      sim::VirtualClock& clock);
+
+// Generate a standalone trace from a CacheBench configuration (same key
+// popularity, op mix and per-key sizes as CacheBenchRunner, without the
+// miss-refill feedback — a trace is a fixed request sequence).
+Trace GenerateTrace(const CacheBenchConfig& config);
+
+}  // namespace zncache::workload

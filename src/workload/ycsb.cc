@@ -1,0 +1,136 @@
+#include "workload/ycsb.h"
+
+#include <cstdio>
+
+namespace zncache::workload {
+
+std::string_view YcsbWorkloadName(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kA:
+      return "A (update-heavy)";
+    case YcsbWorkload::kB:
+      return "B (read-mostly)";
+    case YcsbWorkload::kC:
+      return "C (read-only)";
+    case YcsbWorkload::kD:
+      return "D (read-latest)";
+    case YcsbWorkload::kE:
+      return "E (short-ranges)";
+    case YcsbWorkload::kF:
+      return "F (read-modify-write)";
+  }
+  return "unknown";
+}
+
+std::string YcsbRunner::KeyFor(u64 id) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "user%012llu",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string YcsbRunner::ValueFor(u64 id) const {
+  std::string v(config_.value_bytes, 'y');
+  const std::string tag = std::to_string(id);
+  for (size_t i = 0; i < tag.size() && i < v.size(); ++i) v[i] = tag[i];
+  return v;
+}
+
+Status YcsbRunner::Load(kv::LsmStore& store) {
+  for (u64 id = 0; id < config_.record_count; ++id) {
+    ZN_RETURN_IF_ERROR(store.Put(KeyFor(id), ValueFor(id)));
+  }
+  return store.Flush();
+}
+
+Result<YcsbResult> YcsbRunner::Run(YcsbWorkload workload, kv::LsmStore& store,
+                                   sim::VirtualClock& clock) {
+  Rng rng(config_.seed + static_cast<u64>(workload));
+  ZipfianGenerator zipf(config_.record_count, config_.zipf_theta);
+
+  YcsbResult result;
+  u64 key_count = config_.record_count;  // grows with inserts (D, E)
+  const SimNanos start = clock.Now();
+  std::string value;
+
+  auto read_one = [&](u64 id) -> Status {
+    auto g = store.Get(KeyFor(id), &value);
+    if (!g.ok()) return g.status();
+    result.reads++;
+    if (g->found) result.found++;
+    result.latency.Record(g->latency);
+    return Status::Ok();
+  };
+
+  for (u64 op = 0; op < config_.operation_count; ++op) {
+    const double draw = rng.NextDouble();
+    switch (workload) {
+      case YcsbWorkload::kA:
+      case YcsbWorkload::kB:
+      case YcsbWorkload::kC: {
+        const double read_ratio = workload == YcsbWorkload::kA   ? 0.5
+                                  : workload == YcsbWorkload::kB ? 0.95
+                                                                 : 1.0;
+        const u64 id = zipf.Next(rng);
+        if (draw < read_ratio) {
+          ZN_RETURN_IF_ERROR(read_one(id));
+        } else {
+          ZN_RETURN_IF_ERROR(store.Put(KeyFor(id), ValueFor(id + op)));
+          result.updates++;
+        }
+        break;
+      }
+      case YcsbWorkload::kD: {
+        if (draw < 0.95) {
+          // Read-latest: newest keys are the most popular.
+          const u64 back = zipf.Next(rng);
+          const u64 id = back >= key_count ? 0 : key_count - 1 - back;
+          ZN_RETURN_IF_ERROR(read_one(id));
+        } else {
+          ZN_RETURN_IF_ERROR(store.Put(KeyFor(key_count), ValueFor(key_count)));
+          key_count++;
+          result.inserts++;
+        }
+        break;
+      }
+      case YcsbWorkload::kE: {
+        if (draw < 0.95) {
+          const u64 id = zipf.Next(rng);
+          const u64 len = 1 + rng.Uniform(config_.max_scan_length);
+          auto scan = store.Scan(KeyFor(id), len);
+          if (!scan.ok()) return scan.status();
+          result.scans++;
+          result.latency.Record(scan->latency);
+        } else {
+          ZN_RETURN_IF_ERROR(store.Put(KeyFor(key_count), ValueFor(key_count)));
+          key_count++;
+          result.inserts++;
+        }
+        break;
+      }
+      case YcsbWorkload::kF: {
+        const u64 id = zipf.Next(rng);
+        if (draw < 0.5) {
+          ZN_RETURN_IF_ERROR(read_one(id));
+        } else {
+          // Read-modify-write: read, mutate, write back.
+          ZN_RETURN_IF_ERROR(read_one(id));
+          ZN_RETURN_IF_ERROR(store.Put(KeyFor(id), ValueFor(id + op)));
+          result.rmws++;
+        }
+        break;
+      }
+    }
+    result.ops++;
+  }
+
+  result.sim_time = clock.Now() - start;
+  result.ops_per_sec =
+      result.sim_time == 0
+          ? 0
+          : static_cast<double>(result.ops) /
+                (static_cast<double>(result.sim_time) / sim::kSecond);
+  return result;
+}
+
+}  // namespace zncache::workload

@@ -1,0 +1,64 @@
+// YCSB core workloads A-F over the LSM store — the standard cloud-serving
+// benchmark mixes, used here to exercise the KV substrate (and its cache
+// tiers) beyond db_bench's fill/readrandom:
+//   A  update-heavy      50% read / 50% update, Zipf
+//   B  read-mostly       95% read /  5% update, Zipf
+//   C  read-only        100% read,             Zipf
+//   D  read-latest       95% read /  5% insert, reads skewed to new keys
+//   E  short-ranges      95% scan /  5% insert
+//   F  read-modify-write 50% read / 50% RMW,    Zipf
+#pragma once
+
+#include <string>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "kv/lsm_store.h"
+
+namespace zncache::workload {
+
+enum class YcsbWorkload { kA, kB, kC, kD, kE, kF };
+
+[[nodiscard]] std::string_view YcsbWorkloadName(YcsbWorkload w);
+
+struct YcsbConfig {
+  u64 record_count = 50'000;
+  u64 operation_count = 20'000;
+  double zipf_theta = 0.99;  // YCSB default
+  u32 value_bytes = 100;     // 1 field of 100 B (compact variant)
+  u64 max_scan_length = 100;
+  u64 seed = 12;
+};
+
+struct YcsbResult {
+  u64 ops = 0;
+  u64 reads = 0;
+  u64 updates = 0;
+  u64 inserts = 0;
+  u64 scans = 0;
+  u64 rmws = 0;
+  u64 found = 0;  // reads that returned a value
+  SimNanos sim_time = 0;
+  double ops_per_sec = 0;
+  Histogram latency;
+};
+
+class YcsbRunner {
+ public:
+  explicit YcsbRunner(const YcsbConfig& config) : config_(config) {}
+
+  // Load phase: insert record_count records.
+  Status Load(kv::LsmStore& store);
+
+  // Run one workload mix for operation_count ops.
+  Result<YcsbResult> Run(YcsbWorkload workload, kv::LsmStore& store,
+                         sim::VirtualClock& clock);
+
+  std::string KeyFor(u64 id) const;
+  std::string ValueFor(u64 id) const;
+
+ private:
+  YcsbConfig config_;
+};
+
+}  // namespace zncache::workload

@@ -1,0 +1,92 @@
+#include "zns/zbd.h"
+
+namespace zncache::zns {
+
+ZbdDevice::ZbdDevice(ZnsDevice* device)
+    : device_(device), zone_size_(device->config().zone_size) {}
+
+ZbdInfo ZbdDevice::info() const {
+  const ZnsConfig& c = device_->config();
+  return ZbdInfo{c.zone_count,
+                 c.zone_size,
+                 c.zone_capacity,
+                 c.zone_count * c.zone_size,
+                 c.max_open_zones,
+                 c.max_active_zones};
+}
+
+Result<std::vector<ZbdZone>> ZbdDevice::ReportZones(u64 offset,
+                                                    u64 length) const {
+  const u64 device_bytes = device_->zone_count() * zone_size_;
+  if (offset >= device_bytes) {
+    return Status::OutOfRange("report offset beyond device");
+  }
+  const u64 end = length == 0
+                      ? device_bytes
+                      : std::min(device_bytes, offset + length);
+  std::vector<ZbdZone> zones;
+  for (u64 z = ZoneOf(offset); z * zone_size_ < end; ++z) {
+    const ZoneInfo& info = device_->GetZoneInfo(z);
+    ZbdZone out;
+    out.start = z * zone_size_;
+    out.len = info.size;
+    out.capacity = info.capacity;
+    out.wp = out.start + info.write_pointer;
+    out.cond = info.state;
+    zones.push_back(out);
+  }
+  return zones;
+}
+
+Status ZbdDevice::ZonesOperation(ZbdOp op, u64 offset, u64 length) {
+  const u64 device_bytes = device_->zone_count() * zone_size_;
+  if (offset >= device_bytes) {
+    return Status::OutOfRange("operation offset beyond device");
+  }
+  const u64 end = length == 0
+                      ? offset + zone_size_
+                      : std::min(device_bytes, offset + length);
+  for (u64 z = ZoneOf(offset); z * zone_size_ < end; ++z) {
+    switch (op) {
+      case ZbdOp::kReset:
+        ZN_RETURN_IF_ERROR(device_->Reset(z));
+        break;
+      case ZbdOp::kOpen:
+        ZN_RETURN_IF_ERROR(device_->Open(z));
+        break;
+      case ZbdOp::kClose:
+        ZN_RETURN_IF_ERROR(device_->Close(z));
+        break;
+      case ZbdOp::kFinish:
+        ZN_RETURN_IF_ERROR(device_->Finish(z));
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<IoResult> ZbdDevice::Pwrite(std::span<const std::byte> data, u64 offset,
+                                   sim::IoMode mode) {
+  const u64 zone = ZoneOf(offset);
+  if (zone >= device_->zone_count()) {
+    return Status::OutOfRange("write beyond device");
+  }
+  if (InZone(offset) + data.size() > zone_size_) {
+    return Status::InvalidArgument("write crosses a zone boundary");
+  }
+  return device_->Write(zone, InZone(offset), data, mode);
+}
+
+Result<IoResult> ZbdDevice::Pread(std::span<std::byte> out, u64 offset,
+                                  sim::IoMode mode) {
+  const u64 zone = ZoneOf(offset);
+  if (zone >= device_->zone_count()) {
+    return Status::OutOfRange("read beyond device");
+  }
+  if (InZone(offset) + out.size() > zone_size_) {
+    return Status::InvalidArgument("read crosses a zone boundary");
+  }
+  return device_->Read(zone, InZone(offset), out, mode);
+}
+
+}  // namespace zncache::zns

@@ -1,0 +1,81 @@
+// libzbd-style interface over the ZNS device model. The paper's artifact
+// programs against libzbd (flat byte offsets into the zoned block device,
+// zone reports, zone operations); this shim exposes the same surface so
+// code written for a real ZNS SSD ports onto the simulator directly:
+//
+//   libzbd                      | here
+//   ----------------------------+---------------------------------
+//   zbd_open / zbd_get_info     | ZbdDevice(zns) / info()
+//   zbd_report_zones            | ReportZones(offset, length)
+//   zbd_zones_operation(RESET)  | ZonesOperation(ZbdOp::kReset, ...)
+//   pread / pwrite on the fd    | Pread / Pwrite (flat byte offsets)
+#pragma once
+
+#include <vector>
+
+#include "zns/zns_device.h"
+
+namespace zncache::zns {
+
+enum class ZbdOp {
+  kReset,
+  kOpen,
+  kClose,
+  kFinish,
+};
+
+// Mirrors struct zbd_zone (the fields this codebase needs).
+struct ZbdZone {
+  u64 start = 0;      // device byte offset of the zone
+  u64 len = 0;        // zone size
+  u64 capacity = 0;   // writable capacity
+  u64 wp = 0;         // absolute write-pointer byte offset
+  ZoneState cond = ZoneState::kEmpty;
+
+  bool IsWritable() const {
+    return cond == ZoneState::kEmpty || cond == ZoneState::kImplicitOpen ||
+           cond == ZoneState::kExplicitOpen || cond == ZoneState::kClosed;
+  }
+};
+
+// Mirrors struct zbd_info.
+struct ZbdInfo {
+  u64 nr_zones = 0;
+  u64 zone_size = 0;
+  u64 zone_capacity = 0;
+  u64 capacity = 0;  // nr_zones * zone_size (address space)
+  u32 max_nr_open_zones = 0;
+  u32 max_nr_active_zones = 0;
+};
+
+class ZbdDevice {
+ public:
+  explicit ZbdDevice(ZnsDevice* device);
+
+  ZbdInfo info() const;
+
+  // Report zones whose address range intersects [offset, offset + length).
+  // length == 0 reports through the end of the device.
+  Result<std::vector<ZbdZone>> ReportZones(u64 offset, u64 length = 0) const;
+
+  // Apply a zone operation to every zone intersecting the range.
+  Status ZonesOperation(ZbdOp op, u64 offset, u64 length);
+
+  // Flat-offset I/O. Writes must start at the target zone's write pointer
+  // and may not cross a zone boundary (as on real zoned block devices).
+  Result<IoResult> Pwrite(std::span<const std::byte> data, u64 offset,
+                          sim::IoMode mode = sim::IoMode::kForeground);
+  Result<IoResult> Pread(std::span<std::byte> out, u64 offset,
+                         sim::IoMode mode = sim::IoMode::kForeground);
+
+  ZnsDevice* device() const { return device_; }
+
+ private:
+  u64 ZoneOf(u64 offset) const { return offset / zone_size_; }
+  u64 InZone(u64 offset) const { return offset % zone_size_; }
+
+  ZnsDevice* device_;  // not owned
+  u64 zone_size_;
+};
+
+}  // namespace zncache::zns

@@ -1,0 +1,227 @@
+#include "zns/zns_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace zncache::zns {
+
+std::string_view ZoneStateName(ZoneState s) {
+  switch (s) {
+    case ZoneState::kEmpty:
+      return "EMPTY";
+    case ZoneState::kImplicitOpen:
+      return "IMPLICIT_OPEN";
+    case ZoneState::kExplicitOpen:
+      return "EXPLICIT_OPEN";
+    case ZoneState::kClosed:
+      return "CLOSED";
+    case ZoneState::kFull:
+      return "FULL";
+    case ZoneState::kReadOnly:
+      return "READ_ONLY";
+    case ZoneState::kOffline:
+      return "OFFLINE";
+  }
+  return "UNKNOWN";
+}
+
+ZnsDevice::ZnsDevice(const ZnsConfig& config, sim::VirtualClock* clock)
+    : config_(config), timer_(clock) {
+  zones_.resize(config_.zone_count);
+  for (u64 i = 0; i < config_.zone_count; ++i) {
+    zones_[i].id = i;
+    zones_[i].size = config_.zone_size;
+    zones_[i].capacity = config_.zone_capacity;
+  }
+  if (config_.store_data) {
+    data_.resize(config_.zone_count * config_.zone_size);
+  }
+}
+
+Status ZnsDevice::ValidateZoneId(u64 zone) const {
+  if (zone >= config_.zone_count) {
+    return Status::OutOfRange("zone id " + std::to_string(zone) +
+                              " >= zone count " +
+                              std::to_string(config_.zone_count));
+  }
+  return Status::Ok();
+}
+
+Status ZnsDevice::EnsureWritable(ZoneInfo& z) {
+  switch (z.state) {
+    case ZoneState::kImplicitOpen:
+    case ZoneState::kExplicitOpen:
+      return Status::Ok();
+    case ZoneState::kEmpty:
+      if (open_zones_ >= config_.max_open_zones) {
+        return Status::Unavailable("max open zones reached");
+      }
+      if (active_zones_ >= config_.max_active_zones) {
+        return Status::Unavailable("max active zones reached");
+      }
+      z.state = ZoneState::kImplicitOpen;
+      open_zones_++;
+      active_zones_++;
+      return Status::Ok();
+    case ZoneState::kClosed:
+      if (open_zones_ >= config_.max_open_zones) {
+        return Status::Unavailable("max open zones reached");
+      }
+      z.state = ZoneState::kImplicitOpen;
+      open_zones_++;
+      return Status::Ok();
+    case ZoneState::kFull:
+      return Status::NoSpace("zone is full");
+    case ZoneState::kReadOnly:
+    case ZoneState::kOffline:
+      return Status::FailedPrecondition("zone not writable");
+  }
+  return Status::Internal("bad zone state");
+}
+
+void ZnsDevice::MarkFull(ZoneInfo& z) {
+  if (z.IsOpen()) open_zones_--;
+  if (z.IsActive()) active_zones_--;
+  z.state = ZoneState::kFull;
+}
+
+Result<IoResult> ZnsDevice::Write(u64 zone, u64 offset,
+                                  std::span<const std::byte> data,
+                                  sim::IoMode mode) {
+  ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
+  if (data.empty()) return Status::InvalidArgument("empty write");
+  ZoneInfo& z = zones_[zone];
+  if (offset != z.write_pointer) {
+    return Status::FailedPrecondition(
+        "write at offset " + std::to_string(offset) + " but write pointer is " +
+        std::to_string(z.write_pointer));
+  }
+  if (data.size() > z.RemainingCapacity()) {
+    return Status::NoSpace("write exceeds zone capacity");
+  }
+  ZN_RETURN_IF_ERROR(EnsureWritable(z));
+
+  if (std::byte* dst = ZoneData(zone)) {
+    std::memcpy(dst + offset, data.data(), data.size());
+  }
+  z.write_pointer += data.size();
+  if (z.write_pointer == z.capacity) MarkFull(z);
+
+  stats_.host_bytes_written += data.size();
+  stats_.flash_bytes_written += data.size();
+  stats_.write_ops++;
+  const sim::Served served =
+      timer_.Serve(config_.timing.write.Cost(data.size()), mode);
+  return IoResult{served.latency, served.completion};
+}
+
+Result<AppendResult> ZnsDevice::Append(u64 zone,
+                                       std::span<const std::byte> data,
+                                       sim::IoMode mode) {
+  ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
+  const u64 offset = zones_[zone].write_pointer;
+  auto r = Write(zone, offset, data, mode);
+  if (!r.ok()) return r.status();
+  stats_.append_ops++;
+  stats_.write_ops--;  // counted once, as an append
+  return AppendResult{offset, r->latency, r->completion};
+}
+
+Result<IoResult> ZnsDevice::Read(u64 zone, u64 offset,
+                                 std::span<std::byte> out, sim::IoMode mode) {
+  ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
+  if (out.empty()) return Status::InvalidArgument("empty read");
+  const ZoneInfo& z = zones_[zone];
+  if (offset + out.size() > z.capacity) {
+    return Status::OutOfRange("read beyond zone capacity");
+  }
+  if (z.state != ZoneState::kFull && offset + out.size() > z.write_pointer) {
+    return Status::OutOfRange("read beyond write pointer");
+  }
+  if (const std::byte* src = ZoneData(zone)) {
+    std::memcpy(out.data(), src + offset, out.size());
+  } else {
+    std::memset(out.data(), 0, out.size());
+  }
+  stats_.bytes_read += out.size();
+  stats_.read_ops++;
+  const sim::Served served =
+      timer_.Serve(config_.timing.read.Cost(out.size()), mode);
+  return IoResult{served.latency, served.completion};
+}
+
+Status ZnsDevice::Reset(u64 zone) {
+  ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
+  ZoneInfo& z = zones_[zone];
+  if (z.state == ZoneState::kReadOnly || z.state == ZoneState::kOffline) {
+    return Status::FailedPrecondition("zone not resettable");
+  }
+  if (z.IsOpen()) open_zones_--;
+  if (z.IsActive()) active_zones_--;
+  z.state = ZoneState::kEmpty;
+  z.write_pointer = 0;
+  z.reset_count++;
+  stats_.zone_resets++;
+  timer_.SubmitBackground(config_.timing.erase_ns);
+  return Status::Ok();
+}
+
+Status ZnsDevice::Finish(u64 zone) {
+  ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
+  ZoneInfo& z = zones_[zone];
+  if (z.state == ZoneState::kFull) return Status::Ok();
+  if (z.state == ZoneState::kReadOnly || z.state == ZoneState::kOffline) {
+    return Status::FailedPrecondition("zone not finishable");
+  }
+  // Finishing an EMPTY zone is allowed by the spec; it becomes FULL with no
+  // readable data past the old write pointer.
+  if (z.state == ZoneState::kEmpty) {
+    active_zones_++;  // MarkFull will decrement.
+    z.state = ZoneState::kClosed;
+  }
+  MarkFull(z);
+  z.write_pointer = z.capacity;
+  stats_.zone_finishes++;
+  return Status::Ok();
+}
+
+Status ZnsDevice::Open(u64 zone) {
+  ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
+  ZoneInfo& z = zones_[zone];
+  if (z.state == ZoneState::kExplicitOpen) return Status::Ok();
+  if (z.state == ZoneState::kImplicitOpen) {
+    z.state = ZoneState::kExplicitOpen;
+    return Status::Ok();
+  }
+  if (z.state != ZoneState::kEmpty && z.state != ZoneState::kClosed) {
+    return Status::FailedPrecondition("zone not openable");
+  }
+  if (open_zones_ >= config_.max_open_zones) {
+    return Status::Unavailable("max open zones reached");
+  }
+  if (z.state == ZoneState::kEmpty && active_zones_ >= config_.max_active_zones) {
+    return Status::Unavailable("max active zones reached");
+  }
+  if (z.state == ZoneState::kEmpty) active_zones_++;
+  z.state = ZoneState::kExplicitOpen;
+  open_zones_++;
+  return Status::Ok();
+}
+
+Status ZnsDevice::Close(u64 zone) {
+  ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
+  ZoneInfo& z = zones_[zone];
+  if (!z.IsOpen()) return Status::FailedPrecondition("zone not open");
+  z.state = ZoneState::kClosed;
+  open_zones_--;
+  return Status::Ok();
+}
+
+u64 ZnsDevice::EmptyZoneCount() const {
+  return static_cast<u64>(
+      std::count_if(zones_.begin(), zones_.end(), [](const ZoneInfo& z) {
+        return z.state == ZoneState::kEmpty;
+      }));
+}
+
+}  // namespace zncache::zns

@@ -1,0 +1,165 @@
+// A Zoned Namespace SSD model (NVMe ZNS, per the Zoned Namespace Command
+// Set spec and the ZN540 datasheet shape):
+//   * the LBA space is divided into equal-size zones;
+//   * within a zone, reads are random but writes must land exactly at the
+//     zone's write pointer;
+//   * `Reset` rewinds the write pointer to the zone start, `Finish` jumps it
+//     to the end (zone becomes FULL), `Append` writes at the pointer and
+//     returns the assigned offset;
+//   * at most `max_open_zones` zones may be open and `max_active_zones`
+//     active (open or closed-with-data) at once;
+//   * there is NO device-internal garbage collection: host writes map 1:1 to
+//     flash writes, so the device-level write-amplification factor is 1.
+//
+// Timing uses sim::ServiceTimer: each operation occupies the device for its
+// service time and the caller observes queueing + service latency.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/service_timer.h"
+#include "sim/timing.h"
+
+namespace zncache::zns {
+
+enum class ZoneState {
+  kEmpty,
+  kImplicitOpen,
+  kExplicitOpen,
+  kClosed,
+  kFull,
+  kReadOnly,
+  kOffline,
+};
+
+[[nodiscard]] std::string_view ZoneStateName(ZoneState s);
+
+struct ZoneInfo {
+  u64 id = 0;
+  u64 size = 0;          // address-space size of the zone, bytes
+  u64 capacity = 0;      // writable bytes (<= size)
+  u64 write_pointer = 0; // next writable in-zone offset
+  ZoneState state = ZoneState::kEmpty;
+  u64 reset_count = 0;
+
+  bool IsOpen() const {
+    return state == ZoneState::kImplicitOpen ||
+           state == ZoneState::kExplicitOpen;
+  }
+  bool IsActive() const { return IsOpen() || state == ZoneState::kClosed; }
+  u64 RemainingCapacity() const { return capacity - write_pointer; }
+};
+
+struct ZnsConfig {
+  u64 zone_count = 96;
+  u64 zone_size = 64 * kMiB;
+  u64 zone_capacity = 64 * kMiB;  // <= zone_size
+  u32 max_open_zones = 14;        // ZN540 exposes 14
+  u32 max_active_zones = 14;
+  // When false, payload bytes are not retained (reads return zeros) and only
+  // the zone metadata/accounting is maintained. Large-scale benchmarks turn
+  // this off; all correctness tests keep it on.
+  bool store_data = true;
+  sim::FlashTiming timing;
+};
+
+struct IoResult {
+  SimNanos latency = 0;     // 0 when issued in background mode
+  SimNanos completion = 0;  // absolute completion instant
+};
+
+struct AppendResult {
+  u64 offset = 0;  // in-zone offset where the data landed
+  SimNanos latency = 0;
+  SimNanos completion = 0;
+};
+
+// Cumulative device counters. `host_bytes_written == flash_bytes_written`
+// always holds for a ZNS device (WA factor 1.0); both are tracked so that
+// callers can treat all devices uniformly.
+struct ZnsStats {
+  u64 host_bytes_written = 0;
+  u64 flash_bytes_written = 0;
+  u64 bytes_read = 0;
+  u64 zone_resets = 0;
+  u64 zone_finishes = 0;
+  u64 append_ops = 0;
+  u64 write_ops = 0;
+  u64 read_ops = 0;
+
+  double WriteAmplification() const {
+    return host_bytes_written == 0
+               ? 1.0
+               : static_cast<double>(flash_bytes_written) /
+                     static_cast<double>(host_bytes_written);
+  }
+};
+
+class ZnsDevice {
+ public:
+  ZnsDevice(const ZnsConfig& config, sim::VirtualClock* clock);
+
+  // Write `data` at `offset` within `zone`. The offset must equal the zone's
+  // current write pointer (FAILED_PRECONDITION otherwise) and the data must
+  // fit in the remaining capacity (NO_SPACE otherwise). Implicitly opens an
+  // EMPTY/CLOSED zone, subject to the open/active limits (UNAVAILABLE).
+  Result<IoResult> Write(u64 zone, u64 offset, std::span<const std::byte> data,
+                         sim::IoMode mode = sim::IoMode::kForeground);
+
+  // Zone append: like Write but the device chooses the offset.
+  Result<AppendResult> Append(u64 zone, std::span<const std::byte> data,
+                              sim::IoMode mode = sim::IoMode::kForeground);
+
+  // Random read anywhere below the write pointer.
+  Result<IoResult> Read(u64 zone, u64 offset, std::span<std::byte> out,
+                        sim::IoMode mode = sim::IoMode::kForeground);
+
+  // Rewind the write pointer; the zone becomes EMPTY and its data is gone.
+  Status Reset(u64 zone);
+
+  // Move the write pointer to the end; the zone becomes FULL.
+  Status Finish(u64 zone);
+
+  // Explicitly open / close a zone.
+  Status Open(u64 zone);
+  Status Close(u64 zone);
+
+  const ZoneInfo& GetZoneInfo(u64 zone) const { return zones_.at(zone); }
+  const ZnsConfig& config() const { return config_; }
+  const ZnsStats& stats() const { return stats_; }
+
+  u64 zone_count() const { return config_.zone_count; }
+  u64 zone_capacity() const { return config_.zone_capacity; }
+  u64 usable_bytes() const { return config_.zone_count * config_.zone_capacity; }
+
+  u32 open_zones() const { return open_zones_; }
+  u32 active_zones() const { return active_zones_; }
+
+  u64 EmptyZoneCount() const;
+
+  sim::ServiceTimer& timer() { return timer_; }
+
+ private:
+  Status ValidateZoneId(u64 zone) const;
+  // Transition a zone to implicitly-open for writing; enforces limits.
+  Status EnsureWritable(ZoneInfo& z);
+  void MarkFull(ZoneInfo& z);
+
+  std::byte* ZoneData(u64 zone) {
+    return data_.empty() ? nullptr : data_.data() + zone * config_.zone_size;
+  }
+
+  ZnsConfig config_;
+  sim::ServiceTimer timer_;
+  std::vector<ZoneInfo> zones_;
+  std::vector<std::byte> data_;  // empty when !config_.store_data
+  ZnsStats stats_;
+  u32 open_zones_ = 0;
+  u32 active_zones_ = 0;
+};
+
+}  // namespace zncache::zns

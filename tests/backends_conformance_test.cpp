@@ -1,0 +1,233 @@
+// Conformance suite: every RegionDevice backend (Block-, File-, Zone-,
+// Region-Cache) must expose identical write/read/invalidate semantics to the
+// cache engine, whatever it does underneath.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "backends/block_region_device.h"
+#include "backends/file_region_device.h"
+#include "backends/middle_region_device.h"
+#include "backends/zone_region_device.h"
+#include "common/random.h"
+
+namespace zncache::backends {
+namespace {
+
+// Every backend is configured with 16 regions of 64 KiB (Zone-Cache's zone
+// capacity is the region size by construction).
+constexpr u64 kRegion = 64 * kKiB;
+constexpr u64 kRegions = 16;
+
+struct Fixture {
+  std::unique_ptr<sim::VirtualClock> clock;
+  std::unique_ptr<cache::RegionDevice> device;
+};
+
+using FixtureFactory = std::function<Fixture()>;
+
+Fixture MakeBlock() {
+  Fixture f;
+  f.clock = std::make_unique<sim::VirtualClock>();
+  BlockRegionDeviceConfig c;
+  c.region_size = kRegion;
+  c.region_count = kRegions;
+  c.ssd.op_ratio = 0.25;
+  c.ssd.pages_per_block = 16;
+  f.device = std::make_unique<BlockRegionDevice>(c, f.clock.get());
+  return f;
+}
+
+Fixture MakeFile() {
+  Fixture f;
+  f.clock = std::make_unique<sim::VirtualClock>();
+  FileRegionDeviceConfig c;
+  c.region_size = kRegion;
+  c.region_count = kRegions;
+  c.zns.zone_count = 12;
+  c.zns.zone_size = 256 * kKiB;
+  c.zns.zone_capacity = 256 * kKiB;
+  c.fs.op_ratio = 0.10;
+  c.fs.min_free_zones = 2;
+  auto dev = std::make_unique<FileRegionDevice>(c, f.clock.get());
+  EXPECT_TRUE(dev->Init().ok());
+  f.device = std::move(dev);
+  return f;
+}
+
+Fixture MakeZone() {
+  Fixture f;
+  f.clock = std::make_unique<sim::VirtualClock>();
+  ZoneRegionDeviceConfig c;
+  c.region_count = kRegions;
+  c.zns.zone_count = kRegions;
+  c.zns.zone_size = kRegion;
+  c.zns.zone_capacity = kRegion;
+  c.zns.max_open_zones = kRegions;  // one region per zone, all writable
+  c.zns.max_active_zones = kRegions;
+  f.device = std::make_unique<ZoneRegionDevice>(c, f.clock.get());
+  return f;
+}
+
+Fixture MakeMiddle() {
+  Fixture f;
+  f.clock = std::make_unique<sim::VirtualClock>();
+  MiddleRegionDeviceConfig c;
+  c.region_count = kRegions;
+  c.zns.zone_count = 10;
+  c.zns.zone_size = 256 * kKiB;
+  c.zns.zone_capacity = 256 * kKiB;
+  c.zns.max_open_zones = 6;
+  c.zns.max_active_zones = 8;
+  c.middle.region_size = kRegion;
+  c.middle.open_zones = 2;
+  c.middle.min_empty_zones = 2;
+  auto dev = std::make_unique<MiddleRegionDevice>(c, f.clock.get());
+  EXPECT_TRUE(dev->Init().ok());
+  f.device = std::move(dev);
+  return f;
+}
+
+struct Param {
+  const char* name;
+  FixtureFactory make;
+};
+
+class BackendConformanceTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    fixture_ = GetParam().make();
+    device_ = fixture_.device.get();
+  }
+
+  std::vector<std::byte> Data(char fill, size_t n = kRegion) {
+    return std::vector<std::byte>(n, std::byte(fill));
+  }
+
+  void WriteOk(u64 id, char fill, size_t n = kRegion) {
+    auto r = device_->WriteRegion(id, Data(fill, n), sim::IoMode::kForeground);
+    ASSERT_TRUE(r.ok()) << GetParam().name << ": " << r.status().ToString();
+  }
+
+  Fixture fixture_;
+  cache::RegionDevice* device_ = nullptr;
+};
+
+TEST_P(BackendConformanceTest, ReportsGeometry) {
+  EXPECT_EQ(device_->region_size(), kRegion);
+  EXPECT_EQ(device_->region_count(), kRegions);
+  EXPECT_FALSE(device_->name().empty());
+}
+
+TEST_P(BackendConformanceTest, WriteReadRoundTrip) {
+  WriteOk(0, 'r');
+  std::vector<std::byte> out(1000);
+  auto r = device_->ReadRegion(0, 0, out);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(out[0], std::byte('r'));
+  EXPECT_EQ(out[999], std::byte('r'));
+}
+
+TEST_P(BackendConformanceTest, ReadAtOffset) {
+  std::vector<std::byte> data(kRegion);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = std::byte(i % 241);
+  ASSERT_TRUE(
+      device_->WriteRegion(1, data, sim::IoMode::kForeground).ok());
+  std::vector<std::byte> out(500);
+  auto r = device_->ReadRegion(1, 10'000, out);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(std::memcmp(data.data() + 10'000, out.data(), 500), 0);
+}
+
+TEST_P(BackendConformanceTest, EveryRegionIndependent) {
+  for (u64 id = 0; id < kRegions; ++id) {
+    WriteOk(id, static_cast<char>('A' + id));
+  }
+  for (u64 id = 0; id < kRegions; ++id) {
+    std::vector<std::byte> out(16);
+    ASSERT_TRUE(device_->ReadRegion(id, 0, out).ok());
+    EXPECT_EQ(out[0], std::byte(static_cast<char>('A' + id))) << "region " << id;
+  }
+}
+
+TEST_P(BackendConformanceTest, RewriteAfterInvalidate) {
+  WriteOk(2, 'x');
+  ASSERT_TRUE(device_->InvalidateRegion(2).ok());
+  WriteOk(2, 'y');
+  std::vector<std::byte> out(8);
+  ASSERT_TRUE(device_->ReadRegion(2, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte('y'));
+}
+
+TEST_P(BackendConformanceTest, DirectRewrite) {
+  WriteOk(3, '1');
+  WriteOk(3, '2');
+  std::vector<std::byte> out(8);
+  ASSERT_TRUE(device_->ReadRegion(3, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte('2'));
+}
+
+TEST_P(BackendConformanceTest, OutOfRangeIdRejected) {
+  auto w = device_->WriteRegion(kRegions, Data('z'), sim::IoMode::kForeground);
+  EXPECT_FALSE(w.ok());
+  std::vector<std::byte> out(8);
+  EXPECT_FALSE(device_->ReadRegion(kRegions, 0, out).ok());
+  EXPECT_FALSE(device_->InvalidateRegion(kRegions).ok());
+}
+
+TEST_P(BackendConformanceTest, OversizedPayloadRejected) {
+  auto w = device_->WriteRegion(0, Data('z', kRegion + 1),
+                                sim::IoMode::kForeground);
+  EXPECT_FALSE(w.ok());
+}
+
+TEST_P(BackendConformanceTest, BackgroundWriteHasCompletion) {
+  auto w = device_->WriteRegion(0, Data('b'), sim::IoMode::kBackground);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->latency, 0u);
+  EXPECT_GT(w->completion, 0u);
+}
+
+TEST_P(BackendConformanceTest, WaStatsTrackHostBytes) {
+  WriteOk(0, 'w');
+  WriteOk(1, 'w');
+  const cache::WaStats s = device_->wa_stats();
+  EXPECT_GE(s.host_bytes, 2 * kRegion);
+  EXPECT_GE(s.Factor(), 1.0);
+}
+
+TEST_P(BackendConformanceTest, ChurnSurvivesAndStaysReadable) {
+  Rng rng(41);
+  std::vector<int> stamp(kRegions, -1);
+  for (int i = 0; i < 300; ++i) {
+    const u64 id = rng.Uniform(kRegions);
+    if (rng.Chance(0.2)) {
+      ASSERT_TRUE(device_->InvalidateRegion(id).ok());
+      stamp[id] = -1;
+    } else {
+      const char fill = static_cast<char>('a' + i % 26);
+      WriteOk(id, fill);
+      stamp[id] = fill;
+    }
+  }
+  for (u64 id = 0; id < kRegions; ++id) {
+    if (stamp[id] < 0) continue;
+    std::vector<std::byte> out(32);
+    ASSERT_TRUE(device_->ReadRegion(id, 0, out).ok()) << "region " << id;
+    EXPECT_EQ(out[0], std::byte(static_cast<char>(stamp[id])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendConformanceTest,
+    ::testing::Values(Param{"Block", MakeBlock}, Param{"File", MakeFile},
+                      Param{"Zone", MakeZone}, Param{"Middle", MakeMiddle}),
+    [](const ::testing::TestParamInfo<Param>& tpinfo) {
+      return tpinfo.param.name;
+    });
+
+}  // namespace
+}  // namespace zncache::backends

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "kv/block_cache.h"
+
+namespace zncache::kv {
+namespace {
+
+// In-memory secondary cache double for unit-testing the tiering logic.
+class FakeSecondary : public SecondaryCache {
+ public:
+  void Insert(std::string_view key, std::span<const std::byte> block) override {
+    store_[std::string(key)] =
+        std::string(reinterpret_cast<const char*>(block.data()), block.size());
+    inserts++;
+  }
+  bool Lookup(std::string_view key, std::string* out) override {
+    lookups++;
+    auto it = store_.find(std::string(key));
+    if (it == store_.end()) return false;
+    *out = it->second;
+    hits++;
+    return true;
+  }
+  std::map<std::string, std::string> store_;
+  int inserts = 0, lookups = 0, hits = 0;
+};
+
+class BlockCacheTest : public ::testing::Test {
+ protected:
+  BlockCacheConfig Config(u64 bytes = 1000) {
+    BlockCacheConfig c;
+    c.capacity_bytes = bytes;
+    return c;
+  }
+
+  sim::VirtualClock clock_;
+};
+
+TEST_F(BlockCacheTest, MissOnEmpty) {
+  BlockCache c(Config(), &clock_);
+  std::string v;
+  EXPECT_FALSE(c.Lookup("k", &v));
+}
+
+TEST_F(BlockCacheTest, InsertThenHit) {
+  BlockCache c(Config(), &clock_);
+  c.Insert("k", "value");
+  std::string v;
+  ASSERT_TRUE(c.Lookup("k", &v));
+  EXPECT_EQ(v, "value");
+  EXPECT_EQ(c.stats().dram_hits, 1u);
+}
+
+TEST_F(BlockCacheTest, CapacityEnforced) {
+  BlockCache c(Config(100), &clock_);
+  c.Insert("a", std::string(60, 'x'));
+  c.Insert("b", std::string(60, 'y'));
+  EXPECT_LE(c.used_bytes(), 100u);
+  std::string v;
+  EXPECT_FALSE(c.Lookup("a", &v));  // evicted
+  EXPECT_TRUE(c.Lookup("b", &v));
+}
+
+TEST_F(BlockCacheTest, LruOrderRespected) {
+  BlockCache c(Config(150), &clock_);
+  c.Insert("a", std::string(60, 'a'));
+  c.Insert("b", std::string(60, 'b'));
+  std::string v;
+  ASSERT_TRUE(c.Lookup("a", &v));  // touch a -> b is now LRU
+  c.Insert("c", std::string(60, 'c'));
+  EXPECT_TRUE(c.Lookup("a", &v));
+  EXPECT_FALSE(c.Lookup("b", &v));
+}
+
+TEST_F(BlockCacheTest, ReinsertUpdatesValueAndSize) {
+  BlockCache c(Config(1000), &clock_);
+  c.Insert("k", std::string(100, '1'));
+  c.Insert("k", std::string(50, '2'));
+  std::string v;
+  ASSERT_TRUE(c.Lookup("k", &v));
+  EXPECT_EQ(v, std::string(50, '2'));
+  EXPECT_EQ(c.used_bytes(), 1 + 50u);
+}
+
+TEST_F(BlockCacheTest, EvictionSpillsToSecondary) {
+  FakeSecondary sec;
+  BlockCache c(Config(100), &clock_, &sec);
+  c.Insert("a", std::string(60, 'a'));
+  c.Insert("b", std::string(60, 'b'));
+  EXPECT_EQ(sec.inserts, 1);
+  EXPECT_TRUE(sec.store_.count("a"));
+  EXPECT_EQ(c.stats().spills, 1u);
+}
+
+TEST_F(BlockCacheTest, SecondaryHitPromotes) {
+  FakeSecondary sec;
+  sec.store_["k"] = "from-flash";
+  BlockCache c(Config(1000), &clock_, &sec);
+  std::string v;
+  ASSERT_TRUE(c.Lookup("k", &v));
+  EXPECT_EQ(v, "from-flash");
+  EXPECT_EQ(c.stats().secondary_hits, 1u);
+  // Second lookup is a DRAM hit (promoted).
+  ASSERT_TRUE(c.Lookup("k", &v));
+  EXPECT_EQ(c.stats().dram_hits, 1u);
+}
+
+TEST_F(BlockCacheTest, BothTiersMiss) {
+  FakeSecondary sec;
+  BlockCache c(Config(1000), &clock_, &sec);
+  std::string v;
+  EXPECT_FALSE(c.Lookup("nope", &v));
+  EXPECT_EQ(sec.lookups, 1);
+  EXPECT_EQ(sec.hits, 0);
+}
+
+TEST_F(BlockCacheTest, LookupAdvancesClock) {
+  BlockCache c(Config(), &clock_);
+  std::string v;
+  (void)c.Lookup("k", &v);
+  EXPECT_GT(clock_.Now(), 0u);
+}
+
+}  // namespace
+}  // namespace zncache::kv

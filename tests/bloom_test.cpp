@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "kv/bloom.h"
+#include "kv/lsm_store.h"
+
+namespace zncache::kv {
+namespace {
+
+TEST(Bloom, EmptyFilterMatchesEverything) {
+  EXPECT_TRUE(BloomMayContain({}, "anything"));
+}
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomBuilder b(10);
+  for (int i = 0; i < 5000; ++i) b.AddKey("key-" + std::to_string(i));
+  const auto filter = b.Finish();
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(BloomMayContain(filter, "key-" + std::to_string(i))) << i;
+  }
+}
+
+TEST(Bloom, FalsePositiveRateReasonable) {
+  BloomBuilder b(10);
+  for (int i = 0; i < 10'000; ++i) b.AddKey("key-" + std::to_string(i));
+  const auto filter = b.Finish();
+  int false_positives = 0;
+  const int probes = 20'000;
+  for (int i = 0; i < probes; ++i) {
+    if (BloomMayContain(filter, "absent-" + std::to_string(i))) {
+      false_positives++;
+    }
+  }
+  // 10 bits/key targets ~1%; allow generous slack.
+  EXPECT_LT(static_cast<double>(false_positives) / probes, 0.05);
+}
+
+TEST(Bloom, MoreBitsFewerFalsePositives) {
+  auto fp_rate = [](u32 bits_per_key) {
+    BloomBuilder b(bits_per_key);
+    for (int i = 0; i < 5000; ++i) b.AddKey("key-" + std::to_string(i));
+    const auto filter = b.Finish();
+    int fp = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      if (BloomMayContain(filter, "no-" + std::to_string(i))) fp++;
+    }
+    return fp;
+  };
+  EXPECT_LT(fp_rate(12), fp_rate(4));
+}
+
+TEST(Bloom, SingleKeyFilter) {
+  BloomBuilder b(10);
+  b.AddKey("only");
+  const auto filter = b.Finish();
+  EXPECT_TRUE(BloomMayContain(filter, "only"));
+  int fp = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (BloomMayContain(filter, "x" + std::to_string(i))) fp++;
+  }
+  EXPECT_LT(fp, 100);
+}
+
+TEST(Bloom, LsmSkipsTablesOnNegativeLookups) {
+  sim::VirtualClock clock;
+  hdd::HddConfig hc;
+  hc.capacity = 128 * kMiB;
+  hdd::HddDevice hdd(hc, &clock);
+  LsmConfig c;
+  c.memtable_bytes = 16 * kKiB;
+  c.block_bytes = 1 * kKiB;
+  c.bloom_bits_per_key = 10;
+  LsmStore store(c, &hdd, &clock);
+
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store.Put("key-" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(store.Flush().ok());
+
+  std::string v;
+  for (int i = 0; i < 500; ++i) {
+    // Absent keys inside the table key range, so only the filter can skip.
+    auto g = store.Get("key-" + std::to_string(i) + "-absent", &v);
+    ASSERT_TRUE(g.ok());
+    EXPECT_FALSE(g->found);
+  }
+  EXPECT_GT(store.stats().bloom_skips, 0u);
+
+  // Positive lookups are unaffected.
+  auto g = store.Get("key-77", &v);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->found);
+}
+
+TEST(Bloom, DisabledFilterDoesNotSkip) {
+  sim::VirtualClock clock;
+  hdd::HddConfig hc;
+  hc.capacity = 128 * kMiB;
+  hdd::HddDevice hdd(hc, &clock);
+  LsmConfig c;
+  c.memtable_bytes = 16 * kKiB;
+  c.bloom_bits_per_key = 0;
+  LsmStore store(c, &hdd, &clock);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(store.Put("key-" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(store.Flush().ok());
+  std::string v;
+  (void)store.Get("missing", &v);
+  EXPECT_EQ(store.stats().bloom_skips, 0u);
+}
+
+}  // namespace
+}  // namespace zncache::kv

@@ -1,0 +1,170 @@
+// Reinsertion and admission policies (CacheLib-style engine features).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "backends/middle_region_device.h"
+#include "cache/flash_cache.h"
+#include "common/random.h"
+
+namespace zncache::cache {
+namespace {
+
+constexpr u64 kRegion = 64 * kKiB;
+
+class CachePoliciesTest : public ::testing::Test {
+ protected:
+  void Make(FlashCacheConfig cfg) {
+    clock_ = std::make_unique<sim::VirtualClock>();
+    backends::MiddleRegionDeviceConfig dc;
+    dc.region_count = 24;
+    dc.zns.zone_count = 12;
+    dc.zns.zone_size = 256 * kKiB;
+    dc.zns.zone_capacity = 256 * kKiB;
+    dc.zns.max_open_zones = 6;
+    dc.zns.max_active_zones = 8;
+    dc.middle.region_size = kRegion;
+    dc.middle.open_zones = 2;
+    dc.middle.min_empty_zones = 2;
+    device_ =
+        std::make_unique<backends::MiddleRegionDevice>(dc, clock_.get());
+    ASSERT_TRUE(device_->Init().ok());
+    cfg.store_values = true;
+    cache_ = std::make_unique<FlashCache>(cfg, device_.get(), clock_.get());
+  }
+
+  std::string Val(size_t n, char c = 'v') { return std::string(n, c); }
+
+  std::unique_ptr<sim::VirtualClock> clock_;
+  std::unique_ptr<backends::MiddleRegionDevice> device_;
+  std::unique_ptr<FlashCache> cache_;
+};
+
+TEST_F(CachePoliciesTest, ReinsertionKeepsHotItemAlive) {
+  FlashCacheConfig cfg;
+  cfg.policy = EvictionPolicy::kFifo;
+  cfg.reinsertion_hits = 2;
+  Make(cfg);
+
+  ASSERT_TRUE(cache_->Set("hot", Val(30 * kKiB, 'H')).ok());
+  // Heat it up well past the threshold.
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(cache_->Get("hot").ok());
+
+  // Flood with several full cache generations of cold data.
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(cache_->Set("cold-" + std::to_string(i), Val(30 * kKiB)).ok());
+    // Keep "hot" hot so each reinserted copy re-qualifies.
+    (void)cache_->Get("hot");
+  }
+  EXPECT_GT(cache_->stats().reinserted_items, 0u);
+  std::string v;
+  auto g = cache_->Get("hot", &v);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->hit);
+  EXPECT_EQ(v[0], 'H');
+}
+
+TEST_F(CachePoliciesTest, ColdItemsNotReinserted) {
+  FlashCacheConfig cfg;
+  cfg.policy = EvictionPolicy::kFifo;
+  cfg.reinsertion_hits = 2;
+  Make(cfg);
+  ASSERT_TRUE(cache_->Set("cold", Val(30 * kKiB)).ok());
+  (void)cache_->Get("cold");  // one hit: below the threshold
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cache_->Set("f" + std::to_string(i), Val(30 * kKiB)).ok());
+  }
+  EXPECT_FALSE(cache_->Get("cold")->hit);
+}
+
+TEST_F(CachePoliciesTest, ReinsertionDisabledByDefault) {
+  FlashCacheConfig cfg;
+  cfg.policy = EvictionPolicy::kFifo;
+  Make(cfg);
+  ASSERT_TRUE(cache_->Set("hot", Val(30 * kKiB)).ok());
+  for (int i = 0; i < 10; ++i) (void)cache_->Get("hot");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cache_->Set("f" + std::to_string(i), Val(30 * kKiB)).ok());
+  }
+  EXPECT_EQ(cache_->stats().reinserted_items, 0u);
+  EXPECT_FALSE(cache_->Get("hot")->hit);
+}
+
+TEST_F(CachePoliciesTest, ReinsertedValueSurvivesIntact) {
+  FlashCacheConfig cfg;
+  cfg.policy = EvictionPolicy::kFifo;
+  cfg.reinsertion_hits = 1;
+  Make(cfg);
+  std::string payload(20 * kKiB, 'x');
+  for (size_t i = 0; i < payload.size(); i += 1000) {
+    payload[i] = static_cast<char>('A' + (i / 1000) % 26);
+  }
+  ASSERT_TRUE(cache_->Set("k", payload).ok());
+  for (int i = 0; i < 5; ++i) (void)cache_->Get("k");
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(cache_->Set("f" + std::to_string(i), Val(30 * kKiB)).ok());
+    (void)cache_->Get("k");
+  }
+  std::string v;
+  auto g = cache_->Get("k", &v);
+  ASSERT_TRUE(g.ok());
+  if (g->hit) {
+    EXPECT_EQ(v, payload);
+  }
+}
+
+TEST_F(CachePoliciesTest, AdmissionRejectsExpectedFraction) {
+  FlashCacheConfig cfg;
+  cfg.admit_probability = 0.25;
+  Make(cfg);
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(cache_->Set("k" + std::to_string(i), Val(512)).ok());
+  }
+  const double reject_ratio =
+      static_cast<double>(cache_->stats().admission_rejects) / n;
+  EXPECT_NEAR(reject_ratio, 0.75, 0.05);
+}
+
+TEST_F(CachePoliciesTest, RejectedSetKeepsOldVersion) {
+  FlashCacheConfig cfg;
+  cfg.admit_probability = 0.0;  // reject everything after the first build
+  Make(cfg);
+  // With p = 0 nothing is ever admitted; gets miss.
+  ASSERT_TRUE(cache_->Set("k", Val(100, '1')).ok());
+  EXPECT_EQ(cache_->stats().admission_rejects, 1u);
+  EXPECT_FALSE(cache_->Get("k")->hit);
+}
+
+TEST_F(CachePoliciesTest, AdmissionReducesFlashWrites) {
+  auto run = [&](double p) {
+    FlashCacheConfig cfg;
+    cfg.admit_probability = p;
+    Make(cfg);
+    Rng rng(7);
+    for (int i = 0; i < 3000; ++i) {
+      EXPECT_TRUE(
+          cache_->Set("k" + std::to_string(rng.Uniform(500)), Val(8 * kKiB))
+              .ok());
+    }
+    EXPECT_TRUE(cache_->Flush().ok());
+    return device_->wa_stats().host_bytes;
+  };
+  const u64 full = run(1.0);
+  const u64 half = run(0.5);
+  EXPECT_LT(half, full * 2 / 3);
+}
+
+TEST_F(CachePoliciesTest, AdmissionFullProbabilityAdmitsAll) {
+  FlashCacheConfig cfg;
+  cfg.admit_probability = 1.0;
+  Make(cfg);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cache_->Set("k" + std::to_string(i), Val(100)).ok());
+  }
+  EXPECT_EQ(cache_->stats().admission_rejects, 0u);
+}
+
+}  // namespace
+}  // namespace zncache::cache

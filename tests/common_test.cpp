@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace zncache {
+namespace {
+
+using namespace zncache::literals;
+
+TEST(Literals, ByteSizes) {
+  EXPECT_EQ(1_KiB, 1024ULL);
+  EXPECT_EQ(1_MiB, 1024ULL * 1024);
+  EXPECT_EQ(1_GiB, 1024ULL * 1024 * 1024);
+  EXPECT_EQ(16_MiB, 16 * kMiB);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing key");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing key");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NoSpace("full"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNoSpace);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ReturnIfError, PropagatesError) {
+  auto f = []() -> Status {
+    ZN_RETURN_IF_ERROR(Status::Corruption("bad"));
+    return Status::Ok();
+  };
+  EXPECT_EQ(f().code(), StatusCode::kCorruption);
+}
+
+TEST(ReturnIfError, PassesOk) {
+  auto f = []() -> Status {
+    ZN_RETURN_IF_ERROR(Status::Ok());
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_EQ(f().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(5);
+  std::set<u64> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformRange(3, 5));
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_TRUE(seen.count(3));
+  EXPECT_TRUE(seen.count(5));
+}
+
+TEST(Zipf, InRange) {
+  Rng rng(11);
+  ZipfianGenerator zipf(1000, 0.99);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(Zipf, SkewedTowardSmallIds) {
+  Rng rng(12);
+  ZipfianGenerator zipf(100'000, 0.99);
+  u64 in_top_1pct = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next(rng) < 1000) in_top_1pct++;
+  }
+  // Zipf(0.99): the top 1% of ids should draw far more than 1% of accesses.
+  EXPECT_GT(in_top_1pct, n / 4);
+}
+
+TEST(Zipf, HigherThetaMoreSkew) {
+  Rng rng1(13), rng2(13);
+  ZipfianGenerator mild(100'000, 0.5), strong(100'000, 0.99);
+  u64 mild_top = 0, strong_top = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    if (mild.Next(rng1) < 1000) mild_top++;
+    if (strong.Next(rng2) < 1000) strong_top++;
+  }
+  EXPECT_GT(strong_top, mild_top);
+}
+
+TEST(ExpRange, InRange) {
+  Rng rng(14);
+  ExpRangeGenerator gen(5000, 25.0);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(gen.Next(rng), 5000u);
+  }
+}
+
+TEST(ExpRange, LargerErMoreSkew) {
+  Rng rng1(15), rng2(15);
+  ExpRangeGenerator er15(100'000, 15.0), er25(100'000, 25.0);
+  u64 top15 = 0, top25 = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    if (er15.Next(rng1) < 5000) top15++;
+    if (er25.Next(rng2) < 5000) top25++;
+  }
+  EXPECT_GT(top25, top15);
+}
+
+TEST(ExpRange, CoversKeyPrefixHeavily) {
+  Rng rng(16);
+  ExpRangeGenerator gen(1000, 15.0);
+  u64 first_decile = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next(rng) < 100) first_decile++;
+  }
+  // With ER=15 roughly 1 - e^-1.5 ~ 78% of draws land in the first 10%.
+  EXPECT_GT(first_decile, n / 2);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.P50(), 0u);
+  EXPECT_EQ(h.P99(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000u);
+  EXPECT_EQ(h.max(), 1000u);
+  // Log-bucketed: percentile returns the bucket upper bound, capped at max.
+  EXPECT_EQ(h.P50(), 1000u);
+}
+
+TEST(Histogram, PercentileOrdering) {
+  Histogram h;
+  for (u64 v = 1; v <= 10'000; ++v) h.Record(v);
+  EXPECT_LE(h.P50(), h.P99());
+  EXPECT_LE(h.P99(), h.P999());
+  EXPECT_LE(h.P999(), h.max());
+}
+
+TEST(Histogram, PercentileAccuracy) {
+  Histogram h;
+  for (u64 v = 1; v <= 100'000; ++v) h.Record(v);
+  // 25% relative error bound from 4 sub-buckets per power of two.
+  EXPECT_NEAR(static_cast<double>(h.P50()), 50'000.0, 50'000.0 * 0.3);
+  EXPECT_NEAR(static_cast<double>(h.P99()), 99'000.0, 99'000.0 * 0.3);
+}
+
+TEST(Histogram, MeanExact) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a, b;
+  a.Record(5);
+  b.Record(500);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 500u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, LargeValues) {
+  Histogram h;
+  h.Record(~0ULL / 2);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), ~0ULL / 2);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(7);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zncache

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/compress.h"
+#include "common/random.h"
+#include "kv/lsm_store.h"
+
+namespace zncache {
+namespace {
+
+std::vector<std::byte> Bytes(std::string_view s) {
+  return std::vector<std::byte>(
+      reinterpret_cast<const std::byte*>(s.data()),
+      reinterpret_cast<const std::byte*>(s.data()) + s.size());
+}
+
+void ExpectRoundTrip(const std::vector<std::byte>& raw) {
+  const std::vector<std::byte> packed = LzCompress(raw);
+  auto unpacked = LzDecompress(packed, raw.size());
+  ASSERT_TRUE(unpacked.ok()) << unpacked.status().ToString();
+  ASSERT_EQ(unpacked->size(), raw.size());
+  if (!raw.empty()) {
+    EXPECT_EQ(std::memcmp(unpacked->data(), raw.data(), raw.size()), 0);
+  }
+}
+
+TEST(LzCompress, EmptyInput) { ExpectRoundTrip({}); }
+
+TEST(LzCompress, TinyInput) { ExpectRoundTrip(Bytes("ab")); }
+
+TEST(LzCompress, RepetitiveInputShrinks) {
+  std::vector<std::byte> raw(64 * kKiB, std::byte('x'));
+  const std::vector<std::byte> packed = LzCompress(raw);
+  EXPECT_LT(packed.size(), raw.size() / 20);  // RLE-like compression
+  ExpectRoundTrip(raw);
+}
+
+TEST(LzCompress, StructuredTextShrinks) {
+  std::string text;
+  for (int i = 0; i < 500; ++i) {
+    text += "key-" + std::to_string(i % 37) + "=value-" +
+            std::to_string(i % 19) + ";";
+  }
+  const auto raw = Bytes(text);
+  const std::vector<std::byte> packed = LzCompress(raw);
+  EXPECT_LT(packed.size(), raw.size() / 2);
+  ExpectRoundTrip(raw);
+}
+
+TEST(LzCompress, RandomInputRoundTrips) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::byte> raw(1 + rng.Uniform(20'000));
+    for (auto& b : raw) b = std::byte(static_cast<u8>(rng.Next()));
+    ExpectRoundTrip(raw);
+  }
+}
+
+TEST(LzCompress, IncompressibleInputBounded) {
+  Rng rng(78);
+  std::vector<std::byte> raw(32 * kKiB);
+  for (auto& b : raw) b = std::byte(static_cast<u8>(rng.Next()));
+  const std::vector<std::byte> packed = LzCompress(raw);
+  // Worst-case expansion is the 1/128 literal-run framing.
+  EXPECT_LT(packed.size(), raw.size() + raw.size() / 64 + 16);
+}
+
+TEST(LzCompress, OverlappingMatchesRle) {
+  // "abcabcabc..." exercises matches that overlap their own output.
+  std::string s;
+  for (int i = 0; i < 5000; ++i) s += "abc";
+  ExpectRoundTrip(Bytes(s));
+}
+
+TEST(LzDecompress, RejectsGarbage) {
+  std::vector<std::byte> garbage = {std::byte{0x85}, std::byte{0xFF}};
+  EXPECT_FALSE(LzDecompress(garbage, 100).ok());  // truncated match
+  std::vector<std::byte> bad_ref = {std::byte{0x80}, std::byte{0x09},
+                                    std::byte{0x00}};
+  EXPECT_FALSE(LzDecompress(bad_ref, 100).ok());  // distance beyond output
+}
+
+TEST(LzDecompress, SizeMismatchDetected) {
+  const auto raw = Bytes("hello world hello world");
+  const std::vector<std::byte> packed = LzCompress(raw);
+  EXPECT_FALSE(LzDecompress(packed, raw.size() + 1).ok());
+}
+
+// ---- end-to-end: compressed SSTables in the store ----------------------
+
+TEST(CompressedLsm, RoundTripUnderChurn) {
+  sim::VirtualClock clock;
+  hdd::HddConfig hc;
+  hc.capacity = 128 * kMiB;
+  hdd::HddDevice hdd(hc, &clock);
+  kv::LsmConfig c;
+  c.memtable_bytes = 16 * kKiB;
+  c.block_bytes = 2 * kKiB;
+  c.table_target_bytes = 64 * kKiB;
+  c.compress_blocks = true;
+  c.block_cache.capacity_bytes = 32 * kKiB;
+  kv::LsmStore store(c, &hdd, &clock);
+
+  Rng rng(79);
+  std::map<std::string, std::string> truth;
+  for (int i = 0; i < 4000; ++i) {
+    const std::string key = "key-" + std::to_string(rng.Uniform(600));
+    // Highly compressible values.
+    const std::string value(200 + rng.Uniform(200), 'a' + i % 3);
+    ASSERT_TRUE(store.Put(key, value).ok());
+    truth[key] = value;
+  }
+  ASSERT_TRUE(store.Flush().ok());
+  for (const auto& [k, v] : truth) {
+    std::string got;
+    auto g = store.Get(k, &got);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(g->found) << k;
+    EXPECT_EQ(got, v) << k;
+  }
+  // Scans decode compressed blocks too.
+  auto scan = store.Scan("key-0", 50);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_GT(scan->entries.size(), 10u);
+}
+
+TEST(CompressedLsm, CompressionShrinksTables) {
+  auto build = [](bool compress) {
+    sim::VirtualClock clock;
+    hdd::HddConfig hc;
+    hc.capacity = 128 * kMiB;
+    hdd::HddDevice hdd(hc, &clock);
+    kv::LsmConfig c;
+    c.memtable_bytes = 64 * kKiB;
+    c.block_bytes = 2 * kKiB;
+    c.compress_blocks = compress;
+    kv::LsmStore store(c, &hdd, &clock);
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_TRUE(
+          store.Put("key-" + std::to_string(i), std::string(100, 'z')).ok());
+    }
+    EXPECT_TRUE(store.Flush().ok());
+    u64 bytes = 0;
+    for (u64 level = 0; level < store.LevelCount(); ++level) {
+      bytes += store.LevelBytes(level);
+    }
+    return bytes;
+  };
+  const u64 raw = build(false);
+  const u64 packed = build(true);
+  EXPECT_LT(packed, raw / 2);
+}
+
+}  // namespace
+}  // namespace zncache

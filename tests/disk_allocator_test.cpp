@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "kv/disk_allocator.h"
+
+namespace zncache::kv {
+namespace {
+
+TEST(DiskAllocator, StartsFullyFree) {
+  DiskAllocator a(1000);
+  EXPECT_EQ(a.FreeBytes(), 1000u);
+  EXPECT_EQ(a.FragmentCount(), 1u);
+}
+
+TEST(DiskAllocator, AllocateAdvances) {
+  DiskAllocator a(1000);
+  auto o1 = a.Allocate(100);
+  ASSERT_TRUE(o1.ok());
+  EXPECT_EQ(*o1, 0u);
+  auto o2 = a.Allocate(100);
+  ASSERT_TRUE(o2.ok());
+  EXPECT_EQ(*o2, 100u);
+  EXPECT_EQ(a.FreeBytes(), 800u);
+}
+
+TEST(DiskAllocator, ZeroAllocationRejected) {
+  DiskAllocator a(100);
+  EXPECT_FALSE(a.Allocate(0).ok());
+}
+
+TEST(DiskAllocator, ExhaustionReported) {
+  DiskAllocator a(100);
+  ASSERT_TRUE(a.Allocate(100).ok());
+  EXPECT_EQ(a.Allocate(1).status().code(), StatusCode::kNoSpace);
+}
+
+TEST(DiskAllocator, FreeEnablesReuse) {
+  DiskAllocator a(100);
+  auto o = a.Allocate(100);
+  ASSERT_TRUE(o.ok());
+  ASSERT_TRUE(a.Free(*o, 100).ok());
+  EXPECT_TRUE(a.Allocate(100).ok());
+}
+
+TEST(DiskAllocator, CoalescesNeighbours) {
+  DiskAllocator a(300);
+  auto o1 = a.Allocate(100);
+  auto o2 = a.Allocate(100);
+  auto o3 = a.Allocate(100);
+  ASSERT_TRUE(o1.ok() && o2.ok() && o3.ok());
+  ASSERT_TRUE(a.Free(*o1, 100).ok());
+  ASSERT_TRUE(a.Free(*o3, 100).ok());
+  EXPECT_EQ(a.FragmentCount(), 2u);
+  ASSERT_TRUE(a.Free(*o2, 100).ok());
+  EXPECT_EQ(a.FragmentCount(), 1u);  // fully merged
+  EXPECT_TRUE(a.Allocate(300).ok());
+}
+
+TEST(DiskAllocator, DoubleFreeDetected) {
+  DiskAllocator a(100);
+  auto o = a.Allocate(50);
+  ASSERT_TRUE(o.ok());
+  ASSERT_TRUE(a.Free(*o, 50).ok());
+  EXPECT_FALSE(a.Free(*o, 50).ok());
+}
+
+TEST(DiskAllocator, OverlappingFreeDetected) {
+  DiskAllocator a(100);
+  ASSERT_TRUE(a.Allocate(100).ok());
+  ASSERT_TRUE(a.Free(0, 50).ok());
+  EXPECT_FALSE(a.Free(25, 50).ok());
+}
+
+TEST(DiskAllocator, FirstFitSkipsSmallHoles) {
+  DiskAllocator a(400);
+  auto o1 = a.Allocate(50);
+  auto o2 = a.Allocate(200);
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  ASSERT_TRUE(a.Free(*o1, 50).ok());  // 50-byte hole at 0; 150 free at 250
+  auto big = a.Allocate(60);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(*big, 250u);  // skipped the hole
+  auto small = a.Allocate(40);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(*small, 0u);  // reused the hole
+}
+
+TEST(DiskAllocator, ReserveCarvesExactExtent) {
+  DiskAllocator a(1000);
+  ASSERT_TRUE(a.Reserve(100, 50).ok());
+  EXPECT_EQ(a.FreeBytes(), 950u);
+  // Overlapping reservations fail.
+  EXPECT_FALSE(a.Reserve(120, 10).ok());
+  EXPECT_FALSE(a.Reserve(90, 20).ok());
+  // Adjacent space still allocatable.
+  EXPECT_TRUE(a.Reserve(150, 50).ok());
+  EXPECT_TRUE(a.Reserve(0, 100).ok());
+  ASSERT_TRUE(a.Free(100, 50).ok());
+  EXPECT_TRUE(a.Reserve(100, 50).ok());
+}
+
+TEST(DiskAllocator, ReserveInteractsWithAllocate) {
+  DiskAllocator a(1000);
+  ASSERT_TRUE(a.Reserve(0, 500).ok());
+  auto o = a.Allocate(400);
+  ASSERT_TRUE(o.ok());
+  EXPECT_GE(*o, 500u);
+  EXPECT_FALSE(a.Allocate(200).ok());
+}
+
+TEST(DiskAllocator, ZeroReserveRejected) {
+  DiskAllocator a(100);
+  EXPECT_FALSE(a.Reserve(0, 0).ok());
+}
+
+TEST(DiskAllocator, RandomizedInvariantNoOverlapNoLeak) {
+  const u64 cap = 10'000;
+  DiskAllocator a(cap);
+  Rng rng(61);
+  struct Extent {
+    u64 offset, size;
+  };
+  std::vector<Extent> live;
+  u64 live_bytes = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.Chance(0.6) || live.empty()) {
+      const u64 size = 1 + rng.Uniform(200);
+      auto o = a.Allocate(size);
+      if (!o.ok()) continue;
+      // No overlap with any live extent.
+      for (const Extent& e : live) {
+        EXPECT_TRUE(*o + size <= e.offset || e.offset + e.size <= *o)
+            << "overlap at " << *o;
+      }
+      live.push_back({*o, size});
+      live_bytes += size;
+    } else {
+      const size_t idx = rng.Uniform(live.size());
+      ASSERT_TRUE(a.Free(live[idx].offset, live[idx].size).ok());
+      live_bytes -= live[idx].size;
+      live[idx] = live.back();
+      live.pop_back();
+    }
+    EXPECT_EQ(a.FreeBytes(), cap - live_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace zncache::kv

@@ -1,0 +1,214 @@
+// Cross-feature stress tests: long randomized runs that combine the
+// persistent cache, workload generators, recovery, pools and the LSM in
+// ways the feature-scoped suites do not.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "backends/middle_region_device.h"
+#include "backends/schemes.h"
+#include "cache/pooled_cache.h"
+#include "kv/db_bench.h"
+#include "workload/trace.h"
+#include "workload/ycsb.h"
+
+namespace zncache {
+namespace {
+
+using backends::MakeScheme;
+using backends::SchemeKind;
+using backends::SchemeParams;
+
+TEST(EndToEndStress, PersistentCacheSurvivesWorkloadThenRestart) {
+  sim::VirtualClock clock;
+  SchemeParams params;
+  params.zone_size = 8 * kMiB;
+  params.region_size = 512 * kKiB;
+  params.cache_bytes = 24 * kMiB;
+  params.min_empty_zones = 1;
+  params.persistent = true;
+  auto scheme = MakeScheme(SchemeKind::kRegion, params, &clock);
+  ASSERT_TRUE(scheme.ok());
+
+  workload::CacheBenchConfig wl;
+  wl.ops = 40'000;
+  wl.warmup_ops = 0;
+  wl.key_space = 6'000;
+  wl.value_min = 1 * kKiB;
+  wl.value_max = 8 * kKiB;
+  workload::CacheBenchRunner runner(wl);
+  auto r = runner.Run(*scheme->cache, clock);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(scheme->cache->Flush().ok());
+  const double hit_before = [&] {
+    // Probe a sample of hot keys pre-restart.
+    int hits = 0;
+    for (int i = 0; i < 500; ++i) {
+      auto g = scheme->cache->Get(workload::CacheBenchRunner::KeyName(i));
+      if (g.ok() && g->hit) hits++;
+    }
+    return hits / 500.0;
+  }();
+
+  // Warm restart on the same backend.
+  cache::FlashCacheConfig cc;
+  cc.store_values = true;
+  cc.persistent = true;
+  cache::FlashCache restarted(cc, scheme->device.get(), &clock);
+  ASSERT_TRUE(restarted.Recover().ok());
+  int hits_after = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto g = restarted.Get(workload::CacheBenchRunner::KeyName(i));
+    if (g.ok() && g->hit) hits_after++;
+  }
+  // Recovery must retain (at least) most of the pre-restart hot set; the
+  // unflushed open-region tail is the only legitimate loss.
+  EXPECT_GE(hits_after / 500.0, hit_before - 0.1);
+
+  // The recovered cache continues to serve the workload correctly.
+  auto r2 = runner.Run(restarted, clock);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2->hit_ratio, 0.3);
+}
+
+TEST(EndToEndStress, PooledCacheReplaysTraceDeterministically) {
+  workload::CacheBenchConfig wl;
+  wl.ops = 30'000;
+  wl.warmup_ops = 0;
+  wl.key_space = 5'000;
+  wl.value_min = 1 * kKiB;
+  wl.value_max = 4 * kKiB;
+  const workload::Trace trace = workload::GenerateTrace(wl);
+
+  auto run_once = [&]() {
+    sim::VirtualClock clock;
+    backends::MiddleRegionDeviceConfig dc;
+    dc.region_count = 48;
+    dc.zns.zone_count = 20;
+    dc.zns.zone_size = 256 * kKiB;
+    dc.zns.zone_capacity = 256 * kKiB;
+    dc.middle.region_size = 64 * kKiB;
+    dc.middle.min_empty_zones = 2;
+    auto device =
+        std::make_unique<backends::MiddleRegionDevice>(dc, &clock);
+    EXPECT_TRUE(device->Init().ok());
+    cache::PooledCacheConfig pc;
+    pc.pools = 4;
+    pc.engine.store_values = true;
+    cache::PooledCache pooled(pc, device.get(), &clock);
+
+    u64 hits = 0, gets = 0;
+    std::string v;
+    for (const auto& op : trace.ops()) {
+      switch (op.kind) {
+        case workload::TraceOp::Kind::kGet: {
+          auto g = pooled.Get(op.key, &v);
+          EXPECT_TRUE(g.ok());
+          gets++;
+          if (g.ok() && g->hit) hits++;
+          break;
+        }
+        case workload::TraceOp::Kind::kSet:
+          EXPECT_TRUE(pooled.Set(op.key, std::string(op.value_size, 't')).ok());
+          break;
+        case workload::TraceOp::Kind::kDelete:
+          EXPECT_TRUE(pooled.Delete(op.key).ok());
+          break;
+      }
+    }
+    return std::pair<u64, u64>(hits, gets);
+  };
+  const auto [h1, g1] = run_once();
+  const auto [h2, g2] = run_once();
+  EXPECT_EQ(h1, h2);  // identical trace + deterministic stack
+  EXPECT_EQ(g1, g2);
+  EXPECT_GT(h1, g1 / 4);
+}
+
+TEST(EndToEndStress, LsmWithSecondaryCacheRestartsCleanly) {
+  // LSM store + persistent flash tier; restart BOTH layers and verify the
+  // stack still answers correctly.
+  sim::VirtualClock clock;
+  hdd::HddConfig hc;
+  hc.capacity = 256 * kMiB;
+  hdd::HddDevice disk(hc, &clock);
+
+  SchemeParams params;
+  params.zone_size = 8 * kMiB;
+  params.region_size = 512 * kKiB;
+  params.cache_bytes = 24 * kMiB;
+  params.min_empty_zones = 1;
+  params.persistent = true;
+  auto scheme = MakeScheme(SchemeKind::kRegion, params, &clock);
+  ASSERT_TRUE(scheme.ok());
+  kv::FlashSecondaryCache secondary(scheme->cache.get());
+
+  kv::LsmConfig lc;
+  lc.memtable_bytes = 32 * kKiB;
+  lc.block_bytes = 2 * kKiB;
+  lc.manifest_slot_bytes = 256 * kKiB;
+  lc.block_cache.capacity_bytes = 64 * kKiB;
+  auto store = std::make_unique<kv::LsmStore>(lc, &disk, &clock, &secondary);
+
+  kv::DbBenchConfig cfg;
+  cfg.num_keys = 30'000;
+  cfg.reads = 5'000;
+  cfg.exp_range = 15.0;
+  kv::DbBench bench(cfg);
+  ASSERT_TRUE(bench.FillRandom(*store).ok());
+  ASSERT_TRUE(bench.ReadRandom(*store, clock).ok());  // warm the tiers
+  ASSERT_TRUE(scheme->cache->Flush().ok());
+
+  // Restart: new flash engine (recovered) + new store (recovered).
+  cache::FlashCacheConfig cc;
+  cc.store_values = true;
+  cc.persistent = true;
+  auto flash2 =
+      std::make_unique<cache::FlashCache>(cc, scheme->device.get(), &clock);
+  ASSERT_TRUE(flash2->Recover().ok());
+  kv::FlashSecondaryCache secondary2(flash2.get());
+  auto store2 = std::make_unique<kv::LsmStore>(lc, &disk, &clock, &secondary2);
+  ASSERT_TRUE(store2->Recover().ok());
+
+  auto r = bench.ReadRandom(*store2, clock);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->found, 3'000u);
+  // The recovered flash tier actually serves hits.
+  EXPECT_GT(flash2->stats().hits, 0u);
+}
+
+TEST(EndToEndStress, YcsbOnZoneCache) {
+  // Zone-Cache as secondary tier under a YCSB-A run: zero WA must hold
+  // through heavy update traffic.
+  sim::VirtualClock clock;
+  hdd::HddConfig hc;
+  hc.capacity = 256 * kMiB;
+  hdd::HddDevice disk(hc, &clock);
+
+  SchemeParams params;
+  params.zone_size = 8 * kMiB;
+  params.cache_bytes = 32 * kMiB;
+  params.store_data = true;
+  auto scheme = MakeScheme(SchemeKind::kZone, params, &clock);
+  ASSERT_TRUE(scheme.ok());
+  kv::FlashSecondaryCache secondary(scheme->cache.get());
+
+  kv::LsmConfig lc;
+  lc.memtable_bytes = 32 * kKiB;
+  lc.block_cache.capacity_bytes = 64 * kKiB;
+  kv::LsmStore store(lc, &disk, &clock, &secondary);
+
+  workload::YcsbConfig yc;
+  yc.record_count = 20'000;
+  yc.operation_count = 10'000;
+  workload::YcsbRunner runner(yc);
+  ASSERT_TRUE(runner.Load(store).ok());
+  auto r = runner.Run(workload::YcsbWorkload::kA, store, clock);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->found, r->reads);
+  EXPECT_DOUBLE_EQ(scheme->WaFactor(), 1.0);  // Zone-Cache is GC-free
+}
+
+}  // namespace
+}  // namespace zncache

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "f2fslite/f2fs_lite.h"
+
+namespace zncache::f2fslite {
+namespace {
+
+zns::ZnsConfig DeviceConfig(u64 zones = 16) {
+  zns::ZnsConfig c;
+  c.zone_count = zones;
+  c.zone_size = 256 * kKiB;
+  c.zone_capacity = 256 * kKiB;
+  c.max_open_zones = 6;
+  c.max_active_zones = 8;
+  return c;
+}
+
+class F2fsLiteTest : public ::testing::Test {
+ protected:
+  void Make(F2fsConfig fs_config = {}, u64 zones = 16) {
+    clock_ = std::make_unique<sim::VirtualClock>();
+    dev_ = std::make_unique<zns::ZnsDevice>(DeviceConfig(zones), clock_.get());
+    fs_ = std::make_unique<F2fsLite>(fs_config, dev_.get());
+  }
+
+  void SetUp() override { Make(); }
+
+  std::vector<std::byte> Blocks(u64 n, char fill) {
+    return std::vector<std::byte>(n * 4096, std::byte(fill));
+  }
+
+  std::unique_ptr<sim::VirtualClock> clock_;
+  std::unique_ptr<zns::ZnsDevice> dev_;
+  std::unique_ptr<F2fsLite> fs_;
+};
+
+TEST_F(F2fsLiteTest, MaxFileReservesOpSpace) {
+  // 15 data zones, 20% OP -> at most 12 zones of file.
+  EXPECT_LE(fs_->MaxFileBytes(), 12 * 256 * kKiB);
+  EXPECT_GT(fs_->MaxFileBytes(), 8 * 256 * kKiB);
+}
+
+TEST_F(F2fsLiteTest, CreateFileOnceOnly) {
+  ASSERT_TRUE(fs_->CreateFile(1 * kMiB).ok());
+  EXPECT_EQ(fs_->CreateFile(1 * kMiB).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(F2fsLiteTest, CreateOversizedFileFails) {
+  EXPECT_EQ(fs_->CreateFile(100 * kMiB).code(), StatusCode::kNoSpace);
+}
+
+TEST_F(F2fsLiteTest, IoBeforeCreateFails) {
+  auto r = fs_->Pwrite(0, Blocks(1, 'a'));
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(F2fsLiteTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(fs_->CreateFile(1 * kMiB).ok());
+  auto data = Blocks(4, 'q');
+  ASSERT_TRUE(fs_->Pwrite(0, data).ok());
+  std::vector<std::byte> out(data.size());
+  ASSERT_TRUE(fs_->Pread(0, out).ok());
+  EXPECT_EQ(std::memcmp(data.data(), out.data(), data.size()), 0);
+}
+
+TEST_F(F2fsLiteTest, UnalignedIoRejected) {
+  ASSERT_TRUE(fs_->CreateFile(1 * kMiB).ok());
+  std::vector<std::byte> odd(100);
+  EXPECT_EQ(fs_->Pwrite(0, odd).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Pwrite(100, Blocks(1, 'a')).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(F2fsLiteTest, ReadHoleFails) {
+  ASSERT_TRUE(fs_->CreateFile(1 * kMiB).ok());
+  std::vector<std::byte> out(4096);
+  EXPECT_EQ(fs_->Pread(0, out).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(F2fsLiteTest, OverwriteIsOutOfPlaceButReadsLatest) {
+  ASSERT_TRUE(fs_->CreateFile(1 * kMiB).ok());
+  ASSERT_TRUE(fs_->Pwrite(0, Blocks(2, '1')).ok());
+  ASSERT_TRUE(fs_->Pwrite(0, Blocks(2, '2')).ok());
+  std::vector<std::byte> out(2 * 4096);
+  ASSERT_TRUE(fs_->Pread(0, out).ok());
+  EXPECT_EQ(out[0], std::byte('2'));
+  // Host wrote 4 blocks; the device saw at least those 4 (out-of-place).
+  EXPECT_GE(fs_->stats().device_bytes_written, 4u * 4096);
+}
+
+TEST_F(F2fsLiteTest, BeyondFileSizeRejected) {
+  ASSERT_TRUE(fs_->CreateFile(64 * kKiB).ok());
+  EXPECT_EQ(fs_->Pwrite(64 * kKiB, Blocks(1, 'a')).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(F2fsLiteTest, MetadataTrafficAccounted) {
+  F2fsConfig cfg;
+  cfg.metadata_interval = 8;
+  Make(cfg);
+  ASSERT_TRUE(fs_->CreateFile(1 * kMiB).ok());
+  ASSERT_TRUE(fs_->Pwrite(0, Blocks(64, 'm')).ok());
+  EXPECT_GT(fs_->stats().metadata_bytes_written, 0u);
+}
+
+TEST_F(F2fsLiteTest, ChurnTriggersCleaningAndWa) {
+  ASSERT_TRUE(fs_->CreateFile(fs_->MaxFileBytes()).ok());
+  const u64 blocks = fs_->file_blocks();
+  // Sequential base fill.
+  for (u64 b = 0; b < blocks; b += 16) {
+    const u64 n = std::min<u64>(16, blocks - b);
+    ASSERT_TRUE(fs_->Pwrite(b * 4096, Blocks(n, 'f')).ok());
+  }
+  // Random overwrites: out-of-place writes + invalidations -> cleaning.
+  Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    const u64 b = rng.Uniform(blocks);
+    ASSERT_TRUE(fs_->Pwrite(b * 4096, Blocks(1, char('a' + i % 26))).ok());
+  }
+  EXPECT_GT(fs_->stats().cleaned_zones, 0u);
+  EXPECT_GT(fs_->stats().WriteAmplification(), 1.0);
+}
+
+TEST_F(F2fsLiteTest, CleaningPreservesData) {
+  ASSERT_TRUE(fs_->CreateFile(fs_->MaxFileBytes()).ok());
+  const u64 blocks = fs_->file_blocks();
+  std::vector<u8> stamp(blocks, 0);
+  for (u64 b = 0; b < blocks; ++b) {
+    const char fill = static_cast<char>('A' + b % 26);
+    ASSERT_TRUE(fs_->Pwrite(b * 4096, Blocks(1, fill)).ok());
+    stamp[b] = static_cast<u8>(fill);
+  }
+  Rng rng(22);
+  for (int i = 0; i < 3000; ++i) {
+    const u64 b = rng.Uniform(blocks);
+    const char fill = static_cast<char>('a' + i % 26);
+    ASSERT_TRUE(fs_->Pwrite(b * 4096, Blocks(1, fill)).ok());
+    stamp[b] = static_cast<u8>(fill);
+  }
+  ASSERT_GT(fs_->stats().cleaned_zones, 0u);
+  std::vector<std::byte> out(4096);
+  for (u64 b = 0; b < blocks; ++b) {
+    ASSERT_TRUE(fs_->Pread(b * 4096, out).ok()) << "block " << b;
+    EXPECT_EQ(out[0], std::byte(stamp[b])) << "block " << b;
+  }
+}
+
+TEST_F(F2fsLiteTest, HigherOpLowersWa) {
+  auto churn = [&](double op) {
+    F2fsConfig cfg;
+    cfg.op_ratio = op;
+    Make(cfg, 24);
+    // A higher OP ratio shrinks the usable file on the same device, which
+    // leaves more slack for the cleaner — emptier victims, lower WA. This
+    // is exactly the Figure 4 / Table 1 tradeoff.
+    const u64 file_bytes = fs_->MaxFileBytes();
+    EXPECT_TRUE(fs_->CreateFile(file_bytes).ok());
+    const u64 blocks = file_bytes / 4096;
+    for (u64 b = 0; b < blocks; ++b) {
+      EXPECT_TRUE(fs_->Pwrite(b * 4096, Blocks(1, 'x')).ok());
+    }
+    Rng rng(23);
+    for (int i = 0; i < 4000; ++i) {
+      EXPECT_TRUE(
+          fs_->Pwrite(rng.Uniform(blocks) * 4096, Blocks(1, 'y')).ok());
+    }
+    return fs_->stats().WriteAmplification();
+  };
+  const double wa_10 = churn(0.10);
+  const double wa_30 = churn(0.30);
+  EXPECT_GT(wa_10, wa_30);
+}
+
+}  // namespace
+}  // namespace zncache::f2fslite

@@ -1,0 +1,174 @@
+// Multi-file namespace of F2fsLite: create/open/remove, isolation between
+// files, capacity accounting, cleaning across files.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "common/random.h"
+#include "f2fslite/f2fs_lite.h"
+
+namespace zncache::f2fslite {
+namespace {
+
+class F2fsMultiFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    zns::ZnsConfig c;
+    c.zone_count = 16;
+    c.zone_size = 256 * kKiB;
+    c.zone_capacity = 256 * kKiB;
+    c.max_open_zones = 6;
+    c.max_active_zones = 8;
+    clock_ = std::make_unique<sim::VirtualClock>();
+    dev_ = std::make_unique<zns::ZnsDevice>(c, clock_.get());
+    fs_ = std::make_unique<F2fsLite>(F2fsConfig{}, dev_.get());
+  }
+
+  std::vector<std::byte> Blocks(u64 n, char fill) {
+    return std::vector<std::byte>(n * 4096, std::byte(fill));
+  }
+
+  std::unique_ptr<sim::VirtualClock> clock_;
+  std::unique_ptr<zns::ZnsDevice> dev_;
+  std::unique_ptr<F2fsLite> fs_;
+};
+
+TEST_F(F2fsMultiFileTest, CreateOpenRemove) {
+  auto fd = fs_->Create("alpha", 64 * kKiB);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(fs_->FileCount(), 1u);
+
+  auto reopened = fs_->Open("alpha");
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(*reopened, *fd);
+
+  ASSERT_TRUE(fs_->Remove("alpha").ok());
+  EXPECT_EQ(fs_->FileCount(), 0u);
+  EXPECT_FALSE(fs_->Open("alpha").ok());
+}
+
+TEST_F(F2fsMultiFileTest, DuplicateNameRejected) {
+  ASSERT_TRUE(fs_->Create("x", 4096).ok());
+  EXPECT_EQ(fs_->Create("x", 4096).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(F2fsMultiFileTest, EmptyNameRejected) {
+  EXPECT_FALSE(fs_->Create("", 4096).ok());
+}
+
+TEST_F(F2fsMultiFileTest, IoOnRemovedFileFails) {
+  auto fd = fs_->Create("gone", 64 * kKiB);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Remove("gone").ok());
+  EXPECT_FALSE(fs_->PwriteAt(*fd, 0, Blocks(1, 'a')).ok());
+  std::vector<std::byte> out(4096);
+  EXPECT_FALSE(fs_->PreadAt(*fd, 0, out).ok());
+}
+
+TEST_F(F2fsMultiFileTest, FilesAreIsolated) {
+  auto a = fs_->Create("a", 128 * kKiB);
+  auto b = fs_->Create("b", 128 * kKiB);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(fs_->PwriteAt(*a, 0, Blocks(4, 'A')).ok());
+  ASSERT_TRUE(fs_->PwriteAt(*b, 0, Blocks(4, 'B')).ok());
+
+  std::vector<std::byte> out(4 * 4096);
+  ASSERT_TRUE(fs_->PreadAt(*a, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte('A'));
+  ASSERT_TRUE(fs_->PreadAt(*b, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte('B'));
+}
+
+TEST_F(F2fsMultiFileTest, CapacitySharedAcrossFiles) {
+  const u64 max = fs_->MaxFileBytes();
+  ASSERT_TRUE(fs_->Create("big", max / 2).ok());
+  ASSERT_TRUE(fs_->Create("big2", max / 2).ok());
+  EXPECT_EQ(fs_->Create("extra", 256 * kKiB).status().code(),
+            StatusCode::kNoSpace);
+}
+
+TEST_F(F2fsMultiFileTest, RemoveFreesCapacity) {
+  const u64 max = fs_->MaxFileBytes();
+  ASSERT_TRUE(fs_->Create("big", max).ok());
+  EXPECT_FALSE(fs_->Create("more", 4096).ok());
+  ASSERT_TRUE(fs_->Remove("big").ok());
+  EXPECT_TRUE(fs_->Create("more", max / 2).ok());
+}
+
+TEST_F(F2fsMultiFileTest, FdSlotReusedAfterRemove) {
+  auto a = fs_->Create("a", 4096);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(fs_->Remove("a").ok());
+  auto b = fs_->Create("b", 4096);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, *a);  // slot reuse
+}
+
+TEST_F(F2fsMultiFileTest, FileSizeReported) {
+  auto fd = fs_->Create("sized", 10'000);  // rounds up to 3 blocks
+  ASSERT_TRUE(fd.ok());
+  auto size = fs_->FileSizeBytes(*fd);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 3 * 4096u);
+}
+
+TEST_F(F2fsMultiFileTest, RemovedFileBlocksReclaimedByCleaner) {
+  // Fill a file, remove it, then churn another file: the cleaner should
+  // find the removed file's zones nearly empty (cheap cleaning).
+  auto a = fs_->Create("dead", 6 * 256 * kKiB);
+  ASSERT_TRUE(a.ok());
+  const u64 blocks_a = 6 * 64;
+  for (u64 b = 0; b < blocks_a; b += 16) {
+    ASSERT_TRUE(fs_->PwriteAt(*a, b * 4096, Blocks(16, 'd')).ok());
+  }
+  ASSERT_TRUE(fs_->Remove("dead").ok());
+
+  auto b = fs_->Create("live", 4 * 256 * kKiB);
+  ASSERT_TRUE(b.ok());
+  Rng rng(55);
+  for (int i = 0; i < 2000; ++i) {
+    const u64 blk = rng.Uniform(4 * 64);
+    ASSERT_TRUE(fs_->PwriteAt(*b, blk * 4096, Blocks(1, 'l')).ok());
+  }
+  // All of "live"'s blocks must still read back.
+  std::vector<std::byte> out(4096);
+  u64 readable = 0;
+  for (u64 blk = 0; blk < 4 * 64; ++blk) {
+    if (fs_->PreadAt(*b, blk * 4096, out).ok()) readable++;
+  }
+  EXPECT_GT(readable, 0u);
+  EXPECT_GE(fs_->stats().WriteAmplification(), 1.0);
+}
+
+TEST_F(F2fsMultiFileTest, CleaningPreservesAllFiles) {
+  auto a = fs_->Create("a", 4 * 256 * kKiB);
+  auto b = fs_->Create("b", 4 * 256 * kKiB);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Rng rng(56);
+  std::vector<u8> stamp_a(4 * 64, 0), stamp_b(4 * 64, 0);
+  for (int i = 0; i < 4000; ++i) {
+    const bool use_a = rng.Chance(0.5);
+    const u64 blk = rng.Uniform(4 * 64);
+    const char fill = static_cast<char>('a' + i % 26);
+    ASSERT_TRUE(
+        fs_->PwriteAt(use_a ? *a : *b, blk * 4096, Blocks(1, fill)).ok());
+    (use_a ? stamp_a : stamp_b)[blk] = static_cast<u8>(fill);
+  }
+  ASSERT_GT(fs_->stats().cleaned_zones, 0u);
+  std::vector<std::byte> out(4096);
+  for (u64 blk = 0; blk < 4 * 64; ++blk) {
+    if (stamp_a[blk] != 0) {
+      ASSERT_TRUE(fs_->PreadAt(*a, blk * 4096, out).ok()) << blk;
+      EXPECT_EQ(out[0], std::byte(stamp_a[blk])) << "file a block " << blk;
+    }
+    if (stamp_b[blk] != 0) {
+      ASSERT_TRUE(fs_->PreadAt(*b, blk * 4096, out).ok()) << blk;
+      EXPECT_EQ(out[0], std::byte(stamp_b[blk])) << "file b block " << blk;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zncache::f2fslite

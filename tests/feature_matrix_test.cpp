@@ -1,0 +1,224 @@
+// Feature-combination coverage: options that interact (persistence x
+// zone-append, persistence x reinsertion, GC under persistent strides,
+// flush-buffer backpressure edges, filesystem path-cost accounting).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "backends/middle_region_device.h"
+#include "backends/schemes.h"
+#include "common/random.h"
+#include "f2fslite/f2fs_lite.h"
+#include "middle/zone_translation_layer.h"
+
+namespace zncache {
+namespace {
+
+// ---- middle layer: persist_headers x zone-append x GC -------------------
+
+class PersistAppendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    zns::ZnsConfig zc;
+    zc.zone_count = 12;
+    zc.zone_size = 1 * kMiB;
+    zc.zone_capacity = 1 * kMiB;
+    zc.max_open_zones = 6;
+    zc.max_active_zones = 8;
+    dev_ = std::make_unique<zns::ZnsDevice>(zc, &clock_);
+    middle::MiddleLayerConfig mc;
+    mc.region_size = 64 * kKiB;
+    mc.region_slots = 80;
+    mc.open_zones = 2;
+    mc.min_empty_zones = 1;
+    mc.persist_headers = true;
+    mc.use_zone_append = true;
+    layer_ = std::make_unique<middle::ZoneTranslationLayer>(mc, dev_.get());
+    ASSERT_TRUE(layer_->ValidateConfig().ok());
+  }
+
+  Status Write(middle::ZoneTranslationLayer& layer, u64 rid, char fill) {
+    std::vector<std::byte> data(64 * kKiB, std::byte(fill));
+    auto r = layer.WriteRegion(rid, data, sim::IoMode::kForeground);
+    return r.ok() ? Status::Ok() : r.status();
+  }
+
+  sim::VirtualClock clock_;
+  std::unique_ptr<zns::ZnsDevice> dev_;
+  std::unique_ptr<middle::ZoneTranslationLayer> layer_;
+};
+
+TEST_F(PersistAppendTest, AppendWithHeadersRoundTrips) {
+  for (u64 r = 0; r < 40; ++r) {
+    ASSERT_TRUE(Write(*layer_, r, static_cast<char>('a' + r % 26)).ok());
+  }
+  std::vector<std::byte> out(8);
+  for (u64 r = 0; r < 40; ++r) {
+    ASSERT_TRUE(layer_->ReadRegion(r, 0, out).ok()) << r;
+    EXPECT_EQ(out[0], std::byte(static_cast<char>('a' + r % 26)));
+  }
+  EXPECT_GT(dev_->stats().append_ops, 0u);
+}
+
+TEST_F(PersistAppendTest, GcUnderPersistentStridesKeepsData) {
+  Rng rng(601);
+  std::vector<int> stamp(80, -1);
+  for (int i = 0; i < 600; ++i) {
+    const u64 rid = rng.Uniform(80);
+    const char fill = static_cast<char>('a' + i % 26);
+    ASSERT_TRUE(Write(*layer_, rid, fill).ok());
+    stamp[rid] = fill;
+  }
+  ASSERT_GT(layer_->stats().gc_runs, 0u);
+  std::vector<std::byte> out(8);
+  for (u64 rid = 0; rid < 80; ++rid) {
+    if (stamp[rid] < 0) continue;
+    ASSERT_TRUE(layer_->ReadRegion(rid, 0, out).ok()) << rid;
+    EXPECT_EQ(out[0], std::byte(static_cast<char>(stamp[rid])));
+  }
+}
+
+TEST_F(PersistAppendTest, RecoverAfterGcChurn) {
+  Rng rng(602);
+  std::vector<int> stamp(80, -1);
+  for (int i = 0; i < 500; ++i) {
+    const u64 rid = rng.Uniform(80);
+    const char fill = static_cast<char>('a' + i % 26);
+    ASSERT_TRUE(Write(*layer_, rid, fill).ok());
+    stamp[rid] = fill;
+  }
+  middle::MiddleLayerConfig mc = layer_->config();
+  middle::ZoneTranslationLayer restarted(mc, dev_.get());
+  ASSERT_TRUE(restarted.Recover().ok());
+  std::vector<std::byte> out(8);
+  for (u64 rid = 0; rid < 80; ++rid) {
+    if (stamp[rid] < 0) continue;
+    auto r = restarted.ReadRegion(rid, 0, out);
+    ASSERT_TRUE(r.ok()) << "region " << rid << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(out[0], std::byte(static_cast<char>(stamp[rid])));
+  }
+}
+
+// ---- cache engine combinations ------------------------------------------
+
+backends::MiddleRegionDeviceConfig EngineDeviceConfig() {
+  backends::MiddleRegionDeviceConfig dc;
+  dc.region_count = 24;
+  dc.zns.zone_count = 12;
+  dc.zns.zone_size = 256 * kKiB;
+  dc.zns.zone_capacity = 256 * kKiB;
+  dc.middle.region_size = 64 * kKiB;
+  dc.middle.min_empty_zones = 2;
+  return dc;
+}
+
+TEST(FeatureMatrix, PersistentReinsertionSurvivesRestart) {
+  sim::VirtualClock clock;
+  backends::SchemeParams params;
+  params.zone_size = 8 * kMiB;
+  params.region_size = 512 * kKiB;
+  params.cache_bytes = 24 * kMiB;
+  params.min_empty_zones = 1;
+  params.persistent = true;
+  params.cache_config.policy = cache::EvictionPolicy::kFifo;
+  params.cache_config.reinsertion_hits = 2;
+  auto scheme =
+      backends::MakeScheme(backends::SchemeKind::kRegion, params, &clock);
+  ASSERT_TRUE(scheme.ok());
+
+  // Keep one key hot through several cache generations.
+  ASSERT_TRUE(scheme->cache->Set("hot", std::string(200 * 1024, 'H')).ok());
+  for (int i = 0; i < 10; ++i) (void)scheme->cache->Get("hot");
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(scheme->cache
+                    ->Set("cold-" + std::to_string(i),
+                          std::string(200 * 1024, 'c'))
+                    .ok());
+    (void)scheme->cache->Get("hot");
+  }
+  EXPECT_GT(scheme->cache->stats().reinserted_items, 0u);
+  ASSERT_TRUE(scheme->cache->Flush().ok());
+
+  cache::FlashCacheConfig cc;
+  cc.store_values = true;
+  cc.persistent = true;
+  cache::FlashCache restarted(cc, scheme->device.get(), &clock);
+  ASSERT_TRUE(restarted.Recover().ok());
+  std::string v;
+  auto g = restarted.Get("hot", &v);
+  ASSERT_TRUE(g.ok());
+  if (g->hit) EXPECT_EQ(v[0], 'H');
+}
+
+TEST(FeatureMatrix, SingleFlushBufferSerializes) {
+  sim::VirtualClock clock;
+  backends::MiddleRegionDevice device(EngineDeviceConfig(), &clock);
+  ASSERT_TRUE(device.Init().ok());
+  cache::FlashCacheConfig cc;
+  cc.store_values = true;
+  cc.flush_buffers = 1;  // every flush must complete before the next opens
+  cache::FlashCache flash_cache(cc, &device, &clock);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        flash_cache.Set("k" + std::to_string(i), std::string(30 * 1024, 'x'))
+            .ok());
+  }
+  ASSERT_TRUE(flash_cache.Flush().ok());
+  // All data retrievable despite the tight buffer budget.
+  EXPECT_TRUE(flash_cache.Get("k99")->hit);
+}
+
+TEST(FeatureMatrix, AdmissionPlusReinsertionCoexist) {
+  sim::VirtualClock clock;
+  backends::MiddleRegionDevice device(EngineDeviceConfig(), &clock);
+  ASSERT_TRUE(device.Init().ok());
+  cache::FlashCacheConfig cc;
+  cc.store_values = true;
+  cc.policy = cache::EvictionPolicy::kFifo;
+  cc.reinsertion_hits = 1;
+  cc.admit_probability = 0.7;
+  cache::FlashCache flash_cache(cc, &device, &clock);
+  Rng rng(603);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(flash_cache
+                    .Set("k" + std::to_string(rng.Uniform(400)),
+                         std::string(8 * 1024, 'x'))
+                    .ok());
+    (void)flash_cache.Get("k" + std::to_string(rng.Uniform(400)));
+  }
+  EXPECT_GT(flash_cache.stats().admission_rejects, 0u);
+  // The engine stays coherent: stats add up and nothing crashed.
+  EXPECT_GE(flash_cache.stats().gets, 4000u);
+}
+
+// ---- f2fs path-cost accounting -------------------------------------------
+
+TEST(FeatureMatrix, F2fsForegroundReadPaysPathCost) {
+  sim::VirtualClock clock;
+  zns::ZnsConfig zc;
+  zc.zone_count = 8;
+  zc.zone_size = 256 * kKiB;
+  zc.zone_capacity = 256 * kKiB;
+  zns::ZnsDevice dev(zc, &clock);
+  f2fslite::F2fsConfig fc;
+  fc.read_path_ns = 50'000;
+  f2fslite::F2fsLite fs(fc, &dev);
+  ASSERT_TRUE(fs.CreateFile(256 * kKiB).ok());
+  std::vector<std::byte> block(4096, std::byte('f'));
+  ASSERT_TRUE(fs.Pwrite(0, block).ok());
+
+  std::vector<std::byte> out(4096);
+  auto fg = fs.Pread(0, out, sim::IoMode::kForeground);
+  ASSERT_TRUE(fg.ok());
+  // Foreground read latency includes the fixed filesystem path cost on top
+  // of the raw device read.
+  EXPECT_GE(fg->latency, 50'000u + 80'000u);
+
+  auto bg = fs.Pread(0, out, sim::IoMode::kBackground);
+  ASSERT_TRUE(bg.ok());
+  EXPECT_EQ(bg->latency, 0u);
+}
+
+}  // namespace
+}  // namespace zncache

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace zncache {
+namespace {
+
+Result<Flags> ParseArgs(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EmptyArgs) {
+  auto f = ParseArgs({});
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f->Has("anything"));
+  EXPECT_TRUE(f->positional().empty());
+}
+
+TEST(Flags, KeyValuePairs) {
+  auto f = ParseArgs({"--ops=1000", "--theta=0.75", "--scheme=zone"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->GetU64("ops", 0), 1000u);
+  EXPECT_DOUBLE_EQ(f->GetDouble("theta", 0), 0.75);
+  EXPECT_EQ(f->GetString("scheme"), "zone");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  auto f = ParseArgs({});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->GetU64("missing", 42), 42u);
+  EXPECT_DOUBLE_EQ(f->GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(f->GetString("missing", "dflt"), "dflt");
+  EXPECT_TRUE(f->GetBool("missing", true));
+}
+
+TEST(Flags, BareSwitchIsTrue) {
+  auto f = ParseArgs({"--verbose"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->Has("verbose"));
+  EXPECT_TRUE(f->GetBool("verbose"));
+}
+
+TEST(Flags, BoolParsing) {
+  auto f = ParseArgs({"--a=false", "--b=0", "--c=yes"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f->GetBool("a", true));
+  EXPECT_FALSE(f->GetBool("b", true));
+  EXPECT_TRUE(f->GetBool("c", false));
+}
+
+TEST(Flags, PositionalArgsKept) {
+  auto f = ParseArgs({"--x=1", "input.txt", "more"});
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f->positional().size(), 2u);
+  EXPECT_EQ(f->positional()[0], "input.txt");
+}
+
+TEST(Flags, SingleDashRejected) {
+  EXPECT_FALSE(ParseArgs({"-x"}).ok());
+}
+
+TEST(Flags, EmptyNameRejected) {
+  EXPECT_FALSE(ParseArgs({"--=v"}).ok());
+}
+
+TEST(Flags, LastValueWins) {
+  auto f = ParseArgs({"--n=1", "--n=2"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->GetU64("n", 0), 2u);
+}
+
+}  // namespace
+}  // namespace zncache

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "backends/middle_region_device.h"
+#include "backends/zone_region_device.h"
+#include "cache/flash_cache.h"
+#include "common/random.h"
+
+namespace zncache::cache {
+namespace {
+
+// Most engine tests use the middle-layer backend (the general case).
+constexpr u64 kRegion = 64 * kKiB;
+
+backends::MiddleRegionDeviceConfig DeviceConfig(u64 slots = 24) {
+  backends::MiddleRegionDeviceConfig c;
+  c.region_count = slots;
+  c.zns.zone_count = 12;
+  c.zns.zone_size = 256 * kKiB;
+  c.zns.zone_capacity = 256 * kKiB;
+  c.zns.max_open_zones = 6;
+  c.zns.max_active_zones = 8;
+  c.middle.region_size = kRegion;
+  c.middle.open_zones = 2;
+  c.middle.min_empty_zones = 2;
+  return c;
+}
+
+class FlashCacheTest : public ::testing::Test {
+ protected:
+  void Make(FlashCacheConfig cfg = {}, u64 slots = 24) {
+    clock_ = std::make_unique<sim::VirtualClock>();
+    device_ =
+        std::make_unique<backends::MiddleRegionDevice>(DeviceConfig(slots),
+                                                       clock_.get());
+    ASSERT_TRUE(device_->Init().ok());
+    cache_ = std::make_unique<FlashCache>(cfg, device_.get(), clock_.get());
+  }
+
+  void SetUp() override { Make(); }
+
+  std::string Val(size_t n, char c = 'v') { return std::string(n, c); }
+
+  std::unique_ptr<sim::VirtualClock> clock_;
+  std::unique_ptr<backends::MiddleRegionDevice> device_;
+  std::unique_ptr<FlashCache> cache_;
+};
+
+TEST_F(FlashCacheTest, MissOnEmpty) {
+  auto g = cache_->Get("nope");
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->hit);
+  EXPECT_EQ(cache_->stats().gets, 1u);
+  EXPECT_EQ(cache_->stats().hits, 0u);
+}
+
+TEST_F(FlashCacheTest, SetThenGetFromBuffer) {
+  ASSERT_TRUE(cache_->Set("k1", Val(100, 'a')).ok());
+  std::string v;
+  auto g = cache_->Get("k1", &v);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->hit);
+  EXPECT_EQ(v, Val(100, 'a'));
+}
+
+TEST_F(FlashCacheTest, GetAfterFlushReadsDevice) {
+  ASSERT_TRUE(cache_->Set("k1", Val(1000, 'q')).ok());
+  ASSERT_TRUE(cache_->Flush().ok());
+  std::string v;
+  auto g = cache_->Get("k1", &v);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->hit);
+  EXPECT_EQ(v, Val(1000, 'q'));
+}
+
+TEST_F(FlashCacheTest, OverwriteReturnsLatest) {
+  ASSERT_TRUE(cache_->Set("k", Val(100, '1')).ok());
+  ASSERT_TRUE(cache_->Set("k", Val(200, '2')).ok());
+  std::string v;
+  ASSERT_TRUE(cache_->Get("k", &v).ok());
+  EXPECT_EQ(v, Val(200, '2'));
+}
+
+TEST_F(FlashCacheTest, DeleteRemoves) {
+  ASSERT_TRUE(cache_->Set("k", Val(10)).ok());
+  auto d = cache_->Delete("k");
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->hit);  // found
+  auto g = cache_->Get("k");
+  EXPECT_FALSE(g->hit);
+}
+
+TEST_F(FlashCacheTest, DeleteMissingReportsNotFound) {
+  auto d = cache_->Delete("ghost");
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->hit);
+}
+
+TEST_F(FlashCacheTest, OversizedObjectRejected) {
+  auto s = cache_->Set("big", Val(kRegion + 1));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(cache_->stats().rejected_sets, 1u);
+}
+
+TEST_F(FlashCacheTest, RegionFlushOnFill) {
+  // 64 KiB regions; four 20 KiB objects force a flush after the third.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cache_->Set("k" + std::to_string(i), Val(20 * kKiB)).ok());
+  }
+  EXPECT_GE(cache_->stats().flushed_regions, 1u);
+  // All four still retrievable.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(cache_->Get("k" + std::to_string(i))->hit);
+  }
+}
+
+TEST_F(FlashCacheTest, EvictionDropsWholeRegionItems) {
+  // Fill far beyond capacity (24 slots x 64 KiB = 1.5 MiB) and verify
+  // evictions happened and old keys are gone while fresh ones remain.
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(cache_->Set("k" + std::to_string(i), Val(30 * kKiB)).ok());
+  }
+  EXPECT_GT(cache_->stats().evicted_regions, 0u);
+  EXPECT_GT(cache_->stats().evicted_items, 0u);
+  EXPECT_FALSE(cache_->Get("k0")->hit);
+  EXPECT_TRUE(cache_->Get("k" + std::to_string(n - 1))->hit);
+}
+
+TEST_F(FlashCacheTest, LruPrefersEvictingColdRegions) {
+  FlashCacheConfig cfg;
+  cfg.policy = EvictionPolicy::kLru;
+  Make(cfg);
+  // Two distinguished keys in early regions; keep "hot" accessed while
+  // flooding the cache, leave "cold" untouched.
+  // 40 KiB values: one object per 64 KiB region, so "hot" and "cold" land
+  // in different regions.
+  ASSERT_TRUE(cache_->Set("hot", Val(40 * kKiB)).ok());
+  ASSERT_TRUE(cache_->Set("cold", Val(40 * kKiB)).ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(cache_->Set("f" + std::to_string(i), Val(40 * kKiB)).ok());
+    EXPECT_TRUE(cache_->Get("hot").ok());
+    (void)cache_->Get("hot");
+  }
+  EXPECT_TRUE(cache_->Get("hot")->hit);
+  EXPECT_FALSE(cache_->Get("cold")->hit);
+}
+
+TEST_F(FlashCacheTest, FifoEvictsOldestFirst) {
+  FlashCacheConfig cfg;
+  cfg.policy = EvictionPolicy::kFifo;
+  Make(cfg);
+  ASSERT_TRUE(cache_->Set("first", Val(30 * kKiB)).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(cache_->Set("f" + std::to_string(i), Val(30 * kKiB)).ok());
+    // Access "first" constantly — FIFO must ignore recency.
+    (void)cache_->Get("first");
+  }
+  EXPECT_FALSE(cache_->Get("first")->hit);
+}
+
+TEST_F(FlashCacheTest, HitRatioAccounting) {
+  ASSERT_TRUE(cache_->Set("a", Val(10)).ok());
+  (void)cache_->Get("a");
+  (void)cache_->Get("a");
+  (void)cache_->Get("missing");
+  EXPECT_EQ(cache_->stats().gets, 3u);
+  EXPECT_EQ(cache_->stats().hits, 2u);
+  EXPECT_NEAR(cache_->stats().HitRatio(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(FlashCacheTest, StaleRegionEntriesDontEvictNewerVersions) {
+  // Write "k" into region A, overwrite into region B, then force eviction
+  // of A; "k" must survive (its index entry points at B).
+  ASSERT_TRUE(cache_->Set("k", Val(30 * kKiB, '1')).ok());
+  ASSERT_TRUE(cache_->Set("pad", Val(30 * kKiB)).ok());  // seal region A
+  ASSERT_TRUE(cache_->Set("k", Val(30 * kKiB, '2')).ok());
+  // Flood until region A is evicted.
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(cache_->Set("f" + std::to_string(i), Val(30 * kKiB)).ok());
+    (void)cache_->Get("k");  // keep k's region warm
+  }
+  std::string v;
+  auto g = cache_->Get("k", &v);
+  ASSERT_TRUE(g.ok());
+  if (g->hit) {
+    EXPECT_EQ(v[0], '2');
+  }
+}
+
+TEST_F(FlashCacheTest, LatencyIsOnVirtualClock) {
+  ASSERT_TRUE(cache_->Set("a", Val(4 * kKiB)).ok());
+  ASSERT_TRUE(cache_->Flush().ok());
+  auto g = cache_->Get("a");
+  ASSERT_TRUE(g.ok());
+  // A flash read is at least the device's fixed read cost.
+  EXPECT_GE(g->latency, 80 * sim::kMicrosecond);
+}
+
+TEST_F(FlashCacheTest, FillTimesRecorded) {
+  FlashCacheConfig cfg;
+  cfg.record_fill_times = true;
+  Make(cfg);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cache_->Set("k" + std::to_string(i), Val(30 * kKiB)).ok());
+  }
+  EXPECT_GE(cache_->region_fill_times().size(), 5u);
+}
+
+TEST_F(FlashCacheTest, DropRegionRemovesItems) {
+  ASSERT_TRUE(cache_->Set("a", Val(30 * kKiB)).ok());
+  ASSERT_TRUE(cache_->Set("b", Val(30 * kKiB)).ok());  // seals region 0
+  ASSERT_TRUE(cache_->Flush().ok());
+  ASSERT_TRUE(cache_->DropRegion(0).ok());
+  EXPECT_FALSE(cache_->Get("a")->hit);
+  EXPECT_GT(cache_->stats().dropped_regions, 0u);
+}
+
+TEST_F(FlashCacheTest, DropOpenRegionRefused) {
+  ASSERT_TRUE(cache_->Set("a", Val(10)).ok());
+  // Region 0 is the open region right now.
+  EXPECT_EQ(cache_->DropRegion(0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FlashCacheTest, CapacityReporting) {
+  EXPECT_EQ(cache_->capacity_bytes(), 24 * kRegion);
+}
+
+TEST_F(FlashCacheTest, ManyKeysConsistency) {
+  // Randomized workload: model answers must match a reference map, modulo
+  // evictions (an eviction may only turn a hit into a miss, never corrupt).
+  Rng rng(77);
+  std::map<std::string, char> truth;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string key = "k" + std::to_string(rng.Uniform(200));
+    const double p = rng.NextDouble();
+    if (p < 0.5) {
+      std::string v;
+      auto g = cache_->Get(key, &v);
+      ASSERT_TRUE(g.ok());
+      if (g->hit) {
+        auto it = truth.find(key);
+        ASSERT_NE(it, truth.end()) << "hit on never-written key " << key;
+        EXPECT_EQ(v[0], it->second);
+      }
+    } else if (p < 0.8) {
+      const char fill = static_cast<char>('a' + i % 26);
+      ASSERT_TRUE(cache_->Set(key, Val(2 * kKiB + i % 1000, fill)).ok());
+      truth[key] = fill;
+    } else {
+      ASSERT_TRUE(cache_->Delete(key).ok());
+      truth.erase(key);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zncache::cache

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "hdd/hdd_device.h"
+
+namespace zncache::hdd {
+namespace {
+
+class HddDeviceTest : public ::testing::Test {
+ protected:
+  HddConfig Config() {
+    HddConfig c;
+    c.capacity = 16 * kMiB;
+    return c;
+  }
+
+  sim::VirtualClock clock_;
+  HddDevice dev_{Config(), &clock_};
+};
+
+TEST_F(HddDeviceTest, RoundTrip) {
+  std::vector<std::byte> data(4096);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = std::byte(i % 127);
+  ASSERT_TRUE(dev_.Write(1000, data).ok());
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(dev_.Read(1000, out).ok());
+  EXPECT_EQ(std::memcmp(data.data(), out.data(), data.size()), 0);
+}
+
+TEST_F(HddDeviceTest, BoundsChecked) {
+  std::vector<std::byte> b(10);
+  EXPECT_FALSE(dev_.Write(16 * kMiB, b).ok());
+  EXPECT_FALSE(dev_.Read(16 * kMiB - 5, b).ok());
+}
+
+TEST_F(HddDeviceTest, RandomReadPaysSeek) {
+  std::vector<std::byte> b(4096);
+  ASSERT_TRUE(dev_.Write(0, b).ok());
+  auto r = dev_.Read(8 * kMiB, b);  // far from the head
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->latency, 8 * sim::kMillisecond);
+}
+
+TEST_F(HddDeviceTest, SequentialReadSkipsSeek) {
+  std::vector<std::byte> b(4096);
+  ASSERT_TRUE(dev_.Write(0, b).ok());
+  ASSERT_TRUE(dev_.Write(4096, b).ok());
+  // Position the head at 0 via a read, then read sequentially.
+  ASSERT_TRUE(dev_.Read(0, b).ok());
+  auto r = dev_.Read(4096, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->latency, 1 * sim::kMillisecond);
+}
+
+TEST_F(HddDeviceTest, SeekCounted) {
+  std::vector<std::byte> b(512);
+  ASSERT_TRUE(dev_.Write(0, b).ok());  // head starts at 0: sequential
+  ASSERT_TRUE(dev_.Write(1 * kMiB, b).ok());
+  ASSERT_TRUE(dev_.Write(4 * kMiB, b).ok());
+  EXPECT_GE(dev_.stats().seeks, 2u);
+}
+
+TEST_F(HddDeviceTest, BackgroundWrite) {
+  std::vector<std::byte> b(4096);
+  auto r = dev_.Write(0, b, sim::IoMode::kBackground);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->latency, 0u);
+  EXPECT_EQ(clock_.Now(), 0u);
+  EXPECT_GT(r->completion, 0u);
+}
+
+TEST_F(HddDeviceTest, StatsAccumulate) {
+  std::vector<std::byte> b(100);
+  ASSERT_TRUE(dev_.Write(0, b).ok());
+  ASSERT_TRUE(dev_.Read(0, b).ok());
+  EXPECT_EQ(dev_.stats().bytes_written, 100u);
+  EXPECT_EQ(dev_.stats().bytes_read, 100u);
+}
+
+}  // namespace
+}  // namespace zncache::hdd

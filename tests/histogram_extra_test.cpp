@@ -1,0 +1,93 @@
+// Additional histogram and timing-model coverage: merge algebra, bucket
+// boundary behaviour, and IoCost arithmetic at extreme sizes.
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "sim/timing.h"
+
+namespace zncache {
+namespace {
+
+TEST(HistogramExtra, MergeEqualsUnion) {
+  Rng rng(71);
+  Histogram a, b, both;
+  for (int i = 0; i < 5000; ++i) {
+    const u64 v = rng.Next() % 1'000'000;
+    if (i % 2 == 0) {
+      a.Record(v);
+    } else {
+      b.Record(v);
+    }
+    both.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.Percentile(q), both.Percentile(q)) << q;
+  }
+}
+
+TEST(HistogramExtra, MergeWithEmptyIsIdentity) {
+  Histogram a, empty;
+  a.Record(100);
+  a.Record(200);
+  const u64 p50 = a.P50();
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.P50(), p50);
+}
+
+TEST(HistogramExtra, ZeroValues) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(0);
+  EXPECT_EQ(h.P50(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramExtra, SmallIntegersExact) {
+  // Values below the sub-bucket count land in exact buckets.
+  Histogram h;
+  for (u64 v = 0; v < 8; ++v) h.Record(v);
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.max(), 7u);
+}
+
+TEST(HistogramExtra, PercentileMonotoneInQ) {
+  Rng rng(72);
+  Histogram h;
+  for (int i = 0; i < 10'000; ++i) h.Record(rng.Next() % 100'000);
+  u64 prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const u64 p = h.Percentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+}
+
+TEST(IoCostExtra, ZeroBandwidthAvoided) {
+  // All shipped timing presets have sane positive bandwidth.
+  sim::FlashTiming flash;
+  sim::HddTiming disk;
+  EXPECT_GT(flash.read.bytes_per_ns, 0.0);
+  EXPECT_GT(flash.write.bytes_per_ns, 0.0);
+  EXPECT_GT(disk.read.bytes_per_ns, 0.0);
+}
+
+TEST(IoCostExtra, CostScalesLinearlyInBytes) {
+  sim::IoCost cost{0, 2.0};
+  EXPECT_EQ(cost.Cost(2000), 2 * cost.Cost(1000));
+  EXPECT_EQ(cost.Cost(0), 0u);
+}
+
+TEST(IoCostExtra, LargeTransfersDoNotOverflow) {
+  sim::IoCost cost{1000, 1.0};
+  const u64 huge = 64ULL * kGiB;
+  EXPECT_GT(cost.Cost(huge), cost.Cost(huge / 2));
+}
+
+}  // namespace
+}  // namespace zncache

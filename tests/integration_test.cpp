@@ -1,0 +1,259 @@
+// Integration tests: miniature versions of every experiment, asserting the
+// paper's *qualitative* shapes end-to-end (full stack: workload -> cache
+// engine -> backend -> device model, all on virtual time).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "backends/middle_region_device.h"
+#include "backends/schemes.h"
+#include "kv/db_bench.h"
+#include "kv/lsm_store.h"
+#include "workload/cachebench.h"
+
+namespace zncache {
+namespace {
+
+using backends::MakeScheme;
+using backends::SchemeKind;
+using backends::SchemeParams;
+
+struct MiniResult {
+  double ops_per_minute = 0;
+  double hit_ratio = 0;
+  double wa = 0;
+};
+
+// Mini Figure 2 setup: zone 8 MiB, region 512 KiB, Zone-Cache 20 zones vs
+// 16-zone cache for the rest.
+MiniResult RunMiniCacheBench(SchemeKind kind, u64 hint_cold_age = 0) {
+  sim::VirtualClock clock;
+  SchemeParams params;
+  params.zone_size = 8 * kMiB;
+  params.region_size = 512 * kKiB;
+  params.cache_bytes =
+      kind == SchemeKind::kZone ? 20 * params.zone_size : 16 * params.zone_size;
+  params.min_empty_zones = 1;
+  params.hint_cold_age = hint_cold_age;
+  params.cache_config.lru_sample = 256;
+  auto scheme = MakeScheme(kind, params, &clock);
+  EXPECT_TRUE(scheme.ok()) << scheme.status().ToString();
+
+  workload::CacheBenchConfig wl;
+  wl.ops = 60'000;
+  wl.warmup_ops = 60'000;
+  wl.key_space = 24'000;
+  wl.zipf_theta = 0.85;
+  wl.value_min = 2 * kKiB;
+  wl.value_max = 16 * kKiB;
+  workload::CacheBenchRunner runner(wl);
+  auto r = runner.Run(*scheme->cache, clock);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return MiniResult{r->ops_per_minute, r->hit_ratio, scheme->WaFactor()};
+}
+
+TEST(ExperimentShapes, Fig2_ZoneCacheBestHitRatio) {
+  const MiniResult zone = RunMiniCacheBench(SchemeKind::kZone);
+  const MiniResult block = RunMiniCacheBench(SchemeKind::kBlock);
+  // The larger usable capacity of the OP-free scheme buys hit ratio.
+  EXPECT_GT(zone.hit_ratio, block.hit_ratio);
+}
+
+TEST(ExperimentShapes, Fig2_FileCacheSlowerThanMiddleLayer) {
+  const MiniResult file = RunMiniCacheBench(SchemeKind::kFile);
+  const MiniResult region = RunMiniCacheBench(SchemeKind::kRegion);
+  // The filesystem detour always costs throughput vs the thin middle layer.
+  EXPECT_LT(file.ops_per_minute, region.ops_per_minute);
+}
+
+TEST(ExperimentShapes, Fig2_ZoneCacheIsGcFree) {
+  const MiniResult zone = RunMiniCacheBench(SchemeKind::kZone);
+  EXPECT_DOUBLE_EQ(zone.wa, 1.0);
+}
+
+TEST(ExperimentShapes, Fig2_SmallRegionSchemesComparableHitRatio) {
+  const MiniResult region = RunMiniCacheBench(SchemeKind::kRegion);
+  const MiniResult block = RunMiniCacheBench(SchemeKind::kBlock);
+  EXPECT_NEAR(region.hit_ratio, block.hit_ratio, 0.02);
+}
+
+TEST(ExperimentShapes, Fig3_LargeRegionFillTimeJumpsAtEviction) {
+  sim::VirtualClock clock;
+  SchemeParams params;
+  params.zone_size = 8 * kMiB;
+  params.cache_bytes = 10 * params.zone_size;
+  params.min_empty_zones = 1;
+  params.cache_config.record_fill_times = true;
+  auto scheme = MakeScheme(SchemeKind::kZone, params, &clock);
+  ASSERT_TRUE(scheme.ok());
+
+  Rng rng(3);
+  std::string value;
+  u64 key = 0;
+  while (scheme->cache->region_fill_times().size() < 20) {
+    value.assign(4 * kKiB + rng.Uniform(8 * kKiB), 'v');
+    ASSERT_TRUE(scheme->cache->Set("k" + std::to_string(key++), value).ok());
+  }
+  const auto& times = scheme->cache->region_fill_times();
+  // Regions 0..9 fill without eviction; from ~10 on, eviction contention
+  // and reset costs land on the insert path.
+  double before = 0, after = 0;
+  for (size_t i = 2; i < 9; ++i) before += static_cast<double>(times[i]);
+  for (size_t i = 12; i < 19; ++i) after += static_cast<double>(times[i]);
+  EXPECT_GT(after, before * 1.5);
+}
+
+TEST(ExperimentShapes, Fig4_OpRatioTradeoffForRegionCache) {
+  auto run = [](double op) {
+    sim::VirtualClock clock;
+    SchemeParams params;
+    params.zone_size = 8 * kMiB;
+    params.region_size = 512 * kKiB;
+    params.device_zones = 24;
+    params.cache_bytes = static_cast<u64>(
+        24 * params.zone_size * (1.0 - op) / (512 * kKiB)) * 512 * kKiB;
+    params.region_op_ratio = op;
+    params.min_empty_zones = 1;
+    params.open_zones = 3;
+    params.cache_config.lru_sample = 256;
+    auto scheme = MakeScheme(SchemeKind::kRegion, params, &clock);
+    EXPECT_TRUE(scheme.ok()) << scheme.status().ToString();
+    workload::CacheBenchConfig wl;
+    wl.ops = 50'000;
+    wl.warmup_ops = 120'000;
+    wl.key_space = 40'000;
+    wl.value_min = 2 * kKiB;
+    wl.value_max = 16 * kKiB;
+    workload::CacheBenchRunner runner(wl);
+    auto r = runner.Run(*scheme->cache, clock);
+    EXPECT_TRUE(r.ok());
+    return MiniResult{r->ops_per_minute, r->hit_ratio, scheme->WaFactor()};
+  };
+  const MiniResult tight = run(0.20);
+  const MiniResult roomy = run(0.38);
+  // More OP -> smaller cache -> lower hit ratio, but less GC -> lower WA.
+  EXPECT_GT(tight.hit_ratio, roomy.hit_ratio);
+  EXPECT_GE(tight.wa, roomy.wa);
+}
+
+TEST(ExperimentShapes, Codesign_HintsCutWaWithoutHitRatioCollapse) {
+  // Tight-OP Region-Cache: GC active. Hints should reduce WA while keeping
+  // the hit ratio within a small band of the baseline.
+  auto run = [](u64 cold_age) {
+    sim::VirtualClock clock;
+    SchemeParams params;
+    params.zone_size = 8 * kMiB;
+    params.region_size = 512 * kKiB;
+    params.device_zones = 24;
+    params.cache_bytes = 19 * params.zone_size;
+    params.region_op_ratio = 0.15;
+    params.min_empty_zones = 1;
+    params.open_zones = 3;
+    params.hint_cold_age = cold_age;
+    params.cache_config.lru_sample = 256;
+    auto scheme = MakeScheme(SchemeKind::kRegion, params, &clock);
+    EXPECT_TRUE(scheme.ok()) << scheme.status().ToString();
+    workload::CacheBenchConfig wl;
+    wl.ops = 60'000;
+    wl.warmup_ops = 120'000;
+    wl.key_space = 40'000;
+    wl.value_min = 2 * kKiB;
+    wl.value_max = 16 * kKiB;
+    workload::CacheBenchRunner runner(wl);
+    auto r = runner.Run(*scheme->cache, clock);
+    EXPECT_TRUE(r.ok());
+    return MiniResult{r->ops_per_minute, r->hit_ratio, scheme->WaFactor()};
+  };
+  const MiniResult plain = run(0);
+  const MiniResult hinted = run(8'000);
+  EXPECT_GT(plain.wa, 1.05);  // baseline GC is actually migrating
+  EXPECT_LT(hinted.wa, plain.wa);
+  EXPECT_GT(hinted.hit_ratio, plain.hit_ratio - 0.03);
+}
+
+TEST(ExperimentShapes, Fig5_SecondaryCacheBeatsNoCache) {
+  sim::VirtualClock clock;
+  hdd::HddConfig hc;
+  hc.capacity = 512 * kMiB;
+  hdd::HddDevice disk(hc, &clock);
+
+  kv::LsmConfig lsm_config;
+  lsm_config.block_cache.capacity_bytes = 256 * kKiB;
+  kv::LsmStore store(lsm_config, &disk, &clock, nullptr);
+
+  kv::DbBenchConfig cfg;
+  cfg.num_keys = 150'000;
+  cfg.reads = 10'000;
+  cfg.exp_range = 25.0;
+  kv::DbBench bench(cfg);
+  ASSERT_TRUE(bench.FillRandom(store).ok());
+  clock.Advance(30 * sim::kSecond);
+
+  // Without a secondary cache.
+  auto cold = bench.ReadRandom(store, clock);
+  ASSERT_TRUE(cold.ok());
+
+  // With a Region-Cache secondary tier (warm it, then measure).
+  SchemeParams params;
+  params.zone_size = 8 * kMiB;
+  params.region_size = 512 * kKiB;
+  params.cache_bytes = 32 * kMiB;
+  params.min_empty_zones = 1;
+  params.store_data = true;
+  auto scheme = MakeScheme(SchemeKind::kRegion, params, &clock);
+  ASSERT_TRUE(scheme.ok());
+  kv::FlashSecondaryCache secondary(scheme->cache.get());
+  kv::BlockCacheConfig bc;
+  bc.capacity_bytes = 256 * kKiB;
+  store.ResetCache(bc, &secondary);
+  ASSERT_TRUE(bench.ReadRandom(store, clock).ok());  // warm
+  auto warm = bench.ReadRandom(store, clock);
+  ASSERT_TRUE(warm.ok());
+
+  EXPECT_GT(warm->ops_per_sec, cold->ops_per_sec * 1.5);
+  EXPECT_GT(scheme->cache->stats().HitRatio(), 0.5);
+}
+
+TEST(ExperimentShapes, Table2_HitRatioMonotonicInZoneCacheSize) {
+  sim::VirtualClock clock;
+  hdd::HddConfig hc;
+  hc.capacity = 512 * kMiB;
+  hdd::HddDevice disk(hc, &clock);
+  kv::LsmConfig lsm_config;
+  lsm_config.block_cache.capacity_bytes = 256 * kKiB;
+  kv::LsmStore store(lsm_config, &disk, &clock, nullptr);
+
+  kv::DbBenchConfig cfg;
+  cfg.num_keys = 150'000;
+  cfg.reads = 12'000;
+  cfg.exp_range = 4.0;  // mild skew: the working set exceeds small caches
+  kv::DbBench bench(cfg);
+  ASSERT_TRUE(bench.FillRandom(store).ok());
+  clock.Advance(30 * sim::kSecond);
+
+  std::vector<double> hit_ratios;
+  for (u64 zones : {2, 3, 5}) {
+    SchemeParams params;
+    params.zone_size = 8 * kMiB;
+    params.cache_bytes = zones * params.zone_size;
+    params.store_data = true;
+    auto scheme = MakeScheme(SchemeKind::kZone, params, &clock);
+    ASSERT_TRUE(scheme.ok());
+    kv::FlashSecondaryCache secondary(scheme->cache.get());
+    kv::BlockCacheConfig bc;
+    bc.capacity_bytes = 256 * kKiB;
+    store.ResetCache(bc, &secondary);
+    ASSERT_TRUE(bench.ReadRandom(store, clock).ok());  // warm
+    const auto& cs = scheme->cache->stats();
+    const u64 g0 = cs.gets, h0 = cs.hits;
+    ASSERT_TRUE(bench.ReadRandom(store, clock).ok());
+    hit_ratios.push_back(static_cast<double>(cs.hits - h0) /
+                         static_cast<double>(cs.gets - g0));
+  }
+  EXPECT_LT(hit_ratios[0], hit_ratios[1]);
+  EXPECT_LT(hit_ratios[1], hit_ratios[2]);
+}
+
+}  // namespace
+}  // namespace zncache

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "kv/db_bench.h"
+#include "kv/lsm_store.h"
+
+namespace zncache::kv {
+namespace {
+
+class LsmStoreTest : public ::testing::Test {
+ protected:
+  void Make(LsmConfig cfg = SmallConfig()) {
+    clock_ = std::make_unique<sim::VirtualClock>();
+    hdd::HddConfig hc;
+    hc.capacity = 256 * kMiB;
+    hdd_ = std::make_unique<hdd::HddDevice>(hc, clock_.get());
+    store_ = std::make_unique<LsmStore>(cfg, hdd_.get(), clock_.get());
+  }
+
+  static LsmConfig SmallConfig() {
+    LsmConfig c;
+    c.memtable_bytes = 16 * kKiB;
+    c.block_bytes = 1 * kKiB;
+    c.table_target_bytes = 32 * kKiB;
+    c.l0_compaction_trigger = 3;
+    c.level_base_bytes = 128 * kKiB;
+    c.max_levels = 4;
+    c.block_cache.capacity_bytes = 64 * kKiB;
+    return c;
+  }
+
+  void SetUp() override { Make(); }
+
+  bool Found(const std::string& key, std::string* v = nullptr) {
+    std::string scratch;
+    auto g = store_->Get(key, v != nullptr ? v : &scratch);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return g.ok() && g->found;
+  }
+
+  std::unique_ptr<sim::VirtualClock> clock_;
+  std::unique_ptr<hdd::HddDevice> hdd_;
+  std::unique_ptr<LsmStore> store_;
+};
+
+TEST_F(LsmStoreTest, GetMissesOnEmpty) { EXPECT_FALSE(Found("nothing")); }
+
+TEST_F(LsmStoreTest, PutGetFromMemtable) {
+  ASSERT_TRUE(store_->Put("k", "v").ok());
+  std::string v;
+  ASSERT_TRUE(Found("k", &v));
+  EXPECT_EQ(v, "v");
+}
+
+TEST_F(LsmStoreTest, GetAfterFlushReadsSstable) {
+  ASSERT_TRUE(store_->Put("k", "persisted").ok());
+  ASSERT_TRUE(store_->Flush().ok());
+  EXPECT_EQ(store_->TablesAtLevel(0), 1u);
+  std::string v;
+  ASSERT_TRUE(Found("k", &v));
+  EXPECT_EQ(v, "persisted");
+}
+
+TEST_F(LsmStoreTest, OverwriteAcrossFlushes) {
+  ASSERT_TRUE(store_->Put("k", "old").ok());
+  ASSERT_TRUE(store_->Flush().ok());
+  ASSERT_TRUE(store_->Put("k", "new").ok());
+  std::string v;
+  ASSERT_TRUE(Found("k", &v));
+  EXPECT_EQ(v, "new");
+  ASSERT_TRUE(store_->Flush().ok());
+  ASSERT_TRUE(Found("k", &v));
+  EXPECT_EQ(v, "new");
+}
+
+TEST_F(LsmStoreTest, DeleteShadowsOlderVersions) {
+  ASSERT_TRUE(store_->Put("k", "v").ok());
+  ASSERT_TRUE(store_->Flush().ok());
+  ASSERT_TRUE(store_->Delete("k").ok());
+  EXPECT_FALSE(Found("k"));
+  ASSERT_TRUE(store_->Flush().ok());
+  EXPECT_FALSE(Found("k"));
+}
+
+TEST_F(LsmStoreTest, CompactionTriggersAndPreservesData) {
+  // Write enough to force memtable flushes and L0 compactions.
+  std::map<std::string, std::string> truth;
+  Rng rng(71);
+  for (int i = 0; i < 4000; ++i) {
+    const std::string key = "key-" + std::to_string(rng.Uniform(800));
+    const std::string value = "val-" + std::to_string(i);
+    ASSERT_TRUE(store_->Put(key, value).ok());
+    truth[key] = value;
+  }
+  ASSERT_TRUE(store_->Flush().ok());
+  EXPECT_GT(store_->stats().compactions, 0u);
+  EXPECT_GT(store_->stats().memtable_flushes, 0u);
+
+  for (const auto& [k, v] : truth) {
+    std::string got;
+    ASSERT_TRUE(Found(k, &got)) << k;
+    EXPECT_EQ(got, v) << k;
+  }
+}
+
+TEST_F(LsmStoreTest, DeletesSurviveCompaction) {
+  Rng rng(72);
+  std::map<std::string, bool> alive;
+  for (int i = 0; i < 3000; ++i) {
+    const std::string key = "key-" + std::to_string(rng.Uniform(400));
+    if (rng.Chance(0.3)) {
+      ASSERT_TRUE(store_->Delete(key).ok());
+      alive[key] = false;
+    } else {
+      ASSERT_TRUE(store_->Put(key, "v" + std::to_string(i)).ok());
+      alive[key] = true;
+    }
+  }
+  ASSERT_TRUE(store_->Flush().ok());
+  for (const auto& [k, is_alive] : alive) {
+    EXPECT_EQ(Found(k), is_alive) << k;
+  }
+}
+
+TEST_F(LsmStoreTest, LevelsStayWithinShape) {
+  Rng rng(73);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(store_
+                    ->Put("key-" + std::to_string(rng.Uniform(3000)),
+                          std::string(32, 'v'))
+                    .ok());
+  }
+  ASSERT_TRUE(store_->Flush().ok());
+  // L0 is bounded by the trigger; L1+ tables must be sorted, non-overlapping.
+  EXPECT_LE(store_->TablesAtLevel(0), 3u);
+}
+
+TEST_F(LsmStoreTest, MissLatencyReflectsHddSeek) {
+  ASSERT_TRUE(store_->Put("k", "v").ok());
+  ASSERT_TRUE(store_->Flush().ok());
+  // First read of a cold block pays the disk seek.
+  auto g = store_->Get("k", nullptr);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->found);
+  EXPECT_GE(g->latency, 1 * sim::kMillisecond);
+}
+
+TEST_F(LsmStoreTest, BlockCacheAbsorbsRepeatReads) {
+  ASSERT_TRUE(store_->Put("k", "v").ok());
+  ASSERT_TRUE(store_->Flush().ok());
+  (void)store_->Get("k", nullptr);
+  const u64 disk_reads = store_->stats().disk_block_reads;
+  auto g = store_->Get("k", nullptr);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(store_->stats().disk_block_reads, disk_reads);  // cached
+  EXPECT_LT(g->latency, 1 * sim::kMillisecond);
+}
+
+TEST_F(LsmStoreTest, WalRecoverySource) {
+  // (Recovery is exercised at the WAL level; here we check the stats hook.)
+  ASSERT_TRUE(store_->Put("a", "1").ok());
+  EXPECT_EQ(store_->stats().puts, 1u);
+}
+
+TEST_F(LsmStoreTest, DbBenchFillAndReadRandom) {
+  DbBenchConfig cfg;
+  cfg.num_keys = 2000;
+  cfg.reads = 500;
+  cfg.exp_range = 15.0;
+  DbBench bench(cfg);
+  ASSERT_TRUE(bench.FillRandom(*store_).ok());
+  auto r = bench.ReadRandom(*store_, *clock_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reads, 500u);
+  // fillrandom with duplicates covers most of the key space; the skewed
+  // reads should overwhelmingly find their keys.
+  EXPECT_GT(r->found, 300u);
+  EXPECT_GT(r->ops_per_sec, 0.0);
+  EXPECT_GT(r->P99(), 0u);
+}
+
+TEST_F(LsmStoreTest, DbBenchKeyFormat) {
+  DbBenchConfig cfg;
+  cfg.key_bytes = 16;
+  DbBench bench(cfg);
+  EXPECT_EQ(bench.KeyFor(42).size(), 16u);
+  EXPECT_LT(bench.KeyFor(41), bench.KeyFor(42));
+  EXPECT_LT(bench.KeyFor(9), bench.KeyFor(10));  // zero-padded
+}
+
+TEST_F(LsmStoreTest, DbBenchSeekRandom) {
+  DbBenchConfig cfg;
+  cfg.num_keys = 2000;
+  cfg.reads = 200;
+  cfg.exp_range = 15.0;
+  DbBench bench(cfg);
+  ASSERT_TRUE(bench.FillRandom(*store_).ok());
+  auto r = bench.SeekRandom(*store_, *clock_, 10);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->reads, 200u);
+  EXPECT_GT(r->found, 150u);  // scans rarely come back empty
+}
+
+TEST_F(LsmStoreTest, DbBenchReadWhileWriting) {
+  DbBenchConfig cfg;
+  cfg.num_keys = 2000;
+  cfg.reads = 1000;
+  cfg.exp_range = 15.0;
+  DbBench bench(cfg);
+  ASSERT_TRUE(bench.FillRandom(*store_).ok());
+  const u64 puts_before = store_->stats().puts;
+  auto r = bench.ReadWhileWriting(*store_, *clock_, 0.2);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // ~20% of ops were writes.
+  const u64 writes = store_->stats().puts - puts_before;
+  EXPECT_NEAR(static_cast<double>(writes) / 1000, 0.2, 0.05);
+  EXPECT_GT(r->found, 0u);
+}
+
+TEST_F(LsmStoreTest, ResetCacheKeepsData) {
+  ASSERT_TRUE(store_->Put("k", "v").ok());
+  ASSERT_TRUE(store_->Flush().ok());
+  BlockCacheConfig bc;
+  bc.capacity_bytes = 8 * kKiB;
+  store_->ResetCache(bc, nullptr);
+  std::string v;
+  ASSERT_TRUE(Found("k", &v));
+  EXPECT_EQ(v, "v");
+}
+
+}  // namespace
+}  // namespace zncache::kv

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "kv/memtable.h"
+
+namespace zncache::kv {
+namespace {
+
+TEST(MemTable, EmptyLookupMisses) {
+  MemTable m;
+  std::string v;
+  EXPECT_EQ(m.Get("a", &v), MemTable::LookupResult::kNotFound);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MemTable, PutGet) {
+  MemTable m;
+  m.Put("key", "value");
+  std::string v;
+  EXPECT_EQ(m.Get("key", &v), MemTable::LookupResult::kFound);
+  EXPECT_EQ(v, "value");
+  EXPECT_EQ(m.entry_count(), 1u);
+}
+
+TEST(MemTable, OverwriteKeepsSingleEntry) {
+  MemTable m;
+  m.Put("key", "v1");
+  m.Put("key", "v2");
+  std::string v;
+  EXPECT_EQ(m.Get("key", &v), MemTable::LookupResult::kFound);
+  EXPECT_EQ(v, "v2");
+  EXPECT_EQ(m.entry_count(), 1u);
+}
+
+TEST(MemTable, DeleteCreatesTombstone) {
+  MemTable m;
+  m.Put("key", "v");
+  m.Delete("key");
+  std::string v;
+  EXPECT_EQ(m.Get("key", &v), MemTable::LookupResult::kDeleted);
+}
+
+TEST(MemTable, DeleteOfAbsentKeyStillTombstones) {
+  MemTable m;
+  m.Delete("ghost");
+  std::string v;
+  EXPECT_EQ(m.Get("ghost", &v), MemTable::LookupResult::kDeleted);
+}
+
+TEST(MemTable, PutAfterDeleteRevives) {
+  MemTable m;
+  m.Put("k", "v1");
+  m.Delete("k");
+  m.Put("k", "v2");
+  std::string v;
+  EXPECT_EQ(m.Get("k", &v), MemTable::LookupResult::kFound);
+  EXPECT_EQ(v, "v2");
+}
+
+TEST(MemTable, IterationIsSorted) {
+  MemTable m;
+  Rng rng(51);
+  for (int i = 0; i < 1000; ++i) {
+    m.Put("k" + std::to_string(rng.Uniform(10'000)), "v");
+  }
+  std::string prev;
+  bool first = true;
+  m.ForEach([&](std::string_view k, std::string_view, bool) {
+    if (!first) {
+      EXPECT_LT(prev, std::string(k));
+    }
+    prev.assign(k);
+    first = false;
+  });
+}
+
+TEST(MemTable, IterationSeesTombstoneFlag) {
+  MemTable m;
+  m.Put("a", "1");
+  m.Delete("b");
+  int tombstones = 0, values = 0;
+  m.ForEach([&](std::string_view, std::string_view, bool del) {
+    del ? tombstones++ : values++;
+  });
+  EXPECT_EQ(tombstones, 1);
+  EXPECT_EQ(values, 1);
+}
+
+TEST(MemTable, BytesGrowAndTrackOverwrites) {
+  MemTable m;
+  const u64 empty = m.ApproximateBytes();
+  m.Put("key", std::string(1000, 'v'));
+  const u64 after_put = m.ApproximateBytes();
+  EXPECT_GT(after_put, empty + 1000);
+  m.Put("key", std::string(10, 'v'));
+  EXPECT_LT(m.ApproximateBytes(), after_put);
+}
+
+TEST(MemTable, MatchesReferenceMap) {
+  MemTable m;
+  std::map<std::string, std::string> ref;
+  Rng rng(52);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string key = "k" + std::to_string(rng.Uniform(500));
+    if (rng.Chance(0.2)) {
+      m.Delete(key);
+      ref[key] = "";  // tombstone marker
+    } else {
+      const std::string value = "v" + std::to_string(i);
+      m.Put(key, value);
+      ref[key] = value;
+    }
+  }
+  for (const auto& [k, v] : ref) {
+    std::string got;
+    if (v.empty()) {
+      EXPECT_EQ(m.Get(k, &got), MemTable::LookupResult::kDeleted) << k;
+    } else {
+      ASSERT_EQ(m.Get(k, &got), MemTable::LookupResult::kFound) << k;
+      EXPECT_EQ(got, v);
+    }
+  }
+}
+
+TEST(MemTable, LongKeysAndValues) {
+  MemTable m;
+  const std::string key(500, 'k');
+  const std::string value(100'000, 'v');
+  m.Put(key, value);
+  std::string got;
+  ASSERT_EQ(m.Get(key, &got), MemTable::LookupResult::kFound);
+  EXPECT_EQ(got.size(), value.size());
+}
+
+}  // namespace
+}  // namespace zncache::kv

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "backends/middle_region_device.h"
+#include "cache/pooled_cache.h"
+#include "common/random.h"
+
+namespace zncache::cache {
+namespace {
+
+class PooledCacheTest : public ::testing::Test {
+ protected:
+  void Make(u32 pools) {
+    clock_ = std::make_unique<sim::VirtualClock>();
+    backends::MiddleRegionDeviceConfig dc;
+    dc.region_count = 32;
+    dc.zns.zone_count = 14;
+    dc.zns.zone_size = 256 * kKiB;
+    dc.zns.zone_capacity = 256 * kKiB;
+    dc.zns.max_open_zones = 6;
+    dc.zns.max_active_zones = 8;
+    dc.middle.region_size = 64 * kKiB;
+    dc.middle.open_zones = 2;
+    dc.middle.min_empty_zones = 2;
+    device_ =
+        std::make_unique<backends::MiddleRegionDevice>(dc, clock_.get());
+    ASSERT_TRUE(device_->Init().ok());
+    PooledCacheConfig cfg;
+    cfg.pools = pools;
+    cfg.engine.store_values = true;
+    pooled_ = std::make_unique<PooledCache>(cfg, device_.get(), clock_.get());
+  }
+
+  void SetUp() override { Make(4); }
+
+  std::unique_ptr<sim::VirtualClock> clock_;
+  std::unique_ptr<backends::MiddleRegionDevice> device_;
+  std::unique_ptr<PooledCache> pooled_;
+};
+
+TEST_F(PooledCacheTest, SlicesPartitionTheDevice) {
+  EXPECT_EQ(pooled_->pool_count(), 4u);
+  u64 total = 0;
+  for (u32 p = 0; p < 4; ++p) {
+    total += pooled_->pool(p).capacity_bytes();
+  }
+  EXPECT_EQ(total, 32 * 64 * kKiB);
+}
+
+TEST_F(PooledCacheTest, RoutingIsStable) {
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(pooled_->PoolIndexFor(key), pooled_->PoolIndexFor(key));
+  }
+}
+
+TEST_F(PooledCacheTest, RoutingSpreadsKeys) {
+  std::set<u32> used;
+  for (int i = 0; i < 200; ++i) {
+    used.insert(pooled_->PoolIndexFor("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST_F(PooledCacheTest, SetGetDeleteRoundTrip) {
+  ASSERT_TRUE(pooled_->Set("k1", std::string(2000, 'a')).ok());
+  std::string v;
+  auto g = pooled_->Get("k1", &v);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->hit);
+  EXPECT_EQ(v.size(), 2000u);
+
+  ASSERT_TRUE(pooled_->Delete("k1").ok());
+  EXPECT_FALSE(pooled_->Get("k1")->hit);
+}
+
+TEST_F(PooledCacheTest, KeyLandsInExactlyOnePool) {
+  ASSERT_TRUE(pooled_->Set("solo", "value").ok());
+  int pools_holding = 0;
+  for (u32 p = 0; p < 4; ++p) {
+    auto g = pooled_->pool(p).Get("solo");
+    if (g.ok() && g->hit) pools_holding++;
+  }
+  EXPECT_EQ(pools_holding, 1);
+}
+
+TEST_F(PooledCacheTest, PoolIsolationUnderChurn) {
+  // Flood keys that route to one pool; a key in a different pool survives.
+  const std::string victim_key = "stable";
+  const u32 victim_pool = pooled_->PoolIndexFor(victim_key);
+  ASSERT_TRUE(pooled_->Set(victim_key, std::string(1000, 's')).ok());
+
+  int flooded = 0;
+  for (int i = 0; flooded < 400 && i < 100'000; ++i) {
+    const std::string key = "flood-" + std::to_string(i);
+    if (pooled_->PoolIndexFor(key) == victim_pool) continue;
+    ASSERT_TRUE(pooled_->Set(key, std::string(30 * kKiB, 'f')).ok());
+    flooded++;
+  }
+  // Other pools churned hard; the victim's pool never evicted.
+  EXPECT_TRUE(pooled_->Get(victim_key)->hit);
+}
+
+TEST_F(PooledCacheTest, TotalStatsAggregate) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(pooled_->Set("k" + std::to_string(i), "v").ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    (void)pooled_->Get("k" + std::to_string(i));
+  }
+  const CacheStats total = pooled_->TotalStats();
+  EXPECT_EQ(total.sets, 50u);
+  EXPECT_EQ(total.gets, 50u);
+  EXPECT_EQ(total.hits, 50u);
+}
+
+TEST_F(PooledCacheTest, SinglePoolDegeneratesToOneEngine) {
+  Make(1);
+  EXPECT_EQ(pooled_->pool_count(), 1u);
+  ASSERT_TRUE(pooled_->Set("k", "v").ok());
+  EXPECT_TRUE(pooled_->Get("k")->hit);
+}
+
+TEST_F(PooledCacheTest, RandomWorkloadConsistency) {
+  Rng rng(61);
+  std::map<std::string, char> truth;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "k" + std::to_string(rng.Uniform(150));
+    if (rng.Chance(0.25)) {
+      ASSERT_TRUE(pooled_->Delete(key).ok());
+      truth.erase(key);
+    } else {
+      const char fill = static_cast<char>('a' + i % 26);
+      ASSERT_TRUE(pooled_->Set(key, std::string(2 * kKiB, fill)).ok());
+      truth[key] = fill;
+    }
+  }
+  std::string v;
+  for (const auto& [key, fill] : truth) {
+    auto g = pooled_->Get(key, &v);
+    ASSERT_TRUE(g.ok());
+    if (g->hit) {
+      EXPECT_EQ(v[0], fill) << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zncache::cache

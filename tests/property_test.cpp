@@ -1,0 +1,309 @@
+// Property-based suites (parameterized sweeps): each suite drives a module
+// with randomized operations across a grid of configurations and checks
+// invariants that must hold in every configuration.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "blockssd/block_ssd.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "kv/lsm_store.h"
+#include "middle/zone_translation_layer.h"
+#include "zns/zns_device.h"
+
+namespace zncache {
+namespace {
+
+// ---------------------------------------------------------------- ZNS ----
+
+// (zone_size_kib, capacity_kib, store_data)
+using ZnsParam = std::tuple<u64, u64, bool>;
+
+class ZnsProperty : public ::testing::TestWithParam<ZnsParam> {};
+
+TEST_P(ZnsProperty, WritePointerMonotoneUntilReset) {
+  const auto [size_kib, cap_kib, store] = GetParam();
+  zns::ZnsConfig c;
+  c.zone_count = 6;
+  c.zone_size = size_kib * kKiB;
+  c.zone_capacity = cap_kib * kKiB;
+  c.store_data = store;
+  c.max_open_zones = 6;
+  c.max_active_zones = 6;
+  sim::VirtualClock clock;
+  zns::ZnsDevice dev(c, &clock);
+
+  Rng rng(101);
+  std::vector<u64> wp(c.zone_count, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const u64 z = rng.Uniform(c.zone_count);
+    if (rng.Chance(0.1)) {
+      ASSERT_TRUE(dev.Reset(z).ok());
+      wp[z] = 0;
+      continue;
+    }
+    const u64 remaining = dev.GetZoneInfo(z).RemainingCapacity();
+    if (remaining == 0) continue;
+    const u64 n = 1 + rng.Uniform(std::min<u64>(remaining, 8 * kKiB));
+    std::vector<std::byte> data(n, std::byte(static_cast<u8>(i)));
+    auto w = dev.Write(z, wp[z], data);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    wp[z] += n;
+    // The write pointer never moves backward and never passes capacity.
+    ASSERT_EQ(dev.GetZoneInfo(z).write_pointer, wp[z]);
+    ASSERT_LE(wp[z], c.zone_capacity);
+  }
+  // Device-level WA is identically 1 for ZNS.
+  EXPECT_DOUBLE_EQ(dev.stats().WriteAmplification(), 1.0);
+}
+
+TEST_P(ZnsProperty, ReadsNeverCrossWritePointer) {
+  const auto [size_kib, cap_kib, store] = GetParam();
+  zns::ZnsConfig c;
+  c.zone_count = 4;
+  c.zone_size = size_kib * kKiB;
+  c.zone_capacity = cap_kib * kKiB;
+  c.store_data = store;
+  sim::VirtualClock clock;
+  zns::ZnsDevice dev(c, &clock);
+  std::vector<std::byte> buf(1024);
+  ASSERT_TRUE(dev.Write(0, 0, std::span<const std::byte>(buf)).ok());
+  // Every read fully below wp succeeds; any read crossing it fails.
+  std::vector<std::byte> out(512);
+  EXPECT_TRUE(dev.Read(0, 0, out).ok());
+  EXPECT_TRUE(dev.Read(0, 512, out).ok());
+  EXPECT_FALSE(dev.Read(0, 513, out).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ZnsProperty,
+    ::testing::Values(ZnsParam{64, 64, true}, ZnsParam{64, 48, true},
+                      ZnsParam{256, 256, true}, ZnsParam{128, 96, false}),
+    [](const ::testing::TestParamInfo<ZnsParam>& tpinfo) {
+      return "size" + std::to_string(std::get<0>(tpinfo.param)) + "cap" +
+             std::to_string(std::get<1>(tpinfo.param)) +
+             (std::get<2>(tpinfo.param) ? "data" : "nodata");
+    });
+
+// ----------------------------------------------------------- block SSD ----
+
+class BlockSsdProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlockSsdProperty, ChurnPreservesDataAtAnyOpRatio) {
+  blockssd::BlockSsdConfig c;
+  c.logical_capacity = 2 * kMiB;
+  c.op_ratio = GetParam();
+  c.page_size = 4 * kKiB;
+  c.pages_per_block = 8;  // 32 KiB erase blocks
+  sim::VirtualClock clock;
+  blockssd::BlockSsd dev(c, &clock);
+
+  const u64 pages = c.logical_capacity / c.page_size;
+  std::vector<u8> stamp(pages, 0);
+  Rng rng(103);
+  std::vector<std::byte> out(c.page_size);
+  for (int i = 0; i < 4000; ++i) {
+    const u64 p = rng.Uniform(pages);
+    const u8 fill = static_cast<u8>(rng.Next());
+    ASSERT_TRUE(
+        dev.Write(p * c.page_size,
+                  std::vector<std::byte>(c.page_size, std::byte(fill)))
+            .ok());
+    stamp[p] = fill;
+    if (i % 7 == 0) {
+      const u64 q = rng.Uniform(pages);
+      if (stamp[q] != 0) {
+        ASSERT_TRUE(dev.Read(q * c.page_size, out).ok());
+        ASSERT_EQ(out[0], std::byte(stamp[q])) << "page " << q;
+      }
+    }
+  }
+  // WA is finite and at least 1; GC ran at high utilization.
+  EXPECT_GE(dev.stats().WriteAmplification(), 1.0);
+  EXPECT_LT(dev.stats().WriteAmplification(), 64.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(OpRatios, BlockSsdProperty,
+                         ::testing::Values(0.08, 0.15, 0.30, 0.50),
+                         [](const ::testing::TestParamInfo<double>& tpinfo) {
+                           return "op" +
+                                  std::to_string(static_cast<int>(
+                                      tpinfo.param * 100));
+                         });
+
+// --------------------------------------------------------- middle layer ----
+
+// (open_zones, min_empty_zones)
+using MiddleParam = std::tuple<u32, u64>;
+
+class MiddleProperty : public ::testing::TestWithParam<MiddleParam> {};
+
+TEST_P(MiddleProperty, RandomOpsKeepMappingBitmapCoherent) {
+  const auto [open_zones, min_empty] = GetParam();
+  zns::ZnsConfig zc;
+  zc.zone_count = 16;
+  zc.zone_size = 256 * kKiB;
+  zc.zone_capacity = 256 * kKiB;
+  zc.max_open_zones = 10;
+  zc.max_active_zones = 12;
+  sim::VirtualClock clock;
+  zns::ZnsDevice dev(zc, &clock);
+
+  middle::MiddleLayerConfig mc;
+  mc.region_size = 64 * kKiB;
+  mc.region_slots = 36;
+  mc.open_zones = open_zones;
+  mc.min_empty_zones = min_empty;
+  middle::ZoneTranslationLayer layer(mc, &dev);
+  ASSERT_TRUE(layer.ValidateConfig().ok());
+
+  Rng rng(104);
+  std::map<u64, u8> truth;
+  std::vector<std::byte> region(mc.region_size);
+  std::vector<std::byte> out(64);
+  for (int i = 0; i < 700; ++i) {
+    const u64 rid = rng.Uniform(mc.region_slots);
+    if (rng.Chance(0.25)) {
+      ASSERT_TRUE(layer.InvalidateRegion(rid).ok());
+      truth.erase(rid);
+    } else {
+      const u8 fill = static_cast<u8>(rng.Next() | 1);
+      std::fill(region.begin(), region.end(), std::byte(fill));
+      auto w = layer.WriteRegion(rid, region, sim::IoMode::kForeground);
+      ASSERT_TRUE(w.ok()) << w.status().ToString();
+      truth[rid] = fill;
+    }
+    // Spot-check a random region against the reference.
+    const u64 probe = rng.Uniform(mc.region_slots);
+    auto it = truth.find(probe);
+    auto r = layer.ReadRegion(probe, 0, out);
+    if (it == truth.end()) {
+      ASSERT_FALSE(r.ok());
+    } else {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ASSERT_EQ(out[0], std::byte(it->second)) << "region " << probe;
+    }
+  }
+  // Final coherence: mapping <-> bitmap <-> truth.
+  for (u64 rid = 0; rid < mc.region_slots; ++rid) {
+    const auto loc = layer.GetLocation(rid);
+    EXPECT_EQ(loc.has_value(), truth.count(rid) > 0) << "region " << rid;
+    if (loc) {
+      EXPECT_TRUE(layer.IsSlotValid(loc->zone, loc->slot));
+    }
+  }
+  EXPECT_GE(layer.stats().WriteAmplification(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GcKnobs, MiddleProperty,
+    ::testing::Values(MiddleParam{1, 1}, MiddleParam{2, 2}, MiddleParam{3, 1},
+                      MiddleParam{2, 4}, MiddleParam{4, 3}),
+    [](const ::testing::TestParamInfo<MiddleParam>& tpinfo) {
+      return "open" + std::to_string(std::get<0>(tpinfo.param)) + "minempty" +
+             std::to_string(std::get<1>(tpinfo.param));
+    });
+
+// ------------------------------------------------------------- histogram ----
+
+class HistogramProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(HistogramProperty, PercentilesBoundedAndOrdered) {
+  Rng rng(GetParam());
+  Histogram h;
+  std::vector<u64> values;
+  for (int i = 0; i < 20'000; ++i) {
+    // Heavy-tailed values spanning nine orders of magnitude.
+    const u64 v = rng.Next() % (1ULL << (8 + rng.Uniform(30)));
+    h.Record(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    const u64 exact = values[static_cast<size_t>(
+        q * static_cast<double>(values.size() - 1))];
+    const u64 approx = h.Percentile(q);
+    // Log-bucketing guarantees <= 12.5% relative error (plus one bucket).
+    EXPECT_LE(approx, static_cast<u64>(static_cast<double>(exact) * 1.15) + 8)
+        << "q=" << q;
+    EXPECT_GE(static_cast<double>(approx),
+              static_cast<double>(exact) * 0.85 - 8)
+        << "q=" << q;
+  }
+  EXPECT_LE(h.P50(), h.P99());
+  EXPECT_LE(h.P99(), h.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ------------------------------------------------------------------ LSM ----
+
+// (memtable_kib, block_bytes, l0_trigger)
+using LsmParam = std::tuple<u64, u64, u32>;
+
+class LsmProperty : public ::testing::TestWithParam<LsmParam> {};
+
+TEST_P(LsmProperty, MatchesReferenceMapAcrossConfigs) {
+  const auto [memtable_kib, block_bytes, l0_trigger] = GetParam();
+  sim::VirtualClock clock;
+  hdd::HddConfig hc;
+  hc.capacity = 128 * kMiB;
+  hdd::HddDevice disk(hc, &clock);
+
+  kv::LsmConfig c;
+  c.memtable_bytes = memtable_kib * kKiB;
+  c.block_bytes = block_bytes;
+  c.table_target_bytes = 8 * memtable_kib * kKiB;
+  c.l0_compaction_trigger = l0_trigger;
+  c.level_base_bytes = 64 * memtable_kib * kKiB;
+  c.block_cache.capacity_bytes = 32 * kKiB;
+  kv::LsmStore store(c, &disk, &clock);
+
+  Rng rng(105);
+  std::map<std::string, std::string> truth;
+  for (int i = 0; i < 6000; ++i) {
+    const std::string key = "key-" + std::to_string(rng.Uniform(900));
+    if (rng.Chance(0.15)) {
+      ASSERT_TRUE(store.Delete(key).ok());
+      truth.erase(key);
+    } else {
+      const std::string value = "v" + std::to_string(i);
+      ASSERT_TRUE(store.Put(key, value).ok());
+      truth[key] = value;
+    }
+  }
+  ASSERT_TRUE(store.Flush().ok());
+  for (const auto& [k, v] : truth) {
+    std::string got;
+    auto g = store.Get(k, &got);
+    ASSERT_TRUE(g.ok());
+    ASSERT_TRUE(g->found) << k;
+    EXPECT_EQ(got, v) << k;
+  }
+  // Deleted keys stay deleted.
+  for (int i = 0; i < 900; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    if (truth.count(key)) continue;
+    std::string got;
+    auto g = store.Get(key, &got);
+    ASSERT_TRUE(g.ok());
+    EXPECT_FALSE(g->found) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, LsmProperty,
+    ::testing::Values(LsmParam{8, 512, 2}, LsmParam{16, 1024, 3},
+                      LsmParam{32, 4096, 4}, LsmParam{8, 4096, 2}),
+    [](const ::testing::TestParamInfo<LsmParam>& tpinfo) {
+      return "mem" + std::to_string(std::get<0>(tpinfo.param)) + "blk" +
+             std::to_string(std::get<1>(tpinfo.param)) + "trig" +
+             std::to_string(std::get<2>(tpinfo.param));
+    });
+
+}  // namespace
+}  // namespace zncache

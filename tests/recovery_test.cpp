@@ -1,0 +1,341 @@
+// Persistence & warm-restart recovery: region footers (cache index
+// rebuild) and middle-layer slot headers (mapping rebuild).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "backends/middle_region_device.h"
+#include "backends/schemes.h"
+#include "cache/region_footer.h"
+#include "common/random.h"
+#include "middle/zone_translation_layer.h"
+
+namespace zncache {
+namespace {
+
+// ------------------------------------------------------------- footers ----
+
+TEST(RegionFooter, RoundTrip) {
+  cache::RegionFooter footer;
+  footer.seal_seq = 42;
+  footer.data_bytes = 10'000;
+  footer.items.push_back({"alpha", 0, 100});
+  footer.items.push_back({"beta", 100, 9'900});
+
+  std::vector<std::byte> buf(cache::FooterReserve(1 * kMiB));
+  ASSERT_TRUE(cache::EncodeRegionFooter(footer, buf).ok());
+  auto decoded = cache::DecodeRegionFooter(buf);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->seal_seq, 42u);
+  EXPECT_EQ(decoded->data_bytes, 10'000u);
+  ASSERT_EQ(decoded->items.size(), 2u);
+  EXPECT_EQ(decoded->items[0].key, "alpha");
+  EXPECT_EQ(decoded->items[1].offset, 100u);
+}
+
+TEST(RegionFooter, EmptyItemTable) {
+  cache::RegionFooter footer;
+  footer.seal_seq = 1;
+  std::vector<std::byte> buf(8 * kKiB);
+  ASSERT_TRUE(cache::EncodeRegionFooter(footer, buf).ok());
+  auto decoded = cache::DecodeRegionFooter(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->items.empty());
+}
+
+TEST(RegionFooter, BadMagicIsNotFound) {
+  std::vector<std::byte> zeros(8 * kKiB, std::byte{0});
+  auto decoded = cache::DecodeRegionFooter(zeros);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegionFooter, TruncatedTableIsCorruption) {
+  cache::RegionFooter footer;
+  footer.seal_seq = 7;
+  footer.data_bytes = 500;
+  footer.items.push_back({"key", 0, 500});
+  std::vector<std::byte> buf(8 * kKiB);
+  ASSERT_TRUE(cache::EncodeRegionFooter(footer, buf).ok());
+  // Chop mid-table.
+  auto decoded = cache::DecodeRegionFooter(
+      std::span<const std::byte>(buf.data(), 26));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RegionFooter, OutOfBoundsItemIsCorruption) {
+  cache::RegionFooter footer;
+  footer.seal_seq = 7;
+  footer.data_bytes = 100;
+  footer.items.push_back({"key", 50, 100});  // 50+100 > 100
+  std::vector<std::byte> buf(8 * kKiB);
+  ASSERT_TRUE(cache::EncodeRegionFooter(footer, buf).ok());
+  auto decoded = cache::DecodeRegionFooter(buf);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(RegionFooter, ReserveTooSmallReported) {
+  cache::RegionFooter footer;
+  footer.seal_seq = 1;
+  for (int i = 0; i < 100; ++i) {
+    footer.items.push_back({"key-" + std::to_string(i), 0, 1});
+  }
+  std::vector<std::byte> tiny(64);
+  EXPECT_EQ(cache::EncodeRegionFooter(footer, tiny).code(),
+            StatusCode::kNoSpace);
+}
+
+TEST(RegionFooter, ReserveScalesWithRegionSize) {
+  EXPECT_EQ(cache::FooterReserve(1 * kMiB), 32 * kKiB);
+  EXPECT_EQ(cache::FooterReserve(64 * kKiB), 8 * kKiB);  // floor
+  EXPECT_EQ(cache::FooterReserve(64 * kMiB), 2 * kMiB);
+}
+
+// -------------------------------------------------- cache warm restart ----
+
+backends::SchemeParams PersistentParams() {
+  backends::SchemeParams p;
+  p.zone_size = 8 * kMiB;
+  p.region_size = 1 * kMiB;
+  p.cache_bytes = 24 * kMiB;
+  p.min_empty_zones = 1;
+  p.persistent = true;
+  return p;
+}
+
+TEST(CacheRecovery, WarmRestartRestoresIndexAndValues) {
+  sim::VirtualClock clock;
+  auto scheme = MakeScheme(backends::SchemeKind::kRegion, PersistentParams(),
+                           &clock);
+  ASSERT_TRUE(scheme.ok()) << scheme.status().ToString();
+
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(scheme->cache
+                    ->Set("key-" + std::to_string(i),
+                          std::string(200 * kKiB / 100, 'a' + i % 26))
+                    .ok());
+  }
+  ASSERT_TRUE(scheme->cache->Flush().ok());
+  const u64 items_before = scheme->cache->item_count();
+
+  // "Restart": new engine over the same (still-populated) backend.
+  cache::FlashCacheConfig cc;
+  cc.store_values = true;
+  cc.persistent = true;
+  auto restarted = std::make_unique<cache::FlashCache>(
+      cc, scheme->device.get(), &clock);
+  ASSERT_TRUE(restarted->Recover().ok());
+  EXPECT_GT(restarted->recovered_regions(), 0u);
+  EXPECT_GE(restarted->item_count(), items_before - 5);  // open-region tail
+
+  std::string v;
+  auto g = restarted->Get("key-7", &v);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->hit);
+  EXPECT_EQ(v[0], 'a' + 7 % 26);
+}
+
+TEST(CacheRecovery, NewestVersionWinsAfterRestart) {
+  sim::VirtualClock clock;
+  auto scheme = MakeScheme(backends::SchemeKind::kRegion, PersistentParams(),
+                           &clock);
+  ASSERT_TRUE(scheme.ok());
+  ASSERT_TRUE(scheme->cache->Set("k", std::string(600 * 1024, '1')).ok());
+  ASSERT_TRUE(scheme->cache->Set("pad1", std::string(300 * 1024, 'p')).ok());
+  ASSERT_TRUE(scheme->cache->Set("k", std::string(600 * 1024, '2')).ok());
+  ASSERT_TRUE(scheme->cache->Flush().ok());
+
+  cache::FlashCacheConfig cc;
+  cc.store_values = true;
+  cc.persistent = true;
+  cache::FlashCache restarted(cc, scheme->device.get(), &clock);
+  ASSERT_TRUE(restarted.Recover().ok());
+  std::string v;
+  auto g = restarted.Get("k", &v);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->hit);
+  EXPECT_EQ(v[0], '2');
+}
+
+TEST(CacheRecovery, UnflushedTailIsLost) {
+  // Data still in the open region buffer at "crash" is gone — only sealed
+  // regions recover. (The paper's cache semantics: flash holds the truth.)
+  sim::VirtualClock clock;
+  auto scheme = MakeScheme(backends::SchemeKind::kRegion, PersistentParams(),
+                           &clock);
+  ASSERT_TRUE(scheme.ok());
+  ASSERT_TRUE(scheme->cache->Set("tiny", "x").ok());  // stays in the buffer
+
+  cache::FlashCacheConfig cc;
+  cc.store_values = true;
+  cc.persistent = true;
+  cache::FlashCache restarted(cc, scheme->device.get(), &clock);
+  ASSERT_TRUE(restarted.Recover().ok());
+  auto g = restarted.Get("tiny");
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->hit);
+}
+
+TEST(CacheRecovery, RequiresPersistentMode) {
+  sim::VirtualClock clock;
+  backends::SchemeParams p = PersistentParams();
+  p.persistent = false;
+  p.store_data = true;
+  auto scheme = MakeScheme(backends::SchemeKind::kRegion, p, &clock);
+  ASSERT_TRUE(scheme.ok());
+  cache::FlashCacheConfig cc;
+  cc.store_values = true;
+  cache::FlashCache plain(cc, scheme->device.get(), &clock);
+  EXPECT_EQ(plain.Recover().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CacheRecovery, RefusesAfterUse) {
+  sim::VirtualClock clock;
+  auto scheme = MakeScheme(backends::SchemeKind::kRegion, PersistentParams(),
+                           &clock);
+  ASSERT_TRUE(scheme.ok());
+  ASSERT_TRUE(scheme->cache->Set("a", "1").ok());
+  EXPECT_EQ(scheme->cache->Recover().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CacheRecovery, SurvivesRandomWorkloadRestart) {
+  sim::VirtualClock clock;
+  auto scheme = MakeScheme(backends::SchemeKind::kRegion, PersistentParams(),
+                           &clock);
+  ASSERT_TRUE(scheme.ok());
+
+  Rng rng(201);
+  std::map<std::string, char> truth;
+  for (int i = 0; i < 1500; ++i) {
+    const std::string key = "k" + std::to_string(rng.Uniform(300));
+    const char fill = static_cast<char>('a' + i % 26);
+    ASSERT_TRUE(
+        scheme->cache->Set(key, std::string(1 + rng.Uniform(30 * 1024), fill))
+            .ok());
+    truth[key] = fill;
+  }
+  ASSERT_TRUE(scheme->cache->Flush().ok());
+
+  cache::FlashCacheConfig cc;
+  cc.store_values = true;
+  cc.persistent = true;
+  cache::FlashCache restarted(cc, scheme->device.get(), &clock);
+  ASSERT_TRUE(restarted.Recover().ok());
+
+  // Every recovered hit must return the newest value; misses are allowed
+  // (evictions), corruption is not.
+  std::string v;
+  for (const auto& [key, fill] : truth) {
+    auto g = restarted.Get(key, &v);
+    ASSERT_TRUE(g.ok());
+    if (g->hit) {
+      EXPECT_EQ(v[0], fill) << key;
+    }
+  }
+}
+
+// ----------------------------------------- middle-layer warm restart ----
+
+class MiddleRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    zns::ZnsConfig zc;
+    zc.zone_count = 12;
+    zc.zone_size = 1 * kMiB;
+    zc.zone_capacity = 1 * kMiB;
+    zc.max_open_zones = 6;
+    zc.max_active_zones = 8;
+    dev_ = std::make_unique<zns::ZnsDevice>(zc, &clock_);
+    layer_ = std::make_unique<middle::ZoneTranslationLayer>(Config(),
+                                                            dev_.get());
+    ASSERT_TRUE(layer_->ValidateConfig().ok())
+        << layer_->ValidateConfig().ToString();
+  }
+
+  static middle::MiddleLayerConfig Config() {
+    middle::MiddleLayerConfig mc;
+    mc.region_size = 64 * kKiB;
+    mc.region_slots = 80;
+    mc.open_zones = 2;
+    mc.min_empty_zones = 2;
+    mc.persist_headers = true;
+    return mc;
+  }
+
+  Status Write(middle::ZoneTranslationLayer& layer, u64 rid, char fill) {
+    std::vector<std::byte> data(64 * kKiB, std::byte(fill));
+    auto r = layer.WriteRegion(rid, data, sim::IoMode::kForeground);
+    return r.ok() ? Status::Ok() : r.status();
+  }
+
+  sim::VirtualClock clock_;
+  std::unique_ptr<zns::ZnsDevice> dev_;
+  std::unique_ptr<middle::ZoneTranslationLayer> layer_;
+};
+
+TEST_F(MiddleRecoveryTest, HeadersShrinkRegionsPerZone) {
+  // 1 MiB zone / (64 KiB + 4 KiB header) = 15 slots, not 16.
+  EXPECT_EQ(layer_->regions_per_zone(), 15u);
+  EXPECT_EQ(layer_->slot_stride(), 68 * kKiB);
+}
+
+TEST_F(MiddleRecoveryTest, RecoverRebuildsMappings) {
+  for (u64 r = 0; r < 30; ++r) {
+    ASSERT_TRUE(Write(*layer_, r, static_cast<char>('A' + r % 26)).ok());
+  }
+  // Restart: fresh layer over the same device.
+  middle::ZoneTranslationLayer restarted(Config(), dev_.get());
+  ASSERT_TRUE(restarted.Recover().ok());
+
+  std::vector<std::byte> out(16);
+  for (u64 r = 0; r < 30; ++r) {
+    ASSERT_TRUE(restarted.GetLocation(r).has_value()) << "region " << r;
+    ASSERT_TRUE(restarted.ReadRegion(r, 0, out).ok()) << "region " << r;
+    EXPECT_EQ(out[0], std::byte(static_cast<char>('A' + r % 26)));
+  }
+}
+
+TEST_F(MiddleRecoveryTest, HighestVersionWinsOnRewrite) {
+  ASSERT_TRUE(Write(*layer_, 5, 'x').ok());
+  ASSERT_TRUE(Write(*layer_, 5, 'y').ok());  // old copy still on flash
+
+  middle::ZoneTranslationLayer restarted(Config(), dev_.get());
+  ASSERT_TRUE(restarted.Recover().ok());
+  std::vector<std::byte> out(8);
+  ASSERT_TRUE(restarted.ReadRegion(5, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte('y'));
+}
+
+TEST_F(MiddleRecoveryTest, RecoveredLayerKeepsWriting) {
+  for (u64 r = 0; r < 20; ++r) ASSERT_TRUE(Write(*layer_, r, 'a').ok());
+
+  middle::ZoneTranslationLayer restarted(Config(), dev_.get());
+  ASSERT_TRUE(restarted.Recover().ok());
+  // Continue writing (including rewrites) after recovery; GC must cope.
+  Rng rng(202);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(Write(restarted, rng.Uniform(80), 'b').ok());
+  }
+  EXPECT_GE(restarted.stats().WriteAmplification(), 1.0);
+}
+
+TEST_F(MiddleRecoveryTest, RecoverRequiresPersistentMode) {
+  middle::MiddleLayerConfig mc = Config();
+  mc.persist_headers = false;
+  middle::ZoneTranslationLayer plain(mc, dev_.get());
+  EXPECT_EQ(plain.Recover().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MiddleRecoveryTest, RecoverOnEmptyDeviceIsClean) {
+  middle::ZoneTranslationLayer restarted(Config(), dev_.get());
+  ASSERT_TRUE(restarted.Recover().ok());
+  for (u64 r = 0; r < 80; ++r) {
+    EXPECT_FALSE(restarted.GetLocation(r).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace zncache

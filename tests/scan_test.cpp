@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "kv/lsm_store.h"
+
+namespace zncache::kv {
+namespace {
+
+class ScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_unique<sim::VirtualClock>();
+    hdd::HddConfig hc;
+    hc.capacity = 256 * kMiB;
+    hdd_ = std::make_unique<hdd::HddDevice>(hc, clock_.get());
+    LsmConfig c;
+    c.memtable_bytes = 16 * kKiB;
+    c.block_bytes = 1 * kKiB;
+    c.table_target_bytes = 32 * kKiB;
+    c.l0_compaction_trigger = 3;
+    c.level_base_bytes = 128 * kKiB;
+    c.max_levels = 4;
+    c.block_cache.capacity_bytes = 64 * kKiB;
+    store_ = std::make_unique<LsmStore>(c, hdd_.get(), clock_.get());
+  }
+
+  static std::string Key(int i) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "key-%06d", i);
+    return buf;
+  }
+
+  std::unique_ptr<sim::VirtualClock> clock_;
+  std::unique_ptr<hdd::HddDevice> hdd_;
+  std::unique_ptr<LsmStore> store_;
+};
+
+TEST_F(ScanTest, EmptyStore) {
+  auto r = store_->Scan("", 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->entries.empty());
+}
+
+TEST_F(ScanTest, MemtableOnly) {
+  ASSERT_TRUE(store_->Put(Key(3), "c").ok());
+  ASSERT_TRUE(store_->Put(Key(1), "a").ok());
+  ASSERT_TRUE(store_->Put(Key(2), "b").ok());
+  auto r = store_->Scan("", 10);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->entries.size(), 3u);
+  EXPECT_EQ(r->entries[0].key, Key(1));
+  EXPECT_EQ(r->entries[1].value, "b");
+  EXPECT_EQ(r->entries[2].key, Key(3));
+}
+
+TEST_F(ScanTest, StartBoundRespected) {
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(store_->Put(Key(i), "v").ok());
+  auto r = store_->Scan(Key(6), 10);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->entries.size(), 4u);
+  EXPECT_EQ(r->entries.front().key, Key(6));
+}
+
+TEST_F(ScanTest, MaxEntriesBound) {
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(store_->Put(Key(i), "v").ok());
+  auto r = store_->Scan("", 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->entries.size(), 7u);
+}
+
+TEST_F(ScanTest, MergesMemtableAndTables) {
+  // Old versions on disk, new versions in the memtable.
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(store_->Put(Key(i), "old").ok());
+  ASSERT_TRUE(store_->Flush().ok());
+  for (int i = 5; i < 10; ++i) ASSERT_TRUE(store_->Put(Key(i), "new").ok());
+
+  auto r = store_->Scan(Key(3), 10);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->entries.size(), 10u);
+  EXPECT_EQ(r->entries[0].value, "old");  // key-3
+  EXPECT_EQ(r->entries[2].value, "new");  // key-5
+  EXPECT_EQ(r->entries[6].value, "new");  // key-9
+  EXPECT_EQ(r->entries[7].value, "old");  // key-10
+}
+
+TEST_F(ScanTest, TombstonesSuppressOlderVersions) {
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(store_->Put(Key(i), "v").ok());
+  ASSERT_TRUE(store_->Flush().ok());
+  ASSERT_TRUE(store_->Delete(Key(4)).ok());
+  ASSERT_TRUE(store_->Delete(Key(5)).ok());
+
+  auto r = store_->Scan("", 20);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->entries.size(), 8u);
+  for (const auto& e : r->entries) {
+    EXPECT_NE(e.key, Key(4));
+    EXPECT_NE(e.key, Key(5));
+  }
+}
+
+TEST_F(ScanTest, MatchesReferenceAfterHeavyChurn) {
+  Rng rng(301);
+  std::map<std::string, std::string> truth;
+  for (int i = 0; i < 6000; ++i) {
+    const std::string key = Key(static_cast<int>(rng.Uniform(800)));
+    if (rng.Chance(0.2)) {
+      ASSERT_TRUE(store_->Delete(key).ok());
+      truth.erase(key);
+    } else {
+      const std::string value = "v" + std::to_string(i);
+      ASSERT_TRUE(store_->Put(key, value).ok());
+      truth[key] = value;
+    }
+  }
+  // Scans at random positions must match std::map ranges exactly.
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string start = Key(static_cast<int>(rng.Uniform(800)));
+    auto r = store_->Scan(start, 25);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    auto it = truth.lower_bound(start);
+    for (const ScanEntry& e : r->entries) {
+      ASSERT_NE(it, truth.end()) << "scan returned extra key " << e.key;
+      EXPECT_EQ(e.key, it->first);
+      EXPECT_EQ(e.value, it->second);
+      ++it;
+    }
+    // Short result only if the reference also ran out.
+    if (r->entries.size() < 25) {
+      EXPECT_EQ(it, truth.end());
+    }
+  }
+}
+
+TEST_F(ScanTest, ScanHasSimulatedLatency) {
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(store_->Put(Key(i), std::string(64, 'v')).ok());
+  }
+  ASSERT_TRUE(store_->Flush().ok());
+  auto r = store_->Scan(Key(100), 200);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->latency, 0u);  // block fetches hit the (simulated) disk
+}
+
+TEST_F(ScanTest, ZeroMaxEntries) {
+  ASSERT_TRUE(store_->Put(Key(1), "v").ok());
+  auto r = store_->Scan("", 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->entries.empty());
+}
+
+}  // namespace
+}  // namespace zncache::kv

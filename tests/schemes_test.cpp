@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "backends/middle_region_device.h"
+#include "backends/schemes.h"
+
+namespace zncache::backends {
+namespace {
+
+SchemeParams SmallParams() {
+  SchemeParams p;
+  p.zone_size = 8 * kMiB;
+  p.region_size = 512 * kKiB;
+  p.cache_bytes = 32 * kMiB;
+  p.min_empty_zones = 1;
+  return p;
+}
+
+TEST(Schemes, NamesAreStable) {
+  EXPECT_EQ(SchemeName(SchemeKind::kBlock), "Block-Cache");
+  EXPECT_EQ(SchemeName(SchemeKind::kFile), "File-Cache");
+  EXPECT_EQ(SchemeName(SchemeKind::kZone), "Zone-Cache");
+  EXPECT_EQ(SchemeName(SchemeKind::kRegion), "Region-Cache");
+}
+
+TEST(Schemes, AllFourBuildAndServe) {
+  for (auto kind : {SchemeKind::kBlock, SchemeKind::kFile, SchemeKind::kZone,
+                    SchemeKind::kRegion}) {
+    sim::VirtualClock clock;
+    SchemeParams p = SmallParams();
+    p.store_data = true;
+    auto s = MakeScheme(kind, p, &clock);
+    ASSERT_TRUE(s.ok()) << SchemeName(kind) << ": "
+                        << s.status().ToString();
+    EXPECT_EQ(s->name, SchemeName(kind));
+    ASSERT_TRUE(s->cache->Set("k", "hello").ok());
+    std::string v;
+    auto g = s->cache->Get("k", &v);
+    ASSERT_TRUE(g.ok());
+    EXPECT_TRUE(g->hit);
+    EXPECT_EQ(v, "hello");
+  }
+}
+
+TEST(Schemes, ZoneCacheRegionEqualsZone) {
+  sim::VirtualClock clock;
+  auto s = MakeScheme(SchemeKind::kZone, SmallParams(), &clock);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->device->region_size(), 8 * kMiB);
+  EXPECT_EQ(s->device->region_count(), 4u);  // 32 MiB / 8 MiB
+}
+
+TEST(Schemes, SmallRegionSchemesUseRegionSize) {
+  for (auto kind :
+       {SchemeKind::kBlock, SchemeKind::kFile, SchemeKind::kRegion}) {
+    sim::VirtualClock clock;
+    auto s = MakeScheme(kind, SmallParams(), &clock);
+    ASSERT_TRUE(s.ok()) << SchemeName(kind);
+    EXPECT_EQ(s->device->region_size(), 512 * kKiB);
+    EXPECT_EQ(s->device->region_count(), 64u);
+  }
+}
+
+TEST(Schemes, CacheBytesRequired) {
+  sim::VirtualClock clock;
+  SchemeParams p = SmallParams();
+  p.cache_bytes = 0;
+  EXPECT_FALSE(MakeScheme(SchemeKind::kRegion, p, &clock).ok());
+}
+
+TEST(Schemes, ZoneCacheNeedsTwoZones) {
+  sim::VirtualClock clock;
+  SchemeParams p = SmallParams();
+  p.cache_bytes = p.zone_size;  // one zone only
+  EXPECT_FALSE(MakeScheme(SchemeKind::kZone, p, &clock).ok());
+}
+
+TEST(Schemes, DerivedZonesLeaveGcHeadroom) {
+  // Without explicit device_zones, the factory must size the ZNS device so
+  // the middle layer's validation passes.
+  for (double op : {0.10, 0.20, 0.35}) {
+    sim::VirtualClock clock;
+    SchemeParams p = SmallParams();
+    p.region_op_ratio = op;
+    auto s = MakeScheme(SchemeKind::kRegion, p, &clock);
+    ASSERT_TRUE(s.ok()) << "op=" << op << ": " << s.status().ToString();
+  }
+}
+
+TEST(Schemes, ExplicitDeviceZonesRespected) {
+  sim::VirtualClock clock;
+  SchemeParams p = SmallParams();
+  p.device_zones = 12;
+  auto s = MakeScheme(SchemeKind::kRegion, p, &clock);
+  ASSERT_TRUE(s.ok());
+  const auto& dev = static_cast<MiddleRegionDevice*>(s->device.get())
+                        ->zns_device();
+  EXPECT_EQ(dev.zone_count(), 12u);
+}
+
+TEST(Schemes, HintAdapterWiredOnlyWhenRequested) {
+  sim::VirtualClock clock;
+  SchemeParams p = SmallParams();
+  auto plain = MakeScheme(SchemeKind::kRegion, p, &clock);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->hints, nullptr);
+
+  sim::VirtualClock clock2;
+  p.hint_cold_age = 1000;
+  auto hinted = MakeScheme(SchemeKind::kRegion, p, &clock2);
+  ASSERT_TRUE(hinted.ok());
+  EXPECT_NE(hinted->hints, nullptr);
+
+  // Hints are a Region-Cache feature; other schemes ignore the setting.
+  sim::VirtualClock clock3;
+  auto zone = MakeScheme(SchemeKind::kZone, p, &clock3);
+  ASSERT_TRUE(zone.ok());
+  EXPECT_EQ(zone->hints, nullptr);
+}
+
+TEST(Schemes, WaFactorStartsAtOne) {
+  sim::VirtualClock clock;
+  auto s = MakeScheme(SchemeKind::kRegion, SmallParams(), &clock);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->WaFactor(), 1.0);
+}
+
+}  // namespace
+}  // namespace zncache::backends

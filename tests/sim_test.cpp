@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/service_timer.h"
+#include "sim/timing.h"
+
+namespace zncache::sim {
+namespace {
+
+TEST(VirtualClock, StartsAtZero) {
+  VirtualClock c;
+  EXPECT_EQ(c.Now(), 0u);
+}
+
+TEST(VirtualClock, AdvanceAccumulates) {
+  VirtualClock c;
+  c.Advance(10);
+  c.Advance(5);
+  EXPECT_EQ(c.Now(), 15u);
+}
+
+TEST(VirtualClock, AdvanceToNeverGoesBack) {
+  VirtualClock c;
+  c.Advance(100);
+  c.AdvanceTo(50);
+  EXPECT_EQ(c.Now(), 100u);
+  c.AdvanceTo(200);
+  EXPECT_EQ(c.Now(), 200u);
+}
+
+TEST(VirtualClock, ResetZeroes) {
+  VirtualClock c;
+  c.Advance(7);
+  c.Reset();
+  EXPECT_EQ(c.Now(), 0u);
+}
+
+TEST(ServiceTimer, IdleDeviceLatencyEqualsService) {
+  VirtualClock c;
+  ServiceTimer t(&c);
+  EXPECT_EQ(t.Submit(1000), 1000u);
+  EXPECT_EQ(c.Now(), 1000u);
+}
+
+TEST(ServiceTimer, BackToBackForegroundDoesNotQueue) {
+  VirtualClock c;
+  ServiceTimer t(&c);
+  t.Submit(1000);
+  // The clock already advanced to completion; the next request starts fresh.
+  EXPECT_EQ(t.Submit(1000), 1000u);
+  EXPECT_EQ(c.Now(), 2000u);
+}
+
+TEST(ServiceTimer, BackgroundWorkDelaysForeground) {
+  VirtualClock c;
+  ServiceTimer t(&c);
+  t.SubmitBackground(5000);
+  EXPECT_EQ(c.Now(), 0u);  // client did not wait
+  // Foreground op queues behind the background work: 5000 + 1000.
+  EXPECT_EQ(t.Submit(1000), 6000u);
+  EXPECT_EQ(c.Now(), 6000u);
+}
+
+TEST(ServiceTimer, BackgroundStacksUp) {
+  VirtualClock c;
+  ServiceTimer t(&c);
+  t.SubmitBackground(100);
+  t.SubmitBackground(100);
+  EXPECT_EQ(t.busy_until(), 200u);
+}
+
+TEST(ServiceTimer, ServeReturnsCompletion) {
+  VirtualClock c;
+  ServiceTimer t(&c);
+  const Served bg = t.Serve(300, IoMode::kBackground);
+  EXPECT_EQ(bg.latency, 0u);
+  EXPECT_EQ(bg.completion, 300u);
+  const Served fg = t.Serve(100, IoMode::kForeground);
+  EXPECT_EQ(fg.latency, 400u);
+  EXPECT_EQ(fg.completion, 400u);
+}
+
+TEST(ServiceTimer, IdleGapNotCharged) {
+  VirtualClock c;
+  ServiceTimer t(&c);
+  t.Submit(100);
+  c.Advance(10'000);  // device idles
+  EXPECT_EQ(t.Submit(100), 100u);
+}
+
+TEST(IoCost, FixedPlusBandwidth) {
+  IoCost cost{1000, 2.0};  // 1us + 2 bytes/ns
+  EXPECT_EQ(cost.Cost(0), 1000u);
+  EXPECT_EQ(cost.Cost(2000), 2000u);
+}
+
+TEST(Timing, FlashFasterThanHdd) {
+  FlashTiming flash;
+  HddTiming disk;
+  EXPECT_LT(flash.read.Cost(4096), disk.read.Cost(4096));
+  EXPECT_LT(flash.write.Cost(4096), disk.write.Cost(4096));
+}
+
+TEST(Timing, SequentialCheaperPerByte) {
+  FlashTiming flash;
+  const SimNanos small = flash.read.Cost(4 * kKiB);
+  const SimNanos big = flash.read.Cost(1 * kMiB);
+  // 256x the bytes must cost far less than 256x the latency.
+  EXPECT_LT(big, small * 64);
+}
+
+}  // namespace
+}  // namespace zncache::sim

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kv/sstable.h"
+
+namespace zncache::kv {
+namespace {
+
+std::span<const std::byte> Span(const std::vector<std::byte>& v) {
+  return std::span<const std::byte>(v);
+}
+
+// Decode a stored block (codec framing) and search it.
+SstReader::BlockLookup DecodedSearch(const std::vector<std::byte>& image,
+                                     const BlockIndexEntry& e,
+                                     std::string_view key, std::string* value) {
+  auto decoded = SstReader::DecodeBlock(
+      std::span<const std::byte>(image.data() + e.offset, e.size));
+  EXPECT_TRUE(decoded.ok());
+  return SstReader::SearchBlock(std::span<const std::byte>(*decoded), key,
+                                value);
+}
+
+std::vector<std::byte> BuildSimple(int n, u64 block_bytes = 256) {
+  SstBuilder b(block_bytes);
+  for (int i = 0; i < n; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06d", i);
+    EXPECT_TRUE(b.Add(key, "value-" + std::to_string(i), false).ok());
+  }
+  auto image = std::move(b).Finish();
+  EXPECT_TRUE(image.ok());
+  return std::move(*image);
+}
+
+TEST(SstBuilder, RejectsOutOfOrderKeys) {
+  SstBuilder b;
+  ASSERT_TRUE(b.Add("b", "1", false).ok());
+  EXPECT_FALSE(b.Add("a", "2", false).ok());
+  EXPECT_FALSE(b.Add("b", "dup", false).ok());  // strictly ascending
+}
+
+TEST(SstBuilder, TracksKeyRangeAndCount) {
+  SstBuilder b;
+  ASSERT_TRUE(b.Add("apple", "1", false).ok());
+  ASSERT_TRUE(b.Add("mango", "2", false).ok());
+  ASSERT_TRUE(b.Add("zebra", "3", false).ok());
+  EXPECT_EQ(b.smallest_key(), "apple");
+  EXPECT_EQ(b.largest_key(), "zebra");
+  EXPECT_EQ(b.entry_count(), 3u);
+}
+
+TEST(SstBuilder, FinishTwiceFails) {
+  SstBuilder b;
+  ASSERT_TRUE(b.Add("a", "1", false).ok());
+  ASSERT_TRUE(std::move(b).Finish().ok());
+  EXPECT_FALSE(std::move(b).Finish().ok());
+}
+
+TEST(SstReader, OpenRejectsGarbage) {
+  std::vector<std::byte> junk(100, std::byte{0x42});
+  EXPECT_FALSE(SstReader::Open(Span(junk)).ok());
+  std::vector<std::byte> tiny(4, std::byte{1});
+  EXPECT_FALSE(SstReader::Open(Span(tiny)).ok());
+}
+
+TEST(SstReader, FooterRoundTrip) {
+  auto image = BuildSimple(10);
+  auto footer = DecodeFooter(Span(image));
+  ASSERT_TRUE(footer.ok());
+  EXPECT_EQ(footer->entry_count, 10u);
+  EXPECT_EQ(footer->magic, kSstMagic);
+}
+
+TEST(SstReader, FindsEveryKey) {
+  const int n = 500;
+  auto image = BuildSimple(n);
+  auto reader = SstReader::Open(Span(image));
+  ASSERT_TRUE(reader.ok());
+  EXPECT_GT(reader->index().size(), 1u);  // multiple blocks
+
+  for (int i = 0; i < n; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%06d", i);
+    auto block_idx = reader->FindBlock(key);
+    ASSERT_TRUE(block_idx.has_value()) << key;
+    const BlockIndexEntry& e = reader->index()[*block_idx];
+    std::string value;
+    const auto r = DecodedSearch(image, e, key, &value);
+    ASSERT_EQ(r, SstReader::BlockLookup::kFound) << key;
+    EXPECT_EQ(value, "value-" + std::to_string(i));
+  }
+}
+
+TEST(SstReader, MissingKeysMiss) {
+  auto image = BuildSimple(100);
+  auto reader = SstReader::Open(Span(image));
+  ASSERT_TRUE(reader.ok());
+  // Beyond the last key: no candidate block.
+  EXPECT_FALSE(reader->FindBlock("zzzz").has_value());
+  // Between keys: block found but key absent.
+  auto idx = reader->FindBlock("k000050x");
+  ASSERT_TRUE(idx.has_value());
+  const BlockIndexEntry& e = reader->index()[*idx];
+  std::string v;
+  EXPECT_EQ(DecodedSearch(image, e, "k000050x", &v),
+            SstReader::BlockLookup::kNotFound);
+}
+
+TEST(SstReader, TombstonesSurfaced) {
+  SstBuilder b(128);
+  ASSERT_TRUE(b.Add("alive", "v", false).ok());
+  ASSERT_TRUE(b.Add("dead", "", true).ok());
+  auto image = std::move(b).Finish();
+  ASSERT_TRUE(image.ok());
+  auto reader = SstReader::Open(Span(*image));
+  ASSERT_TRUE(reader.ok());
+  auto idx = reader->FindBlock("dead");
+  ASSERT_TRUE(idx.has_value());
+  const BlockIndexEntry& e = reader->index()[*idx];
+  std::string v;
+  EXPECT_EQ(DecodedSearch(*image, e, "dead", &v),
+            SstReader::BlockLookup::kTombstone);
+}
+
+TEST(SstReader, ForEachVisitsAllInOrder) {
+  auto image = BuildSimple(200);
+  auto reader = SstReader::Open(Span(image));
+  ASSERT_TRUE(reader.ok());
+  int count = 0;
+  std::string prev;
+  for (const BlockIndexEntry& e : reader->index()) {
+    auto decoded = SstReader::DecodeBlock(
+        std::span<const std::byte>(image.data() + e.offset, e.size));
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_TRUE(SstReader::ForEachInBlock(
+                    std::span<const std::byte>(*decoded),
+                    [&](std::string_view k, std::string_view, bool) {
+                      if (count > 0) {
+                        EXPECT_LT(prev, std::string(k));
+                      }
+                      prev.assign(k);
+                      count++;
+                    })
+                    .ok());
+  }
+  EXPECT_EQ(count, 200);
+}
+
+TEST(SstReader, IndexLastKeysAreSorted) {
+  auto image = BuildSimple(1000);
+  auto reader = SstReader::Open(Span(image));
+  ASSERT_TRUE(reader.ok());
+  for (size_t i = 1; i < reader->index().size(); ++i) {
+    EXPECT_LT(reader->index()[i - 1].last_key, reader->index()[i].last_key);
+  }
+}
+
+TEST(SstReader, EmptyValueAllowed) {
+  SstBuilder b;
+  ASSERT_TRUE(b.Add("k", "", false).ok());
+  auto image = std::move(b).Finish();
+  ASSERT_TRUE(image.ok());
+  auto reader = SstReader::Open(Span(*image));
+  ASSERT_TRUE(reader.ok());
+  const BlockIndexEntry& e = reader->index()[0];
+  std::string v = "sentinel";
+  EXPECT_EQ(DecodedSearch(*image, e, "k", &v),
+            SstReader::BlockLookup::kFound);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SstReader, CorruptBlockDetected) {
+  std::vector<std::byte> bogus(16, std::byte{0xFF});
+  std::string v;
+  EXPECT_EQ(SstReader::SearchBlock(Span(bogus), "k", &v),
+            SstReader::BlockLookup::kCorrupt);
+}
+
+}  // namespace
+}  // namespace zncache::kv

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "backends/schemes.h"
+#include "workload/trace.h"
+
+namespace zncache::workload {
+namespace {
+
+TraceOp Get(std::string key) {
+  return TraceOp{TraceOp::Kind::kGet, std::move(key), 0};
+}
+TraceOp Set(std::string key, u32 size) {
+  return TraceOp{TraceOp::Kind::kSet, std::move(key), size};
+}
+TraceOp Del(std::string key) {
+  return TraceOp{TraceOp::Kind::kDelete, std::move(key), 0};
+}
+
+TEST(Trace, SerializeParseRoundTrip) {
+  Trace trace;
+  trace.Add(Set("alpha", 4096));
+  trace.Add(Get("alpha"));
+  trace.Add(Del("alpha"));
+  trace.Add(Get("beta"));
+
+  auto parsed = Trace::Parse(trace.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 4u);
+  EXPECT_EQ(parsed->ops()[0].kind, TraceOp::Kind::kSet);
+  EXPECT_EQ(parsed->ops()[0].key, "alpha");
+  EXPECT_EQ(parsed->ops()[0].value_size, 4096u);
+  EXPECT_EQ(parsed->ops()[2].kind, TraceOp::Kind::kDelete);
+  EXPECT_EQ(parsed->ops()[3].key, "beta");
+}
+
+TEST(Trace, ParseSkipsCommentsAndBlankLines) {
+  auto parsed = Trace::Parse("# a comment\n\nG key1\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(Trace, ParseRejectsGarbage) {
+  EXPECT_FALSE(Trace::Parse("X key\n").ok());
+  EXPECT_FALSE(Trace::Parse("S key notanumber\n").ok());
+  EXPECT_FALSE(Trace::Parse("G\n").ok());
+}
+
+TEST(Trace, FileRoundTrip) {
+  Trace trace;
+  for (int i = 0; i < 100; ++i) {
+    trace.Add(Set("key-" + std::to_string(i), 100 + i));
+    trace.Add(Get("key-" + std::to_string(i)));
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "zncache_trace_test.txt")
+          .string();
+  ASSERT_TRUE(trace.SaveTo(path).ok());
+  auto loaded = Trace::LoadFrom(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 200u);
+  EXPECT_EQ(loaded->Serialize(), trace.Serialize());
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadMissingFileFails) {
+  EXPECT_FALSE(Trace::LoadFrom("/nonexistent/zn_trace").ok());
+}
+
+TEST(Trace, GeneratedTraceMatchesConfigMix) {
+  CacheBenchConfig config;
+  config.ops = 20'000;
+  config.warmup_ops = 0;
+  config.key_space = 5'000;
+  Trace trace = GenerateTrace(config);
+  ASSERT_EQ(trace.size(), 20'000u);
+  u64 gets = 0, sets = 0, dels = 0;
+  for (const TraceOp& op : trace.ops()) {
+    switch (op.kind) {
+      case TraceOp::Kind::kGet:
+        gets++;
+        break;
+      case TraceOp::Kind::kSet:
+        sets++;
+        EXPECT_GE(op.value_size, config.value_min);
+        EXPECT_LE(op.value_size, config.value_max);
+        break;
+      case TraceOp::Kind::kDelete:
+        dels++;
+        break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(gets) / 20'000, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(sets) / 20'000, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(dels) / 20'000, 0.2, 0.02);
+}
+
+TEST(Trace, GenerationIsDeterministic) {
+  CacheBenchConfig config;
+  config.ops = 1'000;
+  config.warmup_ops = 0;
+  EXPECT_EQ(GenerateTrace(config).Serialize(),
+            GenerateTrace(config).Serialize());
+}
+
+class TraceReplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_unique<sim::VirtualClock>();
+    backends::SchemeParams params;
+    params.zone_size = 8 * kMiB;
+    params.region_size = 512 * kKiB;
+    params.cache_bytes = 24 * kMiB;
+    params.min_empty_zones = 1;
+    auto scheme = backends::MakeScheme(backends::SchemeKind::kRegion, params,
+                                       clock_.get());
+    ASSERT_TRUE(scheme.ok());
+    scheme_ = std::make_unique<backends::SchemeInstance>(std::move(*scheme));
+  }
+
+  std::unique_ptr<sim::VirtualClock> clock_;
+  std::unique_ptr<backends::SchemeInstance> scheme_;
+};
+
+TEST_F(TraceReplayTest, ReplayDrivesCache) {
+  Trace trace;
+  trace.Add(Set("a", 4096));
+  trace.Add(Get("a"));
+  trace.Add(Get("missing"));
+  trace.Add(Del("a"));
+  trace.Add(Get("a"));
+
+  auto r = ReplayTrace(trace, *scheme_->cache, *clock_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->ops, 5u);
+  EXPECT_EQ(r->gets, 3u);
+  EXPECT_EQ(r->hits, 1u);
+  EXPECT_GT(r->sim_time, 0u);
+}
+
+TEST_F(TraceReplayTest, GeneratedTraceReplaysAcrossSchemes) {
+  CacheBenchConfig config;
+  config.ops = 15'000;
+  config.warmup_ops = 0;
+  config.key_space = 2'000;
+  config.value_min = 1 * kKiB;
+  config.value_max = 8 * kKiB;
+  const Trace trace = GenerateTrace(config);
+
+  auto r1 = ReplayTrace(trace, *scheme_->cache, *clock_);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_GT(r1->HitRatio(), 0.1);  // sets populate, later gets hit
+
+  // A second scheme replays the identical stream (trace-based comparison).
+  backends::SchemeParams params;
+  params.zone_size = 8 * kMiB;
+  params.cache_bytes = 24 * kMiB;
+  auto zone = backends::MakeScheme(backends::SchemeKind::kZone, params,
+                                   clock_.get());
+  ASSERT_TRUE(zone.ok());
+  auto r2 = ReplayTrace(trace, *zone->cache, *clock_);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->ops, r1->ops);
+  EXPECT_EQ(r2->gets, r1->gets);
+}
+
+TEST_F(TraceReplayTest, OversizedSetSkippedNotFatal) {
+  Trace trace;
+  trace.Add(Set("huge", 100 * kMiB));
+  trace.Add(Get("huge"));
+  auto r = ReplayTrace(trace, *scheme_->cache, *clock_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->hits, 0u);
+}
+
+}  // namespace
+}  // namespace zncache::workload

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kv/wal.h"
+
+namespace zncache::kv {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  WalTest() : dev_(MakeHdd(), &clock_), wal_(MakeWal(), &dev_) {}
+
+  static hdd::HddConfig MakeHdd() {
+    hdd::HddConfig c;
+    c.capacity = 8 * kMiB;
+    return c;
+  }
+  static WalConfig MakeWal() {
+    WalConfig c;
+    c.extent_offset = 0;
+    c.extent_bytes = 4 * kMiB;
+    c.buffer_bytes = 4 * kKiB;
+    return c;
+  }
+
+  struct Record {
+    std::string key, value;
+    bool tombstone;
+  };
+
+  std::vector<Record> ReplayAll() {
+    std::vector<Record> out;
+    EXPECT_TRUE(wal_
+                    .Replay([&](std::string_view k, std::string_view v,
+                                bool del) {
+                      out.push_back({std::string(k), std::string(v), del});
+                    })
+                    .ok());
+    return out;
+  }
+
+  sim::VirtualClock clock_;
+  hdd::HddDevice dev_;
+  Wal wal_;
+};
+
+TEST_F(WalTest, EmptyReplay) { EXPECT_TRUE(ReplayAll().empty()); }
+
+TEST_F(WalTest, BufferedRecordsReplay) {
+  ASSERT_TRUE(wal_.Append("k1", "v1", false).ok());
+  ASSERT_TRUE(wal_.Append("k2", "", true).ok());
+  auto records = ReplayAll();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "k1");
+  EXPECT_EQ(records[0].value, "v1");
+  EXPECT_FALSE(records[0].tombstone);
+  EXPECT_TRUE(records[1].tombstone);
+}
+
+TEST_F(WalTest, AutoSyncOnBufferFull) {
+  const std::string big(3 * kKiB, 'w');
+  ASSERT_TRUE(wal_.Append("a", big, false).ok());
+  ASSERT_TRUE(wal_.Append("b", big, false).ok());
+  EXPECT_GT(dev_.stats().bytes_written, 0u);  // buffer spilled to disk
+  auto records = ReplayAll();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].value.size(), big.size());
+}
+
+TEST_F(WalTest, ExplicitSyncPersists) {
+  ASSERT_TRUE(wal_.Append("k", "v", false).ok());
+  ASSERT_TRUE(wal_.Sync().ok());
+  EXPECT_GT(dev_.stats().bytes_written, 0u);
+  EXPECT_EQ(ReplayAll().size(), 1u);
+}
+
+TEST_F(WalTest, TruncateDiscards) {
+  ASSERT_TRUE(wal_.Append("k", "v", false).ok());
+  ASSERT_TRUE(wal_.Sync().ok());
+  ASSERT_TRUE(wal_.Truncate().ok());
+  EXPECT_EQ(wal_.size_bytes(), 0u);
+  EXPECT_TRUE(ReplayAll().empty());
+}
+
+TEST_F(WalTest, ExtentOverflowReported) {
+  WalConfig tiny;
+  tiny.extent_offset = 4 * kMiB;
+  tiny.extent_bytes = 64;
+  Wal w(tiny, &dev_);
+  ASSERT_TRUE(w.Append("k", std::string(40, 'v'), false).ok());
+  EXPECT_EQ(w.Append("k2", std::string(40, 'v'), false).code(),
+            StatusCode::kNoSpace);
+}
+
+TEST_F(WalTest, ReplayPreservesOrderAcrossSyncBoundary) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        wal_.Append("k" + std::to_string(i), std::string(200, 'v'), false)
+            .ok());
+  }
+  auto records = ReplayAll();
+  ASSERT_EQ(records.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(records[i].key, "k" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace zncache::kv

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "backends/middle_region_device.h"
+#include "workload/cachebench.h"
+
+namespace zncache::workload {
+namespace {
+
+class CacheBenchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_unique<sim::VirtualClock>();
+    backends::MiddleRegionDeviceConfig dc;
+    dc.region_count = 48;
+    dc.zns.zone_count = 20;
+    dc.zns.zone_size = 256 * kKiB;
+    dc.zns.zone_capacity = 256 * kKiB;
+    dc.zns.max_open_zones = 6;
+    dc.zns.max_active_zones = 8;
+    dc.zns.store_data = false;
+    dc.middle.region_size = 64 * kKiB;
+    dc.middle.min_empty_zones = 2;
+    device_ = std::make_unique<backends::MiddleRegionDevice>(dc, clock_.get());
+    ASSERT_TRUE(device_->Init().ok());
+    cache::FlashCacheConfig cc;
+    cc.store_values = false;
+    cache_ = std::make_unique<cache::FlashCache>(cc, device_.get(),
+                                                 clock_.get());
+  }
+
+  CacheBenchConfig SmallConfig() {
+    CacheBenchConfig c;
+    c.ops = 20'000;
+    c.warmup_ops = 5'000;
+    c.key_space = 3000;
+    c.value_min = 512;
+    c.value_max = 4 * kKiB;
+    return c;
+  }
+
+  std::unique_ptr<sim::VirtualClock> clock_;
+  std::unique_ptr<backends::MiddleRegionDevice> device_;
+  std::unique_ptr<cache::FlashCache> cache_;
+};
+
+TEST_F(CacheBenchTest, ValueSizesDeterministicAndBounded) {
+  CacheBenchRunner runner(SmallConfig());
+  for (u64 k = 0; k < 1000; ++k) {
+    const u64 s1 = runner.ValueSizeFor(k);
+    const u64 s2 = runner.ValueSizeFor(k);
+    EXPECT_EQ(s1, s2);
+    EXPECT_GE(s1, 512u);
+    EXPECT_LE(s1, 4 * kKiB);
+  }
+}
+
+TEST_F(CacheBenchTest, KeyNamesUnique) {
+  EXPECT_NE(CacheBenchRunner::KeyName(1), CacheBenchRunner::KeyName(11));
+}
+
+TEST_F(CacheBenchTest, RunProducesSaneMetrics) {
+  CacheBenchRunner runner(SmallConfig());
+  auto r = runner.Run(*cache_, *clock_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->measured_ops, 20'000u);
+  EXPECT_GT(r->sim_time, 0u);
+  EXPECT_GT(r->ops_per_minute, 0.0);
+  EXPECT_GT(r->hit_ratio, 0.3);  // zipf + refill => mostly hits
+  EXPECT_LE(r->hit_ratio, 1.0);
+  EXPECT_GE(r->wa_factor, 0.99);
+  EXPECT_GT(r->get_latency.count(), 0u);
+  EXPECT_GT(r->set_latency.count(), 0u);
+}
+
+TEST_F(CacheBenchTest, DeterministicAcrossRuns) {
+  CacheBenchRunner runner(SmallConfig());
+  auto r1 = runner.Run(*cache_, *clock_);
+  ASSERT_TRUE(r1.ok());
+
+  // Fresh identical setup must reproduce metrics exactly.
+  SetUp();
+  CacheBenchRunner runner2(SmallConfig());
+  auto r2 = runner2.Run(*cache_, *clock_);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1->hit_ratio, r2->hit_ratio);
+  EXPECT_EQ(r1->sim_time, r2->sim_time);
+}
+
+TEST_F(CacheBenchTest, SmallerCacheLowersHitRatio) {
+  CacheBenchRunner runner(SmallConfig());
+  auto big = runner.Run(*cache_, *clock_);
+  ASSERT_TRUE(big.ok());
+
+  // Rebuild with half the regions.
+  clock_ = std::make_unique<sim::VirtualClock>();
+  backends::MiddleRegionDeviceConfig dc;
+  dc.region_count = 20;
+  dc.zns.zone_count = 12;
+  dc.zns.zone_size = 256 * kKiB;
+  dc.zns.zone_capacity = 256 * kKiB;
+  dc.zns.store_data = false;
+  dc.middle.region_size = 64 * kKiB;
+  dc.middle.min_empty_zones = 2;
+  device_ = std::make_unique<backends::MiddleRegionDevice>(dc, clock_.get());
+  ASSERT_TRUE(device_->Init().ok());
+  cache::FlashCacheConfig cc;
+  cc.store_values = false;
+  cache_ = std::make_unique<cache::FlashCache>(cc, device_.get(), clock_.get());
+
+  auto small = runner.Run(*cache_, *clock_);
+  ASSERT_TRUE(small.ok());
+  EXPECT_LT(small->hit_ratio, big->hit_ratio);
+}
+
+}  // namespace
+}  // namespace zncache::workload

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "workload/ycsb.h"
+
+namespace zncache::workload {
+namespace {
+
+class YcsbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_unique<sim::VirtualClock>();
+    hdd::HddConfig hc;
+    hc.capacity = 256 * kMiB;
+    hdd_ = std::make_unique<hdd::HddDevice>(hc, clock_.get());
+    kv::LsmConfig lc;
+    lc.memtable_bytes = 64 * kKiB;
+    lc.block_bytes = 2 * kKiB;
+    lc.table_target_bytes = 128 * kKiB;
+    lc.block_cache.capacity_bytes = 256 * kKiB;
+    store_ = std::make_unique<kv::LsmStore>(lc, hdd_.get(), clock_.get());
+
+    config_.record_count = 4'000;
+    config_.operation_count = 3'000;
+    runner_ = std::make_unique<YcsbRunner>(config_);
+    ASSERT_TRUE(runner_->Load(*store_).ok());
+  }
+
+  YcsbConfig config_;
+  std::unique_ptr<sim::VirtualClock> clock_;
+  std::unique_ptr<hdd::HddDevice> hdd_;
+  std::unique_ptr<kv::LsmStore> store_;
+  std::unique_ptr<YcsbRunner> runner_;
+};
+
+TEST_F(YcsbTest, LoadPopulatesAllRecords) {
+  std::string v;
+  auto g = store_->Get(runner_->KeyFor(0), &v);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->found);
+  g = store_->Get(runner_->KeyFor(3'999), &v);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->found);
+}
+
+TEST_F(YcsbTest, WorkloadAMix) {
+  auto r = runner_->Run(YcsbWorkload::kA, *store_, *clock_);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->ops, 3'000u);
+  EXPECT_NEAR(static_cast<double>(r->reads) / 3'000, 0.5, 0.05);
+  EXPECT_NEAR(static_cast<double>(r->updates) / 3'000, 0.5, 0.05);
+  // Every read targets a loaded record.
+  EXPECT_EQ(r->found, r->reads);
+}
+
+TEST_F(YcsbTest, WorkloadBReadMostly) {
+  auto r = runner_->Run(YcsbWorkload::kB, *store_, *clock_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(static_cast<double>(r->reads) / 3'000, 0.95, 0.03);
+}
+
+TEST_F(YcsbTest, WorkloadCReadOnly) {
+  auto r = runner_->Run(YcsbWorkload::kC, *store_, *clock_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->reads, 3'000u);
+  EXPECT_EQ(r->updates, 0u);
+  EXPECT_EQ(r->inserts, 0u);
+}
+
+TEST_F(YcsbTest, WorkloadDInsertsAndReadsLatest) {
+  auto r = runner_->Run(YcsbWorkload::kD, *store_, *clock_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->inserts, 0u);
+  EXPECT_EQ(r->found, r->reads);  // latest keys always exist
+  // Inserted keys are retrievable afterwards.
+  std::string v;
+  auto g = store_->Get(runner_->KeyFor(config_.record_count), &v);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->found);
+}
+
+TEST_F(YcsbTest, WorkloadEScans) {
+  auto r = runner_->Run(YcsbWorkload::kE, *store_, *clock_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->scans, 2'500u);
+  EXPECT_GT(r->inserts, 0u);
+  EXPECT_EQ(r->reads, 0u);
+}
+
+TEST_F(YcsbTest, WorkloadFReadModifyWrite) {
+  auto r = runner_->Run(YcsbWorkload::kF, *store_, *clock_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->rmws, 1'000u);
+  // RMW does a read before its write.
+  EXPECT_GT(r->reads, r->rmws);
+}
+
+TEST_F(YcsbTest, UpdatesVisibleToLaterReads) {
+  ASSERT_TRUE(runner_->Run(YcsbWorkload::kA, *store_, *clock_).ok());
+  // The hottest record was almost surely updated; reads still succeed with
+  // the 100-byte value shape.
+  std::string v;
+  auto g = store_->Get(runner_->KeyFor(0), &v);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->found);
+  EXPECT_EQ(v.size(), 100u);
+}
+
+TEST_F(YcsbTest, OpsPerSecondPositive) {
+  auto r = runner_->Run(YcsbWorkload::kC, *store_, *clock_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->ops_per_sec, 0.0);
+  EXPECT_GT(r->latency.count(), 0u);
+}
+
+TEST_F(YcsbTest, WorkloadNamesStable) {
+  EXPECT_EQ(YcsbWorkloadName(YcsbWorkload::kA), "A (update-heavy)");
+  EXPECT_EQ(YcsbWorkloadName(YcsbWorkload::kE), "E (short-ranges)");
+}
+
+}  // namespace
+}  // namespace zncache::workload

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "zns/zbd.h"
+
+namespace zncache::zns {
+namespace {
+
+class ZbdTest : public ::testing::Test {
+ protected:
+  ZbdTest() : dev_(Config(), &clock_), zbd_(&dev_) {}
+
+  static ZnsConfig Config() {
+    ZnsConfig c;
+    c.zone_count = 8;
+    c.zone_size = 128 * kKiB;
+    c.zone_capacity = 96 * kKiB;  // capacity < size, as on the ZN540
+    c.max_open_zones = 4;
+    c.max_active_zones = 6;
+    return c;
+  }
+
+  std::vector<std::byte> Bytes(size_t n, char c = 'z') {
+    return std::vector<std::byte>(n, std::byte(c));
+  }
+
+  sim::VirtualClock clock_;
+  ZnsDevice dev_;
+  ZbdDevice zbd_;
+};
+
+TEST_F(ZbdTest, InfoMirrorsDevice) {
+  const ZbdInfo info = zbd_.info();
+  EXPECT_EQ(info.nr_zones, 8u);
+  EXPECT_EQ(info.zone_size, 128 * kKiB);
+  EXPECT_EQ(info.zone_capacity, 96 * kKiB);
+  EXPECT_EQ(info.capacity, 8 * 128 * kKiB);
+  EXPECT_EQ(info.max_nr_open_zones, 4u);
+}
+
+TEST_F(ZbdTest, ReportAllZones) {
+  auto zones = zbd_.ReportZones(0);
+  ASSERT_TRUE(zones.ok());
+  ASSERT_EQ(zones->size(), 8u);
+  EXPECT_EQ((*zones)[3].start, 3 * 128 * kKiB);
+  EXPECT_EQ((*zones)[3].wp, 3 * 128 * kKiB);
+  EXPECT_EQ((*zones)[3].cond, ZoneState::kEmpty);
+  EXPECT_TRUE((*zones)[3].IsWritable());
+}
+
+TEST_F(ZbdTest, ReportRangeSelectsIntersectingZones) {
+  auto zones = zbd_.ReportZones(130 * kKiB, 200 * kKiB);
+  ASSERT_TRUE(zones.ok());
+  // [130K, 330K) intersects zones 1 and 2.
+  ASSERT_EQ(zones->size(), 2u);
+  EXPECT_EQ((*zones)[0].start, 128 * kKiB);
+}
+
+TEST_F(ZbdTest, ReportBeyondDeviceFails) {
+  EXPECT_FALSE(zbd_.ReportZones(10 * 128 * kKiB).ok());
+}
+
+TEST_F(ZbdTest, FlatOffsetWriteAdvancesWp) {
+  const u64 base = 2 * 128 * kKiB;
+  ASSERT_TRUE(zbd_.Pwrite(Bytes(4096, 'a'), base).ok());
+  ASSERT_TRUE(zbd_.Pwrite(Bytes(4096, 'b'), base + 4096).ok());
+  auto zones = zbd_.ReportZones(base, 1);
+  ASSERT_TRUE(zones.ok());
+  EXPECT_EQ((*zones)[0].wp, base + 8192);
+}
+
+TEST_F(ZbdTest, WriteNotAtWpRejected) {
+  EXPECT_FALSE(zbd_.Pwrite(Bytes(512), 4096).ok());
+}
+
+TEST_F(ZbdTest, CrossZoneIoRejected) {
+  EXPECT_FALSE(zbd_.Pwrite(Bytes(8 * kKiB), 124 * kKiB).ok());
+  std::vector<std::byte> out(8 * kKiB);
+  EXPECT_FALSE(zbd_.Pread(out, 124 * kKiB).ok());
+}
+
+TEST_F(ZbdTest, ReadBackThroughFlatOffsets) {
+  auto data = Bytes(4096, 'q');
+  ASSERT_TRUE(zbd_.Pwrite(data, 0).ok());
+  std::vector<std::byte> out(4096);
+  ASSERT_TRUE(zbd_.Pread(out, 0).ok());
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), 4096), 0);
+}
+
+TEST_F(ZbdTest, ResetOperation) {
+  ASSERT_TRUE(zbd_.Pwrite(Bytes(4096), 0).ok());
+  ASSERT_TRUE(zbd_.ZonesOperation(ZbdOp::kReset, 0, 1).ok());
+  auto zones = zbd_.ReportZones(0, 1);
+  ASSERT_TRUE(zones.ok());
+  EXPECT_EQ((*zones)[0].cond, ZoneState::kEmpty);
+  EXPECT_EQ((*zones)[0].wp, 0u);
+}
+
+TEST_F(ZbdTest, RangeResetHitsEveryZone) {
+  for (u64 z = 0; z < 3; ++z) {
+    ASSERT_TRUE(zbd_.Pwrite(Bytes(512), z * 128 * kKiB).ok());
+  }
+  ASSERT_TRUE(
+      zbd_.ZonesOperation(ZbdOp::kReset, 0, 3 * 128 * kKiB).ok());
+  auto zones = zbd_.ReportZones(0);
+  ASSERT_TRUE(zones.ok());
+  for (u64 z = 0; z < 3; ++z) {
+    EXPECT_EQ((*zones)[z].cond, ZoneState::kEmpty) << z;
+  }
+}
+
+TEST_F(ZbdTest, FinishAndOpenOperations) {
+  ASSERT_TRUE(zbd_.ZonesOperation(ZbdOp::kOpen, 0, 1).ok());
+  auto zones = zbd_.ReportZones(0, 1);
+  EXPECT_EQ((*zones)[0].cond, ZoneState::kExplicitOpen);
+  ASSERT_TRUE(zbd_.ZonesOperation(ZbdOp::kFinish, 0, 1).ok());
+  zones = zbd_.ReportZones(0, 1);
+  EXPECT_EQ((*zones)[0].cond, ZoneState::kFull);
+  EXPECT_FALSE((*zones)[0].IsWritable());
+}
+
+TEST_F(ZbdTest, WpCapsAtCapacityNotSize) {
+  // Fill a zone to capacity (96 KiB < 128 KiB size).
+  ASSERT_TRUE(zbd_.Pwrite(Bytes(96 * kKiB), 0).ok());
+  auto zones = zbd_.ReportZones(0, 1);
+  EXPECT_EQ((*zones)[0].cond, ZoneState::kFull);
+  EXPECT_EQ((*zones)[0].wp, 96 * kKiB);
+  // Address space beyond capacity is unwritable.
+  EXPECT_FALSE(zbd_.Pwrite(Bytes(512), 96 * kKiB).ok());
+}
+
+}  // namespace
+}  // namespace zncache::zns

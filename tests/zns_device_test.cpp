@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "zns/zns_device.h"
+
+namespace zncache::zns {
+namespace {
+
+std::vector<std::byte> Bytes(size_t n, char fill = 'a') {
+  return std::vector<std::byte>(n, std::byte(fill));
+}
+
+ZnsConfig SmallConfig() {
+  ZnsConfig c;
+  c.zone_count = 8;
+  c.zone_size = 64 * kKiB;
+  c.zone_capacity = 64 * kKiB;
+  c.max_open_zones = 3;
+  c.max_active_zones = 4;
+  return c;
+}
+
+class ZnsDeviceTest : public ::testing::Test {
+ protected:
+  sim::VirtualClock clock_;
+  ZnsDevice dev_{SmallConfig(), &clock_};
+};
+
+TEST_F(ZnsDeviceTest, InitialStateAllEmpty) {
+  for (u64 z = 0; z < dev_.zone_count(); ++z) {
+    EXPECT_EQ(dev_.GetZoneInfo(z).state, ZoneState::kEmpty);
+    EXPECT_EQ(dev_.GetZoneInfo(z).write_pointer, 0u);
+  }
+  EXPECT_EQ(dev_.EmptyZoneCount(), 8u);
+  EXPECT_EQ(dev_.open_zones(), 0u);
+}
+
+TEST_F(ZnsDeviceTest, WriteAtWritePointerSucceeds) {
+  auto data = Bytes(4096);
+  auto r = dev_.Write(0, 0, data);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->latency, 0u);
+  EXPECT_EQ(dev_.GetZoneInfo(0).write_pointer, 4096u);
+  EXPECT_EQ(dev_.GetZoneInfo(0).state, ZoneState::kImplicitOpen);
+}
+
+TEST_F(ZnsDeviceTest, WriteNotAtWritePointerFails) {
+  auto data = Bytes(4096);
+  auto r = dev_.Write(0, 4096, data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ZnsDeviceTest, SequentialWritesAdvancePointer) {
+  auto data = Bytes(4096);
+  ASSERT_TRUE(dev_.Write(0, 0, data).ok());
+  ASSERT_TRUE(dev_.Write(0, 4096, data).ok());
+  EXPECT_EQ(dev_.GetZoneInfo(0).write_pointer, 8192u);
+}
+
+TEST_F(ZnsDeviceTest, ReadBackMatches) {
+  std::vector<std::byte> data(4096);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = std::byte(i & 0xFF);
+  ASSERT_TRUE(dev_.Write(2, 0, data).ok());
+  std::vector<std::byte> out(4096);
+  auto r = dev_.Read(2, 0, out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::memcmp(data.data(), out.data(), data.size()), 0);
+}
+
+TEST_F(ZnsDeviceTest, ReadBeyondWritePointerFails) {
+  ASSERT_TRUE(dev_.Write(0, 0, Bytes(4096)).ok());
+  std::vector<std::byte> out(4096);
+  auto r = dev_.Read(0, 4096, std::span<std::byte>(out));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ZnsDeviceTest, PartialReadAtOffset) {
+  std::vector<std::byte> data(8192);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = std::byte(i % 251);
+  ASSERT_TRUE(dev_.Write(0, 0, data).ok());
+  std::vector<std::byte> out(100);
+  ASSERT_TRUE(dev_.Read(0, 4000, out).ok());
+  EXPECT_EQ(std::memcmp(data.data() + 4000, out.data(), 100), 0);
+}
+
+TEST_F(ZnsDeviceTest, WriteBeyondCapacityFails) {
+  auto cap = dev_.zone_capacity();
+  auto big = Bytes(cap + 1);
+  auto r = dev_.Write(0, 0, big);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNoSpace);
+}
+
+TEST_F(ZnsDeviceTest, ZoneBecomesFullAtCapacity) {
+  ASSERT_TRUE(dev_.Write(0, 0, Bytes(dev_.zone_capacity())).ok());
+  EXPECT_EQ(dev_.GetZoneInfo(0).state, ZoneState::kFull);
+  EXPECT_EQ(dev_.open_zones(), 0u);
+  // Further writes fail.
+  EXPECT_FALSE(dev_.Write(0, dev_.zone_capacity(), Bytes(1)).ok());
+}
+
+TEST_F(ZnsDeviceTest, ResetRewindsAndAllowsRewrite) {
+  ASSERT_TRUE(dev_.Write(0, 0, Bytes(dev_.zone_capacity())).ok());
+  ASSERT_TRUE(dev_.Reset(0).ok());
+  EXPECT_EQ(dev_.GetZoneInfo(0).state, ZoneState::kEmpty);
+  EXPECT_EQ(dev_.GetZoneInfo(0).write_pointer, 0u);
+  EXPECT_EQ(dev_.GetZoneInfo(0).reset_count, 1u);
+  EXPECT_TRUE(dev_.Write(0, 0, Bytes(512)).ok());
+}
+
+TEST_F(ZnsDeviceTest, FinishJumpsPointerToEnd) {
+  ASSERT_TRUE(dev_.Write(0, 0, Bytes(4096)).ok());
+  ASSERT_TRUE(dev_.Finish(0).ok());
+  EXPECT_EQ(dev_.GetZoneInfo(0).state, ZoneState::kFull);
+  EXPECT_EQ(dev_.GetZoneInfo(0).write_pointer, dev_.zone_capacity());
+}
+
+TEST_F(ZnsDeviceTest, FinishEmptyZoneAllowed) {
+  ASSERT_TRUE(dev_.Finish(3).ok());
+  EXPECT_EQ(dev_.GetZoneInfo(3).state, ZoneState::kFull);
+}
+
+TEST_F(ZnsDeviceTest, FinishedZoneReadableBelowOldPointer) {
+  std::vector<std::byte> data(4096, std::byte{0x5A});
+  ASSERT_TRUE(dev_.Write(0, 0, data).ok());
+  ASSERT_TRUE(dev_.Finish(0).ok());
+  std::vector<std::byte> out(4096);
+  EXPECT_TRUE(dev_.Read(0, 0, out).ok());
+}
+
+TEST_F(ZnsDeviceTest, AppendReturnsOffset) {
+  auto a1 = dev_.Append(1, Bytes(1000));
+  ASSERT_TRUE(a1.ok());
+  EXPECT_EQ(a1->offset, 0u);
+  auto a2 = dev_.Append(1, Bytes(1000));
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2->offset, 1000u);
+  EXPECT_EQ(dev_.stats().append_ops, 2u);
+}
+
+TEST_F(ZnsDeviceTest, MaxOpenZonesEnforced) {
+  ASSERT_TRUE(dev_.Write(0, 0, Bytes(512)).ok());
+  ASSERT_TRUE(dev_.Write(1, 0, Bytes(512)).ok());
+  ASSERT_TRUE(dev_.Write(2, 0, Bytes(512)).ok());
+  auto r = dev_.Write(3, 0, Bytes(512));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ZnsDeviceTest, CloseFreesOpenSlot) {
+  ASSERT_TRUE(dev_.Write(0, 0, Bytes(512)).ok());
+  ASSERT_TRUE(dev_.Write(1, 0, Bytes(512)).ok());
+  ASSERT_TRUE(dev_.Write(2, 0, Bytes(512)).ok());
+  ASSERT_TRUE(dev_.Close(0).ok());
+  EXPECT_EQ(dev_.GetZoneInfo(0).state, ZoneState::kClosed);
+  EXPECT_TRUE(dev_.Write(3, 0, Bytes(512)).ok());
+}
+
+TEST_F(ZnsDeviceTest, MaxActiveZonesEnforced) {
+  // 4 active max: open 3, close them (still active), then a 4th and 5th.
+  for (u64 z = 0; z < 3; ++z) {
+    ASSERT_TRUE(dev_.Write(z, 0, Bytes(512)).ok());
+    ASSERT_TRUE(dev_.Close(z).ok());
+  }
+  ASSERT_TRUE(dev_.Write(3, 0, Bytes(512)).ok());
+  auto r = dev_.Write(4, 0, Bytes(512));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ZnsDeviceTest, ReopenClosedZoneContinuesAtPointer) {
+  ASSERT_TRUE(dev_.Write(0, 0, Bytes(1024)).ok());
+  ASSERT_TRUE(dev_.Close(0).ok());
+  ASSERT_TRUE(dev_.Write(0, 1024, Bytes(1024)).ok());
+  EXPECT_EQ(dev_.GetZoneInfo(0).write_pointer, 2048u);
+}
+
+TEST_F(ZnsDeviceTest, ExplicitOpenAndLimits) {
+  ASSERT_TRUE(dev_.Open(0).ok());
+  ASSERT_TRUE(dev_.Open(1).ok());
+  ASSERT_TRUE(dev_.Open(2).ok());
+  EXPECT_EQ(dev_.open_zones(), 3u);
+  auto r = dev_.Open(3);
+  EXPECT_EQ(r.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ZnsDeviceTest, InvalidZoneIdRejected) {
+  EXPECT_EQ(dev_.Reset(99).code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(dev_.Write(99, 0, Bytes(1)).ok());
+  std::vector<std::byte> out(1);
+  EXPECT_FALSE(dev_.Read(99, 0, out).ok());
+}
+
+TEST_F(ZnsDeviceTest, EmptyIoRejected) {
+  std::vector<std::byte> empty;
+  EXPECT_FALSE(dev_.Write(0, 0, empty).ok());
+  EXPECT_FALSE(dev_.Read(0, 0, std::span<std::byte>()).ok());
+}
+
+TEST_F(ZnsDeviceTest, WriteAmplificationAlwaysOne) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(dev_.Write(0, i * 4096, Bytes(4096)).ok());
+  }
+  ASSERT_TRUE(dev_.Reset(0).ok());
+  ASSERT_TRUE(dev_.Write(0, 0, Bytes(4096)).ok());
+  EXPECT_DOUBLE_EQ(dev_.stats().WriteAmplification(), 1.0);
+}
+
+TEST_F(ZnsDeviceTest, StatsTrackOps) {
+  ASSERT_TRUE(dev_.Write(0, 0, Bytes(100)).ok());
+  std::vector<std::byte> out(100);
+  ASSERT_TRUE(dev_.Read(0, 0, out).ok());
+  ASSERT_TRUE(dev_.Reset(0).ok());
+  ASSERT_TRUE(dev_.Finish(1).ok());
+  const ZnsStats& s = dev_.stats();
+  EXPECT_EQ(s.write_ops, 1u);
+  EXPECT_EQ(s.read_ops, 1u);
+  EXPECT_EQ(s.zone_resets, 1u);
+  EXPECT_EQ(s.zone_finishes, 1u);
+  EXPECT_EQ(s.host_bytes_written, 100u);
+  EXPECT_EQ(s.bytes_read, 100u);
+}
+
+TEST_F(ZnsDeviceTest, BackgroundWriteDoesNotAdvanceClock) {
+  const SimNanos before = clock_.Now();
+  auto r = dev_.Write(0, 0, Bytes(4096), sim::IoMode::kBackground);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->latency, 0u);
+  EXPECT_GT(r->completion, before);
+  EXPECT_EQ(clock_.Now(), before);
+}
+
+TEST_F(ZnsDeviceTest, ForegroundQueuesBehindBackground) {
+  ASSERT_TRUE(dev_.Write(0, 0, Bytes(1 * kMiB / 16), sim::IoMode::kBackground).ok());
+  std::vector<std::byte> out(512);
+  auto r = dev_.Read(0, 0, out);
+  ASSERT_TRUE(r.ok());
+  // Latency includes waiting for the background write to finish.
+  EXPECT_GT(r->latency, dev_.config().timing.read.Cost(512));
+}
+
+TEST_F(ZnsDeviceTest, ZoneCapacityLessThanSize) {
+  ZnsConfig c = SmallConfig();
+  c.zone_capacity = 48 * kKiB;  // < zone_size
+  sim::VirtualClock clk;
+  ZnsDevice d(c, &clk);
+  ASSERT_TRUE(d.Write(0, 0, Bytes(48 * kKiB)).ok());
+  EXPECT_EQ(d.GetZoneInfo(0).state, ZoneState::kFull);
+  EXPECT_EQ(d.usable_bytes(), 8 * 48 * kKiB);
+}
+
+TEST_F(ZnsDeviceTest, NoDataStorageModeReadsZeros) {
+  ZnsConfig c = SmallConfig();
+  c.store_data = false;
+  sim::VirtualClock clk;
+  ZnsDevice d(c, &clk);
+  ASSERT_TRUE(d.Write(0, 0, Bytes(4096, 'x')).ok());
+  std::vector<std::byte> out(4096, std::byte{0xFF});
+  ASSERT_TRUE(d.Read(0, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte{0});
+}
+
+TEST_F(ZnsDeviceTest, ResetAllZonesRestoresEmptyCount) {
+  for (u64 z = 0; z < 3; ++z) ASSERT_TRUE(dev_.Write(z, 0, Bytes(64)).ok());
+  EXPECT_EQ(dev_.EmptyZoneCount(), 5u);
+  for (u64 z = 0; z < 3; ++z) ASSERT_TRUE(dev_.Reset(z).ok());
+  EXPECT_EQ(dev_.EmptyZoneCount(), 8u);
+}
+
+TEST_F(ZnsDeviceTest, ZoneStateNames) {
+  EXPECT_EQ(ZoneStateName(ZoneState::kEmpty), "EMPTY");
+  EXPECT_EQ(ZoneStateName(ZoneState::kFull), "FULL");
+  EXPECT_EQ(ZoneStateName(ZoneState::kImplicitOpen), "IMPLICIT_OPEN");
+}
+
+}  // namespace
+}  // namespace zncache::zns
