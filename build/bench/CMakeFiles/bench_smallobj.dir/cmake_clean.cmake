@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smallobj.dir/bench_smallobj.cpp.o"
+  "CMakeFiles/bench_smallobj.dir/bench_smallobj.cpp.o.d"
+  "bench_smallobj"
+  "bench_smallobj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smallobj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

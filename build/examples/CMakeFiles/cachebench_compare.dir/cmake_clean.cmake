@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachebench_compare.dir/cachebench_compare.cpp.o"
+  "CMakeFiles/cachebench_compare.dir/cachebench_compare.cpp.o.d"
+  "cachebench_compare"
+  "cachebench_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachebench_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_codesign.dir/gc_codesign.cpp.o"
+  "CMakeFiles/gc_codesign.dir/gc_codesign.cpp.o.d"
+  "gc_codesign"
+  "gc_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

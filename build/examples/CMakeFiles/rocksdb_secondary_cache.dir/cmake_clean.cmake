@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocksdb_secondary_cache.dir/rocksdb_secondary_cache.cpp.o"
+  "CMakeFiles/rocksdb_secondary_cache.dir/rocksdb_secondary_cache.cpp.o.d"
+  "rocksdb_secondary_cache"
+  "rocksdb_secondary_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksdb_secondary_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

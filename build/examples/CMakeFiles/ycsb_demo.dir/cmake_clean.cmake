@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_demo.dir/ycsb_demo.cpp.o"
+  "CMakeFiles/ycsb_demo.dir/ycsb_demo.cpp.o.d"
+  "ycsb_demo"
+  "ycsb_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

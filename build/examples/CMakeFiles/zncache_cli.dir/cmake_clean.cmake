@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zncache_cli.dir/zncache_cli.cpp.o"
+  "CMakeFiles/zncache_cli.dir/zncache_cli.cpp.o.d"
+  "zncache_cli"
+  "zncache_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zncache_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("zns")
+subdirs("blockssd")
+subdirs("f2fslite")
+subdirs("hdd")
+subdirs("cache")
+subdirs("middle")
+subdirs("backends")
+subdirs("workload")
+subdirs("kv")

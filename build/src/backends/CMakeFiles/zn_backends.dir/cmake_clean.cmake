@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zn_backends.dir/block_region_device.cc.o"
+  "CMakeFiles/zn_backends.dir/block_region_device.cc.o.d"
+  "CMakeFiles/zn_backends.dir/file_region_device.cc.o"
+  "CMakeFiles/zn_backends.dir/file_region_device.cc.o.d"
+  "CMakeFiles/zn_backends.dir/middle_region_device.cc.o"
+  "CMakeFiles/zn_backends.dir/middle_region_device.cc.o.d"
+  "CMakeFiles/zn_backends.dir/schemes.cc.o"
+  "CMakeFiles/zn_backends.dir/schemes.cc.o.d"
+  "CMakeFiles/zn_backends.dir/zone_region_device.cc.o"
+  "CMakeFiles/zn_backends.dir/zone_region_device.cc.o.d"
+  "libzn_backends.a"
+  "libzn_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zn_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zn_blockssd.dir/block_ssd.cc.o"
+  "CMakeFiles/zn_blockssd.dir/block_ssd.cc.o.d"
+  "libzn_blockssd.a"
+  "libzn_blockssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zn_blockssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

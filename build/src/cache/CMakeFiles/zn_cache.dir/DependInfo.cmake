@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/big_hash.cc" "src/cache/CMakeFiles/zn_cache.dir/big_hash.cc.o" "gcc" "src/cache/CMakeFiles/zn_cache.dir/big_hash.cc.o.d"
+  "/root/repo/src/cache/flash_cache.cc" "src/cache/CMakeFiles/zn_cache.dir/flash_cache.cc.o" "gcc" "src/cache/CMakeFiles/zn_cache.dir/flash_cache.cc.o.d"
+  "/root/repo/src/cache/pooled_cache.cc" "src/cache/CMakeFiles/zn_cache.dir/pooled_cache.cc.o" "gcc" "src/cache/CMakeFiles/zn_cache.dir/pooled_cache.cc.o.d"
+  "/root/repo/src/cache/region_footer.cc" "src/cache/CMakeFiles/zn_cache.dir/region_footer.cc.o" "gcc" "src/cache/CMakeFiles/zn_cache.dir/region_footer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockssd/CMakeFiles/zn_blockssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

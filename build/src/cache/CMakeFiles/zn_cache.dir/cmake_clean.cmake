@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zn_cache.dir/big_hash.cc.o"
+  "CMakeFiles/zn_cache.dir/big_hash.cc.o.d"
+  "CMakeFiles/zn_cache.dir/flash_cache.cc.o"
+  "CMakeFiles/zn_cache.dir/flash_cache.cc.o.d"
+  "CMakeFiles/zn_cache.dir/pooled_cache.cc.o"
+  "CMakeFiles/zn_cache.dir/pooled_cache.cc.o.d"
+  "CMakeFiles/zn_cache.dir/region_footer.cc.o"
+  "CMakeFiles/zn_cache.dir/region_footer.cc.o.d"
+  "libzn_cache.a"
+  "libzn_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zn_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

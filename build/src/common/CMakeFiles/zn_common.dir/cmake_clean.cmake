@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zn_common.dir/compress.cc.o"
+  "CMakeFiles/zn_common.dir/compress.cc.o.d"
+  "CMakeFiles/zn_common.dir/flags.cc.o"
+  "CMakeFiles/zn_common.dir/flags.cc.o.d"
+  "CMakeFiles/zn_common.dir/histogram.cc.o"
+  "CMakeFiles/zn_common.dir/histogram.cc.o.d"
+  "CMakeFiles/zn_common.dir/random.cc.o"
+  "CMakeFiles/zn_common.dir/random.cc.o.d"
+  "CMakeFiles/zn_common.dir/status.cc.o"
+  "CMakeFiles/zn_common.dir/status.cc.o.d"
+  "libzn_common.a"
+  "libzn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

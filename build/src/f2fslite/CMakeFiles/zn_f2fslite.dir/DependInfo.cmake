@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/f2fslite/f2fs_lite.cc" "src/f2fslite/CMakeFiles/zn_f2fslite.dir/f2fs_lite.cc.o" "gcc" "src/f2fslite/CMakeFiles/zn_f2fslite.dir/f2fs_lite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/zns/CMakeFiles/zn_zns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

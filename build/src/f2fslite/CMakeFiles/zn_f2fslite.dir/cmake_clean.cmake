@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zn_f2fslite.dir/f2fs_lite.cc.o"
+  "CMakeFiles/zn_f2fslite.dir/f2fs_lite.cc.o.d"
+  "libzn_f2fslite.a"
+  "libzn_f2fslite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zn_f2fslite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

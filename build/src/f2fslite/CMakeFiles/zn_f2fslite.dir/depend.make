@@ -1,0 +1,2 @@
+# Empty dependencies file for zn_f2fslite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zn_hdd.dir/hdd_device.cc.o"
+  "CMakeFiles/zn_hdd.dir/hdd_device.cc.o.d"
+  "libzn_hdd.a"
+  "libzn_hdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zn_hdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

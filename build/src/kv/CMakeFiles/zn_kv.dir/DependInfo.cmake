@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/block_cache.cc" "src/kv/CMakeFiles/zn_kv.dir/block_cache.cc.o" "gcc" "src/kv/CMakeFiles/zn_kv.dir/block_cache.cc.o.d"
+  "/root/repo/src/kv/bloom.cc" "src/kv/CMakeFiles/zn_kv.dir/bloom.cc.o" "gcc" "src/kv/CMakeFiles/zn_kv.dir/bloom.cc.o.d"
+  "/root/repo/src/kv/db_bench.cc" "src/kv/CMakeFiles/zn_kv.dir/db_bench.cc.o" "gcc" "src/kv/CMakeFiles/zn_kv.dir/db_bench.cc.o.d"
+  "/root/repo/src/kv/disk_allocator.cc" "src/kv/CMakeFiles/zn_kv.dir/disk_allocator.cc.o" "gcc" "src/kv/CMakeFiles/zn_kv.dir/disk_allocator.cc.o.d"
+  "/root/repo/src/kv/lsm_store.cc" "src/kv/CMakeFiles/zn_kv.dir/lsm_store.cc.o" "gcc" "src/kv/CMakeFiles/zn_kv.dir/lsm_store.cc.o.d"
+  "/root/repo/src/kv/manifest.cc" "src/kv/CMakeFiles/zn_kv.dir/manifest.cc.o" "gcc" "src/kv/CMakeFiles/zn_kv.dir/manifest.cc.o.d"
+  "/root/repo/src/kv/memtable.cc" "src/kv/CMakeFiles/zn_kv.dir/memtable.cc.o" "gcc" "src/kv/CMakeFiles/zn_kv.dir/memtable.cc.o.d"
+  "/root/repo/src/kv/sstable.cc" "src/kv/CMakeFiles/zn_kv.dir/sstable.cc.o" "gcc" "src/kv/CMakeFiles/zn_kv.dir/sstable.cc.o.d"
+  "/root/repo/src/kv/wal.cc" "src/kv/CMakeFiles/zn_kv.dir/wal.cc.o" "gcc" "src/kv/CMakeFiles/zn_kv.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdd/CMakeFiles/zn_hdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/zn_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockssd/CMakeFiles/zn_blockssd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zn_kv.dir/block_cache.cc.o"
+  "CMakeFiles/zn_kv.dir/block_cache.cc.o.d"
+  "CMakeFiles/zn_kv.dir/bloom.cc.o"
+  "CMakeFiles/zn_kv.dir/bloom.cc.o.d"
+  "CMakeFiles/zn_kv.dir/db_bench.cc.o"
+  "CMakeFiles/zn_kv.dir/db_bench.cc.o.d"
+  "CMakeFiles/zn_kv.dir/disk_allocator.cc.o"
+  "CMakeFiles/zn_kv.dir/disk_allocator.cc.o.d"
+  "CMakeFiles/zn_kv.dir/lsm_store.cc.o"
+  "CMakeFiles/zn_kv.dir/lsm_store.cc.o.d"
+  "CMakeFiles/zn_kv.dir/manifest.cc.o"
+  "CMakeFiles/zn_kv.dir/manifest.cc.o.d"
+  "CMakeFiles/zn_kv.dir/memtable.cc.o"
+  "CMakeFiles/zn_kv.dir/memtable.cc.o.d"
+  "CMakeFiles/zn_kv.dir/sstable.cc.o"
+  "CMakeFiles/zn_kv.dir/sstable.cc.o.d"
+  "CMakeFiles/zn_kv.dir/wal.cc.o"
+  "CMakeFiles/zn_kv.dir/wal.cc.o.d"
+  "libzn_kv.a"
+  "libzn_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zn_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zn_middle.dir/zone_translation_layer.cc.o"
+  "CMakeFiles/zn_middle.dir/zone_translation_layer.cc.o.d"
+  "libzn_middle.a"
+  "libzn_middle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zn_middle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

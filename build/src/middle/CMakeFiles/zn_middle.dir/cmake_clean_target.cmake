@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzn_middle.a"
+)

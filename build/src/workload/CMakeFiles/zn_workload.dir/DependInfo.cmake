@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/cachebench.cc" "src/workload/CMakeFiles/zn_workload.dir/cachebench.cc.o" "gcc" "src/workload/CMakeFiles/zn_workload.dir/cachebench.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/zn_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/zn_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/workload/CMakeFiles/zn_workload.dir/ycsb.cc.o" "gcc" "src/workload/CMakeFiles/zn_workload.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/zn_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/zn_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockssd/CMakeFiles/zn_blockssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdd/CMakeFiles/zn_hdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

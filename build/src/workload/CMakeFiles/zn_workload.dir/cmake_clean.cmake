@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zn_workload.dir/cachebench.cc.o"
+  "CMakeFiles/zn_workload.dir/cachebench.cc.o.d"
+  "CMakeFiles/zn_workload.dir/trace.cc.o"
+  "CMakeFiles/zn_workload.dir/trace.cc.o.d"
+  "CMakeFiles/zn_workload.dir/ycsb.cc.o"
+  "CMakeFiles/zn_workload.dir/ycsb.cc.o.d"
+  "libzn_workload.a"
+  "libzn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zns/zbd.cc" "src/zns/CMakeFiles/zn_zns.dir/zbd.cc.o" "gcc" "src/zns/CMakeFiles/zn_zns.dir/zbd.cc.o.d"
+  "/root/repo/src/zns/zns_device.cc" "src/zns/CMakeFiles/zn_zns.dir/zns_device.cc.o" "gcc" "src/zns/CMakeFiles/zn_zns.dir/zns_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

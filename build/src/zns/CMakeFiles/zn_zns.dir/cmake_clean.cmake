@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zn_zns.dir/zbd.cc.o"
+  "CMakeFiles/zn_zns.dir/zbd.cc.o.d"
+  "CMakeFiles/zn_zns.dir/zns_device.cc.o"
+  "CMakeFiles/zn_zns.dir/zns_device.cc.o.d"
+  "libzn_zns.a"
+  "libzn_zns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zn_zns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backends_conformance_test.dir/backends_conformance_test.cpp.o"
+  "CMakeFiles/backends_conformance_test.dir/backends_conformance_test.cpp.o.d"
+  "backends_conformance_test"
+  "backends_conformance_test.pdb"
+  "backends_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backends_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/big_hash_test.dir/big_hash_test.cpp.o"
+  "CMakeFiles/big_hash_test.dir/big_hash_test.cpp.o.d"
+  "big_hash_test"
+  "big_hash_test.pdb"
+  "big_hash_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/big_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_ssd_test.dir/block_ssd_test.cpp.o"
+  "CMakeFiles/block_ssd_test.dir/block_ssd_test.cpp.o.d"
+  "block_ssd_test"
+  "block_ssd_test.pdb"
+  "block_ssd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_ssd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_policies_test.dir/cache_policies_test.cpp.o"
+  "CMakeFiles/cache_policies_test.dir/cache_policies_test.cpp.o.d"
+  "cache_policies_test"
+  "cache_policies_test.pdb"
+  "cache_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

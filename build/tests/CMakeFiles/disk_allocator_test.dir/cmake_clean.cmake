@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_allocator_test.dir/disk_allocator_test.cpp.o"
+  "CMakeFiles/disk_allocator_test.dir/disk_allocator_test.cpp.o.d"
+  "disk_allocator_test"
+  "disk_allocator_test.pdb"
+  "disk_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

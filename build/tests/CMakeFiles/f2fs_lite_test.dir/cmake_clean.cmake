@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f2fs_lite_test.dir/f2fs_lite_test.cpp.o"
+  "CMakeFiles/f2fs_lite_test.dir/f2fs_lite_test.cpp.o.d"
+  "f2fs_lite_test"
+  "f2fs_lite_test.pdb"
+  "f2fs_lite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2fs_lite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

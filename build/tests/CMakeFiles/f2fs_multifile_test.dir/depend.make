@@ -1,0 +1,2 @@
+# Empty dependencies file for f2fs_multifile_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_matrix_test.dir/feature_matrix_test.cpp.o"
+  "CMakeFiles/feature_matrix_test.dir/feature_matrix_test.cpp.o.d"
+  "feature_matrix_test"
+  "feature_matrix_test.pdb"
+  "feature_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

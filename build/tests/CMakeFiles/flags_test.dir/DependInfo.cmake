@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flags_test.cpp" "tests/CMakeFiles/flags_test.dir/flags_test.cpp.o" "gcc" "tests/CMakeFiles/flags_test.dir/flags_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backends/CMakeFiles/zn_backends.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/zn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/zn_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/zn_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/middle/CMakeFiles/zn_middle.dir/DependInfo.cmake"
+  "/root/repo/build/src/f2fslite/CMakeFiles/zn_f2fslite.dir/DependInfo.cmake"
+  "/root/repo/build/src/zns/CMakeFiles/zn_zns.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockssd/CMakeFiles/zn_blockssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdd/CMakeFiles/zn_hdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

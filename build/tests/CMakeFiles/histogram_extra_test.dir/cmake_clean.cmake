@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_extra_test.dir/histogram_extra_test.cpp.o"
+  "CMakeFiles/histogram_extra_test.dir/histogram_extra_test.cpp.o.d"
+  "histogram_extra_test"
+  "histogram_extra_test.pdb"
+  "histogram_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_recovery_test.dir/lsm_recovery_test.cpp.o"
+  "CMakeFiles/lsm_recovery_test.dir/lsm_recovery_test.cpp.o.d"
+  "lsm_recovery_test"
+  "lsm_recovery_test.pdb"
+  "lsm_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middle_layer_test.dir/middle_layer_test.cpp.o"
+  "CMakeFiles/middle_layer_test.dir/middle_layer_test.cpp.o.d"
+  "middle_layer_test"
+  "middle_layer_test.pdb"
+  "middle_layer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middle_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pooled_cache_test.dir/pooled_cache_test.cpp.o"
+  "CMakeFiles/pooled_cache_test.dir/pooled_cache_test.cpp.o.d"
+  "pooled_cache_test"
+  "pooled_cache_test.pdb"
+  "pooled_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pooled_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbd_test.dir/zbd_test.cpp.o"
+  "CMakeFiles/zbd_test.dir/zbd_test.cpp.o.d"
+  "zbd_test"
+  "zbd_test.pdb"
+  "zbd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

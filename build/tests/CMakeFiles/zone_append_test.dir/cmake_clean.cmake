@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_append_test.dir/zone_append_test.cpp.o"
+  "CMakeFiles/zone_append_test.dir/zone_append_test.cpp.o.d"
+  "zone_append_test"
+  "zone_append_test.pdb"
+  "zone_append_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_append_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
