@@ -28,11 +28,15 @@ struct Row {
   u64 dropped = 0;
 };
 
-Result<Row> RunRegionCache(u64 hint_cold_age, u32 open_zones, u64 min_empty,
+Result<Row> RunRegionCache(bench::BenchObs& obs, const char* label,
+                           u64 hint_cold_age, u32 open_zones, u64 min_empty,
                            double gc_valid_ratio,
                            double admit_probability = 1.0) {
   sim::VirtualClock clock;
+  obs.BeginRun(label);
   SchemeParams params;
+  params.metrics = obs.metrics();
+  params.tracer = obs.tracer();
   params.zone_size = bench::kZoneSize;
   params.region_size = bench::kRegionSize;
   params.cache_bytes = static_cast<u64>(55 * bench::kZoneSize * 0.90);
@@ -47,6 +51,7 @@ Result<Row> RunRegionCache(u64 hint_cold_age, u32 open_zones, u64 min_empty,
   params.cache_config.admit_probability = admit_probability;
   auto scheme = MakeScheme(SchemeKind::kRegion, params, &clock);
   if (!scheme.ok()) return scheme.status();
+  obs.AddSchemeProbes(*scheme);
 
   workload::CacheBenchConfig wl;
   wl.ops = 300'000;
@@ -55,6 +60,7 @@ Result<Row> RunRegionCache(u64 hint_cold_age, u32 open_zones, u64 min_empty,
   wl.zipf_theta = 0.85;
   wl.value_min = 4 * kKiB;
   wl.value_max = 32 * kKiB;
+  wl.sampler = obs.sampler();
   workload::CacheBenchRunner runner(wl);
   auto r = runner.Run(*scheme->cache, clock);
   if (!r.ok()) return r.status();
@@ -63,8 +69,10 @@ Result<Row> RunRegionCache(u64 hint_cold_age, u32 open_zones, u64 min_empty,
       static_cast<backends::MiddleRegionDevice*>(scheme->device.get())
           ->layer()
           .stats();
-  return Row{r->OpsPerMinuteMillions(), r->hit_ratio, scheme->WaFactor(),
-             ml.migrated_regions, ml.dropped_regions};
+  Row row{r->OpsPerMinuteMillions(), r->hit_ratio, scheme->WaFactor(),
+          ml.migrated_regions, ml.dropped_regions};
+  obs.EndRun();
+  return row;
 }
 
 void Print(const char* label, const Row& row) {
@@ -102,9 +110,10 @@ int Run() {
       {"ablation: admit 75% of sets", 0, 3, 1, 0.20, 0.75},
       {"ablation: admit 50% of sets", 0, 3, 1, 0.20, 0.50},
   };
+  BenchObs obs("bench_codesign");
   for (const Config& c : configs) {
-    auto row = RunRegionCache(c.cold_age, c.open_zones, c.min_empty,
-                              c.valid_ratio, c.admit);
+    auto row = RunRegionCache(obs, c.label, c.cold_age, c.open_zones,
+                              c.min_empty, c.valid_ratio, c.admit);
     if (!row.ok()) {
       std::fprintf(stderr, "%s failed: %s\n", c.label,
                    row.status().ToString().c_str());
@@ -117,6 +126,7 @@ int Run() {
       "Expected: hints convert migrations into drops, lowering WA toward 1\n"
       "at a bounded hit-ratio cost that grows as the cold-age threshold\n"
       "shrinks (the paper's cache/zone co-design claim).\n");
+  obs.WriteFiles();
   return 0;
 }
 

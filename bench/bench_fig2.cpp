@@ -29,11 +29,15 @@ int Run() {
               "HitRatio", "WA", "P50(us)", "P99(us)");
   PrintRule();
 
+  BenchObs obs("bench_fig2");
   const SchemeKind kinds[] = {SchemeKind::kRegion, SchemeKind::kZone,
                               SchemeKind::kFile, SchemeKind::kBlock};
   for (SchemeKind kind : kinds) {
     sim::VirtualClock clock;
+    obs.BeginRun(std::string(SchemeName(kind)));
     SchemeParams params;
+    params.metrics = obs.metrics();
+    params.tracer = obs.tracer();
     params.zone_size = kZoneSize;
     params.region_size = kRegionSize;
     params.min_empty_zones = 2;  // scaled from the paper's 8 / 904 zones
@@ -51,6 +55,8 @@ int Run() {
       return 1;
     }
 
+    obs.AddSchemeProbes(*scheme);
+
     workload::CacheBenchConfig wl;
     wl.ops = 400'000;
     wl.warmup_ops = 200'000;
@@ -58,6 +64,7 @@ int Run() {
     wl.zipf_theta = 0.85;
     wl.value_min = 4 * kKiB;
     wl.value_max = 32 * kKiB;
+    wl.sampler = obs.sampler();
     workload::CacheBenchRunner runner(wl);
     auto r = runner.Run(*scheme->cache, clock);
     if (!r.ok()) {
@@ -72,7 +79,9 @@ int Run() {
                                                 1000),
                 static_cast<unsigned long long>(r->overall_latency.P99() /
                                                 1000));
+    obs.EndRun();
   }
+  obs.WriteFiles();
   PrintRule();
   std::printf(
       "Paper shape: hit ratio Zone-Cache (95.08%%) > Block-Cache (94.29%%)\n"

@@ -22,11 +22,16 @@ using backends::SchemeParams;
 
 // Fill the cache with a set-only stream until `target_regions` region
 // buffers have been sealed; return per-region fill times.
-Result<std::vector<SimNanos>> FillRegions(SchemeKind kind, u64 region_size,
+Result<std::vector<SimNanos>> FillRegions(bench::BenchObs& obs,
+                                          const std::string& run_name,
+                                          SchemeKind kind, u64 region_size,
                                           u64 cache_regions,
                                           u64 target_regions) {
   sim::VirtualClock clock;
+  obs.BeginRun(run_name);
   SchemeParams params;
+  params.metrics = obs.metrics();
+  params.tracer = obs.tracer();
   params.zone_size = bench::kZoneSize;
   params.region_size = region_size;
   params.cache_bytes = cache_regions * region_size;
@@ -35,6 +40,7 @@ Result<std::vector<SimNanos>> FillRegions(SchemeKind kind, u64 region_size,
   params.cache_config.record_fill_times = true;
   auto scheme = MakeScheme(kind, params, &clock);
   if (!scheme.ok()) return scheme.status();
+  obs.AddSchemeProbes(*scheme);
 
   workload::CacheBenchRunner sizer(workload::CacheBenchConfig{});
   Rng rng(97);
@@ -46,14 +52,18 @@ Result<std::vector<SimNanos>> FillRegions(SchemeKind kind, u64 region_size,
     value.assign(size, 'v');
     auto s = scheme->cache->Set("fill-" + std::to_string(key++), value);
     if (!s.ok()) return s.status();
+    obs.sampler()->MaybeSample(clock.Now());
   }
+  obs.sampler()->SampleNow(clock.Now());
+  obs.EndRun();
   return scheme->cache->region_fill_times();
 }
 
 int Run() {
   using namespace bench;
+  BenchObs obs("bench_fig3");
   PrintHeader("Figure 3(a): large (zone-sized, 64 MiB) region fill times");
-  auto large = FillRegions(SchemeKind::kZone, kZoneSize,
+  auto large = FillRegions(obs, "large-region", SchemeKind::kZone, kZoneSize,
                            /*cache_regions=*/75, /*target_regions=*/100);
   if (!large.ok()) {
     std::fprintf(stderr, "large-region run failed: %s\n",
@@ -69,7 +79,8 @@ int Run() {
   }
 
   PrintHeader("Figure 3(b): small (1 MiB) region fill times");
-  auto small = FillRegions(SchemeKind::kRegion, kRegionSize,
+  auto small = FillRegions(obs, "small-region", SchemeKind::kRegion,
+                           kRegionSize,
                            /*cache_regions=*/4800, /*target_regions=*/6400);
   if (!small.ok()) {
     std::fprintf(stderr, "small-region run failed: %s\n",
@@ -101,6 +112,7 @@ int Run() {
   std::printf(
       "Paper shape: large-region insertion time rises sharply once region\n"
       "eviction begins (~seq 76); small regions stay flat.\n");
+  obs.WriteFiles();
   return 0;
 }
 

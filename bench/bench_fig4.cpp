@@ -36,9 +36,16 @@ struct Row {
   double wa = 0;
 };
 
-Result<Row> RunOne(SchemeKind kind, double op_ratio) {
+Result<Row> RunOne(bench::BenchObs& obs, SchemeKind kind, double op_ratio) {
   sim::VirtualClock clock;
+  char run_name[64];
+  std::snprintf(run_name, sizeof(run_name), "%s-op%.0f",
+                std::string(backends::SchemeName(kind)).c_str(),
+                op_ratio * 100);
+  obs.BeginRun(run_name);
   SchemeParams params;
+  params.metrics = obs.metrics();
+  params.tracer = obs.tracer();
   params.zone_size = bench::kZoneSize;
   params.region_size = bench::kRegionSize;
   params.min_empty_zones = 1;  // scaled from the paper's 8 / 904
@@ -70,6 +77,7 @@ Result<Row> RunOne(SchemeKind kind, double op_ratio) {
   }
   auto scheme = MakeScheme(kind, params, &clock);
   if (!scheme.ok()) return scheme.status();
+  obs.AddSchemeProbes(*scheme);
 
   workload::CacheBenchConfig wl;
   wl.ops = 300'000;
@@ -78,6 +86,7 @@ Result<Row> RunOne(SchemeKind kind, double op_ratio) {
   wl.zipf_theta = 0.85;
   wl.value_min = 4 * kKiB;
   wl.value_max = 32 * kKiB;
+  wl.sampler = obs.sampler();
   workload::CacheBenchRunner runner(wl);
   auto r = runner.Run(*scheme->cache, clock);
   if (!r.ok()) return r.status();
@@ -87,6 +96,7 @@ Result<Row> RunOne(SchemeKind kind, double op_ratio) {
   row.mops_per_min = r->OpsPerMinuteMillions();
   row.hit_ratio = r->hit_ratio;
   row.wa = scheme->WaFactor();
+  obs.EndRun();
   return row;
 }
 
@@ -97,11 +107,12 @@ int Run() {
               "HitRatio", "WA");
   PrintRule();
 
+  BenchObs obs("bench_fig4");
   const double ops[] = {0.10, 0.15, 0.20};
   for (SchemeKind kind :
        {SchemeKind::kFile, SchemeKind::kZone, SchemeKind::kRegion}) {
     if (kind == SchemeKind::kZone) {
-      auto row = RunOne(kind, 0.0);
+      auto row = RunOne(obs, kind, 0.0);
       if (!row.ok()) {
         std::fprintf(stderr, "run failed: %s\n",
                      row.status().ToString().c_str());
@@ -112,7 +123,7 @@ int Run() {
       continue;
     }
     for (double op : ops) {
-      auto row = RunOne(kind, op);
+      auto row = RunOne(obs, kind, op);
       if (!row.ok()) {
         std::fprintf(stderr, "run failed: %s\n",
                      row.status().ToString().c_str());
@@ -127,6 +138,7 @@ int Run() {
       "Paper shapes: throughput rises and hit ratio falls with OP for\n"
       "File-/Region-Cache; WA falls with OP (Table 1: Region 1.39/1.30/1.15,\n"
       "File 1.25/1.19/1.11); Zone-Cache is GC-free with WA = 1.\n");
+  obs.WriteFiles();
   return 0;
 }
 

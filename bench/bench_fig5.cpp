@@ -31,16 +31,23 @@ int Run() {
               "kops/s", "HitRatio", "P50(ms)", "P99(ms)", "CacheP99", "WA");
   std::printf("%s\n", std::string(74, '-').c_str());
 
+  BenchObs obs("bench_fig5");
   for (double er : {15.0, 25.0}) {
     for (auto kind :
          {backends::SchemeKind::kBlock, backends::SchemeKind::kFile,
           backends::SchemeKind::kZone, backends::SchemeKind::kRegion}) {
-      auto attached = AttachScheme(**world, kind, kFig5CacheBytes);
+      char run_name[64];
+      std::snprintf(run_name, sizeof(run_name), "%s-er%.0f",
+                    std::string(backends::SchemeName(kind)).c_str(), er);
+      obs.BeginRun(run_name);
+      auto attached = AttachScheme(**world, kind, kFig5CacheBytes,
+                                   obs.metrics(), obs.tracer());
       if (!attached.ok()) {
         std::fprintf(stderr, "attach failed: %s\n",
                      attached.status().ToString().c_str());
         return 1;
       }
+      obs.AddSchemeProbes(attached->scheme);
       kv::DbBenchConfig cfg;
       cfg.num_keys = kFig5Keys;
       cfg.reads = kFig5Reads;
@@ -50,6 +57,7 @@ int Run() {
       // Warm the cache tier, then measure.
       auto warm = bench.ReadRandom(*(*world)->store, (*world)->clock);
       if (!warm.ok()) return 1;
+      obs.sampler()->SampleNow((*world)->clock.Now());
       attached->secondary->ResetHitLatency();
       const auto& cs = attached->scheme.cache->stats();
       const u64 warm_gets = cs.gets;
@@ -73,6 +81,8 @@ int Run() {
                   static_cast<double>(
                       attached->secondary->hit_latency().P99()) / 1e6,
                   attached->scheme.WaFactor());
+      obs.sampler()->SampleNow((*world)->clock.Now());
+      obs.EndRun();
     }
     std::printf("%s\n", std::string(74, '-').c_str());
   }
@@ -80,6 +90,7 @@ int Run() {
       "Paper shapes: Region-Cache best ops/s (up to ~21%% over Block);\n"
       "Zone-Cache lowest ops/s and hit ratio at this small cache size;\n"
       "Block-Cache lowest P50 but highest P99; File-Cache lowest P99.\n");
+  obs.WriteFiles();
   return 0;
 }
 

@@ -31,15 +31,22 @@ int Run() {
               "devWA");
   PrintRule();
 
+  BenchObs obs("bench_smallobj");
   // --- BigHash over the block SSD -------------------------------------
   {
     sim::VirtualClock clock;
+    obs.BeginRun("BigHash-blockssd");
     blockssd::BlockSsdConfig sc;
+    sc.metrics = obs.metrics();
+    sc.tracer = obs.tracer();
     sc.logical_capacity = 64 * kMiB;
     sc.op_ratio = 0.07;
     // BigHash keeps its bucket metadata ON the device; contents required.
     sc.store_data = true;
     blockssd::BlockSsd ssd(sc, &clock);
+    obs.sampler()->AddProbe("ftl.free_blocks", [&ssd] {
+      return static_cast<double>(ssd.free_blocks());
+    });
     cache::BigHashConfig bc;
     bc.bucket_count = sc.logical_capacity / bc.bucket_bytes;
     cache::BigHash engine(bc, &ssd, 0, &clock);
@@ -63,7 +70,9 @@ int Run() {
       } else {
         if (!engine.Set(key, value).ok()) return 1;
       }
+      obs.sampler()->MaybeSample(clock.Now());
     }
+    obs.sampler()->SampleNow(clock.Now());
     const double secs =
         static_cast<double>(clock.Now() - start) / sim::kSecond;
     std::printf("%-34s %12.1f %10.4f %8.2f\n",
@@ -71,12 +80,16 @@ int Run() {
                 static_cast<double>(kOps) / secs / 1000.0,
                 static_cast<double>(hits) / static_cast<double>(gets),
                 ssd.stats().WriteAmplification());
+    obs.EndRun();
   }
 
   // --- log-structured regions over the ZNS middle layer ---------------
   {
     sim::VirtualClock clock;
+    obs.BeginRun("Region-middle-layer");
     backends::SchemeParams params;
+    params.metrics = obs.metrics();
+    params.tracer = obs.tracer();
     params.zone_size = 16 * kMiB;
     params.region_size = 1 * kMiB;
     params.cache_bytes = 64 * kMiB;
@@ -85,6 +98,7 @@ int Run() {
     auto scheme =
         backends::MakeScheme(backends::SchemeKind::kRegion, params, &clock);
     if (!scheme.ok()) return 1;
+    obs.AddSchemeProbes(*scheme);
 
     Rng rng(5);
     ZipfianGenerator zipf(kKeys, 0.85);
@@ -105,7 +119,9 @@ int Run() {
       } else {
         if (!scheme->cache->Set(key, value).ok()) return 1;
       }
+      obs.sampler()->MaybeSample(clock.Now());
     }
+    obs.sampler()->SampleNow(clock.Now());
     const double secs =
         static_cast<double>(clock.Now() - start) / sim::kSecond;
     std::printf("%-34s %12.1f %10.4f %8.2f\n",
@@ -113,7 +129,9 @@ int Run() {
                 static_cast<double>(kOps) / secs / 1000.0,
                 static_cast<double>(hits) / static_cast<double>(gets),
                 scheme->WaFactor());
+    obs.EndRun();
   }
+  obs.WriteFiles();
   PrintRule();
   std::printf(
       "Expected: the log-structured ZNS path keeps device WA ~1 by turning\n"

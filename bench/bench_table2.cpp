@@ -24,14 +24,18 @@ int Run() {
   std::printf("%-18s %12s %12s\n", "Cache Size", "kops/s", "HitRatio(%)");
   std::printf("%s\n", std::string(44, '-').c_str());
 
+  BenchObs obs("bench_table2");
   for (u64 zones = 4; zones <= 8; ++zones) {
+    obs.BeginRun("Zone-Cache-" + std::to_string(zones) + "z");
     auto attached = AttachScheme(**world, backends::SchemeKind::kZone,
-                                 zones * kFig5ZoneSize);
+                                 zones * kFig5ZoneSize, obs.metrics(),
+                                 obs.tracer());
     if (!attached.ok()) {
       std::fprintf(stderr, "attach failed: %s\n",
                    attached.status().ToString().c_str());
       return 1;
     }
+    obs.AddSchemeProbes(attached->scheme);
     kv::DbBenchConfig cfg;
     cfg.num_keys = kFig5Keys;
     cfg.reads = kFig5Reads;
@@ -59,7 +63,10 @@ int Run() {
                 static_cast<unsigned long long>(zones),
                 static_cast<unsigned long long>(zones * kFig5ZoneSize / kMiB),
                 r->ops_per_sec / 1000.0, hit_ratio * 100.0);
+    obs.sampler()->SampleNow((*world)->clock.Now());
+    obs.EndRun();
   }
+  obs.WriteFiles();
   std::printf("%s\n", std::string(44, '-').c_str());
   std::printf(
       "Paper shape (Table 2, 4G..8G): throughput 1.869 -> 4.100 kops and\n"

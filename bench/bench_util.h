@@ -1,12 +1,23 @@
 // Shared helpers for the paper-reproduction benchmark binaries.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "backends/block_region_device.h"
+#include "backends/file_region_device.h"
+#include "backends/middle_region_device.h"
 #include "backends/schemes.h"
+#include "backends/zone_region_device.h"
 #include "common/types.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "sim/clock.h"
 
 namespace zncache::bench {
 
@@ -23,5 +34,185 @@ inline void PrintHeader(const std::string& title) {
 inline void PrintRule() {
   std::printf("%s\n", std::string(78, '-').c_str());
 }
+
+// Per-binary observability harness. Each measured configuration gets its
+// own metric Registry (so counters from different schemes never mix) and a
+// virtual-time Sampler; all runs share the process-wide Tracer, with one
+// Chrome-trace process lane per run so Perfetto renders each scheme as its
+// own track group. On WriteFiles() (or destruction) the binary emits
+//   <bench>.metrics.json  — {"bench":...,"runs":{name:{metrics,samples}}}
+//   <bench>.trace.json    — Chrome trace_event JSON of every run
+// next to its stdout tables.
+class BenchObs {
+ public:
+  explicit BenchObs(std::string bench_name,
+                    SimNanos sample_interval = 200 * sim::kMillisecond)
+      : bench_name_(std::move(bench_name)),
+        sample_interval_(sample_interval) {}
+
+  BenchObs(const BenchObs&) = delete;
+  BenchObs& operator=(const BenchObs&) = delete;
+
+  ~BenchObs() {
+    if (!written_) WriteFiles();
+  }
+
+  // Start a named run: fresh registry + sampler, new trace lane. Finalizes
+  // any run still open. Duplicate names get a "#n" suffix so the JSON map
+  // keys stay unique.
+  void BeginRun(const std::string& run_name) {
+    EndRun();
+    auto run = std::make_unique<RunData>();
+    run->name = UniqueName(run_name);
+    run->registry = std::make_unique<obs::Registry>();
+    run->sampler = std::make_unique<obs::Sampler>(sample_interval_);
+    obs::Tracer::Default().BeginProcess(run->name);
+    runs_.push_back(std::move(run));
+    open_ = true;
+  }
+
+  // Observability sinks for the currently open run, in the shape the rest
+  // of the stack wants them (SchemeParams, CacheBenchConfig).
+  obs::Registry* metrics() { return runs_.back()->registry.get(); }
+  obs::Sampler* sampler() { return runs_.back()->sampler.get(); }
+  static obs::Tracer* tracer() { return &obs::Tracer::Default(); }
+
+  // Register live-state probes for the scheme under test. Call after
+  // MakeScheme and before the workload starts (probes cannot be added once
+  // the first sample lands). Captures raw device/cache pointers: the
+  // scheme must outlive the run's last sample, which any straight-line
+  // bench loop satisfies.
+  void AddSchemeProbes(const backends::SchemeInstance& scheme) {
+    obs::Sampler* s = sampler();
+    const cache::FlashCache* c = scheme.cache.get();
+    const cache::RegionDevice* dev = scheme.device.get();
+    s->AddProbe("cache.hit_ratio", [c] { return c->stats().HitRatio(); });
+    s->AddProbe("cache.items", [c] {
+      return static_cast<double>(c->item_count());
+    });
+    s->AddProbe("wa.factor", [dev] { return dev->wa_stats().Factor(); });
+    switch (scheme.kind) {
+      case backends::SchemeKind::kZone: {
+        const auto* z = static_cast<const backends::ZoneRegionDevice*>(dev);
+        AddZnsProbes(s, &z->zns_device());
+        break;
+      }
+      case backends::SchemeKind::kFile: {
+        const auto* f = static_cast<const backends::FileRegionDevice*>(dev);
+        AddZnsProbes(s, &f->zns_device());
+        break;
+      }
+      case backends::SchemeKind::kRegion: {
+        const auto* m = static_cast<const backends::MiddleRegionDevice*>(dev);
+        AddZnsProbes(s, &m->zns_device());
+        const middle::ZoneTranslationLayer* layer = &m->layer();
+        // How far the GC watermark is underwater: zones the collector
+        // still owes the write path. 0 while free space is healthy.
+        s->AddProbe("middle.gc_backlog", [layer] {
+          const u64 empty = layer->EmptyZones();
+          const u64 want = layer->config().min_empty_zones;
+          return static_cast<double>(want > empty ? want - empty : 0);
+        });
+        break;
+      }
+      case backends::SchemeKind::kBlock: {
+        const auto* b = static_cast<const backends::BlockRegionDevice*>(dev);
+        const blockssd::BlockSsd* ssd = &b->ssd();
+        s->AddProbe("ftl.free_blocks", [ssd] {
+          return static_cast<double>(ssd->free_blocks());
+        });
+        break;
+      }
+    }
+  }
+
+  // Snapshot the open run's registry and samples. Must happen while the
+  // scheme is still alive: provider-backed gauges read live device state.
+  void EndRun() {
+    if (!open_) return;
+    RunData& run = *runs_.back();
+    run.metrics_json = run.registry->ToJson();
+    run.samples_json = run.sampler->ToJson();
+    open_ = false;
+  }
+
+  // Emit <bench>.metrics.json and <bench>.trace.json. Safe to call once at
+  // the end of main; the destructor covers early-error exits.
+  bool WriteFiles() {
+    EndRun();
+    written_ = true;
+    std::string metrics = "{\"bench\":\"" + obs::JsonEscape(bench_name_) +
+                          "\",\"runs\":{";
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      if (i > 0) metrics += ',';
+      metrics += '"' + obs::JsonEscape(runs_[i]->name) +
+                 "\":{\"metrics\":" + runs_[i]->metrics_json +
+                 ",\"samples\":" + runs_[i]->samples_json + '}';
+    }
+    metrics += "}}";
+    const obs::Tracer& tr = obs::Tracer::Default();
+    const bool ok = WriteWholeFile(bench_name_ + ".metrics.json", metrics) &&
+                    WriteWholeFile(bench_name_ + ".trace.json",
+                                   tr.ToChromeJson());
+    if (ok) {
+      std::printf("[obs] wrote %s.metrics.json (%zu runs) and %s.trace.json "
+                  "(%llu events%s)\n",
+                  bench_name_.c_str(), runs_.size(), bench_name_.c_str(),
+                  static_cast<unsigned long long>(tr.recorded() -
+                                                  tr.dropped()),
+                  tr.dropped() > 0 ? ", ring wrapped" : "");
+    } else {
+      std::fprintf(stderr, "[obs] failed writing %s JSON exports\n",
+                   bench_name_.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  struct RunData {
+    std::string name;
+    std::unique_ptr<obs::Registry> registry;
+    std::unique_ptr<obs::Sampler> sampler;
+    std::string metrics_json = "{}";
+    std::string samples_json = "{}";
+  };
+
+  static void AddZnsProbes(obs::Sampler* s, const zns::ZnsDevice* zns) {
+    s->AddProbe("zns.empty_zones", [zns] {
+      return static_cast<double>(zns->EmptyZoneCount());
+    });
+    s->AddProbe("zns.open_zones", [zns] {
+      return static_cast<double>(zns->open_zones());
+    });
+  }
+
+  std::string UniqueName(const std::string& base) const {
+    auto taken = [this](const std::string& n) {
+      return std::any_of(runs_.begin(), runs_.end(),
+                         [&n](const auto& r) { return r->name == n; });
+    };
+    if (!taken(base)) return base;
+    for (int i = 2;; ++i) {
+      std::string candidate = base + "#" + std::to_string(i);
+      if (!taken(candidate)) return candidate;
+    }
+  }
+
+  static bool WriteWholeFile(const std::string& path,
+                             const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool wrote =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    const bool closed = std::fclose(f) == 0;
+    return wrote && closed;
+  }
+
+  std::string bench_name_;
+  SimNanos sample_interval_;
+  std::vector<std::unique_ptr<RunData>> runs_;
+  bool open_ = false;
+  bool written_ = false;
+};
 
 }  // namespace zncache::bench

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "backends/schemes.h"
+#include "bench/bench_util.h"
 #include "hdd/hdd_device.h"
 #include "kv/db_bench.h"
 #include "kv/lsm_store.h"
@@ -73,8 +74,12 @@ struct AttachedScheme {
 
 inline Result<AttachedScheme> AttachScheme(Fig5World& world,
                                            backends::SchemeKind kind,
-                                           u64 cache_bytes) {
+                                           u64 cache_bytes,
+                                           obs::Registry* metrics = nullptr,
+                                           obs::Tracer* tracer = nullptr) {
   backends::SchemeParams params;
+  params.metrics = metrics;
+  params.tracer = tracer;
   params.zone_size = kFig5ZoneSize;
   params.region_size = kFig5RegionSize;
   params.cache_bytes = cache_bytes;

@@ -19,10 +19,22 @@
 //   --hints    co-design cold-age (region scheme only) [0 = off]
 //   --admit    admission probability                   [1.0]
 //   --trace    replay a trace file instead of generating
+//
+// Positional commands select what the run prints to stdout:
+//   (none)   human-readable result table
+//   stats    the metric-registry snapshot as JSON
+//   trace    the virtual-time event trace as Chrome trace_event JSON
+// Every invocation also writes both JSON exports to disk
+// (zncache_cli.metrics.json / zncache_cli.trace.json; override with
+// --metrics-out= / --trace-out=).
 #include <cstdio>
 
 #include "backends/schemes.h"
 #include "common/flags.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "workload/cachebench.h"
 #include "workload/trace.h"
 
@@ -38,6 +50,26 @@ Result<backends::SchemeKind> ParseScheme(const std::string& name) {
   return Status::InvalidArgument("unknown scheme: " + name);
 }
 
+bool WriteWholeFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+// {"bench":"zncache_cli","runs":{<name>:{"metrics":...,"samples":...}}} —
+// the same shape the bench_fig* binaries emit, so one consumer script
+// handles both.
+std::string MetricsDocument(const std::string& run_name,
+                            const std::string& metrics_json,
+                            const std::string& samples_json) {
+  return "{\"bench\":\"zncache_cli\",\"runs\":{\"" +
+         obs::JsonEscape(run_name) + "\":{\"metrics\":" + metrics_json +
+         ",\"samples\":" + samples_json + "}}}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,9 +83,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
     return 2;
   }
+  std::string command;
+  if (!flags->positional().empty()) {
+    command = flags->positional().front();
+    if (command != "stats" && command != "trace") {
+      std::fprintf(stderr, "unknown command: %s (expected stats or trace)\n",
+                   command.c_str());
+      return 2;
+    }
+  }
 
   sim::VirtualClock clock;
+  obs::Registry registry;
+  obs::Tracer tracer;
+  tracer.BeginProcess(flags->GetString("scheme", "region"));
+  obs::Sampler sampler(200 * sim::kMillisecond);
   backends::SchemeParams params;
+  params.metrics = &registry;
+  params.tracer = &tracer;
   params.zone_size = flags->GetU64("zone-mib", 16) * kMiB;
   params.region_size = flags->GetU64("region-kib", 1024) * kKiB;
   const u64 zones = flags->GetU64("zones", 40);
@@ -82,6 +129,33 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Write both JSON exports (always) and satisfy the stats/trace commands.
+  // Runs while the scheme is alive: provider gauges read live device state.
+  auto emit = [&]() -> int {
+    sampler.SampleNow(clock.Now());
+    const std::string metrics_doc =
+        MetricsDocument(scheme->name, registry.ToJson(), sampler.ToJson());
+    const std::string trace_doc = tracer.ToChromeJson();
+    const std::string metrics_path =
+        flags->GetString("metrics-out", "zncache_cli.metrics.json");
+    const std::string trace_path =
+        flags->GetString("trace-out", "zncache_cli.trace.json");
+    if (!WriteWholeFile(metrics_path, metrics_doc) ||
+        !WriteWholeFile(trace_path, trace_doc)) {
+      std::fprintf(stderr, "failed writing observability exports\n");
+      return 1;
+    }
+    if (command == "stats") {
+      std::printf("%s\n", metrics_doc.c_str());
+    } else if (command == "trace") {
+      std::printf("%s\n", trace_doc.c_str());
+    } else {
+      std::printf("observability  %s, %s\n", metrics_path.c_str(),
+                  trace_path.c_str());
+    }
+    return 0;
+  };
+
   if (flags->Has("trace")) {
     auto trace = workload::Trace::LoadFrom(flags->GetString("trace"));
     if (!trace.ok()) {
@@ -95,11 +169,14 @@ int main(int argc, char** argv) {
                    r.status().ToString().c_str());
       return 1;
     }
-    std::printf("%s: %llu ops replayed, hit %.2f%%, WA %.3f, p99 %llu us\n",
-                scheme->name.c_str(), static_cast<unsigned long long>(r->ops),
-                r->HitRatio() * 100, scheme->WaFactor(),
-                static_cast<unsigned long long>(r->latency.P99() / 1000));
-    return 0;
+    if (command.empty()) {
+      std::printf("%s: %llu ops replayed, hit %.2f%%, WA %.3f, p99 %llu us\n",
+                  scheme->name.c_str(),
+                  static_cast<unsigned long long>(r->ops),
+                  r->HitRatio() * 100, scheme->WaFactor(),
+                  static_cast<unsigned long long>(r->latency.P99() / 1000));
+    }
+    return emit();
   }
 
   workload::CacheBenchConfig wl;
@@ -109,6 +186,7 @@ int main(int argc, char** argv) {
   wl.zipf_theta = flags->GetDouble("theta", 0.85);
   wl.value_min = 2 * kKiB;
   wl.value_max = 16 * kKiB;
+  wl.sampler = &sampler;
   workload::CacheBenchRunner runner(wl);
   auto r = runner.Run(*scheme->cache, clock);
   if (!r.ok()) {
@@ -116,19 +194,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("scheme        %s\n", scheme->name.c_str());
-  std::printf("throughput    %.0f ops/min (%.3f M)\n", r->ops_per_minute,
-              r->OpsPerMinuteMillions());
-  std::printf("hit ratio     %.2f%%\n", r->hit_ratio * 100);
-  std::printf("WA factor     %.3f\n", scheme->WaFactor());
-  std::printf("p50 / p99     %llu / %llu us\n",
-              static_cast<unsigned long long>(r->overall_latency.P50() / 1000),
-              static_cast<unsigned long long>(r->overall_latency.P99() / 1000));
-  const auto& cs = scheme->cache->stats();
-  std::printf("engine        %llu evicted regions, %llu reinserted items, "
-              "%llu admission rejects\n",
-              static_cast<unsigned long long>(cs.evicted_regions),
-              static_cast<unsigned long long>(cs.reinserted_items),
-              static_cast<unsigned long long>(cs.admission_rejects));
-  return 0;
+  if (command.empty()) {
+    std::printf("scheme        %s\n", scheme->name.c_str());
+    std::printf("throughput    %.0f ops/min (%.3f M)\n", r->ops_per_minute,
+                r->OpsPerMinuteMillions());
+    std::printf("hit ratio     %.2f%%\n", r->hit_ratio * 100);
+    std::printf("WA factor     %.3f\n", scheme->WaFactor());
+    std::printf(
+        "p50 / p99     %llu / %llu us\n",
+        static_cast<unsigned long long>(r->overall_latency.P50() / 1000),
+        static_cast<unsigned long long>(r->overall_latency.P99() / 1000));
+    const auto& cs = scheme->cache->stats();
+    std::printf("engine        %llu evicted regions, %llu reinserted items, "
+                "%llu admission rejects\n",
+                static_cast<unsigned long long>(cs.evicted_regions),
+                static_cast<unsigned long long>(cs.reinserted_items),
+                static_cast<unsigned long long>(cs.admission_rejects));
+  }
+  return emit();
 }

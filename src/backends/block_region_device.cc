@@ -8,6 +8,22 @@ BlockRegionDevice::BlockRegionDevice(const BlockRegionDeviceConfig& config,
   blockssd::BlockSsdConfig ssd_config = config_.ssd;
   ssd_config.logical_capacity = config_.region_size * config_.region_count;
   ssd_ = std::make_unique<blockssd::BlockSsd>(ssd_config, clock);
+
+  g_host_bytes_ =
+      obs::GetGaugeOrSink(config_.ssd.metrics, "backend.block.host_bytes");
+  g_device_bytes_ =
+      obs::GetGaugeOrSink(config_.ssd.metrics, "backend.block.device_bytes");
+  g_host_bytes_->SetProvider([this] {
+    return static_cast<double>(ssd_->stats().host_bytes_written);
+  });
+  g_device_bytes_->SetProvider([this] {
+    return static_cast<double>(ssd_->stats().flash_bytes_written);
+  });
+}
+
+BlockRegionDevice::~BlockRegionDevice() {
+  g_host_bytes_->ClearProvider();
+  g_device_bytes_->ClearProvider();
 }
 
 Status BlockRegionDevice::CheckId(cache::RegionId id) const {

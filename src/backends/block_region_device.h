@@ -8,6 +8,7 @@
 
 #include "blockssd/block_ssd.h"
 #include "cache/region_device.h"
+#include "obs/metrics.h"
 
 namespace zncache::backends {
 
@@ -21,6 +22,7 @@ class BlockRegionDevice final : public cache::RegionDevice {
  public:
   BlockRegionDevice(const BlockRegionDeviceConfig& config,
                     sim::VirtualClock* clock);
+  ~BlockRegionDevice() override;
 
   u64 region_size() const override { return config_.region_size; }
   u64 region_count() const override { return config_.region_count; }
@@ -42,6 +44,10 @@ class BlockRegionDevice final : public cache::RegionDevice {
 
   BlockRegionDeviceConfig config_;
   std::unique_ptr<blockssd::BlockSsd> ssd_;
+  // Live views over wa_stats(); providers cleared in the destructor
+  // because the registry may outlive this device.
+  obs::Gauge* g_host_bytes_ = nullptr;
+  obs::Gauge* g_device_bytes_ = nullptr;
 };
 
 }  // namespace zncache::backends

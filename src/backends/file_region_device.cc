@@ -11,6 +11,22 @@ FileRegionDevice::FileRegionDevice(const FileRegionDeviceConfig& config,
   zns_ = std::make_unique<zns::ZnsDevice>(config_.zns, clock);
   fs_ = std::make_unique<f2fslite::F2fsLite>(config_.fs, zns_.get());
   scratch_.resize(config_.region_size);
+
+  g_host_bytes_ =
+      obs::GetGaugeOrSink(config_.fs.metrics, "backend.file.host_bytes");
+  g_device_bytes_ =
+      obs::GetGaugeOrSink(config_.fs.metrics, "backend.file.device_bytes");
+  g_host_bytes_->SetProvider([this] {
+    return static_cast<double>(fs_->stats().host_bytes_written);
+  });
+  g_device_bytes_->SetProvider([this] {
+    return static_cast<double>(fs_->stats().device_bytes_written);
+  });
+}
+
+FileRegionDevice::~FileRegionDevice() {
+  g_host_bytes_->ClearProvider();
+  g_device_bytes_->ClearProvider();
 }
 
 Status FileRegionDevice::Init() {

@@ -8,6 +8,7 @@
 
 #include "cache/region_device.h"
 #include "f2fslite/f2fs_lite.h"
+#include "obs/metrics.h"
 #include "zns/zns_device.h"
 
 namespace zncache::backends {
@@ -23,6 +24,7 @@ class FileRegionDevice final : public cache::RegionDevice {
  public:
   FileRegionDevice(const FileRegionDeviceConfig& config,
                    sim::VirtualClock* clock);
+  ~FileRegionDevice() override;
 
   // Must be called once before use; creates the cache file.
   Status Init();
@@ -50,6 +52,10 @@ class FileRegionDevice final : public cache::RegionDevice {
   std::unique_ptr<zns::ZnsDevice> zns_;
   std::unique_ptr<f2fslite::F2fsLite> fs_;
   std::vector<std::byte> scratch_;  // block-alignment bounce buffer
+  // Live views over wa_stats(); providers cleared in the destructor
+  // because the registry may outlive this device.
+  obs::Gauge* g_host_bytes_ = nullptr;
+  obs::Gauge* g_device_bytes_ = nullptr;
 };
 
 }  // namespace zncache::backends

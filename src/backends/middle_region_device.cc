@@ -9,6 +9,23 @@ MiddleRegionDevice::MiddleRegionDevice(const MiddleRegionDeviceConfig& config,
   middle::MiddleLayerConfig ml = config_.middle;
   ml.region_slots = config_.region_count;
   layer_ = std::make_unique<middle::ZoneTranslationLayer>(ml, zns_.get());
+
+  g_host_bytes_ =
+      obs::GetGaugeOrSink(config_.zns.metrics, "backend.region.host_bytes");
+  g_device_bytes_ =
+      obs::GetGaugeOrSink(config_.zns.metrics, "backend.region.device_bytes");
+  g_host_bytes_->SetProvider([this] {
+    return static_cast<double>(layer_->stats().host_bytes);
+  });
+  g_device_bytes_->SetProvider([this] {
+    const auto& s = layer_->stats();
+    return static_cast<double>(s.host_bytes + s.migrated_bytes);
+  });
+}
+
+MiddleRegionDevice::~MiddleRegionDevice() {
+  g_host_bytes_->ClearProvider();
+  g_device_bytes_->ClearProvider();
 }
 
 Result<cache::RegionIo> MiddleRegionDevice::WriteRegion(

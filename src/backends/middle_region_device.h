@@ -7,6 +7,7 @@
 
 #include "cache/region_device.h"
 #include "middle/zone_translation_layer.h"
+#include "obs/metrics.h"
 #include "zns/zns_device.h"
 
 namespace zncache::backends {
@@ -21,6 +22,7 @@ class MiddleRegionDevice final : public cache::RegionDevice {
  public:
   MiddleRegionDevice(const MiddleRegionDeviceConfig& config,
                      sim::VirtualClock* clock);
+  ~MiddleRegionDevice() override;
 
   Status Init() { return layer_->ValidateConfig(); }
 
@@ -46,6 +48,10 @@ class MiddleRegionDevice final : public cache::RegionDevice {
   MiddleRegionDeviceConfig config_;
   std::unique_ptr<zns::ZnsDevice> zns_;
   std::unique_ptr<middle::ZoneTranslationLayer> layer_;
+  // Live views over wa_stats(); providers cleared in the destructor
+  // because the registry may outlive this device.
+  obs::Gauge* g_host_bytes_ = nullptr;
+  obs::Gauge* g_device_bytes_ = nullptr;
 };
 
 }  // namespace zncache::backends

@@ -45,6 +45,8 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
       BlockRegionDeviceConfig c;
       c.region_size = params.region_size;
       c.region_count = params.cache_bytes / params.region_size;
+      c.ssd.metrics = params.metrics;
+      c.ssd.tracer = params.tracer;
       c.ssd.op_ratio = params.block_op_ratio;
       c.ssd.pages_per_block = params.block_superblock_pages;
       c.ssd.gc_interference_factor = params.block_gc_interference;
@@ -56,6 +58,9 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
       FileRegionDeviceConfig c;
       c.region_size = params.region_size;
       c.region_count = params.cache_bytes / params.region_size;
+      c.fs.metrics = params.metrics;
+      c.zns.metrics = params.metrics;
+      c.zns.tracer = params.tracer;
       c.fs.op_ratio = params.file_op_ratio;
       c.fs.min_free_zones = params.file_min_free_zones;
       c.zns.zone_size = params.zone_size;
@@ -80,6 +85,8 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
     case SchemeKind::kZone: {
       ZoneRegionDeviceConfig c;
       c.region_count = params.cache_bytes / params.zone_size;
+      c.zns.metrics = params.metrics;
+      c.zns.tracer = params.tracer;
       c.zns.zone_size = params.zone_size;
       c.zns.zone_capacity = params.zone_size;
       c.zns.zone_count = c.region_count;
@@ -97,6 +104,10 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
     case SchemeKind::kRegion: {
       MiddleRegionDeviceConfig c;
       c.region_count = params.cache_bytes / params.region_size;
+      c.zns.metrics = params.metrics;
+      c.zns.tracer = params.tracer;
+      c.middle.metrics = params.metrics;
+      c.middle.tracer = params.tracer;
       c.zns.zone_size = params.zone_size;
       c.zns.zone_capacity = params.zone_size;
       c.zns.max_open_zones = params.max_open_zones;
@@ -124,6 +135,8 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
   cache::FlashCacheConfig cache_config = params.cache_config;
   cache_config.store_values = params.store_data || params.persistent;
   cache_config.persistent = params.persistent;
+  cache_config.metrics = params.metrics;
+  cache_config.tracer = params.tracer;
   out.cache = std::make_unique<cache::FlashCache>(cache_config,
                                                   out.device.get(), clock);
 

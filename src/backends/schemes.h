@@ -62,6 +62,11 @@ struct SchemeParams {
 
   u32 max_open_zones = 14;  // ZN540-like
   cache::FlashCacheConfig cache_config;
+
+  // Observability sinks, forwarded into every layer of the assembled
+  // scheme; nullptr selects the process-wide defaults.
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 // A fully-wired cache instance. Movable; owns its device and engine.

@@ -6,6 +6,22 @@ ZoneRegionDevice::ZoneRegionDevice(const ZoneRegionDeviceConfig& config,
                                    sim::VirtualClock* clock)
     : config_(config) {
   zns_ = std::make_unique<zns::ZnsDevice>(config_.zns, clock);
+
+  g_host_bytes_ =
+      obs::GetGaugeOrSink(config_.zns.metrics, "backend.zone.host_bytes");
+  g_device_bytes_ =
+      obs::GetGaugeOrSink(config_.zns.metrics, "backend.zone.device_bytes");
+  g_host_bytes_->SetProvider([this] {
+    return static_cast<double>(zns_->stats().host_bytes_written);
+  });
+  g_device_bytes_->SetProvider([this] {
+    return static_cast<double>(zns_->stats().flash_bytes_written);
+  });
+}
+
+ZoneRegionDevice::~ZoneRegionDevice() {
+  g_host_bytes_->ClearProvider();
+  g_device_bytes_->ClearProvider();
 }
 
 Status ZoneRegionDevice::CheckId(cache::RegionId id) const {

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "cache/region_device.h"
+#include "obs/metrics.h"
 #include "zns/zns_device.h"
 
 namespace zncache::backends {
@@ -21,6 +22,7 @@ class ZoneRegionDevice final : public cache::RegionDevice {
  public:
   ZoneRegionDevice(const ZoneRegionDeviceConfig& config,
                    sim::VirtualClock* clock);
+  ~ZoneRegionDevice() override;
 
   u64 region_size() const override { return zns_->zone_capacity(); }
   u64 region_count() const override { return config_.region_count; }
@@ -42,6 +44,10 @@ class ZoneRegionDevice final : public cache::RegionDevice {
 
   ZoneRegionDeviceConfig config_;
   std::unique_ptr<zns::ZnsDevice> zns_;
+  // Live views over wa_stats(); providers cleared in the destructor
+  // because the registry may outlive this device.
+  obs::Gauge* g_host_bytes_ = nullptr;
+  obs::Gauge* g_device_bytes_ = nullptr;
 };
 
 }  // namespace zncache::backends

@@ -30,6 +30,18 @@ BlockSsd::BlockSsd(const BlockSsdConfig& config, sim::VirtualClock* clock)
   if (config_.store_data) {
     data_.resize(logical_pages * config_.page_size);
   }
+
+  tracer_ = obs::ResolveTracer(config_.tracer);
+  obs::Registry* reg = config_.metrics;
+  c_host_bytes_ = obs::GetCounterOrSink(reg, "blockssd.host_bytes");
+  c_device_bytes_ = obs::GetCounterOrSink(reg, "blockssd.device_bytes");
+  c_bytes_read_ = obs::GetCounterOrSink(reg, "blockssd.bytes_read");
+  c_write_ops_ = obs::GetCounterOrSink(reg, "blockssd.write_ops");
+  c_read_ops_ = obs::GetCounterOrSink(reg, "blockssd.read_ops");
+  c_gc_runs_ = obs::GetCounterOrSink(reg, "blockssd.gc.runs");
+  c_gc_migrated_pages_ =
+      obs::GetCounterOrSink(reg, "blockssd.gc.migrated_pages");
+  c_blocks_erased_ = obs::GetCounterOrSink(reg, "blockssd.blocks_erased");
 }
 
 void BlockSsd::InvalidatePhysical(u64 ppn) {
@@ -100,7 +112,19 @@ void BlockSsd::MaybeGarbageCollect() {
   const u64 trigger = std::max<u64>(
       1, static_cast<u64>(config_.gc_trigger_free_ratio *
                           static_cast<double>(total)));
-  if (free_blocks_ > trigger) return;
+  if (free_blocks_ > trigger) {
+    if (below_watermark_) {
+      below_watermark_ = false;
+      tracer_->Record(obs::EventKind::kWatermarkHigh,
+                      timer_.clock()->Now(), free_blocks_, trigger);
+    }
+    return;
+  }
+  if (!below_watermark_) {
+    below_watermark_ = true;
+    tracer_->Record(obs::EventKind::kWatermarkLow, timer_.clock()->Now(),
+                    free_blocks_, trigger);
+  }
 
   const u64 stop = std::max<u64>(
       trigger + 1, static_cast<u64>(config_.gc_stop_free_ratio *
@@ -111,6 +135,10 @@ void BlockSsd::MaybeGarbageCollect() {
     Block& b = blocks_[victim];
     // A fully-valid victim frees no space; migrating it would spin forever.
     if (b.valid_count >= config_.pages_per_block) break;
+    tracer_->Record(obs::EventKind::kFtlGcBegin, timer_.clock()->Now(),
+                    victim, 0,
+                    static_cast<double>(b.valid_count) /
+                        static_cast<double>(config_.pages_per_block));
     u64 migrated_pages = 0;
     // Migrate valid pages to the GC active block.
     for (u64 p = 0; p < config_.pages_per_block; ++p) {
@@ -125,6 +153,8 @@ void BlockSsd::MaybeGarbageCollect() {
       migrated_pages++;
       stats_.gc_migrated_pages++;
       stats_.flash_bytes_written += config_.page_size;
+      c_gc_migrated_pages_->Inc();
+      c_device_bytes_->Inc(config_.page_size);
     }
     // GC moves valid data in bulk: one read + one write pass plus the erase.
     const u64 moved = migrated_pages * config_.page_size;
@@ -140,12 +170,16 @@ void BlockSsd::MaybeGarbageCollect() {
     b.erase_count++;
     free_blocks_++;
     stats_.blocks_erased++;
+    c_blocks_erased_->Inc();
     gc_time += config_.timing.erase_ns;
     // Accrue GC occupancy; it is drip-fed into the queue so that many
     // subsequent host requests observe it (per-die interleaving).
     pending_gc_ns_ += static_cast<SimNanos>(
         static_cast<double>(gc_time) * config_.gc_interference_factor);
     stats_.gc_runs++;
+    c_gc_runs_->Inc();
+    tracer_->Record(obs::EventKind::kFtlGcEnd, timer_.clock()->Now(), victim,
+                    migrated_pages);
   }
 }
 
@@ -187,6 +221,9 @@ Result<IoResult> BlockSsd::Write(u64 offset, std::span<const std::byte> data,
   stats_.host_bytes_written += data.size();
   stats_.flash_bytes_written += (last_page - first_page + 1) * config_.page_size;
   stats_.write_ops++;
+  c_host_bytes_->Inc(data.size());
+  c_device_bytes_->Inc((last_page - first_page + 1) * config_.page_size);
+  c_write_ops_->Inc();
   MaybeGarbageCollect();
   const sim::Served served = timer_.Serve(service, mode);
   return IoResult{served.latency, served.completion};
@@ -205,6 +242,8 @@ Result<IoResult> BlockSsd::Read(u64 offset, std::span<std::byte> out,
   }
   stats_.bytes_read += out.size();
   stats_.read_ops++;
+  c_bytes_read_->Inc(out.size());
+  c_read_ops_->Inc();
   DripGc();
   const sim::Served served =
       timer_.Serve(config_.timing.ftl_overhead_ns +

@@ -24,6 +24,8 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/service_timer.h"
 #include "sim/timing.h"
 
@@ -58,6 +60,9 @@ struct BlockSsdConfig {
   SimNanos gc_chunk_ns = 10 * 1000 * 1000;
   bool store_data = true;
   sim::FlashTiming timing;
+  // Observability sinks; nullptr selects the process-wide defaults.
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct BlockSsdStats {
@@ -138,6 +143,18 @@ class BlockSsd {
   u64 active_block_host_ = kUnmapped;  // current program block for host writes
   u64 active_block_gc_ = kUnmapped;    // separate program block for GC writes
   BlockSsdStats stats_;
+
+  // Registry handles, resolved once at construction.
+  obs::Tracer* tracer_ = nullptr;
+  bool below_watermark_ = false;  // for crossing events
+  obs::Counter* c_host_bytes_ = nullptr;
+  obs::Counter* c_device_bytes_ = nullptr;
+  obs::Counter* c_bytes_read_ = nullptr;
+  obs::Counter* c_write_ops_ = nullptr;
+  obs::Counter* c_read_ops_ = nullptr;
+  obs::Counter* c_gc_runs_ = nullptr;
+  obs::Counter* c_gc_migrated_pages_ = nullptr;
+  obs::Counter* c_blocks_erased_ = nullptr;
 };
 
 }  // namespace zncache::blockssd

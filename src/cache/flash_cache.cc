@@ -18,6 +18,25 @@ FlashCache::FlashCache(const FlashCacheConfig& config, RegionDevice* device,
   if (config_.store_values) {
     open_buffer_.resize(device_->region_size());
   }
+
+  tracer_ = obs::ResolveTracer(config_.tracer);
+  obs::Registry* reg = config_.metrics;
+  c_gets_ = obs::GetCounterOrSink(reg, "cache.gets");
+  c_hits_ = obs::GetCounterOrSink(reg, "cache.hits");
+  c_sets_ = obs::GetCounterOrSink(reg, "cache.sets");
+  c_deletes_ = obs::GetCounterOrSink(reg, "cache.deletes");
+  c_set_bytes_ = obs::GetCounterOrSink(reg, "cache.set_bytes");
+  c_evicted_regions_ = obs::GetCounterOrSink(reg, "cache.evicted_regions");
+  c_evicted_items_ = obs::GetCounterOrSink(reg, "cache.evicted_items");
+  c_reinserted_items_ = obs::GetCounterOrSink(reg, "cache.reinserted_items");
+  c_admission_rejects_ = obs::GetCounterOrSink(reg, "cache.admission_rejects");
+  c_dropped_regions_ = obs::GetCounterOrSink(reg, "cache.dropped_regions");
+  c_dropped_items_ = obs::GetCounterOrSink(reg, "cache.dropped_items");
+  c_flushed_regions_ = obs::GetCounterOrSink(reg, "cache.flushed_regions");
+  c_rejected_sets_ = obs::GetCounterOrSink(reg, "cache.rejected_sets");
+  h_lookup_latency_ = obs::GetHistogramOrSink(reg, "cache.lookup_latency_ns");
+  h_set_latency_ = obs::GetHistogramOrSink(reg, "cache.set_latency_ns");
+
   // Open the first region eagerly so Set never sees a missing buffer.
   (void)OpenNewRegion();
 }
@@ -107,6 +126,9 @@ Status FlashCache::FlushOpenRegion() {
   m.seal_seq = ++seal_counter_;
   m.last_access = ++access_seq_;  // freshly written data is "recent"
   stats_.flushed_regions++;
+  c_flushed_regions_->Inc();
+  tracer_->Record(obs::EventKind::kRegionFlush, clock_->Now(), open_rid_,
+                  m.used);
 
   if (config_.record_fill_times) {
     region_fill_times_.push_back(clock_->Now() - open_region_started_);
@@ -155,6 +177,10 @@ Status FlashCache::OpenNewRegion() {
     regions_[victim].state = RegionState::kFree;
     stats_.evicted_regions++;
     stats_.evicted_items += removed;
+    c_evicted_regions_->Inc();
+    c_evicted_items_->Inc(removed);
+    tracer_->Record(obs::EventKind::kRegionEvict, clock_->Now(), victim,
+                    removed);
     pending_reinserts_.insert(pending_reinserts_.end(),
                               std::make_move_iterator(survivors.begin()),
                               std::make_move_iterator(survivors.end()));
@@ -175,7 +201,10 @@ Status FlashCache::OpenNewRegion() {
     batch.swap(pending_reinserts_);
     for (auto& [item, payload] : batch) {
       auto s = Set(item.key, payload);
-      if (s.ok()) stats_.reinserted_items++;
+      if (s.ok()) {
+        stats_.reinserted_items++;
+        c_reinserted_items_->Inc();
+      }
     }
   }
   return Status::Ok();
@@ -206,11 +235,13 @@ Result<OpResult> FlashCache::Set(std::string_view key,
   const SimNanos start = clock_->Now();
   if (value.size() > usable_region_bytes_) {
     stats_.rejected_sets++;
+    c_rejected_sets_->Inc();
     return Status::InvalidArgument("object larger than a region");
   }
   if (config_.admit_probability < 1.0 &&
       !admission_rng_.Chance(config_.admit_probability)) {
     stats_.admission_rejects++;
+    c_admission_rejects_->Inc();
     Cpu(config_.index_op_ns);
     return OpResult{false, clock_->Now() - start};
   }
@@ -236,6 +267,9 @@ Result<OpResult> FlashCache::Set(std::string_view key,
 
   stats_.sets++;
   stats_.set_bytes += value.size();
+  c_sets_->Inc();
+  c_set_bytes_->Inc(value.size());
+  h_set_latency_->Record(clock_->Now() - start);
   return OpResult{true, clock_->Now() - start};
 }
 
@@ -249,9 +283,11 @@ Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out) {
   const SimNanos start = clock_->Now();
   Cpu(config_.index_op_ns);
   stats_.gets++;
+  c_gets_->Inc();
 
   auto it = index_.find(std::string(key));
   if (it == index_.end()) {
+    h_lookup_latency_->Record(clock_->Now() - start);
     return OpResult{false, clock_->Now() - start};
   }
   it->second.hits++;
@@ -283,6 +319,8 @@ Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out) {
     if (value_out != nullptr) *value_out = std::move(scratch);
   }
   stats_.hits++;
+  c_hits_->Inc();
+  h_lookup_latency_->Record(clock_->Now() - start);
   return OpResult{true, clock_->Now() - start};
 }
 
@@ -290,6 +328,7 @@ Result<OpResult> FlashCache::Delete(std::string_view key) {
   const SimNanos start = clock_->Now();
   Cpu(config_.index_op_ns);
   stats_.deletes++;
+  c_deletes_->Inc();
   const bool found = index_.erase(std::string(key)) > 0;
   return OpResult{found, clock_->Now() - start};
 }
@@ -376,6 +415,9 @@ Status FlashCache::DropRegion(RegionId rid) {
   m.state = RegionState::kFree;
   stats_.dropped_regions++;
   stats_.dropped_items += removed;
+  c_dropped_regions_->Inc();
+  c_dropped_items_->Inc(removed);
+  tracer_->Record(obs::EventKind::kRegionDrop, clock_->Now(), rid, removed);
   return Status::Ok();
 }
 

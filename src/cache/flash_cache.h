@@ -40,6 +40,8 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/clock.h"
 
 namespace zncache::cache {
@@ -90,6 +92,9 @@ struct FlashCacheConfig {
   // any) in place. Trades hit ratio for flash write volume.
   double admit_probability = 1.0;
   u64 admission_seed = 99;
+  // Observability sinks; nullptr selects the process-wide defaults.
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct CacheStats {
@@ -233,6 +238,25 @@ class FlashCache {
   std::vector<SimNanos> region_fill_times_;
 
   CacheStats stats_;
+
+  // Registry handles, resolved once at construction; hot-path recording is
+  // a plain increment / histogram bucket update.
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* c_gets_ = nullptr;
+  obs::Counter* c_hits_ = nullptr;
+  obs::Counter* c_sets_ = nullptr;
+  obs::Counter* c_deletes_ = nullptr;
+  obs::Counter* c_set_bytes_ = nullptr;
+  obs::Counter* c_evicted_regions_ = nullptr;
+  obs::Counter* c_evicted_items_ = nullptr;
+  obs::Counter* c_reinserted_items_ = nullptr;
+  obs::Counter* c_admission_rejects_ = nullptr;
+  obs::Counter* c_dropped_regions_ = nullptr;
+  obs::Counter* c_dropped_items_ = nullptr;
+  obs::Counter* c_flushed_regions_ = nullptr;
+  obs::Counter* c_rejected_sets_ = nullptr;
+  Histogram* h_lookup_latency_ = nullptr;
+  Histogram* h_set_latency_ = nullptr;
 };
 
 }  // namespace zncache::cache

@@ -74,14 +74,44 @@ u64 Histogram::Percentile(double q) const {
 }
 
 std::string Histogram::Summary() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "count=%llu mean=%.1f p50=%llu p99=%llu max=%llu",
+                "count=%llu mean=%.1f min=%llu p50=%llu p99=%llu max=%llu",
                 static_cast<unsigned long long>(count_), Mean(),
+                static_cast<unsigned long long>(min()),
                 static_cast<unsigned long long>(P50()),
                 static_cast<unsigned long long>(P99()),
                 static_cast<unsigned long long>(max_));
   return buf;
+}
+
+std::string Histogram::ToJson() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+      "\"mean\":%.17g,\"p50\":%llu,\"p99\":%llu,\"p999\":%llu,\"buckets\":[",
+      static_cast<unsigned long long>(count_),
+      static_cast<unsigned long long>(sum_),
+      static_cast<unsigned long long>(min()),
+      static_cast<unsigned long long>(max_), Mean(),
+      static_cast<unsigned long long>(P50()),
+      static_cast<unsigned long long>(P99()),
+      static_cast<unsigned long long>(P999()));
+  std::string out(buf);
+  // Sparse encoding: only non-empty buckets, as [upper_bound, count] pairs.
+  bool first = true;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "[%llu,%llu]",
+                  static_cast<unsigned long long>(BucketUpperBound(i)),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += buf;
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace zncache

@@ -33,6 +33,10 @@ class Histogram {
 
   std::string Summary() const;
 
+  // {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p99":..,
+  //  "p999":..,"buckets":[[upper_bound,count],...]} — non-empty buckets only.
+  std::string ToJson() const;
+
  private:
   static size_t BucketFor(u64 value);
   static u64 BucketUpperBound(size_t bucket);

@@ -9,6 +9,14 @@ F2fsLite::F2fsLite(const F2fsConfig& config, zns::ZnsDevice* device)
     : config_(config), device_(device), metadata_zone_(0) {
   zone_valid_.assign(device_->zone_count(), 0);
   reverse_.assign(device_->zone_count() * BlocksPerZone(), kUnmapped);
+
+  obs::Registry* reg = config_.metrics;
+  c_host_bytes_ = obs::GetCounterOrSink(reg, "f2fs.host_bytes");
+  c_device_bytes_ = obs::GetCounterOrSink(reg, "f2fs.device_bytes");
+  c_metadata_bytes_ = obs::GetCounterOrSink(reg, "f2fs.metadata_bytes");
+  c_migrated_blocks_ = obs::GetCounterOrSink(reg, "f2fs.migrated_blocks");
+  c_cleaned_zones_ = obs::GetCounterOrSink(reg, "f2fs.cleaned_zones");
+  c_bytes_read_ = obs::GetCounterOrSink(reg, "f2fs.bytes_read");
 }
 
 u64 F2fsLite::BlocksPerZone() const {
@@ -132,6 +140,7 @@ Result<u64> F2fsLite::AppendBlock(std::span<const std::byte> block,
   if (!r.ok()) return r.status();
   if (latency != nullptr) *latency += r->latency;
   stats_.device_bytes_written += block.size();
+  c_device_bytes_->Inc(block.size());
   return log_zone * BlocksPerZone() + wp / config_.block_size;
 }
 
@@ -191,12 +200,14 @@ Status F2fsLite::CleanStep() {
     reverse_[*nb] = ref;
     zone_valid_[ZoneOf(*nb)]++;
     stats_.migrated_blocks++;
+    c_migrated_blocks_->Inc();
     budget--;
   }
 
   if (clean_cursor_index_ >= bpz) {
     ZN_RETURN_IF_ERROR(device_->Reset(clean_cursor_zone_));
     stats_.cleaned_zones++;
+    c_cleaned_zones_->Inc();
     clean_cursor_zone_ = kUnmapped;
     clean_cursor_index_ = 0;
   }
@@ -244,6 +255,7 @@ Result<IoResult> F2fsLite::PwriteAt(Fd fd, u64 offset,
     if (!wr.ok()) return wr.status();
     latency += wr->latency;
     stats_.device_bytes_written += run * config_.block_size;
+    c_device_bytes_->Inc(run * config_.block_size);
 
     for (u64 i = 0; i < run; ++i) {
       const u64 file_block = first + done + i;
@@ -276,9 +288,12 @@ Result<IoResult> F2fsLite::PwriteAt(Fd fd, u64 offset,
     latency += mr->latency;
     stats_.metadata_bytes_written += config_.block_size;
     stats_.device_bytes_written += config_.block_size;
+    c_metadata_bytes_->Inc(config_.block_size);
+    c_device_bytes_->Inc(config_.block_size);
   }
 
   stats_.host_bytes_written += data.size();
+  c_host_bytes_->Inc(data.size());
   // Filesystem write-path CPU occupies the layer (node updates etc.).
   device_->timer().SubmitBackground(config_.write_path_ns_per_block * count);
   ZN_RETURN_IF_ERROR(CleanStep());
@@ -328,6 +343,7 @@ Result<IoResult> F2fsLite::PreadAt(Fd fd, u64 offset, std::span<std::byte> out,
     i += run;
   }
   stats_.bytes_read += out.size();
+  c_bytes_read_->Inc(out.size());
   return IoResult{latency, device_->timer().busy_until()};
 }
 

@@ -30,6 +30,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "zns/zns_device.h"
 
 namespace zncache::f2fslite {
@@ -57,6 +58,8 @@ struct F2fsConfig {
   // later request, which is the "too heavy for cache access patterns"
   // overhead of §3.1.
   SimNanos write_path_ns_per_block = 3000;
+  // Observability sink; nullptr selects the process-wide default.
+  obs::Registry* metrics = nullptr;
 };
 
 struct F2fsStats {
@@ -167,6 +170,14 @@ class F2fsLite {
   u64 clean_cursor_index_ = 0;
 
   F2fsStats stats_;
+
+  // Registry handles, resolved once at construction.
+  obs::Counter* c_host_bytes_ = nullptr;
+  obs::Counter* c_device_bytes_ = nullptr;
+  obs::Counter* c_metadata_bytes_ = nullptr;
+  obs::Counter* c_migrated_blocks_ = nullptr;
+  obs::Counter* c_cleaned_zones_ = nullptr;
+  obs::Counter* c_bytes_read_ = nullptr;
 };
 
 }  // namespace zncache::f2fslite

@@ -18,6 +18,19 @@ ZoneTranslationLayer::ZoneTranslationLayer(const MiddleLayerConfig& config,
     z.bitmap.assign(regions_per_zone_, false);
     z.region_ids.assign(regions_per_zone_, kInvalidId);
   }
+
+  tracer_ = obs::ResolveTracer(config_.tracer);
+  obs::Registry* reg = config_.metrics;
+  c_host_bytes_ = obs::GetCounterOrSink(reg, "middle.host_bytes");
+  c_host_region_writes_ =
+      obs::GetCounterOrSink(reg, "middle.host_region_writes");
+  c_migrated_bytes_ = obs::GetCounterOrSink(reg, "middle.gc.migrated_bytes");
+  c_migrated_regions_ =
+      obs::GetCounterOrSink(reg, "middle.gc.migrated_regions");
+  c_dropped_regions_ = obs::GetCounterOrSink(reg, "middle.gc.dropped_regions");
+  c_gc_runs_ = obs::GetCounterOrSink(reg, "middle.gc.runs");
+  c_zones_reset_ = obs::GetCounterOrSink(reg, "middle.zones.reset");
+  c_zones_finished_ = obs::GetCounterOrSink(reg, "middle.zones.finished");
 }
 
 Status ZoneTranslationLayer::ValidateConfig() const {
@@ -69,6 +82,7 @@ Status ZoneTranslationLayer::FinishIfFull(u64 zone) {
       info.RemainingCapacity() < slot_stride_) {
     ZN_RETURN_IF_ERROR(device_->Finish(zone));
     stats_.zones_finished++;
+    c_zones_finished_->Inc();
   }
   if (device_->GetZoneInfo(zone).state == zns::ZoneState::kFull) {
     std::erase(open_zones_, zone);
@@ -199,6 +213,8 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
 
   stats_.host_region_writes++;
   stats_.host_bytes += config_.region_size;
+  c_host_region_writes_->Inc();
+  c_host_bytes_->Inc(config_.region_size);
 
   ZN_RETURN_IF_ERROR(MaybeCollect());
   return r;
@@ -242,6 +258,7 @@ Status ZoneTranslationLayer::InvalidateRegion(u64 region_id) {
       zones_[zone].region_ids.assign(regions_per_zone_, kInvalidId);
       zones_[zone].next_slot = 0;
       stats_.zones_reset++;
+      c_zones_reset_->Inc();
     }
   }
   return Status::Ok();
@@ -269,6 +286,13 @@ u64 ZoneTranslationLayer::PickGcVictim() const {
 
 Status ZoneTranslationLayer::CollectZone(u64 victim) {
   ZoneMeta& zm = zones_[victim];
+  const double valid_ratio =
+      regions_per_zone_ == 0
+          ? 0.0
+          : static_cast<double>(zm.valid_count) /
+                static_cast<double>(regions_per_zone_);
+  tracer_->Record(obs::EventKind::kGcBegin, Now(), victim, 0, valid_ratio);
+  const u64 migrated_before = stats_.migrated_regions;
   std::vector<std::byte> buf(config_.region_size);
   for (u64 slot = 0; slot < regions_per_zone_; ++slot) {
     if (!zm.bitmap[slot]) continue;
@@ -279,6 +303,7 @@ Status ZoneTranslationLayer::CollectZone(u64 victim) {
     if (hints_ != nullptr && hints_->TryDropRegion(region_id)) {
       ClearMapping(region_id);
       stats_.dropped_regions++;
+      c_dropped_regions_->Inc();
       continue;
     }
 
@@ -298,6 +323,8 @@ Status ZoneTranslationLayer::CollectZone(u64 victim) {
     if (!w.ok()) return w.status();
     stats_.migrated_regions++;
     stats_.migrated_bytes += config_.region_size;
+    c_migrated_regions_->Inc();
+    c_migrated_bytes_->Inc(config_.region_size);
   }
   ZN_RETURN_IF_ERROR(device_->Reset(victim));
   zm.bitmap.assign(regions_per_zone_, false);
@@ -305,6 +332,9 @@ Status ZoneTranslationLayer::CollectZone(u64 victim) {
   zm.valid_count = 0;
   zm.next_slot = 0;
   stats_.zones_reset++;
+  c_zones_reset_->Inc();
+  tracer_->Record(obs::EventKind::kGcEnd, Now(), victim,
+                  stats_.migrated_regions - migrated_before);
   return Status::Ok();
 }
 
@@ -369,15 +399,28 @@ Status ZoneTranslationLayer::Recover() {
 }
 
 Status ZoneTranslationLayer::MaybeCollect() {
+  if (!below_watermark_ &&
+      device_->EmptyZoneCount() < config_.min_empty_zones) {
+    below_watermark_ = true;
+    tracer_->Record(obs::EventKind::kWatermarkLow, Now(),
+                    device_->EmptyZoneCount(), config_.min_empty_zones);
+  }
   while (device_->EmptyZoneCount() < config_.min_empty_zones) {
     const u64 victim = PickGcVictim();
     if (victim == kInvalidId) break;
     const u64 empty_before = device_->EmptyZoneCount();
     stats_.gc_runs++;
+    c_gc_runs_->Inc();
     ZN_RETURN_IF_ERROR(CollectZone(victim));
     // A cycle that freed no zone (fully-valid victim, nothing droppable)
     // cannot make progress; stop rather than churn flash.
     if (device_->EmptyZoneCount() <= empty_before) break;
+  }
+  if (below_watermark_ &&
+      device_->EmptyZoneCount() >= config_.min_empty_zones) {
+    below_watermark_ = false;
+    tracer_->Record(obs::EventKind::kWatermarkHigh, Now(),
+                    device_->EmptyZoneCount(), config_.min_empty_zones);
   }
   return Status::Ok();
 }

@@ -30,6 +30,8 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/service_timer.h"
 #include "zns/zns_device.h"
 
@@ -60,6 +62,9 @@ struct MiddleLayerConfig {
   // per-zone lock (Bjorling, "Zone Append: a new way of writing to zoned
   // storage"). Functionally identical here; accounted as append ops.
   bool use_zone_append = false;
+  // Observability sinks; nullptr selects the process-wide defaults.
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 // On-flash slot header used in persistent mode.
@@ -174,6 +179,7 @@ class ZoneTranslationLayer {
   Status FinishIfFull(u64 zone);
   u64 PickGcVictim() const;
   Status CollectZone(u64 victim);
+  SimNanos Now() const { return device_->timer().clock()->Now(); }
 
   MiddleLayerConfig config_;
   zns::ZnsDevice* device_;  // not owned
@@ -188,6 +194,18 @@ class ZoneTranslationLayer {
   u64 regions_per_zone_ = 0;
 
   MiddleStats stats_;
+
+  // Registry handles, resolved once at construction.
+  obs::Tracer* tracer_ = nullptr;
+  bool below_watermark_ = false;  // for crossing events
+  obs::Counter* c_host_bytes_ = nullptr;
+  obs::Counter* c_host_region_writes_ = nullptr;
+  obs::Counter* c_migrated_bytes_ = nullptr;
+  obs::Counter* c_migrated_regions_ = nullptr;
+  obs::Counter* c_dropped_regions_ = nullptr;
+  obs::Counter* c_gc_runs_ = nullptr;
+  obs::Counter* c_zones_reset_ = nullptr;
+  obs::Counter* c_zones_finished_ = nullptr;
 };
 
 }  // namespace zncache::middle

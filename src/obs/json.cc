@@ -1,0 +1,214 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace zncache::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  // %.17g round-trips doubles; trim "1e+06"-style exponents are valid JSON.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string out(buf);
+  // A bare integer-looking value is fine; "nan"/"inf" were filtered above.
+  return out;
+}
+
+namespace {
+
+// Recursive-descent JSON syntax checker.
+struct Checker {
+  std::string_view s;
+  size_t i = 0;
+  int depth = 0;
+
+  bool Eof() const { return i >= s.size(); }
+  char Peek() const { return s[i]; }
+
+  void SkipWs() {
+    while (!Eof() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                      s[i] == '\r')) {
+      i++;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (s.substr(i, lit.size()) != lit) return false;
+    i += lit.size();
+    return true;
+  }
+
+  bool String() {
+    if (Eof() || s[i] != '"') return false;
+    i++;
+    while (!Eof() && s[i] != '"') {
+      if (s[i] == '\\') {
+        i++;
+        if (Eof()) return false;
+        const char e = s[i];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            i++;
+            if (Eof() || !std::isxdigit(static_cast<unsigned char>(s[i]))) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s[i]) < 0x20) {
+        return false;
+      }
+      i++;
+    }
+    if (Eof()) return false;
+    i++;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = i;
+    if (!Eof() && s[i] == '-') i++;
+    if (Eof() || !std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    if (s[i] == '0') {
+      i++;
+    } else {
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(s[i]))) i++;
+    }
+    if (!Eof() && s[i] == '.') {
+      i++;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+        return false;
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(s[i]))) i++;
+    }
+    if (!Eof() && (s[i] == 'e' || s[i] == 'E')) {
+      i++;
+      if (!Eof() && (s[i] == '+' || s[i] == '-')) i++;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(s[i]))) {
+        return false;
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(s[i]))) i++;
+    }
+    return i > start;
+  }
+
+  bool Value() {
+    if (depth > 256) return false;
+    SkipWs();
+    if (Eof()) return false;
+    switch (Peek()) {
+      case '{': {
+        depth++;
+        i++;
+        SkipWs();
+        if (!Eof() && Peek() == '}') {
+          i++;
+          depth--;
+          return true;
+        }
+        while (true) {
+          SkipWs();
+          if (!String()) return false;
+          SkipWs();
+          if (Eof() || Peek() != ':') return false;
+          i++;
+          if (!Value()) return false;
+          SkipWs();
+          if (Eof()) return false;
+          if (Peek() == ',') {
+            i++;
+            continue;
+          }
+          if (Peek() == '}') {
+            i++;
+            depth--;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '[': {
+        depth++;
+        i++;
+        SkipWs();
+        if (!Eof() && Peek() == ']') {
+          i++;
+          depth--;
+          return true;
+        }
+        while (true) {
+          if (!Value()) return false;
+          SkipWs();
+          if (Eof()) return false;
+          if (Peek() == ',') {
+            i++;
+            continue;
+          }
+          if (Peek() == ']') {
+            i++;
+            depth--;
+            return true;
+          }
+          return false;
+        }
+      }
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+};
+
+}  // namespace
+
+bool JsonValid(std::string_view doc) {
+  Checker c{doc};
+  if (!c.Value()) return false;
+  c.SkipWs();
+  return c.Eof();
+}
+
+}  // namespace zncache::obs

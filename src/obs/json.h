@@ -1,0 +1,24 @@
+// Minimal JSON emission and validation helpers for the observability
+// exports. Emission is string-building (the export path is cold); the
+// validator is a strict RFC 8259 syntax checker used by tests and the CI
+// smoke job so that emitted files are guaranteed to load in external
+// tooling (python -m json.tool, Perfetto).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace zncache::obs {
+
+// Escape a string for inclusion inside JSON double quotes.
+std::string JsonEscape(std::string_view s);
+
+// Format a double as a valid JSON number (no NaN/Inf — those become 0).
+std::string JsonNum(double v);
+
+// Strict syntax check of a complete JSON document.
+bool JsonValid(std::string_view doc);
+
+}  // namespace zncache::obs

@@ -1,0 +1,107 @@
+#include "obs/metrics.h"
+
+#include "obs/json.h"
+
+namespace zncache::obs {
+
+Counter* Registry::GetCounter(std::string_view name) {
+  auto kind = kinds_.find(name);
+  if (kind != kinds_.end() && kind->second != Kind::kCounter) return nullptr;
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+    kinds_.emplace(std::string(name), Kind::kCounter);
+  }
+  return &it->second;
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  auto kind = kinds_.find(name);
+  if (kind != kinds_.end() && kind->second != Kind::kGauge) return nullptr;
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+    kinds_.emplace(std::string(name), Kind::kGauge);
+  }
+  return &it->second;
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  auto kind = kinds_.find(name);
+  if (kind != kinds_.end() && kind->second != Kind::kHistogram) return nullptr;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+    kinds_.emplace(std::string(name), Kind::kHistogram);
+  }
+  return &it->second;
+}
+
+std::string Registry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + JsonNum(g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + h.ToJson();
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::Reset() {
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, g] : gauges_) g.Reset();
+  for (auto& [name, h] : histograms_) h.Reset();
+}
+
+Registry& Registry::Default() {
+  static Registry instance;
+  return instance;
+}
+
+namespace {
+Counter& SinkCounter() {
+  static Counter sink;
+  return sink;
+}
+Gauge& SinkGauge() {
+  static Gauge sink;
+  return sink;
+}
+Histogram& SinkHistogram() {
+  static Histogram sink;
+  return sink;
+}
+}  // namespace
+
+Counter* GetCounterOrSink(Registry* registry, std::string_view name) {
+  Counter* c = ResolveRegistry(registry)->GetCounter(name);
+  return c != nullptr ? c : &SinkCounter();
+}
+
+Gauge* GetGaugeOrSink(Registry* registry, std::string_view name) {
+  Gauge* g = ResolveRegistry(registry)->GetGauge(name);
+  return g != nullptr ? g : &SinkGauge();
+}
+
+Histogram* GetHistogramOrSink(Registry* registry, std::string_view name) {
+  Histogram* h = ResolveRegistry(registry)->GetHistogram(name);
+  return h != nullptr ? h : &SinkHistogram();
+}
+
+}  // namespace zncache::obs

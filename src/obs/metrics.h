@@ -1,0 +1,107 @@
+// Process-wide metrics registry. Components resolve named handles ONCE at
+// construction (Counter*/Gauge*/Histogram* are pointer-stable for the
+// registry's lifetime); recording on a hot path is then a plain member
+// update — no map lookup, no allocation, no locking (the simulation stack
+// is thread-compatible, one instance per simulation thread).
+//
+// Names are hierarchical dot-paths ("cache.lookup_latency_ns",
+// "middle.gc.migrated_bytes", "zns.zone.resets"); the full catalogue is
+// documented in docs/OBSERVABILITY.md. Snapshots export as JSON via
+// ToJson().
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace zncache::obs {
+
+// Monotonically increasing event count (or byte count).
+class Counter {
+ public:
+  void Inc(u64 delta = 1) { v_ += delta; }
+  u64 value() const { return v_; }
+  void Reset() { v_ = 0; }
+
+ private:
+  u64 v_ = 0;
+};
+
+// Point-in-time value. A gauge either holds a value written with Set/Add,
+// or derives it on demand from a provider callback (used by backends to
+// export views that can never diverge from their source structs). Owners
+// of short-lived providers must ClearProvider() before dying.
+class Gauge {
+ public:
+  void Set(double v) { v_ = v; }
+  void Add(double delta) { v_ += delta; }
+  double value() const { return provider_ ? provider_() : v_; }
+
+  void SetProvider(std::function<double()> provider) {
+    provider_ = std::move(provider);
+  }
+  void ClearProvider() {
+    if (provider_) v_ = provider_();  // freeze the last value
+    provider_ = nullptr;
+  }
+
+  void Reset() {
+    v_ = 0;
+    provider_ = nullptr;
+  }
+
+ private:
+  double v_ = 0;
+  std::function<double()> provider_;
+};
+
+class Registry {
+ public:
+  // Return the metric registered under `name`, creating it on first use.
+  // Handles stay valid (and pointer-stable) for the registry's lifetime.
+  // Returns nullptr if the name is already taken by a different kind.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // {"counters":{...},"gauges":{...},"histograms":{...}} with names sorted.
+  std::string ToJson() const;
+
+  // Zero every metric; registrations (and handles) survive.
+  void Reset();
+
+  u64 size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // The process-wide default instance, used by components that were not
+  // handed an explicit registry.
+  static Registry& Default();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  // node-based maps: element addresses are stable across inserts.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, Kind, std::less<>> kinds_;
+};
+
+inline Registry* ResolveRegistry(Registry* r) {
+  return r != nullptr ? r : &Registry::Default();
+}
+
+// Collision-tolerant lookups for component constructors: if the name is
+// already registered as another kind (a caller misconfiguration), recording
+// proceeds into a process-wide sink instead of crashing.
+Counter* GetCounterOrSink(Registry* registry, std::string_view name);
+Gauge* GetGaugeOrSink(Registry* registry, std::string_view name);
+Histogram* GetHistogramOrSink(Registry* registry, std::string_view name);
+
+}  // namespace zncache::obs

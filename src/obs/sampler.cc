@@ -1,0 +1,47 @@
+#include "obs/sampler.h"
+
+#include "obs/json.h"
+
+namespace zncache::obs {
+
+void Sampler::AddProbe(std::string name, std::function<double()> probe) {
+  if (!ts_.empty()) return;  // rows already taken; keep columns consistent
+  names_.push_back(std::move(name));
+  probes_.push_back(std::move(probe));
+}
+
+void Sampler::Sample(SimNanos now) {
+  ts_.push_back(now);
+  for (const auto& probe : probes_) {
+    values_.push_back(probe ? probe() : 0.0);
+  }
+  // Schedule the next boundary strictly after `now`, skipping any
+  // intervals the workload jumped over.
+  if (interval_ > 0) {
+    next_ = (now / interval_ + 1) * interval_;
+  } else {
+    next_ = now + 1;
+  }
+}
+
+std::string Sampler::ToJson() const {
+  std::string out = "{\"interval_ns\":" + std::to_string(interval_) +
+                    ",\"columns\":[\"t_ns\"";
+  for (const auto& name : names_) {
+    out += ",\"" + JsonEscape(name) + '"';
+  }
+  out += "],\"rows\":[";
+  const size_t cols = names_.size();
+  for (size_t r = 0; r < ts_.size(); ++r) {
+    if (r != 0) out += ',';
+    out += '[' + std::to_string(ts_[r]);
+    for (size_t c = 0; c < cols; ++c) {
+      out += ',' + JsonNum(values_[r * cols + c]);
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace zncache::obs

@@ -1,0 +1,59 @@
+// Virtual-time-driven time-series sampler. Probes are registered once as
+// name + callback; the workload driver calls MaybeSample(now) per
+// operation (a single integer comparison when no sample is due) and the
+// sampler evaluates every probe each time the virtual clock crosses an
+// interval boundary. Export is columnar JSON — one shared timestamp
+// column plus one column per probe — compact enough to embed in
+// <bench>.metrics.json.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace zncache::obs {
+
+class Sampler {
+ public:
+  explicit Sampler(SimNanos interval) : interval_(interval) {}
+
+  // Register a probe; not allowed after the first sample has been taken
+  // (columns would stop lining up).
+  void AddProbe(std::string name, std::function<double()> probe);
+
+  // Hot-path hook: samples only when `now` has crossed the next interval
+  // boundary.
+  void MaybeSample(SimNanos now) {
+    if (now < next_) return;
+    Sample(now);
+  }
+
+  // Unconditional sample (used to close out a run).
+  void SampleNow(SimNanos now) { Sample(now); }
+
+  size_t rows() const { return ts_.size(); }
+  SimNanos interval() const { return interval_; }
+
+  // {"interval_ns":N,"columns":["t_ns",...],"rows":[[...],...]}
+  std::string ToJson() const;
+
+  void Clear() {
+    ts_.clear();
+    values_.clear();
+    next_ = 0;
+  }
+
+ private:
+  void Sample(SimNanos now);
+
+  SimNanos interval_;
+  SimNanos next_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::function<double()>> probes_;
+  std::vector<SimNanos> ts_;
+  std::vector<double> values_;  // row-major, names_.size() per row
+};
+
+}  // namespace zncache::obs

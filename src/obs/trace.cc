@@ -1,0 +1,232 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace zncache::obs {
+
+const char* EventName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kGcBegin:
+    case EventKind::kGcEnd:
+      return "middle.gc";
+    case EventKind::kZoneReset:
+      return "zone.reset";
+    case EventKind::kZoneFinish:
+      return "zone.finish";
+    case EventKind::kZoneOpen:
+      return "zone.open";
+    case EventKind::kRegionFlush:
+      return "region.flush";
+    case EventKind::kRegionEvict:
+      return "region.evict";
+    case EventKind::kRegionDrop:
+      return "region.drop";
+    case EventKind::kWatermarkLow:
+      return "watermark.low";
+    case EventKind::kWatermarkHigh:
+      return "watermark.high";
+    case EventKind::kFtlGcBegin:
+    case EventKind::kFtlGcEnd:
+      return "ftl.gc";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Thread lane per event family, so Perfetto renders GC, zone churn, region
+// lifecycle, and watermark signals as separate tracks.
+struct Lane {
+  u32 tid;
+  const char* name;
+};
+
+Lane LaneFor(EventKind kind) {
+  switch (kind) {
+    case EventKind::kGcBegin:
+    case EventKind::kGcEnd:
+      return {1, "gc"};
+    case EventKind::kZoneReset:
+    case EventKind::kZoneFinish:
+    case EventKind::kZoneOpen:
+      return {2, "zones"};
+    case EventKind::kRegionFlush:
+    case EventKind::kRegionEvict:
+    case EventKind::kRegionDrop:
+      return {3, "regions"};
+    case EventKind::kWatermarkLow:
+    case EventKind::kWatermarkHigh:
+      return {4, "watermark"};
+    case EventKind::kFtlGcBegin:
+    case EventKind::kFtlGcEnd:
+      return {5, "ftl-gc"};
+  }
+  return {0, "other"};
+}
+
+// B/E duration pair vs instant event.
+char PhaseFor(EventKind kind) {
+  switch (kind) {
+    case EventKind::kGcBegin:
+    case EventKind::kFtlGcBegin:
+      return 'B';
+    case EventKind::kGcEnd:
+    case EventKind::kFtlGcEnd:
+      return 'E';
+    default:
+      return 'i';
+  }
+}
+
+void AppendArgs(std::string& out, const TraceEvent& e) {
+  switch (e.kind) {
+    case EventKind::kGcBegin:
+      out += "\"victim_zone\":" + std::to_string(e.a0) +
+             ",\"valid_ratio\":" + JsonNum(e.d0);
+      break;
+    case EventKind::kGcEnd:
+      out += "\"victim_zone\":" + std::to_string(e.a0) +
+             ",\"migrated_regions\":" + std::to_string(e.a1);
+      break;
+    case EventKind::kZoneReset:
+    case EventKind::kZoneFinish:
+    case EventKind::kZoneOpen:
+      out += "\"zone\":" + std::to_string(e.a0);
+      break;
+    case EventKind::kRegionFlush:
+      out += "\"region\":" + std::to_string(e.a0) +
+             ",\"bytes_used\":" + std::to_string(e.a1);
+      break;
+    case EventKind::kRegionEvict:
+    case EventKind::kRegionDrop:
+      out += "\"region\":" + std::to_string(e.a0) +
+             ",\"items_removed\":" + std::to_string(e.a1);
+      break;
+    case EventKind::kWatermarkLow:
+    case EventKind::kWatermarkHigh:
+      out += "\"free\":" + std::to_string(e.a0) +
+             ",\"threshold\":" + std::to_string(e.a1);
+      break;
+    case EventKind::kFtlGcBegin:
+      out += "\"victim_block\":" + std::to_string(e.a0) +
+             ",\"valid_ratio\":" + JsonNum(e.d0);
+      break;
+    case EventKind::kFtlGcEnd:
+      out += "\"victim_block\":" + std::to_string(e.a0) +
+             ",\"migrated_pages\":" + std::to_string(e.a1);
+      break;
+  }
+}
+
+std::string MicrosFromNanos(SimNanos ns) {
+  // Chrome trace timestamps are microseconds; keep sub-us precision as a
+  // fractional part so distinct SimNanos never collapse to one tick.
+  const u64 whole = ns / 1000;
+  const u64 frac = ns % 1000;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(whole),
+                static_cast<unsigned long long>(frac));
+  return buf;
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity) {
+  ring_.resize(capacity == 0 ? 1 : capacity);
+  process_names_.push_back("zncache");
+}
+
+void Tracer::Record(EventKind kind, SimNanos ts, u64 a0, u64 a1, double d0) {
+  TraceEvent& slot = ring_[head_];
+  slot.ts = ts;
+  slot.kind = kind;
+  slot.pid = pid_;
+  slot.a0 = a0;
+  slot.a1 = a1;
+  slot.d0 = d0;
+  head_ = (head_ + 1) % ring_.size();
+  recorded_++;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  const size_t n =
+      recorded_ < ring_.size() ? static_cast<size_t>(recorded_) : ring_.size();
+  out.reserve(n);
+  // Oldest retained event: if the ring wrapped, it lives at head_.
+  const size_t start = recorded_ < ring_.size() ? 0 : head_;
+  for (size_t k = 0; k < n; ++k) {
+    out.push_back(ring_[(start + k) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  head_ = 0;
+  recorded_ = 0;
+}
+
+u32 Tracer::BeginProcess(std::string name) {
+  process_names_.push_back(std::move(name));
+  pid_ = static_cast<u32>(process_names_.size());
+  return pid_;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+
+  // Metadata: one process lane per BeginProcess call, thread lanes per
+  // event family (declared once per process; harmless if a lane is empty).
+  for (size_t p = 0; p < process_names_.size(); ++p) {
+    const std::string pid = std::to_string(p + 1);
+    comma();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + pid +
+           ",\"tid\":0,\"args\":{\"name\":\"" + JsonEscape(process_names_[p]) +
+           "\"}}";
+    static constexpr Lane kLanes[] = {{1, "gc"},
+                                      {2, "zones"},
+                                      {3, "regions"},
+                                      {4, "watermark"},
+                                      {5, "ftl-gc"}};
+    for (const Lane& lane : kLanes) {
+      comma();
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + pid +
+             ",\"tid\":" + std::to_string(lane.tid) +
+             ",\"args\":{\"name\":\"" + lane.name + "\"}}";
+    }
+  }
+
+  for (const TraceEvent& e : Snapshot()) {
+    const char phase = PhaseFor(e.kind);
+    comma();
+    out += "{\"name\":\"";
+    out += EventName(e.kind);
+    out += "\",\"ph\":\"";
+    out += phase;
+    out += "\",\"ts\":" + MicrosFromNanos(e.ts) +
+           ",\"pid\":" + std::to_string(e.pid) +
+           ",\"tid\":" + std::to_string(LaneFor(e.kind).tid);
+    if (phase == 'i') out += ",\"s\":\"t\"";
+    out += ",\"args\":{";
+    AppendArgs(out, e);
+    out += "}}";
+  }
+
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+Tracer& Tracer::Default() {
+  static Tracer instance;
+  return instance;
+}
+
+}  // namespace zncache::obs

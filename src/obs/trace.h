@@ -1,0 +1,95 @@
+// Ring-buffered virtual-time event tracer. Components record typed events
+// (GC begin/end, zone state transitions, region lifecycle, watermark
+// crossings) stamped with SimNanos; the buffer exports as Chrome
+// `trace_event` JSON so a run opens directly in Perfetto or
+// chrome://tracing. Recording is O(1): one slot write into a
+// pre-allocated ring, no allocation, no formatting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace zncache::obs {
+
+enum class EventKind : u8 {
+  // Middle-layer zone GC. a0 = victim zone, d0 = valid ratio at selection
+  // (begin) / a1 = regions migrated (end).
+  kGcBegin,
+  kGcEnd,
+  // ZNS zone state transitions. a0 = zone id.
+  kZoneReset,
+  kZoneFinish,
+  kZoneOpen,
+  // Cache region lifecycle. a0 = region id; a1 = bytes used (flush) or
+  // items removed (evict/drop).
+  kRegionFlush,
+  kRegionEvict,
+  kRegionDrop,
+  // Free-space watermark crossings. a0 = free units, a1 = threshold units.
+  kWatermarkLow,
+  kWatermarkHigh,
+  // Page-mapped FTL GC inside BlockSsd. a0 = victim block, d0 = valid
+  // ratio (begin) / a1 = pages migrated (end).
+  kFtlGcBegin,
+  kFtlGcEnd,
+};
+
+const char* EventName(EventKind kind);
+
+struct TraceEvent {
+  SimNanos ts = 0;
+  EventKind kind = EventKind::kGcBegin;
+  u32 pid = 1;
+  u64 a0 = 0;
+  u64 a1 = 0;
+  double d0 = 0;
+};
+
+class Tracer {
+ public:
+  // Capacity is the ring size; once full, the oldest events are
+  // overwritten and counted in dropped().
+  explicit Tracer(size_t capacity = 1 << 16);
+
+  void Record(EventKind kind, SimNanos ts, u64 a0 = 0, u64 a1 = 0,
+              double d0 = 0.0);
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  u64 recorded() const { return recorded_; }
+  u64 dropped() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+  size_t capacity() const { return ring_.size(); }
+
+  // Drop all buffered events (process lanes survive).
+  void Clear();
+
+  // Open a new Chrome-trace process lane; subsequent Records are stamped
+  // with the returned pid. Used by multi-run bench binaries so each
+  // scheme/run renders as its own track group.
+  u32 BeginProcess(std::string name);
+
+  // {"traceEvents":[...],"displayTimeUnit":"ns"} — durations as B/E
+  // pairs, state changes as instants, plus process/thread name metadata.
+  std::string ToChromeJson() const;
+
+  static Tracer& Default();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;  // next slot to write
+  u64 recorded_ = 0;
+  u32 pid_ = 1;
+  std::vector<std::string> process_names_;  // index = pid - 1
+};
+
+inline Tracer* ResolveTracer(Tracer* t) {
+  return t != nullptr ? t : &Tracer::Default();
+}
+
+}  // namespace zncache::obs

@@ -87,7 +87,9 @@ Result<CacheBenchResult> CacheBenchRunner::Run(cache::FlashCache& flash_cache,
       if (!d.ok()) return d.status();
       if (measuring) result.overall_latency.Record(d->latency);
     }
+    if (config_.sampler != nullptr) config_.sampler->MaybeSample(clock.Now());
   }
+  if (config_.sampler != nullptr) config_.sampler->SampleNow(clock.Now());
 
   const cache::CacheStats& end_stats = flash_cache.stats();
   const cache::WaStats end_wa = flash_cache.device()->wa_stats();

@@ -11,6 +11,7 @@
 #include "cache/flash_cache.h"
 #include "common/histogram.h"
 #include "common/random.h"
+#include "obs/sampler.h"
 #include "sim/clock.h"
 
 namespace zncache::workload {
@@ -31,6 +32,9 @@ struct CacheBenchConfig {
   // invalidation traffic. Keeps the achieved hit ratio capacity-driven.
   double delete_hot_fraction = 0.15;
   u64 seed = 42;
+  // Optional virtual-time-driven time-series sampler, polled once per op
+  // (a single comparison when no sample is due) and flushed at run end.
+  obs::Sampler* sampler = nullptr;
 };
 
 struct CacheBenchResult {

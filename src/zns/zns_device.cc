@@ -36,6 +36,18 @@ ZnsDevice::ZnsDevice(const ZnsConfig& config, sim::VirtualClock* clock)
   if (config_.store_data) {
     data_.resize(config_.zone_count * config_.zone_size);
   }
+
+  tracer_ = obs::ResolveTracer(config_.tracer);
+  obs::Registry* reg = config_.metrics;
+  c_host_bytes_ = obs::GetCounterOrSink(reg, "zns.host_bytes");
+  c_device_bytes_ = obs::GetCounterOrSink(reg, "zns.device_bytes");
+  c_bytes_read_ = obs::GetCounterOrSink(reg, "zns.bytes_read");
+  c_write_ops_ = obs::GetCounterOrSink(reg, "zns.write_ops");
+  c_read_ops_ = obs::GetCounterOrSink(reg, "zns.read_ops");
+  c_append_ops_ = obs::GetCounterOrSink(reg, "zns.append_ops");
+  c_zone_resets_ = obs::GetCounterOrSink(reg, "zns.zone.resets");
+  c_zone_finishes_ = obs::GetCounterOrSink(reg, "zns.zone.finishes");
+  c_zone_opens_ = obs::GetCounterOrSink(reg, "zns.zone.opens");
 }
 
 Status ZnsDevice::ValidateZoneId(u64 zone) const {
@@ -62,6 +74,8 @@ Status ZnsDevice::EnsureWritable(ZoneInfo& z) {
       z.state = ZoneState::kImplicitOpen;
       open_zones_++;
       active_zones_++;
+      c_zone_opens_->Inc();
+      tracer_->Record(obs::EventKind::kZoneOpen, Now(), z.id);
       return Status::Ok();
     case ZoneState::kClosed:
       if (open_zones_ >= config_.max_open_zones) {
@@ -69,6 +83,8 @@ Status ZnsDevice::EnsureWritable(ZoneInfo& z) {
       }
       z.state = ZoneState::kImplicitOpen;
       open_zones_++;
+      c_zone_opens_->Inc();
+      tracer_->Record(obs::EventKind::kZoneOpen, Now(), z.id);
       return Status::Ok();
     case ZoneState::kFull:
       return Status::NoSpace("zone is full");
@@ -85,9 +101,9 @@ void ZnsDevice::MarkFull(ZoneInfo& z) {
   z.state = ZoneState::kFull;
 }
 
-Result<IoResult> ZnsDevice::Write(u64 zone, u64 offset,
-                                  std::span<const std::byte> data,
-                                  sim::IoMode mode) {
+Result<IoResult> ZnsDevice::DoWrite(u64 zone, u64 offset,
+                                    std::span<const std::byte> data,
+                                    sim::IoMode mode, bool as_append) {
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   if (data.empty()) return Status::InvalidArgument("empty write");
   ZoneInfo& z = zones_[zone];
@@ -109,10 +125,24 @@ Result<IoResult> ZnsDevice::Write(u64 zone, u64 offset,
 
   stats_.host_bytes_written += data.size();
   stats_.flash_bytes_written += data.size();
-  stats_.write_ops++;
+  c_host_bytes_->Inc(data.size());
+  c_device_bytes_->Inc(data.size());
+  if (as_append) {
+    stats_.append_ops++;
+    c_append_ops_->Inc();
+  } else {
+    stats_.write_ops++;
+    c_write_ops_->Inc();
+  }
   const sim::Served served =
       timer_.Serve(config_.timing.write.Cost(data.size()), mode);
   return IoResult{served.latency, served.completion};
+}
+
+Result<IoResult> ZnsDevice::Write(u64 zone, u64 offset,
+                                  std::span<const std::byte> data,
+                                  sim::IoMode mode) {
+  return DoWrite(zone, offset, data, mode, /*as_append=*/false);
 }
 
 Result<AppendResult> ZnsDevice::Append(u64 zone,
@@ -120,10 +150,8 @@ Result<AppendResult> ZnsDevice::Append(u64 zone,
                                        sim::IoMode mode) {
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   const u64 offset = zones_[zone].write_pointer;
-  auto r = Write(zone, offset, data, mode);
+  auto r = DoWrite(zone, offset, data, mode, /*as_append=*/true);
   if (!r.ok()) return r.status();
-  stats_.append_ops++;
-  stats_.write_ops--;  // counted once, as an append
   return AppendResult{offset, r->latency, r->completion};
 }
 
@@ -145,6 +173,8 @@ Result<IoResult> ZnsDevice::Read(u64 zone, u64 offset,
   }
   stats_.bytes_read += out.size();
   stats_.read_ops++;
+  c_bytes_read_->Inc(out.size());
+  c_read_ops_->Inc();
   const sim::Served served =
       timer_.Serve(config_.timing.read.Cost(out.size()), mode);
   return IoResult{served.latency, served.completion};
@@ -162,6 +192,8 @@ Status ZnsDevice::Reset(u64 zone) {
   z.write_pointer = 0;
   z.reset_count++;
   stats_.zone_resets++;
+  c_zone_resets_->Inc();
+  tracer_->Record(obs::EventKind::kZoneReset, Now(), z.id);
   timer_.SubmitBackground(config_.timing.erase_ns);
   return Status::Ok();
 }
@@ -182,6 +214,8 @@ Status ZnsDevice::Finish(u64 zone) {
   MarkFull(z);
   z.write_pointer = z.capacity;
   stats_.zone_finishes++;
+  c_zone_finishes_->Inc();
+  tracer_->Record(obs::EventKind::kZoneFinish, Now(), z.id);
   return Status::Ok();
 }
 
@@ -205,6 +239,8 @@ Status ZnsDevice::Open(u64 zone) {
   if (z.state == ZoneState::kEmpty) active_zones_++;
   z.state = ZoneState::kExplicitOpen;
   open_zones_++;
+  c_zone_opens_->Inc();
+  tracer_->Record(obs::EventKind::kZoneOpen, Now(), z.id);
   return Status::Ok();
 }
 

@@ -21,6 +21,8 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/service_timer.h"
 #include "sim/timing.h"
 
@@ -65,6 +67,9 @@ struct ZnsConfig {
   // this off; all correctness tests keep it on.
   bool store_data = true;
   sim::FlashTiming timing;
+  // Observability sinks; nullptr selects the process-wide defaults.
+  obs::Registry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct IoResult {
@@ -148,6 +153,11 @@ class ZnsDevice {
   // Transition a zone to implicitly-open for writing; enforces limits.
   Status EnsureWritable(ZoneInfo& z);
   void MarkFull(ZoneInfo& z);
+  // Shared body of Write/Append so each op is counted exactly once.
+  Result<IoResult> DoWrite(u64 zone, u64 offset,
+                           std::span<const std::byte> data, sim::IoMode mode,
+                           bool as_append);
+  SimNanos Now() const { return timer_.clock()->Now(); }
 
   std::byte* ZoneData(u64 zone) {
     return data_.empty() ? nullptr : data_.data() + zone * config_.zone_size;
@@ -160,6 +170,18 @@ class ZnsDevice {
   ZnsStats stats_;
   u32 open_zones_ = 0;
   u32 active_zones_ = 0;
+
+  // Registry handles, resolved once at construction.
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* c_host_bytes_ = nullptr;
+  obs::Counter* c_device_bytes_ = nullptr;
+  obs::Counter* c_bytes_read_ = nullptr;
+  obs::Counter* c_write_ops_ = nullptr;
+  obs::Counter* c_read_ops_ = nullptr;
+  obs::Counter* c_append_ops_ = nullptr;
+  obs::Counter* c_zone_resets_ = nullptr;
+  obs::Counter* c_zone_finishes_ = nullptr;
+  obs::Counter* c_zone_opens_ = nullptr;
 };
 
 }  // namespace zncache::zns

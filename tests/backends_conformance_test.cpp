@@ -13,6 +13,7 @@
 #include "backends/middle_region_device.h"
 #include "backends/zone_region_device.h"
 #include "common/random.h"
+#include "obs/metrics.h"
 
 namespace zncache::backends {
 namespace {
@@ -24,6 +25,9 @@ constexpr u64 kRegions = 16;
 
 struct Fixture {
   std::unique_ptr<sim::VirtualClock> clock;
+  // Owns the per-fixture metric registry; destroyed after the device so the
+  // backend destructors can detach their provider gauges.
+  std::unique_ptr<obs::Registry> registry;
   std::unique_ptr<cache::RegionDevice> device;
 };
 
@@ -32,9 +36,11 @@ using FixtureFactory = std::function<Fixture()>;
 Fixture MakeBlock() {
   Fixture f;
   f.clock = std::make_unique<sim::VirtualClock>();
+  f.registry = std::make_unique<obs::Registry>();
   BlockRegionDeviceConfig c;
   c.region_size = kRegion;
   c.region_count = kRegions;
+  c.ssd.metrics = f.registry.get();
   c.ssd.op_ratio = 0.25;
   c.ssd.pages_per_block = 16;
   f.device = std::make_unique<BlockRegionDevice>(c, f.clock.get());
@@ -44,9 +50,12 @@ Fixture MakeBlock() {
 Fixture MakeFile() {
   Fixture f;
   f.clock = std::make_unique<sim::VirtualClock>();
+  f.registry = std::make_unique<obs::Registry>();
   FileRegionDeviceConfig c;
   c.region_size = kRegion;
   c.region_count = kRegions;
+  c.zns.metrics = f.registry.get();
+  c.fs.metrics = f.registry.get();
   c.zns.zone_count = 12;
   c.zns.zone_size = 256 * kKiB;
   c.zns.zone_capacity = 256 * kKiB;
@@ -61,8 +70,10 @@ Fixture MakeFile() {
 Fixture MakeZone() {
   Fixture f;
   f.clock = std::make_unique<sim::VirtualClock>();
+  f.registry = std::make_unique<obs::Registry>();
   ZoneRegionDeviceConfig c;
   c.region_count = kRegions;
+  c.zns.metrics = f.registry.get();
   c.zns.zone_count = kRegions;
   c.zns.zone_size = kRegion;
   c.zns.zone_capacity = kRegion;
@@ -75,8 +86,11 @@ Fixture MakeZone() {
 Fixture MakeMiddle() {
   Fixture f;
   f.clock = std::make_unique<sim::VirtualClock>();
+  f.registry = std::make_unique<obs::Registry>();
   MiddleRegionDeviceConfig c;
   c.region_count = kRegions;
+  c.zns.metrics = f.registry.get();
+  c.middle.metrics = f.registry.get();
   c.zns.zone_count = 10;
   c.zns.zone_size = 256 * kKiB;
   c.zns.zone_capacity = 256 * kKiB;
@@ -91,9 +105,31 @@ Fixture MakeMiddle() {
   return f;
 }
 
+u64 CounterValue(obs::Registry& r, const char* name) {
+  return obs::GetCounterOrSink(&r, name)->value();
+}
+
+u64 BlockHost(obs::Registry& r) { return CounterValue(r, "blockssd.host_bytes"); }
+u64 BlockFlash(obs::Registry& r) {
+  return CounterValue(r, "blockssd.device_bytes");
+}
+u64 FileHost(obs::Registry& r) { return CounterValue(r, "f2fs.host_bytes"); }
+u64 FileFlash(obs::Registry& r) { return CounterValue(r, "f2fs.device_bytes"); }
+u64 ZoneHost(obs::Registry& r) { return CounterValue(r, "zns.host_bytes"); }
+u64 ZoneFlash(obs::Registry& r) { return CounterValue(r, "zns.device_bytes"); }
+u64 MiddleHost(obs::Registry& r) { return CounterValue(r, "middle.host_bytes"); }
+u64 MiddleFlash(obs::Registry& r) {
+  return CounterValue(r, "middle.host_bytes") +
+         CounterValue(r, "middle.gc.migrated_bytes");
+}
+
 struct Param {
   const char* name;
   FixtureFactory make;
+  // Maps the backend's registry counters onto its wa_stats() definition, so
+  // the conformance suite can prove the two accounting paths agree.
+  u64 (*registry_host)(obs::Registry&);
+  u64 (*registry_flash)(obs::Registry&);
 };
 
 class BackendConformanceTest : public ::testing::TestWithParam<Param> {
@@ -221,10 +257,37 @@ TEST_P(BackendConformanceTest, ChurnSurvivesAndStaysReadable) {
   }
 }
 
+// The registry counters and the per-backend stats structs are updated at
+// the same mutation sites; after an arbitrary churn workload (plus the
+// background housekeeping it triggers) the WA byte accounting read through
+// either path must be identical.
+TEST_P(BackendConformanceTest, RegistryCountersMatchWaStats) {
+  Rng rng(91);
+  for (int i = 0; i < 400; ++i) {
+    const u64 id = rng.Uniform(kRegions);
+    if (rng.Chance(0.25)) {
+      ASSERT_TRUE(device_->InvalidateRegion(id).ok());
+    } else {
+      WriteOk(id, static_cast<char>('a' + i % 26));
+    }
+    ASSERT_TRUE(device_->PumpBackground().ok());
+  }
+  const cache::WaStats s = device_->wa_stats();
+  obs::Registry& reg = *fixture_.registry;
+  EXPECT_GT(s.host_bytes, 0u);
+  EXPECT_EQ(s.host_bytes, GetParam().registry_host(reg))
+      << GetParam().name << ": host bytes diverged";
+  EXPECT_EQ(s.flash_bytes, GetParam().registry_flash(reg))
+      << GetParam().name << ": device bytes diverged";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllBackends, BackendConformanceTest,
-    ::testing::Values(Param{"Block", MakeBlock}, Param{"File", MakeFile},
-                      Param{"Zone", MakeZone}, Param{"Middle", MakeMiddle}),
+    ::testing::Values(
+        Param{"Block", MakeBlock, BlockHost, BlockFlash},
+        Param{"File", MakeFile, FileHost, FileFlash},
+        Param{"Zone", MakeZone, ZoneHost, ZoneFlash},
+        Param{"Middle", MakeMiddle, MiddleHost, MiddleFlash}),
     [](const ::testing::TestParamInfo<Param>& tpinfo) {
       return tpinfo.param.name;
     });

@@ -1,0 +1,288 @@
+// Unit tests for the observability layer: metric registry semantics,
+// JSON export validity, tracer ring behaviour, and virtual-time-driven
+// sampling.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "sim/clock.h"
+
+namespace zncache::obs {
+namespace {
+
+// --- JSON helpers ---------------------------------------------------------
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_TRUE(JsonValid("\"" + JsonEscape("ctl\x01mix\n") + "\""));
+}
+
+TEST(JsonTest, NumFormatsFiniteAndGuardsNonFinite) {
+  EXPECT_TRUE(JsonValid(JsonNum(1.5)));
+  EXPECT_TRUE(JsonValid(JsonNum(0.0)));
+  EXPECT_EQ(JsonNum(1.0 / 0.0), "0");  // infinities must not leak into JSON
+}
+
+TEST(JsonTest, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(JsonValid("{\"a\":[1,2,{\"b\":null}],\"c\":\"x\"}"));
+  EXPECT_TRUE(JsonValid("[]"));
+  EXPECT_TRUE(JsonValid("-1.25e3"));
+  EXPECT_FALSE(JsonValid("{\"a\":}"));
+  EXPECT_FALSE(JsonValid("[1,2,]"));
+  EXPECT_FALSE(JsonValid("{'a':1}"));
+  EXPECT_FALSE(JsonValid(""));
+  EXPECT_FALSE(JsonValid("{\"a\":1} trailing"));
+}
+
+// --- Registry -------------------------------------------------------------
+
+TEST(RegistryTest, HandlesAreStableAndSharedByName) {
+  Registry r;
+  Counter* a = r.GetCounter("zns.zone.resets");
+  Counter* b = r.GetCounter("zns.zone.resets");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  a->Inc(3);
+  EXPECT_EQ(b->value(), 3u);
+  // Creating unrelated metrics must not move existing handles.
+  for (int i = 0; i < 100; ++i) {
+    r.GetCounter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(r.GetCounter("zns.zone.resets"), a);
+  EXPECT_EQ(a->value(), 3u);
+}
+
+TEST(RegistryTest, KindCollisionReturnsNull) {
+  Registry r;
+  ASSERT_NE(r.GetCounter("cache.gets"), nullptr);
+  EXPECT_EQ(r.GetGauge("cache.gets"), nullptr);
+  EXPECT_EQ(r.GetHistogram("cache.gets"), nullptr);
+  // The original registration is untouched.
+  EXPECT_NE(r.GetCounter("cache.gets"), nullptr);
+}
+
+TEST(RegistryTest, OrSinkFallsBackOnCollision) {
+  Registry r;
+  Counter* c = r.GetCounter("dual.name");
+  // Same kind: OrSink resolves to the real registry handle.
+  EXPECT_EQ(GetCounterOrSink(&r, "dual.name"), c);
+  // Kind mismatch: recording must still be safe, via the shared sink.
+  Gauge* g = GetGaugeOrSink(&r, "dual.name");
+  ASSERT_NE(g, nullptr);
+  g->Set(7);  // must not crash, must not corrupt the counter
+  EXPECT_EQ(c->value(), 0u);
+  Histogram* h = GetHistogramOrSink(&r, "dual.name");
+  ASSERT_NE(h, nullptr);
+  h->Record(42);
+}
+
+TEST(RegistryTest, GaugeProviderFreezesOnClear) {
+  Registry r;
+  Gauge* g = r.GetGauge("backend.block.host_bytes");
+  double source = 10.0;
+  g->SetProvider([&source] { return source; });
+  EXPECT_DOUBLE_EQ(g->value(), 10.0);
+  source = 25.0;
+  EXPECT_DOUBLE_EQ(g->value(), 25.0);
+  g->ClearProvider();
+  source = 99.0;  // no longer observed
+  EXPECT_DOUBLE_EQ(g->value(), 25.0);
+}
+
+TEST(RegistryTest, ToJsonIsValidAndCarriesValues) {
+  Registry r;
+  r.GetCounter("cache.gets")->Inc(17);
+  r.GetGauge("zns.open_zones")->Set(3.5);
+  Histogram* h = r.GetHistogram("cache.lookup_latency_ns");
+  h->Record(1000);
+  h->Record(2000);
+  const std::string json = r.ToJson();
+  EXPECT_TRUE(JsonValid(json)) << json;
+  EXPECT_NE(json.find("\"cache.gets\":17"), std::string::npos) << json;
+  EXPECT_NE(json.find("zns.open_zones"), std::string::npos);
+  EXPECT_NE(json.find("cache.lookup_latency_ns"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+}
+
+TEST(RegistryTest, EmptyRegistryExportsValidJson) {
+  Registry r;
+  EXPECT_TRUE(JsonValid(r.ToJson()));
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsHandles) {
+  Registry r;
+  Counter* c = r.GetCounter("x");
+  Gauge* g = r.GetGauge("y");
+  Histogram* h = r.GetHistogram("z");
+  c->Inc(5);
+  g->Set(5);
+  h->Record(5);
+  r.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(r.GetCounter("x"), c);
+}
+
+TEST(HistogramTest, ToJsonRoundTrips) {
+  Histogram h;
+  for (u64 v : {100u, 200u, 300u, 4000u}) h.Record(v);
+  const std::string json = h.ToJson();
+  EXPECT_TRUE(JsonValid(json)) << json;
+  EXPECT_NE(json.find("\"count\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":4000"), std::string::npos);
+  // Empty histograms must not report the ~0ULL sentinel as min.
+  Histogram empty;
+  const std::string ejson = empty.ToJson();
+  EXPECT_TRUE(JsonValid(ejson)) << ejson;
+  EXPECT_NE(ejson.find("\"min\":0"), std::string::npos);
+}
+
+// --- Tracer ---------------------------------------------------------------
+
+TEST(TracerTest, RecordsInVirtualTimeOrder) {
+  Tracer t(64);
+  sim::VirtualClock clock;
+  t.Record(EventKind::kZoneOpen, clock.Now(), 1);
+  clock.Advance(10 * sim::kMicrosecond);
+  t.Record(EventKind::kGcBegin, clock.Now(), 4, 0, 0.25);
+  clock.Advance(5 * sim::kMicrosecond);
+  t.Record(EventKind::kGcEnd, clock.Now(), 4, 12);
+  clock.Advance(1);
+  t.Record(EventKind::kZoneReset, clock.Now(), 4);
+
+  auto events = t.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, EventKind::kZoneOpen);
+  EXPECT_EQ(events[1].kind, EventKind::kGcBegin);
+  EXPECT_EQ(events[2].kind, EventKind::kGcEnd);
+  EXPECT_EQ(events[3].kind, EventKind::kZoneReset);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts, events[i - 1].ts);
+  }
+  EXPECT_EQ(events[1].a0, 4u);
+  EXPECT_DOUBLE_EQ(events[1].d0, 0.25);
+  EXPECT_EQ(events[2].a1, 12u);
+}
+
+TEST(TracerTest, RingWrapsKeepingNewestEvents) {
+  Tracer t(8);
+  for (u64 i = 0; i < 20; ++i) {
+    t.Record(EventKind::kRegionFlush, /*ts=*/i * 100, /*a0=*/i);
+  }
+  EXPECT_EQ(t.recorded(), 20u);
+  EXPECT_EQ(t.dropped(), 12u);
+  auto events = t.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest retained first: events 12..19.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a0, 12 + i) << "slot " << i;
+    EXPECT_EQ(events[i].ts, (12 + i) * 100);
+  }
+}
+
+TEST(TracerTest, ClearDropsEventsButKeepsLanes) {
+  Tracer t(8);
+  const u32 pid = t.BeginProcess("run-a");
+  t.Record(EventKind::kZoneReset, 10, 1);
+  t.Clear();
+  EXPECT_EQ(t.Snapshot().size(), 0u);
+  t.Record(EventKind::kZoneReset, 20, 2);
+  auto events = t.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].pid, pid);
+}
+
+TEST(TracerTest, ChromeJsonIsValidAndPairsDurations) {
+  Tracer t(128);
+  t.BeginProcess("scheme-under-test");
+  t.Record(EventKind::kGcBegin, 1000, 7, 0, 0.5);
+  t.Record(EventKind::kZoneReset, 1500, 7);
+  t.Record(EventKind::kGcEnd, 2000, 7, 3);
+  t.Record(EventKind::kWatermarkLow, 2500, 1, 2);
+  const std::string json = t.ToChromeJson();
+  EXPECT_TRUE(JsonValid(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("scheme-under-test"), std::string::npos);
+  EXPECT_NE(json.find("victim_zone"), std::string::npos);
+}
+
+TEST(TracerTest, EmptyTraceIsValidChromeJson) {
+  Tracer t(8);
+  EXPECT_TRUE(JsonValid(t.ToChromeJson()));
+}
+
+TEST(TracerTest, EventNamesCoverEveryKind) {
+  for (u8 k = 0; k <= static_cast<u8>(EventKind::kFtlGcEnd); ++k) {
+    const char* name = EventName(static_cast<EventKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::string(name).size(), 0u);
+  }
+}
+
+// --- Sampler --------------------------------------------------------------
+
+TEST(SamplerTest, SamplesOnIntervalBoundaries) {
+  Sampler s(1000);
+  u64 ticks = 0;
+  s.AddProbe("ticks", [&ticks] { return static_cast<double>(ticks); });
+  // now=0 crosses the first boundary (next_ starts at 0).
+  s.MaybeSample(0);
+  EXPECT_EQ(s.rows(), 1u);
+  ticks = 1;
+  s.MaybeSample(500);  // not due
+  EXPECT_EQ(s.rows(), 1u);
+  s.MaybeSample(1200);  // crossed 1000
+  EXPECT_EQ(s.rows(), 2u);
+  s.MaybeSample(1900);  // next boundary is 2000
+  EXPECT_EQ(s.rows(), 2u);
+  s.SampleNow(1900);  // forced
+  EXPECT_EQ(s.rows(), 3u);
+}
+
+TEST(SamplerTest, RefusesNewProbesAfterFirstSample) {
+  Sampler s(100);
+  s.AddProbe("a", [] { return 1.0; });
+  s.SampleNow(50);
+  s.AddProbe("b", [] { return 2.0; });  // ignored: columns are fixed
+  s.SampleNow(150);
+  const std::string json = s.ToJson();
+  EXPECT_TRUE(JsonValid(json)) << json;
+  EXPECT_NE(json.find("\"a\""), std::string::npos);
+  EXPECT_EQ(json.find("\"b\""), std::string::npos);
+}
+
+TEST(SamplerTest, ExportsColumnarJson) {
+  Sampler s(10);
+  double v = 1.5;
+  s.AddProbe("gauge", [&v] { return v; });
+  s.SampleNow(0);
+  v = 2.5;
+  s.SampleNow(10);
+  const std::string json = s.ToJson();
+  EXPECT_TRUE(JsonValid(json)) << json;
+  EXPECT_NE(json.find("\"interval_ns\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"t_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("2.5"), std::string::npos);
+}
+
+TEST(SamplerTest, EmptySamplerExportsValidJson) {
+  Sampler s(100);
+  EXPECT_TRUE(JsonValid(s.ToJson()));
+}
+
+}  // namespace
+}  // namespace zncache::obs
