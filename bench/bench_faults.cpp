@@ -1,0 +1,272 @@
+// Availability bench: how do the four schemes behave when the device
+// degrades under them? Each scheme replays the same cache-aside workload
+// (Zipf reads, set-on-miss fills, a trickle of updates) through three
+// phases:
+//
+//   baseline    no faults — steady-state hit ratio and latency
+//   degraded    a deterministic fault plan kills zones mid-run: two zones
+//               go offline (data lost) and one goes read-only (data must
+//               be evacuated); Block-Cache, which has no zones, takes an
+//               I/O-error burst and a latency storm instead
+//   recovery    no new faults — the cache refills lost keys on misses and
+//               the hit ratio climbs back
+//
+// The bench asserts the availability contract rather than raw speed: no
+// scheme may fail an operation because of a dead zone (reads become
+// misses, writes remap), and the hit ratio must recover after the insult.
+// Fault counters and evacuation spans land in bench_faults.metrics.json /
+// bench_faults.trace.json; the per-scheme fault fingerprint is printed so
+// two runs can be diffed for bit-identical fault sequences.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "fault/fault_injector.h"
+
+namespace zncache {
+namespace {
+
+using backends::MakeScheme;
+using backends::SchemeInstance;
+using backends::SchemeKind;
+using backends::SchemeParams;
+
+constexpr u64 kPhaseOps = 60'000;
+constexpr u64 kKeySpace = 150'000;
+
+struct PhaseResult {
+  u64 gets = 0;
+  u64 hits = 0;
+  u64 op_errors = 0;  // Set/Get calls that returned an error status
+  std::vector<SimNanos> latencies;
+
+  double HitRatio() const {
+    return gets == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(gets);
+  }
+  SimNanos Percentile(double p) {
+    if (latencies.empty()) return 0;
+    std::sort(latencies.begin(), latencies.end());
+    const size_t i = static_cast<size_t>(
+        p * static_cast<double>(latencies.size() - 1));
+    return latencies[i];
+  }
+};
+
+// The device under the scheme's ZNS-backed variants; nullptr for Block.
+const zns::ZnsDevice* ZnsOf(const SchemeInstance& s) {
+  switch (s.kind) {
+    case SchemeKind::kZone:
+      return &static_cast<const backends::ZoneRegionDevice*>(s.device.get())
+                  ->zns_device();
+    case SchemeKind::kFile:
+      return &static_cast<const backends::FileRegionDevice*>(s.device.get())
+                  ->zns_device();
+    case SchemeKind::kRegion:
+      return &static_cast<const backends::MiddleRegionDevice*>(s.device.get())
+                  ->zns_device();
+    case SchemeKind::kBlock:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+// One chunk of the cache-aside loop. Workload state (zipf, rng) carries
+// across phases so the phases differ only in the injected faults.
+PhaseResult RunPhase(cache::FlashCache& cache, ZipfianGenerator& zipf,
+                     Rng& rng, u64 ops) {
+  PhaseResult res;
+  res.latencies.reserve(ops);
+  for (u64 i = 0; i < ops; ++i) {
+    const u64 key_id = zipf.Next(rng);
+    const std::string key = "key" + std::to_string(key_id);
+    // Deterministic per-key size, 4..32 KiB.
+    const u64 size = 4 * kKiB + (key_id * 797) % (28 * kKiB);
+    auto g = cache.Get(key);
+    if (!g.ok()) {
+      res.op_errors++;
+      continue;
+    }
+    res.gets++;
+    res.latencies.push_back(g->latency);
+    const bool update = rng.Chance(0.05);
+    if (g->hit) {
+      res.hits++;
+      if (!update) continue;
+    }
+    // Cache-aside fill on miss (plus the occasional update).
+    std::vector<std::byte> value(cache.config().store_values ? size : 0);
+    auto s = cache.Set(key, std::span<const std::byte>(value.data(), size));
+    if (!s.ok()) res.op_errors++;
+  }
+  return res;
+}
+
+void PrintPhase(const std::string& scheme, const char* phase,
+                PhaseResult& r) {
+  std::printf("%-14s %-10s %9llu %10.4f %10llu %10llu %9llu\n",
+              scheme.c_str(), phase, static_cast<unsigned long long>(r.gets),
+              r.HitRatio(),
+              static_cast<unsigned long long>(r.Percentile(0.5) / 1000),
+              static_cast<unsigned long long>(r.Percentile(0.99) / 1000),
+              static_cast<unsigned long long>(r.op_errors));
+}
+
+int Run() {
+  using namespace bench;
+  PrintHeader("Availability: the four schemes under zone failures");
+  std::printf("%-14s %-10s %9s %10s %10s %10s %9s\n", "Scheme", "Phase",
+              "Gets", "HitRatio", "P50(us)", "P99(us)", "OpErrors");
+  PrintRule();
+
+  BenchObs obs("bench_faults");
+  bool contract_ok = true;
+  const SchemeKind kinds[] = {SchemeKind::kRegion, SchemeKind::kZone,
+                              SchemeKind::kFile, SchemeKind::kBlock};
+  for (SchemeKind kind : kinds) {
+    sim::VirtualClock clock;
+    obs.BeginRun(std::string(SchemeName(kind)));
+
+    // Background latency trickle in every phase keeps the probabilistic
+    // paths of the injector on the clock; the zone kills are armed below.
+    auto plan = fault::FaultPlan::Parse("seed=42");
+    if (!plan.ok()) return 1;
+    fault::FaultInjectorConfig fic;
+    fic.metrics = obs.metrics();
+    fic.tracer = obs.tracer();
+    fault::FaultInjector injector(*plan, fic);
+
+    SchemeParams params;
+    params.metrics = obs.metrics();
+    params.tracer = obs.tracer();
+    params.faults = &injector;
+    params.zone_size = kZoneSize;
+    params.region_size = kRegionSize;
+    params.min_empty_zones = 2;
+    params.cache_config.policy = cache::EvictionPolicy::kLru;
+    params.cache_config.lru_sample = 512;
+    params.cache_bytes =
+        kind == SchemeKind::kZone ? 25 * kZoneSize : 20 * kZoneSize;
+    params.device_zones = kind == SchemeKind::kRegion ? 25 : 0;
+    auto scheme = MakeScheme(kind, params, &clock);
+    if (!scheme.ok()) {
+      std::fprintf(stderr, "setup failed: %s\n",
+                   scheme.status().ToString().c_str());
+      return 1;
+    }
+    obs.AddSchemeProbes(*scheme);
+
+    Rng rng(7);
+    ZipfianGenerator zipf(kKeySpace, 0.85, /*seed=*/11);
+
+    // Warm the cache to steady state (not reported) so the degraded phase
+    // dips from a plateau instead of riding the cold-start ramp.
+    (void)RunPhase(*scheme->cache, zipf, rng, 4 * kPhaseOps);
+
+    // Phase 1: healthy baseline.
+    PhaseResult base = RunPhase(*scheme->cache, zipf, rng, kPhaseOps);
+    PrintPhase(scheme->name, "baseline", base);
+
+    // Phase 2: the insult. Zone kills are spread across the phase in
+    // quarter chunks; armed rules fire on the next device op.
+    PhaseResult degraded;
+    const zns::ZnsDevice* zns = ZnsOf(*scheme);
+    const u64 chunk = kPhaseOps / 4;
+    for (int q = 0; q < 4; ++q) {
+      if (zns != nullptr) {
+        const u64 zc = zns->zone_count();
+        fault::FaultRule r;
+        switch (q) {
+          case 0:  // offline: data in this zone dies
+            r.action = fault::FaultAction::kZoneOffline;
+            r.zone = zc / 4;
+            injector.Arm(r);
+            break;
+          case 1:  // read-only: data must be evacuated / retired
+            r.action = fault::FaultAction::kZoneReadOnly;
+            r.zone = zc / 2;
+            injector.Arm(r);
+            break;
+          case 2:  // second offline zone (>= 5% of zones dead in total)
+            r.action = fault::FaultAction::kZoneOffline;
+            r.zone = (3 * zc) / 4;
+            injector.Arm(r);
+            break;
+          default:
+            break;
+        }
+      } else {
+        // Block-Cache has no zones; degrade it with an error burst and a
+        // latency storm of similar magnitude.
+        fault::FaultRule r;
+        switch (q) {
+          case 0:
+            r.action = fault::FaultAction::kIoError;
+            r.probability = 0.02;
+            r.count = 200;
+            injector.Arm(r);
+            break;
+          case 1:
+            r.action = fault::FaultAction::kLatency;
+            r.probability = 0.01;
+            r.latency_ns = 5 * sim::kMillisecond;
+            r.count = 100;
+            injector.Arm(r);
+            break;
+          default:
+            break;
+        }
+      }
+      PhaseResult part = RunPhase(*scheme->cache, zipf, rng, chunk);
+      degraded.gets += part.gets;
+      degraded.hits += part.hits;
+      degraded.op_errors += part.op_errors;
+      degraded.latencies.insert(degraded.latencies.end(),
+                                part.latencies.begin(), part.latencies.end());
+    }
+    PrintPhase(scheme->name, "degraded", degraded);
+
+    // Phase 3: no new faults; lost keys refill on misses.
+    PhaseResult rec = RunPhase(*scheme->cache, zipf, rng, kPhaseOps);
+    PrintPhase(scheme->name, "recovery", rec);
+
+    const auto& cs = scheme->cache->stats();
+    const auto& fs = injector.stats();
+    std::printf("%-14s summary: WA=%.2f lost_regions=%llu lost_items=%llu "
+                "retired=%llu injected=%llu fp=%016llx\n",
+                scheme->name.c_str(), scheme->WaFactor(),
+                static_cast<unsigned long long>(cs.region_lost),
+                static_cast<unsigned long long>(cs.lost_items),
+                static_cast<unsigned long long>(cs.retired_regions),
+                static_cast<unsigned long long>(fs.TotalInjected()),
+                static_cast<unsigned long long>(injector.Fingerprint()));
+
+    // Availability contract: operations keep succeeding under dead zones,
+    // and the hit ratio recovers after the insult.
+    if (zns != nullptr && rec.op_errors != 0) {
+      std::fprintf(stderr, "%s: %llu op errors in recovery phase\n",
+                   scheme->name.c_str(),
+                   static_cast<unsigned long long>(rec.op_errors));
+      contract_ok = false;
+    }
+    if (rec.HitRatio() + 0.02 < degraded.HitRatio()) {
+      std::fprintf(stderr, "%s: hit ratio did not recover (%.4f -> %.4f)\n",
+                   scheme->name.c_str(), degraded.HitRatio(), rec.HitRatio());
+      contract_ok = false;
+    }
+    obs.EndRun();
+  }
+  obs.WriteFiles();
+  PrintRule();
+  std::printf("Contract: dead zones cause misses, never op failures; hit "
+              "ratio recovers.\n%s\n",
+              contract_ok ? "PASS" : "FAIL");
+  return contract_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace zncache
+
+int main() { return zncache::Run(); }

@@ -28,9 +28,11 @@
 // (zncache_cli.metrics.json / zncache_cli.trace.json; override with
 // --metrics-out= / --trace-out=).
 #include <cstdio>
+#include <optional>
 
 #include "backends/schemes.h"
 #include "common/flags.h"
+#include "fault/fault_injector.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
@@ -48,6 +50,20 @@ Result<backends::SchemeKind> ParseScheme(const std::string& name) {
   if (name == "zone") return backends::SchemeKind::kZone;
   if (name == "region") return backends::SchemeKind::kRegion;
   return Status::InvalidArgument("unknown scheme: " + name);
+}
+
+// The --fault-plan value is a file path if one exists there, otherwise an
+// inline compact spec.
+Result<fault::FaultPlan> LoadFaultPlan(const std::string& arg) {
+  std::string spec = arg;
+  if (std::FILE* f = std::fopen(arg.c_str(), "r")) {
+    spec.clear();
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) spec.append(buf, n);
+    std::fclose(f);
+  }
+  return fault::FaultPlan::Parse(spec);
 }
 
 bool WriteWholeFile(const std::string& path, const std::string& body) {
@@ -86,8 +102,9 @@ int main(int argc, char** argv) {
   std::string command;
   if (!flags->positional().empty()) {
     command = flags->positional().front();
-    if (command != "stats" && command != "trace") {
-      std::fprintf(stderr, "unknown command: %s (expected stats or trace)\n",
+    if (command != "stats" && command != "trace" && command != "faults") {
+      std::fprintf(stderr,
+                   "unknown command: %s (expected stats, trace or faults)\n",
                    command.c_str());
       return 2;
     }
@@ -98,19 +115,49 @@ int main(int argc, char** argv) {
   obs::Tracer tracer;
   tracer.BeginProcess(flags->GetString("scheme", "region"));
   obs::Sampler sampler(200 * sim::kMillisecond);
+
+  std::optional<fault::FaultInjector> injector;
+  if (flags->Has("fault-plan")) {
+    auto plan = LoadFaultPlan(flags->GetString("fault-plan"));
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad fault plan: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    fault::FaultInjectorConfig fic;
+    fic.metrics = &registry;
+    fic.tracer = &tracer;
+    injector.emplace(*plan, fic);
+  }
+
   backends::SchemeParams params;
   params.metrics = &registry;
   params.tracer = &tracer;
+  params.faults = injector.has_value() ? &*injector : nullptr;
   params.zone_size = flags->GetU64("zone-mib", 16) * kMiB;
   params.region_size = flags->GetU64("region-kib", 1024) * kKiB;
   const u64 zones = flags->GetU64("zones", 40);
   const double op = flags->GetDouble("op", 0.2);
   params.device_zones = *kind == backends::SchemeKind::kZone ? 0 : zones;
+  // The file scheme spends zones on filesystem metadata and the cleaner's
+  // free-zone reserve before OP, so its payload budget shrinks accordingly.
+  const u64 fs_reserve = params.file_min_free_zones + 3;
+  u64 payload_zones = zones;
+  if (*kind == backends::SchemeKind::kFile) {
+    if (zones <= fs_reserve) {
+      std::fprintf(stderr, "--zones=%llu too small for --scheme=file (needs > %llu)\n",
+                   static_cast<unsigned long long>(zones),
+                   static_cast<unsigned long long>(fs_reserve));
+      return 2;
+    }
+    payload_zones = zones - fs_reserve;
+  }
   params.cache_bytes =
       *kind == backends::SchemeKind::kZone
           ? zones * params.zone_size
-          : static_cast<u64>(static_cast<double>(zones * params.zone_size) *
-                             (1.0 - op));
+          : static_cast<u64>(
+                static_cast<double>(payload_zones * params.zone_size) *
+                (1.0 - op));
   params.file_op_ratio = op;
   params.region_op_ratio = op;
   params.min_empty_zones = 1;
@@ -149,6 +196,9 @@ int main(int argc, char** argv) {
       std::printf("%s\n", metrics_doc.c_str());
     } else if (command == "trace") {
       std::printf("%s\n", trace_doc.c_str());
+    } else if (command == "faults") {
+      std::printf("%s\n",
+                  injector.has_value() ? injector->ToJson().c_str() : "{}");
     } else {
       std::printf("observability  %s, %s\n", metrics_path.c_str(),
                   trace_path.c_str());
@@ -210,6 +260,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cs.evicted_regions),
                 static_cast<unsigned long long>(cs.reinserted_items),
                 static_cast<unsigned long long>(cs.admission_rejects));
+    if (injector.has_value()) {
+      const auto& fs = injector->stats();
+      std::printf("faults        %llu injected over %llu device ops "
+                  "(fingerprint %016llx); %llu regions lost, %llu items\n",
+                  static_cast<unsigned long long>(fs.TotalInjected()),
+                  static_cast<unsigned long long>(fs.ops_seen),
+                  static_cast<unsigned long long>(injector->Fingerprint()),
+                  static_cast<unsigned long long>(cs.region_lost),
+                  static_cast<unsigned long long>(cs.lost_items));
+    }
   }
   return emit();
 }

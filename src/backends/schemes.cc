@@ -50,7 +50,8 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
       c.ssd.op_ratio = params.block_op_ratio;
       c.ssd.pages_per_block = params.block_superblock_pages;
       c.ssd.gc_interference_factor = params.block_gc_interference;
-      c.ssd.store_data = params.store_data;
+      c.ssd.store_data = params.store_data || params.persistent;
+      c.ssd.faults = params.faults;
       out.device = std::make_unique<BlockRegionDevice>(c, clock);
       break;
     }
@@ -67,7 +68,8 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
       c.zns.zone_capacity = params.zone_size;
       c.zns.max_open_zones = params.max_open_zones;
       c.zns.max_active_zones = params.max_open_zones;
-      c.zns.store_data = params.store_data;
+      c.zns.store_data = params.store_data || params.persistent;
+      c.zns.faults = params.faults;
       // Extra zones: filesystem metadata + the cleaner's free-zone
       // reserve (the paper's F2FS setup likewise needs an extra regular
       // block device for metadata).
@@ -93,7 +95,8 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
       // One region per zone: the cache may hold every zone open/active.
       c.zns.max_open_zones = static_cast<u32>(c.region_count);
       c.zns.max_active_zones = static_cast<u32>(c.region_count);
-      c.zns.store_data = params.store_data;
+      c.zns.store_data = params.store_data || params.persistent;
+      c.zns.faults = params.faults;
       if (c.region_count < 2) {
         return Status::InvalidArgument(
             "Zone-Cache needs at least two zone-sized regions");
@@ -113,6 +116,7 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
       c.zns.max_open_zones = params.max_open_zones;
       c.zns.max_active_zones = params.max_open_zones;
       c.zns.store_data = params.store_data || params.persistent;
+      c.zns.faults = params.faults;
       c.zns.zone_count =
           params.device_zones != 0
               ? params.device_zones

@@ -67,6 +67,11 @@ struct SchemeParams {
   // scheme; nullptr selects the process-wide defaults.
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+
+  // Deterministic fault injection, wired into the scheme's device layer
+  // (the block SSD or the ZNS device). nullptr = no faults; the assembled
+  // scheme then behaves byte-for-byte like a fault-free build.
+  fault::FaultInjector* faults = nullptr;
 };
 
 // A fully-wired cache instance. Movable; owns its device and engine.

@@ -52,7 +52,15 @@ Result<cache::RegionIo> ZoneRegionDevice::ReadRegion(cache::RegionId id,
                                                      std::span<std::byte> out) {
   ZN_RETURN_IF_ERROR(CheckId(id));
   auto r = zns_->Read(id, offset, out);
-  if (!r.ok()) return r.status();
+  if (!r.ok()) {
+    // An offline zone's data is permanently gone — per the RegionDevice
+    // failure contract that is kNotFound, which the engine turns into a
+    // miss; other errors stay transient.
+    if (zns_->GetZoneInfo(id).state == zns::ZoneState::kOffline) {
+      return Status::NotFound("region lost: zone offline");
+    }
+    return r.status();
+  }
   return cache::RegionIo{r->latency, r->completion};
 }
 
@@ -60,9 +68,20 @@ Status ZoneRegionDevice::InvalidateRegion(cache::RegionId id) {
   ZN_RETURN_IF_ERROR(CheckId(id));
   // Eviction == zone reset: no migration, zero WA (the scheme's core win).
   if (zns_->GetZoneInfo(id).write_pointer != 0) {
-    return zns_->Reset(id);
+    Status s = zns_->Reset(id);
+    // A degraded zone cannot be reset, but its contents are dead either
+    // way; the slot just reports !RegionUsable from here on.
+    if (!s.ok() && !zns_->GetZoneInfo(id).IsResettable()) {
+      return Status::Ok();
+    }
+    return s;
   }
   return Status::Ok();
+}
+
+bool ZoneRegionDevice::RegionUsable(cache::RegionId id) const {
+  if (id >= config_.region_count) return false;
+  return zns_->GetZoneInfo(id).IsResettable();
 }
 
 cache::WaStats ZoneRegionDevice::wa_stats() const {

@@ -33,6 +33,9 @@ class ZoneRegionDevice final : public cache::RegionDevice {
   Result<cache::RegionIo> ReadRegion(cache::RegionId id, u64 offset,
                                      std::span<std::byte> out) override;
   Status InvalidateRegion(cache::RegionId id) override;
+  // A region is its zone: once the zone goes read-only/offline the slot can
+  // never be rewritten (no indirection to remap behind).
+  bool RegionUsable(cache::RegionId id) const override;
 
   cache::WaStats wa_stats() const override;
   std::string name() const override { return "Zone-Cache"; }

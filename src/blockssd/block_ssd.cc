@@ -203,13 +203,40 @@ Result<IoResult> BlockSsd::Write(u64 offset, std::span<const std::byte> data,
   if (offset + data.size() > config_.logical_capacity) {
     return Status::OutOfRange("write beyond device capacity");
   }
+  SimNanos extra_latency = 0;
+  if (config_.faults != nullptr) {
+    const fault::FaultDecision d = config_.faults->Evaluate(
+        fault::FaultOp::kWrite, timer_.clock()->Now(), kInvalidId,
+        data.size());
+    extra_latency = d.extra_latency;
+    if (d.io_error) return Status::Unavailable("injected I/O error");
+    if (d.torn) {
+      // Torn multi-page write: only the pages covering the surviving
+      // prefix are programmed; the request fails.
+      const u64 keep = d.torn_keep;
+      const u64 torn_last =
+          keep == 0 ? 0 : (offset + keep - 1) / config_.page_size + 1;
+      for (u64 lpn = offset / config_.page_size; lpn < torn_last; ++lpn) {
+        if (!ProgramPage(lpn, /*is_gc=*/false)) break;
+        stats_.flash_bytes_written += config_.page_size;
+        c_device_bytes_->Inc(config_.page_size);
+      }
+      if (!data_.empty() && keep > 0) {
+        std::memcpy(data_.data() + offset, data.data(), keep);
+      }
+      timer_.Serve(config_.timing.ftl_overhead_ns +
+                       config_.timing.write.Cost(data.size()) + extra_latency,
+                   mode);
+      return Status::Corruption("injected torn write");
+    }
+  }
   const u64 first_page = offset / config_.page_size;
   const u64 last_page = (offset + data.size() - 1) / config_.page_size;
 
   // One submission: fixed cost once, then bandwidth for the whole request
   // (the FTL stripes a multi-page write across channels).
   SimNanos service = config_.timing.ftl_overhead_ns +
-                     config_.timing.write.Cost(data.size());
+                     config_.timing.write.Cost(data.size()) + extra_latency;
   for (u64 lpn = first_page; lpn <= last_page; ++lpn) {
     if (!ProgramPage(lpn, /*is_gc=*/false)) {
       return Status::NoSpace("FTL out of clean blocks (OP exhausted)");
@@ -235,6 +262,13 @@ Result<IoResult> BlockSsd::Read(u64 offset, std::span<std::byte> out,
   if (offset + out.size() > config_.logical_capacity) {
     return Status::OutOfRange("read beyond device capacity");
   }
+  SimNanos extra_latency = 0;
+  if (config_.faults != nullptr) {
+    const fault::FaultDecision d = config_.faults->Evaluate(
+        fault::FaultOp::kRead, timer_.clock()->Now(), kInvalidId, out.size());
+    extra_latency = d.extra_latency;
+    if (d.io_error) return Status::Unavailable("injected I/O error");
+  }
   if (!data_.empty()) {
     std::memcpy(out.data(), data_.data() + offset, out.size());
   } else {
@@ -247,7 +281,7 @@ Result<IoResult> BlockSsd::Read(u64 offset, std::span<std::byte> out,
   DripGc();
   const sim::Served served =
       timer_.Serve(config_.timing.ftl_overhead_ns +
-                       config_.timing.read.Cost(out.size()),
+                       config_.timing.read.Cost(out.size()) + extra_latency,
                    mode);
   return IoResult{served.latency, served.completion};
 }

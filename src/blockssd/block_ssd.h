@@ -24,6 +24,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/service_timer.h"
@@ -63,6 +64,9 @@ struct BlockSsdConfig {
   // Observability sinks; nullptr selects the process-wide defaults.
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  // Optional fault injection (I/O errors, torn multi-page writes, latency
+  // spikes). Zone-transition rules never match a block device.
+  fault::FaultInjector* faults = nullptr;
 };
 
 struct BlockSsdStats {

@@ -34,6 +34,11 @@ FlashCache::FlashCache(const FlashCacheConfig& config, RegionDevice* device,
   c_dropped_items_ = obs::GetCounterOrSink(reg, "cache.dropped_items");
   c_flushed_regions_ = obs::GetCounterOrSink(reg, "cache.flushed_regions");
   c_rejected_sets_ = obs::GetCounterOrSink(reg, "cache.rejected_sets");
+  c_region_lost_ = obs::GetCounterOrSink(reg, "cache.region_lost");
+  c_lost_items_ = obs::GetCounterOrSink(reg, "cache.lost_items");
+  c_flush_failures_ = obs::GetCounterOrSink(reg, "cache.flush_failures");
+  c_read_errors_ = obs::GetCounterOrSink(reg, "cache.read_errors");
+  g_retired_regions_ = obs::GetGaugeOrSink(reg, "cache.retired_regions");
   h_lookup_latency_ = obs::GetHistogramOrSink(reg, "cache.lookup_latency_ns");
   h_set_latency_ = obs::GetHistogramOrSink(reg, "cache.set_latency_ns");
 
@@ -43,7 +48,9 @@ FlashCache::FlashCache(const FlashCacheConfig& config, RegionDevice* device,
 
 std::optional<RegionId> FlashCache::FindFreeRegion() const {
   for (RegionId r = 0; r < regions_.size(); ++r) {
-    if (regions_[r].state == RegionState::kFree) return r;
+    if (regions_[r].state == RegionState::kFree && device_->RegionUsable(r)) {
+      return r;
+    }
   }
   return std::nullopt;
 }
@@ -84,6 +91,23 @@ u64 FlashCache::PurgeRegionIndex(RegionId rid) {
   return removed;
 }
 
+void FlashCache::HandleRegionLost(RegionId rid) {
+  RegionMeta& m = regions_[rid];
+  const u64 removed = PurgeRegionIndex(rid);
+  if (device_->RegionUsable(rid)) {
+    m.state = RegionState::kFree;
+  } else {
+    m.state = RegionState::kRetired;
+    stats_.retired_regions++;
+    g_retired_regions_->Set(static_cast<double>(stats_.retired_regions));
+  }
+  stats_.region_lost++;
+  stats_.lost_items += removed;
+  c_region_lost_->Inc();
+  c_lost_items_->Inc(removed);
+  tracer_->Record(obs::EventKind::kRegionLost, clock_->Now(), rid, removed);
+}
+
 Status FlashCache::FlushOpenRegion() {
   RegionMeta& m = regions_[open_rid_];
   if (m.used == 0) {
@@ -119,7 +143,21 @@ Status FlashCache::FlushOpenRegion() {
     payload = std::span<const std::byte>(zeros);
   }
   auto w = device_->WriteRegion(open_rid_, payload, sim::IoMode::kBackground);
-  if (!w.ok()) return w.status();
+  if (!w.ok()) {
+    // The flush failed, so the buffered items exist nowhere durable. A
+    // cache may drop data but never serve wrong data: purge their index
+    // entries, retire the slot if its media degraded, and report success —
+    // the caller opens a fresh region and keeps going (degraded, not dead).
+    stats_.flush_failures++;
+    c_flush_failures_->Inc();
+    const RegionId failed = open_rid_;
+    open_rid_ = kInvalidId;
+    if (config_.record_fill_times) {
+      region_fill_times_.push_back(clock_->Now() - open_region_started_);
+    }
+    HandleRegionLost(failed);
+    return Status::Ok();
+  }
   inflight_flushes_.push_back(w->completion);
 
   m.state = RegionState::kSealed;
@@ -152,10 +190,12 @@ Status FlashCache::OpenNewRegion() {
     inflight_flushes_.pop_front();
   }
 
-  RegionId next;
-  if (auto free = FindFreeRegion()) {
-    next = *free;
-  } else {
+  RegionId next = kInvalidId;
+  while (next == kInvalidId) {
+    if (auto free = FindFreeRegion()) {
+      next = *free;
+      break;
+    }
     const RegionId victim = PickEvictionVictim();
     if (victim == kInvalidId) {
       return Status::Internal("no region available for eviction");
@@ -174,7 +214,6 @@ Status FlashCache::OpenNewRegion() {
     }
     const u64 removed = PurgeRegionIndex(victim);
     ZN_RETURN_IF_ERROR(device_->InvalidateRegion(victim));
-    regions_[victim].state = RegionState::kFree;
     stats_.evicted_regions++;
     stats_.evicted_items += removed;
     c_evicted_regions_->Inc();
@@ -184,6 +223,15 @@ Status FlashCache::OpenNewRegion() {
     pending_reinserts_.insert(pending_reinserts_.end(),
                               std::make_move_iterator(survivors.begin()),
                               std::make_move_iterator(survivors.end()));
+    if (!device_->RegionUsable(victim)) {
+      // The victim's media degraded while it was sealed: take the slot out
+      // of rotation and evict another region instead.
+      regions_[victim].state = RegionState::kRetired;
+      stats_.retired_regions++;
+      g_retired_regions_->Set(static_cast<double>(stats_.retired_regions));
+      continue;
+    }
+    regions_[victim].state = RegionState::kFree;
     next = victim;
   }
 
@@ -315,7 +363,20 @@ Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out) {
         entry.rid, entry.offset,
         std::span<std::byte>(reinterpret_cast<std::byte*>(scratch.data()),
                              scratch.size()));
-    if (!r.ok()) return r.status();
+    if (!r.ok()) {
+      // Unreadable data is a miss, never an error, to the cache's caller.
+      // kNotFound means the region is permanently gone (offline zone):
+      // purge everything it held. Anything else is transient: drop only
+      // this lookup and keep the region.
+      if (r.status().code() == StatusCode::kNotFound) {
+        HandleRegionLost(entry.rid);
+      } else {
+        stats_.read_errors++;
+        c_read_errors_->Inc();
+      }
+      h_lookup_latency_->Record(clock_->Now() - start);
+      return OpResult{false, clock_->Now() - start};
+    }
     if (value_out != nullptr) *value_out = std::move(scratch);
   }
   stats_.hits++;
@@ -364,12 +425,26 @@ Status FlashCache::Recover() {
 
   // First pass: decode footers, rebuild region metadata.
   std::vector<std::pair<u64, RegionId>> seal_order;  // (seal_seq, rid)
+  auto mark_unrecoverable = [this](RegionId rid) {
+    // Undecodable slot: free if the media can take new data, permanently
+    // retired if it degraded (offline zone across the restart).
+    if (device_->RegionUsable(rid)) return;
+    regions_[rid].state = RegionState::kRetired;
+    stats_.retired_regions++;
+    g_retired_regions_->Set(static_cast<double>(stats_.retired_regions));
+  };
   for (RegionId rid = 0; rid < regions_.size(); ++rid) {
     auto read = device_->ReadRegion(rid, footer_offset,
                                     std::span<std::byte>(buf));
-    if (!read.ok()) continue;  // never written: free slot
+    if (!read.ok()) {  // never written (or lost): free / retired slot
+      mark_unrecoverable(rid);
+      continue;
+    }
     auto footer = DecodeRegionFooter(std::span<const std::byte>(buf));
-    if (!footer.ok()) continue;  // torn / erased: free slot
+    if (!footer.ok()) {  // torn / erased: free / retired slot
+      mark_unrecoverable(rid);
+      continue;
+    }
 
     RegionMeta& m = regions_[rid];
     m.state = RegionState::kSealed;
@@ -410,7 +485,9 @@ Status FlashCache::DropRegion(RegionId rid) {
     return Status::FailedPrecondition("cannot drop the open region");
   }
   RegionMeta& m = regions_[rid];
-  if (m.state == RegionState::kFree) return Status::Ok();
+  if (m.state == RegionState::kFree || m.state == RegionState::kRetired) {
+    return Status::Ok();
+  }
   const u64 removed = PurgeRegionIndex(rid);
   m.state = RegionState::kFree;
   stats_.dropped_regions++;

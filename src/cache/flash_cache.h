@@ -111,6 +111,12 @@ struct CacheStats {
   u64 dropped_items = 0;
   u64 flushed_regions = 0;
   u64 rejected_sets = 0;  // object larger than a region
+  // Failure handling (see docs/FAULTS.md).
+  u64 region_lost = 0;      // regions whose contents were lost to a fault
+  u64 lost_items = 0;       // index entries purged with lost regions
+  u64 flush_failures = 0;   // region flushes the backend failed
+  u64 read_errors = 0;      // transient device read errors served as misses
+  u64 retired_regions = 0;  // slots permanently out of rotation
 
   double HitRatio() const {
     return gets == 0 ? 0.0
@@ -193,7 +199,9 @@ class FlashCache {
     u32 size = 0;
   };
 
-  enum class RegionState { kFree, kOpen, kSealed };
+  // kRetired: the slot's backing media degraded (RegionDevice::RegionUsable
+  // is false) — permanently out of rotation; the cache shrinks by one slot.
+  enum class RegionState { kFree, kOpen, kSealed, kRetired };
 
   struct RegionMeta {
     RegionState state = RegionState::kFree;
@@ -213,6 +221,10 @@ class FlashCache {
   RegionId PickEvictionVictim() const;
   // Remove all of a region's items from the index; returns entries removed.
   u64 PurgeRegionIndex(RegionId rid);
+  // A region's contents are gone (offline zone, failed flush): purge its
+  // index entries, count the loss, and free or retire the slot depending
+  // on whether the backend can still use it.
+  void HandleRegionLost(RegionId rid);
   // Gather (item, payload) pairs that qualify for reinsertion.
   void CollectReinsertionCandidates(
       RegionId victim, std::vector<std::pair<ItemMeta, std::string>>* out);
@@ -255,6 +267,11 @@ class FlashCache {
   obs::Counter* c_dropped_items_ = nullptr;
   obs::Counter* c_flushed_regions_ = nullptr;
   obs::Counter* c_rejected_sets_ = nullptr;
+  obs::Counter* c_region_lost_ = nullptr;
+  obs::Counter* c_lost_items_ = nullptr;
+  obs::Counter* c_flush_failures_ = nullptr;
+  obs::Counter* c_read_errors_ = nullptr;
+  obs::Gauge* g_retired_regions_ = nullptr;
   Histogram* h_lookup_latency_ = nullptr;
   Histogram* h_set_latency_ = nullptr;
 };

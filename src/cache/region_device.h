@@ -4,6 +4,23 @@
 // backend's business — a fixed LBA range (Block-Cache), a file extent
 // (File-Cache), one whole zone (Zone-Cache), or a translated location behind
 // the middle layer (Region-Cache).
+//
+// Failure contract (shared by all four backends; see docs/FAULTS.md):
+//   * WriteRegion may fail (kUnavailable for an injected/transient I/O
+//     error, kCorruption for a torn write). After any write failure the
+//     slot's contents are undefined; the engine must treat the flush as
+//     lost, purge the region's index entries, and move on — a cache is
+//     allowed to drop data, never to serve wrong data.
+//   * ReadRegion returning kNotFound means the slot's data is permanently
+//     gone (e.g. its zone went offline); the engine turns this into a miss
+//     and purges the slot. kUnavailable is transient: fail the single
+//     lookup, keep the slot.
+//   * InvalidateRegion on a dead slot returns Ok — the data is dead either
+//     way; backends retire the underlying zone internally.
+//   * RegionUsable(id) says whether the slot can hold data again. Slots
+//     pinned to degraded media (Zone-Cache region on a read-only zone)
+//     report false and the engine takes them out of rotation; translated
+//     backends remap internally and stay usable.
 #pragma once
 
 #include <span>
@@ -62,6 +79,10 @@ class RegionDevice {
 
   // Give backends an opportunity to run housekeeping (middle-layer GC).
   virtual Status PumpBackground() { return Status::Ok(); }
+
+  // False when the slot can no longer hold data (its backing media
+  // degraded). The engine retires such slots instead of reusing them.
+  virtual bool RegionUsable(RegionId) const { return true; }
 
   virtual WaStats wa_stats() const = 0;
   virtual std::string name() const = 0;

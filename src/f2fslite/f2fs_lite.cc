@@ -17,6 +17,8 @@ F2fsLite::F2fsLite(const F2fsConfig& config, zns::ZnsDevice* device)
   c_migrated_blocks_ = obs::GetCounterOrSink(reg, "f2fs.migrated_blocks");
   c_cleaned_zones_ = obs::GetCounterOrSink(reg, "f2fs.cleaned_zones");
   c_bytes_read_ = obs::GetCounterOrSink(reg, "f2fs.bytes_read");
+  c_write_retries_ = obs::GetCounterOrSink(reg, "f2fs.write_retries");
+  c_lost_blocks_ = obs::GetCounterOrSink(reg, "f2fs.lost_blocks");
 }
 
 u64 F2fsLite::BlocksPerZone() const {
@@ -126,22 +128,66 @@ void F2fsLite::InvalidateBlock(u64 dba) {
   zone_valid_[ZoneOf(dba)]--;
 }
 
+void F2fsLite::AbandonLogZone(u64* log_zone) {
+  if (*log_zone == kUnmapped) return;
+  const auto& info = device_->GetZoneInfo(*log_zone);
+  if (info.IsResettable() && info.state != zns::ZoneState::kFull &&
+      info.state != zns::ZoneState::kEmpty) {
+    // A torn append may have advanced the pointer; finish the zone so the
+    // cleaner can reclaim whatever landed before the failure.
+    (void)device_->Finish(*log_zone);
+  }
+  *log_zone = kUnmapped;
+}
+
+void F2fsLite::DropOfflineZone(u64 zone) {
+  const u64 bpz = BlocksPerZone();
+  for (u64 idx = 0; idx < bpz; ++idx) {
+    const u64 dba = zone * bpz + idx;
+    const u64 ref = reverse_[dba];
+    if (ref == kUnmapped) continue;
+    files_[RefFd(ref)].block_map[RefBlock(ref)] = kUnmapped;
+    InvalidateBlock(dba);
+    stats_.lost_blocks++;
+    c_lost_blocks_->Inc();
+  }
+  if (clean_cursor_zone_ == zone) {
+    clean_cursor_zone_ = kUnmapped;
+    clean_cursor_index_ = 0;
+  }
+  if (data_log_zone_ == zone) data_log_zone_ = kUnmapped;
+  if (clean_log_zone_ == zone) clean_log_zone_ = kUnmapped;
+}
+
 Result<u64> F2fsLite::AppendBlock(std::span<const std::byte> block,
                                   bool cleaning, SimNanos* latency) {
-  u64& log_zone = cleaning ? clean_log_zone_ : data_log_zone_;
-  if (log_zone == kUnmapped ||
-      device_->GetZoneInfo(log_zone).RemainingCapacity() < config_.block_size) {
-    auto next = NextEmptyZone();
-    if (!next) return Status::NoSpace("no empty zone for log");
-    log_zone = *next;
+  u64* log_zone = cleaning ? &clean_log_zone_ : &data_log_zone_;
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    if (*log_zone == kUnmapped || device_->GetZoneInfo(*log_zone)
+                                          .RemainingCapacity() <
+                                      config_.block_size) {
+      auto next = NextEmptyZone();
+      if (!next) return Status::NoSpace("no empty zone for log");
+      *log_zone = *next;
+    }
+    const u64 wp = device_->GetZoneInfo(*log_zone).write_pointer;
+    auto r = device_->Write(*log_zone, wp, block, sim::IoMode::kBackground);
+    if (!r.ok()) {
+      // Torn or failed append: abandon the log zone (its pointer is
+      // suspect) and retry into a fresh one, bounded.
+      last = r.status();
+      AbandonLogZone(log_zone);
+      stats_.write_retries++;
+      c_write_retries_->Inc();
+      continue;
+    }
+    if (latency != nullptr) *latency += r->latency;
+    stats_.device_bytes_written += block.size();
+    c_device_bytes_->Inc(block.size());
+    return *log_zone * BlocksPerZone() + wp / config_.block_size;
   }
-  const u64 wp = device_->GetZoneInfo(log_zone).write_pointer;
-  auto r = device_->Write(log_zone, wp, block, sim::IoMode::kBackground);
-  if (!r.ok()) return r.status();
-  if (latency != nullptr) *latency += r->latency;
-  stats_.device_bytes_written += block.size();
-  c_device_bytes_->Inc(block.size());
-  return log_zone * BlocksPerZone() + wp / config_.block_size;
+  return last;
 }
 
 u64 F2fsLite::PickVictimZone() const {
@@ -191,11 +237,28 @@ Status F2fsLite::CleanStep() {
                             (dba % bpz) * config_.block_size,
                             std::span<std::byte>(buf),
                             sim::IoMode::kBackground);
-    if (!rr.ok()) return rr.status();
+    if (!rr.ok()) {
+      if (device_->GetZoneInfo(clean_cursor_zone_).state ==
+          zns::ZoneState::kOffline) {
+        // The victim died mid-clean: its unmigrated blocks are gone.
+        DropOfflineZone(clean_cursor_zone_);
+        return Status::Ok();
+      }
+      // Transient read error: give up on this step, retry the block later.
+      clean_cursor_index_--;
+      return Status::Ok();
+    }
     InvalidateBlock(dba);
     auto nb = AppendBlock(std::span<const std::byte>(buf), /*cleaning=*/true,
                           nullptr);
-    if (!nb.ok()) return nb.status();
+    if (!nb.ok()) {
+      // Could not land the copy anywhere: restore the original mapping (the
+      // source block is still readable) and stop cleaning for this step.
+      reverse_[dba] = ref;
+      zone_valid_[ZoneOf(dba)]++;
+      clean_cursor_index_--;
+      return Status::Ok();
+    }
     files_[RefFd(ref)].block_map[RefBlock(ref)] = *nb;
     reverse_[*nb] = ref;
     zone_valid_[ZoneOf(*nb)]++;
@@ -205,9 +268,14 @@ Status F2fsLite::CleanStep() {
   }
 
   if (clean_cursor_index_ >= bpz) {
-    ZN_RETURN_IF_ERROR(device_->Reset(clean_cursor_zone_));
-    stats_.cleaned_zones++;
-    c_cleaned_zones_->Inc();
+    Status rs = device_->Reset(clean_cursor_zone_);
+    if (rs.ok()) {
+      stats_.cleaned_zones++;
+      c_cleaned_zones_->Inc();
+    }
+    // A failed reset leaves the zone degraded (skipped by the victim
+    // picker) or full-and-empty (re-picked, 0 valid, reset retried); the
+    // write path must not fail either way.
     clean_cursor_zone_ = kUnmapped;
     clean_cursor_index_ = 0;
   }
@@ -234,6 +302,7 @@ Result<IoResult> F2fsLite::PwriteAt(Fd fd, u64 offset,
   const u64 bpz = BlocksPerZone();
 
   u64 done = 0;
+  u32 attempts = 0;
   while (done < count) {
     // Ensure the data log zone has room, then write the longest contiguous
     // run that fits in it as a single device I/O.
@@ -252,7 +321,16 @@ Result<IoResult> F2fsLite::PwriteAt(Fd fd, u64 offset,
         data_log_zone_, wp,
         data.subspan(done * config_.block_size, run * config_.block_size),
         mode);
-    if (!wr.ok()) return wr.status();
+    if (!wr.ok()) {
+      // Failed (possibly torn) append: nothing from this run is mapped yet,
+      // so abandon the log zone and retry the same run in a fresh one.
+      AbandonLogZone(&data_log_zone_);
+      stats_.write_retries++;
+      c_write_retries_->Inc();
+      if (++attempts >= 3) return wr.status();
+      continue;
+    }
+    attempts = 0;
     latency += wr->latency;
     stats_.device_bytes_written += run * config_.block_size;
     c_device_bytes_->Inc(run * config_.block_size);
@@ -277,14 +355,16 @@ Result<IoResult> F2fsLite::PwriteAt(Fd fd, u64 offset,
     data_block_writes_ -= config_.metadata_interval;
     const auto& meta_info = device_->GetZoneInfo(metadata_zone_);
     if (meta_info.RemainingCapacity() < config_.block_size) {
-      ZN_RETURN_IF_ERROR(device_->Reset(metadata_zone_));
+      if (!device_->Reset(metadata_zone_).ok()) break;
     }
     std::vector<std::byte> meta_block(config_.block_size);
     auto mr = device_->Write(metadata_zone_,
                              device_->GetZoneInfo(metadata_zone_).write_pointer,
                              std::span<const std::byte>(meta_block),
                              sim::IoMode::kBackground);
-    if (!mr.ok()) return mr.status();
+    // Metadata traffic is a cost model, not a correctness dependency here:
+    // a faulted metadata write must not fail the user's data write.
+    if (!mr.ok()) break;
     latency += mr->latency;
     stats_.metadata_bytes_written += config_.block_size;
     stats_.device_bytes_written += config_.block_size;
@@ -338,7 +418,17 @@ Result<IoResult> F2fsLite::PreadAt(Fd fd, u64 offset, std::span<std::byte> out,
         std::span<std::byte>(out.data() + i * config_.block_size,
                              run * config_.block_size),
         mode);
-    if (!rr.ok()) return rr.status();
+    if (!rr.ok()) {
+      if (device_->GetZoneInfo(ZoneOf(dba)).state ==
+          zns::ZoneState::kOffline) {
+        // The zone died under the file: unmap its blocks so callers see a
+        // permanent kNotFound hole (a miss to the cache) instead of
+        // retrying a dead zone forever.
+        DropOfflineZone(ZoneOf(dba));
+        return Status::NotFound("file blocks lost: zone offline");
+      }
+      return rr.status();
+    }
     latency += rr->latency;
     i += run;
   }

@@ -69,6 +69,9 @@ struct F2fsStats {
   u64 migrated_blocks = 0;
   u64 cleaned_zones = 0;
   u64 bytes_read = 0;
+  // Failure handling (see docs/FAULTS.md).
+  u64 write_retries = 0;  // appends re-targeted after a log-zone failure
+  u64 lost_blocks = 0;    // file blocks that died with an offline zone
 
   double WriteAmplification() const {
     return host_bytes_written == 0
@@ -150,6 +153,12 @@ class F2fsLite {
                           SimNanos* latency);
   std::optional<u64> NextEmptyZone();
   void InvalidateBlock(u64 dba);
+  // Drop a failed log zone: finish it (best effort) so whatever landed
+  // before the failure can be cleaned later, and force a fresh zone pick.
+  void AbandonLogZone(u64* log_zone);
+  // An offline zone's blocks are gone: unmap them from their files (later
+  // reads return kNotFound holes, which the cache treats as misses).
+  void DropOfflineZone(u64 zone);
   // Incremental cleaning; called from the write path.
   Status CleanStep();
   u64 PickVictimZone() const;
@@ -178,6 +187,8 @@ class F2fsLite {
   obs::Counter* c_migrated_blocks_ = nullptr;
   obs::Counter* c_cleaned_zones_ = nullptr;
   obs::Counter* c_bytes_read_ = nullptr;
+  obs::Counter* c_write_retries_ = nullptr;
+  obs::Counter* c_lost_blocks_ = nullptr;
 };
 
 }  // namespace zncache::f2fslite

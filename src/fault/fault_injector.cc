@@ -1,0 +1,371 @@
+#include "fault/fault_injector.h"
+
+#include <cstdlib>
+
+#include "obs/json.h"
+
+namespace zncache::fault {
+
+std::string_view FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRead:
+      return "read";
+    case FaultOp::kWrite:
+      return "write";
+    case FaultOp::kReset:
+      return "reset";
+    case FaultOp::kAny:
+      return "any";
+  }
+  return "unknown";
+}
+
+std::string_view FaultActionName(FaultAction a) {
+  switch (a) {
+    case FaultAction::kIoError:
+      return "ioerr";
+    case FaultAction::kTornWrite:
+      return "torn";
+    case FaultAction::kLatency:
+      return "latency";
+    case FaultAction::kZoneReadOnly:
+      return "readonly";
+    case FaultAction::kZoneOffline:
+      return "offline";
+    case FaultAction::kResetFail:
+      return "resetfail";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Result<u64> ParseU64(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty number");
+  u64 v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad number: " + std::string(s));
+    }
+    v = v * 10 + static_cast<u64>(c - '0');
+  }
+  return v;
+}
+
+Result<double> ParseDouble(std::string_view s) {
+  const std::string str(s);
+  char* end = nullptr;
+  const double v = std::strtod(str.c_str(), &end);
+  if (end == str.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad probability: " + str);
+  }
+  return v;
+}
+
+// Duration: integer with optional ns/us/ms/s suffix, e.g. "5ms".
+Result<SimNanos> ParseDuration(std::string_view s) {
+  u64 scale = 1;
+  if (s.size() >= 2 && s.substr(s.size() - 2) == "ns") {
+    s.remove_suffix(2);
+  } else if (s.size() >= 2 && s.substr(s.size() - 2) == "us") {
+    scale = 1000;
+    s.remove_suffix(2);
+  } else if (s.size() >= 2 && s.substr(s.size() - 2) == "ms") {
+    scale = 1000 * 1000;
+    s.remove_suffix(2);
+  } else if (s.size() >= 1 && s.back() == 's') {
+    scale = 1000 * 1000 * 1000;
+    s.remove_suffix(1);
+  }
+  auto v = ParseU64(s);
+  if (!v.ok()) return v.status();
+  return *v * scale;
+}
+
+Result<FaultOp> ParseOpKind(std::string_view s) {
+  if (s == "read") return FaultOp::kRead;
+  if (s == "write") return FaultOp::kWrite;
+  if (s == "reset") return FaultOp::kReset;
+  if (s == "any") return FaultOp::kAny;
+  return Status::InvalidArgument("bad op kind: " + std::string(s));
+}
+
+Result<FaultAction> ParseAction(std::string_view s) {
+  if (s == "ioerr") return FaultAction::kIoError;
+  if (s == "torn") return FaultAction::kTornWrite;
+  if (s == "latency") return FaultAction::kLatency;
+  if (s == "readonly") return FaultAction::kZoneReadOnly;
+  if (s == "offline") return FaultAction::kZoneOffline;
+  if (s == "resetfail") return FaultAction::kResetFail;
+  return Status::InvalidArgument("unknown fault action: " + std::string(s));
+}
+
+Result<FaultRule> ParseRule(std::string_view item) {
+  FaultRule rule;
+  std::string_view params;
+  const size_t colon = item.find(':');
+  auto action = ParseAction(Trim(colon == std::string_view::npos
+                                     ? item
+                                     : item.substr(0, colon)));
+  if (!action.ok()) return action.status();
+  rule.action = *action;
+  if (rule.action == FaultAction::kTornWrite) rule.scope = FaultOp::kWrite;
+  if (rule.action == FaultAction::kResetFail) rule.scope = FaultOp::kReset;
+  if (colon != std::string_view::npos) params = item.substr(colon + 1);
+
+  while (!params.empty()) {
+    const size_t comma = params.find(',');
+    std::string_view kv = Trim(comma == std::string_view::npos
+                                   ? params
+                                   : params.substr(0, comma));
+    params = comma == std::string_view::npos ? std::string_view()
+                                             : params.substr(comma + 1);
+    if (kv.empty()) continue;
+    const size_t eq = kv.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("bad fault param: " + std::string(kv));
+    }
+    const std::string_view key = Trim(kv.substr(0, eq));
+    const std::string_view val = Trim(kv.substr(eq + 1));
+    if (key == "zone") {
+      auto v = ParseU64(val);
+      if (!v.ok()) return v.status();
+      rule.zone = *v;
+    } else if (key == "op") {
+      auto v = ParseU64(val);
+      if (!v.ok()) return v.status();
+      rule.at_op = *v;
+    } else if (key == "time") {
+      auto v = ParseDuration(val);
+      if (!v.ok()) return v.status();
+      rule.at_time = *v;
+    } else if (key == "p") {
+      auto v = ParseDouble(val);
+      if (!v.ok()) return v.status();
+      if (*v < 0.0 || *v > 1.0) {
+        return Status::InvalidArgument("probability out of [0,1]");
+      }
+      rule.probability = *v;
+    } else if (key == "count") {
+      auto v = ParseU64(val);
+      if (!v.ok()) return v.status();
+      rule.count = *v;
+    } else if (key == "ns") {
+      auto v = ParseDuration(val);
+      if (!v.ok()) return v.status();
+      rule.latency_ns = *v;
+    } else if (key == "kind") {
+      auto v = ParseOpKind(val);
+      if (!v.ok()) return v.status();
+      rule.scope = *v;
+    } else {
+      return Status::InvalidArgument("unknown fault param: " +
+                                     std::string(key));
+    }
+  }
+  if (rule.action == FaultAction::kLatency && rule.latency_ns == 0) {
+    return Status::InvalidArgument("latency rule needs ns=");
+  }
+  return rule;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  FaultPlan plan;
+  while (!spec.empty()) {
+    size_t sep = spec.find_first_of(";\n");
+    std::string_view item = Trim(
+        sep == std::string_view::npos ? spec : spec.substr(0, sep));
+    spec = sep == std::string_view::npos ? std::string_view()
+                                         : spec.substr(sep + 1);
+    if (item.empty() || item.front() == '#') continue;
+    if (item.substr(0, 5) == "seed=") {
+      auto v = ParseU64(Trim(item.substr(5)));
+      if (!v.ok()) return v.status();
+      plan.seed = *v;
+      continue;
+    }
+    if (item.substr(0, 13) == "reset_budget=") {
+      auto v = ParseU64(Trim(item.substr(13)));
+      if (!v.ok()) return v.status();
+      plan.reset_budget = *v;
+      continue;
+    }
+    auto rule = ParseRule(item);
+    if (!rule.ok()) return rule.status();
+    plan.rules.push_back(*rule);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, const FaultInjectorConfig& config)
+    : plan_(std::move(plan)),
+      rng_(plan_.seed),
+      log_capacity_(config.log_capacity) {
+  rules_.reserve(plan_.rules.size());
+  for (const FaultRule& r : plan_.rules) rules_.push_back(RuleState{r, 0});
+  tracer_ = obs::ResolveTracer(config.tracer);
+  obs::Registry* reg = config.metrics;
+  c_io_errors_ = obs::GetCounterOrSink(reg, "fault.injected.io_errors");
+  c_torn_writes_ = obs::GetCounterOrSink(reg, "fault.injected.torn_writes");
+  c_latency_spikes_ =
+      obs::GetCounterOrSink(reg, "fault.injected.latency_spikes");
+  c_zones_offlined_ =
+      obs::GetCounterOrSink(reg, "fault.injected.zones_offlined");
+  c_zones_readonly_ =
+      obs::GetCounterOrSink(reg, "fault.injected.zones_readonly");
+  c_reset_failures_ =
+      obs::GetCounterOrSink(reg, "fault.injected.reset_failures");
+  c_wearouts_ = obs::GetCounterOrSink(reg, "fault.injected.wearouts");
+}
+
+void FaultInjector::Arm(FaultRule rule) {
+  if (rule.action == FaultAction::kTornWrite) rule.scope = FaultOp::kWrite;
+  if (rule.action == FaultAction::kResetFail) rule.scope = FaultOp::kReset;
+  rules_.push_back(RuleState{rule, 0});
+}
+
+void FaultInjector::Fire(const FaultRule& rule, FaultOp op, SimNanos now,
+                         u64 zone, u64 arg) {
+  FiredFault f;
+  f.seq = fires_++;
+  f.op_index = stats_.ops_seen;
+  f.action = rule.action;
+  f.op = op;
+  f.zone = zone;
+  f.arg = arg;
+  if (log_.size() < log_capacity_) log_.push_back(f);
+
+  // FNV-1a over the fields that define the fault sequence.
+  auto mix = [this](u64 v) {
+    for (int i = 0; i < 8; ++i) {
+      fingerprint_ ^= (v >> (i * 8)) & 0xFF;
+      fingerprint_ *= 1099511628211ULL;
+    }
+  };
+  mix(f.op_index);
+  mix(static_cast<u64>(f.action));
+  mix(f.zone);
+  mix(f.arg);
+
+  tracer_->Record(obs::EventKind::kFaultInject, now, zone,
+                  static_cast<u64>(rule.action));
+}
+
+FaultDecision FaultInjector::Evaluate(FaultOp op, SimNanos now, u64 zone,
+                                      u64 bytes) {
+  stats_.ops_seen++;
+  FaultDecision d;
+  for (RuleState& rs : rules_) {
+    const FaultRule& r = rs.rule;
+    if (rs.fired >= r.MaxFires()) continue;
+    if (r.scope != FaultOp::kAny && r.scope != op) continue;
+    if (r.at_op > 0 && stats_.ops_seen < r.at_op) continue;
+    if (r.at_time > 0 && now < r.at_time) continue;
+    const bool is_transition = r.action == FaultAction::kZoneReadOnly ||
+                               r.action == FaultAction::kZoneOffline;
+    // For I/O actions `zone` is a filter; for transitions it is the target.
+    if (!is_transition && r.zone != kInvalidId && r.zone != zone) continue;
+    // Probability draws happen only for rules that passed every filter, so
+    // the RNG stream is a pure function of the op sequence.
+    if (r.probability > 0 && !rng_.Chance(r.probability)) continue;
+
+    rs.fired++;
+    switch (r.action) {
+      case FaultAction::kIoError:
+        d.io_error = true;
+        stats_.io_errors++;
+        c_io_errors_->Inc();
+        Fire(r, op, now, zone, 0);
+        break;
+      case FaultAction::kTornWrite:
+        d.torn = true;
+        d.torn_keep = bytes > 0 ? rng_.Uniform(bytes) : 0;
+        stats_.torn_writes++;
+        c_torn_writes_->Inc();
+        Fire(r, op, now, zone, d.torn_keep);
+        break;
+      case FaultAction::kLatency:
+        d.extra_latency += r.latency_ns;
+        stats_.latency_spikes++;
+        c_latency_spikes_->Inc();
+        Fire(r, op, now, zone, r.latency_ns);
+        break;
+      case FaultAction::kZoneReadOnly:
+      case FaultAction::kZoneOffline: {
+        const u64 target = r.zone != kInvalidId ? r.zone : zone;
+        if (target == kInvalidId) break;  // non-zoned device: no target
+        const bool offline = r.action == FaultAction::kZoneOffline;
+        d.transitions.push_back(FaultDecision::Transition{target, offline});
+        if (offline) {
+          stats_.zones_offlined++;
+          c_zones_offlined_->Inc();
+        } else {
+          stats_.zones_readonly++;
+          c_zones_readonly_->Inc();
+        }
+        Fire(r, op, now, target, 0);
+        break;
+      }
+      case FaultAction::kResetFail:
+        d.io_error = true;
+        stats_.reset_failures++;
+        c_reset_failures_->Inc();
+        Fire(r, op, now, zone, 0);
+        break;
+    }
+  }
+  return d;
+}
+
+void FaultInjector::NoteWearOut(u64 zone, SimNanos now) {
+  stats_.wearouts++;
+  c_wearouts_->Inc();
+  FaultRule wearout;
+  wearout.action = FaultAction::kZoneReadOnly;
+  Fire(wearout, FaultOp::kReset, now, zone, plan_.reset_budget);
+  stats_.zones_readonly++;
+  c_zones_readonly_->Inc();
+}
+
+std::string FaultInjector::ToJson() const {
+  std::string out = "{\"stats\":{";
+  out += "\"ops_seen\":" + std::to_string(stats_.ops_seen);
+  out += ",\"io_errors\":" + std::to_string(stats_.io_errors);
+  out += ",\"torn_writes\":" + std::to_string(stats_.torn_writes);
+  out += ",\"latency_spikes\":" + std::to_string(stats_.latency_spikes);
+  out += ",\"zones_offlined\":" + std::to_string(stats_.zones_offlined);
+  out += ",\"zones_readonly\":" + std::to_string(stats_.zones_readonly);
+  out += ",\"reset_failures\":" + std::to_string(stats_.reset_failures);
+  out += ",\"wearouts\":" + std::to_string(stats_.wearouts);
+  out += "},\"fingerprint\":" + std::to_string(fingerprint_);
+  out += ",\"fired\":[";
+  for (size_t i = 0; i < log_.size(); ++i) {
+    const FiredFault& f = log_[i];
+    if (i > 0) out += ',';
+    out += "{\"seq\":" + std::to_string(f.seq);
+    out += ",\"op\":" + std::to_string(f.op_index);
+    out += ",\"action\":\"" + std::string(FaultActionName(f.action)) + "\"";
+    out += ",\"io\":\"" + std::string(FaultOpName(f.op)) + "\"";
+    out += ",\"zone\":";
+    out += f.zone == kInvalidId ? std::string("null") : std::to_string(f.zone);
+    out += ",\"arg\":" + std::to_string(f.arg) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace zncache::fault

@@ -1,0 +1,201 @@
+// Deterministic, seeded fault injection for the simulated devices.
+//
+// A FaultPlan is a list of FaultRules plus a seed and an optional per-zone
+// reset (erase) budget. Each device that owns an injector calls
+// Evaluate() once per I/O operation; the injector decides — purely from
+// the op index, the virtual clock, the op's zone, and its own seeded RNG —
+// whether any rule fires. Identical plan + seed + op sequence therefore
+// yields a bit-identical fault sequence (Fingerprint() proves it).
+//
+// Supported actions (FaultAction):
+//   kIoError      the op fails with UNAVAILABLE ("injected I/O error")
+//   kTornWrite    only a random prefix of the payload lands at the write
+//                 pointer; the op fails with CORRUPTION
+//   kLatency      the op completes but its service time grows by latency_ns
+//   kZoneReadOnly the target zone transitions to kReadOnly (data readable,
+//                 zone never writable/resettable again)
+//   kZoneOffline  the target zone transitions to kOffline (data gone)
+//   kResetFail    a zone reset fails with UNAVAILABLE (transient)
+//
+// Triggers: `at_op` (fires at/after the Nth evaluated op), `at_time` (fires
+// at/after virtual time T), `probability` (per-op Bernoulli from the seeded
+// RNG), or none of them (armed: fires on the next matching op). `count`
+// bounds the number of fires (default 1 for one-shot triggers, unlimited
+// for probabilistic rules).
+//
+// Plans parse from a compact spec, e.g.
+//   "seed=7;reset_budget=200;offline:zone=3,op=20000;ioerr:kind=read,p=0.001"
+// — see docs/FAULTS.md for the grammar.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace zncache::fault {
+
+enum class FaultOp : u8 { kRead, kWrite, kReset, kAny };
+enum class FaultAction : u8 {
+  kIoError,
+  kTornWrite,
+  kLatency,
+  kZoneReadOnly,
+  kZoneOffline,
+  kResetFail,
+};
+
+[[nodiscard]] std::string_view FaultOpName(FaultOp op);
+[[nodiscard]] std::string_view FaultActionName(FaultAction a);
+
+struct FaultRule {
+  FaultAction action = FaultAction::kIoError;
+  // Which op kinds the rule can fire on. Torn writes force kWrite; reset
+  // failures force kReset.
+  FaultOp scope = FaultOp::kAny;
+  // For I/O actions: only fire on ops touching this zone (kInvalidId = any
+  // zone). For zone transitions: the zone to transition (kInvalidId = the
+  // zone of the triggering op).
+  u64 zone = kInvalidId;
+  u64 at_op = 0;           // fire at/after the Nth op (1-based); 0 = unset
+  SimNanos at_time = 0;    // fire at/after virtual time T; 0 = unset
+  double probability = 0;  // per-op Bernoulli; 0 = unset
+  u64 count = 0;           // max fires; 0 = 1 for one-shot, inf for p-rules
+  SimNanos latency_ns = 0; // kLatency magnitude
+
+  u64 MaxFires() const {
+    if (count > 0) return count;
+    return probability > 0 ? ~0ULL : 1;
+  }
+};
+
+struct FaultPlan {
+  u64 seed = 1;
+  // A zone that has completed this many resets wears out: the next Reset
+  // fails and the zone transitions to kReadOnly. 0 = unlimited endurance.
+  u64 reset_budget = 0;
+  std::vector<FaultRule> rules;
+
+  // Parse the compact spec (see docs/FAULTS.md). Empty spec = empty plan.
+  static Result<FaultPlan> Parse(std::string_view spec);
+};
+
+// What a single Evaluate() call decided. Transitions apply before the op
+// proceeds; at most one of io_error / torn is set.
+struct FaultDecision {
+  bool io_error = false;
+  bool torn = false;
+  u64 torn_keep = 0;  // bytes of the payload that still land
+  SimNanos extra_latency = 0;
+  struct Transition {
+    u64 zone;
+    bool offline;  // false = read-only
+  };
+  std::vector<Transition> transitions;
+
+  bool Any() const {
+    return io_error || torn || extra_latency > 0 || !transitions.empty();
+  }
+};
+
+struct FaultStats {
+  u64 ops_seen = 0;
+  u64 io_errors = 0;
+  u64 torn_writes = 0;
+  u64 latency_spikes = 0;
+  u64 zones_offlined = 0;
+  u64 zones_readonly = 0;
+  u64 reset_failures = 0;
+  u64 wearouts = 0;
+
+  u64 TotalInjected() const {
+    return io_errors + torn_writes + latency_spikes + zones_offlined +
+           zones_readonly + reset_failures + wearouts;
+  }
+};
+
+// One fired rule, for the determinism fingerprint and the `faults` CLI
+// command. The in-memory log is capped; the fingerprint covers every fire.
+struct FiredFault {
+  u64 seq = 0;       // 0-based fire sequence number
+  u64 op_index = 0;  // 1-based op index at which the rule fired
+  FaultAction action = FaultAction::kIoError;
+  FaultOp op = FaultOp::kAny;
+  u64 zone = kInvalidId;
+  u64 arg = 0;  // torn: kept bytes; latency: ns; others: 0
+};
+
+struct FaultInjectorConfig {
+  obs::Registry* metrics = nullptr;  // nullptr = process-wide sinks
+  obs::Tracer* tracer = nullptr;     // nullptr = default tracer
+  size_t log_capacity = 4096;        // retained FiredFault entries
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan,
+                         const FaultInjectorConfig& config = {});
+
+  // Called by a device once per I/O op. `zone` is kInvalidId for non-zoned
+  // devices (zone rules then never match and transitions are dropped).
+  // `bytes` is the payload size (used to draw the torn-write keep length).
+  FaultDecision Evaluate(FaultOp op, SimNanos now, u64 zone, u64 bytes);
+
+  // Append a rule at runtime. With no trigger fields set it fires on the
+  // next matching op — the way tests and benches schedule exact faults.
+  void Arm(FaultRule rule);
+
+  // Wear-out check for ZnsDevice::Reset: true if a zone that already
+  // completed `resets_done` resets has exhausted the plan's budget.
+  bool WearsOut(u64 resets_done) const {
+    return plan_.reset_budget > 0 && resets_done >= plan_.reset_budget;
+  }
+  // Record a wear-out the device acted on (counts + log + fingerprint).
+  void NoteWearOut(u64 zone, SimNanos now);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  const std::vector<FiredFault>& log() const { return log_; }
+  u64 ops_seen() const { return stats_.ops_seen; }
+
+  // FNV-1a over every fire (not just the retained log): two runs with the
+  // same plan and op sequence produce the same fingerprint.
+  u64 Fingerprint() const { return fingerprint_; }
+
+  // {"stats":{...},"fingerprint":...,"fired":[...]} for the CLI.
+  std::string ToJson() const;
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    u64 fired = 0;
+  };
+
+  void Fire(const FaultRule& rule, FaultOp op, SimNanos now, u64 zone,
+            u64 arg);
+
+  FaultPlan plan_;
+  std::vector<RuleState> rules_;
+  Rng rng_;
+  FaultStats stats_;
+  std::vector<FiredFault> log_;
+  size_t log_capacity_;
+  u64 fires_ = 0;
+  u64 fingerprint_ = 14695981039346656037ULL;  // FNV-1a offset basis
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* c_io_errors_ = nullptr;
+  obs::Counter* c_torn_writes_ = nullptr;
+  obs::Counter* c_latency_spikes_ = nullptr;
+  obs::Counter* c_zones_offlined_ = nullptr;
+  obs::Counter* c_zones_readonly_ = nullptr;
+  obs::Counter* c_reset_failures_ = nullptr;
+  obs::Counter* c_wearouts_ = nullptr;
+};
+
+}  // namespace zncache::fault

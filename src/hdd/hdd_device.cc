@@ -26,6 +26,13 @@ Result<IoResult> HddDevice::Read(u64 offset, std::span<std::byte> out,
   if (offset + out.size() > config_.capacity) {
     return Status::OutOfRange("read beyond capacity");
   }
+  SimNanos extra_latency = 0;
+  if (config_.faults != nullptr) {
+    const fault::FaultDecision d = config_.faults->Evaluate(
+        fault::FaultOp::kRead, timer_.clock()->Now(), kInvalidId, out.size());
+    extra_latency = d.extra_latency;
+    if (d.io_error) return Status::Unavailable("injected I/O error");
+  }
   if (!data_.empty()) {
     std::memcpy(out.data(), data_.data() + offset, out.size());
   } else {
@@ -33,8 +40,8 @@ Result<IoResult> HddDevice::Read(u64 offset, std::span<std::byte> out,
   }
   stats_.bytes_read += out.size();
   stats_.read_ops++;
-  const sim::Served served =
-      timer_.Serve(Cost(config_.timing.read, offset, out.size()), mode);
+  const sim::Served served = timer_.Serve(
+      Cost(config_.timing.read, offset, out.size()) + extra_latency, mode);
   return IoResult{served.latency, served.completion};
 }
 
@@ -44,13 +51,21 @@ Result<IoResult> HddDevice::Write(u64 offset, std::span<const std::byte> data,
   if (offset + data.size() > config_.capacity) {
     return Status::OutOfRange("write beyond capacity");
   }
+  SimNanos extra_latency = 0;
+  if (config_.faults != nullptr) {
+    const fault::FaultDecision d = config_.faults->Evaluate(
+        fault::FaultOp::kWrite, timer_.clock()->Now(), kInvalidId,
+        data.size());
+    extra_latency = d.extra_latency;
+    if (d.io_error) return Status::Unavailable("injected I/O error");
+  }
   if (!data_.empty()) {
     std::memcpy(data_.data() + offset, data.data(), data.size());
   }
   stats_.bytes_written += data.size();
   stats_.write_ops++;
-  const sim::Served served =
-      timer_.Serve(Cost(config_.timing.write, offset, data.size()), mode);
+  const sim::Served served = timer_.Serve(
+      Cost(config_.timing.write, offset, data.size()) + extra_latency, mode);
   return IoResult{served.latency, served.completion};
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "fault/fault_injector.h"
 #include "sim/service_timer.h"
 #include "sim/timing.h"
 
@@ -22,6 +23,9 @@ struct HddConfig {
   // Sequential accesses (offset following the previous access) skip the
   // positioning delay; this is what makes LSM compaction affordable on disk.
   bool model_locality = true;
+  // Optional fault injection (I/O errors and latency spikes only — a disk
+  // has no zones and its sector remapping hides torn writes).
+  fault::FaultInjector* faults = nullptr;
 };
 
 struct HddStats {

@@ -31,6 +31,12 @@ ZoneTranslationLayer::ZoneTranslationLayer(const MiddleLayerConfig& config,
   c_gc_runs_ = obs::GetCounterOrSink(reg, "middle.gc.runs");
   c_zones_reset_ = obs::GetCounterOrSink(reg, "middle.zones.reset");
   c_zones_finished_ = obs::GetCounterOrSink(reg, "middle.zones.finished");
+  c_zones_retired_ = obs::GetCounterOrSink(reg, "middle.zones.retired");
+  c_lost_regions_ = obs::GetCounterOrSink(reg, "middle.lost_regions");
+  c_evacuated_regions_ =
+      obs::GetCounterOrSink(reg, "middle.evacuated_regions");
+  c_write_retries_ = obs::GetCounterOrSink(reg, "middle.write_retries");
+  g_degraded_zones_ = obs::GetGaugeOrSink(reg, "middle.degraded_zones");
 }
 
 Status ZoneTranslationLayer::ValidateConfig() const {
@@ -76,8 +82,25 @@ void ZoneTranslationLayer::ClearMapping(u64 region_id) {
   loc.reset();
 }
 
+void ZoneTranslationLayer::RestoreMapping(u64 region_id,
+                                          const RegionLocation& loc) {
+  ZoneMeta& z = zones_[loc.zone];
+  if (!z.bitmap[loc.slot]) {
+    z.bitmap[loc.slot] = true;
+    z.valid_count++;
+  }
+  z.region_ids[loc.slot] = region_id;
+  mapping_[region_id] = loc;
+}
+
 Status ZoneTranslationLayer::FinishIfFull(u64 zone) {
   const auto& info = device_->GetZoneInfo(zone);
+  if (!info.IsResettable()) {
+    // Degraded while open: drop it from the write set; the failure scan
+    // will retire or evacuate it.
+    std::erase(open_zones_, zone);
+    return Status::Ok();
+  }
   if (info.state != zns::ZoneState::kFull &&
       info.RemainingCapacity() < slot_stride_) {
     ZN_RETURN_IF_ERROR(device_->Finish(zone));
@@ -193,6 +216,38 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteIntoZone(
   return RegionIoResult{latency, completion};
 }
 
+void ZoneTranslationLayer::AbandonZone(u64 zone) {
+  std::erase(open_zones_, zone);
+  const auto& info = device_->GetZoneInfo(zone);
+  // A torn write may have left the pointer mid-slot; finishing the zone
+  // makes it a FULL (hence collectable) zone instead of leaking it.
+  if (info.IsResettable() && info.state != zns::ZoneState::kFull &&
+      info.state != zns::ZoneState::kEmpty) {
+    if (device_->Finish(zone).ok()) {
+      stats_.zones_finished++;
+      c_zones_finished_->Inc();
+    }
+  }
+}
+
+Result<RegionIoResult> ZoneTranslationLayer::WriteWithRetry(
+    u64 region_id, std::span<const std::byte> data, sim::IoMode mode,
+    bool for_gc) {
+  constexpr int kWriteAttempts = 3;
+  Status last = Status::Internal("unreachable");
+  for (int attempt = 0; attempt < kWriteAttempts; ++attempt) {
+    auto zone = AcquireWritableZone(for_gc);
+    if (!zone.ok()) return zone.status();
+    auto r = WriteIntoZone(*zone, region_id, data, mode);
+    if (r.ok()) return r;
+    last = r.status();
+    AbandonZone(*zone);
+    stats_.write_retries++;
+    c_write_retries_->Inc();
+  }
+  return last;
+}
+
 Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
     u64 region_id, std::span<const std::byte> data, sim::IoMode mode) {
   if (region_id >= config_.region_slots) {
@@ -206,9 +261,7 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
   // Rewrite: the old version's mapping is deleted and its bit cleared.
   ClearMapping(region_id);
 
-  auto zone = AcquireWritableZone(/*for_gc=*/false);
-  if (!zone.ok()) return zone.status();
-  auto r = WriteIntoZone(*zone, region_id, data, mode);
+  auto r = WriteWithRetry(region_id, data, mode, /*for_gc=*/false);
   if (!r.ok()) return r.status();
 
   stats_.host_region_writes++;
@@ -235,8 +288,20 @@ Result<RegionIoResult> ZoneTranslationLayer::ReadRegion(
   const u64 zone_offset =
       loc->slot * slot_stride_ +
       (config_.persist_headers ? kSlotHeaderBytes : 0) + offset;
-  auto r = device_->Read(loc->zone, zone_offset, out);
-  if (!r.ok()) return r.status();
+  const u64 zone = loc->zone;
+  auto r = device_->Read(zone, zone_offset, out);
+  if (!r.ok()) {
+    if (device_->GetZoneInfo(zone).state == zns::ZoneState::kOffline) {
+      // The data died with the zone: unmap so future lookups miss cleanly
+      // instead of re-reading a dead zone.
+      ClearMapping(region_id);
+      stats_.lost_regions++;
+      c_lost_regions_->Inc();
+      return Status::NotFound("region lost: zone " + std::to_string(zone) +
+                              " offline");
+    }
+    return r.status();
+  }
   return RegionIoResult{r->latency, r->completion};
 }
 
@@ -253,7 +318,16 @@ Status ZoneTranslationLayer::InvalidateRegion(u64 region_id) {
     const u64 zone = loc->zone;
     if (zones_[zone].valid_count == 0 &&
         device_->GetZoneInfo(zone).state == zns::ZoneState::kFull) {
-      ZN_RETURN_IF_ERROR(device_->Reset(zone));
+      const Status reset = device_->Reset(zone);
+      if (!reset.ok()) {
+        if (!device_->GetZoneInfo(zone).IsResettable()) {
+          // The zone wore out (or died) on this reset; nothing valid was
+          // left in it, so it retires with no data loss.
+          RetireZoneMeta(zone);
+          return Status::Ok();
+        }
+        return reset;  // transient reset failure: retry via a later GC
+      }
       zones_[zone].bitmap.assign(regions_per_zone_, false);
       zones_[zone].region_ids.assign(regions_per_zone_, kInvalidId);
       zones_[zone].next_slot = 0;
@@ -271,7 +345,12 @@ u64 ZoneTranslationLayer::PickGcVictim() const {
   u64 victim = kInvalidId;
   u64 best_valid = ~0ULL;
   for (u64 z = 0; z < device_->zone_count(); ++z) {
-    if (device_->GetZoneInfo(z).state != zns::ZoneState::kFull) continue;
+    const auto& info = device_->GetZoneInfo(z);
+    // Only FULL zones in a resettable state are GC victims: read-only,
+    // offline, and retired zones can never be erased, so collecting them
+    // would migrate data and then fail to free anything.
+    if (info.state != zns::ZoneState::kFull) continue;
+    if (!info.IsResettable() || zones_[z].retired) continue;
     if (std::find(open_zones_.begin(), open_zones_.end(), z) !=
         open_zones_.end()) {
       continue;
@@ -312,29 +391,160 @@ Status ZoneTranslationLayer::CollectZone(u64 victim) {
         slot * slot_stride_ +
             (config_.persist_headers ? kSlotHeaderBytes : 0),
         std::span<std::byte>(buf), sim::IoMode::kBackground);
-    if (!rr.ok()) return rr.status();
+    if (!rr.ok()) {
+      if (device_->GetZoneInfo(victim).state == zns::ZoneState::kOffline) {
+        // The victim died under GC; whatever was not yet migrated is gone.
+        tracer_->Record(obs::EventKind::kGcEnd, Now(), victim,
+                        stats_.migrated_regions - migrated_before);
+        RetireOfflineZone(victim);
+        return Status::Ok();
+      }
+      continue;  // transient read error: the slot stays valid for later
+    }
 
-    auto zone = AcquireWritableZone(/*for_gc=*/true);
-    if (!zone.ok()) return zone.status();
-    // Clear the old mapping before rewriting so the bitmap stays coherent.
+    // Clear the old mapping before rewriting so the bitmap stays coherent;
+    // restore it if the migration write cannot land anywhere.
+    const RegionLocation old_loc{victim, slot};
     ClearMapping(region_id);
-    auto w = WriteIntoZone(*zone, region_id, std::span<const std::byte>(buf),
-                           sim::IoMode::kBackground);
-    if (!w.ok()) return w.status();
+    auto w = WriteWithRetry(region_id, std::span<const std::byte>(buf),
+                            sim::IoMode::kBackground, /*for_gc=*/true);
+    if (!w.ok()) {
+      RestoreMapping(region_id, old_loc);
+      continue;
+    }
     stats_.migrated_regions++;
     stats_.migrated_bytes += config_.region_size;
     c_migrated_regions_->Inc();
     c_migrated_bytes_->Inc(config_.region_size);
   }
-  ZN_RETURN_IF_ERROR(device_->Reset(victim));
+  tracer_->Record(obs::EventKind::kGcEnd, Now(), victim,
+                  stats_.migrated_regions - migrated_before);
+  if (zm.valid_count > 0) {
+    // Some slots could not be moved; the zone stays FULL and will be
+    // retried by a later GC cycle.
+    return Status::Ok();
+  }
+  const Status reset = device_->Reset(victim);
+  if (!reset.ok()) {
+    if (!device_->GetZoneInfo(victim).IsResettable()) {
+      RetireZoneMeta(victim);  // wore out on its final erase; nothing lost
+    }
+    return Status::Ok();  // transient reset failure: retried later
+  }
   zm.bitmap.assign(regions_per_zone_, false);
   zm.region_ids.assign(regions_per_zone_, kInvalidId);
   zm.valid_count = 0;
   zm.next_slot = 0;
   stats_.zones_reset++;
   c_zones_reset_->Inc();
-  tracer_->Record(obs::EventKind::kGcEnd, Now(), victim,
-                  stats_.migrated_regions - migrated_before);
+  return Status::Ok();
+}
+
+void ZoneTranslationLayer::RetireZoneMeta(u64 zone) {
+  ZoneMeta& zm = zones_[zone];
+  if (zm.retired) return;
+  zm.retired = true;
+  std::erase(open_zones_, zone);
+  stats_.zones_retired++;
+  c_zones_retired_->Inc();
+  g_degraded_zones_->Set(static_cast<double>(stats_.zones_retired));
+}
+
+void ZoneTranslationLayer::RetireOfflineZone(u64 zone) {
+  ZoneMeta& zm = zones_[zone];
+  for (u64 slot = 0; slot < regions_per_zone_; ++slot) {
+    if (!zm.bitmap[slot]) continue;
+    ClearMapping(zm.region_ids[slot]);
+    stats_.lost_regions++;
+    c_lost_regions_->Inc();
+  }
+  RetireZoneMeta(zone);
+}
+
+Status ZoneTranslationLayer::EvacuateZone(u64 zone) {
+  ZoneMeta& zm = zones_[zone];
+  std::erase(open_zones_, zone);
+  const double valid_ratio =
+      regions_per_zone_ == 0
+          ? 0.0
+          : static_cast<double>(zm.valid_count) /
+                static_cast<double>(regions_per_zone_);
+  tracer_->Record(obs::EventKind::kZoneEvacuateBegin, Now(), zone, 0,
+                  valid_ratio);
+  u64 moved = 0;
+  std::vector<std::byte> buf(config_.region_size);
+  for (u64 slot = 0; slot < regions_per_zone_; ++slot) {
+    if (!zm.bitmap[slot]) continue;
+    const u64 region_id = zm.region_ids[slot];
+
+    // The co-design hook applies here too: cold regions are cheaper to
+    // drop than to rescue.
+    if (hints_ != nullptr && hints_->TryDropRegion(region_id)) {
+      ClearMapping(region_id);
+      stats_.dropped_regions++;
+      c_dropped_regions_->Inc();
+      continue;
+    }
+
+    auto rr = device_->Read(
+        zone,
+        slot * slot_stride_ +
+            (config_.persist_headers ? kSlotHeaderBytes : 0),
+        std::span<std::byte>(buf), sim::IoMode::kBackground);
+    if (!rr.ok()) {
+      if (device_->GetZoneInfo(zone).state == zns::ZoneState::kOffline) {
+        // Degraded further while evacuating.
+        tracer_->Record(obs::EventKind::kZoneEvacuateEnd, Now(), zone, moved);
+        RetireOfflineZone(zone);
+        return Status::Ok();
+      }
+      continue;  // transient: the region stays readable in place
+    }
+
+    const RegionLocation old_loc{zone, slot};
+    ClearMapping(region_id);
+    auto w = WriteWithRetry(region_id, std::span<const std::byte>(buf),
+                            sim::IoMode::kBackground, /*for_gc=*/true);
+    if (!w.ok()) {
+      RestoreMapping(region_id, old_loc);
+      continue;  // still served from the read-only zone; retried later
+    }
+    moved++;
+    stats_.evacuated_regions++;
+    stats_.evacuated_bytes += config_.region_size;
+    stats_.migrated_regions++;
+    stats_.migrated_bytes += config_.region_size;
+    c_evacuated_regions_->Inc();
+    c_migrated_regions_->Inc();
+    c_migrated_bytes_->Inc(config_.region_size);
+  }
+  tracer_->Record(obs::EventKind::kZoneEvacuateEnd, Now(), zone, moved);
+  if (zm.valid_count == 0) RetireZoneMeta(zone);
+  return Status::Ok();
+}
+
+Status ZoneTranslationLayer::HandleZoneFaults() {
+  // Fast path: every degraded zone the device knows about is already
+  // retired here.
+  if (device_->degraded_zone_count() == stats_.zones_retired) {
+    return Status::Ok();
+  }
+  if (in_fault_scan_) return Status::Ok();
+  in_fault_scan_ = true;
+  for (u64 z = 0; z < device_->zone_count(); ++z) {
+    if (zones_[z].retired) continue;
+    const zns::ZoneState state = device_->GetZoneInfo(z).state;
+    if (state == zns::ZoneState::kOffline) {
+      RetireOfflineZone(z);
+    } else if (state == zns::ZoneState::kReadOnly) {
+      const Status s = EvacuateZone(z);
+      if (!s.ok()) {
+        in_fault_scan_ = false;
+        return s;
+      }
+    }
+  }
+  in_fault_scan_ = false;
   return Status::Ok();
 }
 
@@ -399,6 +609,7 @@ Status ZoneTranslationLayer::Recover() {
 }
 
 Status ZoneTranslationLayer::MaybeCollect() {
+  ZN_RETURN_IF_ERROR(HandleZoneFaults());
   if (!below_watermark_ &&
       device_->EmptyZoneCount() < config_.min_empty_zones) {
     below_watermark_ = true;

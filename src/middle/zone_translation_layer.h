@@ -89,6 +89,12 @@ struct MiddleStats {
   u64 zones_reset = 0;
   u64 zones_finished = 0;
   u64 gc_runs = 0;
+  // Failure handling (zones that went read-only/offline or wore out).
+  u64 zones_retired = 0;      // degraded zones permanently taken out of service
+  u64 lost_regions = 0;       // regions whose data died with an offline zone
+  u64 evacuated_regions = 0;  // regions moved out of read-only zones
+  u64 evacuated_bytes = 0;
+  u64 write_retries = 0;      // writes re-targeted to a fresh zone
 
   double WriteAmplification() const {
     return host_bytes == 0
@@ -135,7 +141,16 @@ class ZoneTranslationLayer {
   Status InvalidateRegion(u64 region_id);
 
   // Watermark GC step; also called internally. Safe to call at any time.
+  // Also runs the zone-failure scan (retire offline zones, evacuate
+  // read-only zones) when the device reports degraded zones.
   Status MaybeCollect();
+
+  // Failure handling: retire zones that went offline (their regions are
+  // lost — mappings cleared, `lost_regions` counted) and evacuate zones
+  // that went read-only (valid regions migrate to fresh zones via the GC
+  // path; the zone is then retired). Idempotent; O(1) when the device has
+  // no unhandled degraded zones.
+  Status HandleZoneFaults();
 
   // Rebuild mapping, bitmaps and open-zone state by scanning the device's
   // slot headers (persistent mode only). Call on a fresh layer whose
@@ -163,6 +178,7 @@ class ZoneTranslationLayer {
     std::vector<u64> region_ids;   // slot -> owning region id
     u64 valid_count = 0;
     u64 next_slot = 0;             // slots written so far
+    bool retired = false;          // degraded zone, permanently out of service
   };
 
   static constexpr u64 kUnmappedZone = ~0ULL;
@@ -174,7 +190,25 @@ class ZoneTranslationLayer {
   Result<RegionIoResult> WriteIntoZone(u64 zone, u64 region_id,
                                        std::span<const std::byte> data,
                                        sim::IoMode mode);
+  // Acquire + write with bounded retry: a failed write abandons the target
+  // zone (its pointer may be torn, or the zone degraded) and remaps the
+  // region to a fresh zone.
+  Result<RegionIoResult> WriteWithRetry(u64 region_id,
+                                        std::span<const std::byte> data,
+                                        sim::IoMode mode, bool for_gc);
+  // Drop a zone from the open set after a failed write; finish it (best
+  // effort) so GC can reclaim whatever landed before the failure.
+  void AbandonZone(u64 zone);
+  // Mark a degraded zone permanently out of service.
+  void RetireZoneMeta(u64 zone);
+  // An offline zone's regions are gone: clear their mappings and retire.
+  void RetireOfflineZone(u64 zone);
+  // Move a read-only zone's valid regions to writable zones, then retire
+  // it. Incomplete evacuations (no space, transient errors) leave the zone
+  // un-retired and are retried on the next failure scan.
+  Status EvacuateZone(u64 zone);
   void ClearMapping(u64 region_id);
+  void RestoreMapping(u64 region_id, const RegionLocation& loc);
   // Finish zones that cannot fit another region.
   Status FinishIfFull(u64 zone);
   u64 PickGcVictim() const;
@@ -194,6 +228,7 @@ class ZoneTranslationLayer {
   u64 regions_per_zone_ = 0;
 
   MiddleStats stats_;
+  bool in_fault_scan_ = false;  // reentrancy guard for HandleZoneFaults
 
   // Registry handles, resolved once at construction.
   obs::Tracer* tracer_ = nullptr;
@@ -206,6 +241,11 @@ class ZoneTranslationLayer {
   obs::Counter* c_gc_runs_ = nullptr;
   obs::Counter* c_zones_reset_ = nullptr;
   obs::Counter* c_zones_finished_ = nullptr;
+  obs::Counter* c_zones_retired_ = nullptr;
+  obs::Counter* c_lost_regions_ = nullptr;
+  obs::Counter* c_evacuated_regions_ = nullptr;
+  obs::Counter* c_write_retries_ = nullptr;
+  obs::Gauge* g_degraded_zones_ = nullptr;
 };
 
 }  // namespace zncache::middle

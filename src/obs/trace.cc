@@ -30,6 +30,17 @@ const char* EventName(EventKind kind) {
     case EventKind::kFtlGcBegin:
     case EventKind::kFtlGcEnd:
       return "ftl.gc";
+    case EventKind::kZoneReadOnly:
+      return "zone.readonly";
+    case EventKind::kZoneOffline:
+      return "zone.offline";
+    case EventKind::kZoneEvacuateBegin:
+    case EventKind::kZoneEvacuateEnd:
+      return "zone.evacuate";
+    case EventKind::kFaultInject:
+      return "fault.inject";
+    case EventKind::kRegionLost:
+      return "region.lost";
   }
   return "unknown";
 }
@@ -62,6 +73,16 @@ Lane LaneFor(EventKind kind) {
     case EventKind::kFtlGcBegin:
     case EventKind::kFtlGcEnd:
       return {5, "ftl-gc"};
+    case EventKind::kZoneReadOnly:
+    case EventKind::kZoneOffline:
+      return {2, "zones"};
+    case EventKind::kZoneEvacuateBegin:
+    case EventKind::kZoneEvacuateEnd:
+      return {1, "gc"};
+    case EventKind::kFaultInject:
+      return {6, "faults"};
+    case EventKind::kRegionLost:
+      return {3, "regions"};
   }
   return {0, "other"};
 }
@@ -71,9 +92,11 @@ char PhaseFor(EventKind kind) {
   switch (kind) {
     case EventKind::kGcBegin:
     case EventKind::kFtlGcBegin:
+    case EventKind::kZoneEvacuateBegin:
       return 'B';
     case EventKind::kGcEnd:
     case EventKind::kFtlGcEnd:
+    case EventKind::kZoneEvacuateEnd:
       return 'E';
     default:
       return 'i';
@@ -116,6 +139,26 @@ void AppendArgs(std::string& out, const TraceEvent& e) {
     case EventKind::kFtlGcEnd:
       out += "\"victim_block\":" + std::to_string(e.a0) +
              ",\"migrated_pages\":" + std::to_string(e.a1);
+      break;
+    case EventKind::kZoneReadOnly:
+    case EventKind::kZoneOffline:
+      out += "\"zone\":" + std::to_string(e.a0);
+      break;
+    case EventKind::kZoneEvacuateBegin:
+      out += "\"zone\":" + std::to_string(e.a0) +
+             ",\"valid_ratio\":" + JsonNum(e.d0);
+      break;
+    case EventKind::kZoneEvacuateEnd:
+      out += "\"zone\":" + std::to_string(e.a0) +
+             ",\"evacuated_regions\":" + std::to_string(e.a1);
+      break;
+    case EventKind::kFaultInject:
+      out += "\"zone\":" + std::to_string(e.a0) +
+             ",\"action\":" + std::to_string(e.a1);
+      break;
+    case EventKind::kRegionLost:
+      out += "\"region\":" + std::to_string(e.a0) +
+             ",\"items_removed\":" + std::to_string(e.a1);
       break;
   }
 }
@@ -195,7 +238,8 @@ std::string Tracer::ToChromeJson() const {
                                       {2, "zones"},
                                       {3, "regions"},
                                       {4, "watermark"},
-                                      {5, "ftl-gc"}};
+                                      {5, "ftl-gc"},
+                                      {6, "faults"}};
     for (const Lane& lane : kLanes) {
       comma();
       out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" + pid +

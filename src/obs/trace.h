@@ -35,6 +35,18 @@ enum class EventKind : u8 {
   // ratio (begin) / a1 = pages migrated (end).
   kFtlGcBegin,
   kFtlGcEnd,
+  // Zone failure-state transitions (injected or wear-out). a0 = zone id.
+  kZoneReadOnly,
+  kZoneOffline,
+  // Middle-layer evacuation of a read-only zone. a0 = zone id; a1 = regions
+  // moved out (end) ; d0 = valid ratio at selection (begin).
+  kZoneEvacuateBegin,
+  kZoneEvacuateEnd,
+  // A fault-injector rule fired. a0 = zone (or ~0), a1 = rule action code.
+  kFaultInject,
+  // The cache declared a region's contents lost (unreadable / flush
+  // failure). a0 = region id, a1 = index entries dropped.
+  kRegionLost,
 };
 
 const char* EventName(EventKind kind);

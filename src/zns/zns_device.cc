@@ -101,11 +101,57 @@ void ZnsDevice::MarkFull(ZoneInfo& z) {
   z.state = ZoneState::kFull;
 }
 
+Status ZnsDevice::TransitionZone(u64 zone, ZoneState to) {
+  ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
+  if (to != ZoneState::kReadOnly && to != ZoneState::kOffline) {
+    return Status::InvalidArgument("only failure-state transitions allowed");
+  }
+  ZoneInfo& z = zones_[zone];
+  if (z.state == ZoneState::kOffline) return Status::Ok();  // terminal
+  if (z.state == to) return Status::Ok();
+  if (z.IsResettable()) {
+    // Leaving the healthy state machine: release open/active slots.
+    if (z.IsOpen()) open_zones_--;
+    if (z.IsActive()) active_zones_--;
+    degraded_zones_++;
+  }
+  z.state = to;
+  if (to == ZoneState::kOffline) {
+    if (std::byte* dst = ZoneData(zone)) {
+      std::memset(dst, 0, config_.zone_size);
+    }
+    tracer_->Record(obs::EventKind::kZoneOffline, Now(), zone);
+  } else {
+    tracer_->Record(obs::EventKind::kZoneReadOnly, Now(), zone);
+  }
+  return Status::Ok();
+}
+
+Status ZnsDevice::ApplyFaults(fault::FaultOp op, u64 zone, u64 bytes,
+                              SimNanos* extra_latency, u64* torn_keep) {
+  if (torn_keep != nullptr) *torn_keep = kInvalidId;
+  if (config_.faults == nullptr) return Status::Ok();
+  const fault::FaultDecision d =
+      config_.faults->Evaluate(op, Now(), zone, bytes);
+  for (const auto& t : d.transitions) {
+    (void)TransitionZone(
+        t.zone, t.offline ? ZoneState::kOffline : ZoneState::kReadOnly);
+  }
+  if (extra_latency != nullptr) *extra_latency = d.extra_latency;
+  if (d.io_error) return Status::Unavailable("injected I/O error");
+  if (d.torn && torn_keep != nullptr) *torn_keep = d.torn_keep;
+  return Status::Ok();
+}
+
 Result<IoResult> ZnsDevice::DoWrite(u64 zone, u64 offset,
                                     std::span<const std::byte> data,
                                     sim::IoMode mode, bool as_append) {
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   if (data.empty()) return Status::InvalidArgument("empty write");
+  SimNanos extra_latency = 0;
+  u64 torn_keep = kInvalidId;
+  ZN_RETURN_IF_ERROR(ApplyFaults(fault::FaultOp::kWrite, zone, data.size(),
+                                 &extra_latency, &torn_keep));
   ZoneInfo& z = zones_[zone];
   if (offset != z.write_pointer) {
     return Status::FailedPrecondition(
@@ -116,6 +162,21 @@ Result<IoResult> ZnsDevice::DoWrite(u64 zone, u64 offset,
     return Status::NoSpace("write exceeds zone capacity");
   }
   ZN_RETURN_IF_ERROR(EnsureWritable(z));
+
+  if (torn_keep != kInvalidId) {
+    // Torn write at the write pointer: only a prefix of the payload lands.
+    // The pointer advances by what was programmed, so the tail of the zone
+    // holds no decodable data and the caller sees a hard error.
+    if (std::byte* dst = ZoneData(zone)) {
+      std::memcpy(dst + offset, data.data(), torn_keep);
+    }
+    z.write_pointer += torn_keep;
+    if (z.write_pointer == z.capacity) MarkFull(z);
+    stats_.flash_bytes_written += torn_keep;
+    c_device_bytes_->Inc(torn_keep);
+    timer_.Serve(config_.timing.write.Cost(data.size()) + extra_latency, mode);
+    return Status::Corruption("injected torn write");
+  }
 
   if (std::byte* dst = ZoneData(zone)) {
     std::memcpy(dst + offset, data.data(), data.size());
@@ -134,8 +195,8 @@ Result<IoResult> ZnsDevice::DoWrite(u64 zone, u64 offset,
     stats_.write_ops++;
     c_write_ops_->Inc();
   }
-  const sim::Served served =
-      timer_.Serve(config_.timing.write.Cost(data.size()), mode);
+  const sim::Served served = timer_.Serve(
+      config_.timing.write.Cost(data.size()) + extra_latency, mode);
   return IoResult{served.latency, served.completion};
 }
 
@@ -159,7 +220,13 @@ Result<IoResult> ZnsDevice::Read(u64 zone, u64 offset,
                                  std::span<std::byte> out, sim::IoMode mode) {
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   if (out.empty()) return Status::InvalidArgument("empty read");
+  SimNanos extra_latency = 0;
+  ZN_RETURN_IF_ERROR(ApplyFaults(fault::FaultOp::kRead, zone, out.size(),
+                                 &extra_latency, nullptr));
   const ZoneInfo& z = zones_[zone];
+  if (z.state == ZoneState::kOffline) {
+    return Status::Unavailable("zone offline");
+  }
   if (offset + out.size() > z.capacity) {
     return Status::OutOfRange("read beyond zone capacity");
   }
@@ -176,15 +243,28 @@ Result<IoResult> ZnsDevice::Read(u64 zone, u64 offset,
   c_bytes_read_->Inc(out.size());
   c_read_ops_->Inc();
   const sim::Served served =
-      timer_.Serve(config_.timing.read.Cost(out.size()), mode);
+      timer_.Serve(config_.timing.read.Cost(out.size()) + extra_latency, mode);
   return IoResult{served.latency, served.completion};
 }
 
 Status ZnsDevice::Reset(u64 zone) {
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
+  {
+    SimNanos extra_latency = 0;
+    const Status injected = ApplyFaults(fault::FaultOp::kReset, zone, 0,
+                                        &extra_latency, nullptr);
+    if (extra_latency > 0) timer_.SubmitBackground(extra_latency);
+    ZN_RETURN_IF_ERROR(injected);
+  }
   ZoneInfo& z = zones_[zone];
   if (z.state == ZoneState::kReadOnly || z.state == ZoneState::kOffline) {
     return Status::FailedPrecondition("zone not resettable");
+  }
+  if (config_.faults != nullptr && config_.faults->WearsOut(z.reset_count)) {
+    // The zone's erase budget is spent: it wears out into read-only.
+    config_.faults->NoteWearOut(zone, Now());
+    (void)TransitionZone(zone, ZoneState::kReadOnly);
+    return Status::FailedPrecondition("zone worn out");
   }
   if (z.IsOpen()) open_zones_--;
   if (z.IsActive()) active_zones_--;

@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/service_timer.h"
@@ -53,6 +54,10 @@ struct ZoneInfo {
            state == ZoneState::kExplicitOpen;
   }
   bool IsActive() const { return IsOpen() || state == ZoneState::kClosed; }
+  // Read-only and offline zones can never be reset (or written) again.
+  bool IsResettable() const {
+    return state != ZoneState::kReadOnly && state != ZoneState::kOffline;
+  }
   u64 RemainingCapacity() const { return capacity - write_pointer; }
 };
 
@@ -70,6 +75,10 @@ struct ZnsConfig {
   // Observability sinks; nullptr selects the process-wide defaults.
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  // Optional fault injection; nullptr keeps the device fault-free and the
+  // hot path branch-free (behaviour is bit-identical to a device built
+  // before the fault subsystem existed).
+  fault::FaultInjector* faults = nullptr;
 };
 
 struct IoResult {
@@ -133,6 +142,15 @@ class ZnsDevice {
   Status Open(u64 zone);
   Status Close(u64 zone);
 
+  // Force a zone into kReadOnly or kOffline (injected media failure or
+  // wear-out). Open/active accounting is fixed up; an offline zone's data
+  // is gone. Only the two failure states are accepted.
+  Status TransitionZone(u64 zone, ZoneState to);
+
+  // Zones currently in kReadOnly or kOffline. The middle layer polls this
+  // (O(1)) to decide whether a failure-handling scan is needed.
+  u64 degraded_zone_count() const { return degraded_zones_; }
+
   const ZoneInfo& GetZoneInfo(u64 zone) const { return zones_.at(zone); }
   const ZnsConfig& config() const { return config_; }
   const ZnsStats& stats() const { return stats_; }
@@ -157,6 +175,12 @@ class ZnsDevice {
   Result<IoResult> DoWrite(u64 zone, u64 offset,
                            std::span<const std::byte> data, sim::IoMode mode,
                            bool as_append);
+  // Consult the injector (if any) for this op: applies zone transitions,
+  // accumulates latency, and returns the op's injected failure (if any).
+  // `torn_keep` is set to the surviving prefix length for torn writes,
+  // kInvalidId otherwise.
+  Status ApplyFaults(fault::FaultOp op, u64 zone, u64 bytes,
+                     SimNanos* extra_latency, u64* torn_keep);
   SimNanos Now() const { return timer_.clock()->Now(); }
 
   std::byte* ZoneData(u64 zone) {
@@ -170,6 +194,7 @@ class ZnsDevice {
   ZnsStats stats_;
   u32 open_zones_ = 0;
   u32 active_zones_ = 0;
+  u64 degraded_zones_ = 0;
 
   // Registry handles, resolved once at construction.
   obs::Tracer* tracer_ = nullptr;

@@ -13,6 +13,7 @@
 #include "backends/middle_region_device.h"
 #include "backends/zone_region_device.h"
 #include "common/random.h"
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 
 namespace zncache::backends {
@@ -28,8 +29,15 @@ struct Fixture {
   // Owns the per-fixture metric registry; destroyed after the device so the
   // backend destructors can detach their provider gauges.
   std::unique_ptr<obs::Registry> registry;
+  // Empty-plan injector wired into every backend's device layer: inert
+  // until a test arms a rule, so the fault-free tests stay byte-identical.
+  std::unique_ptr<fault::FaultInjector> faults;
   std::unique_ptr<cache::RegionDevice> device;
 };
+
+std::unique_ptr<fault::FaultInjector> MakeInjector() {
+  return std::make_unique<fault::FaultInjector>(fault::FaultPlan{});
+}
 
 using FixtureFactory = std::function<Fixture()>;
 
@@ -37,10 +45,12 @@ Fixture MakeBlock() {
   Fixture f;
   f.clock = std::make_unique<sim::VirtualClock>();
   f.registry = std::make_unique<obs::Registry>();
+  f.faults = MakeInjector();
   BlockRegionDeviceConfig c;
   c.region_size = kRegion;
   c.region_count = kRegions;
   c.ssd.metrics = f.registry.get();
+  c.ssd.faults = f.faults.get();
   c.ssd.op_ratio = 0.25;
   c.ssd.pages_per_block = 16;
   f.device = std::make_unique<BlockRegionDevice>(c, f.clock.get());
@@ -51,10 +61,12 @@ Fixture MakeFile() {
   Fixture f;
   f.clock = std::make_unique<sim::VirtualClock>();
   f.registry = std::make_unique<obs::Registry>();
+  f.faults = MakeInjector();
   FileRegionDeviceConfig c;
   c.region_size = kRegion;
   c.region_count = kRegions;
   c.zns.metrics = f.registry.get();
+  c.zns.faults = f.faults.get();
   c.fs.metrics = f.registry.get();
   c.zns.zone_count = 12;
   c.zns.zone_size = 256 * kKiB;
@@ -71,9 +83,11 @@ Fixture MakeZone() {
   Fixture f;
   f.clock = std::make_unique<sim::VirtualClock>();
   f.registry = std::make_unique<obs::Registry>();
+  f.faults = MakeInjector();
   ZoneRegionDeviceConfig c;
   c.region_count = kRegions;
   c.zns.metrics = f.registry.get();
+  c.zns.faults = f.faults.get();
   c.zns.zone_count = kRegions;
   c.zns.zone_size = kRegion;
   c.zns.zone_capacity = kRegion;
@@ -87,9 +101,11 @@ Fixture MakeMiddle() {
   Fixture f;
   f.clock = std::make_unique<sim::VirtualClock>();
   f.registry = std::make_unique<obs::Registry>();
+  f.faults = MakeInjector();
   MiddleRegionDeviceConfig c;
   c.region_count = kRegions;
   c.zns.metrics = f.registry.get();
+  c.zns.faults = f.faults.get();
   c.middle.metrics = f.registry.get();
   c.zns.zone_count = 10;
   c.zns.zone_size = 256 * kKiB;
@@ -279,6 +295,55 @@ TEST_P(BackendConformanceTest, RegistryCountersMatchWaStats) {
       << GetParam().name << ": host bytes diverged";
   EXPECT_EQ(s.flash_bytes, GetParam().registry_flash(reg))
       << GetParam().name << ": device bytes diverged";
+}
+
+// Part of the RegionDevice failure contract (region_device.h): a healthy
+// backend reports every slot usable.
+TEST_P(BackendConformanceTest, RegionsStartUsable) {
+  for (u64 id = 0; id < kRegions; ++id) {
+    EXPECT_TRUE(device_->RegionUsable(id)) << "region " << id;
+  }
+}
+
+// An injected transient read error must surface as a non-NotFound failure
+// on every backend (NotFound is reserved for permanent data loss — the
+// cache purges on it), and the device must keep serving afterwards.
+TEST_P(BackendConformanceTest, InjectedReadErrorIsTransient) {
+  WriteOk(0, 'e');
+  fault::FaultRule r;
+  r.action = fault::FaultAction::kIoError;
+  r.scope = fault::FaultOp::kRead;
+  fixture_.faults->Arm(r);
+  std::vector<std::byte> out(16);
+  auto rd = device_->ReadRegion(0, 0, out);
+  ASSERT_FALSE(rd.ok()) << GetParam().name;
+  EXPECT_NE(rd.status().code(), StatusCode::kNotFound) << GetParam().name;
+  auto again = device_->ReadRegion(0, 0, out);
+  ASSERT_TRUE(again.ok()) << GetParam().name << ": "
+                          << again.status().ToString();
+  EXPECT_EQ(out[0], std::byte('e'));
+}
+
+// An injected transient write error fails the request without poisoning
+// the slot: the backend accepts a rewrite of the same region.
+TEST_P(BackendConformanceTest, InjectedWriteErrorLeavesSlotWritable) {
+  fault::FaultRule r;
+  r.action = fault::FaultAction::kIoError;
+  r.scope = fault::FaultOp::kWrite;
+  r.count = 3;  // covers one full bounded-retry cycle of every backend
+  fixture_.faults->Arm(r);
+  auto w = device_->WriteRegion(0, Data('x'), sim::IoMode::kForeground);
+  EXPECT_FALSE(w.ok()) << GetParam().name;
+  // Exhaust any remaining fires, then prove the slot still works.
+  for (int i = 0; i < 8 && !device_->WriteRegion(
+                                0, Data('y'), sim::IoMode::kForeground)
+                                .ok();
+       ++i) {
+  }
+  WriteOk(0, 'z');
+  std::vector<std::byte> out(8);
+  ASSERT_TRUE(device_->ReadRegion(0, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte('z'));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,684 @@
+// Fault-injection subsystem: plan grammar, deterministic replay, per-device
+// injection behaviour, and the failure-handling contract of every layer
+// above the devices (middle layer, cache engine, filesystem).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backends/zone_region_device.h"
+#include "blockssd/block_ssd.h"
+#include "cache/flash_cache.h"
+#include "common/random.h"
+#include "f2fslite/f2fs_lite.h"
+#include "fault/fault_injector.h"
+#include "hdd/hdd_device.h"
+#include "middle/zone_translation_layer.h"
+#include "zns/zns_device.h"
+
+namespace zncache {
+namespace {
+
+using fault::FaultAction;
+using fault::FaultInjector;
+using fault::FaultOp;
+using fault::FaultPlan;
+using fault::FaultRule;
+
+std::vector<std::byte> Bytes(u64 n, char fill = 'd') {
+  return std::vector<std::byte>(n, std::byte(fill));
+}
+
+// ---------------------------------------------------------- plan parser ----
+
+TEST(FaultPlanParse, EmptySpecIsEmptyPlan) {
+  auto plan = FaultPlan::Parse("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->seed, 1u);
+  EXPECT_EQ(plan->reset_budget, 0u);
+  EXPECT_TRUE(plan->rules.empty());
+}
+
+TEST(FaultPlanParse, FullGrammar) {
+  auto plan = FaultPlan::Parse(
+      "seed=7; reset_budget=200;"
+      "offline:zone=3,op=20000;"
+      "ioerr:kind=read,p=0.001;"
+      "latency:ns=5ms,p=0.5,count=10;"
+      "torn:zone=2;"
+      "readonly:zone=1,time=2s;"
+      "resetfail:count=3");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_EQ(plan->reset_budget, 200u);
+  ASSERT_EQ(plan->rules.size(), 6u);
+
+  EXPECT_EQ(plan->rules[0].action, FaultAction::kZoneOffline);
+  EXPECT_EQ(plan->rules[0].zone, 3u);
+  EXPECT_EQ(plan->rules[0].at_op, 20'000u);
+
+  EXPECT_EQ(plan->rules[1].action, FaultAction::kIoError);
+  EXPECT_EQ(plan->rules[1].scope, FaultOp::kRead);
+  EXPECT_DOUBLE_EQ(plan->rules[1].probability, 0.001);
+  EXPECT_EQ(plan->rules[1].MaxFires(), ~0ULL);  // unbounded p-rule
+
+  EXPECT_EQ(plan->rules[2].action, FaultAction::kLatency);
+  EXPECT_EQ(plan->rules[2].latency_ns, 5u * 1000 * 1000);
+  EXPECT_EQ(plan->rules[2].MaxFires(), 10u);
+
+  // Torn writes force write scope; reset failures force reset scope.
+  EXPECT_EQ(plan->rules[3].scope, FaultOp::kWrite);
+  EXPECT_EQ(plan->rules[4].at_time, 2u * 1000 * 1000 * 1000);
+  EXPECT_EQ(plan->rules[5].scope, FaultOp::kReset);
+  EXPECT_EQ(plan->rules[5].MaxFires(), 3u);
+}
+
+TEST(FaultPlanParse, CommentsAndNewlines) {
+  auto plan = FaultPlan::Parse("# availability drill\nseed=3\nioerr:op=5\n");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->seed, 3u);
+  ASSERT_EQ(plan->rules.size(), 1u);
+  EXPECT_EQ(plan->rules[0].at_op, 5u);
+}
+
+TEST(FaultPlanParse, RejectsBadInput) {
+  EXPECT_FALSE(FaultPlan::Parse("explode:zone=1").ok());  // unknown action
+  EXPECT_FALSE(FaultPlan::Parse("ioerr:wat=1").ok());     // unknown param
+  EXPECT_FALSE(FaultPlan::Parse("ioerr:zone=abc").ok());  // bad number
+  EXPECT_FALSE(FaultPlan::Parse("ioerr:p=1.5").ok());     // p out of range
+  EXPECT_FALSE(FaultPlan::Parse("latency:p=0.5").ok());   // latency needs ns=
+  EXPECT_FALSE(FaultPlan::Parse("seed=x").ok());
+  EXPECT_FALSE(FaultPlan::Parse("ioerr:kind=scrub").ok());
+}
+
+// ---------------------------------------------------------- determinism ----
+
+// Drive an injector through a synthetic but deterministic op sequence.
+void DriveOps(FaultInjector& inj, int n) {
+  for (int i = 0; i < n; ++i) {
+    const FaultOp op = (i % 3 == 0)   ? FaultOp::kWrite
+                       : (i % 3 == 1) ? FaultOp::kRead
+                                      : FaultOp::kReset;
+    (void)inj.Evaluate(op, /*now=*/i * 1000, /*zone=*/i % 8,
+                       /*bytes=*/4 * kKiB);
+  }
+}
+
+TEST(FaultDeterminism, SameSeedSamePlanSameFingerprint) {
+  auto plan = FaultPlan::Parse(
+      "seed=9;ioerr:p=0.3,count=5;latency:p=0.2,ns=1ms;torn:p=0.1");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector a(*plan), b(*plan);
+  DriveOps(a, 500);
+  DriveOps(b, 500);
+  EXPECT_GT(a.stats().TotalInjected(), 0u);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(a.stats().io_errors, b.stats().io_errors);
+  EXPECT_EQ(a.stats().torn_writes, b.stats().torn_writes);
+  EXPECT_EQ(a.stats().latency_spikes, b.stats().latency_spikes);
+  EXPECT_EQ(a.log().size(), b.log().size());
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+TEST(FaultDeterminism, NoFiresLeavesFingerprintAtBasis) {
+  FaultInjector inj(FaultPlan{});
+  const u64 before = inj.Fingerprint();
+  DriveOps(inj, 200);
+  EXPECT_EQ(inj.stats().ops_seen, 200u);
+  EXPECT_EQ(inj.stats().TotalInjected(), 0u);
+  EXPECT_EQ(inj.Fingerprint(), before);
+}
+
+TEST(FaultDeterminism, JsonHasStatsFingerprintAndFires) {
+  auto plan = FaultPlan::Parse("seed=4;ioerr:op=2");
+  ASSERT_TRUE(plan.ok());
+  FaultInjector inj(*plan);
+  DriveOps(inj, 10);
+  const std::string j = inj.ToJson();
+  EXPECT_NE(j.find("\"stats\""), std::string::npos);
+  EXPECT_NE(j.find("\"fingerprint\""), std::string::npos);
+  EXPECT_NE(j.find("\"fired\""), std::string::npos);
+  EXPECT_NE(j.find("ioerr"), std::string::npos);
+}
+
+// ------------------------------------------------------ ZNS device hooks ----
+
+class ZnsFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Build(FaultPlan{}); }
+
+  void Build(FaultPlan plan) {
+    injector_ = std::make_unique<FaultInjector>(std::move(plan));
+    zns::ZnsConfig zc;
+    zc.zone_count = 8;
+    zc.zone_size = 256 * kKiB;
+    zc.zone_capacity = 256 * kKiB;
+    zc.max_open_zones = 8;
+    zc.max_active_zones = 8;
+    zc.faults = injector_.get();
+    dev_ = std::make_unique<zns::ZnsDevice>(zc, &clock_);
+  }
+
+  Status Write(u64 zone, u64 bytes, char fill = 'w') {
+    const u64 wp = dev_->GetZoneInfo(zone).write_pointer;
+    auto r = dev_->Write(zone, wp, Bytes(bytes, fill));
+    return r.ok() ? Status::Ok() : r.status();
+  }
+
+  sim::VirtualClock clock_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<zns::ZnsDevice> dev_;
+};
+
+TEST_F(ZnsFaultTest, ArmedIoErrorFailsOneOp) {
+  ASSERT_TRUE(Write(0, 4 * kKiB).ok());
+  injector_->Arm(FaultRule{.action = FaultAction::kIoError});
+  EXPECT_EQ(Write(0, 4 * kKiB).code(), StatusCode::kUnavailable);
+  // The op never happened: write pointer unchanged, next write succeeds.
+  EXPECT_EQ(dev_->GetZoneInfo(0).write_pointer, 4 * kKiB);
+  EXPECT_TRUE(Write(0, 4 * kKiB).ok());
+  EXPECT_EQ(injector_->stats().io_errors, 1u);
+}
+
+TEST_F(ZnsFaultTest, TornWriteAdvancesPointerAndFailsWithCorruption) {
+  injector_->Arm(FaultRule{.action = FaultAction::kTornWrite});
+  EXPECT_EQ(Write(1, 16 * kKiB).code(), StatusCode::kCorruption);
+  const u64 wp = dev_->GetZoneInfo(1).write_pointer;
+  EXPECT_LT(wp, 16 * kKiB);  // only a prefix landed
+  EXPECT_EQ(dev_->stats().flash_bytes_written, wp);
+  EXPECT_EQ(injector_->stats().torn_writes, 1u);
+  // The zone keeps working from the torn pointer.
+  EXPECT_TRUE(Write(1, 4 * kKiB).ok());
+  EXPECT_EQ(dev_->GetZoneInfo(1).write_pointer, wp + 4 * kKiB);
+}
+
+TEST_F(ZnsFaultTest, LatencySpikeSlowsTheOp) {
+  ASSERT_TRUE(Write(0, 4 * kKiB).ok());
+  const SimNanos spike = 5 * 1000 * 1000;
+  FaultRule r;
+  r.action = FaultAction::kLatency;
+  r.latency_ns = spike;
+  injector_->Arm(r);
+  const u64 wp = dev_->GetZoneInfo(0).write_pointer;
+  auto slow = dev_->Write(0, wp, Bytes(4 * kKiB));
+  ASSERT_TRUE(slow.ok());
+  EXPECT_GE(slow->latency, spike);
+  EXPECT_EQ(injector_->stats().latency_spikes, 1u);
+}
+
+TEST_F(ZnsFaultTest, OfflineZoneLosesDataAndCountsAsDegraded) {
+  ASSERT_TRUE(Write(2, 8 * kKiB).ok());
+  FaultRule r;
+  r.action = FaultAction::kZoneOffline;
+  r.zone = 2;
+  injector_->Arm(r);
+  // The transition fires on the next device op, whatever zone it targets.
+  ASSERT_TRUE(Write(0, 4 * kKiB).ok());
+  EXPECT_EQ(dev_->GetZoneInfo(2).state, zns::ZoneState::kOffline);
+  EXPECT_FALSE(dev_->GetZoneInfo(2).IsResettable());
+  EXPECT_EQ(dev_->degraded_zone_count(), 1u);
+
+  std::vector<std::byte> out(4 * kKiB);
+  EXPECT_EQ(dev_->Read(2, 0, out).status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(Write(2, 4 * kKiB).ok());
+  EXPECT_FALSE(dev_->Reset(2).ok());
+}
+
+TEST_F(ZnsFaultTest, ReadOnlyZoneStaysReadable) {
+  ASSERT_TRUE(Write(3, 8 * kKiB, 'r').ok());
+  FaultRule r;
+  r.action = FaultAction::kZoneReadOnly;
+  r.zone = 3;
+  injector_->Arm(r);
+  ASSERT_TRUE(Write(0, 4 * kKiB).ok());
+  EXPECT_EQ(dev_->GetZoneInfo(3).state, zns::ZoneState::kReadOnly);
+
+  std::vector<std::byte> out(8 * kKiB);
+  ASSERT_TRUE(dev_->Read(3, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte('r'));
+  EXPECT_FALSE(Write(3, 4 * kKiB).ok());
+  EXPECT_FALSE(dev_->Reset(3).ok());
+}
+
+TEST_F(ZnsFaultTest, ResetFailureIsTransient) {
+  ASSERT_TRUE(Write(4, 4 * kKiB).ok());
+  injector_->Arm(FaultRule{.action = FaultAction::kResetFail});
+  EXPECT_EQ(dev_->Reset(4).code(), StatusCode::kUnavailable);
+  // Transient: the zone is untouched and the retry succeeds.
+  EXPECT_TRUE(dev_->GetZoneInfo(4).IsResettable());
+  EXPECT_TRUE(dev_->Reset(4).ok());
+  EXPECT_EQ(dev_->GetZoneInfo(4).state, zns::ZoneState::kEmpty);
+}
+
+TEST_F(ZnsFaultTest, ResetBudgetWearsZoneOut) {
+  auto plan = FaultPlan::Parse("seed=1;reset_budget=2");
+  ASSERT_TRUE(plan.ok());
+  Build(*plan);
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    ASSERT_TRUE(Write(0, 4 * kKiB).ok());
+    ASSERT_TRUE(dev_->Reset(0).ok());
+  }
+  ASSERT_TRUE(Write(0, 4 * kKiB).ok());
+  EXPECT_FALSE(dev_->Reset(0).ok());  // budget exhausted: media worn out
+  EXPECT_EQ(dev_->GetZoneInfo(0).state, zns::ZoneState::kReadOnly);
+  EXPECT_EQ(injector_->stats().wearouts, 1u);
+  EXPECT_EQ(dev_->degraded_zone_count(), 1u);
+}
+
+TEST_F(ZnsFaultTest, ZeroFaultPlanMatchesNullInjector) {
+  // A wired injector with an empty plan must be behaviourally identical to
+  // no injector at all (the zero-fault baseline stays byte-identical).
+  sim::VirtualClock plain_clock;
+  zns::ZnsConfig zc = dev_->config();
+  zc.faults = nullptr;
+  zns::ZnsDevice plain(zc, &plain_clock);
+
+  Rng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    const u64 zone = rng.Uniform(8);
+    if (rng.Chance(0.2)) {
+      const Status a = dev_->Reset(zone);
+      const Status b = plain.Reset(zone);
+      EXPECT_EQ(a.code(), b.code());
+      continue;
+    }
+    const u64 wp = dev_->GetZoneInfo(zone).write_pointer;
+    auto a = dev_->Write(zone, wp, Bytes(4 * kKiB));
+    auto b = plain.Write(zone, wp, Bytes(4 * kKiB));
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_EQ(a->latency, b->latency);
+    }
+  }
+  EXPECT_EQ(dev_->stats().host_bytes_written, plain.stats().host_bytes_written);
+  EXPECT_EQ(dev_->stats().zone_resets, plain.stats().zone_resets);
+  EXPECT_GT(injector_->ops_seen(), 0u);
+  EXPECT_EQ(injector_->stats().TotalInjected(), 0u);
+}
+
+// ------------------------------------------- block SSD / HDD device hooks ----
+
+TEST(BlockSsdFaults, ArmedIoErrorAndTornWrite) {
+  sim::VirtualClock clock;
+  FaultInjector inj(FaultPlan{});
+  blockssd::BlockSsdConfig bc;
+  bc.logical_capacity = 8 * kMiB;
+  bc.pages_per_block = 16;
+  bc.faults = &inj;
+  blockssd::BlockSsd ssd(bc, &clock);
+
+  inj.Arm(FaultRule{.action = FaultAction::kIoError});
+  EXPECT_EQ(ssd.Write(0, Bytes(16 * kKiB)).status().code(),
+            StatusCode::kUnavailable);
+  ASSERT_TRUE(ssd.Write(0, Bytes(16 * kKiB, 'a')).ok());
+
+  inj.Arm(FaultRule{.action = FaultAction::kTornWrite});
+  EXPECT_EQ(ssd.Write(0, Bytes(16 * kKiB, 'b')).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(inj.stats().torn_writes, 1u);
+  // The device keeps serving reads and writes afterwards.
+  std::vector<std::byte> out(4 * kKiB);
+  EXPECT_TRUE(ssd.Read(0, out).ok());
+  EXPECT_TRUE(ssd.Write(0, Bytes(16 * kKiB, 'c')).ok());
+}
+
+TEST(HddFaults, ArmedIoErrorAndLatency) {
+  sim::VirtualClock clock;
+  FaultInjector inj(FaultPlan{});
+  hdd::HddConfig hc;
+  hc.capacity = 8 * kMiB;
+  hc.faults = &inj;
+  hdd::HddDevice disk(hc, &clock);
+
+  inj.Arm(FaultRule{.action = FaultAction::kIoError});
+  EXPECT_EQ(disk.Write(0, Bytes(4 * kKiB)).status().code(),
+            StatusCode::kUnavailable);
+  ASSERT_TRUE(disk.Write(0, Bytes(4 * kKiB)).ok());
+
+  FaultRule r;
+  r.action = FaultAction::kLatency;
+  r.latency_ns = 50 * 1000 * 1000;
+  inj.Arm(r);
+  std::vector<std::byte> out(4 * kKiB);
+  auto rd = disk.Read(0, out);
+  ASSERT_TRUE(rd.ok());
+  EXPECT_GE(rd->latency, static_cast<SimNanos>(r.latency_ns));
+  EXPECT_EQ(inj.stats().latency_spikes, 1u);
+}
+
+// ------------------------------------------------- middle-layer handling ----
+
+class MiddleFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    zns::ZnsConfig zc;
+    zc.zone_count = 10;
+    zc.zone_size = 256 * kKiB;
+    zc.zone_capacity = 256 * kKiB;
+    zc.max_open_zones = 6;
+    zc.max_active_zones = 8;
+    dev_ = std::make_unique<zns::ZnsDevice>(zc, &clock_);
+    middle::MiddleLayerConfig mc;
+    mc.region_size = 64 * kKiB;
+    mc.region_slots = 24;
+    mc.open_zones = 2;
+    mc.min_empty_zones = 2;
+    layer_ = std::make_unique<middle::ZoneTranslationLayer>(mc, dev_.get());
+    ASSERT_TRUE(layer_->ValidateConfig().ok());
+  }
+
+  Status Write(u64 rid, char fill) {
+    std::vector<std::byte> data(64 * kKiB, std::byte(fill));
+    auto r = layer_->WriteRegion(rid, data, sim::IoMode::kForeground);
+    return r.ok() ? Status::Ok() : r.status();
+  }
+
+  sim::VirtualClock clock_;
+  std::unique_ptr<zns::ZnsDevice> dev_;
+  std::unique_ptr<middle::ZoneTranslationLayer> layer_;
+};
+
+TEST_F(MiddleFaultTest, OfflineZoneRegionsAreLost) {
+  for (u64 r = 0; r < 12; ++r) ASSERT_TRUE(Write(r, 'a').ok());
+  const auto loc = layer_->GetLocation(0);
+  ASSERT_TRUE(loc.has_value());
+  const u64 dead_zone = loc->zone;
+  u64 dead_regions = 0;
+  for (u64 r = 0; r < 12; ++r) {
+    if (layer_->GetLocation(r)->zone == dead_zone) dead_regions++;
+  }
+
+  ASSERT_TRUE(dev_->TransitionZone(dead_zone, zns::ZoneState::kOffline).ok());
+  ASSERT_TRUE(layer_->MaybeCollect().ok());  // runs the failure scan
+
+  EXPECT_EQ(layer_->stats().zones_retired, 1u);
+  EXPECT_EQ(layer_->stats().lost_regions, dead_regions);
+  EXPECT_FALSE(layer_->GetLocation(0).has_value());
+
+  // Lost regions read as permanently gone, and rewriting them remaps to a
+  // healthy zone.
+  std::vector<std::byte> out(64);
+  EXPECT_EQ(layer_->ReadRegion(0, 0, out).status().code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(Write(0, 'b').ok());
+  EXPECT_NE(layer_->GetLocation(0)->zone, dead_zone);
+  ASSERT_TRUE(layer_->ReadRegion(0, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte('b'));
+}
+
+TEST_F(MiddleFaultTest, ReadOnlyZoneIsEvacuated) {
+  for (u64 r = 0; r < 12; ++r) ASSERT_TRUE(Write(r, static_cast<char>('A' + r)).ok());
+  const u64 ro_zone = layer_->GetLocation(0)->zone;
+  u64 victims = 0;
+  for (u64 r = 0; r < 12; ++r) {
+    if (layer_->GetLocation(r)->zone == ro_zone) victims++;
+  }
+
+  ASSERT_TRUE(dev_->TransitionZone(ro_zone, zns::ZoneState::kReadOnly).ok());
+  ASSERT_TRUE(layer_->HandleZoneFaults().ok());
+
+  EXPECT_EQ(layer_->stats().evacuated_regions, victims);
+  EXPECT_EQ(layer_->stats().zones_retired, 1u);
+  // Every evacuated region moved and kept its contents.
+  std::vector<std::byte> out(64);
+  for (u64 r = 0; r < 12; ++r) {
+    ASSERT_TRUE(layer_->GetLocation(r).has_value()) << "region " << r;
+    EXPECT_NE(layer_->GetLocation(r)->zone, ro_zone) << "region " << r;
+    ASSERT_TRUE(layer_->ReadRegion(r, 0, out).ok()) << "region " << r;
+    EXPECT_EQ(out[0], std::byte(static_cast<char>('A' + r)));
+  }
+}
+
+TEST_F(MiddleFaultTest, FailureScanIsIdempotent) {
+  for (u64 r = 0; r < 8; ++r) ASSERT_TRUE(Write(r, 'a').ok());
+  const u64 zone = layer_->GetLocation(0)->zone;
+  ASSERT_TRUE(dev_->TransitionZone(zone, zns::ZoneState::kOffline).ok());
+  ASSERT_TRUE(layer_->HandleZoneFaults().ok());
+  const u64 retired = layer_->stats().zones_retired;
+  const u64 lost = layer_->stats().lost_regions;
+  ASSERT_TRUE(layer_->HandleZoneFaults().ok());
+  ASSERT_TRUE(layer_->MaybeCollect().ok());
+  EXPECT_EQ(layer_->stats().zones_retired, retired);
+  EXPECT_EQ(layer_->stats().lost_regions, lost);
+}
+
+TEST_F(MiddleFaultTest, GcSkipsDegradedZonesUnderChurn) {
+  for (u64 r = 0; r < 12; ++r) ASSERT_TRUE(Write(r, 'a').ok());
+  const u64 dead = layer_->GetLocation(0)->zone;
+  ASSERT_TRUE(dev_->TransitionZone(dead, zns::ZoneState::kOffline).ok());
+  ASSERT_TRUE(layer_->HandleZoneFaults().ok());
+  const u64 resets_at_death = dev_->GetZoneInfo(dead).reset_count;
+
+  // Churn rewrites across the shrunken device: GC must keep reclaiming
+  // space without ever picking the dead zone as a victim.
+  Rng rng(55);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(Write(rng.Uniform(24), static_cast<char>('a' + i % 26)).ok())
+        << "iteration " << i;
+  }
+  EXPECT_GT(layer_->stats().zones_reset, 0u);
+  EXPECT_EQ(dev_->GetZoneInfo(dead).state, zns::ZoneState::kOffline);
+  EXPECT_EQ(dev_->GetZoneInfo(dead).reset_count, resets_at_death);
+}
+
+TEST_F(MiddleFaultTest, TornWriteRemapsToFreshZone) {
+  // Wire an injector after construction is impossible; rebuild the stack
+  // with one attached instead.
+  FaultInjector inj(FaultPlan{});
+  zns::ZnsConfig zc = dev_->config();
+  zc.faults = &inj;
+  sim::VirtualClock clock;
+  zns::ZnsDevice dev(zc, &clock);
+  middle::MiddleLayerConfig mc = layer_->config();
+  middle::ZoneTranslationLayer layer(mc, &dev);
+
+  std::vector<std::byte> data(64 * kKiB, std::byte('t'));
+  ASSERT_TRUE(layer.WriteRegion(1, data, sim::IoMode::kForeground).ok());
+
+  inj.Arm(FaultRule{.action = FaultAction::kTornWrite});
+  // The torn write fails underneath, but the layer retries on a fresh zone
+  // and the host-visible write succeeds.
+  auto w = layer.WriteRegion(2, data, sim::IoMode::kForeground);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_GE(layer.stats().write_retries, 1u);
+  std::vector<std::byte> out(64);
+  ASSERT_TRUE(layer.ReadRegion(2, 0, out).ok());
+  EXPECT_EQ(out[0], std::byte('t'));
+}
+
+// ------------------------------------------------- cache engine handling ----
+
+class CacheFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    injector_ = std::make_unique<FaultInjector>(FaultPlan{});
+    backends::ZoneRegionDeviceConfig c;
+    c.region_count = 8;
+    c.zns.zone_count = 8;
+    c.zns.zone_size = 256 * kKiB;
+    c.zns.zone_capacity = 256 * kKiB;
+    c.zns.max_open_zones = 8;
+    c.zns.max_active_zones = 8;
+    c.zns.faults = injector_.get();
+    device_ = std::make_unique<backends::ZoneRegionDevice>(c, &clock_);
+    cache::FlashCacheConfig cc;
+    cc.store_values = true;
+    cache_ = std::make_unique<cache::FlashCache>(cc, device_.get(), &clock_);
+  }
+
+  // Insert synthetic items until `sealed` regions have been flushed.
+  void FillRegions(u64 sealed) {
+    int i = 0;
+    while (cache_->stats().flushed_regions < sealed) {
+      ASSERT_TRUE(
+          cache_->Set("key" + std::to_string(i++), std::string(30 * kKiB, 'v'))
+              .ok());
+      ASSERT_LT(i, 1000) << "cache never sealed " << sealed << " regions";
+    }
+    keys_ = i;
+  }
+
+  sim::VirtualClock clock_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<backends::ZoneRegionDevice> device_;
+  std::unique_ptr<cache::FlashCache> cache_;
+  int keys_ = 0;
+};
+
+TEST_F(CacheFaultTest, OfflineZoneBecomesMissesNeverErrors) {
+  FillRegions(3);
+  FaultRule r;
+  r.action = FaultAction::kZoneOffline;
+  r.zone = 0;  // region 0 == zone 0 for the Zone-Cache backend
+  injector_->Arm(r);
+
+  u64 hits = 0, misses = 0;
+  std::string v;
+  for (int i = 0; i < keys_; ++i) {
+    auto g = cache_->Get("key" + std::to_string(i), &v);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();  // never an op failure
+    g->hit ? hits++ : misses++;
+  }
+  EXPECT_GT(misses, 0u);  // region 0's items are gone
+  EXPECT_GT(hits, 0u);    // everyone else still served
+  EXPECT_EQ(cache_->stats().region_lost, 1u);
+  EXPECT_GT(cache_->stats().lost_items, 0u);
+  // The dead zone's slot is retired, not reused.
+  EXPECT_EQ(cache_->stats().retired_regions, 1u);
+  EXPECT_FALSE(device_->RegionUsable(0));
+
+  // The cache keeps running (and refilling) at reduced capacity.
+  for (int i = 0; i < keys_; ++i) {
+    ASSERT_TRUE(
+        cache_->Set("key" + std::to_string(i), std::string(30 * kKiB, 'n'))
+            .ok());
+  }
+}
+
+TEST_F(CacheFaultTest, FailedFlushIsDegradedNotFatal) {
+  // Every write (and the retry) fails while the rule has fires left.
+  FaultRule r;
+  r.action = FaultAction::kIoError;
+  r.scope = FaultOp::kWrite;
+  r.count = 4;
+  injector_->Arm(r);
+
+  // Filling one region forces a flush; the flush fails, the region's items
+  // are dropped, and the Set path itself reports success (degraded mode).
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        cache_->Set("k" + std::to_string(i), std::string(30 * kKiB, 'x')).ok());
+  }
+  EXPECT_GE(cache_->stats().flush_failures, 1u);
+  EXPECT_GE(cache_->stats().region_lost, 1u);
+  // A transient write error does not retire the slot.
+  EXPECT_EQ(cache_->stats().retired_regions, 0u);
+
+  // After the fault burst the cache seals regions normally again.
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        cache_->Set("r" + std::to_string(i), std::string(30 * kKiB, 'y')).ok());
+  }
+  EXPECT_GT(cache_->stats().flushed_regions, 0u);
+}
+
+TEST_F(CacheFaultTest, TransientReadErrorIsAMissAndKeepsTheItem) {
+  FillRegions(2);
+  // Find a key that is served from flash (not the open buffer).
+  // After FillRegions all earlier keys live in sealed regions.
+  FaultRule r;
+  r.action = FaultAction::kIoError;
+  r.scope = FaultOp::kRead;
+  injector_->Arm(r);
+
+  auto g1 = cache_->Get("key0");
+  ASSERT_TRUE(g1.ok());
+  EXPECT_FALSE(g1->hit);  // transient failure served as a miss
+  EXPECT_EQ(cache_->stats().read_errors, 1u);
+  EXPECT_EQ(cache_->stats().region_lost, 0u);  // not treated as data loss
+
+  auto g2 = cache_->Get("key0");
+  ASSERT_TRUE(g2.ok());
+  EXPECT_TRUE(g2->hit);  // the item survived the transient error
+}
+
+// ----------------------------------------------------- f2fslite handling ----
+
+class F2fsFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    injector_ = std::make_unique<FaultInjector>(FaultPlan{});
+    zns::ZnsConfig zc;
+    zc.zone_count = 12;
+    zc.zone_size = 256 * kKiB;
+    zc.zone_capacity = 256 * kKiB;
+    zc.max_open_zones = 8;
+    zc.max_active_zones = 10;
+    zc.faults = injector_.get();
+    dev_ = std::make_unique<zns::ZnsDevice>(zc, &clock_);
+    f2fslite::F2fsConfig fc;
+    fc.min_free_zones = 2;
+    fs_ = std::make_unique<f2fslite::F2fsLite>(fc, dev_.get());
+    ASSERT_TRUE(fs_->CreateFile(fs_->MaxFileBytes()).ok());
+  }
+
+  sim::VirtualClock clock_;
+  std::unique_ptr<FaultInjector> injector_;
+  std::unique_ptr<zns::ZnsDevice> dev_;
+  std::unique_ptr<f2fslite::F2fsLite> fs_;
+};
+
+TEST_F(F2fsFaultTest, WriteRetriesOnLogZoneFailure) {
+  ASSERT_TRUE(fs_->Pwrite(0, Bytes(16 * kKiB, 'a')).ok());
+  FaultRule r;
+  r.action = FaultAction::kIoError;
+  r.scope = FaultOp::kWrite;
+  injector_->Arm(r);
+  // The failed append abandons the log zone and retries elsewhere; the
+  // host-visible write succeeds.
+  auto w = fs_->Pwrite(32 * kKiB, Bytes(16 * kKiB, 'b'));
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  EXPECT_GE(fs_->stats().write_retries, 1u);
+  std::vector<std::byte> out(16 * kKiB);
+  ASSERT_TRUE(fs_->Pread(32 * kKiB, out).ok());
+  EXPECT_EQ(out[0], std::byte('b'));
+}
+
+TEST_F(F2fsFaultTest, OfflineZoneBlocksReadAsNotFoundHoles) {
+  // Fill several zones' worth of file data.
+  const u64 chunk = 64 * kKiB;
+  const u64 chunks = (3 * 256 * kKiB) / chunk;  // ~3 zones of data
+  for (u64 i = 0; i < chunks; ++i) {
+    ASSERT_TRUE(fs_->Pwrite(i * chunk, Bytes(chunk, 'f')).ok());
+  }
+  // Zone 0 is metadata; zone 1 holds early file blocks.
+  ASSERT_TRUE(dev_->TransitionZone(1, zns::ZoneState::kOffline).ok());
+
+  u64 holes = 0, served = 0;
+  std::vector<std::byte> out(chunk);
+  for (u64 i = 0; i < chunks; ++i) {
+    auto rd = fs_->Pread(i * chunk, out);
+    if (rd.ok()) {
+      served++;
+      EXPECT_EQ(out[0], std::byte('f'));
+    } else {
+      EXPECT_EQ(rd.status().code(), StatusCode::kNotFound) << "chunk " << i;
+      holes++;
+    }
+  }
+  EXPECT_GT(holes, 0u);
+  EXPECT_GT(served, 0u);
+  EXPECT_GT(fs_->stats().lost_blocks, 0u);
+
+  // A hole can be rewritten: the data lands in a healthy zone and the read
+  // succeeds again (the cache-on-top refills exactly this way).
+  for (u64 i = 0; i < chunks; ++i) {
+    ASSERT_TRUE(fs_->Pwrite(i * chunk, Bytes(chunk, 'g')).ok());
+    ASSERT_TRUE(fs_->Pread(i * chunk, out).ok());
+    EXPECT_EQ(out[0], std::byte('g'));
+  }
+}
+
+}  // namespace
+}  // namespace zncache
