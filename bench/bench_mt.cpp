@@ -1,0 +1,315 @@
+// Thread-scaling benchmark for the sharded concurrent front-end.
+//
+// Replays the CacheBench-style Zipf mix (50% get / 30% set / 20% delete)
+// from T host threads against a ShardedCache with T shards, for every
+// scheme, sweeping T over powers of two. Two throughput numbers come out:
+//   * wall ops/s   — real host time for the replay; the scaling metric.
+//     One open zone per shard means shard flushes stripe across zones, so
+//     wall throughput should scale with threads on a multi-core host.
+//   * modeled Mops/min — ops over elapsed *virtual* time. The shared
+//     virtual clock accumulates every thread's modeled CPU + I/O cost, so
+//     this measures total simulated work, not parallel completion time; it
+//     is reported for cross-checking against the serial figures.
+// Emits BENCH_mt.json (per-run table) and, via BenchObs, bench_mt.metrics
+// .json with the per-shard contention counters ("cache.s<i>.lock_waits",
+// ".lock_wait_ns", ".shard_ops") and the shard-imbalance gauge.
+//
+// Usage: bench_mt [ops] [max_threads]   (defaults: 400000 ops, 8 threads)
+//
+// The acceptance target (threads=8/shards=8 at least 3x the 1/1 wall
+// throughput on Zone- and Region-Cache, hit ratio within 0.5pp) needs a
+// multi-core host; on fewer cores the binary reports the numbers and notes
+// that scaling cannot be demonstrated, without failing.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cache/sharded_cache.h"
+#include "common/random.h"
+#include "workload/cachebench.h"
+
+namespace zncache {
+namespace {
+
+using backends::MakeShardedScheme;
+using backends::SchemeKind;
+using backends::SchemeParams;
+using backends::ShardedSchemeInstance;
+
+struct MtConfig {
+  u64 ops = 400'000;      // measured ops, after warmup
+  u64 warmup_ops = 100'000;
+  u64 key_space = 85'000;
+  double zipf_theta = 0.85;
+  u64 value_min = 4 * kKiB;
+  u64 value_max = 32 * kKiB;
+  u64 seed = 42;
+};
+
+struct MtResult {
+  u32 threads = 0;
+  u32 shards = 0;
+  u64 measured_ops = 0;
+  double wall_ops_per_sec = 0;
+  double modeled_mops_per_min = 0;
+  double hit_ratio = 0;
+  double wa_factor = 0;
+  cache::ShardContentionStats contention;
+  double imbalance = 1.0;
+};
+
+// Deterministic per-key value size, log-uniform in [value_min, value_max]
+// regardless of which thread touches the key (so every thread count moves
+// the same byte volume).
+u64 ValueSizeFor(u64 key_id, const MtConfig& cfg) {
+  u64 z = key_id + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  const double ratio = static_cast<double>(cfg.value_max) /
+                       static_cast<double>(cfg.value_min);
+  return static_cast<u64>(static_cast<double>(cfg.value_min) *
+                          std::pow(ratio, u));
+}
+
+// One thread's share of the replay. Each thread owns its RNG and Zipf
+// generator (seeded by thread id) and a scratch value buffer; all threads
+// share the cache and its virtual clock.
+void ReplayThread(cache::ShardedCache* c, const MtConfig& cfg, u64 ops,
+                  u64 seed, Status* error) {
+  Rng rng(seed);
+  ZipfianGenerator zipf(cfg.key_space, cfg.zipf_theta);
+  std::vector<char> scratch(cfg.value_max, 'v');
+  for (u64 i = 0; i < ops; ++i) {
+    const u64 key_id = zipf.Next(rng);
+    const std::string key = workload::CacheBenchRunner::KeyName(key_id);
+    const double op = rng.NextDouble();
+    Result<cache::OpResult> r = [&] {
+      if (op < 0.5) {
+        auto got = c->Get(key);
+        if (got.ok() && !got->hit) {
+          // Look-aside refill, as in CacheBench.
+          const u64 sz = ValueSizeFor(key_id, cfg);
+          return c->Set(key, std::string_view(scratch.data(), sz));
+        }
+        return got;
+      }
+      if (op < 0.8) {
+        const u64 sz = ValueSizeFor(key_id, cfg);
+        return c->Set(key, std::string_view(scratch.data(), sz));
+      }
+      return c->Delete(key);
+    }();
+    if (!r.ok()) {
+      *error = r.status();
+      return;
+    }
+  }
+}
+
+Status Replay(cache::ShardedCache* c, const MtConfig& cfg, u64 total_ops,
+              u32 threads, u64 seed_base) {
+  std::vector<std::thread> pool;
+  std::vector<Status> errors(threads, Status::Ok());
+  const u64 per_thread = total_ops / threads;
+  for (u32 t = 0; t < threads; ++t) {
+    const u64 ops =
+        t + 1 == threads ? total_ops - per_thread * (threads - 1) : per_thread;
+    pool.emplace_back(ReplayThread, c, std::cref(cfg), ops, seed_base + t,
+                      &errors[t]);
+  }
+  for (auto& th : pool) th.join();
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Result<MtResult> RunOne(SchemeKind kind, const MtConfig& cfg, u32 threads,
+                        bench::BenchObs& obs) {
+  sim::VirtualClock clock;
+  SchemeParams params;
+  params.metrics = obs.metrics();
+  params.tracer = obs.tracer();
+  params.zone_size = bench::kZoneSize;
+  params.region_size = bench::kRegionSize;
+  params.min_empty_zones = 2;
+  params.cache_config.policy = cache::EvictionPolicy::kLru;
+  params.cache_config.lru_sample = 512;
+  params.cache_config.index_reserve = cfg.key_space;
+  params.cache_bytes = kind == SchemeKind::kZone ? 25 * bench::kZoneSize
+                                                 : 20 * bench::kZoneSize;
+  params.device_zones = kind == SchemeKind::kRegion ? 25 : 0;
+  params.shards = threads;
+  auto scheme = MakeShardedScheme(kind, params, &clock);
+  if (!scheme.ok()) return scheme.status();
+
+  ZN_RETURN_IF_ERROR(
+      Replay(scheme->cache.get(), cfg, cfg.warmup_ops, threads, cfg.seed));
+  const cache::CacheStats warm = scheme->cache->TotalStats();
+  const SimNanos sim_start = clock.Now();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  ZN_RETURN_IF_ERROR(Replay(scheme->cache.get(), cfg, cfg.ops, threads,
+                            cfg.seed + threads));
+  const double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  const cache::CacheStats done = scheme->cache->TotalStats();
+  const SimNanos sim_ns = clock.Now() - sim_start;
+
+  MtResult out;
+  out.threads = threads;
+  out.shards = scheme->cache->shard_count();
+  out.measured_ops = cfg.ops;
+  out.wall_ops_per_sec =
+      wall_sec > 0 ? static_cast<double>(cfg.ops) / wall_sec : 0;
+  out.modeled_mops_per_min =
+      sim_ns > 0 ? static_cast<double>(cfg.ops) /
+                       (static_cast<double>(sim_ns) / 6e10) / 1e6
+                 : 0;
+  const u64 gets = done.gets - warm.gets;
+  out.hit_ratio = gets == 0 ? 0
+                            : static_cast<double>(done.hits - warm.hits) /
+                                  static_cast<double>(gets);
+  out.wa_factor = scheme->WaFactor();
+  out.contention = scheme->cache->TotalContention();
+  out.imbalance = scheme->cache->ShardImbalance();
+  return out;
+}
+
+std::string JsonForRuns(
+    const std::vector<std::pair<std::string, MtResult>>& runs, u32 cores) {
+  std::string out = "{\"bench\":\"bench_mt\",\"host_cores\":" +
+                    std::to_string(cores) + ",\"runs\":{";
+  bool first = true;
+  for (const auto& [name, r] : runs) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + obs::JsonEscape(name) + "\":{";
+    out += "\"threads\":" + std::to_string(r.threads);
+    out += ",\"shards\":" + std::to_string(r.shards);
+    out += ",\"measured_ops\":" + std::to_string(r.measured_ops);
+    out += ",\"wall_ops_per_sec\":" + obs::JsonNum(r.wall_ops_per_sec);
+    out += ",\"modeled_mops_per_min\":" + obs::JsonNum(r.modeled_mops_per_min);
+    out += ",\"hit_ratio\":" + obs::JsonNum(r.hit_ratio);
+    out += ",\"wa_factor\":" + obs::JsonNum(r.wa_factor);
+    out += ",\"lock_waits\":" + std::to_string(r.contention.lock_waits);
+    out += ",\"lock_wait_ns\":" + std::to_string(r.contention.lock_wait_ns);
+    out += ",\"shard_ops\":" + std::to_string(r.contention.ops);
+    out += ",\"shard_imbalance\":" + obs::JsonNum(r.imbalance);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+bool WriteWholeFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && wrote;
+}
+
+int Run(int argc, char** argv) {
+  using namespace bench;
+  MtConfig cfg;
+  u32 max_threads = 8;
+  if (argc > 1) cfg.ops = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) {
+    max_threads = static_cast<u32>(std::strtoul(argv[2], nullptr, 10));
+  }
+  if (cfg.ops == 0 || max_threads == 0) {
+    std::fprintf(stderr, "usage: bench_mt [ops] [max_threads]\n");
+    return 1;
+  }
+  cfg.warmup_ops = cfg.ops / 4;
+
+  const u32 cores = std::thread::hardware_concurrency();
+  PrintHeader("Thread scaling: sharded front-end over multiple open zones");
+  std::printf("host cores: %u, ops/run: %llu, threads = shards, sweep to "
+              "%u\n",
+              cores, static_cast<unsigned long long>(cfg.ops), max_threads);
+  if (cores < max_threads) {
+    std::printf("note: fewer cores than threads; wall-clock scaling cannot "
+                "be demonstrated on this host\n");
+  }
+  std::printf("%-14s %3s %3s %14s %10s %14s %9s %10s %11s\n", "Scheme", "T",
+              "S", "wall ops/s", "speedup", "model Mops/m", "HitRatio",
+              "LockWaits", "Imbalance");
+  PrintRule();
+
+  BenchObs obs("bench_mt");
+  std::vector<std::pair<std::string, MtResult>> runs;
+  const SchemeKind kinds[] = {SchemeKind::kRegion, SchemeKind::kZone,
+                              SchemeKind::kFile, SchemeKind::kBlock};
+  for (SchemeKind kind : kinds) {
+    double base_wall = 0;
+    double base_hit = 0;
+    for (u32 threads = 1; threads <= max_threads; threads *= 2) {
+      const std::string run_name = std::string(SchemeName(kind)) + "/t" +
+                                   std::to_string(threads);
+      obs.BeginRun(run_name);
+      auto r = RunOne(kind, cfg, threads, obs);
+      obs.EndRun();
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", run_name.c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      if (threads == 1) {
+        base_wall = r->wall_ops_per_sec;
+        base_hit = r->hit_ratio;
+      }
+      const double speedup =
+          base_wall > 0 ? r->wall_ops_per_sec / base_wall : 0;
+      std::printf("%-14s %3u %3u %14.0f %9.2fx %14.3f %9.4f %10llu %11.3f\n",
+                  std::string(SchemeName(kind)).c_str(), r->threads,
+                  r->shards, r->wall_ops_per_sec, speedup,
+                  r->modeled_mops_per_min, r->hit_ratio,
+                  static_cast<unsigned long long>(r->contention.lock_waits),
+                  r->imbalance);
+      if (threads == max_threads &&
+          (kind == SchemeKind::kRegion || kind == SchemeKind::kZone)) {
+        const double hit_delta = std::fabs(r->hit_ratio - base_hit);
+        std::printf("  -> %s @%ut/%us: %.2fx wall speedup, hit-ratio delta "
+                    "%.4f %s\n",
+                    std::string(SchemeName(kind)).c_str(), r->threads,
+                    r->shards, speedup, hit_delta,
+                    cores >= max_threads
+                        ? (speedup >= 3.0 && hit_delta <= 0.005 ? "[target "
+                                                                  "met]"
+                                                                : "[target "
+                                                                  "missed]")
+                        : "[host too small to judge]");
+      }
+      runs.emplace_back(run_name, *r);
+    }
+    PrintRule();
+  }
+
+  obs.WriteFiles();
+  const std::string json = JsonForRuns(runs, cores);
+  if (WriteWholeFile("BENCH_mt.json", json)) {
+    std::printf("[obs] wrote BENCH_mt.json (%zu runs)\n", runs.size());
+  } else {
+    std::fprintf(stderr, "failed writing BENCH_mt.json\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace zncache
+
+int main(int argc, char** argv) { return zncache::Run(argc, argv); }

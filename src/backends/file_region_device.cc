@@ -45,6 +45,7 @@ Status FileRegionDevice::CheckId(cache::RegionId id) const {
 
 Result<cache::RegionIo> FileRegionDevice::WriteRegion(
     cache::RegionId id, std::span<const std::byte> data, sim::IoMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
   ZN_RETURN_IF_ERROR(CheckId(id));
   if (data.size() > config_.region_size) {
     return Status::InvalidArgument("payload exceeds region size");
@@ -66,6 +67,7 @@ Result<cache::RegionIo> FileRegionDevice::WriteRegion(
 Result<cache::RegionIo> FileRegionDevice::ReadRegion(cache::RegionId id,
                                                      u64 offset,
                                                      std::span<std::byte> out) {
+  std::lock_guard<std::mutex> lock(mu_);
   ZN_RETURN_IF_ERROR(CheckId(id));
   if (offset + out.size() > config_.region_size) {
     return Status::OutOfRange("read beyond region");

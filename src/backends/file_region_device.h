@@ -2,9 +2,15 @@
 // F2FS-like filesystem over a ZNS SSD (Figure 1(a)). Fully transparent —
 // and it pays the filesystem's mapping overhead, OP reservation, and
 // segment-cleaning WA for the convenience.
+//
+// Thread-safety: one adapter-wide mutex serializes region ops — the
+// filesystem layer underneath keeps per-file cursors and this adapter
+// shares one bounce buffer, so File-Cache has no intra-device parallelism
+// (matching the paper: its problems are overhead, not lack of threads).
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "cache/region_device.h"
 #include "f2fslite/f2fs_lite.h"
@@ -51,6 +57,7 @@ class FileRegionDevice final : public cache::RegionDevice {
   FileRegionDeviceConfig config_;
   std::unique_ptr<zns::ZnsDevice> zns_;
   std::unique_ptr<f2fslite::F2fsLite> fs_;
+  std::mutex mu_;                   // serializes fs_ access and scratch_ use
   std::vector<std::byte> scratch_;  // block-alignment bounce buffer
   // Live views over wa_stats(); providers cleared in the destructor
   // because the registry may outlive this device.

@@ -1,5 +1,6 @@
 #include "backends/schemes.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace zncache::backends {
@@ -29,17 +30,11 @@ u64 DeriveZones(u64 payload_bytes, u64 zone_size, double op_ratio,
   return static_cast<u64>(std::ceil(raw)) + extra_zones;
 }
 
-}  // namespace
-
-Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
-                                  sim::VirtualClock* clock) {
-  if (params.cache_bytes == 0) {
-    return Status::InvalidArgument("cache_bytes must be set");
-  }
-  SchemeInstance out;
-  out.kind = kind;
-  out.name = std::string(SchemeName(kind));
-
+// Device stack for one scheme (shared by the single-engine and sharded
+// assemblies).
+Result<std::unique_ptr<cache::RegionDevice>> MakeDevice(
+    SchemeKind kind, const SchemeParams& params, sim::VirtualClock* clock) {
+  std::unique_ptr<cache::RegionDevice> out;
   switch (kind) {
     case SchemeKind::kBlock: {
       BlockRegionDeviceConfig c;
@@ -52,7 +47,7 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
       c.ssd.gc_interference_factor = params.block_gc_interference;
       c.ssd.store_data = params.store_data || params.persistent;
       c.ssd.faults = params.faults;
-      out.device = std::make_unique<BlockRegionDevice>(c, clock);
+      out = std::make_unique<BlockRegionDevice>(c, clock);
       break;
     }
     case SchemeKind::kFile: {
@@ -81,7 +76,7 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
                             params.file_min_free_zones + 3);
       auto dev = std::make_unique<FileRegionDevice>(c, clock);
       ZN_RETURN_IF_ERROR(dev->Init());
-      out.device = std::move(dev);
+      out = std::move(dev);
       break;
     }
     case SchemeKind::kZone: {
@@ -101,7 +96,7 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
         return Status::InvalidArgument(
             "Zone-Cache needs at least two zone-sized regions");
       }
-      out.device = std::make_unique<ZoneRegionDevice>(c, clock);
+      out = std::make_unique<ZoneRegionDevice>(c, clock);
       break;
     }
     case SchemeKind::kRegion: {
@@ -131,10 +126,26 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
       c.middle.persist_headers = params.persistent;
       auto dev = std::make_unique<MiddleRegionDevice>(c, clock);
       ZN_RETURN_IF_ERROR(dev->Init());
-      out.device = std::move(dev);
+      out = std::move(dev);
       break;
     }
   }
+  return out;
+}
+
+}  // namespace
+
+Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
+                                  sim::VirtualClock* clock) {
+  if (params.cache_bytes == 0) {
+    return Status::InvalidArgument("cache_bytes must be set");
+  }
+  SchemeInstance out;
+  out.kind = kind;
+  out.name = std::string(SchemeName(kind));
+  auto device = MakeDevice(kind, params, clock);
+  if (!device.ok()) return device.status();
+  out.device = std::move(*device);
 
   cache::FlashCacheConfig cache_config = params.cache_config;
   cache_config.store_values = params.store_data || params.persistent;
@@ -147,6 +158,59 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
   if (kind == SchemeKind::kRegion && params.hint_cold_age > 0) {
     out.hints = std::make_unique<CacheHintAdapter>(out.cache.get(),
                                                    params.hint_cold_age);
+    static_cast<MiddleRegionDevice*>(out.device.get())
+        ->layer()
+        .set_hint_provider(out.hints.get());
+  }
+  return out;
+}
+
+Result<ShardedSchemeInstance> MakeShardedScheme(SchemeKind kind,
+                                                const SchemeParams& params,
+                                                sim::VirtualClock* clock) {
+  if (params.cache_bytes == 0) {
+    return Status::InvalidArgument("cache_bytes must be set");
+  }
+  const u32 shards = params.shards == 0 ? 1 : params.shards;
+
+  SchemeParams p = params;
+  if (kind == SchemeKind::kRegion) {
+    // One open zone per shard (the shard → zone mapping): each shard's
+    // region flushes land in their own zone via the translation layer's
+    // round-robin over the open set. Clamped to the device's limit.
+    p.open_zones =
+        std::min(std::max(params.open_zones, shards), params.max_open_zones);
+  }
+
+  ShardedSchemeInstance out;
+  out.kind = kind;
+  out.name = std::string(SchemeName(kind));
+  auto device = MakeDevice(kind, p, clock);
+  if (!device.ok()) return device.status();
+  out.device = std::move(*device);
+
+  if (out.device->region_count() < 2 * static_cast<u64>(shards)) {
+    return Status::InvalidArgument(
+        "sharded scheme needs at least two regions per shard");
+  }
+
+  cache::ShardedCacheConfig cc;
+  cc.shards = shards;
+  cc.engine = p.cache_config;
+  cc.engine.store_values = p.store_data || p.persistent;
+  cc.engine.persistent = p.persistent;
+  cc.engine.metrics = p.metrics;
+  cc.engine.tracer = p.tracer;
+  out.cache = std::make_unique<cache::ShardedCache>(cc, out.device.get(),
+                                                    clock);
+
+  // Hinted GC only in serial mode: the hint callback fires under the
+  // middle layer's exclusive lock and purges an engine's index, which
+  // against another shard (whose thread may hold its shard lock while
+  // waiting on the layer) would invert the shard → layer lock order.
+  if (kind == SchemeKind::kRegion && p.hint_cold_age > 0 && shards == 1) {
+    out.hints = std::make_unique<CacheHintAdapter>(&out.cache->shard(0),
+                                                   p.hint_cold_age);
     static_cast<MiddleRegionDevice*>(out.device.get())
         ->layer()
         .set_hint_provider(out.hints.get());

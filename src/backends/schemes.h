@@ -13,6 +13,7 @@
 #include "backends/middle_region_device.h"
 #include "backends/zone_region_device.h"
 #include "cache/flash_cache.h"
+#include "cache/sharded_cache.h"
 
 namespace zncache::backends {
 
@@ -63,6 +64,12 @@ struct SchemeParams {
   u32 max_open_zones = 14;  // ZN540-like
   cache::FlashCacheConfig cache_config;
 
+  // Sharded front-end width (MakeShardedScheme only; MakeScheme ignores
+  // it). Region-Cache opens max(open_zones, shards) zones — clamped to
+  // max_open_zones — so every shard can have a flush in flight against
+  // its own zone.
+  u32 shards = 1;
+
   // Observability sinks, forwarded into every layer of the assembled
   // scheme; nullptr selects the process-wide defaults.
   obs::Registry* metrics = nullptr;
@@ -89,5 +96,24 @@ struct SchemeInstance {
 
 Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
                                   sim::VirtualClock* clock);
+
+// A scheme assembled behind the sharded concurrent front-end. The device
+// stack is identical to MakeScheme's; the single engine is replaced by
+// `params.shards` lock-striped engines over disjoint slot ranges.
+struct ShardedSchemeInstance {
+  SchemeKind kind{};
+  std::string name;
+  std::unique_ptr<cache::RegionDevice> device;
+  std::unique_ptr<cache::ShardedCache> cache;
+  // Hinted GC inverts the shard → middle-layer lock order, so it is wired
+  // only when shards == 1 (see docs/CONCURRENCY.md).
+  std::unique_ptr<CacheHintAdapter> hints;
+
+  double WaFactor() const { return device->wa_stats().Factor(); }
+};
+
+Result<ShardedSchemeInstance> MakeShardedScheme(SchemeKind kind,
+                                                const SchemeParams& params,
+                                                sim::VirtualClock* clock);
 
 }  // namespace zncache::backends

@@ -199,6 +199,7 @@ bool BlockSsd::ProgramPage(u64 lpn, bool is_gc) {
 
 Result<IoResult> BlockSsd::Write(u64 offset, std::span<const std::byte> data,
                                  sim::IoMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (data.empty()) return Status::InvalidArgument("empty write");
   if (offset + data.size() > config_.logical_capacity) {
     return Status::OutOfRange("write beyond device capacity");
@@ -258,6 +259,7 @@ Result<IoResult> BlockSsd::Write(u64 offset, std::span<const std::byte> data,
 
 Result<IoResult> BlockSsd::Read(u64 offset, std::span<std::byte> out,
                                 sim::IoMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (out.empty()) return Status::InvalidArgument("empty read");
   if (offset + out.size() > config_.logical_capacity) {
     return Status::OutOfRange("read beyond device capacity");
@@ -287,6 +289,7 @@ Result<IoResult> BlockSsd::Read(u64 offset, std::span<std::byte> out,
 }
 
 Status BlockSsd::Trim(u64 offset, u64 length) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (offset + length > config_.logical_capacity) {
     return Status::OutOfRange("trim beyond device capacity");
   }

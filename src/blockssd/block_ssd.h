@@ -17,8 +17,14 @@
 // The device keeps `op_ratio` additional physical space (regular SSDs ship
 // with ~7% OP); the hardware-compatible ZNS device exposes that space to the
 // host instead, which is where Zone-Cache's hit-ratio advantage comes from.
+//
+// Thread-safety: one device-wide mutex around Write/Read/Trim. The FTL's
+// mapping tables, GC state, and drip-fed occupancy are all interdependent,
+// so there is no useful shared/read path; Block-Cache has no multi-open-zone
+// parallelism to exploit anyway (the paper's scaling claim is about ZNS).
 #pragma once
 
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -106,10 +112,15 @@ class BlockSsd {
   Status Trim(u64 offset, u64 length);
 
   const BlockSsdConfig& config() const { return config_; }
+  // Cumulative counters, mutated under the device mutex — read at quiescent
+  // points for exact totals.
   const BlockSsdStats& stats() const { return stats_; }
   u64 logical_capacity() const { return config_.logical_capacity; }
 
-  u64 free_blocks() const { return free_blocks_; }
+  u64 free_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_blocks_;
+  }
   u64 total_blocks() const { return blocks_.size(); }
 
   sim::ServiceTimer& timer() { return timer_; }
@@ -138,6 +149,8 @@ class BlockSsd {
 
   BlockSsdConfig config_;
   sim::ServiceTimer timer_;
+  // Guards the FTL state (mapping tables, blocks, GC cursors, stats).
+  mutable std::mutex mu_;
   std::vector<u64> l2p_;           // logical page -> physical page (kUnmapped)
   std::vector<u64> p2l_;           // physical page -> logical page
   std::vector<Block> blocks_;

@@ -18,29 +18,33 @@ FlashCache::FlashCache(const FlashCacheConfig& config, RegionDevice* device,
   if (config_.store_values) {
     open_buffer_.resize(device_->region_size());
   }
+  if (config_.index_reserve > 0) {
+    index_.reserve(config_.index_reserve);
+  }
 
   tracer_ = obs::ResolveTracer(config_.tracer);
   obs::Registry* reg = config_.metrics;
-  c_gets_ = obs::GetCounterOrSink(reg, "cache.gets");
-  c_hits_ = obs::GetCounterOrSink(reg, "cache.hits");
-  c_sets_ = obs::GetCounterOrSink(reg, "cache.sets");
-  c_deletes_ = obs::GetCounterOrSink(reg, "cache.deletes");
-  c_set_bytes_ = obs::GetCounterOrSink(reg, "cache.set_bytes");
-  c_evicted_regions_ = obs::GetCounterOrSink(reg, "cache.evicted_regions");
-  c_evicted_items_ = obs::GetCounterOrSink(reg, "cache.evicted_items");
-  c_reinserted_items_ = obs::GetCounterOrSink(reg, "cache.reinserted_items");
-  c_admission_rejects_ = obs::GetCounterOrSink(reg, "cache.admission_rejects");
-  c_dropped_regions_ = obs::GetCounterOrSink(reg, "cache.dropped_regions");
-  c_dropped_items_ = obs::GetCounterOrSink(reg, "cache.dropped_items");
-  c_flushed_regions_ = obs::GetCounterOrSink(reg, "cache.flushed_regions");
-  c_rejected_sets_ = obs::GetCounterOrSink(reg, "cache.rejected_sets");
-  c_region_lost_ = obs::GetCounterOrSink(reg, "cache.region_lost");
-  c_lost_items_ = obs::GetCounterOrSink(reg, "cache.lost_items");
-  c_flush_failures_ = obs::GetCounterOrSink(reg, "cache.flush_failures");
-  c_read_errors_ = obs::GetCounterOrSink(reg, "cache.read_errors");
-  g_retired_regions_ = obs::GetGaugeOrSink(reg, "cache.retired_regions");
-  h_lookup_latency_ = obs::GetHistogramOrSink(reg, "cache.lookup_latency_ns");
-  h_set_latency_ = obs::GetHistogramOrSink(reg, "cache.set_latency_ns");
+  const std::string& p = config_.metric_prefix;
+  c_gets_ = obs::GetCounterOrSink(reg, p + ".gets");
+  c_hits_ = obs::GetCounterOrSink(reg, p + ".hits");
+  c_sets_ = obs::GetCounterOrSink(reg, p + ".sets");
+  c_deletes_ = obs::GetCounterOrSink(reg, p + ".deletes");
+  c_set_bytes_ = obs::GetCounterOrSink(reg, p + ".set_bytes");
+  c_evicted_regions_ = obs::GetCounterOrSink(reg, p + ".evicted_regions");
+  c_evicted_items_ = obs::GetCounterOrSink(reg, p + ".evicted_items");
+  c_reinserted_items_ = obs::GetCounterOrSink(reg, p + ".reinserted_items");
+  c_admission_rejects_ = obs::GetCounterOrSink(reg, p + ".admission_rejects");
+  c_dropped_regions_ = obs::GetCounterOrSink(reg, p + ".dropped_regions");
+  c_dropped_items_ = obs::GetCounterOrSink(reg, p + ".dropped_items");
+  c_flushed_regions_ = obs::GetCounterOrSink(reg, p + ".flushed_regions");
+  c_rejected_sets_ = obs::GetCounterOrSink(reg, p + ".rejected_sets");
+  c_region_lost_ = obs::GetCounterOrSink(reg, p + ".region_lost");
+  c_lost_items_ = obs::GetCounterOrSink(reg, p + ".lost_items");
+  c_flush_failures_ = obs::GetCounterOrSink(reg, p + ".flush_failures");
+  c_read_errors_ = obs::GetCounterOrSink(reg, p + ".read_errors");
+  g_retired_regions_ = obs::GetGaugeOrSink(reg, p + ".retired_regions");
+  h_lookup_latency_ = obs::GetHistogramOrSink(reg, p + ".lookup_latency_ns");
+  h_set_latency_ = obs::GetHistogramOrSink(reg, p + ".set_latency_ns");
 
   // Open the first region eagerly so Set never sees a missing buffer.
   (void)OpenNewRegion();
@@ -115,7 +119,6 @@ Status FlashCache::FlushOpenRegion() {
     return Status::Ok();
   }
   std::span<const std::byte> payload;
-  std::vector<std::byte> zeros;
   const u64 next_seal_seq = seal_counter_ + 1;
   if (config_.persistent) {
     // Serialize the item table into the tail reserve and persist the whole
@@ -139,8 +142,11 @@ Status FlashCache::FlushOpenRegion() {
   } else if (config_.store_values) {
     payload = std::span<const std::byte>(open_buffer_.data(), m.used);
   } else {
-    zeros.resize(m.used);
-    payload = std::span<const std::byte>(zeros);
+    // Grown once to the largest flush seen (bounded by the region size) and
+    // reused: this path runs on every region seal, so a fresh allocation
+    // per flush would dominate the store_values=false benchmarks.
+    if (zero_scratch_.size() < m.used) zero_scratch_.resize(m.used);
+    payload = std::span<const std::byte>(zero_scratch_.data(), m.used);
   }
   auto w = device_->WriteRegion(open_rid_, payload, sim::IoMode::kBackground);
   if (!w.ok()) {
@@ -333,7 +339,7 @@ Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out) {
   stats_.gets++;
   c_gets_->Inc();
 
-  auto it = index_.find(std::string(key));
+  auto it = index_.find(key);
   if (it == index_.end()) {
     h_lookup_latency_->Record(clock_->Now() - start);
     return OpResult{false, clock_->Now() - start};
@@ -390,7 +396,11 @@ Result<OpResult> FlashCache::Delete(std::string_view key) {
   Cpu(config_.index_op_ns);
   stats_.deletes++;
   c_deletes_->Inc();
-  const bool found = index_.erase(std::string(key)) > 0;
+  // Heterogeneous find + erase-by-iterator: no temporary std::string
+  // (unordered_map::erase(key) is not transparent until C++23).
+  auto it = index_.find(key);
+  const bool found = it != index_.end();
+  if (found) index_.erase(it);
   return OpResult{found, clock_->Now() - start};
 }
 

@@ -21,9 +21,11 @@
 // foreground mode). A bounded number of in-flight flush buffers provides
 // write backpressure, as in CacheLib.
 //
-// Thread-compatibility: instances are confined to one simulation thread
-// (the virtual clock is not synchronized); different instances are
-// independent.
+// Thread-compatibility: an instance is not internally synchronized — it is
+// either confined to one thread or externally locked (ShardedCache guards
+// each engine with its shard mutex). The layers underneath (virtual clock,
+// region devices, metrics) are thread-safe, so independently-locked
+// instances can run concurrently over a shared backend.
 #pragma once
 
 #include <deque>
@@ -37,6 +39,7 @@
 
 #include "cache/region_device.h"
 #include "cache/region_footer.h"
+#include "common/hash.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -92,6 +95,13 @@ struct FlashCacheConfig {
   // any) in place. Trades hit ratio for flash write volume.
   double admit_probability = 1.0;
   u64 admission_seed = 99;
+  // Pre-size the DRAM index for this many entries, so the hot path never
+  // pays a rehash. 0 = grow on demand. ShardedCache sets a per-shard share.
+  u64 index_reserve = 0;
+  // Metric name prefix. Sharded front-ends give each shard engine its own
+  // prefix ("cache.s3") so per-shard counters live on distinct cache lines
+  // instead of contending on one shared atomic.
+  std::string metric_prefix = "cache";
   // Observability sinks; nullptr selects the process-wide defaults.
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
@@ -236,9 +246,14 @@ class FlashCache {
   u64 recovered_items_ = 0;
   u64 recovered_regions_ = 0;
 
-  std::unordered_map<std::string, IndexEntry> index_;
+  // Transparent hash/equal: Get/Delete look up by string_view without
+  // allocating a temporary std::string per call.
+  std::unordered_map<std::string, IndexEntry, TransparentStringHash,
+                     TransparentStringEq>
+      index_;
   std::vector<RegionMeta> regions_;
   std::vector<std::byte> open_buffer_;
+  std::vector<std::byte> zero_scratch_;  // reusable evict-path zero payload
   RegionId open_rid_ = kInvalidId;
   u64 seal_counter_ = 0;
   u64 access_seq_ = 0;

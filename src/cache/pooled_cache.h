@@ -38,6 +38,12 @@ class RegionDeviceSlice final : public RegionDevice {
     return parent_->InvalidateRegion(base_ + id);
   }
   Status PumpBackground() override { return parent_->PumpBackground(); }
+  // Forwarded (the base-class default is always-true, which would hide a
+  // degraded slot from the engine that owns this slice).
+  bool RegionUsable(RegionId id) const override {
+    if (id >= count_) return false;
+    return parent_->RegionUsable(base_ + id);
+  }
 
   WaStats wa_stats() const override { return parent_->wa_stats(); }
   std::string name() const override {

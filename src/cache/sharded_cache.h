@@ -1,0 +1,120 @@
+// ShardedCache: a lock-striped concurrent front-end over FlashCache.
+//
+// The paper's middle layer keeps several zones open concurrently so the
+// host can write them in parallel; this front-end supplies the matching
+// parallelism above the index. The DRAM index is split into N shards by
+// key hash (FNV-1a, the same stable hash the pool router uses); each shard
+// owns a disjoint slot range of the backing RegionDevice — its own active
+// region and open buffer — so shards never contend on engine state, only
+// on the thread-safe layers underneath (virtual clock, translation layer,
+// device). On Region-Cache the scheme factory opens at least one zone per
+// shard and the translation layer round-robins region flushes over the
+// open set, which is exactly the shard→zone mapping the paper's design
+// calls for (see docs/CONCURRENCY.md).
+//
+// Locking: one std::mutex per shard, taken for the full engine call.
+// Acquisitions first try_lock; a failed attempt counts as a lock wait and
+// the blocked wall-clock (not simulated) nanoseconds are recorded into the
+// per-shard contention counters ("<prefix>.s<i>.lock_waits" /
+// ".lock_wait_ns" / ".shard_ops"). Lock order: shard mutex → middle layer
+// → device → tracer; nothing call back up into a shard, so the order is
+// acyclic. The hinted-GC co-design is the one exception — its callback
+// runs under the middle layer's exclusive lock and purges an engine's
+// index, which against a *different* shard's engine would invert the
+// order — so the scheme factory wires hints only when shards == 1.
+//
+// With shards == 1 the front-end is a pass-through: one engine over an
+// identity slice, same call sequence, same virtual-clock advances — results
+// are bit-identical to a bare FlashCache (the concurrency stress test
+// asserts this).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/flash_cache.h"
+#include "cache/pooled_cache.h"
+#include "common/hash.h"
+
+namespace zncache::cache {
+
+struct ShardedCacheConfig {
+  u32 shards = 4;
+  // Per-shard engine template. Two fields are reinterpreted per shard:
+  // `index_reserve` is the TOTAL expected item count and is split evenly
+  // across the shard tables, and `metric_prefix` gains a ".s<i>" suffix
+  // when shards > 1 so each shard's counters live on their own cache
+  // lines instead of contending on one shared atomic.
+  FlashCacheConfig engine;
+};
+
+// Front-end contention totals, aggregated across shards. Wall-clock, not
+// simulated: lock waits are a property of the real machine running the
+// replay, and the paper's scaling claims are about host-side parallelism.
+struct ShardContentionStats {
+  u64 ops = 0;          // engine calls routed through the shard locks
+  u64 lock_waits = 0;   // acquisitions that found the shard lock held
+  u64 lock_wait_ns = 0; // wall-clock nanoseconds spent blocked
+};
+
+class ShardedCache {
+ public:
+  // Slices `device` evenly across the shards (remainder slots go to the
+  // last shard). The device must have at least 2 regions per shard — the
+  // scheme factory validates this before construction.
+  ShardedCache(const ShardedCacheConfig& config, RegionDevice* device,
+               sim::VirtualClock* clock);
+  ~ShardedCache();
+
+  ShardedCache(const ShardedCache&) = delete;
+  ShardedCache& operator=(const ShardedCache&) = delete;
+
+  Result<OpResult> Set(std::string_view key, std::string_view value);
+  Result<OpResult> Get(std::string_view key, std::string* value_out = nullptr);
+  Result<OpResult> Delete(std::string_view key);
+
+  // Flush every shard's open buffer (end-of-run barrier for accounting).
+  Status Flush();
+
+  u32 shard_count() const { return static_cast<u32>(shards_.size()); }
+  // Direct engine access for tests and serial (shards == 1) hint wiring;
+  // not synchronized — only safe while no other thread is operating.
+  FlashCache& shard(u32 i) { return *shards_[i]->engine; }
+  // Which shard a key routes to (stable hash).
+  u32 ShardIndexFor(std::string_view key) const {
+    return static_cast<u32>(Fnv1a64(key) % shards_.size());
+  }
+
+  // Aggregated engine statistics across shards.
+  CacheStats TotalStats() const;
+  // Aggregated front-end contention counters.
+  ShardContentionStats TotalContention() const;
+  // Load imbalance: max per-shard op count over the mean (1.0 = perfectly
+  // balanced). Exported as the "<prefix>.shard_imbalance" gauge.
+  double ShardImbalance() const;
+
+ private:
+  // Cache-line sized so neighbouring shards' mutexes never false-share.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::unique_ptr<RegionDeviceSlice> slice;
+    std::unique_ptr<FlashCache> engine;
+    obs::Counter* c_ops = nullptr;
+    obs::Counter* c_lock_waits = nullptr;
+    obs::Counter* c_lock_wait_ns = nullptr;
+  };
+
+  Shard& ShardFor(std::string_view key) {
+    return *shards_[ShardIndexFor(key)];
+  }
+  // try_lock fast path; on contention, count the wait and block.
+  std::unique_lock<std::mutex> AcquireShard(Shard& s);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  obs::Gauge* g_imbalance_ = nullptr;  // provider cleared in the dtor
+};
+
+}  // namespace zncache::cache

@@ -18,4 +18,21 @@ constexpr u64 Fnv1a64(std::string_view data,
   return h;
 }
 
+// Heterogeneous (transparent) hash/equal for std::string-keyed hash maps:
+// lookups and erases take a std::string_view without materializing a
+// temporary std::string per call.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return static_cast<size_t>(Fnv1a64(s));
+  }
+};
+
+struct TransparentStringEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
 }  // namespace zncache

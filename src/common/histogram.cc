@@ -1,6 +1,7 @@
 #include "common/histogram.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdio>
 
@@ -33,11 +34,20 @@ u64 Histogram::BucketUpperBound(size_t bucket) {
 }
 
 void Histogram::Record(u64 value) {
-  buckets_[BucketFor(value)]++;
-  count_++;
-  sum_ += value;
-  min_ = std::min(min_, value);
-  max_ = std::max(max_, value);
+  std::atomic_ref<u64>(buckets_[BucketFor(value)])
+      .fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<u64>(count_).fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<u64>(sum_).fetch_add(value, std::memory_order_relaxed);
+  std::atomic_ref<u64> amin(min_);
+  u64 cur = amin.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !amin.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  std::atomic_ref<u64> amax(max_);
+  cur = amax.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !amax.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
 }
 
 void Histogram::Merge(const Histogram& other) {

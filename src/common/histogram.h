@@ -1,6 +1,13 @@
 // Log-bucketed latency histogram with percentile queries. Buckets grow
 // geometrically so that the full nanosecond..minutes range is covered with
 // bounded relative error and O(1) record cost.
+//
+// Thread-safety: Record() is lock-free — the bucket array has a fixed size
+// for the histogram's lifetime and every field update goes through
+// std::atomic_ref, so concurrent recorders never lose counts. Queries
+// (Percentile, ToJson, Merge, Reset, copy) read plain values and are meant
+// for quiescent points (end of run, sampler ticks); a query racing a
+// recorder sees a momentarily inconsistent but well-defined snapshot.
 #pragma once
 
 #include <cstddef>

@@ -22,6 +22,7 @@ SimNanos HddDevice::Cost(const sim::IoCost& cost, u64 offset, u64 bytes) {
 
 Result<IoResult> HddDevice::Read(u64 offset, std::span<std::byte> out,
                                  sim::IoMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (out.empty()) return Status::InvalidArgument("empty read");
   if (offset + out.size() > config_.capacity) {
     return Status::OutOfRange("read beyond capacity");
@@ -47,6 +48,7 @@ Result<IoResult> HddDevice::Read(u64 offset, std::span<std::byte> out,
 
 Result<IoResult> HddDevice::Write(u64 offset, std::span<const std::byte> data,
                                   sim::IoMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (data.empty()) return Status::InvalidArgument("empty write");
   if (offset + data.size() > config_.capacity) {
     return Status::OutOfRange("write beyond capacity");

@@ -3,8 +3,12 @@
 // Seagate ST6000NM0115. Only two properties matter for those experiments:
 // random reads cost milliseconds (so secondary-cache hit ratio dominates
 // throughput) and sequential transfers are cheap relative to positioning.
+//
+// Thread-safety: one device-wide mutex around Read/Write — a disk has a
+// single actuator, so there is no parallelism to model or expose.
 #pragma once
 
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -58,6 +62,8 @@ class HddDevice {
 
   HddConfig config_;
   sim::ServiceTimer timer_;
+  // Guards data_, head_pos_ and stats_.
+  mutable std::mutex mu_;
   std::vector<std::byte> data_;
   u64 head_pos_ = 0;  // byte offset the head is "parked" after
   HddStats stats_;

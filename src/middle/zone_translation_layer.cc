@@ -58,15 +58,18 @@ Status ZoneTranslationLayer::ValidateConfig() const {
 
 std::optional<RegionLocation> ZoneTranslationLayer::GetLocation(
     u64 region_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (region_id >= mapping_.size()) return std::nullopt;
   return mapping_[region_id];
 }
 
 bool ZoneTranslationLayer::IsSlotValid(u64 zone, u64 slot) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return zones_[zone].bitmap[slot];
 }
 
 u64 ZoneTranslationLayer::ZoneValidCount(u64 zone) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return zones_[zone].valid_count;
 }
 
@@ -159,7 +162,7 @@ Result<u64> ZoneTranslationLayer::AcquireWritableZone(bool for_gc) {
     return Status::NoSpace("GC found no empty zone to migrate into");
   }
   // Out of empty zones: force a GC cycle and retry once.
-  ZN_RETURN_IF_ERROR(MaybeCollect());
+  ZN_RETURN_IF_ERROR(MaybeCollectLocked());
   for (u64 z = 0; z < device_->zone_count(); ++z) {
     if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty) {
       open_zones_.push_back(z);
@@ -250,6 +253,7 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteWithRetry(
 
 Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
     u64 region_id, std::span<const std::byte> data, sim::IoMode mode) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (region_id >= config_.region_slots) {
     return Status::OutOfRange("region id beyond configured slots");
   }
@@ -269,43 +273,59 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
   c_host_region_writes_->Inc();
   c_host_bytes_->Inc(config_.region_size);
 
-  ZN_RETURN_IF_ERROR(MaybeCollect());
+  ZN_RETURN_IF_ERROR(MaybeCollectLocked());
   return r;
 }
 
 Result<RegionIoResult> ZoneTranslationLayer::ReadRegion(
     u64 region_id, u64 offset, std::span<std::byte> out) {
-  if (region_id >= config_.region_slots) {
-    return Status::OutOfRange("region id beyond configured slots");
+  // Fast path under the shared lock: lookup + device read. Holding the lock
+  // across the read keeps GC from migrating the region or resetting its
+  // zone while the read is in flight.
+  RegionLocation read_loc;
+  Status read_status = Status::Ok();
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (region_id >= config_.region_slots) {
+      return Status::OutOfRange("region id beyond configured slots");
+    }
+    const auto& loc = mapping_[region_id];
+    if (!loc) return Status::NotFound("region not mapped");
+    if (offset + out.size() > config_.region_size) {
+      return Status::OutOfRange("read beyond region");
+    }
+    device_->timer().clock()->Advance(config_.lookup_ns);
+    // Physical address = in-zone slot base (+ header) + in-region offset.
+    const u64 zone_offset =
+        loc->slot * slot_stride_ +
+        (config_.persist_headers ? kSlotHeaderBytes : 0) + offset;
+    auto r = device_->Read(loc->zone, zone_offset, out);
+    if (r.ok()) return RegionIoResult{r->latency, r->completion};
+    read_loc = *loc;
+    read_status = r.status();
   }
-  const auto& loc = mapping_[region_id];
-  if (!loc) return Status::NotFound("region not mapped");
-  if (offset + out.size() > config_.region_size) {
-    return Status::OutOfRange("read beyond region");
-  }
-  device_->timer().clock()->Advance(config_.lookup_ns);
-  // Physical address = in-zone slot base (+ header) + in-region offset.
-  const u64 zone_offset =
-      loc->slot * slot_stride_ +
-      (config_.persist_headers ? kSlotHeaderBytes : 0) + offset;
-  const u64 zone = loc->zone;
-  auto r = device_->Read(zone, zone_offset, out);
-  if (!r.ok()) {
-    if (device_->GetZoneInfo(zone).state == zns::ZoneState::kOffline) {
-      // The data died with the zone: unmap so future lookups miss cleanly
-      // instead of re-reading a dead zone.
+
+  // Failure path: re-acquire exclusive (the mapping may need mutation).
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const u64 zone = read_loc.zone;
+  if (device_->GetZoneInfo(zone).state == zns::ZoneState::kOffline) {
+    // The data died with the zone: unmap so future lookups miss cleanly
+    // instead of re-reading a dead zone. Recheck the mapping — another
+    // thread may have remapped or already cleared the region between the
+    // lock hand-off.
+    if (mapping_[region_id] == std::optional<RegionLocation>(read_loc)) {
       ClearMapping(region_id);
       stats_.lost_regions++;
       c_lost_regions_->Inc();
-      return Status::NotFound("region lost: zone " + std::to_string(zone) +
-                              " offline");
     }
-    return r.status();
+    return Status::NotFound("region lost: zone " + std::to_string(zone) +
+                            " offline");
   }
-  return RegionIoResult{r->latency, r->completion};
+  return read_status;
 }
 
 Status ZoneTranslationLayer::InvalidateRegion(u64 region_id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (region_id >= config_.region_slots) {
     return Status::OutOfRange("region id beyond configured slots");
   }
@@ -524,6 +544,11 @@ Status ZoneTranslationLayer::EvacuateZone(u64 zone) {
 }
 
 Status ZoneTranslationLayer::HandleZoneFaults() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return HandleZoneFaultsLocked();
+}
+
+Status ZoneTranslationLayer::HandleZoneFaultsLocked() {
   // Fast path: every degraded zone the device knows about is already
   // retired here.
   if (device_->degraded_zone_count() == stats_.zones_retired) {
@@ -549,6 +574,7 @@ Status ZoneTranslationLayer::HandleZoneFaults() {
 }
 
 Status ZoneTranslationLayer::Recover() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (!config_.persist_headers) {
     return Status::FailedPrecondition("recovery needs persist_headers");
   }
@@ -609,7 +635,12 @@ Status ZoneTranslationLayer::Recover() {
 }
 
 Status ZoneTranslationLayer::MaybeCollect() {
-  ZN_RETURN_IF_ERROR(HandleZoneFaults());
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return MaybeCollectLocked();
+}
+
+Status ZoneTranslationLayer::MaybeCollectLocked() {
+  ZN_RETURN_IF_ERROR(HandleZoneFaultsLocked());
   if (!below_watermark_ &&
       device_->EmptyZoneCount() < config_.min_empty_zones) {
     below_watermark_ = true;

@@ -22,9 +22,21 @@
 //
 // The layer's write-amplification factor is (host region bytes + migrated
 // bytes) / host region bytes; with no migrations it is exactly 1.
+//
+// Thread-safety: one layer-wide std::shared_mutex guards the mapping table,
+// validity bitmaps and open-zone set. ReadRegion holds it shared for the
+// mapping lookup AND the device read, so GC can never reset a zone out from
+// under an in-flight read; writes and GC hold it exclusive. GC therefore
+// naturally coordinates with concurrent shard writers: a writer either runs
+// before a collection cycle (its region may be migrated) or after (it
+// writes into a fresh open zone). Lock order is always cache shard → layer
+// → device; the GcHintProvider callback runs under the exclusive layer lock
+// and must not call back into this layer (FlashCache::DropRegion does not).
 #pragma once
 
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -161,6 +173,8 @@ class ZoneTranslationLayer {
 
   void set_hint_provider(GcHintProvider* provider) { hints_ = provider; }
 
+  // Cumulative counters, mutated under the exclusive lock — read at
+  // quiescent points for exact totals.
   const MiddleStats& stats() const { return stats_; }
   const MiddleLayerConfig& config() const { return config_; }
   u64 regions_per_zone() const { return regions_per_zone_; }
@@ -173,6 +187,7 @@ class ZoneTranslationLayer {
   u64 EmptyZones() const { return device_->EmptyZoneCount(); }
 
  private:
+  // Every private helper below requires mu_ held exclusive by the caller.
   struct ZoneMeta {
     std::vector<bool> bitmap;      // slot -> valid?
     std::vector<u64> region_ids;   // slot -> owning region id
@@ -213,10 +228,15 @@ class ZoneTranslationLayer {
   Status FinishIfFull(u64 zone);
   u64 PickGcVictim() const;
   Status CollectZone(u64 victim);
+  Status MaybeCollectLocked();
+  Status HandleZoneFaultsLocked();
   SimNanos Now() const { return device_->timer().clock()->Now(); }
 
   MiddleLayerConfig config_;
   zns::ZnsDevice* device_;  // not owned
+  // Guards mapping_, zones_, open_zones_, stats_ and GC state. ReadRegion
+  // holds it shared across the device read; all mutation holds it exclusive.
+  mutable std::shared_mutex mu_;
   u64 slot_stride_ = 0;     // region_size (+ header in persistent mode)
   u64 version_seq_ = 0;     // monotonically increasing write version
   GcHintProvider* hints_ = nullptr;

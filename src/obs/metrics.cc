@@ -5,39 +5,43 @@
 namespace zncache::obs {
 
 Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto kind = kinds_.find(name);
   if (kind != kinds_.end() && kind->second != Kind::kCounter) return nullptr;
   auto it = counters_.find(name);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), Counter{}).first;
+    it = counters_.try_emplace(std::string(name)).first;
     kinds_.emplace(std::string(name), Kind::kCounter);
   }
   return &it->second;
 }
 
 Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto kind = kinds_.find(name);
   if (kind != kinds_.end() && kind->second != Kind::kGauge) return nullptr;
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), Gauge{}).first;
+    it = gauges_.try_emplace(std::string(name)).first;
     kinds_.emplace(std::string(name), Kind::kGauge);
   }
   return &it->second;
 }
 
 Histogram* Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto kind = kinds_.find(name);
   if (kind != kinds_.end() && kind->second != Kind::kHistogram) return nullptr;
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), Histogram{}).first;
+    it = histograms_.try_emplace(std::string(name)).first;
     kinds_.emplace(std::string(name), Kind::kHistogram);
   }
   return &it->second;
 }
 
 std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -64,6 +68,7 @@ std::string Registry::ToJson() const {
 }
 
 void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c.Reset();
   for (auto& [name, g] : gauges_) g.Reset();
   for (auto& [name, h] : histograms_) h.Reset();

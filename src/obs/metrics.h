@@ -1,8 +1,13 @@
 // Process-wide metrics registry. Components resolve named handles ONCE at
 // construction (Counter*/Gauge*/Histogram* are pointer-stable for the
 // registry's lifetime); recording on a hot path is then a plain member
-// update — no map lookup, no allocation, no locking (the simulation stack
-// is thread-compatible, one instance per simulation thread).
+// update — no map lookup, no allocation.
+//
+// Thread-safety: Counter and Gauge values are relaxed atomics and Histogram
+// recording is lock-free (see common/histogram.h), so concurrent shards can
+// record into shared handles. Handle resolution and ToJson() take the
+// registry mutex; gauge *providers* are registered/cleared during
+// single-threaded setup/teardown phases, not from recording threads.
 //
 // Names are hierarchical dot-paths ("cache.lookup_latency_ns",
 // "middle.gc.migrated_bytes", "zns.zone.resets"); the full catalogue is
@@ -10,9 +15,11 @@
 // ToJson().
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -24,12 +31,12 @@ namespace zncache::obs {
 // Monotonically increasing event count (or byte count).
 class Counter {
  public:
-  void Inc(u64 delta = 1) { v_ += delta; }
-  u64 value() const { return v_; }
-  void Reset() { v_ = 0; }
+  void Inc(u64 delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  u64 value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  u64 v_ = 0;
+  std::atomic<u64> v_{0};
 };
 
 // Point-in-time value. A gauge either holds a value written with Set/Add,
@@ -38,25 +45,32 @@ class Counter {
 // of short-lived providers must ClearProvider() before dying.
 class Gauge {
  public:
-  void Set(double v) { v_ = v; }
-  void Add(double delta) { v_ += delta; }
-  double value() const { return provider_ ? provider_() : v_; }
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const {
+    return provider_ ? provider_() : v_.load(std::memory_order_relaxed);
+  }
 
   void SetProvider(std::function<double()> provider) {
     provider_ = std::move(provider);
   }
   void ClearProvider() {
-    if (provider_) v_ = provider_();  // freeze the last value
+    if (provider_) v_.store(provider_(), std::memory_order_relaxed);
     provider_ = nullptr;
   }
 
   void Reset() {
-    v_ = 0;
+    v_.store(0, std::memory_order_relaxed);
     provider_ = nullptr;
   }
 
  private:
-  double v_ = 0;
+  std::atomic<double> v_{0};
   std::function<double()> provider_;
 };
 
@@ -76,6 +90,7 @@ class Registry {
   void Reset();
 
   u64 size() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
 
@@ -86,6 +101,8 @@ class Registry {
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
 
+  // Guards the maps, not the metric values (those are atomics).
+  mutable std::mutex mu_;
   // node-based maps: element addresses are stable across inserts.
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;

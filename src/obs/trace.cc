@@ -183,6 +183,7 @@ Tracer::Tracer(size_t capacity) {
 }
 
 void Tracer::Record(EventKind kind, SimNanos ts, u64 a0, u64 a1, double d0) {
+  std::lock_guard<std::mutex> lock(mu_);
   TraceEvent& slot = ring_[head_];
   slot.ts = ts;
   slot.kind = kind;
@@ -195,6 +196,11 @@ void Tracer::Record(EventKind kind, SimNanos ts, u64 a0, u64 a1, double d0) {
 }
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked();
+}
+
+std::vector<TraceEvent> Tracer::SnapshotLocked() const {
   std::vector<TraceEvent> out;
   const size_t n =
       recorded_ < ring_.size() ? static_cast<size_t>(recorded_) : ring_.size();
@@ -208,17 +214,20 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
 }
 
 void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   head_ = 0;
   recorded_ = 0;
 }
 
 u32 Tracer::BeginProcess(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
   process_names_.push_back(std::move(name));
   pid_ = static_cast<u32>(process_names_.size());
   return pid_;
 }
 
 std::string Tracer::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   auto comma = [&] {
@@ -248,7 +257,7 @@ std::string Tracer::ToChromeJson() const {
     }
   }
 
-  for (const TraceEvent& e : Snapshot()) {
+  for (const TraceEvent& e : SnapshotLocked()) {
     const char phase = PhaseFor(e.kind);
     comma();
     out += "{\"name\":\"";

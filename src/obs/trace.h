@@ -4,9 +4,15 @@
 // `trace_event` JSON so a run opens directly in Perfetto or
 // chrome://tracing. Recording is O(1): one slot write into a
 // pre-allocated ring, no allocation, no formatting.
+//
+// Thread-safety: all public methods are guarded by one internal mutex, so
+// sharded cache front-ends can record concurrently. The ring slot write is
+// tiny; the lock is uncontended in serial runs and cheap relative to the
+// events being traced (GC, zone transitions) in concurrent ones.
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -72,8 +78,12 @@ class Tracer {
   // Retained events, oldest first.
   std::vector<TraceEvent> Snapshot() const;
 
-  u64 recorded() const { return recorded_; }
+  u64 recorded() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return recorded_;
+  }
   u64 dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
   }
   size_t capacity() const { return ring_.size(); }
@@ -93,8 +103,11 @@ class Tracer {
   static Tracer& Default();
 
  private:
-  std::vector<TraceEvent> ring_;
-  size_t head_ = 0;  // next slot to write
+  std::vector<TraceEvent> SnapshotLocked() const;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // size fixed at construction
+  size_t head_ = 0;               // next slot to write
   u64 recorded_ = 0;
   u32 pid_ = 1;
   std::vector<std::string> process_names_;  // index = pid - 1

@@ -1,7 +1,16 @@
 // Virtual time. Every experiment runs on a VirtualClock so that device
 // latencies are *modeled* rather than slept: results are deterministic and a
 // multi-minute trace replays in milliseconds of wall time.
+//
+// Thread-safety: the clock is a single atomic counter so that sharded cache
+// front-ends can advance it from many threads at once. Advance() adds the
+// caller's modeled CPU/IO cost (total virtual time is the sum of all
+// threads' costs, exactly as in a serial run that interleaved the same
+// work); AdvanceTo() is a monotonic CAS-max. Single-threaded callers see
+// bit-identical behaviour to the pre-atomic clock.
 #pragma once
+
+#include <atomic>
 
 #include "common/types.h"
 
@@ -9,19 +18,24 @@ namespace zncache::sim {
 
 class VirtualClock {
  public:
-  SimNanos Now() const { return now_; }
+  SimNanos Now() const { return now_.load(std::memory_order_relaxed); }
 
-  void Advance(SimNanos delta) { now_ += delta; }
+  void Advance(SimNanos delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
 
   // Jump forward to an absolute instant (no-op if already past it).
   void AdvanceTo(SimNanos t) {
-    if (t > now_) now_ = t;
+    SimNanos cur = now_.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
   }
 
-  void Reset() { now_ = 0; }
+  void Reset() { now_.store(0, std::memory_order_relaxed); }
 
  private:
-  SimNanos now_ = 0;
+  std::atomic<SimNanos> now_{0};
 };
 
 inline constexpr SimNanos kMicrosecond = 1000;

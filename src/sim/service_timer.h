@@ -8,9 +8,15 @@
 //     cleaning, migration) occupy the device but do not advance the client
 //     clock. Later foreground requests queue behind them — exactly how
 //     internal GC inflates the tail latency of host I/O on a real SSD.
+//
+// Thread-safety: the busy horizon is an atomic reserved with a CAS loop, so
+// concurrent requests from sharded cache front-ends serialize on the modeled
+// device exactly as they would on real hardware, without a lock. Serial
+// callers observe bit-identical behaviour to the pre-atomic timer.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/types.h"
 #include "sim/clock.h"
@@ -33,9 +39,12 @@ class ServiceTimer {
 
   Served Serve(SimNanos service_time, IoMode mode) {
     const SimNanos now = clock_->Now();
-    const SimNanos start = std::max(now, busy_until_);
-    const SimNanos end = start + service_time;
-    busy_until_ = end;
+    SimNanos prev = busy_until_.load(std::memory_order_relaxed);
+    SimNanos end;
+    do {
+      end = std::max(now, prev) + service_time;
+    } while (!busy_until_.compare_exchange_weak(prev, end,
+                                                std::memory_order_relaxed));
     if (mode == IoMode::kForeground) {
       clock_->AdvanceTo(end);
       return {end - now, end};
@@ -51,12 +60,14 @@ class ServiceTimer {
     Serve(service_time, IoMode::kBackground);
   }
 
-  SimNanos busy_until() const { return busy_until_; }
+  SimNanos busy_until() const {
+    return busy_until_.load(std::memory_order_relaxed);
+  }
   VirtualClock* clock() const { return clock_; }
 
  private:
   VirtualClock* clock_;  // not owned
-  SimNanos busy_until_ = 0;
+  std::atomic<SimNanos> busy_until_{0};
 };
 
 }  // namespace zncache::sim

@@ -1,6 +1,7 @@
 #include "zns/zns_device.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 namespace zncache::zns {
@@ -102,6 +103,11 @@ void ZnsDevice::MarkFull(ZoneInfo& z) {
 }
 
 Status ZnsDevice::TransitionZone(u64 zone, ZoneState to) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return TransitionZoneLocked(zone, to);
+}
+
+Status ZnsDevice::TransitionZoneLocked(u64 zone, ZoneState to) {
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   if (to != ZoneState::kReadOnly && to != ZoneState::kOffline) {
     return Status::InvalidArgument("only failure-state transitions allowed");
@@ -134,7 +140,7 @@ Status ZnsDevice::ApplyFaults(fault::FaultOp op, u64 zone, u64 bytes,
   const fault::FaultDecision d =
       config_.faults->Evaluate(op, Now(), zone, bytes);
   for (const auto& t : d.transitions) {
-    (void)TransitionZone(
+    (void)TransitionZoneLocked(
         t.zone, t.offline ? ZoneState::kOffline : ZoneState::kReadOnly);
   }
   if (extra_latency != nullptr) *extra_latency = d.extra_latency;
@@ -143,9 +149,9 @@ Status ZnsDevice::ApplyFaults(fault::FaultOp op, u64 zone, u64 bytes,
   return Status::Ok();
 }
 
-Result<IoResult> ZnsDevice::DoWrite(u64 zone, u64 offset,
-                                    std::span<const std::byte> data,
-                                    sim::IoMode mode, bool as_append) {
+Result<IoResult> ZnsDevice::DoWriteLocked(u64 zone, u64 offset,
+                                          std::span<const std::byte> data,
+                                          sim::IoMode mode, bool as_append) {
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   if (data.empty()) return Status::InvalidArgument("empty write");
   SimNanos extra_latency = 0;
@@ -203,21 +209,34 @@ Result<IoResult> ZnsDevice::DoWrite(u64 zone, u64 offset,
 Result<IoResult> ZnsDevice::Write(u64 zone, u64 offset,
                                   std::span<const std::byte> data,
                                   sim::IoMode mode) {
-  return DoWrite(zone, offset, data, mode, /*as_append=*/false);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return DoWriteLocked(zone, offset, data, mode, /*as_append=*/false);
 }
 
 Result<AppendResult> ZnsDevice::Append(u64 zone,
                                        std::span<const std::byte> data,
                                        sim::IoMode mode) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
+  // Offset is chosen and the write applied under one critical section, so
+  // concurrent appenders to the same zone land back to back.
   const u64 offset = zones_[zone].write_pointer;
-  auto r = DoWrite(zone, offset, data, mode, /*as_append=*/true);
+  auto r = DoWriteLocked(zone, offset, data, mode, /*as_append=*/true);
   if (!r.ok()) return r.status();
   return AppendResult{offset, r->latency, r->completion};
 }
 
 Result<IoResult> ZnsDevice::Read(u64 zone, u64 offset,
                                  std::span<std::byte> out, sim::IoMode mode) {
+  // Reads run concurrently under a shared lock; an attached fault injector
+  // can transition zones mid-read, which needs the exclusive lock instead.
+  std::shared_lock<std::shared_mutex> shared(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(mu_, std::defer_lock);
+  if (config_.faults == nullptr) {
+    shared.lock();
+  } else {
+    exclusive.lock();
+  }
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   if (out.empty()) return Status::InvalidArgument("empty read");
   SimNanos extra_latency = 0;
@@ -238,8 +257,11 @@ Result<IoResult> ZnsDevice::Read(u64 zone, u64 offset,
   } else {
     std::memset(out.data(), 0, out.size());
   }
-  stats_.bytes_read += out.size();
-  stats_.read_ops++;
+  // Shared-lock path: counters bump atomically so parallel reads never lose
+  // increments.
+  std::atomic_ref<u64>(stats_.bytes_read)
+      .fetch_add(out.size(), std::memory_order_relaxed);
+  std::atomic_ref<u64>(stats_.read_ops).fetch_add(1, std::memory_order_relaxed);
   c_bytes_read_->Inc(out.size());
   c_read_ops_->Inc();
   const sim::Served served =
@@ -248,6 +270,7 @@ Result<IoResult> ZnsDevice::Read(u64 zone, u64 offset,
 }
 
 Status ZnsDevice::Reset(u64 zone) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   {
     SimNanos extra_latency = 0;
@@ -263,7 +286,7 @@ Status ZnsDevice::Reset(u64 zone) {
   if (config_.faults != nullptr && config_.faults->WearsOut(z.reset_count)) {
     // The zone's erase budget is spent: it wears out into read-only.
     config_.faults->NoteWearOut(zone, Now());
-    (void)TransitionZone(zone, ZoneState::kReadOnly);
+    (void)TransitionZoneLocked(zone, ZoneState::kReadOnly);
     return Status::FailedPrecondition("zone worn out");
   }
   if (z.IsOpen()) open_zones_--;
@@ -279,6 +302,7 @@ Status ZnsDevice::Reset(u64 zone) {
 }
 
 Status ZnsDevice::Finish(u64 zone) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   ZoneInfo& z = zones_[zone];
   if (z.state == ZoneState::kFull) return Status::Ok();
@@ -300,6 +324,7 @@ Status ZnsDevice::Finish(u64 zone) {
 }
 
 Status ZnsDevice::Open(u64 zone) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   ZoneInfo& z = zones_[zone];
   if (z.state == ZoneState::kExplicitOpen) return Status::Ok();
@@ -325,6 +350,7 @@ Status ZnsDevice::Open(u64 zone) {
 }
 
 Status ZnsDevice::Close(u64 zone) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   ZoneInfo& z = zones_[zone];
   if (!z.IsOpen()) return Status::FailedPrecondition("zone not open");
@@ -334,6 +360,7 @@ Status ZnsDevice::Close(u64 zone) {
 }
 
 u64 ZnsDevice::EmptyZoneCount() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return static_cast<u64>(
       std::count_if(zones_.begin(), zones_.end(), [](const ZoneInfo& z) {
         return z.state == ZoneState::kEmpty;

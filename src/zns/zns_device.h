@@ -13,9 +13,20 @@
 //
 // Timing uses sim::ServiceTimer: each operation occupies the device for its
 // service time and the caller observes queueing + service latency.
+//
+// Thread-safety: one device-wide std::shared_mutex. Mutating commands
+// (Write/Append/Reset/Finish/Open/Close/TransitionZone) take it exclusive;
+// Read takes it shared so lookups from concurrent cache shards proceed in
+// parallel (unless a fault injector is attached — injected faults can
+// transition zones, so Read then degrades to exclusive). Accessors that
+// return scalars are atomics; stats() and GetZoneInfo() return snapshots
+// meant for quiescent points or best-effort monitoring.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -149,32 +160,45 @@ class ZnsDevice {
 
   // Zones currently in kReadOnly or kOffline. The middle layer polls this
   // (O(1)) to decide whether a failure-handling scan is needed.
-  u64 degraded_zone_count() const { return degraded_zones_; }
+  u64 degraded_zone_count() const {
+    return degraded_zones_.load(std::memory_order_relaxed);
+  }
 
-  const ZoneInfo& GetZoneInfo(u64 zone) const { return zones_.at(zone); }
+  // Snapshot of one zone's metadata (by value: the underlying entry may be
+  // mutated by another thread the moment the lock drops).
+  ZoneInfo GetZoneInfo(u64 zone) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return zones_.at(zone);
+  }
   const ZnsConfig& config() const { return config_; }
+  // Cumulative counters; fields are updated atomically but the struct is
+  // not snapshotted as a unit — read at quiescent points for exact totals.
   const ZnsStats& stats() const { return stats_; }
 
   u64 zone_count() const { return config_.zone_count; }
   u64 zone_capacity() const { return config_.zone_capacity; }
   u64 usable_bytes() const { return config_.zone_count * config_.zone_capacity; }
 
-  u32 open_zones() const { return open_zones_; }
-  u32 active_zones() const { return active_zones_; }
+  u32 open_zones() const { return open_zones_.load(std::memory_order_relaxed); }
+  u32 active_zones() const {
+    return active_zones_.load(std::memory_order_relaxed);
+  }
 
   u64 EmptyZoneCount() const;
 
   sim::ServiceTimer& timer() { return timer_; }
 
  private:
+  // The *Locked helpers below require mu_ held exclusive by the caller.
   Status ValidateZoneId(u64 zone) const;
   // Transition a zone to implicitly-open for writing; enforces limits.
   Status EnsureWritable(ZoneInfo& z);
   void MarkFull(ZoneInfo& z);
+  Status TransitionZoneLocked(u64 zone, ZoneState to);
   // Shared body of Write/Append so each op is counted exactly once.
-  Result<IoResult> DoWrite(u64 zone, u64 offset,
-                           std::span<const std::byte> data, sim::IoMode mode,
-                           bool as_append);
+  Result<IoResult> DoWriteLocked(u64 zone, u64 offset,
+                                 std::span<const std::byte> data,
+                                 sim::IoMode mode, bool as_append);
   // Consult the injector (if any) for this op: applies zone transitions,
   // accumulates latency, and returns the op's injected failure (if any).
   // `torn_keep` is set to the surviving prefix length for torn writes,
@@ -189,12 +213,15 @@ class ZnsDevice {
 
   ZnsConfig config_;
   sim::ServiceTimer timer_;
+  // Guards zones_, data_ and the zone-accounting invariants. Read holds it
+  // shared; everything that mutates holds it exclusive.
+  mutable std::shared_mutex mu_;
   std::vector<ZoneInfo> zones_;
   std::vector<std::byte> data_;  // empty when !config_.store_data
-  ZnsStats stats_;
-  u32 open_zones_ = 0;
-  u32 active_zones_ = 0;
-  u64 degraded_zones_ = 0;
+  ZnsStats stats_;               // read-path fields bumped via atomic_ref
+  std::atomic<u32> open_zones_{0};
+  std::atomic<u32> active_zones_{0};
+  std::atomic<u64> degraded_zones_{0};
 
   // Registry handles, resolved once at construction.
   obs::Tracer* tracer_ = nullptr;

@@ -1,0 +1,276 @@
+// Concurrency stress tests for the sharded front-end and the thread-safe
+// layers underneath it. These are the tests the CI TSan job runs: every
+// scenario here must be clean under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "backends/schemes.h"
+#include "cache/sharded_cache.h"
+#include "common/random.h"
+#include "obs/metrics.h"
+#include "sim/clock.h"
+
+namespace zncache {
+namespace {
+
+using backends::MakeScheme;
+using backends::MakeShardedScheme;
+using backends::SchemeKind;
+using backends::SchemeParams;
+
+constexpr SchemeKind kAllKinds[] = {SchemeKind::kBlock, SchemeKind::kFile,
+                                    SchemeKind::kZone, SchemeKind::kRegion};
+
+SchemeParams SmallParams(obs::Registry* metrics) {
+  SchemeParams p;
+  p.zone_size = 8 * kMiB;
+  p.region_size = 512 * kKiB;
+  p.cache_bytes = 64 * kMiB;  // Zone-Cache: 8 zones -> up to 4 shards
+  p.min_empty_zones = 1;
+  p.store_data = true;
+  p.metrics = metrics;
+  return p;
+}
+
+// Deterministic per-key fill byte so any thread can validate any value.
+char FillFor(const std::string& key) {
+  return static_cast<char>('a' + Fnv1a64(key) % 26);
+}
+
+// One deterministic mixed op sequence, replayed both against a bare
+// FlashCache and a shards=1 ShardedCache below.
+template <typename CacheT>
+void ReplaySerial(CacheT& c, u64 ops, u64 seed) {
+  Rng rng(seed);
+  for (u64 i = 0; i < ops; ++i) {
+    const std::string key = "k" + std::to_string(rng.Uniform(300));
+    const double op = rng.NextDouble();
+    if (op < 0.45) {
+      ASSERT_TRUE(c.Get(key).ok());
+    } else if (op < 0.85) {
+      ASSERT_TRUE(
+          c.Set(key, std::string(1 * kKiB + rng.Uniform(8 * kKiB), 'x'))
+              .ok());
+    } else {
+      ASSERT_TRUE(c.Delete(key).ok());
+    }
+  }
+}
+
+// The shards=1 guarantee: identical op sequence against a bare FlashCache
+// and a one-shard ShardedCache produces bit-identical statistics and an
+// identical virtual-clock reading (the golden serial run).
+TEST(ShardedCacheSerial, OneShardBitIdenticalToFlashCache) {
+  for (SchemeKind kind : kAllKinds) {
+    obs::Registry reg_a;
+    obs::Registry reg_b;
+    sim::VirtualClock clock_a;
+    sim::VirtualClock clock_b;
+
+    auto plain = MakeScheme(kind, SmallParams(&reg_a), &clock_a);
+    ASSERT_TRUE(plain.ok()) << SchemeName(kind);
+
+    SchemeParams sp = SmallParams(&reg_b);
+    sp.shards = 1;
+    auto sharded = MakeShardedScheme(kind, sp, &clock_b);
+    ASSERT_TRUE(sharded.ok()) << SchemeName(kind);
+    ASSERT_EQ(sharded->cache->shard_count(), 1u);
+
+    ReplaySerial(*plain->cache, 4000, 7);
+    ReplaySerial(*sharded->cache, 4000, 7);
+    ASSERT_TRUE(plain->cache->Flush().ok());
+    ASSERT_TRUE(sharded->cache->Flush().ok());
+
+    const cache::CacheStats& a = plain->cache->stats();
+    const cache::CacheStats b = sharded->cache->TotalStats();
+    EXPECT_EQ(a.gets, b.gets) << SchemeName(kind);
+    EXPECT_EQ(a.hits, b.hits) << SchemeName(kind);
+    EXPECT_EQ(a.sets, b.sets) << SchemeName(kind);
+    EXPECT_EQ(a.deletes, b.deletes) << SchemeName(kind);
+    EXPECT_EQ(a.set_bytes, b.set_bytes) << SchemeName(kind);
+    EXPECT_EQ(a.evicted_regions, b.evicted_regions) << SchemeName(kind);
+    EXPECT_EQ(a.evicted_items, b.evicted_items) << SchemeName(kind);
+    EXPECT_EQ(a.flushed_regions, b.flushed_regions) << SchemeName(kind);
+    EXPECT_EQ(a.rejected_sets, b.rejected_sets) << SchemeName(kind);
+    EXPECT_EQ(clock_a.Now(), clock_b.Now()) << SchemeName(kind);
+    EXPECT_DOUBLE_EQ(plain->WaFactor(), sharded->WaFactor())
+        << SchemeName(kind);
+  }
+}
+
+// T threads of mixed Set/Get/Delete per scheme, with payload integrity:
+// each key's value is filled with a byte derived from the key, so a hit
+// returning any torn or misrouted payload is detected regardless of which
+// thread wrote it last.
+TEST(ShardedCacheStress, MixedWorkloadAllSchemes) {
+  constexpr u32 kThreads = 4;
+  constexpr u64 kOpsPerThread = 3000;
+  for (SchemeKind kind : kAllKinds) {
+    obs::Registry registry;
+    sim::VirtualClock clock;
+    SchemeParams p = SmallParams(&registry);
+    p.shards = kThreads;
+    auto scheme = MakeShardedScheme(kind, p, &clock);
+    ASSERT_TRUE(scheme.ok()) << SchemeName(kind) << ": "
+                             << scheme.status().ToString();
+    cache::ShardedCache& c = *scheme->cache;
+
+    std::atomic<u64> op_errors{0};
+    std::atomic<u64> value_errors{0};
+    std::vector<std::thread> pool;
+    for (u32 t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        Rng rng(100 + t);
+        std::string value_out;
+        for (u64 i = 0; i < kOpsPerThread; ++i) {
+          const std::string key = "k" + std::to_string(rng.Uniform(400));
+          const double op = rng.NextDouble();
+          if (op < 0.45) {
+            auto g = c.Get(key, &value_out);
+            if (!g.ok()) {
+              op_errors++;
+            } else if (g->hit && !value_out.empty() &&
+                       value_out[0] != FillFor(key)) {
+              value_errors++;
+            }
+          } else if (op < 0.85) {
+            const u64 size = 1 * kKiB + rng.Uniform(8 * kKiB);
+            if (!c.Set(key, std::string(size, FillFor(key))).ok()) {
+              op_errors++;
+            }
+          } else {
+            if (!c.Delete(key).ok()) op_errors++;
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+
+    EXPECT_EQ(op_errors.load(), 0u) << SchemeName(kind);
+    EXPECT_EQ(value_errors.load(), 0u) << SchemeName(kind);
+    ASSERT_TRUE(c.Flush().ok()) << SchemeName(kind);
+
+    // Every op went through a shard; nothing was lost or double-counted.
+    const cache::CacheStats total = c.TotalStats();
+    EXPECT_EQ(total.gets + total.sets + total.deletes + total.rejected_sets,
+              kThreads * kOpsPerThread)
+        << SchemeName(kind);
+
+    // The contention counters flow through the shared registry.
+    const cache::ShardContentionStats contention = c.TotalContention();
+    EXPECT_EQ(contention.ops, kThreads * kOpsPerThread + kThreads)  // +Flush
+        << SchemeName(kind);
+    u64 registry_ops = 0;
+    for (u32 s = 0; s < kThreads; ++s) {
+      obs::Counter* ops = registry.GetCounter(
+          "cache.s" + std::to_string(s) + ".shard_ops");
+      ASSERT_NE(ops, nullptr);
+      registry_ops += ops->value();
+    }
+    EXPECT_EQ(registry_ops, contention.ops) << SchemeName(kind);
+    EXPECT_GE(c.ShardImbalance(), 1.0) << SchemeName(kind);
+  }
+}
+
+// Concurrent writers against one shard-routed key set, then a serial
+// readback: whatever value won each key must be intact (no torn payloads
+// across the region buffers and the device).
+TEST(ShardedCacheStress, ConcurrentWritersLeaveIntactValues) {
+  obs::Registry registry;
+  sim::VirtualClock clock;
+  SchemeParams p = SmallParams(&registry);
+  p.shards = 4;
+  auto scheme = MakeShardedScheme(SchemeKind::kRegion, p, &clock);
+  ASSERT_TRUE(scheme.ok());
+  cache::ShardedCache& c = *scheme->cache;
+
+  constexpr u32 kThreads = 4;
+  std::vector<std::thread> pool;
+  for (u32 t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      Rng rng(7 + t);
+      for (int i = 0; i < 2000; ++i) {
+        const std::string key = "w" + std::to_string(rng.Uniform(200));
+        ASSERT_TRUE(
+            c.Set(key, std::string(2 * kKiB + rng.Uniform(4 * kKiB),
+                                   FillFor(key)))
+                .ok());
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  ASSERT_TRUE(c.Flush().ok());
+
+  std::string v;
+  u64 hits = 0;
+  for (int k = 0; k < 200; ++k) {
+    const std::string key = "w" + std::to_string(k);
+    auto g = c.Get(key, &v);
+    ASSERT_TRUE(g.ok());
+    if (!g->hit) continue;
+    hits++;
+    for (const char ch : v) {
+      ASSERT_EQ(ch, FillFor(key)) << key;
+    }
+  }
+  EXPECT_GT(hits, 0u);
+}
+
+// The shared virtual clock under contention: Advance sums exactly and
+// AdvanceTo is a monotonic max.
+TEST(ConcurrentClock, AdvanceSumsAndAdvanceToIsMax) {
+  sim::VirtualClock clock;
+  constexpr u32 kThreads = 8;
+  constexpr u64 kStepsPerThread = 20'000;
+  std::vector<std::thread> pool;
+  for (u32 t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&clock] {
+      for (u64 i = 0; i < kStepsPerThread; ++i) clock.Advance(3);
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(clock.Now(), kThreads * kStepsPerThread * 3);
+
+  const SimNanos base = clock.Now();
+  pool.clear();
+  for (u32 t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&clock, base, t] {
+      for (u64 i = 0; i < 1000; ++i) {
+        clock.AdvanceTo(base + t * 1000 + i);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(clock.Now(), base + (kThreads - 1) * 1000 + 999);
+}
+
+// Metric handles under concurrent resolution + recording: one counter name
+// resolved from many threads must yield one pointer-stable handle and an
+// exact total.
+TEST(ConcurrentMetrics, RegistryAndCountersAreExact) {
+  obs::Registry registry;
+  constexpr u32 kThreads = 8;
+  constexpr u64 kIncs = 10'000;
+  std::vector<std::thread> pool;
+  for (u32 t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&registry] {
+      obs::Counter* shared = registry.GetCounter("stress.shared");
+      Histogram* h = registry.GetHistogram("stress.hist");
+      for (u64 i = 0; i < kIncs; ++i) {
+        shared->Inc();
+        h->Record(i % 512);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(registry.GetCounter("stress.shared")->value(),
+            kThreads * kIncs);
+  EXPECT_EQ(registry.GetHistogram("stress.hist")->count(), kThreads * kIncs);
+}
+
+}  // namespace
+}  // namespace zncache
