@@ -146,7 +146,13 @@ Result<MtResult> RunOne(SchemeKind kind, const MtConfig& cfg, u32 threads,
   params.cache_config.index_reserve = cfg.key_space;
   params.cache_bytes = kind == SchemeKind::kZone ? 25 * bench::kZoneSize
                                                  : 20 * bench::kZoneSize;
-  params.device_zones = kind == SchemeKind::kRegion ? 25 : 0;
+  // Region-Cache: the sharded front-end opens one zone per shard and GC
+  // validation reserves (open_zones + 1) zones on top of the 20-zone cache,
+  // so the device must grow with the thread count (8 shards need 29 zones).
+  const u32 region_open =
+      std::min(std::max(2u, threads), params.max_open_zones);
+  params.device_zones =
+      kind == SchemeKind::kRegion ? std::max<u64>(25, 22 + region_open) : 0;
   params.shards = threads;
   auto scheme = MakeShardedScheme(kind, params, &clock);
   if (!scheme.ok()) return scheme.status();
@@ -210,6 +216,28 @@ std::string JsonForRuns(
     out += '}';
   }
   out += "}}";
+  return out;
+}
+
+// BENCH_perf.json: the repo's wall-clock perf trajectory baseline. One row
+// per run with just the scaling-relevant fields, validated (and gated on
+// multi-core hosts) by scripts/check_perf_scaling.py in CI.
+std::string PerfJsonForRuns(
+    const std::vector<std::pair<std::string, MtResult>>& runs, u32 cores) {
+  std::string out = "{\"bench\":\"bench_mt\",\"host_cores\":" +
+                    std::to_string(cores) + ",\"runs\":[";
+  bool first = true;
+  for (const auto& [name, r] : runs) {
+    if (!first) out += ',';
+    first = false;
+    const std::string scheme = name.substr(0, name.find('/'));
+    out += "{\"scheme\":\"" + obs::JsonEscape(scheme) + '"';
+    out += ",\"threads\":" + std::to_string(r.threads);
+    out += ",\"wall_ops_per_sec\":" + obs::JsonNum(r.wall_ops_per_sec);
+    out += ",\"lock_wait_ns\":" + std::to_string(r.contention.lock_wait_ns);
+    out += '}';
+  }
+  out += "]}";
   return out;
 }
 
@@ -304,6 +332,12 @@ int Run(int argc, char** argv) {
     std::printf("[obs] wrote BENCH_mt.json (%zu runs)\n", runs.size());
   } else {
     std::fprintf(stderr, "failed writing BENCH_mt.json\n");
+    return 1;
+  }
+  if (WriteWholeFile("BENCH_perf.json", PerfJsonForRuns(runs, cores))) {
+    std::printf("[obs] wrote BENCH_perf.json (%zu runs)\n", runs.size());
+  } else {
+    std::fprintf(stderr, "failed writing BENCH_perf.json\n");
     return 1;
   }
   return 0;

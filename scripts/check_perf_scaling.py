@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Validate BENCH_perf.json and gate Region-Cache wall-clock scaling.
+
+Usage: check_perf_scaling.py [path/to/BENCH_perf.json]
+
+Checks, in order:
+  1. Schema: every run has scheme / threads / wall_ops_per_sec /
+     lock_wait_ns with sane values, and the file names the host core count.
+  2. Coverage: Region-Cache was measured at 1 and 8 threads.
+  3. Scaling gate (core-aware): when the measuring host had at least two
+     cores, 8-thread Region-Cache wall throughput must be strictly higher
+     than 1-thread. On a single-core host parallel speedup is physically
+     impossible, so the gate degrades to a regression bound: 8-thread
+     throughput must not fall below 70% of 1-thread (the pre-refactor
+     layer-wide lock already cleared that; a regression below it means the
+     fine-grained locking got slower, not just unlucky scheduling).
+
+Exit code 0 on pass, 1 on any failure.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> "None":
+    print(f"check_perf_scaling: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_perf.json"
+    try:
+        doc = json.load(open(path))
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    cores = doc.get("host_cores")
+    if not isinstance(cores, int) or cores < 1:
+        fail(f"host_cores missing or invalid: {cores!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs missing or empty")
+
+    region = {}
+    for run in runs:
+        for key in ("scheme", "threads", "wall_ops_per_sec", "lock_wait_ns"):
+            if key not in run:
+                fail(f"run missing {key}: {run}")
+        if not isinstance(run["threads"], int) or run["threads"] < 1:
+            fail(f"bad threads: {run}")
+        if run["wall_ops_per_sec"] <= 0:
+            fail(f"non-positive wall_ops_per_sec: {run}")
+        if run["lock_wait_ns"] < 0:
+            fail(f"negative lock_wait_ns: {run}")
+        if run["threads"] == 1 and run["lock_wait_ns"] != 0:
+            fail(f"single-thread run reports lock waits: {run}")
+        if run["scheme"] == "Region-Cache":
+            region[run["threads"]] = run
+
+    if 1 not in region or 8 not in region:
+        fail(f"Region-Cache missing 1- or 8-thread run (have {sorted(region)})")
+
+    t1 = region[1]["wall_ops_per_sec"]
+    t8 = region[8]["wall_ops_per_sec"]
+    ratio = t8 / t1
+    print(f"check_perf_scaling: host_cores={cores} "
+          f"Region-Cache t1={t1:.0f} t8={t8:.0f} ops/s ({ratio:.2f}x), "
+          f"t8 lock_wait_ns={region[8]['lock_wait_ns']:,}")
+
+    if cores >= 2:
+        if t8 <= t1:
+            fail(f"8-thread Region-Cache not faster than 1-thread on a "
+                 f"{cores}-core host ({ratio:.2f}x)")
+    else:
+        if ratio < 0.70:
+            fail(f"single-core host: 8-thread throughput collapsed to "
+                 f"{ratio:.2f}x of 1-thread (bound 0.70x)")
+        print("check_perf_scaling: single-core host; strict 8t>1t gate "
+              "skipped, regression bound applied")
+    print("check_perf_scaling: OK")
+
+
+if __name__ == "__main__":
+    main()

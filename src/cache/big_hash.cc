@@ -19,7 +19,7 @@ BigHash::BigHash(const BigHashConfig& config, blockssd::BlockSsd* ssd,
                  u64 base_offset, sim::VirtualClock* clock)
     : config_(config), ssd_(ssd), base_offset_(base_offset), clock_(clock) {
   if (config_.bloom_filters) blooms_.assign(config_.bucket_count, 0);
-  bucket_written_.assign(config_.bucket_count, false);
+  bucket_written_.Assign(config_.bucket_count);
 }
 
 u64 BigHash::MaxItemBytes() const { return config_.bucket_bytes - 8; }
@@ -39,7 +39,7 @@ void BigHash::RebuildBloom(u64 bucket, const std::vector<BucketItem>& items) {
 
 Result<std::vector<BigHash::BucketItem>> BigHash::LoadBucket(u64 bucket) {
   std::vector<BucketItem> items;
-  if (!bucket_written_[bucket]) return items;
+  if (!bucket_written_.Test(bucket)) return items;
 
   std::vector<std::byte> raw(config_.bucket_bytes);
   auto r = ssd_->Read(BucketOffset(bucket), std::span<std::byte>(raw));
@@ -83,7 +83,7 @@ Status BigHash::StoreBucket(u64 bucket, const std::vector<BucketItem>& items) {
   }
   auto w = ssd_->Write(BucketOffset(bucket), std::span<const std::byte>(raw));
   if (!w.ok()) return w.status();
-  bucket_written_[bucket] = true;
+  bucket_written_.Set(bucket);
   RebuildBloom(bucket, items);
   return Status::Ok();
 }
@@ -132,7 +132,7 @@ Result<OpResult> BigHash::Get(std::string_view key, std::string* value_out) {
   const SimNanos start = clock_->Now();
   stats_.gets++;
   const u64 bucket = BucketFor(key);
-  if (!bucket_written_[bucket] || !BloomMayHave(bucket, key)) {
+  if (!bucket_written_.Test(bucket) || !BloomMayHave(bucket, key)) {
     stats_.bloom_skips++;
     return OpResult{false, clock_->Now() - start};
   }
@@ -152,7 +152,7 @@ Result<OpResult> BigHash::Delete(std::string_view key) {
   const SimNanos start = clock_->Now();
   stats_.deletes++;
   const u64 bucket = BucketFor(key);
-  if (!bucket_written_[bucket] || !BloomMayHave(bucket, key)) {
+  if (!bucket_written_.Test(bucket) || !BloomMayHave(bucket, key)) {
     return OpResult{false, clock_->Now() - start};
   }
   auto items = LoadBucket(bucket);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "blockssd/block_ssd.h"
+#include "common/bitmap.h"
 #include "cache/flash_cache.h"  // OpResult
 #include "common/hash.h"
 
@@ -85,7 +86,7 @@ class BigHash {
   u64 base_offset_;
   sim::VirtualClock* clock_;  // not owned
   std::vector<u64> blooms_;   // one 64-bit filter per bucket
-  std::vector<bool> bucket_written_;
+  Bitmap64 bucket_written_;
   BigHashStats stats_;
 };
 

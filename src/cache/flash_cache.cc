@@ -316,8 +316,13 @@ Result<OpResult> FlashCache::Set(std::string_view key,
   m->items.push_back(
       ItemMeta{std::string(key), offset, static_cast<u32>(value.size())});
   m->used += static_cast<u32>(value.size());
-  index_[std::string(key)] =
-      IndexEntry{open_rid_, offset, static_cast<u32>(value.size())};
+  // Heterogeneous lookup first: an overwrite (the common churn case) never
+  // materializes a temporary std::string just to find the existing entry.
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    it = index_.try_emplace(std::string(key)).first;
+  }
+  it->second = IndexEntry{open_rid_, offset, static_cast<u32>(value.size())};
 
   stats_.sets++;
   stats_.set_bytes += value.size();

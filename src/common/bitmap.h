@@ -1,0 +1,49 @@
+// Flat u64-word bitmap with hardware popcount. Replaces std::vector<bool>
+// in per-zone validity tracking: the paper notes a zone's validity state is
+// "64 bits" at region granularity, so one or two machine words cover a zone
+// and counting valid slots is a popcount, not a bit-by-bit walk.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "common/types.h"
+
+namespace zncache {
+
+class Bitmap64 {
+ public:
+  Bitmap64() = default;
+  explicit Bitmap64(u64 bits) { Assign(bits); }
+
+  // Resize to `bits` bits, all cleared (vector<bool>::assign semantics).
+  void Assign(u64 bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+  void ClearAll() { std::fill(words_.begin(), words_.end(), u64{0}); }
+
+  bool Test(u64 i) const { return ((words_[i >> 6] >> (i & 63)) & 1) != 0; }
+  void Set(u64 i) { words_[i >> 6] |= u64{1} << (i & 63); }
+  void Clear(u64 i) { words_[i >> 6] &= ~(u64{1} << (i & 63)); }
+
+  u64 CountSet() const {
+    u64 n = 0;
+    for (const u64 w : words_) n += static_cast<u64>(std::popcount(w));
+    return n;
+  }
+  bool AnySet() const {
+    return std::any_of(words_.begin(), words_.end(),
+                       [](u64 w) { return w != 0; });
+  }
+
+  u64 size() const { return bits_; }
+  u64 words() const { return words_.size(); }
+
+ private:
+  u64 bits_ = 0;
+  std::vector<u64> words_;
+};
+
+}  // namespace zncache

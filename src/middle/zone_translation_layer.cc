@@ -13,11 +13,13 @@ ZoneTranslationLayer::ZoneTranslationLayer(const MiddleLayerConfig& config,
                  (config_.persist_headers ? kSlotHeaderBytes : 0);
   regions_per_zone_ = device_->zone_capacity() / slot_stride_;
   mapping_.assign(config_.region_slots, std::nullopt);
+  region_version_.assign(config_.region_slots, 0);
   zones_.resize(device_->zone_count());
   for (auto& z : zones_) {
-    z.bitmap.assign(regions_per_zone_, false);
+    z.bitmap.Assign(regions_per_zone_);
     z.region_ids.assign(regions_per_zone_, kInvalidId);
   }
+  zone_write_mu_ = std::make_unique<std::mutex[]>(device_->zone_count());
 
   tracer_ = obs::ResolveTracer(config_.tracer);
   obs::Registry* reg = config_.metrics;
@@ -36,6 +38,9 @@ ZoneTranslationLayer::ZoneTranslationLayer(const MiddleLayerConfig& config,
   c_evacuated_regions_ =
       obs::GetCounterOrSink(reg, "middle.evacuated_regions");
   c_write_retries_ = obs::GetCounterOrSink(reg, "middle.write_retries");
+  c_gc_skipped_rewritten_ =
+      obs::GetCounterOrSink(reg, "middle.gc.skipped_rewritten");
+  c_write_races_lost_ = obs::GetCounterOrSink(reg, "middle.write_races_lost");
   g_degraded_zones_ = obs::GetGaugeOrSink(reg, "middle.degraded_zones");
 }
 
@@ -65,7 +70,7 @@ std::optional<RegionLocation> ZoneTranslationLayer::GetLocation(
 
 bool ZoneTranslationLayer::IsSlotValid(u64 zone, u64 slot) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
-  return zones_[zone].bitmap[slot];
+  return zones_[zone].bitmap.Test(slot);
 }
 
 u64 ZoneTranslationLayer::ZoneValidCount(u64 zone) const {
@@ -74,26 +79,19 @@ u64 ZoneTranslationLayer::ZoneValidCount(u64 zone) const {
 }
 
 void ZoneTranslationLayer::ClearMapping(u64 region_id) {
+  // Every mutation intent bumps the version first — even for a currently
+  // unmapped region — so any in-flight write or migration of older
+  // contents loses the publish race.
+  region_version_[region_id]++;
   auto& loc = mapping_[region_id];
   if (!loc) return;
   ZoneMeta& z = zones_[loc->zone];
-  if (z.bitmap[loc->slot]) {
-    z.bitmap[loc->slot] = false;
+  if (z.bitmap.Test(loc->slot)) {
+    z.bitmap.Clear(loc->slot);
     z.valid_count--;
   }
   z.region_ids[loc->slot] = kInvalidId;
   loc.reset();
-}
-
-void ZoneTranslationLayer::RestoreMapping(u64 region_id,
-                                          const RegionLocation& loc) {
-  ZoneMeta& z = zones_[loc.zone];
-  if (!z.bitmap[loc.slot]) {
-    z.bitmap[loc.slot] = true;
-    z.valid_count++;
-  }
-  z.region_ids[loc.slot] = region_id;
-  mapping_[region_id] = loc;
 }
 
 Status ZoneTranslationLayer::FinishIfFull(u64 zone) {
@@ -104,6 +102,9 @@ Status ZoneTranslationLayer::FinishIfFull(u64 zone) {
     std::erase(open_zones_, zone);
     return Status::Ok();
   }
+  // In-flight reservations always fit (ReserveSlot checked capacity), so
+  // pending > 0 implies RemainingCapacity() >= slot_stride_ and the zone
+  // is never finished out from under a reserved writer.
   if (info.state != zns::ZoneState::kFull &&
       info.RemainingCapacity() < slot_stride_) {
     ZN_RETURN_IF_ERROR(device_->Finish(zone));
@@ -116,7 +117,27 @@ Status ZoneTranslationLayer::FinishIfFull(u64 zone) {
   return Status::Ok();
 }
 
-Result<u64> ZoneTranslationLayer::AcquireWritableZone(bool for_gc) {
+Result<u64> ZoneTranslationLayer::ReserveSlot(bool for_gc,
+                                              bool post_gc_rescan) {
+  auto take_empty_zone = [&]() -> std::optional<u64> {
+    for (u64 z = 0; z < device_->zone_count(); ++z) {
+      if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty &&
+          zones_[z].pending == 0 &&
+          std::find(open_zones_.begin(), open_zones_.end(), z) ==
+              open_zones_.end()) {
+        open_zones_.push_back(z);
+        return z;
+      }
+    }
+    return std::nullopt;
+  };
+
+  if (post_gc_rescan) {
+    // Retry after a forced GC cycle: only a freshly emptied zone helps.
+    if (auto z = take_empty_zone()) return *z;
+    return Status::NoSpace("device out of empty zones");
+  }
+
   // Keep the configured number of zones open concurrently (the paper's
   // middle layer writes multiple zones at the same time).
   if (open_zones_.size() < config_.open_zones) {
@@ -124,99 +145,94 @@ Result<u64> ZoneTranslationLayer::AcquireWritableZone(bool for_gc) {
          z < device_->zone_count() && open_zones_.size() < config_.open_zones;
          ++z) {
       if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty &&
+          zones_[z].pending == 0 &&
           std::find(open_zones_.begin(), open_zones_.end(), z) ==
               open_zones_.end()) {
         open_zones_.push_back(z);
       }
     }
   }
-  // Round-robin over the open zones that still have room.
+  // Round-robin over the open zones with room for one more in-flight slot
+  // on top of the reservations already outstanding against them.
   for (u32 i = 0; i < open_zones_.size(); ++i) {
     const u64 zone = open_zones_[(next_open_rr_ + i) % open_zones_.size()];
-    if (device_->GetZoneInfo(zone).RemainingCapacity() >= slot_stride_) {
+    if (device_->GetZoneInfo(zone).RemainingCapacity() >=
+        slot_stride_ * (zones_[zone].pending + 1)) {
       next_open_rr_ = (next_open_rr_ + i + 1) % open_zones_.size();
       return zone;
     }
   }
-  // Open another zone if the configuration allows it.
   if (open_zones_.size() < config_.open_zones || open_zones_.empty()) {
-    for (u64 z = 0; z < device_->zone_count(); ++z) {
-      if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty) {
-        open_zones_.push_back(z);
-        return z;
-      }
-    }
+    // Open another zone if the configuration allows it.
+    if (auto z = take_empty_zone()) return *z;
   } else {
     // All configured open zones are full; retire them and grab a fresh one.
     for (const u64 zone : std::vector<u64>(open_zones_)) {
       ZN_RETURN_IF_ERROR(FinishIfFull(zone));
     }
-    for (u64 z = 0; z < device_->zone_count(); ++z) {
-      if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty) {
-        open_zones_.push_back(z);
-        return z;
-      }
-    }
+    if (auto z = take_empty_zone()) return *z;
   }
   if (for_gc) {
     return Status::NoSpace("GC found no empty zone to migrate into");
   }
-  // Out of empty zones: force a GC cycle and retry once.
-  ZN_RETURN_IF_ERROR(MaybeCollectLocked());
-  for (u64 z = 0; z < device_->zone_count(); ++z) {
-    if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty) {
-      open_zones_.push_back(z);
-      return z;
-    }
-  }
-  return Status::NoSpace("device out of empty zones");
+  // Out of empty zones: the caller must run a GC cycle (without holding
+  // mu_) and retry with post_gc_rescan.
+  return kNeedsGc;
 }
 
-Result<RegionIoResult> ZoneTranslationLayer::WriteIntoZone(
-    u64 zone, u64 region_id, std::span<const std::byte> data,
-    sim::IoMode mode) {
-  const u64 wp = device_->GetZoneInfo(zone).write_pointer;
-
+Result<ZoneTranslationLayer::LandedWrite>
+ZoneTranslationLayer::DeviceWriteSlot(u64 zone, u64 region_id,
+                                      std::span<const std::byte> data,
+                                      sim::IoMode mode, u64 header_seq) {
   // Pad to the full slot stride so slot arithmetic stays exact; persistent
-  // mode also prepends the recoverable header.
-  std::vector<std::byte> padded(slot_stride_, std::byte{0});
+  // mode also prepends the recoverable header. Thread-local scratch keeps
+  // the hot path allocation-free after warm-up.
+  static thread_local std::vector<std::byte> padded;
+  padded.assign(slot_stride_, std::byte{0});
   u64 data_at = 0;
   if (config_.persist_headers) {
-    version_seq_++;
     std::memcpy(padded.data(), &kSlotMagic, 8);
     std::memcpy(padded.data() + 8, &region_id, 8);
-    std::memcpy(padded.data() + 16, &version_seq_, 8);
+    std::memcpy(padded.data() + 16, &header_seq, 8);
     data_at = kSlotHeaderBytes;
   }
   std::copy(data.begin(), data.end(), padded.begin() + data_at);
   std::span<const std::byte> payload(padded);
 
+  u64 landed_at = 0;
   SimNanos latency = 0;
   SimNanos completion = 0;
-  u64 landed_at = wp;
   if (config_.use_zone_append) {
+    // Zone append: the device serializes concurrent appenders itself and
+    // the completion reports where the slot landed — no per-zone lock.
     auto a = device_->Append(zone, payload, mode);
     if (!a.ok()) return a.status();
     landed_at = a->offset;
     latency = a->latency;
     completion = a->completion;
   } else {
+    // Regular write: the write pointer must be read and written under the
+    // zone's own lock so two writers cannot target the same offset.
+    std::lock_guard<std::mutex> zone_lock(zone_write_mu_[zone]);
+    const u64 wp = device_->GetZoneInfo(zone).write_pointer;
+    if (wp % slot_stride_ != 0) {
+      // A failed write tore the pointer mid-slot; writing here would
+      // corrupt slot arithmetic. Fail the attempt so the zone is
+      // abandoned and the write retried elsewhere.
+      return Status::Corruption("zone " + std::to_string(zone) +
+                                " write pointer torn mid-slot");
+    }
     auto w = device_->Write(zone, wp, payload, mode);
     if (!w.ok()) return w.status();
+    landed_at = wp;
     latency = w->latency;
     completion = w->completion;
   }
-  const u64 landed_slot = landed_at / slot_stride_;
-
-  ZoneMeta& zm = zones_[zone];
-  zm.bitmap[landed_slot] = true;
-  zm.region_ids[landed_slot] = region_id;
-  zm.valid_count++;
-  zm.next_slot = landed_slot + 1;
-  mapping_[region_id] = RegionLocation{zone, landed_slot};
-
-  ZN_RETURN_IF_ERROR(FinishIfFull(zone));
-  return RegionIoResult{latency, completion};
+  if (landed_at % slot_stride_ != 0) {
+    return Status::Corruption("append landed mid-slot in zone " +
+                              std::to_string(zone));
+  }
+  return LandedWrite{landed_at / slot_stride_, latency, completion};
 }
 
 void ZoneTranslationLayer::AbandonZone(u64 zone) {
@@ -233,18 +249,68 @@ void ZoneTranslationLayer::AbandonZone(u64 zone) {
   }
 }
 
-Result<RegionIoResult> ZoneTranslationLayer::WriteWithRetry(
-    u64 region_id, std::span<const std::byte> data, sim::IoMode mode,
-    bool for_gc) {
+Result<ZoneTranslationLayer::PlacedWrite>
+ZoneTranslationLayer::WriteToSomeZone(u64 region_id,
+                                      std::span<const std::byte> data,
+                                      sim::IoMode mode, bool for_gc,
+                                      u64 gc_header_seq) {
   constexpr int kWriteAttempts = 3;
   Status last = Status::Internal("unreachable");
   for (int attempt = 0; attempt < kWriteAttempts; ++attempt) {
-    auto zone = AcquireWritableZone(for_gc);
-    if (!zone.ok()) return zone.status();
-    auto r = WriteIntoZone(*zone, region_id, data, mode);
-    if (r.ok()) return r;
-    last = r.status();
-    AbandonZone(*zone);
+    u64 zone = 0;
+    u64 header_seq = gc_header_seq;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      auto z = ReserveSlot(for_gc, /*post_gc_rescan=*/false);
+      if (z.ok() && *z == kNeedsGc) {
+        // Out of space: run a blocking GC cycle with the metadata lock
+        // released, then re-scan for a freshly emptied zone. GC's own
+        // migration writes never reach here (for_gc returns NoSpace).
+        lock.unlock();
+        ZN_RETURN_IF_ERROR(ForceCollect());
+        lock.lock();
+        z = ReserveSlot(for_gc, /*post_gc_rescan=*/true);
+        if (!z.ok() && z.status().code() == StatusCode::kNoSpace) {
+          // Concurrent writers may have claimed every freshly emptied zone
+          // into the open set while the lock was dropped; those zones
+          // still have room, so retry the full reservation once. Serially
+          // unreachable: with no concurrent claimant, a zone emptied by
+          // the forced cycle is always found by the rescan above.
+          z = ReserveSlot(for_gc, /*post_gc_rescan=*/false);
+          if (z.ok() && *z == kNeedsGc) {
+            return Status::NoSpace("device out of empty zones");
+          }
+        }
+      }
+      if (!z.ok()) return z.status();
+      zone = *z;
+      zones_[zone].pending++;
+      // Host writes allocate a fresh persistent-header sequence per
+      // attempt (matching pre-refactor recovery semantics); GC migrations
+      // carry the sequence pre-allocated at snapshot time.
+      if (config_.persist_headers && header_seq == 0) {
+        header_seq = ++version_seq_;
+      }
+    }
+
+    // Device I/O with no layer-wide lock held.
+    auto landed = DeviceWriteSlot(zone, region_id, data, mode, header_seq);
+
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    zones_[zone].pending--;
+    if (landed.ok()) {
+      ZoneMeta& zm = zones_[zone];
+      zm.next_slot = std::max(zm.next_slot, landed->slot + 1);
+      const Status fin = FinishIfFull(zone);
+      if (fin.ok()) {
+        return PlacedWrite{zone, landed->slot, landed->latency,
+                           landed->completion};
+      }
+      last = fin;  // finish failure: treat as a failed attempt and retry
+    } else {
+      last = landed.status();
+    }
+    AbandonZone(zone);
     stats_.write_retries++;
     c_write_retries_->Inc();
   }
@@ -253,28 +319,58 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteWithRetry(
 
 Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
     u64 region_id, std::span<const std::byte> data, sim::IoMode mode) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (region_id >= config_.region_slots) {
-    return Status::OutOfRange("region id beyond configured slots");
+  u64 my_version = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (region_id >= config_.region_slots) {
+      return Status::OutOfRange("region id beyond configured slots");
+    }
+    if (data.empty() || data.size() > config_.region_size) {
+      return Status::InvalidArgument("bad region payload size");
+    }
+    device_->timer().clock()->Advance(config_.lookup_ns);
+    // Rewrite: the old version's mapping is deleted and its bit cleared.
+    // The bumped version token is this write's claim on the publish below.
+    ClearMapping(region_id);
+    my_version = region_version_[region_id];
   }
-  if (data.empty() || data.size() > config_.region_size) {
-    return Status::InvalidArgument("bad region payload size");
+
+  auto w = WriteToSomeZone(region_id, data, mode, /*for_gc=*/false,
+                           /*gc_header_seq=*/0);
+  if (!w.ok()) return w.status();
+
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (region_version_[region_id] == my_version) {
+      ZoneMeta& zm = zones_[w->zone];
+      zm.bitmap.Set(w->slot);
+      zm.region_ids[w->slot] = region_id;
+      zm.valid_count++;
+      mapping_[region_id] = RegionLocation{w->zone, w->slot};
+    } else {
+      // A newer write or an invalidate raced past this one; the slot just
+      // written stays dead and GC reclaims it with its zone.
+      stats_.write_races_lost++;
+      c_write_races_lost_->Inc();
+    }
+    stats_.host_region_writes++;
+    stats_.host_bytes += config_.region_size;
+    c_host_region_writes_->Inc();
+    c_host_bytes_->Inc(config_.region_size);
   }
-  device_->timer().clock()->Advance(config_.lookup_ns);
 
-  // Rewrite: the old version's mapping is deleted and its bit cleared.
-  ClearMapping(region_id);
-
-  auto r = WriteWithRetry(region_id, data, mode, /*for_gc=*/false);
-  if (!r.ok()) return r.status();
-
-  stats_.host_region_writes++;
-  stats_.host_bytes += config_.region_size;
-  c_host_region_writes_->Inc();
-  c_host_bytes_->Inc(config_.region_size);
-
-  ZN_RETURN_IF_ERROR(MaybeCollectLocked());
-  return r;
+  // Watermark backpressure: below the empty-zone watermark every writer
+  // must wait for (and run) collection before continuing — a try-lock here
+  // would let a pack of writers outrun the collector and drain the scratch
+  // space GC itself needs to migrate into. At or above the watermark the
+  // try-lock variant keeps the hot path contention-free. Serially the two
+  // branches are identical (the lock is always uncontended).
+  if (device_->EmptyZoneCount() < config_.min_empty_zones) {
+    ZN_RETURN_IF_ERROR(ForceCollect());
+  } else {
+    ZN_RETURN_IF_ERROR(MaybeCollect());
+  }
+  return RegionIoResult{w->latency, w->completion};
 }
 
 Result<RegionIoResult> ZoneTranslationLayer::ReadRegion(
@@ -334,9 +430,11 @@ Status ZoneTranslationLayer::InvalidateRegion(u64 region_id) {
   if (loc) {
     // A fully-invalid finished zone can be reset right away — free space
     // with zero data movement (the Zone-Cache property, recovered here
-    // whenever eviction order happens to align with zone layout).
+    // whenever eviction order happens to align with zone layout). Skipped
+    // while a migration snapshot of the zone is in flight; the publish
+    // phase performs the reset instead.
     const u64 zone = loc->zone;
-    if (zones_[zone].valid_count == 0 &&
+    if (zones_[zone].valid_count == 0 && !zones_[zone].gc_active &&
         device_->GetZoneInfo(zone).state == zns::ZoneState::kFull) {
       const Status reset = device_->Reset(zone);
       if (!reset.ok()) {
@@ -348,8 +446,9 @@ Status ZoneTranslationLayer::InvalidateRegion(u64 region_id) {
         }
         return reset;  // transient reset failure: retry via a later GC
       }
-      zones_[zone].bitmap.assign(regions_per_zone_, false);
-      zones_[zone].region_ids.assign(regions_per_zone_, kInvalidId);
+      zones_[zone].bitmap.ClearAll();
+      std::fill(zones_[zone].region_ids.begin(),
+                zones_[zone].region_ids.end(), kInvalidId);
       zones_[zone].next_slot = 0;
       stats_.zones_reset++;
       c_zones_reset_->Inc();
@@ -383,76 +482,159 @@ u64 ZoneTranslationLayer::PickGcVictim() const {
   return victim;
 }
 
-Status ZoneTranslationLayer::CollectZone(u64 victim) {
-  ZoneMeta& zm = zones_[victim];
-  const double valid_ratio =
-      regions_per_zone_ == 0
-          ? 0.0
-          : static_cast<double>(zm.valid_count) /
-                static_cast<double>(regions_per_zone_);
-  tracer_->Record(obs::EventKind::kGcBegin, Now(), victim, 0, valid_ratio);
-  const u64 migrated_before = stats_.migrated_regions;
-  std::vector<std::byte> buf(config_.region_size);
-  for (u64 slot = 0; slot < regions_per_zone_; ++slot) {
-    if (!zm.bitmap[slot]) continue;
-    const u64 region_id = zm.region_ids[slot];
+Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
+  struct Mig {
+    u64 slot = 0;
+    u64 region_id = 0;
+    u64 version = 0;     // region_version_ at snapshot time
+    u64 header_seq = 0;  // persistent-header sequence (0 when disabled)
+    bool have_data = false;
+    bool written = false;
+    RegionLocation new_loc;
+  };
+  std::vector<Mig> migs;
 
-    // Co-design: ask the cache whether this region can be dropped instead
-    // of migrated. The cache removes its index entries if it agrees.
-    if (hints_ != nullptr && hints_->TryDropRegion(region_id)) {
-      ClearMapping(region_id);
-      stats_.dropped_regions++;
-      c_dropped_regions_->Inc();
-      continue;
+  // Phase 1 — snapshot the victim's valid set under the metadata lock.
+  // Hints are applied here (they only mutate metadata) and persistent
+  // header sequences are pre-allocated so a concurrent rewrite of the same
+  // region is guaranteed a later — winning — sequence on recovery.
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    ZoneMeta& zm = zones_[zone];
+    if (zm.retired) return Status::Ok();
+    if (!evacuate &&
+        device_->GetZoneInfo(zone).state != zns::ZoneState::kFull) {
+      // Raced with an invalidate that fully emptied and reset the victim
+      // between victim selection and this snapshot.
+      return Status::Ok();
     }
-
-    auto rr = device_->Read(
-        victim,
-        slot * slot_stride_ +
-            (config_.persist_headers ? kSlotHeaderBytes : 0),
-        std::span<std::byte>(buf), sim::IoMode::kBackground);
-    if (!rr.ok()) {
-      if (device_->GetZoneInfo(victim).state == zns::ZoneState::kOffline) {
-        // The victim died under GC; whatever was not yet migrated is gone.
-        tracer_->Record(obs::EventKind::kGcEnd, Now(), victim,
-                        stats_.migrated_regions - migrated_before);
-        RetireOfflineZone(victim);
-        return Status::Ok();
+    if (evacuate) std::erase(open_zones_, zone);
+    const double valid_ratio =
+        regions_per_zone_ == 0
+            ? 0.0
+            : static_cast<double>(zm.valid_count) /
+                  static_cast<double>(regions_per_zone_);
+    tracer_->Record(evacuate ? obs::EventKind::kZoneEvacuateBegin
+                             : obs::EventKind::kGcBegin,
+                    Now(), zone, 0, valid_ratio);
+    zm.gc_active = true;
+    migs.reserve(zm.valid_count);
+    for (u64 slot = 0; slot < regions_per_zone_; ++slot) {
+      if (!zm.bitmap.Test(slot)) continue;
+      const u64 region_id = zm.region_ids[slot];
+      // Co-design: ask the cache whether this region can be dropped
+      // instead of migrated. The cache removes its index entries if it
+      // agrees.
+      if (hints_ != nullptr && hints_->TryDropRegion(region_id)) {
+        ClearMapping(region_id);
+        stats_.dropped_regions++;
+        c_dropped_regions_->Inc();
+        continue;
       }
-      continue;  // transient read error: the slot stays valid for later
+      migs.push_back(Mig{slot, region_id, region_version_[region_id],
+                         config_.persist_headers ? ++version_seq_ : 0});
     }
+  }
 
-    // Clear the old mapping before rewriting so the bitmap stays coherent;
-    // restore it if the migration write cannot land anywhere.
-    const RegionLocation old_loc{victim, slot};
-    ClearMapping(region_id);
-    auto w = WriteWithRetry(region_id, std::span<const std::byte>(buf),
-                            sim::IoMode::kBackground, /*for_gc=*/true);
-    if (!w.ok()) {
-      RestoreMapping(region_id, old_loc);
+  // Phase 2 — bulk-copy the valid regions into the reusable arena with no
+  // layer lock held. One read per region keeps the modeled device time
+  // identical to the pre-refactor per-slot loop.
+  const u64 rsz = config_.region_size;
+  if (gc_arena_.size() < migs.size() * rsz) {
+    gc_arena_.resize(migs.size() * rsz);
+  }
+  const u64 hdr_off = config_.persist_headers ? kSlotHeaderBytes : 0;
+  bool victim_offline = false;
+  for (u64 i = 0; i < migs.size(); ++i) {
+    Mig& m = migs[i];
+    auto rr = device_->Read(
+        zone, m.slot * slot_stride_ + hdr_off,
+        std::span<std::byte>(gc_arena_.data() + i * rsz, rsz),
+        sim::IoMode::kBackground);
+    if (rr.ok()) {
+      m.have_data = true;
+    } else if (device_->GetZoneInfo(zone).state == zns::ZoneState::kOffline) {
+      // The victim died mid-copy; rescue what was already copied.
+      victim_offline = true;
+      break;
+    }
+    // Transient read error: the slot stays valid for a later cycle.
+  }
+
+  // Phase 3 — write the copies back through the normal reserve/write path,
+  // still without the layer lock.
+  for (u64 i = 0; i < migs.size(); ++i) {
+    Mig& m = migs[i];
+    if (!m.have_data) continue;
+    auto w = WriteToSomeZone(
+        m.region_id,
+        std::span<const std::byte>(gc_arena_.data() + i * rsz, rsz),
+        sim::IoMode::kBackground, /*for_gc=*/true, m.header_seq);
+    if (!w.ok()) continue;  // slot stays in the victim; retried later
+    m.written = true;
+    m.new_loc = RegionLocation{w->zone, w->slot};
+  }
+
+  // Phase 4 — publish the moves under one exclusive metadata section,
+  // skipping any region whose version changed mid-flight (rewritten or
+  // invalidated: the migrated copy is stale and its slot stays dead).
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ZoneMeta& zm = zones_[zone];
+  u64 moved = 0;
+  for (const Mig& m : migs) {
+    if (!m.written) continue;
+    if (region_version_[m.region_id] != m.version) {
+      stats_.gc_skipped_rewritten++;
+      c_gc_skipped_rewritten_->Inc();
       continue;
     }
+    ClearMapping(m.region_id);  // clears the victim's bit
+    ZoneMeta& nz = zones_[m.new_loc.zone];
+    nz.bitmap.Set(m.new_loc.slot);
+    nz.region_ids[m.new_loc.slot] = m.region_id;
+    nz.valid_count++;
+    mapping_[m.region_id] = m.new_loc;
+    moved++;
     stats_.migrated_regions++;
-    stats_.migrated_bytes += config_.region_size;
+    stats_.migrated_bytes += rsz;
     c_migrated_regions_->Inc();
-    c_migrated_bytes_->Inc(config_.region_size);
+    c_migrated_bytes_->Inc(rsz);
+    if (evacuate) {
+      stats_.evacuated_regions++;
+      stats_.evacuated_bytes += rsz;
+      c_evacuated_regions_->Inc();
+    }
   }
-  tracer_->Record(obs::EventKind::kGcEnd, Now(), victim,
-                  stats_.migrated_regions - migrated_before);
+  tracer_->Record(evacuate ? obs::EventKind::kZoneEvacuateEnd
+                           : obs::EventKind::kGcEnd,
+                  Now(), zone, moved);
+  zm.gc_active = false;
+  if (victim_offline) {
+    // Whatever was not yet rescued is gone with the zone.
+    RetireOfflineZone(zone);
+    return Status::Ok();
+  }
+  if (evacuate) {
+    if (zm.valid_count == 0) RetireZoneMeta(zone);
+    return Status::Ok();
+  }
   if (zm.valid_count > 0) {
     // Some slots could not be moved; the zone stays FULL and will be
     // retried by a later GC cycle.
     return Status::Ok();
   }
-  const Status reset = device_->Reset(victim);
+  if (device_->GetZoneInfo(zone).state != zns::ZoneState::kFull) {
+    return Status::Ok();  // already reset by a concurrent invalidate
+  }
+  const Status reset = device_->Reset(zone);
   if (!reset.ok()) {
-    if (!device_->GetZoneInfo(victim).IsResettable()) {
-      RetireZoneMeta(victim);  // wore out on its final erase; nothing lost
+    if (!device_->GetZoneInfo(zone).IsResettable()) {
+      RetireZoneMeta(zone);  // wore out on its final erase; nothing lost
     }
     return Status::Ok();  // transient reset failure: retried later
   }
-  zm.bitmap.assign(regions_per_zone_, false);
-  zm.region_ids.assign(regions_per_zone_, kInvalidId);
+  zm.bitmap.ClearAll();
+  std::fill(zm.region_ids.begin(), zm.region_ids.end(), kInvalidId);
   zm.valid_count = 0;
   zm.next_slot = 0;
   stats_.zones_reset++;
@@ -473,7 +655,7 @@ void ZoneTranslationLayer::RetireZoneMeta(u64 zone) {
 void ZoneTranslationLayer::RetireOfflineZone(u64 zone) {
   ZoneMeta& zm = zones_[zone];
   for (u64 slot = 0; slot < regions_per_zone_; ++slot) {
-    if (!zm.bitmap[slot]) continue;
+    if (!zm.bitmap.Test(slot)) continue;
     ClearMapping(zm.region_ids[slot]);
     stats_.lost_regions++;
     c_lost_regions_->Inc();
@@ -481,95 +663,35 @@ void ZoneTranslationLayer::RetireOfflineZone(u64 zone) {
   RetireZoneMeta(zone);
 }
 
-Status ZoneTranslationLayer::EvacuateZone(u64 zone) {
-  ZoneMeta& zm = zones_[zone];
-  std::erase(open_zones_, zone);
-  const double valid_ratio =
-      regions_per_zone_ == 0
-          ? 0.0
-          : static_cast<double>(zm.valid_count) /
-                static_cast<double>(regions_per_zone_);
-  tracer_->Record(obs::EventKind::kZoneEvacuateBegin, Now(), zone, 0,
-                  valid_ratio);
-  u64 moved = 0;
-  std::vector<std::byte> buf(config_.region_size);
-  for (u64 slot = 0; slot < regions_per_zone_; ++slot) {
-    if (!zm.bitmap[slot]) continue;
-    const u64 region_id = zm.region_ids[slot];
-
-    // The co-design hook applies here too: cold regions are cheaper to
-    // drop than to rescue.
-    if (hints_ != nullptr && hints_->TryDropRegion(region_id)) {
-      ClearMapping(region_id);
-      stats_.dropped_regions++;
-      c_dropped_regions_->Inc();
-      continue;
-    }
-
-    auto rr = device_->Read(
-        zone,
-        slot * slot_stride_ +
-            (config_.persist_headers ? kSlotHeaderBytes : 0),
-        std::span<std::byte>(buf), sim::IoMode::kBackground);
-    if (!rr.ok()) {
-      if (device_->GetZoneInfo(zone).state == zns::ZoneState::kOffline) {
-        // Degraded further while evacuating.
-        tracer_->Record(obs::EventKind::kZoneEvacuateEnd, Now(), zone, moved);
-        RetireOfflineZone(zone);
-        return Status::Ok();
-      }
-      continue;  // transient: the region stays readable in place
-    }
-
-    const RegionLocation old_loc{zone, slot};
-    ClearMapping(region_id);
-    auto w = WriteWithRetry(region_id, std::span<const std::byte>(buf),
-                            sim::IoMode::kBackground, /*for_gc=*/true);
-    if (!w.ok()) {
-      RestoreMapping(region_id, old_loc);
-      continue;  // still served from the read-only zone; retried later
-    }
-    moved++;
-    stats_.evacuated_regions++;
-    stats_.evacuated_bytes += config_.region_size;
-    stats_.migrated_regions++;
-    stats_.migrated_bytes += config_.region_size;
-    c_evacuated_regions_->Inc();
-    c_migrated_regions_->Inc();
-    c_migrated_bytes_->Inc(config_.region_size);
-  }
-  tracer_->Record(obs::EventKind::kZoneEvacuateEnd, Now(), zone, moved);
-  if (zm.valid_count == 0) RetireZoneMeta(zone);
-  return Status::Ok();
-}
-
 Status ZoneTranslationLayer::HandleZoneFaults() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  return HandleZoneFaultsLocked();
+  std::lock_guard<std::mutex> gc(gc_mu_);
+  return FaultScanLocked();
 }
 
-Status ZoneTranslationLayer::HandleZoneFaultsLocked() {
-  // Fast path: every degraded zone the device knows about is already
-  // retired here.
-  if (device_->degraded_zone_count() == stats_.zones_retired) {
-    return Status::Ok();
+Status ZoneTranslationLayer::FaultScanLocked() {
+  {
+    // Fast path: every degraded zone the device knows about is already
+    // retired here.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (device_->degraded_zone_count() == stats_.zones_retired) {
+      return Status::Ok();
+    }
   }
-  if (in_fault_scan_) return Status::Ok();
-  in_fault_scan_ = true;
   for (u64 z = 0; z < device_->zone_count(); ++z) {
-    if (zones_[z].retired) continue;
+    bool retired = false;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      retired = zones_[z].retired;
+    }
+    if (retired) continue;
     const zns::ZoneState state = device_->GetZoneInfo(z).state;
     if (state == zns::ZoneState::kOffline) {
-      RetireOfflineZone(z);
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (!zones_[z].retired) RetireOfflineZone(z);
     } else if (state == zns::ZoneState::kReadOnly) {
-      const Status s = EvacuateZone(z);
-      if (!s.ok()) {
-        in_fault_scan_ = false;
-        return s;
-      }
+      ZN_RETURN_IF_ERROR(MigrateZone(z, /*evacuate=*/true));
     }
   }
-  in_fault_scan_ = false;
   return Status::Ok();
 }
 
@@ -618,7 +740,7 @@ Status ZoneTranslationLayer::Recover() {
     if (!best[rid]) continue;
     const RegionLocation loc = best[rid]->loc;
     mapping_[rid] = loc;
-    zones_[loc.zone].bitmap[loc.slot] = true;
+    zones_[loc.zone].bitmap.Set(loc.slot);
     zones_[loc.zone].region_ids[loc.slot] = rid;
     zones_[loc.zone].valid_count++;
   }
@@ -635,34 +757,94 @@ Status ZoneTranslationLayer::Recover() {
 }
 
 Status ZoneTranslationLayer::MaybeCollect() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  return MaybeCollectLocked();
+  std::unique_lock<std::mutex> gc(gc_mu_, std::try_to_lock);
+  if (!gc.owns_lock()) return Status::Ok();  // someone else is collecting
+  return CollectLoopLocked();
 }
 
-Status ZoneTranslationLayer::MaybeCollectLocked() {
-  ZN_RETURN_IF_ERROR(HandleZoneFaultsLocked());
-  if (!below_watermark_ &&
-      device_->EmptyZoneCount() < config_.min_empty_zones) {
-    below_watermark_ = true;
-    tracer_->Record(obs::EventKind::kWatermarkLow, Now(),
-                    device_->EmptyZoneCount(), config_.min_empty_zones);
+Status ZoneTranslationLayer::ForceCollect() {
+  std::lock_guard<std::mutex> gc(gc_mu_);
+  return CollectLoopLocked();
+}
+
+Status ZoneTranslationLayer::CollectLoopLocked() {
+  ZN_RETURN_IF_ERROR(FaultScanLocked());
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (!below_watermark_ &&
+        device_->EmptyZoneCount() < config_.min_empty_zones) {
+      below_watermark_ = true;
+      tracer_->Record(obs::EventKind::kWatermarkLow, Now(),
+                      device_->EmptyZoneCount(), config_.min_empty_zones);
+    }
   }
-  while (device_->EmptyZoneCount() < config_.min_empty_zones) {
-    const u64 victim = PickGcVictim();
-    if (victim == kInvalidId) break;
-    const u64 empty_before = device_->EmptyZoneCount();
-    stats_.gc_runs++;
-    c_gc_runs_->Inc();
-    ZN_RETURN_IF_ERROR(CollectZone(victim));
+  while (true) {
+    u64 victim = kInvalidId;
+    u64 empty_before = 0;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      if (device_->EmptyZoneCount() >= config_.min_empty_zones) break;
+      victim = PickGcVictim();
+      if (victim == kInvalidId) break;
+      empty_before = device_->EmptyZoneCount();
+      stats_.gc_runs++;
+      c_gc_runs_->Inc();
+    }
+    ZN_RETURN_IF_ERROR(MigrateZone(victim, /*evacuate=*/false));
     // A cycle that freed no zone (fully-valid victim, nothing droppable)
     // cannot make progress; stop rather than churn flash.
     if (device_->EmptyZoneCount() <= empty_before) break;
   }
-  if (below_watermark_ &&
-      device_->EmptyZoneCount() >= config_.min_empty_zones) {
-    below_watermark_ = false;
-    tracer_->Record(obs::EventKind::kWatermarkHigh, Now(),
-                    device_->EmptyZoneCount(), config_.min_empty_zones);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (below_watermark_ &&
+        device_->EmptyZoneCount() >= config_.min_empty_zones) {
+      below_watermark_ = false;
+      tracer_->Record(obs::EventKind::kWatermarkHigh, Now(),
+                      device_->EmptyZoneCount(), config_.min_empty_zones);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ZoneTranslationLayer::CheckInvariants() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (u64 rid = 0; rid < mapping_.size(); ++rid) {
+    const auto& loc = mapping_[rid];
+    if (!loc) continue;
+    if (loc->zone >= zones_.size() || loc->slot >= regions_per_zone_) {
+      return Status::Internal("mapping out of range for region " +
+                              std::to_string(rid));
+    }
+    const ZoneMeta& zm = zones_[loc->zone];
+    if (!zm.bitmap.Test(loc->slot)) {
+      return Status::Internal("mapped slot not marked valid for region " +
+                              std::to_string(rid));
+    }
+    if (zm.region_ids[loc->slot] != rid) {
+      return Status::Internal("mapped slot owned by another region: " +
+                              std::to_string(rid));
+    }
+  }
+  for (u64 z = 0; z < zones_.size(); ++z) {
+    const ZoneMeta& zm = zones_[z];
+    if (zm.valid_count != zm.bitmap.CountSet()) {
+      return Status::Internal("valid_count != bitmap popcount in zone " +
+                              std::to_string(z));
+    }
+    for (u64 slot = 0; slot < regions_per_zone_; ++slot) {
+      if (!zm.bitmap.Test(slot)) continue;
+      const u64 rid = zm.region_ids[slot];
+      if (rid == kInvalidId || rid >= mapping_.size()) {
+        return Status::Internal("valid slot with no owner in zone " +
+                                std::to_string(z));
+      }
+      if (mapping_[rid] !=
+          std::optional<RegionLocation>(RegionLocation{z, slot})) {
+        return Status::Internal("duplicated or lost mapping for region " +
+                                std::to_string(rid));
+      }
+    }
   }
   return Status::Ok();
 }

@@ -23,23 +23,46 @@
 // The layer's write-amplification factor is (host region bytes + migrated
 // bytes) / host region bytes; with no migrations it is exactly 1.
 //
-// Thread-safety: one layer-wide std::shared_mutex guards the mapping table,
-// validity bitmaps and open-zone set. ReadRegion holds it shared for the
-// mapping lookup AND the device read, so GC can never reset a zone out from
-// under an in-flight read; writes and GC hold it exclusive. GC therefore
-// naturally coordinates with concurrent shard writers: a writer either runs
-// before a collection cycle (its region may be migrated) or after (it
-// writes into a fresh open zone). Lock order is always cache shard → layer
-// → device; the GcHintProvider callback runs under the exclusive layer lock
-// and must not call back into this layer (FlashCache::DropRegion does not).
+// Thread-safety — fine-grained, device I/O never under the layer lock:
+//
+//   * `mu_` (shared_mutex) guards only metadata: the mapping table, bitmaps,
+//     open-zone set, per-region versions and stats. ReadRegion still holds
+//     it *shared* across the device read, so GC can never reset a zone out
+//     from under an in-flight read; but writes no longer hold it across
+//     device I/O.
+//   * WriteRegion runs a reserve / write / publish protocol: a short
+//     exclusive section clears the old mapping, captures the region's
+//     version token and reserves a slot in an open zone (`ZoneMeta::pending`
+//     accounts in-flight reservations against zone capacity); the device
+//     write then runs with only that zone's `zone_write_mu_` held (or no
+//     lock at all with `use_zone_append` — the append completion supplies
+//     the offset); a second short exclusive section publishes the mapping
+//     only if the version token is unchanged (a concurrent invalidate or
+//     rewrite wins, and the slot stays dead).
+//   * GC / evacuation serialize on `gc_mu_` and run in four phases:
+//     snapshot the victim's valid set under `mu_` (hints applied, header
+//     sequence numbers pre-allocated), bulk-copy all valid regions into the
+//     reusable `gc_arena_` with no layer lock held, write them back through
+//     the normal reserve/write path, then re-acquire `mu_` once to publish
+//     the moves — skipping any region whose version changed mid-flight
+//     (rewritten or invalidated: the stale copy is discarded as a dead
+//     slot). `InvalidateRegion` defers the immediate-reset of a zone whose
+//     migration is in flight (`ZoneMeta::gc_active`); the publish phase
+//     performs it instead.
+//
+// Lock order: gc_mu_ → mu_ → zone_write_mu_[z] → device → tracer/registry.
+// The GcHintProvider callback runs under the exclusive layer lock and must
+// not call back into this layer (FlashCache::DropRegion does not).
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <span>
 #include <vector>
 
+#include "common/bitmap.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "obs/metrics.h"
@@ -72,7 +95,7 @@ struct MiddleLayerConfig {
   // assigns the in-zone offset and the mapping learns it from the
   // completion, which is how real ZNS hosts avoid serializing writers on a
   // per-zone lock (Bjorling, "Zone Append: a new way of writing to zoned
-  // storage"). Functionally identical here; accounted as append ops.
+  // storage"). With appends the per-zone write mutex is skipped entirely.
   bool use_zone_append = false;
   // Observability sinks; nullptr selects the process-wide defaults.
   obs::Registry* metrics = nullptr;
@@ -107,6 +130,9 @@ struct MiddleStats {
   u64 evacuated_regions = 0;  // regions moved out of read-only zones
   u64 evacuated_bytes = 0;
   u64 write_retries = 0;      // writes re-targeted to a fresh zone
+  // Fine-grained-locking outcomes (always 0 in serial runs).
+  u64 gc_skipped_rewritten = 0;  // migrated copies discarded: region changed
+  u64 write_races_lost = 0;      // host writes unpublished: newer intent won
 
   double WriteAmplification() const {
     return host_bytes == 0
@@ -138,7 +164,8 @@ class ZoneTranslationLayer {
   Status ValidateConfig() const;
 
   // Write a full region image for `region_id`, replacing any previous
-  // version (whose mapping is deleted and bitmap bit cleared).
+  // version (whose mapping is deleted and bitmap bit cleared). The device
+  // write itself runs outside the layer-wide lock; see the protocol above.
   Result<RegionIoResult> WriteRegion(u64 region_id,
                                      std::span<const std::byte> data,
                                      sim::IoMode mode);
@@ -152,7 +179,8 @@ class ZoneTranslationLayer {
   // invalid are reset immediately — free space with zero migration.
   Status InvalidateRegion(u64 region_id);
 
-  // Watermark GC step; also called internally. Safe to call at any time.
+  // Watermark GC step; also called internally. Safe to call at any time;
+  // returns immediately when another thread is already collecting.
   // Also runs the zone-failure scan (retire offline zones, evacuate
   // read-only zones) when the device reports degraded zones.
   Status MaybeCollect();
@@ -173,8 +201,8 @@ class ZoneTranslationLayer {
 
   void set_hint_provider(GcHintProvider* provider) { hints_ = provider; }
 
-  // Cumulative counters, mutated under the exclusive lock — read at
-  // quiescent points for exact totals.
+  // Cumulative counters, mutated under the exclusive metadata lock — read
+  // at quiescent points for exact totals.
   const MiddleStats& stats() const { return stats_; }
   const MiddleLayerConfig& config() const { return config_; }
   u64 regions_per_zone() const { return regions_per_zone_; }
@@ -186,31 +214,47 @@ class ZoneTranslationLayer {
   u64 ZoneValidCount(u64 zone) const;
   u64 EmptyZones() const { return device_->EmptyZoneCount(); }
 
+  // Structural self-check for stress tests: the mapping table and the
+  // per-zone bitmaps/region-id tables must form a bijection (no lost, no
+  // duplicated mappings) and every valid_count must equal its bitmap's
+  // popcount. Safe to call at any quiescent point.
+  Status CheckInvariants() const;
+
  private:
-  // Every private helper below requires mu_ held exclusive by the caller.
   struct ZoneMeta {
-    std::vector<bool> bitmap;      // slot -> valid?
+    Bitmap64 bitmap;               // slot -> valid?
     std::vector<u64> region_ids;   // slot -> owning region id
     u64 valid_count = 0;
     u64 next_slot = 0;             // slots written so far
-    bool retired = false;          // degraded zone, permanently out of service
+    u32 pending = 0;   // in-flight slot reservations (capacity accounting)
+    bool gc_active = false;  // a migration snapshot of this zone is in flight
+    bool retired = false;    // degraded zone, permanently out of service
+  };
+
+  // Where a write landed after the device round-trip.
+  struct LandedWrite {
+    u64 slot = 0;
+    SimNanos latency = 0;
+    SimNanos completion = 0;
+  };
+  struct PlacedWrite {
+    u64 zone = 0;
+    u64 slot = 0;
+    SimNanos latency = 0;
+    SimNanos completion = 0;
   };
 
   static constexpr u64 kUnmappedZone = ~0ULL;
+  // ReserveSlot result meaning "out of space; run a GC cycle without mu_
+  // and re-reserve with post_gc_rescan".
+  static constexpr u64 kNeedsGc = ~0ULL - 1;
 
-  // Pick (or open) a zone with room for one region; runs forced GC if the
-  // device is out of space. `for_gc` allocations never recurse into GC.
-  Result<u64> AcquireWritableZone(bool for_gc);
-  // Write one region into `zone` at its write pointer and update metadata.
-  Result<RegionIoResult> WriteIntoZone(u64 zone, u64 region_id,
-                                       std::span<const std::byte> data,
-                                       sim::IoMode mode);
-  // Acquire + write with bounded retry: a failed write abandons the target
-  // zone (its pointer may be torn, or the zone degraded) and remaps the
-  // region to a fresh zone.
-  Result<RegionIoResult> WriteWithRetry(u64 region_id,
-                                        std::span<const std::byte> data,
-                                        sim::IoMode mode, bool for_gc);
+  // --- metadata helpers; all require mu_ held exclusive ---
+  // Pick (or open) a zone with capacity for one more in-flight slot.
+  // Returns kNeedsGc when only a forced GC cycle can make room (never for
+  // GC's own migration writes). With post_gc_rescan, only the fresh-empty-
+  // zone scan runs (the seed's post-GC retry behaviour).
+  Result<u64> ReserveSlot(bool for_gc, bool post_gc_rescan);
   // Drop a zone from the open set after a failed write; finish it (best
   // effort) so GC can reclaim whatever landed before the failure.
   void AbandonZone(u64 zone);
@@ -218,37 +262,76 @@ class ZoneTranslationLayer {
   void RetireZoneMeta(u64 zone);
   // An offline zone's regions are gone: clear their mappings and retire.
   void RetireOfflineZone(u64 zone);
-  // Move a read-only zone's valid regions to writable zones, then retire
-  // it. Incomplete evacuations (no space, transient errors) leave the zone
-  // un-retired and are retried on the next failure scan.
-  Status EvacuateZone(u64 zone);
+  // Delete a region's mapping and bump its version so any in-flight write
+  // or migration of the old contents loses the publish race.
   void ClearMapping(u64 region_id);
-  void RestoreMapping(u64 region_id, const RegionLocation& loc);
   // Finish zones that cannot fit another region.
   Status FinishIfFull(u64 zone);
   u64 PickGcVictim() const;
-  Status CollectZone(u64 victim);
-  Status MaybeCollectLocked();
-  Status HandleZoneFaultsLocked();
+
+  // --- I/O helpers; must NOT hold mu_ ---
+  // One slot write to `zone` at its write pointer, holding only that zone's
+  // write mutex (no lock at all for zone appends). Builds the padded slot
+  // image (plus persistent header carrying `header_seq`) in thread-local
+  // scratch.
+  Result<LandedWrite> DeviceWriteSlot(u64 zone, u64 region_id,
+                                      std::span<const std::byte> data,
+                                      sim::IoMode mode, u64 header_seq);
+  // Full reserve/write/account protocol with bounded retry: a failed write
+  // abandons the target zone (its pointer may be torn, or the zone
+  // degraded) and re-reserves in a fresh zone. Publishes nothing — the
+  // caller decides what the landed slot means. `gc_header_seq` != 0 uses a
+  // pre-allocated persistent-header sequence (GC migrations); 0 allocates
+  // one per attempt (host writes).
+  Result<PlacedWrite> WriteToSomeZone(u64 region_id,
+                                      std::span<const std::byte> data,
+                                      sim::IoMode mode, bool for_gc,
+                                      u64 gc_header_seq);
+
+  // --- GC machinery; all require gc_mu_ held (and mu_ NOT held) ---
+  // Blocking variant of MaybeCollect for writers that ran out of space.
+  Status ForceCollect();
+  Status CollectLoopLocked();
+  Status FaultScanLocked();
+  // Snapshot/copy/write/publish migration of one zone; shared by GC
+  // (evacuate=false: reset the victim) and read-only-zone evacuation
+  // (evacuate=true: retire the zone).
+  Status MigrateZone(u64 zone, bool evacuate);
+
   SimNanos Now() const { return device_->timer().clock()->Now(); }
 
   MiddleLayerConfig config_;
   zns::ZnsDevice* device_;  // not owned
-  // Guards mapping_, zones_, open_zones_, stats_ and GC state. ReadRegion
-  // holds it shared across the device read; all mutation holds it exclusive.
+  // Metadata lock: guards mapping_, region_version_, zones_, open_zones_,
+  // version_seq_, below_watermark_ and stats_. ReadRegion holds it shared
+  // across the device read; mutation holds it exclusive — but never across
+  // device writes (see the reserve/write/publish protocol above).
   mutable std::shared_mutex mu_;
+  // Serializes GC and evacuation cycles and guards gc_arena_. Taken before
+  // mu_, never while holding it.
+  std::mutex gc_mu_;
   u64 slot_stride_ = 0;     // region_size (+ header in persistent mode)
   u64 version_seq_ = 0;     // monotonically increasing write version
   GcHintProvider* hints_ = nullptr;
 
   std::vector<std::optional<RegionLocation>> mapping_;  // region id -> loc
+  // Per-region mutation-intent counter: bumped by every ClearMapping.
+  // Writers and GC capture it before device I/O and publish only if it is
+  // unchanged, so the latest intent always wins.
+  std::vector<u64> region_version_;
   std::vector<ZoneMeta> zones_;
+  // One write mutex per zone: serializes write-pointer reads and writes to
+  // the same zone without serializing distinct zones against each other.
+  std::unique_ptr<std::mutex[]> zone_write_mu_;
   std::vector<u64> open_zones_;  // zone ids currently accepting regions
   u64 next_open_rr_ = 0;         // round-robin cursor over open zones
   u64 regions_per_zone_ = 0;
 
+  // Reusable migration arena (guarded by gc_mu_): one allocation grown to
+  // the largest zone's valid set, reused across every GC/evacuation run.
+  std::vector<std::byte> gc_arena_;
+
   MiddleStats stats_;
-  bool in_fault_scan_ = false;  // reentrancy guard for HandleZoneFaults
 
   // Registry handles, resolved once at construction.
   obs::Tracer* tracer_ = nullptr;
@@ -265,6 +348,8 @@ class ZoneTranslationLayer {
   obs::Counter* c_lost_regions_ = nullptr;
   obs::Counter* c_evacuated_regions_ = nullptr;
   obs::Counter* c_write_retries_ = nullptr;
+  obs::Counter* c_gc_skipped_rewritten_ = nullptr;
+  obs::Counter* c_write_races_lost_ = nullptr;
   obs::Gauge* g_degraded_zones_ = nullptr;
 };
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <set>
 
+#include "common/bitmap.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -238,6 +239,75 @@ TEST(Histogram, ResetClears) {
   h.Reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.max(), 0u);
+}
+
+
+TEST(Bitmap64, StartsAllClear) {
+  Bitmap64 b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.words(), 3u);
+  EXPECT_EQ(b.CountSet(), 0u);
+  EXPECT_FALSE(b.AnySet());
+  for (u64 i = 0; i < 130; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(Bitmap64, SetTestClearAcrossWordBoundaries) {
+  Bitmap64 b(200);
+  const u64 picks[] = {0, 1, 62, 63, 64, 65, 127, 128, 199};
+  for (u64 i : picks) b.Set(i);
+  for (u64 i : picks) EXPECT_TRUE(b.Test(i)) << i;
+  EXPECT_EQ(b.CountSet(), 9u);
+  EXPECT_TRUE(b.AnySet());
+  b.Clear(63);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_TRUE(b.Test(62));
+  EXPECT_TRUE(b.Test(65));
+  EXPECT_EQ(b.CountSet(), 7u);
+}
+
+TEST(Bitmap64, SetIsIdempotentForCount) {
+  Bitmap64 b(64);
+  b.Set(5);
+  b.Set(5);
+  EXPECT_EQ(b.CountSet(), 1u);
+  b.Clear(5);
+  b.Clear(5);
+  EXPECT_EQ(b.CountSet(), 0u);
+}
+
+TEST(Bitmap64, ClearAllAndReassign) {
+  Bitmap64 b(100);
+  for (u64 i = 0; i < 100; i += 3) b.Set(i);
+  EXPECT_GT(b.CountSet(), 0u);
+  b.ClearAll();
+  EXPECT_EQ(b.CountSet(), 0u);
+  EXPECT_EQ(b.size(), 100u);
+  b.Assign(10);
+  EXPECT_EQ(b.size(), 10u);
+  EXPECT_EQ(b.words(), 1u);
+  EXPECT_EQ(b.CountSet(), 0u);
+}
+
+TEST(Bitmap64, MatchesReferenceSetUnderRandomOps) {
+  Bitmap64 b(500);
+  std::set<u64> ref;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const u64 bit = rng.Uniform(500);
+    if (rng.Chance(0.5)) {
+      b.Set(bit);
+      ref.insert(bit);
+    } else {
+      b.Clear(bit);
+      ref.erase(bit);
+    }
+  }
+  EXPECT_EQ(b.CountSet(), ref.size());
+  for (u64 i = 0; i < 500; ++i) {
+    EXPECT_EQ(b.Test(i), ref.count(i) != 0) << i;
+  }
 }
 
 TEST(Histogram, LargeValues) {

@@ -4,15 +4,22 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "backends/schemes.h"
 #include "cache/sharded_cache.h"
+#include "common/hash.h"
 #include "common/random.h"
+#include "middle/zone_translation_layer.h"
 #include "obs/metrics.h"
 #include "sim/clock.h"
+#include "zns/zns_device.h"
 
 namespace zncache {
 namespace {
@@ -218,6 +225,383 @@ TEST(ShardedCacheStress, ConcurrentWritersLeaveIntactValues) {
     }
   }
   EXPECT_GT(hits, 0u);
+}
+
+// --- golden serial equality -------------------------------------------------
+//
+// The concurrency work must not change what the serial simulator computes:
+// the tables below were captured from the coarse-locked layer (run with
+// ZN_GOLDEN_PRINT=1 to re-harvest) and every field — virtual clock included —
+// must stay bit-identical after the fine-grained locking refactor.
+
+struct LayerGolden {
+  const char* name;
+  u64 clock;
+  u64 host_writes;
+  u64 migrated;
+  u64 gc_runs;
+  u64 zones_reset;
+  u64 zones_finished;
+  u64 dropped;
+  u64 checksum;  // FNV over every mapped region's full contents
+};
+
+// Drops deterministically so hinted-GC goldens need no cache engine.
+class EveryThirdHints : public middle::GcHintProvider {
+ public:
+  bool TryDropRegion(u64 region_id) override { return region_id % 3 == 0; }
+};
+
+LayerGolden RunLayerGoldenWorkload(const char* name, bool persist, bool append,
+                                   bool hinted) {
+  constexpr u64 kRegionSz = 32 * kKiB;
+  // 80 live regions over 128 physical slots: GC victims carry valid data,
+  // so migrations (and hint drops) actually happen in every variant.
+  constexpr u64 kSlots = 80;
+  zns::ZnsConfig dc;
+  dc.zone_count = 16;
+  dc.zone_size = 256 * kKiB;
+  dc.zone_capacity = 256 * kKiB;
+  dc.max_open_zones = 8;
+  dc.max_active_zones = 10;
+  obs::Registry registry;
+  dc.metrics = &registry;
+  sim::VirtualClock clock;
+  zns::ZnsDevice dev(dc, &clock);
+
+  middle::MiddleLayerConfig mc;
+  mc.region_size = kRegionSz;
+  mc.region_slots = kSlots;
+  mc.open_zones = 2;
+  mc.min_empty_zones = 3;
+  mc.persist_headers = persist;
+  mc.use_zone_append = append;
+  mc.metrics = &registry;
+  middle::ZoneTranslationLayer layer(mc, &dev);
+  EXPECT_TRUE(layer.ValidateConfig().ok()) << layer.ValidateConfig().ToString();
+  EveryThirdHints hints;
+  if (hinted) layer.set_hint_provider(&hints);
+
+  Rng rng(91);
+  std::vector<std::byte> region(kRegionSz);
+  std::vector<std::byte> readback(64);
+  for (int i = 0; i < 700; ++i) {
+    const u64 rid = rng.Uniform(kSlots);
+    const double op = rng.NextDouble();
+    if (op < 0.10) {
+      EXPECT_TRUE(layer.InvalidateRegion(rid).ok()) << name;
+    } else if (op < 0.40) {
+      const u64 off = rng.Uniform(kRegionSz - readback.size());
+      auto r = layer.ReadRegion(rid, off, readback);
+      EXPECT_TRUE(r.ok() || r.status().code() == StatusCode::kNotFound)
+          << name << ": " << r.status().ToString();
+    } else {
+      const std::byte fill{static_cast<unsigned char>(
+          'a' + (rid * 31 + static_cast<u64>(i)) % 26)};
+      std::fill(region.begin(), region.end(), fill);
+      EXPECT_TRUE(layer.WriteRegion(rid, region, sim::IoMode::kForeground).ok())
+          << name;
+    }
+  }
+
+  u64 checksum = 0xCBF29CE484222325ULL;
+  std::vector<std::byte> full(kRegionSz);
+  for (u64 rid = 0; rid < kSlots; ++rid) {
+    if (!layer.GetLocation(rid).has_value()) continue;
+    auto r = layer.ReadRegion(rid, 0, full);
+    EXPECT_TRUE(r.ok()) << name << " rid " << rid;
+    checksum = Fnv1a64(
+        std::string_view(reinterpret_cast<const char*>(full.data()),
+                         full.size()),
+        checksum + rid);
+  }
+
+  const middle::MiddleStats& s = layer.stats();
+  return LayerGolden{name,           clock.Now(),    s.host_region_writes,
+                     s.migrated_regions, s.gc_runs,  s.zones_reset,
+                     s.zones_finished,   s.dropped_regions, checksum};
+}
+
+TEST(GoldenSerial, MiddleLayerBitIdenticalToSeed) {
+  const LayerGolden expected[] = {
+      {"base", 172279924ULL, 430, 128, 57, 57, 0, 0, 5954504116239969682ULL},
+      {"append", 172279924ULL, 430, 128, 57, 57, 0, 0,
+       5954504116239969682ULL},
+      {"persist", 230329412ULL, 430, 208, 79, 79, 90, 0,
+       5954504116239969682ULL},
+      {"hinted", 145452800ULL, 430, 60, 49, 49, 0, 27,
+       18146096140247215248ULL},
+  };
+  const LayerGolden got[] = {
+      RunLayerGoldenWorkload("base", false, false, false),
+      RunLayerGoldenWorkload("append", false, true, false),
+      RunLayerGoldenWorkload("persist", true, false, false),
+      RunLayerGoldenWorkload("hinted", false, false, true),
+  };
+  if (std::getenv("ZN_GOLDEN_PRINT") != nullptr) {
+    for (const LayerGolden& g : got) {
+      std::printf("{\"%s\", %lluULL, %llu, %llu, %llu, %llu, %llu, %llu, "
+                  "%lluULL},\n",
+                  g.name, static_cast<unsigned long long>(g.clock),
+                  static_cast<unsigned long long>(g.host_writes),
+                  static_cast<unsigned long long>(g.migrated),
+                  static_cast<unsigned long long>(g.gc_runs),
+                  static_cast<unsigned long long>(g.zones_reset),
+                  static_cast<unsigned long long>(g.zones_finished),
+                  static_cast<unsigned long long>(g.dropped),
+                  static_cast<unsigned long long>(g.checksum));
+    }
+    GTEST_SKIP() << "golden print mode";
+  }
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    const LayerGolden& e = expected[i];
+    const LayerGolden& g = got[i];
+    EXPECT_EQ(g.clock, e.clock) << e.name;
+    EXPECT_EQ(g.host_writes, e.host_writes) << e.name;
+    EXPECT_EQ(g.migrated, e.migrated) << e.name;
+    EXPECT_EQ(g.gc_runs, e.gc_runs) << e.name;
+    EXPECT_EQ(g.zones_reset, e.zones_reset) << e.name;
+    EXPECT_EQ(g.zones_finished, e.zones_finished) << e.name;
+    EXPECT_EQ(g.dropped, e.dropped) << e.name;
+    EXPECT_EQ(g.checksum, e.checksum) << e.name;
+  }
+}
+
+struct SchemeGolden {
+  const char* name;
+  u64 clock;
+  u64 gets, hits, sets, deletes, set_bytes;
+  u64 evicted_regions, evicted_items, flushed_regions;
+  u64 mid_host_writes, mid_gc_runs, mid_migrated, mid_zones_reset;
+};
+
+// Deterministic per-key value size so refills equal sets.
+u64 GoldenValueSize(const std::string& key) {
+  return 1 * kKiB + Fnv1a64(key) % (24 * kKiB);
+}
+
+void GoldenChurn(cache::ShardedCache& c, u64 ops, u64 seed) {
+  Rng rng(seed);
+  for (u64 i = 0; i < ops; ++i) {
+    const std::string key = "g" + std::to_string(rng.Uniform(4000));
+    const double op = rng.NextDouble();
+    if (op < 0.4) {
+      auto g = c.Get(key);
+      ASSERT_TRUE(g.ok());
+      if (!g->hit) {
+        ASSERT_TRUE(
+            c.Set(key, std::string(GoldenValueSize(key), FillFor(key))).ok());
+      }
+    } else if (op < 0.85) {
+      ASSERT_TRUE(
+          c.Set(key, std::string(GoldenValueSize(key), FillFor(key))).ok());
+    } else {
+      ASSERT_TRUE(c.Delete(key).ok());
+    }
+  }
+}
+
+TEST(GoldenSerial, SchemesBitIdenticalToSeed) {
+  const SchemeGolden expected[] = {
+      {"Block-Cache", 596582534, 4840, 2657, 7551, 1792, 101364595, 70, 949,
+       197, 0, 0, 0, 0},
+      {"File-Cache", 643571960, 4840, 2657, 7551, 1792, 101364595, 70, 949,
+       197, 0, 0, 0, 0},
+      {"Zone-Cache", 361100143, 4840, 2592, 7616, 1792, 102121548, 6, 1632,
+       13, 0, 0, 0, 0},
+      {"Region-Cache", 340800467, 4840, 2657, 7551, 1792, 101364595, 70, 949,
+       197, 197, 1, 3, 1},
+  };
+  size_t idx = 0;
+  const bool print = std::getenv("ZN_GOLDEN_PRINT") != nullptr;
+  for (SchemeKind kind : kAllKinds) {
+    obs::Registry registry;
+    sim::VirtualClock clock;
+    SchemeParams p = SmallParams(&registry);
+    p.shards = 1;
+    auto scheme = MakeShardedScheme(kind, p, &clock);
+    ASSERT_TRUE(scheme.ok()) << SchemeName(kind);
+    GoldenChurn(*scheme->cache, 12000, 17);
+    ASSERT_TRUE(scheme->cache->Flush().ok());
+
+    const cache::CacheStats s = scheme->cache->TotalStats();
+    const SchemeGolden g{
+        SchemeName(kind).data(), clock.Now(), s.gets, s.hits, s.sets,
+        s.deletes, s.set_bytes, s.evicted_regions, s.evicted_items,
+        s.flushed_regions,
+        registry.GetCounter("middle.host_region_writes")->value(),
+        registry.GetCounter("middle.gc.runs")->value(),
+        registry.GetCounter("middle.gc.migrated_regions")->value(),
+        registry.GetCounter("middle.zones.reset")->value()};
+    if (print) {
+      std::printf(
+          "{\"%s\", %llu, %llu, %llu, %llu, %llu, %llu, %llu, %llu, %llu, "
+          "%llu, %llu, %llu, %llu},\n",
+          g.name, static_cast<unsigned long long>(g.clock),
+          static_cast<unsigned long long>(g.gets),
+          static_cast<unsigned long long>(g.hits),
+          static_cast<unsigned long long>(g.sets),
+          static_cast<unsigned long long>(g.deletes),
+          static_cast<unsigned long long>(g.set_bytes),
+          static_cast<unsigned long long>(g.evicted_regions),
+          static_cast<unsigned long long>(g.evicted_items),
+          static_cast<unsigned long long>(g.flushed_regions),
+          static_cast<unsigned long long>(g.mid_host_writes),
+          static_cast<unsigned long long>(g.mid_gc_runs),
+          static_cast<unsigned long long>(g.mid_migrated),
+          static_cast<unsigned long long>(g.mid_zones_reset));
+      continue;
+    }
+    const SchemeGolden& e = expected[idx++];
+    ASSERT_STREQ(g.name, e.name);
+    EXPECT_EQ(g.clock, e.clock) << e.name;
+    EXPECT_EQ(g.gets, e.gets) << e.name;
+    EXPECT_EQ(g.hits, e.hits) << e.name;
+    EXPECT_EQ(g.sets, e.sets) << e.name;
+    EXPECT_EQ(g.deletes, e.deletes) << e.name;
+    EXPECT_EQ(g.set_bytes, e.set_bytes) << e.name;
+    EXPECT_EQ(g.evicted_regions, e.evicted_regions) << e.name;
+    EXPECT_EQ(g.evicted_items, e.evicted_items) << e.name;
+    EXPECT_EQ(g.flushed_regions, e.flushed_regions) << e.name;
+    EXPECT_EQ(g.mid_host_writes, e.mid_host_writes) << e.name;
+    EXPECT_EQ(g.mid_gc_runs, e.mid_gc_runs) << e.name;
+    EXPECT_EQ(g.mid_migrated, e.mid_migrated) << e.name;
+    EXPECT_EQ(g.mid_zones_reset, e.mid_zones_reset) << e.name;
+  }
+  if (print) GTEST_SKIP() << "golden print mode";
+}
+
+// Hammers the middle layer directly: concurrent writers on an overlapping
+// region-id space, an invalidator, readers, and a thread forcing GC — the
+// exact interleaving the reserve/write/publish protocol and the four-phase
+// migration must survive. Payloads are self-describing (region id + write
+// stamp in the first 16 bytes, fill derived from both) so any lost,
+// duplicated or torn mapping shows up as a readback mismatch; the final
+// CheckInvariants() proves the mapping table and bitmaps still form a
+// bijection.
+void RunLayerConcurrencyStress(bool use_zone_append) {
+  constexpr u64 kRegionSz = 32 * kKiB;
+  constexpr u64 kSlots = 80;
+  constexpr u32 kWriters = 4;
+  constexpr int kWritesPerThread = 250;
+  zns::ZnsConfig dc;
+  dc.zone_count = 16;
+  dc.zone_size = 256 * kKiB;
+  dc.zone_capacity = 256 * kKiB;
+  dc.max_open_zones = 8;
+  dc.max_active_zones = 10;
+  obs::Registry registry;
+  dc.metrics = &registry;
+  sim::VirtualClock clock;
+  zns::ZnsDevice dev(dc, &clock);
+
+  middle::MiddleLayerConfig mc;
+  mc.region_size = kRegionSz;
+  mc.region_slots = kSlots;
+  mc.open_zones = 4;
+  mc.min_empty_zones = 3;
+  mc.use_zone_append = use_zone_append;
+  mc.metrics = &registry;
+  middle::ZoneTranslationLayer layer(mc, &dev);
+  ASSERT_TRUE(layer.ValidateConfig().ok());
+
+  auto fill_for = [](u64 rid, u64 stamp) {
+    return std::byte{static_cast<unsigned char>('a' + (rid * 131 + stamp * 7) %
+                                                26)};
+  };
+  auto make_payload = [&](std::vector<std::byte>* buf, u64 rid, u64 stamp) {
+    std::fill(buf->begin(), buf->end(), fill_for(rid, stamp));
+    std::memcpy(buf->data(), &rid, 8);
+    std::memcpy(buf->data() + 8, &stamp, 8);
+  };
+
+  std::atomic<u64> stamp_gen{1};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (u32 w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(1000 + w);
+      std::vector<std::byte> payload(kRegionSz);
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        const u64 rid = rng.Uniform(kSlots);
+        const u64 stamp = stamp_gen.fetch_add(1);
+        make_payload(&payload, rid, stamp);
+        auto r = layer.WriteRegion(rid, payload, sim::IoMode::kForeground);
+        EXPECT_TRUE(r.ok()) << r.status().ToString();
+      }
+    });
+  }
+  // Invalidator: races ClearMapping and immediate zone resets against the
+  // writers and against in-flight migrations.
+  threads.emplace_back([&] {
+    Rng rng(7777);
+    for (int i = 0; i < 400; ++i) {
+      EXPECT_TRUE(layer.InvalidateRegion(rng.Uniform(kSlots)).ok());
+    }
+  });
+  // Readers: shared-lock reads must never observe a torn slot or a zone
+  // reset under them. A successful header read must name the region.
+  threads.emplace_back([&] {
+    Rng rng(4242);
+    std::vector<std::byte> head(16);
+    for (int i = 0; i < 600; ++i) {
+      const u64 rid = rng.Uniform(kSlots);
+      auto r = layer.ReadRegion(rid, 0, head);
+      if (r.ok()) {
+        u64 got_rid = 0;
+        std::memcpy(&got_rid, head.data(), 8);
+        EXPECT_EQ(got_rid, rid);
+      } else {
+        EXPECT_EQ(r.status().code(), StatusCode::kNotFound)
+            << r.status().ToString();
+      }
+    }
+  });
+  // Forced-GC thread: keeps migration snapshots permanently in flight so
+  // the copy-outside-lock path races every other actor.
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_TRUE(layer.MaybeCollect().ok());
+      std::this_thread::yield();
+    }
+  });
+  for (u32 t = 0; t < threads.size() - 1; ++t) threads[t].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads.back().join();
+
+  const Status inv = layer.CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+
+  // Every surviving mapping must read back a coherent payload: the stored
+  // region id matches, and every data byte matches the fill derived from
+  // the stored (rid, stamp) pair — no torn or cross-region slots.
+  std::vector<std::byte> full(kRegionSz);
+  u64 mapped = 0;
+  for (u64 rid = 0; rid < kSlots; ++rid) {
+    if (!layer.GetLocation(rid).has_value()) continue;
+    mapped++;
+    auto r = layer.ReadRegion(rid, 0, full);
+    ASSERT_TRUE(r.ok()) << "rid " << rid << ": " << r.status().ToString();
+    u64 got_rid = 0, got_stamp = 0;
+    std::memcpy(&got_rid, full.data(), 8);
+    std::memcpy(&got_stamp, full.data() + 8, 8);
+    EXPECT_EQ(got_rid, rid);
+    const std::byte want = fill_for(rid, got_stamp);
+    for (u64 b = 16; b < kRegionSz; ++b) {
+      ASSERT_EQ(full[b], want) << "rid " << rid << " byte " << b;
+    }
+  }
+  EXPECT_GT(mapped, 0u);
+  // The workload is sized so GC actually ran while writers were live.
+  EXPECT_GT(layer.stats().gc_runs, 0u);
+}
+
+TEST(LayerConcurrencyStress, WritersInvalidatorReadersForcedGc) {
+  RunLayerConcurrencyStress(/*use_zone_append=*/false);
+}
+
+TEST(LayerConcurrencyStress, WritersInvalidatorReadersForcedGcZoneAppend) {
+  RunLayerConcurrencyStress(/*use_zone_append=*/true);
 }
 
 // The shared virtual clock under contention: Advance sums exactly and
