@@ -119,10 +119,13 @@ Status ZoneTranslationLayer::FinishIfFull(u64 zone) {
 
 Result<u64> ZoneTranslationLayer::ReserveSlot(bool for_gc,
                                               bool post_gc_rescan) {
+  // A zone with in-flight reservations or a landed-but-unpublished slot is
+  // never adopted as fresh: its bitmap does not yet account for the data
+  // the concurrent writer is about to publish.
   auto take_empty_zone = [&]() -> std::optional<u64> {
     for (u64 z = 0; z < device_->zone_count(); ++z) {
       if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty &&
-          zones_[z].pending == 0 &&
+          zones_[z].pending == 0 && zones_[z].unpublished == 0 &&
           std::find(open_zones_.begin(), open_zones_.end(), z) ==
               open_zones_.end()) {
         open_zones_.push_back(z);
@@ -145,7 +148,7 @@ Result<u64> ZoneTranslationLayer::ReserveSlot(bool for_gc,
          z < device_->zone_count() && open_zones_.size() < config_.open_zones;
          ++z) {
       if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty &&
-          zones_[z].pending == 0 &&
+          zones_[z].pending == 0 && zones_[z].unpublished == 0 &&
           std::find(open_zones_.begin(), open_zones_.end(), z) ==
               open_zones_.end()) {
         open_zones_.push_back(z);
@@ -237,6 +240,16 @@ ZoneTranslationLayer::DeviceWriteSlot(u64 zone, u64 region_id,
 
 void ZoneTranslationLayer::AbandonZone(u64 zone) {
   std::erase(open_zones_, zone);
+  ZoneMeta& zm = zones_[zone];
+  if (zm.pending > 0) {
+    // Concurrent writers reserved into this zone before our write failed;
+    // finishing it now would force-fail their in-flight writes (burning
+    // their bounded retries) on a zone that may be healthy for them. The
+    // last writer to drain performs the finish instead.
+    zm.finish_deferred = true;
+    return;
+  }
+  zm.finish_deferred = false;
   const auto& info = device_->GetZoneInfo(zone);
   // A torn write may have left the pointer mid-slot; finishing the zone
   // makes it a FULL (hence collectable) zone instead of leaking it.
@@ -303,6 +316,13 @@ ZoneTranslationLayer::WriteToSomeZone(u64 region_id,
       zm.next_slot = std::max(zm.next_slot, landed->slot + 1);
       const Status fin = FinishIfFull(zone);
       if (fin.ok()) {
+        if (zm.finish_deferred && zm.pending == 0) {
+          AbandonZone(zone);  // we were the last writer an abandon waited on
+        }
+        // Pin the zone until the caller publishes (or abandons) the
+        // mapping: with pending released, the landed slot is otherwise
+        // invisible to reset/adoption paths.
+        zm.unpublished++;
         return PlacedWrite{zone, landed->slot, landed->latency,
                            landed->completion};
       }
@@ -341,6 +361,7 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
 
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
+    zones_[w->zone].unpublished--;  // publish or lose: the pin ends here
     if (region_version_[region_id] == my_version) {
       ZoneMeta& zm = zones_[w->zone];
       zm.bitmap.Set(w->slot);
@@ -434,7 +455,8 @@ Status ZoneTranslationLayer::InvalidateRegion(u64 region_id) {
     // while a migration snapshot of the zone is in flight; the publish
     // phase performs the reset instead.
     const u64 zone = loc->zone;
-    if (zones_[zone].valid_count == 0 && !zones_[zone].gc_active &&
+    if (zones_[zone].valid_count == 0 && zones_[zone].unpublished == 0 &&
+        !zones_[zone].gc_active &&
         device_->GetZoneInfo(zone).state == zns::ZoneState::kFull) {
       const Status reset = device_->Reset(zone);
       if (!reset.ok()) {
@@ -470,6 +492,10 @@ u64 ZoneTranslationLayer::PickGcVictim() const {
     // would migrate data and then fail to free anything.
     if (info.state != zns::ZoneState::kFull) continue;
     if (!info.IsResettable() || zones_[z].retired) continue;
+    // A just-filled zone may hold a landed write whose mapping is not yet
+    // published (valid_count understates it); collecting it would reset
+    // live data. It becomes a victim once the publish lands.
+    if (zones_[z].unpublished > 0) continue;
     if (std::find(open_zones_.begin(), open_zones_.end(), z) !=
         open_zones_.end()) {
       continue;
@@ -583,6 +609,7 @@ Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
   u64 moved = 0;
   for (const Mig& m : migs) {
     if (!m.written) continue;
+    zones_[m.new_loc.zone].unpublished--;  // pin ends: publish or discard
     if (region_version_[m.region_id] != m.version) {
       stats_.gc_skipped_rewritten++;
       c_gc_skipped_rewritten_->Inc();
@@ -615,12 +642,15 @@ Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
     return Status::Ok();
   }
   if (evacuate) {
-    if (zm.valid_count == 0) RetireZoneMeta(zone);
+    // An unpublished slot keeps the zone in service: its writer still has
+    // to publish, and a later fault scan retries the evacuation.
+    if (zm.valid_count == 0 && zm.unpublished == 0) RetireZoneMeta(zone);
     return Status::Ok();
   }
-  if (zm.valid_count > 0) {
-    // Some slots could not be moved; the zone stays FULL and will be
-    // retried by a later GC cycle.
+  if (zm.valid_count > 0 || zm.unpublished > 0) {
+    // Some slots could not be moved (or a concurrent write landed here and
+    // is not yet published); the zone stays FULL and will be retried by a
+    // later GC cycle.
     return Status::Ok();
   }
   if (device_->GetZoneInfo(zone).state != zns::ZoneState::kFull) {

@@ -38,7 +38,12 @@
 //     lock at all with `use_zone_append` — the append completion supplies
 //     the offset); a second short exclusive section publishes the mapping
 //     only if the version token is unchanged (a concurrent invalidate or
-//     rewrite wins, and the slot stays dead).
+//     rewrite wins, and the slot stays dead). Between the landed write and
+//     the publish, `ZoneMeta::unpublished` keeps the target zone pinned:
+//     a zone with unpublished > 0 may be FULL with valid_count == 0 yet
+//     still hold live data, so InvalidateRegion's immediate reset, GC
+//     victim selection, the migration-publish reset and empty-zone
+//     adoption all skip it.
 //   * GC / evacuation serialize on `gc_mu_` and run in four phases:
 //     snapshot the victim's valid set under `mu_` (hints applied, header
 //     sequence numbers pre-allocated), bulk-copy all valid regions into the
@@ -227,7 +232,15 @@ class ZoneTranslationLayer {
     u64 valid_count = 0;
     u64 next_slot = 0;             // slots written so far
     u32 pending = 0;   // in-flight slot reservations (capacity accounting)
+    // Landed device writes whose mapping publish has not happened yet. A
+    // zone with unpublished > 0 can be FULL with valid_count == 0 while
+    // still carrying live data, so every reset/adoption path must skip it
+    // (see the reserve/write/publish protocol above).
+    u32 unpublished = 0;
     bool gc_active = false;  // a migration snapshot of this zone is in flight
+    // AbandonZone found live reservations; the last writer to drain
+    // performs the deferred best-effort finish.
+    bool finish_deferred = false;
     bool retired = false;    // degraded zone, permanently out of service
   };
 
@@ -256,7 +269,10 @@ class ZoneTranslationLayer {
   // zone scan runs (the seed's post-GC retry behaviour).
   Result<u64> ReserveSlot(bool for_gc, bool post_gc_rescan);
   // Drop a zone from the open set after a failed write; finish it (best
-  // effort) so GC can reclaim whatever landed before the failure.
+  // effort) so GC can reclaim whatever landed before the failure. While
+  // other writers still hold reservations against the zone the finish is
+  // deferred to the last of them to drain, so their in-flight writes are
+  // not force-failed on a zone that is healthy for them.
   void AbandonZone(u64 zone);
   // Mark a degraded zone permanently out of service.
   void RetireZoneMeta(u64 zone);

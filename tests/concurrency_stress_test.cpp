@@ -604,6 +604,118 @@ TEST(LayerConcurrencyStress, WritersInvalidatorReadersForcedGcZoneAppend) {
   RunLayerConcurrencyStress(/*use_zone_append=*/true);
 }
 
+// Regression test for the unpublished-slot reset race: with exactly one
+// region slot per zone, every landed write instantly makes its zone FULL
+// with valid_count == 0 until the mapping publish — the precise state in
+// which a concurrent GC cycle or invalidate-triggered reset could erase
+// the just-written data and hand the zone back to a new writer before the
+// late publish mapped the region onto it. The constant GC pressure (low
+// zone budget + a collector thread) keeps reset/adopt decisions racing
+// every reserve→write→publish window; a zone reset or re-adopted while
+// pinned by ZoneMeta::unpublished shows up as a readback mismatch or a
+// broken mapping bijection.
+void RunUnpublishedSlotStress(bool use_zone_append) {
+  constexpr u64 kRegionSz = 64 * kKiB;
+  constexpr u64 kSlots = 10;
+  constexpr u32 kWriters = 4;
+  constexpr int kWritesPerThread = 300;
+  zns::ZnsConfig dc;
+  dc.zone_count = 24;
+  dc.zone_size = 64 * kKiB;
+  dc.zone_capacity = 64 * kKiB;
+  dc.max_open_zones = 8;
+  dc.max_active_zones = 10;
+  obs::Registry registry;
+  dc.metrics = &registry;
+  sim::VirtualClock clock;
+  zns::ZnsDevice dev(dc, &clock);
+
+  middle::MiddleLayerConfig mc;
+  mc.region_size = kRegionSz;  // == zone capacity: 1 slot per zone
+  mc.region_slots = kSlots;
+  mc.open_zones = 4;
+  mc.min_empty_zones = 8;  // rewrites drain empties fast -> GC stays hot
+  mc.use_zone_append = use_zone_append;
+  mc.metrics = &registry;
+  middle::ZoneTranslationLayer layer(mc, &dev);
+  ASSERT_TRUE(layer.ValidateConfig().ok());
+  ASSERT_EQ(layer.regions_per_zone(), 1u);
+
+  auto fill_for = [](u64 rid, u64 stamp) {
+    return std::byte{static_cast<unsigned char>('a' + (rid * 131 + stamp * 7) %
+                                                26)};
+  };
+  std::atomic<u64> stamp_gen{1};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (u32 w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(9000 + w);
+      std::vector<std::byte> payload(kRegionSz);
+      for (int i = 0; i < kWritesPerThread; ++i) {
+        const u64 rid = rng.Uniform(kSlots);
+        const u64 stamp = stamp_gen.fetch_add(1);
+        std::fill(payload.begin(), payload.end(), fill_for(rid, stamp));
+        std::memcpy(payload.data(), &rid, 8);
+        std::memcpy(payload.data() + 8, &stamp, 8);
+        auto r = layer.WriteRegion(rid, payload, sim::IoMode::kForeground);
+        EXPECT_TRUE(r.ok()) << r.status().ToString();
+      }
+    });
+  }
+  // Invalidator: every invalidate of a mapped region hits a fully-invalid
+  // FULL zone (1 slot/zone) and takes the immediate-reset path — the other
+  // half of the race.
+  threads.emplace_back([&] {
+    Rng rng(31337);
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_TRUE(layer.InvalidateRegion(rng.Uniform(kSlots)).ok());
+    }
+  });
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_TRUE(layer.MaybeCollect().ok());
+      std::this_thread::yield();
+    }
+  });
+  for (u32 t = 0; t < threads.size() - 1; ++t) threads[t].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads.back().join();
+
+  const Status inv = layer.CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+
+  // Every surviving mapping must read back the exact payload its winning
+  // write stored; erased-then-reused slots would return another region's
+  // bytes (or zeros) here.
+  std::vector<std::byte> full(kRegionSz);
+  u64 mapped = 0;
+  for (u64 rid = 0; rid < kSlots; ++rid) {
+    if (!layer.GetLocation(rid).has_value()) continue;
+    mapped++;
+    auto r = layer.ReadRegion(rid, 0, full);
+    ASSERT_TRUE(r.ok()) << "rid " << rid << ": " << r.status().ToString();
+    u64 got_rid = 0, got_stamp = 0;
+    std::memcpy(&got_rid, full.data(), 8);
+    std::memcpy(&got_stamp, full.data() + 8, 8);
+    EXPECT_EQ(got_rid, rid);
+    const std::byte want = fill_for(rid, got_stamp);
+    for (u64 b = 16; b < kRegionSz; ++b) {
+      ASSERT_EQ(full[b], want) << "rid " << rid << " byte " << b;
+    }
+  }
+  EXPECT_GT(mapped, 0u);
+  EXPECT_GT(layer.stats().zones_reset, 0u);
+}
+
+TEST(LayerConcurrencyStress, UnpublishedSlotSurvivesResetRaces) {
+  RunUnpublishedSlotStress(/*use_zone_append=*/false);
+}
+
+TEST(LayerConcurrencyStress, UnpublishedSlotSurvivesResetRacesZoneAppend) {
+  RunUnpublishedSlotStress(/*use_zone_append=*/true);
+}
+
 // The shared virtual clock under contention: Advance sums exactly and
 // AdvanceTo is a monotonic max.
 TEST(ConcurrentClock, AdvanceSumsAndAdvanceToIsMax) {
