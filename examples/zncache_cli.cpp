@@ -24,13 +24,30 @@
 //   (none)   human-readable result table
 //   stats    the metric-registry snapshot as JSON
 //   trace    the virtual-time event trace as Chrome trace_event JSON
+//
+// Model-checking commands (no benchmark run; see docs/TESTING.md):
+//   replay <file> | replay --history=<file>
+//            re-execute a recorded .history byte-for-byte against the
+//            reference oracle; exit 0 = no divergence, 1 = diverged
+//   selftest [--seed= --ops= --schemes=block,file,zone,region
+//             --modes=plain,fault,crash --level=cache|middle|both
+//             --crash-points=N --shards=N --mutate=no-unpublished-pin
+//             --minimized-out=DIR --no-shrink --expect-failure]
+//            generate seeded histories and differentially check them;
+//            failing histories are shrunk to minimal repros
 // Every invocation also writes both JSON exports to disk
 // (zncache_cli.metrics.json / zncache_cli.trace.json; override with
 // --metrics-out= / --trace-out=).
 #include <cstdio>
+#include <filesystem>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "backends/schemes.h"
+#include "check/checker.h"
+#include "check/history.h"
+#include "check/interpreter.h"
 #include "common/flags.h"
 #include "fault/fault_injector.h"
 #include "obs/json.h"
@@ -86,6 +103,116 @@ std::string MetricsDocument(const std::string& run_name,
          ",\"samples\":" + samples_json + "}}}";
 }
 
+std::vector<std::string> SplitCommas(std::string_view s) {
+  std::vector<std::string> out;
+  while (!s.empty()) {
+    const size_t comma = s.find(',');
+    std::string_view item =
+        comma == std::string_view::npos ? s : s.substr(0, comma);
+    s = comma == std::string_view::npos ? std::string_view()
+                                        : s.substr(comma + 1);
+    if (!item.empty()) out.emplace_back(item);
+  }
+  return out;
+}
+
+int CmdReplay(const Flags& flags) {
+  std::string path = flags.GetString("history");
+  if (path.empty() && flags.positional().size() > 1) {
+    path = flags.positional()[1];
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "replay: needs --history=FILE or a file path\n");
+    return 2;
+  }
+  auto h = check::History::ReadFile(path);
+  if (!h.ok()) {
+    std::fprintf(stderr, "replay: %s\n", h.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("history      %s (%llu ops, fingerprint %016llx)\n",
+              path.c_str(), static_cast<unsigned long long>(h->ops.size()),
+              static_cast<unsigned long long>(h->Fingerprint()));
+  const check::RunResult r = check::RunHistory(*h);
+  std::printf("result       %s\n", r.Describe().c_str());
+  std::printf("device io    %llu writes, fault fingerprint %016llx\n",
+              static_cast<unsigned long long>(r.writes_seen),
+              static_cast<unsigned long long>(r.fault_fingerprint));
+  return r.ok ? 0 : 1;
+}
+
+int CmdSelfTest(const Flags& flags) {
+  check::SelfTestOptions opts;
+  opts.seed = flags.GetU64("seed", 1);
+  opts.ops = flags.GetU64("ops", 2000);
+  opts.crash_points = static_cast<u32>(flags.GetU64("crash-points", 8));
+  opts.shards = static_cast<u32>(flags.GetU64("shards", 1));
+  opts.out_dir = flags.GetString("minimized-out");
+  if (!opts.out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "selftest: cannot create %s: %s\n",
+                   opts.out_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+  opts.shrink_on_failure = !flags.Has("no-shrink");
+  opts.shrink_attempts = flags.GetU64("shrink-attempts", 400);
+  if (flags.Has("schemes")) {
+    opts.schemes.clear();
+    for (const std::string& name : SplitCommas(flags.GetString("schemes"))) {
+      auto k = ParseScheme(name);
+      if (!k.ok()) {
+        std::fprintf(stderr, "selftest: %s\n",
+                     k.status().ToString().c_str());
+        return 2;
+      }
+      opts.schemes.push_back(*k);
+    }
+  }
+  if (flags.Has("modes")) {
+    const auto modes = SplitCommas(flags.GetString("modes"));
+    auto has = [&](std::string_view m) {
+      for (const std::string& x : modes) {
+        if (x == m) return true;
+      }
+      return false;
+    };
+    opts.run_plain = has("plain");
+    opts.run_fault = has("fault");
+    opts.run_crash = has("crash");
+  }
+  const std::string level = flags.GetString("level", "both");
+  if (level == "cache") {
+    opts.run_middle = false;
+  } else if (level == "middle") {
+    opts.schemes.clear();
+  } else if (level != "both") {
+    std::fprintf(stderr, "selftest: --level must be cache, middle or both\n");
+    return 2;
+  }
+  const std::string mut = flags.GetString("mutate");
+  if (mut == "no-unpublished-pin") {
+    opts.mutate_no_pin = true;
+  } else if (!mut.empty()) {
+    std::fprintf(stderr, "selftest: unknown mutation: %s\n", mut.c_str());
+    return 2;
+  }
+  const check::SelfTestReport report = check::RunSelfTest(opts);
+  std::printf("%s\n", report.Summary().c_str());
+  if (flags.Has("expect-failure")) {
+    if (report.ok()) {
+      std::fprintf(stderr,
+                   "selftest: expected the armed mutation to be caught, but "
+                   "every run passed\n");
+      return 1;
+    }
+    return 0;
+  }
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,6 +220,11 @@ int main(int argc, char** argv) {
   if (!flags.ok()) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
+  }
+  if (!flags->positional().empty()) {
+    const std::string& cmd0 = flags->positional().front();
+    if (cmd0 == "replay") return CmdReplay(*flags);
+    if (cmd0 == "selftest") return CmdSelfTest(*flags);
   }
   auto kind = ParseScheme(flags->GetString("scheme", "region"));
   if (!kind.ok()) {
@@ -104,7 +236,8 @@ int main(int argc, char** argv) {
     command = flags->positional().front();
     if (command != "stats" && command != "trace" && command != "faults") {
       std::fprintf(stderr,
-                   "unknown command: %s (expected stats, trace or faults)\n",
+                   "unknown command: %s (expected stats, trace, faults, "
+                   "replay or selftest)\n",
                    command.c_str());
       return 2;
     }

@@ -28,6 +28,17 @@ MiddleRegionDevice::~MiddleRegionDevice() {
   g_device_bytes_->ClearProvider();
 }
 
+Status MiddleRegionDevice::Restart() {
+  middle::MiddleLayerConfig ml = config_.middle;
+  ml.region_slots = config_.region_count;
+  auto fresh = std::make_unique<middle::ZoneTranslationLayer>(ml, zns_.get());
+  if (ml.persist_headers) {
+    ZN_RETURN_IF_ERROR(fresh->Recover());
+  }
+  layer_ = std::move(fresh);  // gauge providers read layer_ by reference
+  return Status::Ok();
+}
+
 Result<cache::RegionIo> MiddleRegionDevice::WriteRegion(
     cache::RegionId id, std::span<const std::byte> data, sim::IoMode mode) {
   auto r = layer_->WriteRegion(id, data, mode);

@@ -36,6 +36,10 @@ class MiddleRegionDevice final : public cache::RegionDevice {
                                      std::span<std::byte> out) override;
   Status InvalidateRegion(cache::RegionId id) override;
   Status PumpBackground() override { return layer_->MaybeCollect(); }
+  // Power cycle: the mapping table is volatile — throw the layer away and
+  // rebuild it from the persistent slot headers (persist_headers mode;
+  // without it the old data is unreachable, like a real DRAM FTL table).
+  Status Restart() override;
 
   cache::WaStats wa_stats() const override;
   std::string name() const override { return "Region-Cache"; }

@@ -124,6 +124,7 @@ Result<std::unique_ptr<cache::RegionDevice>> MakeDevice(
       c.middle.gc_valid_ratio = params.gc_valid_ratio;
       c.middle.open_zones = params.open_zones;
       c.middle.persist_headers = params.persistent;
+      c.middle.mut_no_unpublished_pin = params.mut_no_unpublished_pin;
       auto dev = std::make_unique<MiddleRegionDevice>(c, clock);
       ZN_RETURN_IF_ERROR(dev->Init());
       out = std::move(dev);

@@ -52,6 +52,9 @@ struct SchemeParams {
   // Co-design: enable hinted GC with this cold-age threshold (in cache
   // accesses); 0 disables hints.
   u64 hint_cold_age = 0;
+  // Model-checking mutation knob, forwarded to the middle layer: reverts
+  // the unpublished-slot pin (see MiddleLayerConfig). Harness only.
+  bool mut_no_unpublished_pin = false;
 
   // Payload retention (off for large-scale micro benchmarks; the cache
   // metadata and all timing/WA accounting are exact either way).

@@ -4,7 +4,20 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/hash.h"
+
 namespace zncache::cache {
+
+namespace {
+
+// Checksum of a region's data area, as stored in / verified against the
+// footer's data_checksum field.
+u64 RegionDataChecksum(std::span<const std::byte> data) {
+  return Fnv1a64(std::string_view(reinterpret_cast<const char*>(data.data()),
+                                  data.size()));
+}
+
+}  // namespace
 
 FlashCache::FlashCache(const FlashCacheConfig& config, RegionDevice* device,
                        sim::VirtualClock* clock)
@@ -126,6 +139,8 @@ Status FlashCache::FlushOpenRegion() {
     RegionFooter footer;
     footer.seal_seq = next_seal_seq;
     footer.data_bytes = m.used;
+    footer.data_checksum = RegionDataChecksum(
+        std::span<const std::byte>(open_buffer_.data(), m.used));
     footer.items.reserve(m.items.size());
     for (const ItemMeta& item : m.items) {
       footer.items.push_back(FooterItem{item.key, item.offset, item.size});
@@ -302,6 +317,10 @@ Result<OpResult> FlashCache::Set(std::string_view key,
   Cpu(config_.index_op_ns +
       config_.append_ns_per_kib * ((value.size() + kKiB - 1) / kKiB));
 
+  // A previous set can leave no region open: its flush failed (the slot
+  // was purged) or its OpenNewRegion lost an eviction race with a
+  // degraded device. Recover the slot before touching regions_.
+  if (open_rid_ == kInvalidId) ZN_RETURN_IF_ERROR(OpenNewRegion());
   RegionMeta* m = &regions_[open_rid_];
   if (m->used + value.size() > usable_region_bytes_) {
     ZN_RETURN_IF_ERROR(FlushOpenRegion());
@@ -437,6 +456,7 @@ Status FlashCache::Recover() {
   const u64 reserve = FooterReserve(device_->region_size());
   const u64 footer_offset = device_->region_size() - reserve;
   std::vector<std::byte> buf(reserve);
+  std::vector<std::byte> data_buf;  // grown to the largest data area seen
 
   // First pass: decode footers, rebuild region metadata.
   std::vector<std::pair<u64, RegionId>> seal_order;  // (seal_seq, rid)
@@ -459,6 +479,24 @@ Status FlashCache::Recover() {
     if (!footer.ok()) {  // torn / erased: free / retired slot
       mark_unrecoverable(rid);
       continue;
+    }
+    // The footer decoded, but on overwrite-in-place media it may be a
+    // *previous* seal's footer sitting over a half-rewritten data area (a
+    // crash tore the new image before it reached the tail). Verify the data
+    // the item table describes before serving any of it.
+    if (footer->data_bytes > 0) {
+      if (data_buf.size() < footer->data_bytes) {
+        data_buf.resize(footer->data_bytes);
+      }
+      auto data_read = device_->ReadRegion(
+          rid, 0, std::span<std::byte>(data_buf.data(), footer->data_bytes));
+      if (!data_read.ok() ||
+          RegionDataChecksum(std::span<const std::byte>(
+              data_buf.data(), footer->data_bytes)) !=
+              footer->data_checksum) {
+        mark_unrecoverable(rid);
+        continue;
+      }
     }
 
     RegionMeta& m = regions_[rid];

@@ -80,6 +80,16 @@ class RegionDevice {
   // Give backends an opportunity to run housekeeping (middle-layer GC).
   virtual Status PumpBackground() { return Status::Ok(); }
 
+  // Simulated power cycle: discard the backend's *volatile* state and
+  // rebuild it from the (simulated) media, as a fresh process would after
+  // a crash. Backends whose translation state is persistent-by-modeling
+  // (block FTL, filesystem, zone identity mapping) keep it; the middle
+  // layer rebuilds its mapping from on-flash slot headers. The caller is
+  // responsible for re-creating the cache engine on top and running
+  // FlashCache::Recover(). Used by the model-checking harness and the
+  // crash-recovery tests.
+  virtual Status Restart() { return Status::Ok(); }
+
   // False when the slot can no longer hold data (its backing media
   // degraded). The engine retires such slots instead of reusing them.
   virtual bool RegionUsable(RegionId) const { return true; }

@@ -59,7 +59,7 @@ Status EncodeRegionFooter(const RegionFooter& footer,
   Writer w(out);
   bool ok = w.PutU64(kFooterMagic) && w.PutU64(footer.seal_seq) &&
             w.PutU32(static_cast<u32>(footer.items.size())) &&
-            w.PutU32(footer.data_bytes);
+            w.PutU32(footer.data_bytes) && w.PutU64(footer.data_checksum);
   for (const FooterItem& item : footer.items) {
     if (item.key.size() > 65535) {
       return Status::InvalidArgument("key too long for footer");
@@ -81,7 +81,7 @@ Result<RegionFooter> DecodeRegionFooter(std::span<const std::byte> in) {
   RegionFooter footer;
   u32 count = 0;
   if (!r.GetU64(&footer.seal_seq) || !r.GetU32(&count) ||
-      !r.GetU32(&footer.data_bytes)) {
+      !r.GetU32(&footer.data_bytes) || !r.GetU64(&footer.data_checksum)) {
     return Status::Corruption("truncated footer header");
   }
   footer.items.reserve(count);

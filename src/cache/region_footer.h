@@ -4,10 +4,18 @@
 // Layout, written into the tail `FooterReserve(region_size)` bytes of each
 // region slot:
 //   u64 magic | u64 seal_seq | u32 item_count | u32 data_bytes |
+//   u64 data_checksum |
 //   item_count x { u16 key_len | u32 offset | u32 size | key bytes }
 //
 // A region whose tail does not decode (bad magic, truncated table) is
 // treated as free — exactly what a crash mid-flush should yield.
+//
+// `data_checksum` (FNV-1a over the first `data_bytes` of the region) exists
+// for the conventional-SSD schemes, where region slots are overwritten in
+// place: a crash partway through re-flushing a slot can leave the *previous*
+// seal's footer intact over a half-new data area. The footer alone then
+// decodes fine but describes bytes that no longer exist; recovery must
+// verify the data image before trusting the item table.
 #pragma once
 
 #include <optional>
@@ -31,6 +39,7 @@ struct FooterItem {
 struct RegionFooter {
   u64 seal_seq = 0;
   u32 data_bytes = 0;
+  u64 data_checksum = 0;  // FNV-1a over the region's first data_bytes
   std::vector<FooterItem> items;
 };
 

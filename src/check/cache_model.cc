@@ -1,0 +1,307 @@
+#include "check/cache_model.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace zncache::check {
+
+namespace {
+
+u64 KeyHash(std::string_view key) { return Fnv1a64(key); }
+
+void PutU64(char* dst, u64 v) { std::memcpy(dst, &v, sizeof(v)); }
+u64 GetU64(const char* src) {
+  u64 v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+// Position-dependent fill byte: cheap, and any truncation, shift, zeroing
+// or cross-value splice changes some byte.
+u8 FillByte(u64 mix, u64 seq, u64 i) {
+  return static_cast<u8>((mix >> ((i % 8) * 8)) ^ (seq * 2654435761ULL + i * 131));
+}
+
+std::string DescribeVersion(u64 seq, u64 len) {
+  return "seq=" + std::to_string(seq) + " len=" + std::to_string(len);
+}
+
+}  // namespace
+
+std::string KeyName(u64 key) { return "k" + std::to_string(key); }
+
+std::string MakeValue(std::string_view key, u64 seq, u64 len) {
+  if (len < kValueHeaderBytes) len = kValueHeaderBytes;
+  std::string out(len, '\0');
+  const u64 mix = KeyHash(key);
+  PutU64(out.data(), kValueMagic);
+  PutU64(out.data() + 8, mix);
+  PutU64(out.data() + 16, seq);
+  PutU64(out.data() + 24, len);
+  for (u64 i = kValueHeaderBytes; i < len; ++i) {
+    out[i] = static_cast<char>(FillByte(mix, seq, i));
+  }
+  return out;
+}
+
+Result<u64> CheckValueBytes(std::string_view key, std::string_view got) {
+  if (got.size() < kValueHeaderBytes) {
+    return Status::Corruption("value shorter than codec header");
+  }
+  if (GetU64(got.data()) != kValueMagic) {
+    return Status::Corruption("bad value magic");
+  }
+  const u64 mix = KeyHash(key);
+  if (GetU64(got.data() + 8) != mix) {
+    return Status::Corruption("value belongs to a different key");
+  }
+  const u64 seq = GetU64(got.data() + 16);
+  const u64 len = GetU64(got.data() + 24);
+  if (len != got.size()) {
+    return Status::Corruption("value length mismatch: header says " +
+                              std::to_string(len) + ", got " +
+                              std::to_string(got.size()));
+  }
+  for (u64 i = kValueHeaderBytes; i < got.size(); ++i) {
+    if (static_cast<u8>(got[i]) != FillByte(mix, seq, i)) {
+      return Status::Corruption("fill byte mismatch at offset " +
+                                std::to_string(i));
+    }
+  }
+  return seq;
+}
+
+void FillRegionImage(u64 rid, u64 seq, std::span<std::byte> out) {
+  if (out.size() < 24) return;
+  u64 hdr[3] = {kRegionMagic, rid, seq};
+  std::memcpy(out.data(), hdr, sizeof(hdr));
+  for (u64 i = 24; i < out.size(); ++i) {
+    out[i] = static_cast<std::byte>(rid * 37 + seq * 101 + i * 13);
+  }
+}
+
+Result<u64> CheckRegionImage(u64 rid, std::span<const std::byte> got) {
+  if (got.size() < 24) return Status::Corruption("region image too short");
+  u64 hdr[3];
+  std::memcpy(hdr, got.data(), sizeof(hdr));
+  if (hdr[0] != kRegionMagic) return Status::Corruption("bad region magic");
+  if (hdr[1] != rid) {
+    return Status::Corruption("region image belongs to rid " +
+                              std::to_string(hdr[1]));
+  }
+  const u64 seq = hdr[2];
+  for (u64 i = 24; i < got.size(); ++i) {
+    if (got[i] != static_cast<std::byte>(rid * 37 + seq * 101 + i * 13)) {
+      return Status::Corruption("region fill mismatch at offset " +
+                                std::to_string(i));
+    }
+  }
+  return seq;
+}
+
+// ---- CacheModel ----
+
+void CacheModel::OnSet(u64 key, u64 seq, u64 len, bool acked) {
+  KeyState& ks = keys_[key];
+  if (acked) {
+    ks.acked.push_back(Version{seq, len});
+    ks.live = Live::kStrict;
+    ks.live_seq = seq;
+    ks.live_len = len;
+  } else {
+    // The write failed, but parts of it may be durable, and the engine's
+    // index state after a failed set is unspecified (old value, new value
+    // or neither).
+    ks.maybe.push_back(Version{seq, len});
+    ks.live = (ks.acked.empty() && ks.maybe.empty()) ? Live::kMiss : Live::kAny;
+  }
+}
+
+void CacheModel::OnDelete(u64 key, bool acked) {
+  KeyState& ks = keys_[key];
+  if (acked) {
+    ks.live = Live::kMiss;  // acked delete: strict miss until the next set
+  } else if (!ks.acked.empty() || !ks.maybe.empty()) {
+    ks.live = Live::kAny;  // delete may or may not have taken effect
+  }
+}
+
+std::optional<Divergence> CacheModel::CheckMember(const KeyState& ks, u64 key,
+                                                  u64 seq, u64 len) const {
+  auto match = [&](const std::vector<Version>& vs) {
+    return std::any_of(vs.begin(), vs.end(), [&](const Version& v) {
+      return v.seq == seq && v.len == len;
+    });
+  };
+  if (match(ks.acked) || match(ks.maybe)) return std::nullopt;
+  return Divergence{"unknown-version",
+                    KeyName(key) + ": hit returned " +
+                        DescribeVersion(seq, len) +
+                        " which was never written for this key"};
+}
+
+std::optional<Divergence> CacheModel::OnGet(u64 key, bool hit,
+                                            std::string_view value) {
+  auto it = keys_.find(key);
+  const KeyState* ks = it == keys_.end() ? nullptr : &it->second;
+  if (!hit) return std::nullopt;  // a miss is always legal
+
+  if (ks == nullptr || (ks->acked.empty() && ks->maybe.empty())) {
+    return Divergence{"phantom-value",
+                      KeyName(key) + ": hit on a key never written"};
+  }
+  auto decoded = CheckValueBytes(KeyName(key), value);
+  if (!decoded.ok()) {
+    return Divergence{"torn-value", KeyName(key) + ": " +
+                                        std::string(decoded.status().message())};
+  }
+  const u64 seq = *decoded;
+  const u64 len = value.size();
+  switch (ks->live) {
+    case Live::kMiss:
+      return Divergence{"unexpected-hit",
+                        KeyName(key) +
+                            ": hit after an acknowledged delete (got " +
+                            DescribeVersion(seq, len) + ")"};
+    case Live::kStrict:
+      if (seq != ks->live_seq || len != ks->live_len) {
+        return Divergence{
+            "stale-hit", KeyName(key) + ": expected latest " +
+                             DescribeVersion(ks->live_seq, ks->live_len) +
+                             ", got " + DescribeVersion(seq, len)};
+      }
+      return std::nullopt;
+    case Live::kAny:
+      return CheckMember(*ks, key, seq, len);
+  }
+  return std::nullopt;
+}
+
+void CacheModel::OnRestart() {
+  for (auto& [key, ks] : keys_) {
+    ks.live = (ks.acked.empty() && ks.maybe.empty()) ? Live::kMiss : Live::kAny;
+  }
+}
+
+std::vector<u64> CacheModel::KnownKeys() const {
+  std::vector<u64> out;
+  out.reserve(keys_.size());
+  for (const auto& [key, ks] : keys_) {
+    if (!ks.acked.empty() || !ks.maybe.empty()) out.push_back(key);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---- MiddleModel ----
+
+void MiddleModel::OnWrite(u64 rid, u64 seq, bool acked,
+                          bool lost_publish_race) {
+  RidState& rs = rids_[rid];
+  if (acked && !lost_publish_race) {
+    rs.acked.push_back(seq);
+    rs.live = Live::kStrict;
+    rs.live_seq = seq;
+    return;
+  }
+  // Failed writes (and acked writes whose publish lost to an intruding
+  // invalidate) may have landed a durable slot that recovery can surface.
+  rs.maybe.push_back(seq);
+  if (!acked && rs.live == Live::kStrict) {
+    // A failed rewrite cleared the old mapping first; the layer reports
+    // the region unmapped from here on (ClearMapping at reserve time).
+    rs.live = Live::kUnmapped;
+  }
+}
+
+void MiddleModel::OnInvalidate(u64 rid, bool acked) {
+  RidState& rs = rids_[rid];
+  if (acked) {
+    rs.live = Live::kUnmapped;
+  } else if (rs.live == Live::kStrict) {
+    rs.live = Live::kAny;  // may or may not have unmapped
+  }
+}
+
+std::optional<Divergence> MiddleModel::OnRead(u64 rid, ReadOutcome outcome,
+                                              u64 seq,
+                                              std::string_view note) {
+  if (outcome == ReadOutcome::kTransient) return std::nullopt;
+  auto it = rids_.find(rid);
+  const RidState* rs = it == rids_.end() ? nullptr : &it->second;
+  const bool ever_written =
+      rs != nullptr && (!rs->acked.empty() || !rs->maybe.empty());
+
+  if (outcome == ReadOutcome::kCorrupt) {
+    std::string detail = "rid " + std::to_string(rid) +
+                         ": mapped read returned unverifiable bytes";
+    if (!note.empty()) detail += " (" + std::string(note) + ")";
+    return Divergence{"torn-value", detail};
+  }
+  if (outcome == ReadOutcome::kFailed) {
+    if (rs != nullptr && rs->live == Live::kStrict) {
+      return Divergence{"lost-mapped-region",
+                        "rid " + std::to_string(rid) +
+                            ": read of a live mapping failed (expected seq " +
+                            std::to_string(rs->live_seq) + ")"};
+    }
+    return std::nullopt;
+  }
+  // outcome == kOk
+  if (!ever_written) {
+    return Divergence{"phantom-value",
+                      "rid " + std::to_string(rid) +
+                          ": read hit on a region never written"};
+  }
+  switch (rs->live) {
+    case Live::kUnmapped:
+      return Divergence{"unexpected-hit",
+                        "rid " + std::to_string(rid) +
+                            ": read succeeded after an acknowledged "
+                            "invalidate (got seq " +
+                            std::to_string(seq) + ")"};
+    case Live::kStrict:
+      if (seq != rs->live_seq) {
+        return Divergence{"stale-hit", "rid " + std::to_string(rid) +
+                                           ": expected seq " +
+                                           std::to_string(rs->live_seq) +
+                                           ", got " + std::to_string(seq)};
+      }
+      return std::nullopt;
+    case Live::kAny: {
+      const bool known =
+          std::find(rs->acked.begin(), rs->acked.end(), seq) !=
+              rs->acked.end() ||
+          std::find(rs->maybe.begin(), rs->maybe.end(), seq) !=
+              rs->maybe.end();
+      if (!known) {
+        return Divergence{"unknown-version",
+                          "rid " + std::to_string(rid) + ": recovered seq " +
+                              std::to_string(seq) + " was never written"};
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void MiddleModel::OnRestart() {
+  for (auto& [rid, rs] : rids_) {
+    rs.live = (rs.acked.empty() && rs.maybe.empty()) ? Live::kUnmapped
+                                                     : Live::kAny;
+  }
+}
+
+std::vector<u64> MiddleModel::KnownRids() const {
+  std::vector<u64> out;
+  out.reserve(rids_.size());
+  for (const auto& [rid, rs] : rids_) {
+    if (!rs.acked.empty() || !rs.maybe.empty()) out.push_back(rid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace zncache::check

@@ -1,0 +1,134 @@
+// Reference oracles for the model-checking harness.
+//
+// The oracles encode the *acked-set / evictable* contract every layer must
+// satisfy, deliberately weaker than a store's linearizability:
+//
+//   * A cache may forget any value at any time (eviction, faults, crash) —
+//     a miss is always legal.
+//   * A live hit must return exactly the latest acknowledged version,
+//     byte-for-byte. After an acknowledged delete the key must miss until
+//     the next set. A key never set must always miss (no phantoms).
+//   * After a restart, recovered state must be a *subset* of what was ever
+//     written: a hit may return any acknowledged version (log recovery
+//     legitimately resurrects older copies or deleted keys whose newer
+//     incarnation died with its zone) or a version from a *failed* write
+//     that may still have landed durably — but never torn bytes and never
+//     a value that was never written.
+//
+// Values are self-describing: MakeValue embeds (magic, key hash, seq, len)
+// followed by a position-dependent byte pattern, so verification needs no
+// stored copies and torn/shifted payloads cannot parse clean.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace zncache::check {
+
+// ---- payload codec (cache level) ----
+
+inline constexpr u64 kValueMagic = 0x5A4E43484B56414CULL;  // "ZNCHKVAL"
+inline constexpr u64 kValueHeaderBytes = 32;
+
+std::string KeyName(u64 key);
+// Deterministic value of total length `len` (>= kValueHeaderBytes).
+std::string MakeValue(std::string_view key, u64 seq, u64 len);
+// Full-byte verification; returns the embedded seq.
+Result<u64> CheckValueBytes(std::string_view key, std::string_view got);
+
+// ---- payload codec (middle level) ----
+
+inline constexpr u64 kRegionMagic = 0x5A4E43484B524547ULL;  // "ZNCHKREG"
+
+// Fill a full region image for (rid, seq): 24-byte header + pattern.
+void FillRegionImage(u64 rid, u64 seq, std::span<std::byte> out);
+// Verify a full region image; returns the embedded seq.
+Result<u64> CheckRegionImage(u64 rid, std::span<const std::byte> got);
+
+// ---- divergence reporting ----
+
+struct Divergence {
+  std::string cls;     // stable class token for shrink matching
+  std::string detail;  // human diagnosis
+};
+
+// ---- cache-level oracle ----
+
+class CacheModel {
+ public:
+  struct Version {
+    u64 seq = 0;
+    u64 len = 0;
+  };
+
+  void OnSet(u64 key, u64 seq, u64 len, bool acked);
+  void OnDelete(u64 key, bool acked);
+  // `hit` + `value` are the engine's answer. `keystr` = KeyName(key).
+  std::optional<Divergence> OnGet(u64 key, bool hit, std::string_view value);
+  // Power cycle: every key that ever had a (possibly failed) write becomes
+  // "any acknowledged version or miss"; everything else must stay a miss.
+  void OnRestart();
+
+  // Keys with any recorded version — the recovered-sweep probe set.
+  std::vector<u64> KnownKeys() const;
+
+ private:
+  enum class Live : u8 {
+    kMiss,    // never set, or delete acked: must miss
+    kStrict,  // hit must be exactly (live_seq, live_len)
+    kAny,     // hit may be any acked/maybe version
+  };
+  struct KeyState {
+    std::vector<Version> acked;
+    std::vector<Version> maybe;  // failed writes that may have landed
+    Live live = Live::kMiss;
+    u64 live_seq = 0;
+    u64 live_len = 0;
+  };
+
+  std::optional<Divergence> CheckMember(const KeyState& ks, u64 key, u64 seq,
+                                        u64 len) const;
+
+  std::unordered_map<u64, KeyState> keys_;
+};
+
+// ---- middle-level oracle (region mapping semantics) ----
+
+class MiddleModel {
+ public:
+  // How the interpreter's read + image verification ended.
+  enum class ReadOutcome : u8 {
+    kOk,          // read succeeded and the image verified; seq extracted
+    kFailed,      // the layer returned an error
+    kCorrupt,     // read succeeded but the image did not verify
+    kTransient,   // injected UNAVAILABLE under an armed fault plan
+  };
+
+  void OnWrite(u64 rid, u64 seq, bool acked, bool lost_publish_race);
+  void OnInvalidate(u64 rid, bool acked);
+  // `note` carries the codec's diagnosis for kCorrupt outcomes.
+  std::optional<Divergence> OnRead(u64 rid, ReadOutcome outcome, u64 seq,
+                                   std::string_view note = {});
+  void OnRestart();
+
+  std::vector<u64> KnownRids() const;
+
+ private:
+  enum class Live : u8 { kUnmapped, kStrict, kAny };
+  struct RidState {
+    std::vector<u64> acked;  // seqs of acknowledged writes
+    std::vector<u64> maybe;  // failed / race-lost writes that landed
+    Live live = Live::kUnmapped;
+    u64 live_seq = 0;
+  };
+
+  std::unordered_map<u64, RidState> rids_;
+};
+
+}  // namespace zncache::check

@@ -1,0 +1,184 @@
+#include "check/checker.h"
+
+#include <algorithm>
+#include <array>
+
+#include "check/shrink.h"
+
+namespace zncache::check {
+
+namespace {
+
+std::string Sanitize(std::string_view label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '-');
+  }
+  return out;
+}
+
+// Runs one history; on divergence shrinks it, optionally writes the repro,
+// and records the failure.
+void RunOne(const History& h, const std::string& label,
+            const SelfTestOptions& opts, SelfTestReport* report) {
+  report->runs++;
+  RunResult r = RunHistory(h, opts.run);
+  report->writes_explored += r.writes_seen;
+  if (r.ok) return;
+
+  report->divergences++;
+  SelfTestFailure f;
+  f.label = Sanitize(label);
+  f.original_ops = h.ops.size();
+  if (opts.shrink_on_failure) {
+    ShrinkOptions so;
+    so.max_attempts = opts.shrink_attempts;
+    so.run = opts.run;
+    ShrinkResult s = ShrinkHistory(h, r, so);
+    f.history = std::move(s.history);
+    f.result = std::move(s.result);
+  } else {
+    f.history = h;
+    f.result = std::move(r);
+  }
+  if (!opts.out_dir.empty()) {
+    const std::string path = opts.out_dir + "/" + f.label + ".history";
+    if (f.history.WriteFile(path).ok()) f.minimized_path = path;
+  }
+  report->failures.push_back(std::move(f));
+}
+
+HistoryConfig BaseConfig(const SelfTestOptions& opts,
+                         backends::SchemeKind scheme, Level level,
+                         u64 seed) {
+  HistoryConfig c;
+  c.level = level;
+  c.scheme = scheme;
+  c.seed = seed;
+  if (opts.mutate_no_pin &&
+      (level == Level::kMiddle || scheme == backends::SchemeKind::kRegion)) {
+    c.mut_no_unpublished_pin = true;
+  }
+  return c;
+}
+
+// Crash-point exploration: arm a crash at sampled device-write indices of
+// the baseline and append a power cycle, so recovery is checked with the
+// machine cut mid-protocol at many points.
+void ExploreCrashes(const History& baseline, u64 baseline_writes,
+                    const std::string& label_prefix,
+                    const SelfTestOptions& opts, SelfTestReport* report) {
+  if (baseline_writes == 0 || opts.crash_points == 0) return;
+  static constexpr std::array<fault::CrashMode, 3> kModes = {
+      fault::CrashMode::kBeforeOp, fault::CrashMode::kTorn,
+      fault::CrashMode::kAfterOp};
+  for (u32 i = 1; i <= opts.crash_points; ++i) {
+    const u64 w = std::max<u64>(
+        1, baseline_writes * i / (opts.crash_points + 1));
+    const fault::CrashMode mode = kModes[(i - 1) % kModes.size()];
+    History variant = baseline;
+    Op crash;
+    crash.kind = OpKind::kCrash;
+    crash.crash_write = w;
+    crash.crash_mode = mode;
+    variant.ops.insert(variant.ops.begin(), crash);
+    Op restart;
+    restart.kind = OpKind::kRestart;
+    variant.ops.push_back(restart);
+    RunOne(variant,
+           label_prefix + "-crash-w" + std::to_string(w) + "-" +
+               std::string(fault::CrashModeName(mode)),
+           opts, report);
+  }
+}
+
+void RunLevel(const SelfTestOptions& opts, backends::SchemeKind scheme,
+              Level level, SelfTestReport* report) {
+  const std::string prefix =
+      (level == Level::kMiddle ? std::string("middle")
+                               : "cache-" + std::string(
+                                     backends::SchemeName(scheme)));
+  GeneratorOptions gen;
+  gen.ops = opts.ops;
+
+  if (opts.run_plain) {
+    HistoryConfig c = BaseConfig(opts, scheme, level, opts.seed);
+    RunOne(GenerateHistory(c, gen), prefix + "-plain", opts, report);
+  }
+  if (opts.run_fault) {
+    HistoryConfig c = BaseConfig(opts, scheme, level, opts.seed + 1);
+    c.plan = FaultModePlan(opts.seed);
+    GeneratorOptions fg = gen;
+    fg.allow_restart = false;  // no recovery under a probabilistic plan
+    RunOne(GenerateHistory(c, fg), prefix + "-fault", opts, report);
+  }
+  if (opts.run_crash) {
+    HistoryConfig c = BaseConfig(opts, scheme, level, opts.seed + 2);
+    GeneratorOptions cg = gen;
+    cg.allow_restart = false;  // the explorer appends its own restart
+    const History baseline = GenerateHistory(c, cg);
+    report->runs++;
+    RunResult base = RunHistory(baseline, opts.run);
+    report->writes_explored += base.writes_seen;
+    if (!base.ok) {
+      // The fault-free baseline itself diverged; report it instead of
+      // exploring crash points of a broken baseline.
+      report->runs--;  // RunOne re-counts
+      RunOne(baseline, prefix + "-crash-baseline", opts, report);
+      return;
+    }
+    ExploreCrashes(baseline, base.writes_seen, prefix, opts, report);
+  }
+}
+
+}  // namespace
+
+std::string FaultModePlan(u64 seed) {
+  return "seed=" + std::to_string(seed) +
+         ";ioerr:p=0.01;torn:p=0.005;latency:p=0.01,ns=50us;"
+         "resetfail:p=0.02";
+}
+
+std::string SelfTestReport::Summary() const {
+  std::string out = "selftest: " + std::to_string(runs) + " runs, " +
+                    std::to_string(writes_explored) + " device writes, " +
+                    std::to_string(divergences) + " divergences";
+  for (const SelfTestFailure& f : failures) {
+    out += "\n  " + f.label + ": " + f.result.Describe() + " (" +
+           std::to_string(f.original_ops) + " -> " +
+           std::to_string(f.history.ops.size()) + " ops";
+    if (!f.minimized_path.empty()) out += ", repro " + f.minimized_path;
+    out += ")";
+  }
+  return out;
+}
+
+SelfTestReport RunSelfTest(const SelfTestOptions& options) {
+  SelfTestReport report;
+  for (backends::SchemeKind scheme : options.schemes) {
+    RunLevel(options, scheme, Level::kCache, &report);
+    if (options.shards > 1 && options.run_plain) {
+      HistoryConfig c = BaseConfig(options, scheme, Level::kCache,
+                                   options.seed + 3);
+      c.shards = options.shards;
+      FitGeometryForShards(&c);
+      GeneratorOptions gen;
+      gen.ops = options.ops;
+      gen.allow_restart = false;  // sharded front-end has no Recover
+      RunOne(GenerateHistory(c, gen),
+             "cache-" + std::string(backends::SchemeName(scheme)) +
+                 "-sharded" + std::to_string(options.shards) + "-plain",
+             options, &report);
+    }
+  }
+  if (options.run_middle) {
+    RunLevel(options, backends::SchemeKind::kRegion, Level::kMiddle,
+             &report);
+  }
+  return report;
+}
+
+}  // namespace zncache::check

@@ -1,0 +1,76 @@
+// Self-test driver: generates seeded histories across schemes and modes,
+// runs each through the interpreter, and — on divergence — shrinks the
+// failing history to a minimal repro and (optionally) writes it to disk
+// for `zncache_cli replay`.
+//
+// Modes per scheme:
+//   plain — fault-free history with restarts (power cycles + recovered
+//           sweeps) and, for the Region scheme, interleave intrusions;
+//   fault — a probabilistic fault plan (I/O errors, torn writes, latency
+//           spikes, reset failures) with no restarts (recovery under an
+//           armed probabilistic plan has ambiguous semantics);
+//   crash — crash-point exploration: a fault-free baseline run records its
+//           device-write count W, then `crash_points` variants arm a crash
+//           at sampled write indices (rotating before/torn/after modes)
+//           and append a restart, so the recovered sweep exercises the
+//           reserve→write→publish window at many cut points.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/history.h"
+#include "check/interpreter.h"
+
+namespace zncache::check {
+
+struct SelfTestOptions {
+  u64 seed = 1;
+  u64 ops = 2000;  // ops per generated history
+  std::vector<backends::SchemeKind> schemes = {
+      backends::SchemeKind::kBlock, backends::SchemeKind::kFile,
+      backends::SchemeKind::kZone, backends::SchemeKind::kRegion};
+  bool run_plain = true;
+  bool run_fault = true;
+  bool run_crash = true;
+  // Also run middle-level histories directly against the
+  // ZoneTranslationLayer (same three modes, plus intrusions).
+  bool run_middle = true;
+  u32 crash_points = 8;  // crash variants per crash-mode run
+  // Extra sharded plain run per scheme with this many shards (1 = off).
+  u32 shards = 1;
+  // Arm the deliberately-injected middle-layer bug (reverts the
+  // unpublished-slot pin). Applied to Region-scheme and middle-level runs;
+  // a healthy harness must then report failures.
+  bool mutate_no_pin = false;
+  bool shrink_on_failure = true;
+  u64 shrink_attempts = 400;
+  // Directory for minimized .history repro files ("" = don't write).
+  std::string out_dir;
+  RunOptions run;
+};
+
+struct SelfTestFailure {
+  std::string label;           // e.g. "cache-region-crash-w37-torn"
+  History history;             // minimized (or original if shrink off)
+  RunResult result;            // failure of the minimized history
+  size_t original_ops = 0;     // op count before shrinking
+  std::string minimized_path;  // written repro file ("" = not written)
+};
+
+struct SelfTestReport {
+  u64 runs = 0;
+  u64 divergences = 0;
+  u64 writes_explored = 0;  // total device writes across runs
+  std::vector<SelfTestFailure> failures;
+
+  bool ok() const { return divergences == 0; }
+  std::string Summary() const;
+};
+
+SelfTestReport RunSelfTest(const SelfTestOptions& options);
+
+// The probabilistic plan used by fault-mode runs (exposed for tests).
+std::string FaultModePlan(u64 seed);
+
+}  // namespace zncache::check

@@ -1,0 +1,433 @@
+#include "check/history.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/random.h"
+
+namespace zncache::check {
+
+namespace {
+
+// Short scheme tokens for the text format (the display names carry '-').
+std::string_view SchemeToken(backends::SchemeKind k) {
+  switch (k) {
+    case backends::SchemeKind::kBlock:
+      return "block";
+    case backends::SchemeKind::kFile:
+      return "file";
+    case backends::SchemeKind::kZone:
+      return "zone";
+    case backends::SchemeKind::kRegion:
+      return "region";
+  }
+  return "unknown";
+}
+
+Result<backends::SchemeKind> ParseSchemeToken(std::string_view s) {
+  if (s == "block") return backends::SchemeKind::kBlock;
+  if (s == "file") return backends::SchemeKind::kFile;
+  if (s == "zone") return backends::SchemeKind::kZone;
+  if (s == "region") return backends::SchemeKind::kRegion;
+  return Status::InvalidArgument("unknown scheme: " + std::string(s));
+}
+
+Result<u64> ParseU64(std::string_view s) {
+  if (s.empty()) return Status::InvalidArgument("empty number");
+  u64 v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad number: " + std::string(s));
+    }
+    v = v * 10 + static_cast<u64>(c - '0');
+  }
+  return v;
+}
+
+// "key=value" tokens on a space-separated line.
+struct KvLine {
+  std::vector<std::pair<std::string_view, std::string_view>> kvs;
+  std::string_view word;  // first token (the line's op/verb)
+};
+
+KvLine SplitKvLine(std::string_view line) {
+  KvLine out;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < line.size()) {
+    size_t sp = line.find(' ', pos);
+    std::string_view tok = line.substr(
+        pos, sp == std::string_view::npos ? std::string_view::npos : sp - pos);
+    pos = sp == std::string_view::npos ? line.size() : sp + 1;
+    if (tok.empty()) continue;
+    if (first) {
+      out.word = tok;
+      first = false;
+      continue;
+    }
+    const size_t eq = tok.find('=');
+    if (eq == std::string_view::npos) {
+      out.kvs.emplace_back(tok, std::string_view());
+    } else {
+      out.kvs.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view OpKindName(OpKind k) {
+  switch (k) {
+    case OpKind::kSet:
+      return "set";
+    case OpKind::kGet:
+      return "get";
+    case OpKind::kDelete:
+      return "del";
+    case OpKind::kFlush:
+      return "flush";
+    case OpKind::kPump:
+      return "pump";
+    case OpKind::kMWrite:
+      return "mwrite";
+    case OpKind::kMRead:
+      return "mread";
+    case OpKind::kMInval:
+      return "minval";
+    case OpKind::kMGc:
+      return "mgc";
+    case OpKind::kIntrude:
+      return "intrude";
+    case OpKind::kCrash:
+      return "crash";
+    case OpKind::kRestart:
+      return "restart";
+  }
+  return "unknown";
+}
+
+std::string_view LevelName(Level l) {
+  return l == Level::kCache ? "cache" : "middle";
+}
+
+std::string History::Serialize() const {
+  std::string out = "znhist v1\n";
+  const HistoryConfig& c = config;
+  out += "config level=" + std::string(LevelName(c.level)) +
+         " scheme=" + std::string(SchemeToken(c.scheme)) +
+         " shards=" + std::to_string(c.shards) +
+         " seed=" + std::to_string(c.seed) + "\n";
+  out += "geom zones=" + std::to_string(c.zones) +
+         " zone_kib=" + std::to_string(c.zone_kib) +
+         " region_kib=" + std::to_string(c.region_kib) +
+         " cache_kib=" + std::to_string(c.cache_kib) +
+         " open_zones=" + std::to_string(c.open_zones) +
+         " min_empty=" + std::to_string(c.min_empty) +
+         " slots=" + std::to_string(c.slots) +
+         " sb_pages=" + std::to_string(c.sb_pages) + "\n";
+  if (c.mut_no_unpublished_pin) out += "mutation no-unpublished-pin\n";
+  if (!c.plan.empty()) out += "plan " + c.plan + "\n";
+  for (const Op& op : ops) {
+    out += OpKindName(op.kind);
+    switch (op.kind) {
+      case OpKind::kSet:
+        out += " key=" + std::to_string(op.key) +
+               " seq=" + std::to_string(op.seq) +
+               " len=" + std::to_string(op.len);
+        break;
+      case OpKind::kGet:
+      case OpKind::kDelete:
+      case OpKind::kMRead:
+      case OpKind::kMInval:
+        out += " key=" + std::to_string(op.key);
+        break;
+      case OpKind::kMWrite:
+        out += " key=" + std::to_string(op.key) +
+               " seq=" + std::to_string(op.seq);
+        break;
+      case OpKind::kCrash:
+        out += " write=" + std::to_string(op.crash_write) + " mode=" +
+               std::string(fault::CrashModeName(op.crash_mode));
+        break;
+      case OpKind::kIntrude:
+        out += " point=" + std::string(fault::HookPointName(op.point)) +
+               " after=" + std::to_string(op.after) +
+               " act=" + std::string(OpKindName(op.act));
+        if (op.act != OpKind::kMGc) out += " key=" + std::to_string(op.key);
+        break;
+      case OpKind::kFlush:
+      case OpKind::kPump:
+      case OpKind::kMGc:
+      case OpKind::kRestart:
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<History> History::Parse(std::string_view text) {
+  History h;
+  bool saw_magic = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() : nl + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+    if (!saw_magic) {
+      if (line != "znhist v1") {
+        return Status::InvalidArgument("not a znhist v1 file");
+      }
+      saw_magic = true;
+      continue;
+    }
+    KvLine kv = SplitKvLine(line);
+    auto get = [&](std::string_view key) -> std::string_view {
+      for (const auto& [k, v] : kv.kvs) {
+        if (k == key) return v;
+      }
+      return {};
+    };
+    auto get_u64 = [&](std::string_view key, u64* out) -> Status {
+      auto v = ParseU64(get(key));
+      if (!v.ok()) {
+        return Status::InvalidArgument("line '" + std::string(line) +
+                                       "': bad " + std::string(key));
+      }
+      *out = *v;
+      return Status::Ok();
+    };
+
+    if (kv.word == "config") {
+      h.config.level = get("level") == "middle" ? Level::kMiddle : Level::kCache;
+      auto sk = ParseSchemeToken(get("scheme"));
+      if (!sk.ok()) return sk.status();
+      h.config.scheme = *sk;
+      u64 shards = 1;
+      ZN_RETURN_IF_ERROR(get_u64("shards", &shards));
+      h.config.shards = static_cast<u32>(shards);
+      ZN_RETURN_IF_ERROR(get_u64("seed", &h.config.seed));
+      continue;
+    }
+    if (kv.word == "geom") {
+      u64 oz = 0;
+      ZN_RETURN_IF_ERROR(get_u64("zones", &h.config.zones));
+      ZN_RETURN_IF_ERROR(get_u64("zone_kib", &h.config.zone_kib));
+      ZN_RETURN_IF_ERROR(get_u64("region_kib", &h.config.region_kib));
+      ZN_RETURN_IF_ERROR(get_u64("cache_kib", &h.config.cache_kib));
+      ZN_RETURN_IF_ERROR(get_u64("open_zones", &oz));
+      h.config.open_zones = static_cast<u32>(oz);
+      ZN_RETURN_IF_ERROR(get_u64("min_empty", &h.config.min_empty));
+      ZN_RETURN_IF_ERROR(get_u64("slots", &h.config.slots));
+      ZN_RETURN_IF_ERROR(get_u64("sb_pages", &h.config.sb_pages));
+      continue;
+    }
+    if (kv.word == "mutation") {
+      if (line.find("no-unpublished-pin") != std::string_view::npos) {
+        h.config.mut_no_unpublished_pin = true;
+      } else {
+        return Status::InvalidArgument("unknown mutation: " +
+                                       std::string(line));
+      }
+      continue;
+    }
+    if (kv.word == "plan") {
+      h.config.plan = std::string(line.substr(5));
+      continue;
+    }
+
+    Op op;
+    if (kv.word == "set") {
+      op.kind = OpKind::kSet;
+      ZN_RETURN_IF_ERROR(get_u64("key", &op.key));
+      ZN_RETURN_IF_ERROR(get_u64("seq", &op.seq));
+      ZN_RETURN_IF_ERROR(get_u64("len", &op.len));
+    } else if (kv.word == "get" || kv.word == "del" || kv.word == "mread" ||
+               kv.word == "minval") {
+      op.kind = kv.word == "get"      ? OpKind::kGet
+                : kv.word == "del"    ? OpKind::kDelete
+                : kv.word == "mread" ? OpKind::kMRead
+                                      : OpKind::kMInval;
+      ZN_RETURN_IF_ERROR(get_u64("key", &op.key));
+    } else if (kv.word == "mwrite") {
+      op.kind = OpKind::kMWrite;
+      ZN_RETURN_IF_ERROR(get_u64("key", &op.key));
+      ZN_RETURN_IF_ERROR(get_u64("seq", &op.seq));
+    } else if (kv.word == "flush") {
+      op.kind = OpKind::kFlush;
+    } else if (kv.word == "pump") {
+      op.kind = OpKind::kPump;
+    } else if (kv.word == "mgc") {
+      op.kind = OpKind::kMGc;
+    } else if (kv.word == "restart") {
+      op.kind = OpKind::kRestart;
+    } else if (kv.word == "crash") {
+      op.kind = OpKind::kCrash;
+      ZN_RETURN_IF_ERROR(get_u64("write", &op.crash_write));
+      auto m = fault::ParseCrashMode(get("mode"));
+      if (!m.ok()) return m.status();
+      op.crash_mode = *m;
+    } else if (kv.word == "intrude") {
+      op.kind = OpKind::kIntrude;
+      auto p = fault::ParseHookPoint(get("point"));
+      if (!p.ok()) return p.status();
+      op.point = *p;
+      ZN_RETURN_IF_ERROR(get_u64("after", &op.after));
+      const std::string_view act = get("act");
+      if (act == "minval") {
+        op.act = OpKind::kMInval;
+      } else if (act == "mread") {
+        op.act = OpKind::kMRead;
+      } else if (act == "mgc") {
+        op.act = OpKind::kMGc;
+      } else {
+        return Status::InvalidArgument("bad intrude act: " + std::string(act));
+      }
+      if (op.act != OpKind::kMGc) ZN_RETURN_IF_ERROR(get_u64("key", &op.key));
+    } else {
+      return Status::InvalidArgument("unknown history line: " +
+                                     std::string(line));
+    }
+    h.ops.push_back(op);
+  }
+  if (!saw_magic) return Status::InvalidArgument("empty history");
+  return h;
+}
+
+u64 History::Fingerprint() const {
+  const std::string text = Serialize();
+  u64 fp = 14695981039346656037ULL;
+  for (char c : text) {
+    fp ^= static_cast<u8>(c);
+    fp *= 1099511628211ULL;
+  }
+  return fp;
+}
+
+Status History::WriteFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::Unavailable("cannot open for write: " + path);
+  const std::string text = Serialize();
+  f.write(text.data(), static_cast<std::streamsize>(text.size()));
+  f.flush();
+  if (!f) return Status::Unavailable("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<History> History::ReadFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return Parse(buf.str());
+}
+
+History GenerateHistory(const HistoryConfig& config,
+                        const GeneratorOptions& options) {
+  History h;
+  h.config = config;
+  Rng rng(config.seed * 0x9E3779B97F4A7C15ULL + 1);
+  u64 next_seq = 0;
+  // Restarts and crash exploration need a single engine to re-open.
+  const bool allow_restart = options.allow_restart && config.shards == 1;
+
+  if (config.level == Level::kCache) {
+    for (u64 i = 0; i < options.ops; ++i) {
+      const u64 roll = rng.Uniform(1000);
+      Op op;
+      if (roll < 430) {
+        op.kind = OpKind::kSet;
+        op.key = rng.Uniform(options.key_space);
+        op.seq = ++next_seq;
+        // Codec header (32 B) + body; spread across sizes so several
+        // items share a region and large ones span most of one.
+        op.len = 64 + rng.Uniform(options.max_value_kib * kKiB);
+      } else if (roll < 800) {
+        op.kind = OpKind::kGet;
+        op.key = rng.Uniform(options.key_space);
+      } else if (roll < 890) {
+        op.kind = OpKind::kDelete;
+        op.key = rng.Uniform(options.key_space);
+      } else if (roll < 920) {
+        op.kind = OpKind::kFlush;
+      } else if (roll < 970) {
+        op.kind = OpKind::kPump;
+      } else if (roll < 985 && options.allow_intrusions &&
+                 config.scheme == backends::SchemeKind::kRegion) {
+        // The only hook intrusion that is legal above the cache: force a
+        // GC step inside the flush's pre-publish window.
+        op.kind = OpKind::kIntrude;
+        op.point = fault::HookPoint::kMiddleWritePrePublish;
+        op.after = 1 + rng.Uniform(4);
+        op.act = OpKind::kMGc;
+      } else if (allow_restart) {
+        op.kind = OpKind::kRestart;
+      } else {
+        op.kind = OpKind::kGet;
+        op.key = rng.Uniform(options.key_space);
+      }
+      h.ops.push_back(op);
+    }
+    return h;
+  }
+
+  // Middle level: drive the ZTL directly over its logical region slots.
+  for (u64 i = 0; i < options.ops; ++i) {
+    const u64 roll = rng.Uniform(1000);
+    Op op;
+    if (roll < 480) {
+      op.kind = OpKind::kMWrite;
+      op.key = rng.Uniform(config.slots);
+      op.seq = ++next_seq;
+    } else if (roll < 790) {
+      op.kind = OpKind::kMRead;
+      op.key = rng.Uniform(config.slots);
+    } else if (roll < 910) {
+      op.kind = OpKind::kMInval;
+      op.key = rng.Uniform(config.slots);
+    } else if (roll < 940) {
+      op.kind = OpKind::kMGc;
+    } else if (roll < 990 && options.allow_intrusions) {
+      op.kind = OpKind::kIntrude;
+      const bool gc_point = rng.Uniform(10) < 3;
+      op.point = gc_point ? fault::HookPoint::kMiddleGcPrePublish
+                          : fault::HookPoint::kMiddleWritePrePublish;
+      op.after = 1 + rng.Uniform(4);
+      // At the GC hook gc_mu_ is held, so a nested MaybeCollect would
+      // self-deadlock — intruders there only invalidate or read.
+      const u64 act = rng.Uniform(gc_point ? 2 : 3);
+      op.act = act == 0   ? OpKind::kMInval
+               : act == 1 ? OpKind::kMRead
+                          : OpKind::kMGc;
+      if (op.act != OpKind::kMGc) op.key = rng.Uniform(config.slots);
+    } else if (allow_restart) {
+      op.kind = OpKind::kRestart;
+    } else {
+      op.kind = OpKind::kMRead;
+      op.key = rng.Uniform(config.slots);
+    }
+    h.ops.push_back(op);
+  }
+  return h;
+}
+
+void FitGeometryForShards(HistoryConfig* config) {
+  if (config->shards <= 1) return;
+  // Each extra open zone (one per shard) costs regions_per_zone slots of
+  // GC reserve; two more zones per shard keeps the over-provisioning check
+  // satisfied with headroom.
+  config->zones += 2 * config->shards;
+  if (config->scheme == backends::SchemeKind::kZone) {
+    // Zone-Cache regions are whole zones and the sharded front-end wants
+    // two regions per shard.
+    config->cache_kib = std::max<u64>(
+        config->cache_kib, 2 * static_cast<u64>(config->shards) * config->zone_kib);
+  }
+}
+
+}  // namespace zncache::check

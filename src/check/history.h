@@ -1,0 +1,130 @@
+// Replayable operation histories for the model-checking harness.
+//
+// A History is a full, self-contained description of one differential run:
+// the configuration line (level, scheme, geometry, seed, fault plan,
+// mutation knobs) plus an ordered op list. Histories serialize to a small
+// line-oriented text format ("znhist v1") so a failing run can be dumped
+// to a file, attached to a bug report, and re-executed byte-for-byte by
+// `zncache_cli replay <file>` or the gtest fixture — the interpreter uses
+// only the virtual clock and seeded RNGs, never wall time.
+//
+// Two op vocabularies share the format:
+//   * cache level — set/get/del/flush/pump/restart driven against a full
+//     scheme (Block/File/Zone/Region-Cache, optionally sharded);
+//   * middle level — mwrite/mread/minval/mgc/intrude/restart driven
+//     directly against the ZoneTranslationLayer, where `intrude` schedules
+//     a deterministic intruder op at a named interleave hook inside the
+//     reserve→write→publish window (see fault::HookPoint).
+//
+// `crash write=N mode=M` arms a whole-machine crash at the Nth device
+// write; `restart` power-cycles, recovers, and sweeps the recovered state
+// against the oracle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "backends/schemes.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "fault/fault_injector.h"
+
+namespace zncache::check {
+
+enum class Level : u8 { kCache, kMiddle };
+
+enum class OpKind : u8 {
+  // cache level
+  kSet,
+  kGet,
+  kDelete,
+  kFlush,
+  kPump,
+  // middle level
+  kMWrite,
+  kMRead,
+  kMInval,
+  kMGc,
+  kIntrude,
+  // both
+  kCrash,
+  kRestart,
+};
+
+struct Op {
+  OpKind kind{};
+  u64 key = 0;  // cache key id / middle region id
+  u64 seq = 0;  // payload version (kSet / kMWrite; globally increasing)
+  u64 len = 0;  // value length including codec header (kSet)
+  // kCrash
+  u64 crash_write = 0;  // 1-based device-write index
+  fault::CrashMode crash_mode = fault::CrashMode::kBeforeOp;
+  // kIntrude: at the (current hits + after)-th hit of `point`, run `act`
+  // (kMInval / kMRead on `key`, or kMGc).
+  fault::HookPoint point = fault::HookPoint::kMiddleWritePrePublish;
+  u64 after = 1;
+  OpKind act = OpKind::kMGc;
+};
+
+struct HistoryConfig {
+  Level level = Level::kCache;
+  backends::SchemeKind scheme = backends::SchemeKind::kRegion;
+  u32 shards = 1;  // cache level only; >1 disables crash/restart ops
+  u64 seed = 1;    // generator seed (recorded for provenance)
+  // Geometry (bytes expressed in KiB so the text format stays compact).
+  u64 zones = 10;
+  u64 zone_kib = 1024;
+  u64 region_kib = 256;
+  u64 cache_kib = 4096;
+  u32 open_zones = 2;
+  u64 min_empty = 2;
+  u64 slots = 16;     // middle level: logical region slots
+  u64 sb_pages = 64;  // block scheme: FTL superblock pages
+  // Raw fault-plan spec (empty = fault-free).
+  std::string plan;
+  // Mutation knobs (deliberately injected bugs the harness must catch).
+  bool mut_no_unpublished_pin = false;
+};
+
+struct History {
+  HistoryConfig config;
+  std::vector<Op> ops;
+
+  // Canonical text form; Parse(Serialize(h)) == h field-for-field.
+  std::string Serialize() const;
+  static Result<History> Parse(std::string_view text);
+
+  // FNV-1a over the canonical text — the determinism witness: the same
+  // seed and generator options always produce the same fingerprint.
+  u64 Fingerprint() const;
+
+  Status WriteFile(const std::string& path) const;
+  static Result<History> ReadFile(const std::string& path);
+};
+
+// Generator tuning. Ratios are weights, not exact counts; the op mix is a
+// pure function of (options, config, seed).
+struct GeneratorOptions {
+  u64 ops = 10000;
+  u64 key_space = 96;       // cache level: keys k0..k{n-1}
+  u64 max_value_kib = 16;   // cache level: value sizes up to this
+  bool allow_restart = true;
+  bool allow_intrusions = true;  // middle level (and mgc at cache level)
+};
+
+// Deterministic history generation: identical (config, options) ⇒
+// byte-identical history. config.seed drives the op stream.
+History GenerateHistory(const HistoryConfig& config,
+                        const GeneratorOptions& options);
+
+// Grow a config's geometry so its sharded run is constructible: one open
+// zone per shard raises the middle layer's GC reserve past the default
+// device, and Zone-Cache needs two zone-sized regions per shard. No-op
+// for shards <= 1. The adjusted geometry is serialized with the history,
+// so replays stay byte-for-byte.
+void FitGeometryForShards(HistoryConfig* config);
+
+[[nodiscard]] std::string_view OpKindName(OpKind k);
+[[nodiscard]] std::string_view LevelName(Level l);
+
+}  // namespace zncache::check

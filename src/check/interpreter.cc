@@ -1,0 +1,584 @@
+#include "check/interpreter.h"
+
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "backends/middle_region_device.h"
+#include "backends/schemes.h"
+#include "cache/flash_cache.h"
+#include "cache/sharded_cache.h"
+#include "check/cache_model.h"
+#include "fault/fault_injector.h"
+#include "middle/zone_translation_layer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/clock.h"
+#include "zns/zns_device.h"
+
+namespace zncache::check {
+
+namespace {
+
+// Probe keys/rids for phantom checks: far outside any generator key space.
+constexpr u64 kPhantomProbeBase = 1ULL << 40;
+constexpr u64 kPhantomProbes = 4;
+
+struct Fail {
+  RunResult* r;
+  bool Diverge(const std::string& cls, const std::string& detail,
+               size_t op_index) {
+    if (!r->ok) return true;  // first divergence wins
+    r->ok = false;
+    r->failure_class = cls;
+    r->detail = detail;
+    r->op_index = op_index;
+    return true;
+  }
+};
+
+// One pending intruder op scheduled at an absolute hook-hit count.
+struct PendingIntrusion {
+  fault::HookPoint point;
+  u64 at_hit = 0;
+  Op op;
+  bool done = false;
+};
+
+// ---- middle-level run ----
+
+class MiddleRun {
+ public:
+  MiddleRun(const History& h, const RunOptions& opts, RunResult* result)
+      : h_(h), opts_(opts), result_(result), fail_{result} {}
+
+  void Run() {
+    const HistoryConfig& c = h_.config;
+    tracer_ = std::make_unique<obs::Tracer>(1 << 12);
+    auto plan = fault::FaultPlan::Parse(c.plan);
+    if (!plan.ok()) {
+      fail_.Diverge("setup", plan.status().message(), 0);
+      return;
+    }
+    transient_ok_ = !plan->rules.empty();
+    fault::FaultInjectorConfig fic;
+    fic.metrics = &registry_;
+    fic.tracer = tracer_.get();
+    injector_ = std::make_unique<fault::FaultInjector>(*plan, fic);
+
+    zns::ZnsConfig zc;
+    zc.zone_count = c.zones;
+    zc.zone_size = c.zone_kib * kKiB;
+    zc.zone_capacity = c.zone_kib * kKiB;
+    zc.store_data = true;
+    zc.metrics = &registry_;
+    zc.tracer = tracer_.get();
+    zc.faults = injector_.get();
+    device_ = std::make_unique<zns::ZnsDevice>(zc, &clock_);
+
+    ml_.region_size = c.region_kib * kKiB;
+    ml_.region_slots = c.slots;
+    ml_.open_zones = c.open_zones;
+    ml_.min_empty_zones = c.min_empty;
+    ml_.persist_headers = true;
+    ml_.mut_no_unpublished_pin = c.mut_no_unpublished_pin;
+    ml_.metrics = &registry_;
+    ml_.tracer = tracer_.get();
+    layer_ = std::make_unique<middle::ZoneTranslationLayer>(ml_, device_.get());
+    if (Status st = layer_->ValidateConfig(); !st.ok()) {
+      fail_.Diverge("setup", st.message(), 0);
+      return;
+    }
+
+    injector_->SetHook([this](fault::HookPoint point, u64 hit) {
+      DispatchHook(point, hit);
+    });
+
+    scratch_.resize(ml_.region_size);
+    for (size_t i = 0; i < h_.ops.size() && result_->ok; ++i) {
+      cur_op_ = i;
+      // An exception escaping the stack under test is itself a divergence
+      // (e.g. a corrupted on-flash length driving an allocation).
+      try {
+        ExecOp(h_.ops[i]);
+      } catch (const std::exception& e) {
+        fail_.Diverge("exception",
+                      std::string(e.what()) + " during " +
+                          std::string(OpKindName(h_.ops[i].kind)),
+                      i);
+      }
+      if (result_->ok && opts_.check_invariants && !injector_->crashed() &&
+          (i + 1) % opts_.invariant_stride == 0) {
+        CheckInvariants();
+      }
+    }
+    if (result_->ok && opts_.check_invariants && !injector_->crashed()) {
+      CheckInvariants();
+    }
+    injector_->SetHook(nullptr);
+    result_->writes_seen = injector_->writes_seen();
+    result_->fault_fingerprint = injector_->Fingerprint();
+  }
+
+ private:
+  void CheckInvariants() {
+    if (Status st = layer_->CheckInvariants(); !st.ok()) {
+      fail_.Diverge("invariant", st.message(), cur_op_);
+    }
+  }
+
+  void ExecOp(const Op& op) {
+    // A crashed machine executes nothing until the restart op.
+    if (injector_->crashed() && op.kind != OpKind::kRestart) return;
+    switch (op.kind) {
+      case OpKind::kMWrite: {
+        FillRegionImage(op.key, op.seq, scratch_);
+        in_flight_rid_ = op.key;
+        in_flight_seq_ = op.seq;
+        in_flight_applied_ = false;
+        inflight_lost_ = false;
+        auto r = layer_->WriteRegion(
+            op.key, std::span<const std::byte>(scratch_),
+            sim::IoMode::kForeground);
+        in_flight_rid_ = kInvalidId;
+        // An intruder may have applied this write to the model already (see
+        // ExecIntrusion): the GC hook inside WriteRegion's tail collection
+        // fires after the mapping published, so intruder ops there order
+        // after the write.
+        if (!in_flight_applied_) {
+          model_.OnWrite(op.key, op.seq, r.ok(), r.ok() && inflight_lost_);
+        }
+        break;
+      }
+      case OpKind::kMRead:
+        ReadAndCheck(op.key);
+        break;
+      case OpKind::kMInval: {
+        Status st = layer_->InvalidateRegion(op.key);
+        model_.OnInvalidate(op.key, st.ok());
+        break;
+      }
+      case OpKind::kMGc:
+        (void)layer_->MaybeCollect();
+        break;
+      case OpKind::kIntrude: {
+        PendingIntrusion p;
+        p.point = op.point;
+        p.at_hit = injector_->HookHits(op.point) + op.after;
+        p.op = op;
+        pending_.push_back(p);
+        break;
+      }
+      case OpKind::kCrash:
+        injector_->ArmCrash(op.crash_write, op.crash_mode);
+        break;
+      case OpKind::kRestart:
+        Restart();
+        break;
+      default:
+        fail_.Diverge("setup", "cache-level op in a middle-level history",
+                      cur_op_);
+    }
+  }
+
+  void ReadAndCheck(u64 rid) {
+    auto st = layer_->ReadRegion(rid, 0, std::span<std::byte>(scratch_));
+    MiddleModel::ReadOutcome outcome;
+    u64 seq = 0;
+    std::string note;
+    if (st.ok()) {
+      auto decoded = CheckRegionImage(rid, scratch_);
+      if (decoded.ok()) {
+        outcome = MiddleModel::ReadOutcome::kOk;
+        seq = *decoded;
+      } else {
+        outcome = MiddleModel::ReadOutcome::kCorrupt;
+        note = decoded.status().message();
+      }
+    } else if (st.status().code() == StatusCode::kUnavailable &&
+               (transient_ok_ || injector_->crashed())) {
+      outcome = MiddleModel::ReadOutcome::kTransient;
+    } else {
+      outcome = MiddleModel::ReadOutcome::kFailed;
+    }
+    if (auto d = model_.OnRead(rid, outcome, seq, note)) {
+      fail_.Diverge(d->cls, d->detail, cur_op_);
+    }
+  }
+
+  void DispatchHook(fault::HookPoint point, u64 hit) {
+    for (PendingIntrusion& p : pending_) {
+      if (p.done || p.point != point || p.at_hit != hit) continue;
+      p.done = true;
+      ExecIntrusion(p.op, point);
+    }
+  }
+
+  void ExecIntrusion(const Op& op, fault::HookPoint point) {
+    switch (op.act) {
+      case OpKind::kMInval: {
+        // The GC pre-publish hook can fire from WriteRegion's tail
+        // collection, which runs after the write's mapping published. An
+        // intruder invalidate there orders AFTER the in-flight write, so
+        // the write must reach the model first — otherwise the oracle
+        // records invalidate-then-write and demands a hit the layer
+        // correctly no longer serves.
+        if (point == fault::HookPoint::kMiddleGcPrePublish &&
+            in_flight_rid_ != kInvalidId && !in_flight_applied_) {
+          model_.OnWrite(in_flight_rid_, in_flight_seq_, /*acked=*/true,
+                         inflight_lost_);
+          in_flight_applied_ = true;
+        }
+        Status st = layer_->InvalidateRegion(op.key);
+        model_.OnInvalidate(op.key, st.ok());
+        // An invalidate of the in-flight write's region inside its
+        // pre-publish window always beats the publish (the version token
+        // was bumped): the write will ack but its slot stays dead.
+        if (st.ok() &&
+            point == fault::HookPoint::kMiddleWritePrePublish &&
+            op.key == in_flight_rid_) {
+          inflight_lost_ = true;
+        }
+        break;
+      }
+      case OpKind::kMRead:
+        // The in-flight write cleared its own mapping at reserve time; a
+        // read inside its window is NotFound by protocol, not a loss.
+        if (op.key != in_flight_rid_) ReadAndCheckNested(op.key);
+        break;
+      case OpKind::kMGc:
+        // Only legal where gc_mu_ is not already held by this thread.
+        if (point == fault::HookPoint::kMiddleWritePrePublish) {
+          (void)layer_->MaybeCollect();
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Reads inside a hook reuse a separate buffer: scratch_ still holds the
+  // in-flight write's image.
+  void ReadAndCheckNested(u64 rid) {
+    std::vector<std::byte> buf(ml_.region_size);
+    auto st = layer_->ReadRegion(rid, 0, std::span<std::byte>(buf));
+    MiddleModel::ReadOutcome outcome;
+    u64 seq = 0;
+    std::string note;
+    if (st.ok()) {
+      auto decoded = CheckRegionImage(rid, buf);
+      if (decoded.ok()) {
+        outcome = MiddleModel::ReadOutcome::kOk;
+        seq = *decoded;
+      } else {
+        outcome = MiddleModel::ReadOutcome::kCorrupt;
+        note = decoded.status().message();
+      }
+    } else if (st.status().code() == StatusCode::kUnavailable &&
+               (transient_ok_ || injector_->crashed())) {
+      outcome = MiddleModel::ReadOutcome::kTransient;
+    } else {
+      outcome = MiddleModel::ReadOutcome::kFailed;
+    }
+    if (auto d = model_.OnRead(rid, outcome, seq, note)) {
+      fail_.Diverge(d->cls, d->detail, cur_op_);
+    }
+  }
+
+  void Restart() {
+    injector_->ClearCrash();
+    auto fresh =
+        std::make_unique<middle::ZoneTranslationLayer>(ml_, device_.get());
+    if (Status st = fresh->Recover(); !st.ok()) {
+      fail_.Diverge("recovery-failed", st.message(), cur_op_);
+      return;
+    }
+    layer_ = std::move(fresh);
+    model_.OnRestart();
+    if (opts_.check_invariants) CheckInvariants();
+    if (!result_->ok) return;
+    // Recovered sweep: every slot must hold either nothing or a verified
+    // known version for its rid (subset-of-history, no phantom, no torn).
+    for (u64 rid = 0; rid < h_.config.slots && result_->ok; ++rid) {
+      ReadAndCheck(rid);
+    }
+  }
+
+  const History& h_;
+  const RunOptions& opts_;
+  RunResult* result_;
+  Fail fail_;
+
+  obs::Registry registry_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  sim::VirtualClock clock_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<zns::ZnsDevice> device_;
+  middle::MiddleLayerConfig ml_;
+  std::unique_ptr<middle::ZoneTranslationLayer> layer_;
+
+  MiddleModel model_;
+  std::vector<PendingIntrusion> pending_;
+  std::vector<std::byte> scratch_;
+  bool transient_ok_ = false;
+  u64 in_flight_rid_ = kInvalidId;
+  u64 in_flight_seq_ = 0;
+  // Set when an intruder already pushed the in-flight write into the model
+  // (ordering: write-then-intrusion); the post-call OnWrite is skipped.
+  bool in_flight_applied_ = false;
+  bool inflight_lost_ = false;
+  size_t cur_op_ = 0;
+};
+
+// ---- cache-level run ----
+
+class CacheRun {
+ public:
+  CacheRun(const History& h, const RunOptions& opts, RunResult* result)
+      : h_(h), opts_(opts), result_(result), fail_{result} {}
+
+  void Run() {
+    const HistoryConfig& c = h_.config;
+    tracer_ = std::make_unique<obs::Tracer>(1 << 12);
+    auto plan = fault::FaultPlan::Parse(c.plan);
+    if (!plan.ok()) {
+      fail_.Diverge("setup", plan.status().message(), 0);
+      return;
+    }
+    fault::FaultInjectorConfig fic;
+    fic.metrics = &registry_;
+    fic.tracer = tracer_.get();
+    injector_ = std::make_unique<fault::FaultInjector>(*plan, fic);
+
+    params_.cache_bytes = c.cache_kib * kKiB;
+    params_.region_size = c.region_kib * kKiB;
+    params_.zone_size = c.zone_kib * kKiB;
+    params_.device_zones = c.zones;
+    params_.min_empty_zones = c.min_empty;
+    params_.open_zones = c.open_zones;
+    params_.block_superblock_pages = c.sb_pages;
+    // The harness devices are tiny; a regular SSD's 7% OP makes its FTL
+    // GC churn pathologically on them.
+    params_.block_op_ratio = 0.25;
+    params_.store_data = true;
+    params_.persistent = true;
+    params_.shards = c.shards;
+    params_.mut_no_unpublished_pin = c.mut_no_unpublished_pin;
+    params_.metrics = &registry_;
+    params_.tracer = tracer_.get();
+    params_.faults = injector_.get();
+
+    if (c.shards <= 1) {
+      auto s = backends::MakeScheme(c.scheme, params_, &clock_);
+      if (!s.ok()) {
+        fail_.Diverge("setup", s.status().message(), 0);
+        return;
+      }
+      scheme_ = std::make_unique<backends::SchemeInstance>(std::move(*s));
+      device_ = scheme_->device.get();
+      engine_ = scheme_->cache.get();
+    } else {
+      auto s = backends::MakeShardedScheme(c.scheme, params_, &clock_);
+      if (!s.ok()) {
+        fail_.Diverge("setup", s.status().message(), 0);
+        return;
+      }
+      sharded_ = std::make_unique<backends::ShardedSchemeInstance>(
+          std::move(*s));
+      device_ = sharded_->device.get();
+      sharded_engine_ = sharded_->cache.get();
+    }
+
+    injector_->SetHook([this](fault::HookPoint point, u64 hit) {
+      DispatchHook(point, hit);
+    });
+
+    for (size_t i = 0; i < h_.ops.size() && result_->ok; ++i) {
+      cur_op_ = i;
+      // An exception escaping the stack under test is itself a divergence
+      // (e.g. a corrupted on-flash length driving an allocation).
+      try {
+        ExecOp(h_.ops[i]);
+      } catch (const std::exception& e) {
+        fail_.Diverge("exception",
+                      std::string(e.what()) + " during " +
+                          std::string(OpKindName(h_.ops[i].kind)),
+                      i);
+      }
+      if (result_->ok && opts_.check_invariants && !injector_->crashed() &&
+          (i + 1) % opts_.invariant_stride == 0) {
+        CheckInvariants();
+      }
+    }
+    if (result_->ok && opts_.check_invariants && !injector_->crashed()) {
+      CheckInvariants();
+    }
+    injector_->SetHook(nullptr);
+    result_->writes_seen = injector_->writes_seen();
+    result_->fault_fingerprint = injector_->Fingerprint();
+  }
+
+ private:
+  Result<cache::OpResult> Set(std::string_view k, std::string_view v) {
+    return sharded_engine_ ? sharded_engine_->Set(k, v) : engine_->Set(k, v);
+  }
+  Result<cache::OpResult> Get(std::string_view k, std::string* out) {
+    return sharded_engine_ ? sharded_engine_->Get(k, out)
+                           : engine_->Get(k, out);
+  }
+  Result<cache::OpResult> Delete(std::string_view k) {
+    return sharded_engine_ ? sharded_engine_->Delete(k) : engine_->Delete(k);
+  }
+
+  void CheckInvariants() {
+    // Only the Region-Cache backend exposes a structural self-check.
+    if (h_.config.scheme != backends::SchemeKind::kRegion) return;
+    auto* mid = static_cast<backends::MiddleRegionDevice*>(device_);
+    if (Status st = mid->layer().CheckInvariants(); !st.ok()) {
+      fail_.Diverge("invariant", st.message(), cur_op_);
+    }
+  }
+
+  void ExecOp(const Op& op) {
+    if (injector_->crashed() && op.kind != OpKind::kRestart) return;
+    switch (op.kind) {
+      case OpKind::kSet: {
+        const std::string key = KeyName(op.key);
+        const std::string val = MakeValue(key, op.seq, op.len);
+        auto r = Set(key, val);
+        model_.OnSet(op.key, op.seq, val.size(), r.ok());
+        break;
+      }
+      case OpKind::kGet:
+        GetAndCheck(op.key);
+        break;
+      case OpKind::kDelete: {
+        auto r = Delete(KeyName(op.key));
+        model_.OnDelete(op.key, r.ok());
+        break;
+      }
+      case OpKind::kFlush:
+        (void)(sharded_engine_ ? sharded_engine_->Flush() : engine_->Flush());
+        break;
+      case OpKind::kPump:
+        (void)device_->PumpBackground();
+        break;
+      case OpKind::kIntrude: {
+        PendingIntrusion p;
+        p.point = op.point;
+        p.at_hit = injector_->HookHits(op.point) + op.after;
+        p.op = op;
+        pending_.push_back(p);
+        break;
+      }
+      case OpKind::kCrash:
+        if (h_.config.shards <= 1) {
+          injector_->ArmCrash(op.crash_write, op.crash_mode);
+        }
+        break;
+      case OpKind::kRestart:
+        if (h_.config.shards <= 1) Restart();
+        break;
+      default:
+        fail_.Diverge("setup", "middle-level op in a cache-level history",
+                      cur_op_);
+    }
+  }
+
+  void GetAndCheck(u64 key) {
+    std::string val;
+    auto r = Get(KeyName(key), &val);
+    // The engine's failure contract turns device errors into misses; any
+    // error escaping Get still counts as a miss for the oracle (a miss is
+    // always legal).
+    const bool hit = r.ok() && r->hit;
+    if (auto d = model_.OnGet(key, hit, val)) {
+      fail_.Diverge(d->cls, d->detail, cur_op_);
+    }
+  }
+
+  void DispatchHook(fault::HookPoint point, u64 hit) {
+    for (PendingIntrusion& p : pending_) {
+      if (p.done || p.point != point || p.at_hit != hit) continue;
+      p.done = true;
+      // Above the cache, the only legal intruder is a forced GC step in
+      // the flush's pre-publish window (the cache owns the mapping; an
+      // intruding invalidate would break cache/layer coherence).
+      if (p.op.act == OpKind::kMGc &&
+          point == fault::HookPoint::kMiddleWritePrePublish) {
+        (void)device_->PumpBackground();
+      }
+    }
+  }
+
+  void Restart() {
+    injector_->ClearCrash();
+    if (Status st = device_->Restart(); !st.ok()) {
+      fail_.Diverge("recovery-failed", st.message(), cur_op_);
+      return;
+    }
+    // Mirror the factory's engine configuration (schemes.cc): a fresh
+    // persistent engine over the surviving device, warm-started from the
+    // on-flash region footers.
+    cache::FlashCacheConfig cc = params_.cache_config;
+    cc.store_values = true;
+    cc.persistent = true;
+    cc.metrics = &registry_;
+    cc.tracer = tracer_.get();
+    revived_ = std::make_unique<cache::FlashCache>(cc, device_, &clock_);
+    if (Status st = revived_->Recover(); !st.ok()) {
+      fail_.Diverge("recovery-failed", st.message(), cur_op_);
+      return;
+    }
+    engine_ = revived_.get();
+    model_.OnRestart();
+    if (opts_.check_invariants) CheckInvariants();
+    if (!result_->ok) return;
+    // Recovered sweep: every key ever written must verify as a known
+    // version or miss; keys never written must miss.
+    for (u64 key : model_.KnownKeys()) {
+      if (!result_->ok) break;
+      GetAndCheck(key);
+    }
+    for (u64 i = 0; i < kPhantomProbes && result_->ok; ++i) {
+      GetAndCheck(kPhantomProbeBase + i);
+    }
+  }
+
+  const History& h_;
+  const RunOptions& opts_;
+  RunResult* result_;
+  Fail fail_;
+
+  obs::Registry registry_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  sim::VirtualClock clock_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  backends::SchemeParams params_;
+  std::unique_ptr<backends::SchemeInstance> scheme_;
+  std::unique_ptr<backends::ShardedSchemeInstance> sharded_;
+  std::unique_ptr<cache::FlashCache> revived_;
+  cache::RegionDevice* device_ = nullptr;
+  cache::FlashCache* engine_ = nullptr;
+  cache::ShardedCache* sharded_engine_ = nullptr;
+
+  CacheModel model_;
+  std::vector<PendingIntrusion> pending_;
+  size_t cur_op_ = 0;
+};
+
+}  // namespace
+
+RunResult RunHistory(const History& history, const RunOptions& options) {
+  RunResult result;
+  if (history.config.level == Level::kMiddle) {
+    MiddleRun run(history, options, &result);
+    run.Run();
+  } else {
+    CacheRun run(history, options, &result);
+    run.Run();
+  }
+  return result;
+}
+
+}  // namespace zncache::check

@@ -1,0 +1,41 @@
+// History interpreter: executes a History against a real scheme (or a bare
+// ZoneTranslationLayer) while checking every response against the
+// reference oracle. Fully deterministic — virtual clock, seeded injector,
+// seeded generator — so the same History always produces the same
+// RunResult and the same fault fingerprint.
+#pragma once
+
+#include <string>
+
+#include "check/history.h"
+#include "common/status.h"
+
+namespace zncache::check {
+
+struct RunOptions {
+  // Run ZoneTranslationLayer::CheckInvariants() periodically and after
+  // every restart (Region-Cache and middle-level runs).
+  bool check_invariants = true;
+  u64 invariant_stride = 256;  // ops between invariant checks
+};
+
+struct RunResult {
+  bool ok = true;
+  std::string failure_class;  // stable token, empty when ok
+  std::string detail;
+  size_t op_index = 0;  // index into History::ops of the diverging op
+  u64 writes_seen = 0;  // device writes this run evaluated (crash space)
+  u64 fault_fingerprint = 0;
+
+  std::string Describe() const {
+    if (ok) return "ok";
+    return failure_class + " at op " + std::to_string(op_index) + ": " +
+           detail;
+  }
+};
+
+// Execute the history start to finish. Setup problems (bad geometry,
+// unparseable plan) report as failure_class "setup".
+RunResult RunHistory(const History& history, const RunOptions& options = {});
+
+}  // namespace zncache::check

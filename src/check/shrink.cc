@@ -1,0 +1,55 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+
+namespace zncache::check {
+
+namespace {
+
+bool SameFailure(const RunResult& r, const std::string& cls) {
+  return !r.ok && r.failure_class == cls;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkHistory(const History& failing, const RunResult& original,
+                           const ShrinkOptions& options) {
+  ShrinkResult out;
+  out.history = failing;
+  out.result = original;
+  if (original.ok || failing.ops.empty()) return out;
+
+  const size_t original_size = failing.ops.size();
+  size_t chunk = std::max<size_t>(1, out.history.ops.size() / 2);
+  for (;;) {
+    bool removed_any = false;
+    size_t start = 0;
+    while (start < out.history.ops.size() &&
+           out.attempts < options.max_attempts) {
+      History cand = out.history;
+      const size_t end = std::min(cand.ops.size(), start + chunk);
+      cand.ops.erase(cand.ops.begin() + static_cast<std::ptrdiff_t>(start),
+                     cand.ops.begin() + static_cast<std::ptrdiff_t>(end));
+      out.attempts++;
+      RunResult r = RunHistory(cand, options.run);
+      if (SameFailure(r, original.failure_class)) {
+        out.history = std::move(cand);
+        out.result = std::move(r);
+        removed_any = true;
+        // Same start now addresses the next ops; retry in place.
+      } else {
+        start += chunk;
+      }
+    }
+    if (out.attempts >= options.max_attempts) break;
+    if (chunk == 1) {
+      if (!removed_any) break;  // 1-minimal: no single op can go
+    } else {
+      chunk = std::max<size_t>(1, chunk / 2);
+    }
+  }
+  out.removed = original_size - out.history.ops.size();
+  return out;
+}
+
+}  // namespace zncache::check

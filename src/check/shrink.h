@@ -1,0 +1,33 @@
+// History minimization: delta-debugging (ddmin-style chunk removal) over a
+// failing history's op list. The shrunk history must fail with the *same
+// failure class* as the original — not merely fail — so the repro that
+// ships in a bug report reproduces the original defect, not a different
+// one uncovered along the way.
+#pragma once
+
+#include "check/history.h"
+#include "check/interpreter.h"
+
+namespace zncache::check {
+
+struct ShrinkOptions {
+  // Hard cap on interpreter runs; shrinking stops at the best-so-far when
+  // the budget runs out (the result is still a valid failing repro).
+  u64 max_attempts = 400;
+  RunOptions run;
+};
+
+struct ShrinkResult {
+  History history;   // minimized failing history
+  RunResult result;  // its RunHistory outcome (same failure class)
+  u64 attempts = 0;  // interpreter runs spent
+  u64 removed = 0;   // ops removed from the original
+};
+
+// `original` must be the RunHistory result of `failing` (not ok). Returns
+// the smallest history found that still fails with
+// original.failure_class.
+ShrinkResult ShrinkHistory(const History& failing, const RunResult& original,
+                           const ShrinkOptions& options = {});
+
+}  // namespace zncache::check

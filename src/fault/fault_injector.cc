@@ -38,6 +38,41 @@ std::string_view FaultActionName(FaultAction a) {
   return "unknown";
 }
 
+std::string_view CrashModeName(CrashMode m) {
+  switch (m) {
+    case CrashMode::kBeforeOp:
+      return "before";
+    case CrashMode::kTorn:
+      return "torn";
+    case CrashMode::kAfterOp:
+      return "after";
+  }
+  return "unknown";
+}
+
+Result<CrashMode> ParseCrashMode(std::string_view s) {
+  if (s == "before") return CrashMode::kBeforeOp;
+  if (s == "torn") return CrashMode::kTorn;
+  if (s == "after") return CrashMode::kAfterOp;
+  return Status::InvalidArgument("unknown crash mode: " + std::string(s));
+}
+
+std::string_view HookPointName(HookPoint p) {
+  switch (p) {
+    case HookPoint::kMiddleWritePrePublish:
+      return "write-prepublish";
+    case HookPoint::kMiddleGcPrePublish:
+      return "gc-prepublish";
+  }
+  return "unknown";
+}
+
+Result<HookPoint> ParseHookPoint(std::string_view s) {
+  if (s == "write-prepublish") return HookPoint::kMiddleWritePrePublish;
+  if (s == "gc-prepublish") return HookPoint::kMiddleGcPrePublish;
+  return Status::InvalidArgument("unknown hook point: " + std::string(s));
+}
+
 namespace {
 
 std::string_view Trim(std::string_view s) {
@@ -265,10 +300,50 @@ void FaultInjector::Fire(const FaultRule& rule, FaultOp op, SimNanos now,
                   static_cast<u64>(rule.action));
 }
 
+void FaultInjector::ArmCrash(u64 nth_write, CrashMode mode) {
+  crash_at_write_ = nth_write;
+  crash_mode_ = mode;
+}
+
+void FaultInjector::ClearCrash() {
+  crashed_ = false;
+  crash_at_write_ = 0;
+}
+
+void FaultInjector::AtHook(HookPoint point) {
+  const u64 hit = ++hook_hits_[static_cast<size_t>(point)];
+  if (hook_ && !crashed_) hook_(point, hit);
+}
+
 FaultDecision FaultInjector::Evaluate(FaultOp op, SimNanos now, u64 zone,
                                       u64 bytes) {
   stats_.ops_seen++;
+  if (op == FaultOp::kWrite) writes_seen_++;
   FaultDecision d;
+  // A crashed machine fails every op until ClearCrash(); crash decisions
+  // bypass the rule list and stay out of the fault fingerprint so fault
+  // plans fingerprint identically with and without an armed crash.
+  if (crashed_) {
+    d.io_error = true;
+    return d;
+  }
+  if (crash_at_write_ > 0 && op == FaultOp::kWrite &&
+      writes_seen_ == crash_at_write_) {
+    crashed_ = true;
+    switch (crash_mode_) {
+      case CrashMode::kBeforeOp:
+        d.io_error = true;
+        return d;
+      case CrashMode::kTorn:
+        d.torn = true;
+        d.torn_keep = bytes > 0 ? rng_.Uniform(bytes) : 0;
+        return d;
+      case CrashMode::kAfterOp:
+        // The triggering write completes untouched; the machine is down
+        // from the next op onward.
+        break;
+    }
+  }
   for (RuleState& rs : rules_) {
     const FaultRule& r = rs.rule;
     if (rs.fired >= r.MaxFires()) continue;

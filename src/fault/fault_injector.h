@@ -28,6 +28,7 @@
 // — see docs/FAULTS.md for the grammar.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -41,6 +42,34 @@
 namespace zncache::fault {
 
 enum class FaultOp : u8 { kRead, kWrite, kReset, kAny };
+
+// Whole-machine crash semantics for the model-checking harness
+// (src/check/). A crash is armed at the Nth device *write* evaluated by
+// this injector; once it triggers, every subsequent op on every device
+// sharing the injector fails — a halted machine — until ClearCrash()
+// simulates the power cycle.
+enum class CrashMode : u8 {
+  kBeforeOp,  // the Nth write never reaches media
+  kTorn,      // a random prefix of the Nth write lands, then the crash
+  kAfterOp,   // the Nth write completes fully, then the crash
+};
+
+[[nodiscard]] std::string_view CrashModeName(CrashMode m);
+[[nodiscard]] Result<CrashMode> ParseCrashMode(std::string_view s);
+
+// Named interleave points inside the middle layer's reserve→write→publish
+// and GC write-back→publish windows, where no layer lock is held. The
+// harness installs a hook to run deterministic intruder ops (invalidate /
+// forced GC) inside those windows; production code never sets a hook, so
+// the call sites cost one pointer load.
+enum class HookPoint : u8 {
+  kMiddleWritePrePublish = 0,  // host write landed, mapping not yet published
+  kMiddleGcPrePublish = 1,     // GC copies landed, mappings not yet moved
+};
+inline constexpr size_t kHookPointCount = 2;
+
+[[nodiscard]] std::string_view HookPointName(HookPoint p);
+[[nodiscard]] Result<HookPoint> ParseHookPoint(std::string_view s);
 enum class FaultAction : u8 {
   kIoError,
   kTornWrite,
@@ -150,6 +179,30 @@ class FaultInjector {
   // next matching op — the way tests and benches schedule exact faults.
   void Arm(FaultRule rule);
 
+  // --- crash machinery (model-checking harness) ---
+  // Arm a crash at the `nth_write`-th write op (1-based, counted across
+  // the injector's whole lifetime by writes_seen()). Deterministic: no
+  // RNG draw except the torn-keep length.
+  void ArmCrash(u64 nth_write, CrashMode mode);
+  // Power-cycle: the machine comes back up; the armed crash is consumed.
+  void ClearCrash();
+  bool crashed() const { return crashed_; }
+  // Total write ops evaluated so far — the crash-point coordinate space.
+  u64 writes_seen() const { return writes_seen_; }
+
+  // --- interleave hooks (model-checking harness) ---
+  // The hook runs synchronously at the named point with the cumulative hit
+  // count for that point (1-based). It may re-enter layer APIs that are
+  // legal at the point (documented at each call site); it must not block.
+  using HookFn = std::function<void(HookPoint point, u64 hit)>;
+  void SetHook(HookFn fn) { hook_ = std::move(fn); }
+  // Called by instrumented code at a hook point; counts the hit and
+  // dispatches to the installed hook (skipped while crashed).
+  void AtHook(HookPoint point);
+  u64 HookHits(HookPoint point) const {
+    return hook_hits_[static_cast<size_t>(point)];
+  }
+
   // Wear-out check for ZnsDevice::Reset: true if a zone that already
   // completed `resets_done` resets has exhausted the plan's budget.
   bool WearsOut(u64 resets_done) const {
@@ -187,6 +240,13 @@ class FaultInjector {
   size_t log_capacity_;
   u64 fires_ = 0;
   u64 fingerprint_ = 14695981039346656037ULL;  // FNV-1a offset basis
+
+  bool crashed_ = false;
+  u64 crash_at_write_ = 0;  // 0 = no crash armed
+  CrashMode crash_mode_ = CrashMode::kBeforeOp;
+  u64 writes_seen_ = 0;
+  u64 hook_hits_[kHookPointCount] = {0, 0};
+  HookFn hook_;
 
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* c_io_errors_ = nullptr;

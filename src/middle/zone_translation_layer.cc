@@ -4,7 +4,20 @@
 #include <cstring>
 #include <vector>
 
+#include "common/hash.h"
+
 namespace zncache::middle {
+
+namespace {
+
+// FNV-1a over the payload bytes of a full slot image (header excluded).
+u64 SlotPayloadChecksum(std::span<const std::byte> slot) {
+  return Fnv1a64(std::string_view(
+      reinterpret_cast<const char*>(slot.data()) + kSlotHeaderBytes,
+      slot.size() - kSlotHeaderBytes));
+}
+
+}  // namespace
 
 ZoneTranslationLayer::ZoneTranslationLayer(const MiddleLayerConfig& config,
                                            zns::ZnsDevice* device)
@@ -125,7 +138,7 @@ Result<u64> ZoneTranslationLayer::ReserveSlot(bool for_gc,
   auto take_empty_zone = [&]() -> std::optional<u64> {
     for (u64 z = 0; z < device_->zone_count(); ++z) {
       if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty &&
-          zones_[z].pending == 0 && zones_[z].unpublished == 0 &&
+          zones_[z].pending == 0 && !Pinned(zones_[z]) &&
           std::find(open_zones_.begin(), open_zones_.end(), z) ==
               open_zones_.end()) {
         open_zones_.push_back(z);
@@ -148,7 +161,7 @@ Result<u64> ZoneTranslationLayer::ReserveSlot(bool for_gc,
          z < device_->zone_count() && open_zones_.size() < config_.open_zones;
          ++z) {
       if (device_->GetZoneInfo(z).state == zns::ZoneState::kEmpty &&
-          zones_[z].pending == 0 && zones_[z].unpublished == 0 &&
+          zones_[z].pending == 0 && !Pinned(zones_[z]) &&
           std::find(open_zones_.begin(), open_zones_.end(), z) ==
               open_zones_.end()) {
         open_zones_.push_back(z);
@@ -192,14 +205,18 @@ ZoneTranslationLayer::DeviceWriteSlot(u64 zone, u64 region_id,
   // the hot path allocation-free after warm-up.
   static thread_local std::vector<std::byte> padded;
   padded.assign(slot_stride_, std::byte{0});
-  u64 data_at = 0;
+  const u64 data_at = config_.persist_headers ? kSlotHeaderBytes : 0;
+  std::copy(data.begin(), data.end(), padded.begin() + data_at);
   if (config_.persist_headers) {
     std::memcpy(padded.data(), &kSlotMagic, 8);
     std::memcpy(padded.data() + 8, &region_id, 8);
     std::memcpy(padded.data() + 16, &header_seq, 8);
-    data_at = kSlotHeaderBytes;
+    // Payload checksum: Recover() uses it to reject slots whose header
+    // page survived a torn write but whose payload did not — without it a
+    // torn slot with the highest version would recover as live data.
+    const u64 sum = SlotPayloadChecksum(padded);
+    std::memcpy(padded.data() + 24, &sum, 8);
   }
-  std::copy(data.begin(), data.end(), padded.begin() + data_at);
   std::span<const std::byte> payload(padded);
 
   u64 landed_at = 0;
@@ -359,6 +376,15 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
                            /*gc_header_seq=*/0);
   if (!w.ok()) return w.status();
 
+  // Interleave hook: the write has landed and the zone is pinned by
+  // `unpublished`, but the mapping is not yet published and no layer lock
+  // is held — the exact window the pin protects. The model-checking
+  // harness schedules intruder invalidates/GC here; hooks may re-enter
+  // InvalidateRegion / ReadRegion / MaybeCollect but not WriteRegion.
+  if (auto* fi = device_->fault_injector()) {
+    fi->AtHook(fault::HookPoint::kMiddleWritePrePublish);
+  }
+
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     zones_[w->zone].unpublished--;  // publish or lose: the pin ends here
@@ -455,7 +481,7 @@ Status ZoneTranslationLayer::InvalidateRegion(u64 region_id) {
     // while a migration snapshot of the zone is in flight; the publish
     // phase performs the reset instead.
     const u64 zone = loc->zone;
-    if (zones_[zone].valid_count == 0 && zones_[zone].unpublished == 0 &&
+    if (zones_[zone].valid_count == 0 && !Pinned(zones_[zone]) &&
         !zones_[zone].gc_active &&
         device_->GetZoneInfo(zone).state == zns::ZoneState::kFull) {
       const Status reset = device_->Reset(zone);
@@ -495,7 +521,7 @@ u64 ZoneTranslationLayer::PickGcVictim() const {
     // A just-filled zone may hold a landed write whose mapping is not yet
     // published (valid_count understates it); collecting it would reset
     // live data. It becomes a victim once the publish lands.
-    if (zones_[z].unpublished > 0) continue;
+    if (Pinned(zones_[z])) continue;
     if (std::find(open_zones_.begin(), open_zones_.end(), z) !=
         open_zones_.end()) {
       continue;
@@ -601,6 +627,14 @@ Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
     m.new_loc = RegionLocation{w->zone, w->slot};
   }
 
+  // Interleave hook: the migrated copies have landed (their target zones
+  // pinned by `unpublished`) but the mappings still point at the victim.
+  // Only gc_mu_ is held, so hooks may re-enter InvalidateRegion /
+  // ReadRegion, but not MaybeCollect (it would self-deadlock on gc_mu_).
+  if (auto* fi = device_->fault_injector()) {
+    fi->AtHook(fault::HookPoint::kMiddleGcPrePublish);
+  }
+
   // Phase 4 — publish the moves under one exclusive metadata section,
   // skipping any region whose version changed mid-flight (rewritten or
   // invalidated: the migrated copy is stale and its slot stays dead).
@@ -644,10 +678,10 @@ Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
   if (evacuate) {
     // An unpublished slot keeps the zone in service: its writer still has
     // to publish, and a later fault scan retries the evacuation.
-    if (zm.valid_count == 0 && zm.unpublished == 0) RetireZoneMeta(zone);
+    if (zm.valid_count == 0 && !Pinned(zm)) RetireZoneMeta(zone);
     return Status::Ok();
   }
-  if (zm.valid_count > 0 || zm.unpublished > 0) {
+  if (zm.valid_count > 0 || Pinned(zm)) {
     // Some slots could not be moved (or a concurrent write landed here and
     // is not yet published); the zone stays FULL and will be retried by a
     // later GC cycle.
@@ -740,7 +774,7 @@ Status ZoneTranslationLayer::Recover() {
   };
   std::vector<std::optional<Candidate>> best(config_.region_slots);
 
-  std::vector<std::byte> header(kSlotHeaderBytes);
+  std::vector<std::byte> slot(slot_stride_);
   for (u64 z = 0; z < device_->zone_count(); ++z) {
     const auto& info = device_->GetZoneInfo(z);
     if (info.write_pointer == 0 && info.state != zns::ZoneState::kFull) {
@@ -749,16 +783,23 @@ Status ZoneTranslationLayer::Recover() {
     const u64 written_slots = info.write_pointer / slot_stride_;
     zones_[z].next_slot = written_slots;
     for (u64 s = 0; s < written_slots; ++s) {
-      auto r = device_->Read(z, s * slot_stride_,
-                             std::span<std::byte>(header),
+      auto r = device_->Read(z, s * slot_stride_, std::span<std::byte>(slot),
                              sim::IoMode::kBackground);
       if (!r.ok()) continue;
-      u64 magic = 0, region_id = 0, version = 0;
-      std::memcpy(&magic, header.data(), 8);
-      std::memcpy(&region_id, header.data() + 8, 8);
-      std::memcpy(&version, header.data() + 16, 8);
+      u64 magic = 0, region_id = 0, version = 0, stored_sum = 0;
+      std::memcpy(&magic, slot.data(), 8);
+      std::memcpy(&region_id, slot.data() + 8, 8);
+      std::memcpy(&version, slot.data() + 16, 8);
+      std::memcpy(&stored_sum, slot.data() + 24, 8);
       if (magic != kSlotMagic || region_id >= config_.region_slots) continue;
+      // Keep the version floor even for rejected slots so post-recovery
+      // writes never reuse a version number already on flash.
       version_seq_ = std::max(version_seq_, version);
+      // A torn write can land the 4 KiB header page intact while the
+      // payload behind it is partial (the zone was finished later, so the
+      // slot sits below the write pointer). The payload checksum is the
+      // only durable evidence the whole slot was programmed.
+      if (stored_sum != SlotPayloadChecksum(slot)) continue;
       auto& slot_best = best[region_id];
       if (!slot_best || version > slot_best->version) {
         slot_best = Candidate{version, RegionLocation{z, s}};

@@ -102,6 +102,12 @@ struct MiddleLayerConfig {
   // per-zone lock (Bjorling, "Zone Append: a new way of writing to zoned
   // storage"). With appends the per-zone write mutex is skipped entirely.
   bool use_zone_append = false;
+  // MUTATION KNOB — model-checking harness only. Reverts the PR-4
+  // unpublished-slot pin at runtime: reset/adoption/GC paths stop treating
+  // zones with landed-but-unpublished writes as live, reintroducing the
+  // data-loss race the pin closed. The harness arms this to prove it can
+  // detect the bug class; production code must never set it.
+  bool mut_no_unpublished_pin = false;
   // Observability sinks; nullptr selects the process-wide defaults.
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
@@ -315,6 +321,13 @@ class ZoneTranslationLayer {
   Status MigrateZone(u64 zone, bool evacuate);
 
   SimNanos Now() const { return device_->timer().clock()->Now(); }
+
+  // The unpublished-slot pin (every reset/adoption path must treat the
+  // zone as live). Centralized so the harness's mutation knob can revert
+  // it in one place.
+  bool Pinned(const ZoneMeta& zm) const {
+    return !config_.mut_no_unpublished_pin && zm.unpublished > 0;
+  }
 
   MiddleLayerConfig config_;
   zns::ZnsDevice* device_;  // not owned

@@ -303,6 +303,7 @@ Status ZnsDevice::Reset(u64 zone) {
 
 Status ZnsDevice::Finish(u64 zone) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  ZN_RETURN_IF_ERROR(CheckHalted());
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   ZoneInfo& z = zones_[zone];
   if (z.state == ZoneState::kFull) return Status::Ok();
@@ -325,6 +326,7 @@ Status ZnsDevice::Finish(u64 zone) {
 
 Status ZnsDevice::Open(u64 zone) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  ZN_RETURN_IF_ERROR(CheckHalted());
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   ZoneInfo& z = zones_[zone];
   if (z.state == ZoneState::kExplicitOpen) return Status::Ok();
@@ -351,6 +353,7 @@ Status ZnsDevice::Open(u64 zone) {
 
 Status ZnsDevice::Close(u64 zone) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  ZN_RETURN_IF_ERROR(CheckHalted());
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   ZoneInfo& z = zones_[zone];
   if (!z.IsOpen()) return Status::FailedPrecondition("zone not open");

@@ -171,6 +171,9 @@ class ZnsDevice {
     return zones_.at(zone);
   }
   const ZnsConfig& config() const { return config_; }
+  // The attached fault injector (nullptr when none) — layered code above
+  // the device uses it for crash/interleave hook points.
+  fault::FaultInjector* fault_injector() const { return config_.faults; }
   // Cumulative counters; fields are updated atomically but the struct is
   // not snapshotted as a unit — read at quiescent points for exact totals.
   const ZnsStats& stats() const { return stats_; }
@@ -205,6 +208,17 @@ class ZnsDevice {
   // kInvalidId otherwise.
   Status ApplyFaults(fault::FaultOp op, u64 zone, u64 bytes,
                      SimNanos* extra_latency, u64* torn_keep);
+  // A crashed machine (see FaultInjector::ArmCrash) fails management
+  // commands too, not only the I/O ops that route through ApplyFaults.
+  // Without this, a crash mid-write lets the host "finish" the torn zone,
+  // advancing the write pointer over the torn slot and making it look
+  // recoverable.
+  Status CheckHalted() const {
+    if (config_.faults != nullptr && config_.faults->crashed()) {
+      return Status::Unavailable("device halted by injected crash");
+    }
+    return Status::Ok();
+  }
   SimNanos Now() const { return timer_.clock()->Now(); }
 
   std::byte* ZoneData(u64 zone) {

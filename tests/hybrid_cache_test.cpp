@@ -1,0 +1,192 @@
+// Backfill for the header-only glue components: HybridCache's size-class
+// routing edge cases, FlashSecondaryCache (the RocksDB-style hook), and
+// CacheHintAdapter (the §3.4 co-design drop-vs-migrate policy).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "backends/cache_hint_adapter.h"
+#include "backends/middle_region_device.h"
+#include "cache/big_hash.h"
+#include "cache/hybrid_cache.h"
+#include "kv/secondary_cache.h"
+
+namespace zncache {
+namespace {
+
+// Shared rig: a BigHash over a block SSD plus a FlashCache over the
+// ZNS+middle-layer region device — the two engines HybridCache splices.
+class HybridRigTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    blockssd::BlockSsdConfig sc;
+    sc.logical_capacity = 4 * kMiB;
+    sc.pages_per_block = 64;
+    ssd_ = std::make_unique<blockssd::BlockSsd>(sc, &clock_);
+    cache::BigHashConfig bc;
+    bc.bucket_count = 1024;
+    small_ = std::make_unique<cache::BigHash>(bc, ssd_.get(), 0, &clock_);
+
+    backends::MiddleRegionDeviceConfig dc;
+    dc.region_count = 24;
+    dc.zns.zone_count = 12;
+    dc.zns.zone_size = 256 * kKiB;
+    dc.zns.zone_capacity = 256 * kKiB;
+    dc.middle.region_size = 64 * kKiB;
+    dc.middle.min_empty_zones = 2;
+    device_ = std::make_unique<backends::MiddleRegionDevice>(dc, &clock_);
+    ASSERT_TRUE(device_->Init().ok());
+    cache::FlashCacheConfig fc;
+    fc.store_values = true;
+    large_ = std::make_unique<cache::FlashCache>(fc, device_.get(), &clock_);
+  }
+
+  sim::VirtualClock clock_;
+  std::unique_ptr<blockssd::BlockSsd> ssd_;
+  std::unique_ptr<cache::BigHash> small_;
+  std::unique_ptr<backends::MiddleRegionDevice> device_;
+  std::unique_ptr<cache::FlashCache> large_;
+};
+
+// ------------------------------------------------------- hybrid cache ----
+
+TEST_F(HybridRigTest, ThresholdBoundaryRoutesSmall) {
+  cache::HybridCacheConfig hc;
+  hc.small_item_threshold = 1 * kKiB;
+  cache::HybridCache hybrid(hc, small_.get(), large_.get());
+
+  // Exactly at the threshold is still "small" (<=).
+  ASSERT_TRUE(hybrid.Set("edge", std::string(1 * kKiB, 'e')).ok());
+  EXPECT_EQ(hybrid.stats().small_routed, 1u);
+  EXPECT_EQ(hybrid.stats().large_routed, 0u);
+  EXPECT_TRUE(small_->Get("edge")->hit);
+  // One byte over crosses into the region engine.
+  ASSERT_TRUE(hybrid.Set("over", std::string(1 * kKiB + 1, 'o')).ok());
+  EXPECT_EQ(hybrid.stats().large_routed, 1u);
+  EXPECT_TRUE(large_->Get("over")->hit);
+}
+
+TEST_F(HybridRigTest, ShrinkingKeyEvictsLargeTwin) {
+  cache::HybridCacheConfig hc;
+  hc.small_item_threshold = 1 * kKiB;
+  cache::HybridCache hybrid(hc, small_.get(), large_.get());
+
+  // large -> small morph: the large copy must not shadow or resurrect.
+  ASSERT_TRUE(hybrid.Set("k", std::string(8 * kKiB, 'L')).ok());
+  ASSERT_TRUE(hybrid.Set("k", std::string(128, 'S')).ok());
+  EXPECT_FALSE(large_->Get("k")->hit);
+  std::string v;
+  ASSERT_TRUE(hybrid.Get("k", &v)->hit);
+  EXPECT_EQ(v.size(), 128u);
+  EXPECT_EQ(v[0], 'S');
+}
+
+TEST_F(HybridRigTest, DeleteOfAbsentKeyReportsNoHit) {
+  cache::HybridCache hybrid(cache::HybridCacheConfig{}, small_.get(),
+                            large_.get());
+  auto d = hybrid.Delete("never-set");
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->hit);
+}
+
+TEST_F(HybridRigTest, LargeHitLatencyIncludesSmallProbe) {
+  cache::HybridCacheConfig hc;
+  hc.small_item_threshold = 256;
+  cache::HybridCache hybrid(hc, small_.get(), large_.get());
+  ASSERT_TRUE(hybrid.Set("big", std::string(8 * kKiB, 'b')).ok());
+
+  // A unified Get on a large key pays the small-engine probe first; the
+  // reported latency must cover both engines.
+  auto direct = large_->Get("big");
+  ASSERT_TRUE(direct.ok() && direct->hit);
+  auto unified = hybrid.Get("big");
+  ASSERT_TRUE(unified.ok() && unified->hit);
+  EXPECT_GE(unified->latency, direct->latency);
+}
+
+// --------------------------------------------------- secondary cache ----
+
+TEST_F(HybridRigTest, SecondaryCacheInsertLookupRoundTrip) {
+  kv::FlashSecondaryCache secondary(large_.get());
+  const std::string block(4 * kKiB, 'B');
+  secondary.Insert("sst1/block7",
+                   std::span<const std::byte>(
+                       reinterpret_cast<const std::byte*>(block.data()),
+                       block.size()));
+  std::string out;
+  EXPECT_TRUE(secondary.Lookup("sst1/block7", &out));
+  EXPECT_EQ(out, block);
+  EXPECT_FALSE(secondary.Lookup("sst1/block8", &out));
+  // Only hits land in the latency histogram.
+  EXPECT_EQ(secondary.hit_latency().count(), 1u);
+  secondary.ResetHitLatency();
+  EXPECT_EQ(secondary.hit_latency().count(), 0u);
+}
+
+TEST_F(HybridRigTest, SecondaryCacheSwallowsOversizedInserts) {
+  kv::FlashSecondaryCache secondary(large_.get());
+  // Larger than a region: the engine rejects it, the adapter just skips.
+  const std::string huge(128 * kKiB, 'H');
+  secondary.Insert("huge",
+                   std::span<const std::byte>(
+                       reinterpret_cast<const std::byte*>(huge.data()),
+                       huge.size()));
+  std::string out;
+  EXPECT_FALSE(secondary.Lookup("huge", &out));
+}
+
+// ------------------------------------------------------ hint adapter ----
+
+TEST_F(HybridRigTest, HintAdapterDropsOnlyColdRegions) {
+  // Seal a few regions' worth of data.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        large_->Set("k" + std::to_string(i), std::string(20 * kKiB, 'v'))
+            .ok());
+  }
+  ASSERT_TRUE(large_->Flush().ok());
+
+  // A huge cold-age vetoes every drop: all data was accessed "recently".
+  backends::CacheHintAdapter strict(large_.get(), /*cold_age_accesses=*/1u
+                                                      << 20);
+  u64 dropped = 0;
+  for (u64 rid = 0; rid < device_->region_count(); ++rid) {
+    if (strict.TryDropRegion(rid)) dropped++;
+  }
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_TRUE(large_->Get("k3")->hit);
+
+  // Age the data past a small cold-age threshold, then drops succeed and
+  // take their index entries with them.
+  for (int i = 0; i < 64; ++i) (void)large_->Get("k0");
+  backends::CacheHintAdapter lax(large_.get(), /*cold_age_accesses=*/8);
+  for (u64 rid = 0; rid < device_->region_count(); ++rid) {
+    if (lax.TryDropRegion(rid)) dropped++;
+  }
+  EXPECT_GT(dropped, 0u);
+  u64 misses = 0;
+  for (int i = 1; i < 12; ++i) {
+    auto g = large_->Get("k" + std::to_string(i));
+    ASSERT_TRUE(g.ok());
+    if (!g->hit) misses++;
+  }
+  EXPECT_GT(misses, 0u);
+}
+
+TEST_F(HybridRigTest, HintAdapterNeverDropsTheOpenRegion) {
+  ASSERT_TRUE(large_->Set("buffered", std::string(1 * kKiB, 'b')).ok());
+  // Unflushed: the item sits in the open region, which DropRegion refuses
+  // even at cold-age 0 (dropping a free region is a harmless no-op, so
+  // every *other* slot reports droppable).
+  backends::CacheHintAdapter adapter(large_.get(), /*cold_age_accesses=*/0);
+  u64 dropped = 0;
+  for (u64 rid = 0; rid < device_->region_count(); ++rid) {
+    if (adapter.TryDropRegion(rid)) dropped++;
+  }
+  EXPECT_EQ(dropped, device_->region_count() - 1);
+  EXPECT_TRUE(large_->Get("buffered")->hit);
+}
+
+}  // namespace
+}  // namespace zncache

@@ -1,0 +1,306 @@
+// The model-checking harness checking itself: determinism witnesses
+// (fingerprints), history serialization, the payload codecs' tamper
+// detection, oracle semantics, and the mutation smoke — arming the
+// deliberately-injected middle-layer bug must produce a divergence whose
+// shrunk history replays to the same failure class.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/cache_model.h"
+#include "check/checker.h"
+#include "check/history.h"
+#include "check/interpreter.h"
+#include "check/shrink.h"
+
+namespace zncache::check {
+namespace {
+
+// ------------------------------------------------------------ history ----
+
+TEST(History, SerializeParseRoundTrip) {
+  HistoryConfig config;
+  config.level = Level::kMiddle;
+  config.seed = 42;
+  config.plan = "seed=42;ioerr:p=0.01;torn:p=0.005";
+  GeneratorOptions gen;
+  gen.ops = 300;
+  const History h = GenerateHistory(config, gen);
+
+  auto parsed = History::Parse(h.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Serialize(), h.Serialize());
+  EXPECT_EQ(parsed->Fingerprint(), h.Fingerprint());
+  EXPECT_EQ(parsed->ops.size(), h.ops.size());
+  EXPECT_EQ(parsed->config.plan, config.plan);
+}
+
+TEST(History, GenerationIsDeterministic) {
+  HistoryConfig config;
+  config.seed = 7;
+  GeneratorOptions gen;
+  gen.ops = 500;
+  const History a = GenerateHistory(config, gen);
+  const History b = GenerateHistory(config, gen);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+
+  config.seed = 8;
+  const History c = GenerateHistory(config, gen);
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+}
+
+TEST(History, RunIsDeterministic) {
+  HistoryConfig config;
+  config.level = Level::kMiddle;
+  config.seed = 11;
+  GeneratorOptions gen;
+  gen.ops = 400;
+  const History h = GenerateHistory(config, gen);
+
+  const RunResult a = RunHistory(h);
+  const RunResult b = RunHistory(h);
+  EXPECT_TRUE(a.ok) << a.Describe();
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.writes_seen, b.writes_seen);
+  EXPECT_EQ(a.fault_fingerprint, b.fault_fingerprint);
+}
+
+TEST(History, ParseRejectsGarbage) {
+  EXPECT_FALSE(History::Parse("not a history").ok());
+  EXPECT_FALSE(History::Parse("").ok());
+}
+
+// ------------------------------------------------------ payload codecs ----
+
+TEST(ValueCodec, RoundTripAndTamperDetection) {
+  const std::string key = KeyName(3);
+  const std::string v = MakeValue(key, 17, 4096);
+  auto seq = CheckValueBytes(key, v);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_EQ(*seq, 17u);
+
+  // Wrong key: header parses but belongs to someone else.
+  EXPECT_FALSE(CheckValueBytes(KeyName(4), v).ok());
+  // Truncation.
+  EXPECT_FALSE(CheckValueBytes(key, std::string_view(v).substr(0, 100)).ok());
+  // A single flipped pattern byte.
+  std::string torn = v;
+  torn[2000] ^= 1;
+  EXPECT_FALSE(CheckValueBytes(key, torn).ok());
+  // A shifted payload (prefix of one value glued after another's header)
+  // cannot parse clean either.
+  std::string shifted = v.substr(0, kValueHeaderBytes) +
+                        MakeValue(key, 18, 4096).substr(kValueHeaderBytes);
+  EXPECT_FALSE(CheckValueBytes(key, shifted).ok());
+}
+
+TEST(RegionCodec, RoundTripAndTamperDetection) {
+  std::vector<std::byte> img(8192);
+  FillRegionImage(5, 99, img);
+  auto seq = CheckRegionImage(5, img);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_EQ(*seq, 99u);
+
+  EXPECT_FALSE(CheckRegionImage(6, img).ok());  // wrong rid
+  img[4000] ^= std::byte{1};
+  EXPECT_FALSE(CheckRegionImage(5, img).ok());  // flipped byte
+}
+
+// ------------------------------------------------------------- oracles ----
+
+TEST(CacheModelOracle, MissAlwaysLegalHitMustBeLatest) {
+  CacheModel m;
+  m.OnSet(1, 10, 4096, /*acked=*/true);
+  // Miss after an acked set: legal (eviction).
+  EXPECT_FALSE(m.OnGet(1, false, "").has_value());
+  // Hit with the latest version: legal.
+  EXPECT_FALSE(m.OnGet(1, true, MakeValue(KeyName(1), 10, 4096)).has_value());
+  // Hit with a never-written version: divergence.
+  auto d = m.OnGet(1, true, MakeValue(KeyName(1), 11, 4096));
+  ASSERT_TRUE(d.has_value());
+  // Hit on a never-set key: phantom.
+  EXPECT_TRUE(m.OnGet(2, true, MakeValue(KeyName(2), 1, 4096)).has_value());
+}
+
+TEST(CacheModelOracle, StaleHitAfterOverwriteDiverges) {
+  CacheModel m;
+  m.OnSet(1, 10, 4096, true);
+  m.OnSet(1, 11, 4096, true);
+  EXPECT_TRUE(m.OnGet(1, true, MakeValue(KeyName(1), 10, 4096)).has_value());
+  EXPECT_FALSE(m.OnGet(1, true, MakeValue(KeyName(1), 11, 4096)).has_value());
+}
+
+TEST(CacheModelOracle, RestartAllowsAnyAckedVersion) {
+  CacheModel m;
+  m.OnSet(1, 10, 4096, true);
+  m.OnSet(1, 11, 4096, true);
+  m.OnSet(1, 12, 4096, /*acked=*/false);  // failed write: "maybe" durable
+  m.OnRestart();
+  // Resurrection of any acked or maybe-landed version is legal...
+  EXPECT_FALSE(m.OnGet(1, true, MakeValue(KeyName(1), 10, 4096)).has_value());
+  EXPECT_FALSE(m.OnGet(1, true, MakeValue(KeyName(1), 12, 4096)).has_value());
+  // ...but a version that was never written is not.
+  EXPECT_TRUE(m.OnGet(1, true, MakeValue(KeyName(1), 13, 4096)).has_value());
+}
+
+TEST(CacheModelOracle, DeletedKeyMustMissUntilNextSet) {
+  CacheModel m;
+  m.OnSet(1, 10, 4096, true);
+  m.OnDelete(1, true);
+  EXPECT_TRUE(m.OnGet(1, true, MakeValue(KeyName(1), 10, 4096)).has_value());
+  EXPECT_FALSE(m.OnGet(1, false, "").has_value());
+}
+
+TEST(MiddleModelOracle, LiveMappingMustRead) {
+  MiddleModel m;
+  m.OnWrite(3, 50, /*acked=*/true, /*lost_publish_race=*/false);
+  // A live mapping failing to read back is a loss.
+  EXPECT_TRUE(
+      m.OnRead(3, MiddleModel::ReadOutcome::kFailed, 0).has_value());
+  EXPECT_FALSE(m.OnRead(3, MiddleModel::ReadOutcome::kOk, 50).has_value());
+  // Stale seq on a strict mapping diverges.
+  EXPECT_TRUE(m.OnRead(3, MiddleModel::ReadOutcome::kOk, 49).has_value());
+  m.OnInvalidate(3, true);
+  EXPECT_FALSE(
+      m.OnRead(3, MiddleModel::ReadOutcome::kFailed, 0).has_value());
+}
+
+TEST(MiddleModelOracle, LostPublishRaceMeansUnmapped) {
+  MiddleModel m;
+  // The write acked but an intruder invalidate inside the pre-publish
+  // window beat the publish: the slot is dead, a failed read is expected
+  // and a successful one is a phantom while the machine stays up.
+  m.OnWrite(4, 60, /*acked=*/true, /*lost_publish_race=*/true);
+  EXPECT_FALSE(
+      m.OnRead(4, MiddleModel::ReadOutcome::kFailed, 0).has_value());
+  EXPECT_TRUE(m.OnRead(4, MiddleModel::ReadOutcome::kOk, 60).has_value());
+  // After a power cycle the lost write's durable slot may legitimately
+  // resurface ("maybe" set) — but only with its own seq.
+  m.OnRestart();
+  EXPECT_FALSE(m.OnRead(4, MiddleModel::ReadOutcome::kOk, 60).has_value());
+  EXPECT_TRUE(m.OnRead(4, MiddleModel::ReadOutcome::kOk, 61).has_value());
+}
+
+// ----------------------------------------------------------- self-test ----
+
+TEST(SelfTest, BoundedSweepIsClean) {
+  SelfTestOptions opts;
+  opts.seed = 3;
+  opts.ops = 250;
+  opts.crash_points = 2;
+  opts.shrink_on_failure = false;
+  const SelfTestReport report = RunSelfTest(opts);
+  EXPECT_GT(report.runs, 0u);
+  std::string detail;
+  for (const SelfTestFailure& f : report.failures) {
+    detail += f.label + ": " + f.result.Describe() + "\n";
+  }
+  EXPECT_TRUE(report.ok()) << detail;
+}
+
+TEST(SelfTest, FaultModePlanEmbedsSeed) {
+  EXPECT_NE(FaultModePlan(5).find("seed=5"), std::string::npos);
+  EXPECT_NE(FaultModePlan(5), FaultModePlan(6));
+}
+
+// The harness's reason to exist: revert the PR-4 unpublished-slot pin (via
+// the mutation knob) and the checker must catch it, and the ddmin-shrunk
+// history must replay to the same failure class.
+TEST(SelfTest, MutationSmokeCatchesUnpublishedPinRevert) {
+  SelfTestOptions opts;
+  opts.seed = 7;
+  opts.ops = 800;
+  opts.schemes.clear();  // middle level only: fastest path to the bug
+  // Plain mode (intrusions at the publish-window hooks, no faults) trips
+  // the unpinned-slot race earliest: GC steals the reserved-but-unpublished
+  // slot and the in-flight mapping lands on reused ground.
+  opts.run_plain = true;
+  opts.run_fault = false;
+  opts.run_crash = false;
+  opts.mutate_no_pin = true;
+  opts.shrink_on_failure = true;
+  opts.shrink_attempts = 80;
+  const SelfTestReport report = RunSelfTest(opts);
+  ASSERT_FALSE(report.ok())
+      << "armed mutation was not caught — the harness lost its teeth";
+  ASSERT_FALSE(report.failures.empty());
+
+  const SelfTestFailure& f = report.failures.front();
+  EXPECT_LT(f.history.ops.size(), f.original_ops) << "shrink removed nothing";
+  // Byte-for-byte replay of the minimized history: same failure class.
+  auto reparsed = History::Parse(f.history.Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  const RunResult replayed = RunHistory(*reparsed);
+  ASSERT_FALSE(replayed.ok) << "minimized repro no longer fails";
+  EXPECT_EQ(replayed.failure_class, f.result.failure_class);
+}
+
+// Crafted regression scenario for the publish window: interleaved
+// intrusions (invalidate / read / forced GC inside the reserve→write→
+// publish window) plus a mid-run power cycle, against the *fixed* engine,
+// must stay divergence-free.
+TEST(SelfTest, CraftedPublishWindowScenarioIsClean) {
+  HistoryConfig config;
+  config.level = Level::kMiddle;
+  config.seed = 1;
+  config.zones = 8;
+  config.slots = 12;
+  History h;
+  h.config = config;
+  auto push = [&h](Op op) { h.ops.push_back(op); };
+  u64 seq = 0;
+  // Fill all slots twice so GC has work.
+  for (int round = 0; round < 2; ++round) {
+    for (u64 rid = 0; rid < config.slots; ++rid) {
+      Op w;
+      w.kind = OpKind::kMWrite;
+      w.key = rid;
+      w.seq = ++seq;
+      push(w);
+    }
+  }
+  // Intruders at both hook points: invalidate the region being written,
+  // read a bystander, and force a nested collection.
+  Op in1;
+  in1.kind = OpKind::kIntrude;
+  in1.point = fault::HookPoint::kMiddleWritePrePublish;
+  in1.after = 1;
+  in1.act = OpKind::kMInval;
+  in1.key = 0;
+  push(in1);
+  Op in2 = in1;
+  in2.act = OpKind::kMGc;
+  in2.after = 2;
+  push(in2);
+  Op in3 = in1;
+  in3.point = fault::HookPoint::kMiddleGcPrePublish;
+  in3.act = OpKind::kMInval;
+  in3.key = 1;
+  in3.after = 1;
+  push(in3);
+  for (u64 rid = 0; rid < config.slots; ++rid) {
+    Op w;
+    w.kind = OpKind::kMWrite;
+    w.key = rid;
+    w.seq = ++seq;
+    push(w);
+    Op r;
+    r.kind = OpKind::kMRead;
+    r.key = rid;
+    push(r);
+  }
+  Op restart;
+  restart.kind = OpKind::kRestart;
+  push(restart);
+  for (u64 rid = 0; rid < config.slots; ++rid) {
+    Op r;
+    r.kind = OpKind::kMRead;
+    r.key = rid;
+    push(r);
+  }
+  const RunResult result = RunHistory(h);
+  EXPECT_TRUE(result.ok) << result.Describe();
+}
+
+}  // namespace
+}  // namespace zncache::check

@@ -8,6 +8,8 @@
 #include <tuple>
 
 #include "blockssd/block_ssd.h"
+#include "check/history.h"
+#include "check/interpreter.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "kv/lsm_store.h"
@@ -303,6 +305,47 @@ INSTANTIATE_TEST_SUITE_P(
       return "mem" + std::to_string(std::get<0>(tpinfo.param)) + "blk" +
              std::to_string(std::get<1>(tpinfo.param)) + "trig" +
              std::to_string(std::get<2>(tpinfo.param));
+    });
+
+// ------------------------------------------------- cache oracle sweep ----
+
+// Differential run of every scheme (and the sharded front-end) against the
+// reference oracle: a generated history of sets/gets/deletes/flushes with
+// self-describing payloads, where a hit must be byte-exact for the latest
+// acked version and a never-set key must never hit. This is the harness's
+// in-tree PR-gate presence; the CLI selftest explores far larger budgets.
+using OracleParam = std::tuple<backends::SchemeKind, u32>;  // (scheme, shards)
+
+class CacheOracleSweep : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(CacheOracleSweep, NoDivergenceFromReferenceModel) {
+  const auto [scheme, shards] = GetParam();
+  check::HistoryConfig config;
+  config.level = check::Level::kCache;
+  config.scheme = scheme;
+  config.shards = shards;
+  check::FitGeometryForShards(&config);
+  config.seed = 23 + static_cast<u64>(scheme) * 7 + shards;
+  check::GeneratorOptions gen;
+  gen.ops = 2000;
+  const check::History h = check::GenerateHistory(config, gen);
+  const check::RunResult result = check::RunHistory(h);
+  EXPECT_TRUE(result.ok) << result.Describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesByShards, CacheOracleSweep,
+    ::testing::Combine(::testing::Values(backends::SchemeKind::kBlock,
+                                         backends::SchemeKind::kFile,
+                                         backends::SchemeKind::kZone,
+                                         backends::SchemeKind::kRegion),
+                       ::testing::Values(1u, 4u)),
+    [](const ::testing::TestParamInfo<OracleParam>& tpinfo) {
+      std::string name;
+      for (char c : backends::SchemeName(std::get<0>(tpinfo.param))) {
+        if (c != '-') name.push_back(c);
+      }
+      return name + "x" + std::to_string(std::get<1>(tpinfo.param));
     });
 
 }  // namespace
