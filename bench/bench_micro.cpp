@@ -12,6 +12,7 @@
 #include "kv/bloom.h"
 #include "kv/memtable.h"
 #include "middle/zone_translation_layer.h"
+#include "obs/optimeline.h"
 #include "zns/zns_device.h"
 
 namespace zncache {
@@ -213,6 +214,37 @@ void BM_HistogramRecord(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HistogramRecord);
+
+// The attribution sink's per-op cost, with (Arg=1) and without (Arg=0) the
+// percentile windows — their difference is the windowed-aggregation
+// overhead a bench run pays per operation over the --no-windows baseline.
+void BM_OpAttributionRecord(benchmark::State& state) {
+  obs::OpAttributionConfig cfg;
+  cfg.windows_enabled = state.range(0) != 0;
+  obs::OpAttribution attr(cfg);
+  obs::OpTimeline tl;
+  tl.type = obs::OpType::kGet;
+  tl.phase_ns[static_cast<size_t>(obs::Phase::kIndexLookup)] = 300;
+  tl.phase_ns[static_cast<size_t>(obs::Phase::kDevService)] = 9000;
+  tl.span_ns = 9300;
+  SimNanos ts = 0;
+  for (auto _ : state) {
+    tl.start_ts = ts;
+    ts += 50'000;  // walk forward so windows rotate like a real run
+    attr.Record(tl);
+  }
+}
+BENCHMARK(BM_OpAttributionRecord)->Arg(0)->Arg(1);
+
+// An instrumentation site with no timeline installed: one TLS load and a
+// branch — the cost every uninstrumented op pays per charge site.
+void BM_ChargePhaseNoTimeline(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ChargePhase(obs::Phase::kDevService, 100);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ChargePhaseNoTimeline);
 
 void BM_MemTablePut(benchmark::State& state) {
   kv::MemTable table;

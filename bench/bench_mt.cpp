@@ -14,7 +14,15 @@
 // .json with the per-shard contention counters ("cache.s<i>.lock_waits",
 // ".lock_wait_ns", ".shard_ops") and the shard-imbalance gauge.
 //
-// Usage: bench_mt [ops] [max_threads]   (defaults: 400000 ops, 8 threads)
+// Every run also records per-op latency attribution (obs/optimeline.h):
+// BENCH_slo.json carries per-scheme/per-op-type percentiles, the worst-K
+// tail ops' phase breakdowns, and the per-scheme latency budgets that
+// scripts/check_slo.py gates CI on. The slow-op flight recorder's spans
+// land in bench_mt.trace.json next to the GC/zone events.
+//
+// Usage: bench_mt [ops] [max_threads] [--no-windows]
+//   (defaults: 400000 ops, 8 threads; --no-windows disables the windowed
+//    percentile aggregation — the attribution-overhead baseline)
 //
 // The acceptance target (threads=8/shards=8 at least 3x the 1/1 wall
 // throughput on Zone- and Region-Cache, hit ratio within 0.5pp) needs a
@@ -138,6 +146,7 @@ Result<MtResult> RunOne(SchemeKind kind, const MtConfig& cfg, u32 threads,
   SchemeParams params;
   params.metrics = obs.metrics();
   params.tracer = obs.tracer();
+  params.attribution = obs.attribution();
   params.zone_size = bench::kZoneSize;
   params.region_size = bench::kRegionSize;
   params.min_empty_zones = 2;
@@ -160,6 +169,9 @@ Result<MtResult> RunOne(SchemeKind kind, const MtConfig& cfg, u32 threads,
   ZN_RETURN_IF_ERROR(
       Replay(scheme->cache.get(), cfg, cfg.warmup_ops, threads, cfg.seed));
   const cache::CacheStats warm = scheme->cache->TotalStats();
+  // Percentiles and the flight recorder should describe the measured ops
+  // only, not the warmup churn.
+  obs.attribution()->Reset();
   const SimNanos sim_start = clock.Now();
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -241,6 +253,124 @@ std::string PerfJsonForRuns(
   return out;
 }
 
+// --- SLO accounting -------------------------------------------------------
+//
+// Budgets are virtual-time (modeled) P99 ceilings per scheme and op type.
+// They codify current behaviour with headroom rather than aspirational
+// targets: the point is that a regression that inflates the tail (new lock
+// convoy, GC storm, eviction blow-up) fails scripts/check_slo.py in CI, not
+// that the numbers are impressive. Measured at 100k ops/run: get P99 sits
+// at ~1.2ms (Region/Block), ~2.0ms (File, its indirection layer pays an
+// extra hop) and ~0.1ms (Zone, whose reset/GC cost is background and
+// surfaces as queue wait on the worst few ops, not at P99). Sets are a
+// DRAM buffer copy in every scheme -- region seals and evictions happen
+// off the foreground path -- so the set budget asserts sets stay
+// sub-device-scale (<1ms) rather than tracking a measured tail.
+struct SloBudget {
+  u64 get_p99_ns;
+  u64 set_p99_ns;
+};
+
+SloBudget BudgetFor(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kZone:
+      return {2 * sim::kMillisecond, 1 * sim::kMillisecond};
+    case SchemeKind::kRegion:
+      return {3 * sim::kMillisecond, 1 * sim::kMillisecond};
+    case SchemeKind::kFile:
+      return {4 * sim::kMillisecond, 1 * sim::kMillisecond};
+    case SchemeKind::kBlock:
+      return {3 * sim::kMillisecond, 1 * sim::kMillisecond};
+  }
+  return {2 * sim::kMillisecond, 1 * sim::kMillisecond};
+}
+
+// One op type's SLO snapshot: cumulative percentiles of the attributed
+// end-to-end latency, the measured-span P99 (virtual-clock delta, the
+// coverage cross-check at t1), and the flight recorder's tail ops with
+// their per-phase mean breakdown.
+std::string SloOpJson(const obs::OpAttribution& attr, obs::OpType t) {
+  const Histogram e2e = attr.MergedWindows(t).cumulative();
+  const Histogram spans = attr.MergedSpans(t);
+  const std::vector<obs::SlowOp> tail = attr.WorstOps(t);
+  u64 tail_total = 0;
+  u64 tail_span = 0;
+  u64 tail_phases[obs::kPhaseCount] = {};
+  for (const obs::SlowOp& op : tail) {
+    tail_total += op.total_ns;
+    tail_span += op.span_ns;
+    for (size_t i = 0; i < obs::kPhaseCount; ++i) {
+      tail_phases[i] += op.phase_ns[i];
+    }
+  }
+  const u64 k = tail.empty() ? 1 : tail.size();
+
+  std::string out = "{\"count\":" + std::to_string(e2e.count());
+  out += ",\"p50_ns\":" + std::to_string(e2e.P50());
+  out += ",\"p99_ns\":" + std::to_string(e2e.P99());
+  out += ",\"p999_ns\":" + std::to_string(e2e.P999());
+  out += ",\"span_p99_ns\":" + std::to_string(spans.P99());
+  out += ",\"tail\":{\"count\":" + std::to_string(tail.size());
+  out += ",\"mean_total_ns\":" + std::to_string(tail_total / k);
+  out += ",\"mean_span_ns\":" + std::to_string(tail_span / k);
+  out += ",\"phase_mean_ns\":{";
+  bool first = true;
+  for (size_t i = 0; i < obs::kPhaseCount; ++i) {
+    if (tail_phases[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += obs::PhaseName(static_cast<obs::Phase>(i));
+    out += "\":" + std::to_string(tail_phases[i] / k);
+  }
+  out += "}}}";
+  return out;
+}
+
+struct SloRun {
+  std::string scheme;
+  u32 threads = 0;
+  std::string ops_json;  // {"get":{..},"set":{..},"delete":{..}}
+};
+
+std::string SloRunOpsJson(const obs::OpAttribution& attr) {
+  std::string out = "{";
+  for (size_t k = 0; k < obs::kOpTypeCount; ++k) {
+    if (k != 0) out += ',';
+    out += '"';
+    out += obs::OpTypeName(static_cast<obs::OpType>(k));
+    out += "\":" + SloOpJson(attr, static_cast<obs::OpType>(k));
+  }
+  out += '}';
+  return out;
+}
+
+std::string SloJsonForRuns(const std::vector<SloRun>& runs,
+                           const SchemeKind* kinds, size_t kind_count,
+                           bool windows_enabled) {
+  std::string out = "{\"bench\":\"bench_mt\",\"meta\":" +
+                    bench::ArtifactMetaJson("bench_mt");
+  out += ",\"windows_enabled\":";
+  out += windows_enabled ? "true" : "false";
+  out += ",\"budgets\":{";
+  for (size_t i = 0; i < kind_count; ++i) {
+    if (i != 0) out += ',';
+    const SloBudget b = BudgetFor(kinds[i]);
+    out += '"' + std::string(backends::SchemeName(kinds[i])) +
+           "\":{\"get_p99_ns\":" + std::to_string(b.get_p99_ns) +
+           ",\"set_p99_ns\":" + std::to_string(b.set_p99_ns) + '}';
+  }
+  out += "},\"runs\":[";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"scheme\":\"" + obs::JsonEscape(runs[i].scheme) +
+           "\",\"threads\":" + std::to_string(runs[i].threads) +
+           ",\"ops\":" + runs[i].ops_json + '}';
+  }
+  out += "]}";
+  return out;
+}
+
 bool WriteWholeFile(const std::string& path, const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
@@ -253,12 +383,23 @@ int Run(int argc, char** argv) {
   using namespace bench;
   MtConfig cfg;
   u32 max_threads = 8;
-  if (argc > 1) cfg.ops = std::strtoull(argv[1], nullptr, 10);
-  if (argc > 2) {
-    max_threads = static_cast<u32>(std::strtoul(argv[2], nullptr, 10));
+  bool windows_enabled = true;
+  int pos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--no-windows") {
+      windows_enabled = false;
+      continue;
+    }
+    if (pos == 0) {
+      cfg.ops = std::strtoull(argv[i], nullptr, 10);
+    } else if (pos == 1) {
+      max_threads = static_cast<u32>(std::strtoul(argv[i], nullptr, 10));
+    }
+    ++pos;
   }
   if (cfg.ops == 0 || max_threads == 0) {
-    std::fprintf(stderr, "usage: bench_mt [ops] [max_threads]\n");
+    std::fprintf(stderr,
+                 "usage: bench_mt [ops] [max_threads] [--no-windows]\n");
     return 1;
   }
   cfg.warmup_ops = cfg.ops / 4;
@@ -278,7 +419,11 @@ int Run(int argc, char** argv) {
   PrintRule();
 
   BenchObs obs("bench_mt");
+  obs::OpAttributionConfig attr_config;
+  attr_config.windows_enabled = windows_enabled;
+  obs.SetAttributionConfig(attr_config);
   std::vector<std::pair<std::string, MtResult>> runs;
+  std::vector<SloRun> slo_runs;
   const SchemeKind kinds[] = {SchemeKind::kRegion, SchemeKind::kZone,
                               SchemeKind::kFile, SchemeKind::kBlock};
   for (SchemeKind kind : kinds) {
@@ -289,7 +434,11 @@ int Run(int argc, char** argv) {
                                    std::to_string(threads);
       obs.BeginRun(run_name);
       auto r = RunOne(kind, cfg, threads, obs);
+      // The attribution sink outlives EndRun; snapshot its SLO view here
+      // (after EndRun has frozen the trace lane).
       obs.EndRun();
+      slo_runs.push_back({std::string(SchemeName(kind)), threads,
+                          SloRunOpsJson(*obs.attribution())});
       if (!r.ok()) {
         std::fprintf(stderr, "%s failed: %s\n", run_name.c_str(),
                      r.status().ToString().c_str());
@@ -338,6 +487,15 @@ int Run(int argc, char** argv) {
     std::printf("[obs] wrote BENCH_perf.json (%zu runs)\n", runs.size());
   } else {
     std::fprintf(stderr, "failed writing BENCH_perf.json\n");
+    return 1;
+  }
+  const std::string slo = SloJsonForRuns(slo_runs, kinds,
+                                         sizeof(kinds) / sizeof(kinds[0]),
+                                         windows_enabled);
+  if (WriteWholeFile("BENCH_slo.json", slo)) {
+    std::printf("[obs] wrote BENCH_slo.json (%zu runs)\n", slo_runs.size());
+  } else {
+    std::fprintf(stderr, "failed writing BENCH_slo.json\n");
     return 1;
   }
   return 0;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "backends/block_region_device.h"
@@ -15,6 +16,7 @@
 #include "common/types.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/optimeline.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "sim/clock.h"
@@ -33,6 +35,51 @@ inline void PrintHeader(const std::string& title) {
 
 inline void PrintRule() {
   std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+// Version of the JSON artifact layout emitted by the bench binaries. Bump
+// when the shape of <bench>.metrics.json / BENCH_slo.json changes so that
+// trajectory tooling (check_perf_scaling.py, check_slo.py) can refuse
+// artifacts it does not understand instead of misreading them.
+inline constexpr int kArtifactSchemaVersion = 2;
+
+// Build-flavour string for artifact stamping, resolved at compile time.
+inline const char* BuildTypeName() {
+#ifdef NDEBUG
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+inline const char* SanitizerName() {
+#if defined(__SANITIZE_THREAD__)
+  return "thread";
+#elif defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  return "thread";
+#elif __has_feature(address_sanitizer)
+  return "address";
+#else
+  return "none";
+#endif
+#else
+  return "none";
+#endif
+}
+
+// {"schema_version":..,"bench":..,"host_cores":..,"build":{..}} — stamped
+// into every metrics/trace/SLO artifact so cross-run comparisons (e.g.
+// BENCH_perf trajectories) can tell a Debug/TSan run from a Release one.
+inline std::string ArtifactMetaJson(const std::string& bench_name) {
+  return "{\"schema_version\":" + std::to_string(kArtifactSchemaVersion) +
+         ",\"bench\":\"" + obs::JsonEscape(bench_name) +
+         "\",\"host_cores\":" +
+         std::to_string(std::thread::hardware_concurrency()) +
+         ",\"build\":{\"type\":\"" + BuildTypeName() +
+         "\",\"sanitizer\":\"" + SanitizerName() + "\"}}";
 }
 
 // Per-binary observability harness. Each measured configuration gets its
@@ -57,16 +104,24 @@ class BenchObs {
     if (!written_) WriteFiles();
   }
 
-  // Start a named run: fresh registry + sampler, new trace lane. Finalizes
-  // any run still open. Duplicate names get a "#n" suffix so the JSON map
-  // keys stay unique.
+  // Attribution parameters applied to runs begun after this call (the
+  // windows_enabled=false variant is the attribution-overhead baseline).
+  void SetAttributionConfig(const obs::OpAttributionConfig& config) {
+    attribution_config_ = config;
+  }
+
+  // Start a named run: fresh registry + sampler + attribution sink, new
+  // trace lane. Finalizes any run still open. Duplicate names get a "#n"
+  // suffix so the JSON map keys stay unique.
   void BeginRun(const std::string& run_name) {
     EndRun();
     auto run = std::make_unique<RunData>();
     run->name = UniqueName(run_name);
     run->registry = std::make_unique<obs::Registry>();
     run->sampler = std::make_unique<obs::Sampler>(sample_interval_);
-    obs::Tracer::Default().BeginProcess(run->name);
+    run->attribution =
+        std::make_unique<obs::OpAttribution>(attribution_config_);
+    run->pid = obs::Tracer::Default().BeginProcess(run->name);
     runs_.push_back(std::move(run));
     open_ = true;
   }
@@ -75,6 +130,7 @@ class BenchObs {
   // of the stack wants them (SchemeParams, CacheBenchConfig).
   obs::Registry* metrics() { return runs_.back()->registry.get(); }
   obs::Sampler* sampler() { return runs_.back()->sampler.get(); }
+  obs::OpAttribution* attribution() { return runs_.back()->attribution.get(); }
   static obs::Tracer* tracer() { return &obs::Tracer::Default(); }
 
   // Register live-state probes for the scheme under test. Call after
@@ -133,6 +189,10 @@ class BenchObs {
     RunData& run = *runs_.back();
     run.metrics_json = run.registry->ToJson();
     run.samples_json = run.sampler->ToJson();
+    run.attribution_json = run.attribution->ToJson();
+    // Slow-op spans render on this run's trace lane next to its GC/zone
+    // events; collected here so WriteFiles can splice them into the trace.
+    run.tail_spans_json = run.attribution->TailSpansJson(run.pid);
     open_ = false;
   }
 
@@ -141,19 +201,30 @@ class BenchObs {
   bool WriteFiles() {
     EndRun();
     written_ = true;
+    const std::string meta = ArtifactMetaJson(bench_name_);
     std::string metrics = "{\"bench\":\"" + obs::JsonEscape(bench_name_) +
-                          "\",\"runs\":{";
+                          "\",\"meta\":" + meta + ",\"runs\":{";
+    std::string tail_spans;
     for (size_t i = 0; i < runs_.size(); ++i) {
       if (i > 0) metrics += ',';
       metrics += '"' + obs::JsonEscape(runs_[i]->name) +
-                 "\":{\"metrics\":" + runs_[i]->metrics_json +
-                 ",\"samples\":" + runs_[i]->samples_json + '}';
+                 "\":{\"name\":\"" + obs::JsonEscape(runs_[i]->name) +
+                 "\",\"metrics\":" + runs_[i]->metrics_json +
+                 ",\"samples\":" + runs_[i]->samples_json +
+                 ",\"attribution\":" + runs_[i]->attribution_json + '}';
+      if (!runs_[i]->tail_spans_json.empty()) {
+        if (!tail_spans.empty()) tail_spans += ',';
+        tail_spans += runs_[i]->tail_spans_json;
+      }
     }
     metrics += "}}";
     const obs::Tracer& tr = obs::Tracer::Default();
+    std::string trace = tr.ToChromeJson(tail_spans);
+    // Stamp the trace artifact too (Perfetto ignores unknown top-level
+    // keys; JsonValid still accepts the object).
+    trace.insert(1, "\"zncacheMeta\":" + meta + ",");
     const bool ok = WriteWholeFile(bench_name_ + ".metrics.json", metrics) &&
-                    WriteWholeFile(bench_name_ + ".trace.json",
-                                   tr.ToChromeJson());
+                    WriteWholeFile(bench_name_ + ".trace.json", trace);
     if (ok) {
       std::printf("[obs] wrote %s.metrics.json (%zu runs) and %s.trace.json "
                   "(%llu events%s)\n",
@@ -171,10 +242,14 @@ class BenchObs {
  private:
   struct RunData {
     std::string name;
+    u32 pid = 1;  // this run's Chrome-trace process lane
     std::unique_ptr<obs::Registry> registry;
     std::unique_ptr<obs::Sampler> sampler;
+    std::unique_ptr<obs::OpAttribution> attribution;
     std::string metrics_json = "{}";
     std::string samples_json = "{}";
+    std::string attribution_json = "{}";
+    std::string tail_spans_json;
   };
 
   static void AddZnsProbes(obs::Sampler* s, const zns::ZnsDevice* zns) {
@@ -210,6 +285,7 @@ class BenchObs {
 
   std::string bench_name_;
   SimNanos sample_interval_;
+  obs::OpAttributionConfig attribution_config_;
   std::vector<std::unique_ptr<RunData>> runs_;
   bool open_ = false;
   bool written_ = false;

@@ -24,6 +24,9 @@
 //   (none)   human-readable result table
 //   stats    the metric-registry snapshot as JSON
 //   trace    the virtual-time event trace as Chrome trace_event JSON
+//   slow-ops run with per-op latency attribution and print the flight
+//            recorder's worst ops with their per-phase breakdowns; the
+//            spans also land in the trace export for Perfetto
 //
 // Model-checking commands (no benchmark run; see docs/TESTING.md):
 //   replay <file> | replay --history=<file>
@@ -52,6 +55,7 @@
 #include "fault/fault_injector.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/optimeline.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "workload/cachebench.h"
@@ -234,10 +238,11 @@ int main(int argc, char** argv) {
   std::string command;
   if (!flags->positional().empty()) {
     command = flags->positional().front();
-    if (command != "stats" && command != "trace" && command != "faults") {
+    if (command != "stats" && command != "trace" && command != "faults" &&
+        command != "slow-ops") {
       std::fprintf(stderr,
                    "unknown command: %s (expected stats, trace, faults, "
-                   "replay or selftest)\n",
+                   "slow-ops, replay or selftest)\n",
                    command.c_str());
       return 2;
     }
@@ -246,8 +251,12 @@ int main(int argc, char** argv) {
   sim::VirtualClock clock;
   obs::Registry registry;
   obs::Tracer tracer;
-  tracer.BeginProcess(flags->GetString("scheme", "region"));
+  const u32 trace_pid =
+      tracer.BeginProcess(flags->GetString("scheme", "region"));
   obs::Sampler sampler(200 * sim::kMillisecond);
+  obs::OpAttributionConfig attr_config;
+  attr_config.flight_k = static_cast<u32>(flags->GetU64("worst", 8));
+  obs::OpAttribution attribution(attr_config);
 
   std::optional<fault::FaultInjector> injector;
   if (flags->Has("fault-plan")) {
@@ -266,6 +275,7 @@ int main(int argc, char** argv) {
   backends::SchemeParams params;
   params.metrics = &registry;
   params.tracer = &tracer;
+  if (command == "slow-ops") params.attribution = &attribution;
   params.faults = injector.has_value() ? &*injector : nullptr;
   params.zone_size = flags->GetU64("zone-mib", 16) * kMiB;
   params.region_size = flags->GetU64("region-kib", 1024) * kKiB;
@@ -315,7 +325,11 @@ int main(int argc, char** argv) {
     sampler.SampleNow(clock.Now());
     const std::string metrics_doc =
         MetricsDocument(scheme->name, registry.ToJson(), sampler.ToJson());
-    const std::string trace_doc = tracer.ToChromeJson();
+    // The slow-op spans render on this run's trace lane so Perfetto shows
+    // the worst ops' phase breakdowns next to the GC/zone events.
+    const std::string trace_doc = tracer.ToChromeJson(
+        command == "slow-ops" ? attribution.TailSpansJson(trace_pid)
+                              : std::string());
     const std::string metrics_path =
         flags->GetString("metrics-out", "zncache_cli.metrics.json");
     const std::string trace_path =
@@ -332,6 +346,39 @@ int main(int argc, char** argv) {
     } else if (command == "faults") {
       std::printf("%s\n",
                   injector.has_value() ? injector->ToJson().c_str() : "{}");
+    } else if (command == "slow-ops") {
+      u64 recorded = 0;
+      for (size_t t = 0; t < obs::kOpTypeCount; ++t) {
+        recorded += attribution.op_count(static_cast<obs::OpType>(t));
+      }
+      std::printf("worst ops by attributed latency (%llu ops recorded; "
+                  "load %s in Perfetto for the spans)\n",
+                  static_cast<unsigned long long>(recorded),
+                  flags->GetString("trace-out", "zncache_cli.trace.json")
+                      .c_str());
+      for (size_t t = 0; t < obs::kOpTypeCount; ++t) {
+        const auto type = static_cast<obs::OpType>(t);
+        const std::vector<obs::SlowOp> worst = attribution.WorstOps(type);
+        if (worst.empty()) continue;
+        std::printf("-- %s --\n", obs::OpTypeName(type));
+        for (const obs::SlowOp& op : worst) {
+          std::printf("  #%-8llu t=%-12llu total %9llu us  "
+                      "(dev_ops %u, retries %u, zone_mgmt %u)\n",
+                      static_cast<unsigned long long>(op.seq),
+                      static_cast<unsigned long long>(op.start_ts),
+                      static_cast<unsigned long long>(op.total_ns / 1000),
+                      op.dev_ops, op.retries, op.zone_mgmt_ops);
+          for (size_t p = 0; p < obs::kPhaseCount; ++p) {
+            if (op.phase_ns[p] == 0) continue;
+            std::printf("    %-18s %9llu us  (%4.1f%%)\n",
+                        obs::PhaseName(static_cast<obs::Phase>(p)),
+                        static_cast<unsigned long long>(op.phase_ns[p] /
+                                                        1000),
+                        100.0 * static_cast<double>(op.phase_ns[p]) /
+                            static_cast<double>(op.total_ns));
+          }
+        }
+      }
     } else {
       std::printf("observability  %s, %s\n", metrics_path.c_str(),
                   trace_path.c_str());

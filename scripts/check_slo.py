@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate BENCH_slo.json and gate per-scheme latency budgets.
+
+Usage: check_slo.py [path/to/BENCH_slo.json]
+
+Checks, in order:
+  1. Schema: the file carries the artifact meta stamp (schema_version 2),
+     the budget table, and per-run per-op-type latency snapshots with sane
+     values (counts > 0 for get/set, monotone p50 <= p99 <= p999).
+  2. Budgets: every run's get/set P99 (attributed end-to-end, virtual
+     time) stays within its scheme's declared budget. Latencies are
+     modeled, so this gate is host-independent — a miss means the model's
+     tail moved, not that CI hardware jittered.
+  3. Coverage (threads == 1 runs only): the sum of the tail ops' per-phase
+     means must land within 10% of their mean measured span. At one thread
+     the span (virtual-clock delta across the op) and the attributed total
+     measure the same op, so a gap means ops spend virtual time in code no
+     phase claims. At t > 1 other threads advance the shared clock during
+     an op, so spans are cross-polluted and the check would be meaningless.
+
+Exit code 0 on pass, 1 on any failure.
+"""
+
+import json
+import sys
+
+EXPECTED_SCHEMA = 2
+COVERAGE_TOLERANCE = 0.10
+# Below this span the fixed per-op overheads (index op, DRAM read) dominate
+# and a few ns of rounding breaks the ratio; such runs trivially pass.
+COVERAGE_MIN_SPAN_NS = 1000
+
+
+def fail(msg: str) -> "None":
+    print(f"check_slo: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_op(run_label: str, op_name: str, op: dict) -> None:
+    for key in ("count", "p50_ns", "p99_ns", "p999_ns", "span_p99_ns",
+                "tail"):
+        if key not in op:
+            fail(f"{run_label} {op_name}: missing {key}")
+    if op["count"] < 0:
+        fail(f"{run_label} {op_name}: negative count")
+    if op["count"] > 0 and not (
+            0 <= op["p50_ns"] <= op["p99_ns"] <= op["p999_ns"]):
+        fail(f"{run_label} {op_name}: percentiles not monotone "
+             f"({op['p50_ns']} / {op['p99_ns']} / {op['p999_ns']})")
+    tail = op["tail"]
+    for key in ("count", "mean_total_ns", "mean_span_ns", "phase_mean_ns"):
+        if key not in tail:
+            fail(f"{run_label} {op_name}: tail missing {key}")
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_slo.json"
+    try:
+        doc = json.load(open(path))
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        fail("meta stamp missing")
+    if meta.get("schema_version") != EXPECTED_SCHEMA:
+        fail(f"schema_version {meta.get('schema_version')!r}, expected "
+             f"{EXPECTED_SCHEMA} (artifact from an incompatible build?)")
+    budgets = doc.get("budgets")
+    if not isinstance(budgets, dict) or not budgets:
+        fail("budgets missing or empty")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail("runs missing or empty")
+    windows = doc.get("windows_enabled", True)
+    if not windows:
+        # --no-windows runs have no percentile data; only schema applies.
+        print("check_slo: windows disabled (overhead-baseline artifact); "
+              "budget and coverage gates skipped")
+
+    budget_misses = []
+    coverage_misses = []
+    for run in runs:
+        for key in ("scheme", "threads", "ops"):
+            if key not in run:
+                fail(f"run missing {key}: {list(run)}")
+        label = f"{run['scheme']}/t{run['threads']}"
+        ops = run["ops"]
+        for op_name in ("get", "set", "delete"):
+            if op_name not in ops:
+                fail(f"{label}: missing op type {op_name}")
+            check_op(label, op_name, ops[op_name])
+        if ops["get"]["count"] == 0 or ops["set"]["count"] == 0:
+            fail(f"{label}: no measured get/set ops")
+        if not windows:
+            continue
+
+        budget = budgets.get(run["scheme"])
+        if budget is None:
+            fail(f"{label}: scheme has no budget entry")
+        for op_name, limit_key in (("get", "get_p99_ns"),
+                                   ("set", "set_p99_ns")):
+            p99 = ops[op_name]["p99_ns"]
+            limit = budget[limit_key]
+            if p99 > limit:
+                budget_misses.append(
+                    f"{label} {op_name} p99 {p99:,} ns > budget {limit:,} ns")
+
+        if run["threads"] != 1:
+            continue
+        for op_name in ("get", "set"):
+            tail = ops[op_name]["tail"]
+            span = tail["mean_span_ns"]
+            if tail["count"] == 0 or span < COVERAGE_MIN_SPAN_NS:
+                continue
+            attributed = sum(tail["phase_mean_ns"].values())
+            gap = abs(attributed - span) / span
+            if gap > COVERAGE_TOLERANCE:
+                coverage_misses.append(
+                    f"{label} {op_name}: attributed phase sum "
+                    f"{attributed:,} ns vs mean span {span:,} ns "
+                    f"({gap:.1%} gap > {COVERAGE_TOLERANCE:.0%})")
+
+    for miss in budget_misses + coverage_misses:
+        print(f"check_slo: FAIL: {miss}", file=sys.stderr)
+    if budget_misses or coverage_misses:
+        sys.exit(1)
+
+    # Report the deepest sweep's per-phase tail breakdown for the scheme
+    # the paper centres on, so CI logs show where the tail goes.
+    deepest = max((r for r in runs if r["scheme"] == "Zone-Cache"),
+                  key=lambda r: r["threads"], default=None)
+    if windows and deepest is not None:
+        tail = deepest["ops"]["set"]["tail"]
+        phases = ", ".join(f"{k}={v:,}ns"
+                           for k, v in sorted(tail["phase_mean_ns"].items(),
+                                              key=lambda kv: -kv[1]))
+        print(f"check_slo: Zone-Cache/t{deepest['threads']} set tail "
+              f"(worst-{tail['count']} mean {tail['mean_total_ns']:,} ns): "
+              f"{phases}")
+    print(f"check_slo: OK ({len(runs)} runs against "
+          f"{len(budgets)} scheme budgets)")
+
+
+if __name__ == "__main__":
+    main()

@@ -153,6 +153,7 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
   cache_config.persistent = params.persistent;
   cache_config.metrics = params.metrics;
   cache_config.tracer = params.tracer;
+  cache_config.attribution = params.attribution;
   out.cache = std::make_unique<cache::FlashCache>(cache_config,
                                                   out.device.get(), clock);
 
@@ -202,6 +203,7 @@ Result<ShardedSchemeInstance> MakeShardedScheme(SchemeKind kind,
   cc.engine.persistent = p.persistent;
   cc.engine.metrics = p.metrics;
   cc.engine.tracer = p.tracer;
+  cc.engine.attribution = p.attribution;
   out.cache = std::make_unique<cache::ShardedCache>(cc, out.device.get(),
                                                     clock);
 

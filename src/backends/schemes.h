@@ -77,6 +77,9 @@ struct SchemeParams {
   // scheme; nullptr selects the process-wide defaults.
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  // Per-op latency attribution sink (see obs/optimeline.h). nullptr keeps
+  // the attribution layer inert — no timelines, no recording.
+  obs::OpAttribution* attribution = nullptr;
 
   // Deterministic fault injection, wired into the scheme's device layer
   // (the block SSD or the ZNS device). nullptr = no faults; the assembled

@@ -202,7 +202,12 @@ Status FlashCache::OpenNewRegion() {
   open_region_started_ = clock_->Now();
   // Backpressure: wait for a flush buffer to drain.
   while (inflight_flushes_.size() >= config_.flush_buffers) {
-    clock_->AdvanceTo(inflight_flushes_.front());
+    const SimNanos stall_from = clock_->Now();
+    const SimNanos drained_at = inflight_flushes_.front();
+    clock_->AdvanceTo(drained_at);
+    if (drained_at > stall_from) {
+      obs::ChargePhase(obs::Phase::kFlushWait, drained_at - stall_from);
+    }
     inflight_flushes_.pop_front();
   }
   // Opportunistically retire completed flushes.
@@ -217,6 +222,10 @@ Status FlashCache::OpenNewRegion() {
       next = *free;
       break;
     }
+    // Everything from victim selection to slot invalidation is eviction
+    // interference on the op that triggered it, including any device work
+    // the purge causes underneath.
+    obs::PhaseScope evict_scope(obs::Phase::kEviction);
     const RegionId victim = PickEvictionVictim();
     if (victim == kInvalidId) {
       return Status::Internal("no region available for eviction");
@@ -227,8 +236,10 @@ Status FlashCache::OpenNewRegion() {
     // n^1.5 term models lock-convoy interference with concurrent inserts.
     const double n = static_cast<double>(items);
     Cpu(config_.index_op_ns + config_.evict_entry_ns * items +
-        static_cast<SimNanos>(static_cast<double>(config_.evict_contention_ns) *
-                              n * std::sqrt(n)));
+            static_cast<SimNanos>(
+                static_cast<double>(config_.evict_contention_ns) * n *
+                std::sqrt(n)),
+        obs::Phase::kEviction);
     std::vector<std::pair<ItemMeta, std::string>> survivors;
     if (config_.reinsertion_hits > 0 && config_.store_values) {
       CollectReinsertionCandidates(victim, &survivors);
@@ -266,6 +277,9 @@ Status FlashCache::OpenNewRegion() {
   // Re-admit hot survivors of the eviction into the fresh region. Items
   // that do not fit simply age out (best-effort, like CacheLib).
   if (!pending_reinserts_.empty()) {
+    // The recursive Sets below run under the triggering op's timeline;
+    // their cost is eviction fallout, not the op's own work.
+    obs::PhaseScope evict_scope(obs::Phase::kEviction);
     std::vector<std::pair<ItemMeta, std::string>> batch;
     batch.swap(pending_reinserts_);
     for (auto& [item, payload] : batch) {
@@ -301,6 +315,9 @@ void FlashCache::CollectReinsertionCandidates(
 
 Result<OpResult> FlashCache::Set(std::string_view key,
                                  std::span<const std::byte> value) {
+  // Inert when ShardedCache already installed the op's timeline (or no
+  // attribution sink is wired); gives a bare engine its own attribution.
+  obs::OpScope attr_op(config_.attribution, obs::OpType::kSet, clock_->Now());
   const SimNanos start = clock_->Now();
   if (value.size() > usable_region_bytes_) {
     stats_.rejected_sets++;
@@ -311,11 +328,12 @@ Result<OpResult> FlashCache::Set(std::string_view key,
       !admission_rng_.Chance(config_.admit_probability)) {
     stats_.admission_rejects++;
     c_admission_rejects_->Inc();
-    Cpu(config_.index_op_ns);
+    Cpu(config_.index_op_ns, obs::Phase::kIndexLookup);
     return OpResult{false, clock_->Now() - start};
   }
-  Cpu(config_.index_op_ns +
-      config_.append_ns_per_kib * ((value.size() + kKiB - 1) / kKiB));
+  Cpu(config_.index_op_ns, obs::Phase::kIndexLookup);
+  Cpu(config_.append_ns_per_kib * ((value.size() + kKiB - 1) / kKiB),
+      obs::Phase::kBufferCopy);
 
   // A previous set can leave no region open: its flush failed (the slot
   // was purged) or its OpenNewRegion lost an eviction race with a
@@ -323,6 +341,9 @@ Result<OpResult> FlashCache::Set(std::string_view key,
   if (open_rid_ == kInvalidId) ZN_RETURN_IF_ERROR(OpenNewRegion());
   RegionMeta* m = &regions_[open_rid_];
   if (m->used + value.size() > usable_region_bytes_) {
+    // Sealing the full region is flush-driven stall time from this op's
+    // point of view; eviction inside OpenNewRegion re-redirects deeper.
+    obs::PhaseScope seal_scope(obs::Phase::kFlushWait);
     ZN_RETURN_IF_ERROR(FlushOpenRegion());
     ZN_RETURN_IF_ERROR(OpenNewRegion());
     m = &regions_[open_rid_];
@@ -358,8 +379,9 @@ Result<OpResult> FlashCache::Set(std::string_view key, std::string_view value) {
 }
 
 Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out) {
+  obs::OpScope attr_op(config_.attribution, obs::OpType::kGet, clock_->Now());
   const SimNanos start = clock_->Now();
-  Cpu(config_.index_op_ns);
+  Cpu(config_.index_op_ns, obs::Phase::kIndexLookup);
   stats_.gets++;
   c_gets_->Inc();
 
@@ -377,7 +399,8 @@ Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out) {
 
   if (entry.rid == open_rid_) {
     // Served from the DRAM buffer.
-    Cpu(config_.dram_read_ns_per_kib * ((entry.size + kKiB - 1) / kKiB));
+    Cpu(config_.dram_read_ns_per_kib * ((entry.size + kKiB - 1) / kKiB),
+        obs::Phase::kDramRead);
     if (value_out != nullptr) {
       if (config_.store_values) {
         value_out->assign(
@@ -416,8 +439,10 @@ Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out) {
 }
 
 Result<OpResult> FlashCache::Delete(std::string_view key) {
+  obs::OpScope attr_op(config_.attribution, obs::OpType::kDelete,
+                       clock_->Now());
   const SimNanos start = clock_->Now();
-  Cpu(config_.index_op_ns);
+  Cpu(config_.index_op_ns, obs::Phase::kIndexLookup);
   stats_.deletes++;
   c_deletes_->Inc();
   // Heterogeneous find + erase-by-iterator: no temporary std::string

@@ -44,6 +44,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "obs/metrics.h"
+#include "obs/optimeline.h"
 #include "obs/trace.h"
 #include "sim/clock.h"
 
@@ -105,6 +106,10 @@ struct FlashCacheConfig {
   // Observability sinks; nullptr selects the process-wide defaults.
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  // Per-op latency attribution sink. nullptr (the default) keeps the
+  // attribution layer fully inert: no timeline is installed and every
+  // charge site short-circuits on a null thread-local.
+  obs::OpAttribution* attribution = nullptr;
 };
 
 struct CacheStats {
@@ -221,7 +226,13 @@ class FlashCache {
     u64 seal_seq = 0;     // for FIFO
   };
 
-  void Cpu(SimNanos ns) { clock_->Advance(ns); }
+  // Advance the virtual clock by a modeled CPU cost and attribute it to
+  // `p` on the active op timeline (a sticky scope — eviction, flush —
+  // overrides the phase; no timeline means the charge is a no-op).
+  void Cpu(SimNanos ns, obs::Phase p = obs::Phase::kOther) {
+    clock_->Advance(ns);
+    obs::ChargePhase(p, ns);
+  }
 
   // Flush the open region buffer to the device (background I/O).
   Status FlushOpenRegion();

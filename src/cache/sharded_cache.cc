@@ -16,7 +16,8 @@ u64 NowWallNanos() {
 }  // namespace
 
 ShardedCache::ShardedCache(const ShardedCacheConfig& config,
-                           RegionDevice* device, sim::VirtualClock* clock) {
+                           RegionDevice* device, sim::VirtualClock* clock)
+    : clock_(clock), attribution_(config.engine.attribution) {
   const u32 shards = config.shards == 0 ? 1 : config.shards;
   obs::Registry* registry = obs::ResolveRegistry(config.engine.metrics);
   const u64 per_shard = device->region_count() / shards;
@@ -61,8 +62,13 @@ std::unique_lock<std::mutex> ShardedCache::AcquireShard(Shard& s) {
   if (!lock.owns_lock()) {
     const u64 t0 = NowWallNanos();
     lock.lock();
+    const u64 waited = NowWallNanos() - t0;
     s.c_lock_waits->Inc();
-    s.c_lock_wait_ns->Inc(NowWallNanos() - t0);
+    s.c_lock_wait_ns->Inc(waited);
+    // Wall-clock, not simulated: contention is a property of the host
+    // machine. ChargeLockWait bypasses sticky redirection so a wait always
+    // reads as a wait. Contention-free acquisitions charge nothing.
+    obs::ChargeLockWait(obs::Phase::kShardLockWait, waited);
   }
   s.c_ops->Inc();
   return lock;
@@ -70,22 +76,31 @@ std::unique_lock<std::mutex> ShardedCache::AcquireShard(Shard& s) {
 
 Result<OpResult> ShardedCache::Set(std::string_view key,
                                    std::string_view value) {
+  obs::OpScope op(attribution_, obs::OpType::kSet, clock_->Now());
   Shard& s = ShardFor(key);
   auto lock = AcquireShard(s);
-  return s.engine->Set(key, value);
+  auto result = s.engine->Set(key, value);
+  op.Finish(clock_->Now());
+  return result;
 }
 
 Result<OpResult> ShardedCache::Get(std::string_view key,
                                    std::string* value_out) {
+  obs::OpScope op(attribution_, obs::OpType::kGet, clock_->Now());
   Shard& s = ShardFor(key);
   auto lock = AcquireShard(s);
-  return s.engine->Get(key, value_out);
+  auto result = s.engine->Get(key, value_out);
+  op.Finish(clock_->Now());
+  return result;
 }
 
 Result<OpResult> ShardedCache::Delete(std::string_view key) {
+  obs::OpScope op(attribution_, obs::OpType::kDelete, clock_->Now());
   Shard& s = ShardFor(key);
   auto lock = AcquireShard(s);
-  return s.engine->Delete(key);
+  auto result = s.engine->Delete(key);
+  op.Finish(clock_->Now());
+  return result;
 }
 
 Status ShardedCache::Flush() {

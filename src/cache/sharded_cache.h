@@ -114,6 +114,8 @@ class ShardedCache {
   std::unique_lock<std::mutex> AcquireShard(Shard& s);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  sim::VirtualClock* clock_ = nullptr;          // not owned
+  obs::OpAttribution* attribution_ = nullptr;   // not owned; may be null
   obs::Gauge* g_imbalance_ = nullptr;  // provider cleared in the dtor
 };
 

@@ -1,14 +1,24 @@
 #include "middle/zone_translation_layer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <optional>
 #include <vector>
 
 #include "common/hash.h"
+#include "obs/optimeline.h"
 
 namespace zncache::middle {
 
 namespace {
+
+u64 NowWallNanos() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // FNV-1a over the payload bytes of a full slot image (header excluded).
 u64 SlotPayloadChecksum(std::span<const std::byte> slot) {
@@ -120,6 +130,7 @@ Status ZoneTranslationLayer::FinishIfFull(u64 zone) {
   // is never finished out from under a reserved writer.
   if (info.state != zns::ZoneState::kFull &&
       info.RemainingCapacity() < slot_stride_) {
+    obs::PhaseScope mgmt_scope(obs::Phase::kZoneMgmt);
     ZN_RETURN_IF_ERROR(device_->Finish(zone));
     stats_.zones_finished++;
     c_zones_finished_->Inc();
@@ -233,7 +244,15 @@ ZoneTranslationLayer::DeviceWriteSlot(u64 zone, u64 region_id,
   } else {
     // Regular write: the write pointer must be read and written under the
     // zone's own lock so two writers cannot target the same offset.
-    std::lock_guard<std::mutex> zone_lock(zone_write_mu_[zone]);
+    // Contended acquisitions charge the blocked wall-clock nanoseconds to
+    // the op's zone-lock-wait phase (zero in serial runs).
+    std::unique_lock<std::mutex> zone_lock(zone_write_mu_[zone],
+                                           std::try_to_lock);
+    if (!zone_lock.owns_lock()) {
+      const u64 t0 = NowWallNanos();
+      zone_lock.lock();
+      obs::ChargeLockWait(obs::Phase::kZoneLockWait, NowWallNanos() - t0);
+    }
     const u64 wp = device_->GetZoneInfo(zone).write_pointer;
     if (wp % slot_stride_ != 0) {
       // A failed write tore the pointer mid-slot; writing here would
@@ -272,6 +291,7 @@ void ZoneTranslationLayer::AbandonZone(u64 zone) {
   // makes it a FULL (hence collectable) zone instead of leaking it.
   if (info.IsResettable() && info.state != zns::ZoneState::kFull &&
       info.state != zns::ZoneState::kEmpty) {
+    obs::PhaseScope mgmt_scope(obs::Phase::kZoneMgmt);
     if (device_->Finish(zone).ok()) {
       stats_.zones_finished++;
       c_zones_finished_->Inc();
@@ -287,6 +307,10 @@ ZoneTranslationLayer::WriteToSomeZone(u64 region_id,
   constexpr int kWriteAttempts = 3;
   Status last = Status::Internal("unreachable");
   for (int attempt = 0; attempt < kWriteAttempts; ++attempt) {
+    // Re-attempts after a failed write are retry overhead from the op's
+    // point of view, whatever the work inside turns out to be.
+    std::optional<obs::PhaseScope> retry_scope;
+    if (attempt > 0) retry_scope.emplace(obs::Phase::kRetryBackoff);
     u64 zone = 0;
     u64 header_seq = gc_header_seq;
     {
@@ -297,7 +321,10 @@ ZoneTranslationLayer::WriteToSomeZone(u64 region_id,
         // released, then re-scan for a freshly emptied zone. GC's own
         // migration writes never reach here (for_gc returns NoSpace).
         lock.unlock();
-        ZN_RETURN_IF_ERROR(ForceCollect());
+        {
+          obs::PhaseScope gc_scope(obs::Phase::kGcInterference);
+          ZN_RETURN_IF_ERROR(ForceCollect());
+        }
         lock.lock();
         z = ReserveSlot(for_gc, /*post_gc_rescan=*/true);
         if (!z.ok() && z.status().code() == StatusCode::kNoSpace) {
@@ -350,6 +377,7 @@ ZoneTranslationLayer::WriteToSomeZone(u64 region_id,
     AbandonZone(zone);
     stats_.write_retries++;
     c_write_retries_->Inc();
+    obs::NoteOpRetry();
   }
   return last;
 }
@@ -366,6 +394,7 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
       return Status::InvalidArgument("bad region payload size");
     }
     device_->timer().clock()->Advance(config_.lookup_ns);
+    obs::ChargePhase(obs::Phase::kIndexLookup, config_.lookup_ns);
     // Rewrite: the old version's mapping is deleted and its bit cleared.
     // The bumped version token is this write's claim on the publish below.
     ClearMapping(region_id);
@@ -412,10 +441,13 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
   // space GC itself needs to migrate into. At or above the watermark the
   // try-lock variant keeps the hot path contention-free. Serially the two
   // branches are identical (the lock is always uncontended).
-  if (device_->EmptyZoneCount() < config_.min_empty_zones) {
-    ZN_RETURN_IF_ERROR(ForceCollect());
-  } else {
-    ZN_RETURN_IF_ERROR(MaybeCollect());
+  {
+    obs::PhaseScope gc_scope(obs::Phase::kGcInterference);
+    if (device_->EmptyZoneCount() < config_.min_empty_zones) {
+      ZN_RETURN_IF_ERROR(ForceCollect());
+    } else {
+      ZN_RETURN_IF_ERROR(MaybeCollect());
+    }
   }
   return RegionIoResult{w->latency, w->completion};
 }
@@ -438,6 +470,7 @@ Result<RegionIoResult> ZoneTranslationLayer::ReadRegion(
       return Status::OutOfRange("read beyond region");
     }
     device_->timer().clock()->Advance(config_.lookup_ns);
+    obs::ChargePhase(obs::Phase::kIndexLookup, config_.lookup_ns);
     // Physical address = in-zone slot base (+ header) + in-region offset.
     const u64 zone_offset =
         loc->slot * slot_stride_ +
@@ -484,6 +517,7 @@ Status ZoneTranslationLayer::InvalidateRegion(u64 region_id) {
     if (zones_[zone].valid_count == 0 && !Pinned(zones_[zone]) &&
         !zones_[zone].gc_active &&
         device_->GetZoneInfo(zone).state == zns::ZoneState::kFull) {
+      obs::PhaseScope mgmt_scope(obs::Phase::kZoneMgmt);
       const Status reset = device_->Reset(zone);
       if (!reset.ok()) {
         if (!device_->GetZoneInfo(zone).IsResettable()) {

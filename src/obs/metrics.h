@@ -6,8 +6,8 @@
 // Thread-safety: Counter and Gauge values are relaxed atomics and Histogram
 // recording is lock-free (see common/histogram.h), so concurrent shards can
 // record into shared handles. Handle resolution and ToJson() take the
-// registry mutex; gauge *providers* are registered/cleared during
-// single-threaded setup/teardown phases, not from recording threads.
+// registry mutex; gauge *providers* are guarded by a per-gauge leaf mutex,
+// so installing or clearing one is safe against concurrent value() readers.
 //
 // Names are hierarchical dot-paths ("cache.lookup_latency_ns",
 // "middle.gc.migrated_bytes", "zns.zone.resets"); the full catalogue is
@@ -43,6 +43,12 @@ class Counter {
 // or derives it on demand from a provider callback (used by backends to
 // export views that can never diverge from their source structs). Owners
 // of short-lived providers must ClearProvider() before dying.
+//
+// Provider installation is synchronized against concurrent value() readers
+// (a reader either sees the old provider, the new one, or the stored value
+// — never a half-written std::function). The mutex guards only provider_;
+// Set/Add stay lock-free and the provider-free value() fast path is one
+// relaxed flag load plus the atomic read.
 class Gauge {
  public:
   void Set(double v) { v_.store(v, std::memory_order_relaxed); }
@@ -53,24 +59,37 @@ class Gauge {
     }
   }
   double value() const {
-    return provider_ ? provider_() : v_.load(std::memory_order_relaxed);
+    if (has_provider_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(provider_mu_);
+      if (provider_) return provider_();
+    }
+    return v_.load(std::memory_order_relaxed);
   }
 
   void SetProvider(std::function<double()> provider) {
+    std::lock_guard<std::mutex> lock(provider_mu_);
     provider_ = std::move(provider);
+    has_provider_.store(static_cast<bool>(provider_),
+                        std::memory_order_release);
   }
   void ClearProvider() {
+    std::lock_guard<std::mutex> lock(provider_mu_);
     if (provider_) v_.store(provider_(), std::memory_order_relaxed);
     provider_ = nullptr;
+    has_provider_.store(false, std::memory_order_release);
   }
 
   void Reset() {
+    std::lock_guard<std::mutex> lock(provider_mu_);
     v_.store(0, std::memory_order_relaxed);
     provider_ = nullptr;
+    has_provider_.store(false, std::memory_order_release);
   }
 
  private:
   std::atomic<double> v_{0};
+  std::atomic<bool> has_provider_{false};
+  mutable std::mutex provider_mu_;  // leaf lock: guards provider_ only
   std::function<double()> provider_;
 };
 

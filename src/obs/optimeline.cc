@@ -1,0 +1,456 @@
+#include "obs/optimeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+
+#include "obs/json.h"
+
+namespace zncache::obs {
+
+namespace {
+// Default aggregation window; kept local so obs stays independent of sim
+// headers. A power of two (~1.07 virtual seconds) so the per-op
+// window-index computation in Record() is a shift, not a 64-bit division.
+constexpr SimNanos kDefaultWindowNs = SimNanos{1} << 30;
+}  // namespace
+
+const char* PhaseName(Phase p) {
+  switch (p) {
+    case Phase::kShardLockWait:
+      return "shard_lock_wait";
+    case Phase::kIndexLookup:
+      return "index_lookup";
+    case Phase::kBufferCopy:
+      return "buffer_copy";
+    case Phase::kDramRead:
+      return "dram_read";
+    case Phase::kEviction:
+      return "eviction";
+    case Phase::kFlushWait:
+      return "flush_wait";
+    case Phase::kZoneLockWait:
+      return "zone_lock_wait";
+    case Phase::kDevQueueWait:
+      return "dev_queue_wait";
+    case Phase::kDevService:
+      return "dev_service";
+    case Phase::kGcInterference:
+      return "gc_interference";
+    case Phase::kRetryBackoff:
+      return "retry_backoff";
+    case Phase::kZoneMgmt:
+      return "zone_mgmt";
+    case Phase::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+const char* OpTypeName(OpType t) {
+  switch (t) {
+    case OpType::kGet:
+      return "get";
+    case OpType::kSet:
+      return "set";
+    case OpType::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- windows --
+
+WindowedPercentiles::WindowedPercentiles(SimNanos window_ns, size_t max_windows)
+    : window_ns_(window_ns == 0 ? kDefaultWindowNs : window_ns),
+      max_windows_(max_windows == 0 ? 1 : max_windows) {
+  const u64 w = static_cast<u64>(window_ns_);
+  if ((w & (w - 1)) == 0) shift_ = __builtin_ctzll(w);
+}
+
+void WindowedPercentiles::Record(SimNanos ts, u64 value) {
+  count_++;
+  const u64 t = static_cast<u64>(ts);
+  const u64 index = shift_ >= 0 ? (t >> shift_) : t / static_cast<u64>(window_ns_);
+  if (windows_.empty() || windows_.back().index < index) {
+    windows_.push_back(Window{index, Histogram{}});
+    if (windows_.size() > max_windows_) {
+      retired_.Merge(windows_.front().hist);
+      windows_.pop_front();
+    }
+  } else if (windows_.back().index > index) {
+    // Late arrival for an older window (cross-stripe clock skew). Find it;
+    // if it already rotated out, fold into the oldest retained window
+    // rather than resurrecting history.
+    for (auto it = windows_.rbegin(); it != windows_.rend(); ++it) {
+      if (it->index == index) {
+        it->hist.Record(value);
+        return;
+      }
+      if (it->index < index) break;
+    }
+    windows_.front().hist.Record(value);
+    return;
+  }
+  windows_.back().hist.Record(value);
+}
+
+void WindowedPercentiles::MergeFrom(const WindowedPercentiles& other) {
+  count_ += other.count_;
+  retired_.Merge(other.retired_);
+  // Merge sorted-by-index window lists, folding equal indices.
+  std::deque<Window> merged;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < windows_.size() || j < other.windows_.size()) {
+    if (j >= other.windows_.size() ||
+        (i < windows_.size() && windows_[i].index < other.windows_[j].index)) {
+      merged.push_back(std::move(windows_[i++]));
+    } else if (i >= windows_.size() ||
+               other.windows_[j].index < windows_[i].index) {
+      merged.push_back(other.windows_[j++]);
+    } else {
+      Window w = std::move(windows_[i++]);
+      w.hist.Merge(other.windows_[j++].hist);
+      merged.push_back(std::move(w));
+    }
+  }
+  while (merged.size() > max_windows_) {
+    retired_.Merge(merged.front().hist);
+    merged.pop_front();
+  }
+  windows_ = std::move(merged);
+}
+
+void WindowedPercentiles::Reset() {
+  count_ = 0;
+  retired_.Reset();
+  windows_.clear();
+}
+
+Histogram WindowedPercentiles::cumulative() const {
+  Histogram out = retired_;
+  for (const Window& w : windows_) out.Merge(w.hist);
+  return out;
+}
+
+std::vector<u64> WindowedPercentiles::indices() const {
+  std::vector<u64> out;
+  out.reserve(windows_.size());
+  for (const Window& w : windows_) out.push_back(w.index);
+  return out;
+}
+
+const Histogram* WindowedPercentiles::WindowAt(u64 index) const {
+  for (const Window& w : windows_) {
+    if (w.index == index) return &w.hist;
+  }
+  return nullptr;
+}
+
+std::string WindowedPercentiles::ToJson() const {
+  std::string out = "{\"window_ns\":" + std::to_string(window_ns_) +
+                    ",\"cumulative\":" + cumulative().ToJson() + ",\"windows\":[";
+  bool first = true;
+  for (const Window& w : windows_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"index\":" + std::to_string(w.index) +
+           ",\"count\":" + std::to_string(w.hist.count()) +
+           ",\"p50\":" + std::to_string(w.hist.P50()) +
+           ",\"p99\":" + std::to_string(w.hist.P99()) +
+           ",\"p999\":" + std::to_string(w.hist.P999()) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// ----------------------------------------------------------------- flight --
+
+void FlightRecorder::Offer(const SlowOp& op) {
+  if (capacity_ == 0) return;
+  if (ops_.size() < capacity_) {
+    ops_.push_back(op);
+    if (ops_.size() == 1 || static_cast<u64>(op.total_ns) < min_total_) {
+      min_total_ = static_cast<u64>(op.total_ns);
+    }
+    return;
+  }
+  // Displace the current minimum only when strictly slower; among equal
+  // minima pick the earliest admitted so retention is deterministic. The
+  // cached minimum makes the common (fast-op) case a single compare; the
+  // scans below run only on actual admission.
+  if (static_cast<u64>(op.total_ns) <= min_total_) return;
+  size_t min_i = 0;
+  for (size_t i = 1; i < ops_.size(); ++i) {
+    if (ops_[i].total_ns < ops_[min_i].total_ns ||
+        (ops_[i].total_ns == ops_[min_i].total_ns &&
+         ops_[i].seq < ops_[min_i].seq)) {
+      min_i = i;
+    }
+  }
+  ops_[min_i] = op;
+  min_total_ = static_cast<u64>(ops_[0].total_ns);
+  for (size_t i = 1; i < ops_.size(); ++i) {
+    min_total_ = std::min(min_total_, static_cast<u64>(ops_[i].total_ns));
+  }
+}
+
+std::vector<SlowOp> FlightRecorder::Worst() const {
+  std::vector<SlowOp> out = ops_;
+  std::sort(out.begin(), out.end(), [](const SlowOp& a, const SlowOp& b) {
+    if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+// ------------------------------------------------------------ attribution --
+
+OpAttribution::OpAttribution(const OpAttributionConfig& config)
+    : config_(config) {
+  if (config_.window_ns == 0) config_.window_ns = kDefaultWindowNs;
+  for (Stripe& s : stripes_) {
+    for (PerType& t : s.types) {
+      t.windows = WindowedPercentiles(config_.window_ns, config_.max_windows);
+      t.flight = FlightRecorder(config_.flight_k);
+    }
+  }
+}
+
+OpAttribution::Stripe& OpAttribution::StripeForThisThread() {
+  static std::atomic<u32> next{0};
+  static thread_local u32 stripe_id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return stripes_[stripe_id % kStripes];
+}
+
+void OpAttribution::Record(const OpTimeline& tl) {
+  const SimNanos total = tl.total();
+  const u64 seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Stripe& s = StripeForThisThread();
+  std::lock_guard<std::mutex> lock(s.mu);
+  PerType& t = s.types[static_cast<size_t>(tl.type)];
+  t.ops++;
+  for (size_t i = 0; i < kPhaseCount; ++i) t.phase_ns[i] += tl.phase_ns[i];
+  t.spans.Record(tl.span_ns);
+  if (config_.windows_enabled) {
+    t.windows.Record(tl.start_ts, static_cast<u64>(total));
+  }
+  // Build the ~150-byte SlowOp only when it could actually enter the
+  // worst-K set; for the vast majority of ops this is a single compare.
+  if (t.flight.WouldAdmit(static_cast<u64>(total))) {
+    SlowOp op;
+    op.type = tl.type;
+    op.start_ts = tl.start_ts;
+    op.span_ns = tl.span_ns;
+    op.total_ns = total;
+    for (size_t i = 0; i < kPhaseCount; ++i) op.phase_ns[i] = tl.phase_ns[i];
+    op.dev_ops = tl.dev_ops;
+    op.retries = tl.retries;
+    op.zone_mgmt_ops = tl.zone_mgmt_ops;
+    op.seq = seq;
+    t.flight.Offer(op);
+  }
+}
+
+u64 OpAttribution::op_count(OpType t) const {
+  u64 n = 0;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.types[static_cast<size_t>(t)].ops;
+  }
+  return n;
+}
+
+WindowedPercentiles OpAttribution::MergedWindows(OpType t) const {
+  WindowedPercentiles out(config_.window_ns, config_.max_windows);
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.MergeFrom(s.types[static_cast<size_t>(t)].windows);
+  }
+  return out;
+}
+
+Histogram OpAttribution::MergedSpans(OpType t) const {
+  Histogram out;
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.Merge(s.types[static_cast<size_t>(t)].spans);
+  }
+  return out;
+}
+
+std::vector<u64> OpAttribution::MergedPhaseTotals(OpType t) const {
+  std::vector<u64> out(kPhaseCount, 0);
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const PerType& pt = s.types[static_cast<size_t>(t)];
+    for (size_t i = 0; i < kPhaseCount; ++i) out[i] += pt.phase_ns[i];
+  }
+  return out;
+}
+
+std::vector<SlowOp> OpAttribution::WorstOps(OpType t) const {
+  FlightRecorder merged(config_.flight_k);
+  for (const Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const SlowOp& op : s.types[static_cast<size_t>(t)].flight.Worst()) {
+      merged.Offer(op);
+    }
+  }
+  return merged.Worst();
+}
+
+namespace {
+
+void AppendSlowOpJson(std::string& out, const SlowOp& op) {
+  out += "{\"op\":\"";
+  out += OpTypeName(op.type);
+  out += "\",\"seq\":" + std::to_string(op.seq) +
+         ",\"start_ts\":" + std::to_string(op.start_ts) +
+         ",\"total_ns\":" + std::to_string(op.total_ns) +
+         ",\"span_ns\":" + std::to_string(op.span_ns) +
+         ",\"dev_ops\":" + std::to_string(op.dev_ops) +
+         ",\"retries\":" + std::to_string(op.retries) +
+         ",\"zone_mgmt_ops\":" + std::to_string(op.zone_mgmt_ops) +
+         ",\"phases\":{";
+  bool first = true;
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    if (op.phase_ns[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += PhaseName(static_cast<Phase>(i));
+    out += "\":" + std::to_string(op.phase_ns[i]);
+  }
+  out += "}}";
+}
+
+std::string MicrosFromNanos(SimNanos ns) {
+  const u64 whole = static_cast<u64>(ns) / 1000;
+  const u64 frac = static_cast<u64>(ns) % 1000;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(whole),
+                static_cast<unsigned long long>(frac));
+  return buf;
+}
+
+}  // namespace
+
+std::string OpAttribution::ToJson() const {
+  std::string out = "{\"window_ns\":" + std::to_string(config_.window_ns) +
+                    ",\"windows_enabled\":" +
+                    (config_.windows_enabled ? "true" : "false");
+  u64 total_ops = 0;
+  std::string types = ",\"op_types\":{";
+  for (size_t k = 0; k < kOpTypeCount; ++k) {
+    const OpType t = static_cast<OpType>(k);
+    if (k != 0) types += ',';
+    types += '"';
+    types += OpTypeName(t);
+    types += "\":{";
+    const u64 ops = op_count(t);
+    total_ops += ops;
+    types += "\"count\":" + std::to_string(ops);
+    types += ",\"e2e\":" + MergedWindows(t).ToJson();
+    types += ",\"span\":" + MergedSpans(t).ToJson();
+    types += ",\"phase_ns\":{";
+    const std::vector<u64> phases = MergedPhaseTotals(t);
+    bool first = true;
+    for (size_t i = 0; i < kPhaseCount; ++i) {
+      if (phases[i] == 0) continue;
+      if (!first) types += ',';
+      first = false;
+      types += '"';
+      types += PhaseName(static_cast<Phase>(i));
+      types += "\":" + std::to_string(phases[i]);
+    }
+    types += "}}";
+  }
+  types += '}';
+  out += ",\"ops\":" + std::to_string(total_ops);
+  out += types;
+  out += ",\"slow_ops\":[";
+  bool first = true;
+  for (size_t k = 0; k < kOpTypeCount; ++k) {
+    for (const SlowOp& op : WorstOps(static_cast<OpType>(k))) {
+      if (!first) out += ',';
+      first = false;
+      AppendSlowOpJson(out, op);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string OpAttribution::TailSpansJson(u32 pid) const {
+  // Chrome 'X' complete events: one parent span per slow op plus nested
+  // child spans laid out sequentially in phase-enum order. The layout is a
+  // reconstruction (phases are accumulators, not timestamped intervals),
+  // but widths are exact, which is what tail triage needs.
+  constexpr u32 kSlowOpsTid = 7;
+  std::string out;
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  std::vector<SlowOp> all;
+  for (size_t k = 0; k < kOpTypeCount; ++k) {
+    const std::vector<SlowOp> worst = WorstOps(static_cast<OpType>(k));
+    all.insert(all.end(), worst.begin(), worst.end());
+  }
+  if (all.empty()) return out;
+  comma();
+  out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":" + std::to_string(kSlowOpsTid) +
+         ",\"args\":{\"name\":\"slow-ops\"}}";
+  for (const SlowOp& op : all) {
+    if (op.total_ns == 0) continue;
+    comma();
+    out += "{\"name\":\"slow.";
+    out += OpTypeName(op.type);
+    out += "\",\"ph\":\"X\",\"ts\":" + MicrosFromNanos(op.start_ts) +
+           ",\"dur\":" + MicrosFromNanos(op.total_ns) +
+           ",\"pid\":" + std::to_string(pid) +
+           ",\"tid\":" + std::to_string(kSlowOpsTid) +
+           ",\"args\":{\"total_ns\":" + std::to_string(op.total_ns) +
+           ",\"span_ns\":" + std::to_string(op.span_ns) +
+           ",\"dev_ops\":" + std::to_string(op.dev_ops) +
+           ",\"retries\":" + std::to_string(op.retries) +
+           ",\"zone_mgmt_ops\":" + std::to_string(op.zone_mgmt_ops) + "}}";
+    SimNanos cursor = op.start_ts;
+    for (size_t i = 0; i < kPhaseCount; ++i) {
+      if (op.phase_ns[i] == 0) continue;
+      comma();
+      out += "{\"name\":\"phase.";
+      out += PhaseName(static_cast<Phase>(i));
+      out += "\",\"ph\":\"X\",\"ts\":" + MicrosFromNanos(cursor) +
+             ",\"dur\":" + MicrosFromNanos(op.phase_ns[i]) +
+             ",\"pid\":" + std::to_string(pid) +
+             ",\"tid\":" + std::to_string(kSlowOpsTid) +
+             ",\"args\":{\"ns\":" + std::to_string(op.phase_ns[i]) + "}}";
+      cursor += op.phase_ns[i];
+    }
+  }
+  return out;
+}
+
+void OpAttribution::Reset() {
+  for (Stripe& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (PerType& t : s.types) {
+      t.windows.Reset();
+      t.spans.Reset();
+      t.flight.Reset();
+      t.ops = 0;
+      for (size_t i = 0; i < kPhaseCount; ++i) t.phase_ns[i] = 0;
+    }
+  }
+  next_seq_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace zncache::obs

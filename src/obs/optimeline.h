@@ -1,0 +1,356 @@
+// Per-operation latency attribution. Every cache Get/Set/Delete can carry a
+// stack-allocated OpTimeline that decomposes its end-to-end latency into
+// named phases (lock waits, index lookups, device queueing/service, GC and
+// eviction interference, retries, zone management). The layers below the
+// entry point never see a new parameter: the active timeline is published in
+// a thread_local pointer and instrumentation sites charge through cheap
+// inline free functions that no-op (one TLS load + branch) when no timeline
+// is installed — a build with attribution unwired behaves exactly like one
+// where this header does not exist.
+//
+// Domains: phases are charged in *virtual* nanoseconds using values the
+// simulation already computes (clock advances, ServiceTimer latencies), so
+// the hot path never reads the wall clock. The two lock-wait phases are the
+// deliberate exception — kShardLockWait / kZoneLockWait are wall-clock
+// nanoseconds, stamped only on contended acquisitions (zero in serial runs).
+// See docs/OBSERVABILITY.md for the full taxonomy.
+//
+// Aggregation: completed timelines are recorded into an OpAttribution sink —
+// striped across a small set of mutexes so concurrent shards never contend
+// on one lock — which maintains per-op-type windowed percentiles (virtual-
+// time windows) and a flight recorder keeping the K worst ops' full phase
+// breakdowns for export as Chrome trace spans / the `slow-ops` CLI command.
+//
+// Thread-safety: an OpTimeline belongs to exactly one thread (it lives on
+// the op's stack). OpAttribution::Record and the export methods are fully
+// synchronized; export is meant for quiescent points.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+
+namespace zncache::obs {
+
+// Where an operation's nanoseconds went. Keep docs/OBSERVABILITY.md and
+// PhaseName() in sync when extending.
+enum class Phase : u8 {
+  kShardLockWait,   // front-end shard mutex (wall-clock, contended only)
+  kIndexLookup,     // DRAM index / mapping-table CPU cost
+  kBufferCopy,      // memcpy into the open region buffer
+  kDramRead,        // hit served from the open buffer
+  kEviction,        // region eviction: index purge + reinsertion + its I/O
+  kFlushWait,       // blocked on flush-buffer backpressure
+  kZoneLockWait,    // per-zone write mutex (wall-clock, contended only)
+  kDevQueueWait,    // queued behind earlier device work (incl. GC/flush I/O)
+  kDevService,      // device service time of this op's own I/O
+  kGcInterference,  // foreground time inside a GC/evacuation cycle
+  kRetryBackoff,    // re-reserving and rewriting after a failed attempt
+  kZoneMgmt,        // zone finish/reset/open commands issued by this op
+  kOther,           // attributed nowhere more specific
+};
+inline constexpr size_t kPhaseCount = static_cast<size_t>(Phase::kOther) + 1;
+
+const char* PhaseName(Phase p);
+
+enum class OpType : u8 { kGet, kSet, kDelete };
+inline constexpr size_t kOpTypeCount = 3;
+
+const char* OpTypeName(OpType t);
+
+// One operation's phase ledger. Stack-allocated by the entry point; no
+// allocation anywhere on the recording path.
+struct OpTimeline {
+  static constexpr size_t kMaxSticky = 6;
+
+  SimNanos phase_ns[kPhaseCount] = {};
+  SimNanos start_ts = 0;  // virtual time at op entry
+  SimNanos span_ns = 0;   // measured virtual-clock delta (entry -> exit)
+  OpType type = OpType::kGet;
+  u16 dev_ops = 0;        // foreground device I/Os issued
+  u16 retries = 0;        // middle-layer write attempts retried
+  u16 zone_mgmt_ops = 0;  // finish/reset/open commands triggered
+  // Sticky-phase stack: while a sticky phase is active every charge lands
+  // on it, so e.g. device time spent inside an eviction is attributed to
+  // kEviction rather than kDevService. Depth beyond kMaxSticky keeps
+  // redirecting to the deepest stored phase (push/pop stay balanced).
+  u8 sticky_depth = 0;
+  Phase sticky[kMaxSticky] = {};
+
+  void Charge(Phase p, SimNanos ns) {
+    if (ns == 0) return;
+    if (sticky_depth > 0) {
+      const u8 top = sticky_depth <= kMaxSticky
+                         ? static_cast<u8>(sticky_depth - 1)
+                         : static_cast<u8>(kMaxSticky - 1);
+      p = sticky[top];
+    }
+    phase_ns[static_cast<size_t>(p)] += ns;
+  }
+  // Bypass the sticky redirect (lock-wait stamping uses this so a wall
+  // clock wait inside a GC scope still reads as a lock wait).
+  void ChargeDirect(Phase p, SimNanos ns) {
+    phase_ns[static_cast<size_t>(p)] += ns;
+  }
+  void PushSticky(Phase p) {
+    if (sticky_depth < kMaxSticky) sticky[sticky_depth] = p;
+    sticky_depth++;
+  }
+  void PopSticky() {
+    if (sticky_depth > 0) sticky_depth--;
+  }
+
+  SimNanos total() const {
+    SimNanos t = 0;
+    for (size_t i = 0; i < kPhaseCount; ++i) t += phase_ns[i];
+    return t;
+  }
+};
+
+// The thread's active timeline; nullptr when no instrumented op is in
+// flight (every charge below is then a no-op).
+inline thread_local OpTimeline* tls_op_timeline = nullptr;
+
+inline OpTimeline* ActiveOpTimeline() { return tls_op_timeline; }
+
+inline void ChargePhase(Phase p, SimNanos ns) {
+  if (OpTimeline* t = tls_op_timeline) t->Charge(p, ns);
+}
+inline void ChargeLockWait(Phase p, u64 wall_ns) {
+  if (OpTimeline* t = tls_op_timeline) t->ChargeDirect(p, wall_ns);
+}
+// Called by sim::ServiceTimer for every foreground request — the single
+// chokepoint through which all modeled devices serve I/O.
+inline void ChargeDeviceServe(SimNanos queue_ns, SimNanos service_ns) {
+  if (OpTimeline* t = tls_op_timeline) {
+    t->Charge(Phase::kDevQueueWait, queue_ns);
+    t->Charge(Phase::kDevService, service_ns);
+    t->dev_ops++;
+  }
+}
+inline void NoteZoneMgmtOp() {
+  if (OpTimeline* t = tls_op_timeline) t->zone_mgmt_ops++;
+}
+inline void NoteOpRetry() {
+  if (OpTimeline* t = tls_op_timeline) t->retries++;
+}
+
+// RAII sticky-phase scope: while alive, charges on this thread's active
+// timeline are redirected to `p`. Exception-safe (the destructor pops on
+// unwind); no-op when no timeline is active.
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase p) : t_(tls_op_timeline) {
+    if (t_ != nullptr) t_->PushSticky(p);
+  }
+  ~PhaseScope() {
+    if (t_ != nullptr) t_->PopSticky();
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  OpTimeline* t_;
+};
+
+class OpAttribution;
+
+// RAII op scope: installs a fresh timeline as the thread's active one and
+// records it into the sink on destruction. Inert when the sink is null or
+// when a timeline is already active (nested entry points — e.g. FlashCache
+// called under ShardedCache, or reinsertion Sets during eviction — keep
+// charging the outer op). Call Finish(clock->Now()) right before the scope
+// ends to stamp the measured virtual-clock span; otherwise the span
+// defaults to the attributed total.
+class OpScope {
+ public:
+  OpScope(OpAttribution* sink, OpType type, SimNanos now_ts);
+  ~OpScope();
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  void Finish(SimNanos now_ts) {
+    if (sink_ != nullptr && now_ts >= tl_.start_ts) {
+      tl_.span_ns = now_ts - tl_.start_ts;
+      finished_ = true;
+    }
+  }
+  // The timeline this scope owns, or nullptr when the scope is inert.
+  OpTimeline* timeline() { return sink_ != nullptr ? &tl_ : nullptr; }
+
+ private:
+  OpAttribution* sink_;
+  bool finished_ = false;
+  OpTimeline tl_;
+};
+
+// Percentile aggregation over fixed virtual-time windows plus a cumulative
+// histogram. Window index = ts / window_ns; indices may skip when no op
+// completes for a whole window (the gap is observable — see indices()).
+// Only the most recent `max_windows` windows are retained.
+class WindowedPercentiles {
+ public:
+  explicit WindowedPercentiles(SimNanos window_ns = 0, size_t max_windows = 64);
+
+  void Record(SimNanos ts, u64 value);
+  // Fold another instance in (stripe merge). Windows with equal indices
+  // merge; the result keeps the most recent max_windows windows.
+  void MergeFrom(const WindowedPercentiles& other);
+  void Reset();
+
+  u64 count() const { return count_; }
+  // All values ever recorded: the retained windows merged onto the retired
+  // histogram. Assembled at call time — the hot path records each value
+  // into exactly one window histogram; rotation (rare) folds the evicted
+  // window into retired_ so nothing is lost.
+  Histogram cumulative() const;
+  SimNanos window_ns() const { return window_ns_; }
+  size_t window_count() const { return windows_.size(); }
+  // Window indices currently retained, oldest first.
+  std::vector<u64> indices() const;
+  const Histogram* WindowAt(u64 index) const;
+
+  // {"window_ns":..,"cumulative":{..},"windows":[{"index":..,hist..},..]}
+  std::string ToJson() const;
+
+ private:
+  struct Window {
+    u64 index = 0;
+    Histogram hist;
+  };
+
+  SimNanos window_ns_;
+  size_t max_windows_;
+  // >= 0 when window_ns_ is a power of two: the hot path computes the
+  // window index with a shift instead of a 64-bit division.
+  int shift_ = -1;
+  u64 count_ = 0;
+  Histogram retired_;           // windows that rotated out of the deque
+  std::deque<Window> windows_;  // ascending index order
+};
+
+// A completed timeline kept by the flight recorder.
+struct SlowOp {
+  OpType type = OpType::kGet;
+  SimNanos start_ts = 0;
+  SimNanos span_ns = 0;
+  SimNanos total_ns = 0;
+  SimNanos phase_ns[kPhaseCount] = {};
+  u16 dev_ops = 0;
+  u16 retries = 0;
+  u16 zone_mgmt_ops = 0;
+  u64 seq = 0;  // admission order, for deterministic tie-breaking
+};
+
+// Fixed-capacity worst-K keeper. Replacement is deterministic: a new op
+// displaces the current minimum only when strictly slower; among equal
+// minima the earliest-admitted entry is displaced first.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 16) : capacity_(capacity) {}
+
+  void Offer(const SlowOp& op);
+  // Cheap pre-check so callers can skip building a SlowOp at all for the
+  // common (fast) op: true iff an op with this total would be retained.
+  bool WouldAdmit(u64 total_ns) const {
+    return capacity_ != 0 && (ops_.size() < capacity_ || total_ns > min_total_);
+  }
+  // Retained ops, slowest first; ties broken by admission order.
+  std::vector<SlowOp> Worst() const;
+  size_t capacity() const { return capacity_; }
+  void Reset() {
+    ops_.clear();
+    min_total_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  u64 min_total_ = 0;        // total_ns of the cheapest retained op
+  std::vector<SlowOp> ops_;  // unordered
+};
+
+struct OpAttributionConfig {
+  // 0 = default of 2^30 ns (~1.07 virtual seconds) — a power of two so the
+  // per-op window-index computation is a shift, not a 64-bit division.
+  SimNanos window_ns = 0;
+  size_t max_windows = 64;    // retained windows per op type
+  size_t flight_k = 16;       // worst ops kept per op type
+  // When false, Record() skips the percentile windows (the flight recorder
+  // and phase totals still run) — the overhead-measurement baseline.
+  bool windows_enabled = true;
+};
+
+// The per-scheme sink completed timelines are recorded into. Recording is
+// striped: each recording thread is assigned a stripe round-robin, so
+// concurrent shards rarely share a mutex. Export merges the stripes.
+class OpAttribution {
+ public:
+  explicit OpAttribution(const OpAttributionConfig& config = {});
+
+  void Record(const OpTimeline& tl);
+
+  u64 op_count(OpType t) const;
+  // Merged windowed percentiles / phase totals for one op type.
+  WindowedPercentiles MergedWindows(OpType t) const;
+  Histogram MergedSpans(OpType t) const;
+  std::vector<u64> MergedPhaseTotals(OpType t) const;  // kPhaseCount sums
+  // Worst ops of one type across all stripes, slowest first, at most
+  // flight_k entries.
+  std::vector<SlowOp> WorstOps(OpType t) const;
+
+  // Full JSON object for <bench>.metrics.json embedding:
+  // {"ops":..,"window_ns":..,"op_types":{"get":{..},..},"slow_ops":[..]}
+  std::string ToJson() const;
+  // Comma-separated Chrome trace_event fragments (no enclosing brackets)
+  // rendering each retained slow op as a span with nested per-phase child
+  // spans, on the "slow-ops" lane of process `pid`. Empty string when the
+  // recorder holds nothing.
+  std::string TailSpansJson(u32 pid) const;
+
+  const OpAttributionConfig& config() const { return config_; }
+  void Reset();
+
+ private:
+  static constexpr size_t kStripes = 8;
+
+  struct PerType {
+    WindowedPercentiles windows;
+    Histogram spans;  // measured clock-delta per op (coverage check)
+    u64 phase_ns[kPhaseCount] = {};
+    u64 ops = 0;
+    FlightRecorder flight;
+  };
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    PerType types[kOpTypeCount];
+  };
+
+  Stripe& StripeForThisThread();
+
+  OpAttributionConfig config_;
+  Stripe stripes_[kStripes];
+  std::atomic<u64> next_seq_{0};
+};
+
+inline OpScope::OpScope(OpAttribution* sink, OpType type, SimNanos now_ts)
+    : sink_(tls_op_timeline == nullptr ? sink : nullptr) {
+  if (sink_ == nullptr) return;
+  tl_.type = type;
+  tl_.start_ts = now_ts;
+  tls_op_timeline = &tl_;
+}
+
+inline OpScope::~OpScope() {
+  if (sink_ == nullptr) return;
+  tls_op_timeline = nullptr;
+  if (!finished_) tl_.span_ns = tl_.total();
+  sink_->Record(tl_);
+}
+
+}  // namespace zncache::obs

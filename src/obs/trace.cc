@@ -226,7 +226,7 @@ u32 Tracer::BeginProcess(std::string name) {
   return pid_;
 }
 
-std::string Tracer::ToChromeJson() const {
+std::string Tracer::ToChromeJson(std::string_view extra_events) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
@@ -273,7 +273,20 @@ std::string Tracer::ToChromeJson() const {
     out += "}}";
   }
 
-  out += "],\"displayTimeUnit\":\"ns\"}";
+  if (!extra_events.empty()) {
+    comma();
+    out += extra_events;
+  }
+
+  const u64 dropped =
+      recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  out += "],\"displayTimeUnit\":\"ns\",\"zncacheStats\":{\"recorded\":" +
+         std::to_string(recorded_) + ",\"dropped\":" + std::to_string(dropped) +
+         ",\"capacity\":" + std::to_string(ring_.size());
+  if (dropped > 0) {
+    out += ",\"drop_reason\":\"ring_overflow\"";
+  }
+  out += "}}";
   return out;
 }
 

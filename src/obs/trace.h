@@ -96,9 +96,16 @@ class Tracer {
   // scheme/run renders as its own track group.
   u32 BeginProcess(std::string name);
 
-  // {"traceEvents":[...],"displayTimeUnit":"ns"} — durations as B/E
-  // pairs, state changes as instants, plus process/thread name metadata.
-  std::string ToChromeJson() const;
+  // {"traceEvents":[...],"displayTimeUnit":"ns","zncacheStats":{...}} —
+  // durations as B/E pairs, state changes as instants, plus process/thread
+  // name metadata. zncacheStats carries recorded/dropped/capacity (and a
+  // drop_reason when events were lost) so a truncated trace is detectable
+  // instead of silently misleading.
+  std::string ToChromeJson() const { return ToChromeJson(std::string_view{}); }
+  // Same, splicing caller-provided trace_event objects (comma-separated,
+  // no enclosing brackets — e.g. OpAttribution::TailSpansJson) into the
+  // traceEvents array so they render alongside the ring's events.
+  std::string ToChromeJson(std::string_view extra_events) const;
 
   static Tracer& Default();
 

@@ -19,6 +19,7 @@
 #include <atomic>
 
 #include "common/types.h"
+#include "obs/optimeline.h"
 #include "sim/clock.h"
 
 namespace zncache::sim {
@@ -47,6 +48,10 @@ class ServiceTimer {
                                                 std::memory_order_relaxed));
     if (mode == IoMode::kForeground) {
       clock_->AdvanceTo(end);
+      // Every modeled device serves foreground I/O through this chokepoint:
+      // split the observed latency into time queued behind earlier work
+      // (including background GC/flush I/O) and this request's own service.
+      obs::ChargeDeviceServe(end - now - service_time, service_time);
       return {end - now, end};
     }
     return {0, end};

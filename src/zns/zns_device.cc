@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstring>
 
+#include "obs/optimeline.h"
+
 namespace zncache::zns {
 
 std::string_view ZoneStateName(ZoneState s) {
@@ -296,6 +298,9 @@ Status ZnsDevice::Reset(u64 zone) {
   z.reset_count++;
   stats_.zone_resets++;
   c_zone_resets_->Inc();
+  // The erase runs in the background; the op that triggered it pays later
+  // as device queue wait, so the timeline records the command count here.
+  obs::NoteZoneMgmtOp();
   tracer_->Record(obs::EventKind::kZoneReset, Now(), z.id);
   timer_.SubmitBackground(config_.timing.erase_ns);
   return Status::Ok();
@@ -320,6 +325,7 @@ Status ZnsDevice::Finish(u64 zone) {
   z.write_pointer = z.capacity;
   stats_.zone_finishes++;
   c_zone_finishes_->Inc();
+  obs::NoteZoneMgmtOp();
   tracer_->Record(obs::EventKind::kZoneFinish, Now(), z.id);
   return Status::Ok();
 }
@@ -347,6 +353,7 @@ Status ZnsDevice::Open(u64 zone) {
   z.state = ZoneState::kExplicitOpen;
   open_zones_++;
   c_zone_opens_->Inc();
+  obs::NoteZoneMgmtOp();
   tracer_->Record(obs::EventKind::kZoneOpen, Now(), z.id);
   return Status::Ok();
 }

@@ -17,7 +17,9 @@
 #include "common/hash.h"
 #include "common/random.h"
 #include "middle/zone_translation_layer.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/optimeline.h"
 #include "sim/clock.h"
 #include "zns/zns_device.h"
 
@@ -180,6 +182,115 @@ TEST(ShardedCacheStress, MixedWorkloadAllSchemes) {
     }
     EXPECT_EQ(registry_ops, contention.ops) << SchemeName(kind);
     EXPECT_GE(c.ShardImbalance(), 1.0) << SchemeName(kind);
+  }
+}
+
+// Latency attribution enabled under the full multi-threaded mix: the
+// recording path (thread-striped sink, sticky scopes, per-op timelines)
+// must be TSan-clean, account for every op exactly once, and keep the
+// attributed phase time consistent with the ops it describes.
+TEST(ShardedCacheStress, AttributionUnderConcurrencyIsExactAndClean) {
+  constexpr u32 kThreads = 4;
+  constexpr u64 kOpsPerThread = 3000;
+  for (SchemeKind kind : kAllKinds) {
+    obs::Registry registry;
+    obs::OpAttribution attribution;
+    sim::VirtualClock clock;
+    SchemeParams p = SmallParams(&registry);
+    p.shards = kThreads;
+    p.attribution = &attribution;
+    auto scheme = MakeShardedScheme(kind, p, &clock);
+    ASSERT_TRUE(scheme.ok()) << SchemeName(kind);
+    cache::ShardedCache& c = *scheme->cache;
+
+    std::vector<std::thread> pool;
+    for (u32 t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        Rng rng(500 + t);
+        for (u64 i = 0; i < kOpsPerThread; ++i) {
+          const std::string key = "k" + std::to_string(rng.Uniform(400));
+          const double op = rng.NextDouble();
+          if (op < 0.45) {
+            ASSERT_TRUE(c.Get(key).ok());
+          } else if (op < 0.85) {
+            ASSERT_TRUE(
+                c.Set(key, std::string(1 * kKiB + rng.Uniform(8 * kKiB),
+                                       FillFor(key)))
+                    .ok());
+          } else {
+            ASSERT_TRUE(c.Delete(key).ok());
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+
+    // Every op recorded exactly once, under its entry-point type (rejected
+    // sets still enter through Set and are attributed there).
+    const cache::CacheStats total = c.TotalStats();
+    EXPECT_EQ(attribution.op_count(obs::OpType::kGet), total.gets)
+        << SchemeName(kind);
+    EXPECT_EQ(attribution.op_count(obs::OpType::kSet),
+              total.sets + total.rejected_sets)
+        << SchemeName(kind);
+    EXPECT_EQ(attribution.op_count(obs::OpType::kDelete), total.deletes)
+        << SchemeName(kind);
+
+    // Sets hit the device path, so their attributed time must be nonzero
+    // and the flight recorder must hold a breakdown for the worst ones.
+    const std::vector<u64> phases =
+        attribution.MergedPhaseTotals(obs::OpType::kSet);
+    u64 attributed = 0;
+    for (const u64 ns : phases) attributed += ns;
+    EXPECT_GT(attributed, 0u) << SchemeName(kind);
+    EXPECT_FALSE(attribution.WorstOps(obs::OpType::kSet).empty())
+        << SchemeName(kind);
+    EXPECT_TRUE(obs::JsonValid(attribution.ToJson())) << SchemeName(kind);
+  }
+}
+
+// Attribution must be an observer: wiring a sink changes neither the
+// modeled clock nor any cache statistic of an identical serial run.
+TEST(ShardedCacheSerial, AttributionDoesNotPerturbModeledTime) {
+  for (SchemeKind kind : kAllKinds) {
+    obs::Registry reg_a;
+    obs::Registry reg_b;
+    obs::OpAttribution attribution;
+    sim::VirtualClock clock_a;
+    sim::VirtualClock clock_b;
+
+    SchemeParams pa = SmallParams(&reg_a);
+    pa.shards = 1;
+    auto plain = MakeShardedScheme(kind, pa, &clock_a);
+    ASSERT_TRUE(plain.ok()) << SchemeName(kind);
+
+    SchemeParams pb = SmallParams(&reg_b);
+    pb.shards = 1;
+    pb.attribution = &attribution;
+    auto attributed = MakeShardedScheme(kind, pb, &clock_b);
+    ASSERT_TRUE(attributed.ok()) << SchemeName(kind);
+
+    ReplaySerial(*plain->cache, 4000, 7);
+    ReplaySerial(*attributed->cache, 4000, 7);
+
+    EXPECT_EQ(clock_a.Now(), clock_b.Now()) << SchemeName(kind);
+    const cache::CacheStats a = plain->cache->TotalStats();
+    const cache::CacheStats b = attributed->cache->TotalStats();
+    EXPECT_EQ(a.gets, b.gets) << SchemeName(kind);
+    EXPECT_EQ(a.hits, b.hits) << SchemeName(kind);
+    EXPECT_EQ(a.sets, b.sets) << SchemeName(kind);
+    EXPECT_EQ(a.evicted_regions, b.evicted_regions) << SchemeName(kind);
+    // Serial run: the wall-clock lock-wait phases must stay exactly zero.
+    EXPECT_EQ(attribution.MergedPhaseTotals(
+                  obs::OpType::kSet)[static_cast<size_t>(
+                  obs::Phase::kShardLockWait)],
+              0u)
+        << SchemeName(kind);
+    EXPECT_EQ(attribution.MergedPhaseTotals(
+                  obs::OpType::kSet)[static_cast<size_t>(
+                  obs::Phase::kZoneLockWait)],
+              0u)
+        << SchemeName(kind);
   }
 }
 

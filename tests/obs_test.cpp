@@ -3,7 +3,9 @@
 // sampling.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/json.h"
@@ -95,6 +97,32 @@ TEST(RegistryTest, GaugeProviderFreezesOnClear) {
   g->ClearProvider();
   source = 99.0;  // no longer observed
   EXPECT_DOUBLE_EQ(g->value(), 25.0);
+}
+
+TEST(RegistryTest, GaugeProviderSwapRacesSafelyWithReaders) {
+  // Regression: value() used to read provider_ without synchronization, so
+  // a concurrent SetProvider/ClearProvider could observe a half-written
+  // std::function. Readers must always see either the old provider, the
+  // new one, or the stored value — never tear.
+  Registry r;
+  Gauge* g = r.GetGauge("race.gauge");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 2000; ++i) {
+      g->SetProvider([i] { return static_cast<double>(i); });
+      g->ClearProvider();
+    }
+    stop.store(true);
+  });
+  double last = 0.0;
+  while (!stop.load()) {
+    const double v = g->value();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 2000.0);
+    last = v;
+  }
+  writer.join();
+  (void)last;
 }
 
 TEST(RegistryTest, ToJsonIsValidAndCarriesValues) {
@@ -222,6 +250,44 @@ TEST(TracerTest, ChromeJsonIsValidAndPairsDurations) {
 TEST(TracerTest, EmptyTraceIsValidChromeJson) {
   Tracer t(8);
   EXPECT_TRUE(JsonValid(t.ToChromeJson()));
+}
+
+TEST(TracerTest, ChromeJsonReportsRingOverflowInStats) {
+  Tracer t(4);
+  // No overflow yet: stats present, no drop reason.
+  t.Record(EventKind::kZoneReset, 10, 1);
+  std::string json = t.ToChromeJson();
+  EXPECT_TRUE(JsonValid(json)) << json;
+  EXPECT_NE(json.find("\"zncacheStats\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\":4"), std::string::npos);
+  EXPECT_EQ(json.find("drop_reason"), std::string::npos);
+  // Wrap the ring: the export must say the trace is incomplete and why,
+  // so a reader never mistakes a truncated trace for the whole run.
+  for (u64 i = 0; i < 10; ++i) t.Record(EventKind::kRegionFlush, 100 + i, i);
+  json = t.ToChromeJson();
+  EXPECT_TRUE(JsonValid(json)) << json;
+  EXPECT_NE(json.find("\"recorded\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"drop_reason\":\"ring_overflow\""),
+            std::string::npos);
+}
+
+TEST(TracerTest, ChromeJsonSplicesExtraEventFragments) {
+  Tracer t(8);
+  const u32 pid = t.BeginProcess("run");
+  t.Record(EventKind::kZoneOpen, 10, 1);
+  const std::string extra =
+      "{\"name\":\"slow.get\",\"ph\":\"X\",\"ts\":0.100,\"dur\":2.000,"
+      "\"pid\":" +
+      std::to_string(pid) + ",\"tid\":7}";
+  const std::string json = t.ToChromeJson(extra);
+  EXPECT_TRUE(JsonValid(json)) << json;
+  EXPECT_NE(json.find("\"slow.get\""), std::string::npos);
+  // The no-argument overload stays byte-compatible.
+  EXPECT_EQ(json.find("slow.get"), json.rfind("slow.get"));
+  EXPECT_EQ(t.ToChromeJson().find("slow.get"), std::string::npos);
 }
 
 TEST(TracerTest, EventNamesCoverEveryKind) {

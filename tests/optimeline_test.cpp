@@ -1,0 +1,435 @@
+// Unit tests for per-op latency attribution (obs/optimeline.h): timeline
+// charging and sticky-phase redirection, RAII scope behaviour (including
+// exception unwind), windowed percentile aggregation, flight-recorder
+// determinism, and the OpAttribution sink's merge/export paths.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/optimeline.h"
+
+namespace zncache::obs {
+namespace {
+
+constexpr SimNanos kSec = 1'000'000'000;
+
+// --- OpTimeline charging --------------------------------------------------
+
+TEST(OpTimelineTest, ChargeAccumulatesAndSkipsZero) {
+  OpTimeline tl;
+  tl.Charge(Phase::kDevService, 100);
+  tl.Charge(Phase::kDevService, 50);
+  tl.Charge(Phase::kIndexLookup, 0);  // no-op
+  EXPECT_EQ(tl.phase_ns[static_cast<size_t>(Phase::kDevService)], 150u);
+  EXPECT_EQ(tl.phase_ns[static_cast<size_t>(Phase::kIndexLookup)], 0u);
+  EXPECT_EQ(tl.total(), 150u);
+}
+
+TEST(OpTimelineTest, StickyRedirectsChargesToDeepestScope) {
+  OpTimeline tl;
+  tl.PushSticky(Phase::kEviction);
+  tl.Charge(Phase::kDevService, 100);  // lands on kEviction
+  tl.PushSticky(Phase::kGcInterference);
+  tl.Charge(Phase::kDevService, 30);  // lands on kGcInterference
+  tl.PopSticky();
+  tl.Charge(Phase::kIndexLookup, 7);  // back to kEviction
+  tl.PopSticky();
+  tl.Charge(Phase::kDevService, 5);  // no sticky left
+  EXPECT_EQ(tl.phase_ns[static_cast<size_t>(Phase::kEviction)], 107u);
+  EXPECT_EQ(tl.phase_ns[static_cast<size_t>(Phase::kGcInterference)], 30u);
+  EXPECT_EQ(tl.phase_ns[static_cast<size_t>(Phase::kDevService)], 5u);
+}
+
+TEST(OpTimelineTest, StickyOverflowKeepsRedirectingAndStaysBalanced) {
+  OpTimeline tl;
+  for (size_t i = 0; i < OpTimeline::kMaxSticky; ++i) {
+    tl.PushSticky(Phase::kEviction);
+  }
+  // Depth beyond the stored stack: charges keep going to the deepest
+  // *stored* phase, and pops unwind cleanly.
+  tl.PushSticky(Phase::kGcInterference);  // not stored (overflow)
+  tl.Charge(Phase::kDevService, 40);
+  EXPECT_EQ(tl.phase_ns[static_cast<size_t>(Phase::kEviction)], 40u);
+  for (size_t i = 0; i < OpTimeline::kMaxSticky + 1; ++i) tl.PopSticky();
+  EXPECT_EQ(tl.sticky_depth, 0u);
+  tl.Charge(Phase::kDevService, 1);
+  EXPECT_EQ(tl.phase_ns[static_cast<size_t>(Phase::kDevService)], 1u);
+}
+
+TEST(OpTimelineTest, ChargeDirectBypassesSticky) {
+  OpTimeline tl;
+  tl.PushSticky(Phase::kGcInterference);
+  tl.ChargeDirect(Phase::kZoneLockWait, 99);
+  tl.PopSticky();
+  EXPECT_EQ(tl.phase_ns[static_cast<size_t>(Phase::kZoneLockWait)], 99u);
+  EXPECT_EQ(tl.phase_ns[static_cast<size_t>(Phase::kGcInterference)], 0u);
+}
+
+// --- Free-function charge sites -------------------------------------------
+
+TEST(ChargeSiteTest, AllChargesNoOpWithoutActiveTimeline) {
+  ASSERT_EQ(ActiveOpTimeline(), nullptr);
+  // Must not crash or touch anything.
+  ChargePhase(Phase::kIndexLookup, 10);
+  ChargeLockWait(Phase::kShardLockWait, 10);
+  ChargeDeviceServe(5, 10);
+  NoteZoneMgmtOp();
+  NoteOpRetry();
+  { PhaseScope scope(Phase::kEviction); }
+  EXPECT_EQ(ActiveOpTimeline(), nullptr);
+}
+
+TEST(ChargeSiteTest, DeviceServeChargesBothPhasesAndCountsOps) {
+  OpAttribution sink;
+  {
+    OpScope op(&sink, OpType::kSet, /*now_ts=*/0);
+    ChargeDeviceServe(/*queue_ns=*/20, /*service_ns=*/80);
+    ChargeDeviceServe(0, 40);  // uncontended: no queue time
+    NoteZoneMgmtOp();
+    NoteOpRetry();
+  }
+  const std::vector<SlowOp> worst = sink.WorstOps(OpType::kSet);
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_EQ(worst[0].phase_ns[static_cast<size_t>(Phase::kDevQueueWait)],
+            20u);
+  EXPECT_EQ(worst[0].phase_ns[static_cast<size_t>(Phase::kDevService)],
+            120u);
+  EXPECT_EQ(worst[0].dev_ops, 2u);
+  EXPECT_EQ(worst[0].zone_mgmt_ops, 1u);
+  EXPECT_EQ(worst[0].retries, 1u);
+}
+
+// --- OpScope --------------------------------------------------------------
+
+TEST(OpScopeTest, InstallsAndClearsThreadLocal) {
+  OpAttribution sink;
+  EXPECT_EQ(ActiveOpTimeline(), nullptr);
+  {
+    OpScope op(&sink, OpType::kGet, 5);
+    ASSERT_NE(ActiveOpTimeline(), nullptr);
+    EXPECT_EQ(ActiveOpTimeline(), op.timeline());
+    EXPECT_EQ(op.timeline()->start_ts, 5u);
+  }
+  EXPECT_EQ(ActiveOpTimeline(), nullptr);
+  EXPECT_EQ(sink.op_count(OpType::kGet), 1u);
+}
+
+TEST(OpScopeTest, NullSinkIsInert) {
+  {
+    OpScope op(nullptr, OpType::kGet, 0);
+    EXPECT_EQ(op.timeline(), nullptr);
+    EXPECT_EQ(ActiveOpTimeline(), nullptr);
+  }
+}
+
+TEST(OpScopeTest, NestedScopeIsInertAndChargesOuterOp) {
+  OpAttribution sink;
+  {
+    OpScope outer(&sink, OpType::kGet, 0);
+    {
+      // E.g. a reinsertion Set issued while serving the outer Get.
+      OpScope inner(&sink, OpType::kSet, 10);
+      EXPECT_EQ(inner.timeline(), nullptr);
+      EXPECT_EQ(ActiveOpTimeline(), outer.timeline());
+      ChargePhase(Phase::kDevService, 33);
+    }
+    // Inner destruction must not clear the outer installation.
+    ASSERT_EQ(ActiveOpTimeline(), outer.timeline());
+  }
+  EXPECT_EQ(sink.op_count(OpType::kGet), 1u);
+  EXPECT_EQ(sink.op_count(OpType::kSet), 0u);
+  const std::vector<SlowOp> worst = sink.WorstOps(OpType::kGet);
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_EQ(worst[0].phase_ns[static_cast<size_t>(Phase::kDevService)], 33u);
+}
+
+TEST(OpScopeTest, FinishStampsSpanElseSpanDefaultsToTotal) {
+  OpAttribution sink;
+  {
+    OpScope op(&sink, OpType::kSet, 100);
+    ChargePhase(Phase::kDevService, 40);
+    op.Finish(175);
+  }
+  {
+    OpScope op(&sink, OpType::kSet, 0);
+    ChargePhase(Phase::kDevService, 60);
+    // No Finish: span falls back to the attributed total.
+  }
+  const std::vector<SlowOp> worst = sink.WorstOps(OpType::kSet);
+  ASSERT_EQ(worst.size(), 2u);
+  // Worst() sorts by total: 60 first, then 40.
+  EXPECT_EQ(worst[0].span_ns, 60u);
+  EXPECT_EQ(worst[1].span_ns, 75u);
+}
+
+TEST(OpScopeTest, RecordsAndUninstallsOnExceptionUnwind) {
+  OpAttribution sink;
+  try {
+    OpScope op(&sink, OpType::kGet, 0);
+    PhaseScope evict(Phase::kEviction);
+    ChargePhase(Phase::kDevService, 25);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(ActiveOpTimeline(), nullptr);
+  EXPECT_EQ(sink.op_count(OpType::kGet), 1u);
+  const std::vector<SlowOp> worst = sink.WorstOps(OpType::kGet);
+  ASSERT_EQ(worst.size(), 1u);
+  EXPECT_EQ(worst[0].phase_ns[static_cast<size_t>(Phase::kEviction)], 25u);
+}
+
+// --- WindowedPercentiles --------------------------------------------------
+
+TEST(WindowedPercentilesTest, SplitsRecordsByWindowIndex) {
+  WindowedPercentiles w(/*window_ns=*/kSec, /*max_windows=*/8);
+  w.Record(0, 10);
+  w.Record(kSec - 1, 20);
+  w.Record(kSec, 30);       // second window
+  w.Record(3 * kSec, 40);   // fourth window; index 2 stays empty (gap)
+  EXPECT_EQ(w.count(), 4u);
+  const std::vector<u64> idx = w.indices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 1u);
+  EXPECT_EQ(idx[2], 3u);
+  ASSERT_NE(w.WindowAt(0), nullptr);
+  EXPECT_EQ(w.WindowAt(0)->count(), 2u);
+  EXPECT_EQ(w.WindowAt(2), nullptr);
+  EXPECT_EQ(w.cumulative().count(), 4u);
+}
+
+TEST(WindowedPercentilesTest, PowerOfTwoWindowIndexesLikeDivision) {
+  // Power-of-two windows take the shift fast path; indexing must be
+  // bit-identical to the division the non-pow2 path uses.
+  constexpr SimNanos kWin = SimNanos{1} << 20;
+  WindowedPercentiles w(kWin, /*max_windows=*/8);
+  w.Record(0, 1);
+  w.Record(kWin - 1, 2);
+  w.Record(kWin, 3);
+  w.Record(5 * kWin + 123, 4);
+  const std::vector<u64> idx = w.indices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 1u);
+  EXPECT_EQ(idx[2], 5u);
+  ASSERT_NE(w.WindowAt(0), nullptr);
+  EXPECT_EQ(w.WindowAt(0)->count(), 2u);
+}
+
+TEST(WindowedPercentilesTest, EvictsOldestBeyondMaxWindows) {
+  WindowedPercentiles w(kSec, /*max_windows=*/2);
+  w.Record(0, 1);
+  w.Record(kSec, 2);
+  w.Record(2 * kSec, 3);
+  EXPECT_EQ(w.window_count(), 2u);
+  EXPECT_EQ(w.WindowAt(0), nullptr);  // evicted
+  ASSERT_NE(w.WindowAt(2), nullptr);
+  // The cumulative histogram still remembers everything.
+  EXPECT_EQ(w.count(), 3u);
+}
+
+TEST(WindowedPercentilesTest, LateArrivalFoldsIntoOldestRetainedWindow) {
+  WindowedPercentiles w(kSec, 4);
+  w.Record(2 * kSec, 5);
+  w.Record(0, 7);  // late: window 0 < oldest retained (2) -> folds there
+  ASSERT_EQ(w.indices().size(), 1u);
+  EXPECT_EQ(w.WindowAt(2)->count(), 2u);
+}
+
+TEST(WindowedPercentilesTest, MergeCombinesMatchingIndices) {
+  WindowedPercentiles a(kSec, 8);
+  WindowedPercentiles b(kSec, 8);
+  a.Record(0, 10);
+  a.Record(2 * kSec, 30);
+  b.Record(0, 12);
+  b.Record(kSec, 20);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 4u);
+  const std::vector<u64> idx = a.indices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(a.WindowAt(0)->count(), 2u);
+  EXPECT_EQ(a.WindowAt(1)->count(), 1u);
+  EXPECT_EQ(a.WindowAt(2)->count(), 1u);
+}
+
+TEST(WindowedPercentilesTest, PercentilesComeFromRecordedValues) {
+  WindowedPercentiles w(kSec, 8);
+  for (u64 v = 1; v <= 100; ++v) w.Record(0, v * 1000);
+  EXPECT_GE(w.cumulative().P50(), 45'000u);
+  EXPECT_LE(w.cumulative().P50(), 60'000u);
+  EXPECT_GE(w.cumulative().P99(), 95'000u);
+  EXPECT_TRUE(JsonValid(w.ToJson()));
+}
+
+// --- FlightRecorder -------------------------------------------------------
+
+SlowOp MakeOp(u64 total, u64 seq) {
+  SlowOp op;
+  op.total_ns = total;
+  op.seq = seq;
+  return op;
+}
+
+TEST(FlightRecorderTest, KeepsWorstKDeterministically) {
+  FlightRecorder fr(/*capacity=*/3);
+  fr.Offer(MakeOp(10, 1));
+  fr.Offer(MakeOp(30, 2));
+  fr.Offer(MakeOp(20, 3));
+  fr.Offer(MakeOp(40, 4));  // displaces total=10
+  fr.Offer(MakeOp(5, 5));   // too fast; dropped
+  const std::vector<SlowOp> worst = fr.Worst();
+  ASSERT_EQ(worst.size(), 3u);
+  EXPECT_EQ(worst[0].total_ns, 40u);
+  EXPECT_EQ(worst[1].total_ns, 30u);
+  EXPECT_EQ(worst[2].total_ns, 20u);
+}
+
+TEST(FlightRecorderTest, EqualMinimumDisplacesEarliestAdmitted) {
+  FlightRecorder fr(2);
+  fr.Offer(MakeOp(10, 1));
+  fr.Offer(MakeOp(10, 2));
+  fr.Offer(MakeOp(15, 3));  // displaces seq=1, the earliest equal minimum
+  const std::vector<SlowOp> worst = fr.Worst();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0].total_ns, 15u);
+  EXPECT_EQ(worst[1].seq, 2u);
+}
+
+TEST(FlightRecorderTest, NewOpEqualToMinimumIsNotAdmitted) {
+  FlightRecorder fr(2);
+  fr.Offer(MakeOp(10, 1));
+  fr.Offer(MakeOp(20, 2));
+  fr.Offer(MakeOp(10, 3));  // ties the minimum: not strictly slower
+  const std::vector<SlowOp> worst = fr.Worst();
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[1].seq, 1u);
+}
+
+TEST(FlightRecorderTest, WouldAdmitMatchesOfferOutcome) {
+  FlightRecorder fr(2);
+  EXPECT_TRUE(fr.WouldAdmit(0));  // below capacity: everything admits
+  fr.Offer(MakeOp(10, 1));
+  fr.Offer(MakeOp(20, 2));
+  EXPECT_FALSE(fr.WouldAdmit(10));  // ties the minimum: rejected
+  EXPECT_TRUE(fr.WouldAdmit(11));
+  fr.Offer(MakeOp(30, 3));  // displaces 10; cached minimum moves to 20
+  EXPECT_FALSE(fr.WouldAdmit(20));
+  EXPECT_TRUE(fr.WouldAdmit(21));
+  fr.Reset();
+  EXPECT_TRUE(fr.WouldAdmit(0));
+
+  FlightRecorder empty(0);
+  EXPECT_FALSE(empty.WouldAdmit(100));  // zero capacity never admits
+}
+
+TEST(FlightRecorderTest, TiesInWorstOrderByAdmission) {
+  FlightRecorder fr(3);
+  fr.Offer(MakeOp(20, 7));
+  fr.Offer(MakeOp(20, 3));
+  fr.Offer(MakeOp(20, 5));
+  const std::vector<SlowOp> worst = fr.Worst();
+  ASSERT_EQ(worst.size(), 3u);
+  EXPECT_EQ(worst[0].seq, 3u);
+  EXPECT_EQ(worst[1].seq, 5u);
+  EXPECT_EQ(worst[2].seq, 7u);
+}
+
+// --- OpAttribution --------------------------------------------------------
+
+OpTimeline MakeTimeline(OpType type, SimNanos ts, SimNanos service_ns) {
+  OpTimeline tl;
+  tl.type = type;
+  tl.start_ts = ts;
+  tl.Charge(Phase::kDevService, service_ns);
+  tl.span_ns = service_ns;
+  return tl;
+}
+
+TEST(OpAttributionTest, RecordsPerTypeAndExportsValidJson) {
+  OpAttribution attr;
+  attr.Record(MakeTimeline(OpType::kGet, 0, 100));
+  attr.Record(MakeTimeline(OpType::kGet, 10, 300));
+  attr.Record(MakeTimeline(OpType::kSet, 20, 5000));
+  EXPECT_EQ(attr.op_count(OpType::kGet), 2u);
+  EXPECT_EQ(attr.op_count(OpType::kSet), 1u);
+  EXPECT_EQ(attr.op_count(OpType::kDelete), 0u);
+  EXPECT_EQ(attr.MergedWindows(OpType::kGet).count(), 2u);
+  EXPECT_EQ(attr.MergedSpans(OpType::kSet).count(), 1u);
+  const std::vector<u64> phases = attr.MergedPhaseTotals(OpType::kGet);
+  ASSERT_EQ(phases.size(), kPhaseCount);
+  EXPECT_EQ(phases[static_cast<size_t>(Phase::kDevService)], 400u);
+  const std::string json = attr.ToJson();
+  EXPECT_TRUE(JsonValid(json)) << json;
+  EXPECT_NE(json.find("\"slow_ops\""), std::string::npos);
+}
+
+TEST(OpAttributionTest, WindowsDisabledSkipsPercentilesOnly) {
+  OpAttributionConfig config;
+  config.windows_enabled = false;
+  OpAttribution attr(config);
+  attr.Record(MakeTimeline(OpType::kGet, 0, 100));
+  EXPECT_EQ(attr.op_count(OpType::kGet), 1u);
+  EXPECT_EQ(attr.MergedWindows(OpType::kGet).count(), 0u);
+  // Flight recorder and phase totals still run.
+  EXPECT_EQ(attr.WorstOps(OpType::kGet).size(), 1u);
+  EXPECT_EQ(attr.MergedPhaseTotals(
+                OpType::kGet)[static_cast<size_t>(Phase::kDevService)],
+            100u);
+  EXPECT_TRUE(JsonValid(attr.ToJson()));
+}
+
+TEST(OpAttributionTest, WorstOpsMergeAcrossRecordingThreads) {
+  // Each thread gets its own stripe; WorstOps must see all of them and
+  // still cap at flight_k, slowest first.
+  OpAttributionConfig config;
+  config.flight_k = 4;
+  OpAttribution attr(config);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&attr, t] {
+      for (int i = 0; i < 8; ++i) {
+        attr.Record(MakeTimeline(OpType::kGet, 0,
+                                 1000 * (t * 8 + i + 1)));
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(attr.op_count(OpType::kGet), 32u);
+  const std::vector<SlowOp> worst = attr.WorstOps(OpType::kGet);
+  ASSERT_EQ(worst.size(), 4u);
+  EXPECT_EQ(worst[0].total_ns, 32'000u);
+  EXPECT_EQ(worst[3].total_ns, 29'000u);
+  EXPECT_EQ(attr.MergedWindows(OpType::kGet).count(), 32u);
+}
+
+TEST(OpAttributionTest, TailSpansJsonEmptyWithoutOpsElseFragments) {
+  OpAttribution attr;
+  EXPECT_TRUE(attr.TailSpansJson(3).empty());
+  OpTimeline tl = MakeTimeline(OpType::kSet, 100, 2000);
+  tl.Charge(Phase::kIndexLookup, 50);
+  attr.Record(tl);
+  const std::string spans = attr.TailSpansJson(3);
+  ASSERT_FALSE(spans.empty());
+  // Fragments must splice into an event array as-is.
+  EXPECT_TRUE(JsonValid("[" + spans + "]")) << spans;
+  EXPECT_NE(spans.find("\"slow.set\""), std::string::npos);
+  EXPECT_NE(spans.find("\"phase.index_lookup\""), std::string::npos);
+  EXPECT_NE(spans.find("\"pid\":3"), std::string::npos);
+}
+
+TEST(OpAttributionTest, ResetClearsEverything) {
+  OpAttribution attr;
+  attr.Record(MakeTimeline(OpType::kGet, 0, 100));
+  attr.Reset();
+  EXPECT_EQ(attr.op_count(OpType::kGet), 0u);
+  EXPECT_TRUE(attr.WorstOps(OpType::kGet).empty());
+  EXPECT_TRUE(attr.TailSpansJson(1).empty());
+  EXPECT_EQ(attr.MergedWindows(OpType::kGet).count(), 0u);
+}
+
+}  // namespace
+}  // namespace zncache::obs
