@@ -37,10 +37,13 @@
 #include <thread>
 #include <vector>
 
+#include <deque>
+
 #include "bench/bench_util.h"
 #include "cache/sharded_cache.h"
 #include "common/random.h"
 #include "workload/cachebench.h"
+#include "zns/zns_device.h"
 
 namespace zncache {
 namespace {
@@ -231,11 +234,149 @@ std::string JsonForRuns(
   return out;
 }
 
-// BENCH_perf.json: the repo's wall-clock perf trajectory baseline. One row
-// per run with just the scaling-relevant fields, validated (and gated on
-// multi-core hosts) by scripts/check_perf_scaling.py in CI.
+// --- queue-depth sweep ----------------------------------------------------
+//
+// Device-level scaling of the async engine, measured in VIRTUAL time so the
+// result is deterministic and host-core-independent (a 1-core CI runner can
+// still demonstrate — and gate — channel parallelism). S logical submitter
+// timelines replay a Zone-Cache-style append stream against one ZnsDevice,
+// each keeping `qd` appends in flight (request i is issued at the
+// completion instant of request i-qd), striping consecutive appends across
+// the channel units. All submission happens on one host thread; the engine
+// per-unit horizons provide the overlap. qd=1 with one submitter is the
+// strict serial chain — on the 1x1 topology it must match the blocking
+// model exactly (utilization 1.0), which scripts/check_perf_scaling.py
+// gates as the serial-compat check.
+struct QdResult {
+  u32 channels = 0;
+  u32 planes = 0;
+  u32 qd = 0;
+  u32 submitters = 0;
+  u64 ops = 0;
+  double modeled_ops_per_sec = 0;  // ops over virtual elapsed
+  double ns_per_op = 0;
+  u32 max_inflight = 0;            // appends in flight (engine high-water)
+  std::vector<double> unit_util;   // per-unit busy_ns / elapsed
+};
+
+Result<QdResult> RunQdConfig(u32 channels, u32 planes, u32 qd,
+                             u32 submitters, u64 total_ops) {
+  const u32 units = channels * planes;
+  const u64 append_bytes = 16 * kKiB;
+  sim::VirtualClock clock;
+  // Private registry: the per-unit busy counters must count THIS run only
+  // (the process-wide sinks are shared with every other device in the
+  // binary, which would push utilization past 1.0).
+  obs::Registry reg;
+  zns::ZnsConfig dc;
+  dc.zone_size = 4 * kMiB;
+  dc.zone_capacity = 4 * kMiB;
+  dc.zone_count = static_cast<u64>(submitters) * units;
+  dc.max_open_zones = static_cast<u32>(dc.zone_count);
+  dc.max_active_zones = static_cast<u32>(dc.zone_count);
+  dc.topology.channels = channels;
+  dc.topology.planes_per_channel = planes;
+  dc.topology.queue_depth = qd;
+  dc.metrics = &reg;
+  zns::ZnsDevice dev(dc, &clock);
+
+  const std::vector<std::byte> payload(append_bytes, std::byte{0x5A});
+  const u64 per_submitter = total_ops / submitters;
+  // Per-submitter pipeline window of in-flight appends (their tokens).
+  std::vector<std::deque<zns::ZnsDevice::PendingAppend>> window(submitters);
+  std::vector<u64> issued(submitters, 0);
+  SimNanos last_completion = 0;
+
+  for (u64 i = 0; i < per_submitter; ++i) {
+    for (u32 s = 0; s < submitters; ++s) {
+      SimNanos gate = 0;
+      if (window[s].size() >= qd) {
+        // Reap the oldest in-flight append; its completion gates this one.
+        const auto oldest = window[s].front();
+        window[s].pop_front();
+        gate = oldest.token.completion;
+        ZN_RETURN_IF_ERROR(
+            dev.Complete(oldest.token, sim::IoMode::kBackground).status());
+      }
+      // Zone j of submitter s is zone id j*submitters + s, so zones stripe
+      // submitters ACROSS units (engine routing is zone % units): with one
+      // submitter its consecutive appends walk every unit; with `units`
+      // submitters each gets a unit to itself.
+      const u64 j = issued[s] % std::max(1u, units);
+      const u64 zone = j * submitters + s;
+      auto a = dev.SubmitAppend(zone, payload, gate);
+      if (!a.ok() && a.status().code() == StatusCode::kNoSpace) {
+        // The zone filled; recycle it (Zone-Cache eviction == reset) and
+        // retry. The background erase books the unit, so the next append
+        // queues behind it exactly as on real hardware.
+        ZN_RETURN_IF_ERROR(dev.Reset(zone));
+        a = dev.SubmitAppend(zone, payload, gate);
+      }
+      ZN_RETURN_IF_ERROR(a.status());
+      window[s].push_back(*a);
+      issued[s]++;
+      last_completion = std::max(last_completion, a->token.completion);
+    }
+  }
+  for (auto& w : window) {
+    for (const auto& p : w) {
+      ZN_RETURN_IF_ERROR(
+          dev.Complete(p.token, sim::IoMode::kBackground).status());
+    }
+  }
+
+  // Virtual elapsed = the device-wide horizon (>= the last append's
+  // completion; also covers any trailing booked work such as injected
+  // erase latency).
+  const SimNanos elapsed =
+      std::max(last_completion, dev.engine().busy_until());
+  QdResult r;
+  r.channels = channels;
+  r.planes = planes;
+  r.qd = qd;
+  r.submitters = submitters;
+  r.ops = per_submitter * submitters;
+  r.ns_per_op =
+      elapsed > 0 ? static_cast<double>(elapsed) / static_cast<double>(r.ops)
+                  : 0;
+  r.modeled_ops_per_sec =
+      elapsed > 0 ? static_cast<double>(r.ops) /
+                        (static_cast<double>(elapsed) / 1e9)
+                  : 0;
+  r.max_inflight = dev.engine().max_in_flight();
+  for (u32 u = 0; u < dev.engine().unit_count(); ++u) {
+    r.unit_util.push_back(
+        elapsed > 0 ? static_cast<double>(dev.engine().unit_busy_ns(u)) /
+                          static_cast<double>(elapsed)
+                    : 0);
+  }
+  return r;
+}
+
+std::string QdJson(const QdResult& r) {
+  std::string out = "{\"channels\":" + std::to_string(r.channels);
+  out += ",\"planes\":" + std::to_string(r.planes);
+  out += ",\"qd\":" + std::to_string(r.qd);
+  out += ",\"submitters\":" + std::to_string(r.submitters);
+  out += ",\"ops\":" + std::to_string(r.ops);
+  out += ",\"modeled_ops_per_sec\":" + obs::JsonNum(r.modeled_ops_per_sec);
+  out += ",\"ns_per_op\":" + obs::JsonNum(r.ns_per_op);
+  out += ",\"max_inflight\":" + std::to_string(r.max_inflight);
+  out += ",\"unit_util\":[";
+  for (size_t u = 0; u < r.unit_util.size(); ++u) {
+    if (u != 0) out += ',';
+    out += obs::JsonNum(r.unit_util[u]);
+  }
+  out += "]}";
+  return out;
+}
+
+// BENCH_perf.json: the repo's perf trajectory baseline. One row per
+// thread-sweep run (wall clock) plus the deterministic qd sweep (virtual
+// time), validated and gated by scripts/check_perf_scaling.py in CI.
 std::string PerfJsonForRuns(
-    const std::vector<std::pair<std::string, MtResult>>& runs, u32 cores) {
+    const std::vector<std::pair<std::string, MtResult>>& runs,
+    const std::vector<QdResult>& qd_runs, u32 cores) {
   std::string out = "{\"bench\":\"bench_mt\",\"host_cores\":" +
                     std::to_string(cores) + ",\"runs\":[";
   bool first = true;
@@ -248,6 +389,11 @@ std::string PerfJsonForRuns(
     out += ",\"wall_ops_per_sec\":" + obs::JsonNum(r.wall_ops_per_sec);
     out += ",\"lock_wait_ns\":" + std::to_string(r.contention.lock_wait_ns);
     out += '}';
+  }
+  out += "],\"qd_sweep\":[";
+  for (size_t i = 0; i < qd_runs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += QdJson(qd_runs[i]);
   }
   out += "]}";
   return out;
@@ -475,6 +621,49 @@ int Run(int argc, char** argv) {
     PrintRule();
   }
 
+  // Queue-depth sweep: deterministic virtual-time scaling of the async
+  // device engine (see RunQdConfig). Runs after the wall-clock sweep so the
+  // table reads baseline-first; gated by scripts/check_perf_scaling.py.
+  PrintHeader("Queue-depth sweep: appends in flight vs modeled throughput");
+  std::printf("%-8s %3s %4s %14s %10s %9s %s\n", "Topology", "qd", "sub",
+              "model ops/s", "ns/op", "inflight", "unit util");
+  PrintRule();
+  std::vector<QdResult> qd_runs;
+  const u64 qd_ops = std::max<u64>(cfg.ops / 4, 4096);
+  struct QdPoint {
+    u32 channels, planes, qd, submitters;
+  };
+  std::vector<QdPoint> points;
+  points.push_back({1, 1, 1, 1});  // serial-compat baseline
+  for (u32 qd : {1u, 4u, 16u, 64u}) {
+    for (u32 s = 1; s <= max_threads; s *= 2) {
+      points.push_back({4, 2, qd, s});
+    }
+  }
+  for (const QdPoint& p : points) {
+    auto q = RunQdConfig(p.channels, p.planes, p.qd, p.submitters, qd_ops);
+    if (!q.ok()) {
+      std::fprintf(stderr, "qd sweep %ux%u qd=%u s=%u failed: %s\n",
+                   p.channels, p.planes, p.qd, p.submitters,
+                   q.status().ToString().c_str());
+      return 1;
+    }
+    std::string util;
+    for (size_t u = 0; u < q->unit_util.size(); ++u) {
+      if (u != 0) util += ' ';
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.2f", q->unit_util[u]);
+      util += buf;
+    }
+    char topo[16];
+    std::snprintf(topo, sizeof(topo), "%ux%u", p.channels, p.planes);
+    std::printf("%-8s %3u %4u %14.0f %10.0f %9u %s\n", topo, q->qd,
+                q->submitters, q->modeled_ops_per_sec, q->ns_per_op,
+                q->max_inflight, util.c_str());
+    qd_runs.push_back(*q);
+  }
+  PrintRule();
+
   obs.WriteFiles();
   const std::string json = JsonForRuns(runs, cores);
   if (WriteWholeFile("BENCH_mt.json", json)) {
@@ -483,8 +672,9 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "failed writing BENCH_mt.json\n");
     return 1;
   }
-  if (WriteWholeFile("BENCH_perf.json", PerfJsonForRuns(runs, cores))) {
-    std::printf("[obs] wrote BENCH_perf.json (%zu runs)\n", runs.size());
+  if (WriteWholeFile("BENCH_perf.json", PerfJsonForRuns(runs, qd_runs, cores))) {
+    std::printf("[obs] wrote BENCH_perf.json (%zu runs, %zu qd points)\n",
+                runs.size(), qd_runs.size());
   } else {
     std::fprintf(stderr, "failed writing BENCH_perf.json\n");
     return 1;

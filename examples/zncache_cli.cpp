@@ -19,11 +19,18 @@
 //   --hints    co-design cold-age (region scheme only) [0 = off]
 //   --admit    admission probability                   [1.0]
 //   --trace    replay a trace file instead of generating
+//   --channels device channels (I/O engine topology)  [1]
+//   --planes   planes per channel                     [1]
+//   --qd       advisory device queue depth            [1]
 //
 // Positional commands select what the run prints to stdout:
 //   (none)   human-readable result table
 //   stats    the metric-registry snapshot as JSON
 //   trace    the virtual-time event trace as Chrome trace_event JSON
+//   device   the configured channel/plane topology plus the I/O engine's
+//            live submission/completion queue stats from the metrics
+//            registry (submitted/completed/in-flight and per-unit busy
+//            time; see docs/DEVICE_MODEL.md)
 //   slow-ops run with per-op latency attribution and print the flight
 //            recorder's worst ops with their per-phase breakdowns; the
 //            spans also land in the trace export for Perfetto
@@ -239,10 +246,10 @@ int main(int argc, char** argv) {
   if (!flags->positional().empty()) {
     command = flags->positional().front();
     if (command != "stats" && command != "trace" && command != "faults" &&
-        command != "slow-ops") {
+        command != "slow-ops" && command != "device") {
       std::fprintf(stderr,
                    "unknown command: %s (expected stats, trace, faults, "
-                   "slow-ops, replay or selftest)\n",
+                   "slow-ops, device, replay or selftest)\n",
                    command.c_str());
       return 2;
     }
@@ -311,6 +318,17 @@ int main(int argc, char** argv) {
                                    : cache::EvictionPolicy::kLru;
   params.cache_config.lru_sample = 256;
   params.cache_config.admit_probability = flags->GetDouble("admit", 1.0);
+  params.topology.channels =
+      static_cast<u32>(flags->GetU64("channels", 1));
+  params.topology.planes_per_channel =
+      static_cast<u32>(flags->GetU64("planes", 1));
+  params.topology.queue_depth = static_cast<u32>(flags->GetU64("qd", 1));
+  if (params.topology.channels == 0 ||
+      params.topology.planes_per_channel == 0 ||
+      params.topology.queue_depth == 0) {
+    std::fprintf(stderr, "--channels, --planes and --qd must be >= 1\n");
+    return 2;
+  }
 
   auto scheme = backends::MakeScheme(*kind, params, &clock);
   if (!scheme.ok()) {
@@ -346,6 +364,41 @@ int main(int argc, char** argv) {
     } else if (command == "faults") {
       std::printf("%s\n",
                   injector.has_value() ? injector->ToJson().c_str() : "{}");
+    } else if (command == "device") {
+      // Topology comes from the params; the queue stats are the live
+      // registry counters the I/O engine registered at construction
+      // (zns.io.* for the ZNS-backed schemes, blockssd.io.* for block).
+      const std::string prefix =
+          *kind == backends::SchemeKind::kBlock ? "blockssd.io." : "zns.io.";
+      const u32 units =
+          params.topology.channels * params.topology.planes_per_channel;
+      const u64 submitted = registry.GetCounter(prefix + "submitted")->value();
+      const u64 completed = registry.GetCounter(prefix + "completed")->value();
+      std::printf("device        %s\n",
+                  *kind == backends::SchemeKind::kBlock ? "block SSD"
+                                                        : "ZNS SSD");
+      std::printf("topology      %u channel(s) x %u plane(s) = %u unit(s), "
+                  "queue depth %u\n",
+                  params.topology.channels,
+                  params.topology.planes_per_channel, units,
+                  params.topology.queue_depth);
+      std::printf("queues        %llu submitted, %llu completed, %llu in "
+                  "flight (high water %.0f)\n",
+                  static_cast<unsigned long long>(submitted),
+                  static_cast<unsigned long long>(completed),
+                  static_cast<unsigned long long>(submitted - completed),
+                  registry.GetGauge(prefix + "max_inflight")->value());
+      const u64 elapsed = clock.Now();
+      for (u32 u = 0; u < units; ++u) {
+        const u64 busy =
+            registry.GetCounter(prefix + "u" + std::to_string(u) + ".busy_ns")
+                ->value();
+        std::printf("  unit %-4u    busy %llu ms (utilization %.3f)\n", u,
+                    static_cast<unsigned long long>(busy / 1000000),
+                    elapsed > 0 ? static_cast<double>(busy) /
+                                      static_cast<double>(elapsed)
+                                : 0.0);
+      }
     } else if (command == "slow-ops") {
       u64 recorded = 0;
       for (size_t t = 0; t < obs::kOpTypeCount; ++t) {

@@ -18,6 +18,20 @@ Checks, in order:
      1-thread (the pre-refactor layer-wide lock already cleared that; a
      regression below it means the fine-grained locking got slower, not
      just unlucky scheduling).
+  4. Queue-depth sweep gates (virtual time, deterministic — independent of
+     host cores; see docs/DEVICE_MODEL.md):
+       a. serial compat: the 1x1 qd=1 s=1 baseline row must show exactly
+          one unit at utilization 1.0 — the serial chain has no idle gaps,
+          so anything else means the engine booked or lost time the old
+          blocking model would not have.
+       b. queue-depth scaling: multichannel qd=16 single-submitter modeled
+          throughput must be at least 2x the qd=1 single-submitter row
+          (appends in flight must actually overlap across channels).
+       c. submitter scaling: multichannel 8-submitter qd=1 modeled
+          throughput must be at least 2x the 1-submitter qd=1 row — the
+          modeled t8 >= 2x t1 acceptance analog for Zone-Cache appends.
+       d. sanity: no unit's utilization may exceed 1.0 (+epsilon); a value
+          above 1 means double-booked time or a shared-counter leak.
 
 Exit code 0 on pass, 1 on any failure.
 """
@@ -87,7 +101,64 @@ def main() -> None:
                  f"{ratio:.2f}x of 1-thread (bound 0.70x)")
         print("check_perf_scaling: single-core host; strict 8t>1t gate "
               "skipped, regression bound applied")
+
+    check_qd_sweep(doc)
     print("check_perf_scaling: OK")
+
+
+def check_qd_sweep(doc) -> None:
+    sweep = doc.get("qd_sweep")
+    if not isinstance(sweep, list) or not sweep:
+        fail("qd_sweep missing or empty (bench_mt should emit it)")
+
+    def find(channels, planes, qd, submitters):
+        for row in sweep:
+            if (row.get("channels") == channels
+                    and row.get("planes") == planes
+                    and row.get("qd") == qd
+                    and row.get("submitters") == submitters):
+                return row
+        fail(f"qd_sweep missing row {channels}x{planes} qd={qd} "
+             f"s={submitters}")
+
+    for row in sweep:
+        for key in ("channels", "planes", "qd", "submitters", "ops",
+                    "modeled_ops_per_sec", "max_inflight", "unit_util"):
+            if key not in row:
+                fail(f"qd_sweep row missing {key}: {row}")
+        if row["modeled_ops_per_sec"] <= 0:
+            fail(f"non-positive modeled_ops_per_sec: {row}")
+        for util in row["unit_util"]:
+            if util > 1.0 + 1e-9:
+                fail(f"unit utilization {util} > 1.0 (double-booked time "
+                     f"or shared-counter leak): {row}")
+
+    serial = find(1, 1, 1, 1)
+    if len(serial["unit_util"]) != 1 or abs(serial["unit_util"][0] - 1.0) > 1e-9:
+        fail(f"serial 1x1 baseline utilization is not exactly 1.0: "
+             f"{serial['unit_util']} (the gapless serial chain must fully "
+             f"occupy its one unit)")
+    if serial["max_inflight"] != 1:
+        fail(f"serial 1x1 qd=1 baseline had {serial['max_inflight']} "
+             f"appends in flight (expected 1)")
+
+    mc_qd1 = find(4, 2, 1, 1)
+    mc_qd16 = find(4, 2, 16, 1)
+    mc_s8 = find(4, 2, 1, 8)
+
+    qd_ratio = mc_qd16["modeled_ops_per_sec"] / mc_qd1["modeled_ops_per_sec"]
+    s_ratio = mc_s8["modeled_ops_per_sec"] / mc_qd1["modeled_ops_per_sec"]
+    print(f"check_perf_scaling: qd_sweep 4x2 qd16/qd1={qd_ratio:.2f}x "
+          f"s8/s1={s_ratio:.2f}x serial_util="
+          f"{serial['unit_util'][0]:.6f}")
+    if qd_ratio < 2.0:
+        fail(f"multichannel qd=16 modeled throughput only {qd_ratio:.2f}x "
+             f"of qd=1 (gate 2.0x): appends in flight are not overlapping "
+             f"across channels")
+    if s_ratio < 2.0:
+        fail(f"multichannel 8-submitter modeled throughput only "
+             f"{s_ratio:.2f}x of 1-submitter (gate 2.0x): the modeled "
+             f"t8>=2x t1 acceptance gate failed")
 
 
 if __name__ == "__main__":

@@ -43,6 +43,7 @@ Result<std::unique_ptr<cache::RegionDevice>> MakeDevice(
       c.ssd.metrics = params.metrics;
       c.ssd.tracer = params.tracer;
       c.ssd.op_ratio = params.block_op_ratio;
+      c.ssd.topology = params.topology;
       c.ssd.pages_per_block = params.block_superblock_pages;
       c.ssd.gc_interference_factor = params.block_gc_interference;
       c.ssd.store_data = params.store_data || params.persistent;
@@ -58,6 +59,7 @@ Result<std::unique_ptr<cache::RegionDevice>> MakeDevice(
       c.zns.metrics = params.metrics;
       c.zns.tracer = params.tracer;
       c.fs.op_ratio = params.file_op_ratio;
+      c.zns.topology = params.topology;
       c.fs.min_free_zones = params.file_min_free_zones;
       c.zns.zone_size = params.zone_size;
       c.zns.zone_capacity = params.zone_size;
@@ -84,6 +86,7 @@ Result<std::unique_ptr<cache::RegionDevice>> MakeDevice(
       c.region_count = params.cache_bytes / params.zone_size;
       c.zns.metrics = params.metrics;
       c.zns.tracer = params.tracer;
+      c.zns.topology = params.topology;
       c.zns.zone_size = params.zone_size;
       c.zns.zone_capacity = params.zone_size;
       c.zns.zone_count = c.region_count;
@@ -106,6 +109,7 @@ Result<std::unique_ptr<cache::RegionDevice>> MakeDevice(
       c.zns.tracer = params.tracer;
       c.middle.metrics = params.metrics;
       c.middle.tracer = params.tracer;
+      c.zns.topology = params.topology;
       c.zns.zone_size = params.zone_size;
       c.zns.zone_capacity = params.zone_size;
       c.zns.max_open_zones = params.max_open_zones;

@@ -65,6 +65,11 @@ struct SchemeParams {
   bool persistent = false;
 
   u32 max_open_zones = 14;  // ZN540-like
+  // Channel/plane topology of the device below the scheme (ZNS device or
+  // block SSD). The default 1x1 serial topology is bit-identical to the
+  // pre-engine blocking model; multichannel configs let queued requests to
+  // distinct units overlap (see docs/DEVICE_MODEL.md).
+  io::IoTopology topology;
   cache::FlashCacheConfig cache_config;
 
   // Sharded front-end width (MakeShardedScheme only; MakeScheme ignores

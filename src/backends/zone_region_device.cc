@@ -47,6 +47,43 @@ Result<cache::RegionIo> ZoneRegionDevice::WriteRegion(
   return cache::RegionIo{w->latency, w->completion};
 }
 
+cache::RegionDevice::PendingRegionIo ZoneRegionDevice::SubmitWriteRegion(
+    cache::RegionId id, std::span<const std::byte> data, sim::IoMode mode) {
+  PendingRegionIo p;
+  p.status = CheckId(id);
+  if (!p.status.ok()) return p;
+  if (data.size() > zns_->zone_capacity()) {
+    p.status = Status::InvalidArgument("payload exceeds zone capacity");
+    return p;
+  }
+  // The region's zone is its identity; a rewrite implies the old contents
+  // are dead, so make sure the zone is reset before writing from offset 0.
+  if (zns_->GetZoneInfo(id).write_pointer != 0) {
+    p.status = zns_->Reset(id);
+    if (!p.status.ok()) return p;
+  }
+  auto sub = zns_->BeginWrite(id, 0, data, zns_->clock()->Now());
+  if (!sub.status.ok()) {
+    // A torn flush still occupies the zone's unit for the full transfer;
+    // reap it here so the failure path costs what the blocking path did.
+    if (sub.token.valid) zns_->Complete(sub.token, mode);
+    p.status = sub.status;
+    return p;
+  }
+  p.token = sub.token;
+  p.io = cache::RegionIo{0, sub.token.completion};
+  return p;
+}
+
+Result<cache::RegionIo> ZoneRegionDevice::CompleteWriteRegion(
+    const PendingRegionIo& p, sim::IoMode mode) {
+  if (!p.status.ok()) return p.status;
+  if (!p.token.valid) return p.io;
+  auto done = zns_->Complete(p.token, mode);
+  if (!done.ok()) return done.status();
+  return cache::RegionIo{done->latency, done->completion};
+}
+
 Result<cache::RegionIo> ZoneRegionDevice::ReadRegion(cache::RegionId id,
                                                      u64 offset,
                                                      std::span<std::byte> out) {

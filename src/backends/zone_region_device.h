@@ -30,6 +30,14 @@ class ZoneRegionDevice final : public cache::RegionDevice {
   Result<cache::RegionIo> WriteRegion(cache::RegionId id,
                                       std::span<const std::byte> data,
                                       sim::IoMode mode) override;
+  // Real submission queue: the flush enters the zone's channel/plane unit
+  // at submit and the caller reaps the completion, so flushes to zones on
+  // distinct units overlap.
+  PendingRegionIo SubmitWriteRegion(cache::RegionId id,
+                                    std::span<const std::byte> data,
+                                    sim::IoMode mode) override;
+  Result<cache::RegionIo> CompleteWriteRegion(const PendingRegionIo& p,
+                                              sim::IoMode mode) override;
   Result<cache::RegionIo> ReadRegion(cache::RegionId id, u64 offset,
                                      std::span<std::byte> out) override;
   Status InvalidateRegion(cache::RegionId id) override;

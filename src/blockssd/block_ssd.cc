@@ -6,7 +6,8 @@
 namespace zncache::blockssd {
 
 BlockSsd::BlockSsd(const BlockSsdConfig& config, sim::VirtualClock* clock)
-    : config_(config), timer_(clock) {
+    : config_(config),
+      engine_(clock, config.topology, config.metrics, "blockssd.io.") {
   if (config_.gc_trigger_free_ratio <= 0) {
     config_.gc_trigger_free_ratio = 0.3 * config_.op_ratio;
   }
@@ -101,7 +102,11 @@ u64 BlockSsd::PickGcVictim() const {
 void BlockSsd::DripGc() {
   if (pending_gc_ns_ == 0) return;
   const SimNanos chunk = std::min(pending_gc_ns_, config_.gc_chunk_ns);
-  timer_.SubmitBackground(chunk);
+  // Collection touches every die over time: drip chunks rotate across the
+  // units so multichannel configs spread GC interference the way per-die
+  // interleaving does (serial topology: always unit 0, bit-identical).
+  engine_.Serve(gc_drip_unit_, chunk, sim::IoMode::kBackground);
+  gc_drip_unit_ = (gc_drip_unit_ + 1) % engine_.unit_count();
   pending_gc_ns_ -= chunk;
 }
 
@@ -116,13 +121,13 @@ void BlockSsd::MaybeGarbageCollect() {
     if (below_watermark_) {
       below_watermark_ = false;
       tracer_->Record(obs::EventKind::kWatermarkHigh,
-                      timer_.clock()->Now(), free_blocks_, trigger);
+                      engine_.clock()->Now(), free_blocks_, trigger);
     }
     return;
   }
   if (!below_watermark_) {
     below_watermark_ = true;
-    tracer_->Record(obs::EventKind::kWatermarkLow, timer_.clock()->Now(),
+    tracer_->Record(obs::EventKind::kWatermarkLow, engine_.clock()->Now(),
                     free_blocks_, trigger);
   }
 
@@ -135,7 +140,7 @@ void BlockSsd::MaybeGarbageCollect() {
     Block& b = blocks_[victim];
     // A fully-valid victim frees no space; migrating it would spin forever.
     if (b.valid_count >= config_.pages_per_block) break;
-    tracer_->Record(obs::EventKind::kFtlGcBegin, timer_.clock()->Now(),
+    tracer_->Record(obs::EventKind::kFtlGcBegin, engine_.clock()->Now(),
                     victim, 0,
                     static_cast<double>(b.valid_count) /
                         static_cast<double>(config_.pages_per_block));
@@ -178,7 +183,7 @@ void BlockSsd::MaybeGarbageCollect() {
         static_cast<double>(gc_time) * config_.gc_interference_factor);
     stats_.gc_runs++;
     c_gc_runs_->Inc();
-    tracer_->Record(obs::EventKind::kFtlGcEnd, timer_.clock()->Now(), victim,
+    tracer_->Record(obs::EventKind::kFtlGcEnd, engine_.clock()->Now(), victim,
                     migrated_pages);
   }
 }
@@ -197,9 +202,10 @@ bool BlockSsd::ProgramPage(u64 lpn, bool is_gc) {
   return true;
 }
 
-Result<IoResult> BlockSsd::Write(u64 offset, std::span<const std::byte> data,
-                                 sim::IoMode mode) {
-  std::lock_guard<std::mutex> lock(mu_);
+Status BlockSsd::SubmitWriteLocked(u64 offset,
+                                   std::span<const std::byte> data,
+                                   SimNanos issue_ts, io::IoToken* out) {
+  *out = io::IoToken{};
   if (data.empty()) return Status::InvalidArgument("empty write");
   if (offset + data.size() > config_.logical_capacity) {
     return Status::OutOfRange("write beyond device capacity");
@@ -207,7 +213,7 @@ Result<IoResult> BlockSsd::Write(u64 offset, std::span<const std::byte> data,
   SimNanos extra_latency = 0;
   if (config_.faults != nullptr) {
     const fault::FaultDecision d = config_.faults->Evaluate(
-        fault::FaultOp::kWrite, timer_.clock()->Now(), kInvalidId,
+        fault::FaultOp::kWrite, engine_.clock()->Now(), kInvalidId,
         data.size());
     extra_latency = d.extra_latency;
     if (d.io_error) return Status::Unavailable("injected I/O error");
@@ -225,9 +231,11 @@ Result<IoResult> BlockSsd::Write(u64 offset, std::span<const std::byte> data,
       if (!data_.empty() && keep > 0) {
         std::memcpy(data_.data() + offset, data.data(), keep);
       }
-      timer_.Serve(config_.timing.ftl_overhead_ns +
-                       config_.timing.write.Cost(data.size()) + extra_latency,
-                   mode);
+      *out = engine_.Submit(engine_.UnitForOffset(offset),
+                            config_.timing.ftl_overhead_ns +
+                                config_.timing.write.Cost(data.size()) +
+                                extra_latency,
+                            issue_ts);
       return Status::Corruption("injected torn write");
     }
   }
@@ -253,13 +261,40 @@ Result<IoResult> BlockSsd::Write(u64 offset, std::span<const std::byte> data,
   c_device_bytes_->Inc((last_page - first_page + 1) * config_.page_size);
   c_write_ops_->Inc();
   MaybeGarbageCollect();
-  const sim::Served served = timer_.Serve(service, mode);
+  *out = engine_.Submit(engine_.UnitForOffset(offset), service, issue_ts);
+  return Status::Ok();
+}
+
+Result<IoResult> BlockSsd::Write(u64 offset, std::span<const std::byte> data,
+                                 sim::IoMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  io::IoToken t;
+  const Status s = SubmitWriteLocked(offset, data, engine_.clock()->Now(), &t);
+  if (!s.ok()) {
+    // The torn path still occupies the device for the full transfer.
+    if (t.valid) engine_.Complete(t, mode);
+    return s;
+  }
+  const sim::Served served = engine_.Complete(t, mode);
   return IoResult{served.latency, served.completion};
 }
 
-Result<IoResult> BlockSsd::Read(u64 offset, std::span<std::byte> out,
-                                sim::IoMode mode) {
+Result<io::IoToken> BlockSsd::SubmitWrite(u64 offset,
+                                          std::span<const std::byte> data,
+                                          SimNanos issue_ts) {
   std::lock_guard<std::mutex> lock(mu_);
+  io::IoToken t;
+  const Status s = SubmitWriteLocked(offset, data, issue_ts, &t);
+  if (!s.ok()) {
+    if (t.valid) engine_.Abort(t);
+    return s;
+  }
+  return t;
+}
+
+Status BlockSsd::SubmitReadLocked(u64 offset, std::span<std::byte> out,
+                                  SimNanos issue_ts, io::IoToken* token_out) {
+  *token_out = io::IoToken{};
   if (out.empty()) return Status::InvalidArgument("empty read");
   if (offset + out.size() > config_.logical_capacity) {
     return Status::OutOfRange("read beyond device capacity");
@@ -267,7 +302,7 @@ Result<IoResult> BlockSsd::Read(u64 offset, std::span<std::byte> out,
   SimNanos extra_latency = 0;
   if (config_.faults != nullptr) {
     const fault::FaultDecision d = config_.faults->Evaluate(
-        fault::FaultOp::kRead, timer_.clock()->Now(), kInvalidId, out.size());
+        fault::FaultOp::kRead, engine_.clock()->Now(), kInvalidId, out.size());
     extra_latency = d.extra_latency;
     if (d.io_error) return Status::Unavailable("injected I/O error");
   }
@@ -281,10 +316,41 @@ Result<IoResult> BlockSsd::Read(u64 offset, std::span<std::byte> out,
   c_bytes_read_->Inc(out.size());
   c_read_ops_->Inc();
   DripGc();
-  const sim::Served served =
-      timer_.Serve(config_.timing.ftl_overhead_ns +
-                       config_.timing.read.Cost(out.size()) + extra_latency,
-                   mode);
+  *token_out = engine_.Submit(engine_.UnitForOffset(offset),
+                              config_.timing.ftl_overhead_ns +
+                                  config_.timing.read.Cost(out.size()) +
+                                  extra_latency,
+                              issue_ts);
+  return Status::Ok();
+}
+
+Result<IoResult> BlockSsd::Read(u64 offset, std::span<std::byte> out,
+                                sim::IoMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  io::IoToken t;
+  const Status s = SubmitReadLocked(offset, out, engine_.clock()->Now(), &t);
+  if (!s.ok()) return s;
+  const sim::Served served = engine_.Complete(t, mode);
+  return IoResult{served.latency, served.completion};
+}
+
+Result<io::IoToken> BlockSsd::SubmitRead(u64 offset, std::span<std::byte> out,
+                                         SimNanos issue_ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  io::IoToken t;
+  const Status s = SubmitReadLocked(offset, out, issue_ts, &t);
+  if (!s.ok()) return s;
+  return t;
+}
+
+Result<IoResult> BlockSsd::Complete(const io::IoToken& token,
+                                    sim::IoMode mode) {
+  if (!token.valid) return Status::InvalidArgument("invalid io token");
+  if (config_.faults != nullptr && config_.faults->crashed()) {
+    engine_.Abort(token);
+    return Status::Unavailable("device halted by injected crash");
+  }
+  const sim::Served served = engine_.Complete(token, mode);
   return IoResult{served.latency, served.completion};
 }
 

@@ -31,6 +31,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "fault/fault_injector.h"
+#include "io/io_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/service_timer.h"
@@ -67,6 +68,10 @@ struct BlockSsdConfig {
   SimNanos gc_chunk_ns = 10 * 1000 * 1000;
   bool store_data = true;
   sim::FlashTiming timing;
+  // Channel/plane topology for the I/O engine; LBAs stripe across units by
+  // topology.stripe_bytes. The default (1×1, depth 1) is bit-identical to
+  // the historical single-queue timing model.
+  io::IoTopology topology;
   // Observability sinks; nullptr selects the process-wide defaults.
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
@@ -111,6 +116,18 @@ class BlockSsd {
   // Deallocate: marks the logical range's pages invalid, easing future GC.
   Status Trim(u64 offset, u64 length);
 
+  // --- async submission/completion API ------------------------------------
+  // FTL effects (mapping updates, GC accrual) land at submit; the token
+  // carries the reserved completion on the stripe's channel unit. Pass
+  // Now() as issue_ts, or an earlier token's completion to chain stages;
+  // reap with Complete(). See zns::ZnsDevice for the full contract.
+  Result<io::IoToken> SubmitWrite(u64 offset, std::span<const std::byte> data,
+                                  SimNanos issue_ts);
+  Result<io::IoToken> SubmitRead(u64 offset, std::span<std::byte> out,
+                                 SimNanos issue_ts);
+  Result<IoResult> Complete(const io::IoToken& token,
+                            sim::IoMode mode = sim::IoMode::kForeground);
+
   const BlockSsdConfig& config() const { return config_; }
   // Cumulative counters, mutated under the device mutex — read at quiescent
   // points for exact totals.
@@ -123,9 +140,17 @@ class BlockSsd {
   }
   u64 total_blocks() const { return blocks_.size(); }
 
-  sim::ServiceTimer& timer() { return timer_; }
+  io::IoEngine& engine() { return engine_; }
+  const io::IoEngine& engine() const { return engine_; }
+  sim::VirtualClock* clock() const { return engine_.clock(); }
 
  private:
+  // Shared submit half of Write/SubmitWrite; assumes mu_ held. A valid
+  // token accompanies the Corruption status on the torn path.
+  Status SubmitWriteLocked(u64 offset, std::span<const std::byte> data,
+                           SimNanos issue_ts, io::IoToken* out);
+  Status SubmitReadLocked(u64 offset, std::span<std::byte> out,
+                          SimNanos issue_ts, io::IoToken* token_out);
   struct Block {
     std::vector<bool> page_valid;
     u32 valid_count = 0;
@@ -148,7 +173,7 @@ class BlockSsd {
   u64 PickGcVictim() const;
 
   BlockSsdConfig config_;
-  sim::ServiceTimer timer_;
+  io::IoEngine engine_;
   // Guards the FTL state (mapping tables, blocks, GC cursors, stats).
   mutable std::mutex mu_;
   std::vector<u64> l2p_;           // logical page -> physical page (kUnmapped)
@@ -157,6 +182,7 @@ class BlockSsd {
   std::vector<std::byte> data_;    // logical-space contents (store_data)
   u64 free_blocks_ = 0;
   SimNanos pending_gc_ns_ = 0;         // GC occupancy not yet drip-fed
+  u32 gc_drip_unit_ = 0;               // round-robin unit for drip chunks
   u64 active_block_host_ = kUnmapped;  // current program block for host writes
   u64 active_block_gc_ = kUnmapped;    // separate program block for GC writes
   BlockSsdStats stats_;

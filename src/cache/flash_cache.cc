@@ -163,7 +163,15 @@ Status FlashCache::FlushOpenRegion() {
     if (zero_scratch_.size() < m.used) zero_scratch_.resize(m.used);
     payload = std::span<const std::byte>(zero_scratch_.data(), m.used);
   }
-  auto w = device_->WriteRegion(open_rid_, payload, sim::IoMode::kBackground);
+  // Submit/complete split: the flush enters the device's submission queue,
+  // then the completion is reaped before the seal is recorded — so a crash
+  // that halts the machine while the flush is in flight takes the
+  // region-lost path below instead of sealing unreaped work. Flush overlap
+  // across regions comes from the device's per-unit busy tracking plus the
+  // flush_buffers window in OpenNewRegion.
+  auto sub =
+      device_->SubmitWriteRegion(open_rid_, payload, sim::IoMode::kBackground);
+  auto w = device_->CompleteWriteRegion(sub, sim::IoMode::kBackground);
   if (!w.ok()) {
     // The flush failed, so the buffered items exist nowhere durable. A
     // cache may drop data but never serve wrong data: purge their index

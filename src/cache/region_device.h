@@ -28,6 +28,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "io/io_engine.h"
 #include "sim/service_timer.h"
 
 namespace zncache::cache {
@@ -68,6 +69,40 @@ class RegionDevice {
   virtual Result<RegionIo> WriteRegion(RegionId id,
                                        std::span<const std::byte> data,
                                        sim::IoMode mode) = 0;
+
+  // Split submission variant of WriteRegion: the flush is handed to the
+  // device's submission queue and the engine reaps the completion
+  // separately, so consecutive flushes overlap on multi-unit topologies and
+  // a crash can halt a flush that is still in flight. `status` is the
+  // submission outcome (a failed submission has no completion to reap);
+  // `token`, when valid, is the in-flight device queue entry.
+  struct PendingRegionIo {
+    Status status = Status::Ok();
+    RegionIo io;       // completion modeled at submit; latency set on reap
+    io::IoToken token;  // valid when a device completion must be reaped
+  };
+  // Default: degrade to the blocking WriteRegion — the write is already
+  // complete when this returns and CompleteWriteRegion is a no-op. Backends
+  // with a real submission queue (Zone-Cache) override both; translated
+  // backends (Region-Cache) pipeline inside their translation layer and
+  // keep the default.
+  virtual PendingRegionIo SubmitWriteRegion(RegionId id,
+                                            std::span<const std::byte> data,
+                                            sim::IoMode mode) {
+    PendingRegionIo p;
+    auto r = WriteRegion(id, data, mode);
+    if (!r.ok()) {
+      p.status = r.status();
+    } else {
+      p.io = *r;
+    }
+    return p;
+  }
+  virtual Result<RegionIo> CompleteWriteRegion(const PendingRegionIo& p,
+                                               sim::IoMode) {
+    if (!p.status.ok()) return p.status;
+    return p.io;
+  }
 
   // Random read inside a previously written slot.
   virtual Result<RegionIo> ReadRegion(RegionId id, u64 offset,

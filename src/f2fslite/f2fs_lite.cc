@@ -375,9 +375,9 @@ Result<IoResult> F2fsLite::PwriteAt(Fd fd, u64 offset,
   stats_.host_bytes_written += data.size();
   c_host_bytes_->Inc(data.size());
   // Filesystem write-path CPU occupies the layer (node updates etc.).
-  device_->timer().SubmitBackground(config_.write_path_ns_per_block * count);
+  device_->engine().SubmitBackground(config_.write_path_ns_per_block * count);
   ZN_RETURN_IF_ERROR(CleanStep());
-  return IoResult{latency, device_->timer().busy_until()};
+  return IoResult{latency, device_->engine().busy_until()};
 }
 
 Result<IoResult> F2fsLite::PreadAt(Fd fd, u64 offset, std::span<std::byte> out,
@@ -399,7 +399,7 @@ Result<IoResult> F2fsLite::PreadAt(Fd fd, u64 offset, std::span<std::byte> out,
           ? config_.read_path_ns + config_.lookup_ns * count
           : 0;
   if (mode == sim::IoMode::kForeground) {
-    device_->timer().clock()->Advance(config_.read_path_ns +
+    device_->clock()->Advance(config_.read_path_ns +
                                       config_.lookup_ns * count);
   }
 
@@ -434,7 +434,7 @@ Result<IoResult> F2fsLite::PreadAt(Fd fd, u64 offset, std::span<std::byte> out,
   }
   stats_.bytes_read += out.size();
   c_bytes_read_->Inc(out.size());
-  return IoResult{latency, device_->timer().busy_until()};
+  return IoResult{latency, device_->engine().busy_until()};
 }
 
 // --- single-file convenience wrappers --------------------------------

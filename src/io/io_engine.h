@@ -1,0 +1,257 @@
+// IoEngine — an asynchronous multi-channel device engine.
+//
+// Where sim::ServiceTimer models a device as ONE queueing resource, the
+// IoEngine models N channels × M planes as independent units, each with its
+// own busy-until horizon. Requests are routed to a unit (zones stripe
+// round-robin across units, LBAs stripe by a configurable byte granularity)
+// and two requests routed to *different* units overlap in virtual time
+// instead of serializing — the channel/plane parallelism a real ZNS SSD
+// exposes through appends in flight.
+//
+// The engine exposes both halves of a submission/completion queue pair:
+//
+//   Submit(unit, service, issue_ts)  reserves unit time starting no earlier
+//                                    than issue_ts, returns an IoToken with
+//                                    the reserved {start, completion}. The
+//                                    virtual clock does NOT advance and
+//                                    nothing is charged — the request is in
+//                                    flight.
+//   Complete(token, mode)            reaps the completion. Foreground mode
+//                                    advances the clock to the completion
+//                                    instant and charges the op's timeline;
+//                                    background mode is free (the
+//                                    reservation itself is the cost model,
+//                                    exactly like ServiceTimer background).
+//   Abort(token)                     drops an in-flight entry without
+//                                    charging anything — used when a crash
+//                                    halts the machine between submit and
+//                                    complete. The media-time reservation
+//                                    stays (the die was busy); only the
+//                                    queue entry dies.
+//
+// Serve(unit, service, mode) = Submit + immediate Complete and is
+// *bit-identical* to sim::ServiceTimer::Serve when the engine is built with
+// the default serial topology (channels=1, planes=1, depth=1): same CAS-max
+// reservation, same AdvanceTo, same ChargeDeviceServe(queue, service) split,
+// same returned {latency, completion}. That identity is what lets the
+// GoldenSerial suites and the src/check/ model-checking harness carry over
+// unchanged while multi-channel configs unlock overlap.
+//
+// Timing math per unit (all in virtual ns):
+//   start      = max(issue_ts, unit_busy_until)
+//   completion = start + service
+//   unit_busy_until' = completion          (CAS-max loop, acq_rel success)
+//
+// Completion charging: if the clock has not moved past issue_ts when a
+// foreground completion is reaped (the serial, closed-loop case), the charge
+// is exactly the ServiceTimer split — queue = start - issue, service =
+// service. If the clock HAS moved past issue_ts (a pipelined request that
+// overlapped other work), only the residual wait max(0, completion - now)
+// is still owed and is charged to Phase::kDevCompleteWait.
+//
+// Thread-safety: per-unit horizons use the same acq_rel CAS contract as
+// sim::ServiceTimer (see service_timer.h); stats are relaxed atomics.
+// Tokens are value types — safe to move across threads; completing a token
+// another thread submitted is the intended cross-thread handoff.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+#include "obs/optimeline.h"
+#include "sim/clock.h"
+#include "sim/service_timer.h"
+
+namespace zncache::io {
+
+// Channel/plane topology. The default (1 channel × 1 plane, depth 1) is the
+// serial-compat mode: one unit, bit-identical to sim::ServiceTimer.
+struct IoTopology {
+  u32 channels = 1;            // independent channel queues
+  u32 planes_per_channel = 1;  // planes (dies) per channel
+  u32 queue_depth = 1;         // advisory per-device submission depth
+                               // (reported by depth gauges; the engine
+                               // never blocks a submit — callers pace)
+  u64 stripe_bytes = 64 * kKiB;  // LBA striping granularity (BlockSsd)
+
+  u32 units() const { return channels * planes_per_channel; }
+  bool serial() const { return units() <= 1 && queue_depth <= 1; }
+};
+
+// One in-flight request. Everything the completion side needs is in the
+// token; the engine keeps no per-request state.
+struct IoToken {
+  u32 unit = 0;
+  SimNanos issue = 0;       // caller's logical submission instant
+  SimNanos start = 0;       // when the unit begins service
+  SimNanos completion = 0;  // absolute completion instant
+  SimNanos service = 0;     // service time reserved
+  bool valid = false;
+};
+
+class IoEngine {
+ public:
+  // `prefix` names the engine's registry stats, e.g. "zns.io." ->
+  // zns.io.submitted / zns.io.completed / zns.io.inflight /
+  // zns.io.u<i>.busy_ns. `reg` nullptr = process-wide sinks.
+  IoEngine(sim::VirtualClock* clock, const IoTopology& topology,
+           obs::Registry* reg = nullptr, std::string_view prefix = "io.")
+      : clock_(clock),
+        topology_(topology),
+        units_(std::max<u32>(1, topology.units())),
+        unit_(std::make_unique<Unit[]>(units_)) {
+    const std::string p(prefix);
+    c_submitted_ = obs::GetCounterOrSink(reg, p + "submitted");
+    c_completed_ = obs::GetCounterOrSink(reg, p + "completed");
+    g_inflight_ = obs::GetGaugeOrSink(reg, p + "inflight");
+    g_max_inflight_ = obs::GetGaugeOrSink(reg, p + "max_inflight");
+    g_depth_ = obs::GetGaugeOrSink(reg, p + "queue_depth");
+    g_depth_->Set(static_cast<double>(topology_.queue_depth));
+    for (u32 u = 0; u < units_; ++u) {
+      unit_[u].c_busy_ns = obs::GetCounterOrSink(
+          reg, p + "u" + std::to_string(u) + ".busy_ns");
+    }
+  }
+
+  const IoTopology& topology() const { return topology_; }
+  u32 unit_count() const { return units_; }
+  sim::VirtualClock* clock() const { return clock_; }
+
+  // Routing. Zones stripe round-robin across units so consecutive open
+  // zones land on distinct channels; LBAs stripe by stripe_bytes.
+  u32 UnitForZone(u64 zone) const { return static_cast<u32>(zone % units_); }
+  u32 UnitForOffset(u64 byte_offset) const {
+    const u64 stripe = topology_.stripe_bytes ? topology_.stripe_bytes : 1;
+    return static_cast<u32>((byte_offset / stripe) % units_);
+  }
+
+  // --- submission queue ---------------------------------------------------
+  // Reserve `service` ns on `unit`, starting no earlier than `issue_ts`.
+  // Does not advance the clock; charges nothing. `issue_ts` lets a caller
+  // gate one request on another's completion (pipelined GC gates each
+  // migration write on its read's completion instant).
+  IoToken Submit(u32 unit, SimNanos service, SimNanos issue_ts) {
+    Unit& un = unit_[unit % units_];
+    SimNanos prev = un.busy.load(std::memory_order_acquire);
+    SimNanos end;
+    do {
+      end = std::max(issue_ts, prev) + service;
+    } while (!un.busy.compare_exchange_weak(prev, end,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire));
+    un.c_busy_ns->Inc(static_cast<u64>(service));
+    c_submitted_->Inc();
+    const u32 now_inflight =
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    u32 max = max_inflight_.load(std::memory_order_relaxed);
+    while (now_inflight > max &&
+           !max_inflight_.compare_exchange_weak(max, now_inflight,
+                                                std::memory_order_relaxed)) {
+    }
+    g_inflight_->Set(static_cast<double>(now_inflight));
+    g_max_inflight_->Set(static_cast<double>(
+        max_inflight_.load(std::memory_order_relaxed)));
+    IoToken t;
+    t.unit = unit % units_;
+    t.issue = issue_ts;
+    t.start = end - service;
+    t.completion = end;
+    t.service = service;
+    t.valid = true;
+    return t;
+  }
+
+  // --- completion queue ---------------------------------------------------
+  sim::Served Complete(const IoToken& t, sim::IoMode mode) {
+    Retire();
+    if (mode == sim::IoMode::kForeground) {
+      const SimNanos now = clock_->Now();
+      if (now <= t.issue) {
+        // Serial, closed-loop case: the clock has not moved since the
+        // submit. Identical math and charges to ServiceTimer::Serve.
+        clock_->AdvanceTo(t.completion);
+        obs::ChargeDeviceServe(t.start - t.issue, t.service);
+        return {t.completion - t.issue, t.completion};
+      }
+      // Pipelined case: the request overlapped other work; only the
+      // residual wait is still owed.
+      const SimNanos wait = t.completion > now ? t.completion - now : 0;
+      clock_->AdvanceTo(t.completion);
+      obs::ChargeDeviceComplete(wait);
+      return {t.completion > t.issue ? t.completion - t.issue : 0,
+              t.completion};
+    }
+    return {0, t.completion};
+  }
+
+  // Drop an in-flight entry without completing it (crash halt). The unit's
+  // time reservation stays — the die was busy — but no clock advance and no
+  // charge happens.
+  void Abort(const IoToken&) { Retire(); }
+
+  // --- synchronous compat -------------------------------------------------
+  // Bit-identical to sim::ServiceTimer::Serve on the serial topology.
+  sim::Served Serve(u32 unit, SimNanos service, sim::IoMode mode) {
+    return Complete(Submit(unit, service, clock_->Now()), mode);
+  }
+
+  // ServiceTimer-shaped wrappers (f2fslite and friends drive these).
+  SimNanos SubmitSync(SimNanos service) {
+    return Serve(0, service, sim::IoMode::kForeground).latency;
+  }
+  void SubmitBackground(SimNanos service) {
+    Complete(Submit(0, service, clock_->Now()), sim::IoMode::kBackground);
+  }
+
+  SimNanos unit_busy_until(u32 u) const {
+    return unit_[u % units_].busy.load(std::memory_order_acquire);
+  }
+  // Device-wide horizon: the furthest-booked unit.
+  SimNanos busy_until() const {
+    SimNanos m = 0;
+    for (u32 u = 0; u < units_; ++u)
+      m = std::max(m, unit_[u].busy.load(std::memory_order_acquire));
+    return m;
+  }
+
+  // --- stats --------------------------------------------------------------
+  u64 submitted() const { return submitted_snapshot(); }
+  u32 in_flight() const { return inflight_.load(std::memory_order_relaxed); }
+  u32 max_in_flight() const {
+    return max_inflight_.load(std::memory_order_relaxed);
+  }
+  // Total service ns ever reserved on a unit — utilization numerator.
+  u64 unit_busy_ns(u32 u) const { return unit_[u % units_].c_busy_ns->value(); }
+
+ private:
+  struct alignas(64) Unit {
+    std::atomic<SimNanos> busy{0};
+    obs::Counter* c_busy_ns = nullptr;
+  };
+
+  void Retire() {
+    c_completed_->Inc();
+    const u32 now_inflight =
+        inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    g_inflight_->Set(static_cast<double>(now_inflight));
+  }
+  u64 submitted_snapshot() const { return c_submitted_->value(); }
+
+  sim::VirtualClock* clock_;  // not owned
+  IoTopology topology_;
+  u32 units_;
+  std::unique_ptr<Unit[]> unit_;
+  std::atomic<u32> inflight_{0};
+  std::atomic<u32> max_inflight_{0};
+  obs::Counter* c_submitted_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Gauge* g_inflight_ = nullptr;
+  obs::Gauge* g_max_inflight_ = nullptr;
+  obs::Gauge* g_depth_ = nullptr;
+};
+
+}  // namespace zncache::io

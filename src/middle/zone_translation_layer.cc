@@ -210,7 +210,8 @@ Result<u64> ZoneTranslationLayer::ReserveSlot(bool for_gc,
 Result<ZoneTranslationLayer::LandedWrite>
 ZoneTranslationLayer::DeviceWriteSlot(u64 zone, u64 region_id,
                                       std::span<const std::byte> data,
-                                      sim::IoMode mode, u64 header_seq) {
+                                      sim::IoMode mode, u64 header_seq,
+                                      SimNanos issue_ts) {
   // Pad to the full slot stride so slot arithmetic stays exact; persistent
   // mode also prepends the recoverable header. Thread-local scratch keeps
   // the hot path allocation-free after warm-up.
@@ -230,17 +231,19 @@ ZoneTranslationLayer::DeviceWriteSlot(u64 zone, u64 region_id,
   }
   std::span<const std::byte> payload(padded);
 
-  u64 landed_at = 0;
-  SimNanos latency = 0;
-  SimNanos completion = 0;
+
+  // Submission goes through the device's async interface: the state change
+  // (data + write pointer) lands at submit, the queue entry stays in flight
+  // and is carried up through PlacedWrite so the caller's publish step acts
+  // as the completion callback. Failure paths reap the entry here, in the
+  // requested mode, so retry timing is bit-identical to the old blocking
+  // write (a torn write still occupies the device for the full transfer).
+  const SimNanos submit_ts = issue_ts != 0 ? issue_ts : Now();
+  zns::ZnsDevice::WriteSubmission sub;
   if (config_.use_zone_append) {
     // Zone append: the device serializes concurrent appenders itself and
-    // the completion reports where the slot landed — no per-zone lock.
-    auto a = device_->Append(zone, payload, mode);
-    if (!a.ok()) return a.status();
-    landed_at = a->offset;
-    latency = a->latency;
-    completion = a->completion;
+    // the submission reports where the slot landed — no per-zone lock.
+    sub = device_->BeginAppend(zone, payload, submit_ts);
   } else {
     // Regular write: the write pointer must be read and written under the
     // zone's own lock so two writers cannot target the same offset.
@@ -261,17 +264,19 @@ ZoneTranslationLayer::DeviceWriteSlot(u64 zone, u64 region_id,
       return Status::Corruption("zone " + std::to_string(zone) +
                                 " write pointer torn mid-slot");
     }
-    auto w = device_->Write(zone, wp, payload, mode);
-    if (!w.ok()) return w.status();
-    landed_at = wp;
-    latency = w->latency;
-    completion = w->completion;
+    sub = device_->BeginWrite(zone, wp, payload, submit_ts);
   }
-  if (landed_at % slot_stride_ != 0) {
+  if (!sub.status.ok()) {
+    if (sub.token.valid) device_->Complete(sub.token, mode);
+    return sub.status;
+  }
+  if (sub.offset % slot_stride_ != 0) {
+    device_->Complete(sub.token, mode);
     return Status::Corruption("append landed mid-slot in zone " +
                               std::to_string(zone));
   }
-  return LandedWrite{landed_at / slot_stride_, latency, completion};
+  return LandedWrite{sub.offset / slot_stride_, 0, sub.token.completion,
+                     sub.token};
 }
 
 void ZoneTranslationLayer::AbandonZone(u64 zone) {
@@ -303,7 +308,7 @@ Result<ZoneTranslationLayer::PlacedWrite>
 ZoneTranslationLayer::WriteToSomeZone(u64 region_id,
                                       std::span<const std::byte> data,
                                       sim::IoMode mode, bool for_gc,
-                                      u64 gc_header_seq) {
+                                      u64 gc_header_seq, SimNanos issue_ts) {
   constexpr int kWriteAttempts = 3;
   Status last = Status::Internal("unreachable");
   for (int attempt = 0; attempt < kWriteAttempts; ++attempt) {
@@ -351,7 +356,8 @@ ZoneTranslationLayer::WriteToSomeZone(u64 region_id,
     }
 
     // Device I/O with no layer-wide lock held.
-    auto landed = DeviceWriteSlot(zone, region_id, data, mode, header_seq);
+    auto landed =
+        DeviceWriteSlot(zone, region_id, data, mode, header_seq, issue_ts);
 
     std::unique_lock<std::shared_mutex> lock(mu_);
     zones_[zone].pending--;
@@ -365,12 +371,16 @@ ZoneTranslationLayer::WriteToSomeZone(u64 region_id,
         }
         // Pin the zone until the caller publishes (or abandons) the
         // mapping: with pending released, the landed slot is otherwise
-        // invisible to reset/adoption paths.
+        // invisible to reset/adoption paths. The device write is still in
+        // flight; the caller reaps landed->token before publishing.
         zm.unpublished++;
         return PlacedWrite{zone, landed->slot, landed->latency,
-                           landed->completion};
+                           landed->completion, landed->token};
       }
-      last = fin;  // finish failure: treat as a failed attempt and retry
+      // Finish failure: treat as a failed attempt and retry. The landed
+      // write's queue entry must still be reaped (the transfer happened).
+      device_->Complete(landed->token, mode);
+      last = fin;
     } else {
       last = landed.status();
     }
@@ -393,7 +403,7 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
     if (data.empty() || data.size() > config_.region_size) {
       return Status::InvalidArgument("bad region payload size");
     }
-    device_->timer().clock()->Advance(config_.lookup_ns);
+    device_->clock()->Advance(config_.lookup_ns);
     obs::ChargePhase(obs::Phase::kIndexLookup, config_.lookup_ns);
     // Rewrite: the old version's mapping is deleted and its bit cleared.
     // The bumped version token is this write's claim on the publish below.
@@ -405,25 +415,32 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
                            /*gc_header_seq=*/0);
   if (!w.ok()) return w.status();
 
-  // Interleave hook: the write has landed and the zone is pinned by
-  // `unpublished`, but the mapping is not yet published and no layer lock
-  // is held — the exact window the pin protects. The model-checking
-  // harness schedules intruder invalidates/GC here; hooks may re-enter
-  // InvalidateRegion / ReadRegion / MaybeCollect but not WriteRegion.
+  // Interleave hook: the write has landed on media and the zone is pinned
+  // by `unpublished`, but the device completion is still in flight and the
+  // mapping is not yet published, and no layer lock is held — the exact
+  // window the pin protects. The model-checking harness schedules intruder
+  // invalidates/GC here; hooks may re-enter InvalidateRegion / ReadRegion /
+  // MaybeCollect but not WriteRegion.
   if (auto* fi = device_->fault_injector()) {
     fi->AtHook(fault::HookPoint::kMiddleWritePrePublish);
   }
 
+  // The publish below runs as the device write's completion callback: reap
+  // the in-flight queue entry first, so a crash that halted the machine
+  // while the entry was in flight suppresses the publish and the op fails
+  // unacked (recovery then decides the slot's fate from media alone).
+  auto done = device_->Complete(w->token, mode);
+
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     zones_[w->zone].unpublished--;  // publish or lose: the pin ends here
-    if (region_version_[region_id] == my_version) {
+    if (done.ok() && region_version_[region_id] == my_version) {
       ZoneMeta& zm = zones_[w->zone];
       zm.bitmap.Set(w->slot);
       zm.region_ids[w->slot] = region_id;
       zm.valid_count++;
       mapping_[region_id] = RegionLocation{w->zone, w->slot};
-    } else {
+    } else if (done.ok()) {
       // A newer write or an invalidate raced past this one; the slot just
       // written stays dead and GC reclaims it with its zone.
       stats_.write_races_lost++;
@@ -434,6 +451,7 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
     c_host_region_writes_->Inc();
     c_host_bytes_->Inc(config_.region_size);
   }
+  if (!done.ok()) return done.status();
 
   // Watermark backpressure: below the empty-zone watermark every writer
   // must wait for (and run) collection before continuing — a try-lock here
@@ -449,7 +467,7 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
       ZN_RETURN_IF_ERROR(MaybeCollect());
     }
   }
-  return RegionIoResult{w->latency, w->completion};
+  return RegionIoResult{done->latency, done->completion};
 }
 
 Result<RegionIoResult> ZoneTranslationLayer::ReadRegion(
@@ -469,7 +487,7 @@ Result<RegionIoResult> ZoneTranslationLayer::ReadRegion(
     if (offset + out.size() > config_.region_size) {
       return Status::OutOfRange("read beyond region");
     }
-    device_->timer().clock()->Advance(config_.lookup_ns);
+    device_->clock()->Advance(config_.lookup_ns);
     obs::ChargePhase(obs::Phase::kIndexLookup, config_.lookup_ns);
     // Physical address = in-zone slot base (+ header) + in-region offset.
     const u64 zone_offset =
@@ -623,22 +641,26 @@ Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
   }
 
   // Phase 2 — bulk-copy the valid regions into the reusable arena with no
-  // layer lock held. One read per region keeps the modeled device time
-  // identical to the pre-refactor per-slot loop.
+  // layer lock held. The whole batch is SUBMITTED at one issue timestamp,
+  // so on a multi-unit topology reads of slots striped across channels
+  // overlap; the serial 1x1 topology queues them back to back, keeping the
+  // modeled device time identical to the pre-refactor per-slot loop.
   const u64 rsz = config_.region_size;
   if (gc_arena_.size() < migs.size() * rsz) {
     gc_arena_.resize(migs.size() * rsz);
   }
   const u64 hdr_off = config_.persist_headers ? kSlotHeaderBytes : 0;
+  const SimNanos batch_issue = Now();
+  std::vector<io::IoToken> read_tokens(migs.size());
   bool victim_offline = false;
   for (u64 i = 0; i < migs.size(); ++i) {
     Mig& m = migs[i];
-    auto rr = device_->Read(
+    auto rr = device_->SubmitRead(
         zone, m.slot * slot_stride_ + hdr_off,
-        std::span<std::byte>(gc_arena_.data() + i * rsz, rsz),
-        sim::IoMode::kBackground);
+        std::span<std::byte>(gc_arena_.data() + i * rsz, rsz), batch_issue);
     if (rr.ok()) {
       m.have_data = true;
+      read_tokens[i] = *rr;
     } else if (device_->GetZoneInfo(zone).state == zns::ZoneState::kOffline) {
       // The victim died mid-copy; rescue what was already copied.
       victim_offline = true;
@@ -646,17 +668,37 @@ Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
     }
     // Transient read error: the slot stays valid for a later cycle.
   }
+  // Reap the read completions. A crash that halted the machine while a
+  // read was in flight drops that slot from this cycle (it stays valid in
+  // the victim for a post-restart cycle).
+  for (u64 i = 0; i < migs.size(); ++i) {
+    if (!migs[i].have_data) continue;
+    if (!device_->Complete(read_tokens[i], sim::IoMode::kBackground).ok()) {
+      migs[i].have_data = false;
+    }
+  }
 
   // Phase 3 — write the copies back through the normal reserve/write path,
-  // still without the layer lock.
+  // still without the layer lock. Each write is issued at its feeding
+  // read's completion time, pipelining copy against program on multi-unit
+  // topologies (serially, the zone's unit is busy past every read
+  // completion, so the issue gate is a no-op and timing is unchanged).
   for (u64 i = 0; i < migs.size(); ++i) {
     Mig& m = migs[i];
     if (!m.have_data) continue;
     auto w = WriteToSomeZone(
         m.region_id,
         std::span<const std::byte>(gc_arena_.data() + i * rsz, rsz),
-        sim::IoMode::kBackground, /*for_gc=*/true, m.header_seq);
+        sim::IoMode::kBackground, /*for_gc=*/true, m.header_seq,
+        /*issue_ts=*/read_tokens[i].completion);
     if (!w.ok()) continue;  // slot stays in the victim; retried later
+    if (!device_->Complete(w->token, sim::IoMode::kBackground).ok()) {
+      // Crash-halted in flight: the copy is on media but unpublished; the
+      // restart path recovers the victim's slot, not this orphan.
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      zones_[w->zone].unpublished--;
+      continue;
+    }
     m.written = true;
     m.new_loc = RegionLocation{w->zone, w->slot};
   }

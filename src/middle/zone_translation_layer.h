@@ -250,17 +250,24 @@ class ZoneTranslationLayer {
     bool retired = false;    // degraded zone, permanently out of service
   };
 
-  // Where a write landed after the device round-trip.
+  // Where a write landed after submission. The device write is IN FLIGHT
+  // when these are returned: `token` is the pending queue entry, and the
+  // caller owns reaping it with device_->Complete() before publishing (the
+  // publish step is the write's completion callback). `completion` is the
+  // modeled media completion time known at submit; `latency` is filled in
+  // by Complete.
   struct LandedWrite {
     u64 slot = 0;
     SimNanos latency = 0;
     SimNanos completion = 0;
+    io::IoToken token;
   };
   struct PlacedWrite {
     u64 zone = 0;
     u64 slot = 0;
     SimNanos latency = 0;
     SimNanos completion = 0;
+    io::IoToken token;
   };
 
   static constexpr u64 kUnmappedZone = ~0ULL;
@@ -296,19 +303,29 @@ class ZoneTranslationLayer {
   // write mutex (no lock at all for zone appends). Builds the padded slot
   // image (plus persistent header carrying `header_seq`) in thread-local
   // scratch.
+  // `issue_ts` != 0 pipelines the submission: the device write is issued at
+  // that virtual timestamp (e.g. the completion of the GC read feeding it)
+  // instead of Now(), so copy and program overlap on multi-unit topologies.
+  // 0 issues at Now() — on the serial 1x1 topology this is bit-identical to
+  // the old blocking write. Either way the returned token is still in
+  // flight; failure paths (torn writes) are reaped internally so retry
+  // timing matches the blocking protocol exactly.
   Result<LandedWrite> DeviceWriteSlot(u64 zone, u64 region_id,
                                       std::span<const std::byte> data,
-                                      sim::IoMode mode, u64 header_seq);
+                                      sim::IoMode mode, u64 header_seq,
+                                      SimNanos issue_ts = 0);
   // Full reserve/write/account protocol with bounded retry: a failed write
   // abandons the target zone (its pointer may be torn, or the zone
   // degraded) and re-reserves in a fresh zone. Publishes nothing — the
-  // caller decides what the landed slot means. `gc_header_seq` != 0 uses a
-  // pre-allocated persistent-header sequence (GC migrations); 0 allocates
-  // one per attempt (host writes).
+  // caller decides what the landed slot means and owns completing the
+  // returned in-flight token. `gc_header_seq` != 0 uses a pre-allocated
+  // persistent-header sequence (GC migrations); 0 allocates one per attempt
+  // (host writes).
   Result<PlacedWrite> WriteToSomeZone(u64 region_id,
                                       std::span<const std::byte> data,
                                       sim::IoMode mode, bool for_gc,
-                                      u64 gc_header_seq);
+                                      u64 gc_header_seq,
+                                      SimNanos issue_ts = 0);
 
   // --- GC machinery; all require gc_mu_ held (and mu_ NOT held) ---
   // Blocking variant of MaybeCollect for writers that ran out of space.
@@ -320,7 +337,7 @@ class ZoneTranslationLayer {
   // (evacuate=true: retire the zone).
   Status MigrateZone(u64 zone, bool evacuate);
 
-  SimNanos Now() const { return device_->timer().clock()->Now(); }
+  SimNanos Now() const { return device_->clock()->Now(); }
 
   // The unpublished-slot pin (every reset/adoption path must treat the
   // zone as live). Centralized so the harness's mutation knob can revert

@@ -42,6 +42,8 @@ const char* PhaseName(Phase p) {
       return "retry_backoff";
     case Phase::kZoneMgmt:
       return "zone_mgmt";
+    case Phase::kDevCompleteWait:
+      return "dev_complete_wait";
     case Phase::kOther:
       return "other";
   }

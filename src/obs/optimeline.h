@@ -53,6 +53,7 @@ enum class Phase : u8 {
   kGcInterference,  // foreground time inside a GC/evacuation cycle
   kRetryBackoff,    // re-reserving and rewriting after a failed attempt
   kZoneMgmt,        // zone finish/reset/open commands issued by this op
+  kDevCompleteWait, // residual wait reaping an overlapped async completion
   kOther,           // attributed nowhere more specific
 };
 inline constexpr size_t kPhaseCount = static_cast<size_t>(Phase::kOther) + 1;
@@ -125,12 +126,23 @@ inline void ChargePhase(Phase p, SimNanos ns) {
 inline void ChargeLockWait(Phase p, u64 wall_ns) {
   if (OpTimeline* t = tls_op_timeline) t->ChargeDirect(p, wall_ns);
 }
-// Called by sim::ServiceTimer for every foreground request — the single
-// chokepoint through which all modeled devices serve I/O.
+// Called by sim::ServiceTimer / io::IoEngine for every foreground request
+// completed on the submitter's own timeline — the chokepoint through which
+// all modeled devices serve synchronous I/O.
 inline void ChargeDeviceServe(SimNanos queue_ns, SimNanos service_ns) {
   if (OpTimeline* t = tls_op_timeline) {
     t->Charge(Phase::kDevQueueWait, queue_ns);
     t->Charge(Phase::kDevService, service_ns);
+    t->dev_ops++;
+  }
+}
+// Called by io::IoEngine when a foreground completion is reaped after the
+// clock already moved past the submission instant (a pipelined request that
+// overlapped with other work): only the residual wait is still owed, and it
+// is neither queueing nor service of a serial request.
+inline void ChargeDeviceComplete(SimNanos wait_ns) {
+  if (OpTimeline* t = tls_op_timeline) {
+    t->Charge(Phase::kDevCompleteWait, wait_ns);
     t->dev_ops++;
   }
 }

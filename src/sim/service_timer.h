@@ -9,10 +9,20 @@
 //     clock. Later foreground requests queue behind them — exactly how
 //     internal GC inflates the tail latency of host I/O on a real SSD.
 //
-// Thread-safety: the busy horizon is an atomic reserved with a CAS loop, so
-// concurrent requests from sharded cache front-ends serialize on the modeled
-// device exactly as they would on real hardware, without a lock. Serial
-// callers observe bit-identical behaviour to the pre-atomic timer.
+// Thread-safety and memory ordering: the busy horizon is an atomic reserved
+// with a CAS loop, so concurrent requests from sharded cache front-ends
+// serialize on the modeled device exactly as they would on real hardware,
+// without a lock. The CAS uses acq_rel success ordering (acquire on
+// failure): a successful reservation *releases* the reserving thread's
+// prior writes (the data it modeled as landed) and *acquires* the previous
+// reservation, so a thread that later reads the horizon and reaps a
+// completion on another thread's timeline observes everything that
+// happened-before the reservation it queued behind. Relaxed ordering was
+// sufficient while every completion was consumed on the submitting thread;
+// it stops being sufficient once completions are handed across threads
+// (io::IoEngine inherits this contract per channel unit). Serial callers
+// observe bit-identical behaviour to the pre-atomic timer — ordering
+// strength does not change the reserved values.
 #pragma once
 
 #include <algorithm>
@@ -40,12 +50,13 @@ class ServiceTimer {
 
   Served Serve(SimNanos service_time, IoMode mode) {
     const SimNanos now = clock_->Now();
-    SimNanos prev = busy_until_.load(std::memory_order_relaxed);
+    SimNanos prev = busy_until_.load(std::memory_order_acquire);
     SimNanos end;
     do {
       end = std::max(now, prev) + service_time;
     } while (!busy_until_.compare_exchange_weak(prev, end,
-                                                std::memory_order_relaxed));
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire));
     if (mode == IoMode::kForeground) {
       clock_->AdvanceTo(end);
       // Every modeled device serves foreground I/O through this chokepoint:
@@ -66,7 +77,9 @@ class ServiceTimer {
   }
 
   SimNanos busy_until() const {
-    return busy_until_.load(std::memory_order_relaxed);
+    // Acquire pairs with the CAS release above: a reader observing horizon H
+    // also observes the effects of every reservation folded into H.
+    return busy_until_.load(std::memory_order_acquire);
   }
   VirtualClock* clock() const { return clock_; }
 

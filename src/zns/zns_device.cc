@@ -29,7 +29,8 @@ std::string_view ZoneStateName(ZoneState s) {
 }
 
 ZnsDevice::ZnsDevice(const ZnsConfig& config, sim::VirtualClock* clock)
-    : config_(config), timer_(clock) {
+    : config_(config),
+      engine_(clock, config.topology, config.metrics, "zns.io.") {
   zones_.resize(config_.zone_count);
   for (u64 i = 0; i < config_.zone_count; ++i) {
     zones_[i].id = i;
@@ -151,9 +152,11 @@ Status ZnsDevice::ApplyFaults(fault::FaultOp op, u64 zone, u64 bytes,
   return Status::Ok();
 }
 
-Result<IoResult> ZnsDevice::DoWriteLocked(u64 zone, u64 offset,
-                                          std::span<const std::byte> data,
-                                          sim::IoMode mode, bool as_append) {
+Status ZnsDevice::SubmitWriteLocked(u64 zone, u64 offset,
+                                    std::span<const std::byte> data,
+                                    SimNanos issue_ts, bool as_append,
+                                    io::IoToken* out) {
+  *out = io::IoToken{};
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   if (data.empty()) return Status::InvalidArgument("empty write");
   SimNanos extra_latency = 0;
@@ -182,7 +185,10 @@ Result<IoResult> ZnsDevice::DoWriteLocked(u64 zone, u64 offset,
     if (z.write_pointer == z.capacity) MarkFull(z);
     stats_.flash_bytes_written += torn_keep;
     c_device_bytes_->Inc(torn_keep);
-    timer_.Serve(config_.timing.write.Cost(data.size()) + extra_latency, mode);
+    *out = engine_.Submit(engine_.UnitForZone(zone),
+                          config_.timing.write.Cost(data.size()) +
+                              extra_latency,
+                          issue_ts);
     return Status::Corruption("injected torn write");
   }
 
@@ -203,8 +209,24 @@ Result<IoResult> ZnsDevice::DoWriteLocked(u64 zone, u64 offset,
     stats_.write_ops++;
     c_write_ops_->Inc();
   }
-  const sim::Served served = timer_.Serve(
-      config_.timing.write.Cost(data.size()) + extra_latency, mode);
+  *out = engine_.Submit(
+      engine_.UnitForZone(zone),
+      config_.timing.write.Cost(data.size()) + extra_latency, issue_ts);
+  return Status::Ok();
+}
+
+Result<IoResult> ZnsDevice::DoWriteLocked(u64 zone, u64 offset,
+                                          std::span<const std::byte> data,
+                                          sim::IoMode mode, bool as_append) {
+  io::IoToken t;
+  const Status s =
+      SubmitWriteLocked(zone, offset, data, Now(), as_append, &t);
+  if (!s.ok()) {
+    // The torn path still occupies the device for the full transfer.
+    if (t.valid) engine_.Complete(t, mode);
+    return s;
+  }
+  const sim::Served served = engine_.Complete(t, mode);
   return IoResult{served.latency, served.completion};
 }
 
@@ -267,7 +289,133 @@ Result<IoResult> ZnsDevice::Read(u64 zone, u64 offset,
   c_bytes_read_->Inc(out.size());
   c_read_ops_->Inc();
   const sim::Served served =
-      timer_.Serve(config_.timing.read.Cost(out.size()) + extra_latency, mode);
+      engine_.Serve(engine_.UnitForZone(zone),
+                    config_.timing.read.Cost(out.size()) + extra_latency, mode);
+  return IoResult{served.latency, served.completion};
+}
+
+ZnsDevice::WriteSubmission ZnsDevice::BeginWrite(u64 zone, u64 offset,
+                                                 std::span<const std::byte> data,
+                                                 SimNanos issue_ts) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriteSubmission sub;
+  sub.offset = offset;
+  sub.status = SubmitWriteLocked(zone, offset, data, issue_ts,
+                                 /*as_append=*/false, &sub.token);
+  return sub;
+}
+
+ZnsDevice::WriteSubmission ZnsDevice::BeginAppend(
+    u64 zone, std::span<const std::byte> data, SimNanos issue_ts) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriteSubmission sub;
+  sub.status = ValidateZoneId(zone);
+  if (!sub.status.ok()) return sub;
+  // Offset is chosen and the write applied under one critical section, so
+  // concurrent appenders to the same zone land back to back.
+  sub.offset = zones_[zone].write_pointer;
+  sub.status = SubmitWriteLocked(zone, sub.offset, data, issue_ts,
+                                 /*as_append=*/true, &sub.token);
+  return sub;
+}
+
+Result<io::IoToken> ZnsDevice::SubmitWrite(u64 zone, u64 offset,
+                                           std::span<const std::byte> data,
+                                           SimNanos issue_ts) {
+  WriteSubmission sub = BeginWrite(zone, offset, data, issue_ts);
+  if (!sub.status.ok()) {
+    // The reservation (if any) stands — the bus/media time was spent — but
+    // the queue entry dies with the failed submission.
+    if (sub.token.valid) engine_.Abort(sub.token);
+    return sub.status;
+  }
+  return sub.token;
+}
+
+Result<ZnsDevice::PendingAppend> ZnsDevice::SubmitAppend(
+    u64 zone, std::span<const std::byte> data, SimNanos issue_ts) {
+  WriteSubmission sub = BeginAppend(zone, data, issue_ts);
+  if (!sub.status.ok()) {
+    if (sub.token.valid) engine_.Abort(sub.token);
+    return sub.status;
+  }
+  return PendingAppend{sub.offset, sub.token};
+}
+
+Result<io::IoToken> ZnsDevice::SubmitRead(u64 zone, u64 offset,
+                                          std::span<std::byte> out,
+                                          SimNanos issue_ts) {
+  std::shared_lock<std::shared_mutex> shared(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(mu_, std::defer_lock);
+  if (config_.faults == nullptr) {
+    shared.lock();
+  } else {
+    exclusive.lock();
+  }
+  ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
+  if (out.empty()) return Status::InvalidArgument("empty read");
+  SimNanos extra_latency = 0;
+  ZN_RETURN_IF_ERROR(ApplyFaults(fault::FaultOp::kRead, zone, out.size(),
+                                 &extra_latency, nullptr));
+  const ZoneInfo& z = zones_[zone];
+  if (z.state == ZoneState::kOffline) {
+    return Status::Unavailable("zone offline");
+  }
+  if (offset + out.size() > z.capacity) {
+    return Status::OutOfRange("read beyond zone capacity");
+  }
+  if (z.state != ZoneState::kFull && offset + out.size() > z.write_pointer) {
+    return Status::OutOfRange("read beyond write pointer");
+  }
+  if (const std::byte* src = ZoneData(zone)) {
+    std::memcpy(out.data(), src + offset, out.size());
+  } else {
+    std::memset(out.data(), 0, out.size());
+  }
+  std::atomic_ref<u64>(stats_.bytes_read)
+      .fetch_add(out.size(), std::memory_order_relaxed);
+  std::atomic_ref<u64>(stats_.read_ops).fetch_add(1, std::memory_order_relaxed);
+  c_bytes_read_->Inc(out.size());
+  c_read_ops_->Inc();
+  return engine_.Submit(engine_.UnitForZone(zone),
+                        config_.timing.read.Cost(out.size()) + extra_latency,
+                        issue_ts);
+}
+
+Result<io::IoToken> ZnsDevice::SubmitZoneOp(ZoneOp op, u64 zone) {
+  Status s;
+  switch (op) {
+    case ZoneOp::kReset:
+      s = Reset(zone);
+      break;
+    case ZoneOp::kFinish:
+      s = Finish(zone);
+      break;
+    case ZoneOp::kOpen:
+      s = Open(zone);
+      break;
+    case ZoneOp::kClose:
+      s = Close(zone);
+      break;
+  }
+  ZN_RETURN_IF_ERROR(s);
+  // The state machine transitioned at submit; the zero-service token
+  // completes when the zone's unit drains (after a reset's background
+  // erase), so callers can fence a pipeline stage on the command.
+  return engine_.Submit(engine_.UnitForZone(zone), 0, Now());
+}
+
+Result<IoResult> ZnsDevice::Complete(const io::IoToken& token,
+                                     sim::IoMode mode) {
+  if (!token.valid) return Status::InvalidArgument("invalid io token");
+  const Status halted = CheckHalted();
+  if (!halted.ok()) {
+    // The machine crashed while this entry was in flight: retire the queue
+    // entry without advancing time or publishing anything.
+    engine_.Abort(token);
+    return halted;
+  }
+  const sim::Served served = engine_.Complete(token, mode);
   return IoResult{served.latency, served.completion};
 }
 
@@ -278,7 +426,10 @@ Status ZnsDevice::Reset(u64 zone) {
     SimNanos extra_latency = 0;
     const Status injected = ApplyFaults(fault::FaultOp::kReset, zone, 0,
                                         &extra_latency, nullptr);
-    if (extra_latency > 0) timer_.SubmitBackground(extra_latency);
+    if (extra_latency > 0) {
+      engine_.Serve(engine_.UnitForZone(zone), extra_latency,
+                    sim::IoMode::kBackground);
+    }
     ZN_RETURN_IF_ERROR(injected);
   }
   ZoneInfo& z = zones_[zone];
@@ -302,7 +453,8 @@ Status ZnsDevice::Reset(u64 zone) {
   // as device queue wait, so the timeline records the command count here.
   obs::NoteZoneMgmtOp();
   tracer_->Record(obs::EventKind::kZoneReset, Now(), z.id);
-  timer_.SubmitBackground(config_.timing.erase_ns);
+  engine_.Serve(engine_.UnitForZone(zone), config_.timing.erase_ns,
+                sim::IoMode::kBackground);
   return Status::Ok();
 }
 

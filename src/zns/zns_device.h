@@ -11,8 +11,17 @@
 //   * there is NO device-internal garbage collection: host writes map 1:1 to
 //     flash writes, so the device-level write-amplification factor is 1.
 //
-// Timing uses sim::ServiceTimer: each operation occupies the device for its
-// service time and the caller observes queueing + service latency.
+// Timing uses io::IoEngine: each operation reserves service time on the
+// channel/plane unit its zone stripes to, and the caller observes queueing +
+// service latency. The default topology (1 channel × 1 plane) reproduces the
+// old single-queue sim::ServiceTimer model bit-for-bit; multichannel
+// topologies let requests to distinct zones overlap. Alongside the
+// synchronous Write/Append/Read/Reset wrappers there is an async API
+// (SubmitWrite/SubmitAppend/SubmitRead/SubmitZoneOp + Complete): data and
+// state effects land at submit, the returned io::IoToken carries the
+// reserved completion instant, and Complete() reaps it — failing with
+// UNAVAILABLE if an injected crash halted the machine while the entry was
+// in flight.
 //
 // Thread-safety: one device-wide std::shared_mutex. Mutating commands
 // (Write/Append/Reset/Finish/Open/Close/TransitionZone) take it exclusive;
@@ -33,6 +42,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "fault/fault_injector.h"
+#include "io/io_engine.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/service_timer.h"
@@ -83,6 +93,9 @@ struct ZnsConfig {
   // this off; all correctness tests keep it on.
   bool store_data = true;
   sim::FlashTiming timing;
+  // Channel/plane topology for the I/O engine. The default (1×1, depth 1)
+  // is bit-identical to the historical single-queue timing model.
+  io::IoTopology topology;
   // Observability sinks; nullptr selects the process-wide defaults.
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
@@ -143,6 +156,54 @@ class ZnsDevice {
   Result<IoResult> Read(u64 zone, u64 offset, std::span<std::byte> out,
                         sim::IoMode mode = sim::IoMode::kForeground);
 
+  // --- async submission/completion API ------------------------------------
+  // Data and zone-state effects land at submit time (the simulated bus
+  // transfer happens now); the token carries the reserved {start,
+  // completion} on the zone's channel unit. The submission does NOT advance
+  // the virtual clock — pass `issue_ts` (usually Now(), or an earlier
+  // token's completion to chain a pipeline stage) and reap with Complete().
+  // Every valid token must be passed to Complete() exactly once (a failed
+  // Complete after a crash halt retires the queue entry too).
+  struct PendingAppend {
+    u64 offset = 0;  // in-zone offset assigned at submit
+    io::IoToken token;
+  };
+  // Lowest-level submission: status and token are reported independently,
+  // because a torn write fails (Corruption) yet still occupies the device
+  // for the full transfer — the caller owns completing (or aborting) any
+  // valid token, whatever the status says. SubmitWrite/SubmitAppend are the
+  // friendlier wrappers that abort failed submissions internally.
+  struct WriteSubmission {
+    Status status = Status::Ok();
+    u64 offset = 0;  // assigned in-zone offset (appends)
+    io::IoToken token;
+  };
+  WriteSubmission BeginWrite(u64 zone, u64 offset,
+                             std::span<const std::byte> data,
+                             SimNanos issue_ts);
+  WriteSubmission BeginAppend(u64 zone, std::span<const std::byte> data,
+                              SimNanos issue_ts);
+  Result<io::IoToken> SubmitWrite(u64 zone, u64 offset,
+                                  std::span<const std::byte> data,
+                                  SimNanos issue_ts);
+  Result<PendingAppend> SubmitAppend(u64 zone, std::span<const std::byte> data,
+                                     SimNanos issue_ts);
+  Result<io::IoToken> SubmitRead(u64 zone, u64 offset, std::span<std::byte> out,
+                                 SimNanos issue_ts);
+  // Zone management commands execute synchronously at submit (the state
+  // machine transitions immediately); the returned zero-service token
+  // completes when the zone's unit drains, so callers can fence on it like
+  // any other queue entry.
+  enum class ZoneOp { kReset, kFinish, kOpen, kClose };
+  Result<io::IoToken> SubmitZoneOp(ZoneOp op, u64 zone);
+  // Reap a completion. Foreground mode advances the clock to the token's
+  // completion instant and charges the op timeline; background mode is
+  // free. Fails with UNAVAILABLE — without advancing the clock — if an
+  // injected crash halted the machine while the entry was in flight; the
+  // entry is retired either way.
+  Result<IoResult> Complete(const io::IoToken& token,
+                            sim::IoMode mode = sim::IoMode::kForeground);
+
   // Rewind the write pointer; the zone becomes EMPTY and its data is gone.
   Status Reset(u64 zone);
 
@@ -189,7 +250,9 @@ class ZnsDevice {
 
   u64 EmptyZoneCount() const;
 
-  sim::ServiceTimer& timer() { return timer_; }
+  io::IoEngine& engine() { return engine_; }
+  const io::IoEngine& engine() const { return engine_; }
+  sim::VirtualClock* clock() const { return engine_.clock(); }
 
  private:
   // The *Locked helpers below require mu_ held exclusive by the caller.
@@ -202,6 +265,13 @@ class ZnsDevice {
   Result<IoResult> DoWriteLocked(u64 zone, u64 offset,
                                  std::span<const std::byte> data,
                                  sim::IoMode mode, bool as_append);
+  // Submission half of DoWriteLocked: applies every data/state effect and
+  // reserves the service time, leaving the completion to the caller. On the
+  // torn-write path the token is still valid (the bus transfer happened)
+  // alongside the Corruption status.
+  Status SubmitWriteLocked(u64 zone, u64 offset,
+                           std::span<const std::byte> data, SimNanos issue_ts,
+                           bool as_append, io::IoToken* out);
   // Consult the injector (if any) for this op: applies zone transitions,
   // accumulates latency, and returns the op's injected failure (if any).
   // `torn_keep` is set to the surviving prefix length for torn writes,
@@ -219,14 +289,14 @@ class ZnsDevice {
     }
     return Status::Ok();
   }
-  SimNanos Now() const { return timer_.clock()->Now(); }
+  SimNanos Now() const { return engine_.clock()->Now(); }
 
   std::byte* ZoneData(u64 zone) {
     return data_.empty() ? nullptr : data_.data() + zone * config_.zone_size;
   }
 
   ZnsConfig config_;
-  sim::ServiceTimer timer_;
+  io::IoEngine engine_;
   // Guards zones_, data_ and the zone-accounting invariants. Read holds it
   // shared; everything that mutates holds it exclusive.
   mutable std::shared_mutex mu_;

@@ -725,7 +725,8 @@ TEST(LayerConcurrencyStress, WritersInvalidatorReadersForcedGcZoneAppend) {
 // every reserve→write→publish window; a zone reset or re-adopted while
 // pinned by ZoneMeta::unpublished shows up as a readback mismatch or a
 // broken mapping bijection.
-void RunUnpublishedSlotStress(bool use_zone_append) {
+void RunUnpublishedSlotStress(bool use_zone_append,
+                              const io::IoTopology& topology = {}) {
   constexpr u64 kRegionSz = 64 * kKiB;
   constexpr u64 kSlots = 10;
   constexpr u32 kWriters = 4;
@@ -736,6 +737,7 @@ void RunUnpublishedSlotStress(bool use_zone_append) {
   dc.zone_capacity = 64 * kKiB;
   dc.max_open_zones = 8;
   dc.max_active_zones = 10;
+  dc.topology = topology;
   obs::Registry registry;
   dc.metrics = &registry;
   sim::VirtualClock clock;
@@ -796,6 +798,18 @@ void RunUnpublishedSlotStress(bool use_zone_append) {
   const Status inv = layer.CheckInvariants();
   EXPECT_TRUE(inv.ok()) << inv.ToString();
 
+  // One serial write after the racing threads drain: with an unlucky
+  // interleaving the tail invalidates can unmap every region, which would
+  // make the `mapped > 0` coverage check below vacuous (and flaky).
+  {
+    const u64 stamp = stamp_gen.fetch_add(1);
+    std::vector<std::byte> payload(kRegionSz, fill_for(0, stamp));
+    u64 rid0 = 0;
+    std::memcpy(payload.data(), &rid0, 8);
+    std::memcpy(payload.data() + 8, &stamp, 8);
+    ASSERT_TRUE(layer.WriteRegion(0, payload, sim::IoMode::kForeground).ok());
+  }
+
   // Every surviving mapping must read back the exact payload its winning
   // write stored; erased-then-reused slots would return another region's
   // bytes (or zeros) here.
@@ -825,6 +839,118 @@ TEST(LayerConcurrencyStress, UnpublishedSlotSurvivesResetRaces) {
 
 TEST(LayerConcurrencyStress, UnpublishedSlotSurvivesResetRacesZoneAppend) {
   RunUnpublishedSlotStress(/*use_zone_append=*/true);
+}
+
+io::IoTopology StressTopology() {
+  io::IoTopology t;
+  t.channels = 4;
+  t.planes_per_channel = 2;
+  t.queue_depth = 16;
+  return t;
+}
+
+// The same reserve→write→publish races, but on a multichannel topology:
+// writers' publish-from-completion, the pipelined GC's batched reads and
+// completion-gated writes, and invalidates now interleave across eight
+// independent unit horizons instead of one serial queue.
+TEST(LayerConcurrencyStress, UnpublishedSlotRacesMultichannel) {
+  RunUnpublishedSlotStress(/*use_zone_append=*/false, StressTopology());
+}
+
+TEST(LayerConcurrencyStress, UnpublishedSlotRacesMultichannelZoneAppend) {
+  RunUnpublishedSlotStress(/*use_zone_append=*/true, StressTopology());
+}
+
+// Out-of-order completions against the raw device: writer threads batch
+// submissions to their own zones and reap the completions in reverse order
+// while readers and a stats observer race. Exercises the engine's CAS-max
+// horizons, inflight accounting, and cross-thread token handoff under TSan;
+// payload integrity catches any submission landing in the wrong zone.
+TEST(EngineStress, OutOfOrderCompletionsAcrossUnits) {
+  constexpr u32 kWriters = 4;
+  constexpr int kBatches = 30;
+  constexpr u64 kBatch = 8;
+  zns::ZnsConfig dc;
+  dc.zone_count = 16;
+  dc.zone_size = 256 * kKiB;
+  dc.zone_capacity = 256 * kKiB;
+  dc.max_open_zones = 16;
+  dc.max_active_zones = 16;
+  dc.store_data = true;
+  dc.topology = StressTopology();
+  obs::Registry registry;
+  dc.metrics = &registry;
+  sim::VirtualClock clock;
+  zns::ZnsDevice dev(dc, &clock);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (u32 w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      // Each writer owns 4 zones (w, w+4, w+8, w+12); append round-robin
+      // so consecutive batch entries target distinct channel units.
+      std::vector<std::byte> payload(4 * kKiB);
+      for (int batch = 0; batch < kBatches; ++batch) {
+        std::vector<zns::ZnsDevice::PendingAppend> pending;
+        const SimNanos issue = clock.Now();
+        for (u64 i = 0; i < kBatch; ++i) {
+          const u64 zone = w + 4 * (i % 4);
+          std::fill(payload.begin(), payload.end(),
+                    std::byte{static_cast<unsigned char>('A' + zone)});
+          auto a = dev.SubmitAppend(zone, payload, issue);
+          if (a.ok()) pending.push_back(*a);
+          // NoSpace once the zone fills: fine, the batch just runs short.
+        }
+        // Reap out of order (reverse), alternating modes.
+        for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+          const auto mode = (batch % 2 == 0) ? sim::IoMode::kBackground
+                                             : sim::IoMode::kForeground;
+          EXPECT_TRUE(dev.Complete(it->token, mode).ok());
+        }
+      }
+    });
+  }
+  // Reader thread: random reads race the in-flight appends (errors such as
+  // read-beyond-write-pointer are expected; data races are not).
+  threads.emplace_back([&] {
+    Rng rng(4242);
+    std::vector<std::byte> out(4 * kKiB);
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)dev.Read(rng.Uniform(16), 0, out, sim::IoMode::kBackground);
+      std::this_thread::yield();
+    }
+  });
+  // Observer thread: polls the engine's horizons and queue stats.
+  threads.emplace_back([&] {
+    SimNanos last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const SimNanos h = dev.engine().busy_until();
+      EXPECT_GE(h, last);  // horizons only move forward
+      last = h;
+      (void)dev.engine().in_flight();
+      (void)dev.engine().max_in_flight();
+      std::this_thread::yield();
+    }
+  });
+  for (u32 t = 0; t < kWriters; ++t) threads[t].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads[kWriters].join();
+  threads[kWriters + 1].join();
+
+  EXPECT_EQ(dev.engine().in_flight(), 0u);
+  // Every zone's contents must be the single byte its owner wrote — a
+  // submission routed to the wrong zone (or a torn horizon) breaks this.
+  std::vector<std::byte> out(4 * kKiB);
+  for (u64 zone = 0; zone < 16; ++zone) {
+    const u64 wp = dev.GetZoneInfo(zone).write_pointer;
+    ASSERT_EQ(wp % (4 * kKiB), 0u);
+    if (wp == 0) continue;
+    ASSERT_TRUE(dev.Read(zone, 0, out, sim::IoMode::kBackground).ok());
+    const std::byte want{static_cast<unsigned char>('A' + zone)};
+    for (u64 b = 0; b < out.size(); ++b) {
+      ASSERT_EQ(out[b], want) << "zone " << zone << " byte " << b;
+    }
+  }
 }
 
 // The shared virtual clock under contention: Advance sums exactly and

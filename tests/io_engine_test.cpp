@@ -1,0 +1,307 @@
+// Unit tests for the channel/plane-parallel IoEngine: serial-topology
+// equivalence with sim::ServiceTimer, unit striping, overlap math across
+// units, pipelined issue gating, and abort (crash-halt) semantics — plus
+// the ZnsDevice async submission surface built on top of it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "io/io_engine.h"
+#include "sim/clock.h"
+#include "sim/service_timer.h"
+#include "zns/zns_device.h"
+
+namespace zncache::io {
+namespace {
+
+IoTopology MultiChannel(u32 channels, u32 planes = 1, u32 depth = 16) {
+  IoTopology t;
+  t.channels = channels;
+  t.planes_per_channel = planes;
+  t.queue_depth = depth;
+  return t;
+}
+
+TEST(IoTopology, DefaultIsSerial) {
+  IoTopology t;
+  EXPECT_EQ(t.units(), 1u);
+  EXPECT_TRUE(t.serial());
+  EXPECT_FALSE(MultiChannel(4).serial());
+  EXPECT_EQ(MultiChannel(4, 2).units(), 8u);
+}
+
+// The load-bearing compatibility claim: on the serial topology, Serve must
+// produce the same latencies, completions, and clock movement as
+// sim::ServiceTimer for an arbitrary interleaving of foreground and
+// background requests.
+TEST(IoEngine, SerialServeMatchesServiceTimer) {
+  sim::VirtualClock ce, ct;
+  IoEngine engine(&ce, IoTopology{});
+  sim::ServiceTimer timer(&ct);
+
+  const struct {
+    SimNanos service;
+    sim::IoMode mode;
+  } reqs[] = {
+      {100, sim::IoMode::kForeground}, {50, sim::IoMode::kBackground},
+      {70, sim::IoMode::kForeground},  {10, sim::IoMode::kBackground},
+      {10, sim::IoMode::kBackground},  {300, sim::IoMode::kForeground},
+      {1, sim::IoMode::kForeground},
+  };
+  for (const auto& r : reqs) {
+    const sim::Served a = engine.Serve(0, r.service, r.mode);
+    const sim::Served b = timer.Serve(r.service, r.mode);
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_EQ(a.completion, b.completion);
+    EXPECT_EQ(ce.Now(), ct.Now());
+    EXPECT_EQ(engine.busy_until(), timer.busy_until());
+  }
+}
+
+TEST(IoEngine, RoutingStripesZonesAndOffsets) {
+  sim::VirtualClock c;
+  IoEngine engine(&c, MultiChannel(4));
+  EXPECT_EQ(engine.unit_count(), 4u);
+  EXPECT_EQ(engine.UnitForZone(0), 0u);
+  EXPECT_EQ(engine.UnitForZone(5), 1u);
+  EXPECT_EQ(engine.UnitForZone(7), 3u);
+  // LBA striping at stripe_bytes granularity.
+  const u64 stripe = IoTopology{}.stripe_bytes;
+  EXPECT_EQ(engine.UnitForOffset(0), 0u);
+  EXPECT_EQ(engine.UnitForOffset(stripe - 1), 0u);
+  EXPECT_EQ(engine.UnitForOffset(stripe), 1u);
+  EXPECT_EQ(engine.UnitForOffset(5 * stripe), 1u);
+  // Serial topology routes everything to unit 0.
+  IoEngine serial(&c, IoTopology{});
+  EXPECT_EQ(serial.UnitForZone(13), 0u);
+  EXPECT_EQ(serial.UnitForOffset(123456789), 0u);
+}
+
+// Two requests on distinct units submitted at the same instant overlap:
+// both start at issue, and the device-wide horizon is the max, not the sum.
+TEST(IoEngine, DistinctUnitsOverlap) {
+  sim::VirtualClock c;
+  IoEngine engine(&c, MultiChannel(2));
+  const IoToken a = engine.Submit(0, 100, 0);
+  const IoToken b = engine.Submit(1, 80, 0);
+  EXPECT_EQ(a.start, 0u);
+  EXPECT_EQ(b.start, 0u);
+  EXPECT_EQ(a.completion, 100u);
+  EXPECT_EQ(b.completion, 80u);
+  EXPECT_EQ(engine.busy_until(), 100u);
+  // Same unit serializes.
+  const IoToken a2 = engine.Submit(0, 25, 0);
+  EXPECT_EQ(a2.start, 100u);
+  EXPECT_EQ(a2.completion, 125u);
+  engine.Complete(a, sim::IoMode::kBackground);
+  engine.Complete(b, sim::IoMode::kBackground);
+  engine.Complete(a2, sim::IoMode::kBackground);
+}
+
+// Queue-depth math: with qd requests outstanding against one unit, request
+// i starts exactly where request i-1 ended.
+TEST(IoEngine, DeterministicQueueing) {
+  sim::VirtualClock c;
+  IoEngine engine(&c, MultiChannel(1, 1, 64));
+  std::vector<IoToken> ts;
+  for (int i = 0; i < 8; ++i) ts.push_back(engine.Submit(0, 10, 0));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(ts[i].start, static_cast<SimNanos>(10 * i));
+    EXPECT_EQ(ts[i].completion, static_cast<SimNanos>(10 * (i + 1)));
+  }
+  EXPECT_EQ(engine.max_in_flight(), 8u);
+  for (const auto& t : ts) engine.Complete(t, sim::IoMode::kBackground);
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+// `issue_ts` gates service: the unit may be free, but the request cannot
+// start before its issue instant (the pipelined-GC write gated on its
+// feeding read's completion).
+TEST(IoEngine, IssueTimestampGatesStart) {
+  sim::VirtualClock c;
+  IoEngine engine(&c, MultiChannel(2));
+  const IoToken read = engine.Submit(0, 100, 0);
+  // Write to the *other* unit, issued when the read completes.
+  const IoToken write = engine.Submit(1, 50, read.completion);
+  EXPECT_EQ(write.start, 100u);
+  EXPECT_EQ(write.completion, 150u);
+  engine.Complete(read, sim::IoMode::kBackground);
+  engine.Complete(write, sim::IoMode::kBackground);
+}
+
+// Foreground completion after the clock moved past the issue instant
+// charges only the residual wait and still lands the clock on the
+// completion instant.
+TEST(IoEngine, OverlappedForegroundCompletion) {
+  sim::VirtualClock c;
+  IoEngine engine(&c, MultiChannel(2));
+  const IoToken t = engine.Submit(0, 100, 0);
+  // Unrelated work advances the clock while t is in flight.
+  c.Advance(60);
+  const sim::Served s = engine.Complete(t, sim::IoMode::kForeground);
+  EXPECT_EQ(s.completion, 100u);
+  EXPECT_EQ(c.Now(), 100u);  // residual 40ns reaped
+  // A completion already in the past must not move the clock backwards.
+  const IoToken t2 = engine.Submit(1, 10, 0);
+  const sim::Served s2 = engine.Complete(t2, sim::IoMode::kForeground);
+  EXPECT_EQ(s2.completion, 10u);
+  EXPECT_EQ(c.Now(), 100u);
+}
+
+// Abort retires the queue entry without advancing the clock; the unit's
+// media-time reservation stays (the die was busy).
+TEST(IoEngine, AbortKeepsReservationDropsEntry) {
+  sim::VirtualClock c;
+  IoEngine engine(&c, IoTopology{});
+  const IoToken t = engine.Submit(0, 500, 0);
+  EXPECT_EQ(engine.in_flight(), 1u);
+  engine.Abort(t);
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_EQ(c.Now(), 0u);
+  EXPECT_EQ(engine.busy_until(), 500u);
+  // The next request on the unit queues behind the aborted reservation.
+  const IoToken t2 = engine.Submit(0, 10, 0);
+  EXPECT_EQ(t2.start, 500u);
+  engine.Complete(t2, sim::IoMode::kBackground);
+}
+
+TEST(IoEngine, UtilizationCountersPerUnit) {
+  sim::VirtualClock c;
+  // Private registry: engines built on the process-wide sinks share their
+  // counters, which would leak counts across tests.
+  obs::Registry reg;
+  IoEngine engine(&c, MultiChannel(2), &reg);
+  engine.Complete(engine.Submit(0, 100, 0), sim::IoMode::kBackground);
+  engine.Complete(engine.Submit(1, 40, 0), sim::IoMode::kBackground);
+  engine.Complete(engine.Submit(1, 60, 0), sim::IoMode::kBackground);
+  EXPECT_EQ(engine.unit_busy_ns(0), 100u);
+  EXPECT_EQ(engine.unit_busy_ns(1), 100u);
+  EXPECT_EQ(engine.submitted(), 3u);
+}
+
+// --- device-level async surface -------------------------------------------
+
+zns::ZnsConfig SmallZns(u32 channels = 1) {
+  zns::ZnsConfig c;
+  c.zone_size = 256 * kKiB;
+  c.zone_capacity = 256 * kKiB;
+  c.zone_count = 8;
+  c.max_open_zones = 8;
+  c.max_active_zones = 8;
+  c.store_data = true;
+  c.topology.channels = channels;
+  c.topology.queue_depth = channels > 1 ? 16 : 1;
+  return c;
+}
+
+TEST(ZnsAsync, SubmitCompleteMatchesSyncWrite) {
+  sim::VirtualClock c1, c2;
+  zns::ZnsDevice sync_dev(SmallZns(), &c1);
+  zns::ZnsDevice async_dev(SmallZns(), &c2);
+  std::vector<std::byte> buf(4 * kKiB, std::byte{0xAB});
+
+  auto w = sync_dev.Write(0, 0, buf, sim::IoMode::kForeground);
+  ASSERT_TRUE(w.ok());
+
+  auto t = async_dev.SubmitWrite(0, 0, buf, c2.Now());
+  ASSERT_TRUE(t.ok());
+  auto done = async_dev.Complete(*t, sim::IoMode::kForeground);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->latency, w->latency);
+  EXPECT_EQ(done->completion, w->completion);
+  EXPECT_EQ(c1.Now(), c2.Now());
+}
+
+TEST(ZnsAsync, AppendsToDistinctZonesOverlapOnMultichannel) {
+  sim::VirtualClock c;
+  zns::ZnsDevice dev(SmallZns(/*channels=*/4), &c);
+  std::vector<std::byte> buf(16 * kKiB, std::byte{0x5A});
+  const SimNanos issue = c.Now();
+  std::vector<zns::ZnsDevice::PendingAppend> pending;
+  for (u64 zone = 0; zone < 4; ++zone) {
+    auto a = dev.SubmitAppend(zone, buf, issue);
+    ASSERT_TRUE(a.ok());
+    pending.push_back(*a);
+  }
+  // All four started at the same instant on distinct units.
+  SimNanos first_completion = pending[0].token.completion;
+  for (const auto& p : pending) {
+    EXPECT_EQ(p.token.start, issue);
+    EXPECT_EQ(p.token.completion, first_completion);
+  }
+  EXPECT_EQ(dev.engine().max_in_flight(), 4u);
+  for (const auto& p : pending) {
+    ASSERT_TRUE(dev.Complete(p.token, sim::IoMode::kBackground).ok());
+  }
+  // Serial topology serializes the same batch: horizon = 4x one append.
+  sim::VirtualClock cs;
+  zns::ZnsDevice serial(SmallZns(/*channels=*/1), &cs);
+  for (u64 zone = 0; zone < 4; ++zone) {
+    auto a = serial.SubmitAppend(zone, buf, 0);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(serial.Complete(a->token, sim::IoMode::kBackground).ok());
+  }
+  EXPECT_EQ(serial.engine().busy_until(), 4 * first_completion);
+}
+
+TEST(ZnsAsync, ReadsLandInCallerBufferAtSubmit) {
+  sim::VirtualClock c;
+  zns::ZnsDevice dev(SmallZns(), &c);
+  std::vector<std::byte> buf(4 * kKiB, std::byte{0x77});
+  ASSERT_TRUE(dev.Write(0, 0, buf, sim::IoMode::kBackground).ok());
+  std::vector<std::byte> out(4 * kKiB);
+  auto t = dev.SubmitRead(0, 0, out, c.Now());
+  ASSERT_TRUE(t.ok());
+  // Simulation contract: data lands at submit; the token models timing.
+  EXPECT_EQ(out, buf);
+  ASSERT_TRUE(dev.Complete(*t, sim::IoMode::kBackground).ok());
+}
+
+// A crash that fires between submit and complete halts the in-flight entry:
+// Complete refuses, the queue entry is retired, and the clock never moves.
+TEST(ZnsAsync, CrashHaltsInFlightCompletion) {
+  sim::VirtualClock c;
+  fault::FaultInjector faults(fault::FaultPlan{});
+  zns::ZnsConfig cfg = SmallZns();
+  cfg.faults = &faults;
+  zns::ZnsDevice dev(cfg, &c);
+  std::vector<std::byte> buf(4 * kKiB, std::byte{0x11});
+
+  // Crash after the 2nd device write: the 2nd submit succeeds (its effects
+  // are on media) but the machine is down before its completion is reaped.
+  faults.ArmCrash(2, fault::CrashMode::kAfterOp);
+  auto t1 = dev.SubmitWrite(0, 0, buf, c.Now());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(dev.Complete(*t1, sim::IoMode::kForeground).ok());
+  auto t2 = dev.SubmitWrite(0, buf.size(), buf, c.Now());
+  ASSERT_TRUE(t2.ok());
+  const SimNanos before = c.Now();
+  auto done = dev.Complete(*t2, sim::IoMode::kForeground);
+  EXPECT_FALSE(done.ok());
+  EXPECT_EQ(c.Now(), before);  // halted completion never advances time
+  EXPECT_EQ(dev.engine().in_flight(), 0u);  // entry retired, not leaked
+  // The data itself landed at submit (kAfterOp lets the write through).
+  std::vector<std::byte> out(buf.size());
+  faults.ClearCrash();
+  ASSERT_TRUE(dev.Read(0, buf.size(), out, sim::IoMode::kBackground).ok());
+  EXPECT_EQ(out, buf);
+}
+
+TEST(ZnsAsync, ZoneOpTokenFencesUnit) {
+  sim::VirtualClock c;
+  zns::ZnsDevice dev(SmallZns(), &c);
+  std::vector<std::byte> buf(4 * kKiB, std::byte{0x3C});
+  auto t = dev.SubmitWrite(0, 0, buf, c.Now());
+  ASSERT_TRUE(t.ok());
+  auto fence = dev.SubmitZoneOp(zns::ZnsDevice::ZoneOp::kFinish, 0);
+  ASSERT_TRUE(fence.ok());
+  // The zero-service fence completes when the unit drains.
+  EXPECT_GE(fence->completion, t->completion);
+  EXPECT_EQ(dev.GetZoneInfo(0).state, zns::ZoneState::kFull);
+  ASSERT_TRUE(dev.Complete(*t, sim::IoMode::kBackground).ok());
+  ASSERT_TRUE(dev.Complete(*fence, sim::IoMode::kBackground).ok());
+}
+
+}  // namespace
+}  // namespace zncache::io
