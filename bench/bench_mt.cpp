@@ -2,7 +2,13 @@
 //
 // Replays the CacheBench-style Zipf mix (50% get / 30% set / 20% delete)
 // from T host threads against a ShardedCache with T shards, for every
-// scheme, sweeping T over powers of two. Two throughput numbers come out:
+// scheme, sweeping T over powers of two. All scheme-level runs use the
+// multichannel 4x2 device topology (the qd-sweep reference point), so
+// thread scaling is measured with real channel overlap. A second,
+// read-heavy sweep (95/5 then read-only phases, ZNS schemes) asserts the
+// lock-free Get path in-binary and exports its scaling numbers in the
+// "read_heavy" section of BENCH_perf.json. Two throughput numbers come out
+// of the mixed sweep:
 //   * wall ops/s   — real host time for the replay; the scaling metric.
 //     One open zone per shard means shard flushes stripe across zones, so
 //     wall throughput should scale with threads on a multi-core host.
@@ -39,6 +45,7 @@
 
 #include <deque>
 
+#include "backends/middle_region_device.h"
 #include "bench/bench_util.h"
 #include "cache/sharded_cache.h"
 #include "common/random.h"
@@ -143,9 +150,11 @@ Status Replay(cache::ShardedCache* c, const MtConfig& cfg, u64 total_ops,
   return Status::Ok();
 }
 
-Result<MtResult> RunOne(SchemeKind kind, const MtConfig& cfg, u32 threads,
-                        bench::BenchObs& obs) {
-  sim::VirtualClock clock;
+Result<ShardedSchemeInstance> MakeBenchScheme(SchemeKind kind,
+                                              const MtConfig& cfg,
+                                              u32 threads,
+                                              bench::BenchObs& obs,
+                                              sim::VirtualClock* clock) {
   SchemeParams params;
   params.metrics = obs.metrics();
   params.tracer = obs.tracer();
@@ -153,6 +162,12 @@ Result<MtResult> RunOne(SchemeKind kind, const MtConfig& cfg, u32 threads,
   params.zone_size = bench::kZoneSize;
   params.region_size = bench::kRegionSize;
   params.min_empty_zones = 2;
+  // Multichannel by default: the thread sweep measures the lock-free read
+  // path with real channel overlap (4 channels x 2 planes, the qd-sweep
+  // reference topology), not the serial 1x1 device.
+  params.topology.channels = 4;
+  params.topology.planes_per_channel = 2;
+  params.topology.queue_depth = threads;
   params.cache_config.policy = cache::EvictionPolicy::kLru;
   params.cache_config.lru_sample = 512;
   params.cache_config.index_reserve = cfg.key_space;
@@ -166,7 +181,148 @@ Result<MtResult> RunOne(SchemeKind kind, const MtConfig& cfg, u32 threads,
   params.device_zones =
       kind == SchemeKind::kRegion ? std::max<u64>(25, 22 + region_open) : 0;
   params.shards = threads;
-  auto scheme = MakeShardedScheme(kind, params, &clock);
+  return MakeShardedScheme(kind, params, clock);
+}
+
+// --- read-heavy sweep -----------------------------------------------------
+//
+// The lock-free read path's scaling witness. Each run replays three phases
+// against a fresh scheme: a mixed populate phase (the standard 50/30/20
+// warmup), a measured 95% get / 5% set phase (the "read-heavy" throughput
+// number), and a measured read-only phase. In the read-only phase every Get
+// must complete lock-free — the run *fails* if the get_lockfree counter
+// delta diverges from the gets delta, or if any lock wait was charged —
+// which is the in-binary assertion that Get acquires no mutex on the hit
+// path. scripts/check_perf_scaling.py re-checks the exported numbers and
+// gates the t8/t1 read-only scaling ratio core-awarely.
+struct ReadHeavyResult {
+  u32 threads = 0;
+  u64 phase_ops = 0;               // ops per measured phase
+  double mixed_wall_ops_per_sec = 0;  // 95/5 phase
+  double ro_wall_ops_per_sec = 0;     // read-only phase
+  double ro_hit_ratio = 0;
+  u64 ro_gets = 0;          // engine gets in the read-only phase
+  u64 ro_get_lockfree = 0;  // must equal ro_gets
+  u64 ro_lock_waits = 0;    // must be 0
+  u64 ro_lock_wait_ns = 0;  // must be 0
+  u64 seqlock_retries = 0;  // middle-layer totals over the whole run
+  u64 epoch_defer = 0;
+};
+
+void ReadHeavyThread(cache::ShardedCache* c, const MtConfig& cfg, u64 ops,
+                     u64 seed, double get_fraction, Status* error) {
+  Rng rng(seed);
+  ZipfianGenerator zipf(cfg.key_space, cfg.zipf_theta);
+  std::vector<char> scratch(cfg.value_max, 'r');
+  for (u64 i = 0; i < ops; ++i) {
+    const u64 key_id = zipf.Next(rng);
+    const std::string key = workload::CacheBenchRunner::KeyName(key_id);
+    Result<cache::OpResult> r =
+        rng.NextDouble() < get_fraction
+            ? c->Get(key)
+            : c->Set(key, std::string_view(scratch.data(),
+                                           ValueSizeFor(key_id, cfg)));
+    if (!r.ok()) {
+      *error = r.status();
+      return;
+    }
+  }
+}
+
+Status ReplayReadHeavy(cache::ShardedCache* c, const MtConfig& cfg,
+                       u64 total_ops, u32 threads, u64 seed_base,
+                       double get_fraction) {
+  std::vector<std::thread> pool;
+  std::vector<Status> errors(threads, Status::Ok());
+  const u64 per_thread = total_ops / threads;
+  for (u32 t = 0; t < threads; ++t) {
+    const u64 ops =
+        t + 1 == threads ? total_ops - per_thread * (threads - 1) : per_thread;
+    pool.emplace_back(ReadHeavyThread, c, std::cref(cfg), ops, seed_base + t,
+                      get_fraction, &errors[t]);
+  }
+  for (auto& th : pool) th.join();
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Result<ReadHeavyResult> RunReadHeavy(SchemeKind kind, const MtConfig& cfg,
+                                     u32 threads, bench::BenchObs& obs) {
+  sim::VirtualClock clock;
+  auto scheme = MakeBenchScheme(kind, cfg, threads, obs, &clock);
+  if (!scheme.ok()) return scheme.status();
+
+  // Populate with the standard mixed churn so the index and zones look like
+  // a warm cache, then measure.
+  ZN_RETURN_IF_ERROR(
+      Replay(scheme->cache.get(), cfg, cfg.warmup_ops, threads, cfg.seed));
+
+  ReadHeavyResult out;
+  out.threads = threads;
+  out.phase_ops = cfg.ops;
+
+  auto wall_start = std::chrono::steady_clock::now();
+  ZN_RETURN_IF_ERROR(ReplayReadHeavy(scheme->cache.get(), cfg, cfg.ops,
+                                     threads, cfg.seed + 100 + threads, 0.95));
+  double wall_sec = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count();
+  out.mixed_wall_ops_per_sec =
+      wall_sec > 0 ? static_cast<double>(cfg.ops) / wall_sec : 0;
+
+  // Read-only phase: snapshot the counters, replay pure gets, and demand
+  // that every one of them went through the lock-free path.
+  const cache::ShardContentionStats pre = scheme->cache->TotalContention();
+  const cache::CacheStats pre_stats = scheme->cache->TotalStats();
+  wall_start = std::chrono::steady_clock::now();
+  ZN_RETURN_IF_ERROR(ReplayReadHeavy(scheme->cache.get(), cfg, cfg.ops,
+                                     threads, cfg.seed + 200 + threads, 1.0));
+  wall_sec = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           wall_start)
+                 .count();
+  const cache::ShardContentionStats post = scheme->cache->TotalContention();
+  const cache::CacheStats post_stats = scheme->cache->TotalStats();
+
+  out.ro_wall_ops_per_sec =
+      wall_sec > 0 ? static_cast<double>(cfg.ops) / wall_sec : 0;
+  out.ro_gets = post_stats.gets - pre_stats.gets;
+  out.ro_get_lockfree = post.get_lockfree - pre.get_lockfree;
+  out.ro_lock_waits = post.lock_waits - pre.lock_waits;
+  out.ro_lock_wait_ns = post.lock_wait_ns - pre.lock_wait_ns;
+  out.ro_hit_ratio =
+      out.ro_gets == 0
+          ? 0
+          : static_cast<double>(post_stats.hits - pre_stats.hits) /
+                static_cast<double>(out.ro_gets);
+  if (kind == SchemeKind::kRegion) {
+    const auto& layer =
+        static_cast<backends::MiddleRegionDevice*>(scheme->device.get())
+            ->layer();
+    out.seqlock_retries = layer.stats().seqlock_retries;
+    out.epoch_defer = layer.stats().epoch_defer;
+  }
+
+  if (out.ro_get_lockfree != out.ro_gets) {
+    return Status::Internal(
+        "read-only phase took a lock: get_lockfree " +
+        std::to_string(out.ro_get_lockfree) + " != gets " +
+        std::to_string(out.ro_gets));
+  }
+  if (out.ro_lock_waits != 0 || out.ro_lock_wait_ns != 0) {
+    return Status::Internal(
+        "read-only phase charged lock waits: " +
+        std::to_string(out.ro_lock_waits) + " waits / " +
+        std::to_string(out.ro_lock_wait_ns) + " ns");
+  }
+  return out;
+}
+
+Result<MtResult> RunOne(SchemeKind kind, const MtConfig& cfg, u32 threads,
+                        bench::BenchObs& obs) {
+  sim::VirtualClock clock;
+  auto scheme = MakeBenchScheme(kind, cfg, threads, obs, &clock);
   if (!scheme.ok()) return scheme.status();
 
   ZN_RETURN_IF_ERROR(
@@ -374,9 +530,30 @@ std::string QdJson(const QdResult& r) {
 // BENCH_perf.json: the repo's perf trajectory baseline. One row per
 // thread-sweep run (wall clock) plus the deterministic qd sweep (virtual
 // time), validated and gated by scripts/check_perf_scaling.py in CI.
+std::string ReadHeavyJson(const std::string& scheme,
+                          const ReadHeavyResult& r) {
+  std::string out = "{\"scheme\":\"" + obs::JsonEscape(scheme) + '"';
+  out += ",\"threads\":" + std::to_string(r.threads);
+  out += ",\"phase_ops\":" + std::to_string(r.phase_ops);
+  out += ",\"mixed_wall_ops_per_sec\":" +
+         obs::JsonNum(r.mixed_wall_ops_per_sec);
+  out += ",\"ro_wall_ops_per_sec\":" + obs::JsonNum(r.ro_wall_ops_per_sec);
+  out += ",\"ro_hit_ratio\":" + obs::JsonNum(r.ro_hit_ratio);
+  out += ",\"ro_gets\":" + std::to_string(r.ro_gets);
+  out += ",\"ro_get_lockfree\":" + std::to_string(r.ro_get_lockfree);
+  out += ",\"ro_lock_waits\":" + std::to_string(r.ro_lock_waits);
+  out += ",\"ro_lock_wait_ns\":" + std::to_string(r.ro_lock_wait_ns);
+  out += ",\"seqlock_retries\":" + std::to_string(r.seqlock_retries);
+  out += ",\"epoch_defer\":" + std::to_string(r.epoch_defer);
+  out += '}';
+  return out;
+}
+
 std::string PerfJsonForRuns(
     const std::vector<std::pair<std::string, MtResult>>& runs,
-    const std::vector<QdResult>& qd_runs, u32 cores) {
+    const std::vector<QdResult>& qd_runs,
+    const std::vector<std::pair<std::string, ReadHeavyResult>>& rh_runs,
+    u32 cores) {
   std::string out = "{\"bench\":\"bench_mt\",\"host_cores\":" +
                     std::to_string(cores) + ",\"runs\":[";
   bool first = true;
@@ -394,6 +571,11 @@ std::string PerfJsonForRuns(
   for (size_t i = 0; i < qd_runs.size(); ++i) {
     if (i != 0) out += ',';
     out += QdJson(qd_runs[i]);
+  }
+  out += "],\"read_heavy\":[";
+  for (size_t i = 0; i < rh_runs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += ReadHeavyJson(rh_runs[i].first, rh_runs[i].second);
   }
   out += "]}";
   return out;
@@ -621,6 +803,43 @@ int Run(int argc, char** argv) {
     PrintRule();
   }
 
+  // Read-heavy sweep: 95/5 then read-only phases per thread count, with
+  // the in-binary lock-free assertion (see RunReadHeavy). ZNS schemes only
+  // — they are what the lock-free read path was built for.
+  PrintHeader("Read-heavy sweep: lock-free Get scaling (95/5 + read-only)");
+  std::printf("%-14s %3s %14s %14s %8s %12s %9s %9s %7s\n", "Scheme", "T",
+              "95/5 ops/s", "ro ops/s", "ro hit", "ro lockfree", "ro waits",
+              "seqretry", "defer");
+  PrintRule();
+  std::vector<std::pair<std::string, ReadHeavyResult>> rh_runs;
+  const SchemeKind rh_kinds[] = {SchemeKind::kRegion, SchemeKind::kZone};
+  for (SchemeKind kind : rh_kinds) {
+    for (u32 threads = 1; threads <= max_threads; threads *= 2) {
+      const std::string run_name = std::string(SchemeName(kind)) + "/rh-t" +
+                                   std::to_string(threads);
+      obs.BeginRun(run_name);
+      auto r = RunReadHeavy(kind, cfg, threads, obs);
+      obs.EndRun();
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", run_name.c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "%-14s %3u %14.0f %14.0f %8.4f %12llu %9llu %9llu %7llu\n",
+          std::string(SchemeName(kind)).c_str(), r->threads,
+          r->mixed_wall_ops_per_sec, r->ro_wall_ops_per_sec, r->ro_hit_ratio,
+          static_cast<unsigned long long>(r->ro_get_lockfree),
+          static_cast<unsigned long long>(r->ro_lock_waits),
+          static_cast<unsigned long long>(r->seqlock_retries),
+          static_cast<unsigned long long>(r->epoch_defer));
+      rh_runs.emplace_back(std::string(SchemeName(kind)), *r);
+    }
+    PrintRule();
+  }
+  std::printf("read-only phases: every Get lock-free, zero lock waits "
+              "(asserted in-binary, gated by check_perf_scaling.py)\n");
+
   // Queue-depth sweep: deterministic virtual-time scaling of the async
   // device engine (see RunQdConfig). Runs after the wall-clock sweep so the
   // table reads baseline-first; gated by scripts/check_perf_scaling.py.
@@ -672,9 +891,11 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "failed writing BENCH_mt.json\n");
     return 1;
   }
-  if (WriteWholeFile("BENCH_perf.json", PerfJsonForRuns(runs, qd_runs, cores))) {
-    std::printf("[obs] wrote BENCH_perf.json (%zu runs, %zu qd points)\n",
-                runs.size(), qd_runs.size());
+  if (WriteWholeFile("BENCH_perf.json",
+                     PerfJsonForRuns(runs, qd_runs, rh_runs, cores))) {
+    std::printf("[obs] wrote BENCH_perf.json (%zu runs, %zu qd points, %zu "
+                "read-heavy)\n",
+                runs.size(), qd_runs.size(), rh_runs.size());
   } else {
     std::fprintf(stderr, "failed writing BENCH_perf.json\n");
     return 1;

@@ -41,7 +41,8 @@
 //            reference oracle; exit 0 = no divergence, 1 = diverged
 //   selftest [--seed= --ops= --schemes=block,file,zone,region
 //             --modes=plain,fault,crash --level=cache|middle|both
-//             --crash-points=N --shards=N --mutate=no-unpublished-pin
+//             --crash-points=N --shards=N
+//             --mutate=no-unpublished-pin|no-seqlock-retry
 //             --minimized-out=DIR --no-shrink --expect-failure]
 //            generate seeded histories and differentially check them;
 //            failing histories are shrunk to minimal repros
@@ -206,6 +207,8 @@ int CmdSelfTest(const Flags& flags) {
   const std::string mut = flags.GetString("mutate");
   if (mut == "no-unpublished-pin") {
     opts.mutate_no_pin = true;
+  } else if (mut == "no-seqlock-retry") {
+    opts.mutate_no_seqlock_retry = true;
   } else if (!mut.empty()) {
     std::fprintf(stderr, "selftest: unknown mutation: %s\n", mut.c_str());
     return 2;

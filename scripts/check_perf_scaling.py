@@ -18,7 +18,21 @@ Checks, in order:
      1-thread (the pre-refactor layer-wide lock already cleared that; a
      regression below it means the fine-grained locking got slower, not
      just unlucky scheduling).
-  4. Queue-depth sweep gates (virtual time, deterministic — independent of
+  4. Read-heavy sweep gates (the lock-free read path's witness):
+       a. schema: every read_heavy row carries the phase throughputs and
+          the read-only-phase counters.
+       b. lock-free assertion: in the read-only phase every Get must have
+          taken the lock-free path (ro_get_lockfree == ro_gets) and no
+          lock wait may have been charged (ro_lock_waits == 0,
+          ro_lock_wait_ns == 0). bench_mt already fails in-binary on a
+          violation; the gate re-checks the exported numbers so a stale or
+          hand-edited artifact cannot pass.
+       c. scaling (core-aware, Region-Cache read-only throughput): on a
+          host with at least 8 cores t8 must be at least 4x t1 — reads
+          share no locks, so they should scale near-linearly; on 2-7 core
+          hosts the 0.95x noise bound applies, and on a single-core host
+          the 0.70x regression bound.
+  5. Queue-depth sweep gates (virtual time, deterministic — independent of
      host cores; see docs/DEVICE_MODEL.md):
        a. serial compat: the 1x1 qd=1 s=1 baseline row must show exactly
           one unit at utilization 1.0 — the serial chain has no idle gaps,
@@ -102,8 +116,63 @@ def main() -> None:
         print("check_perf_scaling: single-core host; strict 8t>1t gate "
               "skipped, regression bound applied")
 
+    check_read_heavy(doc, cores)
     check_qd_sweep(doc)
     print("check_perf_scaling: OK")
+
+
+def check_read_heavy(doc, cores) -> None:
+    sweep = doc.get("read_heavy")
+    if not isinstance(sweep, list) or not sweep:
+        fail("read_heavy missing or empty (bench_mt should emit it)")
+
+    region = {}
+    for row in sweep:
+        for key in ("scheme", "threads", "mixed_wall_ops_per_sec",
+                    "ro_wall_ops_per_sec", "ro_gets", "ro_get_lockfree",
+                    "ro_lock_waits", "ro_lock_wait_ns"):
+            if key not in row:
+                fail(f"read_heavy row missing {key}: {row}")
+        if row["ro_wall_ops_per_sec"] <= 0 or row["mixed_wall_ops_per_sec"] <= 0:
+            fail(f"non-positive read_heavy throughput: {row}")
+        if row["ro_gets"] <= 0:
+            fail(f"read-only phase recorded no gets: {row}")
+        if row["ro_get_lockfree"] != row["ro_gets"]:
+            fail(f"read-only phase took a lock: get_lockfree "
+                 f"{row['ro_get_lockfree']} != gets {row['ro_gets']}: {row}")
+        if row["ro_lock_waits"] != 0 or row["ro_lock_wait_ns"] != 0:
+            fail(f"read-only phase charged lock waits: {row}")
+        if row["scheme"] == "Region-Cache":
+            region[row["threads"]] = row
+
+    if 1 not in region or 8 not in region:
+        fail(f"read_heavy missing Region-Cache 1- or 8-thread row "
+             f"(have {sorted(region)})")
+
+    t1 = region[1]["ro_wall_ops_per_sec"]
+    t8 = region[8]["ro_wall_ops_per_sec"]
+    ratio = t8 / t1
+    print(f"check_perf_scaling: read_heavy Region-Cache read-only "
+          f"t1={t1:.0f} t8={t8:.0f} ops/s ({ratio:.2f}x), "
+          f"seqlock_retries t8={region[8].get('seqlock_retries', 0)}")
+
+    if cores >= 8:
+        if ratio < 4.0:
+            fail(f"read-only 8-thread throughput only {ratio:.2f}x of "
+                 f"1-thread on a {cores}-core host (gate 4.0x: the "
+                 f"lock-free read path should scale near-linearly)")
+    elif cores >= 2:
+        if ratio < 0.95:
+            fail(f"{cores}-core host: read-only 8-thread throughput fell "
+                 f"to {ratio:.2f}x of 1-thread (bound 0.95x)")
+        print(f"check_perf_scaling: {cores}-core host; read-heavy 4x gate "
+              "relaxed to a 0.95x noise bound")
+    else:
+        if ratio < 0.70:
+            fail(f"single-core host: read-only 8-thread throughput "
+                 f"collapsed to {ratio:.2f}x of 1-thread (bound 0.70x)")
+        print("check_perf_scaling: single-core host; read-heavy 4x gate "
+              "skipped, regression bound applied")
 
 
 def check_qd_sweep(doc) -> None:

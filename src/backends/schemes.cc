@@ -95,6 +95,7 @@ Result<std::unique_ptr<cache::RegionDevice>> MakeDevice(
       c.zns.max_active_zones = static_cast<u32>(c.region_count);
       c.zns.store_data = params.store_data || params.persistent;
       c.zns.faults = params.faults;
+      c.use_zone_append = params.use_zone_append;
       if (c.region_count < 2) {
         return Status::InvalidArgument(
             "Zone-Cache needs at least two zone-sized regions");
@@ -128,7 +129,9 @@ Result<std::unique_ptr<cache::RegionDevice>> MakeDevice(
       c.middle.gc_valid_ratio = params.gc_valid_ratio;
       c.middle.open_zones = params.open_zones;
       c.middle.persist_headers = params.persistent;
+      c.middle.use_zone_append = params.use_zone_append;
       c.middle.mut_no_unpublished_pin = params.mut_no_unpublished_pin;
+      c.middle.mut_no_seqlock_retry = params.mut_no_seqlock_retry;
       auto dev = std::make_unique<MiddleRegionDevice>(c, clock);
       ZN_RETURN_IF_ERROR(dev->Init());
       out = std::move(dev);

@@ -55,6 +55,19 @@ struct SchemeParams {
   // Model-checking mutation knob, forwarded to the middle layer: reverts
   // the unpublished-slot pin (see MiddleLayerConfig). Harness only.
   bool mut_no_unpublished_pin = false;
+  // Model-checking mutation knob, forwarded to the middle layer: skips the
+  // seqlock recheck on the lock-free read path. Harness only.
+  bool mut_no_seqlock_retry = false;
+
+  // Write zone data with the NVMe Zone Append command instead of regular
+  // writes (Zone- and Region-Cache; Block-Cache has no zones and
+  // File-Cache's filesystem serializes its own log writes). The device
+  // assigns the in-zone offset, so concurrent writers need no per-zone
+  // offset coordination — appends to the same zone queue on the device
+  // instead of serializing on a host lock. Timing and data layout are
+  // identical to write-at-wp (the golden suites prove it); only the
+  // device's append_ops/write_ops split differs.
+  bool use_zone_append = true;
 
   // Payload retention (off for large-scale micro benchmarks; the cache
   // metadata and all timing/WA accounting are exact either way).

@@ -42,6 +42,11 @@ Result<cache::RegionIo> ZoneRegionDevice::WriteRegion(
   if (zns_->GetZoneInfo(id).write_pointer != 0) {
     ZN_RETURN_IF_ERROR(zns_->Reset(id));
   }
+  if (config_.use_zone_append) {
+    auto a = zns_->Append(id, data, mode);
+    if (!a.ok()) return a.status();
+    return cache::RegionIo{a->latency, a->completion};
+  }
   auto w = zns_->Write(id, 0, data, mode);
   if (!w.ok()) return w.status();
   return cache::RegionIo{w->latency, w->completion};
@@ -62,7 +67,9 @@ cache::RegionDevice::PendingRegionIo ZoneRegionDevice::SubmitWriteRegion(
     p.status = zns_->Reset(id);
     if (!p.status.ok()) return p;
   }
-  auto sub = zns_->BeginWrite(id, 0, data, zns_->clock()->Now());
+  auto sub = config_.use_zone_append
+                 ? zns_->BeginAppend(id, data, zns_->clock()->Now())
+                 : zns_->BeginWrite(id, 0, data, zns_->clock()->Now());
   if (!sub.status.ok()) {
     // A torn flush still occupies the zone's unit for the full transfer;
     // reap it here so the failure path costs what the blocking path did.

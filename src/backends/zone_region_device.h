@@ -15,6 +15,12 @@ namespace zncache::backends {
 
 struct ZoneRegionDeviceConfig {
   u64 region_count = 0;  // zones used by the cache (<= device zones)
+  // Write region payloads with Zone Append instead of write-at-wp: the
+  // device assigns the in-zone offset (always 0 here — region flushes land
+  // in freshly-reset zones), so concurrent flushes need no host-side
+  // offset coordination. Timing and layout are identical to regular
+  // writes; only the append_ops/write_ops counter split differs.
+  bool use_zone_append = false;
   zns::ZnsConfig zns;
 };
 

@@ -1,6 +1,7 @@
 #include "cache/flash_cache.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
@@ -386,11 +387,15 @@ Result<OpResult> FlashCache::Set(std::string_view key, std::string_view value) {
                       value.size()));
 }
 
-Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out) {
+Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out,
+                                 const std::function<void()>& upgrade) {
   obs::OpScope attr_op(config_.attribution, obs::OpType::kGet, clock_->Now());
   const SimNanos start = clock_->Now();
   Cpu(config_.index_op_ns, obs::Phase::kIndexLookup);
-  stats_.gets++;
+  // Every engine field Get touches goes through std::atomic_ref so the
+  // call can run concurrently with other Gets (ShardedCache's lock-free
+  // read path). Serially the values are bit-identical to plain updates.
+  std::atomic_ref<u64>(stats_.gets).fetch_add(1, std::memory_order_relaxed);
   c_gets_->Inc();
 
   auto it = index_.find(key);
@@ -398,11 +403,21 @@ Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out) {
     h_lookup_latency_->Record(clock_->Now() - start);
     return OpResult{false, clock_->Now() - start};
   }
-  it->second.hits++;
-  const IndexEntry entry = it->second;
-  access_seq_++;
-  if (config_.lru_sample <= 1 || access_seq_ % config_.lru_sample == 0) {
-    regions_[entry.rid].last_access = access_seq_;
+  std::atomic_ref<u32>(it->second.hits).fetch_add(1,
+                                                  std::memory_order_relaxed);
+  // Field-wise copy: a whole-struct copy would read `hits` plainly while a
+  // concurrent reader bumps it through the atomic_ref above.
+  IndexEntry entry;
+  entry.rid = it->second.rid;
+  entry.offset = it->second.offset;
+  entry.size = it->second.size;
+  const u64 seq =
+      std::atomic_ref<u64>(access_seq_).fetch_add(1,
+                                                  std::memory_order_relaxed) +
+      1;
+  if (config_.lru_sample <= 1 || seq % config_.lru_sample == 0) {
+    std::atomic_ref<u64>(regions_[entry.rid].last_access)
+        .store(seq, std::memory_order_relaxed);
   }
 
   if (entry.rid == open_rid_) {
@@ -430,9 +445,19 @@ Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out) {
       // purge everything it held. Anything else is transient: drop only
       // this lookup and keep the region.
       if (r.status().code() == StatusCode::kNotFound) {
-        HandleRegionLost(entry.rid);
+        if (upgrade) upgrade();
+        // While we waited for exclusivity another upgraded reader may have
+        // already handled the loss (freed or retired the slot); only the
+        // first one acts, so the loss is counted exactly once. Mutators
+        // cannot have resealed the slot in the window — the failing reader
+        // was still in flight, which excludes writers. Serially the region
+        // behind a device read is always sealed, so the guard never skips.
+        if (regions_[entry.rid].state == RegionState::kSealed) {
+          HandleRegionLost(entry.rid);
+        }
       } else {
-        stats_.read_errors++;
+        std::atomic_ref<u64>(stats_.read_errors)
+            .fetch_add(1, std::memory_order_relaxed);
         c_read_errors_->Inc();
       }
       h_lookup_latency_->Record(clock_->Now() - start);
@@ -440,7 +465,7 @@ Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out) {
     }
     if (value_out != nullptr) *value_out = std::move(scratch);
   }
-  stats_.hits++;
+  std::atomic_ref<u64>(stats_.hits).fetch_add(1, std::memory_order_relaxed);
   c_hits_->Inc();
   h_lookup_latency_->Record(clock_->Now() - start);
   return OpResult{true, clock_->Now() - start};

@@ -21,11 +21,19 @@
 // foreground mode). A bounded number of in-flight flush buffers provides
 // write backpressure, as in CacheLib.
 //
-// Thread-compatibility: an instance is not internally synchronized — it is
-// either confined to one thread or externally locked (ShardedCache guards
-// each engine with its shard mutex). The layers underneath (virtual clock,
-// region devices, metrics) are thread-safe, so independently-locked
-// instances can run concurrently over a shared backend.
+// Thread-compatibility: mutating calls (Set/Delete/Flush/Recover) are not
+// internally synchronized — they are either confined to one thread or
+// externally locked (ShardedCache guards each engine with its shard
+// writer exclusion). Get is different: it may run concurrently with other
+// Gets on the same engine as long as no mutator runs at the same time
+// (ShardedCache's reader/writer scheme guarantees exactly that). Under
+// that contract Get touches engine state only through atomics
+// (std::atomic_ref over the stats / per-item hit / recency fields) and
+// never mutates the index — except on the region-lost failure path, where
+// it first invokes the caller-supplied `upgrade` callback to promote
+// itself to exclusive access. The layers underneath (virtual clock,
+// region devices, metrics) are thread-safe, so concurrent readers and
+// independently-locked instances can share a backend.
 #pragma once
 
 #include <deque>
@@ -156,7 +164,17 @@ class FlashCache {
 
   // Lookup. `value_out` may be null when the caller only cares about
   // hit/miss (CacheBench does exactly that).
-  Result<OpResult> Get(std::string_view key, std::string* value_out = nullptr);
+  //
+  // `upgrade` supports the lock-free read path: when Get runs concurrently
+  // with other Gets (never with mutators — see the header comment), the
+  // callback is invoked before the region-lost cleanup mutates the index,
+  // and must promote the caller to exclusive engine access (block new
+  // readers, drain in-flight ones) before returning. With no callback
+  // (the default) the caller already holds exclusivity and cleanup runs
+  // directly. After an upgrade the cleanup re-checks the region state, so
+  // concurrent readers that all hit the same lost region clean it up once.
+  Result<OpResult> Get(std::string_view key, std::string* value_out = nullptr,
+                       const std::function<void()>& upgrade = {});
 
   // Remove the index entry (space is reclaimed at region eviction).
   Result<OpResult> Delete(std::string_view key);

@@ -1,6 +1,7 @@
 #include "cache/sharded_cache.h"
 
 #include <chrono>
+#include <thread>
 
 namespace zncache::cache {
 
@@ -41,6 +42,8 @@ ShardedCache::ShardedCache(const ShardedCacheConfig& config,
 
     shard->c_ops = obs::GetCounterOrSink(registry, engine.metric_prefix +
                                                        ".shard_ops");
+    shard->c_get_lockfree = obs::GetCounterOrSink(
+        registry, engine.metric_prefix + ".get_lockfree");
     shard->c_lock_waits =
         obs::GetCounterOrSink(registry, engine.metric_prefix + ".lock_waits");
     shard->c_lock_wait_ns = obs::GetCounterOrSink(
@@ -57,12 +60,27 @@ ShardedCache::ShardedCache(const ShardedCacheConfig& config,
 
 ShardedCache::~ShardedCache() { g_imbalance_->ClearProvider(); }
 
-std::unique_lock<std::mutex> ShardedCache::AcquireShard(Shard& s) {
+std::unique_lock<std::mutex> ShardedCache::LockShardContended(Shard& s) {
   std::unique_lock<std::mutex> lock(s.mu, std::try_to_lock);
+  u64 waited = 0;
   if (!lock.owns_lock()) {
     const u64 t0 = NowWallNanos();
     lock.lock();
-    const u64 waited = NowWallNanos() - t0;
+    waited = NowWallNanos() - t0;
+  }
+  // Writer half of the Dekker handshake: raise the flag, then drain the
+  // in-flight lock-free readers. The drain spin is blocked wall-clock
+  // caused by concurrency, so it is charged exactly like a held mutex.
+  s.writer.store(true, std::memory_order_seq_cst);
+  if (s.readers.load(std::memory_order_seq_cst) != 0) {
+    const u64 t0 = NowWallNanos();
+    while (s.readers.load(std::memory_order_seq_cst) != 0) {
+      std::this_thread::yield();
+    }
+    waited += NowWallNanos() - t0;
+    if (waited == 0) waited = 1;  // a drain always counts as contended
+  }
+  if (waited > 0) {
     s.c_lock_waits->Inc();
     s.c_lock_wait_ns->Inc(waited);
     // Wall-clock, not simulated: contention is a property of the host
@@ -70,6 +88,11 @@ std::unique_lock<std::mutex> ShardedCache::AcquireShard(Shard& s) {
     // reads as a wait. Contention-free acquisitions charge nothing.
     obs::ChargeLockWait(obs::Phase::kShardLockWait, waited);
   }
+  return lock;
+}
+
+std::unique_lock<std::mutex> ShardedCache::AcquireShard(Shard& s) {
+  auto lock = LockShardContended(s);
   s.c_ops->Inc();
   return lock;
 }
@@ -80,6 +103,7 @@ Result<OpResult> ShardedCache::Set(std::string_view key,
   Shard& s = ShardFor(key);
   auto lock = AcquireShard(s);
   auto result = s.engine->Set(key, value);
+  s.writer.store(false, std::memory_order_release);
   op.Finish(clock_->Now());
   return result;
 }
@@ -88,8 +112,39 @@ Result<OpResult> ShardedCache::Get(std::string_view key,
                                    std::string* value_out) {
   obs::OpScope op(attribution_, obs::OpType::kGet, clock_->Now());
   Shard& s = ShardFor(key);
-  auto lock = AcquireShard(s);
-  auto result = s.engine->Get(key, value_out);
+  // Reader half of the Dekker handshake: publish this reader, then check
+  // the writer flag. Both ends are seq_cst, so a writer that missed this
+  // reader's increment is observed here (and backed off from), and a
+  // reader that proceeds is observed by the writer's drain spin.
+  s.readers.fetch_add(1, std::memory_order_seq_cst);
+  if (s.writer.load(std::memory_order_seq_cst)) {
+    // A mutator holds (or is acquiring) the shard: leave the reader
+    // population so its drain completes, then queue behind the mutex.
+    s.readers.fetch_sub(1, std::memory_order_seq_cst);
+    auto lock = AcquireShard(s);
+    auto result = s.engine->Get(key, value_out);
+    s.writer.store(false, std::memory_order_release);
+    op.Finish(clock_->Now());
+    return result;
+  }
+  s.c_ops->Inc();
+  s.c_get_lockfree->Inc();
+  // Shared-mode engine call: no lock held. The engine invokes `upgrade`
+  // only when a device read reports a region's contents permanently gone
+  // and it must mutate its index — promote this thread to writer first.
+  std::unique_lock<std::mutex> up_lock;
+  bool upgraded = false;
+  auto result = s.engine->Get(key, value_out, [&] {
+    s.readers.fetch_sub(1, std::memory_order_seq_cst);
+    up_lock = LockShardContended(s);
+    upgraded = true;
+  });
+  if (upgraded) {
+    s.writer.store(false, std::memory_order_release);
+    up_lock.unlock();
+  } else {
+    s.readers.fetch_sub(1, std::memory_order_seq_cst);
+  }
   op.Finish(clock_->Now());
   return result;
 }
@@ -99,6 +154,7 @@ Result<OpResult> ShardedCache::Delete(std::string_view key) {
   Shard& s = ShardFor(key);
   auto lock = AcquireShard(s);
   auto result = s.engine->Delete(key);
+  s.writer.store(false, std::memory_order_release);
   op.Finish(clock_->Now());
   return result;
 }
@@ -106,7 +162,9 @@ Result<OpResult> ShardedCache::Delete(std::string_view key) {
 Status ShardedCache::Flush() {
   for (auto& shard : shards_) {
     auto lock = AcquireShard(*shard);
-    ZN_RETURN_IF_ERROR(shard->engine->Flush());
+    const Status st = shard->engine->Flush();
+    shard->writer.store(false, std::memory_order_release);
+    ZN_RETURN_IF_ERROR(st);
   }
   return Status::Ok();
 }
@@ -143,6 +201,7 @@ ShardContentionStats ShardedCache::TotalContention() const {
     total.ops += shard->c_ops->value();
     total.lock_waits += shard->c_lock_waits->value();
     total.lock_wait_ns += shard->c_lock_wait_ns->value();
+    total.get_lockfree += shard->c_get_lockfree->value();
   }
   return total;
 }

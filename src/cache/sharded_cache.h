@@ -12,16 +12,32 @@
 // open set, which is exactly the shard→zone mapping the paper's design
 // calls for (see docs/CONCURRENCY.md).
 //
-// Locking: one std::mutex per shard, taken for the full engine call.
-// Acquisitions first try_lock; a failed attempt counts as a lock wait and
-// the blocked wall-clock (not simulated) nanoseconds are recorded into the
-// per-shard contention counters ("<prefix>.s<i>.lock_waits" /
-// ".lock_wait_ns" / ".shard_ops"). Lock order: shard mutex → middle layer
-// → device → tracer; nothing call back up into a shard, so the order is
-// acyclic. The hinted-GC co-design is the one exception — its callback
-// runs under the middle layer's exclusive lock and purges an engine's
-// index, which against a *different* shard's engine would invert the
-// order — so the scheme factory wires hints only when shards == 1.
+// Locking: mutators (Set/Delete/Flush) take one std::mutex per shard for
+// the full engine call, then raise the shard's writer flag and drain
+// in-flight lock-free readers. Get takes no lock on its hot path: it
+// announces itself in the shard's reader count, checks the writer flag
+// (the classic Dekker store-then-load handshake, both ends seq_cst — at
+// least one side always observes the other), and calls the engine's
+// shared-mode Get, which touches engine state only through atomics. A
+// reader that sees the writer flag backs off to the mutex path; a reader
+// whose device read reports the region permanently gone upgrades itself
+// to writer (leave the reader count, take the mutex + flag) before the
+// engine mutates its index. Lock-free Gets are counted in
+// "<prefix>.get_lockfree".
+//
+// Contention accounting: lock_wait_ns is charged only on *contended*
+// acquisitions — a failed try_lock, or a writer spinning for the reader
+// drain — and records blocked wall-clock (not simulated) nanoseconds into
+// the per-shard counters ("<prefix>.s<i>.lock_waits" / ".lock_wait_ns" /
+// ".shard_ops"). Uncontended acquisitions and lock-free reads charge
+// nothing, so a read-only phase reports lock_wait_ns == 0.
+//
+// Lock order: shard mutex → middle layer → device → tracer; nothing calls
+// back up into a shard, so the order is acyclic. The hinted-GC co-design
+// is the one exception — its callback runs under the middle layer's
+// exclusive lock and purges an engine's index, which against a
+// *different* shard's engine would invert the order — so the scheme
+// factory wires hints only when shards == 1.
 //
 // With shards == 1 the front-end is a pass-through: one engine over an
 // identity slice, same call sequence, same virtual-clock advances — results
@@ -29,6 +45,7 @@
 // asserts this).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -55,9 +72,10 @@ struct ShardedCacheConfig {
 // simulated: lock waits are a property of the real machine running the
 // replay, and the paper's scaling claims are about host-side parallelism.
 struct ShardContentionStats {
-  u64 ops = 0;          // engine calls routed through the shard locks
-  u64 lock_waits = 0;   // acquisitions that found the shard lock held
-  u64 lock_wait_ns = 0; // wall-clock nanoseconds spent blocked
+  u64 ops = 0;           // engine calls routed through the shard locks
+  u64 lock_waits = 0;    // acquisitions that found the shard lock held
+  u64 lock_wait_ns = 0;  // wall-clock nanoseconds spent blocked
+  u64 get_lockfree = 0;  // Gets that completed without touching a mutex
 };
 
 class ShardedCache {
@@ -100,9 +118,15 @@ class ShardedCache {
   // Cache-line sized so neighbouring shards' mutexes never false-share.
   struct alignas(64) Shard {
     std::mutex mu;
+    // Dekker handshake with the lock-free readers: a reader increments
+    // `readers` then loads `writer`; a writer (mutex already held) stores
+    // `writer` then spins until `readers` drains. Both sides seq_cst.
+    std::atomic<u32> readers{0};
+    std::atomic<bool> writer{false};
     std::unique_ptr<RegionDeviceSlice> slice;
     std::unique_ptr<FlashCache> engine;
     obs::Counter* c_ops = nullptr;
+    obs::Counter* c_get_lockfree = nullptr;
     obs::Counter* c_lock_waits = nullptr;
     obs::Counter* c_lock_wait_ns = nullptr;
   };
@@ -110,7 +134,13 @@ class ShardedCache {
   Shard& ShardFor(std::string_view key) {
     return *shards_[ShardIndexFor(key)];
   }
-  // try_lock fast path; on contention, count the wait and block.
+  // Full writer exclusion (mutex + writer flag + reader drain), charging
+  // blocked wall-clock only when the acquisition actually contended. Does
+  // NOT count an op — AcquireShard adds that; the Get upgrade path calls
+  // this directly because its op was already counted lock-free.
+  std::unique_lock<std::mutex> LockShardContended(Shard& s);
+  // LockShardContended + one shard_ops count. Callers must clear
+  // `s.writer` (release) before the returned lock unlocks.
   std::unique_lock<std::mutex> AcquireShard(Shard& s);
 
   std::vector<std::unique_ptr<Shard>> shards_;

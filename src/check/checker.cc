@@ -62,6 +62,10 @@ HistoryConfig BaseConfig(const SelfTestOptions& opts,
       (level == Level::kMiddle || scheme == backends::SchemeKind::kRegion)) {
     c.mut_no_unpublished_pin = true;
   }
+  if (opts.mutate_no_seqlock_retry &&
+      (level == Level::kMiddle || scheme == backends::SchemeKind::kRegion)) {
+    c.mut_no_seqlock_retry = true;
+  }
   return c;
 }
 

@@ -43,6 +43,10 @@ struct SelfTestOptions {
   // unpublished-slot pin). Applied to Region-scheme and middle-level runs;
   // a healthy harness must then report failures.
   bool mutate_no_pin = false;
+  // Arm the deliberately-injected read-path bug (skips the seqlock recheck
+  // after the lock-free read copies its payload). Applied to Region-scheme
+  // and middle-level runs; a healthy harness must then report failures.
+  bool mutate_no_seqlock_retry = false;
   bool shrink_on_failure = true;
   u64 shrink_attempts = 400;
   // Directory for minimized .history repro files ("" = don't write).

@@ -128,6 +128,7 @@ std::string History::Serialize() const {
          " slots=" + std::to_string(c.slots) +
          " sb_pages=" + std::to_string(c.sb_pages) + "\n";
   if (c.mut_no_unpublished_pin) out += "mutation no-unpublished-pin\n";
+  if (c.mut_no_seqlock_retry) out += "mutation no-seqlock-retry\n";
   if (!c.plan.empty()) out += "plan " + c.plan + "\n";
   for (const Op& op : ops) {
     out += OpKindName(op.kind);
@@ -230,6 +231,8 @@ Result<History> History::Parse(std::string_view text) {
     if (kv.word == "mutation") {
       if (line.find("no-unpublished-pin") != std::string_view::npos) {
         h.config.mut_no_unpublished_pin = true;
+      } else if (line.find("no-seqlock-retry") != std::string_view::npos) {
+        h.config.mut_no_seqlock_retry = true;
       } else {
         return Status::InvalidArgument("unknown mutation: " +
                                        std::string(line));
@@ -394,13 +397,25 @@ History GenerateHistory(const HistoryConfig& config,
       op.kind = OpKind::kMGc;
     } else if (roll < 990 && options.allow_intrusions) {
       op.kind = OpKind::kIntrude;
-      const bool gc_point = rng.Uniform(10) < 3;
-      op.point = gc_point ? fault::HookPoint::kMiddleGcPrePublish
-                          : fault::HookPoint::kMiddleWritePrePublish;
+      const u64 which = rng.Uniform(10);
+      if (which < 3) {
+        op.point = fault::HookPoint::kMiddleGcPrePublish;
+      } else if (which < 6) {
+        // Inside a lock-free read's window: payload copied, seqlock not
+        // yet re-checked. An invalidate of the region being read forces
+        // the retry the mutation knob disables.
+        op.point = fault::HookPoint::kMiddleReadPreRetry;
+      } else {
+        op.point = fault::HookPoint::kMiddleWritePrePublish;
+      }
       op.after = 1 + rng.Uniform(4);
       // At the GC hook gc_mu_ is held, so a nested MaybeCollect would
-      // self-deadlock — intruders there only invalidate or read.
-      const u64 act = rng.Uniform(gc_point ? 2 : 3);
+      // self-deadlock — intruders there only invalidate or read; the read
+      // hook likewise holds a reader epoch slot, so it only invalidates
+      // or reads.
+      const bool no_gc_act =
+          op.point != fault::HookPoint::kMiddleWritePrePublish;
+      const u64 act = rng.Uniform(no_gc_act ? 2 : 3);
       op.act = act == 0   ? OpKind::kMInval
                : act == 1 ? OpKind::kMRead
                           : OpKind::kMGc;

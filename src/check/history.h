@@ -84,6 +84,7 @@ struct HistoryConfig {
   std::string plan;
   // Mutation knobs (deliberately injected bugs the harness must catch).
   bool mut_no_unpublished_pin = false;
+  bool mut_no_seqlock_retry = false;
 };
 
 struct History {

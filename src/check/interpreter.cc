@@ -82,6 +82,7 @@ class MiddleRun {
     ml_.min_empty_zones = c.min_empty;
     ml_.persist_headers = true;
     ml_.mut_no_unpublished_pin = c.mut_no_unpublished_pin;
+    ml_.mut_no_seqlock_retry = c.mut_no_seqlock_retry;
     ml_.metrics = &registry_;
     ml_.tracer = tracer_.get();
     layer_ = std::make_unique<middle::ZoneTranslationLayer>(ml_, device_.get());
@@ -217,6 +218,17 @@ class MiddleRun {
   void ExecIntrusion(const Op& op, fault::HookPoint point) {
     switch (op.act) {
       case OpKind::kMInval: {
+        // The read hook can fire nested inside another intrusion's window
+        // (a nested read during a write's pre-publish or GC-tail hook).
+        // Whether an invalidate of the in-flight write's region there
+        // beats or loses to the publish depends on which window we are
+        // nested in, which the hook point no longer identifies — skip the
+        // ambiguous combination; reads of other regions cover the
+        // mutation the hook exists for.
+        if (point == fault::HookPoint::kMiddleReadPreRetry &&
+            op.key == in_flight_rid_) {
+          break;
+        }
         // The GC pre-publish hook can fire from WriteRegion's tail
         // collection, which runs after the write's mapping published. An
         // intruder invalidate there orders AFTER the in-flight write, so
@@ -364,6 +376,7 @@ class CacheRun {
     params_.persistent = true;
     params_.shards = c.shards;
     params_.mut_no_unpublished_pin = c.mut_no_unpublished_pin;
+    params_.mut_no_seqlock_retry = c.mut_no_seqlock_retry;
     params_.metrics = &registry_;
     params_.tracer = tracer_.get();
     params_.faults = injector_.get();

@@ -63,6 +63,8 @@ std::string_view HookPointName(HookPoint p) {
       return "write-prepublish";
     case HookPoint::kMiddleGcPrePublish:
       return "gc-prepublish";
+    case HookPoint::kMiddleReadPreRetry:
+      return "read-preretry";
   }
   return "unknown";
 }
@@ -70,6 +72,7 @@ std::string_view HookPointName(HookPoint p) {
 Result<HookPoint> ParseHookPoint(std::string_view s) {
   if (s == "write-prepublish") return HookPoint::kMiddleWritePrePublish;
   if (s == "gc-prepublish") return HookPoint::kMiddleGcPrePublish;
+  if (s == "read-preretry") return HookPoint::kMiddleReadPreRetry;
   return Status::InvalidArgument("unknown hook point: " + std::string(s));
 }
 

@@ -65,8 +65,9 @@ enum class CrashMode : u8 {
 enum class HookPoint : u8 {
   kMiddleWritePrePublish = 0,  // host write landed, mapping not yet published
   kMiddleGcPrePublish = 1,     // GC copies landed, mappings not yet moved
+  kMiddleReadPreRetry = 2,     // payload copied, seqlock not yet re-checked
 };
-inline constexpr size_t kHookPointCount = 2;
+inline constexpr size_t kHookPointCount = 3;
 
 [[nodiscard]] std::string_view HookPointName(HookPoint p);
 [[nodiscard]] Result<HookPoint> ParseHookPoint(std::string_view s);
@@ -245,7 +246,7 @@ class FaultInjector {
   u64 crash_at_write_ = 0;  // 0 = no crash armed
   CrashMode crash_mode_ = CrashMode::kBeforeOp;
   u64 writes_seen_ = 0;
-  u64 hook_hits_[kHookPointCount] = {0, 0};
+  u64 hook_hits_[kHookPointCount] = {0, 0, 0};
   HookFn hook_;
 
   obs::Tracer* tracer_ = nullptr;

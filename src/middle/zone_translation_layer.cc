@@ -1,6 +1,7 @@
 #include "middle/zone_translation_layer.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <optional>
@@ -43,6 +44,11 @@ ZoneTranslationLayer::ZoneTranslationLayer(const MiddleLayerConfig& config,
     z.region_ids.assign(regions_per_zone_, kInvalidId);
   }
   zone_write_mu_ = std::make_unique<std::mutex[]>(device_->zone_count());
+  // Lock-free read side: per-region seqlock + packed location words (all
+  // zero = sequence stable, unmapped) and the reader-grace epoch slots.
+  seq_ = std::make_unique<std::atomic<u64>[]>(config_.region_slots);
+  loc_pub_ = std::make_unique<std::atomic<u64>[]>(config_.region_slots);
+  epoch_slots_ = std::make_unique<EpochSlot[]>(kEpochSlots);
 
   tracer_ = obs::ResolveTracer(config_.tracer);
   obs::Registry* reg = config_.metrics;
@@ -64,6 +70,9 @@ ZoneTranslationLayer::ZoneTranslationLayer(const MiddleLayerConfig& config,
   c_gc_skipped_rewritten_ =
       obs::GetCounterOrSink(reg, "middle.gc.skipped_rewritten");
   c_write_races_lost_ = obs::GetCounterOrSink(reg, "middle.write_races_lost");
+  c_seqlock_retries_ =
+      obs::GetCounterOrSink(reg, "middle.read.seqlock_retries");
+  c_epoch_defer_ = obs::GetCounterOrSink(reg, "middle.epoch_defer");
   g_degraded_zones_ = obs::GetGaugeOrSink(reg, "middle.degraded_zones");
 }
 
@@ -115,6 +124,125 @@ void ZoneTranslationLayer::ClearMapping(u64 region_id) {
   }
   z.region_ids[loc->slot] = kInvalidId;
   loc.reset();
+  PublishMapping(region_id);
+}
+
+void ZoneTranslationLayer::PublishMapping(u64 region_id) {
+  // Odd sequence = publish in progress. A reader that loads an even
+  // sequence, then the location, then the same even sequence again is
+  // guaranteed its payload read was against that exact mapping.
+  seq_[region_id].fetch_add(1, std::memory_order_acq_rel);
+  loc_pub_[region_id].store(PackLoc(mapping_[region_id]),
+                            std::memory_order_release);
+  seq_[region_id].fetch_add(1, std::memory_order_release);
+}
+
+int ZoneTranslationLayer::ClaimEpochSlot() {
+  static std::atomic<u32> next_hint{0};
+  static thread_local u32 hint =
+      next_hint.fetch_add(1, std::memory_order_relaxed) % kEpochSlots;
+  for (u32 i = 0; i < kEpochSlots; ++i) {
+    const u32 s = (hint + i) % kEpochSlots;
+    u64 claimed = global_epoch_.load(std::memory_order_seq_cst);
+    u64 expected = 0;
+    if (!epoch_slots_[s].epoch.compare_exchange_strong(
+            expected, claimed, std::memory_order_seq_cst)) {
+      continue;
+    }
+    // Revalidate: a reclaimer may have bumped the epoch and scanned this
+    // slot as free before the claim landed. Re-reading the global after
+    // the claim closes the race (seq_cst total order): either the scan saw
+    // the claim and deferred, or this load sees the bump — and the bump
+    // happens-after the unmap publication it guarded, so the reader cannot
+    // observe a mapping into the zone that reclaimer reset.
+    while (true) {
+      const u64 now = global_epoch_.load(std::memory_order_seq_cst);
+      if (now == claimed) {
+        hint = s;
+        return static_cast<int>(s);
+      }
+      epoch_slots_[s].epoch.store(now, std::memory_order_seq_cst);
+      claimed = now;
+    }
+  }
+  return -1;  // every slot busy: caller falls back to the shared-lock path
+}
+
+Status ZoneTranslationLayer::PerformZoneResetLocked(u64 zone) {
+  ZoneMeta& zm = zones_[zone];
+  obs::PhaseScope mgmt_scope(obs::Phase::kZoneMgmt);
+  const Status reset = device_->Reset(zone);
+  if (!reset.ok()) {
+    if (!device_->GetZoneInfo(zone).IsResettable()) {
+      // The zone wore out (or died) on this reset; nothing valid was left
+      // in it, so it retires with no data loss.
+      RetireZoneMeta(zone);
+      return Status::Ok();
+    }
+    return reset;  // transient reset failure: retry via a later GC
+  }
+  zm.bitmap.ClearAll();
+  std::fill(zm.region_ids.begin(), zm.region_ids.end(), kInvalidId);
+  zm.valid_count = 0;
+  zm.next_slot = 0;
+  stats_.zones_reset++;
+  c_zones_reset_->Inc();
+  return Status::Ok();
+}
+
+Status ZoneTranslationLayer::RequestZoneReset(u64 zone) {
+  ZoneMeta& zm = zones_[zone];
+  if (zm.reset_deferred) return Status::Ok();  // already queued
+  // Bump-then-scan: a reader whose claim the scan missed is guaranteed (by
+  // the seq_cst total order) to revalidate against the bumped epoch, and
+  // the bump happens-after the unmap publications that emptied this zone —
+  // so that reader can no longer reach the zone and resetting now is safe.
+  // A slot announcing an older epoch may still be copying zone bytes: the
+  // reset waits out the grace period on deferred_resets_.
+  const u64 e = global_epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  bool safe = true;
+  for (u32 s = 0; s < kEpochSlots; ++s) {
+    const u64 v = epoch_slots_[s].epoch.load(std::memory_order_seq_cst);
+    if (v != 0 && v < e) {
+      safe = false;
+      break;
+    }
+  }
+  // Serial runs never have an announced reader, so the reset lands here —
+  // the same program point as the pre-epoch design, keeping serial
+  // histories bit-identical.
+  if (safe) return PerformZoneResetLocked(zone);
+  zm.reset_deferred = true;
+  deferred_resets_.emplace_back(zone, e);
+  stats_.epoch_defer++;
+  c_epoch_defer_->Inc();
+  return Status::Ok();
+}
+
+void ZoneTranslationLayer::DrainDeferredResetsLocked() {
+  if (deferred_resets_.empty()) return;
+  for (size_t i = 0; i < deferred_resets_.size();) {
+    const u64 zone = deferred_resets_[i].first;
+    const u64 e = deferred_resets_[i].second;
+    bool safe = true;
+    for (u32 s = 0; s < kEpochSlots; ++s) {
+      const u64 v = epoch_slots_[s].epoch.load(std::memory_order_seq_cst);
+      if (v != 0 && v < e) {
+        safe = false;
+        break;
+      }
+    }
+    if (!safe) {
+      ++i;
+      continue;
+    }
+    zones_[zone].reset_deferred = false;
+    // A transient device failure just drops the entry: the zone stays FULL
+    // and fully invalid, so a later GC cycle reclaims it.
+    (void)PerformZoneResetLocked(zone);
+    deferred_resets_.erase(deferred_resets_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+  }
 }
 
 Status ZoneTranslationLayer::FinishIfFull(u64 zone) {
@@ -143,6 +271,9 @@ Status ZoneTranslationLayer::FinishIfFull(u64 zone) {
 
 Result<u64> ZoneTranslationLayer::ReserveSlot(bool for_gc,
                                               bool post_gc_rescan) {
+  // Zones whose deferred reset has ripened become empty — and reservable —
+  // here.
+  DrainDeferredResetsLocked();
   // A zone with in-flight reservations or a landed-but-unpublished slot is
   // never adopted as fresh: its bitmap does not yet account for the data
   // the concurrent writer is about to publish.
@@ -433,6 +564,7 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
 
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
+    DrainDeferredResetsLocked();
     zones_[w->zone].unpublished--;  // publish or lose: the pin ends here
     if (done.ok() && region_version_[region_id] == my_version) {
       ZoneMeta& zm = zones_[w->zone];
@@ -440,6 +572,7 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
       zm.region_ids[w->slot] = region_id;
       zm.valid_count++;
       mapping_[region_id] = RegionLocation{w->zone, w->slot};
+      PublishMapping(region_id);
     } else if (done.ok()) {
       // A newer write or an invalidate raced past this one; the slot just
       // written stays dead and GC reclaims it with its zone.
@@ -472,16 +605,66 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
 
 Result<RegionIoResult> ZoneTranslationLayer::ReadRegion(
     u64 region_id, u64 offset, std::span<std::byte> out) {
-  // Fast path under the shared lock: lookup + device read. Holding the lock
-  // across the read keeps GC from migrating the region or resetting its
-  // zone while the read is in flight.
+  if (region_id >= config_.region_slots) {
+    return Status::OutOfRange("region id beyond configured slots");
+  }
+  // Lock-free hot path: announce an epoch (so resets wait for this read),
+  // then seqlock-read the mapping around the device read. No mutex is
+  // taken unless the device read fails.
+  const int eslot = ClaimEpochSlot();
+  if (eslot < 0) return ReadRegionLockedFallback(region_id, offset, out);
+
+  for (u64 attempt = 0;; ++attempt) {
+    const u64 s1 = seq_[region_id].load(std::memory_order_acquire);
+    const u64 packed = loc_pub_[region_id].load(std::memory_order_acquire);
+    if ((packed & kLocMapped) == 0) {
+      ReleaseEpochSlot(eslot);
+      return Status::NotFound("region not mapped");
+    }
+    if (offset + out.size() > config_.region_size) {
+      ReleaseEpochSlot(eslot);
+      return Status::OutOfRange("read beyond region");
+    }
+    const RegionLocation loc = UnpackLoc(packed);
+    device_->clock()->Advance(config_.lookup_ns);
+    obs::ChargePhase(obs::Phase::kIndexLookup, config_.lookup_ns);
+    // Physical address = in-zone slot base (+ header) + in-region offset.
+    const u64 zone_offset =
+        loc.slot * slot_stride_ +
+        (config_.persist_headers ? kSlotHeaderBytes : 0) + offset;
+    auto r = device_->Read(loc.zone, zone_offset, out);
+    // Interleave hook: the payload is copied out but the sequence word has
+    // not been re-checked — exactly the window the retry loop protects.
+    // The model-checking harness schedules intruder invalidates/rewrites
+    // here (first attempt only, so a retried read does not re-fire them).
+    if (attempt == 0) {
+      if (auto* fi = device_->fault_injector()) {
+        fi->AtHook(fault::HookPoint::kMiddleReadPreRetry);
+      }
+    }
+    const u64 s2 = seq_[region_id].load(std::memory_order_acquire);
+    const bool torn = (s1 & 1) != 0 || s1 != s2;
+    if (!torn || config_.mut_no_seqlock_retry) {
+      ReleaseEpochSlot(eslot);
+      if (r.ok()) return RegionIoResult{r->latency, r->completion};
+      return ReadFailureLocked(region_id, loc, r.status());
+    }
+    // The mapping mutated while the payload was being read: the bytes may
+    // belong to the old location. Re-run against the new mapping.
+    std::atomic_ref<u64>(stats_.seqlock_retries)
+        .fetch_add(1, std::memory_order_relaxed);
+    c_seqlock_retries_->Inc();
+  }
+}
+
+Result<RegionIoResult> ZoneTranslationLayer::ReadRegionLockedFallback(
+    u64 region_id, u64 offset, std::span<std::byte> out) {
+  // Pre-seqlock path: lookup + device read under the shared lock, which
+  // exclusive-lock resets cannot interleave with.
   RegionLocation read_loc;
   Status read_status = Status::Ok();
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
-    if (region_id >= config_.region_slots) {
-      return Status::OutOfRange("region id beyond configured slots");
-    }
     const auto& loc = mapping_[region_id];
     if (!loc) return Status::NotFound("region not mapped");
     if (offset + out.size() > config_.region_size) {
@@ -489,7 +672,6 @@ Result<RegionIoResult> ZoneTranslationLayer::ReadRegion(
     }
     device_->clock()->Advance(config_.lookup_ns);
     obs::ChargePhase(obs::Phase::kIndexLookup, config_.lookup_ns);
-    // Physical address = in-zone slot base (+ header) + in-region offset.
     const u64 zone_offset =
         loc->slot * slot_stride_ +
         (config_.persist_headers ? kSlotHeaderBytes : 0) + offset;
@@ -498,7 +680,11 @@ Result<RegionIoResult> ZoneTranslationLayer::ReadRegion(
     read_loc = *loc;
     read_status = r.status();
   }
+  return ReadFailureLocked(region_id, read_loc, read_status);
+}
 
+Result<RegionIoResult> ZoneTranslationLayer::ReadFailureLocked(
+    u64 region_id, const RegionLocation& read_loc, Status read_status) {
   // Failure path: re-acquire exclusive (the mapping may need mutation).
   std::unique_lock<std::shared_mutex> lock(mu_);
   const u64 zone = read_loc.zone;
@@ -520,6 +706,7 @@ Result<RegionIoResult> ZoneTranslationLayer::ReadRegion(
 
 Status ZoneTranslationLayer::InvalidateRegion(u64 region_id) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  DrainDeferredResetsLocked();
   if (region_id >= config_.region_slots) {
     return Status::OutOfRange("region id beyond configured slots");
   }
@@ -530,28 +717,14 @@ Status ZoneTranslationLayer::InvalidateRegion(u64 region_id) {
     // with zero data movement (the Zone-Cache property, recovered here
     // whenever eviction order happens to align with zone layout). Skipped
     // while a migration snapshot of the zone is in flight; the publish
-    // phase performs the reset instead.
+    // phase performs the reset instead. The reset routes through the epoch
+    // gate: with a reader inside its grace period it is deferred, not
+    // performed under the reader.
     const u64 zone = loc->zone;
     if (zones_[zone].valid_count == 0 && !Pinned(zones_[zone]) &&
         !zones_[zone].gc_active &&
         device_->GetZoneInfo(zone).state == zns::ZoneState::kFull) {
-      obs::PhaseScope mgmt_scope(obs::Phase::kZoneMgmt);
-      const Status reset = device_->Reset(zone);
-      if (!reset.ok()) {
-        if (!device_->GetZoneInfo(zone).IsResettable()) {
-          // The zone wore out (or died) on this reset; nothing valid was
-          // left in it, so it retires with no data loss.
-          RetireZoneMeta(zone);
-          return Status::Ok();
-        }
-        return reset;  // transient reset failure: retry via a later GC
-      }
-      zones_[zone].bitmap.ClearAll();
-      std::fill(zones_[zone].region_ids.begin(),
-                zones_[zone].region_ids.end(), kInvalidId);
-      zones_[zone].next_slot = 0;
-      stats_.zones_reset++;
-      c_zones_reset_->Inc();
+      return RequestZoneReset(zone);
     }
   }
   return Status::Ok();
@@ -570,6 +743,9 @@ u64 ZoneTranslationLayer::PickGcVictim() const {
     // would migrate data and then fail to free anything.
     if (info.state != zns::ZoneState::kFull) continue;
     if (!info.IsResettable() || zones_[z].retired) continue;
+    // A reset-deferred zone is already fully invalid and queued for erase;
+    // migrating out of it would copy dead data.
+    if (zones_[z].reset_deferred) continue;
     // A just-filled zone may hold a landed write whose mapping is not yet
     // published (valid_count understates it); collecting it would reset
     // live data. It becomes a victim once the publish lands.
@@ -731,6 +907,7 @@ Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
     nz.region_ids[m.new_loc.slot] = m.region_id;
     nz.valid_count++;
     mapping_[m.region_id] = m.new_loc;
+    PublishMapping(m.region_id);
     moved++;
     stats_.migrated_regions++;
     stats_.migrated_bytes += rsz;
@@ -766,19 +943,9 @@ Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
   if (device_->GetZoneInfo(zone).state != zns::ZoneState::kFull) {
     return Status::Ok();  // already reset by a concurrent invalidate
   }
-  const Status reset = device_->Reset(zone);
-  if (!reset.ok()) {
-    if (!device_->GetZoneInfo(zone).IsResettable()) {
-      RetireZoneMeta(zone);  // wore out on its final erase; nothing lost
-    }
-    return Status::Ok();  // transient reset failure: retried later
-  }
-  zm.bitmap.ClearAll();
-  std::fill(zm.region_ids.begin(), zm.region_ids.end(), kInvalidId);
-  zm.valid_count = 0;
-  zm.next_slot = 0;
-  stats_.zones_reset++;
-  c_zones_reset_->Inc();
+  // Reset through the epoch gate; a transient device failure just leaves
+  // the fully-invalid zone for a later cycle.
+  (void)RequestZoneReset(zone);
   return Status::Ok();
 }
 
@@ -887,6 +1054,7 @@ Status ZoneTranslationLayer::Recover() {
     if (!best[rid]) continue;
     const RegionLocation loc = best[rid]->loc;
     mapping_[rid] = loc;
+    PublishMapping(rid);
     zones_[loc.zone].bitmap.Set(loc.slot);
     zones_[loc.zone].region_ids[loc.slot] = rid;
     zones_[loc.zone].valid_count++;
@@ -930,6 +1098,7 @@ Status ZoneTranslationLayer::CollectLoopLocked() {
     u64 empty_before = 0;
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
+      DrainDeferredResetsLocked();
       if (device_->EmptyZoneCount() >= config_.min_empty_zones) break;
       victim = PickGcVictim();
       if (victim == kInvalidId) break;

@@ -23,13 +23,34 @@
 // The layer's write-amplification factor is (host region bytes + migrated
 // bytes) / host region bytes; with no migrations it is exactly 1.
 //
-// Thread-safety — fine-grained, device I/O never under the layer lock:
+// Thread-safety — fine-grained, device I/O never under the layer lock, and
+// the read hot path takes NO lock at all:
 //
 //   * `mu_` (shared_mutex) guards only metadata: the mapping table, bitmaps,
-//     open-zone set, per-region versions and stats. ReadRegion still holds
-//     it *shared* across the device read, so GC can never reset a zone out
-//     from under an in-flight read; but writes no longer hold it across
-//     device I/O.
+//     open-zone set, per-region versions and stats. ReadRegion does not
+//     take it on the hot path — see the seqlock/epoch scheme below; only
+//     read *failures* (offline zone cleanup) re-acquire it exclusive.
+//   * ReadRegion hot path (lock-free): each region has a seqlock — an
+//     even/odd sequence word bumped around every mapping mutation — and a
+//     packed atomic (mapped, zone, slot) publication word. A reader loads
+//     the sequence, the location, performs the device read (itself
+//     lock-free), and re-checks the sequence; a change means the mapping
+//     mutated mid-read and the read retries (`seqlock_retries`). Torn
+//     locations are impossible (the location is one atomic word); the
+//     seqlock exists to order the *payload* read against remap/invalidate.
+//   * Zone resets vs in-flight readers (epoch grace): before the device
+//     read, a reader claims one of a fixed array of padded epoch slots
+//     with the current `global_epoch_` (CAS + revalidation loop, seq_cst).
+//     Every zone reset routes through RequestZoneReset: bump the global
+//     epoch, scan the slots, and reset immediately only if no reader
+//     announced an older epoch — otherwise the reset is *deferred*
+//     (`epoch_defer`, `ZoneMeta::reset_deferred`) and drained later, under
+//     the exclusive lock, once the grace period has passed (invalidate /
+//     write-publish / slot-reserve / GC-loop all drain). Serial runs never
+//     have an announced reader, so the reset happens immediately at the
+//     identical program point — bit-identical to the locked design. If all
+//     epoch slots are busy the reader falls back to the old shared-lock
+//     path, which exclusive-lock resets cannot interleave with.
 //   * WriteRegion runs a reserve / write / publish protocol: a short
 //     exclusive section clears the old mapping, captures the region's
 //     version token and reserves a slot in an open zone (`ZoneMeta::pending`
@@ -56,15 +77,21 @@
 //     performs it instead.
 //
 // Lock order: gc_mu_ → mu_ → zone_write_mu_[z] → device → tracer/registry.
+// Epoch slots and seqlock words are not locks: claiming or publishing them
+// never blocks, so they sit outside the order (a reader holding an epoch
+// slot may take mu_ on its failure path; the drain never waits for slots,
+// it skips zones whose grace period is still open).
 // The GcHintProvider callback runs under the exclusive layer lock and must
 // not call back into this layer (FlashCache::DropRegion does not).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/bitmap.h"
@@ -108,6 +135,13 @@ struct MiddleLayerConfig {
   // data-loss race the pin closed. The harness arms this to prove it can
   // detect the bug class; production code must never set it.
   bool mut_no_unpublished_pin = false;
+  // MUTATION KNOB — model-checking harness only. Breaks the lock-free read
+  // path's seqlock retry loop: ReadRegion stops re-checking the per-region
+  // sequence word after the device read, so a mapping mutated mid-read
+  // (invalidate/rewrite) is served as stale data instead of retried. The
+  // harness arms this to prove the differential oracle catches the bug
+  // class; production code must never set it.
+  bool mut_no_seqlock_retry = false;
   // Observability sinks; nullptr selects the process-wide defaults.
   obs::Registry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
@@ -144,6 +178,8 @@ struct MiddleStats {
   // Fine-grained-locking outcomes (always 0 in serial runs).
   u64 gc_skipped_rewritten = 0;  // migrated copies discarded: region changed
   u64 write_races_lost = 0;      // host writes unpublished: newer intent won
+  u64 seqlock_retries = 0;       // lock-free reads re-run: mapping mutated
+  u64 epoch_defer = 0;           // zone resets deferred past reader grace
 
   double WriteAmplification() const {
     return host_bytes == 0
@@ -247,6 +283,11 @@ class ZoneTranslationLayer {
     // AbandonZone found live reservations; the last writer to drain
     // performs the deferred best-effort finish.
     bool finish_deferred = false;
+    // RequestZoneReset found in-flight readers inside the grace period; the
+    // device reset waits on deferred_resets_. The zone still holds stale
+    // but readable bytes, so GC victim selection and empty-zone adoption
+    // skip it until the drain lands.
+    bool reset_deferred = false;
     bool retired = false;    // degraded zone, permanently out of service
   };
 
@@ -294,6 +335,21 @@ class ZoneTranslationLayer {
   // Delete a region's mapping and bump its version so any in-flight write
   // or migration of the old contents loses the publish race.
   void ClearMapping(u64 region_id);
+  // Re-publish mapping_[region_id] into the lock-free read side: bump the
+  // region's seqlock odd, store the packed location word, bump it even.
+  void PublishMapping(u64 region_id);
+  // Reset `zone` now if no in-flight reader is inside the grace period,
+  // else queue it on deferred_resets_ (epoch_defer). Clears the zone's
+  // layer metadata on an immediate reset; a deferred one keeps it until
+  // DrainDeferredResetsLocked lands the device reset.
+  Status RequestZoneReset(u64 zone);
+  // The actual device reset + metadata clear (bitmap, region_ids,
+  // next_slot, zones_reset stats). Wear-out retires the zone.
+  Status PerformZoneResetLocked(u64 zone);
+  // Land every deferred reset whose readers have all passed. Called from
+  // the exclusive sections of invalidate / write-publish / slot-reserve /
+  // the GC loop; O(1) when nothing is queued (the serial case).
+  void DrainDeferredResetsLocked();
   // Finish zones that cannot fit another region.
   Status FinishIfFull(u64 zone);
   u64 PickGcVictim() const;
@@ -339,6 +395,34 @@ class ZoneTranslationLayer {
 
   SimNanos Now() const { return device_->clock()->Now(); }
 
+  // --- lock-free read-path helpers ---
+  // Packed (mapped, zone, slot) publication word: bit 63 = mapped, bits
+  // 24..62 = zone, bits 0..23 = slot.
+  static constexpr u64 kLocMapped = 1ULL << 63;
+  static constexpr u64 PackLoc(const std::optional<RegionLocation>& loc) {
+    return loc ? (kLocMapped | (loc->zone << 24) | loc->slot) : 0;
+  }
+  static constexpr RegionLocation UnpackLoc(u64 packed) {
+    return RegionLocation{(packed & ~kLocMapped) >> 24,
+                          packed & ((1ULL << 24) - 1)};
+  }
+  // Claim an epoch slot with the current global epoch (CAS + revalidation
+  // against concurrent epoch bumps); -1 when every slot is busy and the
+  // caller must fall back to the shared-lock read path.
+  int ClaimEpochSlot();
+  void ReleaseEpochSlot(int slot) {
+    epoch_slots_[slot].epoch.store(0, std::memory_order_release);
+  }
+  // The pre-seqlock shared-lock read path, kept as the fallback when no
+  // epoch slot is free (and as the TSan-visible proof of equivalence).
+  Result<RegionIoResult> ReadRegionLockedFallback(u64 region_id, u64 offset,
+                                                  std::span<std::byte> out);
+  // Read-failure slow path: re-acquire mu_ exclusive, unmap regions whose
+  // zone went offline, else surface the device status unchanged.
+  Result<RegionIoResult> ReadFailureLocked(u64 region_id,
+                                           const RegionLocation& read_loc,
+                                           Status read_status);
+
   // The unpublished-slot pin (every reset/adoption path must treat the
   // zone as live). Centralized so the harness's mutation knob can revert
   // it in one place.
@@ -365,6 +449,24 @@ class ZoneTranslationLayer {
   // Writers and GC capture it before device I/O and publish only if it is
   // unchanged, so the latest intent always wins.
   std::vector<u64> region_version_;
+  // Lock-free read-side mirror of mapping_: per-region seqlock word (even =
+  // stable, odd = publish in progress) and packed location word. Mutated
+  // only via PublishMapping under mu_ exclusive; read with acquire loads.
+  std::unique_ptr<std::atomic<u64>[]> seq_;
+  std::unique_ptr<std::atomic<u64>[]> loc_pub_;
+  // Reader-grace epochs. A reader CAS-claims a slot with the current
+  // global_epoch_ for the duration of its device read; RequestZoneReset
+  // bumps the epoch and defers the reset while any slot holds an older
+  // epoch. Slots are cache-line padded — claiming is the only cross-thread
+  // write traffic on the read path.
+  static constexpr u32 kEpochSlots = 64;
+  struct alignas(64) EpochSlot {
+    std::atomic<u64> epoch{0};  // 0 = free
+  };
+  std::unique_ptr<EpochSlot[]> epoch_slots_;
+  std::atomic<u64> global_epoch_{2};
+  // Deferred zone resets: {zone, epoch at deferral}. Guarded by mu_.
+  std::vector<std::pair<u64, u64>> deferred_resets_;
   std::vector<ZoneMeta> zones_;
   // One write mutex per zone: serializes write-pointer reads and writes to
   // the same zone without serializing distinct zones against each other.
@@ -396,6 +498,8 @@ class ZoneTranslationLayer {
   obs::Counter* c_write_retries_ = nullptr;
   obs::Counter* c_gc_skipped_rewritten_ = nullptr;
   obs::Counter* c_write_races_lost_ = nullptr;
+  obs::Counter* c_seqlock_retries_ = nullptr;
+  obs::Counter* c_epoch_defer_ = nullptr;
   obs::Gauge* g_degraded_zones_ = nullptr;
 };
 

@@ -32,11 +32,15 @@ ZnsDevice::ZnsDevice(const ZnsConfig& config, sim::VirtualClock* clock)
     : config_(config),
       engine_(clock, config.topology, config.metrics, "zns.io.") {
   zones_.resize(config_.zone_count);
+  zone_pub_ = std::make_unique<std::atomic<u64>[]>(config_.zone_count);
   for (u64 i = 0; i < config_.zone_count; ++i) {
     zones_[i].id = i;
     zones_[i].size = config_.zone_size;
     zones_[i].capacity = config_.zone_capacity;
+    zone_pub_[i].store(PackZone(ZoneState::kEmpty, 0),
+                       std::memory_order_relaxed);
   }
+  empty_zones_.store(config_.zone_count, std::memory_order_relaxed);
   if (config_.store_data) {
     data_.resize(config_.zone_count * config_.zone_size);
   }
@@ -76,6 +80,7 @@ Status ZnsDevice::EnsureWritable(ZoneInfo& z) {
         return Status::Unavailable("max active zones reached");
       }
       z.state = ZoneState::kImplicitOpen;
+      empty_zones_.fetch_sub(1, std::memory_order_relaxed);
       open_zones_++;
       active_zones_++;
       c_zone_opens_->Inc();
@@ -124,7 +129,11 @@ Status ZnsDevice::TransitionZoneLocked(u64 zone, ZoneState to) {
     if (z.IsActive()) active_zones_--;
     degraded_zones_++;
   }
+  if (z.state == ZoneState::kEmpty) {
+    empty_zones_.fetch_sub(1, std::memory_order_relaxed);
+  }
   z.state = to;
+  PublishZone(z);
   if (to == ZoneState::kOffline) {
     if (std::byte* dst = ZoneData(zone)) {
       std::memset(dst, 0, config_.zone_size);
@@ -183,6 +192,7 @@ Status ZnsDevice::SubmitWriteLocked(u64 zone, u64 offset,
     }
     z.write_pointer += torn_keep;
     if (z.write_pointer == z.capacity) MarkFull(z);
+    PublishZone(z);
     stats_.flash_bytes_written += torn_keep;
     c_device_bytes_->Inc(torn_keep);
     *out = engine_.Submit(engine_.UnitForZone(zone),
@@ -197,6 +207,9 @@ Status ZnsDevice::SubmitWriteLocked(u64 zone, u64 offset,
   }
   z.write_pointer += data.size();
   if (z.write_pointer == z.capacity) MarkFull(z);
+  // Release-publish AFTER the payload memcpy: a lock-free reader that
+  // observes the advanced write pointer also observes the bytes behind it.
+  PublishZone(z);
 
   stats_.host_bytes_written += data.size();
   stats_.flash_bytes_written += data.size();
@@ -252,28 +265,28 @@ Result<AppendResult> ZnsDevice::Append(u64 zone,
 
 Result<IoResult> ZnsDevice::Read(u64 zone, u64 offset,
                                  std::span<std::byte> out, sim::IoMode mode) {
-  // Reads run concurrently under a shared lock; an attached fault injector
-  // can transition zones mid-read, which needs the exclusive lock instead.
-  std::shared_lock<std::shared_mutex> shared(mu_, std::defer_lock);
+  // Lock-free: one acquire load of the zone's published (state, wp) word is
+  // the whole synchronization. Callers above the device guarantee the zone
+  // is not reset-and-rewritten under an in-flight read (ZTL epoch grace /
+  // per-shard writer exclusion), so the payload memcpy races with nothing.
+  // An attached fault injector can transition zones mid-read, which needs
+  // the exclusive lock instead.
   std::unique_lock<std::shared_mutex> exclusive(mu_, std::defer_lock);
-  if (config_.faults == nullptr) {
-    shared.lock();
-  } else {
-    exclusive.lock();
-  }
+  if (config_.faults != nullptr) exclusive.lock();
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   if (out.empty()) return Status::InvalidArgument("empty read");
   SimNanos extra_latency = 0;
   ZN_RETURN_IF_ERROR(ApplyFaults(fault::FaultOp::kRead, zone, out.size(),
                                  &extra_latency, nullptr));
-  const ZoneInfo& z = zones_[zone];
-  if (z.state == ZoneState::kOffline) {
+  const u64 snap = zone_pub_[zone].load(std::memory_order_acquire);
+  const ZoneState state = UnpackState(snap);
+  if (state == ZoneState::kOffline) {
     return Status::Unavailable("zone offline");
   }
-  if (offset + out.size() > z.capacity) {
+  if (offset + out.size() > config_.zone_capacity) {
     return Status::OutOfRange("read beyond zone capacity");
   }
-  if (z.state != ZoneState::kFull && offset + out.size() > z.write_pointer) {
+  if (state != ZoneState::kFull && offset + out.size() > UnpackWp(snap)) {
     return Status::OutOfRange("read beyond write pointer");
   }
   if (const std::byte* src = ZoneData(zone)) {
@@ -281,7 +294,7 @@ Result<IoResult> ZnsDevice::Read(u64 zone, u64 offset,
   } else {
     std::memset(out.data(), 0, out.size());
   }
-  // Shared-lock path: counters bump atomically so parallel reads never lose
+  // Lock-free path: counters bump atomically so parallel reads never lose
   // increments.
   std::atomic_ref<u64>(stats_.bytes_read)
       .fetch_add(out.size(), std::memory_order_relaxed);
@@ -345,26 +358,24 @@ Result<ZnsDevice::PendingAppend> ZnsDevice::SubmitAppend(
 Result<io::IoToken> ZnsDevice::SubmitRead(u64 zone, u64 offset,
                                           std::span<std::byte> out,
                                           SimNanos issue_ts) {
-  std::shared_lock<std::shared_mutex> shared(mu_, std::defer_lock);
+  // Mirrors Read(): lock-free off one published-word snapshot unless a
+  // fault injector is attached.
   std::unique_lock<std::shared_mutex> exclusive(mu_, std::defer_lock);
-  if (config_.faults == nullptr) {
-    shared.lock();
-  } else {
-    exclusive.lock();
-  }
+  if (config_.faults != nullptr) exclusive.lock();
   ZN_RETURN_IF_ERROR(ValidateZoneId(zone));
   if (out.empty()) return Status::InvalidArgument("empty read");
   SimNanos extra_latency = 0;
   ZN_RETURN_IF_ERROR(ApplyFaults(fault::FaultOp::kRead, zone, out.size(),
                                  &extra_latency, nullptr));
-  const ZoneInfo& z = zones_[zone];
-  if (z.state == ZoneState::kOffline) {
+  const u64 snap = zone_pub_[zone].load(std::memory_order_acquire);
+  const ZoneState state = UnpackState(snap);
+  if (state == ZoneState::kOffline) {
     return Status::Unavailable("zone offline");
   }
-  if (offset + out.size() > z.capacity) {
+  if (offset + out.size() > config_.zone_capacity) {
     return Status::OutOfRange("read beyond zone capacity");
   }
-  if (z.state != ZoneState::kFull && offset + out.size() > z.write_pointer) {
+  if (state != ZoneState::kFull && offset + out.size() > UnpackWp(snap)) {
     return Status::OutOfRange("read beyond write pointer");
   }
   if (const std::byte* src = ZoneData(zone)) {
@@ -444,9 +455,14 @@ Status ZnsDevice::Reset(u64 zone) {
   }
   if (z.IsOpen()) open_zones_--;
   if (z.IsActive()) active_zones_--;
+  if (z.state != ZoneState::kEmpty) {
+    empty_zones_.fetch_add(1, std::memory_order_relaxed);
+  }
   z.state = ZoneState::kEmpty;
   z.write_pointer = 0;
-  z.reset_count++;
+  // reset_count is read by lock-free GetZoneInfo snapshots.
+  std::atomic_ref<u64>(z.reset_count).fetch_add(1, std::memory_order_relaxed);
+  PublishZone(z);
   stats_.zone_resets++;
   c_zone_resets_->Inc();
   // The erase runs in the background; the op that triggered it pays later
@@ -471,10 +487,12 @@ Status ZnsDevice::Finish(u64 zone) {
   // readable data past the old write pointer.
   if (z.state == ZoneState::kEmpty) {
     active_zones_++;  // MarkFull will decrement.
+    empty_zones_.fetch_sub(1, std::memory_order_relaxed);
     z.state = ZoneState::kClosed;
   }
   MarkFull(z);
   z.write_pointer = z.capacity;
+  PublishZone(z);
   stats_.zone_finishes++;
   c_zone_finishes_->Inc();
   obs::NoteZoneMgmtOp();
@@ -490,6 +508,7 @@ Status ZnsDevice::Open(u64 zone) {
   if (z.state == ZoneState::kExplicitOpen) return Status::Ok();
   if (z.state == ZoneState::kImplicitOpen) {
     z.state = ZoneState::kExplicitOpen;
+    PublishZone(z);
     return Status::Ok();
   }
   if (z.state != ZoneState::kEmpty && z.state != ZoneState::kClosed) {
@@ -501,8 +520,12 @@ Status ZnsDevice::Open(u64 zone) {
   if (z.state == ZoneState::kEmpty && active_zones_ >= config_.max_active_zones) {
     return Status::Unavailable("max active zones reached");
   }
-  if (z.state == ZoneState::kEmpty) active_zones_++;
+  if (z.state == ZoneState::kEmpty) {
+    active_zones_++;
+    empty_zones_.fetch_sub(1, std::memory_order_relaxed);
+  }
   z.state = ZoneState::kExplicitOpen;
+  PublishZone(z);
   open_zones_++;
   c_zone_opens_->Inc();
   obs::NoteZoneMgmtOp();
@@ -517,16 +540,9 @@ Status ZnsDevice::Close(u64 zone) {
   ZoneInfo& z = zones_[zone];
   if (!z.IsOpen()) return Status::FailedPrecondition("zone not open");
   z.state = ZoneState::kClosed;
+  PublishZone(z);
   open_zones_--;
   return Status::Ok();
-}
-
-u64 ZnsDevice::EmptyZoneCount() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  return static_cast<u64>(
-      std::count_if(zones_.begin(), zones_.end(), [](const ZoneInfo& z) {
-        return z.state == ZoneState::kEmpty;
-      }));
 }
 
 }  // namespace zncache::zns

@@ -23,13 +23,19 @@
 // UNAVAILABLE if an injected crash halted the machine while the entry was
 // in flight.
 //
-// Thread-safety: one device-wide std::shared_mutex. Mutating commands
-// (Write/Append/Reset/Finish/Open/Close/TransitionZone) take it exclusive;
-// Read takes it shared so lookups from concurrent cache shards proceed in
-// parallel (unless a fault injector is attached — injected faults can
-// transition zones, so Read then degrades to exclusive). Accessors that
-// return scalars are atomics; stats() and GetZoneInfo() return snapshots
-// meant for quiescent points or best-effort monitoring.
+// Thread-safety: mutating commands (Write/Append/Reset/Finish/Open/Close/
+// TransitionZone) serialize on one device-wide mutex. The read side takes
+// NO lock: every mutation publishes the zone's (state, write_pointer) pair
+// as one packed atomic word (release), so Read/SubmitRead/GetZoneInfo get a
+// torn-proof snapshot from a single acquire load. The payload memcpy in a
+// lock-free read is safe because callers above the device guarantee — via
+// the translation layer's seqlock/epoch scheme or per-shard writer
+// exclusion — that a zone holding an in-flight read is never reset and
+// rewritten underneath it (writes to *new* slots of the same zone touch
+// disjoint bytes). When a fault injector is attached, Read degrades to the
+// exclusive lock: injected faults can transition zones mid-read. Accessors
+// that return scalars are atomics; stats() and GetZoneInfo() return
+// snapshots meant for quiescent points or best-effort monitoring.
 #pragma once
 
 #include <atomic>
@@ -225,11 +231,22 @@ class ZnsDevice {
     return degraded_zones_.load(std::memory_order_relaxed);
   }
 
-  // Snapshot of one zone's metadata (by value: the underlying entry may be
-  // mutated by another thread the moment the lock drops).
+  // Snapshot of one zone's metadata, lock-free: (state, write_pointer) come
+  // from one acquire load of the packed publication word, so the pair is
+  // always mutually consistent (by value: another thread may mutate the
+  // zone the moment the load retires).
   ZoneInfo GetZoneInfo(u64 zone) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    return zones_.at(zone);
+    const ZoneInfo& z = zones_.at(zone);
+    const u64 snap = zone_pub_[zone].load(std::memory_order_acquire);
+    ZoneInfo out;
+    out.id = z.id;
+    out.size = z.size;
+    out.capacity = z.capacity;
+    out.write_pointer = UnpackWp(snap);
+    out.state = UnpackState(snap);
+    out.reset_count = std::atomic_ref<u64>(const_cast<u64&>(z.reset_count))
+                          .load(std::memory_order_relaxed);
+    return out;
   }
   const ZnsConfig& config() const { return config_; }
   // The attached fault injector (nullptr when none) — layered code above
@@ -248,7 +265,11 @@ class ZnsDevice {
     return active_zones_.load(std::memory_order_relaxed);
   }
 
-  u64 EmptyZoneCount() const;
+  // Exact count of zones in kEmpty, maintained at every state transition —
+  // O(1) and lock-free (the middle layer polls it on the write hot path).
+  u64 EmptyZoneCount() const {
+    return empty_zones_.load(std::memory_order_relaxed);
+  }
 
   io::IoEngine& engine() { return engine_; }
   const io::IoEngine& engine() const { return engine_; }
@@ -291,21 +312,46 @@ class ZnsDevice {
   }
   SimNanos Now() const { return engine_.clock()->Now(); }
 
+  // --- lock-free zone snapshot publication ---------------------------------
+  // (state, write_pointer) packed into one word: state in the top byte, the
+  // pointer in the low 56 bits (zone capacities are far below 2^56). Every
+  // mutation re-publishes with release; readers take one acquire load.
+  static constexpr u64 PackZone(ZoneState s, u64 wp) {
+    return (static_cast<u64>(s) << 56) | wp;
+  }
+  static constexpr ZoneState UnpackState(u64 packed) {
+    return static_cast<ZoneState>(packed >> 56);
+  }
+  static constexpr u64 UnpackWp(u64 packed) {
+    return packed & ((1ULL << 56) - 1);
+  }
+  // Requires mu_ held exclusive; call after any (state, write_pointer)
+  // mutation so lock-free readers observe the new consistent pair.
+  void PublishZone(const ZoneInfo& z) {
+    zone_pub_[z.id].store(PackZone(z.state, z.write_pointer),
+                          std::memory_order_release);
+  }
+
   std::byte* ZoneData(u64 zone) {
     return data_.empty() ? nullptr : data_.data() + zone * config_.zone_size;
   }
 
   ZnsConfig config_;
   io::IoEngine engine_;
-  // Guards zones_, data_ and the zone-accounting invariants. Read holds it
-  // shared; everything that mutates holds it exclusive.
+  // Guards zones_, data_ and the zone-accounting invariants against
+  // concurrent mutators. The lock-free read side never takes it; it relies
+  // on zone_pub_ snapshots instead (fault-injected reads still take it
+  // exclusive).
   mutable std::shared_mutex mu_;
   std::vector<ZoneInfo> zones_;
+  // Per-zone packed (state, write_pointer) publication word; see PackZone.
+  std::unique_ptr<std::atomic<u64>[]> zone_pub_;
   std::vector<std::byte> data_;  // empty when !config_.store_data
   ZnsStats stats_;               // read-path fields bumped via atomic_ref
   std::atomic<u32> open_zones_{0};
   std::atomic<u32> active_zones_{0};
   std::atomic<u64> degraded_zones_{0};
+  std::atomic<u64> empty_zones_{0};  // exact kEmpty population
 
   // Registry handles, resolved once at construction.
   obs::Tracer* tracer_ = nullptr;

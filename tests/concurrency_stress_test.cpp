@@ -715,6 +715,204 @@ TEST(LayerConcurrencyStress, WritersInvalidatorReadersForcedGcZoneAppend) {
   RunLayerConcurrencyStress(/*use_zone_append=*/true);
 }
 
+// The seqlock/epoch read path's coherence witness: reader threads pull
+// FULL regions (not just headers) while writers remap slots, an
+// invalidator requests zone resets, and forced GC migrates zones under
+// them. Every successful read must return a payload whose every byte
+// matches the fill derived from its embedded (rid, stamp) header:
+//   * a seqlock that failed to retry a torn read would surface a payload
+//     whose header names a different region or whose tail bytes disagree
+//     with the header (mapping moved mid-read);
+//   * a zone reset NOT deferred past the reader's epoch would surface
+//     erased or recycled bytes under a still-valid mapping.
+// Runs append-first (the new default write mode).
+TEST(LayerConcurrencyStress, SeqlockEpochFullReadCoherence) {
+  constexpr u64 kRegionSz = 32 * kKiB;
+  constexpr u64 kSlots = 64;
+  constexpr u32 kWriters = 3;
+  constexpr u32 kReaders = 3;
+  zns::ZnsConfig dc;
+  dc.zone_count = 16;
+  dc.zone_size = 256 * kKiB;
+  dc.zone_capacity = 256 * kKiB;
+  dc.max_open_zones = 8;
+  dc.max_active_zones = 10;
+  obs::Registry registry;
+  dc.metrics = &registry;
+  sim::VirtualClock clock;
+  zns::ZnsDevice dev(dc, &clock);
+
+  middle::MiddleLayerConfig mc;
+  mc.region_size = kRegionSz;
+  mc.region_slots = kSlots;
+  mc.open_zones = 4;
+  mc.min_empty_zones = 3;
+  mc.use_zone_append = true;
+  mc.metrics = &registry;
+  middle::ZoneTranslationLayer layer(mc, &dev);
+  ASSERT_TRUE(layer.ValidateConfig().ok());
+
+  auto fill_for = [](u64 rid, u64 stamp) {
+    return std::byte{static_cast<unsigned char>('a' + (rid * 131 + stamp * 7) %
+                                                26)};
+  };
+
+  std::atomic<u64> stamp_gen{1};
+  std::atomic<bool> stop{false};
+  std::atomic<u64> coherent_reads{0};
+  std::atomic<u64> incoherent_reads{0};
+  std::vector<std::thread> threads;
+  for (u32 w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(9000 + w);
+      std::vector<std::byte> payload(kRegionSz);
+      for (int i = 0; i < 200; ++i) {
+        const u64 rid = rng.Uniform(kSlots);
+        const u64 stamp = stamp_gen.fetch_add(1);
+        std::fill(payload.begin(), payload.end(), fill_for(rid, stamp));
+        std::memcpy(payload.data(), &rid, 8);
+        std::memcpy(payload.data() + 8, &stamp, 8);
+        auto r = layer.WriteRegion(rid, payload, sim::IoMode::kForeground);
+        EXPECT_TRUE(r.ok()) << r.status().ToString();
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    Rng rng(8888);
+    for (int i = 0; i < 300; ++i) {
+      EXPECT_TRUE(layer.InvalidateRegion(rng.Uniform(kSlots)).ok());
+    }
+  });
+  for (u32 rt = 0; rt < kReaders; ++rt) {
+    threads.emplace_back([&, rt] {
+      Rng rng(5000 + rt);
+      std::vector<std::byte> full(kRegionSz);
+      for (int i = 0; i < 300; ++i) {
+        const u64 rid = rng.Uniform(kSlots);
+        auto r = layer.ReadRegion(rid, 0, full);
+        if (!r.ok()) {
+          EXPECT_EQ(r.status().code(), StatusCode::kNotFound)
+              << r.status().ToString();
+          continue;
+        }
+        u64 got_rid = 0, got_stamp = 0;
+        std::memcpy(&got_rid, full.data(), 8);
+        std::memcpy(&got_stamp, full.data() + 8, 8);
+        const std::byte want = fill_for(rid, got_stamp);
+        u64 bad = got_rid == rid ? 0 : 1;
+        for (u64 b = 16; b < kRegionSz; ++b) {
+          if (full[b] != want) bad++;
+        }
+        if (bad == 0) {
+          coherent_reads.fetch_add(1);
+        } else {
+          incoherent_reads.fetch_add(1);
+          ADD_FAILURE() << "rid " << rid << " stamp " << got_stamp
+                        << " header rid " << got_rid << ": " << bad
+                        << " incoherent bytes";
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_TRUE(layer.MaybeCollect().ok());
+      std::this_thread::yield();
+    }
+  });
+  for (u32 t = 0; t < threads.size() - 1; ++t) threads[t].join();
+  stop.store(true, std::memory_order_relaxed);
+  threads.back().join();
+
+  const Status inv = layer.CheckInvariants();
+  EXPECT_TRUE(inv.ok()) << inv.ToString();
+  EXPECT_EQ(incoherent_reads.load(), 0u);
+  EXPECT_GT(coherent_reads.load(), 0u);
+  EXPECT_GT(layer.stats().gc_runs, 0u);
+}
+
+// Dekker handshake + accounting stress for the lock-free ShardedCache
+// read path: reader threads hammer Gets (validating payload fill) while
+// writers Set/Delete the same keys, forcing the reader-sees-writer backoff
+// and the writer-drains-readers spin to interleave constantly. Afterwards
+// a quiescent read-only pass must be 100% lock-free with zero lock waits
+// charged — the counter-level form of the ISSUE's "Get acquires no mutex"
+// acceptance — and the per-shard get_lockfree counters must sum exactly.
+TEST(ShardedCacheStress, LockFreeGetDekkerAccounting) {
+  constexpr u32 kShards = 4;
+  constexpr u64 kOpsPerThread = 2500;
+  obs::Registry registry;
+  sim::VirtualClock clock;
+  SchemeParams p = SmallParams(&registry);
+  p.shards = kShards;
+  auto scheme = MakeShardedScheme(SchemeKind::kRegion, p, &clock);
+  ASSERT_TRUE(scheme.ok()) << scheme.status().ToString();
+  cache::ShardedCache& c = *scheme->cache;
+
+  std::atomic<u64> value_errors{0};
+  std::vector<std::thread> pool;
+  for (u32 t = 0; t < 2; ++t) {  // writers
+    pool.emplace_back([&, t] {
+      Rng rng(300 + t);
+      for (u64 i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "k" + std::to_string(rng.Uniform(400));
+        if (rng.NextDouble() < 0.8) {
+          const u64 size = 1 * kKiB + rng.Uniform(8 * kKiB);
+          ASSERT_TRUE(c.Set(key, std::string(size, FillFor(key))).ok());
+        } else {
+          ASSERT_TRUE(c.Delete(key).ok());
+        }
+      }
+    });
+  }
+  for (u32 t = 0; t < 3; ++t) {  // readers
+    pool.emplace_back([&, t] {
+      Rng rng(600 + t);
+      std::string value_out;
+      for (u64 i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "k" + std::to_string(rng.Uniform(400));
+        auto g = c.Get(key, &value_out);
+        ASSERT_TRUE(g.ok()) << g.status().ToString();
+        if (g->hit && !value_out.empty() && value_out[0] != FillFor(key)) {
+          value_errors++;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(value_errors.load(), 0u);
+
+  const cache::ShardContentionStats racy = c.TotalContention();
+  // Readers vastly outnumber writer exclusions; most Gets must have gone
+  // lock-free even under constant writer interference.
+  EXPECT_GT(racy.get_lockfree, 0u);
+  EXPECT_LE(racy.get_lockfree, c.TotalStats().gets);
+
+  // Quiescent read-only pass: no writers anywhere, so EVERY Get must take
+  // the lock-free path and charge nothing.
+  constexpr u64 kQuiescentGets = 1000;
+  Rng rng(42);
+  std::string value_out;
+  for (u64 i = 0; i < kQuiescentGets; ++i) {
+    ASSERT_TRUE(c.Get("k" + std::to_string(rng.Uniform(400)), &value_out).ok());
+  }
+  const cache::ShardContentionStats quiet = c.TotalContention();
+  EXPECT_EQ(quiet.get_lockfree - racy.get_lockfree, kQuiescentGets);
+  EXPECT_EQ(quiet.lock_waits, racy.lock_waits);
+  EXPECT_EQ(quiet.lock_wait_ns, racy.lock_wait_ns);
+
+  // The per-shard registry counters are the same numbers the bench and
+  // the perf gate read; they must sum to the aggregate exactly.
+  u64 registry_lockfree = 0;
+  for (u32 s = 0; s < kShards; ++s) {
+    obs::Counter* lf = registry.GetCounter(
+        "cache.s" + std::to_string(s) + ".get_lockfree");
+    ASSERT_NE(lf, nullptr);
+    registry_lockfree += lf->value();
+  }
+  EXPECT_EQ(registry_lockfree, quiet.get_lockfree);
+}
+
 // Regression test for the unpublished-slot reset race: with exactly one
 // region slot per zone, every landed write instantly makes its zone FULL
 // with valid_count == 0 until the mapping publish — the precise state in

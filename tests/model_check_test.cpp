@@ -208,7 +208,9 @@ TEST(SelfTest, FaultModePlanEmbedsSeed) {
 // history must replay to the same failure class.
 TEST(SelfTest, MutationSmokeCatchesUnpublishedPinRevert) {
   SelfTestOptions opts;
-  opts.seed = 7;
+  // Seed re-pinned when the generator gained read-preretry intrusions (the
+  // draw stream shifted); 33 trips the unpinned-slot race within 800 ops.
+  opts.seed = 33;
   opts.ops = 800;
   opts.schemes.clear();  // middle level only: fastest path to the bug
   // Plain mode (intrusions at the publish-window hooks, no faults) trips
@@ -227,6 +229,37 @@ TEST(SelfTest, MutationSmokeCatchesUnpublishedPinRevert) {
 
   const SelfTestFailure& f = report.failures.front();
   EXPECT_LT(f.history.ops.size(), f.original_ops) << "shrink removed nothing";
+  // Byte-for-byte replay of the minimized history: same failure class.
+  auto reparsed = History::Parse(f.history.Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  const RunResult replayed = RunHistory(*reparsed);
+  ASSERT_FALSE(replayed.ok) << "minimized repro no longer fails";
+  EXPECT_EQ(replayed.failure_class, f.result.failure_class);
+}
+
+// Same drill for the lock-free read path: skip the seqlock recheck (via
+// the mutation knob) and a read raced by an invalidate inside its window
+// returns a stale mapping — the checker must catch it.
+TEST(SelfTest, MutationSmokeCatchesNoSeqlockRetry) {
+  SelfTestOptions opts;
+  opts.seed = 11;
+  opts.ops = 1200;
+  opts.schemes.clear();  // middle level only: fastest path to the bug
+  // Plain mode: intrusions at the read-preretry hook invalidate the
+  // region mid-read; the healthy layer retries and reports NotFound, the
+  // mutated one serves the payload of an unmapped region.
+  opts.run_plain = true;
+  opts.run_fault = false;
+  opts.run_crash = false;
+  opts.mutate_no_seqlock_retry = true;
+  opts.shrink_on_failure = true;
+  opts.shrink_attempts = 80;
+  const SelfTestReport report = RunSelfTest(opts);
+  ASSERT_FALSE(report.ok())
+      << "armed mutation was not caught — the harness lost its teeth";
+  ASSERT_FALSE(report.failures.empty());
+
+  const SelfTestFailure& f = report.failures.front();
   // Byte-for-byte replay of the minimized history: same failure class.
   auto reparsed = History::Parse(f.history.Serialize());
   ASSERT_TRUE(reparsed.ok());
