@@ -390,6 +390,104 @@ std::string JsonForRuns(
   return out;
 }
 
+// --- eviction-mode comparison ---------------------------------------------
+//
+// Region-Cache under the standard mixed replay, region-LRU vs chunk-granular
+// eviction (EvictionPolicy::kChunk + temperature-segregated writes +
+// cold-drop GC hints; see docs/EVICTION.md). Single shard so the hinted GC
+// can be wired (docs/CONCURRENCY.md), and a deliberately small cache over a
+// tight device so the run actually turns the cache over and the middle
+// layer collects under pressure. Both modes share geometry and GC tuning;
+// the delta isolates the eviction policy. Exported as the "eviction"
+// section of BENCH_perf.json; scripts/check_perf_scaling.py gates chunk WA
+// <= region-LRU WA and no hit-ratio regression.
+struct EvictionModeResult {
+  double wa = 0;
+  double hit_ratio = 0;
+  u64 evicted_regions = 0;
+  u64 chunk_invalidated_items = 0;
+  u64 chunk_evicted_items = 0;
+  u64 chunk_reclaimed_regions = 0;
+  u64 dropped_regions = 0;
+  u64 gc_dropped_cold = 0;
+};
+
+Result<EvictionModeResult> RunEvictionMode(bool chunk, const MtConfig& cfg,
+                                           bench::BenchObs& obs) {
+  sim::VirtualClock clock;
+  SchemeParams params;
+  params.metrics = obs.metrics();
+  params.tracer = obs.tracer();
+  params.attribution = obs.attribution();
+  params.zone_size = bench::kZoneSize;
+  params.region_size = bench::kRegionSize;
+  params.min_empty_zones = 2;
+  params.topology.channels = 4;
+  params.topology.planes_per_channel = 2;
+  params.topology.queue_depth = 2;
+  params.cache_config.lru_sample = 512;
+  params.cache_config.index_reserve = cfg.key_space;
+  params.shards = 1;
+  params.open_zones = 2;
+  // 6 payload zones in a 10-zone device: the mixed replay rewrites the
+  // cache a few times over, and the collector has ~1 zone of slack past
+  // its reserve, so GC migrates live zones instead of only reaping
+  // fully-dead ones.
+  params.cache_bytes = 6 * bench::kZoneSize;
+  params.device_zones = 10;
+  params.gc_valid_ratio = 0.9;
+  if (chunk) {
+    params.cache_config.policy = cache::EvictionPolicy::kChunk;
+    params.cache_config.temperature_classes = 2;
+    params.cache_config.chunk_live_watermark = 0.5;
+    params.hint_cold_age = cfg.ops / 8;
+  } else {
+    params.cache_config.policy = cache::EvictionPolicy::kLru;
+  }
+  auto scheme = MakeShardedScheme(SchemeKind::kRegion, params, &clock);
+  if (!scheme.ok()) return scheme.status();
+
+  ZN_RETURN_IF_ERROR(
+      Replay(scheme->cache.get(), cfg, cfg.warmup_ops, 1, cfg.seed));
+  const cache::CacheStats warm = scheme->cache->TotalStats();
+  ZN_RETURN_IF_ERROR(
+      Replay(scheme->cache.get(), cfg, cfg.ops, 1, cfg.seed + 7));
+  const cache::CacheStats done = scheme->cache->TotalStats();
+
+  EvictionModeResult out;
+  out.wa = scheme->WaFactor();
+  const u64 gets = done.gets - warm.gets;
+  out.hit_ratio = gets == 0 ? 0
+                            : static_cast<double>(done.hits - warm.hits) /
+                                  static_cast<double>(gets);
+  out.evicted_regions = done.evicted_regions;
+  out.chunk_invalidated_items = done.chunk_invalidated_items;
+  out.chunk_evicted_items = done.chunk_evicted_items;
+  out.chunk_reclaimed_regions = done.chunk_reclaimed_regions;
+  out.dropped_regions = done.dropped_regions;
+  out.gc_dropped_cold =
+      static_cast<backends::MiddleRegionDevice*>(scheme->device.get())
+          ->layer()
+          .stats()
+          .gc_dropped_cold;
+  return out;
+}
+
+std::string EvictionModeJson(const EvictionModeResult& r) {
+  std::string out = "{\"wa\":" + obs::JsonNum(r.wa);
+  out += ",\"hit_ratio\":" + obs::JsonNum(r.hit_ratio);
+  out += ",\"evicted_regions\":" + std::to_string(r.evicted_regions);
+  out += ",\"chunk_invalidated_items\":" +
+         std::to_string(r.chunk_invalidated_items);
+  out += ",\"chunk_evicted_items\":" + std::to_string(r.chunk_evicted_items);
+  out += ",\"chunk_reclaimed_regions\":" +
+         std::to_string(r.chunk_reclaimed_regions);
+  out += ",\"dropped_regions\":" + std::to_string(r.dropped_regions);
+  out += ",\"gc_dropped_cold\":" + std::to_string(r.gc_dropped_cold);
+  out += '}';
+  return out;
+}
+
 // --- queue-depth sweep ----------------------------------------------------
 //
 // Device-level scaling of the async engine, measured in VIRTUAL time so the
@@ -553,7 +651,8 @@ std::string PerfJsonForRuns(
     const std::vector<std::pair<std::string, MtResult>>& runs,
     const std::vector<QdResult>& qd_runs,
     const std::vector<std::pair<std::string, ReadHeavyResult>>& rh_runs,
-    u32 cores) {
+    const EvictionModeResult& ev_lru, const EvictionModeResult& ev_chunk,
+    u64 ev_ops, u32 cores) {
   std::string out = "{\"bench\":\"bench_mt\",\"host_cores\":" +
                     std::to_string(cores) + ",\"runs\":[";
   bool first = true;
@@ -564,6 +663,8 @@ std::string PerfJsonForRuns(
     out += "{\"scheme\":\"" + obs::JsonEscape(scheme) + '"';
     out += ",\"threads\":" + std::to_string(r.threads);
     out += ",\"wall_ops_per_sec\":" + obs::JsonNum(r.wall_ops_per_sec);
+    out += ",\"hit_ratio\":" + obs::JsonNum(r.hit_ratio);
+    out += ",\"wa\":" + obs::JsonNum(r.wa_factor);
     out += ",\"lock_wait_ns\":" + std::to_string(r.contention.lock_wait_ns);
     out += '}';
   }
@@ -577,7 +678,10 @@ std::string PerfJsonForRuns(
     if (i != 0) out += ',';
     out += ReadHeavyJson(rh_runs[i].first, rh_runs[i].second);
   }
-  out += "]}";
+  out += "],\"eviction\":{\"measured_ops\":" + std::to_string(ev_ops);
+  out += ",\"region_lru\":" + EvictionModeJson(ev_lru);
+  out += ",\"chunk\":" + EvictionModeJson(ev_chunk);
+  out += "}}";
   return out;
 }
 
@@ -840,6 +944,36 @@ int Run(int argc, char** argv) {
   std::printf("read-only phases: every Get lock-free, zero lock waits "
               "(asserted in-binary, gated by check_perf_scaling.py)\n");
 
+  // Eviction-mode comparison: region-LRU vs chunk-granular eviction with
+  // temperature segregation and cold-drop GC hints (see RunEvictionMode).
+  PrintHeader("Eviction modes: region-LRU vs chunk + segregation + hints");
+  std::printf("%-12s %7s %8s %8s %9s %9s %8s %8s\n", "Mode", "WA", "hit",
+              "evictR", "chunkInv", "reclaimR", "gcDropC", "dropR");
+  PrintRule();
+  EvictionModeResult ev_results[2];
+  for (int chunk = 0; chunk < 2; ++chunk) {
+    const char* mode = chunk ? "chunk" : "region-lru";
+    obs.BeginRun(std::string("Region-Cache/evict-") + mode);
+    auto r = RunEvictionMode(chunk != 0, cfg, obs);
+    obs.EndRun();
+    if (!r.ok()) {
+      std::fprintf(stderr, "eviction mode %s failed: %s\n", mode,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    ev_results[chunk] = *r;
+    std::printf("%-12s %7.3f %8.4f %8llu %9llu %9llu %8llu %8llu\n", mode,
+                r->wa, r->hit_ratio,
+                static_cast<unsigned long long>(r->evicted_regions),
+                static_cast<unsigned long long>(r->chunk_invalidated_items),
+                static_cast<unsigned long long>(r->chunk_reclaimed_regions),
+                static_cast<unsigned long long>(r->gc_dropped_cold),
+                static_cast<unsigned long long>(r->dropped_regions));
+  }
+  PrintRule();
+  std::printf("gated by check_perf_scaling.py: chunk WA <= region-LRU WA, "
+              "no hit-ratio regression\n");
+
   // Queue-depth sweep: deterministic virtual-time scaling of the async
   // device engine (see RunQdConfig). Runs after the wall-clock sweep so the
   // table reads baseline-first; gated by scripts/check_perf_scaling.py.
@@ -892,7 +1026,8 @@ int Run(int argc, char** argv) {
     return 1;
   }
   if (WriteWholeFile("BENCH_perf.json",
-                     PerfJsonForRuns(runs, qd_runs, rh_runs, cores))) {
+                     PerfJsonForRuns(runs, qd_runs, rh_runs, ev_results[0],
+                                     ev_results[1], cfg.ops, cores))) {
     std::printf("[obs] wrote BENCH_perf.json (%zu runs, %zu qd points, %zu "
                 "read-heavy)\n",
                 runs.size(), qd_runs.size(), rh_runs.size());

@@ -15,7 +15,10 @@
 //   --warmup   warmup operations                       [ops/2]
 //   --keys     distinct keys                           [60000]
 //   --theta    Zipf skew                               [0.85]
-//   --policy   lru | fifo                              [lru]
+//   --policy   lru | fifo | chunk                      [lru]
+//   --temp-classes open regions per engine (chunk)     [2]
+//   --watermark chunk-reclaim live fraction (chunk)    [0.5]
+//   --ttl-ms   object TTL in ms (chunk; 0 = off)       [0]
 //   --hints    co-design cold-age (region scheme only) [0 = off]
 //   --admit    admission probability                   [1.0]
 //   --trace    replay a trace file instead of generating
@@ -34,6 +37,12 @@
 //   slow-ops run with per-op latency attribution and print the flight
 //            recorder's worst ops with their per-phase breakdowns; the
 //            spans also land in the trace export for Perfetto
+//   evict-stats
+//            run, then print an eviction-surface JSON document: the open
+//            regions per temperature class, a live-fraction histogram over
+//            the sealed regions, the chunk-eviction counters, and the
+//            middle layer's gc_dropped_cold (cold regions the hinted GC
+//            dropped instead of migrating; see docs/EVICTION.md)
 //
 // Model-checking commands (no benchmark run; see docs/TESTING.md):
 //   replay <file> | replay --history=<file>
@@ -41,14 +50,17 @@
 //            reference oracle; exit 0 = no divergence, 1 = diverged
 //   selftest [--seed= --ops= --schemes=block,file,zone,region
 //             --modes=plain,fault,crash --level=cache|middle|both
-//             --crash-points=N --shards=N
+//             --crash-points=N --shards=N --chunk
 //             --mutate=no-unpublished-pin|no-seqlock-retry
 //             --minimized-out=DIR --no-shrink --expect-failure]
+//            --chunk runs the cache-level histories with chunk-granular
+//            eviction and temperature-segregated writes
 //            generate seeded histories and differentially check them;
 //            failing histories are shrunk to minimal repros
 // Every invocation also writes both JSON exports to disk
 // (zncache_cli.metrics.json / zncache_cli.trace.json; override with
 // --metrics-out= / --trace-out=).
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <optional>
@@ -72,6 +84,17 @@
 using namespace zncache;
 
 namespace {
+
+std::string_view TempName(TempClass t) {
+  switch (t) {
+    case TempClass::kCold:
+      return "cold";
+    case TempClass::kHot:
+      return "hot";
+    default:
+      return "none";
+  }
+}
 
 Result<backends::SchemeKind> ParseScheme(const std::string& name) {
   if (name == "block") return backends::SchemeKind::kBlock;
@@ -171,6 +194,7 @@ int CmdSelfTest(const Flags& flags) {
   }
   opts.shrink_on_failure = !flags.Has("no-shrink");
   opts.shrink_attempts = flags.GetU64("shrink-attempts", 400);
+  opts.chunk_evict = flags.Has("chunk");
   if (flags.Has("schemes")) {
     opts.schemes.clear();
     for (const std::string& name : SplitCommas(flags.GetString("schemes"))) {
@@ -249,10 +273,11 @@ int main(int argc, char** argv) {
   if (!flags->positional().empty()) {
     command = flags->positional().front();
     if (command != "stats" && command != "trace" && command != "faults" &&
-        command != "slow-ops" && command != "device") {
+        command != "slow-ops" && command != "device" &&
+        command != "evict-stats") {
       std::fprintf(stderr,
                    "unknown command: %s (expected stats, trace, faults, "
-                   "slow-ops, device, replay or selftest)\n",
+                   "slow-ops, device, evict-stats, replay or selftest)\n",
                    command.c_str());
       return 2;
     }
@@ -316,9 +341,23 @@ int main(int argc, char** argv) {
   params.min_empty_zones = 1;
   params.open_zones = 3;
   params.hint_cold_age = flags->GetU64("hints", 0);
-  params.cache_config.policy = flags->GetString("policy", "lru") == "fifo"
-                                   ? cache::EvictionPolicy::kFifo
-                                   : cache::EvictionPolicy::kLru;
+  const std::string policy = flags->GetString("policy", "lru");
+  if (policy == "fifo") {
+    params.cache_config.policy = cache::EvictionPolicy::kFifo;
+  } else if (policy == "chunk") {
+    params.cache_config.policy = cache::EvictionPolicy::kChunk;
+    params.cache_config.temperature_classes =
+        static_cast<u32>(flags->GetU64("temp-classes", 2));
+    params.cache_config.chunk_live_watermark =
+        flags->GetDouble("watermark", 0.5);
+    params.cache_config.ttl_ns =
+        flags->GetU64("ttl-ms", 0) * sim::kMillisecond;
+  } else if (policy == "lru") {
+    params.cache_config.policy = cache::EvictionPolicy::kLru;
+  } else {
+    std::fprintf(stderr, "--policy must be lru, fifo or chunk\n");
+    return 2;
+  }
   params.cache_config.lru_sample = 256;
   params.cache_config.admit_probability = flags->GetDouble("admit", 1.0);
   params.topology.channels =
@@ -402,6 +441,52 @@ int main(int argc, char** argv) {
                                       static_cast<double>(elapsed)
                                 : 0.0);
       }
+    } else if (command == "evict-stats") {
+      const cache::FlashCache& c = *scheme->cache;
+      const auto& cs = c.stats();
+      std::string out = "{\"policy\":\"" + policy + "\"";
+      out += ",\"temperature_classes\":" +
+             std::to_string(c.config().temperature_classes);
+      out += ",\"open_regions\":[";
+      bool first = true;
+      for (const auto& [temp, rid] : c.OpenRegions()) {
+        if (!first) out += ",";
+        first = false;
+        out += "{\"temp\":\"" + std::string(TempName(temp)) +
+               "\",\"region\":" + std::to_string(rid) + "}";
+      }
+      out += "]";
+      // Ten equal buckets over [0,1]; a fully-live region (1.0) lands in
+      // the last one. Outside chunk mode every sealed region reports 1.0.
+      u64 buckets[10] = {};
+      u64 sealed = 0;
+      for (u64 rid = 0; rid < scheme->device->region_count(); ++rid) {
+        const auto frac = c.SealedRegionLiveFraction(rid);
+        if (!frac.has_value()) continue;
+        sealed++;
+        buckets[std::min<int>(9, static_cast<int>(*frac * 10.0))]++;
+      }
+      out += ",\"sealed_regions\":" + std::to_string(sealed);
+      out += ",\"live_fraction_histogram\":[";
+      for (int b = 0; b < 10; ++b) {
+        if (b > 0) out += ",";
+        out += std::to_string(buckets[b]);
+      }
+      out += "]";
+      out += ",\"chunk\":{\"invalidated_items\":" +
+             std::to_string(cs.chunk_invalidated_items) +
+             ",\"evicted_items\":" + std::to_string(cs.chunk_evicted_items) +
+             ",\"reclaimed_regions\":" +
+             std::to_string(cs.chunk_reclaimed_regions) +
+             ",\"ttl_expired_items\":" +
+             std::to_string(cs.ttl_expired_items) + "}";
+      out += ",\"gc\":{\"dropped_cold\":" +
+             std::to_string(
+                 registry.GetCounter("middle.gc.dropped_cold")->value()) +
+             ",\"dropped_regions\":" + std::to_string(cs.dropped_regions) +
+             ",\"evicted_regions\":" + std::to_string(cs.evicted_regions) +
+             "}}";
+      std::printf("%s\n", out.c_str());
     } else if (command == "slow-ops") {
       u64 recorded = 0;
       for (size_t t = 0; t < obs::kOpTypeCount; ++t) {

@@ -32,7 +32,20 @@ Checks, in order:
           share no locks, so they should scale near-linearly; on 2-7 core
           hosts the 0.95x noise bound applies, and on a single-core host
           the 0.70x regression bound.
-  5. Queue-depth sweep gates (virtual time, deterministic — independent of
+  5. Eviction-mode gates (virtual-time WA, deterministic; see
+     docs/EVICTION.md):
+       a. schema: the "eviction" section carries region_lru and chunk rows
+          with wa / hit_ratio / gc_dropped_cold, every run row carries
+          hit_ratio and wa, and every WA is >= 1.
+       b. WA regression: chunk-mode WA must not exceed region-LRU WA — the
+          whole point of chunk-granular eviction + temperature segregation
+          + cold-drop GC is fewer migrated bytes.
+       c. hit ratio: chunk mode must not regress the mixed-workload hit
+          ratio by more than 1pp.
+       d. cold-drop witness: at >= 50k measured ops the hinted GC must have
+          dropped at least one cold region (gc_dropped_cold > 0); smaller
+          smoke runs may legitimately never build GC pressure.
+  6. Queue-depth sweep gates (virtual time, deterministic — independent of
      host cores; see docs/DEVICE_MODEL.md):
        a. serial compat: the 1x1 qd=1 s=1 baseline row must show exactly
           one unit at utilization 1.0 — the serial chain has no idle gaps,
@@ -75,9 +88,15 @@ def main() -> None:
 
     region = {}
     for run in runs:
-        for key in ("scheme", "threads", "wall_ops_per_sec", "lock_wait_ns"):
+        for key in ("scheme", "threads", "wall_ops_per_sec", "lock_wait_ns",
+                    "hit_ratio", "wa"):
             if key not in run:
                 fail(f"run missing {key}: {run}")
+        if not (0.0 <= run["hit_ratio"] <= 1.0):
+            fail(f"hit_ratio out of range: {run}")
+        if run["wa"] < 1.0 - 1e-9:
+            fail(f"WA below 1.0 (host bytes cannot exceed device bytes): "
+                 f"{run}")
         if not isinstance(run["threads"], int) or run["threads"] < 1:
             fail(f"bad threads: {run}")
         if run["wall_ops_per_sec"] <= 0:
@@ -117,8 +136,43 @@ def main() -> None:
               "skipped, regression bound applied")
 
     check_read_heavy(doc, cores)
+    check_eviction(doc)
     check_qd_sweep(doc)
     print("check_perf_scaling: OK")
+
+
+def check_eviction(doc) -> None:
+    ev = doc.get("eviction")
+    if not isinstance(ev, dict):
+        fail("eviction section missing (bench_mt should emit it)")
+    for mode in ("region_lru", "chunk"):
+        row = ev.get(mode)
+        if not isinstance(row, dict):
+            fail(f"eviction.{mode} missing")
+        for key in ("wa", "hit_ratio", "evicted_regions", "gc_dropped_cold"):
+            if key not in row:
+                fail(f"eviction.{mode} missing {key}: {row}")
+        if row["wa"] < 1.0 - 1e-9:
+            fail(f"eviction.{mode} WA below 1.0: {row}")
+        if not (0.0 <= row["hit_ratio"] <= 1.0):
+            fail(f"eviction.{mode} hit_ratio out of range: {row}")
+
+    lru, chunk = ev["region_lru"], ev["chunk"]
+    ops = ev.get("measured_ops", 0)
+    print(f"check_perf_scaling: eviction WA lru={lru['wa']:.3f} "
+          f"chunk={chunk['wa']:.3f}, hit lru={lru['hit_ratio']:.4f} "
+          f"chunk={chunk['hit_ratio']:.4f}, "
+          f"gc_dropped_cold={chunk['gc_dropped_cold']}")
+    if chunk["wa"] > lru["wa"] * (1.0 + 1e-6):
+        fail(f"chunk-mode WA {chunk['wa']:.3f} exceeds region-LRU WA "
+             f"{lru['wa']:.3f}: chunk eviction + cold-drop GC must not "
+             f"write more than wholesale region eviction")
+    if chunk["hit_ratio"] < lru["hit_ratio"] - 0.01:
+        fail(f"chunk-mode hit ratio {chunk['hit_ratio']:.4f} regressed more "
+             f"than 1pp below region-LRU {lru['hit_ratio']:.4f}")
+    if ops >= 50_000 and chunk["gc_dropped_cold"] == 0:
+        fail(f"hinted GC dropped no cold regions over {ops} measured ops "
+             f"(expected gc_dropped_cold > 0 at this scale)")
 
 
 def check_read_heavy(doc, cores) -> None:

@@ -21,6 +21,12 @@ class CacheHintAdapter final : public middle::GcHintProvider {
       : cache_(flash_cache), cold_age_accesses_(cold_age_accesses) {}
 
   bool TryDropRegion(u64 region_id) override {
+    // TTL-dead regions first: every item inside has expired, so the region
+    // is free to drop no matter how recently it was read (reads of expired
+    // items were misses anyway). No-op unless the cache runs with a TTL.
+    if (cache_->RegionTtlDead(region_id)) {
+      return cache_->DropRegion(region_id).ok();
+    }
     const u64 last = cache_->RegionLastAccess(region_id);
     const u64 now = cache_->access_seq();
     if (now - last < cold_age_accesses_) return false;

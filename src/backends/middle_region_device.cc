@@ -46,6 +46,14 @@ Result<cache::RegionIo> MiddleRegionDevice::WriteRegion(
   return cache::RegionIo{r->latency, r->completion};
 }
 
+Result<cache::RegionIo> MiddleRegionDevice::WriteRegion(
+    cache::RegionId id, std::span<const std::byte> data, sim::IoMode mode,
+    TempClass temp) {
+  auto r = layer_->WriteRegion(id, data, mode, temp);
+  if (!r.ok()) return r.status();
+  return cache::RegionIo{r->latency, r->completion};
+}
+
 Result<cache::RegionIo> MiddleRegionDevice::ReadRegion(
     cache::RegionId id, u64 offset, std::span<std::byte> out) {
   auto r = layer_->ReadRegion(id, offset, out);

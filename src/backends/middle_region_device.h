@@ -32,6 +32,27 @@ class MiddleRegionDevice final : public cache::RegionDevice {
   Result<cache::RegionIo> WriteRegion(cache::RegionId id,
                                       std::span<const std::byte> data,
                                       sim::IoMode mode) override;
+  // Temperature-tagged variant: the tag reaches the translation layer's
+  // zone placement (hot and cold regions stripe into distinct zones).
+  Result<cache::RegionIo> WriteRegion(cache::RegionId id,
+                                      std::span<const std::byte> data,
+                                      sim::IoMode mode,
+                                      TempClass temp) override;
+  // Like the untagged default, degrades to the blocking write (the layer
+  // pipelines internally) — but keeps the tag instead of dropping it.
+  PendingRegionIo SubmitWriteRegion(cache::RegionId id,
+                                    std::span<const std::byte> data,
+                                    sim::IoMode mode,
+                                    TempClass temp) override {
+    PendingRegionIo p;
+    auto r = WriteRegion(id, data, mode, temp);
+    if (!r.ok()) {
+      p.status = r.status();
+    } else {
+      p.io = *r;
+    }
+    return p;
+  }
   Result<cache::RegionIo> ReadRegion(cache::RegionId id, u64 offset,
                                      std::span<std::byte> out) override;
   Status InvalidateRegion(cache::RegionId id) override;

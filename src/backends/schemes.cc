@@ -148,14 +148,22 @@ Result<SchemeInstance> MakeScheme(SchemeKind kind, const SchemeParams& params,
   if (params.cache_bytes == 0) {
     return Status::InvalidArgument("cache_bytes must be set");
   }
+  SchemeParams p = params;
+  if (kind == SchemeKind::kRegion && p.cache_config.temperature_classes > 1) {
+    // Temperature segregation needs one concurrently open zone per class,
+    // or hot and cold flushes collapse into the same erase unit anyway.
+    p.open_zones = std::min(
+        std::max(p.open_zones, p.cache_config.temperature_classes),
+        p.max_open_zones);
+  }
   SchemeInstance out;
   out.kind = kind;
   out.name = std::string(SchemeName(kind));
-  auto device = MakeDevice(kind, params, clock);
+  auto device = MakeDevice(kind, p, clock);
   if (!device.ok()) return device.status();
   out.device = std::move(*device);
 
-  cache::FlashCacheConfig cache_config = params.cache_config;
+  cache::FlashCacheConfig cache_config = p.cache_config;
   cache_config.store_values = params.store_data || params.persistent;
   cache_config.persistent = params.persistent;
   cache_config.metrics = params.metrics;
@@ -189,6 +197,13 @@ Result<ShardedSchemeInstance> MakeShardedScheme(SchemeKind kind,
     // round-robin over the open set. Clamped to the device's limit.
     p.open_zones =
         std::min(std::max(params.open_zones, shards), params.max_open_zones);
+    if (p.cache_config.temperature_classes > 1) {
+      // Each shard wants one open zone per temperature class; the layer's
+      // round-robin (temperature-filtered) does the shard × class split.
+      p.open_zones = std::min(
+          std::max(p.open_zones, shards * p.cache_config.temperature_classes),
+          params.max_open_zones);
+    }
   }
 
   ShardedSchemeInstance out;

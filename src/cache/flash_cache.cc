@@ -29,8 +29,14 @@ FlashCache::FlashCache(const FlashCacheConfig& config, RegionDevice* device,
   if (config_.persistent) {
     usable_region_bytes_ -= FooterReserve(device_->region_size());
   }
+  // Segregated placement needs, per open slot, at least one sealed region
+  // to evict; devices too small for that fall back to a single class.
+  u32 classes = std::clamp<u32>(config_.temperature_classes, 1, 2);
+  if (static_cast<u64>(classes) * 2 > device_->region_count()) classes = 1;
+  config_.temperature_classes = classes;
+  open_.resize(classes);
   if (config_.store_values) {
-    open_buffer_.resize(device_->region_size());
+    for (OpenSlot& slot : open_) slot.buffer.resize(device_->region_size());
   }
   if (config_.index_reserve > 0) {
     index_.reserve(config_.index_reserve);
@@ -56,12 +62,19 @@ FlashCache::FlashCache(const FlashCacheConfig& config, RegionDevice* device,
   c_lost_items_ = obs::GetCounterOrSink(reg, p + ".lost_items");
   c_flush_failures_ = obs::GetCounterOrSink(reg, p + ".flush_failures");
   c_read_errors_ = obs::GetCounterOrSink(reg, p + ".read_errors");
+  c_chunk_invalidated_ =
+      obs::GetCounterOrSink(reg, p + ".chunk_invalidated_items");
+  c_chunk_evicted_ = obs::GetCounterOrSink(reg, p + ".chunk_evicted_items");
+  c_chunk_reclaimed_ =
+      obs::GetCounterOrSink(reg, p + ".chunk_reclaimed_regions");
+  c_ttl_expired_ = obs::GetCounterOrSink(reg, p + ".ttl_expired_items");
   g_retired_regions_ = obs::GetGaugeOrSink(reg, p + ".retired_regions");
   h_lookup_latency_ = obs::GetHistogramOrSink(reg, p + ".lookup_latency_ns");
   h_set_latency_ = obs::GetHistogramOrSink(reg, p + ".set_latency_ns");
 
-  // Open the first region eagerly so Set never sees a missing buffer.
-  (void)OpenNewRegion();
+  // Open the first region eagerly so Set never sees a missing buffer. The
+  // hot slot (segregated mode) opens lazily on the first hot write.
+  (void)OpenNewRegion(0);
 }
 
 std::optional<RegionId> FlashCache::FindFreeRegion() const {
@@ -106,7 +119,111 @@ u64 FlashCache::PurgeRegionIndex(RegionId rid) {
   m.used = 0;
   m.last_access = 0;
   m.seal_seq = 0;
+  m.live.Assign(0);
+  m.live_bytes = 0;
+  m.max_expire = 0;
+  m.temp = TempClass::kNone;
   return removed;
+}
+
+RegionId FlashCache::PickLowestLiveRegion() const {
+  RegionId best_rid = kInvalidId;
+  double best = 2.0;  // any real fraction is <= 1.0
+  for (RegionId r = 0; r < regions_.size(); ++r) {
+    const RegionMeta& m = regions_[r];
+    if (m.state != RegionState::kSealed) continue;
+    const double frac =
+        m.used == 0 ? 0.0
+                    : static_cast<double>(m.live_bytes) /
+                          static_cast<double>(m.used);
+    if (frac < best) {
+      best = frac;
+      best_rid = r;
+    }
+  }
+  return best_rid;
+}
+
+void FlashCache::BuildLiveBitmap(RegionId rid) {
+  RegionMeta& m = regions_[rid];
+  m.live.Assign(m.items.size());
+  m.live_bytes = 0;
+  for (u64 i = 0; i < m.items.size(); ++i) {
+    const ItemMeta& item = m.items[i];
+    auto it = index_.find(item.key);
+    if (it == index_.end() || it->second.rid != rid ||
+        it->second.offset != item.offset) {
+      continue;  // overwritten or deleted while the region was still open
+    }
+    m.live.Set(i);
+    m.live_bytes += item.size;
+  }
+}
+
+bool FlashCache::ClearLiveBit(const IndexEntry& entry) {
+  if (entry.rid >= regions_.size()) return false;
+  RegionMeta& m = regions_[entry.rid];
+  // Open-region items are resolved at seal time (BuildLiveBitmap); free /
+  // retired slots have nothing to clear.
+  if (m.state != RegionState::kSealed) return false;
+  if (entry.item_idx >= m.live.size() || !m.live.Test(entry.item_idx)) {
+    return false;
+  }
+  m.live.Clear(entry.item_idx);
+  m.live_bytes -= std::min<u64>(m.live_bytes, entry.size);
+  return true;
+}
+
+void FlashCache::ChunkInvalidateInPlace(const IndexEntry& entry) {
+  if (!ClearLiveBit(entry)) return;
+  // Killing one chunk is eviction work on the op that triggered it; n = 1,
+  // so no superlinear convoy term — the point of chunk granularity.
+  obs::PhaseScope scope(obs::Phase::kEviction);
+  Cpu(config_.evict_entry_ns + config_.evict_contention_ns,
+      obs::Phase::kEviction);
+  stats_.chunk_invalidated_items++;
+  c_chunk_invalidated_->Inc();
+}
+
+void FlashCache::ChunkEvictToWatermark(RegionId rid) {
+  RegionMeta& m = regions_[rid];
+  const u64 target = static_cast<u64>(config_.chunk_live_watermark *
+                                      static_cast<double>(m.used));
+  auto kill = [&](u64 i, auto it) {
+    m.live.Clear(i);
+    m.live_bytes -= std::min<u64>(m.live_bytes, m.items[i].size);
+    index_.erase(it);
+    Cpu(config_.evict_entry_ns + config_.evict_contention_ns,
+        obs::Phase::kEviction);
+    stats_.chunk_evicted_items++;
+    c_chunk_evicted_->Inc();
+  };
+  // Two CLOCK passes over the chunk queue. Pass 0: TTL-expired and
+  // never-hit chunks go; previously-hit chunks pay half their hits and get
+  // a second chance. Pass 1: unconditional, oldest first. Either pass
+  // stops as soon as the watermark holds.
+  for (int pass = 0; pass < 2 && m.live_bytes > target; ++pass) {
+    for (u64 i = 0; i < m.live.size() && m.live_bytes > target; ++i) {
+      if (!m.live.Test(i)) continue;
+      auto it = index_.find(m.items[i].key);
+      if (it == index_.end() || it->second.rid != rid ||
+          it->second.offset != m.items[i].offset) {
+        // Stale bit (the index moved on); reconcile without eviction cost.
+        m.live.Clear(i);
+        m.live_bytes -= std::min<u64>(m.live_bytes, m.items[i].size);
+        continue;
+      }
+      if (pass == 0) {
+        const bool expired = it->second.expire != 0 &&
+                             clock_->Now() >= it->second.expire;
+        if (!expired && it->second.hits > 0) {
+          it->second.hits /= 2;  // decay; survives this pass
+          continue;
+        }
+      }
+      kill(i, it);
+    }
+  }
 }
 
 void FlashCache::HandleRegionLost(RegionId rid) {
@@ -126,8 +243,9 @@ void FlashCache::HandleRegionLost(RegionId rid) {
   tracer_->Record(obs::EventKind::kRegionLost, clock_->Now(), rid, removed);
 }
 
-Status FlashCache::FlushOpenRegion() {
-  RegionMeta& m = regions_[open_rid_];
+Status FlashCache::FlushOpenRegion(u32 cls) {
+  OpenSlot& slot = open_[cls];
+  RegionMeta& m = regions_[slot.rid];
   if (m.used == 0) {
     // Nothing buffered; keep the slot open.
     return Status::Ok();
@@ -141,7 +259,7 @@ Status FlashCache::FlushOpenRegion() {
     footer.seal_seq = next_seal_seq;
     footer.data_bytes = m.used;
     footer.data_checksum = RegionDataChecksum(
-        std::span<const std::byte>(open_buffer_.data(), m.used));
+        std::span<const std::byte>(slot.buffer.data(), m.used));
     footer.items.reserve(m.items.size());
     for (const ItemMeta& item : m.items) {
       footer.items.push_back(FooterItem{item.key, item.offset, item.size});
@@ -149,14 +267,14 @@ Status FlashCache::FlushOpenRegion() {
     const u64 reserve = FooterReserve(device_->region_size());
     ZN_RETURN_IF_ERROR(EncodeRegionFooter(
         footer, std::span<std::byte>(
-                    open_buffer_.data() + (device_->region_size() - reserve),
+                    slot.buffer.data() + (device_->region_size() - reserve),
                     reserve)));
-    std::memset(open_buffer_.data() + m.used, 0,
+    std::memset(slot.buffer.data() + m.used, 0,
                 usable_region_bytes_ - m.used);
-    payload = std::span<const std::byte>(open_buffer_.data(),
+    payload = std::span<const std::byte>(slot.buffer.data(),
                                          device_->region_size());
   } else if (config_.store_values) {
-    payload = std::span<const std::byte>(open_buffer_.data(), m.used);
+    payload = std::span<const std::byte>(slot.buffer.data(), m.used);
   } else {
     // Grown once to the largest flush seen (bounded by the region size) and
     // reused: this path runs on every region seal, so a fresh allocation
@@ -170,8 +288,14 @@ Status FlashCache::FlushOpenRegion() {
   // region-lost path below instead of sealing unreaped work. Flush overlap
   // across regions comes from the device's per-unit busy tracking plus the
   // flush_buffers window in OpenNewRegion.
+  // Untagged regions take the exact pre-segregation submit path; tagged
+  // ones carry their temperature down to the zone layer for placement.
   auto sub =
-      device_->SubmitWriteRegion(open_rid_, payload, sim::IoMode::kBackground);
+      m.temp == TempClass::kNone
+          ? device_->SubmitWriteRegion(slot.rid, payload,
+                                       sim::IoMode::kBackground)
+          : device_->SubmitWriteRegion(slot.rid, payload,
+                                       sim::IoMode::kBackground, m.temp);
   auto w = device_->CompleteWriteRegion(sub, sim::IoMode::kBackground);
   if (!w.ok()) {
     // The flush failed, so the buffered items exist nowhere durable. A
@@ -180,10 +304,10 @@ Status FlashCache::FlushOpenRegion() {
     // the caller opens a fresh region and keeps going (degraded, not dead).
     stats_.flush_failures++;
     c_flush_failures_->Inc();
-    const RegionId failed = open_rid_;
-    open_rid_ = kInvalidId;
+    const RegionId failed = slot.rid;
+    slot.rid = kInvalidId;
     if (config_.record_fill_times) {
-      region_fill_times_.push_back(clock_->Now() - open_region_started_);
+      region_fill_times_.push_back(clock_->Now() - slot.started);
     }
     HandleRegionLost(failed);
     return Status::Ok();
@@ -193,22 +317,24 @@ Status FlashCache::FlushOpenRegion() {
   m.state = RegionState::kSealed;
   m.seal_seq = ++seal_counter_;
   m.last_access = ++access_seq_;  // freshly written data is "recent"
+  if (config_.policy == EvictionPolicy::kChunk) BuildLiveBitmap(slot.rid);
   stats_.flushed_regions++;
   c_flushed_regions_->Inc();
-  tracer_->Record(obs::EventKind::kRegionFlush, clock_->Now(), open_rid_,
+  tracer_->Record(obs::EventKind::kRegionFlush, clock_->Now(), slot.rid,
                   m.used);
 
   if (config_.record_fill_times) {
-    region_fill_times_.push_back(clock_->Now() - open_region_started_);
+    region_fill_times_.push_back(clock_->Now() - slot.started);
   }
-  open_rid_ = kInvalidId;
+  slot.rid = kInvalidId;
   return Status::Ok();
 }
 
-Status FlashCache::OpenNewRegion() {
+Status FlashCache::OpenNewRegion(u32 cls) {
+  OpenSlot& slot = open_[cls];
   // The fill-time window opens here: eviction work and flush backpressure
   // stall the insert path, which is exactly what Figure 3 measures.
-  open_region_started_ = clock_->Now();
+  slot.started = clock_->Now();
   // Backpressure: wait for a flush buffer to drain.
   while (inflight_flushes_.size() >= config_.flush_buffers) {
     const SimNanos stall_from = clock_->Now();
@@ -235,11 +361,40 @@ Status FlashCache::OpenNewRegion() {
     // interference on the op that triggered it, including any device work
     // the purge causes underneath.
     obs::PhaseScope evict_scope(obs::Phase::kEviction);
-    const RegionId victim = PickEvictionVictim();
-    if (victim == kInvalidId) {
-      return Status::Internal("no region available for eviction");
+    RegionId victim;
+    if (config_.policy == EvictionPolicy::kChunk) {
+      // Reclaim the emptiest sealed region if it is already at/below the
+      // watermark; otherwise CLOCK the LRU victim's chunk queue down to
+      // the watermark first, so only chunks that are actually cold (or,
+      // past the watermark, oldest) pay eviction — never a full region of
+      // live entries at once.
+      victim = PickLowestLiveRegion();
+      if (victim == kInvalidId) {
+        return Status::Internal("no region available for eviction");
+      }
+      const RegionMeta& vm = regions_[victim];
+      const double frac = vm.used == 0
+                              ? 0.0
+                              : static_cast<double>(vm.live_bytes) /
+                                    static_cast<double>(vm.used);
+      if (frac > config_.chunk_live_watermark) {
+        victim = PickEvictionVictim();
+        ChunkEvictToWatermark(victim);
+      } else {
+        stats_.chunk_reclaimed_regions++;
+        c_chunk_reclaimed_->Inc();
+      }
+    } else {
+      victim = PickEvictionVictim();
+      if (victim == kInvalidId) {
+        return Status::Internal("no region available for eviction");
+      }
     }
-    const u64 items = regions_[victim].items.size();
+    // In chunk mode only the still-live entries pay the purge; dead chunks
+    // already left the index one at a time.
+    const u64 items = config_.policy == EvictionPolicy::kChunk
+                          ? regions_[victim].live.CountSet()
+                          : regions_[victim].items.size();
     // Removing a region's worth of entries contends on the shared index —
     // the insertion-time spike of Figure 3 for zone-sized regions. The
     // n^1.5 term models lock-convoy interference with concurrent inserts.
@@ -280,7 +435,12 @@ Status FlashCache::OpenNewRegion() {
   m.state = RegionState::kOpen;
   m.items.clear();
   m.used = 0;
-  open_rid_ = next;
+  // In segregated mode the region inherits its slot's temperature; the
+  // flush will tag the device write with it.
+  m.temp = config_.temperature_classes > 1
+               ? (cls == 1 ? TempClass::kHot : TempClass::kCold)
+               : TempClass::kNone;
+  slot.rid = next;
   ZN_RETURN_IF_ERROR(device_->PumpBackground());
 
   // Re-admit hot survivors of the eviction into the fresh region. Items
@@ -291,6 +451,11 @@ Status FlashCache::OpenNewRegion() {
     obs::PhaseScope evict_scope(obs::Phase::kEviction);
     std::vector<std::pair<ItemMeta, std::string>> batch;
     batch.swap(pending_reinserts_);
+    // Survivors proved their heat by collecting hits; segregated mode
+    // routes their rewrites to the hot slot. Save/restore: a recursive
+    // OpenNewRegion may run its own batch inside this loop.
+    const bool was_reinserting = reinserting_;
+    reinserting_ = true;
     for (auto& [item, payload] : batch) {
       auto s = Set(item.key, payload);
       if (s.ok()) {
@@ -298,6 +463,7 @@ Status FlashCache::OpenNewRegion() {
         c_reinserted_items_->Inc();
       }
     }
+    reinserting_ = was_reinserting;
   }
   return Status::Ok();
 }
@@ -344,34 +510,59 @@ Result<OpResult> FlashCache::Set(std::string_view key,
   Cpu(config_.append_ns_per_kib * ((value.size() + kKiB - 1) / kKiB),
       obs::Phase::kBufferCopy);
 
+  // Old-version lookup up front: temperature classification needs the
+  // previous entry's hit count, and chunk mode kills the overwritten
+  // version in place — both before eviction below can disturb the entry.
+  u32 cls = 0;
+  {
+    auto old_it = index_.find(key);
+    if (config_.temperature_classes > 1) {
+      const bool hot =
+          reinserting_ || (old_it != index_.end() &&
+                           old_it->second.hits >= config_.hot_overwrite_hits);
+      cls = hot ? 1 : 0;
+    }
+    if (config_.policy == EvictionPolicy::kChunk && old_it != index_.end()) {
+      ChunkInvalidateInPlace(old_it->second);
+    }
+  }
+
   // A previous set can leave no region open: its flush failed (the slot
   // was purged) or its OpenNewRegion lost an eviction race with a
   // degraded device. Recover the slot before touching regions_.
-  if (open_rid_ == kInvalidId) ZN_RETURN_IF_ERROR(OpenNewRegion());
-  RegionMeta* m = &regions_[open_rid_];
+  OpenSlot& slot = open_[cls];
+  if (slot.rid == kInvalidId) ZN_RETURN_IF_ERROR(OpenNewRegion(cls));
+  RegionMeta* m = &regions_[slot.rid];
   if (m->used + value.size() > usable_region_bytes_) {
     // Sealing the full region is flush-driven stall time from this op's
     // point of view; eviction inside OpenNewRegion re-redirects deeper.
     obs::PhaseScope seal_scope(obs::Phase::kFlushWait);
-    ZN_RETURN_IF_ERROR(FlushOpenRegion());
-    ZN_RETURN_IF_ERROR(OpenNewRegion());
-    m = &regions_[open_rid_];
+    ZN_RETURN_IF_ERROR(FlushOpenRegion(cls));
+    ZN_RETURN_IF_ERROR(OpenNewRegion(cls));
+    m = &regions_[slot.rid];
   }
 
   const u32 offset = m->used;
   if (config_.store_values && !value.empty()) {
-    std::memcpy(open_buffer_.data() + offset, value.data(), value.size());
+    std::memcpy(slot.buffer.data() + offset, value.data(), value.size());
   }
+  const u32 item_idx = static_cast<u32>(m->items.size());
   m->items.push_back(
       ItemMeta{std::string(key), offset, static_cast<u32>(value.size())});
   m->used += static_cast<u32>(value.size());
+  const SimNanos expire =
+      config_.ttl_ns == 0 ? 0 : clock_->Now() + config_.ttl_ns;
+  if (expire > m->max_expire) m->max_expire = expire;
   // Heterogeneous lookup first: an overwrite (the common churn case) never
   // materializes a temporary std::string just to find the existing entry.
+  // Re-found after the flush/open above — eviction and reinsertion may
+  // have erased or rehashed the earlier iterator.
   auto it = index_.find(key);
   if (it == index_.end()) {
     it = index_.try_emplace(std::string(key)).first;
   }
-  it->second = IndexEntry{open_rid_, offset, static_cast<u32>(value.size())};
+  it->second = IndexEntry{slot.rid, offset, static_cast<u32>(value.size()),
+                          0, item_idx, expire};
 
   stats_.sets++;
   stats_.set_bytes += value.size();
@@ -403,6 +594,17 @@ Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out,
     h_lookup_latency_->Record(clock_->Now() - start);
     return OpResult{false, clock_->Now() - start};
   }
+  // TTL: an expired object is a miss. The entry is left alone (this path
+  // runs lock-free against other Gets) — chunk eviction or the region
+  // purge reclaims it later, and RegionTtlDead() lets GC drop the region.
+  if (config_.ttl_ns != 0 && it->second.expire != 0 &&
+      clock_->Now() >= it->second.expire) {
+    std::atomic_ref<u64>(stats_.ttl_expired_items)
+        .fetch_add(1, std::memory_order_relaxed);
+    c_ttl_expired_->Inc();
+    h_lookup_latency_->Record(clock_->Now() - start);
+    return OpResult{false, clock_->Now() - start};
+  }
   std::atomic_ref<u32>(it->second.hits).fetch_add(1,
                                                   std::memory_order_relaxed);
   // Field-wise copy: a whole-struct copy would read `hits` plainly while a
@@ -420,14 +622,22 @@ Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out,
         .store(seq, std::memory_order_relaxed);
   }
 
-  if (entry.rid == open_rid_) {
+  const OpenSlot* open_hit = nullptr;
+  for (const OpenSlot& s : open_) {
+    if (s.rid != kInvalidId && s.rid == entry.rid) {
+      open_hit = &s;
+      break;
+    }
+  }
+  if (open_hit != nullptr) {
     // Served from the DRAM buffer.
     Cpu(config_.dram_read_ns_per_kib * ((entry.size + kKiB - 1) / kKiB),
         obs::Phase::kDramRead);
     if (value_out != nullptr) {
       if (config_.store_values) {
         value_out->assign(
-            reinterpret_cast<const char*>(open_buffer_.data()) + entry.offset,
+            reinterpret_cast<const char*>(open_hit->buffer.data()) +
+                entry.offset,
             entry.size);
       } else {
         value_out->assign(entry.size, '\0');
@@ -482,14 +692,21 @@ Result<OpResult> FlashCache::Delete(std::string_view key) {
   // (unordered_map::erase(key) is not transparent until C++23).
   auto it = index_.find(key);
   const bool found = it != index_.end();
-  if (found) index_.erase(it);
+  if (found) {
+    if (config_.policy == EvictionPolicy::kChunk) {
+      ChunkInvalidateInPlace(it->second);
+    }
+    index_.erase(it);
+  }
   return OpResult{found, clock_->Now() - start};
 }
 
 Status FlashCache::Flush() {
-  if (open_rid_ != kInvalidId && regions_[open_rid_].used > 0) {
-    ZN_RETURN_IF_ERROR(FlushOpenRegion());
-    ZN_RETURN_IF_ERROR(OpenNewRegion());
+  for (u32 cls = 0; cls < static_cast<u32>(open_.size()); ++cls) {
+    if (open_[cls].rid != kInvalidId && regions_[open_[cls].rid].used > 0) {
+      ZN_RETURN_IF_ERROR(FlushOpenRegion(cls));
+      ZN_RETURN_IF_ERROR(OpenNewRegion(cls));
+    }
   }
   while (!inflight_flushes_.empty()) {
     clock_->AdvanceTo(inflight_flushes_.front());
@@ -506,9 +723,11 @@ Status FlashCache::Recover() {
     return Status::FailedPrecondition("recover only a fresh cache instance");
   }
   // Undo the constructor's eagerly-opened region; every slot is examined.
-  if (open_rid_ != kInvalidId) {
-    regions_[open_rid_].state = RegionState::kFree;
-    open_rid_ = kInvalidId;
+  for (OpenSlot& slot : open_) {
+    if (slot.rid != kInvalidId) {
+      regions_[slot.rid].state = RegionState::kFree;
+      slot.rid = kInvalidId;
+    }
   }
 
   const u64 reserve = FooterReserve(device_->region_size());
@@ -575,14 +794,23 @@ Status FlashCache::Recover() {
   // Second pass in seal order: newest version of each key wins the index.
   std::sort(seal_order.begin(), seal_order.end());
   for (const auto& [seal_seq, rid] : seal_order) {
-    for (const ItemMeta& item : regions_[rid].items) {
-      index_[item.key] = IndexEntry{rid, item.offset, item.size};
+    const std::vector<ItemMeta>& items = regions_[rid].items;
+    for (u64 i = 0; i < items.size(); ++i) {
+      const ItemMeta& item = items[i];
+      // TTLs are not persisted; recovered items carry no expiry.
+      index_[item.key] =
+          IndexEntry{rid, item.offset, item.size, 0, static_cast<u32>(i), 0};
       recovered_items_++;
     }
     seal_counter_ = std::max(seal_counter_, seal_seq);
     access_seq_ = std::max(access_seq_, seal_seq);
   }
-  return OpenNewRegion();
+  // Chunk validity is index-derived, so it rebuilds exactly: items whose
+  // key resolved to a newer region are born dead here.
+  if (config_.policy == EvictionPolicy::kChunk) {
+    for (const auto& [seal_seq, rid] : seal_order) BuildLiveBitmap(rid);
+  }
+  return OpenNewRegion(0);
 }
 
 u64 FlashCache::RegionLastAccess(RegionId rid) const {
@@ -592,8 +820,10 @@ u64 FlashCache::RegionLastAccess(RegionId rid) const {
 
 Status FlashCache::DropRegion(RegionId rid) {
   if (rid >= regions_.size()) return Status::OutOfRange("bad region id");
-  if (rid == open_rid_) {
-    return Status::FailedPrecondition("cannot drop the open region");
+  for (const OpenSlot& slot : open_) {
+    if (rid == slot.rid) {
+      return Status::FailedPrecondition("cannot drop the open region");
+    }
   }
   RegionMeta& m = regions_[rid];
   if (m.state == RegionState::kFree || m.state == RegionState::kRetired) {
@@ -607,6 +837,36 @@ Status FlashCache::DropRegion(RegionId rid) {
   c_dropped_items_->Inc(removed);
   tracer_->Record(obs::EventKind::kRegionDrop, clock_->Now(), rid, removed);
   return Status::Ok();
+}
+
+bool FlashCache::RegionTtlDead(RegionId rid) const {
+  if (config_.ttl_ns == 0 || rid >= regions_.size()) return false;
+  const RegionMeta& m = regions_[rid];
+  return m.state == RegionState::kSealed && m.max_expire != 0 &&
+         clock_->Now() >= m.max_expire;
+}
+
+TempClass FlashCache::RegionTemp(RegionId rid) const {
+  if (rid >= regions_.size()) return TempClass::kNone;
+  return regions_[rid].temp;
+}
+
+std::optional<double> FlashCache::SealedRegionLiveFraction(
+    RegionId rid) const {
+  if (rid >= regions_.size()) return std::nullopt;
+  const RegionMeta& m = regions_[rid];
+  if (m.state != RegionState::kSealed) return std::nullopt;
+  if (config_.policy != EvictionPolicy::kChunk || m.used == 0) return 1.0;
+  return static_cast<double>(m.live_bytes) / static_cast<double>(m.used);
+}
+
+std::vector<std::pair<TempClass, RegionId>> FlashCache::OpenRegions() const {
+  std::vector<std::pair<TempClass, RegionId>> out;
+  for (const OpenSlot& slot : open_) {
+    if (slot.rid == kInvalidId) continue;
+    out.emplace_back(regions_[slot.rid].temp, slot.rid);
+  }
+  return out;
 }
 
 }  // namespace zncache::cache

@@ -7,14 +7,18 @@
 //     threads -> background I/O here) and the next region slot is opened.
 //   * A DRAM index maps key -> (region, offset, size). Reads hit the open
 //     buffer (DRAM) or the device.
-//   * Eviction is region-granular: when no free region slot exists, the LRU
-//     (or FIFO) sealed region is evicted wholesale — every object it holds
-//     leaves the index at once. This is what makes zone-sized regions hurt
-//     the hit ratio, and what makes eviction cost spike for large regions
-//     (Figure 3): removing a region's worth of index entries contends on
-//     the shared index locks with concurrent inserts.
+//   * Eviction is region-granular by default: when no free region slot
+//     exists, the LRU (or FIFO) sealed region is evicted wholesale — every
+//     object it holds leaves the index at once. This is what makes
+//     zone-sized regions hurt the hit ratio, and what makes eviction cost
+//     spike for large regions (Figure 3): removing a region's worth of
+//     index entries contends on the shared index locks with concurrent
+//     inserts. EvictionPolicy::kChunk breaks that coupling: items are
+//     invalidated individually (per-region validity bitmap) and a region
+//     is reclaimed only once mostly dead — see docs/EVICTION.md.
 //   * Deletes only remove the index entry; the space is reclaimed when the
-//     containing region is evicted.
+//     containing region is evicted (kChunk additionally clears the item's
+//     validity bit so the region's live fraction decays in place).
 //
 // Time accounting: CPU costs advance the virtual clock directly; device
 // I/O goes through the backend (flushes in background mode, reads in
@@ -47,6 +51,7 @@
 
 #include "cache/region_device.h"
 #include "cache/region_footer.h"
+#include "common/bitmap.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -61,6 +66,13 @@ namespace zncache::cache {
 enum class EvictionPolicy {
   kLru,   // least-recently-accessed sealed region
   kFifo,  // oldest sealed region
+  // Chunk-granular: overwrites and deletes kill individual items inside
+  // sealed regions (a per-region validity bitmap tracks live chunks), the
+  // evictor CLOCK-scans a region's chunk queue to invalidate cold items
+  // one at a time, and a region is reclaimed wholesale only once its live
+  // fraction falls to the watermark — so eviction cost scales with the
+  // chunks actually removed, not the region size (the Figure 3 fix).
+  kChunk,
 };
 
 struct FlashCacheConfig {
@@ -104,6 +116,29 @@ struct FlashCacheConfig {
   // any) in place. Trades hit ratio for flash write volume.
   double admit_probability = 1.0;
   u64 admission_seed = 99;
+  // --- Chunk-granular eviction (EvictionPolicy::kChunk) ------------------
+  // Reclaim a sealed region outright once its live fraction (live payload
+  // bytes / bytes written) is at or below this watermark; above it the
+  // evictor first invalidates cold chunks one at a time (2-pass CLOCK over
+  // the region's chunk queue) until the watermark holds.
+  double chunk_live_watermark = 0.5;
+  // Concurrently open regions per engine, segregated by write temperature.
+  // 1 (default) keeps the single-open-region behavior bit-identical to the
+  // pre-chunk engine; 2 opens a second region so hot rewrites and cold
+  // first writes land in distinct regions — and, through the temp-tagged
+  // device writes, in distinct zones (§3.4 co-design). Clamped to 1 when
+  // the device is too small to keep a sealed region per open slot.
+  u32 temperature_classes = 1;
+  // An overwrite whose previous version collected at least this many hits
+  // classifies as hot; reinsertion-policy survivors are always hot.
+  u32 hot_overwrite_hits = 2;
+  // Object TTL. 0 disables. An expired object is served as a miss (the
+  // index entry is reclaimed lazily by chunk eviction / region purge), and
+  // a sealed region whose every object is past its TTL reports
+  // RegionTtlDead() so the GC hint path can drop it instead of migrating
+  // it. TTLs are not persisted in region footers; recovered items lose
+  // their expiry.
+  SimNanos ttl_ns = 0;
   // Pre-size the DRAM index for this many entries, so the hot path never
   // pays a rehash. 0 = grow on demand. ShardedCache sets a per-shard share.
   u64 index_reserve = 0;
@@ -140,6 +175,11 @@ struct CacheStats {
   u64 flush_failures = 0;   // region flushes the backend failed
   u64 read_errors = 0;      // transient device read errors served as misses
   u64 retired_regions = 0;  // slots permanently out of rotation
+  // Chunk-granular eviction (EvictionPolicy::kChunk only).
+  u64 chunk_invalidated_items = 0;  // killed in place by overwrite / delete
+  u64 chunk_evicted_items = 0;      // cold chunks evicted by the CLOCK pass
+  u64 chunk_reclaimed_regions = 0;  // regions reclaimed at/below watermark
+  u64 ttl_expired_items = 0;        // gets served as misses past the TTL
 
   double HitRatio() const {
     return gets == 0 ? 0.0
@@ -211,6 +251,17 @@ class FlashCache {
   // the slot free. Invoked by the hinted GC when dropping a cold region is
   // cheaper than migrating it. Fails on the open region.
   Status DropRegion(RegionId rid);
+  // True when every object the sealed region holds is past its TTL
+  // (always false with ttl_ns == 0). Hint surface for cold-drop GC.
+  bool RegionTtlDead(RegionId rid) const;
+  // Temperature class the region was opened under (kNone outside
+  // segregated mode and for free slots).
+  TempClass RegionTemp(RegionId rid) const;
+  // Live payload fraction of a sealed region (1.0 outside chunk mode);
+  // nullopt when the slot is not sealed. evict-stats surface.
+  std::optional<double> SealedRegionLiveFraction(RegionId rid) const;
+  // The currently open regions, as (temperature, region id) pairs.
+  std::vector<std::pair<TempClass, RegionId>> OpenRegions() const;
 
   // Figure 3 instrumentation: simulated time spent filling each region
   // buffer, in fill order. Only populated when config.record_fill_times.
@@ -223,7 +274,9 @@ class FlashCache {
     RegionId rid = 0;
     u32 offset = 0;
     u32 size = 0;
-    u32 hits = 0;  // per-item hit count (reinsertion policy)
+    u32 hits = 0;      // per-item hit count (reinsertion policy)
+    u32 item_idx = 0;  // position in RegionMeta::items (chunk validity bit)
+    SimNanos expire = 0;  // absolute expiry instant; 0 = no TTL
   };
 
   struct ItemMeta {
@@ -242,6 +295,22 @@ class FlashCache {
     u32 used = 0;
     u64 last_access = 0;  // access seq, for LRU
     u64 seal_seq = 0;     // for FIFO
+    // Chunk mode: per-item validity (bit i <=> items[i] is live) and the
+    // live payload byte count, maintained from seal to reclaim.
+    Bitmap64 live;
+    u64 live_bytes = 0;
+    // Largest expiry instant among the region's items (0 = no TTL).
+    SimNanos max_expire = 0;
+    // Temperature the region was opened under (segregated placement).
+    TempClass temp = TempClass::kNone;
+  };
+
+  // One concurrently-open region (indexed by temperature class; a single
+  // slot outside segregated mode).
+  struct OpenSlot {
+    RegionId rid = kInvalidId;
+    std::vector<std::byte> buffer;
+    SimNanos started = 0;  // fill-time window start
   };
 
   // Advance the virtual clock by a modeled CPU cost and attribute it to
@@ -252,12 +321,29 @@ class FlashCache {
     obs::ChargePhase(p, ns);
   }
 
-  // Flush the open region buffer to the device (background I/O).
-  Status FlushOpenRegion();
-  // Make `open_rid_` a writable empty slot, evicting if necessary.
-  Status OpenNewRegion();
+  // Flush a class's open region buffer to the device (background I/O).
+  Status FlushOpenRegion(u32 cls);
+  // Make the class's open slot a writable empty region, evicting if
+  // necessary.
+  Status OpenNewRegion(u32 cls);
   std::optional<RegionId> FindFreeRegion() const;
   RegionId PickEvictionVictim() const;
+  // kChunk: the sealed region with the lowest live fraction.
+  RegionId PickLowestLiveRegion() const;
+  // kChunk: seal-time liveness — build m.live / m.live_bytes from the
+  // index (items overwritten while the region was open are born dead).
+  void BuildLiveBitmap(RegionId rid);
+  // kChunk: clear an entry's live bit in its (sealed) region; false when
+  // the region is not sealed or the bit was already dead.
+  bool ClearLiveBit(const IndexEntry& entry);
+  // kChunk: an overwrite/delete killed a sealed chunk in place; charges
+  // the per-chunk eviction cost on the op timeline.
+  void ChunkInvalidateInPlace(const IndexEntry& entry);
+  // kChunk: 2-pass CLOCK over the region's chunk queue — pass 1 gives
+  // previously-hit chunks a second chance (hits decay) and kills cold or
+  // TTL-expired ones; pass 2 kills unconditionally — until the live
+  // fraction is at or below the watermark.
+  void ChunkEvictToWatermark(RegionId rid);
   // Remove all of a region's items from the index; returns entries removed.
   u64 PurgeRegionIndex(RegionId rid);
   // A region's contents are gone (offline zone, failed flush): purge its
@@ -281,16 +367,19 @@ class FlashCache {
                      TransparentStringEq>
       index_;
   std::vector<RegionMeta> regions_;
-  std::vector<std::byte> open_buffer_;
+  // Open slots, one per temperature class (class 0 = cold / default,
+  // class 1 = hot). A single slot outside segregated mode.
+  std::vector<OpenSlot> open_;
   std::vector<std::byte> zero_scratch_;  // reusable evict-path zero payload
-  RegionId open_rid_ = kInvalidId;
   u64 seal_counter_ = 0;
   u64 access_seq_ = 0;
   std::deque<SimNanos> inflight_flushes_;  // completion instants
   Rng admission_rng_{99};
   std::vector<std::pair<ItemMeta, std::string>> pending_reinserts_;
+  // True while the eviction path re-admits reinsertion survivors; their
+  // recursive Sets classify as hot in segregated mode.
+  bool reinserting_ = false;
 
-  SimNanos open_region_started_ = 0;  // for fill-time recording
   std::vector<SimNanos> region_fill_times_;
 
   CacheStats stats_;
@@ -315,6 +404,10 @@ class FlashCache {
   obs::Counter* c_lost_items_ = nullptr;
   obs::Counter* c_flush_failures_ = nullptr;
   obs::Counter* c_read_errors_ = nullptr;
+  obs::Counter* c_chunk_invalidated_ = nullptr;
+  obs::Counter* c_chunk_evicted_ = nullptr;
+  obs::Counter* c_chunk_reclaimed_ = nullptr;
+  obs::Counter* c_ttl_expired_ = nullptr;
   obs::Gauge* g_retired_regions_ = nullptr;
   Histogram* h_lookup_latency_ = nullptr;
   Histogram* h_set_latency_ = nullptr;

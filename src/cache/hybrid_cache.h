@@ -20,6 +20,10 @@ struct HybridCacheConfig {
 struct HybridStats {
   u64 small_routed = 0;
   u64 large_routed = 0;
+  // A set whose size class flipped found (and deleted) a stale copy in the
+  // other engine. In chunk-eviction mode the large engine turns that delete
+  // into an in-place chunk invalidation rather than waiting for region LRU.
+  u64 cross_engine_invalidations = 0;
 };
 
 class HybridCache {
@@ -33,11 +37,13 @@ class HybridCache {
     if (value.size() <= config_.small_item_threshold) {
       stats_.small_routed++;
       // The key may previously have been large; evict the stale copy.
-      (void)large_->Delete(key);
+      auto stale = large_->Delete(key);
+      if (stale.ok() && (*stale).hit) stats_.cross_engine_invalidations++;
       return small_->Set(key, value);
     }
     stats_.large_routed++;
-    (void)small_->Delete(key);
+    auto stale = small_->Delete(key);
+    if (stale.ok() && (*stale).hit) stats_.cross_engine_invalidations++;
     return large_->Set(key, value);
   }
 

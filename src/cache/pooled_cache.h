@@ -28,6 +28,28 @@ class RegionDeviceSlice final : public RegionDevice {
     ZN_RETURN_IF_ERROR(Check(id));
     return parent_->WriteRegion(base_ + id, data, mode);
   }
+  // Temperature tags pass through to the parent so segregated placement
+  // works for sharded engines too (slices share the parent's zones).
+  Result<RegionIo> WriteRegion(RegionId id, std::span<const std::byte> data,
+                               sim::IoMode mode, TempClass temp) override {
+    ZN_RETURN_IF_ERROR(Check(id));
+    return parent_->WriteRegion(base_ + id, data, mode, temp);
+  }
+  // Like the base default, degrades to the blocking write (slices do not
+  // pipeline through the parent's submission queue — CompleteWriteRegion
+  // here could not reap a parent token), but keeps the temp tag attached.
+  PendingRegionIo SubmitWriteRegion(RegionId id,
+                                    std::span<const std::byte> data,
+                                    sim::IoMode mode, TempClass temp) override {
+    PendingRegionIo p;
+    auto r = WriteRegion(id, data, mode, temp);
+    if (!r.ok()) {
+      p.status = r.status();
+    } else {
+      p.io = *r;
+    }
+    return p;
+  }
   Result<RegionIo> ReadRegion(RegionId id, u64 offset,
                               std::span<std::byte> out) override {
     ZN_RETURN_IF_ERROR(Check(id));

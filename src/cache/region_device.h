@@ -104,6 +104,23 @@ class RegionDevice {
     return p.io;
   }
 
+  // Temperature-tagged variants (§3.4 co-design): the engine annotates a
+  // region flush with the hotness class of its contents so zone-translated
+  // backends can segregate hot and cold data into distinct zones. Backends
+  // without a placement choice ignore the tag — the defaults forward to the
+  // untagged entry points, so behavior is bit-identical when nobody
+  // overrides them or when the tag is TempClass::kNone.
+  virtual Result<RegionIo> WriteRegion(RegionId id,
+                                       std::span<const std::byte> data,
+                                       sim::IoMode mode, TempClass) {
+    return WriteRegion(id, data, mode);
+  }
+  virtual PendingRegionIo SubmitWriteRegion(RegionId id,
+                                            std::span<const std::byte> data,
+                                            sim::IoMode mode, TempClass) {
+    return SubmitWriteRegion(id, data, mode);
+  }
+
   // Random read inside a previously written slot.
   virtual Result<RegionIo> ReadRegion(RegionId id, u64 offset,
                                       std::span<std::byte> out) = 0;

@@ -191,6 +191,10 @@ CacheStats ShardedCache::TotalStats() const {
     total.flush_failures += s.flush_failures;
     total.read_errors += s.read_errors;
     total.retired_regions += s.retired_regions;
+    total.chunk_invalidated_items += s.chunk_invalidated_items;
+    total.chunk_evicted_items += s.chunk_evicted_items;
+    total.chunk_reclaimed_regions += s.chunk_reclaimed_regions;
+    total.ttl_expired_items += s.ttl_expired_items;
   }
   return total;
 }

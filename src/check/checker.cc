@@ -66,6 +66,9 @@ HistoryConfig BaseConfig(const SelfTestOptions& opts,
       (level == Level::kMiddle || scheme == backends::SchemeKind::kRegion)) {
     c.mut_no_seqlock_retry = true;
   }
+  // Chunk eviction only exists in the cache engine; middle-level histories
+  // drive the translation layer directly and ignore the knob.
+  if (opts.chunk_evict && level == Level::kCache) c.chunk_evict = true;
   return c;
 }
 

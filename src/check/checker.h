@@ -47,6 +47,9 @@ struct SelfTestOptions {
   // after the lock-free read copies its payload). Applied to Region-scheme
   // and middle-level runs; a healthy harness must then report failures.
   bool mutate_no_seqlock_retry = false;
+  // Run cache-level histories with EvictionPolicy::kChunk and 2
+  // temperature classes instead of the default region-LRU engine.
+  bool chunk_evict = false;
   bool shrink_on_failure = true;
   u64 shrink_attempts = 400;
   // Directory for minimized .history repro files ("" = don't write).

@@ -129,6 +129,7 @@ std::string History::Serialize() const {
          " sb_pages=" + std::to_string(c.sb_pages) + "\n";
   if (c.mut_no_unpublished_pin) out += "mutation no-unpublished-pin\n";
   if (c.mut_no_seqlock_retry) out += "mutation no-seqlock-retry\n";
+  if (c.chunk_evict) out += "engine chunk-evict\n";
   if (!c.plan.empty()) out += "plan " + c.plan + "\n";
   for (const Op& op : ops) {
     out += OpKindName(op.kind);
@@ -235,6 +236,15 @@ Result<History> History::Parse(std::string_view text) {
         h.config.mut_no_seqlock_retry = true;
       } else {
         return Status::InvalidArgument("unknown mutation: " +
+                                       std::string(line));
+      }
+      continue;
+    }
+    if (kv.word == "engine") {
+      if (line.find("chunk-evict") != std::string_view::npos) {
+        h.config.chunk_evict = true;
+      } else {
+        return Status::InvalidArgument("unknown engine option: " +
                                        std::string(line));
       }
       continue;

@@ -80,6 +80,11 @@ struct HistoryConfig {
   u64 min_empty = 2;
   u64 slots = 16;     // middle level: logical region slots
   u64 sb_pages = 64;  // block scheme: FTL superblock pages
+  // Cache level: run the engine with EvictionPolicy::kChunk plus
+  // temperature-segregated writes (2 classes). The oracle is unchanged —
+  // chunk eviction only makes different keys miss — so differential runs
+  // sweep the new eviction machinery for free.
+  bool chunk_evict = false;
   // Raw fault-plan spec (empty = fault-free).
   std::string plan;
   // Mutation knobs (deliberately injected bugs the harness must catch).

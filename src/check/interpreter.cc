@@ -375,6 +375,13 @@ class CacheRun {
     params_.store_data = true;
     params_.persistent = true;
     params_.shards = c.shards;
+    if (c.chunk_evict) {
+      // Sweep the chunk-granular eviction stack: in-place invalidation,
+      // watermark reclaim, and temperature-segregated flushes. The oracle
+      // is eviction-agnostic, so no model change is needed.
+      params_.cache_config.policy = cache::EvictionPolicy::kChunk;
+      params_.cache_config.temperature_classes = 2;
+    }
     params_.mut_no_unpublished_pin = c.mut_no_unpublished_pin;
     params_.mut_no_seqlock_retry = c.mut_no_seqlock_retry;
     params_.metrics = &registry_;

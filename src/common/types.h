@@ -29,4 +29,11 @@ constexpr u64 operator"" _GiB(unsigned long long v) { return v * kGiB; }
 // Sentinel for "no value" in id-like fields.
 inline constexpr u64 kInvalidId = ~0ULL;
 
+// Temperature class attached to data placement decisions (§3.4 co-design):
+// the cache engine classifies writes as hot (rewrites of recently-hit
+// objects) or cold (first writes, reinserted-once objects) so the zone
+// layer can segregate them into distinct zones. kNone means "no opinion" —
+// untagged writes behave exactly as before segregation existed.
+enum class TempClass : u8 { kNone = 0, kCold = 1, kHot = 2 };
+
 }  // namespace zncache

@@ -59,6 +59,7 @@ ZoneTranslationLayer::ZoneTranslationLayer(const MiddleLayerConfig& config,
   c_migrated_regions_ =
       obs::GetCounterOrSink(reg, "middle.gc.migrated_regions");
   c_dropped_regions_ = obs::GetCounterOrSink(reg, "middle.gc.dropped_regions");
+  c_dropped_cold_ = obs::GetCounterOrSink(reg, "middle.gc.dropped_cold");
   c_gc_runs_ = obs::GetCounterOrSink(reg, "middle.gc.runs");
   c_zones_reset_ = obs::GetCounterOrSink(reg, "middle.zones.reset");
   c_zones_finished_ = obs::GetCounterOrSink(reg, "middle.zones.finished");
@@ -185,6 +186,7 @@ Status ZoneTranslationLayer::PerformZoneResetLocked(u64 zone) {
   std::fill(zm.region_ids.begin(), zm.region_ids.end(), kInvalidId);
   zm.valid_count = 0;
   zm.next_slot = 0;
+  zm.temp = TempClass::kNone;  // an erased zone takes any temperature again
   stats_.zones_reset++;
   c_zones_reset_->Inc();
   return Status::Ok();
@@ -270,7 +272,8 @@ Status ZoneTranslationLayer::FinishIfFull(u64 zone) {
 }
 
 Result<u64> ZoneTranslationLayer::ReserveSlot(bool for_gc,
-                                              bool post_gc_rescan) {
+                                              bool post_gc_rescan,
+                                              TempClass temp) {
   // Zones whose deferred reset has ripened become empty — and reservable —
   // here.
   DrainDeferredResetsLocked();
@@ -284,6 +287,7 @@ Result<u64> ZoneTranslationLayer::ReserveSlot(bool for_gc,
           std::find(open_zones_.begin(), open_zones_.end(), z) ==
               open_zones_.end()) {
         open_zones_.push_back(z);
+        zones_[z].temp = temp;  // a fresh zone adopts the writer's class
         return z;
       }
     }
@@ -311,12 +315,32 @@ Result<u64> ZoneTranslationLayer::ReserveSlot(bool for_gc,
     }
   }
   // Round-robin over the open zones with room for one more in-flight slot
-  // on top of the reservations already outstanding against them.
+  // on top of the reservations already outstanding against them. A tagged
+  // write first restricts itself to zones of its own temperature (or
+  // untagged zones, which adopt the tag) so hot rewrites and cold
+  // first-writes stripe into distinct erase units; if no same-class zone
+  // has room it falls through to the unfiltered pass rather than stall.
+  if (temp != TempClass::kNone) {
+    for (u32 i = 0; i < open_zones_.size(); ++i) {
+      const u64 zone = open_zones_[(next_open_rr_ + i) % open_zones_.size()];
+      ZoneMeta& zm = zones_[zone];
+      if (zm.temp != TempClass::kNone && zm.temp != temp) continue;
+      if (device_->GetZoneInfo(zone).RemainingCapacity() >=
+          slot_stride_ * (zm.pending + 1)) {
+        next_open_rr_ = (next_open_rr_ + i + 1) % open_zones_.size();
+        zm.temp = temp;
+        return zone;
+      }
+    }
+  }
   for (u32 i = 0; i < open_zones_.size(); ++i) {
     const u64 zone = open_zones_[(next_open_rr_ + i) % open_zones_.size()];
     if (device_->GetZoneInfo(zone).RemainingCapacity() >=
         slot_stride_ * (zones_[zone].pending + 1)) {
       next_open_rr_ = (next_open_rr_ + i + 1) % open_zones_.size();
+      if (temp != TempClass::kNone && zones_[zone].temp == TempClass::kNone) {
+        zones_[zone].temp = temp;
+      }
       return zone;
     }
   }
@@ -439,7 +463,8 @@ Result<ZoneTranslationLayer::PlacedWrite>
 ZoneTranslationLayer::WriteToSomeZone(u64 region_id,
                                       std::span<const std::byte> data,
                                       sim::IoMode mode, bool for_gc,
-                                      u64 gc_header_seq, SimNanos issue_ts) {
+                                      u64 gc_header_seq, SimNanos issue_ts,
+                                      TempClass temp) {
   constexpr int kWriteAttempts = 3;
   Status last = Status::Internal("unreachable");
   for (int attempt = 0; attempt < kWriteAttempts; ++attempt) {
@@ -451,7 +476,7 @@ ZoneTranslationLayer::WriteToSomeZone(u64 region_id,
     u64 header_seq = gc_header_seq;
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
-      auto z = ReserveSlot(for_gc, /*post_gc_rescan=*/false);
+      auto z = ReserveSlot(for_gc, /*post_gc_rescan=*/false, temp);
       if (z.ok() && *z == kNeedsGc) {
         // Out of space: run a blocking GC cycle with the metadata lock
         // released, then re-scan for a freshly emptied zone. GC's own
@@ -462,14 +487,14 @@ ZoneTranslationLayer::WriteToSomeZone(u64 region_id,
           ZN_RETURN_IF_ERROR(ForceCollect());
         }
         lock.lock();
-        z = ReserveSlot(for_gc, /*post_gc_rescan=*/true);
+        z = ReserveSlot(for_gc, /*post_gc_rescan=*/true, temp);
         if (!z.ok() && z.status().code() == StatusCode::kNoSpace) {
           // Concurrent writers may have claimed every freshly emptied zone
           // into the open set while the lock was dropped; those zones
           // still have room, so retry the full reservation once. Serially
           // unreachable: with no concurrent claimant, a zone emptied by
           // the forced cycle is always found by the rescan above.
-          z = ReserveSlot(for_gc, /*post_gc_rescan=*/false);
+          z = ReserveSlot(for_gc, /*post_gc_rescan=*/false, temp);
           if (z.ok() && *z == kNeedsGc) {
             return Status::NoSpace("device out of empty zones");
           }
@@ -525,6 +550,12 @@ ZoneTranslationLayer::WriteToSomeZone(u64 region_id,
 
 Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
     u64 region_id, std::span<const std::byte> data, sim::IoMode mode) {
+  return WriteRegion(region_id, data, mode, TempClass::kNone);
+}
+
+Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
+    u64 region_id, std::span<const std::byte> data, sim::IoMode mode,
+    TempClass temp) {
   u64 my_version = 0;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
@@ -543,7 +574,7 @@ Result<RegionIoResult> ZoneTranslationLayer::WriteRegion(
   }
 
   auto w = WriteToSomeZone(region_id, data, mode, /*for_gc=*/false,
-                           /*gc_header_seq=*/0);
+                           /*gc_header_seq=*/0, /*issue_ts=*/0, temp);
   if (!w.ok()) return w.status();
 
   // Interleave hook: the write has landed on media and the zone is pinned
@@ -754,8 +785,15 @@ u64 ZoneTranslationLayer::PickGcVictim() const {
         open_zones_.end()) {
       continue;
     }
-    if (zones_[z].valid_count < best_valid) {
-      best_valid = zones_[z].valid_count;
+    // Rank by (validity, temperature): fewest live slots first, and among
+    // equally-valid zones prefer a cold one — its survivors are the least
+    // likely to be rewritten soon, so migrating them wastes the least
+    // future work. With no temperature tags in play every rank reduces to
+    // valid_count << 1 and the pick matches the untagged policy exactly.
+    const u64 rank = (zones_[z].valid_count << 1) |
+                     (zones_[z].temp == TempClass::kHot ? 1 : 0);
+    if (rank < best_valid) {
+      best_valid = rank;
       victim = z;
     }
   }
@@ -773,6 +811,11 @@ Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
     RegionLocation new_loc;
   };
   std::vector<Mig> migs;
+  // Survivors keep their temperature: data that outlives a GC cycle in a
+  // hot zone is still hot, and mixing it into cold zones would undo the
+  // segregation the write path established. kNone victims tag nothing, so
+  // untagged runs place migrations exactly as before.
+  TempClass victim_temp = TempClass::kNone;
 
   // Phase 1 — snapshot the victim's valid set under the metadata lock.
   // Hints are applied here (they only mutate metadata) and persistent
@@ -798,6 +841,7 @@ Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
                              : obs::EventKind::kGcBegin,
                     Now(), zone, 0, valid_ratio);
     zm.gc_active = true;
+    victim_temp = zm.temp;
     migs.reserve(zm.valid_count);
     for (u64 slot = 0; slot < regions_per_zone_; ++slot) {
       if (!zm.bitmap.Test(slot)) continue;
@@ -809,6 +853,11 @@ Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
         ClearMapping(region_id);
         stats_.dropped_regions++;
         c_dropped_regions_->Inc();
+        // Every hint drop is, by the adapter's definition, a cold or
+        // TTL-expired region: data the cache agreed to lose rather than
+        // pay migration for (the paper's §3.4 co-design win).
+        stats_.gc_dropped_cold++;
+        c_dropped_cold_->Inc();
         continue;
       }
       migs.push_back(Mig{slot, region_id, region_version_[region_id],
@@ -866,7 +915,7 @@ Status ZoneTranslationLayer::MigrateZone(u64 zone, bool evacuate) {
         m.region_id,
         std::span<const std::byte>(gc_arena_.data() + i * rsz, rsz),
         sim::IoMode::kBackground, /*for_gc=*/true, m.header_seq,
-        /*issue_ts=*/read_tokens[i].completion);
+        /*issue_ts=*/read_tokens[i].completion, victim_temp);
     if (!w.ok()) continue;  // slot stays in the victim; retried later
     if (!device_->Complete(w->token, sim::IoMode::kBackground).ok()) {
       // Crash-halted in flight: the copy is on media but unpublished; the

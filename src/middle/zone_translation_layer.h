@@ -166,6 +166,10 @@ struct MiddleStats {
   u64 migrated_regions = 0;
   u64 migrated_bytes = 0;
   u64 dropped_regions = 0;  // regions GC dropped via hints
+  // Of the hint drops, all are by definition cold or TTL-dead (the cache's
+  // hint provider only surrenders regions it considers cold / expired);
+  // tracked under its own name as the §3.4 cold-drop GC headline counter.
+  u64 gc_dropped_cold = 0;
   u64 zones_reset = 0;
   u64 zones_finished = 0;
   u64 gc_runs = 0;
@@ -216,6 +220,15 @@ class ZoneTranslationLayer {
   Result<RegionIoResult> WriteRegion(u64 region_id,
                                      std::span<const std::byte> data,
                                      sim::IoMode mode);
+  // Temperature-tagged variant (§3.4 co-design): a tagged write prefers an
+  // open zone already carrying the same temperature (adopting untagged
+  // zones on first touch), so hot and cold regions age in distinct zones.
+  // Falls back to any zone with capacity — placement is a preference,
+  // never a reason to fail a write. kNone behaves exactly like the
+  // untagged overload.
+  Result<RegionIoResult> WriteRegion(u64 region_id,
+                                     std::span<const std::byte> data,
+                                     sim::IoMode mode, TempClass temp);
 
   // Random read within the region: mapping lookup + physical-address
   // computation + zone read.
@@ -289,6 +302,10 @@ class ZoneTranslationLayer {
     // skip it until the drain lands.
     bool reset_deferred = false;
     bool retired = false;    // degraded zone, permanently out of service
+    // Temperature the zone adopted from its first tagged write; cleared on
+    // reset so a reclaimed zone can serve either class. kNone = untagged
+    // (segregation off, or no tagged write landed yet).
+    TempClass temp = TempClass::kNone;
   };
 
   // Where a write landed after submission. The device write is IN FLIGHT
@@ -320,8 +337,12 @@ class ZoneTranslationLayer {
   // Pick (or open) a zone with capacity for one more in-flight slot.
   // Returns kNeedsGc when only a forced GC cycle can make room (never for
   // GC's own migration writes). With post_gc_rescan, only the fresh-empty-
-  // zone scan runs (the seed's post-GC retry behaviour).
-  Result<u64> ReserveSlot(bool for_gc, bool post_gc_rescan);
+  // zone scan runs (the seed's post-GC retry behaviour). A non-kNone
+  // `temp` filters the open-zone round-robin to matching/untagged zones
+  // first (adopting the zone's temperature on acceptance) and falls back
+  // to any zone with capacity.
+  Result<u64> ReserveSlot(bool for_gc, bool post_gc_rescan,
+                          TempClass temp = TempClass::kNone);
   // Drop a zone from the open set after a failed write; finish it (best
   // effort) so GC can reclaim whatever landed before the failure. While
   // other writers still hold reservations against the zone the finish is
@@ -381,7 +402,8 @@ class ZoneTranslationLayer {
                                       std::span<const std::byte> data,
                                       sim::IoMode mode, bool for_gc,
                                       u64 gc_header_seq,
-                                      SimNanos issue_ts = 0);
+                                      SimNanos issue_ts = 0,
+                                      TempClass temp = TempClass::kNone);
 
   // --- GC machinery; all require gc_mu_ held (and mu_ NOT held) ---
   // Blocking variant of MaybeCollect for writers that ran out of space.
@@ -489,6 +511,7 @@ class ZoneTranslationLayer {
   obs::Counter* c_migrated_bytes_ = nullptr;
   obs::Counter* c_migrated_regions_ = nullptr;
   obs::Counter* c_dropped_regions_ = nullptr;
+  obs::Counter* c_dropped_cold_ = nullptr;
   obs::Counter* c_gc_runs_ = nullptr;
   obs::Counter* c_zones_reset_ = nullptr;
   obs::Counter* c_zones_finished_ = nullptr;

@@ -1,5 +1,6 @@
 #include "workload/cachebench.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -49,9 +50,25 @@ Result<CacheBenchResult> CacheBenchRunner::Run(cache::FlashCache& flash_cache,
     // Gets/sets follow the Zipf popularity. Deletes mostly invalidate
     // one-shot objects outside the read working set (ids offset by
     // key_space); a configurable fraction hits live keys.
+    const bool skewed =
+        config_.hot_key_fraction > 0.0 && config_.hot_op_fraction > 0.0;
     u64 key_id;
     if (!is_delete) {
       key_id = zipf.Next(rng);
+      if (skewed) {
+        // Fold the Zipf draw into a two-tier popularity: a slice of ops
+        // concentrates on the hot prefix, the rest spreads over the tail.
+        const u64 hot_keys = std::max<u64>(
+            1, static_cast<u64>(static_cast<double>(config_.key_space) *
+                                config_.hot_key_fraction));
+        if (hot_keys < config_.key_space) {
+          if (rng.Chance(config_.hot_op_fraction)) {
+            key_id %= hot_keys;
+          } else {
+            key_id = hot_keys + key_id % (config_.key_space - hot_keys);
+          }
+        }
+      }
     } else if (rng.Chance(config_.delete_hot_fraction)) {
       key_id = rng.Uniform(config_.key_space);
     } else {

@@ -31,6 +31,13 @@ struct CacheBenchConfig {
   // rest target one-shot objects outside the read working set, as in bc
   // invalidation traffic. Keeps the achieved hit ratio capacity-driven.
   double delete_hot_fraction = 0.15;
+  // Temperature skew overlay: when both are > 0, `hot_op_fraction` of the
+  // Zipf-drawn get/set traffic is remapped into the first
+  // `hot_key_fraction` of the key space, sharpening the hot/cold split the
+  // cache's temperature classifier sees. Both 0 (the default) adds no RNG
+  // draws, keeping existing runs byte-identical.
+  double hot_key_fraction = 0.0;
+  double hot_op_fraction = 0.0;
   u64 seed = 42;
   // Optional virtual-time-driven time-series sampler, polled once per op
   // (a single comparison when no sample is due) and flushed at run end.

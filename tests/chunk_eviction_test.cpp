@@ -1,0 +1,278 @@
+// Chunk-granular eviction (EvictionPolicy::kChunk): sub-region validity,
+// in-place invalidation, watermark reclaim, TTL expiry, temperature
+// segregation, and liveness recovery. See docs/EVICTION.md.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "backends/cache_hint_adapter.h"
+#include "backends/middle_region_device.h"
+#include "cache/flash_cache.h"
+
+namespace zncache::cache {
+namespace {
+
+constexpr u64 kRegion = 64 * kKiB;
+constexpr u64 kItem = 4 * kKiB;  // 16 items per region
+
+class ChunkEvictionTest : public ::testing::Test {
+ protected:
+  void Make(FlashCacheConfig cfg, bool persist_headers = false) {
+    clock_ = std::make_unique<sim::VirtualClock>();
+    backends::MiddleRegionDeviceConfig dc;
+    dc.region_count = 24;
+    dc.zns.zone_count = 12;
+    dc.zns.zone_size = 256 * kKiB;
+    dc.zns.zone_capacity = 256 * kKiB;
+    dc.zns.max_open_zones = 6;
+    dc.zns.max_active_zones = 8;
+    dc.zns.store_data = true;
+    dc.middle.region_size = kRegion;
+    dc.middle.open_zones = 2;
+    dc.middle.min_empty_zones = 2;
+    dc.middle.persist_headers = persist_headers;
+    device_ =
+        std::make_unique<backends::MiddleRegionDevice>(dc, clock_.get());
+    ASSERT_TRUE(device_->Init().ok());
+    cfg.store_values = true;
+    cache_ = std::make_unique<FlashCache>(cfg, device_.get(), clock_.get());
+  }
+
+  FlashCacheConfig ChunkConfig() {
+    FlashCacheConfig cfg;
+    cfg.policy = EvictionPolicy::kChunk;
+    return cfg;
+  }
+
+  std::string Key(int i) { return "key-" + std::to_string(i); }
+  std::string Val(char c = 'v') { return std::string(kItem, c); }
+
+  // Insert n distinct keys starting at `from` (each fills 1/16 region).
+  void Fill(int from, int n, char c = 'v') {
+    for (int i = from; i < from + n; ++i) {
+      ASSERT_TRUE(cache_->Set(Key(i), Val(c)).ok());
+    }
+  }
+
+  std::unique_ptr<sim::VirtualClock> clock_;
+  std::unique_ptr<backends::MiddleRegionDevice> device_;
+  std::unique_ptr<FlashCache> cache_;
+};
+
+TEST_F(ChunkEvictionTest, OverwriteKillsSealedChunkInPlace) {
+  Make(ChunkConfig());
+  Fill(0, 32);  // two regions' worth: the first is sealed
+  ASSERT_EQ(cache_->stats().chunk_invalidated_items, 0u);
+
+  // Overwriting a key whose copy lives in a sealed region invalidates the
+  // old chunk immediately instead of waiting for region eviction.
+  ASSERT_TRUE(cache_->Set(Key(0), Val('n')).ok());
+  EXPECT_EQ(cache_->stats().chunk_invalidated_items, 1u);
+
+  // The new copy is the one served.
+  std::string v;
+  auto g = cache_->Get(Key(0), &v);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->hit);
+  EXPECT_EQ(v[0], 'n');
+
+  // Some sealed region now reports a live fraction below 1.
+  bool saw_partial = false;
+  for (u64 r = 0; r < device_->region_count(); ++r) {
+    auto frac = cache_->SealedRegionLiveFraction(r);
+    if (frac && *frac < 1.0) saw_partial = true;
+  }
+  EXPECT_TRUE(saw_partial);
+}
+
+TEST_F(ChunkEvictionTest, DeleteKillsSealedChunkInPlace) {
+  Make(ChunkConfig());
+  Fill(0, 32);
+  ASSERT_TRUE(cache_->Delete(Key(1)).ok());
+  EXPECT_EQ(cache_->stats().chunk_invalidated_items, 1u);
+  EXPECT_FALSE(cache_->Get(Key(1))->hit);
+}
+
+TEST_F(ChunkEvictionTest, OpenRegionOverwriteIsNotAChunkKill) {
+  Make(ChunkConfig());
+  // Both versions land in the still-open region: liveness is resolved at
+  // seal time, so no in-place invalidation (and no eviction cost) fires.
+  ASSERT_TRUE(cache_->Set(Key(0), Val('a')).ok());
+  ASSERT_TRUE(cache_->Set(Key(0), Val('b')).ok());
+  EXPECT_EQ(cache_->stats().chunk_invalidated_items, 0u);
+  // After sealing, the superseded copy is born dead in the bitmap.
+  Fill(1, 16);
+  bool saw_partial = false;
+  for (u64 r = 0; r < device_->region_count(); ++r) {
+    auto frac = cache_->SealedRegionLiveFraction(r);
+    if (frac && *frac < 1.0) saw_partial = true;
+  }
+  EXPECT_TRUE(saw_partial);
+}
+
+TEST_F(ChunkEvictionTest, MostlyDeadRegionReclaimedAtWatermark) {
+  FlashCacheConfig cfg = ChunkConfig();
+  cfg.chunk_live_watermark = 0.5;
+  Make(cfg);
+  const int total = 24 * 16;
+  Fill(0, total);  // every slot in use
+  // Kill ~3/4 of the early keys: their regions drop far below the
+  // watermark, so the next eviction reclaims one outright.
+  for (int i = 0; i < total / 2; ++i) {
+    if (i % 4 != 0) {
+      ASSERT_TRUE(cache_->Delete(Key(i)).ok());
+    }
+  }
+  Fill(total, 64);  // force evictions
+  EXPECT_GT(cache_->stats().chunk_reclaimed_regions, 0u);
+}
+
+TEST_F(ChunkEvictionTest, FullyLiveVictimPaysChunkEviction) {
+  Make(ChunkConfig());
+  const int total = 24 * 16;
+  Fill(0, total);
+  Fill(total, 64);  // all regions fully live: the CLOCK pass must run
+  EXPECT_GT(cache_->stats().chunk_evicted_items, 0u);
+  EXPECT_GT(cache_->stats().evicted_regions, 0u);
+}
+
+TEST_F(ChunkEvictionTest, ExpiredGetIsAMiss) {
+  FlashCacheConfig cfg = ChunkConfig();
+  cfg.ttl_ns = 1'000'000;  // 1ms
+  Make(cfg);
+  ASSERT_TRUE(cache_->Set(Key(0), Val()).ok());
+  ASSERT_TRUE(cache_->Get(Key(0))->hit);
+  clock_->Advance(2'000'000);
+  EXPECT_FALSE(cache_->Get(Key(0))->hit);
+  EXPECT_EQ(cache_->stats().ttl_expired_items, 1u);
+}
+
+TEST_F(ChunkEvictionTest, TtlDeadRegionIsDroppableByHints) {
+  FlashCacheConfig cfg = ChunkConfig();
+  cfg.ttl_ns = 1'000'000;
+  Make(cfg);
+  Fill(0, 16);  // seals region 0... once the next insert arrives
+  Fill(16, 1);
+  RegionId sealed = kInvalidId;
+  for (u64 r = 0; r < device_->region_count(); ++r) {
+    if (cache_->SealedRegionLiveFraction(r)) {
+      sealed = r;
+      break;
+    }
+  }
+  ASSERT_NE(sealed, kInvalidId);
+  EXPECT_FALSE(cache_->RegionTtlDead(sealed));
+  clock_->Advance(2'000'000);
+  EXPECT_TRUE(cache_->RegionTtlDead(sealed));
+
+  // The hint adapter drops a TTL-dead region even when it was accessed
+  // recently (expired reads were misses anyway).
+  backends::CacheHintAdapter hints(cache_.get(), /*cold_age_accesses=*/~0ULL);
+  EXPECT_TRUE(hints.TryDropRegion(sealed));
+  EXPECT_GT(cache_->stats().dropped_regions, 0u);
+}
+
+TEST_F(ChunkEvictionTest, TtlDisabledNeverExpires) {
+  Make(ChunkConfig());  // ttl_ns = 0
+  Fill(0, 17);
+  clock_->Advance(365ULL * 24 * 3600 * 1'000'000'000ULL);
+  EXPECT_TRUE(cache_->Get(Key(0))->hit);
+  EXPECT_EQ(cache_->stats().ttl_expired_items, 0u);
+  for (u64 r = 0; r < device_->region_count(); ++r) {
+    EXPECT_FALSE(cache_->RegionTtlDead(r));
+  }
+}
+
+TEST_F(ChunkEvictionTest, TemperatureSegregationOpensTwoRegions) {
+  FlashCacheConfig cfg = ChunkConfig();
+  cfg.temperature_classes = 2;
+  cfg.hot_overwrite_hits = 2;
+  Make(cfg);
+
+  // Cold first-writes go to the cold slot.
+  Fill(0, 4);
+  auto open0 = cache_->OpenRegions();
+  ASSERT_GE(open0.size(), 1u);
+
+  // Heat a key past the threshold, then overwrite it: the rewrite
+  // classifies hot and opens (or reuses) the hot slot.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(cache_->Get(Key(0)).ok());
+  ASSERT_TRUE(cache_->Set(Key(0), Val('h')).ok());
+
+  auto open1 = cache_->OpenRegions();
+  ASSERT_EQ(open1.size(), 2u);
+  bool has_cold = false;
+  bool has_hot = false;
+  for (const auto& [temp, rid] : open1) {
+    if (temp == TempClass::kCold) has_cold = true;
+    if (temp == TempClass::kHot) has_hot = true;
+  }
+  EXPECT_TRUE(has_cold);
+  EXPECT_TRUE(has_hot);
+}
+
+TEST_F(ChunkEvictionTest, SingleClassKeepsUntaggedRegions) {
+  Make(ChunkConfig());  // temperature_classes = 1
+  Fill(0, 20);
+  auto open = cache_->OpenRegions();
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0].first, TempClass::kNone);
+  for (u64 r = 0; r < device_->region_count(); ++r) {
+    EXPECT_EQ(cache_->RegionTemp(r), TempClass::kNone);
+  }
+}
+
+TEST_F(ChunkEvictionTest, RecoveryRebuildsLiveBitmap) {
+  FlashCacheConfig cfg = ChunkConfig();
+  cfg.persistent = true;
+  Make(cfg, /*persist_headers=*/true);
+  Fill(0, 32);
+  // Overwrite a sealed key: the superseded copy's footer entry persists,
+  // but recovery's newest-wins index leaves it dead in the rebuilt bitmap.
+  // (A Delete would not work here — deletes are not persisted, so the
+  // footer copy legitimately resurrects on warm restart.)
+  ASSERT_TRUE(cache_->Set(Key(2), Val('n')).ok());
+  ASSERT_TRUE(cache_->Flush().ok());
+
+  // Fresh engine over the same backend.
+  FlashCacheConfig cfg2 = ChunkConfig();
+  cfg2.persistent = true;
+  cfg2.store_values = true;
+  auto restarted =
+      std::make_unique<FlashCache>(cfg2, device_.get(), clock_.get());
+  ASSERT_TRUE(restarted->Recover().ok());
+
+  // Liveness was rebuilt from the recovered index: the deleted chunk is
+  // dead, the rest are live and readable.
+  bool saw_partial = false;
+  for (u64 r = 0; r < device_->region_count(); ++r) {
+    auto frac = restarted->SealedRegionLiveFraction(r);
+    if (frac && *frac < 1.0) saw_partial = true;
+  }
+  EXPECT_TRUE(saw_partial);
+  std::string v;
+  auto g = restarted->Get(Key(2), &v);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->hit);
+  EXPECT_EQ(v[0], 'n');  // newest version won
+}
+
+TEST_F(ChunkEvictionTest, ChunkCostChargedPerInvalidation) {
+  FlashCacheConfig cfg = ChunkConfig();
+  cfg.evict_entry_ns = 250;
+  cfg.evict_contention_ns = 1000;
+  Make(cfg);
+  Fill(0, 32);
+  const SimNanos before = clock_->Now();
+  ASSERT_TRUE(cache_->Delete(Key(0)).ok());
+  const SimNanos cost = clock_->Now() - before;
+  // Delete = index op + one chunk kill (entry + contention, no convoy
+  // term) — far below a region-granular purge of 16 entries.
+  EXPECT_GE(cost, cfg.index_op_ns + cfg.evict_entry_ns);
+  EXPECT_LT(cost, cfg.index_op_ns + 16 * cfg.evict_entry_ns +
+                      16 * cfg.evict_contention_ns);
+}
+
+}  // namespace
+}  // namespace zncache::cache

@@ -338,6 +338,142 @@ TEST(ShardedCacheStress, ConcurrentWritersLeaveIntactValues) {
   EXPECT_GT(hits, 0u);
 }
 
+// Chunk-granular eviction under concurrency: writer threads churn a
+// single-shard Region-Cache (driving in-place invalidations, CLOCK chunk
+// eviction, and watermark reclaims), readers exercise the lock-free Get
+// path against it, and the middle layer's GC consults the hint adapter —
+// then a deterministic tail advances the clock past the TTL so the next
+// GC cycle provably drops cold regions (gc_dropped_cold > 0).
+TEST(ShardedCacheStress, ChunkEvictorWritersReadersAndColdDropGc) {
+  constexpr u32 kThreads = 4;
+  constexpr u64 kOpsPerThread = 3000;
+  obs::Registry registry;
+  sim::VirtualClock clock;
+  SchemeParams p = SmallParams(&registry);
+  p.cache_bytes = 8 * kMiB;  // 16 regions: churn must evict and GC
+  p.device_zones = 4;        // minimum over-provisioning: GC migrates live zones
+  p.gc_valid_ratio = 0.9;    // aggressive GC: victims carry live slots
+  p.shards = 1;  // hinted GC requires the single-shard lock order
+  p.hint_cold_age = 2000;
+  p.cache_config.policy = cache::EvictionPolicy::kChunk;
+  p.cache_config.chunk_live_watermark = 0.6;
+  p.cache_config.temperature_classes = 2;
+  p.cache_config.hot_overwrite_hits = 2;
+  p.cache_config.ttl_ns = 50'000'000;  // 50ms of virtual time
+  auto scheme = MakeShardedScheme(SchemeKind::kRegion, p, &clock);
+  ASSERT_TRUE(scheme.ok()) << scheme.status().ToString();
+  cache::ShardedCache& c = *scheme->cache;
+
+  std::atomic<u64> op_errors{0};
+  std::atomic<u64> value_errors{0};
+  std::vector<std::thread> pool;
+  for (u32 t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      Rng rng(900 + t);
+      std::string value_out;
+      for (u64 i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "c" + std::to_string(rng.Uniform(300));
+        const double op = rng.NextDouble();
+        if (op < 0.40) {
+          auto g = c.Get(key, &value_out);
+          if (!g.ok()) {
+            op_errors++;
+          } else if (g->hit && !value_out.empty() &&
+                     value_out[0] != FillFor(key)) {
+            value_errors++;
+          }
+        } else if (op < 0.90) {
+          const u64 size = 1 * kKiB + rng.Uniform(8 * kKiB);
+          if (!c.Set(key, std::string(size, FillFor(key))).ok()) op_errors++;
+        } else {
+          if (!c.Delete(key).ok()) op_errors++;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(op_errors.load(), 0u);
+  EXPECT_EQ(value_errors.load(), 0u);
+
+  const cache::CacheStats mid = c.TotalStats();
+  EXPECT_GT(mid.chunk_invalidated_items, 0u);
+  EXPECT_GT(mid.evicted_regions, 0u);
+
+  // Deterministic cold-drop tail: everything sealed so far is now past its
+  // TTL, so GC cycles triggered by fresh churn drop regions instead of
+  // migrating them.
+  clock.Advance(100'000'000);
+  Rng rng(1234);
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "t" + std::to_string(rng.Uniform(300));
+    ASSERT_TRUE(
+        c.Set(key, std::string(2 * kKiB + rng.Uniform(4 * kKiB), FillFor(key)))
+            .ok());
+  }
+  ASSERT_TRUE(c.Flush().ok());
+  obs::Counter* dropped_cold = registry.GetCounter("middle.gc.dropped_cold");
+  ASSERT_NE(dropped_cold, nullptr);
+  EXPECT_GT(dropped_cold->value(), 0u);
+  EXPECT_GT(c.TotalStats().ttl_expired_items + c.TotalStats().dropped_items,
+            0u);
+}
+
+// Multi-shard variant (hints disabled — their lock order requires one
+// shard): four shards run chunk eviction with temperature-segregated
+// writes concurrently over one translation layer; TSan guards the
+// temp-tagged reserve/write path and the per-shard chunk bookkeeping.
+TEST(ShardedCacheStress, ChunkMultiShardTemperatureSegregation) {
+  constexpr u32 kThreads = 4;
+  constexpr u64 kOpsPerThread = 3000;
+  obs::Registry registry;
+  sim::VirtualClock clock;
+  SchemeParams p = SmallParams(&registry);
+  p.shards = kThreads;
+  p.cache_config.policy = cache::EvictionPolicy::kChunk;
+  p.cache_config.temperature_classes = 2;
+  p.cache_config.hot_overwrite_hits = 1;
+  auto scheme = MakeShardedScheme(SchemeKind::kRegion, p, &clock);
+  ASSERT_TRUE(scheme.ok()) << scheme.status().ToString();
+  cache::ShardedCache& c = *scheme->cache;
+
+  std::atomic<u64> op_errors{0};
+  std::atomic<u64> value_errors{0};
+  std::vector<std::thread> pool;
+  for (u32 t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      Rng rng(500 + t);
+      std::string value_out;
+      for (u64 i = 0; i < kOpsPerThread; ++i) {
+        // A skewed key mix: a small hot set is read and rewritten often.
+        const bool hot = rng.NextDouble() < 0.3;
+        const std::string key =
+            (hot ? "h" : "m") + std::to_string(rng.Uniform(hot ? 20 : 400));
+        const double op = rng.NextDouble();
+        if (op < 0.45) {
+          auto g = c.Get(key, &value_out);
+          if (!g.ok()) {
+            op_errors++;
+          } else if (g->hit && !value_out.empty() &&
+                     value_out[0] != FillFor(key)) {
+            value_errors++;
+          }
+        } else {
+          const u64 size = 1 * kKiB + rng.Uniform(8 * kKiB);
+          if (!c.Set(key, std::string(size, FillFor(key))).ok()) op_errors++;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  ASSERT_TRUE(c.Flush().ok());
+
+  EXPECT_EQ(op_errors.load(), 0u);
+  EXPECT_EQ(value_errors.load(), 0u);
+  const cache::CacheStats total = c.TotalStats();
+  EXPECT_GT(total.chunk_invalidated_items, 0u);
+  EXPECT_GT(total.hits, 0u);
+}
+
 // --- golden serial equality -------------------------------------------------
 //
 // The concurrency work must not change what the serial simulator computes:
