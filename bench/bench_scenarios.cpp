@@ -1,0 +1,474 @@
+// Production-traffic scenario suite with per-scheme SLO gates.
+//
+// Replays every scenario in the catalog (scenarios/*.scn, or the embedded
+// copies) against all four schemes, single-threaded and entirely in virtual
+// time: the ScenarioStream paces an open-loop arrival schedule and the
+// cache's modeled CPU/IO costs advance the same clock, so two runs of this
+// binary produce byte-identical output — including BENCH_slo.json, which
+// scripts/check_slo.py gates in CI (per-scenario latency budgets, monotone
+// percentiles, and the flash-crowd recovery assertion).
+//
+// Per (scenario, scheme) run the binary reports overall and per-phase
+// P50/P99/P99.9 for gets and sets, hit ratio, device WA, the admission
+// counters (doorkeeper / size-threshold / total), and lazy-expiry counts.
+// The scenario's admission spec is forwarded into FlashCacheConfig, and
+// TTL-carrying sets flow through the per-op TTL plumbing.
+//
+// Usage: bench_scenarios [--dir <scenarios-dir>] [--verify-catalog <dir>]
+//                        [--scale <f>]
+//   --dir            load <dir>/<name>.scn for each catalog entry instead of
+//                    the embedded copies
+//   --verify-catalog parse both the files and the embedded copies and fail
+//                    on any canonical mismatch (the drift gate), then exit
+//   --scale          run every scenario at Scaled(f) — the CI smoke knob
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "backends/schemes.h"
+#include "bench/bench_util.h"
+#include "cache/sharded_cache.h"
+#include "common/histogram.h"
+#include "obs/json.h"
+#include "workload/cachebench.h"
+#include "workload/scenario.h"
+#include "workload/scenario_catalog.h"
+
+namespace zncache {
+namespace {
+
+using backends::MakeShardedScheme;
+using backends::SchemeKind;
+using backends::SchemeName;
+using backends::SchemeParams;
+using backends::ShardedSchemeInstance;
+using workload::ScenarioOp;
+using workload::ScenarioSpec;
+using workload::ScenarioStream;
+
+// Scaled-down geometry: small zones so even the short scenarios turn the
+// cache over a few times (the catalog writes 30-180 MiB per run against
+// this 48 MiB cache) and eviction/GC pressure shows up in the tails.
+constexpr u64 kScnZoneSize = 4 * kMiB;
+constexpr u64 kScnRegionSize = 512 * kKiB;
+constexpr u64 kScnCacheBytes = 48 * kMiB;
+
+// Per-scheme multiplier applied to the scenario's budget basis. Zone-Cache
+// is the reference; the translation schemes get headroom for their extra
+// indirection (File pays the filesystem hop, see bench_mt's budgets).
+double BudgetMult(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kZone:
+      return 1.0;
+    case SchemeKind::kRegion:
+      return 1.5;
+    case SchemeKind::kBlock:
+      return 1.5;
+    case SchemeKind::kFile:
+      return 2.0;
+  }
+  return 2.0;
+}
+
+struct LatencyStats {
+  Histogram get;
+  Histogram set;
+  Histogram del;
+};
+
+struct PhaseResult {
+  std::string name;
+  std::string kind;
+  u64 ops = 0;
+  u64 gets = 0;
+  u64 hits = 0;
+  LatencyStats lat;
+  double HitRatio() const {
+    return gets == 0 ? 0 : static_cast<double>(hits) / static_cast<double>(gets);
+  }
+};
+
+struct ScenarioRunResult {
+  std::string scenario;
+  std::string scheme;
+  u64 fingerprint = 0;
+  u64 ops = 0;
+  SimNanos virtual_ns = 0;
+  double hit_ratio = 0;
+  double wa_factor = 0;
+  cache::CacheStats stats;
+  LatencyStats overall;
+  std::vector<PhaseResult> phases;
+};
+
+Result<ShardedSchemeInstance> MakeScenarioScheme(SchemeKind kind,
+                                                 const ScenarioSpec& spec,
+                                                 sim::VirtualClock* clock) {
+  SchemeParams params;
+  params.zone_size = kScnZoneSize;
+  params.region_size = kScnRegionSize;
+  params.cache_bytes = kScnCacheBytes;
+  params.min_empty_zones = 2;
+  // Region-Cache device: cache zones + open zones + GC reserve + slack.
+  params.device_zones =
+      kind == SchemeKind::kRegion ? kScnCacheBytes / kScnZoneSize + 6 : 0;
+  params.shards = 1;  // serial: the run must be byte-deterministic
+  params.cache_config.policy = cache::EvictionPolicy::kLru;
+  params.cache_config.lru_sample = 512;
+  params.cache_config.index_reserve = spec.key_space;
+  // The scenario's admission plan, applied uniformly to every scheme.
+  params.cache_config.doorkeeper_bits = spec.admission_doorkeeper_bits;
+  params.cache_config.doorkeeper_rotate_ns = spec.admission_rotate_ns;
+  params.cache_config.admit_max_size = spec.admission_max_size;
+  return MakeShardedScheme(kind, params, clock);
+}
+
+u64 MaxObjectSize(const ScenarioSpec& spec) {
+  switch (spec.size.kind) {
+    case workload::SizeDistKind::kFixed:
+      return spec.size.fixed;
+    case workload::SizeDistKind::kBimodal:
+      return std::max(spec.size.small, spec.size.large);
+    case workload::SizeDistKind::kPareto:
+      return spec.size.max;
+  }
+  return spec.size.fixed;
+}
+
+Result<ScenarioRunResult> RunScenario(const ScenarioSpec& spec,
+                                      SchemeKind kind) {
+  sim::VirtualClock clock;
+  auto scheme = MakeScenarioScheme(kind, spec, &clock);
+  if (!scheme.ok()) return scheme.status();
+  cache::ShardedCache* c = scheme->cache.get();
+
+  ScenarioRunResult out;
+  out.scenario = spec.name;
+  out.scheme = std::string(SchemeName(kind));
+  out.fingerprint = workload::ScenarioFingerprint(spec);
+  out.phases.reserve(spec.phases.size());
+  for (const auto& p : spec.phases) {
+    PhaseResult pr;
+    pr.name = p.name.empty() ? std::string(PhaseKindName(p.kind)) : p.name;
+    pr.kind = std::string(PhaseKindName(p.kind));
+    out.phases.push_back(std::move(pr));
+  }
+
+  std::vector<char> scratch(std::max<u64>(MaxObjectSize(spec), 1), 's');
+  ScenarioStream stream(spec);
+  ScenarioOp op;
+  u32 cur_phase = 0;
+  u64 phase_gets_base = 0, phase_hits_base = 0;
+  cache::CacheStats snap;  // stats at the current phase's start
+
+  while (stream.Next(&op)) {
+    // Open-loop pacing: jump to the op's arrival instant (no-op when the
+    // previous op's modeled cost already pushed the clock past it — the
+    // cache is "overloaded" and the op queues behind it, exactly the
+    // behaviour a latency SLO should see).
+    clock.AdvanceTo(op.when);
+    if (op.phase != cur_phase) {
+      const cache::CacheStats s = c->TotalStats();
+      out.phases[cur_phase].gets = s.gets - phase_gets_base;
+      out.phases[cur_phase].hits = s.hits - phase_hits_base;
+      phase_gets_base = s.gets;
+      phase_hits_base = s.hits;
+      cur_phase = op.phase;
+    }
+    PhaseResult& ph = out.phases[cur_phase];
+    ph.ops++;
+    const std::string key = workload::CacheBenchRunner::KeyName(op.key_id);
+    switch (op.kind) {
+      case ScenarioOp::Kind::kGet: {
+        auto r = c->Get(key);
+        ZN_RETURN_IF_ERROR(r.status());
+        ph.lat.get.Record(r->latency);
+        out.overall.get.Record(r->latency);
+        if (!r->hit) {
+          // Look-aside refill: the miss is served from the backing store
+          // and inserted, paying the admission gates like any other Set.
+          auto fill = c->Set(key, std::string_view(scratch.data(), op.size),
+                             op.ttl_ns);
+          ZN_RETURN_IF_ERROR(fill.status());
+          ph.lat.set.Record(fill->latency);
+          out.overall.set.Record(fill->latency);
+        }
+        break;
+      }
+      case ScenarioOp::Kind::kSet: {
+        auto r = c->Set(key, std::string_view(scratch.data(), op.size),
+                        op.ttl_ns);
+        ZN_RETURN_IF_ERROR(r.status());
+        ph.lat.set.Record(r->latency);
+        out.overall.set.Record(r->latency);
+        break;
+      }
+      case ScenarioOp::Kind::kDelete: {
+        auto r = c->Delete(key);
+        ZN_RETURN_IF_ERROR(r.status());
+        ph.lat.del.Record(r->latency);
+        out.overall.del.Record(r->latency);
+        break;
+      }
+    }
+  }
+  {
+    const cache::CacheStats s = c->TotalStats();
+    out.phases[cur_phase].gets = s.gets - phase_gets_base;
+    out.phases[cur_phase].hits = s.hits - phase_hits_base;
+  }
+
+  out.ops = stream.emitted();
+  out.virtual_ns = clock.Now();
+  out.stats = c->TotalStats();
+  out.hit_ratio = out.stats.HitRatio();
+  out.wa_factor = scheme->WaFactor();
+  return out;
+}
+
+std::string HistJson(const Histogram& h) {
+  return "{\"count\":" + std::to_string(h.count()) +
+         ",\"p50_ns\":" + std::to_string(h.P50()) +
+         ",\"p99_ns\":" + std::to_string(h.P99()) +
+         ",\"p999_ns\":" + std::to_string(h.P999()) + '}';
+}
+
+std::string ScenarioRunJson(const ScenarioRunResult& r) {
+  std::string out = "{\"scenario\":\"" + obs::JsonEscape(r.scenario) + '"';
+  out += ",\"scheme\":\"" + obs::JsonEscape(r.scheme) + '"';
+  out += ",\"fingerprint\":\"" + std::to_string(r.fingerprint) + '"';
+  out += ",\"ops\":" + std::to_string(r.ops);
+  out += ",\"virtual_ns\":" + std::to_string(r.virtual_ns);
+  out += ",\"hit_ratio\":" + obs::JsonNum(r.hit_ratio);
+  out += ",\"wa_factor\":" + obs::JsonNum(r.wa_factor);
+  out += ",\"admission\":{\"rejects\":" +
+         std::to_string(r.stats.admission_rejects);
+  out += ",\"doorkeeper\":" +
+         std::to_string(r.stats.admission_doorkeeper_rejects);
+  out += ",\"size\":" + std::to_string(r.stats.admission_size_rejects) + '}';
+  out += ",\"ttl_expired\":" + std::to_string(r.stats.ttl_expired_items);
+  out += ",\"overall\":{\"get\":" + HistJson(r.overall.get);
+  out += ",\"set\":" + HistJson(r.overall.set);
+  out += ",\"delete\":" + HistJson(r.overall.del) + '}';
+  out += ",\"phases\":[";
+  for (size_t i = 0; i < r.phases.size(); ++i) {
+    if (i != 0) out += ',';
+    const PhaseResult& p = r.phases[i];
+    out += "{\"name\":\"" + obs::JsonEscape(p.name) + '"';
+    out += ",\"kind\":\"" + obs::JsonEscape(p.kind) + '"';
+    out += ",\"ops\":" + std::to_string(p.ops);
+    out += ",\"hit_ratio\":" + obs::JsonNum(p.HitRatio());
+    out += ",\"get\":" + HistJson(p.lat.get);
+    out += ",\"set\":" + HistJson(p.lat.set) + '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string SloJson(const std::vector<ScenarioSpec>& specs,
+                    const std::vector<ScenarioRunResult>& runs,
+                    const SchemeKind* kinds, size_t kind_count,
+                    double scale) {
+  std::string out = "{\"bench\":\"bench_scenarios\",\"meta\":" +
+                    bench::ArtifactMetaJson("bench_scenarios");
+  out += ",\"windows_enabled\":true";
+  out += ",\"scale\":" + obs::JsonNum(scale);
+  out += ",\"scenario_budgets\":{";
+  for (size_t s = 0; s < specs.size(); ++s) {
+    if (s != 0) out += ',';
+    out += '"' + obs::JsonEscape(specs[s].name) + "\":{";
+    for (size_t k = 0; k < kind_count; ++k) {
+      if (k != 0) out += ',';
+      const double m = BudgetMult(kinds[k]);
+      const u64 get_p99 =
+          static_cast<u64>(static_cast<double>(specs[s].budget_get_p99_ns) * m);
+      const u64 set_p99 =
+          static_cast<u64>(static_cast<double>(specs[s].budget_set_p99_ns) * m);
+      out += '"' + std::string(SchemeName(kinds[k])) + "\":{";
+      out += "\"get_p99_ns\":" + std::to_string(get_p99);
+      out += ",\"set_p99_ns\":" + std::to_string(set_p99);
+      out += ",\"get_p999_ns\":" +
+             std::to_string(static_cast<u64>(static_cast<double>(get_p99) *
+                                             specs[s].budget_p999_mult));
+      out += ",\"set_p999_ns\":" +
+             std::to_string(static_cast<u64>(static_cast<double>(set_p99) *
+                                             specs[s].budget_p999_mult));
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "},\"scenarios\":[";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i != 0) out += ',';
+    out += ScenarioRunJson(runs[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteWholeFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && wrote;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Load the catalog, optionally from <dir>/<name>.scn files.
+Result<std::vector<ScenarioSpec>> LoadScenarios(const std::string& dir) {
+  std::vector<ScenarioSpec> specs;
+  for (const auto& entry : workload::BuiltinScenarios()) {
+    std::string text{entry.text};
+    if (!dir.empty()) {
+      auto file = ReadWholeFile(dir + "/" + std::string(entry.name) + ".scn");
+      ZN_RETURN_IF_ERROR(file.status());
+      text = *file;
+    }
+    auto spec = ScenarioSpec::Parse(text);
+    if (!spec.ok()) {
+      return Status::InvalidArgument(std::string(entry.name) + ": " +
+                                     spec.status().message());
+    }
+    specs.push_back(*spec);
+  }
+  return specs;
+}
+
+// Drift gate: every scenarios/*.scn file must canonically equal its
+// embedded copy (Serialize-of-Parse comparison tolerates comments and
+// whitespace, not field changes).
+int VerifyCatalog(const std::string& dir) {
+  int drifted = 0;
+  for (const auto& entry : workload::BuiltinScenarios()) {
+    const std::string path = dir + "/" + std::string(entry.name) + ".scn";
+    auto file = ReadWholeFile(path);
+    if (!file.ok()) {
+      std::fprintf(stderr, "verify-catalog: %s\n",
+                   file.status().ToString().c_str());
+      drifted++;
+      continue;
+    }
+    auto from_file = ScenarioSpec::Parse(*file);
+    auto embedded = ScenarioSpec::Parse(entry.text);
+    if (!from_file.ok() || !embedded.ok()) {
+      std::fprintf(stderr, "verify-catalog: %s: parse failed (%s / %s)\n",
+                   path.c_str(), from_file.status().ToString().c_str(),
+                   embedded.status().ToString().c_str());
+      drifted++;
+      continue;
+    }
+    if (from_file->Serialize() != embedded->Serialize()) {
+      std::fprintf(stderr,
+                   "verify-catalog: %s drifted from the embedded catalog "
+                   "(src/workload/scenario_catalog.cc)\n",
+                   path.c_str());
+      drifted++;
+    }
+  }
+  if (drifted == 0) {
+    std::printf("verify-catalog: %zu scenarios in sync\n",
+                workload::BuiltinScenarios().size());
+  }
+  return drifted == 0 ? 0 : 1;
+}
+
+int Run(int argc, char** argv) {
+  std::string dir;
+  std::string verify_dir;
+  double scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--verify-catalog" && i + 1 < argc) {
+      verify_dir = argv[++i];
+    } else if (arg == "--scale" && i + 1 < argc) {
+      scale = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_scenarios [--dir <d>] [--verify-catalog <d>] "
+                   "[--scale <f>]\n");
+      return 1;
+    }
+  }
+  if (!verify_dir.empty()) return VerifyCatalog(verify_dir);
+  if (scale <= 0) {
+    std::fprintf(stderr, "--scale must be > 0\n");
+    return 1;
+  }
+
+  auto specs = LoadScenarios(dir);
+  if (!specs.ok()) {
+    std::fprintf(stderr, "loading scenarios failed: %s\n",
+                 specs.status().ToString().c_str());
+    return 1;
+  }
+  if (scale != 1.0) {
+    for (auto& s : *specs) s = s.Scaled(scale);
+  }
+
+  const SchemeKind kinds[] = {SchemeKind::kRegion, SchemeKind::kZone,
+                              SchemeKind::kFile, SchemeKind::kBlock};
+  std::vector<ScenarioRunResult> runs;
+
+  for (const ScenarioSpec& spec : *specs) {
+    bench::PrintHeader("Scenario: " + spec.name);
+    std::printf("ops=%llu, virtual window=%.0f ms, phases=%zu, "
+                "fingerprint=%llu\n",
+                static_cast<unsigned long long>(spec.TotalOps()),
+                static_cast<double>(spec.TotalDurationNs()) / 1e6,
+                spec.phases.size(),
+                static_cast<unsigned long long>(
+                    workload::ScenarioFingerprint(spec)));
+    std::printf("%-14s %8s %7s %12s %12s %12s %9s %9s %7s\n", "Scheme",
+                "hit", "WA", "get p50", "get p99", "get p999", "admRej",
+                "ttlExp", "vms");
+    bench::PrintRule();
+    for (SchemeKind kind : kinds) {
+      auto r = RunScenario(spec, kind);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s/%s failed: %s\n", spec.name.c_str(),
+                     std::string(SchemeName(kind)).c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-14s %8.4f %7.3f %12llu %12llu %12llu %9llu %9llu %7.0f\n",
+                  r->scheme.c_str(), r->hit_ratio, r->wa_factor,
+                  static_cast<unsigned long long>(r->overall.get.P50()),
+                  static_cast<unsigned long long>(r->overall.get.P99()),
+                  static_cast<unsigned long long>(r->overall.get.P999()),
+                  static_cast<unsigned long long>(
+                      r->stats.admission_rejects),
+                  static_cast<unsigned long long>(r->stats.ttl_expired_items),
+                  static_cast<double>(r->virtual_ns) / 1e6);
+      runs.push_back(std::move(*r));
+    }
+    bench::PrintRule();
+  }
+
+  const std::string json =
+      SloJson(*specs, runs, kinds, sizeof(kinds) / sizeof(kinds[0]), scale);
+  if (!WriteWholeFile("BENCH_slo.json", json)) {
+    std::fprintf(stderr, "failed writing BENCH_slo.json\n");
+    return 1;
+  }
+  std::printf("[obs] wrote BENCH_slo.json (%zu scenario runs)\n",
+              runs.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace zncache
+
+int main(int argc, char** argv) { return zncache::Run(argc, argv); }

@@ -41,7 +41,7 @@ inline void PrintRule() {
 // when the shape of <bench>.metrics.json / BENCH_slo.json changes so that
 // trajectory tooling (check_perf_scaling.py, check_slo.py) can refuse
 // artifacts it does not understand instead of misreading them.
-inline constexpr int kArtifactSchemaVersion = 2;
+inline constexpr int kArtifactSchemaVersion = 3;
 
 // Build-flavour string for artifact stamping, resolved at compile time.
 inline const char* BuildTypeName() {

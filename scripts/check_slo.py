@@ -3,8 +3,10 @@
 
 Usage: check_slo.py [path/to/BENCH_slo.json]
 
-Checks, in order:
-  1. Schema: the file carries the artifact meta stamp (schema_version 2),
+Two artifact shapes share the BENCH_slo.json name and the schema stamp:
+
+bench_mt ("runs" key) — thread-sweep attribution snapshots:
+  1. Schema: the file carries the artifact meta stamp (schema_version 3),
      the budget table, and per-run per-op-type latency snapshots with sane
      values (counts > 0 for get/set, monotone p50 <= p99 <= p999).
   2. Budgets: every run's get/set P99 (attributed end-to-end, virtual
@@ -18,17 +20,33 @@ Checks, in order:
      phase claims. At t > 1 other threads advance the shared clock during
      an op, so spans are cross-polluted and the check would be meaningless.
 
+bench_scenarios ("scenarios" key) — production-traffic scenario suite:
+  1. Schema: every (scenario, scheme) entry carries overall and per-phase
+     get/set percentile snapshots, monotone, with counts > 0 where the
+     phase mix emits that op type.
+  2. Budgets: overall get/set P99 and P99.9 stay within the per-scenario,
+     per-scheme budgets the bench derived from the spec's budget clause.
+  3. Flash-crowd recovery: for every scenario containing a spike phase,
+     the first post-spike phase's get P99 must return to within
+     RECOVERY_FACTOR x the last pre-spike phase's get P99 (with a small
+     absolute floor so sub-100us baselines don't amplify noise).
+
 Exit code 0 on pass, 1 on any failure.
 """
 
 import json
 import sys
 
-EXPECTED_SCHEMA = 2
+EXPECTED_SCHEMA = 3
 COVERAGE_TOLERANCE = 0.10
 # Below this span the fixed per-op overheads (index op, DRAM read) dominate
 # and a few ns of rounding breaks the ratio; such runs trivially pass.
 COVERAGE_MIN_SPAN_NS = 1000
+# Flash-crowd recovery: post-spike get P99 <= factor * pre-spike get P99,
+# where the baseline is floored so microsecond-scale baselines (Zone-Cache
+# at low load) don't turn bucket-width rounding into a failure.
+RECOVERY_FACTOR = 2.0
+RECOVERY_BASELINE_FLOOR_NS = 100_000
 
 
 def fail(msg: str) -> "None":
@@ -53,23 +71,101 @@ def check_op(run_label: str, op_name: str, op: dict) -> None:
             fail(f"{run_label} {op_name}: tail missing {key}")
 
 
-def main() -> None:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_slo.json"
-    try:
-        doc = json.load(open(path))
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot load {path}: {e}")
+def check_percentiles(label: str, op_name: str, op: dict) -> None:
+    """Scenario-artifact histogram snapshot: count + monotone percentiles."""
+    for key in ("count", "p50_ns", "p99_ns", "p999_ns"):
+        if key not in op:
+            fail(f"{label} {op_name}: missing {key}")
+    if op["count"] > 0 and not (
+            0 <= op["p50_ns"] <= op["p99_ns"] <= op["p999_ns"]):
+        fail(f"{label} {op_name}: percentiles not monotone "
+             f"({op['p50_ns']} / {op['p99_ns']} / {op['p999_ns']})")
 
-    meta = doc.get("meta")
-    if not isinstance(meta, dict):
-        fail("meta stamp missing")
-    if meta.get("schema_version") != EXPECTED_SCHEMA:
-        fail(f"schema_version {meta.get('schema_version')!r}, expected "
-             f"{EXPECTED_SCHEMA} (artifact from an incompatible build?)")
+
+def check_scenarios(doc: dict) -> None:
+    budgets = doc.get("scenario_budgets")
+    if not isinstance(budgets, dict) or not budgets:
+        fail("scenario_budgets missing or empty")
+    entries = doc["scenarios"]
+    if not isinstance(entries, list) or not entries:
+        fail("scenarios missing or empty")
+
+    misses = []
+    for entry in entries:
+        for key in ("scenario", "scheme", "fingerprint", "ops", "hit_ratio",
+                    "wa_factor", "admission", "overall", "phases"):
+            if key not in entry:
+                fail(f"scenario entry missing {key}: {list(entry)}")
+        label = f"{entry['scenario']}/{entry['scheme']}"
+        overall = entry["overall"]
+        for op_name in ("get", "set", "delete"):
+            if op_name not in overall:
+                fail(f"{label}: missing overall op type {op_name}")
+            check_percentiles(label, op_name, overall[op_name])
+        if overall["get"]["count"] == 0 or overall["set"]["count"] == 0:
+            fail(f"{label}: no measured get/set ops")
+        for phase in entry["phases"]:
+            plabel = f"{label}/{phase.get('name', '?')}"
+            for key in ("name", "kind", "ops", "hit_ratio", "get", "set"):
+                if key not in phase:
+                    fail(f"{plabel}: phase missing {key}")
+            check_percentiles(plabel, "get", phase["get"])
+            check_percentiles(plabel, "set", phase["set"])
+
+        budget = budgets.get(entry["scenario"], {}).get(entry["scheme"])
+        if budget is None:
+            fail(f"{label}: no scenario budget entry")
+        for op_name, p_key, limit_key in (
+                ("get", "p99_ns", "get_p99_ns"),
+                ("set", "p99_ns", "set_p99_ns"),
+                ("get", "p999_ns", "get_p999_ns"),
+                ("set", "p999_ns", "set_p999_ns")):
+            value = overall[op_name][p_key]
+            limit = budget[limit_key]
+            if value > limit:
+                misses.append(f"{label} {op_name} {p_key} {value:,} ns > "
+                              f"budget {limit:,} ns")
+
+        # Flash-crowd recovery: last non-spike phase before the spike vs
+        # the first phase after it.
+        phases = entry["phases"]
+        for i, phase in enumerate(phases):
+            if phase["kind"] != "spike":
+                continue
+            before = next((phases[j] for j in range(i - 1, -1, -1)
+                           if phases[j]["kind"] != "spike"), None)
+            after = phases[i + 1] if i + 1 < len(phases) else None
+            if before is None or after is None:
+                continue
+            if before["get"]["count"] == 0 or after["get"]["count"] == 0:
+                continue
+            baseline = max(before["get"]["p99_ns"],
+                           RECOVERY_BASELINE_FLOOR_NS)
+            recovered = after["get"]["p99_ns"]
+            if recovered > RECOVERY_FACTOR * baseline:
+                misses.append(
+                    f"{label}: post-spike phase '{after['name']}' get p99 "
+                    f"{recovered:,} ns > {RECOVERY_FACTOR}x baseline "
+                    f"'{before['name']}' ({baseline:,} ns) — the flash "
+                    f"crowd left a lasting tail")
+
+    for miss in misses:
+        print(f"check_slo: FAIL: {miss}", file=sys.stderr)
+    if misses:
+        sys.exit(1)
+
+    scenarios = sorted({e["scenario"] for e in entries})
+    spikes = sum(1 for e in entries
+                 for p in e["phases"] if p["kind"] == "spike")
+    print(f"check_slo: OK ({len(entries)} scenario runs over "
+          f"{len(scenarios)} scenarios, {spikes} recovery checks)")
+
+
+def check_runs(doc: dict) -> None:
     budgets = doc.get("budgets")
     if not isinstance(budgets, dict) or not budgets:
         fail("budgets missing or empty")
-    runs = doc.get("runs")
+    runs = doc["runs"]
     if not isinstance(runs, list) or not runs:
         fail("runs missing or empty")
     windows = doc.get("windows_enabled", True)
@@ -140,6 +236,28 @@ def main() -> None:
               f"{phases}")
     print(f"check_slo: OK ({len(runs)} runs against "
           f"{len(budgets)} scheme budgets)")
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_slo.json"
+    try:
+        doc = json.load(open(path))
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        fail("meta stamp missing")
+    if meta.get("schema_version") != EXPECTED_SCHEMA:
+        fail(f"schema_version {meta.get('schema_version')!r}, expected "
+             f"{EXPECTED_SCHEMA} (artifact from an incompatible build?)")
+
+    if "scenarios" in doc:
+        check_scenarios(doc)
+    elif "runs" in doc:
+        check_runs(doc)
+    else:
+        fail("artifact has neither 'runs' nor 'scenarios'")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,59 @@
+// Doorkeeper Bloom filter for reject-first-seen admission (the TinyLFU
+// doorkeeper idea): a Set whose key fingerprint has never been seen is
+// rejected but remembered, so only keys written (or requested) at least
+// twice within a rotation window reach flash. This filters the one-hit
+// wonders that dominate CDN-style churn and would otherwise be written
+// once and evicted unread — pure write amplification.
+//
+// The filter is a plain bit array with two derived probes per fingerprint.
+// It is deliberately not thread-safe: FlashCache::Set runs under the
+// shard's writer exclusion, which is exactly the required serialization.
+// Reset() (rotation) clears every bit so the filter re-learns the current
+// working set; residency in the cache index is checked before the
+// doorkeeper, so rotation never rejects overwrites of live objects.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace zncache::cache {
+
+class Doorkeeper {
+ public:
+  // `bits` is rounded up to a power of two (minimum 64) so probe indices
+  // reduce with a mask instead of a division.
+  explicit Doorkeeper(u64 bits) {
+    u64 b = 64;
+    while (b < bits) b <<= 1;
+    mask_ = b - 1;
+    words_.assign(b / 64, 0);
+  }
+
+  // True when the fingerprint was already present (both probes set);
+  // otherwise inserts it and returns false — test-and-set in one pass.
+  bool TestAndSet(u64 fp) {
+    const u64 h2 = ((fp >> 33) ^ (fp << 21)) | 1;  // odd second probe stride
+    bool present = true;
+    for (u64 k = 0; k < 2; ++k) {
+      const u64 bit = (fp + k * h2) & mask_;
+      u64& word = words_[bit >> 6];
+      const u64 m = 1ULL << (bit & 63);
+      if ((word & m) == 0) {
+        present = false;
+        word |= m;
+      }
+    }
+    return present;
+  }
+
+  void Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  u64 bit_count() const { return mask_ + 1; }
+
+ private:
+  u64 mask_ = 63;
+  std::vector<u64> words_;
+};
+
+}  // namespace zncache::cache

@@ -41,6 +41,12 @@ FlashCache::FlashCache(const FlashCacheConfig& config, RegionDevice* device,
   if (config_.index_reserve > 0) {
     index_.reserve(config_.index_reserve);
   }
+  if (config_.doorkeeper_bits > 0) {
+    doorkeeper_ = std::make_unique<Doorkeeper>(config_.doorkeeper_bits);
+    if (config_.doorkeeper_rotate_ns > 0) {
+      doorkeeper_next_rotate_ = clock_->Now() + config_.doorkeeper_rotate_ns;
+    }
+  }
 
   tracer_ = obs::ResolveTracer(config_.tracer);
   obs::Registry* reg = config_.metrics;
@@ -54,6 +60,10 @@ FlashCache::FlashCache(const FlashCacheConfig& config, RegionDevice* device,
   c_evicted_items_ = obs::GetCounterOrSink(reg, p + ".evicted_items");
   c_reinserted_items_ = obs::GetCounterOrSink(reg, p + ".reinserted_items");
   c_admission_rejects_ = obs::GetCounterOrSink(reg, p + ".admission_rejects");
+  c_admission_doorkeeper_ =
+      obs::GetCounterOrSink(reg, p + ".admission_doorkeeper_rejects");
+  c_admission_size_ =
+      obs::GetCounterOrSink(reg, p + ".admission_size_rejects");
   c_dropped_regions_ = obs::GetCounterOrSink(reg, p + ".dropped_regions");
   c_dropped_items_ = obs::GetCounterOrSink(reg, p + ".dropped_items");
   c_flushed_regions_ = obs::GetCounterOrSink(reg, p + ".flushed_regions");
@@ -489,7 +499,8 @@ void FlashCache::CollectReinsertionCandidates(
 }
 
 Result<OpResult> FlashCache::Set(std::string_view key,
-                                 std::span<const std::byte> value) {
+                                 std::span<const std::byte> value,
+                                 SimNanos ttl_ns) {
   // Inert when ShardedCache already installed the op's timeline (or no
   // attribution sink is wired); gives a bare engine its own attribution.
   obs::OpScope attr_op(config_.attribution, obs::OpType::kSet, clock_->Now());
@@ -498,6 +509,39 @@ Result<OpResult> FlashCache::Set(std::string_view key,
     stats_.rejected_sets++;
     c_rejected_sets_->Inc();
     return Status::InvalidArgument("object larger than a region");
+  }
+  // Admission gates, cheapest first: size threshold, then the doorkeeper
+  // Bloom, then the probabilistic gate. Every rejection counts into the
+  // shared admission_rejects total plus its own breakout counter, so
+  // sets + admission_rejects == attempted admissible Sets always holds.
+  if (config_.admit_max_size > 0 && value.size() > config_.admit_max_size) {
+    stats_.admission_rejects++;
+    stats_.admission_size_rejects++;
+    c_admission_rejects_->Inc();
+    c_admission_size_->Inc();
+    Cpu(config_.index_op_ns, obs::Phase::kIndexLookup);
+    return OpResult{false, clock_->Now() - start};
+  }
+  if (doorkeeper_ && !reinserting_) {
+    if (doorkeeper_next_rotate_ != 0 &&
+        clock_->Now() >= doorkeeper_next_rotate_) {
+      doorkeeper_->Reset();
+      // Catch up past idle gaps so the next boundary is in the future.
+      while (doorkeeper_next_rotate_ <= clock_->Now()) {
+        doorkeeper_next_rotate_ += config_.doorkeeper_rotate_ns;
+      }
+    }
+    // Resident keys bypass the filter: an overwrite of a live object is
+    // never a one-hit wonder, and rotation must not evict-by-rejection.
+    if (index_.find(key) == index_.end() &&
+        !doorkeeper_->TestAndSet(Fnv1a64(key))) {
+      stats_.admission_rejects++;
+      stats_.admission_doorkeeper_rejects++;
+      c_admission_rejects_->Inc();
+      c_admission_doorkeeper_->Inc();
+      Cpu(config_.index_op_ns, obs::Phase::kIndexLookup);
+      return OpResult{false, clock_->Now() - start};
+    }
   }
   if (config_.admit_probability < 1.0 &&
       !admission_rng_.Chance(config_.admit_probability)) {
@@ -550,8 +594,11 @@ Result<OpResult> FlashCache::Set(std::string_view key,
   m->items.push_back(
       ItemMeta{std::string(key), offset, static_cast<u32>(value.size())});
   m->used += static_cast<u32>(value.size());
-  const SimNanos expire =
-      config_.ttl_ns == 0 ? 0 : clock_->Now() + config_.ttl_ns;
+  // Per-op TTL wins over the engine default; reinsertion survivors go
+  // through the engine default (their original deadline is not carried —
+  // a documented approximation, the object already proved it is hot).
+  const SimNanos eff_ttl = ttl_ns != 0 ? ttl_ns : config_.ttl_ns;
+  const SimNanos expire = eff_ttl == 0 ? 0 : clock_->Now() + eff_ttl;
   if (expire > m->max_expire) m->max_expire = expire;
   // Heterogeneous lookup first: an overwrite (the common churn case) never
   // materializes a temporary std::string just to find the existing entry.
@@ -572,10 +619,12 @@ Result<OpResult> FlashCache::Set(std::string_view key,
   return OpResult{true, clock_->Now() - start};
 }
 
-Result<OpResult> FlashCache::Set(std::string_view key, std::string_view value) {
-  return Set(key, std::span<const std::byte>(
-                      reinterpret_cast<const std::byte*>(value.data()),
-                      value.size()));
+Result<OpResult> FlashCache::Set(std::string_view key, std::string_view value,
+                                 SimNanos ttl_ns) {
+  return Set(key,
+             std::span<const std::byte>(
+                 reinterpret_cast<const std::byte*>(value.data()), value.size()),
+             ttl_ns);
 }
 
 Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out,
@@ -597,8 +646,7 @@ Result<OpResult> FlashCache::Get(std::string_view key, std::string* value_out,
   // TTL: an expired object is a miss. The entry is left alone (this path
   // runs lock-free against other Gets) — chunk eviction or the region
   // purge reclaims it later, and RegionTtlDead() lets GC drop the region.
-  if (config_.ttl_ns != 0 && it->second.expire != 0 &&
-      clock_->Now() >= it->second.expire) {
+  if (it->second.expire != 0 && clock_->Now() >= it->second.expire) {
     std::atomic_ref<u64>(stats_.ttl_expired_items)
         .fetch_add(1, std::memory_order_relaxed);
     c_ttl_expired_->Inc();
@@ -840,7 +888,7 @@ Status FlashCache::DropRegion(RegionId rid) {
 }
 
 bool FlashCache::RegionTtlDead(RegionId rid) const {
-  if (config_.ttl_ns == 0 || rid >= regions_.size()) return false;
+  if (rid >= regions_.size()) return false;
   const RegionMeta& m = regions_[rid];
   return m.state == RegionState::kSealed && m.max_expire != 0 &&
          clock_->Now() >= m.max_expire;

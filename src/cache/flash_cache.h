@@ -49,6 +49,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/doorkeeper.h"
 #include "cache/region_device.h"
 #include "cache/region_footer.h"
 #include "common/bitmap.h"
@@ -116,6 +117,20 @@ struct FlashCacheConfig {
   // any) in place. Trades hit ratio for flash write volume.
   double admit_probability = 1.0;
   u64 admission_seed = 99;
+  // Reject-first-seen admission (TinyLFU doorkeeper): a Set for a key that
+  // is neither resident nor in the doorkeeper Bloom filter is rejected and
+  // remembered; its next Set within the rotation window is admitted. Only
+  // non-resident keys consult the filter, so overwrites of live objects
+  // always pass. 0 disables (no filter is allocated).
+  u64 doorkeeper_bits = 0;
+  // Rotation interval in virtual time: the doorkeeper resets once the
+  // clock passes each interval boundary, forgetting the previous window's
+  // first-timers. 0 = never reset.
+  SimNanos doorkeeper_rotate_ns = 0;
+  // Size-threshold admission: Sets larger than this many bytes are
+  // rejected up front (CDN-style "don't cache huge one-shot objects").
+  // 0 disables. Checked before the doorkeeper and the probabilistic gate.
+  u64 admit_max_size = 0;
   // --- Chunk-granular eviction (EvictionPolicy::kChunk) ------------------
   // Reclaim a sealed region outright once its live fraction (live payload
   // bytes / bytes written) is at or below this watermark; above it the
@@ -164,7 +179,9 @@ struct CacheStats {
   u64 evicted_regions = 0;
   u64 evicted_items = 0;
   u64 reinserted_items = 0;  // survived eviction via the reinsertion policy
-  u64 admission_rejects = 0; // sets skipped by the admission policy
+  u64 admission_rejects = 0; // sets skipped by any admission gate (total)
+  u64 admission_doorkeeper_rejects = 0;  // first-seen keys turned away
+  u64 admission_size_rejects = 0;        // objects over admit_max_size
   u64 dropped_regions = 0;  // via the GC co-design hint path
   u64 dropped_items = 0;
   u64 flushed_regions = 0;
@@ -198,9 +215,13 @@ class FlashCache {
              sim::VirtualClock* clock);
 
   // Insert or overwrite. Fails only if the object cannot fit in a region.
-  Result<OpResult> Set(std::string_view key, std::span<const std::byte> value);
+  // `ttl_ns` is a per-object lifetime relative to now; 0 falls back to the
+  // engine-wide `config.ttl_ns` (which may itself be 0 = immortal).
+  Result<OpResult> Set(std::string_view key, std::span<const std::byte> value,
+                       SimNanos ttl_ns = 0);
   // Convenience overload for string payloads.
-  Result<OpResult> Set(std::string_view key, std::string_view value);
+  Result<OpResult> Set(std::string_view key, std::string_view value,
+                       SimNanos ttl_ns = 0);
 
   // Lookup. `value_out` may be null when the caller only cares about
   // hit/miss (CacheBench does exactly that).
@@ -375,6 +396,9 @@ class FlashCache {
   u64 access_seq_ = 0;
   std::deque<SimNanos> inflight_flushes_;  // completion instants
   Rng admission_rng_{99};
+  // Reject-first-seen filter; null unless config.doorkeeper_bits > 0.
+  std::unique_ptr<Doorkeeper> doorkeeper_;
+  SimNanos doorkeeper_next_rotate_ = 0;  // next virtual-time Reset() instant
   std::vector<std::pair<ItemMeta, std::string>> pending_reinserts_;
   // True while the eviction path re-admits reinsertion survivors; their
   // recursive Sets classify as hot in segregated mode.
@@ -396,6 +420,8 @@ class FlashCache {
   obs::Counter* c_evicted_items_ = nullptr;
   obs::Counter* c_reinserted_items_ = nullptr;
   obs::Counter* c_admission_rejects_ = nullptr;
+  obs::Counter* c_admission_doorkeeper_ = nullptr;
+  obs::Counter* c_admission_size_ = nullptr;
   obs::Counter* c_dropped_regions_ = nullptr;
   obs::Counter* c_dropped_items_ = nullptr;
   obs::Counter* c_flushed_regions_ = nullptr;

@@ -98,11 +98,11 @@ std::unique_lock<std::mutex> ShardedCache::AcquireShard(Shard& s) {
 }
 
 Result<OpResult> ShardedCache::Set(std::string_view key,
-                                   std::string_view value) {
+                                   std::string_view value, SimNanos ttl_ns) {
   obs::OpScope op(attribution_, obs::OpType::kSet, clock_->Now());
   Shard& s = ShardFor(key);
   auto lock = AcquireShard(s);
-  auto result = s.engine->Set(key, value);
+  auto result = s.engine->Set(key, value, ttl_ns);
   s.writer.store(false, std::memory_order_release);
   op.Finish(clock_->Now());
   return result;
@@ -182,6 +182,8 @@ CacheStats ShardedCache::TotalStats() const {
     total.evicted_items += s.evicted_items;
     total.reinserted_items += s.reinserted_items;
     total.admission_rejects += s.admission_rejects;
+    total.admission_doorkeeper_rejects += s.admission_doorkeeper_rejects;
+    total.admission_size_rejects += s.admission_size_rejects;
     total.dropped_regions += s.dropped_regions;
     total.dropped_items += s.dropped_items;
     total.flushed_regions += s.flushed_regions;

@@ -90,7 +90,10 @@ class ShardedCache {
   ShardedCache(const ShardedCache&) = delete;
   ShardedCache& operator=(const ShardedCache&) = delete;
 
-  Result<OpResult> Set(std::string_view key, std::string_view value);
+  // `ttl_ns` is a per-object lifetime relative to now; 0 falls back to the
+  // engine-wide config TTL. Forwarded verbatim to the owning shard.
+  Result<OpResult> Set(std::string_view key, std::string_view value,
+                       SimNanos ttl_ns = 0);
   Result<OpResult> Get(std::string_view key, std::string* value_out = nullptr);
   Result<OpResult> Delete(std::string_view key);
 

@@ -1,0 +1,545 @@
+#include "workload/scenario.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+namespace zncache::workload {
+
+namespace {
+
+constexpr std::string_view kMagic = "znscn v1";
+
+// Shortest round-trip decimal form (std::to_chars), so Serialize/Parse is
+// exact for every double field.
+std::string Dbl(double v) {
+  char buf[40];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, end);
+}
+
+std::string U64(u64 v) { return std::to_string(v); }
+
+// FNV-1a over the raw 8 bytes of a u64 (the op-stream digest).
+u64 FnvMix(u64 h, u64 v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Clause {
+  std::string_view key;
+  std::string_view value;
+};
+
+// Split "k1=v1;k2=v2" into clauses. Empty segments are rejected.
+Status SplitClauses(std::string_view body, std::vector<Clause>* out) {
+  out->clear();
+  while (!body.empty()) {
+    const size_t semi = body.find(';');
+    std::string_view seg =
+        semi == std::string_view::npos ? body : body.substr(0, semi);
+    body = semi == std::string_view::npos ? std::string_view()
+                                          : body.substr(semi + 1);
+    const size_t eq = seg.find('=');
+    if (seg.empty() || eq == std::string_view::npos || eq == 0 ||
+        eq + 1 >= seg.size()) {
+      return Status::InvalidArgument("bad clause '" + std::string(seg) + "'");
+    }
+    out->push_back(Clause{seg.substr(0, eq), seg.substr(eq + 1)});
+  }
+  return Status::Ok();
+}
+
+Status ParseU64(std::string_view v, u64* out) {
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), *out);
+  if (ec != std::errc() || p != v.data() + v.size()) {
+    return Status::InvalidArgument("bad integer '" + std::string(v) + "'");
+  }
+  return Status::Ok();
+}
+
+Status ParseDouble(std::string_view v, double* out) {
+  // std::from_chars(double) requires no leading '+'; strtod is lenient and
+  // locale issues do not apply to the "C" numeric forms we emit.
+  std::string tmp(v);
+  char* end = nullptr;
+  *out = std::strtod(tmp.c_str(), &end);
+  if (end != tmp.c_str() + tmp.size() || tmp.empty()) {
+    return Status::InvalidArgument("bad number '" + tmp + "'");
+  }
+  return Status::Ok();
+}
+
+// Durations accept both ns (u64) and ms (double) spellings.
+Status ParseNanos(std::string_view key, std::string_view v, SimNanos* out) {
+  if (key.size() > 3 && key.substr(key.size() - 3) == "_ms") {
+    double ms = 0;
+    ZN_RETURN_IF_ERROR(ParseDouble(v, &ms));
+    if (ms < 0) return Status::InvalidArgument("negative duration");
+    *out = static_cast<SimNanos>(ms * 1e6);
+    return Status::Ok();
+  }
+  return ParseU64(v, out);
+}
+
+std::string_view SizeDistKindName(SizeDistKind k) {
+  switch (k) {
+    case SizeDistKind::kFixed: return "fixed";
+    case SizeDistKind::kBimodal: return "bimodal";
+    case SizeDistKind::kPareto: return "pareto";
+  }
+  return "fixed";
+}
+
+}  // namespace
+
+std::string_view PhaseKindName(PhaseKind k) {
+  switch (k) {
+    case PhaseKind::kSteady: return "steady";
+    case PhaseKind::kRamp: return "ramp";
+    case PhaseKind::kDiurnal: return "diurnal";
+    case PhaseKind::kSpike: return "spike";
+    case PhaseKind::kScan: return "scan";
+  }
+  return "steady";
+}
+
+u64 ScenarioSpec::TotalOps() const {
+  u64 total = 0;
+  for (const ScenarioPhase& p : phases) total += p.ops;
+  return total;
+}
+
+SimNanos ScenarioSpec::TotalDurationNs() const {
+  SimNanos total = 0;
+  for (const ScenarioPhase& p : phases) total += p.duration_ns;
+  return total;
+}
+
+SimNanos ScenarioSpec::PhaseStartNs(size_t i) const {
+  SimNanos start = 0;
+  for (size_t k = 0; k < i && k < phases.size(); ++k) {
+    start += phases[k].duration_ns;
+  }
+  return start;
+}
+
+ScenarioSpec ScenarioSpec::Scaled(double f) const {
+  ScenarioSpec s = *this;
+  for (ScenarioPhase& p : s.phases) {
+    p.ops = std::max<u64>(1, static_cast<u64>(static_cast<double>(p.ops) * f));
+    p.duration_ns = std::max<SimNanos>(
+        1, static_cast<SimNanos>(static_cast<double>(p.duration_ns) * f));
+  }
+  return s;
+}
+
+std::string ScenarioSpec::Serialize() const {
+  std::string out(kMagic);
+  out += "\nscenario name=" + name + ";seed=" + U64(seed) +
+         ";keys=" + U64(key_space) + ";zipf=" + Dbl(zipf_theta) +
+         ";get=" + Dbl(get_ratio) + ";set=" + Dbl(set_ratio) +
+         ";del=" + Dbl(del_ratio);
+  out += "\nsize kind=" + std::string(SizeDistKindName(size.kind));
+  switch (size.kind) {
+    case SizeDistKind::kFixed:
+      out += ";fixed=" + U64(size.fixed);
+      break;
+    case SizeDistKind::kBimodal:
+      out += ";small=" + U64(size.small) + ";large=" + U64(size.large) +
+             ";large_frac=" + Dbl(size.large_frac);
+      break;
+    case SizeDistKind::kPareto:
+      out += ";min=" + U64(size.min) + ";max=" + U64(size.max) +
+             ";alpha=" + Dbl(size.alpha);
+      break;
+  }
+  out += "\nttl fraction=" + Dbl(ttl_fraction) + ";min_ns=" + U64(ttl_min_ns) +
+         ";max_ns=" + U64(ttl_max_ns);
+  out += "\nadmission doorkeeper_bits=" + U64(admission_doorkeeper_bits) +
+         ";rotate_ns=" + U64(admission_rotate_ns) +
+         ";max_size=" + U64(admission_max_size);
+  out += "\nbudget get_p99_ns=" + U64(budget_get_p99_ns) +
+         ";set_p99_ns=" + U64(budget_set_p99_ns) +
+         ";p999_mult=" + Dbl(budget_p999_mult);
+  for (const ScenarioPhase& p : phases) {
+    out += "\nphase kind=" + std::string(PhaseKindName(p.kind));
+    if (!p.name.empty()) out += ";name=" + p.name;
+    out += ";ops=" + U64(p.ops) + ";dur_ns=" + U64(p.duration_ns);
+    switch (p.kind) {
+      case PhaseKind::kSteady:
+        out += ";mult=" + Dbl(p.start_mult);
+        break;
+      case PhaseKind::kRamp:
+        out += ";mult=" + Dbl(p.start_mult) + ";end_mult=" + Dbl(p.end_mult);
+        break;
+      case PhaseKind::kDiurnal:
+        out += ";amp=" + Dbl(p.amplitude) + ";periods=" + Dbl(p.periods);
+        break;
+      case PhaseKind::kSpike:
+        out += ";mult=" + Dbl(p.start_mult) + ";hot_keys=" + U64(p.hot_keys) +
+               ";hot_frac=" + Dbl(p.hot_frac);
+        break;
+      case PhaseKind::kScan:
+        out += ";mult=" + Dbl(p.start_mult) + ";batch=" + U64(p.scan_batch);
+        break;
+    }
+    if (p.get_ratio != kInheritRatio) out += ";get=" + Dbl(p.get_ratio);
+    if (p.set_ratio != kInheritRatio) out += ";set=" + Dbl(p.set_ratio);
+    if (p.del_ratio != kInheritRatio) out += ";del=" + Dbl(p.del_ratio);
+  }
+  out += '\n';
+  return out;
+}
+
+Result<ScenarioSpec> ScenarioSpec::Parse(std::string_view text) {
+  ScenarioSpec spec;
+  spec.phases.clear();
+  bool saw_magic = false;
+  bool saw_scenario = false;
+  std::vector<Clause> clauses;
+
+  while (!text.empty()) {
+    const size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text = nl == std::string_view::npos ? std::string_view()
+                                        : text.substr(nl + 1);
+    // Trim whitespace and skip blanks / comments.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t' ||
+                             line.front() == '\r')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+    if (!saw_magic) {
+      if (line != kMagic) {
+        return Status::InvalidArgument("scenario spec must start with '" +
+                                       std::string(kMagic) + "'");
+      }
+      saw_magic = true;
+      continue;
+    }
+
+    const size_t sp = line.find(' ');
+    const std::string_view section =
+        sp == std::string_view::npos ? line : line.substr(0, sp);
+    const std::string_view body =
+        sp == std::string_view::npos ? std::string_view()
+                                     : line.substr(sp + 1);
+    ZN_RETURN_IF_ERROR(SplitClauses(body, &clauses));
+
+    if (section == "scenario") {
+      saw_scenario = true;
+      for (const Clause& c : clauses) {
+        if (c.key == "name") spec.name = std::string(c.value);
+        else if (c.key == "seed") ZN_RETURN_IF_ERROR(ParseU64(c.value, &spec.seed));
+        else if (c.key == "keys") ZN_RETURN_IF_ERROR(ParseU64(c.value, &spec.key_space));
+        else if (c.key == "zipf") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &spec.zipf_theta));
+        else if (c.key == "get") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &spec.get_ratio));
+        else if (c.key == "set") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &spec.set_ratio));
+        else if (c.key == "del") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &spec.del_ratio));
+        else return Status::InvalidArgument("unknown scenario key '" + std::string(c.key) + "'");
+      }
+    } else if (section == "size") {
+      for (const Clause& c : clauses) {
+        if (c.key == "kind") {
+          if (c.value == "fixed") spec.size.kind = SizeDistKind::kFixed;
+          else if (c.value == "bimodal") spec.size.kind = SizeDistKind::kBimodal;
+          else if (c.value == "pareto") spec.size.kind = SizeDistKind::kPareto;
+          else return Status::InvalidArgument("unknown size kind '" + std::string(c.value) + "'");
+        }
+        else if (c.key == "fixed") ZN_RETURN_IF_ERROR(ParseU64(c.value, &spec.size.fixed));
+        else if (c.key == "small") ZN_RETURN_IF_ERROR(ParseU64(c.value, &spec.size.small));
+        else if (c.key == "large") ZN_RETURN_IF_ERROR(ParseU64(c.value, &spec.size.large));
+        else if (c.key == "large_frac") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &spec.size.large_frac));
+        else if (c.key == "min") ZN_RETURN_IF_ERROR(ParseU64(c.value, &spec.size.min));
+        else if (c.key == "max") ZN_RETURN_IF_ERROR(ParseU64(c.value, &spec.size.max));
+        else if (c.key == "alpha") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &spec.size.alpha));
+        else return Status::InvalidArgument("unknown size key '" + std::string(c.key) + "'");
+      }
+    } else if (section == "ttl") {
+      for (const Clause& c : clauses) {
+        if (c.key == "fraction") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &spec.ttl_fraction));
+        else if (c.key == "min_ns" || c.key == "min_ms")
+          ZN_RETURN_IF_ERROR(ParseNanos(c.key, c.value, &spec.ttl_min_ns));
+        else if (c.key == "max_ns" || c.key == "max_ms")
+          ZN_RETURN_IF_ERROR(ParseNanos(c.key, c.value, &spec.ttl_max_ns));
+        else return Status::InvalidArgument("unknown ttl key '" + std::string(c.key) + "'");
+      }
+    } else if (section == "admission") {
+      for (const Clause& c : clauses) {
+        if (c.key == "doorkeeper_bits")
+          ZN_RETURN_IF_ERROR(ParseU64(c.value, &spec.admission_doorkeeper_bits));
+        else if (c.key == "rotate_ns" || c.key == "rotate_ms")
+          ZN_RETURN_IF_ERROR(ParseNanos(c.key, c.value, &spec.admission_rotate_ns));
+        else if (c.key == "max_size")
+          ZN_RETURN_IF_ERROR(ParseU64(c.value, &spec.admission_max_size));
+        else return Status::InvalidArgument("unknown admission key '" + std::string(c.key) + "'");
+      }
+    } else if (section == "budget") {
+      for (const Clause& c : clauses) {
+        if (c.key == "get_p99_ns" || c.key == "get_p99_ms")
+          ZN_RETURN_IF_ERROR(ParseNanos(c.key, c.value, &spec.budget_get_p99_ns));
+        else if (c.key == "set_p99_ns" || c.key == "set_p99_ms")
+          ZN_RETURN_IF_ERROR(ParseNanos(c.key, c.value, &spec.budget_set_p99_ns));
+        else if (c.key == "p999_mult")
+          ZN_RETURN_IF_ERROR(ParseDouble(c.value, &spec.budget_p999_mult));
+        else return Status::InvalidArgument("unknown budget key '" + std::string(c.key) + "'");
+      }
+    } else if (section == "phase") {
+      ScenarioPhase p;
+      bool saw_end_mult = false;
+      for (const Clause& c : clauses) {
+        if (c.key == "kind") {
+          if (c.value == "steady") p.kind = PhaseKind::kSteady;
+          else if (c.value == "ramp") p.kind = PhaseKind::kRamp;
+          else if (c.value == "diurnal") p.kind = PhaseKind::kDiurnal;
+          else if (c.value == "spike") p.kind = PhaseKind::kSpike;
+          else if (c.value == "scan") p.kind = PhaseKind::kScan;
+          else return Status::InvalidArgument("unknown phase kind '" + std::string(c.value) + "'");
+        }
+        else if (c.key == "name") p.name = std::string(c.value);
+        else if (c.key == "ops") ZN_RETURN_IF_ERROR(ParseU64(c.value, &p.ops));
+        else if (c.key == "dur_ns" || c.key == "dur_ms")
+          ZN_RETURN_IF_ERROR(ParseNanos(c.key, c.value, &p.duration_ns));
+        else if (c.key == "mult") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &p.start_mult));
+        else if (c.key == "end_mult") {
+          ZN_RETURN_IF_ERROR(ParseDouble(c.value, &p.end_mult));
+          saw_end_mult = true;
+        }
+        else if (c.key == "amp") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &p.amplitude));
+        else if (c.key == "periods") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &p.periods));
+        else if (c.key == "hot_keys") ZN_RETURN_IF_ERROR(ParseU64(c.value, &p.hot_keys));
+        else if (c.key == "hot_frac") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &p.hot_frac));
+        else if (c.key == "batch") ZN_RETURN_IF_ERROR(ParseU64(c.value, &p.scan_batch));
+        else if (c.key == "get") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &p.get_ratio));
+        else if (c.key == "set") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &p.set_ratio));
+        else if (c.key == "del") ZN_RETURN_IF_ERROR(ParseDouble(c.value, &p.del_ratio));
+        else return Status::InvalidArgument("unknown phase key '" + std::string(c.key) + "'");
+      }
+      if (!saw_end_mult) p.end_mult = p.start_mult;
+      if (p.name.empty()) p.name = std::string(PhaseKindName(p.kind));
+      spec.phases.push_back(std::move(p));
+    } else {
+      return Status::InvalidArgument("unknown section '" +
+                                     std::string(section) + "'");
+    }
+  }
+
+  if (!saw_magic) return Status::InvalidArgument("empty scenario spec");
+  if (!saw_scenario) return Status::InvalidArgument("missing scenario line");
+  if (spec.key_space == 0) return Status::InvalidArgument("keys must be > 0");
+  if (spec.get_ratio < 0 || spec.set_ratio < 0 || spec.del_ratio < 0 ||
+      spec.get_ratio + spec.set_ratio + spec.del_ratio <= 0) {
+    return Status::InvalidArgument("bad op mix");
+  }
+  if (spec.phases.empty()) {
+    return Status::InvalidArgument("scenario needs at least one phase");
+  }
+  if (spec.ttl_fraction < 0 || spec.ttl_fraction > 1) {
+    return Status::InvalidArgument("ttl fraction outside [0,1]");
+  }
+  if (spec.ttl_fraction > 0 &&
+      (spec.ttl_min_ns == 0 || spec.ttl_max_ns < spec.ttl_min_ns)) {
+    return Status::InvalidArgument("ttl range needs 0 < min_ns <= max_ns");
+  }
+  if (spec.size.kind == SizeDistKind::kPareto &&
+      (spec.size.min == 0 || spec.size.max < spec.size.min ||
+       spec.size.alpha <= 0)) {
+    return Status::InvalidArgument("bad pareto size parameters");
+  }
+  if (spec.size.kind == SizeDistKind::kBimodal &&
+      (spec.size.large_frac < 0 || spec.size.large_frac > 1)) {
+    return Status::InvalidArgument("bimodal large_frac outside [0,1]");
+  }
+  for (const ScenarioPhase& p : spec.phases) {
+    if (p.ops == 0 || p.duration_ns == 0) {
+      return Status::InvalidArgument("phase needs ops > 0 and dur > 0");
+    }
+    if (p.start_mult <= 0 || p.end_mult <= 0) {
+      return Status::InvalidArgument("phase load multiplier must be > 0");
+    }
+    if (p.kind == PhaseKind::kDiurnal &&
+        (p.amplitude < 0 || p.amplitude >= 1)) {
+      return Status::InvalidArgument("diurnal amplitude outside [0,1)");
+    }
+    if (p.kind == PhaseKind::kSpike &&
+        (p.hot_frac < 0 || p.hot_frac > 1 || p.hot_keys == 0 ||
+         p.hot_keys > spec.key_space)) {
+      return Status::InvalidArgument("bad spike hot set");
+    }
+    if (p.kind == PhaseKind::kScan && p.scan_batch == 0) {
+      return Status::InvalidArgument("scan batch must be > 0");
+    }
+  }
+  return spec;
+}
+
+ScenarioStream::ScenarioStream(const ScenarioSpec& spec)
+    : spec_(spec),
+      rng_(spec.seed),
+      zipf_(spec.key_space, spec.zipf_theta, spec.seed) {
+  if (!spec_.phases.empty()) StartPhase(0);
+}
+
+double ScenarioStream::RateMult(const ScenarioPhase& p, double f) const {
+  switch (p.kind) {
+    case PhaseKind::kSteady:
+    case PhaseKind::kSpike:
+    case PhaseKind::kScan:
+      return p.start_mult;
+    case PhaseKind::kRamp:
+      return p.start_mult + (p.end_mult - p.start_mult) * f;
+    case PhaseKind::kDiurnal:
+      return p.start_mult *
+             (1.0 + p.amplitude * std::sin(2.0 * M_PI * p.periods * f));
+  }
+  return 1.0;
+}
+
+void ScenarioStream::StartPhase(size_t idx) {
+  phase_idx_ = idx;
+  phase_emitted_ = 0;
+  phase_start_ = spec_.PhaseStartNs(idx);
+  clock_ns_ = 0;
+  const ScenarioPhase& p = spec_.phases[idx];
+  mean_gap_ =
+      static_cast<double>(p.duration_ns) / static_cast<double>(p.ops);
+  // Normalize the shaped inter-arrival gaps so the phase's ops fill its
+  // window exactly: the mean of 1/rate over the phase becomes the unit.
+  double sum = 0;
+  for (u64 i = 0; i < p.ops; ++i) {
+    const double f = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(p.ops);
+    sum += 1.0 / RateMult(p, f);
+  }
+  rate_norm_ = sum / static_cast<double>(p.ops);
+  // Flash crowd: a deterministic hot band, rotated per phase index so two
+  // spike phases in one scenario hit different key sets.
+  const u64 band = spec_.key_space > p.hot_keys
+                       ? spec_.key_space - p.hot_keys
+                       : 1;
+  spike_hot_base_ = (idx * 7919) % band;
+  scan_cursor_ = 0;
+  scan_left_ = 0;
+}
+
+u64 ScenarioStream::SizeForKey(u64 key_id) const {
+  // SplitMix64 of (key, seed): a key's size is stable for the whole run.
+  u64 h = key_id + 0x9E3779B97F4A7C15ULL * (spec_.seed + 1);
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  switch (spec_.size.kind) {
+    case SizeDistKind::kFixed:
+      return spec_.size.fixed;
+    case SizeDistKind::kBimodal:
+      return u < spec_.size.large_frac ? spec_.size.large : spec_.size.small;
+    case SizeDistKind::kPareto: {
+      const double sz = static_cast<double>(spec_.size.min) /
+                        std::pow(1.0 - u, 1.0 / spec_.size.alpha);
+      if (sz >= static_cast<double>(spec_.size.max)) return spec_.size.max;
+      return static_cast<u64>(sz);
+    }
+  }
+  return spec_.size.fixed;
+}
+
+bool ScenarioStream::Next(ScenarioOp* op) {
+  if (phase_idx_ >= spec_.phases.size()) return false;
+  const ScenarioPhase& p = spec_.phases[phase_idx_];
+
+  // Arrival instant: shaped open-loop inter-arrival, clamped to the phase
+  // window so phases never bleed into each other.
+  const double f = (static_cast<double>(phase_emitted_) + 0.5) /
+                   static_cast<double>(p.ops);
+  clock_ns_ += mean_gap_ / (RateMult(p, f) * rate_norm_);
+  SimNanos offset = static_cast<SimNanos>(clock_ns_);
+  if (offset >= p.duration_ns) offset = p.duration_ns - 1;
+  op->when = phase_start_ + offset;
+  op->phase = static_cast<u32>(phase_idx_);
+
+  if (p.kind == PhaseKind::kScan) {
+    // Batch read: sweep scan_batch sequential keys, then jump.
+    if (scan_left_ == 0) {
+      scan_cursor_ = rng_.Uniform(spec_.key_space);
+      scan_left_ = p.scan_batch;
+    }
+    op->kind = ScenarioOp::Kind::kGet;
+    op->key_id = scan_cursor_;
+    op->size = SizeForKey(scan_cursor_);
+    op->ttl_ns = 0;
+    scan_cursor_ = (scan_cursor_ + 1) % spec_.key_space;
+    scan_left_--;
+  } else {
+    const double g =
+        p.get_ratio == kInheritRatio ? spec_.get_ratio : p.get_ratio;
+    const double s =
+        p.set_ratio == kInheritRatio ? spec_.set_ratio : p.set_ratio;
+    const double d =
+        p.del_ratio == kInheritRatio ? spec_.del_ratio : p.del_ratio;
+    const double total = g + s + d;
+    const double draw = rng_.NextDouble() * total;
+
+    u64 key;
+    if (p.kind == PhaseKind::kSpike && rng_.Chance(p.hot_frac)) {
+      key = spike_hot_base_ + rng_.Uniform(p.hot_keys);
+    } else {
+      key = zipf_.Next(rng_);
+    }
+    op->key_id = key;
+    op->size = SizeForKey(key);
+    op->ttl_ns = 0;
+    if (draw < g) {
+      op->kind = ScenarioOp::Kind::kGet;
+    } else if (draw < g + s) {
+      op->kind = ScenarioOp::Kind::kSet;
+      if (spec_.ttl_fraction > 0 && rng_.Chance(spec_.ttl_fraction)) {
+        // Log-uniform TTL in [min, max].
+        const double lo = std::log(static_cast<double>(spec_.ttl_min_ns));
+        const double hi = std::log(static_cast<double>(spec_.ttl_max_ns));
+        const double t = std::exp(lo + (hi - lo) * rng_.NextDouble());
+        op->ttl_ns = static_cast<SimNanos>(t);
+      }
+    } else {
+      op->kind = ScenarioOp::Kind::kDelete;
+    }
+  }
+
+  emitted_++;
+  phase_emitted_++;
+  if (phase_emitted_ >= p.ops) {
+    if (phase_idx_ + 1 < spec_.phases.size()) {
+      StartPhase(phase_idx_ + 1);
+    } else {
+      phase_idx_ = spec_.phases.size();
+    }
+  }
+  return true;
+}
+
+u64 ScenarioFingerprint(const ScenarioSpec& spec) {
+  ScenarioStream stream(spec);
+  ScenarioOp op;
+  u64 h = 14695981039346656037ULL;
+  while (stream.Next(&op)) {
+    h = FnvMix(h, static_cast<u64>(op.kind));
+    h = FnvMix(h, op.key_id);
+    h = FnvMix(h, op.size);
+    h = FnvMix(h, op.ttl_ns);
+    h = FnvMix(h, op.when);
+    h = FnvMix(h, op.phase);
+  }
+  return h;
+}
+
+}  // namespace zncache::workload

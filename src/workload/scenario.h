@@ -1,0 +1,175 @@
+// Declarative production-traffic scenarios. A ScenarioSpec composes
+// phase-scheduled load curves (steady, linear ramp, diurnal sinusoid, flash
+// crowd with a hot-key-set takeover, scan-heavy batch reads) with an
+// object-size distribution (fixed, bimodal small-object + large-value, or
+// Pareto "CDN" sizes), optional TTL churn feeding the cache's lazy-expiry
+// path, and the admission-control knobs the run should apply. Everything is
+// seeded and deterministic in *virtual* time: a ScenarioStream turns the
+// spec into an ordered op stream where every op carries its arrival instant
+// (`when`, virtual ns from scenario start), so a bench paces the virtual
+// clock open-loop and two runs of the same spec are byte-identical.
+//
+// Specs serialize to a small line-oriented text format ("znscn v1",
+// scenarios/*.scn) whose clauses parse like fault plans — `key=value`
+// pairs joined by ';' — so benches and tests share one set of definitions.
+// See docs/WORKLOADS.md for the grammar and the scenario catalog.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sim/clock.h"
+
+namespace zncache::workload {
+
+enum class SizeDistKind : u8 {
+  kFixed,    // every object is `fixed` bytes
+  kBimodal,  // small metadata-ish objects + a large-value minority
+  kPareto,   // heavy-tailed CDN object sizes, truncated at `max`
+};
+
+struct SizeDist {
+  SizeDistKind kind = SizeDistKind::kFixed;
+  u64 fixed = 4 * kKiB;  // kFixed
+  // kBimodal: a key is `large` bytes with probability large_frac, else
+  // `small` bytes. The assignment is a pure function of (seed, key), so a
+  // key's size never changes across phases or overwrites.
+  u64 small = 256;
+  u64 large = 64 * kKiB;
+  double large_frac = 0.05;
+  // kPareto: size = min / (1-u)^(1/alpha) truncated to [min, max], with u
+  // the key's deterministic uniform draw. alpha ~1.2-1.5 matches CDN
+  // object-size tails.
+  u64 min = 1 * kKiB;
+  u64 max = 256 * kKiB;
+  double alpha = 1.3;
+};
+
+enum class PhaseKind : u8 {
+  kSteady,   // constant arrival rate
+  kRamp,     // rate climbs linearly from start_mult to end_mult
+  kDiurnal,  // rate = mean * (1 + amplitude * sin(2*pi * periods * f))
+  kSpike,    // flash crowd: rate * start_mult, hot_frac of ops hit hot_keys
+  kScan,     // batch reads: sequential get sweeps of scan_batch keys
+};
+
+[[nodiscard]] std::string_view PhaseKindName(PhaseKind k);
+
+// Sentinel for "inherit the scenario-level value" in per-phase overrides.
+inline constexpr double kInheritRatio = -1.0;
+
+struct ScenarioPhase {
+  PhaseKind kind = PhaseKind::kSteady;
+  std::string name;  // defaults to the kind name when empty
+  u64 ops = 10000;
+  SimNanos duration_ns = sim::kSecond;
+  // Load multiplier. kSteady/kSpike/kScan: constant; kRamp: start -> end.
+  double start_mult = 1.0;
+  double end_mult = 1.0;
+  // kDiurnal.
+  double amplitude = 0.5;
+  double periods = 1.0;
+  // kSpike: the flash crowd's working set and its share of the traffic.
+  u64 hot_keys = 64;
+  double hot_frac = 0.9;
+  // kScan: keys per sequential batch before jumping to a new start.
+  u64 scan_batch = 64;
+  // Per-phase op-mix override (kInheritRatio = use the scenario mix).
+  double get_ratio = kInheritRatio;
+  double set_ratio = kInheritRatio;
+  double del_ratio = kInheritRatio;
+};
+
+struct ScenarioSpec {
+  std::string name = "unnamed";
+  u64 seed = 1;
+  u64 key_space = 100000;
+  double zipf_theta = 0.9;
+  // Scenario-level op mix (weights; normalized by the stream).
+  double get_ratio = 0.5;
+  double set_ratio = 0.3;
+  double del_ratio = 0.2;
+  SizeDist size;
+  // TTL churn: this fraction of sets carries a TTL drawn log-uniformly
+  // from [ttl_min_ns, ttl_max_ns]. 0 disables (no RNG draws added).
+  double ttl_fraction = 0.0;
+  SimNanos ttl_min_ns = 0;
+  SimNanos ttl_max_ns = 0;
+  // Admission control the run should configure on the cache (0 = off);
+  // forwarded into FlashCacheConfig by bench_scenarios.
+  u64 admission_doorkeeper_bits = 0;
+  SimNanos admission_rotate_ns = 0;
+  u64 admission_max_size = 0;
+  // Per-scenario SLO budget basis (virtual ns); the bench scales these by
+  // a per-scheme multiplier and emits the result into BENCH_slo.json.
+  SimNanos budget_get_p99_ns = 3 * sim::kMillisecond;
+  SimNanos budget_set_p99_ns = 2 * sim::kMillisecond;
+  double budget_p999_mult = 4.0;
+  std::vector<ScenarioPhase> phases;
+
+  u64 TotalOps() const;
+  SimNanos TotalDurationNs() const;
+  // Virtual start instant of phase i (sum of earlier durations).
+  SimNanos PhaseStartNs(size_t i) const;
+
+  // Short-horizon variant: every phase's ops and duration scaled by f
+  // (ops floored at 1). The CI smoke job runs Scaled(0.25).
+  ScenarioSpec Scaled(double f) const;
+
+  // Canonical "znscn v1" text; Parse(Serialize(s)) round-trips every field.
+  std::string Serialize() const;
+  static Result<ScenarioSpec> Parse(std::string_view text);
+};
+
+struct ScenarioOp {
+  enum class Kind : u8 { kGet, kSet, kDelete };
+  Kind kind = Kind::kGet;
+  u64 key_id = 0;
+  u64 size = 0;        // the key's object size (kSet payload; refill hint)
+  SimNanos ttl_ns = 0; // kSet; 0 = no TTL
+  SimNanos when = 0;   // arrival offset from scenario start, virtual ns
+  u32 phase = 0;       // index into spec.phases
+};
+
+// Deterministic op stream over a spec. Single pass; op arrival times are
+// non-decreasing and each phase's ops land inside its time window.
+class ScenarioStream {
+ public:
+  explicit ScenarioStream(const ScenarioSpec& spec);
+
+  // Emits the next op; false when the scenario is exhausted.
+  bool Next(ScenarioOp* op);
+
+  const ScenarioSpec& spec() const { return spec_; }
+  u64 emitted() const { return emitted_; }
+
+ private:
+  void StartPhase(size_t idx);
+  double RateMult(const ScenarioPhase& p, double f) const;
+  u64 SizeForKey(u64 key_id) const;
+
+  ScenarioSpec spec_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  u64 emitted_ = 0;
+  // Current phase state.
+  size_t phase_idx_ = 0;
+  u64 phase_emitted_ = 0;
+  SimNanos phase_start_ = 0;
+  double mean_gap_ = 0;   // duration / ops of the current phase
+  double rate_norm_ = 1;  // normalizes shaped gaps to fill the duration
+  double clock_ns_ = 0;   // fractional arrival accumulator
+  u64 spike_hot_base_ = 0;
+  u64 scan_cursor_ = 0;
+  u64 scan_left_ = 0;
+};
+
+// FNV-1a digest over the full op stream — the determinism witness: equal
+// specs always produce equal fingerprints.
+u64 ScenarioFingerprint(const ScenarioSpec& spec);
+
+}  // namespace zncache::workload

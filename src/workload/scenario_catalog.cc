@@ -1,0 +1,76 @@
+#include "workload/scenario_catalog.h"
+
+namespace zncache::workload {
+
+namespace {
+
+// Keep each literal byte-for-byte equal to its scenarios/<name>.scn file
+// (after parsing both sides are compared canonically, so comment and
+// whitespace differences are tolerated — field drift is not).
+
+constexpr std::string_view kDiurnal = R"(# Diurnal load: a day/night sinusoid over a bimodal object population.
+znscn v1
+scenario name=diurnal;seed=101;keys=200000;zipf=0.9;get=0.62;set=0.3;del=0.08
+size kind=bimodal;small=512;large=65536;large_frac=0.05
+budget get_p99_ms=3;set_p99_ms=2;p999_mult=4
+phase kind=steady;name=warm;ops=8000;dur_ms=800
+phase kind=diurnal;name=day;ops=36000;dur_ms=3600;amp=0.6;periods=2
+)";
+
+constexpr std::string_view kFlashCrowd = R"(# Flash crowd: a steady baseline, a step spike where a small hot key set
+# takes over most of the traffic, then a recovery window. check_slo.py
+# asserts the recovery phase's get P99 returns to within 2x baseline.
+znscn v1
+scenario name=flash_crowd;seed=202;keys=150000;zipf=0.9;get=0.6;set=0.3;del=0.1
+size kind=bimodal;small=1024;large=32768;large_frac=0.1
+budget get_p99_ms=3;set_p99_ms=2;p999_mult=4
+phase kind=steady;name=baseline;ops=15000;dur_ms=1500
+phase kind=spike;name=crowd;ops=18000;dur_ms=600;hot_keys=96;hot_frac=0.9
+phase kind=steady;name=recovery;ops=15000;dur_ms=1500
+)";
+
+constexpr std::string_view kRamp = R"(# Steady ramp: arrival rate climbs 12x across the phase, then holds.
+znscn v1
+scenario name=ramp;seed=303;keys=150000;zipf=0.9;get=0.55;set=0.35;del=0.1
+size kind=bimodal;small=2048;large=49152;large_frac=0.06
+budget get_p99_ms=3;set_p99_ms=2;p999_mult=4
+phase kind=ramp;name=rampup;ops=30000;dur_ms=3000;mult=0.25;end_mult=3
+phase kind=steady;name=plateau;ops=12000;dur_ms=800
+)";
+
+constexpr std::string_view kTtlChurn = R"(# TTL-heavy churn: set-dominated traffic where most objects carry short
+# TTLs (lazy expiry), gated by a doorkeeper Bloom filter so one-hit
+# wonders never reach flash. A read-heavy drain phase observes expiries.
+znscn v1
+scenario name=ttl_churn;seed=404;keys=120000;zipf=0.85;get=0.35;set=0.55;del=0.1
+size kind=bimodal;small=256;large=16384;large_frac=0.08
+ttl fraction=0.8;min_ms=60;max_ms=600
+admission doorkeeper_bits=262144;rotate_ms=800
+budget get_p99_ms=3;set_p99_ms=2;p999_mult=4
+phase kind=steady;name=churn;ops=30000;dur_ms=2500
+phase kind=steady;name=drain;ops=10000;dur_ms=1200;get=0.8;set=0.15;del=0.05
+)";
+
+constexpr std::string_view kCdnMix = R"(# CDN mix: Pareto (heavy-tailed) object sizes with a size-threshold
+# admission cap, plus a scan-heavy batch-read phase between serve phases.
+znscn v1
+scenario name=cdn_mix;seed=505;keys=250000;zipf=0.95;get=0.6;set=0.32;del=0.08
+size kind=pareto;min=4096;max=262144;alpha=1.3
+admission max_size=131072
+budget get_p99_ms=3;set_p99_ms=2;p999_mult=4
+phase kind=steady;name=serve;ops=20000;dur_ms=2000
+phase kind=scan;name=batch;ops=12000;dur_ms=900;batch=128
+phase kind=steady;name=tail;ops=10000;dur_ms=1000
+)";
+
+constexpr NamedScenario kCatalog[] = {
+    {"diurnal", kDiurnal},       {"flash_crowd", kFlashCrowd},
+    {"ramp", kRamp},             {"ttl_churn", kTtlChurn},
+    {"cdn_mix", kCdnMix},
+};
+
+}  // namespace
+
+std::span<const NamedScenario> BuiltinScenarios() { return kCatalog; }
+
+}  // namespace zncache::workload

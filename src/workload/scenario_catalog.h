@@ -1,0 +1,21 @@
+// The built-in production-traffic scenario catalog. Each entry's text is
+// the same "znscn v1" spec that lives in scenarios/<name>.scn; the embedded
+// copy means tests and benches run without filesystem assumptions, and
+// `bench_scenarios --verify-catalog <dir>` gates the two against drifting
+// (the CI scenario-smoke job runs it). See docs/WORKLOADS.md.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace zncache::workload {
+
+struct NamedScenario {
+  std::string_view name;
+  std::string_view text;
+};
+
+// All built-in scenarios, in catalog order.
+std::span<const NamedScenario> BuiltinScenarios();
+
+}  // namespace zncache::workload

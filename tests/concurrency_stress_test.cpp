@@ -185,6 +185,95 @@ TEST(ShardedCacheStress, MixedWorkloadAllSchemes) {
   }
 }
 
+// Admission control under the concurrent mix: doorkeeper + size-threshold
+// gates enabled, pure-Set load from several threads. Each shard's doorkeeper
+// runs under that shard's writer exclusion, so the accounting must be exact,
+// not approximate: every attempted Set either lands (sets) or is turned away
+// by exactly one admission gate, and the breakout counters sum to the total.
+// Must be TSan-clean.
+TEST(ShardedCacheStress, DoorkeeperAdmissionCountersExactUnderConcurrency) {
+  constexpr u32 kThreads = 4;
+  constexpr u64 kOpsPerThread = 2000;
+  for (SchemeKind kind : kAllKinds) {
+    obs::Registry registry;
+    sim::VirtualClock clock;
+    SchemeParams p = SmallParams(&registry);
+    p.shards = kThreads;
+    p.cache_config.doorkeeper_bits = 1 << 14;
+    p.cache_config.doorkeeper_rotate_ns = 20 * sim::kMillisecond;
+    p.cache_config.admit_max_size = 6 * kKiB;
+    auto scheme = MakeShardedScheme(kind, p, &clock);
+    ASSERT_TRUE(scheme.ok()) << SchemeName(kind);
+    cache::ShardedCache& c = *scheme->cache;
+
+    std::atomic<u64> op_errors{0};
+    std::vector<std::thread> pool;
+    for (u32 t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        Rng rng(500 + t);
+        for (u64 i = 0; i < kOpsPerThread; ++i) {
+          const std::string key = "k" + std::to_string(rng.Uniform(600));
+          // Sizes straddle admit_max_size so the size gate fires too.
+          const u64 size = 1 * kKiB + rng.Uniform(8 * kKiB);
+          if (!c.Set(key, std::string(size, FillFor(key))).ok()) op_errors++;
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    EXPECT_EQ(op_errors.load(), 0u) << SchemeName(kind);
+
+    const cache::CacheStats total = c.TotalStats();
+    EXPECT_EQ(total.sets + total.admission_rejects + total.rejected_sets,
+              kThreads * kOpsPerThread)
+        << SchemeName(kind);
+    EXPECT_EQ(total.admission_rejects,
+              total.admission_doorkeeper_rejects + total.admission_size_rejects)
+        << SchemeName(kind);
+    EXPECT_GT(total.admission_doorkeeper_rejects, 0u) << SchemeName(kind);
+    EXPECT_GT(total.admission_size_rejects, 0u) << SchemeName(kind);
+    EXPECT_GT(total.sets, 0u) << SchemeName(kind);
+  }
+}
+
+// Per-op TTLs must flow through ShardedCache::Set exactly as they do
+// through a bare FlashCache: keys hash to different shards, and each
+// shard's engine stamps the deadline from the same shared virtual clock.
+// This is the regression test for the front-end dropping the ttl argument.
+TEST(ShardedCacheSerial, PerOpTtlExpiresAcrossShards) {
+  obs::Registry registry;
+  sim::VirtualClock clock;
+  SchemeParams p = SmallParams(&registry);
+  p.shards = 4;
+  auto scheme = MakeShardedScheme(SchemeKind::kRegion, p, &clock);
+  ASSERT_TRUE(scheme.ok());
+  cache::ShardedCache& c = *scheme->cache;
+  ASSERT_EQ(c.shard_count(), 4u);
+
+  // Enough keys that every shard holds both a short-TTL and an immortal key.
+  constexpr u64 kKeys = 64;
+  for (u64 i = 0; i < kKeys; ++i) {
+    const std::string key = "t" + std::to_string(i);
+    const SimNanos ttl = (i % 2 == 0) ? 5 * sim::kMillisecond : 0;
+    ASSERT_TRUE(c.Set(key, std::string(2 * kKiB, FillFor(key)), ttl).ok());
+  }
+  for (u64 i = 0; i < kKeys; ++i) {
+    EXPECT_TRUE(c.Get("t" + std::to_string(i)).value().hit) << i;
+  }
+
+  clock.Advance(10 * sim::kMillisecond);
+  u64 expired_hits = 0;
+  for (u64 i = 0; i < kKeys; ++i) {
+    const bool hit = c.Get("t" + std::to_string(i)).value().hit;
+    if (i % 2 == 0) {
+      if (hit) expired_hits++;
+    } else {
+      EXPECT_TRUE(hit) << "untagged key t" << i << " must not expire";
+    }
+  }
+  EXPECT_EQ(expired_hits, 0u);
+  EXPECT_EQ(c.TotalStats().ttl_expired_items, kKeys / 2);
+}
+
 // Latency attribution enabled under the full multi-threaded mix: the
 // recording path (thread-striped sink, sticky scopes, per-op timelines)
 // must be TSan-clean, account for every op exactly once, and keep the

@@ -257,5 +257,153 @@ TEST_F(FlashCacheTest, ManyKeysConsistency) {
   }
 }
 
+// --- admission control ------------------------------------------------------
+
+TEST_F(FlashCacheTest, DoorkeeperRejectsFirstSeenAdmitsSecond) {
+  FlashCacheConfig cfg;
+  cfg.doorkeeper_bits = 4096;
+  Make(cfg);
+
+  auto first = cache_->Set("one-hit", Val(200));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->hit);  // rejected: first sighting
+  EXPECT_EQ(cache_->stats().sets, 0u);
+  EXPECT_EQ(cache_->stats().admission_rejects, 1u);
+  EXPECT_EQ(cache_->stats().admission_doorkeeper_rejects, 1u);
+  EXPECT_FALSE(cache_->Get("one-hit").value().hit);
+
+  auto second = cache_->Set("one-hit", Val(200));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->hit);  // remembered: second sighting is admitted
+  EXPECT_EQ(cache_->stats().sets, 1u);
+  EXPECT_EQ(cache_->stats().admission_rejects, 1u);
+  EXPECT_TRUE(cache_->Get("one-hit").value().hit);
+}
+
+TEST_F(FlashCacheTest, DoorkeeperNeverRejectsResidentKeys) {
+  FlashCacheConfig cfg;
+  cfg.doorkeeper_bits = 4096;
+  cfg.doorkeeper_rotate_ns = sim::kMillisecond;
+  Make(cfg);
+
+  ASSERT_FALSE(cache_->Set("k", Val(100)).value().hit);
+  ASSERT_TRUE(cache_->Set("k", Val(100)).value().hit);
+  // Rotation wipes the filter, but "k" is resident: overwrites of live
+  // objects must never be turned away (rejection would act as eviction).
+  clock_->Advance(5 * sim::kMillisecond);
+  auto overwrite = cache_->Set("k", Val(100, 'w'));
+  ASSERT_TRUE(overwrite.ok());
+  EXPECT_TRUE(overwrite->hit);
+  EXPECT_EQ(cache_->stats().admission_doorkeeper_rejects, 1u);
+  std::string v;
+  ASSERT_TRUE(cache_->Get("k", &v).value().hit);
+  EXPECT_EQ(v, Val(100, 'w'));
+}
+
+TEST_F(FlashCacheTest, DoorkeeperRotationForgetsFirstTimers) {
+  FlashCacheConfig cfg;
+  cfg.doorkeeper_bits = 4096;
+  cfg.doorkeeper_rotate_ns = sim::kMillisecond;
+  Make(cfg);
+
+  ASSERT_FALSE(cache_->Set("k", Val(100)).value().hit);  // filter remembers
+  // Make the key non-resident again, then cross the rotation boundary:
+  // the filter forgets the sighting and the key is first-seen once more.
+  ASSERT_TRUE(cache_->Delete("k").ok());
+  clock_->Advance(5 * sim::kMillisecond);
+  auto again = cache_->Set("k", Val(100));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->hit);
+  EXPECT_EQ(cache_->stats().admission_doorkeeper_rejects, 2u);
+}
+
+TEST_F(FlashCacheTest, SizeThresholdRejectsLargeObjects) {
+  FlashCacheConfig cfg;
+  cfg.admit_max_size = kKiB;
+  Make(cfg);
+
+  auto big = cache_->Set("big", Val(2 * kKiB));
+  ASSERT_TRUE(big.ok());
+  EXPECT_FALSE(big->hit);
+  EXPECT_EQ(cache_->stats().admission_size_rejects, 1u);
+  EXPECT_EQ(cache_->stats().admission_rejects, 1u);
+  EXPECT_FALSE(cache_->Get("big").value().hit);
+
+  auto small = cache_->Set("small", Val(512));
+  ASSERT_TRUE(small.ok());
+  EXPECT_TRUE(small->hit);
+  EXPECT_TRUE(cache_->Get("small").value().hit);
+  EXPECT_EQ(cache_->stats().admission_size_rejects, 1u);
+}
+
+TEST_F(FlashCacheTest, AdmissionGatesOffKeepCountersAtZero) {
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(cache_->Set("k" + std::to_string(i), Val(4 * kKiB)).ok());
+  }
+  EXPECT_EQ(cache_->stats().admission_rejects, 0u);
+  EXPECT_EQ(cache_->stats().admission_doorkeeper_rejects, 0u);
+  EXPECT_EQ(cache_->stats().admission_size_rejects, 0u);
+  EXPECT_EQ(cache_->stats().sets, 50u);
+}
+
+TEST_F(FlashCacheTest, SetsPlusAdmissionRejectsEqualsAttempts) {
+  FlashCacheConfig cfg;
+  cfg.doorkeeper_bits = 1024;
+  cfg.admit_max_size = 8 * kKiB;
+  Make(cfg);
+  Rng rng(11);
+  const u64 attempts = 500;
+  for (u64 i = 0; i < attempts; ++i) {
+    const std::string key = "k" + std::to_string(rng.Uniform(120));
+    ASSERT_TRUE(cache_->Set(key, Val(rng.Uniform(12 * kKiB) + 1)).ok());
+  }
+  const CacheStats& s = cache_->stats();
+  EXPECT_EQ(s.sets + s.admission_rejects, attempts);
+  EXPECT_EQ(s.admission_rejects,
+            s.admission_doorkeeper_rejects + s.admission_size_rejects);
+  EXPECT_GT(s.admission_doorkeeper_rejects, 0u);
+  EXPECT_GT(s.admission_size_rejects, 0u);
+}
+
+// --- per-op TTL -------------------------------------------------------------
+
+TEST_F(FlashCacheTest, PerOpTtlExpiresWithoutEngineTtl) {
+  // No config-level TTL: the per-op deadline alone drives lazy expiry.
+  ASSERT_TRUE(cache_->Set("short", Val(100), sim::kMillisecond).ok());
+  ASSERT_TRUE(cache_->Set("forever", Val(100)).ok());
+  EXPECT_TRUE(cache_->Get("short").value().hit);
+
+  clock_->Advance(2 * sim::kMillisecond);
+  EXPECT_FALSE(cache_->Get("short").value().hit);
+  EXPECT_TRUE(cache_->Get("forever").value().hit);
+  EXPECT_EQ(cache_->stats().ttl_expired_items, 1u);
+}
+
+TEST_F(FlashCacheTest, PerOpTtlOverridesEngineDefault) {
+  FlashCacheConfig cfg;
+  cfg.ttl_ns = 100 * sim::kMillisecond;
+  Make(cfg);
+  ASSERT_TRUE(cache_->Set("fast", Val(100), sim::kMillisecond).ok());
+  ASSERT_TRUE(cache_->Set("default", Val(100)).ok());
+
+  clock_->Advance(2 * sim::kMillisecond);
+  EXPECT_FALSE(cache_->Get("fast").value().hit);     // per-op deadline won
+  EXPECT_TRUE(cache_->Get("default").value().hit);   // engine TTL not yet due
+
+  clock_->Advance(200 * sim::kMillisecond);
+  EXPECT_FALSE(cache_->Get("default").value().hit);
+}
+
+TEST_F(FlashCacheTest, OverwriteRefreshesPerOpTtl) {
+  ASSERT_TRUE(cache_->Set("k", Val(100), sim::kMillisecond).ok());
+  clock_->Advance(sim::kMillisecond / 2);
+  // Overwrite with a longer deadline before the first one fires.
+  ASSERT_TRUE(cache_->Set("k", Val(100), 10 * sim::kMillisecond).ok());
+  clock_->Advance(2 * sim::kMillisecond);
+  EXPECT_TRUE(cache_->Get("k").value().hit);
+  clock_->Advance(20 * sim::kMillisecond);
+  EXPECT_FALSE(cache_->Get("k").value().hit);
+}
+
 }  // namespace
 }  // namespace zncache::cache

@@ -3,6 +3,7 @@
 // invariants that must hold in every configuration.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <tuple>
@@ -14,6 +15,7 @@
 #include "common/random.h"
 #include "kv/lsm_store.h"
 #include "middle/zone_translation_layer.h"
+#include "workload/scenario.h"
 #include "zns/zns_device.h"
 
 namespace zncache {
@@ -346,6 +348,119 @@ INSTANTIATE_TEST_SUITE_P(
         if (c != '-') name.push_back(c);
       }
       return name + "x" + std::to_string(std::get<1>(tpinfo.param));
+    });
+
+// -------------------------------- scenario-driven differential sweep ----
+
+// The scenario layer shapes traffic (phase scheduling, hot-set takeover,
+// scan batches, sized objects); the model-check oracle verifies payload
+// correctness. This bridge runs production-shaped op streams through the
+// differential interpreter: every scenario op becomes a history op with a
+// self-describing payload, so a scheme that corrupts or misroutes data
+// under flash-crowd or scan pressure is caught byte-exactly. TTLs are
+// stripped — the oracle models acked state, not time-based expiry — and
+// object sizes are clamped to the sweep geometry's region budget.
+check::History HistoryFromScenario(const workload::ScenarioSpec& spec,
+                                   backends::SchemeKind scheme, u32 shards) {
+  check::HistoryConfig config;
+  config.level = check::Level::kCache;
+  config.scheme = scheme;
+  config.shards = shards;
+  config.seed = spec.seed;
+  check::FitGeometryForShards(&config);
+
+  check::History h;
+  h.config = config;
+  workload::ScenarioStream stream(spec);
+  workload::ScenarioOp sop;
+  u64 seq = 0;
+  while (stream.Next(&sop)) {
+    check::Op op;
+    op.key = sop.key_id;
+    switch (sop.kind) {
+      case workload::ScenarioOp::Kind::kGet:
+        op.kind = check::OpKind::kGet;
+        break;
+      case workload::ScenarioOp::Kind::kSet:
+        op.kind = check::OpKind::kSet;
+        op.seq = ++seq;
+        // Interpreter payloads need >= 64 bytes of header; cap at 16 KiB so
+        // every object fits the sweep's region geometry with headroom.
+        op.len = 64 + std::min<u64>(sop.size, 16 * kKiB);
+        break;
+      case workload::ScenarioOp::Kind::kDelete:
+        op.kind = check::OpKind::kDelete;
+        break;
+    }
+    h.ops.push_back(op);
+  }
+  check::Op flush;
+  flush.kind = check::OpKind::kFlush;
+  h.ops.push_back(flush);
+  return h;
+}
+
+// Short inline specs, one per phase kind, all on a 96-key space so the
+// sweep geometry turns over and exercises eviction under each shape.
+const char* const kScenarioShapes[] = {
+    "znscn v1\n"
+    "scenario name=sweep_steady;seed=31;keys=96;zipf=0.9;"
+    "get=0.5;set=0.4;del=0.1\n"
+    "size kind=bimodal;small=512;large=8192;large_frac=0.1\n"
+    "phase kind=steady;ops=1500;dur_ms=150\n",
+    "znscn v1\n"
+    "scenario name=sweep_diurnal;seed=32;keys=96;zipf=0.9;"
+    "get=0.5;set=0.4;del=0.1\n"
+    "size kind=bimodal;small=512;large=8192;large_frac=0.1\n"
+    "phase kind=diurnal;ops=1500;dur_ms=200;amp=0.6;periods=2\n",
+    "znscn v1\n"
+    "scenario name=sweep_spike;seed=33;keys=96;zipf=0.9;"
+    "get=0.5;set=0.4;del=0.1\n"
+    "size kind=bimodal;small=512;large=8192;large_frac=0.1\n"
+    "phase kind=steady;ops=500;dur_ms=60\n"
+    "phase kind=spike;ops=1000;dur_ms=40;hot_keys=16;hot_frac=0.9\n"
+    "phase kind=steady;ops=500;dur_ms=60\n",
+    "znscn v1\n"
+    "scenario name=sweep_scan;seed=34;keys=96;zipf=0.9;"
+    "get=0.4;set=0.5;del=0.1\n"
+    "size kind=fixed;small=1024\n"
+    "phase kind=steady;name=fill;ops=800;dur_ms=80\n"
+    "phase kind=scan;ops=800;dur_ms=40;batch=32\n",
+    "znscn v1\n"
+    "scenario name=sweep_ramp;seed=35;keys=96;zipf=0.9;"
+    "get=0.5;set=0.4;del=0.1\n"
+    "size kind=pareto;small=256;large=8192;alpha=1.3\n"
+    "phase kind=ramp;ops=1500;dur_ms=150;mult=0.25;end_mult=4\n",
+};
+
+class ScenarioOracleSweep
+    : public ::testing::TestWithParam<backends::SchemeKind> {};
+
+TEST_P(ScenarioOracleSweep, ProductionShapesMatchReferenceModel) {
+  const backends::SchemeKind scheme = GetParam();
+  for (const char* text : kScenarioShapes) {
+    auto spec = workload::ScenarioSpec::Parse(text);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    for (u32 shards : {1u, 2u}) {
+      const check::History h = HistoryFromScenario(*spec, scheme, shards);
+      const check::RunResult result = check::RunHistory(h);
+      EXPECT_TRUE(result.ok)
+          << spec->name << " x" << shards << ": " << result.Describe();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ScenarioOracleSweep,
+    ::testing::Values(backends::SchemeKind::kBlock, backends::SchemeKind::kFile,
+                      backends::SchemeKind::kZone,
+                      backends::SchemeKind::kRegion),
+    [](const ::testing::TestParamInfo<backends::SchemeKind>& tpinfo) {
+      std::string name;
+      for (char c : backends::SchemeName(tpinfo.param)) {
+        if (c != '-') name.push_back(c);
+      }
+      return name;
     });
 
 }  // namespace

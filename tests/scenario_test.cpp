@@ -1,0 +1,436 @@
+// Tests for the declarative scenario layer (src/workload/scenario.h):
+// spec round-trip and malformed rejection, stream determinism, phase
+// timing in virtual nanoseconds, load-curve shaping, size-distribution
+// moments, TTL emission, and the built-in catalog.
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario_catalog.h"
+
+namespace zncache::workload {
+namespace {
+
+std::vector<ScenarioOp> Drain(const ScenarioSpec& spec) {
+  ScenarioStream stream(spec);
+  std::vector<ScenarioOp> ops;
+  ScenarioOp op;
+  while (stream.Next(&op)) ops.push_back(op);
+  return ops;
+}
+
+ScenarioSpec BaseSpec() {
+  ScenarioSpec s;
+  s.name = "test";
+  s.seed = 7;
+  s.key_space = 5000;
+  s.zipf_theta = 0.9;
+  ScenarioPhase p;
+  p.kind = PhaseKind::kSteady;
+  p.ops = 2000;
+  p.duration_ns = 200 * sim::kMillisecond;
+  s.phases.push_back(p);
+  return s;
+}
+
+TEST(ScenarioSpecTest, SerializeParseRoundTripsEveryField) {
+  ScenarioSpec s;
+  s.name = "kitchen_sink";
+  s.seed = 42;
+  s.key_space = 12345;
+  s.zipf_theta = 0.73;
+  s.get_ratio = 0.55;
+  s.set_ratio = 0.35;
+  s.del_ratio = 0.1;
+  s.size.kind = SizeDistKind::kPareto;
+  s.size.min = 2048;
+  s.size.max = 131072;
+  s.size.alpha = 1.17;
+  s.ttl_fraction = 0.4;
+  s.ttl_min_ns = 3 * sim::kMillisecond;
+  s.ttl_max_ns = 900 * sim::kMillisecond;
+  s.admission_doorkeeper_bits = 65536;
+  s.admission_rotate_ns = 250 * sim::kMillisecond;
+  s.admission_max_size = 65536;
+  s.budget_get_p99_ns = 5 * sim::kMillisecond;
+  s.budget_set_p99_ns = 4 * sim::kMillisecond;
+  s.budget_p999_mult = 3.5;
+  ScenarioPhase warm;
+  warm.kind = PhaseKind::kSteady;
+  warm.name = "warm";
+  warm.ops = 100;
+  warm.duration_ns = 10 * sim::kMillisecond;
+  warm.start_mult = 0.5;
+  warm.end_mult = 0.5;
+  s.phases.push_back(warm);
+  ScenarioPhase crowd;
+  crowd.kind = PhaseKind::kSpike;
+  crowd.name = "crowd";
+  crowd.ops = 300;
+  crowd.duration_ns = 30 * sim::kMillisecond;
+  crowd.hot_keys = 32;
+  crowd.hot_frac = 0.85;
+  crowd.get_ratio = 0.9;
+  crowd.set_ratio = 0.1;
+  crowd.del_ratio = 0.0;
+  s.phases.push_back(crowd);
+
+  const std::string text = s.Serialize();
+  auto parsed = ScenarioSpec::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Serialize(), text);
+  EXPECT_EQ(parsed->name, "kitchen_sink");
+  EXPECT_EQ(parsed->size.kind, SizeDistKind::kPareto);
+  EXPECT_EQ(parsed->admission_doorkeeper_bits, 65536u);
+  ASSERT_EQ(parsed->phases.size(), 2u);
+  EXPECT_EQ(parsed->phases[1].kind, PhaseKind::kSpike);
+  EXPECT_DOUBLE_EQ(parsed->phases[1].hot_frac, 0.85);
+  EXPECT_DOUBLE_EQ(parsed->phases[1].get_ratio, 0.9);
+  // Stream equality, not just field equality.
+  EXPECT_EQ(ScenarioFingerprint(s), ScenarioFingerprint(*parsed));
+}
+
+TEST(ScenarioSpecTest, MillisecondSpellingsParse) {
+  auto spec = ScenarioSpec::Parse(
+      "znscn v1\n"
+      "scenario name=ms;keys=100\n"
+      "ttl fraction=0.5;min_ms=1.5;max_ms=20\n"
+      "phase kind=steady;ops=10;dur_ms=2.5\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->ttl_min_ns, static_cast<SimNanos>(1.5e6));
+  EXPECT_EQ(spec->ttl_max_ns, static_cast<SimNanos>(2e7));
+  EXPECT_EQ(spec->phases[0].duration_ns, static_cast<SimNanos>(2.5e6));
+  // Phase name defaults to the kind name.
+  EXPECT_EQ(spec->phases[0].name, "steady");
+}
+
+TEST(ScenarioSpecTest, MalformedSpecsAreRejected) {
+  const char* bad[] = {
+      // Wrong magic.
+      "znsXX v9\nscenario name=a\nphase kind=steady;ops=1;dur_ns=1\n",
+      // Missing scenario line.
+      "znscn v1\nphase kind=steady;ops=1;dur_ns=1\n",
+      // No phases.
+      "znscn v1\nscenario name=a\n",
+      // Unknown section.
+      "znscn v1\nscenario name=a\nwarp kind=steady\n"
+      "phase kind=steady;ops=1;dur_ns=1\n",
+      // Unknown key.
+      "znscn v1\nscenario name=a;volume=11\n"
+      "phase kind=steady;ops=1;dur_ns=1\n",
+      // Malformed clause (no '=').
+      "znscn v1\nscenario name=a\nphase kind\n",
+      // Bad integer.
+      "znscn v1\nscenario name=a;keys=many\n"
+      "phase kind=steady;ops=1;dur_ns=1\n",
+      // Zero key space.
+      "znscn v1\nscenario name=a;keys=0\n"
+      "phase kind=steady;ops=1;dur_ns=1\n",
+      // Zero-op phase.
+      "znscn v1\nscenario name=a\nphase kind=steady;ops=0;dur_ns=1\n",
+      // Unknown phase kind.
+      "znscn v1\nscenario name=a\nphase kind=hexagonal;ops=1;dur_ns=1\n",
+      // TTL fraction without a range.
+      "znscn v1\nscenario name=a\nttl fraction=0.5\n"
+      "phase kind=steady;ops=1;dur_ns=1\n",
+      // Diurnal amplitude >= 1 (rate would go negative).
+      "znscn v1\nscenario name=a\n"
+      "phase kind=diurnal;ops=1;dur_ns=1;amp=1.5\n",
+      // Spike hot set larger than the key space.
+      "znscn v1\nscenario name=a;keys=10\n"
+      "phase kind=spike;ops=1;dur_ns=1;hot_keys=100\n",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ScenarioSpec::Parse(text).ok())
+        << "accepted malformed spec:\n" << text;
+  }
+}
+
+TEST(ScenarioStreamTest, FingerprintIsDeterministic) {
+  const ScenarioSpec s = BaseSpec();
+  EXPECT_EQ(ScenarioFingerprint(s), ScenarioFingerprint(s));
+  const auto a = Drain(s);
+  const auto b = Drain(s);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key_id, b[i].key_id);
+    EXPECT_EQ(a[i].when, b[i].when);
+    EXPECT_EQ(static_cast<int>(a[i].kind), static_cast<int>(b[i].kind));
+  }
+}
+
+TEST(ScenarioStreamTest, FingerprintIsSeedSensitive) {
+  ScenarioSpec a = BaseSpec();
+  ScenarioSpec b = BaseSpec();
+  b.seed = a.seed + 1;
+  EXPECT_NE(ScenarioFingerprint(a), ScenarioFingerprint(b));
+}
+
+TEST(ScenarioStreamTest, OpsLandInsideTheirPhaseWindow) {
+  ScenarioSpec s = BaseSpec();
+  ScenarioPhase second;
+  second.kind = PhaseKind::kRamp;
+  second.ops = 1500;
+  second.duration_ns = 300 * sim::kMillisecond;
+  second.start_mult = 0.5;
+  second.end_mult = 2.0;
+  s.phases.push_back(second);
+
+  SimNanos prev = 0;
+  for (const ScenarioOp& op : Drain(s)) {
+    ASSERT_LT(op.phase, s.phases.size());
+    const SimNanos start = s.PhaseStartNs(op.phase);
+    const SimNanos end = start + s.phases[op.phase].duration_ns;
+    EXPECT_GE(op.when, start);
+    EXPECT_LT(op.when, end);
+    EXPECT_GE(op.when, prev);  // arrivals never go backwards
+    prev = op.when;
+  }
+}
+
+TEST(ScenarioStreamTest, PhaseOpCountsMatchTheSpec) {
+  ScenarioSpec s = BaseSpec();
+  ScenarioPhase p2;
+  p2.ops = 777;
+  p2.duration_ns = 70 * sim::kMillisecond;
+  s.phases.push_back(p2);
+  std::vector<u64> per_phase(s.phases.size(), 0);
+  for (const ScenarioOp& op : Drain(s)) per_phase[op.phase]++;
+  EXPECT_EQ(per_phase[0], s.phases[0].ops);
+  EXPECT_EQ(per_phase[1], 777u);
+  EXPECT_EQ(s.TotalOps(), s.phases[0].ops + 777u);
+}
+
+TEST(ScenarioStreamTest, DiurnalFrontLoadsArrivalsWithinThePeriod) {
+  ScenarioSpec s = BaseSpec();
+  s.phases[0].kind = PhaseKind::kDiurnal;
+  s.phases[0].amplitude = 0.8;
+  s.phases[0].periods = 1.0;
+  s.phases[0].ops = 10000;
+  // sin is positive over the first half-period: the arrival rate runs
+  // above the mean, so more than half the ops land in the first half of
+  // the window (and the phase still fills its window exactly).
+  u64 first_half = 0;
+  const SimNanos mid = s.phases[0].duration_ns / 2;
+  const auto ops = Drain(s);
+  for (const ScenarioOp& op : ops) {
+    if (op.when < mid) first_half++;
+  }
+  EXPECT_GT(first_half, ops.size() * 11 / 20);
+  EXPECT_LT(ops.back().when, s.phases[0].duration_ns);
+  EXPECT_GT(ops.back().when, s.phases[0].duration_ns * 9 / 10);
+}
+
+TEST(ScenarioStreamTest, RampCompressesGapsTowardTheEnd) {
+  ScenarioSpec s = BaseSpec();
+  s.phases[0].kind = PhaseKind::kRamp;
+  s.phases[0].ops = 8000;
+  s.phases[0].start_mult = 0.25;
+  s.phases[0].end_mult = 3.0;
+  const auto ops = Drain(s);
+  // Mean inter-arrival gap over the first vs last eighth of the stream.
+  const size_t n = ops.size() / 8;
+  const double head_gap =
+      static_cast<double>(ops[n].when - ops[0].when) / static_cast<double>(n);
+  const double tail_gap =
+      static_cast<double>(ops.back().when - ops[ops.size() - 1 - n].when) /
+      static_cast<double>(n);
+  EXPECT_GT(head_gap, 4 * tail_gap);  // 12x rate swing, allow slack
+}
+
+TEST(ScenarioStreamTest, SpikePhaseConcentratesOnTheHotBand) {
+  ScenarioSpec s = BaseSpec();
+  s.phases[0].kind = PhaseKind::kSpike;
+  s.phases[0].ops = 8000;
+  s.phases[0].hot_keys = 64;
+  s.phases[0].hot_frac = 0.9;
+  const auto ops = Drain(s);
+  // The hot band is 64 keys out of 5000: Zipf alone cannot put 80% of
+  // traffic on any 64-key window, so takeover proves the spike draw.
+  std::vector<u64> keys;
+  for (const ScenarioOp& op : ops) keys.push_back(op.key_id);
+  std::sort(keys.begin(), keys.end());
+  u64 best_window = 0;
+  for (size_t lo = 0, hi = 0; hi < keys.size(); ++hi) {
+    while (keys[hi] - keys[lo] >= s.phases[0].hot_keys) lo++;
+    best_window = std::max<u64>(best_window, hi - lo + 1);
+  }
+  EXPECT_GT(best_window, ops.size() * 8 / 10);
+}
+
+TEST(ScenarioStreamTest, ScanPhaseEmitsSequentialGetBatches) {
+  ScenarioSpec s = BaseSpec();
+  s.phases[0].kind = PhaseKind::kScan;
+  s.phases[0].ops = 1024;
+  s.phases[0].scan_batch = 64;
+  const auto ops = Drain(s);
+  u64 sequential_steps = 0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(ops[i].kind),
+              static_cast<int>(ScenarioOp::Kind::kGet));
+    if (i > 0 &&
+        ops[i].key_id == (ops[i - 1].key_id + 1) % s.key_space) {
+      sequential_steps++;
+    }
+  }
+  // 1024 ops in 16 batches of 64: at least 63/64 of steps are sequential.
+  EXPECT_GE(sequential_steps, ops.size() - 16 - 1);
+}
+
+TEST(ScenarioStreamTest, BimodalSizesMatchTheConfiguredMoments) {
+  ScenarioSpec s = BaseSpec();
+  s.get_ratio = 0;
+  s.set_ratio = 1;
+  s.del_ratio = 0;
+  s.size.kind = SizeDistKind::kBimodal;
+  s.size.small = 512;
+  s.size.large = 65536;
+  s.size.large_frac = 0.1;
+  s.phases[0].ops = 20000;
+  u64 large = 0, total = 0;
+  for (const ScenarioOp& op : Drain(s)) {
+    ASSERT_TRUE(op.size == 512 || op.size == 65536) << op.size;
+    if (op.size == 65536) large++;
+    total++;
+  }
+  // Keys are Zipf-weighted so the op-level large fraction is the
+  // key-level one reweighted; with a random size assignment per key the
+  // two agree within a loose band.
+  const double frac = static_cast<double>(large) / static_cast<double>(total);
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.30);
+}
+
+TEST(ScenarioStreamTest, ParetoSizesStayInBoundsWithAHeavyTail) {
+  ScenarioSpec s = BaseSpec();
+  s.get_ratio = 0;
+  s.set_ratio = 1;
+  s.del_ratio = 0;
+  s.size.kind = SizeDistKind::kPareto;
+  s.size.min = 4096;
+  s.size.max = 262144;
+  s.size.alpha = 1.3;
+  s.phases[0].ops = 20000;
+  u64 over_2x = 0, total = 0;
+  double sum = 0;
+  for (const ScenarioOp& op : Drain(s)) {
+    ASSERT_GE(op.size, s.size.min);
+    ASSERT_LE(op.size, s.size.max);
+    if (op.size > 2 * s.size.min) over_2x++;
+    sum += static_cast<double>(op.size);
+    total++;
+  }
+  EXPECT_GT(sum / static_cast<double>(total),
+            static_cast<double>(s.size.min) * 1.5);  // heavy tail pulls mean up
+  EXPECT_GT(over_2x, total / 20);                    // tail actually sampled
+}
+
+TEST(ScenarioStreamTest, SizeIsAStableFunctionOfTheKey) {
+  ScenarioSpec s = BaseSpec();
+  s.size.kind = SizeDistKind::kBimodal;
+  s.phases[0].ops = 10000;
+  std::vector<u64> size_of(s.key_space, 0);
+  for (const ScenarioOp& op : Drain(s)) {
+    if (size_of[op.key_id] == 0) {
+      size_of[op.key_id] = op.size;
+    } else {
+      EXPECT_EQ(size_of[op.key_id], op.size)
+          << "key " << op.key_id << " changed size mid-run";
+    }
+  }
+}
+
+TEST(ScenarioStreamTest, TtlEmissionMatchesTheConfiguredFraction) {
+  ScenarioSpec s = BaseSpec();
+  s.get_ratio = 0;
+  s.set_ratio = 1;
+  s.del_ratio = 0;
+  s.ttl_fraction = 0.8;
+  s.ttl_min_ns = 10 * sim::kMillisecond;
+  s.ttl_max_ns = 1000 * sim::kMillisecond;
+  s.phases[0].ops = 20000;
+  u64 with_ttl = 0, total = 0;
+  for (const ScenarioOp& op : Drain(s)) {
+    total++;
+    if (op.ttl_ns == 0) continue;
+    with_ttl++;
+    EXPECT_GE(op.ttl_ns, s.ttl_min_ns);
+    EXPECT_LE(op.ttl_ns, s.ttl_max_ns);
+  }
+  const double frac =
+      static_cast<double>(with_ttl) / static_cast<double>(total);
+  EXPECT_NEAR(frac, 0.8, 0.03);
+}
+
+TEST(ScenarioStreamTest, GetsAndDeletesCarryNoTtl) {
+  ScenarioSpec s = BaseSpec();
+  s.ttl_fraction = 1.0;
+  s.ttl_min_ns = sim::kMillisecond;
+  s.ttl_max_ns = sim::kSecond;
+  for (const ScenarioOp& op : Drain(s)) {
+    if (op.kind != ScenarioOp::Kind::kSet) {
+      EXPECT_EQ(op.ttl_ns, 0u);
+    } else {
+      EXPECT_GT(op.ttl_ns, 0u);
+    }
+  }
+}
+
+TEST(ScenarioSpecTest, ScaledShrinksOpsAndDurations) {
+  ScenarioSpec s = BaseSpec();
+  s.phases[0].ops = 2000;
+  s.phases[0].duration_ns = 200 * sim::kMillisecond;
+  ScenarioPhase tiny;
+  tiny.ops = 2;
+  tiny.duration_ns = 8;
+  s.phases.push_back(tiny);
+  const ScenarioSpec q = s.Scaled(0.25);
+  EXPECT_EQ(q.phases[0].ops, 500u);
+  EXPECT_EQ(q.phases[0].duration_ns, 50 * sim::kMillisecond);
+  // Floors: ops and duration never hit zero.
+  const ScenarioSpec z = s.Scaled(0.001);
+  EXPECT_GE(z.phases[1].ops, 1u);
+  EXPECT_GE(z.phases[1].duration_ns, 1u);
+}
+
+TEST(ScenarioCatalogTest, EveryBuiltinParsesAndFingerprintsStably) {
+  ASSERT_FALSE(BuiltinScenarios().empty());
+  for (const NamedScenario& entry : BuiltinScenarios()) {
+    auto spec = ScenarioSpec::Parse(entry.text);
+    ASSERT_TRUE(spec.ok())
+        << entry.name << ": " << spec.status().ToString();
+    EXPECT_EQ(spec->name, entry.name);
+    EXPECT_FALSE(spec->phases.empty()) << entry.name;
+    EXPECT_EQ(ScenarioFingerprint(*spec), ScenarioFingerprint(*spec));
+    // Round-trip: the canonical form re-parses to the same stream.
+    auto again = ScenarioSpec::Parse(spec->Serialize());
+    ASSERT_TRUE(again.ok()) << entry.name;
+    EXPECT_EQ(ScenarioFingerprint(*spec), ScenarioFingerprint(*again));
+  }
+}
+
+TEST(ScenarioCatalogTest, CatalogCoversEveryPhaseKindAndAdmissionMode) {
+  bool kinds[5] = {};
+  bool ttl = false, doorkeeper = false, size_cap = false;
+  for (const NamedScenario& entry : BuiltinScenarios()) {
+    auto spec = ScenarioSpec::Parse(entry.text);
+    ASSERT_TRUE(spec.ok());
+    for (const ScenarioPhase& p : spec->phases) {
+      kinds[static_cast<size_t>(p.kind)] = true;
+    }
+    ttl |= spec->ttl_fraction > 0;
+    doorkeeper |= spec->admission_doorkeeper_bits > 0;
+    size_cap |= spec->admission_max_size > 0;
+  }
+  for (bool k : kinds) EXPECT_TRUE(k);
+  EXPECT_TRUE(ttl);
+  EXPECT_TRUE(doorkeeper);
+  EXPECT_TRUE(size_cap);
+}
+
+}  // namespace
+}  // namespace zncache::workload
